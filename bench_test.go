@@ -1,0 +1,420 @@
+package repro
+
+// Root benchmark harness: one benchmark per figure/table of the paper's
+// evaluation, as indexed in DESIGN.md. Heavy end-to-end benchmarks report
+// their domain metric (recovery time, detection latency) via
+// b.ReportMetric in addition to ns/op.
+//
+// Run with: go test -bench=. -benchmem .
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/com"
+	"repro/internal/core"
+	"repro/internal/dcom"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/ftim"
+	"repro/internal/netsim"
+	"repro/internal/opc"
+)
+
+// --- E1: Figure 1 reference configurations -------------------------------
+
+// BenchmarkE1LocalRead measures the integrated topology's read path
+// (operator client reading plant items through local COM).
+func BenchmarkE1LocalRead(b *testing.B) {
+	server := opc.NewServer("Plant.OPC.1")
+	for i := 0; i < 8; i++ {
+		tag := fmt.Sprintf("plc1.sensor%d", i)
+		if err := server.AddItem(opc.ItemDef{Tag: tag, CanonicalType: opc.VTFloat64}); err != nil {
+			b.Fatal(err)
+		}
+		_ = server.SetValue(tag, opc.VR8(float64(i)), opc.GoodNonSpecific, time.Now())
+	}
+	client := opc.NewClient(server)
+	defer client.Close()
+	tags := []string{"plc1.sensor0", "plc1.sensor3", "plc1.sensor7"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.SyncRead(tags...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1RemoteRead measures the remote-monitoring topology's read
+// path (the same reads through DCOM).
+func BenchmarkE1RemoteRead(b *testing.B) {
+	server := opc.NewServer("Plant.OPC.1")
+	for i := 0; i < 8; i++ {
+		tag := fmt.Sprintf("plc1.sensor%d", i)
+		if err := server.AddItem(opc.ItemDef{Tag: tag, CanonicalType: opc.VTFloat64}); err != nil {
+			b.Fatal(err)
+		}
+		_ = server.SetValue(tag, opc.VR8(float64(i)), opc.GoodNonSpecific, time.Now())
+	}
+	net := netsim.New("eth", 1)
+	exp, err := dcom.NewExporter(net, "plant:opc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer exp.Close()
+	oid := com.NewGUID()
+	if err := opc.ExportServer(exp, oid, server); err != nil {
+		b.Fatal(err)
+	}
+	cli, err := dcom.Dial(net, "mon:opc", "plant:opc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	client := opc.NewClient(opc.NewRemoteConnection(cli, oid))
+	defer client.Close()
+	tags := []string{"plc1.sensor0", "plc1.sensor3", "plc1.sensor7"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.SyncRead(tags...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: Figure 2 architecture -------------------------------------------
+
+// BenchmarkE2PairFormation measures standing the whole architecture up:
+// engines, negotiation, FTIMs, first activation.
+func BenchmarkE2PairFormation(b *testing.B) {
+	var totalForm time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		d, err := core.New(core.Config{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.WaitForRoles(5 * time.Second); err != nil {
+			d.Stop()
+			b.Fatal(err)
+		}
+		totalForm += time.Since(start)
+		b.StopTimer()
+		d.Stop()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(totalForm.Microseconds())/float64(b.N)/1000, "form-ms/op")
+}
+
+// --- E3: Section 4 failure scenarios --------------------------------------
+
+func benchFailover(b *testing.B, inject func(d *core.Deployment, primary string) error) {
+	b.Helper()
+	var totalRecovery time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d, err := core.New(core.Config{
+			Seed: int64(i + 1),
+			NewApp: func(string) core.ReplicatedApp {
+				return &benchApp{}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.WaitForRoles(5 * time.Second); err != nil {
+			d.Stop()
+			b.Fatal(err)
+		}
+		primary := d.Primary().Node.Name()
+		b.StartTimer()
+
+		start := time.Now()
+		if err := inject(d, primary); err != nil {
+			d.Stop()
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(8 * time.Second)
+		recovered := false
+		for time.Now().Before(deadline) {
+			if p := d.Primary(); p != nil && p.AppActive() {
+				if p.Node.Name() != primary || mustReplicaRebuilt(d, primary) {
+					recovered = true
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+		d.Stop()
+		b.StartTimer()
+		if !recovered {
+			b.Fatal("no recovery")
+		}
+		totalRecovery += elapsed
+	}
+	b.ReportMetric(float64(totalRecovery.Microseconds())/float64(b.N)/1000, "recovery-ms/op")
+}
+
+// mustReplicaRebuilt reports whether the named node's app copy is live
+// again (the local-restart recovery path).
+func mustReplicaRebuilt(d *core.Deployment, node string) bool {
+	r := d.Replica(node)
+	return r != nil && r.AppActive()
+}
+
+// benchApp is a trivial replicated app for failover benchmarks.
+type benchApp struct{ state struct{ N int64 } }
+
+func (a *benchApp) Setup(f *ftim.ClientFTIM) error { return f.RegisterState("n", &a.state) }
+func (a *benchApp) Activate(bool)                  {}
+func (a *benchApp) Deactivate()                    {}
+func (a *benchApp) Stop()                          {}
+
+// BenchmarkE3FailoverNodeFailure is scenario (a).
+func BenchmarkE3FailoverNodeFailure(b *testing.B) {
+	benchFailover(b, func(d *core.Deployment, p string) error { return d.KillNode(p) })
+}
+
+// BenchmarkE3FailoverNTCrash is scenario (b).
+func BenchmarkE3FailoverNTCrash(b *testing.B) {
+	benchFailover(b, func(d *core.Deployment, p string) error { return d.BlueScreen(p) })
+}
+
+// BenchmarkE3FailoverAppFailure is scenario (c).
+func BenchmarkE3FailoverAppFailure(b *testing.B) {
+	benchFailover(b, func(d *core.Deployment, p string) error { return d.KillApp(p) })
+}
+
+// BenchmarkE3FailoverMiddlewareFailure is scenario (d).
+func BenchmarkE3FailoverMiddlewareFailure(b *testing.B) {
+	benchFailover(b, func(d *core.Deployment, p string) error { return d.KillEngine(p) })
+}
+
+// --- E4: checkpoint modes --------------------------------------------------
+
+func checkpointRegistry(b *testing.B, size int) (*checkpoint.Registry, func()) {
+	b.Helper()
+	reg := checkpoint.NewRegistry()
+	const regions = 16
+	state := make([][]byte, regions)
+	for i := range state {
+		state[i] = make([]byte, size/regions)
+		if err := reg.Register(fmt.Sprintf("r%02d", i), &state[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hot := int64(0)
+	if err := reg.Register("hot", &hot); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Select("hot"); err != nil {
+		b.Fatal(err)
+	}
+	i := 0
+	mutate := func() {
+		hot++
+		state[i%regions][0] ^= 0xFF
+		i++
+	}
+	return reg, mutate
+}
+
+// BenchmarkE4CheckpointFull captures the whole 64 KiB state.
+func BenchmarkE4CheckpointFull(b *testing.B) {
+	reg, mutate := checkpointRegistry(b, 64<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mutate()
+		if _, err := reg.CaptureFull(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4CheckpointSelective captures only the SelSave designation.
+func BenchmarkE4CheckpointSelective(b *testing.B) {
+	reg, mutate := checkpointRegistry(b, 64<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mutate()
+		if _, err := reg.CaptureSelective(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4CheckpointIncremental captures only changed regions.
+func BenchmarkE4CheckpointIncremental(b *testing.B) {
+	reg, mutate := checkpointRegistry(b, 64<<10)
+	if _, err := reg.CaptureIncremental(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mutate()
+		if _, err := reg.CaptureIncremental(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: startup negotiation ------------------------------------------------
+
+// BenchmarkE5PairNegotiation measures a clean two-node role negotiation.
+func BenchmarkE5PairNegotiation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := netsim.New("eth", int64(i+1))
+		node1 := cluster.NewNode("node1", 1, net)
+		node2 := cluster.NewNode("node2", 2, net)
+		cfg := func(peer string) engine.Config {
+			return engine.Config{
+				PeerNode:          peer,
+				HeartbeatInterval: 5 * time.Millisecond,
+				Startup: engine.StartupPolicy{
+					Retries: 10, RetryInterval: 5 * time.Millisecond,
+					Alone: engine.AloneBecomePrimary,
+				},
+			}
+		}
+		e1 := engine.New(node1, cfg("node2"), nil)
+		e2 := engine.New(node2, cfg("node1"), nil)
+		if err := e1.Start(nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := e2.Start(nil); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			r1, r2 := e1.Role(), e2.Role()
+			if (r1 == engine.RolePrimary && r2 == engine.RoleBackup) ||
+				(r1 == engine.RoleBackup && r2 == engine.RolePrimary) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		b.StopTimer()
+		e1.Stop()
+		e2.Stop()
+		b.StartTimer()
+	}
+}
+
+// --- E6: message diverter ----------------------------------------------------
+
+// BenchmarkE6DiverterDelivery measures the send -> primary delivery path
+// on a healthy pair.
+func BenchmarkE6DiverterDelivery(b *testing.B) {
+	delivered := make(chan struct{}, 64)
+	d, err := core.New(core.Config{
+		Seed: 1,
+		NewApp: func(string) core.ReplicatedApp {
+			return &ackApp{delivered: delivered}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.WaitForRoles(5 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("operator message")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		<-delivered
+	}
+}
+
+type ackApp struct {
+	benchApp
+	delivered chan struct{}
+}
+
+func (a *ackApp) HandleMessage([]byte) error {
+	a.delivered <- struct{}{}
+	return nil
+}
+
+// --- E7: failure detection ----------------------------------------------------
+
+// BenchmarkE7DetectionLatency measures silence-to-detection time at a 5ms
+// heartbeat interval.
+func BenchmarkE7DetectionLatency(b *testing.B) {
+	rows, err := experiments.RunE7([]time.Duration{5 * time.Millisecond}, []int{0}, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rows[0].MeanDetectMs, "detect-ms/op")
+}
+
+// --- E8: COM vs DCOM -----------------------------------------------------------
+
+// BenchmarkE8LocalComCall measures an in-process interface call through
+// QueryInterface.
+func BenchmarkE8LocalComCall(b *testing.B) {
+	server := opc.NewServer("Bench.OPC.1")
+	if err := server.AddItem(opc.ItemDef{Tag: "x", CanonicalType: opc.VTFloat64}); err != nil {
+		b.Fatal(err)
+	}
+	obj := com.NewObject(map[com.IID]any{com.IIDOPCServer: opc.Connection(server)})
+	conn, err := com.QueryAs[opc.Connection](obj, com.IIDOPCServer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tags := []string{"x"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Read(tags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8RemoteDcomCall measures the same call through the DCOM
+// analog's proxy/stub machinery and wire marshaling.
+func BenchmarkE8RemoteDcomCall(b *testing.B) {
+	server := opc.NewServer("Bench.OPC.1")
+	if err := server.AddItem(opc.ItemDef{Tag: "x", CanonicalType: opc.VTFloat64}); err != nil {
+		b.Fatal(err)
+	}
+	net := netsim.New("eth", 1)
+	exp, err := dcom.NewExporter(net, "s:rpc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer exp.Close()
+	oid := com.NewGUID()
+	if err := opc.ExportServer(exp, oid, server); err != nil {
+		b.Fatal(err)
+	}
+	cli, err := dcom.Dial(net, "c:rpc", "s:rpc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	remote := opc.NewRemoteConnection(cli, oid)
+	tags := []string{"x"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.Read(tags); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Command oftt-bench regenerates every figure/table of the paper's
+// evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// paper-vs-measured records).
+//
+// Usage:
+//
+//	oftt-bench            # run all experiments
+//	oftt-bench -exp E3    # run one experiment
+//	oftt-bench -quick     # smaller parameter sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: E1..E8, A1..A3, or 'all'")
+	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	flag.Parse()
+
+	if err := run(strings.ToUpper(*exp), *quick); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, quick bool) error {
+	runners := []struct {
+		id string
+		fn func(bool) error
+	}{
+		{"E1", runE1},
+		{"E2", runE2},
+		{"E3", runE3},
+		{"E4", runE4},
+		{"E5", runE5},
+		{"E6", runE6},
+		{"E7", runE7},
+		{"E8", runE8},
+		{"A1", runA1},
+		{"A2", runA2},
+		{"A3", runA3},
+	}
+	matched := false
+	for _, r := range runners {
+		if which != "ALL" && which != r.id {
+			continue
+		}
+		matched = true
+		start := time.Now()
+		if err := r.fn(quick); err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (want E1..E8, A1..A3, or all)", which)
+	}
+	return nil
+}
+
+func runA1(quick bool) error {
+	trials := 8
+	if quick {
+		trials = 3
+	}
+	rows, err := experiments.RunA1(trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.A1Table(rows).Render())
+	return nil
+}
+
+func runA2(bool) error {
+	rows, err := experiments.RunA2(40)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.A2Table(rows).Render())
+	return nil
+}
+
+func runA3(quick bool) error {
+	periods := []time.Duration{10 * time.Millisecond, 40 * time.Millisecond, 160 * time.Millisecond}
+	if quick {
+		periods = periods[:2]
+	}
+	rows, err := experiments.RunA3(periods, 50)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.A3Table(rows).Render())
+	return nil
+}
+
+func runE1(quick bool) error {
+	window := time.Second
+	if quick {
+		window = 300 * time.Millisecond
+	}
+	rows, err := experiments.RunE1(window)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E1Table(rows).Render())
+	return nil
+}
+
+func runE2(bool) error {
+	checks, err := experiments.RunE2()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E2Table(checks).Render())
+	for _, c := range checks {
+		if !c.OK {
+			return fmt.Errorf("architecture arrow failed: %s", c.Arrow)
+		}
+	}
+	return nil
+}
+
+func runE3(bool) error {
+	rows, err := experiments.RunE3All(100)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E3Table(rows).Render())
+	return nil
+}
+
+func runE4(quick bool) error {
+	sizes := []int{1 << 10, 16 << 10, 256 << 10, 1 << 20}
+	iters := 20
+	if quick {
+		sizes = []int{1 << 10, 64 << 10}
+		iters = 5
+	}
+	rows, err := experiments.RunE4(sizes, []int{1, 10, 100}, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E4Table(rows).Render())
+	return nil
+}
+
+func runE5(quick bool) error {
+	trials := 20
+	if quick {
+		trials = 6
+	}
+	rows, err := experiments.RunE5([]int{1, 2, 5, 10}, trials, 120*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E5Table(rows).Render())
+	return nil
+}
+
+func runE6(quick bool) error {
+	msgs := 60
+	if quick {
+		msgs = 30
+	}
+	res, err := experiments.RunE6(msgs, 6)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E6Table(res).Render())
+	if res.Lost > 0 {
+		return fmt.Errorf("diverter lost %d messages", res.Lost)
+	}
+	return nil
+}
+
+func runE7(quick bool) error {
+	intervals := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond,
+		20 * time.Millisecond, 50 * time.Millisecond}
+	loss := []int{0, 10, 30}
+	trials := 5
+	if quick {
+		intervals = intervals[:2]
+		loss = []int{0, 30}
+		trials = 3
+	}
+	rows, err := experiments.RunE7(intervals, loss, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E7Table(rows).Render())
+	return nil
+}
+
+func runE8(quick bool) error {
+	calls := 2000
+	if quick {
+		calls = 500
+	}
+	res, err := experiments.RunE8(calls)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E8Table(res).Render())
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command oftt-sysmon runs the Section 4 demonstration and renders the
+// OFTT System Monitor (Section 2.2.4) as a live text dashboard while a
+// failure is injected and recovered.
+//
+// Usage:
+//
+//	oftt-sysmon               # dashboard for 3 seconds with a node failure at 1s
+//	oftt-sysmon -run 5s -fail 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/oftt"
+)
+
+func main() {
+	runFor := flag.Duration("run", 3*time.Second, "total dashboard time")
+	failAt := flag.Duration("fail", time.Second, "when to power the primary off")
+	flag.Parse()
+
+	if err := run(*runFor, *failAt); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run(runFor, failAt time.Duration) error {
+	ct, err := oftt.NewCallTrackDeployment(oftt.CallTrackConfig{
+		Config:     oftt.DeploymentConfig{Seed: 9},
+		UpdateRate: 5 * time.Millisecond,
+		SimTick:    2 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer ct.Stop()
+	if err := ct.WaitForRoles(3 * time.Second); err != nil {
+		return err
+	}
+	if ct.Monitor == nil {
+		return fmt.Errorf("monitor not enabled")
+	}
+
+	start := time.Now()
+	failed := false
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for time.Since(start) < runFor {
+		<-ticker.C
+		if !failed && time.Since(start) >= failAt {
+			p := ct.Primary()
+			if p != nil {
+				fmt.Printf("\n*** injecting node failure on %s ***\n\n", p.Node.Name())
+				_ = ct.KillNode(p.Node.Name())
+			}
+			failed = true
+		}
+		fmt.Println(ct.Monitor.Render())
+		if tr := ct.ActiveTracker(); tr != nil {
+			fmt.Printf("calltrack samples: %d\n\n", tr.Samples())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package repro is the root of the OFTT reproduction (Hecht, An, Zhang &
+// He, "OFTT: A Fault Tolerance Middleware Toolkit for Process Monitoring
+// and Control Windows NT Applications", DSN 2000).
+//
+// The public API lives in package repro/oftt; the substrates (COM/DCOM
+// analogs, OPC data access, PLC/network/node simulation, the OFTT engine,
+// FTIMs, message diverter, and system monitor) live under internal/. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record. The root-level benchmarks in bench_test.go
+// regenerate every figure and table; run them with:
+//
+//	go test -bench=. -benchmem .
+package repro

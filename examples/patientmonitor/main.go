@@ -1,0 +1,280 @@
+// Patient monitor: the paper's conclusion names "multiparameter patient
+// monitoring" as another environment where OFTT applies. This example
+// builds it: bedside sensors (heart rate, SpO2, respiration) feed a
+// device controller published as an OPC server; a fault-tolerant trending
+// application records vitals and raises clinical alarms. When the primary
+// monitoring station blue-screens, the backup continues with the full
+// alarm record — exactly the property a clinical record needs.
+//
+// Run with: go run ./examples/patientmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dcom"
+	"repro/internal/device"
+	"repro/internal/ftim"
+	"repro/internal/netsim"
+	"repro/internal/opc"
+)
+
+var bedsideOID = dcom.ObjectID{0xbe, 0xd5, 0x1d}
+
+// vitalsState is the checkpointed clinical record.
+type vitalsState struct {
+	Samples   int64
+	HRSum     float64
+	SpO2Min   float64
+	Alarms    []string
+	LastHR    float64
+	LastSpO2  float64
+	LastResp  float64
+	AlarmsRun int64
+}
+
+// trendApp is the replicated monitoring application.
+type trendApp struct {
+	node    string
+	network *netsim.Network
+	server  netsim.Addr
+
+	mu     sync.Mutex
+	f      *ftim.ClientFTIM
+	state  vitalsState
+	client *opc.Client
+	dcli   *dcom.Client
+}
+
+func newTrendApp(node string, network *netsim.Network, server netsim.Addr) *trendApp {
+	return &trendApp{node: node, network: network, server: server,
+		state: vitalsState{SpO2Min: 100}}
+}
+
+// Setup registers the clinical record for checkpointing.
+func (a *trendApp) Setup(f *ftim.ClientFTIM) error {
+	a.mu.Lock()
+	a.f = f
+	a.mu.Unlock()
+	return f.RegisterState("vitals", &a.state)
+}
+
+// Activate subscribes to the bedside OPC namespace.
+func (a *trendApp) Activate(restored bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fmt.Printf("[%s] monitoring station live (restored=%v, %d alarms on record)\n",
+		a.node, restored, len(a.state.Alarms))
+	dcli, err := dcom.Dial(a.network, netsim.Addr(a.node+":vitals-cli"), a.server)
+	if err != nil {
+		return
+	}
+	a.dcli = dcli
+	a.client = opc.NewClient(opc.NewRemoteConnection(dcli, bedsideOID))
+	g, err := a.client.AddGroup(opc.GroupConfig{
+		Name:       "vitals",
+		UpdateRate: 10 * time.Millisecond,
+		DeadbandPC: 1, // suppress sub-1% jitter, as a real trend display would
+		Active:     true,
+	}, a.onVitals)
+	if err != nil {
+		return
+	}
+	g.AddItems("bed1.heart_rate", "bed1.spo2", "bed1.respiration")
+}
+
+func (a *trendApp) onVitals(updates []opc.ItemState) {
+	a.mu.Lock()
+	f := a.f
+	a.mu.Unlock()
+	if f == nil {
+		return
+	}
+	f.WithLock(func() {
+		for _, u := range updates {
+			if !u.Quality.IsGood() {
+				a.state.Alarms = append(a.state.Alarms,
+					fmt.Sprintf("SENSOR FAULT %s (%s)", u.Tag, u.Quality))
+				continue
+			}
+			v, err := u.Value.AsFloat()
+			if err != nil {
+				continue
+			}
+			a.state.Samples++
+			switch u.Tag {
+			case "bed1.heart_rate":
+				a.state.LastHR = v
+				a.state.HRSum += v
+				if v > 130 || v < 45 {
+					a.state.Alarms = append(a.state.Alarms,
+						fmt.Sprintf("HR ALARM %.0f bpm", v))
+				}
+			case "bed1.spo2":
+				a.state.LastSpO2 = v
+				if v < a.state.SpO2Min {
+					a.state.SpO2Min = v
+				}
+				if v < 90 {
+					a.state.Alarms = append(a.state.Alarms,
+						fmt.Sprintf("SpO2 ALARM %.1f%%", v))
+				}
+			case "bed1.respiration":
+				a.state.LastResp = v
+			}
+		}
+		if len(a.state.Alarms) > 500 {
+			a.state.Alarms = a.state.Alarms[len(a.state.Alarms)-500:]
+		}
+		a.state.AlarmsRun = int64(len(a.state.Alarms))
+	})
+}
+
+// Deactivate releases the OPC connection.
+func (a *trendApp) Deactivate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.client != nil {
+		a.client.Close()
+		a.client = nil
+	}
+	if a.dcli != nil {
+		a.dcli.Close()
+		a.dcli = nil
+	}
+}
+
+// Stop implements core.ReplicatedApp.
+func (a *trendApp) Stop() { a.Deactivate() }
+
+func (a *trendApp) snapshot() vitalsState {
+	a.mu.Lock()
+	f := a.f
+	a.mu.Unlock()
+	var cp vitalsState
+	f.WithLock(func() {
+		cp = a.state
+		cp.Alarms = append([]string(nil), a.state.Alarms...)
+	})
+	return cp
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("== OFTT example: multiparameter patient monitoring ==")
+
+	apps := map[string]*trendApp{}
+	var mu sync.Mutex
+	serverAddr := netsim.Addr("testpc:bedside-opc")
+	var net0 *netsim.Network
+
+	d, err := core.NewWithNetworkHook(core.Config{
+		Component: "trend",
+		Seed:      2026,
+		NewApp: func(node string) core.ReplicatedApp {
+			a := newTrendApp(node, net0, serverAddr)
+			mu.Lock()
+			apps[node] = a
+			mu.Unlock()
+			return a
+		},
+	}, func(n *netsim.Network) { net0 = n })
+	if err != nil {
+		return err
+	}
+	defer d.Stop()
+
+	// Bedside device controller: vitals with an injected desaturation
+	// episode (SpO2 dips below 90 every cycle).
+	bedside := opc.NewServer("Bedside.OPC.1")
+	plc := device.NewPLC("bed1", 10*time.Millisecond)
+	hr := device.NewSensor("heart_rate", device.NewRandomWalk(78, 2.5, 40, 150, 5), 0.5, 6)
+	spo2 := device.NewSensor("spo2", device.Sine{Amplitude: 6, Period: 500 * time.Millisecond, Offset: 94}, 0.2, 7)
+	resp := device.NewSensor("respiration", device.Sine{Amplitude: 4, Period: 800 * time.Millisecond, Offset: 16}, 0.3, 8)
+	plc.AttachSensor(hr)
+	plc.AttachSensor(spo2)
+	plc.AttachSensor(resp)
+	bus := device.NewBus(0)
+	adapter, err := device.NewOPCAdapter(plc, bus, bedside, 10*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	exp, err := dcom.NewExporter(net0, serverAddr)
+	if err != nil {
+		return err
+	}
+	defer exp.Close()
+	if err := opc.ExportServer(exp, bedsideOID, bedside); err != nil {
+		return err
+	}
+	plc.Start()
+	adapter.Start()
+	defer func() { adapter.Stop(); plc.Stop() }()
+
+	if err := d.WaitForRoles(3 * time.Second); err != nil {
+		return err
+	}
+	primary := d.Primary().Node.Name()
+	fmt.Printf("bedside online; monitoring primary on %s\n", primary)
+
+	time.Sleep(700 * time.Millisecond)
+	mu.Lock()
+	before := apps[primary].snapshot()
+	mu.Unlock()
+	avgHR := before.HRSum / float64(max64(before.Samples/3, 1))
+	fmt.Printf("record so far: %d samples, mean HR %.0f, SpO2 min %.1f%%, %d alarms\n",
+		before.Samples, avgHR, before.SpO2Min, len(before.Alarms))
+	if before.Samples == 0 {
+		return fmt.Errorf("no vitals flowed")
+	}
+	if len(before.Alarms) == 0 {
+		return fmt.Errorf("desaturation episodes produced no alarms")
+	}
+
+	fmt.Printf("blue-screening %s mid-shift ...\n", primary)
+	if err := d.BlueScreen(primary); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var successor string
+	for time.Now().Before(deadline) {
+		if p := d.Primary(); p != nil && p.Node.Name() != primary && p.AppActive() {
+			successor = p.Node.Name()
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if successor == "" {
+		return fmt.Errorf("no takeover")
+	}
+	time.Sleep(400 * time.Millisecond)
+	mu.Lock()
+	after := apps[successor].snapshot()
+	mu.Unlock()
+	fmt.Printf("station %s continued: %d samples, SpO2 min %.1f%%, %d alarms (record preserved: %v)\n",
+		successor, after.Samples, after.SpO2Min, len(after.Alarms),
+		after.Samples >= before.Samples && len(after.Alarms) >= len(before.Alarms))
+	if after.Samples < before.Samples {
+		return fmt.Errorf("clinical record lost in failover")
+	}
+	fmt.Println("patient-monitoring example OK")
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,308 @@
+// SCADA: the paper's Figure 1(b) reference configuration — integrated
+// monitoring and control.
+//
+// Two PLCs on a simulated field bus scan sensors (tank level, line
+// pressure, pump state) and drive actuators. An OPC server on the test PC
+// wraps the PLCs (the hardware vendor's "device driver in a COM object").
+// The supervisory application — a fault-tolerant OPC client pair under
+// OFTT — monitors the plant, raises alarms on threshold violations, and
+// writes a pump setpoint back through OPC. The example then kills the
+// primary node and shows supervision continuing with the alarm history
+// intact, and demonstrates OPC quality propagation when a PLC fails.
+//
+// Run with: go run ./examples/scada
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dcom"
+	"repro/internal/device"
+	"repro/internal/ftim"
+	"repro/internal/netsim"
+	"repro/internal/opc"
+)
+
+// plantOID identifies the plant OPC server on the wire.
+var plantOID = dcom.ObjectID{0x51, 0xca, 0xda}
+
+// supervisorState is the checkpointed supervision history.
+type supervisorState struct {
+	Samples    int64
+	Alarms     []string
+	LastLevel  float64
+	PumpWrites int64
+}
+
+// supervisor is the replicated SCADA application.
+type supervisor struct {
+	node    string
+	network *netsim.Network
+	server  netsim.Addr
+
+	mu     sync.Mutex
+	f      *ftim.ClientFTIM
+	state  supervisorState
+	client *opc.Client
+	dcli   *dcom.Client
+}
+
+func newSupervisor(node string, network *netsim.Network, server netsim.Addr) *supervisor {
+	return &supervisor{node: node, network: network, server: server}
+}
+
+// Setup registers supervision history for checkpointing.
+func (s *supervisor) Setup(f *ftim.ClientFTIM) error {
+	s.mu.Lock()
+	s.f = f
+	s.mu.Unlock()
+	return f.RegisterState("supervision", &s.state)
+}
+
+// Activate connects to the plant OPC server and supervises.
+func (s *supervisor) Activate(restored bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Printf("[%s] supervisor activated (restored=%v, %d alarms on record)\n",
+		s.node, restored, len(s.state.Alarms))
+
+	dcli, err := dcom.Dial(s.network, netsim.Addr(s.node+":scada-opc-cli"), s.server)
+	if err != nil {
+		return
+	}
+	s.dcli = dcli
+	s.client = opc.NewClient(opc.NewRemoteConnection(dcli, plantOID))
+	g, err := s.client.AddGroup(opc.GroupConfig{
+		Name:       "plant",
+		UpdateRate: 10 * time.Millisecond,
+		Active:     true,
+	}, s.onData)
+	if err != nil {
+		return
+	}
+	g.AddItems("plc1.level", "plc1.pressure", "plc2.motor_rpm")
+}
+
+// onData supervises each update batch: record, alarm, and control.
+func (s *supervisor) onData(updates []opc.ItemState) {
+	s.mu.Lock()
+	f := s.f
+	client := s.client
+	s.mu.Unlock()
+	if f == nil {
+		return
+	}
+	var pumpCmd *float64
+	f.WithLock(func() {
+		for _, u := range updates {
+			s.state.Samples++
+			if !u.Quality.IsGood() {
+				s.state.Alarms = append(s.state.Alarms,
+					fmt.Sprintf("%s quality %s", u.Tag, u.Quality))
+				continue
+			}
+			v, err := u.Value.AsFloat()
+			if err != nil {
+				continue
+			}
+			switch u.Tag {
+			case "plc1.level":
+				s.state.LastLevel = v
+				if v > 90 {
+					s.state.Alarms = append(s.state.Alarms,
+						fmt.Sprintf("HIGH LEVEL %.1f%%", v))
+					cmd := 1.0
+					pumpCmd = &cmd
+				} else if v < 20 {
+					cmd := 0.0
+					pumpCmd = &cmd
+				}
+			case "plc1.pressure":
+				if v > 8.5 {
+					s.state.Alarms = append(s.state.Alarms,
+						fmt.Sprintf("OVERPRESSURE %.2f bar", v))
+				}
+			}
+		}
+		if len(s.state.Alarms) > 200 {
+			s.state.Alarms = s.state.Alarms[len(s.state.Alarms)-200:]
+		}
+	})
+	// Control action: drive the drain pump through OPC (outside the lock).
+	if pumpCmd != nil && client != nil {
+		if err := client.SyncWrite("plc1.pump_cmd", opc.VR8(*pumpCmd)); err == nil {
+			f.WithLock(func() { s.state.PumpWrites++ })
+		}
+	}
+}
+
+// Deactivate releases the OPC connection.
+func (s *supervisor) Deactivate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.client != nil {
+		s.client.Close()
+		s.client = nil
+	}
+	if s.dcli != nil {
+		s.dcli.Close()
+		s.dcli = nil
+	}
+}
+
+// Stop implements core.ReplicatedApp.
+func (s *supervisor) Stop() { s.Deactivate() }
+
+func (s *supervisor) snapshot() supervisorState {
+	s.mu.Lock()
+	f := s.f
+	s.mu.Unlock()
+	var cp supervisorState
+	f.WithLock(func() {
+		cp = s.state
+		cp.Alarms = append([]string(nil), s.state.Alarms...)
+	})
+	return cp
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("== OFTT SCADA example: Figure 1(b) integrated monitoring & control ==")
+
+	supervisors := map[string]*supervisor{}
+	var mu sync.Mutex
+	serverAddr := netsim.Addr("testpc:plant-opc")
+	var net0 *netsim.Network
+
+	d, err := core.NewWithNetworkHook(core.Config{
+		Component: "scada",
+		Seed:      42,
+		NewApp: func(node string) core.ReplicatedApp {
+			s := newSupervisor(node, net0, serverAddr)
+			mu.Lock()
+			supervisors[node] = s
+			mu.Unlock()
+			return s
+		},
+	}, func(n *netsim.Network) { net0 = n })
+	if err != nil {
+		return err
+	}
+	defer d.Stop()
+
+	// --- Plant floor on the test PC: 2 PLCs, field bus, OPC server ---
+	plantServer := opc.NewServer("Plant.OPC.1")
+
+	plc1 := device.NewPLC("plc1", 10*time.Millisecond)
+	level := device.NewSensor("level", device.Sine{Amplitude: 45, Period: 400 * time.Millisecond, Offset: 55}, 0.5, 1)
+	pressure := device.NewSensor("pressure", device.NewRandomWalk(7, 0.4, 4, 10, 2), 0.05, 3)
+	pump := device.NewActuator("pump", 0)
+	plc1.AttachSensor(level)
+	plc1.AttachSensor(pressure)
+	plc1.AttachActuator("pump_cmd", pump)
+
+	plc2 := device.NewPLC("plc2", 10*time.Millisecond)
+	rpm := device.NewSensor("motor_rpm", device.Square{Low: 0, High: 1750, Period: 300 * time.Millisecond}, 5, 4)
+	plc2.AttachSensor(rpm)
+
+	bus1 := device.NewBus(time.Millisecond)
+	bus2 := device.NewBus(time.Millisecond)
+	ad1, err := device.NewOPCAdapter(plc1, bus1, plantServer, 10*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	ad2, err := device.NewOPCAdapter(plc2, bus2, plantServer, 10*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	exp, err := dcom.NewExporter(net0, serverAddr)
+	if err != nil {
+		return err
+	}
+	defer exp.Close()
+	if err := opc.ExportServer(exp, plantOID, plantServer); err != nil {
+		return err
+	}
+
+	plc1.Start()
+	plc2.Start()
+	ad1.Start()
+	ad2.Start()
+	defer func() { ad1.Stop(); ad2.Stop(); plc1.Stop(); plc2.Stop() }()
+
+	if err := d.WaitForRoles(3 * time.Second); err != nil {
+		return err
+	}
+	primary := d.Primary().Node.Name()
+	fmt.Printf("plant online; supervisor primary on %s\n", primary)
+
+	// Let supervision run: the sine level crosses 90% regularly, raising
+	// alarms and pump commands.
+	time.Sleep(600 * time.Millisecond)
+	mu.Lock()
+	before := supervisors[primary].snapshot()
+	mu.Unlock()
+	fmt.Printf("before failure: %d samples, %d alarms, %d pump writes, level %.1f%%\n",
+		before.Samples, len(before.Alarms), before.PumpWrites, before.LastLevel)
+	if before.Samples == 0 || len(before.Alarms) == 0 {
+		return fmt.Errorf("supervision produced no data")
+	}
+
+	// --- Inject: primary node failure ---
+	fmt.Printf("powering off %s ...\n", primary)
+	if err := d.KillNode(primary); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var successor *core.Replica
+	for time.Now().Before(deadline) {
+		if p := d.Primary(); p != nil && p.Node.Name() != primary && p.AppActive() {
+			successor = p
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if successor == nil {
+		return fmt.Errorf("no takeover")
+	}
+	time.Sleep(400 * time.Millisecond)
+	mu.Lock()
+	after := supervisors[successor.Node.Name()].snapshot()
+	mu.Unlock()
+	fmt.Printf("after takeover on %s: %d samples, %d alarms (history preserved: %v)\n",
+		successor.Node.Name(), after.Samples, len(after.Alarms),
+		after.Samples >= before.Samples)
+
+	// --- Inject: PLC failure -> OPC quality propagation ---
+	fmt.Println("failing plc1 (device failure) ...")
+	plc1.Fail()
+	time.Sleep(150 * time.Millisecond)
+	mu.Lock()
+	withQuality := supervisors[successor.Node.Name()].snapshot()
+	mu.Unlock()
+	qualityAlarm := false
+	for _, a := range withQuality.Alarms {
+		if len(a) > 4 && a[:4] == "plc1" {
+			qualityAlarm = true
+			break
+		}
+	}
+	fmt.Printf("device-failure quality alarm observed: %v\n", qualityAlarm)
+	if !qualityAlarm {
+		return fmt.Errorf("PLC failure did not surface as an OPC quality alarm")
+	}
+
+	fmt.Println("SCADA example OK")
+	return nil
+}

@@ -1,0 +1,404 @@
+// Package checkpoint implements OFTT's state checkpointing (Section 2.2.2).
+//
+// On NT, the FTIM captured statically created state with GetThreadContext
+// plus a memory walkthrough, and intercepted the Import Address Table to
+// find dynamically created kernel objects. In Go, the analog of the memory
+// walkthrough is a registry of named state regions captured by reflection
+// (via the ndr codec); the analog of the IAT hook lives in internal/ftim,
+// which wraps dynamic task creation so dynamically created state is also
+// registered here before it can escape tracking.
+//
+// Three capture modes mirror the paper's API:
+//
+//   - full: every registered region ("copy the address space")
+//   - selective: only regions designated with Select (OFTTSelSave)
+//   - incremental: only regions whose encoding changed since the last
+//     capture, an optimization enabled by ndr's deterministic encodings
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ndr"
+)
+
+// Kind labels a snapshot's capture mode.
+type Kind string
+
+// Capture modes.
+const (
+	KindFull        Kind = "full"
+	KindSelective   Kind = "selective"
+	KindIncremental Kind = "incremental"
+)
+
+// Errors.
+var (
+	// ErrUnknownRegion is returned when selecting or restoring a region
+	// that was never registered.
+	ErrUnknownRegion = errors.New("checkpoint: unknown region")
+
+	// ErrStaleSnapshot is returned when applying a snapshot older than the
+	// store's newest.
+	ErrStaleSnapshot = errors.New("checkpoint: stale snapshot")
+
+	// ErrNeedBase is returned when an incremental snapshot arrives at a
+	// store with no full base to apply it to.
+	ErrNeedBase = errors.New("checkpoint: incremental snapshot without base")
+)
+
+// Snapshot is one captured checkpoint, the unit sent to the backup node.
+type Snapshot struct {
+	Seq     uint64
+	Kind    string
+	TakenAt time.Time
+	Regions map[string][]byte
+}
+
+// Bytes reports the payload size (for the E4 experiment).
+func (s *Snapshot) Bytes() int {
+	total := 0
+	for name, data := range s.Regions {
+		total += len(name) + len(data)
+	}
+	return total
+}
+
+// Encode serializes the snapshot for the wire.
+func (s *Snapshot) Encode() ([]byte, error) { return ndr.Marshal(*s) }
+
+// DecodeSnapshot parses a wire-format snapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := ndr.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+type region struct {
+	name string
+	ptr  reflect.Value // pointer to the user's state
+}
+
+// Registry tracks an application's checkpointable state regions. All
+// captures and restores take the registry lock; applications mutate
+// registered state under the same lock (Lock/Unlock or WithLock), which is
+// the Go rendering of "the application and the FTIM run as two separate
+// threads within the same address space".
+type Registry struct {
+	mu       sync.Mutex
+	regions  map[string]*region
+	order    []string
+	selected map[string]bool
+	lastHash map[string]uint64
+	seq      uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		regions:  make(map[string]*region),
+		selected: make(map[string]bool),
+		lastHash: make(map[string]uint64),
+	}
+}
+
+// Register adds a named state region. ptr must be a non-nil pointer to the
+// state; the pointee is what gets captured and restored.
+func (r *Registry) Register(name string, ptr any) error {
+	v := reflect.ValueOf(ptr)
+	if v.Kind() != reflect.Ptr || v.IsNil() {
+		return fmt.Errorf("checkpoint: region %q must be a non-nil pointer", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.regions[name]; dup {
+		return fmt.Errorf("checkpoint: region %q already registered", name)
+	}
+	r.regions[name] = &region{name: name, ptr: v}
+	r.order = append(r.order, name)
+	sort.Strings(r.order)
+	return nil
+}
+
+// Unregister removes a region (used when a dynamic task exits).
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.regions[name]; !ok {
+		return
+	}
+	delete(r.regions, name)
+	delete(r.selected, name)
+	delete(r.lastHash, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Select designates regions for selective checkpointing (OFTTSelSave).
+func (r *Registry) Select(names ...string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range names {
+		if _, ok := r.regions[n]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownRegion, n)
+		}
+		r.selected[n] = true
+	}
+	return nil
+}
+
+// Deselect removes regions from the selective set.
+func (r *Registry) Deselect(names ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range names {
+		delete(r.selected, n)
+	}
+}
+
+// Lock acquires the state mutex shared by the app and the FTIM thread.
+func (r *Registry) Lock() { r.mu.Lock() }
+
+// Unlock releases the state mutex.
+func (r *Registry) Unlock() { r.mu.Unlock() }
+
+// WithLock runs fn while holding the state mutex.
+func (r *Registry) WithLock(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn()
+}
+
+// Regions lists registered region names in order.
+func (r *Registry) Regions() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// CaptureFull snapshots every registered region.
+func (r *Registry) CaptureFull() (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.captureLocked(KindFull, func(string) bool { return true }, false)
+}
+
+// CaptureSelective snapshots the Select-designated regions; with no
+// designation it falls back to a full capture, matching the paper's
+// "address space (or the selected subset)".
+func (r *Registry) CaptureSelective() (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.selected) == 0 {
+		return r.captureLocked(KindFull, func(string) bool { return true }, false)
+	}
+	return r.captureLocked(KindSelective, func(n string) bool { return r.selected[n] }, false)
+}
+
+// CaptureIncremental snapshots only regions whose encoding changed since
+// the previous capture of any kind. The first capture is always full.
+func (r *Registry) CaptureIncremental() (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.lastHash) == 0 {
+		return r.captureLocked(KindFull, func(string) bool { return true }, false)
+	}
+	return r.captureLocked(KindIncremental, func(string) bool { return true }, true)
+}
+
+func (r *Registry) captureLocked(kind Kind, include func(string) bool, onlyDirty bool) (*Snapshot, error) {
+	r.seq++
+	snap := &Snapshot{
+		Seq:     r.seq,
+		Kind:    string(kind),
+		TakenAt: time.Now(),
+		Regions: make(map[string][]byte, len(r.order)),
+	}
+	for _, name := range r.order {
+		if !include(name) {
+			continue
+		}
+		reg := r.regions[name]
+		data, err := ndr.Marshal(reg.ptr.Elem().Interface())
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: capture %q: %w", name, err)
+		}
+		h := hashBytes(data)
+		if onlyDirty && r.lastHash[name] == h {
+			continue
+		}
+		r.lastHash[name] = h
+		snap.Regions[name] = data
+	}
+	return snap, nil
+}
+
+// Restore writes a snapshot's regions back into the registered state.
+// Regions in the snapshot that are not registered are an error (the
+// receiving application must have registered the same regions before
+// restore — the same-binary-on-both-nodes rule of the paper).
+func (r *Registry) Restore(s *Snapshot) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, data := range s.Regions {
+		reg, ok := r.regions[name]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownRegion, name)
+		}
+		if err := ndr.Unmarshal(data, reg.ptr.Interface()); err != nil {
+			return fmt.Errorf("checkpoint: restore %q: %w", name, err)
+		}
+		r.lastHash[name] = hashBytes(data)
+	}
+	return nil
+}
+
+// Seq returns the last capture sequence number.
+func (r *Registry) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return h.Sum64()
+}
+
+// SnapshotStore is the store contract the engine consumes; *Store (in
+// memory) and *PersistentStore (disk-backed) both satisfy it.
+type SnapshotStore interface {
+	Apply(snap *Snapshot) error
+	Materialize(r *Registry) error
+	Export() *Snapshot
+	LastSeq() uint64
+	LastAt() time.Time
+	Counts() (applied, rejected int)
+	Reset()
+}
+
+// Store accumulates snapshots on the backup node, merging incrementals
+// onto their base so the latest recoverable state is always materializable.
+type Store struct {
+	mu       sync.Mutex
+	merged   map[string][]byte
+	lastSeq  uint64
+	lastAt   time.Time
+	applied  int
+	rejected int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{merged: make(map[string][]byte)}
+}
+
+// Apply merges a received snapshot. Snapshots must arrive in increasing
+// sequence order; stale ones are rejected. A full or selective snapshot
+// replaces its regions; an incremental one requires a prior base.
+func (s *Store) Apply(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap.Seq <= s.lastSeq {
+		s.rejected++
+		return fmt.Errorf("%w: seq %d <= %d", ErrStaleSnapshot, snap.Seq, s.lastSeq)
+	}
+	if Kind(snap.Kind) == KindIncremental && len(s.merged) == 0 {
+		s.rejected++
+		return ErrNeedBase
+	}
+	for name, data := range snap.Regions {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		s.merged[name] = cp
+	}
+	s.lastSeq = snap.Seq
+	s.lastAt = snap.TakenAt
+	s.applied++
+	return nil
+}
+
+// Materialize restores the merged state into a registry: the takeover path
+// "the copy on the backup node will start running with the latest
+// checkpoint".
+func (s *Store) Materialize(r *Registry) error {
+	s.mu.Lock()
+	snap := &Snapshot{
+		Seq:     s.lastSeq,
+		Kind:    string(KindFull),
+		TakenAt: s.lastAt,
+		Regions: make(map[string][]byte, len(s.merged)),
+	}
+	for name, data := range s.merged {
+		snap.Regions[name] = data
+	}
+	s.mu.Unlock()
+	return r.Restore(snap)
+}
+
+// Export packages the merged state as a full snapshot (for serving a
+// peer's recovery fetch). Returns nil if the store is empty.
+func (s *Store) Export() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastSeq == 0 {
+		return nil
+	}
+	snap := &Snapshot{
+		Seq:     s.lastSeq,
+		Kind:    string(KindFull),
+		TakenAt: s.lastAt,
+		Regions: make(map[string][]byte, len(s.merged)),
+	}
+	for name, data := range s.merged {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		snap.Regions[name] = cp
+	}
+	return snap
+}
+
+// LastSeq returns the newest applied sequence number (0 if none).
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// LastAt returns the capture time of the newest applied snapshot.
+func (s *Store) LastAt() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastAt
+}
+
+// Counts reports (applied, rejected) snapshot totals.
+func (s *Store) Counts() (applied, rejected int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied, s.rejected
+}
+
+var _ SnapshotStore = (*Store)(nil)
+
+// Reset clears the store (used when a node rejoins as backup).
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.merged = make(map[string][]byte)
+	s.lastSeq = 0
+	s.lastAt = time.Time{}
+}

@@ -1,0 +1,481 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+type callHistory struct {
+	Busy    []int
+	Total   int64
+	ByLine  map[int32]int64
+	Started time.Time
+}
+
+func TestRegisterCaptureRestore(t *testing.T) {
+	r := NewRegistry()
+	hist := &callHistory{
+		Busy:   []int{1, 2, 3},
+		Total:  42,
+		ByLine: map[int32]int64{1: 10, 2: 32},
+	}
+	counter := 7
+	if err := r.Register("history", hist); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("counter", &counter); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := r.CaptureFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Regions) != 2 || snap.Kind != string(KindFull) {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+
+	// Mutate, then restore to the snapshot.
+	hist.Total = 0
+	hist.Busy = nil
+	counter = 0
+	if err := r.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Total != 42 || len(hist.Busy) != 3 || counter != 7 {
+		t.Fatalf("restore lost data: %+v counter=%d", hist, counter)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("x", 5); err == nil {
+		t.Fatal("non-pointer registration should fail")
+	}
+	var nilPtr *int
+	if err := r.Register("x", nilPtr); err == nil {
+		t.Fatal("nil pointer registration should fail")
+	}
+	v := 1
+	if err := r.Register("x", &v); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("x", &v); err == nil {
+		t.Fatal("duplicate registration should fail")
+	}
+}
+
+func TestSelectiveCapture(t *testing.T) {
+	r := NewRegistry()
+	big := make([]byte, 1<<16)
+	small := int64(5)
+	_ = r.Register("big", &big)
+	_ = r.Register("small", &small)
+
+	// Without designation, selective falls back to full.
+	snap, err := r.CaptureSelective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Regions) != 2 {
+		t.Fatalf("fallback capture has %d regions", len(snap.Regions))
+	}
+
+	if err := r.Select("small"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = r.CaptureSelective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Regions) != 1 || snap.Kind != string(KindSelective) {
+		t.Fatalf("selective capture: %+v", snap.Regions)
+	}
+	if _, ok := snap.Regions["small"]; !ok {
+		t.Fatal("designated region missing")
+	}
+	if snap.Bytes() > 1024 {
+		t.Fatalf("selective snapshot unexpectedly large: %d bytes", snap.Bytes())
+	}
+
+	if err := r.Select("missing"); !errors.Is(err, ErrUnknownRegion) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestIncrementalCapture(t *testing.T) {
+	r := NewRegistry()
+	a, b := int64(1), int64(2)
+	_ = r.Register("a", &a)
+	_ = r.Register("b", &b)
+
+	// First incremental is a full base.
+	snap, err := r.CaptureIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Kind != string(KindFull) || len(snap.Regions) != 2 {
+		t.Fatalf("base: %+v", snap)
+	}
+
+	// No changes: empty incremental.
+	snap, err = r.CaptureIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Kind != string(KindIncremental) || len(snap.Regions) != 0 {
+		t.Fatalf("clean incremental: %+v", snap.Regions)
+	}
+
+	// Change one region: only it travels.
+	a = 99
+	snap, err = r.CaptureIncremental()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Regions) != 1 {
+		t.Fatalf("dirty incremental has %d regions", len(snap.Regions))
+	}
+	if _, ok := snap.Regions["a"]; !ok {
+		t.Fatal("dirty region missing")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	v := 1
+	_ = r.Register("x", &v)
+	_ = r.Select("x")
+	r.Unregister("x")
+	if got := r.Regions(); len(got) != 0 {
+		t.Fatalf("regions = %v", got)
+	}
+	snap, err := r.CaptureFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Regions) != 0 {
+		t.Fatal("unregistered region captured")
+	}
+}
+
+func TestRestoreUnknownRegion(t *testing.T) {
+	src := NewRegistry()
+	v := 5
+	_ = src.Register("x", &v)
+	snap, _ := src.CaptureFull()
+
+	dst := NewRegistry()
+	if err := dst.Restore(snap); !errors.Is(err, ErrUnknownRegion) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStoreMerge(t *testing.T) {
+	r := NewRegistry()
+	a, b := int64(1), int64(2)
+	_ = r.Register("a", &a)
+	_ = r.Register("b", &b)
+	store := NewStore()
+
+	base, _ := r.CaptureIncremental() // full base
+	if err := store.Apply(base); err != nil {
+		t.Fatal(err)
+	}
+	a = 100
+	inc, _ := r.CaptureIncremental()
+	if err := store.Apply(inc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Materialize into a fresh replica registry.
+	var ra, rb int64
+	replica := NewRegistry()
+	_ = replica.Register("a", &ra)
+	_ = replica.Register("b", &rb)
+	if err := store.Materialize(replica); err != nil {
+		t.Fatal(err)
+	}
+	if ra != 100 || rb != 2 {
+		t.Fatalf("materialized a=%d b=%d", ra, rb)
+	}
+	if store.LastSeq() != inc.Seq {
+		t.Fatalf("lastSeq = %d", store.LastSeq())
+	}
+}
+
+func TestStoreRejectsStaleAndBaselessIncremental(t *testing.T) {
+	store := NewStore()
+	if err := store.Apply(&Snapshot{Seq: 1, Kind: string(KindIncremental),
+		Regions: map[string][]byte{"x": {1}}}); !errors.Is(err, ErrNeedBase) {
+		t.Fatalf("got %v", err)
+	}
+	full := &Snapshot{Seq: 2, Kind: string(KindFull), Regions: map[string][]byte{"x": {1}}}
+	if err := store.Apply(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Apply(full); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("got %v", err)
+	}
+	applied, rejected := store.Counts()
+	if applied != 1 || rejected != 2 {
+		t.Fatalf("counts: %d %d", applied, rejected)
+	}
+}
+
+func TestStoreReset(t *testing.T) {
+	store := NewStore()
+	_ = store.Apply(&Snapshot{Seq: 5, Kind: string(KindFull),
+		Regions: map[string][]byte{"x": {1}}})
+	store.Reset()
+	if store.LastSeq() != 0 {
+		t.Fatal("reset did not clear seq")
+	}
+	// After reset, incremental needs a base again.
+	if err := store.Apply(&Snapshot{Seq: 1, Kind: string(KindIncremental),
+		Regions: map[string][]byte{"x": {1}}}); !errors.Is(err, ErrNeedBase) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSnapshotEncodeDecode(t *testing.T) {
+	in := &Snapshot{
+		Seq:     9,
+		Kind:    string(KindSelective),
+		TakenAt: time.Unix(961934400, 0).UTC(),
+		Regions: map[string][]byte{"x": {1, 2, 3}, "y": {}},
+	}
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || out.Kind != in.Kind || len(out.Regions) != 2 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestTransferOverNetsim(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	l, err := n.Listen("backup:ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	store := NewStore()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		ServeReceiver(conn, store, stop)
+	}()
+
+	conn, err := n.Dial("primary:ckpt", "backup:ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(conn, time.Second)
+	defer sender.Close()
+
+	r := NewRegistry()
+	state := int64(1)
+	_ = r.Register("state", &state)
+
+	for i := 0; i < 5; i++ {
+		state = int64(i * 10)
+		snap, err := r.CaptureIncremental()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sender.Send(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count, bytes := sender.Stats()
+	if count != 5 || bytes <= 0 {
+		t.Fatalf("sender stats: %d %d", count, bytes)
+	}
+
+	var restored int64
+	replica := NewRegistry()
+	_ = replica.Register("state", &restored)
+	if err := store.Materialize(replica); err != nil {
+		t.Fatal(err)
+	}
+	if restored != 40 {
+		t.Fatalf("restored = %d, want 40", restored)
+	}
+}
+
+func TestTransferAckTimeout(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	l, _ := n.Listen("backup:ckpt")
+	defer l.Close()
+	go func() {
+		// Accept but never ack: a hung backup.
+		_, _ = l.Accept()
+	}()
+	conn, err := n.Dial("primary:ckpt", "backup:ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(conn, 50*time.Millisecond)
+	defer sender.Close()
+	err = sender.Send(&Snapshot{Seq: 1, Kind: string(KindFull),
+		Regions: map[string][]byte{}})
+	if !errors.Is(err, ErrNotAcked) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStaleRetryGetsPositiveAck(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	l, _ := n.Listen("backup:ckpt")
+	defer l.Close()
+	store := NewStore()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		ServeReceiver(conn, store, stop)
+	}()
+	conn, err := n.Dial("primary:ckpt", "backup:ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender := NewSender(conn, time.Second)
+	defer sender.Close()
+
+	snap := &Snapshot{Seq: 3, Kind: string(KindFull), Regions: map[string][]byte{"x": {1}}}
+	if err := sender.Send(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Retransmitting a confirmed snapshot must not error.
+	if err := sender.Send(snap); err != nil {
+		t.Fatalf("duplicate retry: %v", err)
+	}
+}
+
+// Property: capture/restore is the identity on registered state.
+func TestQuickCaptureRestoreIdentity(t *testing.T) {
+	f := func(total int64, busy []int64, byLine map[int32]int64) bool {
+		type state struct {
+			Total  int64
+			Busy   []int64
+			ByLine map[int32]int64
+		}
+		orig := state{Total: total, Busy: busy, ByLine: byLine}
+		r := NewRegistry()
+		s := orig
+		if err := r.Register("s", &s); err != nil {
+			return false
+		}
+		snap, err := r.CaptureFull()
+		if err != nil {
+			return false
+		}
+		s = state{} // wipe
+		if err := r.Restore(snap); err != nil {
+			return false
+		}
+		if s.Total != orig.Total || len(s.Busy) != len(orig.Busy) || len(s.ByLine) != len(orig.ByLine) {
+			return false
+		}
+		for i := range orig.Busy {
+			if s.Busy[i] != orig.Busy[i] {
+				return false
+			}
+		}
+		for k, v := range orig.ByLine {
+			if s.ByLine[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: incremental captures only ship changed regions, and applying
+// them to a store always reproduces the latest full state.
+func TestQuickIncrementalEquivalence(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			vals = []int64{0}
+		}
+		r := NewRegistry()
+		var a, b int64
+		_ = r.Register("a", &a)
+		_ = r.Register("b", &b)
+		store := NewStore()
+		for i, v := range vals {
+			if i%2 == 0 {
+				a = v
+			} else {
+				b = v
+			}
+			snap, err := r.CaptureIncremental()
+			if err != nil {
+				return false
+			}
+			if err := store.Apply(snap); err != nil && !errors.Is(err, ErrStaleSnapshot) {
+				return false
+			}
+		}
+		var ra, rb int64
+		replica := NewRegistry()
+		_ = replica.Register("a", &ra)
+		_ = replica.Register("b", &rb)
+		if err := store.Materialize(replica); err != nil {
+			return false
+		}
+		return ra == a && rb == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCaptureFull64K(b *testing.B) {
+	r := NewRegistry()
+	state := make([]byte, 64<<10)
+	_ = r.Register("state", &state)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.CaptureFull(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCaptureIncrementalClean64K(b *testing.B) {
+	r := NewRegistry()
+	state := make([]byte, 64<<10)
+	_ = r.Register("state", &state)
+	if _, err := r.CaptureIncremental(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.CaptureIncremental(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPersistentStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node2.ckpt")
+	ps, err := NewPersistentStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build state through a registry and apply a few snapshots.
+	reg := NewRegistry()
+	a, b := int64(1), int64(2)
+	_ = reg.Register("a", &a)
+	_ = reg.Register("b", &b)
+	base, _ := reg.CaptureIncremental()
+	if err := ps.Apply(base); err != nil {
+		t.Fatal(err)
+	}
+	a = 99
+	inc, _ := reg.CaptureIncremental()
+	if err := ps.Apply(inc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold restart: a fresh store seeded from disk.
+	ps2, err := NewPersistentStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps2.LastSeq() == 0 {
+		t.Fatal("reloaded store is empty")
+	}
+	var ra, rb int64
+	replica := NewRegistry()
+	_ = replica.Register("a", &ra)
+	_ = replica.Register("b", &rb)
+	if err := ps2.Materialize(replica); err != nil {
+		t.Fatal(err)
+	}
+	if ra != 99 || rb != 2 {
+		t.Fatalf("recovered a=%d b=%d", ra, rb)
+	}
+}
+
+func TestPersistentStoreMissingFileIsEmpty(t *testing.T) {
+	ps, err := NewPersistentStore(filepath.Join(t.TempDir(), "none.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.LastSeq() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+}
+
+func TestPersistentStoreRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.ckpt")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersistentStore(path); err == nil {
+		t.Fatal("foreign file accepted")
+	}
+}
+
+func TestPersistentStoreRejectsCorruptBody(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(path, append(append([]byte{}, fileMagic...), 0xFF, 0x01), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPersistentStore(path); err == nil {
+		t.Fatal("corrupt body accepted")
+	}
+}
+
+func TestPersistentStoreResetRemovesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.ckpt")
+	ps, err := NewPersistentStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Apply(&Snapshot{Seq: 1, Kind: string(KindFull),
+		Regions: map[string][]byte{"x": {1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("state file missing after apply: %v", err)
+	}
+	ps.Reset()
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("state file survived reset: %v", err)
+	}
+	// Applies after reset need a base again, then persist again.
+	if err := ps.Apply(&Snapshot{Seq: 1, Kind: string(KindFull),
+		Regions: map[string][]byte{"x": {2}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("state file missing after re-apply: %v", err)
+	}
+}
+
+func TestPersistentStoreStaleStillRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.ckpt")
+	ps, _ := NewPersistentStore(path)
+	full := &Snapshot{Seq: 5, Kind: string(KindFull), Regions: map[string][]byte{"x": {1}}}
+	if err := ps.Apply(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Apply(full); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("got %v", err)
+	}
+	// Reload respects the persisted sequence.
+	ps2, err := NewPersistentStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps2.Apply(&Snapshot{Seq: 5, Kind: string(KindFull),
+		Regions: map[string][]byte{"x": {2}}}); !errors.Is(err, ErrStaleSnapshot) {
+		t.Fatalf("reloaded store accepted stale seq: %v", err)
+	}
+}

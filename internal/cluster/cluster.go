@@ -1,0 +1,376 @@
+// Package cluster models the machines of the paper's demonstration
+// configuration (Figure 3): Windows NT PCs hosting processes, connected to
+// one or two Ethernet segments. It supplies the four failure modes the
+// paper demonstrates in Section 4:
+//
+//	(a) node failure        -> Node.PowerOff
+//	(b) NT crash            -> Node.BlueScreen
+//	(c) application failure -> Process.Kill
+//	(d) middleware failure  -> Process.Kill on the engine process
+//
+// A Process is a managed goroutine group with a stop signal; killing a
+// process abruptly fails all network endpoints it owns, so a slow-to-stop
+// goroutine cannot keep acting on the network — the observable behaviour of
+// an abruptly terminated NT process.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/netsim"
+)
+
+// NodeState is the machine's health.
+type NodeState int
+
+// Node states.
+const (
+	NodeUp NodeState = iota + 1
+	NodeCrashed
+	NodePoweredOff
+)
+
+// String renders the state for the system monitor.
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "UP"
+	case NodeCrashed:
+		return "CRASHED"
+	case NodePoweredOff:
+		return "POWERED_OFF"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ProcessState is one process's lifecycle phase.
+type ProcessState int
+
+// Process states.
+const (
+	ProcRunning ProcessState = iota + 1
+	ProcStopped
+	ProcKilled
+)
+
+// String renders the state.
+func (s ProcessState) String() string {
+	switch s {
+	case ProcRunning:
+		return "RUNNING"
+	case ProcStopped:
+		return "STOPPED"
+	case ProcKilled:
+		return "KILLED"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Event is a lifecycle notification for the system monitor.
+type Event struct {
+	Time    time.Time
+	Node    string
+	Process string // empty for node-level events
+	Kind    string // "boot", "bluescreen", "poweroff", "proc-start", "proc-exit", "proc-kill"
+}
+
+// Errors.
+var (
+	// ErrNodeDown is returned when starting a process on a dead node.
+	ErrNodeDown = errors.New("cluster: node is down")
+
+	// ErrDuplicateProcess is returned for a name collision on one node.
+	ErrDuplicateProcess = errors.New("cluster: duplicate process name")
+)
+
+// Node is one simulated PC.
+type Node struct {
+	name     string
+	networks []*netsim.Network
+	registry *com.Registry
+	rng      *rand.Rand
+
+	onEvent func(Event)
+
+	mu        sync.Mutex
+	state     NodeState
+	procs     map[string]*Process
+	bootMin   time.Duration
+	bootSpan  time.Duration
+	bootCount int
+}
+
+// NewNode creates a powered-on node attached to the given network segments.
+// Endpoints the node's processes own are named "<node>:<service>".
+func NewNode(name string, seed int64, networks ...*netsim.Network) *Node {
+	return &Node{
+		name:     name,
+		networks: networks,
+		registry: com.NewRegistry(),
+		rng:      rand.New(rand.NewSource(seed)),
+		state:    NodeUp,
+		procs:    make(map[string]*Process),
+	}
+}
+
+// Name returns the machine name.
+func (n *Node) Name() string { return n.name }
+
+// Registry returns the node's per-machine COM class registry.
+func (n *Node) Registry() *com.Registry { return n.registry }
+
+// Networks returns the attached segments.
+func (n *Node) Networks() []*netsim.Network { return n.networks }
+
+// Addr forms this node's endpoint address for a service.
+func (n *Node) Addr(service string) netsim.Addr {
+	return netsim.Addr(n.name + ":" + service)
+}
+
+// OnEvent installs a lifecycle-event sink (the system monitor).
+func (n *Node) OnEvent(fn func(Event)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onEvent = fn
+}
+
+func (n *Node) emit(proc, kind string) {
+	n.mu.Lock()
+	fn := n.onEvent
+	n.mu.Unlock()
+	if fn != nil {
+		fn(Event{Time: time.Now(), Node: n.name, Process: proc, Kind: kind})
+	}
+}
+
+// State returns the node's health.
+func (n *Node) State() NodeState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// SetBootDelay configures the non-deterministic startup latency window
+// [min, min+span) that Section 3.2 of the paper identifies as the cause of
+// false self-shutdowns.
+func (n *Node) SetBootDelay(min, span time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bootMin, n.bootSpan = min, span
+}
+
+// BootDelay samples one startup latency.
+func (n *Node) BootDelay() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d := n.bootMin
+	if n.bootSpan > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.bootSpan)))
+	}
+	n.bootCount++
+	return d
+}
+
+// Process is a managed goroutine group on a node.
+type Process struct {
+	name string
+	node *Node
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     ProcessState
+	endpoints []ownedEndpoint
+	cleanups  []func()
+}
+
+type ownedEndpoint struct {
+	net  *netsim.Network
+	addr netsim.Addr
+}
+
+// StartProcess launches main as a process. main must return promptly after
+// stop closes. The returned Process handle is used for fault injection.
+func (n *Node) StartProcess(name string, main func(stop <-chan struct{})) (*Process, error) {
+	n.mu.Lock()
+	if n.state != NodeUp {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s is %s", ErrNodeDown, n.name, n.state)
+	}
+	if _, dup := n.procs[name]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s on %s", ErrDuplicateProcess, name, n.name)
+	}
+	p := &Process{
+		name:  name,
+		node:  n,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		state: ProcRunning,
+	}
+	n.procs[name] = p
+	n.mu.Unlock()
+
+	n.emit(name, "proc-start")
+	go func() {
+		defer close(p.done)
+		defer n.emit(name, "proc-exit")
+		main(p.stop)
+		p.mu.Lock()
+		if p.state == ProcRunning {
+			p.state = ProcStopped
+		}
+		p.mu.Unlock()
+	}()
+	return p, nil
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// Node returns the hosting node.
+func (p *Process) Node() *Node { return p.node }
+
+// State returns the process state.
+func (p *Process) State() ProcessState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// OwnEndpoint records that this process owns a network endpoint; killing
+// the process fails the endpoint immediately.
+func (p *Process) OwnEndpoint(n *netsim.Network, addr netsim.Addr) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.endpoints = append(p.endpoints, ownedEndpoint{net: n, addr: addr})
+}
+
+// OnKill registers a cleanup run when the process is killed or stopped
+// (closing listeners, shutting apartments down).
+func (p *Process) OnKill(fn func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cleanups = append(p.cleanups, fn)
+}
+
+// Kill terminates the process abruptly: the paper's "application software
+// failure" (Section 4c) or, applied to the engine process, "OFTT middleware
+// failure" (Section 4d). Endpoints the process owns fail at once.
+func (p *Process) Kill() {
+	p.terminate(ProcKilled, "proc-kill", true)
+}
+
+// Stop shuts the process down cleanly (no endpoint failure).
+func (p *Process) Stop() {
+	p.terminate(ProcStopped, "proc-exit", false)
+}
+
+func (p *Process) terminate(final ProcessState, event string, abrupt bool) {
+	p.mu.Lock()
+	if p.state != ProcRunning {
+		p.mu.Unlock()
+		return
+	}
+	p.state = final
+	endpoints := append([]ownedEndpoint(nil), p.endpoints...)
+	cleanups := append([]func(){}, p.cleanups...)
+	p.mu.Unlock()
+
+	if abrupt {
+		for _, ep := range endpoints {
+			ep.net.FailEndpoint(ep.addr)
+		}
+		p.node.emit(p.name, event)
+	}
+	close(p.stop)
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+	<-p.done
+
+	p.node.mu.Lock()
+	if p.node.procs[p.name] == p {
+		delete(p.node.procs, p.name)
+	}
+	p.node.mu.Unlock()
+}
+
+// Wait blocks until the process has exited.
+func (p *Process) Wait() { <-p.done }
+
+// Done returns a channel closed when the process has exited.
+func (p *Process) Done() <-chan struct{} { return p.done }
+
+// BlueScreen is the paper's "NT crash" (Section 4b): every process dies
+// abruptly and all of the node's endpoints fail, with no goodbye traffic.
+func (n *Node) BlueScreen() { n.die(NodeCrashed, "bluescreen") }
+
+// PowerOff is the paper's "node failure" (Section 4a).
+func (n *Node) PowerOff() { n.die(NodePoweredOff, "poweroff") }
+
+func (n *Node) die(state NodeState, event string) {
+	n.mu.Lock()
+	if n.state != NodeUp {
+		n.mu.Unlock()
+		return
+	}
+	n.state = state
+	victims := make([]*Process, 0, len(n.procs))
+	for _, p := range n.procs {
+		victims = append(victims, p)
+	}
+	n.mu.Unlock()
+
+	// Fail the whole machine's endpoints first: no process gets a last word.
+	for _, net := range n.networks {
+		net.FailPrefix(n.name + ":")
+	}
+	n.emit("", event)
+	for _, p := range victims {
+		p.terminate(ProcKilled, "proc-kill", false)
+	}
+}
+
+// Boot powers the node back on after its (non-deterministic) boot delay and
+// restores its network endpoints. The caller restarts processes afterwards,
+// as an NT Service Control Manager would.
+func (n *Node) Boot() {
+	delay := n.BootDelay()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	n.mu.Lock()
+	n.state = NodeUp
+	n.mu.Unlock()
+	for _, net := range n.networks {
+		net.RestorePrefix(n.name + ":")
+	}
+	n.emit("", "boot")
+}
+
+// Processes lists live process names (for the monitor).
+func (n *Node) Processes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.procs))
+	for name := range n.procs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// BootCount reports how many boot delays have been sampled (test aid).
+func (n *Node) BootCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bootCount
+}

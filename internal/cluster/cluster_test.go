@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func TestProcessLifecycle(t *testing.T) {
+	n := NewNode("node1", 1, netsim.New("eth0", 1))
+	started := make(chan struct{})
+	p, err := n.StartProcess("app", func(stop <-chan struct{}) {
+		close(started)
+		<-stop
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if p.State() != ProcRunning {
+		t.Fatalf("state = %v", p.State())
+	}
+	p.Stop()
+	p.Wait()
+	if p.State() != ProcStopped {
+		t.Fatalf("state = %v", p.State())
+	}
+}
+
+func TestProcessNaturalExit(t *testing.T) {
+	n := NewNode("node1", 1)
+	p, err := n.StartProcess("oneshot", func(stop <-chan struct{}) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	if p.State() != ProcStopped {
+		t.Fatalf("state = %v", p.State())
+	}
+}
+
+func TestDuplicateProcessName(t *testing.T) {
+	n := NewNode("node1", 1)
+	p, _ := n.StartProcess("app", func(stop <-chan struct{}) { <-stop })
+	defer p.Stop()
+	if _, err := n.StartProcess("app", func(stop <-chan struct{}) {}); !errors.Is(err, ErrDuplicateProcess) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestKillFailsOwnedEndpoints(t *testing.T) {
+	net := netsim.New("eth0", 1)
+	n := NewNode("node1", 1, net)
+	l, err := net.Listen(n.Addr("svc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	p, _ := n.StartProcess("app", func(stop <-chan struct{}) { <-stop })
+	p.OwnEndpoint(net, n.Addr("svc"))
+
+	// Endpoint reachable before the kill.
+	c, err := net.Dial("tester:x", n.Addr("svc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	p.Kill()
+	p.Wait()
+	if p.State() != ProcKilled {
+		t.Fatalf("state = %v", p.State())
+	}
+	if _, err := net.Dial("tester:x", n.Addr("svc")); !errors.Is(err, netsim.ErrUnreachable) {
+		t.Fatalf("endpoint survived kill: %v", err)
+	}
+}
+
+func TestOnKillCleanupRuns(t *testing.T) {
+	n := NewNode("node1", 1)
+	p, _ := n.StartProcess("app", func(stop <-chan struct{}) { <-stop })
+	ran := false
+	p.OnKill(func() { ran = true })
+	p.Kill()
+	if !ran {
+		t.Fatal("cleanup did not run")
+	}
+}
+
+func TestBlueScreenKillsEverything(t *testing.T) {
+	net := netsim.New("eth0", 1)
+	n := NewNode("node1", 1, net)
+	l, _ := net.Listen(n.Addr("engine"))
+	defer l.Close()
+
+	p1, _ := n.StartProcess("engine", func(stop <-chan struct{}) { <-stop })
+	p2, _ := n.StartProcess("app", func(stop <-chan struct{}) { <-stop })
+
+	n.BlueScreen()
+	p1.Wait()
+	p2.Wait()
+	if n.State() != NodeCrashed {
+		t.Fatalf("state = %v", n.State())
+	}
+	if p1.State() != ProcKilled || p2.State() != ProcKilled {
+		t.Fatalf("procs: %v %v", p1.State(), p2.State())
+	}
+	// All node endpoints failed, even ones no process claimed.
+	if _, err := net.Dial("tester:x", n.Addr("engine")); !errors.Is(err, netsim.ErrUnreachable) {
+		t.Fatalf("node endpoint survived blue screen: %v", err)
+	}
+	// Starting a process on a crashed node fails.
+	if _, err := n.StartProcess("late", func(stop <-chan struct{}) {}); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPowerOffAndBoot(t *testing.T) {
+	net := netsim.New("eth0", 1)
+	n := NewNode("node1", 1, net)
+	n.SetBootDelay(time.Millisecond, 2*time.Millisecond)
+
+	p, _ := n.StartProcess("app", func(stop <-chan struct{}) { <-stop })
+	n.PowerOff()
+	p.Wait()
+	if n.State() != NodePoweredOff {
+		t.Fatalf("state = %v", n.State())
+	}
+
+	n.Boot()
+	if n.State() != NodeUp {
+		t.Fatalf("state after boot = %v", n.State())
+	}
+	if n.BootCount() != 1 {
+		t.Fatalf("boot count = %d", n.BootCount())
+	}
+	// Processes restartable after boot.
+	p2, err := n.StartProcess("app", func(stop <-chan struct{}) { <-stop })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Stop()
+}
+
+func TestBootDelayWindow(t *testing.T) {
+	n := NewNode("node1", 99)
+	n.SetBootDelay(5*time.Millisecond, 10*time.Millisecond)
+	for i := 0; i < 50; i++ {
+		d := n.BootDelay()
+		if d < 5*time.Millisecond || d >= 15*time.Millisecond {
+			t.Fatalf("boot delay %v outside [5ms, 15ms)", d)
+		}
+	}
+}
+
+func TestEvents(t *testing.T) {
+	n := NewNode("node1", 1)
+	var mu sync.Mutex
+	var kinds []string
+	n.OnEvent(func(e Event) {
+		mu.Lock()
+		kinds = append(kinds, e.Kind)
+		mu.Unlock()
+	})
+	p, _ := n.StartProcess("app", func(stop <-chan struct{}) { <-stop })
+	p.Kill()
+	n.BlueScreen()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := map[string]bool{"proc-start": false, "proc-kill": false, "proc-exit": false, "bluescreen": false}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("event %q not observed (got %v)", k, kinds)
+		}
+	}
+}
+
+func TestKillIdempotent(t *testing.T) {
+	n := NewNode("node1", 1)
+	p, _ := n.StartProcess("app", func(stop <-chan struct{}) { <-stop })
+	p.Kill()
+	p.Kill() // second kill is a no-op
+	p.Stop() // and stop after kill is a no-op
+	if p.State() != ProcKilled {
+		t.Fatalf("state = %v", p.State())
+	}
+}
+
+func TestProcessesListing(t *testing.T) {
+	n := NewNode("node1", 1)
+	p1, _ := n.StartProcess("a", func(stop <-chan struct{}) { <-stop })
+	p2, _ := n.StartProcess("b", func(stop <-chan struct{}) { <-stop })
+	if got := len(n.Processes()); got != 2 {
+		t.Fatalf("processes = %d", got)
+	}
+	p1.Stop()
+	if got := len(n.Processes()); got != 1 {
+		t.Fatalf("processes after stop = %d", got)
+	}
+	p2.Stop()
+}
+
+func TestDualNetworkNodeFailure(t *testing.T) {
+	ethA := netsim.New("ethA", 1)
+	ethB := netsim.New("ethB", 2)
+	n := NewNode("node1", 1, ethA, ethB)
+	la, _ := ethA.Listen(n.Addr("svc"))
+	lb, _ := ethB.Listen(n.Addr("svc"))
+	defer la.Close()
+	defer lb.Close()
+
+	n.BlueScreen()
+	if _, err := ethA.Dial("t:x", n.Addr("svc")); !errors.Is(err, netsim.ErrUnreachable) {
+		t.Fatal("ethA endpoint survived")
+	}
+	if _, err := ethB.Dial("t:x", n.Addr("svc")); !errors.Is(err, netsim.ErrUnreachable) {
+		t.Fatal("ethB endpoint survived")
+	}
+}

@@ -1,0 +1,94 @@
+package com
+
+import (
+	"errors"
+	"sync"
+)
+
+// Apartment serializes calls into single-threaded-apartment (STA) objects.
+// COM's STA pumps a Windows message loop; the analog pumps a channel of
+// closures through one goroutine, giving the same guarantee: at most one
+// call executes inside the apartment at a time, in arrival order.
+type Apartment struct {
+	calls   chan func()
+	stop    chan struct{}
+	done    chan struct{}
+	stopped sync.Once
+}
+
+// NewApartment starts the apartment's message pump.
+func NewApartment() *Apartment {
+	a := &Apartment{
+		calls: make(chan func()),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go a.pump()
+	return a
+}
+
+func (a *Apartment) pump() {
+	defer close(a.done)
+	for {
+		select {
+		case fn := <-a.calls:
+			fn()
+		case <-a.stop:
+			// Drain anything already queued so callers do not hang.
+			for {
+				select {
+				case fn := <-a.calls:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Do runs fn inside the apartment and waits for it to finish.
+func (a *Apartment) Do(fn func()) error {
+	doneCh := make(chan struct{})
+	wrapped := func() {
+		defer close(doneCh)
+		fn()
+	}
+	select {
+	case a.calls <- wrapped:
+		<-doneCh
+		return nil
+	case <-a.stop:
+		return ErrApartmentStopped
+	}
+}
+
+// Call runs fn inside the apartment and returns its error.
+func (a *Apartment) Call(fn func() error) error {
+	var callErr error
+	if err := a.Do(func() { callErr = fn() }); err != nil {
+		return err
+	}
+	return callErr
+}
+
+// Post runs fn inside the apartment without waiting (PostMessage analog).
+// It returns ErrApartmentStopped if the apartment has shut down.
+func (a *Apartment) Post(fn func()) error {
+	select {
+	case a.calls <- fn:
+		return nil
+	case <-a.stop:
+		return ErrApartmentStopped
+	}
+}
+
+// Shutdown stops the pump and waits for it to exit. Idempotent.
+func (a *Apartment) Shutdown() {
+	a.stopped.Do(func() { close(a.stop) })
+	<-a.done
+}
+
+// ErrCallRejected is returned by guarded call sites when an object refuses
+// a call (e.g. during teardown).
+var ErrCallRejected = errors.New("com: call rejected")

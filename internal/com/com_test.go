@@ -1,0 +1,318 @@
+package com
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGUIDRoundTrip(t *testing.T) {
+	g := NewGUID()
+	parsed, err := ParseGUID(g.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != g {
+		t.Fatalf("round trip: got %s, want %s", parsed, g)
+	}
+}
+
+func TestGUIDParseUnbraced(t *testing.T) {
+	g := NewGUID()
+	s := strings.Trim(g.String(), "{}")
+	parsed, err := ParseGUID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != g {
+		t.Fatalf("unbraced round trip: got %s, want %s", parsed, g)
+	}
+}
+
+func TestGUIDParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-guid",
+		"{8a1d2f00-1111-4000-8000-0f0f0f0f0f0}",   // too short
+		"8a1d2f00x1111-4000-8000-0f0f0f0f0f01",    // wrong separator
+		"{8a1d2f00-1111-4000-8000-0f0f0f0f0zzz}",  // non-hex
+		"{8a1d2f00-1111-4000-8000-0f0f0f0f0f01",   // unbalanced brace
+		"8a1d2f00-1111-4000-8000-0f0f0f0f0f0100f", // too long
+	}
+	for _, s := range bad {
+		if _, err := ParseGUID(s); err == nil {
+			t.Errorf("ParseGUID(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestGUIDUniqueness(t *testing.T) {
+	seen := make(map[GUID]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		g := NewGUID()
+		if seen[g] {
+			t.Fatalf("duplicate GUID %s", g)
+		}
+		seen[g] = true
+	}
+}
+
+// Property: any 16 bytes survive a String/Parse cycle.
+func TestQuickGUIDStringParse(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		g := GUID(raw)
+		parsed, err := ParseGUID(g.String())
+		return err == nil && parsed == g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+type pinger interface{ Ping() string }
+
+type pingImpl struct{ id string }
+
+func (p *pingImpl) Ping() string { return "pong:" + p.id }
+
+func newTestObject(id string) (*Object, *pingImpl) {
+	impl := &pingImpl{id: id}
+	obj := NewObject(map[IID]any{IIDOFTTEngine: pinger(impl)})
+	return obj, impl
+}
+
+func TestQueryInterface(t *testing.T) {
+	obj, _ := newTestObject("a")
+	raw, err := obj.QueryInterface(IIDOFTTEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := raw.(pinger)
+	if !ok {
+		t.Fatalf("got %T, want pinger", raw)
+	}
+	if got := p.Ping(); got != "pong:a" {
+		t.Fatalf("Ping() = %q", got)
+	}
+}
+
+func TestQueryInterfaceUnknown(t *testing.T) {
+	obj, _ := newTestObject("a")
+	raw, err := obj.QueryInterface(IIDUnknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw.(Unknown); !ok {
+		t.Fatalf("IIDUnknown resolved to %T", raw)
+	}
+}
+
+func TestQueryInterfaceMissing(t *testing.T) {
+	obj, _ := newTestObject("a")
+	if _, err := obj.QueryInterface(IIDOPCServer); !errors.Is(err, ErrNoInterface) {
+		t.Fatalf("got %v, want ErrNoInterface", err)
+	}
+}
+
+func TestQueryAs(t *testing.T) {
+	obj, _ := newTestObject("b")
+	p, err := QueryAs[pinger](obj, IIDOFTTEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ping() != "pong:b" {
+		t.Fatal("wrong implementation")
+	}
+	if _, err := QueryAs[Unknown](obj, IIDOFTTEngine); err == nil {
+		t.Fatal("expected Go-type mismatch error")
+	}
+}
+
+func TestRefCountingFinalizer(t *testing.T) {
+	obj, _ := newTestObject("c")
+	finalized := 0
+	obj.SetFinalizer(func() { finalized++ })
+
+	if n := obj.AddRef(); n != 2 {
+		t.Fatalf("AddRef = %d, want 2", n)
+	}
+	if n := obj.Release(); n != 1 {
+		t.Fatalf("Release = %d, want 1", n)
+	}
+	if finalized != 0 {
+		t.Fatal("finalizer ran early")
+	}
+	if n := obj.Release(); n != 0 {
+		t.Fatalf("Release = %d, want 0", n)
+	}
+	if finalized != 1 {
+		t.Fatalf("finalizer ran %d times, want 1", finalized)
+	}
+	if _, err := obj.QueryInterface(IIDOFTTEngine); !errors.Is(err, ErrObjectReleased) {
+		t.Fatalf("post-release QI: got %v", err)
+	}
+}
+
+func TestConcurrentRefCounting(t *testing.T) {
+	obj, _ := newTestObject("d")
+	var finalized sync.Once
+	ran := make(chan struct{})
+	obj.SetFinalizer(func() { finalized.Do(func() { close(ran) }) })
+
+	const workers = 32
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				obj.AddRef()
+				obj.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if obj.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1", obj.Refs())
+	}
+	obj.Release()
+	<-ran
+}
+
+func TestRegistryCreateInstance(t *testing.T) {
+	reg := NewRegistry()
+	clsid := NewGUID()
+	created := 0
+	err := reg.RegisterClass(clsid, "Test.Ping.1", FactoryFunc(func() (Unknown, error) {
+		created++
+		obj, _ := newTestObject("reg")
+		return obj, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	unk, impl, err := reg.CreateInstance(clsid, IIDOFTTEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unk.Release()
+	if created != 1 {
+		t.Fatalf("factory ran %d times", created)
+	}
+	if impl.(pinger).Ping() != "pong:reg" {
+		t.Fatal("wrong instance")
+	}
+
+	got, err := reg.CLSIDFromProgID("Test.Ping.1")
+	if err != nil || got != clsid {
+		t.Fatalf("CLSIDFromProgID: %v %v", got, err)
+	}
+}
+
+func TestRegistryUnknownClass(t *testing.T) {
+	reg := NewRegistry()
+	if _, _, err := reg.CreateInstance(NewGUID(), IIDUnknown); !errors.Is(err, ErrClassNotRegistered) {
+		t.Fatalf("got %v, want ErrClassNotRegistered", err)
+	}
+	if _, err := reg.CLSIDFromProgID("Nope"); !errors.Is(err, ErrClassNotRegistered) {
+		t.Fatalf("got %v, want ErrClassNotRegistered", err)
+	}
+}
+
+func TestRegistryCreateInstanceBadIID(t *testing.T) {
+	reg := NewRegistry()
+	clsid := NewGUID()
+	_ = reg.RegisterClass(clsid, "", FactoryFunc(func() (Unknown, error) {
+		obj, _ := newTestObject("x")
+		return obj, nil
+	}))
+	// Requesting an interface the object lacks must release the instance.
+	_, _, err := reg.CreateInstance(clsid, IIDOPCServer)
+	if !errors.Is(err, ErrNoInterface) {
+		t.Fatalf("got %v, want ErrNoInterface", err)
+	}
+}
+
+func TestRegistryUnregister(t *testing.T) {
+	reg := NewRegistry()
+	clsid := NewGUID()
+	_ = reg.RegisterClass(clsid, "Gone.Soon", FactoryFunc(func() (Unknown, error) {
+		obj, _ := newTestObject("x")
+		return obj, nil
+	}))
+	if reg.Len() != 1 {
+		t.Fatal("expected one class")
+	}
+	reg.UnregisterClass(clsid)
+	if reg.Len() != 0 {
+		t.Fatal("expected empty registry")
+	}
+	if _, _, err := reg.CreateInstance(clsid, IIDUnknown); err == nil {
+		t.Fatal("expected error after unregister")
+	}
+}
+
+func TestApartmentSerializesCalls(t *testing.T) {
+	a := NewApartment()
+	defer a.Shutdown()
+
+	var mu sync.Mutex
+	inside := 0
+	maxInside := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = a.Do(func() {
+				mu.Lock()
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				mu.Unlock()
+				mu.Lock()
+				inside--
+				mu.Unlock()
+			})
+		}()
+	}
+	wg.Wait()
+	if maxInside != 1 {
+		t.Fatalf("apartment admitted %d concurrent calls", maxInside)
+	}
+}
+
+func TestApartmentCallError(t *testing.T) {
+	a := NewApartment()
+	defer a.Shutdown()
+	sentinel := errors.New("boom")
+	if err := a.Call(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestApartmentShutdownRejectsCalls(t *testing.T) {
+	a := NewApartment()
+	a.Shutdown()
+	if err := a.Do(func() {}); !errors.Is(err, ErrApartmentStopped) {
+		t.Fatalf("got %v, want ErrApartmentStopped", err)
+	}
+	if err := a.Post(func() {}); !errors.Is(err, ErrApartmentStopped) {
+		t.Fatalf("got %v, want ErrApartmentStopped", err)
+	}
+	a.Shutdown() // idempotent
+}
+
+func TestApartmentPost(t *testing.T) {
+	a := NewApartment()
+	defer a.Shutdown()
+	done := make(chan struct{})
+	if err := a.Post(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}

@@ -1,0 +1,112 @@
+// Package com implements the Component Object Model contract the OFTT
+// toolkit is built on: GUID-identified interfaces, IUnknown-style interface
+// negotiation and reference counting, class factories registered in a
+// per-machine registry, and apartment-style call serialization.
+//
+// The paper's toolkit is "built on top of the Microsoft COM component
+// architecture" (Section 2.2); every OFTT component — engine, FTIM, message
+// diverter, system monitor — is a COM object. This package provides the same
+// contract in pure Go so those components compose identically.
+package com
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// GUID is a 128-bit globally unique identifier, used for both interface IDs
+// (IIDs) and class IDs (CLSIDs), exactly as in COM.
+type GUID [16]byte
+
+// NilGUID is the all-zero GUID.
+var NilGUID GUID
+
+// NewGUID returns a fresh random GUID (the moral equivalent of CoCreateGuid).
+func NewGUID() GUID {
+	var g GUID
+	if _, err := rand.Read(g[:]); err != nil {
+		// crypto/rand failure is unrecoverable program-environment breakage.
+		panic(fmt.Sprintf("com: guid entropy: %v", err))
+	}
+	// Mark as RFC-4122 version 4 / variant 1 for well-formedness.
+	g[6] = (g[6] & 0x0f) | 0x40
+	g[8] = (g[8] & 0x3f) | 0x80
+	return g
+}
+
+// ParseGUID parses the canonical 8-4-4-4-12 text form, with or without
+// surrounding braces (COM tooling prints both).
+func ParseGUID(s string) (GUID, error) {
+	if len(s) == 38 && s[0] == '{' && s[37] == '}' {
+		s = s[1:37]
+	}
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return NilGUID, fmt.Errorf("com: malformed GUID %q", s)
+	}
+	hexOnly := s[0:8] + s[9:13] + s[14:18] + s[19:23] + s[24:36]
+	raw, err := hex.DecodeString(hexOnly)
+	if err != nil {
+		return NilGUID, fmt.Errorf("com: malformed GUID %q: %w", s, err)
+	}
+	var g GUID
+	copy(g[:], raw)
+	return g, nil
+}
+
+// MustParseGUID is ParseGUID for compile-time-constant GUID literals.
+func MustParseGUID(s string) GUID {
+	g, err := ParseGUID(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// String renders the canonical braced form, matching regedit output.
+func (g GUID) String() string {
+	return fmt.Sprintf("{%08x-%04x-%04x-%04x-%012x}",
+		g[0:4], g[4:6], g[6:8], g[8:10], g[10:16])
+}
+
+// IsNil reports whether g is the zero GUID.
+func (g GUID) IsNil() bool { return g == NilGUID }
+
+// IID identifies an interface; CLSID identifies a concrete class.
+type (
+	IID   = GUID
+	CLSID = GUID
+)
+
+// Well-known OFTT interface and class IDs. In the original system these
+// would live in the NT registry; here they are package constants so every
+// component agrees on them.
+var (
+	IIDUnknown        = MustParseGUID("{00000000-0000-0000-c000-000000000046}")
+	IIDClassFactory   = MustParseGUID("{00000001-0000-0000-c000-000000000046}")
+	IIDOFTTEngine     = MustParseGUID("{8a1d2f00-1111-4000-8000-0f0f0f0f0f01}")
+	IIDOFTTFtim       = MustParseGUID("{8a1d2f00-1111-4000-8000-0f0f0f0f0f02}")
+	IIDOPCServer      = MustParseGUID("{8a1d2f00-1111-4000-8000-0f0f0f0f0f03}")
+	IIDOPCGroup       = MustParseGUID("{8a1d2f00-1111-4000-8000-0f0f0f0f0f04}")
+	IIDMessageQueue   = MustParseGUID("{8a1d2f00-1111-4000-8000-0f0f0f0f0f05}")
+	IIDSystemMonitor  = MustParseGUID("{8a1d2f00-1111-4000-8000-0f0f0f0f0f06}")
+	IIDWatchdog       = MustParseGUID("{8a1d2f00-1111-4000-8000-0f0f0f0f0f07}")
+	IIDCheckpointSink = MustParseGUID("{8a1d2f00-1111-4000-8000-0f0f0f0f0f08}")
+)
+
+// Canonical HRESULT-flavored errors.
+var (
+	// ErrNoInterface is COM's E_NOINTERFACE: the object does not expose the
+	// requested interface.
+	ErrNoInterface = errors.New("com: E_NOINTERFACE")
+
+	// ErrClassNotRegistered is REGDB_E_CLASSNOTREG.
+	ErrClassNotRegistered = errors.New("com: REGDB_E_CLASSNOTREG")
+
+	// ErrObjectReleased indicates a call through a fully released object.
+	ErrObjectReleased = errors.New("com: object has been released")
+
+	// ErrApartmentStopped indicates a call into a stopped apartment.
+	ErrApartmentStopped = errors.New("com: apartment stopped")
+)

@@ -1,0 +1,127 @@
+package com
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ClassFactory creates instances of one coclass (IClassFactory analog).
+type ClassFactory interface {
+	// CreateInstance constructs a new object and returns its IUnknown.
+	CreateInstance() (Unknown, error)
+}
+
+// FactoryFunc adapts a constructor function to ClassFactory.
+type FactoryFunc func() (Unknown, error)
+
+// CreateInstance implements ClassFactory.
+func (f FactoryFunc) CreateInstance() (Unknown, error) { return f() }
+
+// classEntry is one registered coclass.
+type classEntry struct {
+	clsid   CLSID
+	progID  string
+	factory ClassFactory
+}
+
+// Registry is the per-node class registry — the analog of
+// HKEY_CLASSES_ROOT\CLSID. Each simulated node owns one Registry, so class
+// registration is per-machine just as on NT.
+type Registry struct {
+	mu      sync.RWMutex
+	byCLSID map[CLSID]*classEntry
+	byProg  map[string]*classEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byCLSID: make(map[CLSID]*classEntry),
+		byProg:  make(map[string]*classEntry),
+	}
+}
+
+// RegisterClass associates clsid (and an optional human-readable ProgID)
+// with a factory. Re-registering a CLSID replaces the factory, matching
+// regsvr32 semantics.
+func (r *Registry) RegisterClass(clsid CLSID, progID string, f ClassFactory) error {
+	if clsid.IsNil() {
+		return fmt.Errorf("com: cannot register nil CLSID")
+	}
+	if f == nil {
+		return fmt.Errorf("com: nil factory for %s", clsid)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := &classEntry{clsid: clsid, progID: progID, factory: f}
+	r.byCLSID[clsid] = e
+	if progID != "" {
+		r.byProg[progID] = e
+	}
+	return nil
+}
+
+// UnregisterClass removes a coclass.
+func (r *Registry) UnregisterClass(clsid CLSID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byCLSID[clsid]; ok {
+		delete(r.byCLSID, clsid)
+		if e.progID != "" {
+			delete(r.byProg, e.progID)
+		}
+	}
+}
+
+// CLSIDFromProgID resolves a ProgID ("OFTT.Engine.1") to its CLSID.
+func (r *Registry) CLSIDFromProgID(progID string) (CLSID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byProg[progID]
+	if !ok {
+		return NilGUID, fmt.Errorf("%w: progID %q", ErrClassNotRegistered, progID)
+	}
+	return e.clsid, nil
+}
+
+// CreateInstance instantiates the coclass and immediately queries the
+// requested interface — CoCreateInstance. The returned Unknown carries one
+// reference owned by the caller.
+func (r *Registry) CreateInstance(clsid CLSID, iid IID) (Unknown, any, error) {
+	r.mu.RLock()
+	e, ok := r.byCLSID[clsid]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrClassNotRegistered, clsid)
+	}
+	obj, err := e.factory.CreateInstance()
+	if err != nil {
+		return nil, nil, fmt.Errorf("com: create %s: %w", clsid, err)
+	}
+	impl, err := obj.QueryInterface(iid)
+	if err != nil {
+		obj.Release()
+		return nil, nil, err
+	}
+	return obj, impl, nil
+}
+
+// ProgIDs lists registered ProgIDs, sorted (for the system monitor).
+func (r *Registry) ProgIDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byProg))
+	for id := range r.byProg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of registered coclasses.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byCLSID)
+}

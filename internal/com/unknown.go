@@ -1,0 +1,117 @@
+package com
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Unknown is the IUnknown contract: interface negotiation plus reference
+// counting. Every COM-style object in the toolkit implements it.
+type Unknown interface {
+	// QueryInterface returns the object's implementation of the interface
+	// identified by iid, or ErrNoInterface.
+	QueryInterface(iid IID) (any, error)
+	// AddRef increments the reference count and returns the new count.
+	AddRef() int32
+	// Release decrements the reference count, running the object's
+	// finalizer when it reaches zero, and returns the new count.
+	Release() int32
+}
+
+// Object is an embeddable IUnknown implementation. A concrete class embeds
+// *Object (created with NewObject) and supplies its interface table.
+type Object struct {
+	refs      atomic.Int32
+	mu        sync.RWMutex
+	ifaces    map[IID]any
+	finalizer func()
+	released  atomic.Bool
+}
+
+var _ Unknown = (*Object)(nil)
+
+// NewObject returns an Object with one outstanding reference, exposing the
+// given interface table. IIDUnknown is always answerable.
+func NewObject(ifaces map[IID]any) *Object {
+	o := &Object{ifaces: make(map[IID]any, len(ifaces)+1)}
+	for iid, impl := range ifaces {
+		o.ifaces[iid] = impl
+	}
+	o.refs.Store(1)
+	return o
+}
+
+// SetFinalizer registers fn to run exactly once when the reference count
+// reaches zero.
+func (o *Object) SetFinalizer(fn func()) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.finalizer = fn
+}
+
+// Expose adds (or replaces) an interface in the object's table. It exists so
+// a concrete class can register interfaces that need a pointer back to the
+// fully-constructed object.
+func (o *Object) Expose(iid IID, impl any) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.ifaces[iid] = impl
+}
+
+// QueryInterface implements Unknown.
+func (o *Object) QueryInterface(iid IID) (any, error) {
+	if o.released.Load() {
+		return nil, ErrObjectReleased
+	}
+	if iid == IIDUnknown {
+		return Unknown(o), nil
+	}
+	o.mu.RLock()
+	impl, ok := o.ifaces[iid]
+	o.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoInterface, iid)
+	}
+	return impl, nil
+}
+
+// AddRef implements Unknown.
+func (o *Object) AddRef() int32 {
+	return o.refs.Add(1)
+}
+
+// Release implements Unknown.
+func (o *Object) Release() int32 {
+	n := o.refs.Add(-1)
+	if n == 0 && o.released.CompareAndSwap(false, true) {
+		o.mu.RLock()
+		fn := o.finalizer
+		o.mu.RUnlock()
+		if fn != nil {
+			fn()
+		}
+	}
+	return n
+}
+
+// Refs returns the current reference count (for tests and the monitor).
+func (o *Object) Refs() int32 { return o.refs.Load() }
+
+// Released reports whether the object's count has hit zero.
+func (o *Object) Released() bool { return o.released.Load() }
+
+// QueryAs resolves iid on any Unknown and type-asserts the result to T.
+func QueryAs[T any](u Unknown, iid IID) (T, error) {
+	var zero T
+	raw, err := u.QueryInterface(iid)
+	if err != nil {
+		return zero, err
+	}
+	typed, ok := raw.(T)
+	if !ok {
+		return zero, fmt.Errorf("%w: %s resolves to %T, not the requested Go type",
+			ErrNoInterface, iid, raw)
+	}
+	return typed, nil
+}

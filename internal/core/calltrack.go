@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/ftim"
+	"repro/internal/netsim"
+	"repro/internal/opc"
+	"repro/internal/telephone"
+)
+
+// TelephoneOID is the well-known OID the telephone OPC server is exported
+// under on the test machine.
+var TelephoneOID = com.MustParseGUID("{0f7e4a10-3333-4000-8000-0d0d0d0d0d01}")
+
+// CallTrackState is the application-level extra state beyond the tracker:
+// operator messages received through the diverter.
+type CallTrackState struct {
+	MsgCount int64
+	LastMsg  string
+}
+
+// CallTrackApp is the paper's Section 4 demonstration application: an OPC
+// client that keeps track of the usage of the simulated telephone system,
+// displaying busy-line counts in a histogram. It is stateful, so it is
+// linked with the client FTIM and checkpointed.
+type CallTrackApp struct {
+	node    string
+	network *netsim.Network
+	server  netsim.Addr
+	oid     dcom.ObjectID
+	lines   int
+	rate    time.Duration
+
+	Tracker *telephone.Tracker
+	Extra   CallTrackState
+
+	mu     sync.Mutex
+	f      *ftim.ClientFTIM
+	dcli   *dcom.Client
+	client *opc.Client
+	live   bool
+}
+
+// NewCallTrackApp builds an inactive Call Track copy on a node. It
+// subscribes to the telephone OPC server at server (OID oid) over network
+// when activated.
+func NewCallTrackApp(node string, network *netsim.Network, server netsim.Addr,
+	oid dcom.ObjectID, lines int, rate time.Duration) *CallTrackApp {
+	if lines <= 0 {
+		lines = 5
+	}
+	if rate <= 0 {
+		rate = 10 * time.Millisecond
+	}
+	return &CallTrackApp{
+		node:    node,
+		network: network,
+		server:  server,
+		oid:     oid,
+		lines:   lines,
+		rate:    rate,
+		Tracker: telephone.NewTracker(lines, 1000),
+	}
+}
+
+var (
+	_ ReplicatedApp  = (*CallTrackApp)(nil)
+	_ MessageHandler = (*CallTrackApp)(nil)
+)
+
+// Setup registers the Call Track state for checkpointing.
+func (a *CallTrackApp) Setup(f *ftim.ClientFTIM) error {
+	a.mu.Lock()
+	a.f = f
+	a.mu.Unlock()
+	if err := f.RegisterState("calltrack", a.Tracker.State()); err != nil {
+		return err
+	}
+	// Tracker updates and checkpoint captures/restores must exclude each
+	// other: share the registry's lock.
+	a.Tracker.SetLocker(f.Registry())
+	return f.RegisterState("messages", &a.Extra)
+}
+
+// Activate connects to the telephone OPC server and begins tracking.
+func (a *CallTrackApp) Activate(restored bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.live {
+		return
+	}
+	from := netsim.Addr(a.node + ":" + "app-opc-cli")
+	dcli, err := dcom.Dial(a.network, from, a.server)
+	if err != nil {
+		// The telephone server may be down; the group scan will never
+		// produce updates, which is visible in the monitor, but activation
+		// itself must not fail (the copy is live, just blind).
+		return
+	}
+	a.dcli = dcli
+	a.client = opc.NewClient(opc.NewRemoteConnection(dcli, a.oid))
+	g, err := a.client.AddGroup(opc.GroupConfig{
+		Name:       "tel",
+		UpdateRate: a.rate,
+		Active:     true,
+	}, a.ingest)
+	if err != nil {
+		a.client.Close()
+		a.dcli.Close()
+		a.client, a.dcli = nil, nil
+		return
+	}
+	g.AddItems(telephone.TelTags(a.lines)...)
+	a.live = true
+}
+
+// ingest consumes OPC updates; the tracker locks the shared registry
+// mutex internally, so checkpoints see consistent state.
+func (a *CallTrackApp) ingest(updates []opc.ItemState) {
+	a.Tracker.Ingest(updates)
+}
+
+// Deactivate stops tracking and releases the OPC connection.
+func (a *CallTrackApp) Deactivate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.client != nil {
+		a.client.Close()
+		a.client = nil
+	}
+	if a.dcli != nil {
+		a.dcli.Close()
+		a.dcli = nil
+	}
+	a.live = false
+}
+
+// HandleMessage consumes an operator message from the diverter.
+func (a *CallTrackApp) HandleMessage(body []byte) error {
+	a.mu.Lock()
+	f := a.f
+	a.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("calltrack: not set up")
+	}
+	f.WithLock(func() {
+		a.Extra.MsgCount++
+		a.Extra.LastMsg = string(body)
+	})
+	return nil
+}
+
+// Stop implements ReplicatedApp.
+func (a *CallTrackApp) Stop() { a.Deactivate() }
+
+// Live reports whether the copy is actively tracking.
+func (a *CallTrackApp) Live() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.live
+}
+
+// CallTrackDeployment is the full Figure 3 configuration: the redundant
+// node pair running Call Track under OFTT, and the test-and-interface PC
+// hosting the telephone system simulator (exported as an OPC server), the
+// calling history generator, and the system monitor.
+type CallTrackDeployment struct {
+	*Deployment
+
+	Sim       *telephone.Simulator
+	TelServer *opc.Server
+	telExp    *dcom.Exporter
+	simProc   *cluster.Process
+}
+
+// CallTrackConfig parameterizes the demo deployment.
+type CallTrackConfig struct {
+	Config         // embedded toolkit configuration
+	Lines      int // default 5 (the paper's telephone system)
+	Callers    int // default 10
+	UpdateRate time.Duration
+	SimTick    time.Duration
+}
+
+// NewCallTrackDeployment assembles and starts the demo.
+func NewCallTrackDeployment(cfg CallTrackConfig) (*CallTrackDeployment, error) {
+	if cfg.Lines <= 0 {
+		cfg.Lines = 5
+	}
+	if cfg.Callers <= 0 {
+		cfg.Callers = 10
+	}
+	if cfg.UpdateRate <= 0 {
+		cfg.UpdateRate = 10 * time.Millisecond
+	}
+	if cfg.Component == "" {
+		cfg.Component = "calltrack"
+	}
+	cfg.Config.applyDefaults()
+
+	// Addresses are deterministic strings, so the factory can be set up
+	// before the networks exist; the build hook fills in the segment.
+	serverAddr := netsim.Addr(cfg.TestNode + ":telephone-opc")
+	var primaryNet *netsim.Network
+
+	base := cfg.Config
+	base.NewApp = func(node string) ReplicatedApp {
+		return NewCallTrackApp(node, primaryNet, serverAddr, TelephoneOID,
+			cfg.Lines, cfg.UpdateRate)
+	}
+	d, err := build(base, func(n *netsim.Network) { primaryNet = n })
+	if err != nil {
+		return nil, err
+	}
+
+	ct := &CallTrackDeployment{Deployment: d}
+
+	// Telephone simulator + OPC server on the test PC.
+	ct.TelServer = opc.NewServer("Telephone.OPC.1")
+	sim, err := telephone.NewSimulator(telephone.SimConfig{
+		Lines:   cfg.Lines,
+		Callers: cfg.Callers,
+		Tick:    cfg.SimTick,
+		Seed:    cfg.Seed + 100,
+	}, ct.TelServer)
+	if err != nil {
+		d.Stop()
+		return nil, err
+	}
+	ct.Sim = sim
+
+	exp, err := dcom.NewExporter(d.Nets[0], serverAddr)
+	if err != nil {
+		d.Stop()
+		return nil, err
+	}
+	if err := opc.ExportServer(exp, TelephoneOID, ct.TelServer); err != nil {
+		exp.Close()
+		d.Stop()
+		return nil, err
+	}
+	ct.telExp = exp
+
+	simProc, err := d.Test.StartProcess("telephone-sim", func(stop <-chan struct{}) { <-stop })
+	if err == nil {
+		simProc.OwnEndpoint(d.Nets[0], serverAddr)
+		ct.simProc = simProc
+	}
+
+	sim.Start()
+	return ct, nil
+}
+
+// ActiveTracker returns the primary copy's tracker (nil if no primary).
+func (ct *CallTrackDeployment) ActiveTracker() *telephone.Tracker {
+	p := ct.Primary()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	app := p.App
+	p.mu.Unlock()
+	c, ok := app.(*CallTrackApp)
+	if !ok {
+		return nil
+	}
+	return c.Tracker
+}
+
+// Stop tears the demo down.
+func (ct *CallTrackDeployment) Stop() {
+	if ct.Sim != nil {
+		ct.Sim.Stop()
+	}
+	if ct.telExp != nil {
+		ct.telExp.Close()
+	}
+	ct.Deployment.Stop()
+}

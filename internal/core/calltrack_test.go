@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func newDemo(t *testing.T, mutate func(*CallTrackConfig)) *CallTrackDeployment {
+	t.Helper()
+	cfg := CallTrackConfig{
+		Config:     Config{Seed: 11},
+		UpdateRate: 5 * time.Millisecond,
+		SimTick:    2 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ct, err := NewCallTrackDeployment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ct.Stop)
+	if err := ct.WaitForRoles(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func waitSamples(t *testing.T, ct *CallTrackDeployment, atLeast int64) {
+	t.Helper()
+	if !waitSettled(5*time.Second, func() bool {
+		tr := ct.ActiveTracker()
+		return tr != nil && tr.Samples() >= atLeast
+	}) {
+		tr := ct.ActiveTracker()
+		if tr == nil {
+			t.Fatal("no active tracker")
+		}
+		t.Fatalf("tracker stuck at %d samples (want >= %d)", tr.Samples(), atLeast)
+	}
+}
+
+func TestCallTrackPipeline(t *testing.T) {
+	ct := newDemo(t, nil)
+	// Live telephone data flows: simulator -> OPC server (test PC) ->
+	// DCOM -> OPC client group -> tracker on the primary.
+	waitSamples(t, ct, 10)
+	tr := ct.ActiveTracker()
+	if msg := tr.Verify(); msg != "" {
+		t.Fatalf("tracker invariants: %s", msg)
+	}
+	s := tr.Snapshot()
+	if s.Lines != 5 || len(s.Histogram) != 6 {
+		t.Fatalf("unexpected shape: %+v", s)
+	}
+}
+
+// TestCallTrackDemoScenarios is the paper's Section 4 demonstration: the
+// system keeps tracking call history through each injected failure, and
+// the history recorded before the failure survives.
+func TestCallTrackDemoScenarios(t *testing.T) {
+	scenarios := []struct {
+		name   string
+		inject func(ct *CallTrackDeployment, primary string) error
+	}{
+		{"a_node_failure", func(ct *CallTrackDeployment, p string) error { return ct.KillNode(p) }},
+		{"b_nt_crash", func(ct *CallTrackDeployment, p string) error { return ct.BlueScreen(p) }},
+		{"c_app_failure", func(ct *CallTrackDeployment, p string) error { return ct.KillApp(p) }},
+		{"d_middleware_failure", func(ct *CallTrackDeployment, p string) error { return ct.KillEngine(p) }},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			ct := newDemo(t, nil)
+			waitSamples(t, ct, 20)
+
+			before := ct.ActiveTracker().Samples()
+			primary := ct.Primary().Node.Name()
+			if err := sc.inject(ct, primary); err != nil {
+				t.Fatal(err)
+			}
+
+			// Recovery: some copy is live and tracking again.
+			if !waitSettled(8*time.Second, func() bool {
+				tr := ct.ActiveTracker()
+				return tr != nil && tr.Samples() > before
+			}) {
+				t.Fatalf("tracking did not resume after %s", sc.name)
+			}
+			tr := ct.ActiveTracker()
+			// History from before the failure survived (checkpoint
+			// period bounds the loss window; samples are monotonic).
+			after := tr.Samples()
+			if after < before/2 {
+				t.Fatalf("history lost: %d samples before, %d after", before, after)
+			}
+			if msg := tr.Verify(); msg != "" {
+				t.Fatalf("invariants broken after %s: %s", sc.name, msg)
+			}
+		})
+	}
+}
+
+func TestCallTrackLocalRestartKeepsHistory(t *testing.T) {
+	ct := newDemo(t, func(c *CallTrackConfig) {
+		c.Rule = engine.RecoveryRule{MaxLocalRestarts: 2, Exhausted: engine.ExhaustSwitchover}
+	})
+	waitSamples(t, ct, 20)
+	primary := ct.Primary().Node.Name()
+	before := ct.ActiveTracker().Samples()
+
+	if err := ct.KillApp(primary); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(8*time.Second, func() bool {
+		p := ct.Primary()
+		if p == nil || p.Node.Name() != primary {
+			return false // must stay on the same node (local restart)
+		}
+		tr := ct.ActiveTracker()
+		return tr != nil && tr.Samples() > before
+	}) {
+		t.Fatalf("local restart did not resume tracking on %s: %v",
+			primary, ct.roleSummary())
+	}
+	if got := ct.ActiveTracker().Samples(); got < before/2 {
+		t.Fatalf("history lost in local restart: %d -> %d", before, got)
+	}
+}
+
+func TestCallTrackOperatorMessages(t *testing.T) {
+	ct := newDemo(t, nil)
+	if _, err := ct.Send([]byte("reset-display")); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(3*time.Second, func() bool {
+		p := ct.Primary()
+		if p == nil {
+			return false
+		}
+		p.mu.Lock()
+		app, _ := p.App.(*CallTrackApp)
+		p.mu.Unlock()
+		if app == nil {
+			return false
+		}
+		var count int64
+		app.f.WithLock(func() { count = app.Extra.MsgCount })
+		return count == 1
+	}) {
+		t.Fatal("operator message never reached the Call Track app")
+	}
+}
+
+func TestCallTrackHistogramRenders(t *testing.T) {
+	ct := newDemo(t, nil)
+	waitSamples(t, ct, 10)
+	out := ct.ActiveTracker().RenderHistogram(30)
+	if len(out) == 0 {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestCallTrackNodeRepairRejoins(t *testing.T) {
+	ct := newDemo(t, nil)
+	waitSamples(t, ct, 20)
+	primary := ct.Primary().Node.Name()
+
+	// Node failure -> switchover.
+	if err := ct.KillNode(primary); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(8*time.Second, func() bool {
+		p := ct.Primary()
+		return p != nil && p.Node.Name() != primary && p.AppActive()
+	}) {
+		t.Fatal("no takeover")
+	}
+
+	// Field repair: the dead node reboots and rejoins as backup...
+	if err := ct.RestartNode(primary); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(8*time.Second, func() bool {
+		return ct.Replica(primary).Engine.Role() == engine.RoleBackup
+	}) {
+		t.Fatalf("repaired node did not rejoin: %v", ct.roleSummary())
+	}
+	// ...and receives the live history via checkpoints.
+	if !waitSettled(5*time.Second, func() bool {
+		return ct.Replica(primary).Engine.Store().LastSeq() > 0
+	}) {
+		t.Fatal("no checkpoints to the rejoined backup")
+	}
+
+	// Second failover, back onto the repaired node, history intact.
+	before := ct.ActiveTracker().Samples()
+	survivor := ct.Primary().Node.Name()
+	if err := ct.KillNode(survivor); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(8*time.Second, func() bool {
+		p := ct.Primary()
+		if p == nil || p.Node.Name() != primary {
+			return false
+		}
+		tr := ct.ActiveTracker()
+		return tr != nil && tr.Samples() > before
+	}) {
+		t.Fatalf("second failover failed: %v", ct.roleSummary())
+	}
+	if msg := ct.ActiveTracker().Verify(); msg != "" {
+		t.Fatalf("history corrupted after double failover: %s", msg)
+	}
+}

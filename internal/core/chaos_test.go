@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/ftim"
+)
+
+// chaosApp is a monotonic-counter app used to check state monotonicity
+// across arbitrary failure sequences.
+type chaosApp struct {
+	mu    sync.Mutex
+	f     *ftim.ClientFTIM
+	state struct{ Seq int64 }
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func (a *chaosApp) Setup(f *ftim.ClientFTIM) error {
+	a.mu.Lock()
+	a.f = f
+	a.mu.Unlock()
+	return f.RegisterState("seq", &a.state)
+}
+
+func (a *chaosApp) Activate(bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				a.f.WithLock(func() { a.state.Seq++ })
+			case <-stop:
+				return
+			}
+		}
+	}(a.stop, a.done)
+}
+
+func (a *chaosApp) Deactivate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stop != nil {
+		close(a.stop)
+		<-a.done
+		a.stop = nil
+	}
+}
+func (a *chaosApp) Stop() { a.Deactivate() }
+
+func (a *chaosApp) seq() int64 {
+	a.mu.Lock()
+	f := a.f
+	a.mu.Unlock()
+	if f == nil {
+		return -1
+	}
+	var v int64
+	f.WithLock(func() { v = a.state.Seq })
+	return v
+}
+
+// TestChaosConvergence injects a randomized sequence of failures and
+// repairs, checking after each round that the system converges back to a
+// live primary and that the counter never regresses past the checkpoint
+// window (monotonic progress modulo one checkpoint period of loss).
+func TestChaosConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test is slow")
+	}
+	const rounds = 10
+	rng := rand.New(rand.NewSource(1234))
+
+	d, err := New(Config{
+		Seed:             99,
+		CheckpointPeriod: 10 * time.Millisecond,
+		Rule:             engine.RecoveryRule{MaxLocalRestarts: 1, Exhausted: engine.ExhaustSwitchover},
+		NewApp:           func(string) ReplicatedApp { return &chaosApp{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.WaitForRoles(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	lowWater := int64(0) // counter must never drop below this
+	for round := 0; round < rounds; round++ {
+		p := d.Primary()
+		if p == nil {
+			t.Fatalf("round %d: no primary", round)
+		}
+		primary := p.Node.Name()
+
+		// Let the system make progress.
+		time.Sleep(60 * time.Millisecond)
+		app, _ := p.CurrentApp().(*chaosApp)
+		if app == nil {
+			t.Fatalf("round %d: wrong app type", round)
+		}
+		before := app.seq()
+		if before < lowWater {
+			t.Fatalf("round %d: counter regressed %d -> %d", round, lowWater, before)
+		}
+
+		// Inject one random failure.
+		action := rng.Intn(4)
+		var label string
+		switch action {
+		case 0:
+			label = "KillNode"
+			if err := d.KillNode(primary); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			label = "BlueScreen"
+			if err := d.BlueScreen(primary); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			label = "KillApp"
+			if err := d.KillApp(primary); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			label = "KillEngine"
+			if err := d.KillEngine(primary); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Converge: a live primary with a running counter.
+		if !waitSettled(10*time.Second, func() bool {
+			np := d.Primary()
+			if np == nil || !np.AppActive() {
+				return false
+			}
+			a, _ := np.CurrentApp().(*chaosApp)
+			return a != nil && a.seq() > before
+		}) {
+			t.Fatalf("round %d (%s on %s): no convergence; roles %v",
+				round, label, primary, d.roleSummary())
+		}
+
+		// Loss window: one checkpoint period (10ms = 5 ticks) + detection
+		// slack. The counter must be near `before`.
+		np := d.Primary()
+		a, _ := np.CurrentApp().(*chaosApp)
+		after := a.seq()
+		if after < before-60 {
+			t.Fatalf("round %d (%s): lost too much work: %d -> %d",
+				round, label, before, after)
+		}
+		lowWater = after - 60
+		if lowWater < 0 {
+			lowWater = 0
+		}
+
+		// Repair the dead node so the next round has a backup again
+		// (skip when the failure was app/engine-local and auto-recovered
+		// on the same node).
+		if r := d.Replica(primary); r.Node.State() != cluster.NodeUp {
+			if err := d.RestartNode(primary); err != nil {
+				t.Fatalf("round %d: restart: %v", round, err)
+			}
+		} else if np.Node.Name() != primary {
+			// The old node is up but demoted/killed components remain:
+			// for KillEngine its engine is dead, rebuild it.
+			if r.Engine.Role() == engine.RoleShutdown ||
+				r.EngineProc.State() != cluster.ProcRunning {
+				// Power-cycle to get a clean rejoin.
+				r.Node.PowerOff()
+				if err := d.RestartNode(primary); err != nil {
+					t.Fatalf("round %d: engine rebuild: %v", round, err)
+				}
+			}
+		}
+		if err := d.WaitForRoles(10 * time.Second); err != nil {
+			t.Fatalf("round %d: pair did not re-form: %v", round, err)
+		}
+	}
+}
+
+// TestRepeatedFailbackCycles ping-pongs the primary role across the pair
+// via commanded switchovers, checking role stability and checkpoint flow
+// each time.
+func TestRepeatedFailbackCycles(t *testing.T) {
+	d, apps := testDeployment(t, nil)
+	for cycle := 0; cycle < 6; cycle++ {
+		p := d.Primary()
+		if p == nil {
+			t.Fatalf("cycle %d: no primary", cycle)
+		}
+		app := apps[p.Node.Name()]
+		app.bump(1)
+		if err := app.f.Save(); err != nil {
+			t.Fatalf("cycle %d: save: %v", cycle, err)
+		}
+		if err := p.Engine.RequestSwitchover(fmt.Sprintf("cycle %d", cycle)); err != nil {
+			t.Fatalf("cycle %d: switchover: %v", cycle, err)
+		}
+		if !waitSettled(5*time.Second, func() bool {
+			np := d.Primary()
+			return np != nil && np.Node.Name() != p.Node.Name() && d.Backup() != nil
+		}) {
+			t.Fatalf("cycle %d: roles did not swap: %v", cycle, d.roleSummary())
+		}
+	}
+	// After 6 swaps the accumulated count must have followed the role.
+	p := d.Primary()
+	app := apps[p.Node.Name()]
+	if !waitSettled(2*time.Second, func() bool {
+		app.mu.Lock()
+		defer app.mu.Unlock()
+		return app.State.Count == 6
+	}) {
+		app.mu.Lock()
+		defer app.mu.Unlock()
+		t.Fatalf("count after 6 cycles: %d (want 6)", app.State.Count)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/com"
+)
+
+// Well-known CLSIDs for the OFTT coclasses, as they would appear under
+// HKEY_CLASSES_ROOT\CLSID on each NT machine.
+var (
+	CLSIDEngine   = com.MustParseGUID("{9b2c5e00-aaaa-4000-8000-0c0c0c0c0c01}")
+	CLSIDFTIM     = com.MustParseGUID("{9b2c5e00-aaaa-4000-8000-0c0c0c0c0c02}")
+	CLSIDDiverter = com.MustParseGUID("{9b2c5e00-aaaa-4000-8000-0c0c0c0c0c03}")
+	CLSIDMonitor  = com.MustParseGUID("{9b2c5e00-aaaa-4000-8000-0c0c0c0c0c04}")
+)
+
+// ProgIDs of the OFTT coclasses.
+const (
+	ProgIDEngine   = "OFTT.Engine.1"
+	ProgIDFTIM     = "OFTT.FTIM.1"
+	ProgIDDiverter = "OFTT.MessageDiverter.1"
+	ProgIDMonitor  = "OFTT.SystemMonitor.1"
+)
+
+// registerCoclasses installs the OFTT class registrations in a node's COM
+// registry — the moral equivalent of running regsvr32 on the OFTT DLLs
+// during installation. The factories return objects whose IUnknown tables
+// expose the live component, so CoCreateInstance-style activation works:
+//
+//	clsid, _ := node.Registry().CLSIDFromProgID("OFTT.Engine.1")
+//	unk, impl, _ := node.Registry().CreateInstance(clsid, com.IIDOFTTEngine)
+func registerCoclasses(node *cluster.Node, r *Replica) error {
+	reg := node.Registry()
+	entries := []struct {
+		clsid  com.CLSID
+		progID string
+		iid    com.IID
+		impl   func() any
+	}{
+		{CLSIDEngine, ProgIDEngine, com.IIDOFTTEngine, func() any { return r.Engine }},
+		{CLSIDFTIM, ProgIDFTIM, com.IIDOFTTFtim, func() any {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return r.FTIM
+		}},
+		{CLSIDDiverter, ProgIDDiverter, com.IIDMessageQueue, func() any { return r.d.Div }},
+	}
+	for _, e := range entries {
+		e := e
+		factory := com.FactoryFunc(func() (com.Unknown, error) {
+			impl := e.impl()
+			if impl == nil {
+				return nil, fmt.Errorf("com: %s not available on %s", e.progID, node.Name())
+			}
+			return com.NewObject(map[com.IID]any{e.iid: impl}), nil
+		})
+		if err := reg.RegisterClass(e.clsid, e.progID, factory); err != nil {
+			return fmt.Errorf("core: register %s: %w", e.progID, err)
+		}
+	}
+	return nil
+}

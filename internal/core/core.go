@@ -1,0 +1,322 @@
+// Package core assembles a complete OFTT deployment: the Figure 3
+// configuration of two redundant nodes forming a single logical execution
+// unit plus a test-and-interface machine hosting the system monitor and
+// the message diverter. It wires every toolkit component together — the
+// engines, the FTIM-linked replicated application, the diverter routing,
+// and monitor reporting — and provides the four fault injections the
+// paper's Section 4 demonstrates.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/diverter"
+	"repro/internal/engine"
+	"repro/internal/ftim"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+)
+
+// ReplicatedApp is the application half the deployment manages on each
+// node. Build one per node; the deployment activates exactly one copy at a
+// time (the primary's).
+type ReplicatedApp interface {
+	// Setup registers the application's checkpointable state with its
+	// FTIM. It runs before the first activation.
+	Setup(f *ftim.ClientFTIM) error
+	// Activate makes this copy live (it is now the executing primary);
+	// restored reports whether checkpointed state was applied.
+	Activate(restored bool)
+	// Deactivate idles this copy (it is now a backup).
+	Deactivate()
+	// Stop releases the application's resources.
+	Stop()
+}
+
+// MessageHandler is implemented by applications that consume diverter
+// messages.
+type MessageHandler interface {
+	HandleMessage(body []byte) error
+}
+
+// Config parameterizes a deployment.
+type Config struct {
+	// Node1/Node2 are the pair's machine names (default node1/node2).
+	Node1, Node2 string
+	// TestNode hosts the monitor and diverter (default testpc).
+	TestNode string
+	// DualNetwork attaches the pair to two Ethernet segments.
+	DualNetwork bool
+	// Seed drives all simulation randomness.
+	Seed int64
+
+	// Component is the replicated application's monitored name
+	// (default "app").
+	Component string
+	// NewApp builds the application instance for a node. nil runs the
+	// toolkit without an application (engines only).
+	NewApp func(nodeName string) ReplicatedApp
+
+	// NewServerApp builds the node's stateless OPC-server application
+	// (Figure 2's "OPC Server App (device interface)"); nil skips it. One
+	// instance runs on every node, monitored by a server FTIM.
+	NewServerApp func(nodeName string) ServerApp
+	// ServerComponent is the server app's monitored name
+	// (default "opcserver").
+	ServerComponent string
+
+	// HeartbeatInterval / PeerTimeout tune the engines (defaults 5ms/30ms:
+	// CI-friendly versions of the paper's second-scale settings).
+	HeartbeatInterval time.Duration
+	PeerTimeout       time.Duration
+	// CheckpointPeriod tunes the FTIMs (default 20ms).
+	CheckpointPeriod time.Duration
+	// Mode selects the checkpoint capture flavor.
+	Mode ftim.CaptureMode
+	// AppTimeout is the application heartbeat silence threshold.
+	AppTimeout time.Duration
+	// Rule is the application recovery rule (default: 1 local restart,
+	// then switchover).
+	Rule engine.RecoveryRule
+	// Startup is the engines' negotiation policy.
+	Startup engine.StartupPolicy
+
+	// WithMonitor hosts a system monitor on the test node (default true;
+	// set SkipMonitor to run without one, as Section 2.2.4 permits).
+	SkipMonitor bool
+	// DiverterRetry is the diverter redelivery interval (default 10ms).
+	DiverterRetry time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Node1 == "" {
+		c.Node1 = "node1"
+	}
+	if c.Node2 == "" {
+		c.Node2 = "node2"
+	}
+	if c.TestNode == "" {
+		c.TestNode = "testpc"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Component == "" {
+		c.Component = "app"
+	}
+	if c.ServerComponent == "" {
+		c.ServerComponent = "opcserver"
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 5 * time.Millisecond
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 6 * c.HeartbeatInterval
+	}
+	if c.CheckpointPeriod <= 0 {
+		c.CheckpointPeriod = 20 * time.Millisecond
+	}
+	if c.AppTimeout <= 0 {
+		c.AppTimeout = 50 * time.Millisecond
+	}
+	if c.Rule.MaxLocalRestarts == 0 && c.Rule.Exhausted == 0 {
+		c.Rule = engine.RecoveryRule{MaxLocalRestarts: 1, Exhausted: engine.ExhaustSwitchover}
+	}
+	if c.Startup.Retries == 0 {
+		c.Startup = engine.StartupPolicy{
+			Retries:       20,
+			RetryInterval: 10 * time.Millisecond,
+			Alone:         engine.AloneBecomePrimary,
+		}
+	}
+	if c.DiverterRetry <= 0 {
+		c.DiverterRetry = 10 * time.Millisecond
+	}
+}
+
+// Deployment is a running OFTT system.
+type Deployment struct {
+	cfg Config
+
+	Nets  []*netsim.Network
+	Node1 *cluster.Node
+	Node2 *cluster.Node
+	Test  *cluster.Node
+
+	Monitor *monitor.Monitor
+	Div     *diverter.Diverter
+
+	mu       sync.Mutex
+	replicas map[string]*Replica
+	routeOwn string // node currently owning the diverter route
+	stopped  bool
+}
+
+// Errors.
+var (
+	// ErrNoSuchNode is returned for fault injection on unknown nodes.
+	ErrNoSuchNode = errors.New("core: no such node")
+
+	// ErrNoPrimary means the pair has not settled on a primary in time.
+	ErrNoPrimary = errors.New("core: no primary")
+)
+
+// New builds and starts a deployment.
+func New(cfg Config) (*Deployment, error) {
+	return build(cfg, nil)
+}
+
+// NewWithNetworkHook is New with a hook that observes the first network
+// segment before replicas are constructed, for application factories that
+// need to dial out (e.g. OPC clients reaching a server on the test node).
+func NewWithNetworkHook(cfg Config, hook func(*netsim.Network)) (*Deployment, error) {
+	return build(cfg, hook)
+}
+
+// build is New with an optional hook that observes the first network
+// segment before replicas are constructed (application factories that dial
+// out capture it).
+func build(cfg Config, netHook func(*netsim.Network)) (*Deployment, error) {
+	cfg.applyDefaults()
+	d := &Deployment{
+		cfg:      cfg,
+		replicas: make(map[string]*Replica),
+	}
+
+	d.Nets = []*netsim.Network{netsim.New("ethA", cfg.Seed)}
+	if cfg.DualNetwork {
+		d.Nets = append(d.Nets, netsim.New("ethB", cfg.Seed+1))
+	}
+	if netHook != nil {
+		netHook(d.Nets[0])
+	}
+	d.Node1 = cluster.NewNode(cfg.Node1, cfg.Seed+10, d.Nets...)
+	d.Node2 = cluster.NewNode(cfg.Node2, cfg.Seed+11, d.Nets...)
+	d.Test = cluster.NewNode(cfg.TestNode, cfg.Seed+12, d.Nets...)
+
+	if !cfg.SkipMonitor {
+		d.Monitor = monitor.New(4096)
+	}
+	d.Div = diverter.New(diverter.Config{RetryInterval: cfg.DiverterRetry})
+
+	for _, node := range []*cluster.Node{d.Node1, d.Node2} {
+		r, err := d.buildReplica(node, false)
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		d.mu.Lock()
+		d.replicas[node.Name()] = r
+		d.mu.Unlock()
+	}
+	return d, nil
+}
+
+// sink returns the monitor sink for engines.
+func (d *Deployment) sink() monitor.Sink {
+	if d.Monitor == nil {
+		return monitor.NullSink{}
+	}
+	return monitor.LocalSink{M: d.Monitor}
+}
+
+// Replica looks up a node's replica.
+func (d *Deployment) Replica(node string) *Replica {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.replicas[node]
+}
+
+// Replicas returns both replicas.
+func (d *Deployment) Replicas() []*Replica {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Replica, 0, len(d.replicas))
+	for _, r := range d.replicas {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Primary returns the replica whose engine is primary, or nil.
+func (d *Deployment) Primary() *Replica {
+	for _, r := range d.Replicas() {
+		if r.Engine.Role() == engine.RolePrimary {
+			return r
+		}
+	}
+	return nil
+}
+
+// Backup returns the replica whose engine is backup, or nil.
+func (d *Deployment) Backup() *Replica {
+	for _, r := range d.Replicas() {
+		if r.Engine.Role() == engine.RoleBackup {
+			return r
+		}
+	}
+	return nil
+}
+
+// WaitForPrimary blocks until a primary emerges.
+func (d *Deployment) WaitForPrimary(timeout time.Duration) (*Replica, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if p := d.Primary(); p != nil {
+			return p, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, ErrNoPrimary
+}
+
+// WaitForRoles blocks until the pair is exactly one primary + one backup.
+func (d *Deployment) WaitForRoles(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if d.Primary() != nil && d.Backup() != nil {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("%w: roles %v", ErrNoPrimary, d.roleSummary())
+}
+
+func (d *Deployment) roleSummary() map[string]string {
+	out := make(map[string]string, 2)
+	for _, r := range d.Replicas() {
+		out[r.Node.Name()] = r.Engine.Role().String()
+	}
+	return out
+}
+
+// Send routes a message to the replicated application through the message
+// diverter: it is delivered to whichever copy is primary, surviving
+// switchovers with store-and-forward retry.
+func (d *Deployment) Send(body []byte) (string, error) {
+	return d.Div.Send(d.cfg.Component, body)
+}
+
+// Stop tears the whole deployment down.
+func (d *Deployment) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	replicas := make([]*Replica, 0, len(d.replicas))
+	for _, r := range d.replicas {
+		replicas = append(replicas, r)
+	}
+	d.mu.Unlock()
+
+	for _, r := range replicas {
+		r.stop()
+	}
+	d.Div.Stop()
+}

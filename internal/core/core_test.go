@@ -1,0 +1,463 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/com"
+	"repro/internal/engine"
+	"repro/internal/ftim"
+)
+
+// countingApp is a minimal replicated application for deployment tests.
+type countingApp struct {
+	node string
+
+	mu          sync.Mutex
+	State       struct{ Count int64 }
+	f           *ftim.ClientFTIM
+	activations int
+	restoredLog []bool
+	deactiv     int
+	msgs        []string
+	stopped     bool
+}
+
+func newCountingApp(node string) *countingApp { return &countingApp{node: node} }
+
+func (a *countingApp) Setup(f *ftim.ClientFTIM) error {
+	a.mu.Lock()
+	a.f = f
+	a.mu.Unlock()
+	return f.RegisterState("count", &a.State)
+}
+
+func (a *countingApp) Activate(restored bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.activations++
+	a.restoredLog = append(a.restoredLog, restored)
+}
+
+func (a *countingApp) Deactivate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.deactiv++
+}
+
+func (a *countingApp) Stop() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stopped = true
+}
+
+func (a *countingApp) HandleMessage(body []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.msgs = append(a.msgs, string(body))
+	return nil
+}
+
+func (a *countingApp) bump(n int64) {
+	a.f.WithLock(func() { a.State.Count += n })
+}
+
+func (a *countingApp) messages() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.msgs...)
+}
+
+// testDeployment builds a deployment over countingApps and tracks them.
+func testDeployment(t *testing.T, mutate func(*Config)) (*Deployment, map[string]*countingApp) {
+	t.Helper()
+	apps := make(map[string]*countingApp)
+	var mu sync.Mutex
+	cfg := Config{
+		Seed: 7,
+		NewApp: func(node string) ReplicatedApp {
+			a := newCountingApp(node)
+			mu.Lock()
+			apps[node] = a
+			mu.Unlock()
+			return a
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	if err := d.WaitForRoles(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return d, apps
+}
+
+func TestDeploymentFormsPair(t *testing.T) {
+	d, apps := testDeployment(t, nil)
+	p, b := d.Primary(), d.Backup()
+	if p == nil || b == nil || p == b {
+		t.Fatalf("roles: %v", d.roleSummary())
+	}
+	// Exactly the primary's copy is active.
+	if !p.AppActive() || b.AppActive() {
+		t.Fatalf("active: primary=%v backup=%v", p.AppActive(), b.AppActive())
+	}
+	pApp := apps[p.Node.Name()]
+	pApp.mu.Lock()
+	defer pApp.mu.Unlock()
+	if pApp.activations != 1 || pApp.restoredLog[0] {
+		t.Fatalf("primary app activations: %+v", pApp.restoredLog)
+	}
+}
+
+// TestFigure2 exercises every arrow of the paper's architecture diagram:
+// FTIM->engine heartbeats, engine<->engine heartbeats, checkpoint data
+// primary->backup, diverter->primary message flow, and engine->monitor
+// status reporting.
+func TestFigure2(t *testing.T) {
+	d, apps := testDeployment(t, nil)
+	p := d.Primary()
+	pApp := apps[p.Node.Name()]
+
+	// Checkpoint arrow: state changes reach the backup's store.
+	pApp.bump(41)
+	if !waitSettled(2*time.Second, func() bool {
+		return d.Backup() != nil && d.Backup().Engine.Store().LastSeq() > 0
+	}) {
+		t.Fatal("checkpoint data never reached the backup")
+	}
+
+	// Diverter arrow: messages reach the primary copy.
+	if _, err := d.Send([]byte("operator-hello")); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(2*time.Second, func() bool {
+		msgs := pApp.messages()
+		return len(msgs) == 1 && msgs[0] == "operator-hello"
+	}) {
+		t.Fatalf("diverter message lost: %v", pApp.messages())
+	}
+
+	// Monitor arrow: both engines and the app report status rows.
+	if d.Monitor == nil {
+		t.Fatal("monitor missing")
+	}
+	for _, node := range []string{"node1", "node2"} {
+		if _, ok := d.Monitor.Status(node, "oftt-engine"); !ok {
+			t.Fatalf("no engine status for %s", node)
+		}
+		if _, ok := d.Monitor.Status(node, "app"); !ok {
+			t.Fatalf("no app status for %s", node)
+		}
+	}
+	if len(d.Monitor.Events(0)) == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+// The four Section 4 failure scenarios. Each must end with the system
+// operating (a live primary) and the checkpointed count preserved.
+func runScenario(t *testing.T, inject func(d *Deployment, primaryNode string)) {
+	t.Helper()
+	d, apps := testDeployment(t, nil)
+	p := d.Primary()
+	pName := p.Node.Name()
+	pApp := apps[pName]
+
+	// Make progress and pin it with an immediate checkpoint.
+	pApp.bump(1234)
+	if err := pApp.f.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	inject(d, pName)
+
+	// The system continues operating: a primary copy is live...
+	if !waitSettled(5*time.Second, func() bool {
+		np := d.Primary()
+		return np != nil && np.AppActive()
+	}) {
+		t.Fatalf("no live primary after injection: %v", d.roleSummary())
+	}
+	// ...and the state survived.
+	np := d.Primary()
+	np.mu.Lock()
+	app := np.App.(*countingApp)
+	np.mu.Unlock()
+	app.f.WithLock(func() {})
+	if !waitSettled(2*time.Second, func() bool {
+		app.mu.Lock()
+		defer app.mu.Unlock()
+		return app.State.Count == 1234
+	}) {
+		app.mu.Lock()
+		defer app.mu.Unlock()
+		t.Fatalf("state lost: count=%d on %s", app.State.Count, np.Node.Name())
+	}
+}
+
+func TestScenarioA_NodeFailure(t *testing.T) {
+	runScenario(t, func(d *Deployment, primary string) {
+		if err := d.KillNode(primary); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestScenarioB_NTCrash(t *testing.T) {
+	runScenario(t, func(d *Deployment, primary string) {
+		if err := d.BlueScreen(primary); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestScenarioC_ApplicationFailure(t *testing.T) {
+	runScenario(t, func(d *Deployment, primary string) {
+		if err := d.KillApp(primary); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestScenarioD_MiddlewareFailure(t *testing.T) {
+	runScenario(t, func(d *Deployment, primary string) {
+		if err := d.KillEngine(primary); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAppLocalRestartRecoversState(t *testing.T) {
+	// With a restart budget, an app kill is recovered locally (transient
+	// fault provision) with state rehydrated from the backup's store, and
+	// no switchover happens.
+	d, apps := testDeployment(t, func(c *Config) {
+		c.Rule = engine.RecoveryRule{MaxLocalRestarts: 3, Exhausted: engine.ExhaustSwitchover}
+	})
+	p := d.Primary()
+	pName := p.Node.Name()
+	pApp := apps[pName]
+	pApp.bump(555)
+	if err := pApp.f.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.KillApp(pName); err != nil {
+		t.Fatal(err)
+	}
+	// Local restart: same node stays primary, fresh app instance appears.
+	if !waitSettled(5*time.Second, func() bool {
+		r := d.Replica(pName)
+		return r.Engine.Role() == engine.RolePrimary && r.AppActive()
+	}) {
+		t.Fatalf("local restart did not recover; roles %v", d.roleSummary())
+	}
+	r := d.Replica(pName)
+	r.mu.Lock()
+	app := r.App.(*countingApp)
+	r.mu.Unlock()
+	if app == pApp {
+		t.Fatal("app instance was not rebuilt")
+	}
+	app.mu.Lock()
+	count := app.State.Count
+	restored := append([]bool(nil), app.restoredLog...)
+	app.mu.Unlock()
+	if count != 555 {
+		t.Fatalf("restart lost state: %d", count)
+	}
+	if len(restored) == 0 || !restored[0] {
+		t.Fatalf("restart did not report restored: %v", restored)
+	}
+}
+
+func TestMessagesSurviveSwitchover(t *testing.T) {
+	d, apps := testDeployment(t, nil)
+	p := d.Primary()
+	pName := p.Node.Name()
+
+	// Kill the primary node, then immediately send messages "during the
+	// switchover": they must be retried to the new primary, none lost.
+	if err := d.KillNode(pName); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf("msg-%d", i)
+		want = append(want, body)
+		if _, err := d.Send([]byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if !waitSettled(5*time.Second, func() bool {
+		np := d.Primary()
+		if np == nil || np.Node.Name() == pName {
+			return false
+		}
+		app := apps[np.Node.Name()]
+		return len(app.messages()) == len(want)
+	}) {
+		np := d.Primary()
+		if np == nil {
+			t.Fatal("no new primary")
+		}
+		t.Fatalf("messages lost: %v", apps[np.Node.Name()].messages())
+	}
+	np := d.Primary()
+	got := apps[np.Node.Name()].messages()
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("order violated: %v", got)
+		}
+	}
+	// Non-delivery during the switchover was detected either as failed
+	// deliveries (retried) or as a routing gap (queued until the new
+	// primary registered).
+	st := d.Div.Stats()
+	if st.Retries == 0 && st.NoRouteErrs == 0 {
+		t.Errorf("no evidence of switchover-window queuing: %+v", st)
+	}
+}
+
+func TestNodeRestartRejoinsAsBackup(t *testing.T) {
+	d, _ := testDeployment(t, nil)
+	p := d.Primary()
+	pName := p.Node.Name()
+	if err := d.KillNode(pName); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(5*time.Second, func() bool {
+		np := d.Primary()
+		return np != nil && np.Node.Name() != pName
+	}) {
+		t.Fatal("no takeover")
+	}
+	if err := d.RestartNode(pName); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(5*time.Second, func() bool {
+		r := d.Replica(pName)
+		return r.Engine.Role() == engine.RoleBackup
+	}) {
+		t.Fatalf("restarted node did not rejoin as backup: %v", d.roleSummary())
+	}
+	// Checkpoints flow to the rejoined backup.
+	np := d.Primary()
+	np.mu.Lock()
+	app := np.App.(*countingApp)
+	np.mu.Unlock()
+	app.bump(1)
+	if !waitSettled(3*time.Second, func() bool {
+		return d.Replica(pName).Engine.Store().LastSeq() > 0
+	}) {
+		t.Fatal("no checkpoints to rejoined backup")
+	}
+}
+
+func TestFaultInjectionUnknownNode(t *testing.T) {
+	d, _ := testDeployment(t, nil)
+	if err := d.KillNode("nope"); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("got %v", err)
+	}
+	if err := d.BlueScreen("nope"); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("got %v", err)
+	}
+	if err := d.KillApp("nope"); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("got %v", err)
+	}
+	if err := d.KillEngine("nope"); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDeploymentWithoutMonitor(t *testing.T) {
+	d, _ := testDeployment(t, func(c *Config) { c.SkipMonitor = true })
+	if d.Monitor != nil {
+		t.Fatal("monitor built despite SkipMonitor")
+	}
+	// Fault tolerance still operates (Section 2.2.4).
+	p := d.Primary()
+	if err := d.KillNode(p.Node.Name()); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(5*time.Second, func() bool {
+		np := d.Primary()
+		return np != nil && np.Node.Name() != p.Node.Name()
+	}) {
+		t.Fatal("takeover failed without monitor")
+	}
+}
+
+func TestDeploymentWithoutApp(t *testing.T) {
+	d, err := New(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.WaitForRoles(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDualNetworkDeployment(t *testing.T) {
+	d, _ := testDeployment(t, func(c *Config) { c.DualNetwork = true })
+	if len(d.Nets) != 2 {
+		t.Fatalf("networks: %d", len(d.Nets))
+	}
+	// Partitioning one segment must not cause a switchover.
+	p := d.Primary()
+	pName := p.Node.Name()
+	d.Nets[0].Partition("node1:engine-hb", "node2:engine-hb")
+	time.Sleep(150 * time.Millisecond)
+	if np := d.Primary(); np == nil || np.Node.Name() != pName {
+		t.Fatalf("switchover on single-segment loss: %v", d.roleSummary())
+	}
+}
+
+func TestCOMRegistryActivation(t *testing.T) {
+	d, _ := testDeployment(t, nil)
+	for _, node := range []*cluster.Node{d.Node1, d.Node2} {
+		reg := node.Registry()
+		// The install registered the OFTT coclasses.
+		progIDs := reg.ProgIDs()
+		want := map[string]bool{ProgIDEngine: false, ProgIDFTIM: false, ProgIDDiverter: false}
+		for _, id := range progIDs {
+			if _, ok := want[id]; ok {
+				want[id] = true
+			}
+		}
+		for id, seen := range want {
+			if !seen {
+				t.Fatalf("%s: ProgID %s not registered (have %v)", node.Name(), id, progIDs)
+			}
+		}
+		// CoCreateInstance-style activation reaches the live engine.
+		clsid, err := reg.CLSIDFromProgID(ProgIDEngine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unk, impl, err := reg.CreateInstance(clsid, com.IIDOFTTEngine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, ok := impl.(*engine.Engine)
+		if !ok {
+			t.Fatalf("activation returned %T", impl)
+		}
+		if eng.Node() != node.Name() {
+			t.Fatalf("activated engine belongs to %s", eng.Node())
+		}
+		unk.Release()
+	}
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/diverter"
+	"repro/internal/engine"
+	"repro/internal/ftim"
+)
+
+// Replica is one node's half of the logical execution unit: its engine
+// process plus its application process (FTIM-linked).
+type Replica struct {
+	d    *Deployment
+	Node *cluster.Node
+
+	mu         sync.Mutex
+	Engine     *engine.Engine
+	EngineProc *cluster.Process
+	AppProc    *cluster.Process
+	FTIM       *ftim.ClientFTIM
+	App        ReplicatedApp
+	server     *serverReplica
+	appActive  bool
+	stopped    bool
+}
+
+// buildReplica assembles engine + application on a node. reattach is true
+// on restart paths so the engine's component entry (and restart budget)
+// is preserved.
+func (d *Deployment) buildReplica(node *cluster.Node, reattach bool) (*Replica, error) {
+	r := &Replica{d: d, Node: node}
+
+	peer := d.cfg.Node2
+	if node.Name() == d.cfg.Node2 {
+		peer = d.cfg.Node1
+	}
+
+	// OFTT engine, as its own process ("started by the application").
+	engineProc, err := node.StartProcess("oftt-engine", func(stop <-chan struct{}) { <-stop })
+	if err != nil {
+		return nil, fmt.Errorf("core: start engine process: %w", err)
+	}
+	eng := engine.New(node, engine.Config{
+		PeerNode:          peer,
+		HeartbeatInterval: d.cfg.HeartbeatInterval,
+		PeerTimeout:       d.cfg.PeerTimeout,
+		Startup:           d.cfg.Startup,
+		Preferred:         node.Name() == d.cfg.Node1,
+	}, d.sink())
+	if err := eng.Start(engineProc); err != nil {
+		engineProc.Stop()
+		return nil, fmt.Errorf("core: start engine: %w", err)
+	}
+	engineProc.OnKill(eng.Stop)
+	r.Engine = eng
+	r.EngineProc = engineProc
+
+	// Middleware failure containment: if the engine process dies while the
+	// app copy is active, the copy deactivates — it has lost its fault
+	// tolerance services and the peer will take over.
+	go func() {
+		<-engineProc.Done()
+		if engineProc.State() == cluster.ProcKilled {
+			r.deactivateApp()
+		}
+	}()
+
+	if d.cfg.NewApp != nil {
+		if err := d.buildApp(r, reattach); err != nil {
+			eng.Stop()
+			engineProc.Stop()
+			return nil, err
+		}
+	}
+	if d.cfg.NewServerApp != nil {
+		if err := d.buildServerApp(r); err != nil {
+			r.stop()
+			return nil, err
+		}
+	}
+	if err := registerCoclasses(node, r); err != nil {
+		r.stop()
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildApp constructs the application process + FTIM on a replica.
+func (d *Deployment) buildApp(r *Replica, reattach bool) error {
+	appProc, err := r.Node.StartProcess(d.cfg.Component, func(stop <-chan struct{}) { <-stop })
+	if err != nil {
+		return fmt.Errorf("core: start app process: %w", err)
+	}
+	app := d.cfg.NewApp(r.Node.Name())
+
+	f, err := ftim.InitializeDeferred(ftim.Config{
+		Component:        d.cfg.Component,
+		Engine:           r.Engine,
+		CheckpointPeriod: d.cfg.CheckpointPeriod,
+		Mode:             d.cfg.Mode,
+		Timeout:          d.cfg.AppTimeout,
+		Rule:             d.cfg.Rule,
+		Reattach:         reattach,
+		Restart:          func() error { return d.restartApp(r.Node.Name()) },
+		OnActivate: func(restored bool) {
+			r.mu.Lock()
+			r.appActive = true
+			r.mu.Unlock()
+			app.Activate(restored)
+			d.routeTo(r)
+		},
+		OnDeactivate: func() {
+			r.deactivateApp()
+		},
+	})
+	if err != nil {
+		appProc.Stop()
+		app.Stop()
+		return fmt.Errorf("core: initialize FTIM: %w", err)
+	}
+	if err := app.Setup(f); err != nil {
+		f.Shutdown()
+		appProc.Stop()
+		app.Stop()
+		return fmt.Errorf("core: app setup: %w", err)
+	}
+
+	// An abrupt application kill (scenario c) crashes the FTIM with it:
+	// heartbeats stop, the engine notices.
+	appProc.OnKill(f.Crash)
+
+	r.mu.Lock()
+	r.AppProc = appProc
+	r.FTIM = f
+	r.App = app
+	r.mu.Unlock()
+
+	f.Attach()
+	return nil
+}
+
+// deactivateApp idles the replica's application copy.
+func (r *Replica) deactivateApp() {
+	r.mu.Lock()
+	wasActive := r.appActive
+	r.appActive = false
+	app := r.App
+	r.mu.Unlock()
+	if wasActive && app != nil {
+		app.Deactivate()
+		r.d.unroute(r)
+	}
+}
+
+// CurrentApp returns the replica's current application instance (it is
+// rebuilt by local restarts, so callers must re-fetch after recovery).
+func (r *Replica) CurrentApp() ReplicatedApp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.App
+}
+
+// AppActive reports whether this replica's application copy is executing.
+func (r *Replica) AppActive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.appActive
+}
+
+// stop tears the replica down cleanly.
+func (r *Replica) stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	f, app := r.FTIM, r.App
+	appProc, engProc := r.AppProc, r.EngineProc
+	eng := r.Engine
+	srv := r.server
+	r.mu.Unlock()
+
+	if srv != nil {
+		srv.f.Shutdown()
+		srv.app.Stop()
+		srv.proc.Stop()
+	}
+	if f != nil {
+		f.Shutdown()
+	}
+	if app != nil {
+		app.Stop()
+	}
+	if appProc != nil {
+		appProc.Stop()
+	}
+	eng.Stop()
+	engProc.Stop()
+}
+
+// restartApp is the engine's local recovery provision for the application
+// (the transient-fault path): rebuild the application process on the same
+// node, reattaching to the existing component entry and rehydrating from
+// the peer's checkpoint store.
+func (d *Deployment) restartApp(nodeName string) error {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return errors.New("core: deployment stopped")
+	}
+	r := d.replicas[nodeName]
+	d.mu.Unlock()
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	if r.Node.State() != cluster.NodeUp {
+		return fmt.Errorf("core: node %s is %s", nodeName, r.Node.State())
+	}
+
+	// Clear the remnant application process, keeping the engine intact.
+	r.mu.Lock()
+	oldProc, oldFTIM, oldApp := r.AppProc, r.FTIM, r.App
+	r.AppProc, r.FTIM, r.App = nil, nil, nil
+	r.appActive = false
+	r.mu.Unlock()
+	if oldFTIM != nil {
+		oldFTIM.Crash()
+	}
+	if oldProc != nil {
+		oldProc.Kill()
+	}
+	if oldApp != nil {
+		oldApp.Stop()
+	}
+	// The killed process's endpoints (all named "<node>:<component>...")
+	// come back with the restart.
+	for _, n := range r.Node.Networks() {
+		n.RestorePrefix(r.Node.Name() + ":" + d.cfg.Component)
+	}
+	return d.buildApp(r, true)
+}
+
+// RestartNode reboots a failed node (paying its non-deterministic boot
+// delay) and rebuilds its replica, which rejoins the pair as backup.
+func (d *Deployment) RestartNode(nodeName string) error {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return errors.New("core: deployment stopped")
+	}
+	r := d.replicas[nodeName]
+	d.mu.Unlock()
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+
+	// Silence the dead replica's objects (its processes are already gone).
+	r.mu.Lock()
+	oldEngine := r.Engine
+	oldFTIM := r.FTIM
+	oldApp := r.App
+	r.mu.Unlock()
+	if oldFTIM != nil {
+		oldFTIM.Crash()
+	}
+	oldEngine.Stop()
+	if oldApp != nil {
+		oldApp.Stop()
+	}
+
+	r.Node.Boot()
+	fresh, err := d.buildReplica(r.Node, false)
+	if err != nil {
+		return fmt.Errorf("core: rebuild replica: %w", err)
+	}
+	d.mu.Lock()
+	d.replicas[nodeName] = fresh
+	d.mu.Unlock()
+	return nil
+}
+
+// routeTo points the message diverter at a replica's application copy.
+func (d *Deployment) routeTo(r *Replica) {
+	d.mu.Lock()
+	d.routeOwn = r.Node.Name()
+	d.mu.Unlock()
+	d.Div.SetRoute(d.cfg.Component, func(msg diverter.Message) error {
+		return r.deliver(msg)
+	})
+}
+
+// unroute clears the diverter route if r still owns it.
+func (d *Deployment) unroute(r *Replica) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.routeOwn == r.Node.Name() {
+		d.routeOwn = ""
+		d.Div.ClearRoute(d.cfg.Component)
+	}
+}
+
+// deliver hands a diverter message to the replica's application. Delivery
+// fails (so the diverter retries) when the copy is not the live primary —
+// exactly the "message sent during a switchover" case of Section 2.2.3.
+func (r *Replica) deliver(msg diverter.Message) error {
+	if r.Node.State() != cluster.NodeUp {
+		return fmt.Errorf("core: node %s is down", r.Node.Name())
+	}
+	r.mu.Lock()
+	active := r.appActive
+	app := r.App
+	proc := r.AppProc
+	r.mu.Unlock()
+	if !active || app == nil {
+		return fmt.Errorf("core: copy on %s is not active", r.Node.Name())
+	}
+	if proc == nil || proc.State() != cluster.ProcRunning {
+		return fmt.Errorf("core: app process on %s is not running", r.Node.Name())
+	}
+	handler, ok := app.(MessageHandler)
+	if !ok {
+		return nil // app does not consume messages; ack and drop
+	}
+	return handler.HandleMessage(msg.Body)
+}
+
+// --- Fault injection: the Section 4 demonstration scenarios ---
+
+// KillNode is scenario (a), node failure: power off the machine.
+func (d *Deployment) KillNode(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	r.Node.PowerOff()
+	return nil
+}
+
+// BlueScreen is scenario (b), NT crash.
+func (d *Deployment) BlueScreen(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	r.Node.BlueScreen()
+	return nil
+}
+
+// KillApp is scenario (c), application software failure.
+func (d *Deployment) KillApp(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	r.mu.Lock()
+	proc := r.AppProc
+	r.mu.Unlock()
+	if proc == nil {
+		return fmt.Errorf("core: no app process on %s", nodeName)
+	}
+	proc.Kill()
+	return nil
+}
+
+// KillEngine is scenario (d), OFTT middleware failure.
+func (d *Deployment) KillEngine(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	r.EngineProc.Kill()
+	return nil
+}
+
+// waitSettled is a test/experiment helper: wait until cond holds.
+func waitSettled(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}

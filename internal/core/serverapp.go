@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/ftim"
+)
+
+// ServerApp is Figure 2's "OPC Server App (device interface)": the
+// stateless device-facing half that runs on each pair node, converting
+// sensor and control data into the OPC namespace. Being stateless, it is
+// monitored by a server FTIM (no checkpoints) and recovered by local
+// restart.
+type ServerApp interface {
+	// Start brings the server online (device polling, namespace updates).
+	Start() error
+	// Stop takes it offline.
+	Stop()
+}
+
+// serverReplica is the per-node server-app assembly.
+type serverReplica struct {
+	proc *cluster.Process
+	f    *ftim.ServerFTIM
+	app  ServerApp
+}
+
+// buildServerApp constructs the server application on a replica. Called
+// from buildReplica when Config.NewServerApp is set, and again by the
+// local-restart provision.
+func (d *Deployment) buildServerApp(r *Replica) error {
+	proc, err := r.Node.StartProcess(d.cfg.ServerComponent, func(stop <-chan struct{}) { <-stop })
+	if err != nil {
+		return fmt.Errorf("core: start server-app process: %w", err)
+	}
+	app := d.cfg.NewServerApp(r.Node.Name())
+	if err := app.Start(); err != nil {
+		proc.Stop()
+		return fmt.Errorf("core: start server app: %w", err)
+	}
+
+	reattach := false
+	r.mu.Lock()
+	if r.server != nil {
+		reattach = true // restart path: keep the engine's restart budget
+	}
+	r.mu.Unlock()
+
+	cfg := ftim.ServerConfig{
+		Component: d.cfg.ServerComponent,
+		Engine:    r.Engine,
+		Rule:      engine.RecoveryRule{MaxLocalRestarts: 3, Exhausted: engine.ExhaustKeepRestarting},
+		Restart:   func() error { return d.restartServerApp(r.Node.Name()) },
+	}
+	var f *ftim.ServerFTIM
+	if reattach {
+		f, err = initializeServerReattach(cfg)
+	} else {
+		f, err = ftim.InitializeServer(cfg)
+	}
+	if err != nil {
+		app.Stop()
+		proc.Stop()
+		return fmt.Errorf("core: server FTIM: %w", err)
+	}
+	// Abrupt kill silences the FTIM but keeps the engine registration.
+	proc.OnKill(f.Crash)
+
+	r.mu.Lock()
+	r.server = &serverReplica{proc: proc, f: f, app: app}
+	r.mu.Unlock()
+	return nil
+}
+
+// initializeServerReattach is InitializeServer via the engine's reattach
+// path (restart budget preserved).
+func initializeServerReattach(cfg ftim.ServerConfig) (*ftim.ServerFTIM, error) {
+	cfg.Reattach = true
+	return ftim.InitializeServer(cfg)
+}
+
+// restartServerApp is the engine's local recovery provision for the
+// server application: stateless, so a fresh instance is a full recovery.
+func (d *Deployment) restartServerApp(nodeName string) error {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return fmt.Errorf("core: deployment stopped")
+	}
+	r := d.replicas[nodeName]
+	d.mu.Unlock()
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	if r.Node.State() != cluster.NodeUp {
+		return fmt.Errorf("core: node %s is %s", nodeName, r.Node.State())
+	}
+
+	r.mu.Lock()
+	old := r.server
+	r.mu.Unlock()
+	if old != nil {
+		old.f.Crash()
+		old.proc.Kill()
+		old.app.Stop()
+	}
+	for _, n := range r.Node.Networks() {
+		n.RestorePrefix(r.Node.Name() + ":" + d.cfg.ServerComponent)
+	}
+	return d.buildServerApp(r)
+}
+
+// ServerAppRunning reports whether a node's server app process is live.
+func (d *Deployment) ServerAppRunning(nodeName string) bool {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.server != nil && r.server.proc.State() == cluster.ProcRunning
+}
+
+// KillServerApp abruptly terminates a node's OPC server application — a
+// fifth failure mode beyond the paper's four, recovered locally because
+// the component is stateless.
+func (d *Deployment) KillServerApp(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	r.mu.Lock()
+	srv := r.server
+	r.mu.Unlock()
+	if srv == nil {
+		return fmt.Errorf("core: no server app on %s", nodeName)
+	}
+	srv.proc.Kill()
+	return nil
+}

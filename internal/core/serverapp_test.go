@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/opc"
+)
+
+// plantServerApp wraps a PLC + adapter + local OPC server as a ServerApp.
+type plantServerApp struct {
+	node    string
+	plc     *device.PLC
+	adapter *device.OPCAdapter
+	server  *opc.Server
+}
+
+func newPlantServerApp(node string, seed int64) (*plantServerApp, error) {
+	server := opc.NewServer("Plant." + node)
+	plc := device.NewPLC("plc1", 5*time.Millisecond)
+	plc.AttachSensor(device.NewSensor("temp", device.Constant(21), 0.1, seed))
+	adapter, err := device.NewOPCAdapter(plc, device.NewBus(0), server, 5*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	return &plantServerApp{node: node, plc: plc, adapter: adapter, server: server}, nil
+}
+
+func (a *plantServerApp) Start() error {
+	a.plc.Start()
+	a.adapter.Start()
+	return nil
+}
+
+func (a *plantServerApp) Stop() {
+	a.adapter.Stop()
+	a.plc.Stop()
+}
+
+func TestServerAppRunsOnBothNodes(t *testing.T) {
+	var mu sync.Mutex
+	built := map[string]int{}
+	d, err := New(Config{
+		Seed: 21,
+		NewServerApp: func(node string) ServerApp {
+			mu.Lock()
+			built[node]++
+			mu.Unlock()
+			app, err := newPlantServerApp(node, 1)
+			if err != nil {
+				t.Error(err)
+			}
+			return app
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.WaitForRoles(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if built["node1"] != 1 || built["node2"] != 1 {
+		mu.Unlock()
+		t.Fatalf("server apps built: %v", built)
+	}
+	mu.Unlock()
+	// Both copies run regardless of role: OPC servers are stateless
+	// device interfaces (Figure 2 shows them on both nodes).
+	if !d.ServerAppRunning("node1") || !d.ServerAppRunning("node2") {
+		t.Fatal("server app not running on both nodes")
+	}
+	// Both engines monitor their server component.
+	for _, node := range []string{"node1", "node2"} {
+		comps := d.Replica(node).Engine.Components()
+		found := false
+		for _, c := range comps {
+			if c == "opcserver" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s components: %v", node, comps)
+		}
+	}
+}
+
+func TestServerAppLocalRestartNoSwitchover(t *testing.T) {
+	d, err := New(Config{
+		Seed: 22,
+		NewServerApp: func(node string) ServerApp {
+			app, err := newPlantServerApp(node, 2)
+			if err != nil {
+				t.Error(err)
+			}
+			return app
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.WaitForRoles(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	primary := d.Primary().Node.Name()
+
+	// Kill the primary's OPC server app: it must be restarted in place
+	// with no role change (stateless component, local-restart rule).
+	if err := d.KillServerApp(primary); err != nil {
+		t.Fatal(err)
+	}
+	if !waitSettled(5*time.Second, func() bool {
+		return d.ServerAppRunning(primary)
+	}) {
+		t.Fatal("server app never restarted")
+	}
+	if p := d.Primary(); p == nil || p.Node.Name() != primary {
+		t.Fatalf("server-app failure caused a switchover: %v", d.roleSummary())
+	}
+
+	// And it keeps being restarted on repeated kills (KeepRestarting).
+	for i := 0; i < 3; i++ {
+		if err := d.KillServerApp(primary); err != nil {
+			t.Fatal(err)
+		}
+		if !waitSettled(5*time.Second, func() bool {
+			return d.ServerAppRunning(primary)
+		}) {
+			t.Fatalf("restart %d never happened", i+2)
+		}
+	}
+	if p := d.Primary(); p == nil || p.Node.Name() != primary {
+		t.Fatalf("repeated server-app failures flipped roles: %v", d.roleSummary())
+	}
+}
+
+func TestKillServerAppWithoutServerApps(t *testing.T) {
+	d, _ := testDeployment(t, nil)
+	if err := d.KillServerApp("node1"); err == nil {
+		t.Fatal("expected error with no server app configured")
+	}
+}

@@ -1,0 +1,468 @@
+// Package dcom is the distributed-COM analog: it lets a COM-style object on
+// one simulated node be invoked from another node over the netsim fabric.
+//
+// The original OFTT used DCOM's ORPC; Section 3.3 of the paper reports that
+// DCOM "does not have a well-defined built-in fault tolerance
+// infrastructure" and that "its RPC service does not behave well in the
+// presence of failures". This package reproduces exactly those semantics:
+// calls in flight when the callee dies fail with transport errors, the
+// proxy becomes poisoned and must be re-resolved, and there is no built-in
+// retry — the OFTT layers above must compensate, as they did in 1999.
+//
+// Marshaling rides internal/ndr (the NDR stand-in). Proxies and stubs are
+// reflection-driven rather than IDL-generated: method sets are discovered
+// with reflect, which substitutes for the proxy/stub generation the paper
+// complains about in Section 3.3 (see DESIGN.md, Known deviations).
+package dcom
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/ndr"
+	"repro/internal/netsim"
+)
+
+// ObjectID identifies one exported object instance (the OID of ORPC).
+type ObjectID = com.GUID
+
+// Errors surfaced by the RPC layer.
+var (
+	// ErrRPCFailure wraps transport-level failures (peer died, partition).
+	ErrRPCFailure = errors.New("dcom: RPC_E_DISCONNECTED")
+
+	// ErrNoSuchObject means the OID is not exported at the callee.
+	ErrNoSuchObject = errors.New("dcom: no such object")
+
+	// ErrNoSuchMethod means the method name is not in the stub's table.
+	ErrNoSuchMethod = errors.New("dcom: no such method")
+
+	// ErrCallTimeout means the reply did not arrive in time. The connection
+	// is poisoned afterwards because the call's fate is unknown.
+	ErrCallTimeout = errors.New("dcom: call timeout")
+)
+
+// RemoteError carries an application-level error string across the wire.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("dcom: remote %s: %s", e.Method, e.Msg)
+}
+
+// request and reply are the ORPC frame analogs.
+type request struct {
+	ID     uint64
+	OID    ObjectID
+	Method string
+	Args   [][]byte
+}
+
+type reply struct {
+	ID      uint64
+	OK      bool
+	Fault   string // transport-visible fault class: "", "noobject", "nomethod", "badcall"
+	Err     string // application error (OK true, Err non-empty => method returned error)
+	Results [][]byte
+}
+
+// stub dispatches calls onto one exported object via reflection.
+type stub struct {
+	target reflect.Value
+	// methods caches name -> method for dispatch.
+	methods map[string]reflect.Method
+}
+
+func newStub(impl any) (*stub, error) {
+	v := reflect.ValueOf(impl)
+	if !v.IsValid() {
+		return nil, errors.New("dcom: cannot export nil")
+	}
+	t := v.Type()
+	methods := make(map[string]reflect.Method, t.NumMethod())
+	for i := 0; i < t.NumMethod(); i++ {
+		m := t.Method(i)
+		methods[m.Name] = m
+	}
+	if len(methods) == 0 {
+		return nil, fmt.Errorf("dcom: %T exports no methods", impl)
+	}
+	return &stub{target: v, methods: methods}, nil
+}
+
+// invoke decodes args, calls the method, and encodes results. The final
+// return value, if of type error, travels as the application error.
+func (s *stub) invoke(method string, rawArgs [][]byte) (results [][]byte, appErr string, fault string) {
+	m, ok := s.methods[method]
+	if !ok {
+		return nil, "", "nomethod"
+	}
+	mt := m.Type
+	wantArgs := mt.NumIn() - 1 // minus receiver
+	if len(rawArgs) != wantArgs {
+		return nil, "", "badcall"
+	}
+	in := make([]reflect.Value, 0, wantArgs+1)
+	in = append(in, s.target)
+	for i := 0; i < wantArgs; i++ {
+		pv := reflect.New(mt.In(i + 1))
+		if err := ndr.Unmarshal(rawArgs[i], pv.Interface()); err != nil {
+			return nil, "", "badcall"
+		}
+		in = append(in, pv.Elem())
+	}
+
+	out := m.Func.Call(in)
+
+	n := len(out)
+	if n > 0 && mt.Out(n-1) == errType {
+		if !out[n-1].IsNil() {
+			appErr = out[n-1].Interface().(error).Error()
+		}
+		out = out[:n-1]
+	}
+	results = make([][]byte, len(out))
+	for i, ov := range out {
+		enc, err := ndr.Marshal(ov.Interface())
+		if err != nil {
+			return nil, "", "badcall"
+		}
+		results[i] = enc
+	}
+	return results, appErr, ""
+}
+
+var errType = reflect.TypeOf((*error)(nil)).Elem()
+
+// Exporter serves RPC calls for a set of exported objects at one address.
+// It runs over either transport: the simulated fabric (NewExporter) or
+// real TCP (NewExporterTCP).
+type Exporter struct {
+	addr     netsim.Addr
+	accept   func() (netsim.FrameConn, error)
+	closeLst func()
+
+	mu      sync.RWMutex
+	objects map[ObjectID]*stub
+	conns   map[netsim.FrameConn]struct{}
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewExporter binds an RPC endpoint on the simulated network and serves.
+func NewExporter(n *netsim.Network, addr netsim.Addr) (*Exporter, error) {
+	l, err := n.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("dcom: bind exporter: %w", err)
+	}
+	return newExporter(addr,
+		func() (netsim.FrameConn, error) { return l.Accept() },
+		func() { _ = l.Close() }), nil
+}
+
+// NewExporterTCP binds an RPC endpoint on a real TCP address ("host:port",
+// port 0 for ephemeral) and serves. Use Addr to discover the bound port.
+func NewExporterTCP(addr string) (*Exporter, error) {
+	l, err := netsim.ListenTCP(addr)
+	if err != nil {
+		return nil, fmt.Errorf("dcom: bind tcp exporter: %w", err)
+	}
+	return newExporter(netsim.Addr(l.Addr()),
+		func() (netsim.FrameConn, error) { return l.Accept() },
+		func() { _ = l.Close() }), nil
+}
+
+func newExporter(addr netsim.Addr, accept func() (netsim.FrameConn, error), closeLst func()) *Exporter {
+	e := &Exporter{
+		addr:     addr,
+		accept:   accept,
+		closeLst: closeLst,
+		objects:  make(map[ObjectID]*stub),
+		conns:    make(map[netsim.FrameConn]struct{}),
+		closed:   make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e
+}
+
+// Export publishes impl under oid. All exported methods become callable.
+func (e *Exporter) Export(oid ObjectID, impl any) error {
+	s, err := newStub(impl)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.objects[oid]; dup {
+		return fmt.Errorf("dcom: OID %s already exported", oid)
+	}
+	e.objects[oid] = s
+	return nil
+}
+
+// Unexport withdraws an object; subsequent calls get ErrNoSuchObject.
+func (e *Exporter) Unexport(oid ObjectID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.objects, oid)
+}
+
+// Addr returns the exporter's bound address (for TCP exporters this is
+// the resolved "host:port").
+func (e *Exporter) Addr() netsim.Addr { return e.addr }
+
+// Close stops serving and waits for connection handlers to drain. Open
+// connections are closed explicitly: a real TCP listener's close does not
+// break accepted sockets the way a dead machine's NIC would.
+func (e *Exporter) Close() {
+	e.once.Do(func() {
+		close(e.closed)
+		e.closeLst()
+		e.mu.Lock()
+		for c := range e.conns {
+			_ = c.Close()
+		}
+		e.mu.Unlock()
+	})
+	e.wg.Wait()
+}
+
+func (e *Exporter) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.accept()
+		if err != nil {
+			return
+		}
+		e.wg.Add(1)
+		go e.serveConn(conn)
+	}
+}
+
+func (e *Exporter) serveConn(conn netsim.FrameConn) {
+	defer e.wg.Done()
+	defer conn.Close()
+	e.mu.Lock()
+	e.conns[conn] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+	}()
+	select {
+	case <-e.closed:
+		return
+	default:
+	}
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var req request
+		if err := ndr.Unmarshal(frame, &req); err != nil {
+			return // corrupt peer; drop the conn
+		}
+		rep := e.dispatch(&req)
+		out, err := ndr.Marshal(rep)
+		if err != nil {
+			return
+		}
+		if err := conn.Send(out); err != nil {
+			return
+		}
+	}
+}
+
+func (e *Exporter) dispatch(req *request) reply {
+	e.mu.RLock()
+	s, ok := e.objects[req.OID]
+	e.mu.RUnlock()
+	if !ok {
+		return reply{ID: req.ID, Fault: "noobject"}
+	}
+	results, appErr, fault := s.invoke(req.Method, req.Args)
+	if fault != "" {
+		return reply{ID: req.ID, Fault: fault}
+	}
+	return reply{ID: req.ID, OK: true, Err: appErr, Results: results}
+}
+
+// Client is a connection to a remote exporter. One Client multiplexes many
+// proxies; calls are serialized per connection (as a single ORPC channel).
+// It runs over either transport (Dial for the simulated fabric, DialTCP
+// for real sockets).
+type Client struct {
+	dial func() (netsim.FrameConn, error)
+	to   netsim.Addr
+
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   netsim.FrameConn
+	nextID uint64
+	broken bool
+}
+
+// Dial connects to the exporter at `to` on the simulated network,
+// originating from endpoint `from`.
+func Dial(n *netsim.Network, from, to netsim.Addr) (*Client, error) {
+	dial := func() (netsim.FrameConn, error) { return n.Dial(from, to) }
+	return dialWith(dial, to)
+}
+
+// DialTCP connects to a TCP exporter at addr ("host:port").
+func DialTCP(addr string) (*Client, error) {
+	dial := func() (netsim.FrameConn, error) { return netsim.DialTCP(addr) }
+	return dialWith(dial, netsim.Addr(addr))
+}
+
+func dialWith(dial func() (netsim.FrameConn, error), to netsim.Addr) (*Client, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrRPCFailure, to, err)
+	}
+	return &Client{dial: dial, to: to, timeout: 2 * time.Second, conn: conn}, nil
+}
+
+// SetTimeout configures the per-call reply deadline.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Redial replaces a broken transport with a fresh connection. The OFTT
+// engine calls this after a switchover, when the exporter has moved or
+// restarted — DCOM itself offers no such recovery (Section 3.3).
+func (c *Client) Redial() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	conn, err := c.dial()
+	if err != nil {
+		c.broken = true
+		return fmt.Errorf("%w: redial %s: %v", ErrRPCFailure, c.to, err)
+	}
+	c.conn = conn
+	c.broken = false
+	return nil
+}
+
+// Broken reports whether the transport is poisoned.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// Close tears the connection down.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.broken = true
+}
+
+// Proxy is a typed handle to one remote object.
+type Proxy struct {
+	client *Client
+	oid    ObjectID
+}
+
+// Object returns a proxy for the given OID.
+func (c *Client) Object(oid ObjectID) *Proxy {
+	return &Proxy{client: c, oid: oid}
+}
+
+// OID returns the proxied object's identity.
+func (p *Proxy) OID() ObjectID { return p.oid }
+
+// Call invokes a remote method. args are marshaled positionally; each
+// element of out must be a pointer that receives the corresponding result
+// (excluding a trailing error, which is returned as *RemoteError).
+func (p *Proxy) Call(method string, out []any, args ...any) error {
+	return p.client.call(p.oid, method, out, args)
+}
+
+func (c *Client) call(oid ObjectID, method string, out []any, args []any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken || c.conn == nil {
+		return fmt.Errorf("%w: connection poisoned; Redial required", ErrRPCFailure)
+	}
+
+	c.nextID++
+	req := request{ID: c.nextID, OID: oid, Method: method, Args: make([][]byte, len(args))}
+	for i, a := range args {
+		enc, err := ndr.Marshal(a)
+		if err != nil {
+			return fmt.Errorf("dcom: marshal arg %d of %s: %w", i, method, err)
+		}
+		req.Args[i] = enc
+	}
+	frame, err := ndr.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("dcom: marshal request: %w", err)
+	}
+
+	if err := c.conn.Send(frame); err != nil {
+		c.broken = true
+		return fmt.Errorf("%w: send %s: %v", ErrRPCFailure, method, err)
+	}
+	raw, err := c.conn.RecvTimeout(c.timeout)
+	if err != nil {
+		c.broken = true
+		if errors.Is(err, netsim.ErrTimeout) {
+			return fmt.Errorf("%w: %s", ErrCallTimeout, method)
+		}
+		return fmt.Errorf("%w: recv %s: %v", ErrRPCFailure, method, err)
+	}
+
+	var rep reply
+	if err := ndr.Unmarshal(raw, &rep); err != nil {
+		c.broken = true
+		return fmt.Errorf("%w: corrupt reply: %v", ErrRPCFailure, err)
+	}
+	if rep.ID != req.ID {
+		c.broken = true
+		return fmt.Errorf("%w: reply ID mismatch", ErrRPCFailure)
+	}
+	switch rep.Fault {
+	case "":
+	case "noobject":
+		return fmt.Errorf("%w: %s", ErrNoSuchObject, oid)
+	case "nomethod":
+		return fmt.Errorf("%w: %s", ErrNoSuchMethod, method)
+	default:
+		return fmt.Errorf("dcom: bad call to %s", method)
+	}
+	if rep.Err != "" {
+		return &RemoteError{Method: method, Msg: rep.Err}
+	}
+	if len(out) > len(rep.Results) {
+		return fmt.Errorf("dcom: %s returned %d results, caller wants %d",
+			method, len(rep.Results), len(out))
+	}
+	for i, dst := range out {
+		if err := ndr.Unmarshal(rep.Results[i], dst); err != nil {
+			return fmt.Errorf("dcom: unmarshal result %d of %s: %w", i, method, err)
+		}
+	}
+	return nil
+}

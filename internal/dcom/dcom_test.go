@@ -1,0 +1,339 @@
+package dcom
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/netsim"
+)
+
+// calcService is a test object with a representative method surface.
+type calcService struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *calcService) Add(a, b int64) int64 {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return a + b
+}
+
+func (c *calcService) Divide(a, b float64) (float64, error) {
+	if b == 0 {
+		return 0, errors.New("division by zero")
+	}
+	return a / b, nil
+}
+
+func (c *calcService) Describe(name string, scores map[string]int64) (string, int64, error) {
+	total := int64(0)
+	for _, v := range scores {
+		total += v
+	}
+	return "hello " + name, total, nil
+}
+
+func (c *calcService) Nothing() {}
+
+func setup(t *testing.T) (*netsim.Network, *Exporter, *Client, ObjectID, *calcService) {
+	t.Helper()
+	n := netsim.New("eth0", 1)
+	exp, err := NewExporter(n, "server:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exp.Close)
+	svc := &calcService{}
+	oid := com.NewGUID()
+	if err := exp.Export(oid, svc); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(n, "client:rpc", "server:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	return n, exp, cli, oid, svc
+}
+
+func TestBasicCall(t *testing.T) {
+	_, _, cli, oid, svc := setup(t)
+	p := cli.Object(oid)
+	var sum int64
+	if err := p.Call("Add", []any{&sum}, int64(2), int64(40)); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("sum = %d", sum)
+	}
+	if svc.calls != 1 {
+		t.Fatalf("service saw %d calls", svc.calls)
+	}
+}
+
+func TestMultipleResults(t *testing.T) {
+	_, _, cli, oid, _ := setup(t)
+	p := cli.Object(oid)
+	var greeting string
+	var total int64
+	err := p.Call("Describe", []any{&greeting, &total},
+		"operator", map[string]int64{"a": 1, "b": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greeting != "hello operator" || total != 3 {
+		t.Fatalf("got %q %d", greeting, total)
+	}
+}
+
+func TestVoidMethod(t *testing.T) {
+	_, _, cli, oid, _ := setup(t)
+	if err := cli.Object(oid).Call("Nothing", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	_, _, cli, oid, _ := setup(t)
+	var out float64
+	err := cli.Object(oid).Call("Divide", []any{&out}, 1.0, 0.0)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v, want RemoteError", err)
+	}
+	if re.Msg != "division by zero" {
+		t.Fatalf("msg = %q", re.Msg)
+	}
+	// Remote errors do not poison the connection.
+	var ok float64
+	if err := cli.Object(oid).Call("Divide", []any{&ok}, 10.0, 4.0); err != nil {
+		t.Fatal(err)
+	}
+	if ok != 2.5 {
+		t.Fatalf("ok = %v", ok)
+	}
+}
+
+func TestNoSuchObject(t *testing.T) {
+	_, _, cli, _, _ := setup(t)
+	err := cli.Object(com.NewGUID()).Call("Add", nil, int64(1), int64(2))
+	if !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNoSuchMethod(t *testing.T) {
+	_, _, cli, oid, _ := setup(t)
+	err := cli.Object(oid).Call("Missing", nil)
+	if !errors.Is(err, ErrNoSuchMethod) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestArgCountMismatch(t *testing.T) {
+	_, _, cli, oid, _ := setup(t)
+	var sum int64
+	if err := cli.Object(oid).Call("Add", []any{&sum}, int64(1)); err == nil {
+		t.Fatal("expected badcall error")
+	}
+}
+
+func TestUnexport(t *testing.T) {
+	_, exp, cli, oid, _ := setup(t)
+	exp.Unexport(oid)
+	err := cli.Object(oid).Call("Add", nil, int64(1), int64(2))
+	if !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCalleeDeathPoisonsProxyAndRedialRecovers(t *testing.T) {
+	n, _, cli, oid, _ := setup(t)
+	p := cli.Object(oid)
+	var sum int64
+	if err := p.Call("Add", []any{&sum}, int64(1), int64(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the callee's endpoint mid-life: the paper's Section 3.3 failure.
+	n.FailEndpoint("server:rpc")
+	err := p.Call("Add", []any{&sum}, int64(1), int64(1))
+	if !errors.Is(err, ErrRPCFailure) {
+		t.Fatalf("call to dead callee: %v", err)
+	}
+	if !cli.Broken() {
+		t.Fatal("client should be poisoned")
+	}
+	// Further calls fail fast without touching the network.
+	if err := p.Call("Add", []any{&sum}, int64(1), int64(1)); !errors.Is(err, ErrRPCFailure) {
+		t.Fatalf("poisoned call: %v", err)
+	}
+
+	// Redial fails while the callee is still down...
+	if err := cli.Redial(); !errors.Is(err, ErrRPCFailure) {
+		t.Fatalf("redial to dead callee: %v", err)
+	}
+	// ...and succeeds once the callee restarts (its old listener died with
+	// it, so a fresh exporter re-binds and re-exports, as a restarted COM
+	// server re-registers its objects).
+	n.RestoreEndpoint("server:rpc")
+	exp2, err := NewExporter(n, "server:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp2.Close()
+	if err := exp2.Export(oid, &calcService{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Redial(); err != nil {
+		t.Fatalf("redial after restart: %v", err)
+	}
+	if err := p.Call("Add", []any{&sum}, int64(20), int64(22)); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestCallTimeoutPoisons(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	// A listener that accepts but never answers: a hung callee.
+	l, err := n.Listen("hung:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+
+	cli, err := Dial(n, "client:rpc", "hung:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetTimeout(50 * time.Millisecond)
+	err = cli.Object(com.NewGUID()).Call("Add", nil, int64(1), int64(2))
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("got %v", err)
+	}
+	if !cli.Broken() {
+		t.Fatal("timeout must poison the channel (call fate unknown)")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, err := NewExporter(n, "server:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	svc := &calcService{}
+	oid := com.NewGUID()
+	if err := exp.Export(oid, svc); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := Dial(n, netsim.Addr(fmt.Sprintf("cli%d:rpc", i)), "server:rpc")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			p := cli.Object(oid)
+			for j := 0; j < 50; j++ {
+				var sum int64
+				if err := p.Call("Add", []any{&sum}, int64(i), int64(j)); err != nil {
+					errs <- err
+					return
+				}
+				if sum != int64(i+j) {
+					errs <- fmt.Errorf("sum %d != %d", sum, i+j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if svc.calls != 8*50 {
+		t.Fatalf("service saw %d calls, want %d", svc.calls, 8*50)
+	}
+}
+
+func TestExportNilAndDuplicate(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, err := NewExporter(n, "server:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.Export(com.NewGUID(), nil); err == nil {
+		t.Fatal("nil export should fail")
+	}
+	oid := com.NewGUID()
+	if err := exp.Export(oid, &calcService{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Export(oid, &calcService{}); err == nil {
+		t.Fatal("duplicate OID should fail")
+	}
+}
+
+func TestExporterCloseBreaksClients(t *testing.T) {
+	_, exp, cli, oid, _ := setup(t)
+	exp.Close()
+	var sum int64
+	err := cli.Object(oid).Call("Add", []any{&sum}, int64(1), int64(2))
+	if !errors.Is(err, ErrRPCFailure) && !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func BenchmarkRemoteCall(b *testing.B) {
+	n := netsim.New("eth0", 1)
+	exp, err := NewExporter(n, "server:rpc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer exp.Close()
+	oid := com.NewGUID()
+	if err := exp.Export(oid, &calcService{}); err != nil {
+		b.Fatal(err)
+	}
+	cli, err := Dial(n, "client:rpc", "server:rpc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	p := cli.Object(oid)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		if err := p.Call("Add", []any{&sum}, int64(i), int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package dcom
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/com"
+)
+
+func setupTCP(t *testing.T) (*Exporter, *Client, ObjectID, *calcService) {
+	t.Helper()
+	exp, err := NewExporterTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exp.Close)
+	svc := &calcService{}
+	oid := com.NewGUID()
+	if err := exp.Export(oid, svc); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialTCP(string(exp.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	return exp, cli, oid, svc
+}
+
+func TestTCPBasicCall(t *testing.T) {
+	_, cli, oid, svc := setupTCP(t)
+	p := cli.Object(oid)
+	var sum int64
+	if err := p.Call("Add", []any{&sum}, int64(40), int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 || svc.calls != 1 {
+		t.Fatalf("sum=%d calls=%d", sum, svc.calls)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	_, cli, oid, _ := setupTCP(t)
+	var out float64
+	err := cli.Object(oid).Call("Divide", []any{&out}, 1.0, 0.0)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTCPComplexTypes(t *testing.T) {
+	_, cli, oid, _ := setupTCP(t)
+	var greeting string
+	var total int64
+	err := cli.Object(oid).Call("Describe", []any{&greeting, &total},
+		"tcp", map[string]int64{"x": 5, "y": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greeting != "hello tcp" || total != 12 {
+		t.Fatalf("got %q %d", greeting, total)
+	}
+}
+
+func TestTCPCalleeDeathAndRedial(t *testing.T) {
+	exp, cli, oid, _ := setupTCP(t)
+	p := cli.Object(oid)
+	var sum int64
+	if err := p.Call("Add", []any{&sum}, int64(1), int64(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := string(exp.Addr())
+	exp.Close() // the callee process dies
+	err := p.Call("Add", []any{&sum}, int64(1), int64(1))
+	if !errors.Is(err, ErrRPCFailure) && !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("dead callee: %v", err)
+	}
+	if !cli.Broken() {
+		t.Fatal("client should be poisoned")
+	}
+
+	// Restart on the same port and redial.
+	exp2, err := NewExporterTCP(addr)
+	if err != nil {
+		t.Skipf("port %s not immediately rebindable: %v", addr, err)
+	}
+	defer exp2.Close()
+	if err := exp2.Export(oid, &calcService{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Redial(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("Add", []any{&sum}, int64(20), int64(22)); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestTCPCallTimeout(t *testing.T) {
+	// A TCP listener that accepts and stalls.
+	exp, err := NewExporterTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No object exported is still answered (noobject), so instead stall by
+	// dialing a raw listener that never replies.
+	exp.Close()
+
+	lst, err := rawStallListener()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lst.close()
+
+	cli, err := DialTCP(lst.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetTimeout(50 * time.Millisecond)
+	err = cli.Object(com.NewGUID()).Call("Add", nil, int64(1), int64(2))
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	exp, _, oid, svc := setupTCP(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := DialTCP(string(exp.Addr()))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			p := cli.Object(oid)
+			for j := 0; j < 25; j++ {
+				var sum int64
+				if err := p.Call("Add", []any{&sum}, int64(j), int64(1)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if svc.calls != 4*25 {
+		t.Fatalf("calls = %d", svc.calls)
+	}
+}
+
+// rawStall is a TCP listener that accepts connections and never replies.
+type rawStall struct {
+	addr  string
+	close func()
+}
+
+func rawStallListener() (*rawStall, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				<-done
+				c.Close()
+			}()
+		}
+	}()
+	return &rawStall{
+		addr:  l.Addr().String(),
+		close: func() { close(done); l.Close() },
+	}, nil
+}

@@ -1,0 +1,151 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/opc"
+)
+
+// OPCAdapter is the device driver half of an OPC server (the paper's
+// "OPC Server App (device interface)" in Figure 2): it polls a PLC over
+// the field bus and publishes every register as an OPC item named
+// "<plc>.<register>", and forwards OPC writes back to the PLC.
+//
+// Field failures surface as OPC quality: a dead sensor yields
+// UncertainLastUsable on its item, a severed bus yields BadCommFailure on
+// all items, a failed PLC yields BadDeviceFailure.
+type OPCAdapter struct {
+	plc    *PLC
+	bus    *Bus
+	server *opc.Server
+	period time.Duration
+
+	mu    sync.Mutex
+	run   bool
+	polls int64
+	fails int64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewOPCAdapter wires a PLC (over bus) into server, defining one OPC item
+// per existing PLC register. Registers added later are not tracked.
+func NewOPCAdapter(plc *PLC, bus *Bus, server *opc.Server, period time.Duration) (*OPCAdapter, error) {
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	a := &OPCAdapter{plc: plc, bus: bus, server: server, period: period}
+	for _, reg := range plc.Registers().Names() {
+		tag := plc.Name() + "." + reg
+		err := server.AddItem(opc.ItemDef{
+			Tag:           tag,
+			CanonicalType: opc.VTFloat64,
+			Rights:        opc.AccessReadWrite,
+			Description:   fmt.Sprintf("PLC %s register %s", plc.Name(), reg),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("device: define %s: %w", tag, err)
+		}
+	}
+	server.RouteWrites(plc.Name()+".", a.handleWrite)
+	return a, nil
+}
+
+// handleWrite forwards OPC client writes to the PLC register.
+func (a *OPCAdapter) handleWrite(tag string, v opc.Variant) error {
+	prefix := a.plc.Name() + "."
+	if len(tag) <= len(prefix) || tag[:len(prefix)] != prefix {
+		return fmt.Errorf("%w: %q not on PLC %s", ErrNoRegister, tag, a.plc.Name())
+	}
+	f, err := v.AsFloat()
+	if err != nil {
+		return err
+	}
+	return a.bus.Write(a.plc, tag[len(prefix):], f)
+}
+
+// Start launches the poll loop.
+func (a *OPCAdapter) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.run {
+		return
+	}
+	a.run = true
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	a.once = sync.Once{}
+	go a.pollLoop(a.stop, a.done)
+}
+
+func (a *OPCAdapter) pollLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(a.period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			a.PollOnce()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// PollOnce performs one bus poll and namespace update.
+func (a *OPCAdapter) PollOnce() {
+	vals, valid, err := a.bus.Poll(a.plc)
+	a.mu.Lock()
+	a.polls++
+	if err != nil {
+		a.fails++
+	}
+	a.mu.Unlock()
+
+	now := time.Now()
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrBusDown):
+			a.server.MarkAllQuality(opc.BadCommFailure)
+		case errors.Is(err, ErrPLCDown):
+			a.server.MarkAllQuality(opc.BadDeviceFailure)
+		default:
+			a.server.MarkAllQuality(opc.BadNonSpecific)
+		}
+		return
+	}
+	for reg, v := range vals {
+		tag := a.plc.Name() + "." + reg
+		q := opc.GoodNonSpecific
+		if !valid[reg] {
+			q = opc.UncertainLastUsable
+		}
+		_ = a.server.SetValue(tag, opc.VR8(v), q, now)
+	}
+}
+
+// Stop halts the poll loop.
+func (a *OPCAdapter) Stop() {
+	a.mu.Lock()
+	if !a.run {
+		a.mu.Unlock()
+		return
+	}
+	a.run = false
+	stop, done := a.stop, a.done
+	a.mu.Unlock()
+	a.once.Do(func() { close(stop) })
+	<-done
+}
+
+// Stats reports (polls, failed polls).
+func (a *OPCAdapter) Stats() (polls, fails int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.polls, a.fails
+}

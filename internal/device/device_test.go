@@ -1,0 +1,331 @@
+package device
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/opc"
+)
+
+func TestSineSignal(t *testing.T) {
+	s := Sine{Amplitude: 10, Period: time.Second, Offset: 50}
+	if got := s.Sample(0); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("t=0: %v", got)
+	}
+	if got := s.Sample(250 * time.Millisecond); math.Abs(got-60) > 1e-9 {
+		t.Fatalf("t=T/4: %v", got)
+	}
+	if got := s.Sample(750 * time.Millisecond); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("t=3T/4: %v", got)
+	}
+}
+
+func TestRampSignal(t *testing.T) {
+	r := Ramp{Slope: 2, Offset: 1}
+	if got := r.Sample(3 * time.Second); got != 7 {
+		t.Fatalf("ramp: %v", got)
+	}
+	wrapped := Ramp{Slope: 1, WrapAt: 5}
+	if got := wrapped.Sample(7 * time.Second); got != 2 {
+		t.Fatalf("wrapped ramp: %v", got)
+	}
+}
+
+func TestSquareSignal(t *testing.T) {
+	s := Square{Low: 0, High: 1, Period: time.Second, Duty: 0.25}
+	if got := s.Sample(100 * time.Millisecond); got != 1 {
+		t.Fatalf("high phase: %v", got)
+	}
+	if got := s.Sample(500 * time.Millisecond); got != 0 {
+		t.Fatalf("low phase: %v", got)
+	}
+}
+
+func TestRandomWalkBounds(t *testing.T) {
+	w := NewRandomWalk(50, 5, 0, 100, 7)
+	for i := 0; i < 1000; i++ {
+		v := w.Sample(0)
+		if v < 0 || v > 100 {
+			t.Fatalf("walk escaped bounds: %v", v)
+		}
+	}
+}
+
+// Property: sine stays within offset±amplitude; ramp wrap stays in range.
+func TestQuickSignalBounds(t *testing.T) {
+	f := func(ms uint16) bool {
+		elapsed := time.Duration(ms) * time.Millisecond
+		s := Sine{Amplitude: 5, Period: 700 * time.Millisecond, Offset: 20}
+		v := s.Sample(elapsed)
+		if v < 15-1e-9 || v > 25+1e-9 {
+			return false
+		}
+		r := Ramp{Slope: 3, WrapAt: 10}
+		rv := r.Sample(elapsed)
+		return rv >= 0 && rv < 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSensorFaults(t *testing.T) {
+	s := NewSensor("temp", Constant(42), 0, 1)
+	v, ok := s.Read(0)
+	if !ok || v != 42 {
+		t.Fatalf("healthy read: %v %v", v, ok)
+	}
+	s.StickAt(99)
+	if v, ok := s.Read(0); !ok || v != 99 {
+		t.Fatalf("stuck read: %v %v", v, ok)
+	}
+	s.Kill()
+	if _, ok := s.Read(0); ok {
+		t.Fatal("dead sensor returned a reading")
+	}
+	s.Repair()
+	if v, ok := s.Read(0); !ok || v != 42 {
+		t.Fatalf("repaired read: %v %v", v, ok)
+	}
+}
+
+func TestSensorNoise(t *testing.T) {
+	s := NewSensor("temp", Constant(10), 0.5, 3)
+	for i := 0; i < 100; i++ {
+		v, _ := s.Read(0)
+		if v < 9.5 || v > 10.5 {
+			t.Fatalf("noise out of band: %v", v)
+		}
+	}
+}
+
+func TestActuatorSlew(t *testing.T) {
+	a := NewActuator("valve", 10) // 10 units/s
+	a.Command(100)
+	now := time.Now()
+	pos := a.Step(now.Add(time.Second))
+	if pos < 5 || pos > 15 {
+		t.Fatalf("slew after 1s: %v (want ~10)", pos)
+	}
+	instant := NewActuator("relay", 0)
+	instant.Command(1)
+	if instant.Position() != 1 {
+		t.Fatalf("instant actuator at %v", instant.Position())
+	}
+}
+
+func buildTankPLC(t *testing.T) (*PLC, *Sensor, *Actuator) {
+	t.Helper()
+	plc := NewPLC("plc1", 10*time.Millisecond)
+	level := NewSensor("level", Constant(80), 0, 1)
+	pump := NewActuator("pump", 0)
+	plc.AttachSensor(level)
+	plc.AttachActuator("pump_cmd", pump)
+	// Rung: run the pump when level > 75.
+	plc.AddLogic(func(regs *Registers, _ time.Duration) {
+		lv, valid, _ := regs.Get("level")
+		cmd := 0.0
+		if valid && lv > 75 {
+			cmd = 1.0
+		}
+		regs.Set("pump_cmd", cmd, true)
+	})
+	return plc, level, pump
+}
+
+func TestPLCScanCycle(t *testing.T) {
+	plc, level, pump := buildTankPLC(t)
+	plc.ScanOnce()
+	if pump.Position() != 1 {
+		t.Fatalf("pump should run at level 80: %v", pump.Position())
+	}
+	level.StickAt(50)
+	plc.ScanOnce()
+	if pump.Position() != 0 {
+		t.Fatalf("pump should stop at level 50: %v", pump.Position())
+	}
+	if plc.Scans() != 2 {
+		t.Fatalf("scans = %d", plc.Scans())
+	}
+}
+
+func TestPLCStartStop(t *testing.T) {
+	plc, _, _ := buildTankPLC(t)
+	plc.Start()
+	time.Sleep(50 * time.Millisecond)
+	plc.Stop()
+	if plc.Scans() == 0 {
+		t.Fatal("no scans while running")
+	}
+	count := plc.Scans()
+	time.Sleep(30 * time.Millisecond)
+	if plc.Scans() != count {
+		t.Fatal("scans continued after Stop")
+	}
+}
+
+func TestPLCFailStopsScans(t *testing.T) {
+	plc, _, _ := buildTankPLC(t)
+	plc.Fail()
+	plc.ScanOnce()
+	if plc.Scans() != 0 {
+		t.Fatal("failed PLC scanned")
+	}
+	plc.Repair()
+	plc.ScanOnce()
+	if plc.Scans() != 1 {
+		t.Fatal("repaired PLC did not scan")
+	}
+}
+
+func TestWriteRegister(t *testing.T) {
+	plc, _, _ := buildTankPLC(t)
+	if err := plc.WriteRegister("pump_cmd", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := plc.WriteRegister("nope", 1); !errors.Is(err, ErrNoRegister) {
+		t.Fatalf("got %v", err)
+	}
+	plc.Fail()
+	if err := plc.WriteRegister("pump_cmd", 0); !errors.Is(err, ErrPLCDown) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBusPollAndFaults(t *testing.T) {
+	plc, _, _ := buildTankPLC(t)
+	plc.ScanOnce()
+	bus := NewBus(0)
+
+	vals, valid, err := bus.Poll(plc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["level"] != 80 || !valid["level"] {
+		t.Fatalf("poll: %v %v", vals, valid)
+	}
+
+	bus.Sever()
+	if _, _, err := bus.Poll(plc); !errors.Is(err, ErrBusDown) {
+		t.Fatalf("severed poll: %v", err)
+	}
+	if err := bus.Write(plc, "pump_cmd", 1); !errors.Is(err, ErrBusDown) {
+		t.Fatalf("severed write: %v", err)
+	}
+	bus.Restore()
+	plc.Fail()
+	if _, _, err := bus.Poll(plc); !errors.Is(err, ErrPLCDown) {
+		t.Fatalf("dead PLC poll: %v", err)
+	}
+}
+
+func TestOPCAdapterPublishesRegisters(t *testing.T) {
+	plc, level, _ := buildTankPLC(t)
+	plc.ScanOnce()
+	bus := NewBus(0)
+	server := opc.NewServer("Plant.OPC.1")
+	a, err := NewOPCAdapter(plc, bus, server, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a.PollOnce()
+	states, err := server.Read([]string{"plc1.level", "plc1.pump_cmd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := states[0].Value.AsFloat(); f != 80 {
+		t.Fatalf("level item: %v", f)
+	}
+	if !states[0].Quality.IsGood() {
+		t.Fatalf("quality: %v", states[0].Quality)
+	}
+
+	// Dead sensor -> uncertain quality on its item.
+	level.Kill()
+	plc.ScanOnce()
+	a.PollOnce()
+	states, _ = server.Read([]string{"plc1.level"})
+	if states[0].Quality != opc.UncertainLastUsable {
+		t.Fatalf("dead-sensor quality: %v", states[0].Quality)
+	}
+}
+
+func TestOPCAdapterQualityOnBusAndPLCFailure(t *testing.T) {
+	plc, _, _ := buildTankPLC(t)
+	plc.ScanOnce()
+	bus := NewBus(0)
+	server := opc.NewServer("Plant.OPC.1")
+	a, err := NewOPCAdapter(plc, bus, server, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PollOnce()
+
+	bus.Sever()
+	a.PollOnce()
+	states, _ := server.Read([]string{"plc1.level"})
+	if states[0].Quality != opc.BadCommFailure {
+		t.Fatalf("bus-down quality: %v", states[0].Quality)
+	}
+
+	bus.Restore()
+	plc.Fail()
+	a.PollOnce()
+	states, _ = server.Read([]string{"plc1.level"})
+	if states[0].Quality != opc.BadDeviceFailure {
+		t.Fatalf("plc-down quality: %v", states[0].Quality)
+	}
+
+	plc.Repair()
+	a.PollOnce()
+	states, _ = server.Read([]string{"plc1.level"})
+	if !states[0].Quality.IsGood() {
+		t.Fatalf("recovered quality: %v", states[0].Quality)
+	}
+	_, fails := a.Stats()
+	if fails != 2 {
+		t.Fatalf("fails = %d", fails)
+	}
+}
+
+func TestOPCWriteReachesPLC(t *testing.T) {
+	plc, _, _ := buildTankPLC(t)
+	bus := NewBus(0)
+	server := opc.NewServer("Plant.OPC.1")
+	if _, err := NewOPCAdapter(plc, bus, server, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Write("plc1.pump_cmd", opc.VR8(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := plc.Registers().Get("pump_cmd"); v != 1 {
+		t.Fatalf("register = %v", v)
+	}
+}
+
+func TestOPCAdapterLoop(t *testing.T) {
+	plc, _, _ := buildTankPLC(t)
+	plc.Start()
+	defer plc.Stop()
+	bus := NewBus(0)
+	server := opc.NewServer("Plant.OPC.1")
+	a, err := NewOPCAdapter(plc, bus, server, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	defer a.Stop()
+	time.Sleep(60 * time.Millisecond)
+	polls, _ := a.Stats()
+	if polls < 5 {
+		t.Fatalf("only %d polls", polls)
+	}
+	states, err := server.Read([]string{"plc1.level"})
+	if err != nil || !states[0].Quality.IsGood() {
+		t.Fatalf("live item: %+v %v", states, err)
+	}
+}

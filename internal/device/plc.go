@@ -1,0 +1,353 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors.
+var (
+	// ErrPLCDown is returned when polling a failed PLC.
+	ErrPLCDown = errors.New("device: PLC down")
+
+	// ErrBusDown is returned when the field bus link is severed.
+	ErrBusDown = errors.New("device: field bus down")
+
+	// ErrNoRegister is returned for unknown register names.
+	ErrNoRegister = errors.New("device: no such register")
+)
+
+// Registers is the PLC's data table, keyed by register name. Input
+// registers carry sensor values, output registers drive actuators, and
+// internal registers hold logic state.
+type Registers struct {
+	mu   sync.RWMutex
+	vals map[string]float64
+	ok   map[string]bool // per-register validity (sensor dead -> false)
+}
+
+// NewRegisters returns an empty data table.
+func NewRegisters() *Registers {
+	return &Registers{vals: make(map[string]float64), ok: make(map[string]bool)}
+}
+
+// Set stores a register with validity.
+func (r *Registers) Set(name string, v float64, valid bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vals[name] = v
+	r.ok[name] = valid
+}
+
+// Get reads a register; valid is false for dead inputs.
+func (r *Registers) Get(name string) (v float64, valid, exists bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, exists = r.vals[name]
+	return v, r.ok[name], exists
+}
+
+// Names lists register names, sorted.
+func (r *Registers) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.vals))
+	for n := range r.vals {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot copies the data table.
+func (r *Registers) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.vals))
+	for k, v := range r.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// LogicFunc is one rung of the PLC program, run every scan after inputs
+// are read and before outputs are written.
+type LogicFunc func(regs *Registers, elapsed time.Duration)
+
+// PLC runs the classic scan cycle: read inputs, execute logic, write
+// outputs, at a fixed scan period.
+type PLC struct {
+	name string
+	scan time.Duration
+
+	mu        sync.Mutex
+	sensors   []*Sensor
+	actuators map[string]*Actuator
+	outputs   map[string]string // register name -> actuator name
+	logic     []LogicFunc
+	regs      *Registers
+	failed    bool
+	scans     int64
+	started   time.Time
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+	run  bool
+}
+
+// NewPLC creates a stopped PLC with the given scan period.
+func NewPLC(name string, scan time.Duration) *PLC {
+	if scan <= 0 {
+		scan = 100 * time.Millisecond
+	}
+	return &PLC{
+		name:      name,
+		scan:      scan,
+		actuators: make(map[string]*Actuator),
+		outputs:   make(map[string]string),
+		regs:      NewRegisters(),
+	}
+}
+
+// Name returns the PLC name.
+func (p *PLC) Name() string { return p.name }
+
+// Registers exposes the data table (for the OPC adapter).
+func (p *PLC) Registers() *Registers { return p.regs }
+
+// AttachSensor wires a sensor to the input register named after it.
+func (p *PLC) AttachSensor(s *Sensor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sensors = append(p.sensors, s)
+	p.regs.Set(s.Name, 0, false)
+}
+
+// AttachActuator wires an actuator to an output register.
+func (p *PLC) AttachActuator(register string, a *Actuator) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.actuators[a.Name] = a
+	p.outputs[register] = a.Name
+	p.regs.Set(register, 0, true)
+}
+
+// AddLogic appends a program rung.
+func (p *PLC) AddLogic(fn LogicFunc) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.logic = append(p.logic, fn)
+}
+
+// Start begins the scan cycle.
+func (p *PLC) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.run {
+		return
+	}
+	p.run = true
+	p.failed = false
+	p.started = time.Now()
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	p.once = sync.Once{}
+	go p.scanLoop(p.stop, p.done)
+}
+
+func (p *PLC) scanLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.scan)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.ScanOnce()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// ScanOnce runs one scan cycle immediately (also used by tests to step
+// deterministically).
+func (p *PLC) ScanOnce() {
+	p.mu.Lock()
+	if p.failed {
+		p.mu.Unlock()
+		return
+	}
+	elapsed := time.Since(p.started)
+	sensors := append([]*Sensor(nil), p.sensors...)
+	logic := append([]LogicFunc(nil), p.logic...)
+	outputs := make(map[string]string, len(p.outputs))
+	for k, v := range p.outputs {
+		outputs[k] = v
+	}
+	actuators := make(map[string]*Actuator, len(p.actuators))
+	for k, v := range p.actuators {
+		actuators[k] = v
+	}
+	regs := p.regs
+	p.scans++
+	p.mu.Unlock()
+
+	// 1. Input scan.
+	for _, s := range sensors {
+		v, ok := s.Read(elapsed)
+		regs.Set(s.Name, v, ok)
+	}
+	// 2. Program scan.
+	for _, fn := range logic {
+		fn(regs, elapsed)
+	}
+	// 3. Output scan.
+	now := time.Now()
+	for register, actName := range outputs {
+		if v, valid, exists := regs.Get(register); exists && valid {
+			if a := actuators[actName]; a != nil {
+				a.Command(v)
+				a.Step(now)
+			}
+		}
+	}
+}
+
+// Stop halts the scan cycle.
+func (p *PLC) Stop() {
+	p.mu.Lock()
+	if !p.run {
+		p.mu.Unlock()
+		return
+	}
+	p.run = false
+	stop, done := p.stop, p.done
+	p.mu.Unlock()
+	p.once.Do(func() { close(stop) })
+	<-done
+}
+
+// Fail injects a PLC hardware failure: scans cease and polls error.
+func (p *PLC) Fail() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failed = true
+}
+
+// Repair clears the failure.
+func (p *PLC) Repair() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failed = false
+}
+
+// Failed reports the failure flag.
+func (p *PLC) Failed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed
+}
+
+// Scans reports completed scan cycles.
+func (p *PLC) Scans() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.scans
+}
+
+// WriteRegister services a supervisory write (OPC -> PLC): it stores the
+// value and, for output registers, commands the actuator on the next scan.
+func (p *PLC) WriteRegister(name string, v float64) error {
+	p.mu.Lock()
+	failed := p.failed
+	p.mu.Unlock()
+	if failed {
+		return ErrPLCDown
+	}
+	if _, _, exists := p.regs.Get(name); !exists {
+		return fmt.Errorf("%w: %q", ErrNoRegister, name)
+	}
+	p.regs.Set(name, v, true)
+	return nil
+}
+
+// Bus is the industrial automation network link (Devicenet/Fieldbus of
+// Figure 1) between a PLC and the PC-side adapter: a polled link with
+// injectable latency and failure.
+type Bus struct {
+	mu      sync.Mutex
+	latency time.Duration
+	down    bool
+	polls   int64
+}
+
+// NewBus creates a healthy link.
+func NewBus(latency time.Duration) *Bus {
+	return &Bus{latency: latency}
+}
+
+// Poll fetches the PLC's register snapshot across the link.
+func (b *Bus) Poll(p *PLC) (map[string]float64, map[string]bool, error) {
+	b.mu.Lock()
+	down := b.down
+	latency := b.latency
+	b.polls++
+	b.mu.Unlock()
+	if down {
+		return nil, nil, ErrBusDown
+	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if p.Failed() {
+		return nil, nil, ErrPLCDown
+	}
+	regs := p.Registers()
+	vals := regs.Snapshot()
+	valid := make(map[string]bool, len(vals))
+	for name := range vals {
+		_, ok, _ := regs.Get(name)
+		valid[name] = ok
+	}
+	return vals, valid, nil
+}
+
+// Write sends a register write across the link.
+func (b *Bus) Write(p *PLC, name string, v float64) error {
+	b.mu.Lock()
+	down := b.down
+	latency := b.latency
+	b.mu.Unlock()
+	if down {
+		return ErrBusDown
+	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	return p.WriteRegister(name, v)
+}
+
+// Sever takes the link down.
+func (b *Bus) Sever() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.down = true
+}
+
+// Restore brings the link back.
+func (b *Bus) Restore() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.down = false
+}
+
+// Polls reports how many polls the link has carried.
+func (b *Bus) Polls() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.polls
+}

@@ -1,0 +1,250 @@
+// Package device simulates the plant floor of Figure 1: sensors and
+// actuators wired to PLCs over an industrial automation network, with the
+// PLC running a scan cycle and an adapter exposing its register file
+// through an OPC server. It provides the field-data workload for every
+// experiment and the device-failure modes (sensor stuck, PLC dead, bus
+// down) that surface as OPC quality transitions.
+package device
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Signal produces a process value as a function of elapsed time. Stateful
+// signals (random walk) advance on each call.
+type Signal interface {
+	Sample(elapsed time.Duration) float64
+}
+
+// Sine is a sinusoidal process variable (temperatures, levels).
+type Sine struct {
+	Amplitude float64
+	Period    time.Duration
+	Offset    float64
+	Phase     float64 // radians
+}
+
+// Sample implements Signal.
+func (s Sine) Sample(elapsed time.Duration) float64 {
+	if s.Period <= 0 {
+		return s.Offset
+	}
+	w := 2 * math.Pi * float64(elapsed) / float64(s.Period)
+	return s.Offset + s.Amplitude*math.Sin(w+s.Phase)
+}
+
+// Ramp rises at Slope per second, wrapping at WrapAt (conveyor positions,
+// totalizers).
+type Ramp struct {
+	Slope  float64 // units per second
+	Offset float64
+	WrapAt float64 // 0 disables wrapping
+}
+
+// Sample implements Signal.
+func (r Ramp) Sample(elapsed time.Duration) float64 {
+	v := r.Offset + r.Slope*elapsed.Seconds()
+	if r.WrapAt > 0 {
+		v = math.Mod(v, r.WrapAt)
+	}
+	return v
+}
+
+// Square alternates between Low and High (pump on/off, limit switches).
+type Square struct {
+	Low, High float64
+	Period    time.Duration
+	Duty      float64 // fraction of period at High; default 0.5
+}
+
+// Sample implements Signal.
+func (s Square) Sample(elapsed time.Duration) float64 {
+	if s.Period <= 0 {
+		return s.Low
+	}
+	duty := s.Duty
+	if duty <= 0 || duty >= 1 {
+		duty = 0.5
+	}
+	phase := math.Mod(float64(elapsed), float64(s.Period)) / float64(s.Period)
+	if phase < duty {
+		return s.High
+	}
+	return s.Low
+}
+
+// Constant is a fixed value.
+type Constant float64
+
+// Sample implements Signal.
+func (c Constant) Sample(time.Duration) float64 { return float64(c) }
+
+// RandomWalk drifts by ±Step per sample, clamped to [Min, Max]. It is
+// stateful and safe for concurrent sampling.
+type RandomWalk struct {
+	Step     float64
+	Min, Max float64
+
+	mu    sync.Mutex
+	value float64
+	rng   *rand.Rand
+	init  bool
+}
+
+// NewRandomWalk creates a seeded walk starting at start.
+func NewRandomWalk(start, step, min, max float64, seed int64) *RandomWalk {
+	return &RandomWalk{
+		Step:  step,
+		Min:   min,
+		Max:   max,
+		value: start,
+		rng:   rand.New(rand.NewSource(seed)),
+		init:  true,
+	}
+}
+
+// Sample implements Signal.
+func (w *RandomWalk) Sample(time.Duration) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.init {
+		w.rng = rand.New(rand.NewSource(1))
+		w.init = true
+	}
+	w.value += (w.rng.Float64()*2 - 1) * w.Step
+	if w.value < w.Min {
+		w.value = w.Min
+	}
+	if w.Max > w.Min && w.value > w.Max {
+		w.value = w.Max
+	}
+	return w.value
+}
+
+// Sensor binds a signal to a named field input, adding measurement noise
+// and two injectable faults: stuck-at and dead (no reading).
+type Sensor struct {
+	Name string
+
+	mu      sync.Mutex
+	sig     Signal
+	noise   float64
+	rng     *rand.Rand
+	stuck   bool
+	stuckAt float64
+	dead    bool
+}
+
+// NewSensor creates a sensor with Gaussian-ish (uniform) noise amplitude.
+func NewSensor(name string, sig Signal, noise float64, seed int64) *Sensor {
+	return &Sensor{
+		Name:  name,
+		sig:   sig,
+		noise: noise,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Read samples the sensor. ok is false when the sensor is dead.
+func (s *Sensor) Read(elapsed time.Duration) (value float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return 0, false
+	}
+	if s.stuck {
+		return s.stuckAt, true
+	}
+	v := s.sig.Sample(elapsed)
+	if s.noise > 0 {
+		v += (s.rng.Float64()*2 - 1) * s.noise
+	}
+	return v, true
+}
+
+// StickAt freezes the sensor's output (a classic field failure).
+func (s *Sensor) StickAt(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stuck, s.stuckAt = true, v
+}
+
+// Kill makes the sensor return no reading.
+func (s *Sensor) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dead = true
+}
+
+// Repair clears all sensor faults.
+func (s *Sensor) Repair() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stuck, s.dead = false, false
+}
+
+// Actuator is a named field output with slew-rate limiting.
+type Actuator struct {
+	Name string
+
+	mu       sync.Mutex
+	target   float64
+	position float64
+	slewPerS float64 // 0 = instantaneous
+	lastStep time.Time
+	commands int64
+}
+
+// NewActuator creates an actuator; slewPerSecond 0 means instant moves.
+func NewActuator(name string, slewPerSecond float64) *Actuator {
+	return &Actuator{Name: name, slewPerS: slewPerSecond, lastStep: time.Now()}
+}
+
+// Command sets the actuator's target (the PLC output write).
+func (a *Actuator) Command(v float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.target = v
+	a.commands++
+	if a.slewPerS <= 0 {
+		a.position = v
+	}
+}
+
+// Step advances the slew simulation and returns the current position.
+func (a *Actuator) Step(now time.Time) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.slewPerS > 0 {
+		dt := now.Sub(a.lastStep).Seconds()
+		maxMove := a.slewPerS * dt
+		delta := a.target - a.position
+		switch {
+		case delta > maxMove:
+			a.position += maxMove
+		case delta < -maxMove:
+			a.position -= maxMove
+		default:
+			a.position = a.target
+		}
+	}
+	a.lastStep = now
+	return a.position
+}
+
+// Position returns the current position without advancing the simulation.
+func (a *Actuator) Position() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.position
+}
+
+// Commands reports how many Command calls the actuator has received.
+func (a *Actuator) Commands() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.commands
+}

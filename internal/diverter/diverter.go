@@ -1,0 +1,309 @@
+// Package diverter implements OFTT's Message Diverter (Section 2.2.3): it
+// makes the primary/backup pair a single consistent logical unit by storing
+// and forwarding all inbound I/O messages to the current primary copy of
+// the application. If a message is sent during a switchover, non-delivery
+// is detected and the message is retried — the behaviour the original
+// implementation obtained from Microsoft Message Queue.
+//
+// Delivery is at-least-once with duplicate suppression by message ID, so a
+// retry that races a successful delivery does not double-apply.
+package diverter
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors.
+var (
+	// ErrNoRoute means no primary endpoint is registered for the
+	// destination; messages queue until one appears.
+	ErrNoRoute = errors.New("diverter: no route to destination")
+
+	// ErrClosed is returned after Stop.
+	ErrClosed = errors.New("diverter: closed")
+
+	// ErrDropped is recorded when a message exhausts MaxAttempts.
+	ErrDropped = errors.New("diverter: message dropped after max attempts")
+)
+
+// Message is one queued unit.
+type Message struct {
+	ID         string
+	Dest       string
+	Body       []byte
+	EnqueuedAt time.Time
+	Attempts   int
+}
+
+// DeliverFunc delivers a message to the current primary; a nil return acks
+// it. Errors leave the message queued for retry.
+type DeliverFunc func(msg Message) error
+
+// Config parameterizes a Diverter.
+type Config struct {
+	// RetryInterval is the redelivery scan period (default 20ms).
+	RetryInterval time.Duration
+	// DedupWindow is how long delivered message IDs are remembered
+	// (default 30s).
+	DedupWindow time.Duration
+	// MaxAttempts drops a message after this many failed deliveries;
+	// 0 retries forever.
+	MaxAttempts int
+}
+
+// Stats are the diverter's counters.
+type Stats struct {
+	Enqueued    int64
+	Delivered   int64
+	Retries     int64
+	DupDropped  int64
+	Dropped     int64
+	NoRouteErrs int64
+}
+
+// Diverter is the store-and-forward router.
+type Diverter struct {
+	cfg Config
+
+	mu        sync.Mutex
+	pending   map[string][]*Message // dest -> FIFO
+	routes    map[string]DeliverFunc
+	delivered map[string]time.Time // msgID -> delivery time (dedup)
+	closed    bool
+	nextID    atomic.Uint64
+
+	stats struct {
+		enqueued, delivered, retries, dupDropped, dropped, noRoute atomic.Int64
+	}
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// New creates and starts a diverter.
+func New(cfg Config) *Diverter {
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 20 * time.Millisecond
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 30 * time.Second
+	}
+	d := &Diverter{
+		cfg:       cfg,
+		pending:   make(map[string][]*Message),
+		routes:    make(map[string]DeliverFunc),
+		delivered: make(map[string]time.Time),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go d.pump()
+	return d
+}
+
+// Send enqueues a message for a logical destination and returns its ID.
+// Delivery is asynchronous; the message survives routing gaps (e.g. a
+// switchover in progress).
+func (d *Diverter) Send(dest string, body []byte) (string, error) {
+	id := "m" + strconv.FormatUint(d.nextID.Add(1), 10)
+	return id, d.SendWithID(id, dest, body)
+}
+
+// SendWithID enqueues with a caller-chosen ID (idempotent resends).
+func (d *Diverter) SendWithID(id, dest string, body []byte) error {
+	if dest == "" {
+		return fmt.Errorf("diverter: empty destination")
+	}
+	cp := make([]byte, len(body))
+	copy(cp, body)
+	msg := &Message{ID: id, Dest: dest, Body: cp, EnqueuedAt: time.Now()}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := d.delivered[id]; dup {
+		d.mu.Unlock()
+		d.stats.dupDropped.Add(1)
+		return nil // already delivered: idempotent
+	}
+	d.pending[dest] = append(d.pending[dest], msg)
+	d.mu.Unlock()
+
+	d.stats.enqueued.Add(1)
+	d.wake()
+	return nil
+}
+
+// SetRoute points a destination at the current primary's delivery
+// endpoint. The engine re-points this after a switchover.
+func (d *Diverter) SetRoute(dest string, fn DeliverFunc) {
+	d.mu.Lock()
+	d.routes[dest] = fn
+	d.mu.Unlock()
+	d.wake()
+}
+
+// ClearRoute removes a destination's endpoint; messages queue meanwhile.
+func (d *Diverter) ClearRoute(dest string) {
+	d.mu.Lock()
+	delete(d.routes, dest)
+	d.mu.Unlock()
+}
+
+func (d *Diverter) wake() {
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (d *Diverter) pump() {
+	defer close(d.done)
+	t := time.NewTicker(d.cfg.RetryInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.kick:
+		case <-t.C:
+		}
+		d.deliverBatch()
+		d.expireDedup()
+	}
+}
+
+// deliverBatch attempts every queued message once, in FIFO order per
+// destination.
+func (d *Diverter) deliverBatch() {
+	d.mu.Lock()
+	dests := make([]string, 0, len(d.pending))
+	for dest := range d.pending {
+		dests = append(dests, dest)
+	}
+	d.mu.Unlock()
+
+	for _, dest := range dests {
+		for {
+			d.mu.Lock()
+			queue := d.pending[dest]
+			if len(queue) == 0 {
+				delete(d.pending, dest)
+				d.mu.Unlock()
+				break
+			}
+			fn := d.routes[dest]
+			msg := queue[0]
+			if fn == nil {
+				d.mu.Unlock()
+				d.stats.noRoute.Add(1)
+				break // keep queued until a route appears
+			}
+			if _, dup := d.delivered[msg.ID]; dup {
+				d.pending[dest] = queue[1:]
+				d.mu.Unlock()
+				d.stats.dupDropped.Add(1)
+				continue
+			}
+			msg.Attempts++
+			attempts := msg.Attempts
+			d.mu.Unlock()
+
+			err := fn(*msg)
+
+			d.mu.Lock()
+			if err == nil {
+				d.delivered[msg.ID] = time.Now()
+				d.pending[dest] = dequeue(d.pending[dest], msg)
+				d.mu.Unlock()
+				d.stats.delivered.Add(1)
+				continue
+			}
+			// Failed delivery: retry later, unless exhausted.
+			d.stats.retries.Add(1)
+			if d.cfg.MaxAttempts > 0 && attempts >= d.cfg.MaxAttempts {
+				d.pending[dest] = dequeue(d.pending[dest], msg)
+				d.mu.Unlock()
+				d.stats.dropped.Add(1)
+				continue
+			}
+			d.mu.Unlock()
+			break // head-of-line blocked: preserve FIFO, retry next sweep
+		}
+	}
+}
+
+// dequeue removes msg from the front of queue if still present.
+func dequeue(queue []*Message, msg *Message) []*Message {
+	if len(queue) > 0 && queue[0] == msg {
+		return queue[1:]
+	}
+	for i, m := range queue {
+		if m == msg {
+			return append(queue[:i], queue[i+1:]...)
+		}
+	}
+	return queue
+}
+
+func (d *Diverter) expireDedup() {
+	cutoff := time.Now().Add(-d.cfg.DedupWindow)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id, at := range d.delivered {
+		if at.Before(cutoff) {
+			delete(d.delivered, id)
+		}
+	}
+}
+
+// Pending reports queued (undelivered) messages for a destination.
+func (d *Diverter) Pending(dest string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending[dest])
+}
+
+// Drain blocks until the destination's queue empties or the timeout
+// passes; it reports whether the queue emptied.
+func (d *Diverter) Drain(dest string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if d.Pending(dest) == 0 {
+			return true
+		}
+		d.wake()
+		time.Sleep(d.cfg.RetryInterval / 2)
+	}
+	return d.Pending(dest) == 0
+}
+
+// Stats returns a copy of the counters.
+func (d *Diverter) Stats() Stats {
+	return Stats{
+		Enqueued:    d.stats.enqueued.Load(),
+		Delivered:   d.stats.delivered.Load(),
+		Retries:     d.stats.retries.Load(),
+		DupDropped:  d.stats.dupDropped.Load(),
+		Dropped:     d.stats.dropped.Load(),
+		NoRouteErrs: d.stats.noRoute.Load(),
+	}
+}
+
+// Stop halts the pump. Queued messages are discarded.
+func (d *Diverter) Stop() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.once.Do(func() { close(d.stop) })
+	<-d.done
+}

@@ -1,0 +1,322 @@
+package diverter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func collector() (DeliverFunc, func() []string) {
+	var mu sync.Mutex
+	var got []string
+	fn := func(m Message) error {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, string(m.Body))
+		return nil
+	}
+	read := func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), got...)
+	}
+	return fn, read
+}
+
+func TestBasicDelivery(t *testing.T) {
+	d := New(Config{RetryInterval: 5 * time.Millisecond})
+	defer d.Stop()
+	fn, read := collector()
+	d.SetRoute("app", fn)
+
+	if _, err := d.Send("app", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Drain("app", time.Second) {
+		t.Fatal("message not delivered")
+	}
+	if got := read(); len(got) != 1 || got[0] != "hello" {
+		t.Fatalf("got %v", got)
+	}
+	st := d.Stats()
+	if st.Enqueued != 1 || st.Delivered != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	d := New(Config{RetryInterval: 2 * time.Millisecond})
+	defer d.Stop()
+	fn, read := collector()
+	d.SetRoute("app", fn)
+	for i := 0; i < 50; i++ {
+		if _, err := d.Send("app", []byte(fmt.Sprintf("%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Drain("app", 2*time.Second) {
+		t.Fatal("queue never drained")
+	}
+	got := read()
+	if len(got) != 50 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, s := range got {
+		if s != fmt.Sprintf("%03d", i) {
+			t.Fatalf("order violated at %d: %q", i, s)
+		}
+	}
+}
+
+func TestQueuesWithoutRoute(t *testing.T) {
+	d := New(Config{RetryInterval: 5 * time.Millisecond})
+	defer d.Stop()
+	if _, err := d.Send("app", []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if d.Pending("app") != 1 {
+		t.Fatalf("pending = %d", d.Pending("app"))
+	}
+	fn, read := collector()
+	d.SetRoute("app", fn)
+	if !d.Drain("app", time.Second) {
+		t.Fatal("queued message not delivered after route appeared")
+	}
+	if got := read(); len(got) != 1 || got[0] != "early" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRetryOnFailureThenSwitchover(t *testing.T) {
+	d := New(Config{RetryInterval: 5 * time.Millisecond})
+	defer d.Stop()
+
+	// Old primary: always failing (it is dead).
+	d.SetRoute("app", func(Message) error { return errors.New("primary dead") })
+	if _, err := d.Send("app", []byte("during-switchover")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	if d.Pending("app") != 1 {
+		t.Fatalf("message lost during failed deliveries: pending=%d", d.Pending("app"))
+	}
+	st := d.Stats()
+	if st.Retries == 0 {
+		t.Fatal("no retry attempts recorded")
+	}
+
+	// Switchover completes: new primary registered.
+	fn, read := collector()
+	d.SetRoute("app", fn)
+	if !d.Drain("app", time.Second) {
+		t.Fatal("message not redelivered to new primary")
+	}
+	if got := read(); len(got) != 1 || got[0] != "during-switchover" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	d := New(Config{RetryInterval: 2 * time.Millisecond})
+	defer d.Stop()
+	fn, read := collector()
+	d.SetRoute("app", fn)
+
+	if err := d.SendWithID("dup-1", "app", []byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Drain("app", time.Second) {
+		t.Fatal("not delivered")
+	}
+	// Idempotent resend of a delivered ID.
+	if err := d.SendWithID("dup-1", "app", []byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got := read(); len(got) != 1 {
+		t.Fatalf("duplicate delivered: %v", got)
+	}
+	if d.Stats().DupDropped == 0 {
+		t.Fatal("dup counter not incremented")
+	}
+}
+
+func TestDedupWindowExpiry(t *testing.T) {
+	d := New(Config{RetryInterval: 2 * time.Millisecond, DedupWindow: 20 * time.Millisecond})
+	defer d.Stop()
+	fn, read := collector()
+	d.SetRoute("app", fn)
+	_ = d.SendWithID("x", "app", []byte("a"))
+	d.Drain("app", time.Second)
+	time.Sleep(60 * time.Millisecond) // let the dedup entry expire
+	_ = d.SendWithID("x", "app", []byte("a"))
+	d.Drain("app", time.Second)
+	if got := read(); len(got) != 2 {
+		t.Fatalf("expired ID should deliver again: %v", got)
+	}
+}
+
+func TestMaxAttemptsDrops(t *testing.T) {
+	d := New(Config{RetryInterval: 2 * time.Millisecond, MaxAttempts: 3})
+	defer d.Stop()
+	var attempts int
+	var mu sync.Mutex
+	d.SetRoute("app", func(Message) error {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		return errors.New("never works")
+	})
+	_, _ = d.Send("app", []byte("poison"))
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	if d.Stats().Dropped != 1 {
+		t.Fatalf("dropped = %d", d.Stats().Dropped)
+	}
+	if d.Pending("app") != 0 {
+		t.Fatal("poison message still queued")
+	}
+}
+
+func TestHeadOfLineBlockingPreservesOrder(t *testing.T) {
+	d := New(Config{RetryInterval: 2 * time.Millisecond})
+	defer d.Stop()
+
+	var mu sync.Mutex
+	failFirst := true
+	var got []string
+	d.SetRoute("app", func(m Message) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failFirst && string(m.Body) == "first" {
+			return errors.New("not yet")
+		}
+		got = append(got, string(m.Body))
+		return nil
+	})
+	_, _ = d.Send("app", []byte("first"))
+	_, _ = d.Send("app", []byte("second"))
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	if len(got) != 0 {
+		mu.Unlock()
+		t.Fatalf("second overtook blocked first: %v", got)
+	}
+	failFirst = false
+	mu.Unlock()
+	if !d.Drain("app", time.Second) {
+		t.Fatal("queue stuck")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("order: %v", got)
+	}
+}
+
+func TestMultipleDestinationsIndependent(t *testing.T) {
+	d := New(Config{RetryInterval: 2 * time.Millisecond})
+	defer d.Stop()
+	fnA, readA := collector()
+	d.SetRoute("a", fnA)
+	// Destination b has no route: must not block a.
+	_, _ = d.Send("b", []byte("stuck"))
+	_, _ = d.Send("a", []byte("flows"))
+	if !d.Drain("a", time.Second) {
+		t.Fatal("a blocked by b")
+	}
+	if got := readA(); len(got) != 1 {
+		t.Fatalf("a got %v", got)
+	}
+	if d.Pending("b") != 1 {
+		t.Fatal("b should still be queued")
+	}
+}
+
+func TestSendAfterStop(t *testing.T) {
+	d := New(Config{})
+	d.Stop()
+	if _, err := d.Send("app", []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestClearRoute(t *testing.T) {
+	d := New(Config{RetryInterval: 2 * time.Millisecond})
+	defer d.Stop()
+	fn, read := collector()
+	d.SetRoute("app", fn)
+	d.ClearRoute("app")
+	_, _ = d.Send("app", []byte("held"))
+	time.Sleep(30 * time.Millisecond)
+	if len(read()) != 0 {
+		t.Fatal("delivered without route")
+	}
+	d.SetRoute("app", fn)
+	if !d.Drain("app", time.Second) {
+		t.Fatal("held message lost")
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	d := New(Config{})
+	defer d.Stop()
+	if _, err := d.Send("", []byte("x")); err == nil {
+		t.Fatal("empty destination accepted")
+	}
+}
+
+// Property: for any batch of payloads, every message is delivered exactly
+// once and in order, even when the route flaps mid-stream.
+func TestQuickExactlyOnceInOrder(t *testing.T) {
+	f := func(payloads [][]byte, flapAt uint8) bool {
+		if len(payloads) == 0 || len(payloads) > 40 {
+			return true
+		}
+		d := New(Config{RetryInterval: time.Millisecond})
+		defer d.Stop()
+		var mu sync.Mutex
+		var got [][]byte
+		deliver := func(m Message) error {
+			mu.Lock()
+			defer mu.Unlock()
+			got = append(got, m.Body)
+			return nil
+		}
+		d.SetRoute("app", deliver)
+		for i, p := range payloads {
+			if uint8(i) == flapAt%uint8(len(payloads)+1) {
+				d.ClearRoute("app")
+				d.SetRoute("app", deliver)
+			}
+			if _, err := d.Send("app", p); err != nil {
+				return false
+			}
+		}
+		if !d.Drain("app", 5*time.Second) {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i := range payloads {
+			if string(got[i]) != string(payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/heartbeat"
+	"repro/internal/monitor"
+)
+
+// RegisterComponent places a local software component under failure
+// detection: if its heartbeats stop for timeout, recovery management
+// applies the rule. restart is the local recovery provision (may be nil if
+// the rule never restarts locally).
+func (e *Engine) RegisterComponent(name string, timeout time.Duration, rule RecoveryRule, restart func() error) error {
+	if name == "" || name == peerSource {
+		return fmt.Errorf("engine: invalid component name %q", name)
+	}
+	if timeout <= 0 {
+		timeout = 5 * e.cfg.HeartbeatInterval
+	}
+	e.mu.Lock()
+	if _, dup := e.components[name]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: component %q already registered", name)
+	}
+	c := &component{name: name, timeout: timeout, rule: rule, restart: restart}
+	e.components[name] = c
+	e.mu.Unlock()
+
+	e.hbmon.Watch(name, timeout, func(source string, _ time.Time) {
+		e.onComponentFailure(source)
+	})
+	e.sink.ReportStatus(monitor.ComponentStatus{
+		Node:      e.node.Name(),
+		Component: name,
+		Kind:      monitor.KindFTIM,
+		State:     "RUNNING",
+		UpdatedAt: time.Now(),
+	})
+	return nil
+}
+
+// ReattachComponent rebinds a restarted application to its existing
+// component entry, preserving the restart budget so a crash-looping
+// application still exhausts its local restarts and escalates. If the
+// component is unknown it behaves like RegisterComponent.
+func (e *Engine) ReattachComponent(name string, timeout time.Duration, rule RecoveryRule, restart func() error) error {
+	e.mu.Lock()
+	c, ok := e.components[name]
+	if !ok {
+		e.mu.Unlock()
+		return e.RegisterComponent(name, timeout, rule, restart)
+	}
+	if timeout <= 0 {
+		timeout = c.timeout
+	}
+	c.timeout = timeout
+	c.rule = rule
+	c.restart = restart
+	c.gaveUp = false
+	e.mu.Unlock()
+
+	e.hbmon.Unwatch(name)
+	e.hbmon.Watch(name, timeout, func(source string, _ time.Time) {
+		e.onComponentFailure(source)
+	})
+	e.sink.ReportStatus(monitor.ComponentStatus{
+		Node:      e.node.Name(),
+		Component: name,
+		Kind:      monitor.KindFTIM,
+		State:     "RUNNING",
+		Detail:    "reattached",
+		UpdatedAt: time.Now(),
+	})
+	return nil
+}
+
+// UnregisterComponent removes a component from failure detection (clean
+// application shutdown).
+func (e *Engine) UnregisterComponent(name string) {
+	e.mu.Lock()
+	delete(e.components, name)
+	e.mu.Unlock()
+	if e.hbmon != nil {
+		e.hbmon.Unwatch(name)
+	}
+	e.dogs.DeleteOwned(name)
+}
+
+// ComponentBeat records a heartbeat from a local component (FTIMs call
+// this directly: component and engine share the node).
+func (e *Engine) ComponentBeat(name string, seq uint64, status string) {
+	if e.hbmon == nil {
+		return
+	}
+	e.hbmon.Observe(heartbeat.Beat{Source: name, Seq: seq, Status: status, SentAt: time.Now()})
+}
+
+// Components lists registered component names, sorted.
+func (e *Engine) Components() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.components))
+	for name := range e.components {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// onComponentFailure applies the recovery rule after a heartbeat timeout.
+func (e *Engine) onComponentFailure(name string) {
+	e.mu.Lock()
+	c, ok := e.components[name]
+	if !ok || e.stopped || c.gaveUp {
+		e.mu.Unlock()
+		return
+	}
+	c.restarts++
+	attempt := c.restarts
+	rule := c.rule
+	restart := c.restart
+	role := e.role
+	e.mu.Unlock()
+
+	e.event(name, "failure", fmt.Sprintf("heartbeat timeout (failure #%d)", attempt))
+	e.sink.ReportStatus(monitor.ComponentStatus{
+		Node: e.node.Name(), Component: name, Kind: monitor.KindFTIM,
+		State: "FAILED", Detail: fmt.Sprintf("failure #%d", attempt), UpdatedAt: time.Now(),
+	})
+
+	withinBudget := attempt <= rule.MaxLocalRestarts ||
+		rule.Exhausted == ExhaustKeepRestarting
+	if withinBudget && restart != nil {
+		e.event(name, "recovery", "local restart (transient-fault provision)")
+		// Rearm the detector so continued silence after the restart is
+		// caught as the next failure in the budget.
+		e.hbmon.Rearm(name)
+		if err := restart(); err != nil {
+			e.event(name, "failure", fmt.Sprintf("local restart failed: %v", err))
+		} else {
+			e.sink.ReportStatus(monitor.ComponentStatus{
+				Node: e.node.Name(), Component: name, Kind: monitor.KindFTIM,
+				State: "RUNNING", Detail: "restarted", UpdatedAt: time.Now(),
+			})
+			return
+		}
+	}
+
+	switch rule.Exhausted {
+	case ExhaustSwitchover:
+		if role == RolePrimary {
+			e.event(name, "switchover",
+				"local restarts exhausted; transferring control to backup (permanent-fault provision)")
+			if err := e.RequestSwitchover("component " + name + " failed permanently"); err != nil {
+				e.event(name, "failure", fmt.Sprintf("switchover failed: %v", err))
+			}
+		}
+	case ExhaustGiveUp:
+		e.mu.Lock()
+		if c, ok := e.components[name]; ok {
+			c.gaveUp = true
+		}
+		e.mu.Unlock()
+		e.hbmon.Unwatch(name)
+		e.event(name, "failure", "recovery abandoned (ExhaustGiveUp)")
+	}
+}
+
+// SetRecoveryRule changes a component's recovery rule at run-time — the
+// paper's "dynamically at run-time" option that its implementation left as
+// future work ("The current implementation only supports static
+// decision"). The restart budget is preserved unless resetBudget is set.
+func (e *Engine) SetRecoveryRule(name string, rule RecoveryRule, resetBudget bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.components[name]
+	if !ok {
+		return fmt.Errorf("engine: unknown component %q", name)
+	}
+	c.rule = rule
+	c.gaveUp = false
+	if resetBudget {
+		c.restarts = 0
+	}
+	return nil
+}
+
+// RecoveryRuleOf returns a component's current rule (for tests and the
+// monitor).
+func (e *Engine) RecoveryRuleOf(name string) (RecoveryRule, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.components[name]
+	if !ok {
+		return RecoveryRule{}, false
+	}
+	return c.rule, true
+}
+
+// ResetComponent clears a component's restart budget (after a confirmed
+// repair).
+func (e *Engine) ResetComponent(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.components[name]; ok {
+		c.restarts = 0
+		c.gaveUp = false
+	}
+}
+
+// Distress is OFTTDistress: a component reports a significant problem and
+// requests a switchover, honored if the peer is functional; otherwise the
+// distress is logged and local recovery continues.
+func (e *Engine) Distress(component, reason string) error {
+	e.event(component, "failure", "distress: "+reason)
+	if e.Role() != RolePrimary {
+		return ErrNotPrimary
+	}
+	if e.PeerFailed() {
+		e.event(component, "info", "distress switchover refused: peer not functional")
+		return ErrPeerUnavailable
+	}
+	return e.RequestSwitchover("distress from " + component + ": " + reason)
+}
+
+// Status assembles the RPC-visible status block.
+func (e *Engine) Status() EngineStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	comps := make([]string, 0, len(e.components))
+	for name := range e.components {
+		comps = append(comps, name)
+	}
+	sort.Strings(comps)
+	return EngineStatus{
+		Node:        e.node.Name(),
+		Role:        int(e.role),
+		Incarnation: e.incarnation,
+		PeerFailed:  e.peerFailed,
+		Components:  comps,
+		LastCkptSeq: e.store.LastSeq(),
+	}
+}
+
+// Stub is the engine's DCOM-exported control interface.
+type Stub struct {
+	e *Engine
+}
+
+// Hello services peer negotiation. Responding with our current role lets
+// the caller decide; if we are also negotiating, we apply the same
+// deterministic tie-break so both sides agree without a second round.
+func (s *Stub) Hello(req helloReq) (helloResp, error) {
+	e := s.e
+	e.mu.Lock()
+	resp := helloResp{
+		Node:        e.node.Name(),
+		Incarnation: e.incarnation,
+		Role:        int(e.role),
+		Preferred:   e.cfg.Preferred,
+	}
+	bothNegotiating := e.role == RoleNegotiating && Role(req.Role) == RoleNegotiating
+	e.mu.Unlock()
+
+	if bothNegotiating {
+		if e.winsTie(req.Preferred, req.Node) {
+			e.becomePrimary("negotiation: won tie-break (hello)")
+		} else {
+			e.becomeBackup("negotiation: lost tie-break (hello)")
+		}
+	}
+	return resp, nil
+}
+
+// TakeOverRPC services a commanded switchover from the peer.
+func (s *Stub) TakeOverRPC(reason string) error {
+	s.e.TakeOver("peer request: " + reason)
+	return nil
+}
+
+// DemoteRPC services a commanded demotion from the peer.
+func (s *Stub) DemoteRPC(reason string) error {
+	s.e.Demote("peer request: " + reason)
+	return nil
+}
+
+// StatusRPC services remote status queries (system monitor, tests).
+func (s *Stub) StatusRPC() (EngineStatus, error) {
+	return s.e.Status(), nil
+}
+
+// FetchSnapshot serves this engine's stored checkpoint to the peer (the
+// local-restart recovery path). Empty bytes mean the store is empty.
+func (s *Stub) FetchSnapshot() ([]byte, error) {
+	snap := s.e.store.Export()
+	if snap == nil {
+		return nil, nil
+	}
+	return snap.Encode()
+}

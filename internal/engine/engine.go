@@ -1,0 +1,418 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/heartbeat"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+	"repro/internal/watchdog"
+)
+
+// EngineOID is the well-known object ID every engine exports its control
+// interface under (registered in each node's class registry in the
+// original; a package constant here).
+var EngineOID = com.MustParseGUID("{0f7e4a10-2222-4000-8000-0e0e0e0e0e01}")
+
+// Errors.
+var (
+	// ErrNotPrimary is returned for primary-only operations.
+	ErrNotPrimary = errors.New("engine: not primary")
+
+	// ErrNotBackup is returned for backup-only operations.
+	ErrNotBackup = errors.New("engine: not backup")
+
+	// ErrStopped is returned after the engine shuts down.
+	ErrStopped = errors.New("engine: stopped")
+
+	// ErrPeerUnavailable means the peer engine could not be reached.
+	ErrPeerUnavailable = errors.New("engine: peer unavailable")
+)
+
+// peerSource is the heartbeat-monitor key for the peer engine.
+const peerSource = "__peer_engine__"
+
+// snapshotStore is the checkpoint-store contract the engine uses.
+type snapshotStore = checkpoint.SnapshotStore
+
+// component is one locally monitored software component (an FTIM-linked
+// application, an OPC server, the diverter...).
+type component struct {
+	name     string
+	timeout  time.Duration
+	rule     RecoveryRule
+	restart  func() error
+	restarts int
+	gaveUp   bool
+}
+
+// Engine is one node's OFTT engine.
+type Engine struct {
+	node *cluster.Node
+	cfg  Config
+	sink monitor.Sink
+
+	networks []*netsim.Network
+
+	mu              sync.Mutex
+	role            Role
+	incarnation     uint64
+	components      map[string]*component
+	onRole          []func(Role)
+	stopped         bool
+	peerFailed      bool
+	dualBackupBeats int
+
+	hbmon   *heartbeat.Monitor
+	emitter *heartbeat.Emitter
+	dogs    *watchdog.Table
+	store   snapshotStore
+
+	exporters []*dcom.Exporter
+	hbSocks   []*netsim.DatagramSock
+	ckptLst   []*netsim.Listener
+
+	peerMu     sync.Mutex
+	peerClient *dcom.Client
+	sender     *checkpoint.Sender
+
+	switchovers int
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// New creates an engine for node, paired with cfg.PeerNode. sink receives
+// status reports and events; pass monitor.NullSink{} to run without a
+// system monitor (supported per Section 2.2.4).
+func New(node *cluster.Node, cfg Config, sink monitor.Sink) *Engine {
+	e, err := NewWithError(node, cfg, sink)
+	if err != nil {
+		// Only the persistent store can fail; fall back to memory so the
+		// legacy constructor keeps its signature. NewWithError surfaces
+		// the error for callers that configure StorePath.
+		cfg.StorePath = ""
+		e, _ = NewWithError(node, cfg, sink)
+	}
+	return e
+}
+
+// NewWithError is New surfacing store-open failures (only possible with
+// Config.StorePath set).
+func NewWithError(node *cluster.Node, cfg Config, sink monitor.Sink) (*Engine, error) {
+	cfg.applyDefaults()
+	if sink == nil {
+		sink = monitor.NullSink{}
+	}
+	var store snapshotStore = checkpoint.NewStore()
+	if cfg.StorePath != "" {
+		ps, err := checkpoint.NewPersistentStore(cfg.StorePath)
+		if err != nil {
+			return nil, fmt.Errorf("engine: checkpoint store: %w", err)
+		}
+		store = ps
+	}
+	return &Engine{
+		node:       node,
+		cfg:        cfg,
+		sink:       sink,
+		networks:   node.Networks(),
+		role:       RoleNegotiating,
+		components: make(map[string]*component),
+		dogs:       watchdog.NewTable(),
+		store:      store,
+		stop:       make(chan struct{}),
+	}, nil
+}
+
+// Node returns the hosting node's name.
+func (e *Engine) Node() string { return e.node.Name() }
+
+// Role returns the current role.
+func (e *Engine) Role() Role {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.role
+}
+
+// Watchdogs exposes the engine-hosted (reliable) watchdog table.
+func (e *Engine) Watchdogs() *watchdog.Table { return e.dogs }
+
+// Store exposes the backup-side checkpoint store.
+func (e *Engine) Store() checkpoint.SnapshotStore { return e.store }
+
+// Switchovers reports how many times this engine has taken over.
+func (e *Engine) Switchovers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.switchovers
+}
+
+// OnRoleChange registers a callback fired (off the engine lock) on every
+// role transition, including the initial one. FTIMs use this to activate
+// or deactivate the application.
+func (e *Engine) OnRoleChange(fn func(Role)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onRole = append(e.onRole, fn)
+}
+
+// Start binds the engine's endpoints, launches failure detection, and
+// begins role negotiation. proc is the engine's hosting process; killing
+// it (the paper's "OFTT middleware failure") abruptly fails every engine
+// endpoint.
+func (e *Engine) Start(proc *cluster.Process) error {
+	rpcAddr := e.node.Addr("engine-rpc")
+	hbAddr := e.node.Addr("engine-hb")
+	ckptAddr := e.node.Addr("engine-ckpt")
+
+	for _, n := range e.networks {
+		exp, err := dcom.NewExporter(n, rpcAddr)
+		if err != nil {
+			e.teardownEndpoints()
+			return fmt.Errorf("engine: bind rpc on %s: %w", n.Name(), err)
+		}
+		if err := exp.Export(EngineOID, &Stub{e: e}); err != nil {
+			exp.Close()
+			e.teardownEndpoints()
+			return err
+		}
+		e.exporters = append(e.exporters, exp)
+
+		sock, err := n.ListenDatagram(hbAddr)
+		if err != nil {
+			e.teardownEndpoints()
+			return fmt.Errorf("engine: bind hb on %s: %w", n.Name(), err)
+		}
+		e.hbSocks = append(e.hbSocks, sock)
+
+		lst, err := n.Listen(ckptAddr)
+		if err != nil {
+			e.teardownEndpoints()
+			return fmt.Errorf("engine: bind ckpt on %s: %w", n.Name(), err)
+		}
+		e.ckptLst = append(e.ckptLst, lst)
+
+		if proc != nil {
+			proc.OwnEndpoint(n, rpcAddr)
+			proc.OwnEndpoint(n, hbAddr)
+			proc.OwnEndpoint(n, ckptAddr)
+			proc.OwnEndpoint(n, e.node.Addr("engine-rpc-cli"))
+			proc.OwnEndpoint(n, e.node.Addr("engine-ckpt-cli"))
+			proc.OwnEndpoint(n, e.node.Addr("engine-hello-cli"))
+		}
+	}
+
+	// Failure detector: peer engine + local components.
+	e.hbmon = heartbeat.NewMonitor(e.cfg.SweepInterval)
+	e.hbmon.OnRecover(func(source string) {
+		if source == peerSource {
+			e.onPeerRecovered()
+			return
+		}
+		e.event(source, "recovery", "heartbeats resumed")
+	})
+	e.hbmon.Watch(peerSource, e.cfg.PeerTimeout, func(string, time.Time) { e.onPeerFailure() })
+	e.hbmon.Start()
+
+	// Own heartbeat to the peer, fanned out on every network segment.
+	e.emitter = heartbeat.NewEmitter("engine@"+e.node.Name(), e.cfg.HeartbeatInterval, e.broadcastBeat)
+	e.emitter.SetStatus(RoleNegotiating.String())
+	e.emitter.Start()
+
+	// Peer-beat receivers (one per segment) and checkpoint receivers.
+	for _, sock := range e.hbSocks {
+		sock := sock
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.recvBeats(sock)
+		}()
+	}
+	for _, lst := range e.ckptLst {
+		lst := lst
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.acceptCheckpoints(lst)
+		}()
+	}
+
+	// Negotiate in the background; the engine is usable immediately.
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.negotiate()
+	}()
+
+	e.reportStatus()
+	return nil
+}
+
+func (e *Engine) teardownEndpoints() {
+	for _, exp := range e.exporters {
+		exp.Close()
+	}
+	for _, s := range e.hbSocks {
+		_ = s.Close()
+	}
+	for _, l := range e.ckptLst {
+		_ = l.Close()
+	}
+	e.exporters, e.hbSocks, e.ckptLst = nil, nil, nil
+}
+
+// Stop shuts the engine down cleanly.
+func (e *Engine) Stop() {
+	e.once.Do(func() {
+		e.mu.Lock()
+		e.stopped = true
+		e.role = RoleShutdown
+		e.mu.Unlock()
+		close(e.stop)
+	})
+	if e.emitter != nil {
+		e.emitter.Stop()
+	}
+	if e.hbmon != nil {
+		e.hbmon.Stop()
+	}
+	e.teardownEndpoints()
+	e.peerMu.Lock()
+	if e.peerClient != nil {
+		e.peerClient.Close()
+		e.peerClient = nil
+	}
+	if e.sender != nil {
+		e.sender.Close()
+		e.sender = nil
+	}
+	e.peerMu.Unlock()
+	e.dogs.Close()
+	e.wg.Wait()
+}
+
+// broadcastBeat sends one engine heartbeat on every network segment.
+func (e *Engine) broadcastBeat(b heartbeat.Beat) {
+	data, err := b.Encode()
+	if err != nil {
+		return
+	}
+	peerHB := netsim.Addr(e.cfg.PeerNode + ":engine-hb")
+	for _, sock := range e.hbSocks {
+		_ = sock.Send(peerHB, data)
+	}
+}
+
+// recvBeats pumps peer heartbeats from one segment into the detector.
+func (e *Engine) recvBeats(sock *netsim.DatagramSock) {
+	for {
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		d, err := sock.RecvTimeout(100 * time.Millisecond)
+		if err != nil {
+			if errors.Is(err, netsim.ErrClosed) {
+				return
+			}
+			continue
+		}
+		b, err := heartbeat.DecodeBeat(d.Payload)
+		if err != nil {
+			continue
+		}
+		e.observePeerBeat(b)
+	}
+}
+
+func (e *Engine) observePeerBeat(b heartbeat.Beat) {
+	e.hbmon.Observe(heartbeat.Beat{Source: peerSource, Seq: b.Seq, Status: b.Status, SentAt: b.SentAt})
+
+	// Split-brain resolution: if both engines believe they are primary
+	// (network partition healed), the lexicographically smaller node name
+	// keeps the role; the other demotes.
+	if b.Status == RolePrimary.String() && e.Role() == RolePrimary {
+		if e.node.Name() > e.cfg.PeerNode {
+			e.event("engine", "role", "dual primary detected; demoting (tie-break)")
+			e.Demote("split-brain tie-break")
+		}
+	}
+
+	// Dual-backup recovery: transient protocol races (e.g. a switchover
+	// command crossing a tie-break) could leave both nodes backup. If the
+	// condition persists across several beats, the tie-break winner
+	// promotes itself so the pair regains a primary.
+	e.mu.Lock()
+	if b.Status == RoleBackup.String() && e.role == RoleBackup {
+		e.dualBackupBeats++
+	} else {
+		e.dualBackupBeats = 0
+	}
+	// Preference is unknown from a beat, so pass our own to cancel it and
+	// let node names decide deterministically on both sides.
+	promote := e.dualBackupBeats >= 10 && e.winsTie(e.cfg.Preferred, e.cfg.PeerNode)
+	if promote {
+		e.dualBackupBeats = 0
+	}
+	e.mu.Unlock()
+	if promote {
+		e.event("engine", "role", "pair stuck with no primary; promoting (tie-break)")
+		e.TakeOver("dual-backup recovery")
+	}
+}
+
+// acceptCheckpoints serves inbound checkpoint connections into the store.
+func (e *Engine) acceptCheckpoints(lst *netsim.Listener) {
+	for {
+		conn, err := lst.Accept()
+		if err != nil {
+			return
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			checkpoint.ServeReceiver(conn, e.store, e.stop)
+		}()
+	}
+}
+
+// event forwards to the system monitor.
+func (e *Engine) event(component, kind, detail string) {
+	e.sink.Emit(monitor.Event{
+		Time:      time.Now(),
+		Node:      e.node.Name(),
+		Component: component,
+		Kind:      kind,
+		Detail:    detail,
+	})
+}
+
+// reportStatus pushes the engine's status row.
+func (e *Engine) reportStatus() {
+	e.mu.Lock()
+	role := e.role
+	peerFailed := e.peerFailed
+	e.mu.Unlock()
+	detail := ""
+	if peerFailed {
+		detail = "peer failed"
+	}
+	e.sink.ReportStatus(monitor.ComponentStatus{
+		Node:      e.node.Name(),
+		Component: "oftt-engine",
+		Kind:      monitor.KindEngine,
+		State:     role.String(),
+		Detail:    detail,
+		UpdatedAt: time.Now(),
+	})
+}

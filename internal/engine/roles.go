@@ -1,0 +1,358 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/dcom"
+	"repro/internal/monitor"
+	"repro/internal/netsim"
+)
+
+// negotiate runs the startup role protocol of Section 3.2: contact the
+// peer engine, exchange roles, and decide primary/backup; retry several
+// times before acting alone.
+func (e *Engine) negotiate() {
+	policy := e.cfg.Startup
+	for attempt := 1; attempt <= policy.Retries; attempt++ {
+		select {
+		case <-e.stop:
+			return
+		default:
+		}
+		resp, err := e.hello()
+		if err == nil {
+			e.decideRole(resp)
+			return
+		}
+		e.event("engine", "info",
+			fmt.Sprintf("negotiation attempt %d/%d failed: %v", attempt, policy.Retries, err))
+		select {
+		case <-e.stop:
+			return
+		case <-time.After(policy.RetryInterval):
+		}
+		// A takeover/demotion may have resolved the role concurrently
+		// (e.g. the peer called Hello on us while our dial was failing).
+		if e.Role() != RoleNegotiating {
+			return
+		}
+	}
+
+	switch policy.Alone {
+	case AloneBecomePrimary:
+		e.event("engine", "role", "peer unreachable after retries; running alone as primary")
+		e.becomePrimary("negotiation: alone")
+	default: // AloneShutdown — the paper's original logic
+		e.event("engine", "role", "peer unreachable after retries; shutting down (AloneShutdown policy)")
+		e.setRole(RoleShutdown, "negotiation: alone shutdown")
+	}
+}
+
+// hello performs one negotiation round-trip.
+func (e *Engine) hello() (helloResp, error) {
+	e.mu.Lock()
+	req := helloReq{
+		Node:        e.node.Name(),
+		Incarnation: e.incarnation,
+		Role:        int(e.role),
+		Preferred:   e.cfg.Preferred,
+	}
+	e.mu.Unlock()
+
+	var resp helloResp
+	if err := e.peerCall("Hello", []any{&resp}, req); err != nil {
+		return helloResp{}, err
+	}
+	return resp, nil
+}
+
+// decideRole applies the negotiation outcome from the peer's response.
+func (e *Engine) decideRole(peer helloResp) {
+	if e.Role() != RoleNegotiating {
+		return // already resolved concurrently
+	}
+	switch Role(peer.Role) {
+	case RolePrimary:
+		e.becomeBackup("negotiation: peer is primary")
+	case RoleBackup, RoleShutdown:
+		e.becomePrimary("negotiation: peer is " + Role(peer.Role).String())
+	default:
+		// Both negotiating: deterministic tie-break — preference first,
+		// then lexicographic node name.
+		if e.winsTie(peer.Preferred, peer.Node) {
+			e.becomePrimary("negotiation: won tie-break")
+		} else {
+			e.becomeBackup("negotiation: lost tie-break")
+		}
+	}
+}
+
+func (e *Engine) winsTie(peerPreferred bool, peerNode string) bool {
+	if e.cfg.Preferred != peerPreferred {
+		return e.cfg.Preferred
+	}
+	return e.node.Name() < peerNode
+}
+
+// setRole performs the transition and fires callbacks (off the lock).
+func (e *Engine) setRole(r Role, reason string) {
+	e.mu.Lock()
+	if e.stopped && r != RoleShutdown {
+		e.mu.Unlock()
+		return
+	}
+	if e.role == r {
+		e.mu.Unlock()
+		return
+	}
+	e.role = r
+	e.incarnation++
+	if r == RolePrimary {
+		e.switchovers++
+	}
+	callbacks := make([]func(Role), len(e.onRole))
+	copy(callbacks, e.onRole)
+	e.mu.Unlock()
+
+	if e.emitter != nil {
+		e.emitter.SetStatus(r.String())
+	}
+	e.event("engine", "role", fmt.Sprintf("role -> %s (%s)", r, reason))
+	e.reportStatus()
+	for _, fn := range callbacks {
+		fn(r)
+	}
+}
+
+func (e *Engine) becomePrimary(reason string) {
+	e.setRole(RolePrimary, reason)
+}
+
+func (e *Engine) becomeBackup(reason string) {
+	// A fresh backup must accept the new primary's checkpoint stream from
+	// sequence one.
+	e.store.Reset()
+	e.setRole(RoleBackup, reason)
+}
+
+// TakeOver promotes this engine to primary immediately: the switchover
+// path. The FTIM's role callback restores the latest checkpoint and
+// activates the application copy.
+func (e *Engine) TakeOver(reason string) {
+	if e.Role() == RolePrimary {
+		return
+	}
+	e.closeSender() // any stale primary-side plumbing
+	e.becomePrimary("takeover: " + reason)
+}
+
+// Demote retires this engine to backup (commanded switchover, split-brain
+// resolution).
+func (e *Engine) Demote(reason string) {
+	if r := e.Role(); r != RolePrimary && r != RoleNegotiating {
+		return
+	}
+	e.closeSender()
+	e.becomeBackup("demote: " + reason)
+}
+
+// onPeerFailure reacts to loss of all peer heartbeats.
+func (e *Engine) onPeerFailure() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.peerFailed = true
+	role := e.role
+	e.mu.Unlock()
+
+	e.event("engine", "failure", "peer engine heartbeats lost on all segments")
+	e.reportStatus()
+	// The dead peer cannot update its own monitor row; report on its
+	// behalf so the dashboard reflects reality.
+	e.sink.ReportStatus(monitor.ComponentStatus{
+		Node:      e.cfg.PeerNode,
+		Component: "node",
+		Kind:      monitor.KindHardware,
+		State:     "FAILED",
+		Detail:    "heartbeats lost (reported by " + e.node.Name() + ")",
+		UpdatedAt: time.Now(),
+	})
+
+	switch role {
+	case RoleBackup:
+		// The primary is gone: take over with the latest checkpoint.
+		e.TakeOver("primary heartbeats lost")
+	case RolePrimary:
+		// The backup is gone: keep running; checkpoints will fail until
+		// the peer returns.
+		e.closeSender()
+	case RoleNegotiating:
+		// negotiate() handles retries; nothing to do here.
+	}
+}
+
+// onPeerRecovered reacts to the peer beating again after a failure.
+func (e *Engine) onPeerRecovered() {
+	e.mu.Lock()
+	e.peerFailed = false
+	e.mu.Unlock()
+	e.event("engine", "recovery", "peer engine heartbeats resumed")
+	e.reportStatus()
+	e.sink.ReportStatus(monitor.ComponentStatus{
+		Node:      e.cfg.PeerNode,
+		Component: "node",
+		Kind:      monitor.KindHardware,
+		State:     "UP",
+		Detail:    "heartbeats resumed (reported by " + e.node.Name() + ")",
+		UpdatedAt: time.Now(),
+	})
+}
+
+// PeerFailed reports the detector's current view of the peer.
+func (e *Engine) PeerFailed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.peerFailed
+}
+
+// peerCall invokes a method on the peer engine's control interface,
+// (re)dialing across the available network segments as needed.
+func (e *Engine) peerCall(method string, out []any, args ...any) error {
+	e.peerMu.Lock()
+	defer e.peerMu.Unlock()
+
+	if e.peerClient == nil || e.peerClient.Broken() {
+		if e.peerClient != nil {
+			e.peerClient.Close()
+			e.peerClient = nil
+		}
+		client, err := e.dialPeerRPC()
+		if err != nil {
+			return err
+		}
+		e.peerClient = client
+	}
+	err := e.peerClient.Object(EngineOID).Call(method, out, args...)
+	if err != nil && e.peerClient.Broken() {
+		e.peerClient.Close()
+		e.peerClient = nil
+	}
+	return err
+}
+
+func (e *Engine) dialPeerRPC() (*dcom.Client, error) {
+	from := e.node.Addr("engine-rpc-cli")
+	to := netsim.Addr(e.cfg.PeerNode + ":engine-rpc")
+	var lastErr error
+	for _, n := range e.networks {
+		client, err := dcom.Dial(n, from, to)
+		if err == nil {
+			client.SetTimeout(e.cfg.RPCTimeout)
+			return client, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrPeerUnavailable
+	}
+	return nil, fmt.Errorf("%w: %v", ErrPeerUnavailable, lastErr)
+}
+
+// ShipSnapshot sends a checkpoint to the peer's store — the FTIM calls
+// this on every checkpoint period and on OFTTSave. Only the primary ships.
+func (e *Engine) ShipSnapshot(snap *checkpoint.Snapshot) error {
+	if e.Role() != RolePrimary {
+		return ErrNotPrimary
+	}
+	e.peerMu.Lock()
+	defer e.peerMu.Unlock()
+	if e.sender == nil {
+		sender, err := e.dialCheckpoint()
+		if err != nil {
+			return err
+		}
+		e.sender = sender
+	}
+	if err := e.sender.Send(snap); err != nil {
+		e.sender.Close()
+		e.sender = nil
+		return err
+	}
+	return nil
+}
+
+func (e *Engine) dialCheckpoint() (*checkpoint.Sender, error) {
+	from := e.node.Addr("engine-ckpt-cli")
+	to := netsim.Addr(e.cfg.PeerNode + ":engine-ckpt")
+	var lastErr error
+	for _, n := range e.networks {
+		conn, err := n.Dial(from, to)
+		if err == nil {
+			return checkpoint.NewSender(conn, e.cfg.CheckpointAckTimeout), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: checkpoint channel: %v", ErrPeerUnavailable, lastErr)
+}
+
+func (e *Engine) closeSender() {
+	e.peerMu.Lock()
+	defer e.peerMu.Unlock()
+	if e.sender != nil {
+		e.sender.Close()
+		e.sender = nil
+	}
+}
+
+// Materialize restores the latest received checkpoint into a registry —
+// the takeover path ("start running with the latest checkpoint").
+func (e *Engine) Materialize(reg *checkpoint.Registry) error {
+	return e.store.Materialize(reg)
+}
+
+// RecoverFromPeer pulls the peer's latest stored checkpoint and restores
+// it into reg. A primary uses this to rehydrate a locally restarted
+// application: the freshest copy of its state lives in the backup's store.
+func (e *Engine) RecoverFromPeer(reg *checkpoint.Registry) (bool, error) {
+	var data []byte
+	if err := e.peerCall("FetchSnapshot", []any{&data}); err != nil {
+		return false, fmt.Errorf("engine: fetch peer snapshot: %w", err)
+	}
+	if len(data) == 0 {
+		return false, nil // peer has nothing stored yet
+	}
+	snap, err := checkpoint.DecodeSnapshot(data)
+	if err != nil {
+		return false, err
+	}
+	if err := reg.Restore(snap); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RequestSwitchover asks the peer to take over and demotes this node. It
+// is the engine half of OFTTDistress: honored only "if application on the
+// peer node is functional".
+func (e *Engine) RequestSwitchover(reason string) error {
+	if e.Role() != RolePrimary {
+		return ErrNotPrimary
+	}
+	if e.PeerFailed() {
+		return fmt.Errorf("%w: cannot switch over", ErrPeerUnavailable)
+	}
+	// Demote first, then hand the role over: the reverse order opens a
+	// dual-primary window that races the split-brain tie-break and can
+	// strand the pair with no primary at all.
+	e.Demote("switchover: " + reason)
+	if err := e.peerCall("TakeOverRPC", nil, reason); err != nil {
+		// The peer never got the role: take it back.
+		e.TakeOver("switchover handoff failed: " + reason)
+		return fmt.Errorf("engine: switchover request: %w", err)
+	}
+	return nil
+}

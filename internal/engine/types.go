@@ -1,0 +1,185 @@
+// Package engine implements the OFTT engine (Section 2.2.1), the core of
+// the toolkit: role management for the primary/backup pair, failure
+// detection for every monitored component and for the peer node, recovery
+// management driven by per-component recovery rules, and status reporting
+// to the system monitor.
+//
+// One engine runs on each node of the pair as a separate process started by
+// the application (in the original, a client-side COM server). The two
+// engines exchange heartbeats over one or two Ethernet segments and
+// negotiate roles at startup with the retry logic Section 3.2 describes.
+package engine
+
+import (
+	"time"
+)
+
+// Role is the node's position in the primary/backup pair.
+type Role int
+
+// Roles.
+const (
+	// RoleNegotiating: startup, before the pair has agreed.
+	RoleNegotiating Role = iota + 1
+	// RolePrimary: executing the application, shipping checkpoints.
+	RolePrimary
+	// RoleBackup: receiving checkpoints, watching the primary.
+	RoleBackup
+	// RoleShutdown: the engine has stopped (voluntarily or by negotiation
+	// failure with AloneShutdown policy).
+	RoleShutdown
+)
+
+// String renders the role.
+func (r Role) String() string {
+	switch r {
+	case RoleNegotiating:
+		return "NEGOTIATING"
+	case RolePrimary:
+		return "PRIMARY"
+	case RoleBackup:
+		return "BACKUP"
+	case RoleShutdown:
+		return "SHUTDOWN"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// AloneAction is what a node does when the peer is unreachable after all
+// negotiation retries.
+type AloneAction int
+
+// Alone actions.
+const (
+	// AloneBecomePrimary: run alone (availability over split-brain safety).
+	AloneBecomePrimary AloneAction = iota + 1
+	// AloneShutdown: refuse to run without the peer — the paper's original
+	// startup logic, designed to minimize the impact of network failures
+	// ("both nodes become the primary"), which caused the false-shutdown
+	// problem of Section 3.2.
+	AloneShutdown
+)
+
+// StartupPolicy is the negotiation configuration of Section 3.2. The
+// paper's original logic is {Retries: 1, Alone: AloneShutdown}; the shipped
+// fix added "additional logic ... to initiate retries several times before
+// it shuts down".
+type StartupPolicy struct {
+	// Retries is how many Hello attempts are made before giving up.
+	Retries int
+	// RetryInterval separates attempts.
+	RetryInterval time.Duration
+	// Alone decides the outcome when every attempt fails.
+	Alone AloneAction
+}
+
+// ExhaustedAction is what recovery management does when a component's local
+// restarts are used up.
+type ExhaustedAction int
+
+// Exhausted actions.
+const (
+	// ExhaustSwitchover transfers control to the backup node (the paper's
+	// "permanent fault" provision).
+	ExhaustSwitchover ExhaustedAction = iota + 1
+	// ExhaustKeepRestarting never gives up on local recovery.
+	ExhaustKeepRestarting
+	// ExhaustGiveUp marks the component failed and stops recovering.
+	ExhaustGiveUp
+)
+
+// RecoveryRule controls how a detected failure is recovered: "whether to
+// initiate a local recovery (e.g., a transient fault), or to transfer
+// control to the backup node (e.g., a permanent fault)". The current
+// implementation, like the paper's, is specified statically.
+type RecoveryRule struct {
+	// MaxLocalRestarts is how many local restarts are tried first.
+	MaxLocalRestarts int
+	// Exhausted is the action after local restarts are used up.
+	Exhausted ExhaustedAction
+}
+
+// Config parameterizes an engine.
+type Config struct {
+	// PeerNode is the machine name of the other half of the pair.
+	PeerNode string
+
+	// HeartbeatInterval is the engine-to-engine beat period (default 20ms).
+	HeartbeatInterval time.Duration
+	// PeerTimeout declares the peer dead after this much silence on every
+	// network segment (default 5x heartbeat).
+	PeerTimeout time.Duration
+	// SweepInterval is the failure-detector scan period (default 1/4 of
+	// the smallest timeout, min 2ms).
+	SweepInterval time.Duration
+	// RPCTimeout bounds engine-to-engine control calls (default 500ms).
+	RPCTimeout time.Duration
+	// CheckpointAckTimeout bounds checkpoint acknowledgement (default 1s).
+	CheckpointAckTimeout time.Duration
+
+	// Startup is the negotiation policy (default: 5 retries, 50ms apart,
+	// AloneBecomePrimary).
+	Startup StartupPolicy
+	// Preferred breaks negotiation ties in this node's favor.
+	Preferred bool
+
+	// StorePath, when set, persists the checkpoint store to disk so the
+	// last confirmed checkpoint survives even a whole-pair outage.
+	StorePath string
+}
+
+func (c *Config) applyDefaults() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 5 * c.HeartbeatInterval
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.PeerTimeout / 8
+		if c.SweepInterval < 2*time.Millisecond {
+			c.SweepInterval = 2 * time.Millisecond
+		}
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 500 * time.Millisecond
+	}
+	if c.CheckpointAckTimeout <= 0 {
+		c.CheckpointAckTimeout = time.Second
+	}
+	if c.Startup.Retries <= 0 {
+		c.Startup.Retries = 5
+	}
+	if c.Startup.RetryInterval <= 0 {
+		c.Startup.RetryInterval = 50 * time.Millisecond
+	}
+	if c.Startup.Alone == 0 {
+		c.Startup.Alone = AloneBecomePrimary
+	}
+}
+
+// helloReq/helloResp are the negotiation frames.
+type helloReq struct {
+	Node        string
+	Incarnation uint64
+	Role        int
+	Preferred   bool
+}
+
+type helloResp struct {
+	Node        string
+	Incarnation uint64
+	Role        int
+	Preferred   bool
+}
+
+// EngineStatus is the RPC-visible status block.
+type EngineStatus struct {
+	Node        string
+	Role        int
+	Incarnation uint64
+	PeerFailed  bool
+	Components  []string
+	LastCkptSeq uint64
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/device"
+	"repro/internal/netsim"
+	"repro/internal/opc"
+)
+
+// E1Row is one reference-configuration measurement.
+type E1Row struct {
+	Topology     string // "1a-remote-monitoring" or "1b-integrated"
+	PLCs         int
+	Sensors      int
+	Updates      int64   // client-observed updates during the window
+	UpdatesPerS  float64 // throughput
+	MeanLatMs    float64 // sensor-change -> client-observation latency
+	P99LatMs     float64
+	QualityGoodP float64 // fraction of observed updates with good quality
+}
+
+// RunE1 builds both Figure 1 reference configurations and measures the
+// field-to-operator data path: sensors -> PLC scan -> field bus poll ->
+// OPC server -> (DCOM if remote) -> OPC client group -> observation.
+//
+// Topology 1(a) "control with remote monitoring" puts the OPC client on a
+// separate monitoring PC reached over Ethernet (DCOM); topology 1(b)
+// "integrated monitoring and control" co-locates client and server on the
+// industrial PC (local COM).
+//
+// Expected shape: both topologies deliver all sensor data with good
+// quality; the remote topology adds wire latency but the same throughput.
+func RunE1(window time.Duration) ([]E1Row, error) {
+	if window <= 0 {
+		window = 500 * time.Millisecond
+	}
+	var rows []E1Row
+	for _, remote := range []bool{false, true} {
+		row, err := runPipeline(remote, window)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func runPipeline(remote bool, window time.Duration) (*E1Row, error) {
+	const (
+		plcCount   = 2
+		perPLC     = 4
+		scanPeriod = 5 * time.Millisecond
+	)
+	server := opc.NewServer("Plant.OPC.1")
+	var plcs []*device.PLC
+	var adapters []*device.OPCAdapter
+	var tags []string
+
+	for p := 0; p < plcCount; p++ {
+		plc := device.NewPLC(fmt.Sprintf("plc%d", p+1), scanPeriod)
+		for sIdx := 0; sIdx < perPLC; sIdx++ {
+			name := fmt.Sprintf("sensor%d", sIdx)
+			sig := device.Sine{
+				Amplitude: 10,
+				Period:    time.Duration(50+10*sIdx) * time.Millisecond,
+				Offset:    50,
+			}
+			plc.AttachSensor(device.NewSensor(name, sig, 0.01, int64(p*10+sIdx+1)))
+			tags = append(tags, fmt.Sprintf("plc%d.%s", p+1, name))
+		}
+		bus := device.NewBus(0)
+		ad, err := device.NewOPCAdapter(plc, bus, server, scanPeriod)
+		if err != nil {
+			return nil, err
+		}
+		plcs = append(plcs, plc)
+		adapters = append(adapters, ad)
+	}
+
+	var conn opc.Connection = server
+	topology := "1b-integrated"
+	var cleanup []func()
+	if remote {
+		topology = "1a-remote-monitoring"
+		net := netsim.New("plant-eth", 1)
+		net.SetLatency(500*time.Microsecond, 200*time.Microsecond)
+		exp, err := dcom.NewExporter(net, "industrialpc:opc")
+		if err != nil {
+			return nil, err
+		}
+		cleanup = append(cleanup, exp.Close)
+		oid := com.NewGUID()
+		if err := opc.ExportServer(exp, oid, server); err != nil {
+			exp.Close()
+			return nil, err
+		}
+		cli, err := dcom.Dial(net, "monitorpc:opc", "industrialpc:opc")
+		if err != nil {
+			exp.Close()
+			return nil, err
+		}
+		cleanup = append(cleanup, cli.Close)
+		conn = opc.NewRemoteConnection(cli, oid)
+	}
+
+	client := opc.NewClient(conn)
+	var mu sync.Mutex
+	var updates int64
+	var good int64
+	var latencies []time.Duration
+	g, err := client.AddGroup(opc.GroupConfig{
+		Name:       "operator",
+		UpdateRate: scanPeriod,
+		Active:     true,
+	}, func(batch []opc.ItemState) {
+		now := time.Now()
+		mu.Lock()
+		for _, u := range batch {
+			updates++
+			if u.Quality.IsGood() {
+				good++
+				latencies = append(latencies, now.Sub(u.Timestamp))
+			}
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.AddItems(tags...)
+
+	for _, plc := range plcs {
+		plc.Start()
+	}
+	for _, ad := range adapters {
+		ad.Start()
+	}
+	time.Sleep(window)
+	client.Close()
+	for _, ad := range adapters {
+		ad.Stop()
+	}
+	for _, plc := range plcs {
+		plc.Stop()
+	}
+	for _, fn := range cleanup {
+		fn()
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	row := &E1Row{
+		Topology:    topology,
+		PLCs:        plcCount,
+		Sensors:     plcCount * perPLC,
+		Updates:     updates,
+		UpdatesPerS: float64(updates) / window.Seconds(),
+	}
+	if updates > 0 {
+		row.QualityGoodP = float64(good) / float64(updates)
+	}
+	if len(latencies) > 0 {
+		var total time.Duration
+		maxIdx := 0
+		sorted := append([]time.Duration(nil), latencies...)
+		for i := range sorted {
+			total += sorted[i]
+			if sorted[i] > sorted[maxIdx] {
+				maxIdx = i
+			}
+		}
+		// simple insertion-ish percentile: sort
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		row.MeanLatMs = float64(total.Microseconds()) / float64(len(sorted)) / 1000
+		row.P99LatMs = float64(sorted[len(sorted)*99/100].Microseconds()) / 1000
+	}
+	return row, nil
+}
+
+// E1Table formats E1 results.
+func E1Table(rows []E1Row) *Table {
+	t := &Table{
+		Title:   "E1: Figure 1 reference configurations — field-to-operator data path",
+		Columns: []string{"topology", "plcs", "sensors", "updates", "upd/s", "mean_lat_ms", "p99_lat_ms", "good_quality"},
+		Notes: []string{
+			"1a adds DCOM wire latency; throughput and quality match 1b",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Topology,
+			fmt.Sprintf("%d", r.PLCs),
+			fmt.Sprintf("%d", r.Sensors),
+			i64(r.Updates),
+			f1(r.UpdatesPerS),
+			f2(r.MeanLatMs),
+			f2(r.P99LatMs),
+			f2(r.QualityGoodP),
+		})
+	}
+	return t
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/heartbeat"
+	"repro/internal/netsim"
+)
+
+// E7Row is one failure-detection measurement.
+type E7Row struct {
+	IntervalMs     int
+	TimeoutMs      int
+	LossPercent    int
+	Trials         int
+	MeanDetectMs   float64
+	MaxDetectMs    float64
+	FalsePositives int
+}
+
+// RunE7 measures the failure detector (Section 2.2.1): detection latency
+// after a component goes silent, as a function of heartbeat interval and
+// timeout, and the false-positive rate under datagram loss.
+//
+// Expected shape: detection latency ~ timeout + sweep granularity; false
+// positives appear only when loss is high enough that `timeout/interval`
+// consecutive datagrams are plausibly lost.
+func RunE7(intervals []time.Duration, lossPercents []int, trials int) ([]E7Row, error) {
+	if len(intervals) == 0 {
+		intervals = []time.Duration{5 * time.Millisecond, 10 * time.Millisecond,
+			20 * time.Millisecond, 50 * time.Millisecond}
+	}
+	if len(lossPercents) == 0 {
+		lossPercents = []int{0, 10, 30}
+	}
+	if trials <= 0 {
+		trials = 5
+	}
+
+	var rows []E7Row
+	for _, interval := range intervals {
+		timeout := 5 * interval
+		for _, loss := range lossPercents {
+			row := E7Row{
+				IntervalMs:  int(interval / time.Millisecond),
+				TimeoutMs:   int(timeout / time.Millisecond),
+				LossPercent: loss,
+				Trials:      trials,
+			}
+			var total, maxD time.Duration
+			for trial := 0; trial < trials; trial++ {
+				detect, falsePos, err := detectionTrial(int64(trial+1), interval, timeout,
+					float64(loss)/100)
+				if err != nil {
+					return nil, err
+				}
+				if falsePos {
+					row.FalsePositives++
+					continue
+				}
+				total += detect
+				if detect > maxD {
+					maxD = detect
+				}
+			}
+			measured := trials - row.FalsePositives
+			if measured > 0 {
+				row.MeanDetectMs = float64(total.Microseconds()) / float64(measured) / 1000
+				row.MaxDetectMs = float64(maxD.Microseconds()) / 1000
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// detectionTrial runs one emitter/monitor pair over a lossy fabric, lets
+// it run healthy for a grace period (false positives counted), then kills
+// the emitter and times detection.
+func detectionTrial(seed int64, interval, timeout time.Duration, loss float64) (time.Duration, bool, error) {
+	net := netsim.New("eth", seed)
+	net.SetLoss(loss)
+	rx, err := net.ListenDatagram("mon:hb")
+	if err != nil {
+		return 0, false, err
+	}
+	defer rx.Close()
+	tx, err := net.ListenDatagram("app:hb")
+	if err != nil {
+		return 0, false, err
+	}
+	defer tx.Close()
+
+	mon := heartbeat.NewMonitor(interval / 2)
+	var mu sync.Mutex
+	var failedAt time.Time
+	mon.Watch("app", timeout, func(string, time.Time) {
+		mu.Lock()
+		if failedAt.IsZero() {
+			failedAt = time.Now()
+		}
+		mu.Unlock()
+	})
+	mon.Start()
+	defer mon.Stop()
+
+	em := heartbeat.NewEmitter("app", interval, func(b heartbeat.Beat) {
+		data, err := b.Encode()
+		if err != nil {
+			return
+		}
+		_ = tx.Send("mon:hb", data)
+	})
+	em.Start()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			d, err := rx.RecvTimeout(100 * time.Millisecond)
+			if err != nil {
+				if err == netsim.ErrClosed {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			if b, err := heartbeat.DecodeBeat(d.Payload); err == nil {
+				mon.Observe(b)
+			}
+		}
+	}()
+
+	// Healthy grace period of 10 timeouts: any failure here is false.
+	grace := 10 * timeout
+	time.Sleep(grace)
+	mu.Lock()
+	falsePositive := !failedAt.IsZero()
+	mu.Unlock()
+	if falsePositive {
+		em.Stop()
+		rx.Close()
+		<-done
+		return 0, true, nil
+	}
+
+	// Kill the component.
+	em.Stop()
+	killedAt := time.Now()
+	deadline := time.Now().Add(timeout*4 + 500*time.Millisecond)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		at := failedAt
+		mu.Unlock()
+		if !at.IsZero() {
+			rx.Close()
+			<-done
+			return at.Sub(killedAt), false, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rx.Close()
+	<-done
+	return 0, false, fmt.Errorf("silence never detected (interval %v)", interval)
+}
+
+// E7Table formats E7 results.
+func E7Table(rows []E7Row) *Table {
+	t := &Table{
+		Title:   "E7: failure detection latency and false positives (Section 2.2.1)",
+		Columns: []string{"hb_interval_ms", "timeout_ms", "loss%", "mean_detect_ms", "max_detect_ms", "false_pos"},
+		Notes: []string{
+			"detection latency tracks the configured timeout; loss inflates false positives only at high rates",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.IntervalMs),
+			fmt.Sprintf("%d", r.TimeoutMs),
+			fmt.Sprintf("%d", r.LossPercent),
+			f2(r.MeanDetectMs),
+			f2(r.MaxDetectMs),
+			fmt.Sprintf("%d/%d", r.FalsePositives, r.Trials),
+		})
+	}
+	return t
+}

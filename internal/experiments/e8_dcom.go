@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/netsim"
+	"repro/internal/opc"
+)
+
+// E8Result measures local COM vs. remote DCOM call behaviour.
+type E8Result struct {
+	Calls            int
+	LocalNsPerCall   int64
+	RemoteNsPerCall  int64
+	RemoteOverheadX  float64
+	FailureDetectUs  int64 // time for a call to a dead callee to error
+	RedialUs         int64 // time to re-resolve after callee restart
+	PoisonedFastFail bool  // calls after poisoning fail without touching the net
+}
+
+// RunE8 quantifies Section 3.3: DCOM calls cost far more than local COM
+// calls, and DCOM's RPC "does not behave well in the presence of
+// failures" — a dead callee surfaces as an error, the proxy is poisoned,
+// and recovery requires explicit re-resolution.
+func RunE8(calls int) (*E8Result, error) {
+	if calls <= 0 {
+		calls = 2000
+	}
+	res := &E8Result{Calls: calls}
+
+	// Local COM: in-process interface call through QueryInterface.
+	server := opc.NewServer("Bench.OPC.1")
+	if err := server.AddItem(opc.ItemDef{Tag: "x", CanonicalType: opc.VTFloat64}); err != nil {
+		return nil, err
+	}
+	_ = server.SetValue("x", opc.VR8(1), opc.GoodNonSpecific, time.Now())
+	obj := com.NewObject(map[com.IID]any{com.IIDOPCServer: opc.Connection(server)})
+	conn, err := com.QueryAs[opc.Connection](obj, com.IIDOPCServer)
+	if err != nil {
+		return nil, err
+	}
+	tags := []string{"x"}
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		if _, err := conn.Read(tags); err != nil {
+			return nil, err
+		}
+	}
+	res.LocalNsPerCall = time.Since(start).Nanoseconds() / int64(calls)
+
+	// Remote DCOM: same interface through the exporter/proxy machinery.
+	net := netsim.New("eth", 8)
+	exp, err := dcom.NewExporter(net, "server:rpc")
+	if err != nil {
+		return nil, err
+	}
+	defer exp.Close()
+	oid := com.NewGUID()
+	if err := opc.ExportServer(exp, oid, server); err != nil {
+		return nil, err
+	}
+	cli, err := dcom.Dial(net, "client:rpc", "server:rpc")
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+	remote := opc.NewRemoteConnection(cli, oid)
+	start = time.Now()
+	for i := 0; i < calls; i++ {
+		if _, err := remote.Read(tags); err != nil {
+			return nil, err
+		}
+	}
+	res.RemoteNsPerCall = time.Since(start).Nanoseconds() / int64(calls)
+	if res.LocalNsPerCall > 0 {
+		res.RemoteOverheadX = float64(res.RemoteNsPerCall) / float64(res.LocalNsPerCall)
+	}
+
+	// Failure semantics: kill the callee mid-life.
+	net.FailEndpoint("server:rpc")
+	start = time.Now()
+	_, err = remote.Read(tags)
+	res.FailureDetectUs = time.Since(start).Microseconds()
+	if !errors.Is(err, dcom.ErrRPCFailure) && !errors.Is(err, dcom.ErrCallTimeout) {
+		return nil, fmt.Errorf("dead callee produced %v", err)
+	}
+	// Poisoned proxy fails fast.
+	start = time.Now()
+	_, err = remote.Read(tags)
+	res.PoisonedFastFail = err != nil && time.Since(start) < 10*time.Millisecond
+
+	// Application-level recovery: callee restarts, caller redials.
+	net.RestoreEndpoint("server:rpc")
+	exp2, err := dcom.NewExporter(net, "server:rpc")
+	if err != nil {
+		return nil, err
+	}
+	defer exp2.Close()
+	if err := opc.ExportServer(exp2, oid, server); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	if err := remote.Redial(); err != nil {
+		return nil, err
+	}
+	if _, err := remote.Read(tags); err != nil {
+		return nil, err
+	}
+	res.RedialUs = time.Since(start).Microseconds()
+	return res, nil
+}
+
+// E8Table formats E8 results.
+func E8Table(r *E8Result) *Table {
+	return &Table{
+		Title:   "E8: local COM vs remote DCOM call behaviour (Section 3.3)",
+		Columns: []string{"metric", "value"},
+		Rows: [][]string{
+			{"calls measured", fmt.Sprintf("%d", r.Calls)},
+			{"local COM ns/call", i64(r.LocalNsPerCall)},
+			{"remote DCOM ns/call", i64(r.RemoteNsPerCall)},
+			{"remote/local overhead", f1(r.RemoteOverheadX) + "x"},
+			{"dead-callee error detected in", fmt.Sprintf("%d us", r.FailureDetectUs)},
+			{"poisoned proxy fails fast", fmt.Sprintf("%v", r.PoisonedFastFail)},
+			{"redial + first call after restart", fmt.Sprintf("%d us", r.RedialUs)},
+		},
+		Notes: []string{
+			"no built-in DCOM fault tolerance: recovery requires explicit redial after the callee returns",
+		},
+	}
+}

@@ -1,0 +1,59 @@
+// Package experiments implements the reproduction's evaluation harness:
+// one runnable experiment per figure/table/claim of the paper, as indexed
+// in DESIGN.md and recorded in EXPERIMENTS.md. Each experiment returns
+// typed rows so cmd/oftt-bench can print them and the root benchmarks can
+// assert on them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render draws the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	b.WriteString(strings.Repeat("-", len(t.Title)) + "\n")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", w, cell)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func i64(v int64) string  { return fmt.Sprintf("%d", v) }

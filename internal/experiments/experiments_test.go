@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"n"},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"T", "long_column", "333", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestE1Shape: both topologies deliver data with good quality; the remote
+// topology pays wire latency.
+func TestE1Shape(t *testing.T) {
+	rows, err := RunE1(250 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	var local, remote *E1Row
+	for i := range rows {
+		switch rows[i].Topology {
+		case "1b-integrated":
+			local = &rows[i]
+		case "1a-remote-monitoring":
+			remote = &rows[i]
+		}
+	}
+	if local == nil || remote == nil {
+		t.Fatalf("topologies missing: %+v", rows)
+	}
+	for _, r := range []*E1Row{local, remote} {
+		if r.Updates == 0 {
+			t.Fatalf("%s delivered nothing", r.Topology)
+		}
+		if r.QualityGoodP < 0.5 {
+			t.Fatalf("%s quality %f", r.Topology, r.QualityGoodP)
+		}
+	}
+	if remote.MeanLatMs <= local.MeanLatMs {
+		t.Errorf("remote latency (%.2f) should exceed local (%.2f)",
+			remote.MeanLatMs, local.MeanLatMs)
+	}
+	t.Log("\n" + E1Table(rows).Render())
+}
+
+// TestE2AllArrowsVerified: every Figure 2 interaction holds.
+func TestE2AllArrowsVerified(t *testing.T) {
+	checks, err := RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 7 {
+		t.Fatalf("only %d checks ran", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("arrow %q failed: %s", c.Arrow, c.Note)
+		}
+	}
+	t.Log("\n" + E2Table(checks).Render())
+}
+
+// TestE3AllScenariosRecover: every Section 4 failure is survived with
+// history intact.
+func TestE3AllScenariosRecover(t *testing.T) {
+	rows, err := RunE3All(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("scenarios: %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.HistoryKept {
+			t.Errorf("%s lost history (%d -> %d)", r.Scenario, r.SamplesBefor, r.SamplesAfter)
+		}
+		if r.Invariants != "" {
+			t.Errorf("%s broke invariants: %s", r.Scenario, r.Invariants)
+		}
+		if r.RecoveryMs <= 0 || r.RecoveryMs > 5000 {
+			t.Errorf("%s recovery %f ms implausible", r.Scenario, r.RecoveryMs)
+		}
+	}
+	t.Log("\n" + E3Table(rows).Render())
+}
+
+// TestE4Shape: selective << full; incremental wire bytes track the dirty
+// fraction.
+func TestE4Shape(t *testing.T) {
+	rows, err := RunE4([]int{64 << 10}, []int{1, 100}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]E4Row{}
+	for _, r := range rows {
+		byKey[r.Mode+"/"+itoa(r.DirtyPercent)] = r
+	}
+	full := byKey["full/1"]
+	sel := byKey["selective/1"]
+	incLow := byKey["incremental/1"]
+	incHigh := byKey["incremental/100"]
+
+	if sel.WireBytes*10 > full.WireBytes {
+		t.Errorf("selective (%d B) should be tiny vs full (%d B)", sel.WireBytes, full.WireBytes)
+	}
+	if sel.CaptureNs > full.CaptureNs {
+		t.Errorf("selective capture (%d ns) should beat full (%d ns)", sel.CaptureNs, full.CaptureNs)
+	}
+	if incLow.WireBytes >= incHigh.WireBytes {
+		t.Errorf("incremental bytes should grow with dirty fraction: %d vs %d",
+			incLow.WireBytes, incHigh.WireBytes)
+	}
+	if incLow.WireBytes >= full.WireBytes {
+		t.Errorf("1%%-dirty incremental (%d B) should beat full (%d B)",
+			incLow.WireBytes, full.WireBytes)
+	}
+	t.Log("\n" + E4Table(rows).Render())
+}
+
+// TestE5Shape: the retry fix lifts pair-formation success toward 100%.
+func TestE5Shape(t *testing.T) {
+	rows, err := RunE5([]int{1, 10}, 8, 120*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	original, fixed := rows[0], rows[1]
+	if original.PairFormed >= fixed.PairFormed {
+		t.Errorf("retries should improve formation: %d/%d vs %d/%d",
+			original.PairFormed, original.Trials, fixed.PairFormed, fixed.Trials)
+	}
+	if fixed.FalseShutdowns != 0 {
+		t.Errorf("fixed policy still had %d false shutdowns", fixed.FalseShutdowns)
+	}
+	if original.FalseShutdowns == 0 {
+		t.Errorf("original policy should exhibit the Section 3.2 problem")
+	}
+	t.Log("\n" + E5Table(rows).Render())
+}
+
+// TestE6NoLoss: the diverter loses nothing across a switchover.
+func TestE6NoLoss(t *testing.T) {
+	res, err := RunE6(40, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 {
+		t.Errorf("lost %d messages", res.Lost)
+	}
+	if res.OrderViolations != 0 {
+		t.Errorf("%d order violations", res.OrderViolations)
+	}
+	if res.Delivered != res.Sent {
+		t.Errorf("delivered %d of %d", res.Delivered, res.Sent)
+	}
+	t.Log("\n" + E6Table(res).Render())
+}
+
+// TestE7Shape: detection latency tracks the timeout; clean networks
+// produce no false positives.
+func TestE7Shape(t *testing.T) {
+	rows, err := RunE7([]time.Duration{5 * time.Millisecond, 20 * time.Millisecond},
+		[]int{0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.FalsePositives != 0 {
+			t.Errorf("interval %dms: %d false positives on a clean network",
+				r.IntervalMs, r.FalsePositives)
+		}
+		// Detection should land within [timeout, timeout + slack].
+		if r.MeanDetectMs < float64(r.TimeoutMs)*0.5 ||
+			r.MeanDetectMs > float64(r.TimeoutMs)*3 {
+			t.Errorf("interval %dms: mean detect %.1fms vs timeout %dms",
+				r.IntervalMs, r.MeanDetectMs, r.TimeoutMs)
+		}
+	}
+	// Larger timeout => larger detection latency.
+	if rows[0].MeanDetectMs >= rows[len(rows)-1].MeanDetectMs {
+		t.Errorf("detection latency should grow with timeout: %+v", rows)
+	}
+	t.Log("\n" + E7Table(rows).Render())
+}
+
+// TestE8Shape: DCOM costs more than COM and fails detectably.
+func TestE8Shape(t *testing.T) {
+	res, err := RunE8(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteNsPerCall <= res.LocalNsPerCall {
+		t.Errorf("remote (%d ns) should exceed local (%d ns)",
+			res.RemoteNsPerCall, res.LocalNsPerCall)
+	}
+	if !res.PoisonedFastFail {
+		t.Error("poisoned proxy should fail fast")
+	}
+	t.Log("\n" + E8Table(res).Render())
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// TestA1Shape: dual network eliminates false switchovers on one-segment loss.
+func TestA1Shape(t *testing.T) {
+	rows, err := RunA1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var single, dual *A1Row
+	for i := range rows {
+		if rows[i].Networks == 1 {
+			single = &rows[i]
+		} else {
+			dual = &rows[i]
+		}
+	}
+	if single == nil || dual == nil {
+		t.Fatalf("rows: %+v", rows)
+	}
+	if dual.FalseSwitchover != 0 {
+		t.Errorf("dual network had %d false switchovers", dual.FalseSwitchover)
+	}
+	if single.FalseSwitchover == 0 {
+		t.Errorf("single network should suffer false switchovers under segment loss")
+	}
+	t.Log("\n" + A1Table(rows).Render())
+}
+
+// TestA2Shape: restart-first stays local; switchover-always flips roles.
+func TestA2Shape(t *testing.T) {
+	rows, err := RunA2(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[string]A2Row{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	rf := byPolicy["restart-first"]
+	sa := byPolicy["switchover-always"]
+	if !rf.StayedLocal {
+		t.Error("restart-first should recover in place")
+	}
+	if sa.StayedLocal {
+		t.Error("switchover-always should move to the backup")
+	}
+	if !rf.StateKept || !sa.StateKept {
+		t.Errorf("state lost: rf=%v sa=%v", rf.StateKept, sa.StateKept)
+	}
+	if sa.Switchovers == 0 {
+		t.Error("switchover-always recorded no switchover")
+	}
+	t.Log("\n" + A2Table(rows).Render())
+}
+
+// TestA3Shape: lost work is bounded by the checkpoint period.
+func TestA3Shape(t *testing.T) {
+	rows, err := RunA3([]time.Duration{10 * time.Millisecond, 80 * time.Millisecond}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.LossBoundOK {
+			t.Errorf("period %dms lost %d ticks, beyond the bound", r.PeriodMs, r.LostTicks)
+		}
+	}
+	t.Log("\n" + A3Table(rows).Render())
+}
+
+// TestE7FalsePositiveCrossover: at extreme datagram loss the timeout
+// multiplier can no longer absorb consecutive losses, and false positives
+// appear — the crossover the E7 note claims.
+func TestE7FalsePositiveCrossover(t *testing.T) {
+	// 80% loss, timeout = 5 intervals: P(5 consecutive losses) = 0.8^5 ≈ 33%
+	// per window; over a 10-timeout grace period a false positive is nearly
+	// certain on some trial.
+	rows, err := RunE7([]time.Duration{5 * time.Millisecond}, []int{80}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].FalsePositives == 0 {
+		t.Errorf("expected false positives at 80%% loss: %+v", rows[0])
+	}
+	t.Log("\n" + E7Table(rows).Render())
+}

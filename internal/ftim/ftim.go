@@ -1,0 +1,549 @@
+// Package ftim implements OFTT's Fault Tolerance Interface Module
+// (Section 2.2.2): the library linked into an application that wants OFTT
+// services. It checkpoints the application state (client FTIM), monitors
+// the application by heartbeating to the OFTT engine on its behalf, and
+// receives control from the engine at activation/deactivation.
+//
+// The paper's API surface is preserved with Go spellings:
+//
+//	OFTTInitialize()      -> Initialize / InitializeServer
+//	OFTTSelSave()         -> ClientFTIM.SelSave
+//	OFTTSave()            -> ClientFTIM.Save
+//	OFTTGetMyRole()       -> ClientFTIM.MyRole
+//	OFTTWatchdogCreate()  -> ClientFTIM.WatchdogCreate
+//	OFTTWatchdogSet()     -> ClientFTIM.WatchdogSet
+//	OFTTWatchdogReset()   -> ClientFTIM.WatchdogReset
+//	OFTTWatchdogDelete()  -> ClientFTIM.WatchdogDelete
+//	OFTTDistress()        -> ClientFTIM.Distress
+//
+// On NT, statically created state was captured via GetThreadContext plus a
+// memory walkthrough and dynamically created threads were found by
+// intercepting the Import Address Table. Here, static state is registered
+// with RegisterState (the walkthrough) and dynamic tasks are created
+// through ClientFTIM.Go, which registers their state before the task runs
+// (the IAT hook).
+package ftim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/heartbeat"
+)
+
+// CaptureMode selects the periodic checkpoint flavor.
+type CaptureMode int
+
+// Capture modes.
+const (
+	// CaptureFull checkpoints every registered region each period.
+	CaptureFull CaptureMode = iota + 1
+	// CaptureSelective checkpoints only SelSave-designated regions.
+	CaptureSelective
+	// CaptureIncremental checkpoints only regions that changed.
+	CaptureIncremental
+)
+
+// Errors.
+var (
+	// ErrShutdown is returned after the FTIM has been shut down.
+	ErrShutdown = errors.New("ftim: shut down")
+
+	// ErrNotPrimary is returned for primary-only operations (Save).
+	ErrNotPrimary = errors.New("ftim: not primary")
+)
+
+// Config parameterizes Initialize (the client FTIM).
+type Config struct {
+	// Component is the name the application is monitored under.
+	Component string
+	// Engine is this node's OFTT engine.
+	Engine *engine.Engine
+
+	// CheckpointPeriod is the periodic checkpoint interval (default 50ms).
+	CheckpointPeriod time.Duration
+	// Mode is the periodic capture flavor (default CaptureIncremental).
+	Mode CaptureMode
+	// HeartbeatInterval is the application heartbeat period (default 10ms).
+	HeartbeatInterval time.Duration
+	// Timeout is the engine-side silence threshold (default 5x interval).
+	Timeout time.Duration
+	// Rule is the application's recovery rule (default: 2 local restarts
+	// then switchover).
+	Rule engine.RecoveryRule
+	// Restart is the local recovery provision invoked by the engine.
+	Restart func() error
+
+	// OnActivate fires when this copy becomes the executing (primary)
+	// copy; restored reports whether a checkpoint was applied first.
+	OnActivate func(restored bool)
+	// OnDeactivate fires when this copy stops executing.
+	OnDeactivate func()
+
+	// Reattach binds to an existing engine component entry instead of
+	// registering fresh — the restart path after an application crash,
+	// which must preserve the engine's restart budget.
+	Reattach bool
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Component == "" {
+		return errors.New("ftim: Component required")
+	}
+	if c.Engine == nil {
+		return errors.New("ftim: Engine required")
+	}
+	if c.CheckpointPeriod <= 0 {
+		c.CheckpointPeriod = 50 * time.Millisecond
+	}
+	if c.Mode == 0 {
+		c.Mode = CaptureIncremental
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * c.HeartbeatInterval
+	}
+	if c.Rule.MaxLocalRestarts == 0 && c.Rule.Exhausted == 0 {
+		c.Rule = engine.RecoveryRule{MaxLocalRestarts: 2, Exhausted: engine.ExhaustSwitchover}
+	}
+	return nil
+}
+
+// task is one dynamically created, tracked unit of work.
+type task struct {
+	name string
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+func (t *task) signalStop() { t.once.Do(func() { close(t.stop) }) }
+
+// ClientFTIM is the stateful-application interface module. The application
+// and the FTIM run as separate threads in the same address space: the app
+// mutates registered state under the FTIM's lock while the FTIM thread
+// checkpoints and heartbeats.
+type ClientFTIM struct {
+	cfg Config
+	reg *checkpoint.Registry
+
+	mu       sync.Mutex
+	ready    bool
+	active   bool
+	shutdown bool
+	tasks    map[string]*task
+	ckpts    int64
+	ckptErrs int64
+	needFull bool
+
+	emitter *heartbeat.Emitter
+
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// Initialize is OFTTInitialize for an OPC client (stateful) application:
+// "At the minimum, it is the only API an application needs to add in order
+// to use the OFTT services." State registered later still checkpoints, but
+// applications that must register state before their first activation
+// (e.g. to be restored on a reattach) use InitializeDeferred + Attach.
+func Initialize(cfg Config) (*ClientFTIM, error) {
+	f, err := InitializeDeferred(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.Attach()
+	return f, nil
+}
+
+// InitializeDeferred performs OFTTInitialize but holds off applying the
+// engine's current role until Attach is called, giving the application a
+// window to register its state regions first.
+func InitializeDeferred(cfg Config) (*ClientFTIM, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	f := &ClientFTIM{
+		cfg:   cfg,
+		reg:   checkpoint.NewRegistry(),
+		tasks: make(map[string]*task),
+	}
+
+	register := cfg.Engine.RegisterComponent
+	if cfg.Reattach {
+		register = cfg.Engine.ReattachComponent
+	}
+	if err := register(cfg.Component, cfg.Timeout, cfg.Rule, cfg.Restart); err != nil {
+		return nil, err
+	}
+
+	// Heartbeat to the engine on the application's behalf.
+	f.emitter = heartbeat.NewEmitter(cfg.Component, cfg.HeartbeatInterval, func(b heartbeat.Beat) {
+		cfg.Engine.ComponentBeat(b.Source, b.Seq, b.Status)
+	})
+	f.emitter.Start()
+
+	// Receive control from the engine on role transitions (gated on Attach).
+	cfg.Engine.OnRoleChange(f.onRole)
+	return f, nil
+}
+
+// Attach applies the engine's current role and enables role-transition
+// handling. Idempotent.
+func (f *ClientFTIM) Attach() {
+	f.mu.Lock()
+	if f.ready {
+		f.mu.Unlock()
+		return
+	}
+	f.ready = true
+	f.mu.Unlock()
+	f.applyRole(f.cfg.Engine.Role(), true)
+}
+
+// Registry exposes the checkpoint registry (tests, advanced use).
+func (f *ClientFTIM) Registry() *checkpoint.Registry { return f.reg }
+
+// RegisterState names a state region for the checkpoint walkthrough. ptr
+// must be a non-nil pointer; the pointee is captured and restored.
+func (f *ClientFTIM) RegisterState(name string, ptr any) error {
+	return f.reg.Register(name, ptr)
+}
+
+// SelSave is OFTTSelSave: designate specific regions for selective
+// checkpointing.
+func (f *ClientFTIM) SelSave(names ...string) error {
+	return f.reg.Select(names...)
+}
+
+// Lock acquires the shared state mutex. Applications mutate registered
+// state under this lock so captures see consistent snapshots.
+func (f *ClientFTIM) Lock() { f.reg.Lock() }
+
+// Unlock releases the shared state mutex.
+func (f *ClientFTIM) Unlock() { f.reg.Unlock() }
+
+// WithLock runs fn under the shared state mutex.
+func (f *ClientFTIM) WithLock(fn func()) { f.reg.WithLock(fn) }
+
+// MyRole is OFTTGetMyRole.
+func (f *ClientFTIM) MyRole() engine.Role { return f.cfg.Engine.Role() }
+
+// Save is OFTTSave: copy the state (or the selected subset) to the peer
+// node immediately, without waiting for a checkpoint period — the
+// event-based checkpoint the paper calls out as necessary.
+func (f *ClientFTIM) Save() error {
+	f.mu.Lock()
+	if f.shutdown {
+		f.mu.Unlock()
+		return ErrShutdown
+	}
+	f.mu.Unlock()
+	if f.MyRole() != engine.RolePrimary {
+		return ErrNotPrimary
+	}
+	return f.checkpointOnce()
+}
+
+// Distress is OFTTDistress: report a significant problem and request a
+// switchover (honored if the peer is functional).
+func (f *ClientFTIM) Distress(reason string) error {
+	return f.cfg.Engine.Distress(f.cfg.Component, reason)
+}
+
+// SetRecoveryRule changes this application's recovery rule at run-time —
+// the dynamic option the paper's implementation left as future work.
+func (f *ClientFTIM) SetRecoveryRule(rule engine.RecoveryRule) error {
+	return f.cfg.Engine.SetRecoveryRule(f.cfg.Component, rule, false)
+}
+
+// WatchdogCreate is OFTTWatchdogCreate: the timer lives in the engine, so
+// it survives application failure.
+func (f *ClientFTIM) WatchdogCreate(name string) error {
+	return f.cfg.Engine.Watchdogs().Create(name, f.cfg.Component)
+}
+
+// WatchdogSet is OFTTWatchdogSet: arm the timer; expiry raises distress.
+func (f *ClientFTIM) WatchdogSet(name string, d time.Duration) error {
+	return f.cfg.Engine.Watchdogs().Set(name, d, func(n string) {
+		_ = f.Distress("watchdog " + n + " expired")
+	})
+}
+
+// WatchdogReset is OFTTWatchdogReset.
+func (f *ClientFTIM) WatchdogReset(name string) error {
+	return f.cfg.Engine.Watchdogs().Reset(name)
+}
+
+// WatchdogDelete is OFTTWatchdogDelete.
+func (f *ClientFTIM) WatchdogDelete(name string) error {
+	return f.cfg.Engine.Watchdogs().Delete(name)
+}
+
+// Go starts a tracked dynamic task — the analog of intercepting
+// CreateThread via the IAT so dynamically created state stays
+// checkpointable. If state is non-nil it is registered as region
+// "task:<name>" before the task starts and unregistered when it exits.
+func (f *ClientFTIM) Go(name string, state any, fn func(stop <-chan struct{})) error {
+	f.mu.Lock()
+	if f.shutdown {
+		f.mu.Unlock()
+		return ErrShutdown
+	}
+	if _, dup := f.tasks[name]; dup {
+		f.mu.Unlock()
+		return fmt.Errorf("ftim: task %q already running", name)
+	}
+	t := &task{name: name, stop: make(chan struct{}), done: make(chan struct{})}
+	f.tasks[name] = t
+	f.mu.Unlock()
+
+	region := "task:" + name
+	if state != nil {
+		if err := f.reg.Register(region, state); err != nil {
+			f.mu.Lock()
+			delete(f.tasks, name)
+			f.mu.Unlock()
+			return err
+		}
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		defer close(t.done)
+		defer func() {
+			if state != nil {
+				f.reg.Unregister(region)
+			}
+			f.mu.Lock()
+			if f.tasks[name] == t {
+				delete(f.tasks, name)
+			}
+			f.mu.Unlock()
+		}()
+		fn(t.stop)
+	}()
+	return nil
+}
+
+// StopTask signals a tracked task and waits for it to exit.
+func (f *ClientFTIM) StopTask(name string) {
+	f.mu.Lock()
+	t := f.tasks[name]
+	f.mu.Unlock()
+	if t == nil {
+		return
+	}
+	t.signalStop()
+	<-t.done
+}
+
+// Tasks lists running tracked tasks.
+func (f *ClientFTIM) Tasks() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.tasks))
+	for name := range f.tasks {
+		out = append(out, name)
+	}
+	return out
+}
+
+// CheckpointStats reports (successful checkpoints shipped, failures).
+func (f *ClientFTIM) CheckpointStats() (ok, failed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ckpts, f.ckptErrs
+}
+
+// onRole receives control from the engine.
+func (f *ClientFTIM) onRole(r engine.Role) {
+	f.mu.Lock()
+	ready := f.ready
+	f.mu.Unlock()
+	if !ready {
+		return // Attach will apply the then-current role
+	}
+	f.applyRole(r, false)
+}
+
+func (f *ClientFTIM) applyRole(r engine.Role, initial bool) {
+	switch r {
+	case engine.RolePrimary:
+		// A reattached application (restarted in place while its node is
+		// already primary) rehydrates from the backup's store, where the
+		// freshest checkpoint lives.
+		f.activate(initial && f.cfg.Reattach)
+	case engine.RoleBackup, engine.RoleShutdown, engine.RoleNegotiating:
+		f.deactivate()
+	}
+}
+
+func (f *ClientFTIM) activate(recoverFromPeer bool) {
+	f.mu.Lock()
+	if f.active || f.shutdown {
+		f.mu.Unlock()
+		return
+	}
+	f.active = true
+	f.needFull = true // first post-activation ship must re-base the peer
+	f.ckptStop = make(chan struct{})
+	f.ckptDone = make(chan struct{})
+	stop, done := f.ckptStop, f.ckptDone
+	f.mu.Unlock()
+
+	// Restore the latest checkpoint: from the peer's store on a reattach,
+	// from our own store on a takeover.
+	restored := false
+	if recoverFromPeer {
+		if ok, err := f.cfg.Engine.RecoverFromPeer(f.reg); err == nil && ok {
+			restored = true
+		}
+	}
+	if !restored && f.cfg.Engine.Store().LastSeq() > 0 {
+		if err := f.cfg.Engine.Materialize(f.reg); err == nil {
+			restored = true
+		}
+	}
+	if f.cfg.OnActivate != nil {
+		f.cfg.OnActivate(restored)
+	}
+
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.checkpointLoop(stop, done)
+	}()
+}
+
+func (f *ClientFTIM) deactivate() {
+	f.mu.Lock()
+	if !f.active {
+		f.mu.Unlock()
+		return
+	}
+	f.active = false
+	stop, done := f.ckptStop, f.ckptDone
+	f.mu.Unlock()
+
+	close(stop)
+	<-done
+	if f.cfg.OnDeactivate != nil {
+		f.cfg.OnDeactivate()
+	}
+}
+
+func (f *ClientFTIM) checkpointLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(f.cfg.CheckpointPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = f.checkpointOnce()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// checkpointOnce captures per the configured mode and ships to the peer.
+// It serves both the periodic loop and the OFTTSave path.
+func (f *ClientFTIM) checkpointOnce() error {
+	f.mu.Lock()
+	needFull := f.needFull
+	f.mu.Unlock()
+
+	var snap *checkpoint.Snapshot
+	var err error
+	switch {
+	case needFull:
+		snap, err = f.reg.CaptureFull()
+	case f.cfg.Mode == CaptureFull:
+		snap, err = f.reg.CaptureFull()
+	case f.cfg.Mode == CaptureSelective:
+		snap, err = f.reg.CaptureSelective()
+	default:
+		snap, err = f.reg.CaptureIncremental()
+	}
+	if err != nil {
+		return err
+	}
+	// Empty incrementals are shipped too: they are nearly free and keep
+	// the backup's sequence number advancing, and a backup whose store was
+	// reset (it was just demoted) rejects them for lack of a base, which
+	// triggers the full re-base below.
+	if err := f.cfg.Engine.ShipSnapshot(snap); err != nil {
+		f.mu.Lock()
+		f.ckptErrs++
+		f.needFull = true // re-base the peer on the next attempt
+		f.mu.Unlock()
+		return err
+	}
+	f.mu.Lock()
+	f.ckpts++
+	f.needFull = false
+	f.mu.Unlock()
+	return nil
+}
+
+// Crash terminates the FTIM abruptly, as when its hosting process is
+// killed: heartbeats, checkpointing, and tasks stop, but the component
+// stays registered with the engine — so the engine's failure detector sees
+// the silence and applies the recovery rule, exactly as with a real
+// application crash. Contrast Shutdown, the clean withdrawal.
+func (f *ClientFTIM) Crash() {
+	f.mu.Lock()
+	if f.shutdown {
+		f.mu.Unlock()
+		return
+	}
+	f.shutdown = true
+	tasks := make([]*task, 0, len(f.tasks))
+	for _, t := range f.tasks {
+		tasks = append(tasks, t)
+	}
+	f.mu.Unlock()
+
+	f.deactivate()
+	f.emitter.Stop()
+	for _, t := range tasks {
+		t.signalStop()
+		<-t.done
+	}
+	f.wg.Wait()
+	// Deliberately no UnregisterComponent: the engine must notice.
+}
+
+// Shutdown cleanly withdraws the application from OFTT: stops heartbeats,
+// checkpointing, and tracked tasks, and unregisters from the engine.
+func (f *ClientFTIM) Shutdown() {
+	f.mu.Lock()
+	if f.shutdown {
+		f.mu.Unlock()
+		return
+	}
+	f.shutdown = true
+	tasks := make([]*task, 0, len(f.tasks))
+	for _, t := range f.tasks {
+		tasks = append(tasks, t)
+	}
+	f.mu.Unlock()
+
+	f.deactivate()
+	f.emitter.Stop()
+	for _, t := range tasks {
+		t.signalStop()
+		<-t.done
+	}
+	f.cfg.Engine.UnregisterComponent(f.cfg.Component)
+	f.wg.Wait()
+}

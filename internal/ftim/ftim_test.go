@@ -1,0 +1,468 @@
+package ftim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+)
+
+// harness builds a live engine pair and returns both engines.
+type harness struct {
+	e1, e2 *engine.Engine
+	node1  *cluster.Node
+	node2  *cluster.Node
+	nets   []*netsim.Network
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	h := &harness{}
+	h.nets = []*netsim.Network{netsim.New("ethA", 1)}
+	h.node1 = cluster.NewNode("node1", 1, h.nets...)
+	h.node2 = cluster.NewNode("node2", 2, h.nets...)
+	cfg := func(peer string) engine.Config {
+		return engine.Config{
+			PeerNode:          peer,
+			HeartbeatInterval: 5 * time.Millisecond,
+			PeerTimeout:       30 * time.Millisecond,
+			Startup: engine.StartupPolicy{
+				Retries:       10,
+				RetryInterval: 10 * time.Millisecond,
+				Alone:         engine.AloneBecomePrimary,
+			},
+		}
+	}
+	h.e1 = engine.New(h.node1, cfg("node2"), nil)
+	h.e2 = engine.New(h.node2, cfg("node1"), nil)
+	if err := h.e1.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.e2.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		h.e1.Stop()
+		h.e2.Stop()
+	})
+	waitFor(t, "pair formation", func() bool {
+		return h.e1.Role() == engine.RolePrimary && h.e2.Role() == engine.RoleBackup
+	})
+	return h
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+type appState struct {
+	Count int64
+	Hist  []int64
+}
+
+func TestInitializeValidation(t *testing.T) {
+	if _, err := Initialize(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	h := newHarness(t)
+	if _, err := Initialize(Config{Component: "app"}); err == nil {
+		t.Fatal("missing engine accepted")
+	}
+	f, err := Initialize(Config{Component: "app", Engine: h.e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	if f.MyRole() != engine.RolePrimary {
+		t.Fatalf("role = %v", f.MyRole())
+	}
+}
+
+func TestActivationOnPrimary(t *testing.T) {
+	h := newHarness(t)
+	activated := make(chan bool, 1)
+	f, err := Initialize(Config{
+		Component:  "app",
+		Engine:     h.e1,
+		OnActivate: func(restored bool) { activated <- restored },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	select {
+	case restored := <-activated:
+		if restored {
+			t.Fatal("nothing to restore on first activation")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("OnActivate never fired on primary")
+	}
+}
+
+func TestBackupStaysInactive(t *testing.T) {
+	h := newHarness(t)
+	activated := make(chan bool, 1)
+	f, err := Initialize(Config{
+		Component:  "app",
+		Engine:     h.e2, // backup side
+		OnActivate: func(restored bool) { activated <- restored },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	select {
+	case <-activated:
+		t.Fatal("backup copy activated")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestCheckpointFlowsToBackupStore(t *testing.T) {
+	h := newHarness(t)
+	f, err := Initialize(Config{
+		Component:        "app",
+		Engine:           h.e1,
+		CheckpointPeriod: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+
+	state := &appState{Count: 1}
+	if err := f.RegisterState("state", state); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "checkpoint receipt", func() bool { return h.e2.Store().LastSeq() > 0 })
+
+	f.WithLock(func() { state.Count = 42 })
+	waitFor(t, "updated checkpoint", func() bool {
+		ok, _ := f.CheckpointStats()
+		return ok >= 2 && h.e2.Store().LastSeq() >= 2
+	})
+}
+
+func TestSaveImmediateCheckpoint(t *testing.T) {
+	h := newHarness(t)
+	f, err := Initialize(Config{
+		Component:        "app",
+		Engine:           h.e1,
+		CheckpointPeriod: 10 * time.Second, // periodic effectively off
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	state := &appState{Count: 9}
+	_ = f.RegisterState("state", state)
+
+	if err := f.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if h.e2.Store().LastSeq() == 0 {
+		t.Fatal("OFTTSave did not ship immediately")
+	}
+}
+
+func TestSaveRefusedOnBackup(t *testing.T) {
+	h := newHarness(t)
+	f, err := Initialize(Config{Component: "app", Engine: h.e2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	if err := f.Save(); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestFailoverRestoresState(t *testing.T) {
+	h := newHarness(t)
+
+	// Primary app with state.
+	fp, err := Initialize(Config{
+		Component:        "app",
+		Engine:           h.e1,
+		CheckpointPeriod: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateP := &appState{}
+	_ = fp.RegisterState("state", stateP)
+
+	// Backup app, same binary shape.
+	restoredCh := make(chan bool, 1)
+	stateB := &appState{}
+	fb, err := Initialize(Config{
+		Component:        "app",
+		Engine:           h.e2,
+		CheckpointPeriod: 10 * time.Millisecond,
+		OnActivate:       func(restored bool) { restoredCh <- restored },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Shutdown()
+	_ = fb.RegisterState("state", stateB)
+
+	// Primary makes progress; OFTTSave pushes it to the backup synchronously.
+	fp.WithLock(func() {
+		stateP.Count = 1234
+		stateP.Hist = []int64{1, 2, 3}
+	})
+	if err := fp.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary node dies (scenario a).
+	h.node1.PowerOff()
+	select {
+	case restored := <-restoredCh:
+		if !restored {
+			t.Fatal("takeover without restore despite checkpoints")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("backup never activated")
+	}
+	fb.WithLock(func() {
+		if stateB.Count != 1234 || len(stateB.Hist) != 3 {
+			t.Fatalf("state lost in failover: %+v", stateB)
+		}
+	})
+}
+
+func TestNewPrimaryResumesCheckpointingAfterFailback(t *testing.T) {
+	h := newHarness(t)
+	fp, _ := Initialize(Config{Component: "app", Engine: h.e1,
+		CheckpointPeriod: 10 * time.Millisecond})
+	stateP := &appState{}
+	_ = fp.RegisterState("state", stateP)
+	fb, _ := Initialize(Config{Component: "app", Engine: h.e2,
+		CheckpointPeriod: 10 * time.Millisecond})
+	defer fb.Shutdown()
+	stateB := &appState{}
+	_ = fb.RegisterState("state", stateB)
+
+	fp.WithLock(func() { stateP.Count = 5 })
+	waitFor(t, "initial checkpoints", func() bool { return h.e2.Store().LastSeq() >= 1 })
+
+	// Commanded switchover: e2 becomes primary and must now ship
+	// checkpoints back to e1's store (which was reset on demotion).
+	if err := h.e1.RequestSwitchover("failback test"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "roles swapped", func() bool {
+		return h.e2.Role() == engine.RolePrimary && h.e1.Role() == engine.RoleBackup
+	})
+	fb.WithLock(func() { stateB.Count = 77 })
+	// The new primary's checkpoint stream must reach the demoted node's
+	// (reset) store, re-basing with a full snapshot if its first frames
+	// were rejected.
+	waitFor(t, "reverse checkpoint flow", func() bool { return h.e1.Store().LastSeq() >= 1 })
+}
+
+func TestSelSaveLimitsCheckpoint(t *testing.T) {
+	h := newHarness(t)
+	f, err := Initialize(Config{
+		Component:        "app",
+		Engine:           h.e1,
+		Mode:             CaptureSelective,
+		CheckpointPeriod: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	small := int64(1)
+	big := make([]byte, 1<<16)
+	_ = f.RegisterState("small", &small)
+	_ = f.RegisterState("big", &big)
+	if err := f.SelSave("small"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "selective checkpoints", func() bool {
+		ok, _ := f.CheckpointStats()
+		return ok >= 2
+	})
+}
+
+func TestDynamicTaskTracking(t *testing.T) {
+	h := newHarness(t)
+	f, err := Initialize(Config{
+		Component:        "app",
+		Engine:           h.e1,
+		CheckpointPeriod: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+
+	taskState := &appState{Count: 3}
+	started := make(chan struct{})
+	if err := f.Go("worker", taskState, func(stop <-chan struct{}) {
+		close(started)
+		<-stop
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// The task's state region participates in the walkthrough.
+	found := false
+	for _, r := range f.Registry().Regions() {
+		if r == "task:worker" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("task state not registered: %v", f.Registry().Regions())
+	}
+	if len(f.Tasks()) != 1 {
+		t.Fatalf("tasks: %v", f.Tasks())
+	}
+
+	// Duplicate task names are refused.
+	if err := f.Go("worker", nil, func(<-chan struct{}) {}); err == nil {
+		t.Fatal("duplicate task accepted")
+	}
+
+	f.StopTask("worker")
+	waitFor(t, "task cleanup", func() bool { return len(f.Tasks()) == 0 })
+	for _, r := range f.Registry().Regions() {
+		if r == "task:worker" {
+			t.Fatal("task region leaked after exit")
+		}
+	}
+}
+
+func TestWatchdogDistressCausesSwitchover(t *testing.T) {
+	h := newHarness(t)
+	f, err := Initialize(Config{Component: "app", Engine: h.e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+
+	if err := f.WatchdogCreate("scan-deadline"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WatchdogSet("scan-deadline", 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Never reset: the watchdog bites, raising distress -> switchover.
+	waitFor(t, "watchdog switchover", func() bool {
+		return h.e2.Role() == engine.RolePrimary
+	})
+}
+
+func TestWatchdogResetPreventsDistress(t *testing.T) {
+	h := newHarness(t)
+	f, err := Initialize(Config{Component: "app", Engine: h.e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	_ = f.WatchdogCreate("wd")
+	_ = f.WatchdogSet("wd", 40*time.Millisecond)
+	for i := 0; i < 8; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if err := f.WatchdogReset("wd"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.e1.Role() != engine.RolePrimary {
+		t.Fatal("healthy watchdog caused switchover")
+	}
+	_ = f.WatchdogDelete("wd")
+}
+
+func TestShutdownStopsEverything(t *testing.T) {
+	h := newHarness(t)
+	f, err := Initialize(Config{Component: "app", Engine: h.e1,
+		CheckpointPeriod: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var taskStopped sync.WaitGroup
+	taskStopped.Add(1)
+	_ = f.Go("w", nil, func(stop <-chan struct{}) {
+		defer taskStopped.Done()
+		<-stop
+	})
+	f.Shutdown()
+	taskStopped.Wait()
+	if err := f.Save(); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Save after shutdown: %v", err)
+	}
+	if err := f.Go("x", nil, func(<-chan struct{}) {}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Go after shutdown: %v", err)
+	}
+	f.Shutdown() // idempotent
+}
+
+func TestServerFTIMIsStateless(t *testing.T) {
+	h := newHarness(t)
+	sf, err := InitializeServer(ServerConfig{Component: "opcserver", Engine: h.e1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Shutdown()
+	if sf.MyRole() != engine.RolePrimary {
+		t.Fatalf("role: %v", sf.MyRole())
+	}
+	// No checkpoints ever flow from a server FTIM.
+	time.Sleep(100 * time.Millisecond)
+	if h.e2.Store().LastSeq() != 0 {
+		t.Fatal("server FTIM shipped checkpoints")
+	}
+	comps := h.e1.Components()
+	if len(comps) != 1 || comps[0] != "opcserver" {
+		t.Fatalf("components: %v", comps)
+	}
+}
+
+func TestServerFTIMValidation(t *testing.T) {
+	if _, err := InitializeServer(ServerConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := InitializeServer(ServerConfig{Component: "x"}); err == nil {
+		t.Fatal("missing engine accepted")
+	}
+}
+
+func TestHeartbeatsKeepComponentAlive(t *testing.T) {
+	h := newHarness(t)
+	restarts := make(chan struct{}, 4)
+	f, err := Initialize(Config{
+		Component:         "app",
+		Engine:            h.e1,
+		HeartbeatInterval: 5 * time.Millisecond,
+		Timeout:           30 * time.Millisecond,
+		Restart:           func() error { restarts <- struct{}{}; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Shutdown()
+	select {
+	case <-restarts:
+		t.Fatal("healthy component was restarted")
+	case <-time.After(150 * time.Millisecond):
+	}
+}

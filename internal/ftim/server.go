@@ -1,0 +1,104 @@
+package ftim
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/heartbeat"
+)
+
+// ServerConfig parameterizes InitializeServer.
+type ServerConfig struct {
+	// Component is the OPC server's monitored name.
+	Component string
+	// Engine is this node's OFTT engine.
+	Engine *engine.Engine
+	// HeartbeatInterval is the beat period (default 10ms).
+	HeartbeatInterval time.Duration
+	// Timeout is the engine-side silence threshold (default 5x interval).
+	Timeout time.Duration
+	// Rule is the recovery rule (default: 3 local restarts, then keep
+	// restarting — an OPC server is stateless, so local restart is always
+	// the right provision).
+	Rule engine.RecoveryRule
+	// Restart is the local recovery provision.
+	Restart func() error
+	// Reattach binds to an existing engine component entry (restart path),
+	// preserving the restart budget.
+	Reattach bool
+}
+
+// ServerFTIM is the OPC-server interface module. Per Section 2.2.2, an OPC
+// server "is simply responsible for converting data ... In this aspect, it
+// is stateless", so the server FTIM monitors and heartbeats but takes no
+// checkpoints — the difference between the two FTIM flavors.
+type ServerFTIM struct {
+	cfg     ServerConfig
+	emitter *heartbeat.Emitter
+	down    bool
+}
+
+// InitializeServer is OFTTInitialize for an OPC server application.
+func InitializeServer(cfg ServerConfig) (*ServerFTIM, error) {
+	if cfg.Component == "" {
+		return nil, errors.New("ftim: Component required")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("ftim: Engine required")
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * cfg.HeartbeatInterval
+	}
+	if cfg.Rule.MaxLocalRestarts == 0 && cfg.Rule.Exhausted == 0 {
+		cfg.Rule = engine.RecoveryRule{MaxLocalRestarts: 3, Exhausted: engine.ExhaustKeepRestarting}
+	}
+
+	f := &ServerFTIM{cfg: cfg}
+	register := cfg.Engine.RegisterComponent
+	if cfg.Reattach {
+		register = cfg.Engine.ReattachComponent
+	}
+	if err := register(cfg.Component, cfg.Timeout, cfg.Rule, cfg.Restart); err != nil {
+		return nil, err
+	}
+	f.emitter = heartbeat.NewEmitter(cfg.Component, cfg.HeartbeatInterval, func(b heartbeat.Beat) {
+		cfg.Engine.ComponentBeat(b.Source, b.Seq, b.Status)
+	})
+	f.emitter.Start()
+	return f, nil
+}
+
+// MyRole is OFTTGetMyRole.
+func (f *ServerFTIM) MyRole() engine.Role { return f.cfg.Engine.Role() }
+
+// SetStatus updates the status string carried by heartbeats.
+func (f *ServerFTIM) SetStatus(s string) { f.emitter.SetStatus(s) }
+
+// Distress is OFTTDistress for server applications.
+func (f *ServerFTIM) Distress(reason string) error {
+	return f.cfg.Engine.Distress(f.cfg.Component, reason)
+}
+
+// Crash terminates the FTIM abruptly (process kill): heartbeats stop but
+// the component stays registered so the engine's detector notices.
+func (f *ServerFTIM) Crash() {
+	if f.down {
+		return
+	}
+	f.down = true
+	f.emitter.Stop()
+}
+
+// Shutdown withdraws the server from OFTT monitoring.
+func (f *ServerFTIM) Shutdown() {
+	if f.down {
+		return
+	}
+	f.down = true
+	f.emitter.Stop()
+	f.cfg.Engine.UnregisterComponent(f.cfg.Component)
+}

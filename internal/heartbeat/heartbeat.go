@@ -1,0 +1,312 @@
+// Package heartbeat implements OFTT's failure-detection primitive
+// (Section 2.2.1): every monitored component periodically emits a heartbeat
+// message; the OFTT engine considers a component failed when no message
+// arrives within a pre-specified timeout and initiates a recovery provision.
+//
+// Emitters run on the monitored side (FTIMs, the peer engine); the Monitor
+// runs inside the engine. Transport is pluggable: local components beat via
+// direct function call, the peer engine via netsim datagrams.
+package heartbeat
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ndr"
+)
+
+// Beat is one heartbeat message.
+type Beat struct {
+	Source string
+	Seq    uint64
+	Status string // free-form component status, relayed to the system monitor
+	SentAt time.Time
+}
+
+// Encode serializes a beat for datagram transport.
+func (b Beat) Encode() ([]byte, error) { return ndr.Marshal(b) }
+
+// DecodeBeat parses a datagram payload.
+func DecodeBeat(data []byte) (Beat, error) {
+	var b Beat
+	err := ndr.Unmarshal(data, &b)
+	return b, err
+}
+
+// SendFunc delivers one encoded beat; failures are the sender's to absorb
+// (heartbeats are fire-and-forget).
+type SendFunc func(b Beat)
+
+// Emitter periodically emits heartbeats for one source.
+type Emitter struct {
+	source   string
+	interval time.Duration
+	send     SendFunc
+
+	mu     sync.Mutex
+	status string
+	seq    uint64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewEmitter creates a stopped emitter; call Start to begin beating.
+func NewEmitter(source string, interval time.Duration, send SendFunc) *Emitter {
+	return &Emitter{
+		source:   source,
+		interval: interval,
+		send:     send,
+		status:   "OK",
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// SetStatus updates the status string carried by subsequent beats.
+func (e *Emitter) SetStatus(s string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.status = s
+}
+
+// Start launches the beat loop. It emits one beat immediately so monitors
+// learn of the component without waiting a full interval.
+func (e *Emitter) Start() {
+	go func() {
+		defer close(e.done)
+		e.beat()
+		t := time.NewTicker(e.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				e.beat()
+			case <-e.stop:
+				return
+			}
+		}
+	}()
+}
+
+func (e *Emitter) beat() {
+	e.mu.Lock()
+	e.seq++
+	b := Beat{Source: e.source, Seq: e.seq, Status: e.status, SentAt: time.Now()}
+	e.mu.Unlock()
+	e.send(b)
+}
+
+// Stop halts the beat loop and waits for it to exit.
+func (e *Emitter) Stop() {
+	e.once.Do(func() { close(e.stop) })
+	<-e.done
+}
+
+// FailureFunc is invoked (outside the monitor's lock) when a source's
+// deadline passes.
+type FailureFunc func(source string, lastSeen time.Time)
+
+// watchEntry is one monitored source.
+type watchEntry struct {
+	timeout  time.Duration
+	lastSeen time.Time
+	lastSeq  uint64
+	lastStat string
+	failed   bool
+	onFail   FailureFunc
+}
+
+// Monitor tracks heartbeat deadlines for many sources. A source that
+// misses its timeout is reported failed exactly once; a subsequent beat
+// rearms it (and is reported as a recovery if a callback is installed).
+type Monitor struct {
+	checkEvery time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*watchEntry
+	paused  bool
+
+	onRecover func(source string)
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewMonitor creates a monitor that sweeps deadlines every checkEvery.
+func NewMonitor(checkEvery time.Duration) *Monitor {
+	return &Monitor{
+		checkEvery: checkEvery,
+		entries:    make(map[string]*watchEntry),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+// OnRecover installs a callback for sources that beat again after being
+// declared failed.
+func (m *Monitor) OnRecover(fn func(source string)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onRecover = fn
+}
+
+// Watch registers a source with its timeout and failure callback. The
+// deadline clock starts now.
+func (m *Monitor) Watch(source string, timeout time.Duration, onFail FailureFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[source] = &watchEntry{
+		timeout:  timeout,
+		lastSeen: time.Now(),
+		onFail:   onFail,
+	}
+}
+
+// Unwatch removes a source.
+func (m *Monitor) Unwatch(source string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.entries, source)
+}
+
+// Pause suspends failure detection (used during deliberate transitions such
+// as a commanded switchover, so the engine does not race its own actions).
+func (m *Monitor) Pause() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.paused = true
+}
+
+// Resume re-enables detection, resetting all deadlines so time spent paused
+// does not count against the components.
+func (m *Monitor) Resume() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.paused = false
+	now := time.Now()
+	for _, e := range m.entries {
+		e.lastSeen = now
+	}
+}
+
+// Observe records a heartbeat. Beats from unknown sources are ignored
+// (they may be from a component registered on the peer).
+func (m *Monitor) Observe(b Beat) {
+	m.mu.Lock()
+	e, ok := m.entries[b.Source]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	wasFailed := e.failed
+	// Out-of-order beats (possible over the datagram fabric) still count as
+	// liveness evidence; sequence regressions are not failures.
+	e.lastSeen = time.Now()
+	e.lastSeq = b.Seq
+	e.lastStat = b.Status
+	e.failed = false
+	onRecover := m.onRecover
+	m.mu.Unlock()
+	if wasFailed && onRecover != nil {
+		onRecover(b.Source)
+	}
+}
+
+// Rearm resets a source's deadline and failed latch without counting as a
+// recovery — used after the engine restarts a component, so continued
+// silence is detected as a fresh failure.
+func (m *Monitor) Rearm(source string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.entries[source]; ok {
+		e.lastSeen = time.Now()
+		e.failed = false
+	}
+}
+
+// Start launches the deadline sweeper.
+func (m *Monitor) Start() {
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.checkEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.sweep()
+			case <-m.stop:
+				return
+			}
+		}
+	}()
+}
+
+func (m *Monitor) sweep() {
+	type firing struct {
+		source   string
+		lastSeen time.Time
+		fn       FailureFunc
+	}
+	now := time.Now()
+	var fires []firing
+	m.mu.Lock()
+	if m.paused {
+		m.mu.Unlock()
+		return
+	}
+	for source, e := range m.entries {
+		if !e.failed && now.Sub(e.lastSeen) > e.timeout {
+			e.failed = true
+			if e.onFail != nil {
+				fires = append(fires, firing{source: source, lastSeen: e.lastSeen, fn: e.onFail})
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, f := range fires {
+		f.fn(f.source, f.lastSeen)
+	}
+}
+
+// Stop halts the sweeper and waits for it to exit.
+func (m *Monitor) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Status is one source's last-known condition.
+type Status struct {
+	Source   string
+	LastSeen time.Time
+	LastSeq  uint64
+	Status   string
+	Failed   bool
+}
+
+// Snapshot reports every watched source (for the system monitor).
+func (m *Monitor) Snapshot() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.entries))
+	for source, e := range m.entries {
+		out = append(out, Status{
+			Source:   source,
+			LastSeen: e.lastSeen,
+			LastSeq:  e.lastSeq,
+			Status:   e.lastStat,
+			Failed:   e.failed,
+		})
+	}
+	return out
+}
+
+// Failed reports whether a specific source is currently marked failed.
+func (m *Monitor) Failed(source string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[source]
+	return ok && e.failed
+}

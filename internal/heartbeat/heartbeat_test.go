@@ -1,0 +1,276 @@
+package heartbeat
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func TestEmitterBeats(t *testing.T) {
+	var mu sync.Mutex
+	var beats []Beat
+	e := NewEmitter("ftim:app", 10*time.Millisecond, func(b Beat) {
+		mu.Lock()
+		beats = append(beats, b)
+		mu.Unlock()
+	})
+	e.Start()
+	time.Sleep(60 * time.Millisecond)
+	e.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(beats) < 3 {
+		t.Fatalf("only %d beats in 60ms at 10ms interval", len(beats))
+	}
+	for i, b := range beats {
+		if b.Source != "ftim:app" {
+			t.Fatalf("beat %d source %q", i, b.Source)
+		}
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("beat %d seq %d", i, b.Seq)
+		}
+	}
+}
+
+func TestEmitterStatus(t *testing.T) {
+	var last atomic.Value
+	e := NewEmitter("x", 5*time.Millisecond, func(b Beat) { last.Store(b.Status) })
+	e.SetStatus("DEGRADED")
+	e.Start()
+	time.Sleep(20 * time.Millisecond)
+	e.Stop()
+	if got := last.Load(); got != "DEGRADED" {
+		t.Fatalf("status = %v", got)
+	}
+}
+
+func TestMonitorDetectsSilence(t *testing.T) {
+	m := NewMonitor(5 * time.Millisecond)
+	failures := make(chan string, 1)
+	m.Watch("app", 25*time.Millisecond, func(source string, _ time.Time) {
+		failures <- source
+	})
+	m.Start()
+	defer m.Stop()
+
+	select {
+	case got := <-failures:
+		if got != "app" {
+			t.Fatalf("failed source %q", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("silence not detected")
+	}
+	if !m.Failed("app") {
+		t.Fatal("Failed() should report true")
+	}
+}
+
+func TestMonitorBeatsPreventFailure(t *testing.T) {
+	m := NewMonitor(5 * time.Millisecond)
+	var failed atomic.Bool
+	m.Watch("app", 30*time.Millisecond, func(string, time.Time) { failed.Store(true) })
+	m.Start()
+	defer m.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seq := uint64(0)
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				seq++
+				m.Observe(Beat{Source: "app", Seq: seq, SentAt: time.Now()})
+			case <-stop:
+				return
+			}
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if failed.Load() {
+		t.Fatal("healthy component declared failed")
+	}
+}
+
+func TestMonitorFailureFiresOnce(t *testing.T) {
+	m := NewMonitor(2 * time.Millisecond)
+	var count atomic.Int32
+	m.Watch("app", 10*time.Millisecond, func(string, time.Time) { count.Add(1) })
+	m.Start()
+	defer m.Stop()
+	time.Sleep(80 * time.Millisecond)
+	if got := count.Load(); got != 1 {
+		t.Fatalf("failure fired %d times", got)
+	}
+}
+
+func TestMonitorRecovery(t *testing.T) {
+	m := NewMonitor(2 * time.Millisecond)
+	failed := make(chan struct{}, 1)
+	recovered := make(chan string, 1)
+	m.OnRecover(func(s string) { recovered <- s })
+	m.Watch("app", 10*time.Millisecond, func(string, time.Time) { failed <- struct{}{} })
+	m.Start()
+	defer m.Stop()
+
+	<-failed
+	m.Observe(Beat{Source: "app", Seq: 1, SentAt: time.Now()})
+	select {
+	case s := <-recovered:
+		if s != "app" {
+			t.Fatalf("recovered %q", s)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("recovery not reported")
+	}
+	if m.Failed("app") {
+		t.Fatal("source still marked failed after recovery")
+	}
+}
+
+func TestMonitorPauseResume(t *testing.T) {
+	m := NewMonitor(2 * time.Millisecond)
+	var count atomic.Int32
+	m.Watch("app", 10*time.Millisecond, func(string, time.Time) { count.Add(1) })
+	m.Pause()
+	m.Start()
+	defer m.Stop()
+	time.Sleep(50 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatal("failure detected while paused")
+	}
+	m.Resume()
+	time.Sleep(50 * time.Millisecond)
+	if count.Load() != 1 {
+		t.Fatalf("failures after resume: %d", count.Load())
+	}
+}
+
+func TestMonitorUnwatch(t *testing.T) {
+	m := NewMonitor(2 * time.Millisecond)
+	var count atomic.Int32
+	m.Watch("app", 10*time.Millisecond, func(string, time.Time) { count.Add(1) })
+	m.Unwatch("app")
+	m.Start()
+	defer m.Stop()
+	time.Sleep(40 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Fatal("unwatched source reported failed")
+	}
+}
+
+func TestMonitorIgnoresUnknownSource(t *testing.T) {
+	m := NewMonitor(5 * time.Millisecond)
+	m.Observe(Beat{Source: "stranger", Seq: 1}) // must not panic or register
+	if len(m.Snapshot()) != 0 {
+		t.Fatal("unknown source leaked into snapshot")
+	}
+}
+
+func TestBeatEncodeDecode(t *testing.T) {
+	in := Beat{Source: "engine@node1", Seq: 42, Status: "PRIMARY", SentAt: time.Now().UTC()}
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBeat(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Source != in.Source || out.Seq != in.Seq || out.Status != in.Status {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestHeartbeatOverDatagramFabric(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	rx, err := n.ListenDatagram("engine2:hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := n.ListenDatagram("engine1:hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+
+	e := NewEmitter("engine1", 5*time.Millisecond, func(b Beat) {
+		data, err := b.Encode()
+		if err != nil {
+			return
+		}
+		_ = tx.Send("engine2:hb", data)
+	})
+	e.Start()
+	defer e.Stop()
+
+	m := NewMonitor(5 * time.Millisecond)
+	failed := make(chan struct{}, 1)
+	m.Watch("engine1", 30*time.Millisecond, func(string, time.Time) {
+		select {
+		case failed <- struct{}{}:
+		default:
+		}
+	})
+	m.Start()
+	defer m.Stop()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			d, err := rx.RecvTimeout(200 * time.Millisecond)
+			if err != nil {
+				return
+			}
+			if b, err := DecodeBeat(d.Payload); err == nil {
+				m.Observe(b)
+			}
+		}
+	}()
+
+	// Healthy: no failure within 100ms.
+	select {
+	case <-failed:
+		t.Fatal("healthy peer declared failed")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Kill the sender's endpoint: failure must be detected.
+	n.FailEndpoint("engine1:hb")
+	select {
+	case <-failed:
+	case <-time.After(time.Second):
+		t.Fatal("dead peer not detected")
+	}
+	e.Stop()
+	<-done
+}
+
+func TestSnapshot(t *testing.T) {
+	m := NewMonitor(5 * time.Millisecond)
+	m.Watch("a", time.Second, nil)
+	m.Watch("b", time.Second, nil)
+	m.Observe(Beat{Source: "a", Seq: 3, Status: "OK"})
+	snap := m.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	for _, s := range snap {
+		if s.Source == "a" && (s.LastSeq != 3 || s.Status != "OK") {
+			t.Fatalf("entry a: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package monitor
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/netsim"
+)
+
+func TestReportAndStatuses(t *testing.T) {
+	m := New(0)
+	_ = m.Report(ComponentStatus{Node: "node2", Component: "engine", Kind: KindEngine, State: "BACKUP"})
+	_ = m.Report(ComponentStatus{Node: "node1", Component: "engine", Kind: KindEngine, State: "PRIMARY"})
+	_ = m.Report(ComponentStatus{Node: "node1", Component: "calltrack", Kind: KindApp, State: "RUNNING"})
+
+	rows := m.Statuses()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sorted by node then component.
+	if rows[0].Component != "calltrack" || rows[1].Node != "node1" || rows[2].Node != "node2" {
+		t.Fatalf("order: %+v", rows)
+	}
+
+	// Re-report replaces the row.
+	_ = m.Report(ComponentStatus{Node: "node1", Component: "engine", Kind: KindEngine, State: "FAILED"})
+	st, ok := m.Status("node1", "engine")
+	if !ok || st.State != "FAILED" {
+		t.Fatalf("updated row: %+v", st)
+	}
+	if m.CountByState("FAILED") != 1 {
+		t.Fatal("CountByState")
+	}
+}
+
+func TestEventRetention(t *testing.T) {
+	m := New(5)
+	for i := 0; i < 12; i++ {
+		_ = m.RecordEvent(Event{Kind: "info", Detail: strings.Repeat("x", i)})
+	}
+	evs := m.Events(0)
+	if len(evs) != 5 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	if len(evs[4].Detail) != 11 {
+		t.Fatal("retention dropped the wrong end")
+	}
+	if got := m.Events(2); len(got) != 2 || len(got[1].Detail) != 11 {
+		t.Fatalf("limit: %+v", got)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	m := New(0)
+	var mu sync.Mutex
+	var got []Event
+	cancel := m.Subscribe(func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+	_ = m.RecordEvent(Event{Kind: "failure", Node: "node1"})
+	mu.Lock()
+	if len(got) != 1 || got[0].Kind != "failure" {
+		mu.Unlock()
+		t.Fatalf("got %+v", got)
+	}
+	mu.Unlock()
+	cancel()
+	_ = m.RecordEvent(Event{Kind: "info"})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatal("cancelled subscriber fired")
+	}
+}
+
+func TestRender(t *testing.T) {
+	m := New(0)
+	_ = m.Report(ComponentStatus{Node: "node1", Component: "engine", Kind: KindEngine,
+		State: "PRIMARY", Detail: "up 5m", UpdatedAt: time.Now()})
+	_ = m.RecordEvent(Event{Node: "node1", Component: "app", Kind: "failure", Detail: "heartbeat lost"})
+	out := m.Render()
+	for _, want := range []string{"OFTT SYSTEM MONITOR", "node1", "engine", "PRIMARY", "heartbeat lost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRemoteReporting(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, err := dcom.NewExporter(n, "testpc:monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	m := New(0)
+	oid := com.NewGUID()
+	if err := Export(exp, oid, m); err != nil {
+		t.Fatal(err)
+	}
+
+	cli, err := dcom.Dial(n, "node1:monitorcli", "testpc:monitor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	remote := NewRemote(cli, oid)
+
+	remote.Report(ComponentStatus{Node: "node1", Component: "engine", Kind: KindEngine, State: "PRIMARY"})
+	remote.RecordEvent(Event{Node: "node1", Kind: "role", Detail: "became primary"})
+
+	st, ok := m.Status("node1", "engine")
+	if !ok || st.State != "PRIMARY" {
+		t.Fatalf("remote report lost: %+v", st)
+	}
+	if evs := m.Events(0); len(evs) != 1 || evs[0].Kind != "role" {
+		t.Fatalf("remote event lost: %+v", evs)
+	}
+}
+
+func TestRemoteSurvivesMonitorDeath(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, _ := dcom.NewExporter(n, "testpc:monitor")
+	m := New(0)
+	oid := com.NewGUID()
+	_ = Export(exp, oid, m)
+	cli, _ := dcom.Dial(n, "node1:monitorcli", "testpc:monitor")
+	defer cli.Close()
+	remote := NewRemote(cli, oid)
+
+	exp.Close() // the monitor PC dies
+	// Reports must not panic or error: the monitor is optional.
+	remote.Report(ComponentStatus{Node: "node1", Component: "engine", State: "PRIMARY"})
+	remote.RecordEvent(Event{Kind: "info"})
+}
+
+func TestNilRemoteIsSafe(t *testing.T) {
+	var r *Remote
+	r.Report(ComponentStatus{})
+	r.RecordEvent(Event{})
+}
+
+func TestSinks(t *testing.T) {
+	m := New(0)
+	var sink Sink = LocalSink{M: m}
+	sink.ReportStatus(ComponentStatus{Node: "n", Component: "c", State: "OK"})
+	sink.Emit(Event{Kind: "info"})
+	if _, ok := m.Status("n", "c"); !ok {
+		t.Fatal("local sink dropped status")
+	}
+	sink = NullSink{}
+	sink.ReportStatus(ComponentStatus{})
+	sink.Emit(Event{})
+}

@@ -1,0 +1,44 @@
+package ndr
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzUnmarshal drives the decoder with arbitrary bytes: it must never
+// panic, whatever the target type. (Run `go test -fuzz=FuzzUnmarshal
+// ./internal/ndr` for a long campaign; the seed corpus runs in CI time.)
+func FuzzUnmarshal(f *testing.F) {
+	type nested struct {
+		Name  string
+		Vals  []int64
+		Table map[string][]byte
+		At    time.Time
+		Sub   *nested
+	}
+	seeds := [][]byte{
+		{},
+		{tagNil},
+		{tagBool, 1},
+		{tagInt, 0x80, 0x01},
+		{tagString, 3, 'a', 'b', 'c'},
+		{tagStruct, 5},
+		{tagMap, 200},
+		{tagSlice, 0xFF, 0xFF, 0xFF, 0x7F},
+		{tagIface, 4, 'n', 'o', 'p', 'e'},
+	}
+	if enc, err := Marshal(nested{Name: "seed", Vals: []int64{1, 2}}); err == nil {
+		seeds = append(seeds, enc)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var n nested
+		_ = Unmarshal(data, &n)
+		var m map[string]int64
+		_ = Unmarshal(data, &m)
+		var s []string
+		_ = Unmarshal(data, &s)
+	})
+}

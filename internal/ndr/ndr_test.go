@@ -1,0 +1,493 @@
+package ndr
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func roundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal %#v: %v", in, err)
+	}
+	if err := Unmarshal(data, out); err != nil {
+		t.Fatalf("unmarshal %#v: %v", in, err)
+	}
+}
+
+func TestScalars(t *testing.T) {
+	tests := []struct {
+		name string
+		in   any
+		out  func() any
+	}{
+		{"bool true", true, func() any { return new(bool) }},
+		{"bool false", false, func() any { return new(bool) }},
+		{"int", int(-42), func() any { return new(int) }},
+		{"int8", int8(-8), func() any { return new(int8) }},
+		{"int16", int16(-1600), func() any { return new(int16) }},
+		{"int32", int32(-320000), func() any { return new(int32) }},
+		{"int64", int64(math.MinInt64), func() any { return new(int64) }},
+		{"uint", uint(42), func() any { return new(uint) }},
+		{"uint8", uint8(255), func() any { return new(uint8) }},
+		{"uint64", uint64(math.MaxUint64), func() any { return new(uint64) }},
+		{"float32", float32(3.25), func() any { return new(float32) }},
+		{"float64", float64(-2.5e300), func() any { return new(float64) }},
+		{"string", "hello, 世界", func() any { return new(string) }},
+		{"empty string", "", func() any { return new(string) }},
+		{"duration", 1500 * time.Millisecond, func() any { return new(time.Duration) }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out := tt.out()
+			roundTrip(t, tt.in, out)
+			got := reflect.ValueOf(out).Elem().Interface()
+			if !reflect.DeepEqual(got, tt.in) {
+				t.Errorf("got %#v, want %#v", got, tt.in)
+			}
+		})
+	}
+}
+
+func TestFloatNaN(t *testing.T) {
+	var out float64
+	roundTrip(t, math.NaN(), &out)
+	if !math.IsNaN(out) {
+		t.Errorf("got %v, want NaN", out)
+	}
+}
+
+func TestTime(t *testing.T) {
+	in := time.Date(2000, 6, 25, 12, 30, 0, 123456789, time.UTC) // DSN 2000
+	var out time.Time
+	roundTrip(t, in, &out)
+	if !out.Equal(in) {
+		t.Errorf("got %v, want %v", out, in)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	in := []byte{0, 1, 2, 254, 255}
+	var out []byte
+	roundTrip(t, in, &out)
+	if !bytes.Equal(in, out) {
+		t.Errorf("got %v, want %v", out, in)
+	}
+}
+
+func TestNilByteSlice(t *testing.T) {
+	var in []byte
+	out := []byte{9}
+	roundTrip(t, in, &out)
+	if len(out) != 0 {
+		t.Errorf("got %v, want empty", out)
+	}
+}
+
+func TestSlices(t *testing.T) {
+	in := []string{"alpha", "beta", ""}
+	var out []string
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("got %v, want %v", out, in)
+	}
+}
+
+func TestArray(t *testing.T) {
+	in := [3]int{7, 8, 9}
+	var out [3]int
+	roundTrip(t, in, &out)
+	if out != in {
+		t.Errorf("got %v, want %v", out, in)
+	}
+}
+
+func TestArrayLengthMismatch(t *testing.T) {
+	data, err := Marshal([2]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [3]int
+	if err := Unmarshal(data, &out); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestMap(t *testing.T) {
+	in := map[string]int{"lines": 5, "callers": 10}
+	var out map[string]int
+	roundTrip(t, in, &out)
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("got %v, want %v", out, in)
+	}
+}
+
+func TestMapDeterminism(t *testing.T) {
+	in := map[string]int{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5}
+	first, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		again, err := Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatal("map encoding is not deterministic")
+		}
+	}
+}
+
+type inner struct {
+	Name  string
+	Count int
+}
+
+type outer struct {
+	ID       uint32
+	Inner    inner
+	Pointer  *inner
+	Tags     []string
+	Scores   map[string]float64
+	When     time.Time
+	Interval time.Duration
+	skipped  int // unexported: must be ignored
+	Excluded int `ndr:"-"`
+}
+
+func TestStructRoundTrip(t *testing.T) {
+	in := outer{
+		ID:       7,
+		Inner:    inner{Name: "primary", Count: 3},
+		Pointer:  &inner{Name: "backup", Count: 4},
+		Tags:     []string{"opc", "ftim"},
+		Scores:   map[string]float64{"latency": 1.5},
+		When:     time.Unix(961934400, 0).UTC(),
+		Interval: 250 * time.Millisecond,
+		skipped:  99,
+		Excluded: 42,
+	}
+	var out outer
+	roundTrip(t, in, &out)
+	if out.skipped != 0 {
+		t.Error("unexported field should not round-trip")
+	}
+	if out.Excluded != 0 {
+		t.Error("ndr:\"-\" field should not round-trip")
+	}
+	in.skipped, in.Excluded = 0, 0
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestNilPointer(t *testing.T) {
+	var in *inner
+	out := &inner{Name: "dirty"}
+	roundTrip(t, in, &out)
+	if out != nil {
+		t.Errorf("got %+v, want nil", out)
+	}
+}
+
+type payloadA struct{ X int }
+type payloadB struct{ Y string }
+
+func TestInterfaceRegistry(t *testing.T) {
+	MustRegister("test.payloadA", payloadA{})
+	MustRegister("test.payloadB", payloadB{})
+
+	type envelope struct{ Body any }
+	in := envelope{Body: payloadA{X: 12}}
+	var out envelope
+	roundTrip(t, in, &out)
+	got, ok := out.Body.(payloadA)
+	if !ok || got.X != 12 {
+		t.Errorf("got %#v, want payloadA{12}", out.Body)
+	}
+
+	in = envelope{Body: payloadB{Y: "hb"}}
+	out = envelope{}
+	roundTrip(t, in, &out)
+	if got, ok := out.Body.(payloadB); !ok || got.Y != "hb" {
+		t.Errorf("got %#v, want payloadB{hb}", out.Body)
+	}
+}
+
+func TestUnregisteredInterfaceFails(t *testing.T) {
+	type envelope struct{ Body any }
+	type unregistered struct{ Z int }
+	_, err := Marshal(envelope{Body: unregistered{1}})
+	if err == nil {
+		t.Fatal("expected error for unregistered interface payload")
+	}
+}
+
+func TestRegisterConflict(t *testing.T) {
+	if err := Register("test.conflict", payloadA{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register("test.conflict", payloadB{}); err == nil {
+		t.Fatal("expected conflict error")
+	}
+	// Re-registering the same type under the same name is fine.
+	if err := Register("test.conflict", payloadA{}); err != nil {
+		t.Fatalf("idempotent re-register: %v", err)
+	}
+}
+
+func TestDecodeIntoWrongType(t *testing.T) {
+	data, err := Marshal("not a number")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out int
+	if err := Unmarshal(data, &out); err == nil {
+		t.Fatal("expected type mismatch")
+	}
+}
+
+func TestDecodeTargetMustBePointer(t *testing.T) {
+	data, _ := Marshal(1)
+	var out int
+	if err := Unmarshal(data, out); err == nil {
+		t.Fatal("expected non-pointer target error")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	data, err := Marshal(outer{Tags: []string{"a", "b", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		var out outer
+		if err := Unmarshal(data[:cut], &out); err == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(data))
+		}
+	}
+}
+
+func TestIntOverflowDetected(t *testing.T) {
+	data, err := Marshal(int64(1 << 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out int8
+	if err := Unmarshal(data, &out); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	type node struct{ Next *node }
+	root := &node{}
+	cur := root
+	for i := 0; i < maxDepth+4; i++ {
+		cur.Next = &node{}
+		cur = cur.Next
+	}
+	if _, err := Marshal(root); err == nil {
+		t.Fatal("expected depth limit error")
+	}
+}
+
+// Property: every (int64, uint64, string, []byte, map) round-trips.
+func TestQuickScalarRoundTrip(t *testing.T) {
+	f := func(i int64, u uint64, s string, b []byte, f64 float64) bool {
+		type all struct {
+			I int64
+			U uint64
+			S string
+			B []byte
+			F float64
+		}
+		in := all{i, u, s, b, f64}
+		data, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		var out all
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		if in.B == nil {
+			in.B = []byte{}
+		}
+		if out.B == nil {
+			out.B = []byte{}
+		}
+		if math.IsNaN(in.F) {
+			return math.IsNaN(out.F)
+		}
+		return in.I == out.I && in.U == out.U && in.S == out.S &&
+			bytes.Equal(in.B, out.B) && in.F == out.F
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: map[string]int64 round-trips exactly.
+func TestQuickMapRoundTrip(t *testing.T) {
+	f := func(m map[string]int64) bool {
+		data, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		var out map[string]int64
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		if len(m) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(m, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoding is deterministic (byte-stable) for identical values.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(m map[int32]string, s []float64) bool {
+		type v struct {
+			M map[int32]string
+			S []float64
+		}
+		a, err := Marshal(v{m, s})
+		if err != nil {
+			return false
+		}
+		b, err := Marshal(v{m, s})
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncoderDecoderStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	for i := 0; i < 10; i++ {
+		if err := e.Encode(i * i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDecoder(&buf)
+	for i := 0; i < 10; i++ {
+		var out int
+		if err := d.Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if out != i*i {
+			t.Fatalf("stream value %d: got %d, want %d", i, out, i*i)
+		}
+	}
+}
+
+func BenchmarkMarshalStruct(b *testing.B) {
+	in := outer{
+		ID:      7,
+		Inner:   inner{Name: "primary", Count: 3},
+		Pointer: &inner{Name: "backup", Count: 4},
+		Tags:    []string{"opc", "ftim", "engine", "diverter"},
+		Scores:  map[string]float64{"latency": 1.5, "throughput": 2.5},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalStruct(b *testing.B) {
+	in := outer{
+		ID:     7,
+		Inner:  inner{Name: "primary", Count: 3},
+		Tags:   []string{"opc", "ftim"},
+		Scores: map[string]float64{"latency": 1.5},
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var out outer
+		if err := Unmarshal(data, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: decoding arbitrary bytes into common targets never panics —
+// it either succeeds or returns an error. (Corrupt RPC frames from a
+// failing peer must not crash the engine.)
+func TestQuickDecodeGarbageNeverPanics(t *testing.T) {
+	targets := []func() any{
+		func() any { return new(int64) },
+		func() any { return new(string) },
+		func() any { return new([]byte) },
+		func() any { return new(map[string]int64) },
+		func() any { return new(outer) },
+		func() any { return new([]outer) },
+		func() any { return new(time.Time) },
+	}
+	f := func(data []byte, pick uint8) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decode panicked on %v: %v", data, r)
+			}
+		}()
+		out := targets[int(pick)%len(targets)]()
+		_ = Unmarshal(data, out) // error or success; never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a valid encoding with one byte flipped either fails to decode
+// or decodes without panic (bit-rot tolerance of the wire layer).
+func TestQuickBitFlipTolerance(t *testing.T) {
+	base := outer{
+		ID:     12,
+		Inner:  inner{Name: "primary", Count: 9},
+		Tags:   []string{"a", "b"},
+		Scores: map[string]float64{"x": 1},
+	}
+	data, err := Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos uint16, bit uint8) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("bit flip panicked: %v", r)
+			}
+		}()
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		cp[int(pos)%len(cp)] ^= 1 << (bit % 8)
+		var out outer
+		_ = Unmarshal(cp, &out)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

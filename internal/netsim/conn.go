@@ -1,0 +1,295 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Listener accepts framed connections at an address.
+type Listener struct {
+	net  *Network
+	addr Addr
+
+	mu      sync.Mutex
+	backlog chan *Conn
+	conns   map[*Conn]struct{}
+	closed  bool
+}
+
+// Listen binds a framed-connection listener to addr.
+func (n *Network) Listen(addr Addr) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("netsim: address %s already in use", addr)
+	}
+	l := &Listener{
+		net:     n,
+		addr:    addr,
+		backlog: make(chan *Conn, 64),
+		conns:   make(map[*Conn]struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() Addr { return l.addr }
+
+// Accept blocks for the next inbound connection.
+func (l *Listener) Accept() (*Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close unbinds the listener and breaks every connection accepted from it.
+func (l *Listener) Close() error {
+	l.net.mu.Lock()
+	if l.net.listeners[l.addr] == l {
+		delete(l.net.listeners, l.addr)
+	}
+	l.net.mu.Unlock()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	close(l.backlog)
+	victims := make([]*Conn, 0, len(l.conns))
+	for c := range l.conns {
+		victims = append(victims, c)
+	}
+	l.mu.Unlock()
+	for _, c := range victims {
+		c.breakBoth()
+	}
+	return nil
+}
+
+// Conn is one direction-pair of a framed, reliable, ordered connection —
+// the TCP stand-in that DCOM calls and checkpoint transfers ride on.
+type Conn struct {
+	net    *Network
+	local  Addr
+	remote Addr
+	send   *pipe // frames we write, peer reads
+	recv   *pipe // frames peer writes, we read
+	peer   *Conn
+}
+
+// Dial opens a framed connection from `from` to a listener at `to`.
+func (n *Network) Dial(from, to Addr) (*Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := n.reachableLocked(from, to); err != nil {
+		n.stats.ConnsRefused.Add(1)
+		n.mu.Unlock()
+		return nil, err
+	}
+	l, ok := n.listeners[to]
+	if !ok {
+		n.stats.ConnsRefused.Add(1)
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: no listener at %s", ErrUnreachable, to)
+	}
+	n.mu.Unlock()
+
+	ab := newPipe()
+	ba := newPipe()
+	client := &Conn{net: n, local: from, remote: to, send: ab, recv: ba}
+	server := &Conn{net: n, local: to, remote: from, send: ba, recv: ab}
+	client.peer, server.peer = server, client
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		n.stats.ConnsRefused.Add(1)
+		return nil, ErrClosed
+	}
+	l.conns[server] = struct{}{}
+	l.mu.Unlock()
+
+	select {
+	case l.backlog <- server:
+	default:
+		l.mu.Lock()
+		delete(l.conns, server)
+		l.mu.Unlock()
+		n.stats.ConnsRefused.Add(1)
+		return nil, fmt.Errorf("%w: backlog full at %s", ErrUnreachable, to)
+	}
+	n.stats.ConnsDialed.Add(1)
+	return client, nil
+}
+
+// LocalAddr returns this end's address.
+func (c *Conn) LocalAddr() Addr { return c.local }
+
+// RemoteAddr returns the peer's address.
+func (c *Conn) RemoteAddr() Addr { return c.remote }
+
+// Send transmits one frame. It fails if the connection is broken or the
+// path has become unreachable (partition / endpoint failure), modeling a
+// TCP reset — the failure DCOM's RPC layer must surface (Section 3.3).
+func (c *Conn) Send(frame []byte) error {
+	c.net.mu.Lock()
+	if err := c.net.reachableLocked(c.local, c.remote); err != nil {
+		c.net.mu.Unlock()
+		c.breakBoth()
+		return err
+	}
+	delay := c.net.delayLocked()
+	c.net.mu.Unlock()
+
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	if err := c.send.put(cp, delay); err != nil {
+		return err
+	}
+	c.net.stats.FramesSent.Add(1)
+	c.net.stats.BytesDelivered.Add(int64(len(frame)))
+	return nil
+}
+
+// Recv blocks for the next frame. It returns ErrClosed once the connection
+// is broken and drained.
+func (c *Conn) Recv() ([]byte, error) {
+	return c.recv.take(nil)
+}
+
+// RecvTimeout is Recv with a deadline.
+func (c *Conn) RecvTimeout(d time.Duration) ([]byte, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	return c.recv.take(t.C)
+}
+
+// Close breaks the connection in both directions.
+func (c *Conn) Close() error {
+	c.breakBoth()
+	return nil
+}
+
+func (c *Conn) breakBoth() {
+	c.send.closePipe()
+	c.recv.closePipe()
+}
+
+// pipe is one direction of a connection: an ordered frame queue with
+// latency-delayed visibility. Delivery order is preserved even under jitter
+// (due times are clamped monotonically, as TCP's in-order delivery would).
+type pipe struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	frames  []timedFrame
+	lastDue time.Time
+	closed  bool
+}
+
+type timedFrame struct {
+	due  time.Time
+	data []byte
+}
+
+func newPipe() *pipe {
+	p := &pipe{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) put(frame []byte, delay time.Duration) error {
+	due := time.Now().Add(delay)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if due.Before(p.lastDue) {
+		due = p.lastDue // preserve FIFO under jitter
+	}
+	p.lastDue = due
+	p.frames = append(p.frames, timedFrame{due: due, data: frame})
+	p.cond.Broadcast()
+	return nil
+}
+
+// take removes the next frame, waiting for its due time. A receive on
+// timeout (if non-nil) aborts with ErrTimeout.
+func (p *pipe) take(timeout <-chan time.Time) ([]byte, error) {
+	timedOut := false
+	if timeout != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-timeout:
+				p.mu.Lock()
+				timedOut = true
+				p.mu.Unlock()
+				p.cond.Broadcast()
+			case <-stop:
+			}
+		}()
+	}
+	p.mu.Lock()
+	for {
+		if timedOut {
+			p.mu.Unlock()
+			return nil, ErrTimeout
+		}
+		if len(p.frames) > 0 {
+			f := p.frames[0]
+			wait := time.Until(f.due)
+			if wait <= 0 {
+				p.frames = p.frames[1:]
+				p.mu.Unlock()
+				return f.data, nil
+			}
+			// Sleep outside the lock until the frame matures, then re-check.
+			p.mu.Unlock()
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-timeoutOrNever(timeout):
+				timer.Stop()
+			}
+			timer.Stop()
+			p.mu.Lock()
+			continue
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		p.cond.Wait()
+	}
+}
+
+func timeoutOrNever(timeout <-chan time.Time) <-chan time.Time {
+	if timeout != nil {
+		return timeout
+	}
+	return nil // nil channel: blocks forever
+}
+
+func (p *pipe) closePipe() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// ErrTimeout is returned by RecvTimeout when the deadline passes.
+var ErrTimeout = fmt.Errorf("netsim: receive timeout")

@@ -1,0 +1,187 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Datagram is one unreliable message, the substrate for heartbeats.
+type Datagram struct {
+	From    Addr
+	Payload []byte
+}
+
+// DatagramSock sends and receives unreliable datagrams at one address.
+// Datagrams are subject to the network's loss rate, latency, partitions,
+// and endpoint failures; they are never retransmitted.
+type DatagramSock struct {
+	net  *Network
+	addr Addr
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []timedDatagram
+	closed bool
+}
+
+type timedDatagram struct {
+	due time.Time
+	d   Datagram
+}
+
+// ListenDatagram binds a datagram socket to addr.
+func (n *Network) ListenDatagram(addr Addr) (*DatagramSock, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, exists := n.dgramSocks[addr]; exists {
+		return nil, fmt.Errorf("netsim: datagram address %s already in use", addr)
+	}
+	s := &DatagramSock{net: n, addr: addr}
+	s.cond = sync.NewCond(&s.mu)
+	n.dgramSocks[addr] = s
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *DatagramSock) Addr() Addr { return s.addr }
+
+// Send transmits one datagram to the destination. Loss and unreachability
+// are silent, as with UDP: the error return covers only local failures
+// (socket closed, local endpoint down).
+func (s *DatagramSock) Send(to Addr, payload []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+
+	n := s.net
+	n.mu.Lock()
+	if n.down[s.addr] {
+		n.mu.Unlock()
+		return ErrEndpointDown
+	}
+	n.stats.DatagramsSent.Add(1)
+	if err := n.reachableLocked(s.addr, to); err != nil {
+		n.stats.DatagramsLost.Add(1)
+		n.mu.Unlock()
+		return nil // silent, like UDP
+	}
+	if n.dropDatagramLocked() {
+		n.stats.DatagramsLost.Add(1)
+		n.mu.Unlock()
+		return nil
+	}
+	dst, ok := n.dgramSocks[to]
+	delay := n.delayLocked()
+	n.mu.Unlock()
+	if !ok {
+		n.stats.DatagramsLost.Add(1)
+		return nil
+	}
+
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	dst.deliver(Datagram{From: s.addr, Payload: cp}, delay)
+	return nil
+}
+
+func (s *DatagramSock) deliver(d Datagram, delay time.Duration) {
+	due := time.Now().Add(delay)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if len(s.queue) >= 4096 {
+		// Receiver overrun: drop, as a real NIC ring would.
+		s.net.stats.DatagramsLost.Add(1)
+		return
+	}
+	s.queue = append(s.queue, timedDatagram{due: due, d: d})
+	s.cond.Broadcast()
+}
+
+// Recv blocks for the next datagram.
+func (s *DatagramSock) Recv() (Datagram, error) {
+	return s.recv(nil)
+}
+
+// RecvTimeout is Recv with a deadline; it returns ErrTimeout on expiry.
+func (s *DatagramSock) RecvTimeout(d time.Duration) (Datagram, error) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	return s.recv(t.C)
+}
+
+func (s *DatagramSock) recv(timeout <-chan time.Time) (Datagram, error) {
+	timedOut := false
+	if timeout != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-timeout:
+				s.mu.Lock()
+				timedOut = true
+				s.mu.Unlock()
+				s.cond.Broadcast()
+			case <-stop:
+			}
+		}()
+	}
+	s.mu.Lock()
+	for {
+		if timedOut {
+			s.mu.Unlock()
+			return Datagram{}, ErrTimeout
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return Datagram{}, ErrClosed
+		}
+		if len(s.queue) > 0 {
+			td := s.queue[0]
+			wait := time.Until(td.due)
+			if wait <= 0 {
+				s.queue = s.queue[1:]
+				s.mu.Unlock()
+				return td.d, nil
+			}
+			s.mu.Unlock()
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-timeoutOrNever(timeout):
+				timer.Stop()
+			}
+			timer.Stop()
+			s.mu.Lock()
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// Close unbinds the socket.
+func (s *DatagramSock) Close() error {
+	s.net.mu.Lock()
+	if s.net.dgramSocks[s.addr] == s {
+		delete(s.net.dgramSocks, s.addr)
+	}
+	s.net.mu.Unlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	return nil
+}

@@ -1,0 +1,282 @@
+// Package netsim simulates the Ethernet fabric connecting the OFTT pair and
+// its peripheral machines (Figure 1 and Figure 3 of the paper). It provides
+// reliable framed connections (the substrate for the DCOM analog), an
+// unreliable datagram service (the substrate for heartbeats), and injectable
+// faults: latency, jitter, datagram loss, pairwise partitions, and whole
+// endpoint failure.
+//
+// A Network value models one physical LAN segment. The paper's dual-Ethernet
+// option is modeled by giving each node endpoints on two independent
+// Network values.
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr names a network endpoint, e.g. "node1:engine".
+type Addr string
+
+// Errors reported by the fabric.
+var (
+	// ErrUnreachable is returned when the destination is partitioned away,
+	// powered off, or has no listener.
+	ErrUnreachable = errors.New("netsim: destination unreachable")
+
+	// ErrClosed is returned on operations against a closed conn/listener.
+	ErrClosed = errors.New("netsim: closed")
+
+	// ErrEndpointDown is returned when the local endpoint has been failed.
+	ErrEndpointDown = errors.New("netsim: local endpoint down")
+)
+
+// Stats counts fabric activity for the experiment harness.
+type Stats struct {
+	FramesSent     atomic.Int64
+	FramesDropped  atomic.Int64
+	DatagramsSent  atomic.Int64
+	DatagramsLost  atomic.Int64
+	ConnsDialed    atomic.Int64
+	ConnsRefused   atomic.Int64
+	BytesDelivered atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"framesSent":     s.FramesSent.Load(),
+		"framesDropped":  s.FramesDropped.Load(),
+		"datagramsSent":  s.DatagramsSent.Load(),
+		"datagramsLost":  s.DatagramsLost.Load(),
+		"connsDialed":    s.ConnsDialed.Load(),
+		"connsRefused":   s.ConnsRefused.Load(),
+		"bytesDelivered": s.BytesDelivered.Load(),
+	}
+}
+
+type pairKey struct{ a, b Addr }
+
+func keyFor(a, b Addr) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// Network is one simulated LAN segment.
+type Network struct {
+	name  string
+	stats Stats
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	listeners    map[Addr]*Listener
+	dgramSocks   map[Addr]*DatagramSock
+	partitions   map[pairKey]bool
+	down         map[Addr]bool
+	downPrefixes map[string]bool
+	latency      time.Duration
+	jitter       time.Duration
+	lossRate     float64
+	closed       bool
+}
+
+// New creates a named network segment with a deterministic RNG seed for
+// reproducible fault behaviour.
+func New(name string, seed int64) *Network {
+	return &Network{
+		name:         name,
+		rng:          rand.New(rand.NewSource(seed)),
+		listeners:    make(map[Addr]*Listener),
+		dgramSocks:   make(map[Addr]*DatagramSock),
+		partitions:   make(map[pairKey]bool),
+		down:         make(map[Addr]bool),
+		downPrefixes: make(map[string]bool),
+	}
+}
+
+// Name returns the segment name (e.g. "eth0").
+func (n *Network) Name() string { return n.name }
+
+// Stats exposes the fabric counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// SetLatency configures one-way delivery latency and uniform jitter.
+func (n *Network) SetLatency(latency, jitter time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency, n.jitter = latency, jitter
+}
+
+// SetLoss configures the datagram loss rate in [0, 1]. Framed connections
+// stay reliable (they model TCP); loss only affects datagrams.
+func (n *Network) SetLoss(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	n.lossRate = rate
+}
+
+// Partition severs the link between two endpoints (both directions).
+func (n *Network) Partition(a, b Addr) {
+	n.mu.Lock()
+	n.partitions[keyFor(a, b)] = true
+	n.mu.Unlock()
+	n.breakConns(func(c *Conn) bool {
+		return keyFor(c.local, c.remote) == keyFor(a, b)
+	})
+}
+
+// Heal restores the link between two endpoints.
+func (n *Network) Heal(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, keyFor(a, b))
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = make(map[pairKey]bool)
+}
+
+// FailEndpoint takes an endpoint off the network: existing conns break,
+// datagrams to/from it vanish, new dials are refused, and any listener or
+// datagram socket bound there is closed and unbound (as an OS closes a dead
+// process's sockets). RestoreEndpoint permits rebinding.
+func (n *Network) FailEndpoint(addr Addr) {
+	n.mu.Lock()
+	n.down[addr] = true
+	lst := n.listeners[addr]
+	sock := n.dgramSocks[addr]
+	n.mu.Unlock()
+	n.breakConns(func(c *Conn) bool { return c.local == addr || c.remote == addr })
+	if lst != nil {
+		_ = lst.Close()
+	}
+	if sock != nil {
+		_ = sock.Close()
+	}
+}
+
+// FailPrefix fails every endpoint whose address begins with prefix (also
+// endpoints that have been *used* from that prefix without a binding, so a
+// dead node's client-side endpoints stay down too). Nodes name their
+// endpoints "<node>:<service>", so FailPrefix("node1:") models a
+// whole-machine failure.
+func (n *Network) FailPrefix(prefix string) {
+	n.mu.Lock()
+	var lsts []*Listener
+	var socks []*DatagramSock
+	for a, l := range n.listeners {
+		if hasPrefix(a, prefix) {
+			n.down[a] = true
+			lsts = append(lsts, l)
+		}
+	}
+	for a, s := range n.dgramSocks {
+		if hasPrefix(a, prefix) {
+			n.down[a] = true
+			socks = append(socks, s)
+		}
+	}
+	n.downPrefixes[prefix] = true
+	n.mu.Unlock()
+	n.breakConns(func(c *Conn) bool {
+		return hasPrefix(c.local, prefix) || hasPrefix(c.remote, prefix)
+	})
+	for _, l := range lsts {
+		_ = l.Close()
+	}
+	for _, s := range socks {
+		_ = s.Close()
+	}
+}
+
+// RestoreEndpoint brings a failed endpoint back.
+func (n *Network) RestoreEndpoint(addr Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.down, addr)
+}
+
+// RestorePrefix restores every endpoint with the given prefix.
+func (n *Network) RestorePrefix(prefix string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.downPrefixes, prefix)
+	for a := range n.down {
+		if hasPrefix(a, prefix) {
+			delete(n.down, a)
+		}
+	}
+}
+
+func hasPrefix(a Addr, prefix string) bool {
+	return len(a) >= len(prefix) && string(a[:len(prefix)]) == prefix
+}
+
+func (n *Network) breakConns(match func(*Conn) bool) {
+	n.mu.Lock()
+	var victims []*Conn
+	for _, l := range n.listeners {
+		l.mu.Lock()
+		for c := range l.conns {
+			if match(c) {
+				victims = append(victims, c)
+			}
+		}
+		l.mu.Unlock()
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.breakBoth()
+	}
+}
+
+// reachable reports whether a frame/datagram from src may reach dst now.
+// Callers hold n.mu.
+func (n *Network) reachableLocked(src, dst Addr) error {
+	if n.down[src] || n.prefixDownLocked(src) {
+		return ErrEndpointDown
+	}
+	if n.down[dst] || n.prefixDownLocked(dst) || n.partitions[keyFor(src, dst)] {
+		return ErrUnreachable
+	}
+	return nil
+}
+
+// prefixDownLocked reports whether addr falls under a failed node prefix
+// (covers client-side endpoints that never bind).
+func (n *Network) prefixDownLocked(addr Addr) bool {
+	for p := range n.downPrefixes {
+		if hasPrefix(addr, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// delay returns the sampled one-way latency. Callers hold n.mu.
+func (n *Network) delayLocked() time.Duration {
+	d := n.latency
+	if n.jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	return d
+}
+
+// dropDatagramLocked samples the loss process. Callers hold n.mu.
+func (n *Network) dropDatagramLocked() bool {
+	return n.lossRate > 0 && n.rng.Float64() < n.lossRate
+}

@@ -1,0 +1,477 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestNet(t *testing.T) *Network {
+	t.Helper()
+	return New("eth0", 1)
+}
+
+func TestDialSendRecv(t *testing.T) {
+	n := newTestNet(t)
+	l, err := n.Listen("b:svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	client, err := n.Dial("a:cli", "b:svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := client.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+
+	if err := server.Send([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = client.Recv()
+	if err != nil || string(got) != "world" {
+		t.Fatalf("reply: %q %v", got, err)
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	n := newTestNet(t)
+	if _, err := n.Dial("a", "nowhere"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDuplicateListen(t *testing.T) {
+	n := newTestNet(t)
+	l, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := n.Listen("x"); err == nil {
+		t.Fatal("duplicate bind should fail")
+	}
+}
+
+func TestFrameOrderingPreserved(t *testing.T) {
+	n := newTestNet(t)
+	n.SetLatency(time.Millisecond, 2*time.Millisecond) // jitter would reorder naive queues
+	l, _ := n.Listen("b")
+	defer l.Close()
+	c, err := n.Dial("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := l.Accept()
+
+	const count = 50
+	for i := 0; i < count; i++ {
+		if err := c.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		f, err := s.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f[0] != byte(i) {
+			t.Fatalf("frame %d arrived out of order (got %d)", i, f[0])
+		}
+	}
+}
+
+func TestPartitionBreaksConn(t *testing.T) {
+	n := newTestNet(t)
+	l, _ := n.Listen("b")
+	defer l.Close()
+	c, err := n.Dial("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := l.Accept()
+
+	n.Partition("a", "b")
+	if err := c.Send([]byte("x")); err == nil {
+		// The first send may succeed if it raced the break; the recv side
+		// must still observe the break.
+		t.Log("send raced partition")
+	}
+	if _, err := s.RecvTimeout(200 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("server recv after partition: %v", err)
+	}
+
+	// New dials across the partition are refused.
+	if _, err := n.Dial("a", "b"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dial across partition: %v", err)
+	}
+
+	// Healing permits new connections.
+	n.Heal("a", "b")
+	c2, err := n.Dial("a", "b")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c2.Close()
+}
+
+func TestFailEndpoint(t *testing.T) {
+	n := newTestNet(t)
+	l, _ := n.Listen("b")
+	defer l.Close()
+	c, err := n.Dial("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.FailEndpoint("b")
+	// Existing conn is broken.
+	if _, err := c.RecvTimeout(200 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after endpoint failure: %v", err)
+	}
+	// Sends from the failed endpoint error.
+	if _, err := n.Dial("b", "a"); !errors.Is(err, ErrEndpointDown) {
+		t.Fatalf("dial from failed endpoint: %v", err)
+	}
+	// Restore clears the down flag, but the dead process's listener was
+	// closed; a fresh bind is required, as after an OS process restart.
+	n.RestoreEndpoint("b")
+	if _, err := n.Dial("a", "b"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dial before rebind: %v", err)
+	}
+	l2, err := n.Listen("b")
+	if err != nil {
+		t.Fatalf("rebind after restore: %v", err)
+	}
+	defer l2.Close()
+	c2, err := n.Dial("a", "b")
+	if err != nil {
+		t.Fatalf("dial after rebind: %v", err)
+	}
+	c2.Close()
+}
+
+func TestFailPrefix(t *testing.T) {
+	n := newTestNet(t)
+	l1, _ := n.Listen("node1:engine")
+	l2, _ := n.Listen("node1:app")
+	l3, _ := n.Listen("node2:engine")
+	defer l1.Close()
+	defer l2.Close()
+	defer l3.Close()
+
+	n.FailPrefix("node1:")
+	if _, err := n.Dial("node2:x", "node1:engine"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dial to failed node: %v", err)
+	}
+	if _, err := n.Dial("node2:x", "node2:engine"); err != nil {
+		t.Fatalf("unrelated endpoint affected: %v", err)
+	}
+	n.RestorePrefix("node1:")
+	l4, err := n.Listen("node1:engine")
+	if err != nil {
+		t.Fatalf("rebind after restore: %v", err)
+	}
+	defer l4.Close()
+	c, err := n.Dial("node2:x", "node1:engine")
+	if err != nil {
+		t.Fatalf("dial after restore: %v", err)
+	}
+	c.Close()
+}
+
+func TestRecvTimeout(t *testing.T) {
+	n := newTestNet(t)
+	l, _ := n.Listen("b")
+	defer l.Close()
+	c, _ := n.Dial("a", "b")
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.RecvTimeout(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := newTestNet(t)
+	n.SetLatency(30*time.Millisecond, 0)
+	l, _ := n.Listen("b")
+	defer l.Close()
+	c, _ := n.Dial("a", "b")
+	s, _ := l.Accept()
+
+	start := time.Now()
+	if err := c.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestDatagramBasics(t *testing.T) {
+	n := newTestNet(t)
+	rx, err := n.ListenDatagram("b:hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := n.ListenDatagram("a:hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+
+	if err := tx.Send("b:hb", []byte("beat")); err != nil {
+		t.Fatal(err)
+	}
+	d, err := rx.RecvTimeout(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.From != "a:hb" || string(d.Payload) != "beat" {
+		t.Fatalf("got %+v", d)
+	}
+}
+
+func TestDatagramLoss(t *testing.T) {
+	n := New("lossy", 42)
+	n.SetLoss(1.0)
+	rx, _ := n.ListenDatagram("b")
+	defer rx.Close()
+	tx, _ := n.ListenDatagram("a")
+	defer tx.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := tx.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rx.RecvTimeout(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("datagram survived 100%% loss: %v", err)
+	}
+	if lost := n.Stats().DatagramsLost.Load(); lost != 10 {
+		t.Fatalf("lost counter = %d, want 10", lost)
+	}
+}
+
+func TestDatagramPartialLoss(t *testing.T) {
+	n := New("lossy", 7)
+	n.SetLoss(0.5)
+	rx, _ := n.ListenDatagram("b")
+	defer rx.Close()
+	tx, _ := n.ListenDatagram("a")
+	defer tx.Close()
+
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		_ = tx.Send("b", []byte{byte(i)})
+	}
+	received := 0
+	for {
+		if _, err := rx.RecvTimeout(20 * time.Millisecond); err != nil {
+			break
+		}
+		received++
+	}
+	if received == 0 || received == sent {
+		t.Fatalf("received %d of %d; expected partial delivery", received, sent)
+	}
+	// Should be within a loose band around 50%.
+	if received < sent/5 || received > sent*4/5 {
+		t.Fatalf("received %d of %d; loss rate implausible for p=0.5", received, sent)
+	}
+}
+
+func TestDatagramToDownEndpointSilentlyLost(t *testing.T) {
+	n := newTestNet(t)
+	tx, _ := n.ListenDatagram("a")
+	defer tx.Close()
+	rx, _ := n.ListenDatagram("b")
+	defer rx.Close()
+	n.FailEndpoint("b")
+	if err := tx.Send("b", []byte("x")); err != nil {
+		t.Fatalf("datagram to dead endpoint should be silent: %v", err)
+	}
+	// Sender down is a local error (its socket was closed with it).
+	n.FailEndpoint("a")
+	err := tx.Send("b", []byte("x"))
+	if !errors.Is(err, ErrEndpointDown) && !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDualNetworkIndependence(t *testing.T) {
+	ethA := New("ethA", 1)
+	ethB := New("ethB", 2)
+	rxA, _ := ethA.ListenDatagram("n2")
+	rxB, _ := ethB.ListenDatagram("n2")
+	txA, _ := ethA.ListenDatagram("n1")
+	txB, _ := ethB.ListenDatagram("n1")
+	defer rxA.Close()
+	defer rxB.Close()
+	defer txA.Close()
+	defer txB.Close()
+
+	// Partition A only; B still delivers.
+	ethA.Partition("n1", "n2")
+	_ = txA.Send("n2", []byte("a"))
+	_ = txB.Send("n2", []byte("b"))
+	if _, err := rxA.RecvTimeout(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("ethA delivered across partition: %v", err)
+	}
+	d, err := rxB.RecvTimeout(time.Second)
+	if err != nil || string(d.Payload) != "b" {
+		t.Fatalf("ethB should deliver: %v", err)
+	}
+}
+
+func TestConcurrentConns(t *testing.T) {
+	n := newTestNet(t)
+	l, _ := n.Listen("srv")
+	defer l.Close()
+
+	// Echo server.
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c *Conn) {
+				for {
+					f, err := c.Recv()
+					if err != nil {
+						return
+					}
+					_ = c.Send(f)
+				}
+			}(c)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := n.Dial(Addr(fmt.Sprintf("cli%d", i)), "srv")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 50; j++ {
+				msg := []byte(fmt.Sprintf("%d-%d", i, j))
+				if err := c.Send(msg); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				got, err := c.Recv()
+				if err != nil || !bytes.Equal(got, msg) {
+					t.Errorf("echo mismatch: %q %v", got, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestListenerCloseBreaksConns(t *testing.T) {
+	n := newTestNet(t)
+	l, _ := n.Listen("srv")
+	c, err := n.Dial("a", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := c.RecvTimeout(200 * time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v", err)
+	}
+	// Accept drains any conns queued before the close (they are already
+	// broken), then reports ErrClosed.
+	for i := 0; ; i++ {
+		conn, err := l.Accept()
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("accept after close: %v", err)
+		}
+		if _, err := conn.RecvTimeout(100 * time.Millisecond); !errors.Is(err, ErrClosed) {
+			t.Fatalf("queued conn not broken: %v", err)
+		}
+		if i > 4 {
+			t.Fatal("accept never reported ErrClosed")
+		}
+	}
+}
+
+// Property: any payload delivered over a conn arrives byte-identical, and
+// mutating the sender's buffer afterwards does not corrupt it.
+func TestQuickPayloadIntegrity(t *testing.T) {
+	n := newTestNet(t)
+	l, _ := n.Listen("srv")
+	defer l.Close()
+	c, err := n.Dial("a", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := l.Accept()
+
+	f := func(payload []byte) bool {
+		sent := make([]byte, len(payload))
+		copy(sent, payload)
+		if err := c.Send(payload); err != nil {
+			return false
+		}
+		for i := range payload {
+			payload[i] = 0xFF // mutate after send
+		}
+		got, err := s.RecvTimeout(time.Second)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, sent)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := newTestNet(t)
+	l, _ := n.Listen("b")
+	defer l.Close()
+	c, _ := n.Dial("a", "b")
+	defer c.Close()
+	_ = c.Send([]byte("12345"))
+	st := n.Stats().Snapshot()
+	if st["connsDialed"] != 1 || st["framesSent"] != 1 || st["bytesDelivered"] != 5 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// FrameConn is the transport contract shared by the simulated fabric
+// (*Conn) and real TCP (*TCPConn): framed, reliable, ordered delivery.
+// dcom and checkpoint ride this interface, so the toolkit runs unchanged
+// on either transport — the simulated Ethernet for tests and experiments,
+// real sockets for multi-process deployment.
+type FrameConn interface {
+	Send(frame []byte) error
+	Recv() ([]byte, error)
+	RecvTimeout(d time.Duration) ([]byte, error)
+	Close() error
+}
+
+var (
+	_ FrameConn = (*Conn)(nil)
+	_ FrameConn = (*TCPConn)(nil)
+)
+
+// maxTCPFrame bounds a frame read from the wire.
+const maxTCPFrame = 64 << 20
+
+// TCPListener accepts framed connections on a real TCP socket.
+type TCPListener struct {
+	l net.Listener
+}
+
+// ListenTCP binds a framed-connection listener on a real TCP address
+// (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (*TCPListener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: tcp listen: %w", err)
+	}
+	return &TCPListener{l: l}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (t *TCPListener) Addr() string { return t.l.Addr().String() }
+
+// Accept blocks for the next inbound connection.
+func (t *TCPListener) Accept() (*TCPConn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, ErrClosed
+	}
+	return newTCPConn(c), nil
+}
+
+// Close unbinds the listener.
+func (t *TCPListener) Close() error { return t.l.Close() }
+
+// TCPConn is a length-prefixed framed connection over real TCP.
+type TCPConn struct {
+	c net.Conn
+	r *bufio.Reader
+}
+
+func newTCPConn(c net.Conn) *TCPConn {
+	return &TCPConn{c: c, r: bufio.NewReader(c)}
+}
+
+// DialTCP opens a framed connection to a TCPListener.
+func DialTCP(addr string) (*TCPConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	return newTCPConn(c), nil
+}
+
+// Send transmits one frame (4-byte big-endian length prefix).
+func (t *TCPConn) Send(frame []byte) error {
+	if len(frame) > maxTCPFrame {
+		return fmt.Errorf("netsim: frame too large: %d", len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return mapTCPErr(err)
+	}
+	if _, err := t.c.Write(frame); err != nil {
+		return mapTCPErr(err)
+	}
+	return nil
+}
+
+// Recv blocks for the next frame.
+func (t *TCPConn) Recv() ([]byte, error) {
+	_ = t.c.SetReadDeadline(time.Time{})
+	return t.recvFrame()
+}
+
+// RecvTimeout is Recv with a deadline; it returns ErrTimeout on expiry.
+func (t *TCPConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	_ = t.c.SetReadDeadline(time.Now().Add(d))
+	frame, err := t.recvFrame()
+	_ = t.c.SetReadDeadline(time.Time{})
+	return frame, err
+}
+
+func (t *TCPConn) recvFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		return nil, mapTCPErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxTCPFrame {
+		return nil, fmt.Errorf("netsim: oversized frame: %d", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(t.r, frame); err != nil {
+		return nil, mapTCPErr(err)
+	}
+	return frame, nil
+}
+
+// Close tears the connection down.
+func (t *TCPConn) Close() error { return t.c.Close() }
+
+// mapTCPErr converts net errors to the fabric's sentinel errors so callers
+// handle both transports uniformly.
+func mapTCPErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ErrTimeout
+	}
+	return fmt.Errorf("%w: %v", ErrClosed, err)
+}

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func tcpPair(t *testing.T) (*TCPConn, *TCPConn) {
+	t.Helper()
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+
+	type acceptResult struct {
+		conn *TCPConn
+		err  error
+	}
+	ch := make(chan acceptResult, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- acceptResult{c, err}
+	}()
+	client, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	res := <-ch
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	t.Cleanup(func() { _ = res.conn.Close() })
+	return client, res.conn
+}
+
+func TestTCPFrameRoundTrip(t *testing.T) {
+	client, server := tcpPair(t)
+	if err := client.Send([]byte("over real sockets")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.RecvTimeout(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "over real sockets" {
+		t.Fatalf("got %q", got)
+	}
+	// Reply direction.
+	if err := server.Send([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := client.RecvTimeout(2 * time.Second); err != nil || string(got) != "ack" {
+		t.Fatalf("reply: %q %v", got, err)
+	}
+}
+
+func TestTCPEmptyAndLargeFrames(t *testing.T) {
+	client, server := tcpPair(t)
+	large := make([]byte, 1<<20)
+	for i := range large {
+		large[i] = byte(i)
+	}
+	frames := [][]byte{{}, {0}, large}
+	go func() {
+		for _, f := range frames {
+			_ = client.Send(f)
+		}
+	}()
+	for i, want := range frames {
+		got, err := server.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d mismatch (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+}
+
+func TestTCPRecvTimeout(t *testing.T) {
+	client, _ := tcpPair(t)
+	start := time.Now()
+	_, err := client.RecvTimeout(50 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout overshot")
+	}
+	// The connection survives a timeout (deadline cleared).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = client.Recv()
+	}()
+	select {
+	case <-done:
+		t.Fatal("Recv returned immediately after timeout; deadline leaked")
+	case <-time.After(50 * time.Millisecond):
+	}
+	client.Close()
+	<-done
+}
+
+func TestTCPPeerCloseSurfacesClosed(t *testing.T) {
+	client, server := tcpPair(t)
+	server.Close()
+	if _, err := client.RecvTimeout(2 * time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTCPOrderingUnderLoad(t *testing.T) {
+	client, server := tcpPair(t)
+	const count = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < count; i++ {
+			if err := client.Send([]byte{byte(i), byte(i >> 8)}); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < count; i++ {
+		f, err := server.RecvTimeout(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(f[0])|int(f[1])<<8 != i {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+	wg.Wait()
+}
+
+// Property: arbitrary payloads survive the TCP framing byte-identically.
+func TestQuickTCPFrameIntegrity(t *testing.T) {
+	client, server := tcpPair(t)
+	f := func(payload []byte) bool {
+		if err := client.Send(payload); err != nil {
+			return false
+		}
+		got, err := server.RecvTimeout(5 * time.Second)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package opc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// BrowseType selects what a hierarchical browse returns, after
+// IOPCBrowseServerAddressSpace's OPC_BRANCH / OPC_LEAF / OPC_FLAT.
+type BrowseType int
+
+// Browse types.
+const (
+	// BrowseBranch lists child branches at a position ("plc1" under "").
+	BrowseBranch BrowseType = iota + 1
+	// BrowseLeaf lists items directly at a position.
+	BrowseLeaf
+	// BrowseFlat lists every item under a position.
+	BrowseFlat
+)
+
+// BrowseHierarchy walks the '.'-separated namespace tree: position "" is
+// the root, "plc1" a branch. Branch results are relative names; leaf and
+// flat results are fully qualified tags.
+func (s *Server) BrowseHierarchy(position string, bt BrowseType) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.state != ServerRunning {
+		return nil, ErrServerDown
+	}
+	prefix := position
+	if prefix != "" {
+		prefix += "."
+	}
+	switch bt {
+	case BrowseFlat:
+		out := make([]string, 0, len(s.tags))
+		for _, tag := range s.tags {
+			if strings.HasPrefix(tag, prefix) {
+				out = append(out, tag)
+			}
+		}
+		return out, nil
+	case BrowseBranch:
+		seen := make(map[string]bool)
+		for _, tag := range s.tags {
+			if !strings.HasPrefix(tag, prefix) {
+				continue
+			}
+			rest := tag[len(prefix):]
+			if i := strings.IndexByte(rest, '.'); i > 0 {
+				seen[rest[:i]] = true
+			}
+		}
+		out := make([]string, 0, len(seen))
+		for b := range seen {
+			out = append(out, b)
+		}
+		sort.Strings(out)
+		return out, nil
+	case BrowseLeaf:
+		out := make([]string, 0, 8)
+		for _, tag := range s.tags {
+			if !strings.HasPrefix(tag, prefix) {
+				continue
+			}
+			rest := tag[len(prefix):]
+			if !strings.Contains(rest, ".") {
+				out = append(out, tag)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("opc: unknown browse type %d", bt)
+	}
+}
+
+// Standard OPC item property IDs (OPC DA 2.0 Appendix C).
+const (
+	PropCanonicalType = 1
+	PropValue         = 2
+	PropQuality       = 3
+	PropTimestamp     = 4
+	PropAccessRights  = 5
+	PropEUUnits       = 100
+	PropDescription   = 101
+)
+
+// ItemProperty is one (id, description, value) row of IOPCItemProperties.
+type ItemProperty struct {
+	ID          int
+	Description string
+	Value       Variant
+}
+
+// ItemProperties returns the standard property set for a tag.
+func (s *Server) ItemProperties(tag string) ([]ItemProperty, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.items[tag]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownItem, tag)
+	}
+	return []ItemProperty{
+		{PropCanonicalType, "Item Canonical DataType", VI4(int32(it.def.CanonicalType))},
+		{PropValue, "Item Value", it.state.Value},
+		{PropQuality, "Item Quality", VI4(int32(it.state.Quality))},
+		{PropTimestamp, "Item Timestamp", VStr(it.state.Timestamp.Format(time.RFC3339Nano))},
+		{PropAccessRights, "Item Access Rights", VI4(int32(it.def.Rights))},
+		{PropEUUnits, "EU Units", VStr(it.def.EUUnit)},
+		{PropDescription, "Item Description", VStr(it.def.Description)},
+	}, nil
+}
+
+// AsyncResult reports the outcome of an asynchronous operation
+// (IOPCAsyncIO completion callback).
+type AsyncResult struct {
+	Tag string
+	Err error
+}
+
+// AsyncWrite performs a write off the caller's thread and delivers the
+// outcome to done (which may be nil for fire-and-forget). The write is
+// attempted exactly once; queue-and-retry semantics belong to the message
+// diverter, not the OPC layer.
+func (c *Client) AsyncWrite(tag string, v Variant, done func(AsyncResult)) {
+	go func() {
+		err := c.conn.Write(tag, v)
+		if done != nil {
+			done(AsyncResult{Tag: tag, Err: err})
+		}
+	}()
+}
+
+// AsyncRead reads tags off the caller's thread, delivering states or an
+// error to done.
+func (c *Client) AsyncRead(tags []string, done func([]ItemState, error)) {
+	go func() {
+		states, err := c.conn.Read(tags)
+		if done != nil {
+			done(states, err)
+		}
+	}()
+}
+
+// BrowseHierarchy browses the server's namespace tree through whatever
+// connection the client holds; remote connections require the server stub
+// to export the method (all stubs in this toolkit do).
+func (c *Client) BrowseHierarchy(position string, bt BrowseType) ([]string, error) {
+	type hierarchical interface {
+		BrowseHierarchy(position string, bt BrowseType) ([]string, error)
+	}
+	h, ok := c.conn.(hierarchical)
+	if !ok {
+		return nil, fmt.Errorf("opc: connection does not support hierarchy browsing")
+	}
+	return h.BrowseHierarchy(position, bt)
+}
+
+// ItemProperties fetches an item's property set through the connection.
+func (c *Client) ItemProperties(tag string) ([]ItemProperty, error) {
+	type propertied interface {
+		ItemProperties(tag string) ([]ItemProperty, error)
+	}
+	p, ok := c.conn.(propertied)
+	if !ok {
+		return nil, fmt.Errorf("opc: connection does not support item properties")
+	}
+	return p.ItemProperties(tag)
+}

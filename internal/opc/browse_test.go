@@ -1,0 +1,215 @@
+package opc
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/netsim"
+)
+
+func hierarchyServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer("Plant.OPC.1")
+	for _, tag := range []string{
+		"plc1.tank.level", "plc1.tank.temp", "plc1.pump.state",
+		"plc2.motor.rpm", "status",
+	} {
+		if err := s.AddItem(ItemDef{Tag: tag, CanonicalType: VTFloat64,
+			EUUnit: "u", Description: "d-" + tag}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestBrowseHierarchyBranches(t *testing.T) {
+	s := hierarchyServer(t)
+	root, err := s.BrowseHierarchy("", BrowseBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(root, []string{"plc1", "plc2"}) {
+		t.Fatalf("root branches: %v", root)
+	}
+	sub, _ := s.BrowseHierarchy("plc1", BrowseBranch)
+	if !reflect.DeepEqual(sub, []string{"pump", "tank"}) {
+		t.Fatalf("plc1 branches: %v", sub)
+	}
+	empty, _ := s.BrowseHierarchy("plc1.tank", BrowseBranch)
+	if len(empty) != 0 {
+		t.Fatalf("leaf position has branches: %v", empty)
+	}
+}
+
+func TestBrowseHierarchyLeaves(t *testing.T) {
+	s := hierarchyServer(t)
+	rootLeaves, err := s.BrowseHierarchy("", BrowseLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rootLeaves, []string{"status"}) {
+		t.Fatalf("root leaves: %v", rootLeaves)
+	}
+	tank, _ := s.BrowseHierarchy("plc1.tank", BrowseLeaf)
+	if !reflect.DeepEqual(tank, []string{"plc1.tank.level", "plc1.tank.temp"}) {
+		t.Fatalf("tank leaves: %v", tank)
+	}
+}
+
+func TestBrowseHierarchyFlat(t *testing.T) {
+	s := hierarchyServer(t)
+	flat, err := s.BrowseHierarchy("plc1", BrowseFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != 3 {
+		t.Fatalf("flat: %v", flat)
+	}
+	if _, err := s.BrowseHierarchy("", BrowseType(99)); err == nil {
+		t.Fatal("unknown browse type accepted")
+	}
+}
+
+func TestBrowseHierarchyServerDown(t *testing.T) {
+	s := hierarchyServer(t)
+	s.SetState(ServerFailed)
+	if _, err := s.BrowseHierarchy("", BrowseFlat); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestItemProperties(t *testing.T) {
+	s := hierarchyServer(t)
+	_ = s.SetValue("plc1.tank.level", VR8(42), GoodNonSpecific, time.Now())
+	props, err := s.ItemProperties("plc1.tank.level")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]ItemProperty{}
+	for _, p := range props {
+		byID[p.ID] = p
+	}
+	if v, _ := byID[PropValue].Value.AsFloat(); v != 42 {
+		t.Fatalf("PropValue: %v", byID[PropValue].Value)
+	}
+	if q, _ := byID[PropQuality].Value.AsInt(); Quality(q) != GoodNonSpecific {
+		t.Fatalf("PropQuality: %v", byID[PropQuality].Value)
+	}
+	if byID[PropEUUnits].Value.Str != "u" {
+		t.Fatalf("PropEUUnits: %v", byID[PropEUUnits].Value)
+	}
+	if byID[PropDescription].Value.Str != "d-plc1.tank.level" {
+		t.Fatalf("PropDescription: %v", byID[PropDescription].Value)
+	}
+	if _, err := s.ItemProperties("nope"); !errors.Is(err, ErrUnknownItem) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAsyncReadWrite(t *testing.T) {
+	s := hierarchyServer(t)
+	if err := s.AddItem(ItemDef{Tag: "rw", CanonicalType: VTFloat64,
+		Rights: AccessReadWrite}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(s)
+	defer c.Close()
+
+	wrote := make(chan AsyncResult, 1)
+	c.AsyncWrite("rw", VR8(7), func(r AsyncResult) { wrote <- r })
+	select {
+	case r := <-wrote:
+		if r.Err != nil || r.Tag != "rw" {
+			t.Fatalf("async write: %+v", r)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("async write never completed")
+	}
+
+	read := make(chan []ItemState, 1)
+	c.AsyncRead([]string{"rw"}, func(states []ItemState, err error) {
+		if err == nil {
+			read <- states
+		}
+	})
+	select {
+	case states := <-read:
+		if f, _ := states[0].Value.AsFloat(); f != 7 {
+			t.Fatalf("async read: %v", states)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("async read never completed")
+	}
+
+	// Async write failure is delivered, not swallowed.
+	failed := make(chan AsyncResult, 1)
+	c.AsyncWrite("plc1.tank.level", VR8(1), func(r AsyncResult) { failed <- r })
+	select {
+	case r := <-failed:
+		if !errors.Is(r.Err, ErrAccessDenied) {
+			t.Fatalf("async write to RO item: %v", r.Err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("async failure never delivered")
+	}
+}
+
+func TestHierarchyAndPropertiesOverDCOM(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, err := dcom.NewExporter(n, "server:opc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	s := hierarchyServer(t)
+	oid := com.NewGUID()
+	if err := ExportServer(exp, oid, s); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := dcom.Dial(n, "client:opc", "server:opc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	c := NewClient(NewRemoteConnection(cli, oid))
+	defer c.Close()
+
+	branches, err := c.BrowseHierarchy("", BrowseBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(branches, []string{"plc1", "plc2"}) {
+		t.Fatalf("remote branches: %v", branches)
+	}
+	props, err := c.ItemProperties("plc2.motor.rpm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) != 7 {
+		t.Fatalf("remote properties: %d", len(props))
+	}
+	if _, err := c.ItemProperties("nope"); !errors.Is(err, ErrUnknownItem) {
+		t.Fatalf("remote unknown item: %v", err)
+	}
+}
+
+func TestClientHierarchyOnLocalConnection(t *testing.T) {
+	s := hierarchyServer(t)
+	c := NewClient(s)
+	defer c.Close()
+	branches, err := c.BrowseHierarchy("", BrowseBranch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 2 {
+		t.Fatalf("local branches: %v", branches)
+	}
+	props, err := c.ItemProperties("status")
+	if err != nil || len(props) != 7 {
+		t.Fatalf("local properties: %v %v", props, err)
+	}
+}

@@ -1,0 +1,311 @@
+package opc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Connection is what an OPC client talks to: either a local server (same
+// process, COM) or a remote one (DCOM proxy). Both expose the OPC DA call
+// surface.
+type Connection interface {
+	Read(tags []string) ([]ItemState, error)
+	Write(tag string, value Variant) error
+	Browse(prefix string) ([]string, error)
+	Status() (ServerStatus, error)
+}
+
+var _ Connection = (*Server)(nil)
+
+// DataChangeFunc receives async update batches (IOPCDataCallback analog).
+type DataChangeFunc func(updates []ItemState)
+
+// Client is an OPC client: it owns groups over one server connection.
+type Client struct {
+	conn Connection
+
+	mu     sync.Mutex
+	groups map[string]*Group
+	closed bool
+}
+
+// NewClient wraps a connection.
+func NewClient(conn Connection) *Client {
+	return &Client{conn: conn, groups: make(map[string]*Group)}
+}
+
+// SyncRead reads tags synchronously, bypassing groups.
+func (c *Client) SyncRead(tags ...string) ([]ItemState, error) {
+	return c.conn.Read(tags)
+}
+
+// SyncWrite writes one tag synchronously.
+func (c *Client) SyncWrite(tag string, v Variant) error {
+	return c.conn.Write(tag, v)
+}
+
+// Browse lists server tags under a prefix.
+func (c *Client) Browse(prefix string) ([]string, error) {
+	return c.conn.Browse(prefix)
+}
+
+// ServerStatus fetches the server status block.
+func (c *Client) ServerStatus() (ServerStatus, error) {
+	return c.conn.Status()
+}
+
+// GroupConfig parameterizes AddGroup.
+type GroupConfig struct {
+	Name       string
+	UpdateRate time.Duration // scan period; default 100ms
+	DeadbandPC float64       // percent deadband on numeric items, 0-100
+	Active     bool          // start scanning immediately
+}
+
+// AddGroup creates a client group (IOPCServer::AddGroup).
+func (c *Client) AddGroup(cfg GroupConfig, onChange DataChangeFunc) (*Group, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("opc: group needs a name")
+	}
+	if cfg.UpdateRate <= 0 {
+		cfg.UpdateRate = 100 * time.Millisecond
+	}
+	if cfg.DeadbandPC < 0 || cfg.DeadbandPC > 100 {
+		return nil, fmt.Errorf("opc: deadband %v%% out of range", cfg.DeadbandPC)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("opc: client closed")
+	}
+	if _, dup := c.groups[cfg.Name]; dup {
+		return nil, fmt.Errorf("opc: group %q already exists", cfg.Name)
+	}
+	g := &Group{
+		client:   c,
+		cfg:      cfg,
+		onChange: onChange,
+		lastSent: make(map[string]ItemState),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	c.groups[cfg.Name] = g
+	if cfg.Active {
+		g.startLocked()
+	} else {
+		close(g.done) // nothing running yet
+	}
+	return g, nil
+}
+
+// RemoveGroup stops and deletes a group.
+func (c *Client) RemoveGroup(name string) error {
+	c.mu.Lock()
+	g, ok := c.groups[name]
+	if ok {
+		delete(c.groups, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("opc: no group %q", name)
+	}
+	g.Stop()
+	return nil
+}
+
+// Close stops every group.
+func (c *Client) Close() {
+	c.mu.Lock()
+	groups := make([]*Group, 0, len(c.groups))
+	for _, g := range c.groups {
+		groups = append(groups, g)
+	}
+	c.groups = make(map[string]*Group)
+	c.closed = true
+	c.mu.Unlock()
+	for _, g := range groups {
+		g.Stop()
+	}
+}
+
+// Group is a set of items scanned at one rate with one deadband — the OPC
+// DA group object. Async updates are produced by comparing scans against
+// the last values sent to the callback.
+type Group struct {
+	client   *Client
+	cfg      GroupConfig
+	onChange DataChangeFunc
+
+	mu       sync.Mutex
+	tags     []string
+	lastSent map[string]ItemState
+	active   bool
+	scans    int64
+	errs     int64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.cfg.Name }
+
+// AddItems registers tags with the group.
+func (g *Group) AddItems(tags ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tags = append(g.tags, tags...)
+}
+
+// RemoveItems drops tags from the group.
+func (g *Group) RemoveItems(tags ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	drop := make(map[string]bool, len(tags))
+	for _, t := range tags {
+		drop[t] = true
+	}
+	kept := g.tags[:0]
+	for _, t := range g.tags {
+		if !drop[t] {
+			kept = append(kept, t)
+		} else {
+			delete(g.lastSent, t)
+		}
+	}
+	g.tags = kept
+}
+
+// Start begins scanning (SetActive(true)).
+func (g *Group) Start() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.startLocked()
+}
+
+func (g *Group) startLocked() {
+	if g.active {
+		return
+	}
+	g.active = true
+	g.stop = make(chan struct{})
+	g.done = make(chan struct{})
+	g.once = sync.Once{}
+	go g.scanLoop(g.stop, g.done)
+}
+
+func (g *Group) scanLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(g.cfg.UpdateRate)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			g.scanOnce()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// scanOnce reads the group's tags and fires the callback with items that
+// changed beyond the deadband.
+func (g *Group) scanOnce() {
+	g.mu.Lock()
+	tags := append([]string(nil), g.tags...)
+	g.mu.Unlock()
+	if len(tags) == 0 {
+		return
+	}
+
+	states, err := g.client.conn.Read(tags)
+	if err != nil {
+		g.mu.Lock()
+		g.errs++
+		g.mu.Unlock()
+		return
+	}
+
+	var updates []ItemState
+	g.mu.Lock()
+	g.scans++
+	for _, st := range states {
+		prev, seen := g.lastSent[st.Tag]
+		if seen && !g.exceedsDeadband(prev, st) {
+			continue
+		}
+		g.lastSent[st.Tag] = st
+		updates = append(updates, st)
+	}
+	cb := g.onChange
+	g.mu.Unlock()
+
+	if len(updates) > 0 && cb != nil {
+		cb(updates)
+	}
+}
+
+// exceedsDeadband applies OPC percent-deadband semantics: numeric items
+// suppress changes smaller than DeadbandPC% of the previous value's
+// magnitude; quality changes and non-numeric changes always pass.
+func (g *Group) exceedsDeadband(prev, next ItemState) bool {
+	if prev.Quality != next.Quality {
+		return true
+	}
+	if g.cfg.DeadbandPC == 0 {
+		return !prev.Value.Equal(next.Value)
+	}
+	if !prev.Value.IsNumeric() || !next.Value.IsNumeric() {
+		return !prev.Value.Equal(next.Value)
+	}
+	pf, err1 := prev.Value.AsFloat()
+	nf, err2 := next.Value.AsFloat()
+	if err1 != nil || err2 != nil {
+		return true
+	}
+	span := math.Abs(pf)
+	if span == 0 {
+		return nf != 0
+	}
+	return math.Abs(nf-pf) > span*g.cfg.DeadbandPC/100
+}
+
+// Stop halts scanning (SetActive(false)) and waits for the scanner.
+func (g *Group) Stop() {
+	g.mu.Lock()
+	if !g.active {
+		g.mu.Unlock()
+		return
+	}
+	g.active = false
+	stop, done := g.stop, g.done
+	g.mu.Unlock()
+	g.once.Do(func() { close(stop) })
+	<-done
+}
+
+// Active reports whether the group is scanning.
+func (g *Group) Active() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.active
+}
+
+// Stats reports (scans completed, scan errors).
+func (g *Group) Stats() (scans, errs int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.scans, g.errs
+}
+
+// ForceRefresh resends every item on the next change check by clearing the
+// last-sent cache (IOPCAsyncIO::Refresh).
+func (g *Group) ForceRefresh() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.lastSent = make(map[string]ItemState)
+}

@@ -1,0 +1,401 @@
+package opc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/netsim"
+)
+
+func TestSyncReadWrite(t *testing.T) {
+	s := newPlantServer(t)
+	c := NewClient(s)
+	defer c.Close()
+
+	_ = s.SetValue("plc1.temp", VR8(19.0), GoodNonSpecific, time.Now())
+	states, err := c.SyncRead("plc1.temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := states[0].Value.AsFloat(); f != 19.0 {
+		t.Fatalf("read %v", f)
+	}
+	if err := c.SyncWrite("plc1.valve", VBool(true)); err != nil {
+		t.Fatal(err)
+	}
+	states, _ = c.SyncRead("plc1.valve")
+	if b, _ := states[0].Value.AsBool(); !b {
+		t.Fatal("write not visible")
+	}
+}
+
+func TestGroupDataChange(t *testing.T) {
+	s := newPlantServer(t)
+	c := NewClient(s)
+	defer c.Close()
+
+	var mu sync.Mutex
+	var updates []ItemState
+	g, err := c.AddGroup(GroupConfig{
+		Name:       "fast",
+		UpdateRate: 10 * time.Millisecond,
+		Active:     true,
+	}, func(batch []ItemState) {
+		mu.Lock()
+		updates = append(updates, batch...)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddItems("plc1.temp")
+
+	_ = s.SetValue("plc1.temp", VR8(20), GoodNonSpecific, time.Now())
+	time.Sleep(50 * time.Millisecond)
+	_ = s.SetValue("plc1.temp", VR8(21), GoodNonSpecific, time.Now())
+	time.Sleep(50 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(updates) < 2 {
+		t.Fatalf("got %d updates, want >=2 (initial + change)", len(updates))
+	}
+	last := updates[len(updates)-1]
+	if f, _ := last.Value.AsFloat(); f != 21 {
+		t.Fatalf("last update %v", f)
+	}
+}
+
+func TestGroupNoSpuriousUpdates(t *testing.T) {
+	s := newPlantServer(t)
+	c := NewClient(s)
+	defer c.Close()
+
+	var count sync.Map
+	total := 0
+	var mu sync.Mutex
+	g, _ := c.AddGroup(GroupConfig{Name: "g", UpdateRate: 5 * time.Millisecond, Active: true},
+		func(batch []ItemState) {
+			mu.Lock()
+			total += len(batch)
+			mu.Unlock()
+			for _, b := range batch {
+				count.Store(b.Tag, b)
+			}
+		})
+	g.AddItems("plc1.temp")
+	_ = s.SetValue("plc1.temp", VR8(20), GoodNonSpecific, time.Now())
+	time.Sleep(100 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	// One initial snapshot + one change = at most 2 (value stayed constant).
+	if total > 2 {
+		t.Fatalf("%d updates for a constant value", total)
+	}
+}
+
+func TestGroupDeadband(t *testing.T) {
+	s := newPlantServer(t)
+	c := NewClient(s)
+	defer c.Close()
+
+	var mu sync.Mutex
+	var got []float64
+	g, _ := c.AddGroup(GroupConfig{
+		Name:       "db",
+		UpdateRate: 5 * time.Millisecond,
+		DeadbandPC: 10, // suppress <10% moves
+		Active:     true,
+	}, func(batch []ItemState) {
+		mu.Lock()
+		for _, b := range batch {
+			f, _ := b.Value.AsFloat()
+			got = append(got, f)
+		}
+		mu.Unlock()
+	})
+	g.AddItems("plc1.temp")
+
+	_ = s.SetValue("plc1.temp", VR8(100), GoodNonSpecific, time.Now())
+	time.Sleep(30 * time.Millisecond)
+	_ = s.SetValue("plc1.temp", VR8(104), GoodNonSpecific, time.Now()) // +4%: suppressed
+	time.Sleep(30 * time.Millisecond)
+	_ = s.SetValue("plc1.temp", VR8(120), GoodNonSpecific, time.Now()) // +20%: passes
+	time.Sleep(30 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range got {
+		if f == 104 {
+			t.Fatalf("deadband failed to suppress 4%% move: %v", got)
+		}
+	}
+	if len(got) == 0 || got[len(got)-1] != 120 {
+		t.Fatalf("20%% move suppressed: %v", got)
+	}
+}
+
+func TestGroupQualityChangeBypassesDeadband(t *testing.T) {
+	s := newPlantServer(t)
+	c := NewClient(s)
+	defer c.Close()
+
+	var mu sync.Mutex
+	var quals []Quality
+	g, _ := c.AddGroup(GroupConfig{Name: "q", UpdateRate: 5 * time.Millisecond,
+		DeadbandPC: 50, Active: true},
+		func(batch []ItemState) {
+			mu.Lock()
+			for _, b := range batch {
+				quals = append(quals, b.Quality)
+			}
+			mu.Unlock()
+		})
+	g.AddItems("plc1.temp")
+	_ = s.SetValue("plc1.temp", VR8(100), GoodNonSpecific, time.Now())
+	time.Sleep(30 * time.Millisecond)
+	// Same value, quality goes bad: must pass the deadband.
+	_ = s.SetValue("plc1.temp", VR8(100), BadCommFailure, time.Now())
+	time.Sleep(30 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	sawBad := false
+	for _, q := range quals {
+		if q == BadCommFailure {
+			sawBad = true
+		}
+	}
+	if !sawBad {
+		t.Fatalf("quality transition suppressed: %v", quals)
+	}
+}
+
+func TestGroupStartStop(t *testing.T) {
+	s := newPlantServer(t)
+	c := NewClient(s)
+	defer c.Close()
+
+	var count int
+	var mu sync.Mutex
+	g, _ := c.AddGroup(GroupConfig{Name: "g", UpdateRate: 5 * time.Millisecond},
+		func(batch []ItemState) {
+			mu.Lock()
+			count += len(batch)
+			mu.Unlock()
+		})
+	g.AddItems("plc1.temp")
+	if g.Active() {
+		t.Fatal("group active before Start")
+	}
+	_ = s.SetValue("plc1.temp", VR8(1), GoodNonSpecific, time.Now())
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	if count != 0 {
+		mu.Unlock()
+		t.Fatal("inactive group delivered updates")
+	}
+	mu.Unlock()
+
+	g.Start()
+	time.Sleep(30 * time.Millisecond)
+	g.Stop()
+	mu.Lock()
+	after := count
+	mu.Unlock()
+	if after == 0 {
+		t.Fatal("active group delivered nothing")
+	}
+	_ = s.SetValue("plc1.temp", VR8(2), GoodNonSpecific, time.Now())
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != after {
+		t.Fatal("stopped group delivered updates")
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	c := NewClient(newPlantServer(t))
+	defer c.Close()
+	if _, err := c.AddGroup(GroupConfig{Name: ""}, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := c.AddGroup(GroupConfig{Name: "x", DeadbandPC: 101}, nil); err == nil {
+		t.Fatal("deadband 101% accepted")
+	}
+	if _, err := c.AddGroup(GroupConfig{Name: "ok"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddGroup(GroupConfig{Name: "ok"}, nil); err == nil {
+		t.Fatal("duplicate group accepted")
+	}
+	if err := c.RemoveGroup("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveGroup("ok"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestGroupForceRefresh(t *testing.T) {
+	s := newPlantServer(t)
+	c := NewClient(s)
+	defer c.Close()
+
+	var mu sync.Mutex
+	count := 0
+	g, _ := c.AddGroup(GroupConfig{Name: "g", UpdateRate: 5 * time.Millisecond, Active: true},
+		func(batch []ItemState) {
+			mu.Lock()
+			count += len(batch)
+			mu.Unlock()
+		})
+	g.AddItems("plc1.temp")
+	_ = s.SetValue("plc1.temp", VR8(5), GoodNonSpecific, time.Now())
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	before := count
+	mu.Unlock()
+	g.ForceRefresh()
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count <= before {
+		t.Fatal("ForceRefresh did not resend")
+	}
+}
+
+func TestRemoteConnectionEndToEnd(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, err := dcom.NewExporter(n, "server:opc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	s := newPlantServer(t)
+	oid := com.NewGUID()
+	if err := ExportServer(exp, oid, s); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := dcom.Dial(n, "client:opc", "server:opc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	conn := NewRemoteConnection(cli, oid)
+	c := NewClient(conn)
+	defer c.Close()
+
+	_ = s.SetValue("plc1.temp", VR8(33), GoodNonSpecific, time.Now())
+	states, err := c.SyncRead("plc1.temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := states[0].Value.AsFloat(); f != 33 {
+		t.Fatalf("remote read %v", f)
+	}
+
+	if err := c.SyncWrite("plc1.valve", VBool(true)); err != nil {
+		t.Fatal(err)
+	}
+	tags, err := c.Browse("plc1.")
+	if err != nil || len(tags) != 3 {
+		t.Fatalf("remote browse: %v %v", tags, err)
+	}
+	st, err := c.ServerStatus()
+	if err != nil || st.Name != "Plant.OPC.1" {
+		t.Fatalf("remote status: %+v %v", st, err)
+	}
+
+	// Sentinel errors survive the wire.
+	if _, err := c.SyncRead("nope"); !errors.Is(err, ErrUnknownItem) {
+		t.Fatalf("remote unknown item: %v", err)
+	}
+	if err := c.SyncWrite("plc1.temp", VR8(1)); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("remote access denied: %v", err)
+	}
+}
+
+func TestRemoteConnectionFailureAndRedial(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, err := dcom.NewExporter(n, "server:opc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	s := newPlantServer(t)
+	oid := com.NewGUID()
+	_ = ExportServer(exp, oid, s)
+
+	cli, err := dcom.Dial(n, "client:opc", "server:opc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	conn := NewRemoteConnection(cli, oid)
+
+	n.FailEndpoint("server:opc")
+	if _, err := conn.Read([]string{"plc1.temp"}); !errors.Is(err, dcom.ErrRPCFailure) {
+		t.Fatalf("got %v", err)
+	}
+	if !conn.Broken() {
+		t.Fatal("connection should be broken")
+	}
+	// The dead server's listener died with it; a restarted server re-binds
+	// and re-exports before the client can redial.
+	n.RestoreEndpoint("server:opc")
+	exp2, err := dcom.NewExporter(n, "server:opc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp2.Close()
+	if err := ExportServer(exp2, oid, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Redial(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Read([]string{"plc1.temp"}); err != nil {
+		t.Fatalf("read after redial: %v", err)
+	}
+}
+
+func TestGroupOverRemoteConnection(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, _ := dcom.NewExporter(n, "server:opc")
+	defer exp.Close()
+	s := newPlantServer(t)
+	oid := com.NewGUID()
+	_ = ExportServer(exp, oid, s)
+	cli, _ := dcom.Dial(n, "client:opc", "server:opc")
+	defer cli.Close()
+	c := NewClient(NewRemoteConnection(cli, oid))
+	defer c.Close()
+
+	got := make(chan float64, 16)
+	g, _ := c.AddGroup(GroupConfig{Name: "g", UpdateRate: 10 * time.Millisecond, Active: true},
+		func(batch []ItemState) {
+			for _, b := range batch {
+				if f, err := b.Value.AsFloat(); err == nil {
+					got <- f
+				}
+			}
+		})
+	g.AddItems("plc1.temp")
+	_ = s.SetValue("plc1.temp", VR8(55), GoodNonSpecific, time.Now())
+	select {
+	case f := <-got:
+		if f != 55 {
+			t.Fatalf("remote group update %v", f)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("remote group never updated")
+	}
+}

@@ -1,0 +1,96 @@
+package opc
+
+import "fmt"
+
+// Quality is the OPC DA 16-bit quality word: QQ SSSS LL (quality bits,
+// substatus, limit bits) in the low byte, vendor bits in the high byte.
+type Quality uint16
+
+// Major quality fields (bits 7-6).
+const (
+	qualityMask Quality = 0xC0
+
+	// QualityBad: the value is not useful.
+	QualityBad Quality = 0x00
+	// QualityUncertain: the value may be stale or degraded.
+	QualityUncertain Quality = 0x40
+	// QualityGood: the value is trustworthy.
+	QualityGood Quality = 0xC0
+)
+
+// Common full quality words (major + substatus), as in the OPC DA spec.
+const (
+	// BadNonSpecific is plain bad quality.
+	BadNonSpecific Quality = 0x00
+	// BadConfigError: the item is misconfigured.
+	BadConfigError Quality = 0x04
+	// BadNotConnected: no path to the device.
+	BadNotConnected Quality = 0x08
+	// BadDeviceFailure: the device itself failed.
+	BadDeviceFailure Quality = 0x0C
+	// BadCommFailure: communication to the device failed.
+	BadCommFailure Quality = 0x18
+	// BadOutOfService: the item is disabled.
+	BadOutOfService Quality = 0x1C
+
+	// UncertainNonSpecific is plain uncertain quality.
+	UncertainNonSpecific Quality = 0x40
+	// UncertainLastUsable: the value is stale but was once good.
+	UncertainLastUsable Quality = 0x44
+	// UncertainSensorNotAccurate: reading outside calibrated range.
+	UncertainSensorNotAccurate Quality = 0x50
+
+	// GoodNonSpecific is plain good quality.
+	GoodNonSpecific Quality = 0xC0
+	// GoodLocalOverride: an operator forced the value.
+	GoodLocalOverride Quality = 0xD8
+)
+
+// Major returns the 2-bit quality field.
+func (q Quality) Major() Quality { return q & qualityMask }
+
+// IsGood reports whether the value is trustworthy.
+func (q Quality) IsGood() bool { return q.Major() == QualityGood }
+
+// IsBad reports whether the value is unusable.
+func (q Quality) IsBad() bool { return q.Major() == QualityBad }
+
+// IsUncertain reports whether the value is degraded.
+func (q Quality) IsUncertain() bool { return q.Major() == QualityUncertain }
+
+// String renders the quality word.
+func (q Quality) String() string {
+	var major string
+	switch q.Major() {
+	case QualityGood:
+		major = "GOOD"
+	case QualityUncertain:
+		major = "UNCERTAIN"
+	case QualityBad:
+		major = "BAD"
+	default:
+		major = "INVALID"
+	}
+	switch q {
+	case BadNotConnected:
+		return "BAD(not connected)"
+	case BadDeviceFailure:
+		return "BAD(device failure)"
+	case BadCommFailure:
+		return "BAD(comm failure)"
+	case BadOutOfService:
+		return "BAD(out of service)"
+	case BadConfigError:
+		return "BAD(config error)"
+	case UncertainLastUsable:
+		return "UNCERTAIN(last usable)"
+	case UncertainSensorNotAccurate:
+		return "UNCERTAIN(sensor)"
+	case GoodLocalOverride:
+		return "GOOD(local override)"
+	case GoodNonSpecific, UncertainNonSpecific, BadNonSpecific:
+		return major
+	default:
+		return fmt.Sprintf("%s(0x%02x)", major, uint16(q))
+	}
+}

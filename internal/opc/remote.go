@@ -1,0 +1,139 @@
+package opc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/dcom"
+)
+
+// RemoteMethods is the wire method set an OPC server exports over DCOM.
+// The stub and the proxy below are the hand-written equivalents of the
+// generated proxy/stub pair Section 3.3 of the paper complains about.
+
+// ServerStub adapts a *Server for dcom export.
+type ServerStub struct {
+	s *Server
+}
+
+// NewServerStub wraps a server for export.
+func NewServerStub(s *Server) *ServerStub { return &ServerStub{s: s} }
+
+// Read services remote sync reads.
+func (st *ServerStub) Read(tags []string) ([]ItemState, error) { return st.s.Read(tags) }
+
+// Write services remote sync writes.
+func (st *ServerStub) Write(tag string, v Variant) error { return st.s.Write(tag, v) }
+
+// Browse services remote namespace browsing.
+func (st *ServerStub) Browse(prefix string) ([]string, error) { return st.s.Browse(prefix) }
+
+// Status services remote GetStatus.
+func (st *ServerStub) Status() (ServerStatus, error) { return st.s.Status() }
+
+// BrowseHierarchy services remote tree browsing.
+func (st *ServerStub) BrowseHierarchy(position string, bt int) ([]string, error) {
+	return st.s.BrowseHierarchy(position, BrowseType(bt))
+}
+
+// ItemProperties services remote property queries.
+func (st *ServerStub) ItemProperties(tag string) ([]ItemProperty, error) {
+	return st.s.ItemProperties(tag)
+}
+
+// ExportServer publishes a server on a dcom exporter under oid.
+func ExportServer(exp *dcom.Exporter, oid dcom.ObjectID, s *Server) error {
+	return exp.Export(oid, NewServerStub(s))
+}
+
+// RemoteConnection is the client-side DCOM proxy implementing Connection.
+type RemoteConnection struct {
+	client *dcom.Client
+	proxy  *dcom.Proxy
+}
+
+var _ Connection = (*RemoteConnection)(nil)
+
+// NewRemoteConnection wraps a dcom client/OID pair.
+func NewRemoteConnection(client *dcom.Client, oid dcom.ObjectID) *RemoteConnection {
+	return &RemoteConnection{client: client, proxy: client.Object(oid)}
+}
+
+// Read implements Connection over the wire.
+func (r *RemoteConnection) Read(tags []string) ([]ItemState, error) {
+	var out []ItemState
+	if err := r.proxy.Call("Read", []any{&out}, tags); err != nil {
+		return nil, mapRemoteErr(err)
+	}
+	return out, nil
+}
+
+// Write implements Connection over the wire.
+func (r *RemoteConnection) Write(tag string, v Variant) error {
+	return mapRemoteErr(r.proxy.Call("Write", nil, tag, v))
+}
+
+// Browse implements Connection over the wire.
+func (r *RemoteConnection) Browse(prefix string) ([]string, error) {
+	var out []string
+	if err := r.proxy.Call("Browse", []any{&out}, prefix); err != nil {
+		return nil, mapRemoteErr(err)
+	}
+	return out, nil
+}
+
+// Status implements Connection over the wire.
+func (r *RemoteConnection) Status() (ServerStatus, error) {
+	var out ServerStatus
+	if err := r.proxy.Call("Status", []any{&out}); err != nil {
+		return ServerStatus{}, mapRemoteErr(err)
+	}
+	return out, nil
+}
+
+// BrowseHierarchy implements tree browsing over the wire.
+func (r *RemoteConnection) BrowseHierarchy(position string, bt BrowseType) ([]string, error) {
+	var out []string
+	if err := r.proxy.Call("BrowseHierarchy", []any{&out}, position, int(bt)); err != nil {
+		return nil, mapRemoteErr(err)
+	}
+	return out, nil
+}
+
+// ItemProperties implements property queries over the wire.
+func (r *RemoteConnection) ItemProperties(tag string) ([]ItemProperty, error) {
+	var out []ItemProperty
+	if err := r.proxy.Call("ItemProperties", []any{&out}, tag); err != nil {
+		return nil, mapRemoteErr(err)
+	}
+	return out, nil
+}
+
+// Broken reports whether the underlying RPC channel is poisoned.
+func (r *RemoteConnection) Broken() bool { return r.client.Broken() }
+
+// Redial re-establishes the RPC channel after a server restart or
+// switchover — the recovery DCOM itself lacks.
+func (r *RemoteConnection) Redial() error { return r.client.Redial() }
+
+// mapRemoteErr converts wire-level application errors back into this
+// package's sentinel errors so callers can errors.Is on them through DCOM.
+func mapRemoteErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var re *dcom.RemoteError
+	if errors.As(err, &re) {
+		for _, sentinel := range []error{ErrUnknownItem, ErrAccessDenied, ErrServerDown, ErrBadTag} {
+			if matchSentinel(re.Msg, sentinel) {
+				return fmt.Errorf("%w (remote): %s", sentinel, re.Msg)
+			}
+		}
+	}
+	return err
+}
+
+func matchSentinel(msg string, sentinel error) bool {
+	return strings.Contains(msg, sentinel.Error())
+}

@@ -1,0 +1,379 @@
+package opc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Access is an item's access-rights mask.
+type Access int
+
+// Access rights.
+const (
+	AccessRead Access = 1 << iota
+	AccessWrite
+	// AccessReadWrite permits both.
+	AccessReadWrite = AccessRead | AccessWrite
+)
+
+// Errors.
+var (
+	// ErrUnknownItem is returned for operations on a tag that is not in
+	// the server's namespace.
+	ErrUnknownItem = errors.New("opc: unknown item")
+
+	// ErrAccessDenied is returned for writes to read-only items and reads
+	// of write-only items.
+	ErrAccessDenied = errors.New("opc: access denied")
+
+	// ErrBadTag is returned for malformed tag names.
+	ErrBadTag = errors.New("opc: bad tag")
+
+	// ErrServerDown means the server is not in a running state.
+	ErrServerDown = errors.New("opc: server down")
+)
+
+// ItemState is the (value, quality, timestamp) triple OPC reads return.
+type ItemState struct {
+	Tag       string
+	Value     Variant
+	Quality   Quality
+	Timestamp time.Time
+}
+
+// ItemDef describes one namespace entry.
+type ItemDef struct {
+	Tag           string
+	CanonicalType VT
+	Rights        Access
+	Description   string
+	EUUnit        string // engineering unit, e.g. "degC"
+}
+
+// item is the server-side record.
+type item struct {
+	def   ItemDef
+	state ItemState
+}
+
+// ServerState is the OPC server status word.
+type ServerState int
+
+// Server states (OPC_STATUS_*).
+const (
+	ServerRunning ServerState = iota + 1
+	ServerFailed
+	ServerSuspended
+)
+
+// String renders the state.
+func (s ServerState) String() string {
+	switch s {
+	case ServerRunning:
+		return "RUNNING"
+	case ServerFailed:
+		return "FAILED"
+	case ServerSuspended:
+		return "SUSPENDED"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ServerStatus is the GetStatus result.
+type ServerStatus struct {
+	Name       string
+	State      int
+	StartTime  time.Time
+	LastUpdate time.Time
+	ItemCount  int
+	ReadCount  int64
+	WriteCount int64
+}
+
+// WriteHandler receives client writes so the hosting device driver can
+// forward them to the field (valve commands, setpoints). Returning an
+// error fails the client's write.
+type WriteHandler func(tag string, value Variant) error
+
+// Server is an OPC server: the stateless format converter between device
+// drivers and OPC clients. Per the paper it takes no checkpoints — its
+// entire state is reconstructible from the device scan.
+type Server struct {
+	name string
+
+	mu          sync.RWMutex
+	items       map[string]*item
+	tags        []string // sorted
+	state       ServerState
+	startTime   time.Time
+	lastUpdate  time.Time
+	readCount   int64
+	writeCount  int64
+	writeRoutes map[string]WriteHandler // tag-prefix -> handler; "" is default
+	subscribers map[int]func(ItemState)
+	nextSub     int
+}
+
+// NewServer creates a running server with an empty namespace.
+func NewServer(name string) *Server {
+	return &Server{
+		name:        name,
+		items:       make(map[string]*item),
+		state:       ServerRunning,
+		startTime:   time.Now(),
+		writeRoutes: make(map[string]WriteHandler),
+		subscribers: make(map[int]func(ItemState)),
+	}
+}
+
+// Name returns the server's ProgID-ish name.
+func (s *Server) Name() string { return s.name }
+
+// SetWriteHandler installs the default device-write path (all tags not
+// claimed by a RouteWrites prefix).
+func (s *Server) SetWriteHandler(h WriteHandler) {
+	s.RouteWrites("", h)
+}
+
+// RouteWrites installs a device-write handler for tags with the given
+// prefix, so one server can front several device drivers (one per PLC).
+// The longest matching prefix wins.
+func (s *Server) RouteWrites(prefix string, h WriteHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h == nil {
+		delete(s.writeRoutes, prefix)
+		return
+	}
+	s.writeRoutes[prefix] = h
+}
+
+// writeHandlerFor resolves the handler for a tag. Callers hold s.mu.
+func (s *Server) writeHandlerFor(tag string) WriteHandler {
+	var best string
+	var found WriteHandler
+	hasBest := false
+	for prefix, h := range s.writeRoutes {
+		if strings.HasPrefix(tag, prefix) && (!hasBest || len(prefix) > len(best)) {
+			best, found, hasBest = prefix, h, true
+		}
+	}
+	return found
+}
+
+// AddItem defines a namespace entry with an initial bad-quality value
+// (devices have not reported yet).
+func (s *Server) AddItem(def ItemDef) error {
+	if def.Tag == "" || strings.ContainsAny(def.Tag, " \t\n") {
+		return fmt.Errorf("%w: %q", ErrBadTag, def.Tag)
+	}
+	if def.Rights == 0 {
+		def.Rights = AccessRead
+	}
+	if def.CanonicalType == 0 {
+		def.CanonicalType = VTFloat64
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.items[def.Tag]; dup {
+		return fmt.Errorf("opc: item %q already defined", def.Tag)
+	}
+	s.items[def.Tag] = &item{
+		def: def,
+		state: ItemState{
+			Tag:       def.Tag,
+			Value:     Empty(),
+			Quality:   BadNotConnected,
+			Timestamp: time.Now(),
+		},
+	}
+	s.tags = append(s.tags, def.Tag)
+	sort.Strings(s.tags)
+	return nil
+}
+
+// RemoveItem deletes a namespace entry.
+func (s *Server) RemoveItem(tag string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.items[tag]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownItem, tag)
+	}
+	delete(s.items, tag)
+	for i, t := range s.tags {
+		if t == tag {
+			s.tags = append(s.tags[:i], s.tags[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// SetValue is the device-driver path: the driver pushes fresh field data
+// into the namespace. Values are coerced to the item's canonical type.
+func (s *Server) SetValue(tag string, v Variant, q Quality, ts time.Time) error {
+	s.mu.Lock()
+	it, ok := s.items[tag]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownItem, tag)
+	}
+	coerced, err := v.CoerceTo(it.def.CanonicalType)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if ts.IsZero() {
+		ts = time.Now()
+	}
+	it.state = ItemState{Tag: tag, Value: coerced, Quality: q, Timestamp: ts}
+	s.lastUpdate = ts
+	subs := make([]func(ItemState), 0, len(s.subscribers))
+	for _, fn := range s.subscribers {
+		subs = append(subs, fn)
+	}
+	state := it.state
+	s.mu.Unlock()
+	for _, fn := range subs {
+		fn(state)
+	}
+	return nil
+}
+
+// MarkAllQuality stamps every item with a quality (device/comm failure).
+func (s *Server) MarkAllQuality(q Quality) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	for _, it := range s.items {
+		it.state.Quality = q
+		it.state.Timestamp = now
+	}
+}
+
+// Read returns the current state of each tag (IOPCSyncIO::Read).
+func (s *Server) Read(tags []string) ([]ItemState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != ServerRunning {
+		return nil, ErrServerDown
+	}
+	out := make([]ItemState, 0, len(tags))
+	for _, tag := range tags {
+		it, ok := s.items[tag]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownItem, tag)
+		}
+		if it.def.Rights&AccessRead == 0 {
+			return nil, fmt.Errorf("%w: read %q", ErrAccessDenied, tag)
+		}
+		out = append(out, it.state)
+	}
+	s.readCount++
+	return out, nil
+}
+
+// Write applies a client write (IOPCSyncIO::Write): coerce, hand to the
+// device handler, then reflect the value in the namespace with good
+// quality and a local-override flavor if no handler overrides it.
+func (s *Server) Write(tag string, v Variant) error {
+	s.mu.Lock()
+	if s.state != ServerRunning {
+		s.mu.Unlock()
+		return ErrServerDown
+	}
+	it, ok := s.items[tag]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownItem, tag)
+	}
+	if it.def.Rights&AccessWrite == 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: write %q", ErrAccessDenied, tag)
+	}
+	coerced, err := v.CoerceTo(it.def.CanonicalType)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	handler := s.writeHandlerFor(tag)
+	s.writeCount++
+	s.mu.Unlock()
+
+	if handler != nil {
+		if err := handler(tag, coerced); err != nil {
+			return fmt.Errorf("opc: device write %q: %w", tag, err)
+		}
+	}
+	return s.SetValue(tag, coerced, GoodNonSpecific, time.Now())
+}
+
+// Browse lists tags under a prefix, sorted (IOPCBrowseServerAddressSpace).
+// An empty prefix lists everything.
+func (s *Server) Browse(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.state != ServerRunning {
+		return nil, ErrServerDown
+	}
+	out := make([]string, 0, len(s.tags))
+	for _, tag := range s.tags {
+		if strings.HasPrefix(tag, prefix) {
+			out = append(out, tag)
+		}
+	}
+	return out, nil
+}
+
+// ItemDefinition returns an item's metadata.
+func (s *Server) ItemDefinition(tag string) (ItemDef, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it, ok := s.items[tag]
+	if !ok {
+		return ItemDef{}, fmt.Errorf("%w: %q", ErrUnknownItem, tag)
+	}
+	return it.def, nil
+}
+
+// Status returns the server status block (IOPCServer::GetStatus).
+func (s *Server) Status() (ServerStatus, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return ServerStatus{
+		Name:       s.name,
+		State:      int(s.state),
+		StartTime:  s.startTime,
+		LastUpdate: s.lastUpdate,
+		ItemCount:  len(s.items),
+		ReadCount:  s.readCount,
+		WriteCount: s.writeCount,
+	}, nil
+}
+
+// SetState transitions the server (fault injection / shutdown).
+func (s *Server) SetState(st ServerState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = st
+}
+
+// Subscribe registers a same-process callback fired on every SetValue (the
+// server-side advise sink). Returns an unsubscribe handle.
+func (s *Server) Subscribe(fn func(ItemState)) (cancel func()) {
+	s.mu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subscribers[id] = fn
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.subscribers, id)
+	}
+}

@@ -1,0 +1,238 @@
+package opc
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newPlantServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer("Plant.OPC.1")
+	defs := []ItemDef{
+		{Tag: "plc1.temp", CanonicalType: VTFloat64, Rights: AccessRead, EUUnit: "degC"},
+		{Tag: "plc1.pressure", CanonicalType: VTFloat64, Rights: AccessRead},
+		{Tag: "plc1.valve", CanonicalType: VTBool, Rights: AccessReadWrite},
+		{Tag: "plc2.count", CanonicalType: VTInt32, Rights: AccessRead},
+	}
+	for _, d := range defs {
+		if err := s.AddItem(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAddItemValidation(t *testing.T) {
+	s := NewServer("x")
+	if err := s.AddItem(ItemDef{Tag: ""}); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("empty tag: %v", err)
+	}
+	if err := s.AddItem(ItemDef{Tag: "has space"}); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("spaced tag: %v", err)
+	}
+	if err := s.AddItem(ItemDef{Tag: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddItem(ItemDef{Tag: "ok"}); err == nil {
+		t.Fatal("duplicate tag accepted")
+	}
+}
+
+func TestInitialQualityIsBad(t *testing.T) {
+	s := newPlantServer(t)
+	states, err := s.Read([]string{"plc1.temp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[0].Quality != BadNotConnected {
+		t.Fatalf("initial quality %v", states[0].Quality)
+	}
+}
+
+func TestSetValueAndRead(t *testing.T) {
+	s := newPlantServer(t)
+	ts := time.Now()
+	if err := s.SetValue("plc1.temp", VR8(21.5), GoodNonSpecific, ts); err != nil {
+		t.Fatal(err)
+	}
+	states, err := s.Read([]string{"plc1.temp", "plc1.pressure"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := states[0].Value.AsFloat(); got != 21.5 {
+		t.Fatalf("temp = %v", got)
+	}
+	if !states[0].Quality.IsGood() {
+		t.Fatalf("quality = %v", states[0].Quality)
+	}
+	if states[1].Quality != BadNotConnected {
+		t.Fatal("pressure quality should still be bad")
+	}
+}
+
+func TestSetValueCoercion(t *testing.T) {
+	s := newPlantServer(t)
+	// Device reports int for a float item: coerced.
+	if err := s.SetValue("plc1.temp", VI4(20), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	states, _ := s.Read([]string{"plc1.temp"})
+	if states[0].Value.Type != VTFloat64 {
+		t.Fatalf("canonical coercion failed: %v", states[0].Value.Type)
+	}
+}
+
+func TestReadUnknownAndWriteDenied(t *testing.T) {
+	s := newPlantServer(t)
+	if _, err := s.Read([]string{"nope"}); !errors.Is(err, ErrUnknownItem) {
+		t.Fatalf("got %v", err)
+	}
+	if err := s.Write("plc1.temp", VR8(1)); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("write to RO item: %v", err)
+	}
+}
+
+func TestWritePathToDevice(t *testing.T) {
+	s := newPlantServer(t)
+	var mu sync.Mutex
+	var gotTag string
+	var gotVal Variant
+	s.SetWriteHandler(func(tag string, v Variant) error {
+		mu.Lock()
+		defer mu.Unlock()
+		gotTag, gotVal = tag, v
+		return nil
+	})
+	if err := s.Write("plc1.valve", VBool(true)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if gotTag != "plc1.valve" || !gotVal.Bool {
+		t.Fatalf("device saw %q %v", gotTag, gotVal)
+	}
+	mu.Unlock()
+	states, _ := s.Read([]string{"plc1.valve"})
+	if b, _ := states[0].Value.AsBool(); !b || !states[0].Quality.IsGood() {
+		t.Fatalf("namespace not updated: %+v", states[0])
+	}
+}
+
+func TestWriteHandlerFailureFailsWrite(t *testing.T) {
+	s := newPlantServer(t)
+	s.SetWriteHandler(func(string, Variant) error { return errors.New("field bus dead") })
+	if err := s.Write("plc1.valve", VBool(true)); err == nil {
+		t.Fatal("write should propagate device failure")
+	}
+}
+
+func TestBrowse(t *testing.T) {
+	s := newPlantServer(t)
+	all, err := s.Browse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"plc1.pressure", "plc1.temp", "plc1.valve", "plc2.count"}
+	if !reflect.DeepEqual(all, want) {
+		t.Fatalf("browse all: %v", all)
+	}
+	plc1, _ := s.Browse("plc1.")
+	if len(plc1) != 3 {
+		t.Fatalf("browse plc1: %v", plc1)
+	}
+}
+
+func TestRemoveItem(t *testing.T) {
+	s := newPlantServer(t)
+	if err := s.RemoveItem("plc2.count"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveItem("plc2.count"); !errors.Is(err, ErrUnknownItem) {
+		t.Fatalf("got %v", err)
+	}
+	all, _ := s.Browse("")
+	if len(all) != 3 {
+		t.Fatalf("browse after remove: %v", all)
+	}
+}
+
+func TestServerDown(t *testing.T) {
+	s := newPlantServer(t)
+	s.SetState(ServerFailed)
+	if _, err := s.Read([]string{"plc1.temp"}); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("read: %v", err)
+	}
+	if err := s.Write("plc1.valve", VBool(true)); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := s.Browse(""); !errors.Is(err, ErrServerDown) {
+		t.Fatalf("browse: %v", err)
+	}
+}
+
+func TestMarkAllQuality(t *testing.T) {
+	s := newPlantServer(t)
+	_ = s.SetValue("plc1.temp", VR8(20), GoodNonSpecific, time.Now())
+	s.MarkAllQuality(BadCommFailure)
+	states, _ := s.Read([]string{"plc1.temp", "plc2.count"})
+	for _, st := range states {
+		if st.Quality != BadCommFailure {
+			t.Fatalf("%s quality %v", st.Tag, st.Quality)
+		}
+	}
+}
+
+func TestStatusCounts(t *testing.T) {
+	s := newPlantServer(t)
+	_, _ = s.Read([]string{"plc1.temp"})
+	_, _ = s.Read([]string{"plc1.temp"})
+	_ = s.Write("plc1.valve", VBool(true))
+	st, err := s.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReadCount != 2 || st.WriteCount != 1 || st.ItemCount != 4 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.Name != "Plant.OPC.1" || st.State != int(ServerRunning) {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	s := newPlantServer(t)
+	got := make(chan ItemState, 4)
+	cancel := s.Subscribe(func(st ItemState) { got <- st })
+	_ = s.SetValue("plc1.temp", VR8(25), GoodNonSpecific, time.Now())
+	select {
+	case st := <-got:
+		if st.Tag != "plc1.temp" {
+			t.Fatalf("subscriber saw %q", st.Tag)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("subscriber never fired")
+	}
+	cancel()
+	_ = s.SetValue("plc1.temp", VR8(26), GoodNonSpecific, time.Now())
+	select {
+	case <-got:
+		t.Fatal("cancelled subscriber fired")
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func TestItemDefinition(t *testing.T) {
+	s := newPlantServer(t)
+	def, err := s.ItemDefinition("plc1.temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.EUUnit != "degC" || def.CanonicalType != VTFloat64 {
+		t.Fatalf("def: %+v", def)
+	}
+	if _, err := s.ItemDefinition("nope"); !errors.Is(err, ErrUnknownItem) {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package opc is the OLE for Process Control (OPC Data Access) analog: the
+// standard interface the paper's applications speak. An OPC server wraps a
+// device driver and publishes named items; OPC clients read, write, and
+// subscribe to those items, locally via COM or remotely via DCOM.
+//
+// The data model follows OPC DA 1.0 as the paper describes it: VARIANT
+// values, a 16-bit quality word, per-item timestamps, and client-defined
+// groups with an update rate and percent deadband.
+package opc
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// VT is the variant type tag (the VARIANT vt field).
+type VT int
+
+// Variant types supported by the toolkit.
+const (
+	VTEmpty VT = iota + 1
+	VTBool
+	VTInt32
+	VTInt64
+	VTFloat32
+	VTFloat64
+	VTString
+)
+
+// String names the variant type.
+func (t VT) String() string {
+	switch t {
+	case VTEmpty:
+		return "VT_EMPTY"
+	case VTBool:
+		return "VT_BOOL"
+	case VTInt32:
+		return "VT_I4"
+	case VTInt64:
+		return "VT_I8"
+	case VTFloat32:
+		return "VT_R4"
+	case VTFloat64:
+		return "VT_R8"
+	case VTString:
+		return "VT_BSTR"
+	default:
+		return "VT_UNKNOWN"
+	}
+}
+
+// Variant is the OLE VARIANT analog: a tagged scalar. The representation is
+// a flat struct so it crosses the NDR wire without registration.
+type Variant struct {
+	Type  VT
+	Bool  bool
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// Constructors, named after the OLE vt codes.
+
+// Empty returns VT_EMPTY.
+func Empty() Variant { return Variant{Type: VTEmpty} }
+
+// VBool returns a VT_BOOL variant.
+func VBool(v bool) Variant { return Variant{Type: VTBool, Bool: v} }
+
+// VI4 returns a VT_I4 (32-bit integer) variant.
+func VI4(v int32) Variant { return Variant{Type: VTInt32, Int: int64(v)} }
+
+// VI8 returns a VT_I8 (64-bit integer) variant.
+func VI8(v int64) Variant { return Variant{Type: VTInt64, Int: v} }
+
+// VR4 returns a VT_R4 (float32) variant.
+func VR4(v float32) Variant { return Variant{Type: VTFloat32, Float: float64(v)} }
+
+// VR8 returns a VT_R8 (float64) variant.
+func VR8(v float64) Variant { return Variant{Type: VTFloat64, Float: v} }
+
+// VStr returns a VT_BSTR variant.
+func VStr(v string) Variant { return Variant{Type: VTString, Str: v} }
+
+// IsEmpty reports whether the variant is VT_EMPTY (or zero-valued).
+func (v Variant) IsEmpty() bool { return v.Type == VTEmpty || v.Type == 0 }
+
+// IsNumeric reports whether the variant holds a number.
+func (v Variant) IsNumeric() bool {
+	switch v.Type {
+	case VTInt32, VTInt64, VTFloat32, VTFloat64:
+		return true
+	}
+	return false
+}
+
+// AsFloat converts to float64 (bool -> 0/1, string via strconv).
+func (v Variant) AsFloat() (float64, error) {
+	switch v.Type {
+	case VTBool:
+		if v.Bool {
+			return 1, nil
+		}
+		return 0, nil
+	case VTInt32, VTInt64:
+		return float64(v.Int), nil
+	case VTFloat32, VTFloat64:
+		return v.Float, nil
+	case VTString:
+		f, err := strconv.ParseFloat(v.Str, 64)
+		if err != nil {
+			return 0, fmt.Errorf("opc: variant %q is not numeric", v.Str)
+		}
+		return f, nil
+	default:
+		return 0, fmt.Errorf("opc: cannot convert %s to float", v.Type)
+	}
+}
+
+// AsInt converts to int64 (floats truncate toward zero).
+func (v Variant) AsInt() (int64, error) {
+	switch v.Type {
+	case VTBool:
+		if v.Bool {
+			return 1, nil
+		}
+		return 0, nil
+	case VTInt32, VTInt64:
+		return v.Int, nil
+	case VTFloat32, VTFloat64:
+		return int64(v.Float), nil
+	case VTString:
+		i, err := strconv.ParseInt(v.Str, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("opc: variant %q is not an integer", v.Str)
+		}
+		return i, nil
+	default:
+		return 0, fmt.Errorf("opc: cannot convert %s to int", v.Type)
+	}
+}
+
+// AsBool converts to bool (numbers: nonzero is true).
+func (v Variant) AsBool() (bool, error) {
+	switch v.Type {
+	case VTBool:
+		return v.Bool, nil
+	case VTInt32, VTInt64:
+		return v.Int != 0, nil
+	case VTFloat32, VTFloat64:
+		return v.Float != 0, nil
+	case VTString:
+		b, err := strconv.ParseBool(v.Str)
+		if err != nil {
+			return false, fmt.Errorf("opc: variant %q is not a bool", v.Str)
+		}
+		return b, nil
+	default:
+		return false, fmt.Errorf("opc: cannot convert %s to bool", v.Type)
+	}
+}
+
+// String renders the payload.
+func (v Variant) String() string {
+	switch v.Type {
+	case VTEmpty, 0:
+		return "<empty>"
+	case VTBool:
+		return strconv.FormatBool(v.Bool)
+	case VTInt32, VTInt64:
+		return strconv.FormatInt(v.Int, 10)
+	case VTFloat32, VTFloat64:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case VTString:
+		return v.Str
+	default:
+		return "<unknown>"
+	}
+}
+
+// Equal reports exact equality of type and payload. A zero Variant and an
+// explicit VT_EMPTY compare equal.
+func (v Variant) Equal(o Variant) bool {
+	if v.IsEmpty() && o.IsEmpty() {
+		return true
+	}
+	if v.Type != o.Type {
+		return false
+	}
+	switch v.Type {
+	case VTEmpty, 0:
+		return true
+	case VTBool:
+		return v.Bool == o.Bool
+	case VTInt32, VTInt64:
+		return v.Int == o.Int
+	case VTFloat32, VTFloat64:
+		return v.Float == o.Float || (math.IsNaN(v.Float) && math.IsNaN(o.Float))
+	case VTString:
+		return v.Str == o.Str
+	default:
+		return false
+	}
+}
+
+// CoerceTo converts the variant to the target type, the OPC "canonical
+// data type" coercion servers perform on writes.
+func (v Variant) CoerceTo(t VT) (Variant, error) {
+	if v.Type == t {
+		return v, nil
+	}
+	switch t {
+	case VTBool:
+		b, err := v.AsBool()
+		if err != nil {
+			return Variant{}, err
+		}
+		return VBool(b), nil
+	case VTInt32:
+		i, err := v.AsInt()
+		if err != nil {
+			return Variant{}, err
+		}
+		if i > math.MaxInt32 || i < math.MinInt32 {
+			return Variant{}, fmt.Errorf("opc: %d overflows VT_I4", i)
+		}
+		return VI4(int32(i)), nil
+	case VTInt64:
+		i, err := v.AsInt()
+		if err != nil {
+			return Variant{}, err
+		}
+		return VI8(i), nil
+	case VTFloat32:
+		f, err := v.AsFloat()
+		if err != nil {
+			return Variant{}, err
+		}
+		return VR4(float32(f)), nil
+	case VTFloat64:
+		f, err := v.AsFloat()
+		if err != nil {
+			return Variant{}, err
+		}
+		return VR8(f), nil
+	case VTString:
+		return VStr(v.String()), nil
+	default:
+		return Variant{}, fmt.Errorf("opc: cannot coerce %s to %s", v.Type, t)
+	}
+}

@@ -1,0 +1,152 @@
+package opc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVariantConstructorsAndString(t *testing.T) {
+	tests := []struct {
+		v    Variant
+		vt   VT
+		text string
+	}{
+		{Empty(), VTEmpty, "<empty>"},
+		{VBool(true), VTBool, "true"},
+		{VI4(-7), VTInt32, "-7"},
+		{VI8(1 << 40), VTInt64, "1099511627776"},
+		{VR4(2.5), VTFloat32, "2.5"},
+		{VR8(-0.125), VTFloat64, "-0.125"},
+		{VStr("busy"), VTString, "busy"},
+	}
+	for _, tt := range tests {
+		if tt.v.Type != tt.vt {
+			t.Errorf("%v: type %v, want %v", tt.v, tt.v.Type, tt.vt)
+		}
+		if got := tt.v.String(); got != tt.text {
+			t.Errorf("String() = %q, want %q", got, tt.text)
+		}
+	}
+}
+
+func TestVariantConversions(t *testing.T) {
+	if f, err := VI4(42).AsFloat(); err != nil || f != 42 {
+		t.Errorf("AsFloat(42) = %v %v", f, err)
+	}
+	if i, err := VR8(3.9).AsInt(); err != nil || i != 3 {
+		t.Errorf("AsInt(3.9) = %v %v", i, err)
+	}
+	if b, err := VI4(1).AsBool(); err != nil || !b {
+		t.Errorf("AsBool(1) = %v %v", b, err)
+	}
+	if f, err := VStr("2.5").AsFloat(); err != nil || f != 2.5 {
+		t.Errorf("AsFloat(\"2.5\") = %v %v", f, err)
+	}
+	if b, err := VBool(true).AsFloat(); err != nil || b != 1 {
+		t.Errorf("AsFloat(true) = %v %v", b, err)
+	}
+	if _, err := VStr("junk").AsFloat(); err == nil {
+		t.Error("junk string converted to float")
+	}
+	if _, err := Empty().AsInt(); err == nil {
+		t.Error("empty converted to int")
+	}
+}
+
+func TestVariantEqual(t *testing.T) {
+	if !VI4(1).Equal(VI4(1)) {
+		t.Error("equal ints unequal")
+	}
+	if VI4(1).Equal(VI8(1)) {
+		t.Error("different types compare equal")
+	}
+	if VI4(1).Equal(VI4(2)) {
+		t.Error("different values compare equal")
+	}
+	if !VR8(math.NaN()).Equal(VR8(math.NaN())) {
+		t.Error("NaN should equal NaN for change detection")
+	}
+	if !Empty().Equal(Variant{}) {
+		t.Error("empty should equal zero variant")
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	v, err := VStr("42").CoerceTo(VTInt32)
+	if err != nil || v.Type != VTInt32 || v.Int != 42 {
+		t.Fatalf("coerce string->i4: %+v %v", v, err)
+	}
+	v, err = VI4(1).CoerceTo(VTBool)
+	if err != nil || !v.Bool {
+		t.Fatalf("coerce i4->bool: %+v %v", v, err)
+	}
+	v, err = VR8(2.5).CoerceTo(VTString)
+	if err != nil || v.Str != "2.5" {
+		t.Fatalf("coerce r8->bstr: %+v %v", v, err)
+	}
+	if _, err := VI8(math.MaxInt64).CoerceTo(VTInt32); err == nil {
+		t.Fatal("i8 overflow into i4 accepted")
+	}
+	if _, err := VStr("x").CoerceTo(VTFloat64); err == nil {
+		t.Fatal("junk coerced to float")
+	}
+	// Identity coercion.
+	v, err = VI4(5).CoerceTo(VTInt32)
+	if err != nil || v.Int != 5 {
+		t.Fatalf("identity coerce: %+v %v", v, err)
+	}
+}
+
+// Property: numeric coercion to float64 and back to int64 truncates
+// consistently with Go conversion semantics.
+func TestQuickCoerceIntFloat(t *testing.T) {
+	f := func(v int32) bool {
+		r8, err := VI4(v).CoerceTo(VTFloat64)
+		if err != nil {
+			return false
+		}
+		back, err := r8.CoerceTo(VTInt32)
+		if err != nil {
+			return false
+		}
+		return back.Int == int64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQualityBits(t *testing.T) {
+	if !GoodNonSpecific.IsGood() || GoodNonSpecific.IsBad() {
+		t.Error("GoodNonSpecific misclassified")
+	}
+	if !BadCommFailure.IsBad() {
+		t.Error("BadCommFailure misclassified")
+	}
+	if !UncertainLastUsable.IsUncertain() {
+		t.Error("UncertainLastUsable misclassified")
+	}
+	if !GoodLocalOverride.IsGood() {
+		t.Error("GoodLocalOverride should be good-major")
+	}
+	if BadNotConnected.Major() != QualityBad {
+		t.Error("major extraction wrong")
+	}
+}
+
+func TestQualityStrings(t *testing.T) {
+	tests := map[Quality]string{
+		GoodNonSpecific:     "GOOD",
+		BadNotConnected:     "BAD(not connected)",
+		BadCommFailure:      "BAD(comm failure)",
+		BadDeviceFailure:    "BAD(device failure)",
+		GoodLocalOverride:   "GOOD(local override)",
+		UncertainLastUsable: "UNCERTAIN(last usable)",
+	}
+	for q, want := range tests {
+		if got := q.String(); got != want {
+			t.Errorf("%#x: got %q, want %q", uint16(q), got, want)
+		}
+	}
+}

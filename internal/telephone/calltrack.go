@@ -1,0 +1,201 @@
+package telephone
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/opc"
+)
+
+// TrackerState is the Call Track application's checkpointable state: the
+// busy-line histogram the demo displays plus call totals and a bounded
+// observation history. It is exactly what must survive a failover —
+// "the application is preferred to be fault tolerant since it records the
+// past and present states of the system".
+type TrackerState struct {
+	Lines      int
+	Histogram  []int64 // Histogram[k] = samples observed with k busy lines
+	Samples    int64
+	TotalCalls int64
+	Blocked    int64
+	LastBusy   int32
+	History    []int32 // bounded ring of recent busy counts
+	HistoryCap int
+}
+
+// Tracker is the pure logic of the Call Track application, independent of
+// OPC and OFTT so it is unit-testable; the wiring lives in core and the
+// examples.
+type Tracker struct {
+	mu    sync.Locker
+	state TrackerState
+}
+
+// NewTracker creates a tracker for a system with `lines` lines, retaining
+// up to historyCap observations.
+func NewTracker(lines, historyCap int) *Tracker {
+	if lines <= 0 {
+		lines = 5
+	}
+	if historyCap <= 0 {
+		historyCap = 1000
+	}
+	return &Tracker{
+		mu: &sync.Mutex{},
+		state: TrackerState{
+			Lines:      lines,
+			Histogram:  make([]int64, lines+1),
+			HistoryCap: historyCap,
+		},
+	}
+}
+
+// State returns a pointer to the tracker's state for checkpoint
+// registration. All tracker methods and all checkpoint captures must be
+// serialized by the same lock: after registering the state with an FTIM,
+// call SetLocker with the FTIM's registry so captures/restores and tracker
+// updates exclude each other. Standalone use keeps the built-in mutex.
+func (t *Tracker) State() *TrackerState { return &t.state }
+
+// SetLocker replaces the mutex guarding the tracker's state. Use the
+// checkpoint registry that holds the registered state so the FTIM thread
+// and the tracker serialize on one lock.
+func (t *Tracker) SetLocker(l sync.Locker) { t.mu = l }
+
+// Observe records one busy-count sample.
+func (t *Tracker) Observe(busy int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if busy < 0 {
+		busy = 0
+	}
+	if busy > t.state.Lines {
+		busy = t.state.Lines
+	}
+	t.state.Histogram[busy]++
+	t.state.Samples++
+	t.state.LastBusy = int32(busy)
+	t.state.History = append(t.state.History, int32(busy))
+	if len(t.state.History) > t.state.HistoryCap {
+		t.state.History = t.state.History[len(t.state.History)-t.state.HistoryCap:]
+	}
+}
+
+// SetTotals records the simulator's call counters.
+func (t *Tracker) SetTotals(total, blocked int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.state.TotalCalls = total
+	t.state.Blocked = blocked
+}
+
+// Ingest consumes an OPC update batch from the telephone namespace.
+func (t *Tracker) Ingest(updates []opc.ItemState) {
+	for _, u := range updates {
+		if !u.Quality.IsGood() {
+			continue
+		}
+		switch u.Tag {
+		case "tel.busy_count":
+			if v, err := u.Value.AsInt(); err == nil {
+				t.Observe(int(v))
+			}
+		case "tel.total_calls":
+			if v, err := u.Value.AsInt(); err == nil {
+				t.mu.Lock()
+				t.state.TotalCalls = v
+				t.mu.Unlock()
+			}
+		case "tel.blocked":
+			if v, err := u.Value.AsInt(); err == nil {
+				t.mu.Lock()
+				t.state.Blocked = v
+				t.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Snapshot returns a deep copy of the state.
+func (t *Tracker) Snapshot() TrackerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cp := t.state
+	cp.Histogram = append([]int64(nil), t.state.Histogram...)
+	cp.History = append([]int32(nil), t.state.History...)
+	return cp
+}
+
+// Samples reports the number of observations recorded.
+func (t *Tracker) Samples() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state.Samples
+}
+
+// Lock/Unlock expose the tracker's mutex so an FTIM checkpoint capture can
+// be coordinated with ongoing observation in standalone deployments.
+func (t *Tracker) Lock() { t.mu.Lock() }
+
+// Unlock releases the tracker's mutex.
+func (t *Tracker) Unlock() { t.mu.Unlock() }
+
+// RenderHistogram draws the demo's busy-lines histogram as ASCII art.
+func (t *Tracker) RenderHistogram(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	s := t.Snapshot()
+	var max int64
+	for _, c := range s.Histogram {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Busy-lines histogram (%d samples, %d calls, %d blocked)\n",
+		s.Samples, s.TotalCalls, s.Blocked)
+	for k, c := range s.Histogram {
+		bar := 0
+		if max > 0 {
+			bar = int(c * int64(width) / max)
+		}
+		fmt.Fprintf(&b, "%2d busy |%-*s| %d\n", k, width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Verify checks the tracker's internal invariants; the demo uses it to
+// prove no history was lost across a failover. It returns a descriptive
+// error-like string ("" when consistent).
+func (t *Tracker) Verify() string {
+	s := t.Snapshot()
+	var sum int64
+	for _, c := range s.Histogram {
+		if c < 0 {
+			return "negative histogram bucket"
+		}
+		sum += c
+	}
+	if sum != s.Samples {
+		return fmt.Sprintf("histogram sum %d != samples %d", sum, s.Samples)
+	}
+	if len(s.History) > s.HistoryCap {
+		return "history exceeds cap"
+	}
+	if int64(len(s.History)) > s.Samples {
+		return "more history than samples"
+	}
+	return ""
+}
+
+// TelTags returns the OPC tags the tracker subscribes to for a system with
+// the given line count.
+func TelTags(lines int) []string {
+	tags := []string{"tel.busy_count", "tel.total_calls", "tel.blocked"}
+	for i := 1; i <= lines; i++ {
+		tags = append(tags, fmt.Sprintf("tel.line%d.busy", i))
+	}
+	return tags
+}

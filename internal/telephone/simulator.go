@@ -1,0 +1,302 @@
+// Package telephone implements the paper's demonstration workload
+// (Section 4): a simulated small office telephone system with 5 telephone
+// lines and 10 callers, plus the Call Track application that records the
+// past and present states of the system — the stateful OPC client that the
+// OFTT toolkit makes fault tolerant in the demo.
+package telephone
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/opc"
+)
+
+// SimConfig parameterizes the telephone system simulator. The zero value
+// is the paper's configuration: 5 lines, 10 callers.
+type SimConfig struct {
+	Lines    int           // default 5
+	Callers  int           // default 10
+	MeanIdle time.Duration // mean time between a caller's call attempts (default 200ms)
+	MeanHold time.Duration // mean call duration (default 300ms)
+	Tick     time.Duration // simulation step (default 5ms)
+	Seed     int64
+}
+
+func (c *SimConfig) applyDefaults() {
+	if c.Lines <= 0 {
+		c.Lines = 5
+	}
+	if c.Callers <= 0 {
+		c.Callers = 10
+	}
+	if c.MeanIdle <= 0 {
+		c.MeanIdle = 200 * time.Millisecond
+	}
+	if c.MeanHold <= 0 {
+		c.MeanHold = 300 * time.Millisecond
+	}
+	if c.Tick <= 0 {
+		c.Tick = 5 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// caller is one phone user: idle until their next attempt, then on a line
+// (or blocked if none is free).
+type caller struct {
+	id       int
+	nextCall time.Time
+	onLine   int // -1 when idle
+	hangUp   time.Time
+}
+
+// Simulator drives the telephone system and publishes its state into an
+// OPC server namespace:
+//
+//	tel.lineN.busy   (bool as 0/1)  one per line
+//	tel.busy_count   current number of busy lines
+//	tel.total_calls  calls placed since start
+//	tel.blocked      attempts that found no free line
+type Simulator struct {
+	cfg SimConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	lines   []int // callerID occupying the line, -1 if free
+	callers []*caller
+	total   int64
+	blocked int64
+	started time.Time
+	running bool
+
+	server *opc.Server
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewSimulator creates a simulator publishing into server (may be nil for
+// pure-logic tests).
+func NewSimulator(cfg SimConfig, server *opc.Server) (*Simulator, error) {
+	cfg.applyDefaults()
+	s := &Simulator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		lines:  make([]int, cfg.Lines),
+		server: server,
+	}
+	for i := range s.lines {
+		s.lines[i] = -1
+	}
+	now := time.Now()
+	for i := 0; i < cfg.Callers; i++ {
+		s.callers = append(s.callers, &caller{
+			id:       i,
+			onLine:   -1,
+			nextCall: now.Add(s.exp(cfg.MeanIdle)),
+		})
+	}
+	if server != nil {
+		if err := s.defineItems(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Simulator) defineItems() error {
+	defs := []opc.ItemDef{
+		{Tag: "tel.busy_count", CanonicalType: opc.VTInt32, Rights: opc.AccessRead,
+			Description: "number of busy telephone lines"},
+		{Tag: "tel.total_calls", CanonicalType: opc.VTInt64, Rights: opc.AccessRead},
+		{Tag: "tel.blocked", CanonicalType: opc.VTInt64, Rights: opc.AccessRead},
+	}
+	for i := 0; i < s.cfg.Lines; i++ {
+		defs = append(defs, opc.ItemDef{
+			Tag:           fmt.Sprintf("tel.line%d.busy", i+1),
+			CanonicalType: opc.VTBool,
+			Rights:        opc.AccessRead,
+		})
+	}
+	for _, d := range defs {
+		if err := s.server.AddItem(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exp samples an exponential holding time with the given mean.
+func (s *Simulator) exp(mean time.Duration) time.Duration {
+	return time.Duration(s.rng.ExpFloat64() * float64(mean))
+}
+
+// Start launches the simulation loop.
+func (s *Simulator) Start() {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = true
+	s.started = time.Now()
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	s.once = sync.Once{}
+	s.mu.Unlock()
+
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.cfg.Tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Step(time.Now())
+				s.publish()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Step advances the simulation to `now` (exported for deterministic tests).
+func (s *Simulator) Step(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Hang-ups first, freeing lines for new attempts this tick.
+	for _, c := range s.callers {
+		if c.onLine >= 0 && now.After(c.hangUp) {
+			s.lines[c.onLine] = -1
+			c.onLine = -1
+			c.nextCall = now.Add(s.exp(s.cfg.MeanIdle))
+		}
+	}
+	// Call attempts.
+	for _, c := range s.callers {
+		if c.onLine >= 0 || now.Before(c.nextCall) {
+			continue
+		}
+		line := s.freeLineLocked()
+		if line < 0 {
+			s.blocked++
+			c.nextCall = now.Add(s.exp(s.cfg.MeanIdle))
+			continue
+		}
+		s.lines[line] = c.id
+		c.onLine = line
+		c.hangUp = now.Add(s.exp(s.cfg.MeanHold))
+		s.total++
+	}
+}
+
+func (s *Simulator) freeLineLocked() int {
+	for i, occupant := range s.lines {
+		if occupant == -1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// publish pushes the current state into the OPC namespace.
+func (s *Simulator) publish() {
+	if s.server == nil {
+		return
+	}
+	busy, total, blocked, lineBusy := s.snapshot()
+	now := time.Now()
+	_ = s.server.SetValue("tel.busy_count", opc.VI4(int32(busy)), opc.GoodNonSpecific, now)
+	_ = s.server.SetValue("tel.total_calls", opc.VI8(total), opc.GoodNonSpecific, now)
+	_ = s.server.SetValue("tel.blocked", opc.VI8(blocked), opc.GoodNonSpecific, now)
+	for i, b := range lineBusy {
+		tag := fmt.Sprintf("tel.line%d.busy", i+1)
+		_ = s.server.SetValue(tag, opc.VBool(b), opc.GoodNonSpecific, now)
+	}
+}
+
+func (s *Simulator) snapshot() (busy int, total, blocked int64, lineBusy []bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lineBusy = make([]bool, len(s.lines))
+	for i, occupant := range s.lines {
+		if occupant != -1 {
+			busy++
+			lineBusy[i] = true
+		}
+	}
+	return busy, s.total, s.blocked, lineBusy
+}
+
+// BusyLines reports the current number of busy lines.
+func (s *Simulator) BusyLines() int {
+	busy, _, _, _ := s.snapshot()
+	return busy
+}
+
+// Totals reports (total calls placed, blocked attempts).
+func (s *Simulator) Totals() (total, blocked int64) {
+	_, total, blocked, _ = s.snapshot()
+	return total, blocked
+}
+
+// Stop halts the simulation loop.
+func (s *Simulator) Stop() {
+	s.mu.Lock()
+	if !s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = false
+	s.mu.Unlock()
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// HistoryGenerator is the "Calling History generator" of Table 1: it
+// produces a deterministic scripted sequence of busy-count observations for
+// driving tests and experiments without the live simulator.
+type HistoryGenerator struct {
+	rng   *rand.Rand
+	lines int
+	busy  int
+}
+
+// NewHistoryGenerator returns a seeded generator for a system with the
+// given number of lines.
+func NewHistoryGenerator(lines int, seed int64) *HistoryGenerator {
+	if lines <= 0 {
+		lines = 5
+	}
+	return &HistoryGenerator{rng: rand.New(rand.NewSource(seed)), lines: lines}
+}
+
+// Next returns the next busy-count observation: a bounded random walk, the
+// statistical shape of line occupancy.
+func (g *HistoryGenerator) Next() int {
+	step := g.rng.Intn(3) - 1 // -1, 0, +1
+	g.busy += step
+	if g.busy < 0 {
+		g.busy = 0
+	}
+	if g.busy > g.lines {
+		g.busy = g.lines
+	}
+	return g.busy
+}
+
+// Series returns the next n observations.
+func (g *HistoryGenerator) Series(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package telephone
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/opc"
+)
+
+func TestSimulatorDefaultsMatchPaper(t *testing.T) {
+	s, err := NewSimulator(SimConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Lines != 5 || s.cfg.Callers != 10 {
+		t.Fatalf("defaults: %d lines, %d callers", s.cfg.Lines, s.cfg.Callers)
+	}
+}
+
+func TestSimulatorStepConservesLines(t *testing.T) {
+	s, err := NewSimulator(SimConfig{MeanIdle: 10 * time.Millisecond,
+		MeanHold: 20 * time.Millisecond, Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	for i := 0; i < 2000; i++ {
+		now = now.Add(time.Millisecond)
+		s.Step(now)
+		busy := s.BusyLines()
+		if busy < 0 || busy > 5 {
+			t.Fatalf("busy lines %d out of [0,5]", busy)
+		}
+	}
+	total, blocked := s.Totals()
+	if total == 0 {
+		t.Fatal("no calls placed in 2s of simulated traffic")
+	}
+	// With 10 aggressive callers and 5 lines, some attempts must block.
+	if blocked == 0 {
+		t.Fatal("no blocked attempts despite overload")
+	}
+}
+
+func TestSimulatorLineOccupancyConsistent(t *testing.T) {
+	s, _ := NewSimulator(SimConfig{MeanIdle: 5 * time.Millisecond,
+		MeanHold: 50 * time.Millisecond, Seed: 3}, nil)
+	now := time.Now()
+	for i := 0; i < 500; i++ {
+		now = now.Add(time.Millisecond)
+		s.Step(now)
+		s.mu.Lock()
+		// Each line's occupant, if any, must agree it is on that line.
+		for line, occ := range s.lines {
+			if occ == -1 {
+				continue
+			}
+			if s.callers[occ].onLine != line {
+				s.mu.Unlock()
+				t.Fatalf("line %d thinks caller %d is on it; caller thinks line %d",
+					line, occ, s.callers[occ].onLine)
+			}
+		}
+		// No caller occupies two lines.
+		seen := map[int]bool{}
+		for _, c := range s.callers {
+			if c.onLine >= 0 {
+				if seen[c.onLine] {
+					s.mu.Unlock()
+					t.Fatal("two callers on one line")
+				}
+				seen[c.onLine] = true
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func TestSimulatorPublishesOPC(t *testing.T) {
+	server := opc.NewServer("Telephone.OPC.1")
+	s, err := NewSimulator(SimConfig{MeanIdle: 5 * time.Millisecond,
+		MeanHold: 30 * time.Millisecond, Tick: 2 * time.Millisecond, Seed: 2}, server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		states, err := server.Read([]string{"tel.busy_count", "tel.total_calls"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if states[0].Quality.IsGood() {
+			if v, _ := states[1].Value.AsInt(); v > 0 {
+				return // live data flowing
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no live telephone data reached the OPC namespace")
+}
+
+func TestSimulatorNamespaceShape(t *testing.T) {
+	server := opc.NewServer("Telephone.OPC.1")
+	if _, err := NewSimulator(SimConfig{}, server); err != nil {
+		t.Fatal(err)
+	}
+	tags, _ := server.Browse("tel.")
+	want := 3 + 5 // busy_count, total_calls, blocked + 5 lines
+	if len(tags) != want {
+		t.Fatalf("namespace has %d tags: %v", len(tags), tags)
+	}
+}
+
+func TestTrackerObserve(t *testing.T) {
+	tr := NewTracker(5, 100)
+	for _, b := range []int{0, 1, 1, 3, 5, 5, 5} {
+		tr.Observe(b)
+	}
+	s := tr.Snapshot()
+	if s.Samples != 7 {
+		t.Fatalf("samples = %d", s.Samples)
+	}
+	if s.Histogram[1] != 2 || s.Histogram[5] != 3 || s.Histogram[0] != 1 {
+		t.Fatalf("histogram: %v", s.Histogram)
+	}
+	if s.LastBusy != 5 {
+		t.Fatalf("lastBusy = %d", s.LastBusy)
+	}
+	if msg := tr.Verify(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+}
+
+func TestTrackerClampsOutOfRange(t *testing.T) {
+	tr := NewTracker(5, 100)
+	tr.Observe(-3)
+	tr.Observe(99)
+	s := tr.Snapshot()
+	if s.Histogram[0] != 1 || s.Histogram[5] != 1 {
+		t.Fatalf("clamping failed: %v", s.Histogram)
+	}
+}
+
+func TestTrackerHistoryBounded(t *testing.T) {
+	tr := NewTracker(5, 10)
+	for i := 0; i < 100; i++ {
+		tr.Observe(i % 6)
+	}
+	s := tr.Snapshot()
+	if len(s.History) != 10 {
+		t.Fatalf("history length %d", len(s.History))
+	}
+	// Ring keeps the most recent observations.
+	if s.History[9] != int32(99%6) {
+		t.Fatalf("history tail: %v", s.History)
+	}
+	if msg := tr.Verify(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestTrackerIngest(t *testing.T) {
+	tr := NewTracker(5, 100)
+	tr.Ingest([]opc.ItemState{
+		{Tag: "tel.busy_count", Value: opc.VI4(3), Quality: opc.GoodNonSpecific},
+		{Tag: "tel.total_calls", Value: opc.VI8(12), Quality: opc.GoodNonSpecific},
+		{Tag: "tel.blocked", Value: opc.VI8(2), Quality: opc.GoodNonSpecific},
+		{Tag: "tel.busy_count", Value: opc.VI4(4), Quality: opc.BadCommFailure}, // ignored
+		{Tag: "unrelated", Value: opc.VI4(9), Quality: opc.GoodNonSpecific},     // ignored
+	})
+	s := tr.Snapshot()
+	if s.Samples != 1 || s.LastBusy != 3 {
+		t.Fatalf("ingest: %+v", s)
+	}
+	if s.TotalCalls != 12 || s.Blocked != 2 {
+		t.Fatalf("totals: %+v", s)
+	}
+}
+
+func TestRenderHistogram(t *testing.T) {
+	tr := NewTracker(3, 10)
+	tr.Observe(1)
+	tr.Observe(1)
+	tr.Observe(2)
+	out := tr.RenderHistogram(20)
+	if !strings.Contains(out, "histogram") || !strings.Contains(out, "#") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+4 { // header + buckets 0..3
+		t.Fatalf("render rows: %d", len(lines))
+	}
+}
+
+// Property: tracker invariants hold for any observation sequence.
+func TestQuickTrackerInvariants(t *testing.T) {
+	f := func(obs []int8) bool {
+		tr := NewTracker(5, 50)
+		for _, o := range obs {
+			tr.Observe(int(o))
+		}
+		return tr.Verify() == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryGeneratorBounds(t *testing.T) {
+	g := NewHistoryGenerator(5, 42)
+	series := g.Series(5000)
+	for i, v := range series {
+		if v < 0 || v > 5 {
+			t.Fatalf("series[%d] = %d", i, v)
+		}
+	}
+	// Determinism: same seed, same series.
+	g2 := NewHistoryGenerator(5, 42)
+	for i, v := range g2.Series(5000) {
+		if v != series[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestTelTags(t *testing.T) {
+	tags := TelTags(5)
+	if len(tags) != 8 {
+		t.Fatalf("tags: %v", tags)
+	}
+	if tags[0] != "tel.busy_count" || tags[7] != "tel.line5.busy" {
+		t.Fatalf("tags: %v", tags)
+	}
+}

@@ -1,0 +1,190 @@
+// Package watchdog implements OFTT's reliable watchdog timer objects
+// (Section 2.2.2): OFTTWatchdogCreate / Set / Reset / Delete. Applications
+// use them to guard sections of work; an expiry means the application has
+// hung or lost a deadline, and the engine treats it as a distress signal.
+//
+// "Reliable" means the timers live in the engine's address space, not the
+// application's: an application crash cannot take its own watchdogs down
+// with it, so the expiry still fires and recovery still happens.
+package watchdog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors.
+var (
+	// ErrUnknown is returned for operations on a nonexistent timer.
+	ErrUnknown = errors.New("watchdog: unknown timer")
+
+	// ErrExists is returned when creating a timer whose name is taken.
+	ErrExists = errors.New("watchdog: timer already exists")
+
+	// ErrNotArmed is returned when resetting a timer that was never Set.
+	ErrNotArmed = errors.New("watchdog: timer not armed")
+)
+
+// ExpireFunc is invoked when a watchdog fires. It runs on its own
+// goroutine; the table remains usable from inside it.
+type ExpireFunc func(name string)
+
+type entry struct {
+	duration time.Duration
+	timer    *time.Timer
+	armed    bool
+	expired  bool
+	owner    string
+}
+
+// Table holds the watchdog timers of one engine.
+type Table struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	expires int
+}
+
+// NewTable returns an empty watchdog table.
+func NewTable() *Table {
+	return &Table{entries: make(map[string]*entry)}
+}
+
+// Create registers a named watchdog owned by a component. The timer starts
+// disarmed; Set arms it. (OFTTWatchdogCreate)
+func (t *Table) Create(name, owner string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.entries[name]; dup {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	t.entries[name] = &entry{owner: owner}
+	return nil
+}
+
+// Set arms (or re-arms) the watchdog to fire after d, calling onExpire if
+// it is not Reset or Set again first. (OFTTWatchdogSet)
+func (t *Table) Set(name string, d time.Duration, onExpire ExpireFunc) error {
+	if d <= 0 {
+		return fmt.Errorf("watchdog: non-positive duration for %q", name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	if e.timer != nil {
+		e.timer.Stop()
+	}
+	e.duration = d
+	e.armed = true
+	e.expired = false
+	e.timer = time.AfterFunc(d, func() { t.fire(name, onExpire) })
+	return nil
+}
+
+func (t *Table) fire(name string, onExpire ExpireFunc) {
+	t.mu.Lock()
+	e, ok := t.entries[name]
+	if !ok || !e.armed || e.expired {
+		t.mu.Unlock()
+		return
+	}
+	e.expired = true
+	e.armed = false
+	t.expires++
+	t.mu.Unlock()
+	if onExpire != nil {
+		onExpire(name)
+	}
+}
+
+// Reset restarts an armed watchdog with its existing duration — the
+// application "petting the dog". (OFTTWatchdogReset)
+func (t *Table) Reset(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	if e.timer == nil || e.duration <= 0 {
+		return fmt.Errorf("%w: %q", ErrNotArmed, name)
+	}
+	if e.expired {
+		// An expired dog cannot be petted back to life; it must be Set.
+		return fmt.Errorf("%w: %q has expired", ErrNotArmed, name)
+	}
+	e.timer.Reset(e.duration)
+	return nil
+}
+
+// Delete removes a watchdog, disarming it. (OFTTWatchdogDelete)
+func (t *Table) Delete(name string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	if e.timer != nil {
+		e.timer.Stop()
+	}
+	delete(t.entries, name)
+	return nil
+}
+
+// DeleteOwned removes every watchdog owned by a component (cleanup after
+// an application restart).
+func (t *Table) DeleteOwned(owner string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for name, e := range t.entries {
+		if e.owner != owner {
+			continue
+		}
+		if e.timer != nil {
+			e.timer.Stop()
+		}
+		delete(t.entries, name)
+		n++
+	}
+	return n
+}
+
+// Expired reports whether a timer has fired and not been re-Set.
+func (t *Table) Expired(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[name]
+	return ok && e.expired
+}
+
+// Len reports the number of live timers.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Expiries reports the total number of watchdog firings (for the monitor).
+func (t *Table) Expiries() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.expires
+}
+
+// Close disarms every timer.
+func (t *Table) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if e.timer != nil {
+			e.timer.Stop()
+		}
+	}
+	t.entries = make(map[string]*entry)
+}

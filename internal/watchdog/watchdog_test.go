@@ -1,0 +1,169 @@
+package watchdog
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCreateSetExpire(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Create("scan", "app"); err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan string, 1)
+	if err := tbl.Set("scan", 20*time.Millisecond, func(name string) { fired <- name }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case name := <-fired:
+		if name != "scan" {
+			t.Fatalf("fired %q", name)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watchdog never fired")
+	}
+	if !tbl.Expired("scan") {
+		t.Fatal("Expired() should be true")
+	}
+	if tbl.Expiries() != 1 {
+		t.Fatalf("expiries = %d", tbl.Expiries())
+	}
+}
+
+func TestResetPreventsExpiry(t *testing.T) {
+	tbl := NewTable()
+	_ = tbl.Create("scan", "app")
+	var fired atomic.Bool
+	if err := tbl.Set("scan", 50*time.Millisecond, func(string) { fired.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	// Pet the dog faster than it can bite.
+	for i := 0; i < 10; i++ {
+		time.Sleep(15 * time.Millisecond)
+		if err := tbl.Reset("scan"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired.Load() {
+		t.Fatal("watchdog fired despite resets")
+	}
+	// Stop petting: it must fire.
+	time.Sleep(120 * time.Millisecond)
+	if !fired.Load() {
+		t.Fatal("watchdog never fired after resets stopped")
+	}
+}
+
+func TestDuplicateCreate(t *testing.T) {
+	tbl := NewTable()
+	_ = tbl.Create("scan", "app")
+	if err := tbl.Create("scan", "app"); !errors.Is(err, ErrExists) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestOperationsOnUnknown(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.Set("nope", time.Second, nil); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := tbl.Reset("nope"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Reset: %v", err)
+	}
+	if err := tbl.Delete("nope"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Delete: %v", err)
+	}
+}
+
+func TestResetBeforeSet(t *testing.T) {
+	tbl := NewTable()
+	_ = tbl.Create("scan", "app")
+	if err := tbl.Reset("scan"); !errors.Is(err, ErrNotArmed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestResetAfterExpiry(t *testing.T) {
+	tbl := NewTable()
+	_ = tbl.Create("scan", "app")
+	fired := make(chan struct{})
+	_ = tbl.Set("scan", 5*time.Millisecond, func(string) { close(fired) })
+	<-fired
+	if err := tbl.Reset("scan"); !errors.Is(err, ErrNotArmed) {
+		t.Fatalf("got %v", err)
+	}
+	// Re-Set revives it.
+	refired := make(chan struct{})
+	if err := tbl.Set("scan", 5*time.Millisecond, func(string) { close(refired) }); err != nil {
+		t.Fatal(err)
+	}
+	<-refired
+}
+
+func TestDeleteDisarms(t *testing.T) {
+	tbl := NewTable()
+	_ = tbl.Create("scan", "app")
+	var fired atomic.Bool
+	_ = tbl.Set("scan", 20*time.Millisecond, func(string) { fired.Store(true) })
+	if err := tbl.Delete("scan"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("deleted watchdog fired")
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+}
+
+func TestSetRearmsAndReplacesDuration(t *testing.T) {
+	tbl := NewTable()
+	_ = tbl.Create("scan", "app")
+	var firstFired atomic.Bool
+	_ = tbl.Set("scan", 10*time.Millisecond, func(string) { firstFired.Store(true) })
+	// Immediately re-Set with a long duration: the first arm must not fire.
+	var secondFired atomic.Bool
+	_ = tbl.Set("scan", time.Minute, func(string) { secondFired.Store(true) })
+	time.Sleep(50 * time.Millisecond)
+	if firstFired.Load() || secondFired.Load() {
+		t.Fatalf("fired: first=%v second=%v", firstFired.Load(), secondFired.Load())
+	}
+}
+
+func TestSetRejectsNonPositive(t *testing.T) {
+	tbl := NewTable()
+	_ = tbl.Create("scan", "app")
+	if err := tbl.Set("scan", 0, nil); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestDeleteOwned(t *testing.T) {
+	tbl := NewTable()
+	_ = tbl.Create("a1", "appA")
+	_ = tbl.Create("a2", "appA")
+	_ = tbl.Create("b1", "appB")
+	if n := tbl.DeleteOwned("appA"); n != 2 {
+		t.Fatalf("deleted %d, want 2", n)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+}
+
+func TestCloseDisarmsAll(t *testing.T) {
+	tbl := NewTable()
+	var fired atomic.Int32
+	for _, name := range []string{"a", "b", "c"} {
+		_ = tbl.Create(name, "app")
+		_ = tbl.Set(name, 20*time.Millisecond, func(string) { fired.Add(1) })
+	}
+	tbl.Close()
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatalf("%d watchdogs fired after Close", fired.Load())
+	}
+}

@@ -1,0 +1,203 @@
+// Package oftt is the public API of the OFTT (OLE Fault Tolerance
+// Technology) reproduction: a fault tolerance middleware toolkit for
+// process monitoring and control applications, after Hecht, An, Zhang &
+// He, DSN 2000.
+//
+// OFTT makes an application fault tolerant with minimal modification by
+// pairing two nodes into a single logical execution unit: the primary runs
+// the application and periodically checkpoints its state to the backup;
+// the OFTT engine on each node detects failures by heartbeat timeout and
+// recovers by local restart (transient faults) or switchover (permanent
+// faults). A message diverter makes the pair look like one endpoint to the
+// outside world, and a system monitor displays component status.
+//
+// # Quick start
+//
+// Implement ReplicatedApp, then:
+//
+//	d, err := oftt.NewDeployment(oftt.DeploymentConfig{
+//	    NewApp: func(node string) oftt.ReplicatedApp { return newMyApp(node) },
+//	})
+//
+// The toolkit elects a primary, activates exactly one copy, checkpoints
+// its registered state, and transparently switches over on failure. Inject
+// faults with KillNode / BlueScreen / KillApp / KillEngine to test.
+//
+// # The paper's API
+//
+// The original C API maps onto ClientFTIM methods:
+//
+//	OFTTInitialize     -> Initialize (or InitializeServer for OPC servers)
+//	OFTTSelSave        -> (*ClientFTIM).SelSave
+//	OFTTSave           -> (*ClientFTIM).Save
+//	OFTTGetMyRole      -> (*ClientFTIM).MyRole
+//	OFTTWatchdog*      -> (*ClientFTIM).Watchdog{Create,Set,Reset,Delete}
+//	OFTTDistress       -> (*ClientFTIM).Distress
+package oftt
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/ftim"
+	"repro/internal/opc"
+)
+
+// Roles of a node in the primary/backup pair.
+type Role = engine.Role
+
+// Role values.
+const (
+	RoleNegotiating = engine.RoleNegotiating
+	RolePrimary     = engine.RolePrimary
+	RoleBackup      = engine.RoleBackup
+	RoleShutdown    = engine.RoleShutdown
+)
+
+// RecoveryRule controls whether a detected failure is recovered locally
+// (transient-fault provision) or by switchover (permanent-fault provision).
+type RecoveryRule = engine.RecoveryRule
+
+// Exhausted-restart actions for RecoveryRule.
+const (
+	ExhaustSwitchover     = engine.ExhaustSwitchover
+	ExhaustKeepRestarting = engine.ExhaustKeepRestarting
+	ExhaustGiveUp         = engine.ExhaustGiveUp
+)
+
+// StartupPolicy is the role-negotiation policy of the paper's Section 3.2,
+// including the retry logic that fixed the NT startup non-determinism
+// problem.
+type StartupPolicy = engine.StartupPolicy
+
+// Alone actions for StartupPolicy.
+const (
+	AloneBecomePrimary = engine.AloneBecomePrimary
+	AloneShutdown      = engine.AloneShutdown
+)
+
+// Engine is the per-node OFTT engine (role management, failure detection,
+// recovery management, status reporting).
+type Engine = engine.Engine
+
+// EngineConfig parameterizes an engine when assembling a pair manually;
+// most users go through NewDeployment instead.
+type EngineConfig = engine.Config
+
+// ClientFTIM is the fault tolerance interface module linked into a
+// stateful (OPC client) application.
+type ClientFTIM = ftim.ClientFTIM
+
+// ServerFTIM is the stateless (OPC server) flavor: heartbeats and
+// monitoring without checkpointing.
+type ServerFTIM = ftim.ServerFTIM
+
+// FTIMConfig parameterizes Initialize.
+type FTIMConfig = ftim.Config
+
+// ServerFTIMConfig parameterizes InitializeServer.
+type ServerFTIMConfig = ftim.ServerConfig
+
+// CaptureMode selects the periodic checkpoint flavor.
+type CaptureMode = ftim.CaptureMode
+
+// Capture modes.
+const (
+	CaptureFull        = ftim.CaptureFull
+	CaptureSelective   = ftim.CaptureSelective
+	CaptureIncremental = ftim.CaptureIncremental
+)
+
+// Initialize is OFTTInitialize for stateful applications.
+func Initialize(cfg FTIMConfig) (*ClientFTIM, error) { return ftim.Initialize(cfg) }
+
+// InitializeDeferred is Initialize with activation deferred until Attach,
+// so state can be registered first.
+func InitializeDeferred(cfg FTIMConfig) (*ClientFTIM, error) { return ftim.InitializeDeferred(cfg) }
+
+// InitializeServer is OFTTInitialize for stateless OPC server applications.
+func InitializeServer(cfg ServerFTIMConfig) (*ServerFTIM, error) { return ftim.InitializeServer(cfg) }
+
+// ReplicatedApp is the application contract managed by a Deployment.
+type ReplicatedApp = core.ReplicatedApp
+
+// ServerApp is the stateless OPC-server application contract (Figure 2's
+// "OPC Server App"): one instance runs on every node under a server FTIM.
+type ServerApp = core.ServerApp
+
+// MessageHandler is implemented by applications consuming diverter
+// messages.
+type MessageHandler = core.MessageHandler
+
+// Deployment is a running OFTT pair (plus test node) — the Figure 3
+// configuration.
+type Deployment = core.Deployment
+
+// Replica is one node's half of the pair.
+type Replica = core.Replica
+
+// DeploymentConfig parameterizes NewDeployment.
+type DeploymentConfig = core.Config
+
+// NewDeployment assembles and starts a fault-tolerant pair running the
+// configured application.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) { return core.New(cfg) }
+
+// CallTrackDeployment is the paper's Section 4 demonstration system.
+type CallTrackDeployment = core.CallTrackDeployment
+
+// CallTrackConfig parameterizes the demonstration.
+type CallTrackConfig = core.CallTrackConfig
+
+// NewCallTrackDeployment assembles the Figure 3 demo: a telephone system
+// simulator on the test PC and the fault-tolerant Call Track application
+// on the redundant pair.
+func NewCallTrackDeployment(cfg CallTrackConfig) (*CallTrackDeployment, error) {
+	return core.NewCallTrackDeployment(cfg)
+}
+
+// OPC data-access surface, re-exported for applications that speak to OPC
+// servers directly.
+type (
+	// Variant is the OLE VARIANT analog carried by OPC items.
+	Variant = opc.Variant
+	// Quality is the OPC DA 16-bit quality word.
+	Quality = opc.Quality
+	// ItemState is the (value, quality, timestamp) read result.
+	ItemState = opc.ItemState
+	// ItemDef describes an OPC namespace entry.
+	ItemDef = opc.ItemDef
+	// OPCServer publishes a namespace of items.
+	OPCServer = opc.Server
+	// OPCClient reads, writes, and subscribes to a server.
+	OPCClient = opc.Client
+	// OPCGroup is a subscription group with update rate and deadband.
+	OPCGroup = opc.Group
+	// GroupConfig parameterizes AddGroup.
+	GroupConfig = opc.GroupConfig
+)
+
+// NewOPCServer creates an OPC server with an empty namespace.
+func NewOPCServer(name string) *OPCServer { return opc.NewServer(name) }
+
+// NewOPCClient wraps a server connection (local or DCOM-remote).
+func NewOPCClient(conn opc.Connection) *OPCClient { return opc.NewClient(conn) }
+
+// Variant constructors.
+var (
+	VBool = opc.VBool
+	VI4   = opc.VI4
+	VI8   = opc.VI8
+	VR4   = opc.VR4
+	VR8   = opc.VR8
+	VStr  = opc.VStr
+)
+
+// Common quality words.
+const (
+	QualityGood          = opc.GoodNonSpecific
+	QualityBadNotConn    = opc.BadNotConnected
+	QualityBadDevice     = opc.BadDeviceFailure
+	QualityBadComm       = opc.BadCommFailure
+	QualityLastUsable    = opc.UncertainLastUsable
+	QualityLocalOverride = opc.GoodLocalOverride
+)

@@ -1,0 +1,129 @@
+package oftt_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/oftt"
+)
+
+// facadeApp exercises the public API exactly as a downstream user would.
+type facadeApp struct {
+	mu    sync.Mutex
+	f     *oftt.ClientFTIM
+	state struct{ N int64 }
+}
+
+func (a *facadeApp) Setup(f *oftt.ClientFTIM) error {
+	a.mu.Lock()
+	a.f = f
+	a.mu.Unlock()
+	if err := f.RegisterState("n", &a.state); err != nil {
+		return err
+	}
+	return f.SelSave("n")
+}
+func (a *facadeApp) Activate(bool) {}
+func (a *facadeApp) Deactivate()   {}
+func (a *facadeApp) Stop()         {}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	apps := map[string]*facadeApp{}
+	var mu sync.Mutex
+	d, err := oftt.NewDeployment(oftt.DeploymentConfig{
+		Component: "facade",
+		Seed:      77,
+		Mode:      oftt.CaptureSelective,
+		Rule:      oftt.RecoveryRule{MaxLocalRestarts: 1, Exhausted: oftt.ExhaustSwitchover},
+		NewApp: func(node string) oftt.ReplicatedApp {
+			a := &facadeApp{}
+			mu.Lock()
+			apps[node] = a
+			mu.Unlock()
+			return a
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	p, err := d.WaitForPrimary(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Engine.Role() != oftt.RolePrimary {
+		t.Fatalf("role: %v", p.Engine.Role())
+	}
+
+	// The paper's API surface through the facade.
+	mu.Lock()
+	app := apps[p.Node.Name()]
+	mu.Unlock()
+	app.f.WithLock(func() { app.state.N = 11 })
+	if app.f.MyRole() != oftt.RolePrimary {
+		t.Fatal("MyRole")
+	}
+	if err := app.f.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.f.WatchdogCreate("wd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.f.WatchdogSet("wd", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.f.WatchdogReset("wd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.f.WatchdogDelete("wd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.f.SetRecoveryRule(oftt.RecoveryRule{
+		MaxLocalRestarts: 0, Exhausted: oftt.ExhaustSwitchover}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failover through the facade.
+	if err := d.KillNode(p.Node.Name()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if np := d.Primary(); np != nil && np.Node.Name() != p.Node.Name() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no takeover through the public API")
+}
+
+func TestPublicOPCSurface(t *testing.T) {
+	s := oftt.NewOPCServer("Public.OPC.1")
+	if err := s.AddItem(oftt.ItemDef{Tag: "x", Rights: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetValue("x", oftt.VR8(5), oftt.QualityGood, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	c := oftt.NewOPCClient(s)
+	defer c.Close()
+	states, err := c.SyncRead("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := states[0].Value.AsFloat(); f != 5 {
+		t.Fatalf("read %v", f)
+	}
+	if !states[0].Quality.IsGood() {
+		t.Fatal("quality")
+	}
+	// Variant constructors through the facade.
+	for _, v := range []oftt.Variant{oftt.VBool(true), oftt.VI4(1), oftt.VI8(2),
+		oftt.VR4(3), oftt.VR8(4), oftt.VStr("s")} {
+		if v.IsEmpty() {
+			t.Fatalf("constructor produced empty variant: %+v", v)
+		}
+	}
+}
