@@ -1,0 +1,24 @@
+# Developer workflow for the OFTT reproduction. The race target exists so
+# concurrent plan-cache population in internal/ndr (and the lock-protected
+# scratch buffers threaded through dcom/checkpoint/diverter) is exercised
+# under the race detector on every change.
+
+GO ?= go
+
+.PHONY: build test race bench fuzz
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/ndr ./internal/dcom ./internal/checkpoint ./internal/diverter
+
+bench:
+	$(GO) test -run xxx -bench BenchmarkNDR -benchmem ./internal/ndr
+	$(GO) test -run xxx -bench 'BenchmarkNDRPlanned|BenchmarkE4|BenchmarkE8' -benchmem .
+
+fuzz:
+	$(GO) test -fuzz FuzzPlannedVsReflective -fuzztime 30s ./internal/ndr

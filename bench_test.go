@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/ftim"
+	"repro/internal/ndr"
 	"repro/internal/netsim"
 	"repro/internal/opc"
 )
@@ -417,4 +418,65 @@ func BenchmarkE8RemoteDcomCall(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- NDR: compiled codec plans -------------------------------------------
+
+// BenchmarkNDRPlanned measures the serialization layer every wire path
+// (E4 checkpoints, E6 diverter messages, E8 DCOM frames) rides, over the
+// same nested-struct shape as `oftt-bench -exp NDR`. It cannot reuse
+// experiments.RunNDR here: testing.Benchmark deadlocks when invoked from
+// inside a running benchmark (the testing package's benchmark lock is
+// already held), so the loops are inlined.
+func BenchmarkNDRPlanned(b *testing.B) {
+	type ndrBenchStruct struct {
+		ID     uint64
+		Method string
+		Args   [][]byte
+		Tags   []string
+		Scores map[string]float64
+		When   time.Time
+		Gap    time.Duration
+	}
+	v := ndrBenchStruct{
+		ID:     42,
+		Method: "Read",
+		Args:   [][]byte{{1, 2, 3}, {4, 5}},
+		Tags:   []string{"opc", "ftim"},
+		Scores: map[string]float64{"latency": 1.5, "rate": 250},
+		When:   time.Unix(961936200, 123456789).UTC(),
+		Gap:    40 * time.Millisecond,
+	}
+	frame, err := ndr.Marshal(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ndr.Marshal(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("marshalTo", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = ndr.MarshalTo(buf[:0], v)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		var out ndrBenchStruct
+		for i := 0; i < b.N; i++ {
+			if err := ndr.Unmarshal(frame, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

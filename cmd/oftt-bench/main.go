@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1..E8, A1..A3, or 'all'")
+	exp := flag.String("exp", "all", "experiment to run: E1..E8, A1..A3, NDR, or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
 
@@ -47,6 +47,7 @@ func run(which string, quick bool) error {
 		{"A1", runA1},
 		{"A2", runA2},
 		{"A3", runA3},
+		{"NDR", runNDR},
 	}
 	matched := false
 	for _, r := range runners {
@@ -61,8 +62,17 @@ func run(which string, quick bool) error {
 		fmt.Printf("[%s completed in %v]\n\n", r.id, time.Since(start).Round(time.Millisecond))
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want E1..E8, A1..A3, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want E1..E8, A1..A3, NDR, or all)", which)
 	}
+	return nil
+}
+
+func runNDR(bool) error {
+	rows, err := experiments.RunNDR()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.NDRTable(rows).Render())
 	return nil
 }
 

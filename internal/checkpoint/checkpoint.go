@@ -19,7 +19,6 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"reflect"
 	"sort"
 	"sync"
@@ -70,8 +69,10 @@ func (s *Snapshot) Bytes() int {
 	return total
 }
 
-// Encode serializes the snapshot for the wire.
-func (s *Snapshot) Encode() ([]byte, error) { return ndr.Marshal(*s) }
+// Encode serializes the snapshot for the wire. It encodes through the
+// pointer's codec plan; the bytes are identical to Marshal(*s) but the
+// snapshot (and its region map) is never copied into an interface box.
+func (s *Snapshot) Encode() ([]byte, error) { return ndr.MarshalDeref(s) }
 
 // DecodeSnapshot parses a wire-format snapshot.
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
@@ -83,8 +84,9 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 }
 
 type region struct {
-	name string
-	ptr  reflect.Value // pointer to the user's state
+	name  string
+	ptr   reflect.Value // pointer to the user's state
+	iface any           // the same pointer as passed in, for deref-marshal
 }
 
 // Registry tracks an application's checkpointable state regions. All
@@ -99,6 +101,7 @@ type Registry struct {
 	selected map[string]bool
 	lastHash map[string]uint64
 	seq      uint64
+	scratch  []byte // reused capture buffer, guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -122,7 +125,7 @@ func (r *Registry) Register(name string, ptr any) error {
 	if _, dup := r.regions[name]; dup {
 		return fmt.Errorf("checkpoint: region %q already registered", name)
 	}
-	r.regions[name] = &region{name: name, ptr: v}
+	r.regions[name] = &region{name: name, ptr: v, iface: ptr}
 	r.order = append(r.order, name)
 	sort.Strings(r.order)
 	return nil
@@ -231,15 +234,21 @@ func (r *Registry) captureLocked(kind Kind, include func(string) bool, onlyDirty
 			continue
 		}
 		reg := r.regions[name]
-		data, err := ndr.Marshal(reg.ptr.Elem().Interface())
+		// Encode into the registry's scratch buffer; a clean region in an
+		// incremental capture costs zero allocations, and a dirty one only
+		// the exact-size copy the snapshot retains.
+		buf, err := ndr.MarshalToDeref(r.scratch[:0], reg.iface)
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: capture %q: %w", name, err)
 		}
-		h := hashBytes(data)
+		r.scratch = buf
+		h := hashBytes(buf)
 		if onlyDirty && r.lastHash[name] == h {
 			continue
 		}
 		r.lastHash[name] = h
+		data := make([]byte, len(buf))
+		copy(data, buf)
 		snap.Regions[name] = data
 	}
 	return snap, nil
@@ -272,10 +281,19 @@ func (r *Registry) Seq() uint64 {
 	return r.seq
 }
 
+// hashBytes is FNV-1a inlined so dirty detection does not allocate a
+// hash.Hash per region per capture.
 func hashBytes(b []byte) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write(b)
-	return h.Sum64()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
 }
 
 // SnapshotStore is the store contract the engine consumes; *Store (in

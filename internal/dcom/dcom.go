@@ -99,7 +99,12 @@ func newStub(impl any) (*stub, error) {
 
 // invoke decodes args, calls the method, and encodes results. The final
 // return value, if of type error, travels as the application error.
-func (s *stub) invoke(method string, rawArgs [][]byte) (results [][]byte, appErr string, fault string) {
+//
+// Results are encoded back-to-back into *arena (reused across calls on one
+// connection) and returned as subslices of it; they are only valid until
+// the next invoke with the same arena, which is fine because serveConn
+// marshals and sends the reply before looping.
+func (s *stub) invoke(method string, rawArgs [][]byte, arena *[]byte) (results [][]byte, appErr string, fault string) {
 	m, ok := s.methods[method]
 	if !ok {
 		return nil, "", "nomethod"
@@ -128,13 +133,23 @@ func (s *stub) invoke(method string, rawArgs [][]byte) (results [][]byte, appErr
 		}
 		out = out[:n-1]
 	}
-	results = make([][]byte, len(out))
+	// Record offsets while appending, subslice once all appends are done:
+	// growth may move the backing array, so earlier subslices can't be
+	// taken during the loop.
+	buf := (*arena)[:0]
+	offs := make([]int, len(out)+1)
 	for i, ov := range out {
-		enc, err := ndr.Marshal(ov.Interface())
+		var err error
+		buf, err = ndr.MarshalTo(buf, ov.Interface())
 		if err != nil {
 			return nil, "", "badcall"
 		}
-		results[i] = enc
+		offs[i+1] = len(buf)
+	}
+	*arena = buf
+	results = make([][]byte, len(out))
+	for i := range results {
+		results[i] = buf[offs[i]:offs[i+1]:offs[i+1]]
 	}
 	return results, appErr, ""
 }
@@ -265,34 +280,43 @@ func (e *Exporter) serveConn(conn netsim.FrameConn) {
 		return
 	default:
 	}
+	// Per-connection scratch, reused across every call served on this
+	// conn: the decoded request, the result arena, and the reply frame.
+	// The transport copies (or fully writes) frames inside Send, so the
+	// buffers are free again as soon as Send returns.
+	var (
+		req      request
+		resArena []byte
+		frameBuf []byte
+	)
 	for {
 		frame, err := conn.Recv()
 		if err != nil {
 			return
 		}
-		var req request
+		req = request{}
 		if err := ndr.Unmarshal(frame, &req); err != nil {
 			return // corrupt peer; drop the conn
 		}
-		rep := e.dispatch(&req)
-		out, err := ndr.Marshal(rep)
+		rep := e.dispatch(&req, &resArena)
+		frameBuf, err = ndr.MarshalToDeref(frameBuf[:0], &rep)
 		if err != nil {
 			return
 		}
-		if err := conn.Send(out); err != nil {
+		if err := conn.Send(frameBuf); err != nil {
 			return
 		}
 	}
 }
 
-func (e *Exporter) dispatch(req *request) reply {
+func (e *Exporter) dispatch(req *request, resArena *[]byte) reply {
 	e.mu.RLock()
 	s, ok := e.objects[req.OID]
 	e.mu.RUnlock()
 	if !ok {
 		return reply{ID: req.ID, Fault: "noobject"}
 	}
-	results, appErr, fault := s.invoke(req.Method, req.Args)
+	results, appErr, fault := s.invoke(req.Method, req.Args, resArena)
 	if fault != "" {
 		return reply{ID: req.ID, Fault: fault}
 	}
@@ -313,6 +337,13 @@ type Client struct {
 	conn   netsim.FrameConn
 	nextID uint64
 	broken bool
+
+	// Reusable encode scratch, guarded by mu (calls are serialized per
+	// connection anyway). argBuf holds all of one call's args back-to-back,
+	// argOffs the boundaries, frameBuf the marshaled request frame.
+	argBuf   []byte
+	argOffs  []int
+	frameBuf []byte
 }
 
 // Dial connects to the exporter at `to` on the simulated network,
@@ -408,18 +439,30 @@ func (c *Client) call(oid ObjectID, method string, out []any, args []any) error 
 	}
 
 	c.nextID++
-	req := request{ID: c.nextID, OID: oid, Method: method, Args: make([][]byte, len(args))}
+	// Encode all args back-to-back into one reused arena instead of one
+	// fresh slice per arg; offsets are recorded during the appends and the
+	// arg subslices taken only afterwards, since growth may relocate the
+	// backing array.
+	buf := c.argBuf[:0]
+	offs := append(c.argOffs[:0], 0)
 	for i, a := range args {
-		enc, err := ndr.Marshal(a)
+		var err error
+		buf, err = ndr.MarshalTo(buf, a)
 		if err != nil {
 			return fmt.Errorf("dcom: marshal arg %d of %s: %w", i, method, err)
 		}
-		req.Args[i] = enc
+		offs = append(offs, len(buf))
 	}
-	frame, err := ndr.Marshal(req)
+	c.argBuf, c.argOffs = buf, offs
+	req := request{ID: c.nextID, OID: oid, Method: method, Args: make([][]byte, len(args))}
+	for i := range args {
+		req.Args[i] = buf[offs[i]:offs[i+1]:offs[i+1]]
+	}
+	frame, err := ndr.MarshalToDeref(c.frameBuf[:0], &req)
 	if err != nil {
 		return fmt.Errorf("dcom: marshal request: %w", err)
 	}
+	c.frameBuf = frame
 
 	if err := c.conn.Send(frame); err != nil {
 		c.broken = true

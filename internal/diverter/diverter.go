@@ -116,15 +116,31 @@ func (d *Diverter) Send(dest string, body []byte) (string, error) {
 	return id, d.SendWithID(id, dest, body)
 }
 
+// msgPool recycles Message structs (and, when safe, their body buffers)
+// across the store-and-forward path.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// recycle returns a message to the pool. Bodies that were handed to a
+// DeliverFunc may be retained by the handler, so escaped messages abandon
+// their backing array; only bodies that never left the diverter keep
+// theirs for reuse.
+func recycle(msg *Message, bodyEscaped bool) {
+	if bodyEscaped {
+		msg.Body = nil
+	} else {
+		msg.Body = msg.Body[:0]
+	}
+	msg.ID, msg.Dest = "", ""
+	msg.EnqueuedAt = time.Time{}
+	msg.Attempts = 0
+	msgPool.Put(msg)
+}
+
 // SendWithID enqueues with a caller-chosen ID (idempotent resends).
 func (d *Diverter) SendWithID(id, dest string, body []byte) error {
 	if dest == "" {
 		return fmt.Errorf("diverter: empty destination")
 	}
-	cp := make([]byte, len(body))
-	copy(cp, body)
-	msg := &Message{ID: id, Dest: dest, Body: cp, EnqueuedAt: time.Now()}
-
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -133,8 +149,12 @@ func (d *Diverter) SendWithID(id, dest string, body []byte) error {
 	if _, dup := d.delivered[id]; dup {
 		d.mu.Unlock()
 		d.stats.dupDropped.Add(1)
-		return nil // already delivered: idempotent
+		return nil // already delivered: idempotent, and nothing was copied
 	}
+	msg := msgPool.Get().(*Message)
+	msg.ID, msg.Dest = id, dest
+	msg.Body = append(msg.Body[:0], body...)
+	msg.EnqueuedAt = time.Now()
 	d.pending[dest] = append(d.pending[dest], msg)
 	d.mu.Unlock()
 
@@ -212,6 +232,9 @@ func (d *Diverter) deliverBatch() {
 				d.pending[dest] = queue[1:]
 				d.mu.Unlock()
 				d.stats.dupDropped.Add(1)
+				// A message that was never passed to a DeliverFunc may
+				// safely donate its body buffer back to the pool.
+				recycle(msg, msg.Attempts > 0)
 				continue
 			}
 			msg.Attempts++
@@ -226,6 +249,7 @@ func (d *Diverter) deliverBatch() {
 				d.pending[dest] = dequeue(d.pending[dest], msg)
 				d.mu.Unlock()
 				d.stats.delivered.Add(1)
+				recycle(msg, true) // handler saw the body; abandon it
 				continue
 			}
 			// Failed delivery: retry later, unless exhausted.
@@ -234,6 +258,7 @@ func (d *Diverter) deliverBatch() {
 				d.pending[dest] = dequeue(d.pending[dest], msg)
 				d.mu.Unlock()
 				d.stats.dropped.Add(1)
+				recycle(msg, true)
 				continue
 			}
 			d.mu.Unlock()

@@ -1,0 +1,123 @@
+package ndr
+
+import (
+	"testing"
+	"time"
+)
+
+// Allocation-focused microbenchmarks over the shapes the middleware
+// actually moves: scalars, a nested struct resembling a call frame, a
+// map-heavy snapshot shape, and a 64 KiB byte payload. Run with
+// `make bench` or `go test -bench BenchmarkNDR -benchmem ./internal/ndr`.
+
+type benchInner struct {
+	Label  string
+	Count  int64
+	Weight float64
+}
+
+type benchNested struct {
+	ID      uint64
+	Method  string
+	Args    [][]byte
+	Inner   benchInner
+	Sub     *benchInner
+	When    time.Time
+	Gap     time.Duration
+	Tags    []string
+	Attempt int
+}
+
+func benchNestedValue() benchNested {
+	return benchNested{
+		ID:     42,
+		Method: "Read",
+		Args:   [][]byte{{1, 2, 3}, {4, 5}, {6}},
+		Inner:  benchInner{Label: "plc1", Count: -7, Weight: 1.5},
+		Sub:    &benchInner{Label: "plc2", Count: 9, Weight: 0.25},
+		When:   time.Date(2000, 6, 25, 12, 30, 0, 0, time.UTC),
+		Gap:    40 * time.Millisecond,
+		Tags:   []string{"opc", "ftim", "scada"},
+		Attempt: 3,
+	}
+}
+
+func benchMapValue() map[string][]byte {
+	return map[string][]byte{
+		"counters": {1, 2, 3, 4, 5, 6, 7, 8},
+		"state":    {9, 10, 11, 12},
+		"alarms":   {},
+		"setpts":   {13, 14},
+	}
+}
+
+func bench64K() []byte {
+	b := make([]byte, 64<<10)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func benchMarshal(b *testing.B, v any) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMarshalTo(b *testing.B, v any) {
+	b.Helper()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = MarshalTo(buf[:0], v)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchUnmarshal(b *testing.B, v, dst any) {
+	b.Helper()
+	data, err := Marshal(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Unmarshal(data, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNDRMarshalScalar(b *testing.B)   { benchMarshal(b, int64(123456789)) }
+func BenchmarkNDRMarshalNested(b *testing.B)   { benchMarshal(b, benchNestedValue()) }
+func BenchmarkNDRMarshalMap(b *testing.B)      { benchMarshal(b, benchMapValue()) }
+func BenchmarkNDRMarshalBytes64K(b *testing.B) { benchMarshal(b, bench64K()) }
+
+func BenchmarkNDRMarshalToScalar(b *testing.B)   { benchMarshalTo(b, int64(123456789)) }
+func BenchmarkNDRMarshalToNested(b *testing.B)   { benchMarshalTo(b, benchNestedValue()) }
+func BenchmarkNDRMarshalToMap(b *testing.B)      { benchMarshalTo(b, benchMapValue()) }
+func BenchmarkNDRMarshalToBytes64K(b *testing.B) { benchMarshalTo(b, bench64K()) }
+
+func BenchmarkNDRUnmarshalScalar(b *testing.B) {
+	benchUnmarshal(b, int64(123456789), new(int64))
+}
+func BenchmarkNDRUnmarshalNested(b *testing.B) {
+	benchUnmarshal(b, benchNestedValue(), new(benchNested))
+}
+func BenchmarkNDRUnmarshalMap(b *testing.B) {
+	benchUnmarshal(b, benchMapValue(), new(map[string][]byte))
+}
+func BenchmarkNDRUnmarshalBytes64K(b *testing.B) {
+	benchUnmarshal(b, bench64K(), new([]byte))
+}

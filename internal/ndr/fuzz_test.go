@@ -1,6 +1,8 @@
 package ndr
 
 import (
+	"bytes"
+	"encoding/hex"
 	"testing"
 	"time"
 )
@@ -41,4 +43,63 @@ func FuzzUnmarshal(f *testing.F) {
 		var s []string
 		_ = Unmarshal(data, &s)
 	})
+}
+
+// FuzzPlannedVsReflective cross-checks the compiled-plan decoder against
+// the original reflective codec (kept verbatim in reflect_ref_test.go) on
+// the same input: both must agree on accept/reject, and on accept the
+// decoded values must re-encode to identical bytes. The corpus is seeded
+// with the golden frames of the real consumer shapes (dcom request/reply,
+// checkpoint snapshot, diverter message) plus hostile fragments.
+//
+// Comparing re-marshaled bytes rather than reflect.DeepEqual sidesteps
+// NaN != NaN while still proving the decoders built the same value, since
+// encoding is deterministic (sorted map keys).
+func FuzzPlannedVsReflective(f *testing.F) {
+	for _, h := range goldenHex {
+		b, err := hex.DecodeString(h)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{tagStruct, 4, tagUint, 1})       // short struct
+	f.Add([]byte{tagBytes, 5, 1, 2})              // truncated bytes
+	f.Add([]byte{tagPtr, 1, tagInt, 0x80, 0x01})  // pointer chain
+	f.Add([]byte{tagTime, 0})                     // empty time payload
+	f.Add([]byte{tagDuration, 0x80, 0x80, 0x01})  // duration into int64
+	f.Fuzz(func(t *testing.T, data []byte) {
+		crossCheck(t, data, func() (any, any) { return new(goldenRequest), new(goldenRequest) })
+		crossCheck(t, data, func() (any, any) { return new(goldenReply), new(goldenReply) })
+		crossCheck(t, data, func() (any, any) { return new(goldenSnapshot), new(goldenSnapshot) })
+		crossCheck(t, data, func() (any, any) { return new(goldenMessage), new(goldenMessage) })
+		crossCheck(t, data, func() (any, any) { return new(goldenNested), new(goldenNested) })
+		crossCheck(t, data, func() (any, any) { return new(map[string][]byte), new(map[string][]byte) })
+		crossCheck(t, data, func() (any, any) { return new([]int64), new([]int64) })
+	})
+}
+
+// crossCheck decodes data into fresh targets with both decoders and fails
+// on any divergence in outcome or in the resulting value's encoding.
+func crossCheck(t *testing.T, data []byte, mk func() (planned, reflective any)) {
+	t.Helper()
+	p, r := mk()
+	errPlan := Unmarshal(data, p)
+	errRef := refUnmarshal(data, r)
+	if (errPlan == nil) != (errRef == nil) {
+		t.Fatalf("decoder disagreement for %T on %x:\n  planned:    %v\n  reflective: %v",
+			p, data, errPlan, errRef)
+	}
+	if errPlan != nil {
+		return
+	}
+	bp, err1 := Marshal(p)
+	br, err2 := refMarshal(r)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("re-marshal for %T: planned %v, reflective %v", p, err1, err2)
+	}
+	if !bytes.Equal(bp, br) {
+		t.Fatalf("re-marshal mismatch for %T on %x:\n  planned:    %x\n  reflective: %x",
+			p, data, bp, br)
+	}
 }

@@ -1,0 +1,204 @@
+package ndr
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Golden wire-format fixtures. The hex strings below were produced by the
+// original (pre-plan) reflective encoder and are frozen: any codec change
+// that alters these bytes breaks wire compatibility between peers running
+// different builds, which the checkpoint store-and-forward path and the
+// DCOM frame layer both depend on. Never regenerate them to make a failing
+// test pass — a mismatch means the encoder changed the format.
+
+// The fixture types mirror the real frame shapes of the three consumers
+// (dcom request/reply, checkpoint snapshot, heartbeat beat, diverter
+// message) without importing them, which would create an import cycle.
+
+type goldenGUID [16]byte
+
+type goldenRequest struct {
+	ID     uint64
+	OID    goldenGUID
+	Method string
+	Args   [][]byte
+}
+
+type goldenReply struct {
+	ID      uint64
+	OK      bool
+	Fault   string
+	Err     string
+	Results [][]byte
+}
+
+type goldenSnapshot struct {
+	Seq     uint64
+	Kind    string
+	TakenAt time.Time
+	Regions map[string][]byte
+}
+
+type goldenBeat struct {
+	Source string
+	Seq    uint64
+	Status string
+	SentAt time.Time
+}
+
+type goldenMessage struct {
+	ID         string
+	Dest       string
+	Body       []byte
+	EnqueuedAt time.Time
+	Attempts   int
+}
+
+type goldenNested struct {
+	Name   string
+	Tags   []string
+	Scores map[string]float64
+	Sub    *goldenNested
+	When   time.Time
+	Gap    time.Duration
+}
+
+// goldenAt is a fixed instant (the DSN 2000 conference date) so time
+// encodings are byte-stable.
+var goldenAt = time.Date(2000, 6, 25, 12, 30, 0, 123456789, time.UTC)
+
+// goldenValues enumerates one representative value per wire shape. Order
+// is part of the fixture: index i pairs with goldenHex[i].
+func goldenValues() []any {
+	oid := goldenGUID{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	return []any{
+		true,
+		int64(-123456),
+		uint64(987654321),
+		float32(1.5),
+		float64(-2.5e300),
+		"operator console",
+		[]byte{0, 1, 2, 253, 254, 255},
+		[]byte(nil),
+		[]string{"plc1", "plc2", ""},
+		[3]int{7, 8, 9},
+		map[string]int64{"a": 1, "b": -2, "c": 3},
+		map[int32]string{-5: "west", 9: "east"},
+		2500 * time.Millisecond,
+		goldenAt,
+		goldenRequest{
+			ID:     42,
+			OID:    oid,
+			Method: "Read",
+			Args:   [][]byte{{1, 2, 3}, {}, {0xff}},
+		},
+		goldenReply{
+			ID:      42,
+			OK:      true,
+			Err:     "item not found",
+			Results: [][]byte{{7, 8}},
+		},
+		goldenSnapshot{
+			Seq:     9,
+			Kind:    "incremental",
+			TakenAt: goldenAt,
+			Regions: map[string][]byte{"counters": {9, 9}, "state": {1, 2, 3, 4}},
+		},
+		goldenBeat{Source: "node1", Seq: 77, Status: "primary", SentAt: goldenAt},
+		goldenMessage{
+			ID:         "m17",
+			Dest:       "calltrack",
+			Body:       []byte("switch line 4"),
+			EnqueuedAt: goldenAt,
+			Attempts:   2,
+		},
+		goldenNested{
+			Name:   "root",
+			Tags:   []string{"opc", "ftim"},
+			Scores: map[string]float64{"latency": 1.5, "rate": 250},
+			Sub:    &goldenNested{Name: "leaf", When: goldenAt},
+			When:   goldenAt,
+			Gap:    40 * time.Millisecond,
+		},
+	}
+}
+
+// goldenDecodeTargets returns a fresh pointer target per golden value.
+func goldenDecodeTargets() []any {
+	return []any{
+		new(bool), new(int64), new(uint64), new(float32), new(float64),
+		new(string), new([]byte), new([]byte), new([]string), new([3]int),
+		new(map[string]int64), new(map[int32]string), new(time.Duration),
+		new(time.Time), new(goldenRequest), new(goldenReply),
+		new(goldenSnapshot), new(goldenBeat), new(goldenMessage),
+		new(goldenNested),
+	}
+}
+
+// TestGoldenWireFormat locks the wire format: today's encoder must emit
+// exactly the frozen bytes, and today's decoder must accept them.
+func TestGoldenWireFormat(t *testing.T) {
+	values := goldenValues()
+	targets := goldenDecodeTargets()
+	if len(goldenHex) != len(values) {
+		t.Fatalf("fixture skew: %d hex frames, %d values (regenerate via TestGoldenGenerate)", len(goldenHex), len(values))
+	}
+	for i, v := range values {
+		want, err := hex.DecodeString(goldenHex[i])
+		if err != nil {
+			t.Fatalf("golden %d: bad hex: %v", i, err)
+		}
+		got, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("golden %d (%T): marshal: %v", i, v, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("golden %d (%T): wire format changed\n got %x\nwant %x", i, v, got, want)
+		}
+		if err := Unmarshal(want, targets[i]); err != nil {
+			t.Errorf("golden %d (%T): frozen frame no longer decodes: %v", i, v, err)
+		}
+	}
+}
+
+// TestGoldenGenerate prints the fixture table; run with -run TestGoldenGenerate
+// -v -args after a deliberate format change (there should never be one).
+func TestGoldenGenerate(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("generator: run with -v to print")
+	}
+	for _, v := range goldenValues() {
+		b, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		fmt.Printf("\t\"%x\",\n", b)
+	}
+}
+
+var goldenHex = []string{
+	"0201",
+	"03ff880f",
+	"04b1d1f9d603",
+	"050000c03f",
+	"06039300aa4bdd4dfe",
+	"07106f70657261746f7220636f6e736f6c65",
+	"0806000102fdfeff",
+	"0800",
+	"09030704706c63310704706c63320700",
+	"0a03030e03100312",
+	"0b03070161030207016203030701630306",
+	"0b0203090704776573740312070465617374",
+	"0f80e497d012",
+	"0e0f010000000eb0e7f248075bcd15ffff",
+	"0c04042a0a1004de0104ad0104be0104ef01040104020403040404050406040704080409040a040b040c0704526561640903080301020308000801ff",
+	"0c05042a02010700070e6974656d206e6f7420666f756e64090108020708",
+	"0c040409070b696e6372656d656e74616c0e0f010000000eb0e7f248075bcd15ffff0b020708636f756e746572730802090907057374617465080401020304",
+	"0c0407056e6f646531044d07077072696d6172790e0f010000000eb0e7f248075bcd15ffff",
+	"0c0507036d3137070963616c6c747261636b080d737769746368206c696e6520340e0f010000000eb0e7f248075bcd15ffff0304",
+	"0c060704726f6f74090207036f706307046674696d0b0207076c6174656e637906000000000000f83f070472617465060000000000406f400d010c0607046c65616609000b000d000e0f010000000eb0e7f248075bcd15ffff0f000e0f010000000eb0e7f248075bcd15ffff0f80e89226",
+}

@@ -1,24 +1,33 @@
-// Package ndr implements a compact, reflection-driven binary codec in the
-// spirit of DCE/RPC's Network Data Representation, which underlies DCOM's
-// ORPC marshaling. It is the single serialization layer of the OFTT
-// reproduction: dcom uses it for call frames, checkpoint uses it to capture
-// registered application state, and diverter uses it for queued messages.
+// Package ndr implements a compact binary codec in the spirit of DCE/RPC's
+// Network Data Representation, which underlies DCOM's ORPC marshaling. It
+// is the single serialization layer of the OFTT reproduction: dcom uses it
+// for call frames, checkpoint uses it to capture registered application
+// state, and diverter uses it for queued messages.
 //
 // The format is self-describing at the value level (every value carries a
 // type tag) but positional at the struct level: exported struct fields are
 // encoded in declaration order, so both peers must agree on the struct
 // definition, exactly as DCOM proxies and stubs must be generated from the
 // same IDL.
+//
+// # Codec plans
+//
+// The first time a type is encoded or decoded, the codec compiles it into
+// a plan: a closure tree with struct field lists resolved once, map key
+// comparators chosen by key kind, and fixed-width fast paths for scalars,
+// strings, and []byte. Plans are cached in sync.Maps keyed by reflect.Type
+// and dispatched on every subsequent call, so the steady-state hot path
+// never re-walks type structure. Marshal/Unmarshal additionally pool their
+// scratch state, and MarshalTo appends into a caller-owned buffer for
+// zero-allocation steady-state encoding. The wire format is identical to
+// the original per-value reflective codec (locked by golden-bytes tests).
 package ndr
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"reflect"
-	"sort"
 	"sync"
 	"time"
 )
@@ -59,6 +68,8 @@ var (
 	// destination type during decoding.
 	ErrTypeMismatch = errors.New("ndr: wire/destination type mismatch")
 )
+
+var errNotPointer = errors.New("ndr: decode target must be a non-nil pointer")
 
 var (
 	timeType     = reflect.TypeOf(time.Time{})
@@ -105,25 +116,115 @@ func MustRegister(name string, sample any) {
 	}
 }
 
+// Pooled scratch state. Oversized buffers are dropped rather than pooled so
+// one giant checkpoint does not pin a megabyte arena per P forever.
+const maxPooledBuf = 1 << 20
+
+var encPool = sync.Pool{New: func() any { return new(encState) }}
+var decPool = sync.Pool{New: func() any { return new(decState) }}
+
 // Marshal encodes v into a fresh byte slice.
 func Marshal(v any) ([]byte, error) {
-	var buf writer
-	e := Encoder{w: &buf}
-	if err := e.Encode(v); err != nil {
+	e := encPool.Get().(*encState)
+	e.b = e.b[:0]
+	err := e.encodeRoot(v)
+	var out []byte
+	if err == nil {
+		out = make([]byte, len(e.b))
+		copy(out, e.b)
+	}
+	if cap(e.b) <= maxPooledBuf {
+		encPool.Put(e)
+	}
+	return out, err
+}
+
+// MarshalTo appends the encoding of v to dst and returns the extended
+// slice, growing it as needed. Callers that reuse dst across calls pay no
+// steady-state buffer allocations. On error dst is returned unchanged
+// (its backing array beyond len may have been scribbled).
+func MarshalTo(dst []byte, v any) ([]byte, error) {
+	e := encPool.Get().(*encState)
+	pooled := e.b
+	e.b = dst
+	err := e.encodeRoot(v)
+	out := e.b
+	e.b = pooled
+	encPool.Put(e)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+// MarshalDeref encodes the value ptr points to, byte-identical to
+// Marshal(*ptr) but without copying the pointee into an interface box —
+// the checkpoint layer uses it to capture large state regions in place.
+func MarshalDeref(ptr any) ([]byte, error) {
+	rv, err := derefTarget(ptr)
+	if err != nil {
 		return nil, err
 	}
-	return buf.b, nil
+	e := encPool.Get().(*encState)
+	e.b = e.b[:0]
+	err = encPlanFor(rv.Type())(e, rv, 0)
+	var out []byte
+	if err == nil {
+		out = make([]byte, len(e.b))
+		copy(out, e.b)
+	}
+	if cap(e.b) <= maxPooledBuf {
+		encPool.Put(e)
+	}
+	return out, err
+}
+
+// MarshalToDeref is MarshalTo for the value ptr points to (see MarshalDeref).
+func MarshalToDeref(dst []byte, ptr any) ([]byte, error) {
+	rv, err := derefTarget(ptr)
+	if err != nil {
+		return dst, err
+	}
+	e := encPool.Get().(*encState)
+	pooled := e.b
+	e.b = dst
+	err = encPlanFor(rv.Type())(e, rv, 0)
+	out := e.b
+	e.b = pooled
+	encPool.Put(e)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+func derefTarget(ptr any) (reflect.Value, error) {
+	rv := reflect.ValueOf(ptr)
+	if rv.Kind() != reflect.Ptr || rv.IsNil() {
+		return reflect.Value{}, errors.New("ndr: marshal-deref target must be a non-nil pointer")
+	}
+	return rv.Elem(), nil
 }
 
 // Unmarshal decodes data into the value pointed to by out.
 func Unmarshal(data []byte, out any) error {
-	d := NewDecoder(&byteReader{b: data})
-	return d.Decode(out)
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Ptr || rv.IsNil() {
+		return errNotPointer
+	}
+	d := decPool.Get().(*decState)
+	d.r, d.b, d.i = nil, data, 0
+	err := decPlanFor(rv.Type().Elem())(d, rv.Elem(), 0)
+	d.b = nil // do not retain the caller's frame
+	decPool.Put(d)
+	return err
 }
 
-// An Encoder writes NDR values to an underlying writer.
+// An Encoder writes NDR values to an underlying writer. Each Encode stages
+// the value in an internal plan buffer and flushes it with a single Write.
 type Encoder struct {
 	w io.Writer
+	s encState
 }
 
 // NewEncoder returns an Encoder writing to w.
@@ -131,541 +232,33 @@ func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 
 // Encode writes one value.
 func (e *Encoder) Encode(v any) error {
-	if v == nil {
-		return e.writeByte(tagNil)
-	}
-	return e.encodeValue(reflect.ValueOf(v), 0)
-}
-
-func (e *Encoder) encodeValue(v reflect.Value, depth int) error {
-	if depth > maxDepth {
-		return ErrTooDeep
-	}
-	t := v.Type()
-
-	// Named types with special handling.
-	switch t {
-	case timeType:
-		if err := e.writeByte(tagTime); err != nil {
-			return err
-		}
-		tv, ok := v.Interface().(time.Time)
-		if !ok {
-			return ErrTypeMismatch
-		}
-		b, err := tv.MarshalBinary()
-		if err != nil {
-			return fmt.Errorf("ndr: marshal time: %w", err)
-		}
-		return e.writeLenBytes(b)
-	case durationType:
-		if err := e.writeByte(tagDuration); err != nil {
-			return err
-		}
-		return e.writeVarint(v.Int())
-	}
-
-	switch t.Kind() {
-	case reflect.Bool:
-		if err := e.writeByte(tagBool); err != nil {
-			return err
-		}
-		if v.Bool() {
-			return e.writeByte(1)
-		}
-		return e.writeByte(0)
-
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		if err := e.writeByte(tagInt); err != nil {
-			return err
-		}
-		return e.writeVarint(v.Int())
-
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-		if err := e.writeByte(tagUint); err != nil {
-			return err
-		}
-		return e.writeUvarint(v.Uint())
-
-	case reflect.Float32:
-		if err := e.writeByte(tagFloat32); err != nil {
-			return err
-		}
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(v.Float())))
-		_, err := e.w.Write(b[:])
-		return err
-
-	case reflect.Float64:
-		if err := e.writeByte(tagFloat64); err != nil {
-			return err
-		}
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Float()))
-		_, err := e.w.Write(b[:])
-		return err
-
-	case reflect.String:
-		if err := e.writeByte(tagString); err != nil {
-			return err
-		}
-		return e.writeLenBytes([]byte(v.String()))
-
-	case reflect.Slice:
-		if t.Elem().Kind() == reflect.Uint8 {
-			if err := e.writeByte(tagBytes); err != nil {
-				return err
-			}
-			if v.IsNil() {
-				return e.writeUvarint(0)
-			}
-			return e.writeLenBytes(v.Bytes())
-		}
-		if err := e.writeByte(tagSlice); err != nil {
-			return err
-		}
-		return e.encodeSeq(v, depth)
-
-	case reflect.Array:
-		if err := e.writeByte(tagArray); err != nil {
-			return err
-		}
-		return e.encodeSeq(v, depth)
-
-	case reflect.Map:
-		if err := e.writeByte(tagMap); err != nil {
-			return err
-		}
-		n := v.Len()
-		if n > maxElems {
-			return fmt.Errorf("ndr: map too large: %d", n)
-		}
-		if err := e.writeUvarint(uint64(n)); err != nil {
-			return err
-		}
-		// Deterministic key order so encodings are byte-stable, which the
-		// checkpoint layer relies on for cheap dirty detection.
-		keys := v.MapKeys()
-		sortKeys(keys)
-		for _, k := range keys {
-			if err := e.encodeValue(k, depth+1); err != nil {
-				return err
-			}
-			if err := e.encodeValue(v.MapIndex(k), depth+1); err != nil {
-				return err
-			}
-		}
-		return nil
-
-	case reflect.Struct:
-		if err := e.writeByte(tagStruct); err != nil {
-			return err
-		}
-		fields := exportedFields(t)
-		if err := e.writeUvarint(uint64(len(fields))); err != nil {
-			return err
-		}
-		for _, i := range fields {
-			if err := e.encodeValue(v.Field(i), depth+1); err != nil {
-				return fmt.Errorf("ndr: field %s.%s: %w", t.Name(), t.Field(i).Name, err)
-			}
-		}
-		return nil
-
-	case reflect.Ptr:
-		if err := e.writeByte(tagPtr); err != nil {
-			return err
-		}
-		if v.IsNil() {
-			return e.writeByte(0)
-		}
-		if err := e.writeByte(1); err != nil {
-			return err
-		}
-		return e.encodeValue(v.Elem(), depth+1)
-
-	case reflect.Interface:
-		if v.IsNil() {
-			return e.writeByte(tagNil)
-		}
-		elem := v.Elem()
-		registry.RLock()
-		name, ok := registry.byType[elem.Type()]
-		registry.RUnlock()
-		if !ok {
-			return fmt.Errorf("ndr: unregistered interface payload %v", elem.Type())
-		}
-		if err := e.writeByte(tagIface); err != nil {
-			return err
-		}
-		if err := e.writeLenBytes([]byte(name)); err != nil {
-			return err
-		}
-		return e.encodeValue(elem, depth+1)
-
-	default:
-		return fmt.Errorf("ndr: unsupported kind %v", t.Kind())
-	}
-}
-
-func (e *Encoder) encodeSeq(v reflect.Value, depth int) error {
-	n := v.Len()
-	if n > maxElems {
-		return fmt.Errorf("ndr: sequence too large: %d", n)
-	}
-	if err := e.writeUvarint(uint64(n)); err != nil {
+	e.s.b = e.s.b[:0]
+	if err := e.s.encodeRoot(v); err != nil {
 		return err
 	}
-	for i := 0; i < n; i++ {
-		if err := e.encodeValue(v.Index(i), depth+1); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (e *Encoder) writeByte(b byte) error {
-	_, err := e.w.Write([]byte{b})
-	return err
-}
-
-func (e *Encoder) writeVarint(x int64) error {
-	var b [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(b[:], x)
-	_, err := e.w.Write(b[:n])
-	return err
-}
-
-func (e *Encoder) writeUvarint(x uint64) error {
-	var b [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(b[:], x)
-	_, err := e.w.Write(b[:n])
-	return err
-}
-
-func (e *Encoder) writeLenBytes(p []byte) error {
-	if len(p) > maxByteLen {
-		return fmt.Errorf("ndr: byte payload too large: %d", len(p))
-	}
-	if err := e.writeUvarint(uint64(len(p))); err != nil {
-		return err
-	}
-	_, err := e.w.Write(p)
+	_, err := e.w.Write(e.s.b)
 	return err
 }
 
 // A Decoder reads NDR values from an underlying reader.
 type Decoder struct {
-	r io.ByteReader
+	s decState
 }
 
 // NewDecoder returns a Decoder reading from r.
-func NewDecoder(r io.ByteReader) *Decoder { return &Decoder{r: r} }
+func NewDecoder(r io.ByteReader) *Decoder {
+	d := &Decoder{}
+	d.s.r = r
+	return d
+}
 
 // Decode reads one value into the non-nil pointer out.
 func (d *Decoder) Decode(out any) error {
 	rv := reflect.ValueOf(out)
 	if rv.Kind() != reflect.Ptr || rv.IsNil() {
-		return errors.New("ndr: decode target must be a non-nil pointer")
+		return errNotPointer
 	}
-	return d.decodeValue(rv.Elem(), 0)
-}
-
-func (d *Decoder) decodeValue(v reflect.Value, depth int) error {
-	if depth > maxDepth {
-		return ErrTooDeep
-	}
-	tag, err := d.r.ReadByte()
-	if err != nil {
-		return fmt.Errorf("ndr: read tag: %w", err)
-	}
-
-	switch tag {
-	case tagNil:
-		v.Set(reflect.Zero(v.Type()))
-		return nil
-
-	case tagBool:
-		b, err := d.r.ReadByte()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Bool {
-			return d.mismatch("bool", v)
-		}
-		v.SetBool(b != 0)
-		return nil
-
-	case tagInt:
-		x, err := binary.ReadVarint(d.r)
-		if err != nil {
-			return err
-		}
-		switch v.Kind() {
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			if v.OverflowInt(x) {
-				return fmt.Errorf("ndr: int overflow into %v", v.Type())
-			}
-			v.SetInt(x)
-			return nil
-		}
-		return d.mismatch("int", v)
-
-	case tagUint:
-		x, err := binary.ReadUvarint(d.r)
-		if err != nil {
-			return err
-		}
-		switch v.Kind() {
-		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-			if v.OverflowUint(x) {
-				return fmt.Errorf("ndr: uint overflow into %v", v.Type())
-			}
-			v.SetUint(x)
-			return nil
-		}
-		return d.mismatch("uint", v)
-
-	case tagFloat32:
-		var b [4]byte
-		if err := d.readFull(b[:]); err != nil {
-			return err
-		}
-		f := math.Float32frombits(binary.LittleEndian.Uint32(b[:]))
-		switch v.Kind() {
-		case reflect.Float32, reflect.Float64:
-			v.SetFloat(float64(f))
-			return nil
-		}
-		return d.mismatch("float32", v)
-
-	case tagFloat64:
-		var b [8]byte
-		if err := d.readFull(b[:]); err != nil {
-			return err
-		}
-		f := math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
-		switch v.Kind() {
-		case reflect.Float32, reflect.Float64:
-			v.SetFloat(f)
-			return nil
-		}
-		return d.mismatch("float64", v)
-
-	case tagString:
-		p, err := d.readLenBytes()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.String {
-			return d.mismatch("string", v)
-		}
-		v.SetString(string(p))
-		return nil
-
-	case tagBytes:
-		p, err := d.readLenBytes()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Slice || v.Type().Elem().Kind() != reflect.Uint8 {
-			return d.mismatch("[]byte", v)
-		}
-		v.SetBytes(p)
-		return nil
-
-	case tagSlice:
-		n, err := d.readCount()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Slice {
-			return d.mismatch("slice", v)
-		}
-		s := reflect.MakeSlice(v.Type(), n, n)
-		for i := 0; i < n; i++ {
-			if err := d.decodeValue(s.Index(i), depth+1); err != nil {
-				return err
-			}
-		}
-		v.Set(s)
-		return nil
-
-	case tagArray:
-		n, err := d.readCount()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Array {
-			return d.mismatch("array", v)
-		}
-		if n != v.Len() {
-			return fmt.Errorf("ndr: array length %d does not match wire %d", v.Len(), n)
-		}
-		for i := 0; i < n; i++ {
-			if err := d.decodeValue(v.Index(i), depth+1); err != nil {
-				return err
-			}
-		}
-		return nil
-
-	case tagMap:
-		n, err := d.readCount()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Map {
-			return d.mismatch("map", v)
-		}
-		m := reflect.MakeMapWithSize(v.Type(), n)
-		for i := 0; i < n; i++ {
-			k := reflect.New(v.Type().Key()).Elem()
-			if err := d.decodeValue(k, depth+1); err != nil {
-				return err
-			}
-			val := reflect.New(v.Type().Elem()).Elem()
-			if err := d.decodeValue(val, depth+1); err != nil {
-				return err
-			}
-			m.SetMapIndex(k, val)
-		}
-		v.Set(m)
-		return nil
-
-	case tagStruct:
-		n, err := d.readCount()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Struct {
-			return d.mismatch("struct", v)
-		}
-		fields := exportedFields(v.Type())
-		if n != len(fields) {
-			return fmt.Errorf("ndr: struct %v has %d exported fields, wire has %d",
-				v.Type(), len(fields), n)
-		}
-		for _, i := range fields {
-			if err := d.decodeValue(v.Field(i), depth+1); err != nil {
-				return fmt.Errorf("ndr: field %s.%s: %w",
-					v.Type().Name(), v.Type().Field(i).Name, err)
-			}
-		}
-		return nil
-
-	case tagPtr:
-		flag, err := d.r.ReadByte()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Ptr {
-			return d.mismatch("pointer", v)
-		}
-		if flag == 0 {
-			v.Set(reflect.Zero(v.Type()))
-			return nil
-		}
-		p := reflect.New(v.Type().Elem())
-		if err := d.decodeValue(p.Elem(), depth+1); err != nil {
-			return err
-		}
-		v.Set(p)
-		return nil
-
-	case tagTime:
-		p, err := d.readLenBytes()
-		if err != nil {
-			return err
-		}
-		if v.Type() != timeType {
-			return d.mismatch("time.Time", v)
-		}
-		var tv time.Time
-		if err := tv.UnmarshalBinary(p); err != nil {
-			return fmt.Errorf("ndr: unmarshal time: %w", err)
-		}
-		v.Set(reflect.ValueOf(tv))
-		return nil
-
-	case tagDuration:
-		x, err := binary.ReadVarint(d.r)
-		if err != nil {
-			return err
-		}
-		if v.Type() != durationType && v.Kind() != reflect.Int64 {
-			return d.mismatch("time.Duration", v)
-		}
-		v.SetInt(x)
-		return nil
-
-	case tagIface:
-		nameB, err := d.readLenBytes()
-		if err != nil {
-			return err
-		}
-		registry.RLock()
-		ct, ok := registry.byName[string(nameB)]
-		registry.RUnlock()
-		if !ok {
-			return fmt.Errorf("ndr: unknown registered type %q", nameB)
-		}
-		target := reflect.New(ct).Elem()
-		if err := d.decodeValue(target, depth+1); err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Interface {
-			return d.mismatch("interface", v)
-		}
-		if !ct.Implements(v.Type()) && v.Type().NumMethod() != 0 {
-			return fmt.Errorf("ndr: %v does not implement %v", ct, v.Type())
-		}
-		v.Set(target)
-		return nil
-
-	default:
-		return fmt.Errorf("ndr: unknown wire tag %d", tag)
-	}
-}
-
-func (d *Decoder) mismatch(wire string, v reflect.Value) error {
-	return fmt.Errorf("%w: wire %s, destination %v", ErrTypeMismatch, wire, v.Type())
-}
-
-func (d *Decoder) readFull(p []byte) error {
-	for i := range p {
-		b, err := d.r.ReadByte()
-		if err != nil {
-			return err
-		}
-		p[i] = b
-	}
-	return nil
-}
-
-func (d *Decoder) readCount() (int, error) {
-	n, err := binary.ReadUvarint(d.r)
-	if err != nil {
-		return 0, err
-	}
-	if n > maxElems {
-		return 0, fmt.Errorf("ndr: element count too large: %d", n)
-	}
-	return int(n), nil
-}
-
-func (d *Decoder) readLenBytes() ([]byte, error) {
-	n, err := binary.ReadUvarint(d.r)
-	if err != nil {
-		return nil, err
-	}
-	if n > maxByteLen {
-		return nil, fmt.Errorf("ndr: byte payload too large: %d", n)
-	}
-	p := make([]byte, n)
-	if err := d.readFull(p); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return decPlanFor(rv.Type().Elem())(&d.s, rv.Elem(), 0)
 }
 
 // exportedFields returns indices of exported, non-skipped fields in order.
@@ -683,36 +276,6 @@ func exportedFields(t reflect.Type) []int {
 		out = append(out, i)
 	}
 	return out
-}
-
-// sortKeys orders map keys deterministically so encodings are byte-stable.
-func sortKeys(keys []reflect.Value) {
-	if len(keys) < 2 {
-		return
-	}
-	switch keys[0].Kind() {
-	case reflect.String:
-		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		sort.Slice(keys, func(i, j int) bool { return keys[i].Int() < keys[j].Int() })
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-		sort.Slice(keys, func(i, j int) bool { return keys[i].Uint() < keys[j].Uint() })
-	case reflect.Float32, reflect.Float64:
-		sort.Slice(keys, func(i, j int) bool { return keys[i].Float() < keys[j].Float() })
-	default:
-		// Fall back to formatting; slower but still deterministic.
-		sort.Slice(keys, func(i, j int) bool {
-			return fmt.Sprint(keys[i].Interface()) < fmt.Sprint(keys[j].Interface())
-		})
-	}
-}
-
-// writer is a minimal growable buffer avoiding bytes.Buffer's extra state.
-type writer struct{ b []byte }
-
-func (w *writer) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
 }
 
 // byteReader adapts a byte slice to io.ByteReader.

@@ -1,0 +1,1145 @@
+package ndr
+
+// Codec plans: per-type encode/decode programs compiled on first use and
+// cached forever. Compilation resolves everything that is knowable from the
+// reflect.Type alone — exported field lists, element/key/value sub-plans,
+// map key comparators, scalar fast paths — so steady-state dispatch is a
+// chain of closure calls over a flat byte buffer with no per-value kind
+// switching. The emitted bytes are exactly those of the original reflective
+// codec (see reflect_ref_test.go and golden_test.go); only the cost model
+// changed.
+//
+// Recursive types are handled the way encoding/json handles them: the
+// cache is seeded with a placeholder that blocks callers until the real
+// plan is published, which also makes concurrent first-touch compilation
+// safe (exercised under -race by TestConcurrentPlanCompilation).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+)
+
+var errVarintOverflow = errors.New("ndr: varint overflows a 64-bit integer")
+
+// ---------------------------------------------------------------------------
+// Encode side
+// ---------------------------------------------------------------------------
+
+// encState is the append-only output buffer a compiled plan writes into.
+type encState struct {
+	b []byte
+}
+
+func (e *encState) byte1(c byte) { e.b = append(e.b, c) }
+
+func (e *encState) uvarint(x uint64) { e.b = binary.AppendUvarint(e.b, x) }
+
+func (e *encState) varint(x int64) { e.b = binary.AppendVarint(e.b, x) }
+
+func (e *encState) lenBytes(p []byte) error {
+	if len(p) > maxByteLen {
+		return fmt.Errorf("ndr: byte payload too large: %d", len(p))
+	}
+	e.uvarint(uint64(len(p)))
+	e.b = append(e.b, p...)
+	return nil
+}
+
+// lenString writes length + string bytes directly, without the throwaway
+// []byte(s) copy the reflective encoder paid per string.
+func (e *encState) lenString(s string) error {
+	if len(s) > maxByteLen {
+		return fmt.Errorf("ndr: byte payload too large: %d", len(s))
+	}
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+	return nil
+}
+
+func (e *encState) encodeRoot(v any) error {
+	if v == nil {
+		e.byte1(tagNil)
+		return nil
+	}
+	rv := reflect.ValueOf(v)
+	return encPlanFor(rv.Type())(e, rv, 0)
+}
+
+type encFunc func(e *encState, v reflect.Value, depth int) error
+
+var encPlans sync.Map // reflect.Type -> encFunc
+
+// encPlanFor returns the compiled encode plan for t, compiling on first use.
+func encPlanFor(t reflect.Type) encFunc {
+	if fi, ok := encPlans.Load(t); ok {
+		return fi.(encFunc)
+	}
+	// Publish a placeholder that blocks until compilation finishes: it
+	// breaks recursive type cycles and lets concurrent first-touch callers
+	// proceed the moment the real plan lands.
+	var (
+		wg sync.WaitGroup
+		f  encFunc
+	)
+	wg.Add(1)
+	fi, loaded := encPlans.LoadOrStore(t, encFunc(func(e *encState, v reflect.Value, depth int) error {
+		wg.Wait()
+		return f(e, v, depth)
+	}))
+	if loaded {
+		return fi.(encFunc)
+	}
+	f = compileEnc(t)
+	wg.Done()
+	encPlans.Store(t, f)
+	return f
+}
+
+func compileEnc(t reflect.Type) encFunc {
+	switch t {
+	case timeType:
+		return encTime
+	case durationType:
+		return encDuration
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return encBool
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return encInt
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return encUint
+	case reflect.Float32:
+		return encFloat32
+	case reflect.Float64:
+		return encFloat64
+	case reflect.String:
+		return encString
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return encBytes
+		}
+		return compileEncSeq(t, tagSlice)
+	case reflect.Array:
+		return compileEncSeq(t, tagArray)
+	case reflect.Map:
+		return compileEncMap(t)
+	case reflect.Struct:
+		return compileEncStruct(t)
+	case reflect.Ptr:
+		return compileEncPtr(t)
+	case reflect.Interface:
+		return encIface
+	default:
+		kind := t.Kind()
+		return func(*encState, reflect.Value, int) error {
+			return fmt.Errorf("ndr: unsupported kind %v", kind)
+		}
+	}
+}
+
+func encTime(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	e.byte1(tagTime)
+	tv, ok := v.Interface().(time.Time)
+	if !ok {
+		return ErrTypeMismatch
+	}
+	b, err := tv.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("ndr: marshal time: %w", err)
+	}
+	return e.lenBytes(b)
+}
+
+func encDuration(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	e.byte1(tagDuration)
+	e.varint(v.Int())
+	return nil
+}
+
+func encBool(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	if v.Bool() {
+		e.b = append(e.b, tagBool, 1)
+	} else {
+		e.b = append(e.b, tagBool, 0)
+	}
+	return nil
+}
+
+func encInt(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	e.byte1(tagInt)
+	e.varint(v.Int())
+	return nil
+}
+
+func encUint(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	e.byte1(tagUint)
+	e.uvarint(v.Uint())
+	return nil
+}
+
+func encFloat32(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	e.byte1(tagFloat32)
+	e.b = binary.LittleEndian.AppendUint32(e.b, math.Float32bits(float32(v.Float())))
+	return nil
+}
+
+func encFloat64(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	e.byte1(tagFloat64)
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v.Float()))
+	return nil
+}
+
+func encString(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	e.byte1(tagString)
+	return e.lenString(v.String())
+}
+
+func encBytes(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	e.byte1(tagBytes)
+	if v.IsNil() {
+		e.uvarint(0)
+		return nil
+	}
+	return e.lenBytes(v.Bytes())
+}
+
+func compileEncSeq(t reflect.Type, tag byte) encFunc {
+	elem := encPlanFor(t.Elem())
+	return func(e *encState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		e.byte1(tag)
+		n := v.Len()
+		if n > maxElems {
+			return fmt.Errorf("ndr: sequence too large: %d", n)
+		}
+		e.uvarint(uint64(n))
+		for i := 0; i < n; i++ {
+			if err := elem(e, v.Index(i), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func compileEncMap(t reflect.Type) encFunc {
+	keyPlan := encPlanFor(t.Key())
+	valPlan := encPlanFor(t.Elem())
+	less := keyLess(t.Key().Kind())
+	return func(e *encState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		e.byte1(tagMap)
+		n := v.Len()
+		if n > maxElems {
+			return fmt.Errorf("ndr: map too large: %d", n)
+		}
+		e.uvarint(uint64(n))
+		// Deterministic key order so encodings are byte-stable, which the
+		// checkpoint layer relies on for cheap dirty detection.
+		keys := v.MapKeys()
+		if len(keys) > 1 {
+			sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+		}
+		for _, k := range keys {
+			if err := keyPlan(e, k, depth+1); err != nil {
+				return err
+			}
+			if err := valPlan(e, v.MapIndex(k), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// keyLess resolves the map key comparator once per map type.
+func keyLess(k reflect.Kind) func(a, b reflect.Value) bool {
+	switch k {
+	case reflect.String:
+		return func(a, b reflect.Value) bool { return a.String() < b.String() }
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return func(a, b reflect.Value) bool { return a.Int() < b.Int() }
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return func(a, b reflect.Value) bool { return a.Uint() < b.Uint() }
+	case reflect.Float32, reflect.Float64:
+		return func(a, b reflect.Value) bool { return a.Float() < b.Float() }
+	default:
+		// Fall back to formatting; slower but still deterministic.
+		return func(a, b reflect.Value) bool {
+			return fmt.Sprint(a.Interface()) < fmt.Sprint(b.Interface())
+		}
+	}
+}
+
+type encField struct {
+	index int
+	name  string // "Type.Field" for error context
+	fn    encFunc
+}
+
+func compileEncStruct(t reflect.Type) encFunc {
+	idxs := exportedFields(t)
+	fields := make([]encField, len(idxs))
+	for i, fi := range idxs {
+		f := t.Field(fi)
+		fields[i] = encField{index: fi, name: t.Name() + "." + f.Name, fn: encPlanFor(f.Type)}
+	}
+	count := uint64(len(fields))
+	return func(e *encState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		e.byte1(tagStruct)
+		e.uvarint(count)
+		for i := range fields {
+			f := &fields[i]
+			if err := f.fn(e, v.Field(f.index), depth+1); err != nil {
+				return fmt.Errorf("ndr: field %s: %w", f.name, err)
+			}
+		}
+		return nil
+	}
+}
+
+func compileEncPtr(t reflect.Type) encFunc {
+	elem := encPlanFor(t.Elem())
+	return func(e *encState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		e.byte1(tagPtr)
+		if v.IsNil() {
+			e.byte1(0)
+			return nil
+		}
+		e.byte1(1)
+		return elem(e, v.Elem(), depth+1)
+	}
+}
+
+func encIface(e *encState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	if v.IsNil() {
+		e.byte1(tagNil)
+		return nil
+	}
+	elem := v.Elem()
+	registry.RLock()
+	name, ok := registry.byType[elem.Type()]
+	registry.RUnlock()
+	if !ok {
+		return fmt.Errorf("ndr: unregistered interface payload %v", elem.Type())
+	}
+	e.byte1(tagIface)
+	if err := e.lenString(name); err != nil {
+		return err
+	}
+	return encPlanFor(elem.Type())(e, elem, depth+1)
+}
+
+// ---------------------------------------------------------------------------
+// Decode side
+// ---------------------------------------------------------------------------
+
+// decState is the input cursor a compiled plan reads from. When b is set
+// (r == nil) reads are bulk slice operations; otherwise it degrades to the
+// byte-at-a-time io.ByteReader contract for streaming decoders.
+type decState struct {
+	r io.ByteReader // streaming source; nil when draining b
+	b []byte
+	i int
+}
+
+func (d *decState) readByte() (byte, error) {
+	if d.r != nil {
+		return d.r.ReadByte()
+	}
+	if d.i >= len(d.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	c := d.b[d.i]
+	d.i++
+	return c, nil
+}
+
+func (d *decState) readTag() (byte, error) {
+	tag, err := d.readByte()
+	if err != nil {
+		return 0, fmt.Errorf("ndr: read tag: %w", err)
+	}
+	return tag, nil
+}
+
+func (d *decState) readUvarint() (uint64, error) {
+	if d.r != nil {
+		return binary.ReadUvarint(d.r)
+	}
+	x, n := binary.Uvarint(d.b[d.i:])
+	switch {
+	case n > 0:
+		d.i += n
+		return x, nil
+	case n == 0:
+		d.i = len(d.b)
+		return 0, io.ErrUnexpectedEOF
+	default: // overflow; -n bytes were consumed
+		d.i += -n
+		return 0, errVarintOverflow
+	}
+}
+
+func (d *decState) readVarint() (int64, error) {
+	if d.r != nil {
+		return binary.ReadVarint(d.r)
+	}
+	x, n := binary.Varint(d.b[d.i:])
+	switch {
+	case n > 0:
+		d.i += n
+		return x, nil
+	case n == 0:
+		d.i = len(d.b)
+		return 0, io.ErrUnexpectedEOF
+	default:
+		d.i += -n
+		return 0, errVarintOverflow
+	}
+}
+
+func (d *decState) readFull(p []byte) error {
+	if d.r == nil {
+		if len(d.b)-d.i < len(p) {
+			d.i = len(d.b)
+			return io.ErrUnexpectedEOF
+		}
+		copy(p, d.b[d.i:])
+		d.i += len(p)
+		return nil
+	}
+	for i := range p {
+		c, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		p[i] = c
+	}
+	return nil
+}
+
+func (d *decState) readLen() (int, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxByteLen {
+		return 0, fmt.Errorf("ndr: byte payload too large: %d", n)
+	}
+	return int(n), nil
+}
+
+func (d *decState) readLenBytes() ([]byte, error) {
+	n, err := d.readLen()
+	if err != nil {
+		return nil, err
+	}
+	if d.r == nil {
+		// Bounds-check before allocating so a corrupt length on a short
+		// frame cannot force a giant allocation.
+		if len(d.b)-d.i < n {
+			d.i = len(d.b)
+			return nil, io.ErrUnexpectedEOF
+		}
+		p := make([]byte, n)
+		copy(p, d.b[d.i:])
+		d.i += n
+		return p, nil
+	}
+	p := make([]byte, n)
+	if err := d.readFull(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (d *decState) readString() (string, error) {
+	n, err := d.readLen()
+	if err != nil {
+		return "", err
+	}
+	if d.r == nil {
+		if len(d.b)-d.i < n {
+			d.i = len(d.b)
+			return "", io.ErrUnexpectedEOF
+		}
+		s := string(d.b[d.i : d.i+n])
+		d.i += n
+		return s, nil
+	}
+	p := make([]byte, n)
+	if err := d.readFull(p); err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+func (d *decState) readCount() (int, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxElems {
+		return 0, fmt.Errorf("ndr: element count too large: %d", n)
+	}
+	return int(n), nil
+}
+
+func mismatch(wire string, v reflect.Value) error {
+	return fmt.Errorf("%w: wire %s, destination %v", ErrTypeMismatch, wire, v.Type())
+}
+
+type decFunc func(d *decState, v reflect.Value, depth int) error
+
+var decPlans sync.Map // reflect.Type -> decFunc
+
+// decPlanFor returns the compiled decode plan for t, compiling on first use.
+func decPlanFor(t reflect.Type) decFunc {
+	if fi, ok := decPlans.Load(t); ok {
+		return fi.(decFunc)
+	}
+	var (
+		wg sync.WaitGroup
+		f  decFunc
+	)
+	wg.Add(1)
+	fi, loaded := decPlans.LoadOrStore(t, decFunc(func(d *decState, v reflect.Value, depth int) error {
+		wg.Wait()
+		return f(d, v, depth)
+	}))
+	if loaded {
+		return fi.(decFunc)
+	}
+	f = compileDec(t)
+	wg.Done()
+	decPlans.Store(t, f)
+	return f
+}
+
+func compileDec(t reflect.Type) decFunc {
+	if t == timeType {
+		return decTime
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return decBool
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return compileDecInt(t)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return decUint
+	case reflect.Float32, reflect.Float64:
+		return decFloat
+	case reflect.String:
+		return decString
+	case reflect.Slice:
+		return compileDecSlice(t)
+	case reflect.Array:
+		return compileDecArray(t)
+	case reflect.Map:
+		return compileDecMap(t)
+	case reflect.Struct:
+		return compileDecStruct(t)
+	case reflect.Ptr:
+		return compileDecPtr(t)
+	case reflect.Interface:
+		return decIface
+	default:
+		return decUnsupported
+	}
+}
+
+func decBool(d *decState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	tag, err := d.readTag()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagNil:
+		v.SetZero()
+		return nil
+	case tagBool:
+		b, err := d.readByte()
+		if err != nil {
+			return err
+		}
+		v.SetBool(b != 0)
+		return nil
+	default:
+		return d.skipMismatch(tag, v, depth)
+	}
+}
+
+func compileDecInt(t reflect.Type) decFunc {
+	// tagDuration historically decodes into any int64-kinded destination
+	// (time.Duration included), so the acceptance is resolved at compile.
+	acceptDuration := t.Kind() == reflect.Int64
+	return func(d *decState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		tag, err := d.readTag()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case tagNil:
+			v.SetZero()
+			return nil
+		case tagInt:
+			x, err := d.readVarint()
+			if err != nil {
+				return err
+			}
+			if v.OverflowInt(x) {
+				return fmt.Errorf("ndr: int overflow into %v", v.Type())
+			}
+			v.SetInt(x)
+			return nil
+		case tagDuration:
+			if !acceptDuration {
+				return d.skipMismatch(tag, v, depth)
+			}
+			x, err := d.readVarint()
+			if err != nil {
+				return err
+			}
+			v.SetInt(x)
+			return nil
+		default:
+			return d.skipMismatch(tag, v, depth)
+		}
+	}
+}
+
+func decUint(d *decState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	tag, err := d.readTag()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagNil:
+		v.SetZero()
+		return nil
+	case tagUint:
+		x, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		if v.OverflowUint(x) {
+			return fmt.Errorf("ndr: uint overflow into %v", v.Type())
+		}
+		v.SetUint(x)
+		return nil
+	default:
+		return d.skipMismatch(tag, v, depth)
+	}
+}
+
+func decFloat(d *decState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	tag, err := d.readTag()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagNil:
+		v.SetZero()
+		return nil
+	case tagFloat32:
+		var b [4]byte
+		if err := d.readFull(b[:]); err != nil {
+			return err
+		}
+		v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(b[:]))))
+		return nil
+	case tagFloat64:
+		var b [8]byte
+		if err := d.readFull(b[:]); err != nil {
+			return err
+		}
+		v.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
+		return nil
+	default:
+		return d.skipMismatch(tag, v, depth)
+	}
+}
+
+func decString(d *decState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	tag, err := d.readTag()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagNil:
+		v.SetZero()
+		return nil
+	case tagString:
+		s, err := d.readString()
+		if err != nil {
+			return err
+		}
+		v.SetString(s)
+		return nil
+	default:
+		return d.skipMismatch(tag, v, depth)
+	}
+}
+
+func compileDecSlice(t reflect.Type) decFunc {
+	elem := decPlanFor(t.Elem())
+	isBytes := t.Elem().Kind() == reflect.Uint8
+	return func(d *decState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		tag, err := d.readTag()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case tagNil:
+			v.SetZero()
+			return nil
+		case tagBytes:
+			p, err := d.readLenBytes()
+			if err != nil {
+				return err
+			}
+			if !isBytes {
+				return mismatch("[]byte", v)
+			}
+			v.SetBytes(p)
+			return nil
+		case tagSlice:
+			n, err := d.readCount()
+			if err != nil {
+				return err
+			}
+			s := reflect.MakeSlice(t, n, n)
+			for i := 0; i < n; i++ {
+				if err := elem(d, s.Index(i), depth+1); err != nil {
+					return err
+				}
+			}
+			v.Set(s)
+			return nil
+		default:
+			return d.skipMismatch(tag, v, depth)
+		}
+	}
+}
+
+func compileDecArray(t reflect.Type) decFunc {
+	elem := decPlanFor(t.Elem())
+	want := t.Len()
+	return func(d *decState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		tag, err := d.readTag()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case tagNil:
+			v.SetZero()
+			return nil
+		case tagArray:
+			n, err := d.readCount()
+			if err != nil {
+				return err
+			}
+			if n != want {
+				return fmt.Errorf("ndr: array length %d does not match wire %d", want, n)
+			}
+			for i := 0; i < n; i++ {
+				if err := elem(d, v.Index(i), depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return d.skipMismatch(tag, v, depth)
+		}
+	}
+}
+
+func compileDecMap(t reflect.Type) decFunc {
+	kt, vt := t.Key(), t.Elem()
+	keyPlan := decPlanFor(kt)
+	valPlan := decPlanFor(vt)
+	return func(d *decState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		tag, err := d.readTag()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case tagNil:
+			v.SetZero()
+			return nil
+		case tagMap:
+			n, err := d.readCount()
+			if err != nil {
+				return err
+			}
+			m := reflect.MakeMapWithSize(t, n)
+			// One reusable key/value pair: SetMapIndex copies, and decode
+			// paths never mutate previously-produced backing arrays.
+			k := reflect.New(kt).Elem()
+			val := reflect.New(vt).Elem()
+			for i := 0; i < n; i++ {
+				k.SetZero()
+				val.SetZero()
+				if err := keyPlan(d, k, depth+1); err != nil {
+					return err
+				}
+				if err := valPlan(d, val, depth+1); err != nil {
+					return err
+				}
+				m.SetMapIndex(k, val)
+			}
+			v.Set(m)
+			return nil
+		default:
+			return d.skipMismatch(tag, v, depth)
+		}
+	}
+}
+
+type decField struct {
+	index int
+	name  string
+	fn    decFunc
+}
+
+func compileDecStruct(t reflect.Type) decFunc {
+	idxs := exportedFields(t)
+	fields := make([]decField, len(idxs))
+	for i, fi := range idxs {
+		f := t.Field(fi)
+		fields[i] = decField{index: fi, name: t.Name() + "." + f.Name, fn: decPlanFor(f.Type)}
+	}
+	return func(d *decState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		tag, err := d.readTag()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case tagNil:
+			v.SetZero()
+			return nil
+		case tagStruct:
+			n, err := d.readCount()
+			if err != nil {
+				return err
+			}
+			if n != len(fields) {
+				return fmt.Errorf("ndr: struct %v has %d exported fields, wire has %d",
+					t, len(fields), n)
+			}
+			for i := range fields {
+				f := &fields[i]
+				if err := f.fn(d, v.Field(f.index), depth+1); err != nil {
+					return fmt.Errorf("ndr: field %s: %w", f.name, err)
+				}
+			}
+			return nil
+		default:
+			return d.skipMismatch(tag, v, depth)
+		}
+	}
+}
+
+// decTime handles the time.Time destination: tagTime frames, plus the
+// degenerate tagStruct-with-zero-fields frame the generic struct path has
+// always accepted for a type with no exported fields.
+func decTime(d *decState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	tag, err := d.readTag()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagNil:
+		v.SetZero()
+		return nil
+	case tagTime:
+		p, err := d.readLenBytes()
+		if err != nil {
+			return err
+		}
+		var tv time.Time
+		if err := tv.UnmarshalBinary(p); err != nil {
+			return fmt.Errorf("ndr: unmarshal time: %w", err)
+		}
+		v.Set(reflect.ValueOf(tv))
+		return nil
+	case tagStruct:
+		n, err := d.readCount()
+		if err != nil {
+			return err
+		}
+		if n != 0 {
+			return fmt.Errorf("ndr: struct %v has %d exported fields, wire has %d", timeType, 0, n)
+		}
+		return nil
+	default:
+		return d.skipMismatch(tag, v, depth)
+	}
+}
+
+func compileDecPtr(t reflect.Type) decFunc {
+	et := t.Elem()
+	elem := decPlanFor(et)
+	return func(d *decState, v reflect.Value, depth int) error {
+		if depth > maxDepth {
+			return ErrTooDeep
+		}
+		tag, err := d.readTag()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case tagNil:
+			v.SetZero()
+			return nil
+		case tagPtr:
+			flag, err := d.readByte()
+			if err != nil {
+				return err
+			}
+			if flag == 0 {
+				v.SetZero()
+				return nil
+			}
+			p := reflect.New(et)
+			if err := elem(d, p.Elem(), depth+1); err != nil {
+				return err
+			}
+			v.Set(p)
+			return nil
+		default:
+			return d.skipMismatch(tag, v, depth)
+		}
+	}
+}
+
+func decIface(d *decState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	tag, err := d.readTag()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagNil:
+		v.SetZero()
+		return nil
+	case tagIface:
+		name, err := d.readString()
+		if err != nil {
+			return err
+		}
+		registry.RLock()
+		ct, ok := registry.byName[name]
+		registry.RUnlock()
+		if !ok {
+			return fmt.Errorf("ndr: unknown registered type %q", name)
+		}
+		target := reflect.New(ct).Elem()
+		if err := decPlanFor(ct)(d, target, depth+1); err != nil {
+			return err
+		}
+		if !ct.Implements(v.Type()) && v.Type().NumMethod() != 0 {
+			return fmt.Errorf("ndr: %v does not implement %v", ct, v.Type())
+		}
+		v.Set(target)
+		return nil
+	default:
+		return d.skipMismatch(tag, v, depth)
+	}
+}
+
+func decUnsupported(d *decState, v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	tag, err := d.readTag()
+	if err != nil {
+		return err
+	}
+	if tag == tagNil {
+		v.SetZero()
+		return nil
+	}
+	return d.skipMismatch(tag, v, depth)
+}
+
+// skipMismatch replicates the reference decoder's behavior when the wire
+// tag does not fit the destination: consume exactly the bytes the matching
+// tag arm would have consumed before its kind check, then report the same
+// mismatch. Keeping consumption identical preserves stream positioning and
+// error behavior bit-for-bit with the reflective codec.
+func (d *decState) skipMismatch(tag byte, v reflect.Value, depth int) error {
+	switch tag {
+	case tagBool:
+		if _, err := d.readByte(); err != nil {
+			return err
+		}
+		return mismatch("bool", v)
+	case tagInt:
+		if _, err := d.readVarint(); err != nil {
+			return err
+		}
+		return mismatch("int", v)
+	case tagUint:
+		if _, err := d.readUvarint(); err != nil {
+			return err
+		}
+		return mismatch("uint", v)
+	case tagFloat32:
+		var b [4]byte
+		if err := d.readFull(b[:]); err != nil {
+			return err
+		}
+		return mismatch("float32", v)
+	case tagFloat64:
+		var b [8]byte
+		if err := d.readFull(b[:]); err != nil {
+			return err
+		}
+		return mismatch("float64", v)
+	case tagString:
+		if _, err := d.readLenBytes(); err != nil {
+			return err
+		}
+		return mismatch("string", v)
+	case tagBytes:
+		if _, err := d.readLenBytes(); err != nil {
+			return err
+		}
+		return mismatch("[]byte", v)
+	case tagSlice:
+		if _, err := d.readCount(); err != nil {
+			return err
+		}
+		return mismatch("slice", v)
+	case tagArray:
+		if _, err := d.readCount(); err != nil {
+			return err
+		}
+		return mismatch("array", v)
+	case tagMap:
+		if _, err := d.readCount(); err != nil {
+			return err
+		}
+		return mismatch("map", v)
+	case tagStruct:
+		if _, err := d.readCount(); err != nil {
+			return err
+		}
+		return mismatch("struct", v)
+	case tagPtr:
+		if _, err := d.readByte(); err != nil {
+			return err
+		}
+		return mismatch("pointer", v)
+	case tagTime:
+		if _, err := d.readLenBytes(); err != nil {
+			return err
+		}
+		return mismatch("time.Time", v)
+	case tagDuration:
+		if _, err := d.readVarint(); err != nil {
+			return err
+		}
+		return mismatch("time.Duration", v)
+	case tagIface:
+		name, err := d.readString()
+		if err != nil {
+			return err
+		}
+		registry.RLock()
+		ct, ok := registry.byName[name]
+		registry.RUnlock()
+		if !ok {
+			return fmt.Errorf("ndr: unknown registered type %q", name)
+		}
+		target := reflect.New(ct).Elem()
+		if err := decPlanFor(ct)(d, target, depth+1); err != nil {
+			return err
+		}
+		return mismatch("interface", v)
+	default:
+		return fmt.Errorf("ndr: unknown wire tag %d", tag)
+	}
+}

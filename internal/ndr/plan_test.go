@@ -1,0 +1,160 @@
+package ndr
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Distinct struct types so each goroutine group races on first-touch
+// compilation of a type no other test has warmed.
+
+type planRaceA struct {
+	X int64
+	Y string
+	Z []byte
+}
+
+type planRaceB struct {
+	M map[string]int64
+	A planRaceA
+	P *planRaceB
+}
+
+type planRaceC struct {
+	When time.Time
+	Gap  time.Duration
+	Grid [4][4]float64
+}
+
+type planRaceD struct {
+	Names []string
+	Sub   []planRaceA
+}
+
+// TestConcurrentPlanCompilation hammers first-use plan compilation from
+// many goroutines at once: the sync.Map + placeholder scheme must produce
+// one coherent plan per type with no torn state. Run under -race (the
+// Makefile's race target does) for the real assertion.
+func TestConcurrentPlanCompilation(t *testing.T) {
+	values := []any{
+		planRaceA{X: -5, Y: "ops", Z: []byte{1, 2}},
+		planRaceB{M: map[string]int64{"a": 1, "b": 2}, A: planRaceA{X: 9}, P: &planRaceB{}},
+		planRaceC{When: time.Unix(961936200, 0).UTC(), Gap: time.Second, Grid: [4][4]float64{{1.5}}},
+		planRaceD{Names: []string{"n1", "n2"}, Sub: []planRaceA{{Y: "s"}}},
+	}
+	// Reference encodings from the single-threaded path first.
+	want := make([][]byte, len(values))
+	for i, v := range values {
+		b, err := refMarshal(v)
+		if err != nil {
+			t.Fatalf("ref marshal %T: %v", v, err)
+		}
+		want[i] = b
+	}
+
+	const goroutines = 32
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		errs  = make(chan error, goroutines)
+	)
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		done.Add(1)
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			for i, v := range values {
+				b, err := Marshal(v)
+				if err != nil {
+					errs <- fmt.Errorf("g%d: marshal %T: %v", g, v, err)
+					return
+				}
+				if !bytes.Equal(b, want[i]) {
+					errs <- fmt.Errorf("g%d: %T encoding diverged under contention", g, v)
+					return
+				}
+				fresh := newLike(i)
+				if err := Unmarshal(b, fresh); err != nil {
+					errs <- fmt.Errorf("g%d: unmarshal %T: %v", g, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	start.Done() // release everyone at once to maximize first-compile races
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func newLike(i int) any {
+	switch i {
+	case 0:
+		return new(planRaceA)
+	case 1:
+		return new(planRaceB)
+	case 2:
+		return new(planRaceC)
+	default:
+		return new(planRaceD)
+	}
+}
+
+// TestMarshalToAppends checks the appending contract: MarshalTo extends
+// dst in place and the suffix equals a standalone Marshal.
+func TestMarshalToAppends(t *testing.T) {
+	v := planRaceA{X: 7, Y: "tail", Z: []byte{9}}
+	solo, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("hdr:")
+	out, err := MarshalTo(append([]byte(nil), prefix...), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatalf("MarshalTo clobbered the prefix: %x", out)
+	}
+	if !bytes.Equal(out[len(prefix):], solo) {
+		t.Fatalf("MarshalTo suffix != Marshal:\n got %x\nwant %x", out[len(prefix):], solo)
+	}
+}
+
+// TestMarshalDerefMatchesMarshal checks the deref variants are
+// wire-identical to Marshal of the dereferenced value (NOT of the pointer,
+// which would add a tagPtr wrapper).
+func TestMarshalDerefMatchesMarshal(t *testing.T) {
+	v := planRaceB{M: map[string]int64{"k": 42}, A: planRaceA{Y: "deref"}}
+	direct, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDeref, err := MarshalDeref(&v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, viaDeref) {
+		t.Fatalf("MarshalDeref != Marshal:\n got %x\nwant %x", viaDeref, direct)
+	}
+	viaTo, err := MarshalToDeref(nil, &v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, viaTo) {
+		t.Fatalf("MarshalToDeref != Marshal:\n got %x\nwant %x", viaTo, direct)
+	}
+	if _, err := MarshalDeref(nil); err == nil {
+		t.Fatal("MarshalDeref(nil) should fail")
+	}
+	var nilPtr *planRaceA
+	if _, err := MarshalDeref(nilPtr); err == nil {
+		t.Fatal("MarshalDeref(typed nil) should fail")
+	}
+}

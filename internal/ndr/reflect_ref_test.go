@@ -1,0 +1,592 @@
+package ndr
+
+// This file preserves the original reflection-driven codec verbatim as an
+// executable reference implementation. The production path (plan.go)
+// compiles per-type codec plans; golden and fuzz tests cross-check it
+// against this reference so any wire-format or acceptance divergence is an
+// immediate test failure. Test-only: it does not ship in binaries.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+	"time"
+)
+
+// refMarshal encodes v into a fresh byte slice using the reference codec.
+func refMarshal(v any) ([]byte, error) {
+	var buf refWriter
+	e := refEncoder{w: &buf}
+	if err := e.encode(v); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// refUnmarshal decodes data into out using the reference codec.
+func refUnmarshal(data []byte, out any) error {
+	d := refDecoder{r: &byteReader{b: data}}
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Ptr || rv.IsNil() {
+		return fmt.Errorf("ndr: decode target must be a non-nil pointer")
+	}
+	return d.decodeValue(rv.Elem(), 0)
+}
+
+type refEncoder struct {
+	w io.Writer
+}
+
+func (e *refEncoder) encode(v any) error {
+	if v == nil {
+		return e.writeByte(tagNil)
+	}
+	return e.encodeValue(reflect.ValueOf(v), 0)
+}
+
+func (e *refEncoder) encodeValue(v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	t := v.Type()
+
+	switch t {
+	case timeType:
+		if err := e.writeByte(tagTime); err != nil {
+			return err
+		}
+		tv, ok := v.Interface().(time.Time)
+		if !ok {
+			return ErrTypeMismatch
+		}
+		b, err := tv.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("ndr: marshal time: %w", err)
+		}
+		return e.writeLenBytes(b)
+	case durationType:
+		if err := e.writeByte(tagDuration); err != nil {
+			return err
+		}
+		return e.writeVarint(v.Int())
+	}
+
+	switch t.Kind() {
+	case reflect.Bool:
+		if err := e.writeByte(tagBool); err != nil {
+			return err
+		}
+		if v.Bool() {
+			return e.writeByte(1)
+		}
+		return e.writeByte(0)
+
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if err := e.writeByte(tagInt); err != nil {
+			return err
+		}
+		return e.writeVarint(v.Int())
+
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if err := e.writeByte(tagUint); err != nil {
+			return err
+		}
+		return e.writeUvarint(v.Uint())
+
+	case reflect.Float32:
+		if err := e.writeByte(tagFloat32); err != nil {
+			return err
+		}
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(v.Float())))
+		_, err := e.w.Write(b[:])
+		return err
+
+	case reflect.Float64:
+		if err := e.writeByte(tagFloat64); err != nil {
+			return err
+		}
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Float()))
+		_, err := e.w.Write(b[:])
+		return err
+
+	case reflect.String:
+		if err := e.writeByte(tagString); err != nil {
+			return err
+		}
+		return e.writeLenBytes([]byte(v.String()))
+
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			if err := e.writeByte(tagBytes); err != nil {
+				return err
+			}
+			if v.IsNil() {
+				return e.writeUvarint(0)
+			}
+			return e.writeLenBytes(v.Bytes())
+		}
+		if err := e.writeByte(tagSlice); err != nil {
+			return err
+		}
+		return e.encodeSeq(v, depth)
+
+	case reflect.Array:
+		if err := e.writeByte(tagArray); err != nil {
+			return err
+		}
+		return e.encodeSeq(v, depth)
+
+	case reflect.Map:
+		if err := e.writeByte(tagMap); err != nil {
+			return err
+		}
+		n := v.Len()
+		if n > maxElems {
+			return fmt.Errorf("ndr: map too large: %d", n)
+		}
+		if err := e.writeUvarint(uint64(n)); err != nil {
+			return err
+		}
+		keys := v.MapKeys()
+		refSortKeys(keys)
+		for _, k := range keys {
+			if err := e.encodeValue(k, depth+1); err != nil {
+				return err
+			}
+			if err := e.encodeValue(v.MapIndex(k), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case reflect.Struct:
+		if err := e.writeByte(tagStruct); err != nil {
+			return err
+		}
+		fields := exportedFields(t)
+		if err := e.writeUvarint(uint64(len(fields))); err != nil {
+			return err
+		}
+		for _, i := range fields {
+			if err := e.encodeValue(v.Field(i), depth+1); err != nil {
+				return fmt.Errorf("ndr: field %s.%s: %w", t.Name(), t.Field(i).Name, err)
+			}
+		}
+		return nil
+
+	case reflect.Ptr:
+		if err := e.writeByte(tagPtr); err != nil {
+			return err
+		}
+		if v.IsNil() {
+			return e.writeByte(0)
+		}
+		if err := e.writeByte(1); err != nil {
+			return err
+		}
+		return e.encodeValue(v.Elem(), depth+1)
+
+	case reflect.Interface:
+		if v.IsNil() {
+			return e.writeByte(tagNil)
+		}
+		elem := v.Elem()
+		registry.RLock()
+		name, ok := registry.byType[elem.Type()]
+		registry.RUnlock()
+		if !ok {
+			return fmt.Errorf("ndr: unregistered interface payload %v", elem.Type())
+		}
+		if err := e.writeByte(tagIface); err != nil {
+			return err
+		}
+		if err := e.writeLenBytes([]byte(name)); err != nil {
+			return err
+		}
+		return e.encodeValue(elem, depth+1)
+
+	default:
+		return fmt.Errorf("ndr: unsupported kind %v", t.Kind())
+	}
+}
+
+func (e *refEncoder) encodeSeq(v reflect.Value, depth int) error {
+	n := v.Len()
+	if n > maxElems {
+		return fmt.Errorf("ndr: sequence too large: %d", n)
+	}
+	if err := e.writeUvarint(uint64(n)); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := e.encodeValue(v.Index(i), depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *refEncoder) writeByte(b byte) error {
+	_, err := e.w.Write([]byte{b})
+	return err
+}
+
+func (e *refEncoder) writeVarint(x int64) error {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(b[:], x)
+	_, err := e.w.Write(b[:n])
+	return err
+}
+
+func (e *refEncoder) writeUvarint(x uint64) error {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], x)
+	_, err := e.w.Write(b[:n])
+	return err
+}
+
+func (e *refEncoder) writeLenBytes(p []byte) error {
+	if len(p) > maxByteLen {
+		return fmt.Errorf("ndr: byte payload too large: %d", len(p))
+	}
+	if err := e.writeUvarint(uint64(len(p))); err != nil {
+		return err
+	}
+	_, err := e.w.Write(p)
+	return err
+}
+
+type refDecoder struct {
+	r io.ByteReader
+}
+
+func (d *refDecoder) decodeValue(v reflect.Value, depth int) error {
+	if depth > maxDepth {
+		return ErrTooDeep
+	}
+	tag, err := d.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("ndr: read tag: %w", err)
+	}
+
+	switch tag {
+	case tagNil:
+		v.Set(reflect.Zero(v.Type()))
+		return nil
+
+	case tagBool:
+		b, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Bool {
+			return d.mismatch("bool", v)
+		}
+		v.SetBool(b != 0)
+		return nil
+
+	case tagInt:
+		x, err := binary.ReadVarint(d.r)
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			if v.OverflowInt(x) {
+				return fmt.Errorf("ndr: int overflow into %v", v.Type())
+			}
+			v.SetInt(x)
+			return nil
+		}
+		return d.mismatch("int", v)
+
+	case tagUint:
+		x, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			if v.OverflowUint(x) {
+				return fmt.Errorf("ndr: uint overflow into %v", v.Type())
+			}
+			v.SetUint(x)
+			return nil
+		}
+		return d.mismatch("uint", v)
+
+	case tagFloat32:
+		var b [4]byte
+		if err := d.readFull(b[:]); err != nil {
+			return err
+		}
+		f := math.Float32frombits(binary.LittleEndian.Uint32(b[:]))
+		switch v.Kind() {
+		case reflect.Float32, reflect.Float64:
+			v.SetFloat(float64(f))
+			return nil
+		}
+		return d.mismatch("float32", v)
+
+	case tagFloat64:
+		var b [8]byte
+		if err := d.readFull(b[:]); err != nil {
+			return err
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+		switch v.Kind() {
+		case reflect.Float32, reflect.Float64:
+			v.SetFloat(f)
+			return nil
+		}
+		return d.mismatch("float64", v)
+
+	case tagString:
+		p, err := d.readLenBytes()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.String {
+			return d.mismatch("string", v)
+		}
+		v.SetString(string(p))
+		return nil
+
+	case tagBytes:
+		p, err := d.readLenBytes()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Slice || v.Type().Elem().Kind() != reflect.Uint8 {
+			return d.mismatch("[]byte", v)
+		}
+		v.SetBytes(p)
+		return nil
+
+	case tagSlice:
+		n, err := d.readCount()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Slice {
+			return d.mismatch("slice", v)
+		}
+		s := reflect.MakeSlice(v.Type(), n, n)
+		for i := 0; i < n; i++ {
+			if err := d.decodeValue(s.Index(i), depth+1); err != nil {
+				return err
+			}
+		}
+		v.Set(s)
+		return nil
+
+	case tagArray:
+		n, err := d.readCount()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Array {
+			return d.mismatch("array", v)
+		}
+		if n != v.Len() {
+			return fmt.Errorf("ndr: array length %d does not match wire %d", v.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			if err := d.decodeValue(v.Index(i), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case tagMap:
+		n, err := d.readCount()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Map {
+			return d.mismatch("map", v)
+		}
+		m := reflect.MakeMapWithSize(v.Type(), n)
+		for i := 0; i < n; i++ {
+			k := reflect.New(v.Type().Key()).Elem()
+			if err := d.decodeValue(k, depth+1); err != nil {
+				return err
+			}
+			val := reflect.New(v.Type().Elem()).Elem()
+			if err := d.decodeValue(val, depth+1); err != nil {
+				return err
+			}
+			m.SetMapIndex(k, val)
+		}
+		v.Set(m)
+		return nil
+
+	case tagStruct:
+		n, err := d.readCount()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Struct {
+			return d.mismatch("struct", v)
+		}
+		fields := exportedFields(v.Type())
+		if n != len(fields) {
+			return fmt.Errorf("ndr: struct %v has %d exported fields, wire has %d",
+				v.Type(), len(fields), n)
+		}
+		for _, i := range fields {
+			if err := d.decodeValue(v.Field(i), depth+1); err != nil {
+				return fmt.Errorf("ndr: field %s.%s: %w",
+					v.Type().Name(), v.Type().Field(i).Name, err)
+			}
+		}
+		return nil
+
+	case tagPtr:
+		flag, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Ptr {
+			return d.mismatch("pointer", v)
+		}
+		if flag == 0 {
+			v.Set(reflect.Zero(v.Type()))
+			return nil
+		}
+		p := reflect.New(v.Type().Elem())
+		if err := d.decodeValue(p.Elem(), depth+1); err != nil {
+			return err
+		}
+		v.Set(p)
+		return nil
+
+	case tagTime:
+		p, err := d.readLenBytes()
+		if err != nil {
+			return err
+		}
+		if v.Type() != timeType {
+			return d.mismatch("time.Time", v)
+		}
+		var tv time.Time
+		if err := tv.UnmarshalBinary(p); err != nil {
+			return fmt.Errorf("ndr: unmarshal time: %w", err)
+		}
+		v.Set(reflect.ValueOf(tv))
+		return nil
+
+	case tagDuration:
+		x, err := binary.ReadVarint(d.r)
+		if err != nil {
+			return err
+		}
+		if v.Type() != durationType && v.Kind() != reflect.Int64 {
+			return d.mismatch("time.Duration", v)
+		}
+		v.SetInt(x)
+		return nil
+
+	case tagIface:
+		nameB, err := d.readLenBytes()
+		if err != nil {
+			return err
+		}
+		registry.RLock()
+		ct, ok := registry.byName[string(nameB)]
+		registry.RUnlock()
+		if !ok {
+			return fmt.Errorf("ndr: unknown registered type %q", nameB)
+		}
+		target := reflect.New(ct).Elem()
+		if err := d.decodeValue(target, depth+1); err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Interface {
+			return d.mismatch("interface", v)
+		}
+		if !ct.Implements(v.Type()) && v.Type().NumMethod() != 0 {
+			return fmt.Errorf("ndr: %v does not implement %v", ct, v.Type())
+		}
+		v.Set(target)
+		return nil
+
+	default:
+		return fmt.Errorf("ndr: unknown wire tag %d", tag)
+	}
+}
+
+func (d *refDecoder) mismatch(wire string, v reflect.Value) error {
+	return fmt.Errorf("%w: wire %s, destination %v", ErrTypeMismatch, wire, v.Type())
+}
+
+func (d *refDecoder) readFull(p []byte) error {
+	for i := range p {
+		b, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		p[i] = b
+	}
+	return nil
+}
+
+func (d *refDecoder) readCount() (int, error) {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, err
+	}
+	if n > maxElems {
+		return 0, fmt.Errorf("ndr: element count too large: %d", n)
+	}
+	return int(n), nil
+}
+
+func (d *refDecoder) readLenBytes() ([]byte, error) {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxByteLen {
+		return nil, fmt.Errorf("ndr: byte payload too large: %d", n)
+	}
+	p := make([]byte, n)
+	if err := d.readFull(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// refSortKeys is the reference's per-call key ordering (the plan compiler
+// resolves the comparator once per map type instead).
+func refSortKeys(keys []reflect.Value) {
+	if len(keys) < 2 {
+		return
+	}
+	switch keys[0].Kind() {
+	case reflect.String:
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Int() < keys[j].Int() })
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Uint() < keys[j].Uint() })
+	case reflect.Float32, reflect.Float64:
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Float() < keys[j].Float() })
+	default:
+		sort.Slice(keys, func(i, j int) bool {
+			return fmt.Sprint(keys[i].Interface()) < fmt.Sprint(keys[j].Interface())
+		})
+	}
+}
+
+type refWriter struct{ b []byte }
+
+func (w *refWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
