@@ -1,24 +1,31 @@
 # Developer workflow for the OFTT reproduction. The race target exists so
 # concurrent plan-cache population in internal/ndr (and the lock-protected
-# scratch buffers threaded through dcom/checkpoint/diverter) is exercised
-# under the race detector on every change.
+# scratch buffers threaded through dcom/checkpoint/diverter, plus the
+# atomic telemetry instruments) is exercised under the race detector on
+# every change. `make verify` is the full pre-merge gate.
 
 GO ?= go
 
-.PHONY: build test race bench fuzz
+.PHONY: build vet test race bench fuzz verify
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/ndr ./internal/dcom ./internal/checkpoint ./internal/diverter
+	$(GO) test -race ./internal/ndr ./internal/dcom ./internal/checkpoint ./internal/diverter ./internal/telemetry ./internal/heartbeat
 
 bench:
 	$(GO) test -run xxx -bench BenchmarkNDR -benchmem ./internal/ndr
 	$(GO) test -run xxx -bench 'BenchmarkNDRPlanned|BenchmarkE4|BenchmarkE8' -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkCounterAdd|BenchmarkHistogramObserve' -benchmem ./internal/telemetry
 
 fuzz:
 	$(GO) test -fuzz FuzzPlannedVsReflective -fuzztime 30s ./internal/ndr
+
+verify: build vet test race

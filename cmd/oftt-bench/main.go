@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1..E8, A1..A3, NDR, or 'all'")
+	exp := flag.String("exp", "all", "experiment to run: E1..E8, A1..A3, NDR, TELEMETRY, or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
 
@@ -48,6 +48,7 @@ func run(which string, quick bool) error {
 		{"A2", runA2},
 		{"A3", runA3},
 		{"NDR", runNDR},
+		{"TELEMETRY", runTelemetry},
 	}
 	matched := false
 	for _, r := range runners {
@@ -62,7 +63,7 @@ func run(which string, quick bool) error {
 		fmt.Printf("[%s completed in %v]\n\n", r.id, time.Since(start).Round(time.Millisecond))
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want E1..E8, A1..A3, NDR, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want E1..E8, A1..A3, NDR, TELEMETRY, or all)", which)
 	}
 	return nil
 }
@@ -206,6 +207,25 @@ func runE7(quick bool) error {
 		return err
 	}
 	fmt.Print(experiments.E7Table(rows).Render())
+
+	hTrials := 6
+	if quick {
+		hTrials = 3
+	}
+	hists, err := experiments.RunE7Histograms(hTrials, 400)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E7HistogramTable(hists).Render())
+	return nil
+}
+
+func runTelemetry(bool) error {
+	rows, err := experiments.RunTelemetry()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.TelemetryTable(rows).Render())
 	return nil
 }
 

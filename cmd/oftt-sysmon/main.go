@@ -1,17 +1,24 @@
 // Command oftt-sysmon runs the Section 4 demonstration and renders the
 // OFTT System Monitor (Section 2.2.4) as a live text dashboard while a
-// failure is injected and recovered.
+// failure is injected and recovered. The deployment's telemetry hub is
+// served over HTTP for the duration: a Prometheus-style text exposition
+// at /metrics and a full JSON snapshot (statuses, events, metrics,
+// recovery traces) at /snapshot.json. After the run it prints the
+// recovery timeline the tracer assembled for the injected failure.
 //
 // Usage:
 //
 //	oftt-sysmon               # dashboard for 3 seconds with a node failure at 1s
 //	oftt-sysmon -run 5s -fail 2s
+//	oftt-sysmon -listen 127.0.0.1:9090   # pin the exposition address
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -21,15 +28,16 @@ import (
 func main() {
 	runFor := flag.Duration("run", 3*time.Second, "total dashboard time")
 	failAt := flag.Duration("fail", time.Second, "when to power the primary off")
+	listen := flag.String("listen", "127.0.0.1:0", "telemetry exposition address ('' disables)")
 	flag.Parse()
 
-	if err := run(*runFor, *failAt); err != nil {
+	if err := run(*runFor, *failAt, *listen); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(runFor, failAt time.Duration) error {
+func run(runFor, failAt time.Duration, listen string) error {
 	ct, err := oftt.NewCallTrackDeployment(oftt.CallTrackConfig{
 		Config:     oftt.DeploymentConfig{Seed: 9},
 		UpdateRate: 5 * time.Millisecond,
@@ -44,6 +52,17 @@ func run(runFor, failAt time.Duration) error {
 	}
 	if ct.Monitor == nil {
 		return fmt.Errorf("monitor not enabled")
+	}
+
+	if listen != "" {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		srv := &http.Server{Handler: ct.Telemetry.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (text) and /snapshot.json (JSON)\n\n", ln.Addr())
 	}
 
 	start := time.Now()
@@ -63,6 +82,18 @@ func run(runFor, failAt time.Duration) error {
 		fmt.Println(ct.Monitor.Render())
 		if tr := ct.ActiveTracker(); tr != nil {
 			fmt.Printf("calltrack samples: %d\n\n", tr.Samples())
+		}
+	}
+
+	// Recovery timelines assembled by the hub tracer for this run.
+	traces := ct.Telemetry.Tracer().Traces()
+	if cur, ok := ct.Telemetry.Tracer().Current(); ok {
+		traces = append(traces, cur)
+	}
+	if len(traces) > 0 {
+		fmt.Println("recovery timelines:")
+		for _, tr := range traces {
+			fmt.Print(tr.String())
 		}
 	}
 	return nil

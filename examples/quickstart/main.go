@@ -2,19 +2,26 @@
 //
 // The application is a counter. It registers its state with the toolkit,
 // runs on a primary/backup pair, and survives the primary machine being
-// powered off mid-run: the backup takes over with the latest checkpoint.
+// powered off mid-run: the backup takes over with the latest checkpoint,
+// and the deployment's telemetry hub records the whole recovery timeline.
+//
+// It also demonstrates the initialization contract: the toolkit uses the
+// InitializeDeferred/Attach pairing under the hood, which is why Setup
+// (where RegisterState runs) is guaranteed to finish before the first
+// Activate callback. Applications assembling an FTIM by hand must keep
+// that order themselves: InitializeDeferred, RegisterState, then Attach.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"sync"
 	"time"
 
-	"repro/internal/ftim"
 	"repro/oftt"
 )
 
@@ -33,7 +40,9 @@ type counterApp struct {
 func newCounterApp(node string) *counterApp { return &counterApp{node: node} }
 
 // Setup registers the checkpointable state — the "memory walkthrough".
-func (a *counterApp) Setup(f *ftim.ClientFTIM) error {
+// The deployment calls it between InitializeDeferred and Attach, so the
+// region below is covered by the very first checkpoint.
+func (a *counterApp) Setup(f *oftt.ClientFTIM) error {
 	a.mu.Lock()
 	a.f = f
 	a.mu.Unlock()
@@ -81,6 +90,13 @@ func (a *counterApp) Deactivate() {
 // Stop implements ReplicatedApp.
 func (a *counterApp) Stop() { a.Deactivate() }
 
+// HandleMessage receives operator traffic routed through the message
+// diverter — always to whichever copy is currently primary.
+func (a *counterApp) HandleMessage(body []byte) error {
+	fmt.Printf("[%s] operator message: %s\n", a.node, body)
+	return nil
+}
+
 func (a *counterApp) ticks() int64 {
 	a.mu.Lock()
 	f := a.f
@@ -104,6 +120,11 @@ func run() error {
 	fmt.Println("== OFTT quickstart: fault-tolerant counter ==")
 	d, err := oftt.NewDeployment(oftt.DeploymentConfig{
 		Component: "counter",
+		// CaptureIncremental (the default, spelled out here) ships only
+		// regions that changed since the last capture. Use CaptureFull for
+		// self-contained snapshots or CaptureSelective when the app marks
+		// dirty regions itself with SelSave — see the CaptureMode docs.
+		Mode: oftt.CaptureIncremental,
 		NewApp: func(node string) oftt.ReplicatedApp {
 			a := newCounterApp(node)
 			mu.Lock()
@@ -115,9 +136,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer d.Stop()
+	defer func() { _ = d.Shutdown(context.Background()) }()
 
-	primary, err := d.WaitForPrimary(3 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	primary, err := d.WaitForPrimaryContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -149,6 +172,13 @@ func run() error {
 	}
 	fmt.Printf("switchover to %s in %v\n", successor.Node.Name(), time.Since(start).Round(time.Millisecond))
 
+	// Traffic sent during/after the switchover is stored and forwarded to
+	// the new primary; the first delivery closes the recovery timeline.
+	if _, err := d.Send([]byte("setpoint=42")); err != nil {
+		return err
+	}
+	d.Div.Drain("counter", 2*time.Second)
+
 	time.Sleep(200 * time.Millisecond)
 	mu.Lock()
 	after := apps[successor.Node.Name()].ticks()
@@ -158,6 +188,17 @@ func run() error {
 	if after < before/2 {
 		return fmt.Errorf("state was lost in the failover")
 	}
+
+	// The telemetry hub recorded the whole recovery as one trace.
+	if tr, ok := d.Telemetry.Tracer().Last(); ok {
+		fmt.Println("recovery timeline:")
+		fmt.Print(tr.String())
+	}
+	if snap, found := d.Telemetry.Snapshot().Metrics.FindHistogram(
+		`oftt_engine_switchover_us{node="` + successor.Node.Name() + `"}`); found && snap.Count > 0 {
+		fmt.Printf("switchover duration (engine-measured): %dµs\n", int64(snap.Mean()))
+	}
+
 	fmt.Println("state survived the node failure — quickstart OK")
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/ftim"
 	"repro/internal/netsim"
 	"repro/internal/opc"
+	"repro/internal/telemetry"
 	"repro/internal/telephone"
 )
 
@@ -45,6 +46,28 @@ type CallTrackApp struct {
 	dcli   *dcom.Client
 	client *opc.Client
 	live   bool
+	ins    dcom.Instruments
+}
+
+// InstrumentDCOM routes the copy's OPC-over-DCOM client metrics (call
+// latency, frame sizes, errors) into reg. It applies to the current
+// connection, if any, and to every future one.
+func (a *CallTrackApp) InstrumentDCOM(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	label := `{node="` + a.node + `"}`
+	ins := dcom.Instruments{
+		CallLatency: reg.Histogram("oftt_dcom_call_us"+label, telemetry.DurationBuckets...),
+		FrameBytes:  reg.Histogram("oftt_dcom_frame_bytes"+label, telemetry.SizeBuckets...),
+		Errors:      reg.Counter("oftt_dcom_call_errors_total" + label),
+	}
+	a.mu.Lock()
+	a.ins = ins
+	if a.dcli != nil {
+		a.dcli.Instrument(ins)
+	}
+	a.mu.Unlock()
 }
 
 // NewCallTrackApp builds an inactive Call Track copy on a node. It
@@ -103,6 +126,7 @@ func (a *CallTrackApp) Activate(restored bool) {
 		// itself must not fail (the copy is live, just blind).
 		return
 	}
+	dcli.Instrument(a.ins)
 	a.dcli = dcli
 	a.client = opc.NewClient(opc.NewRemoteConnection(dcli, a.oid))
 	g, err := a.client.AddGroup(opc.GroupConfig{
@@ -205,16 +229,23 @@ func NewCallTrackDeployment(cfg CallTrackConfig) (*CallTrackDeployment, error) {
 	cfg.Config.applyDefaults()
 
 	// Addresses are deterministic strings, so the factory can be set up
-	// before the networks exist; the build hook fills in the segment.
+	// before the networks exist; the build hook fills in the segment and
+	// the telemetry registry (also reached on app-restart rebuilds).
 	serverAddr := netsim.Addr(cfg.TestNode + ":telephone-opc")
 	var primaryNet *netsim.Network
+	var reg *telemetry.Registry
 
 	base := cfg.Config
 	base.NewApp = func(node string) ReplicatedApp {
-		return NewCallTrackApp(node, primaryNet, serverAddr, TelephoneOID,
+		a := NewCallTrackApp(node, primaryNet, serverAddr, TelephoneOID,
 			cfg.Lines, cfg.UpdateRate)
+		a.InstrumentDCOM(reg)
+		return a
 	}
-	d, err := build(base, func(n *netsim.Network) { primaryNet = n })
+	d, err := build(base, func(d *Deployment) {
+		primaryNet = d.Nets[0]
+		reg = d.Telemetry.Metrics()
+	})
 	if err != nil {
 		return nil, err
 	}

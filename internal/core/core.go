@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/ftim"
 	"repro/internal/monitor"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // ReplicatedApp is the application half the deployment manages on each
@@ -147,6 +149,11 @@ type Deployment struct {
 	Node2 *cluster.Node
 	Test  *cluster.Node
 
+	// Telemetry is the deployment's observability hub: status store,
+	// metrics registry, and recovery-timeline tracer. Always present.
+	Telemetry *telemetry.Hub
+	// Monitor is the classic dashboard view over Telemetry's status store
+	// (nil when SkipMonitor, as Section 2.2.4 permits).
 	Monitor *monitor.Monitor
 	Div     *diverter.Diverter
 
@@ -174,13 +181,17 @@ func New(cfg Config) (*Deployment, error) {
 // segment before replicas are constructed, for application factories that
 // need to dial out (e.g. OPC clients reaching a server on the test node).
 func NewWithNetworkHook(cfg Config, hook func(*netsim.Network)) (*Deployment, error) {
-	return build(cfg, hook)
+	if hook == nil {
+		return build(cfg, nil)
+	}
+	return build(cfg, func(d *Deployment) { hook(d.Nets[0]) })
 }
 
-// build is New with an optional hook that observes the first network
-// segment before replicas are constructed (application factories that dial
-// out capture it).
-func build(cfg Config, netHook func(*netsim.Network)) (*Deployment, error) {
+// build is New with an optional hook that observes the partly-built
+// deployment (networks and telemetry hub exist; replicas do not yet), so
+// application factories can capture the segment they dial out on and the
+// registry they report into.
+func build(cfg Config, preHook func(*Deployment)) (*Deployment, error) {
 	cfg.applyDefaults()
 	d := &Deployment{
 		cfg:      cfg,
@@ -191,17 +202,31 @@ func build(cfg Config, netHook func(*netsim.Network)) (*Deployment, error) {
 	if cfg.DualNetwork {
 		d.Nets = append(d.Nets, netsim.New("ethB", cfg.Seed+1))
 	}
-	if netHook != nil {
-		netHook(d.Nets[0])
+	d.Telemetry = telemetry.NewHub(4096)
+	if !cfg.SkipMonitor {
+		d.Monitor = monitor.FromHub(d.Telemetry)
+	}
+	if preHook != nil {
+		preHook(d)
 	}
 	d.Node1 = cluster.NewNode(cfg.Node1, cfg.Seed+10, d.Nets...)
 	d.Node2 = cluster.NewNode(cfg.Node2, cfg.Seed+11, d.Nets...)
 	d.Test = cluster.NewNode(cfg.TestNode, cfg.Seed+12, d.Nets...)
 
-	if !cfg.SkipMonitor {
-		d.Monitor = monitor.New(4096)
+	reg := d.Telemetry.Metrics()
+	d.Div = diverter.New(diverter.Config{
+		RetryInterval: cfg.DiverterRetry,
+		Instruments: diverter.Instruments{
+			QueueDepth:    reg.Gauge("oftt_diverter_queue_depth"),
+			Delivered:     reg.Counter("oftt_diverter_delivered_total"),
+			Redelivered:   reg.Counter("oftt_diverter_redelivered_total"),
+			Dropped:       reg.Counter("oftt_diverter_dropped_total"),
+			DivertLatency: reg.Histogram("oftt_diverter_latency_us"),
+		},
+	})
+	for _, net := range d.Nets {
+		d.Telemetry.AddCollector(netCollector(net))
 	}
-	d.Div = diverter.New(diverter.Config{RetryInterval: cfg.DiverterRetry})
 
 	for _, node := range []*cluster.Node{d.Node1, d.Node2} {
 		r, err := d.buildReplica(node, false)
@@ -216,12 +241,28 @@ func build(cfg Config, netHook func(*netsim.Network)) (*Deployment, error) {
 	return d, nil
 }
 
-// sink returns the monitor sink for engines.
-func (d *Deployment) sink() monitor.Sink {
-	if d.Monitor == nil {
-		return monitor.NullSink{}
+// sink returns the telemetry sink for engines and FTIMs. The hub is
+// always present; the Monitor dashboard is just a view over it.
+func (d *Deployment) sink() telemetry.Sink {
+	return d.Telemetry
+}
+
+// netCollector snapshots one segment's fabric counters into the registry
+// on demand (the pull side of the observability API — netsim itself never
+// imports telemetry).
+func netCollector(net *netsim.Network) func(*telemetry.Registry) {
+	label := `{segment="` + net.Name() + `"}`
+	return func(reg *telemetry.Registry) {
+		s := net.Stats()
+		reg.Gauge("oftt_net_frames_sent" + label).Set(s.FramesSent.Load())
+		reg.Gauge("oftt_net_frames_dropped" + label).Set(s.FramesDropped.Load())
+		reg.Gauge("oftt_net_datagrams_sent" + label).Set(s.DatagramsSent.Load())
+		reg.Gauge("oftt_net_datagrams_lost" + label).Set(s.DatagramsLost.Load())
+		reg.Gauge("oftt_net_conns_dialed" + label).Set(s.ConnsDialed.Load())
+		reg.Gauge("oftt_net_conns_refused" + label).Set(s.ConnsRefused.Load())
+		reg.Gauge("oftt_net_bytes_delivered" + label).Set(s.BytesDelivered.Load())
+		reg.Gauge("oftt_net_partitions" + label).Set(int64(net.PartitionCount()))
 	}
-	return monitor.LocalSink{M: d.Monitor}
 }
 
 // Replica looks up a node's replica.
@@ -262,28 +303,56 @@ func (d *Deployment) Backup() *Replica {
 	return nil
 }
 
-// WaitForPrimary blocks until a primary emerges.
-func (d *Deployment) WaitForPrimary(timeout time.Duration) (*Replica, error) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+// WaitForPrimaryContext blocks until a primary emerges or ctx is done.
+func (d *Deployment) WaitForPrimaryContext(ctx context.Context) (*Replica, error) {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
 		if p := d.Primary(); p != nil {
 			return p, nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", ErrNoPrimary, ctx.Err())
+		case <-tick.C:
+		}
 	}
-	return nil, ErrNoPrimary
 }
 
-// WaitForRoles blocks until the pair is exactly one primary + one backup.
-func (d *Deployment) WaitForRoles(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+// WaitForPrimary blocks until a primary emerges.
+//
+// Deprecated: use WaitForPrimaryContext, which composes with caller
+// cancellation instead of a bare timeout.
+func (d *Deployment) WaitForPrimary(timeout time.Duration) (*Replica, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.WaitForPrimaryContext(ctx)
+}
+
+// WaitForRolesContext blocks until the pair is exactly one primary + one
+// backup, or ctx is done.
+func (d *Deployment) WaitForRolesContext(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
 		if d.Primary() != nil && d.Backup() != nil {
 			return nil
 		}
-		time.Sleep(2 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: roles %v", ErrNoPrimary, d.roleSummary())
+		case <-tick.C:
+		}
 	}
-	return fmt.Errorf("%w: roles %v", ErrNoPrimary, d.roleSummary())
+}
+
+// WaitForRoles blocks until the pair is exactly one primary + one backup.
+//
+// Deprecated: use WaitForRolesContext.
+func (d *Deployment) WaitForRoles(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.WaitForRolesContext(ctx)
 }
 
 func (d *Deployment) roleSummary() map[string]string {
@@ -301,8 +370,29 @@ func (d *Deployment) Send(body []byte) (string, error) {
 	return d.Div.Send(d.cfg.Component, body)
 }
 
-// Stop tears the whole deployment down.
-func (d *Deployment) Stop() {
+// Shutdown tears the whole deployment down. If ctx expires first,
+// Shutdown returns ctx.Err() while teardown finishes in the background
+// (half-stopped replicas are not left holding resources).
+func (d *Deployment) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.stopAll()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stop tears the whole deployment down, blocking until finished.
+//
+// Deprecated: use Shutdown, which honors caller cancellation.
+func (d *Deployment) Stop() { _ = d.Shutdown(context.Background()) }
+
+func (d *Deployment) stopAll() {
 	d.mu.Lock()
 	if d.stopped {
 		d.mu.Unlock()

@@ -1,15 +1,18 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/diverter"
 	"repro/internal/engine"
 	"repro/internal/ftim"
+	"repro/internal/telemetry"
 )
 
 // Replica is one node's half of the logical execution unit: its engine
@@ -51,6 +54,7 @@ func (d *Deployment) buildReplica(node *cluster.Node, reattach bool) (*Replica, 
 		PeerTimeout:       d.cfg.PeerTimeout,
 		Startup:           d.cfg.Startup,
 		Preferred:         node.Name() == d.cfg.Node1,
+		Metrics:           d.Telemetry.Metrics(),
 	}, d.sink())
 	if err := eng.Start(engineProc); err != nil {
 		engineProc.Stop()
@@ -106,6 +110,7 @@ func (d *Deployment) buildApp(r *Replica, reattach bool) error {
 		Timeout:          d.cfg.AppTimeout,
 		Rule:             d.cfg.Rule,
 		Reattach:         reattach,
+		Metrics:          d.Telemetry.Metrics(),
 		Restart:          func() error { return d.restartApp(r.Node.Name()) },
 		OnActivate: func(restored bool) {
 			r.mu.Lock()
@@ -140,7 +145,7 @@ func (d *Deployment) buildApp(r *Replica, reattach bool) error {
 	r.App = app
 	r.mu.Unlock()
 
-	f.Attach()
+	_ = f.AttachContext(context.Background())
 	return nil
 }
 
@@ -286,12 +291,32 @@ func (d *Deployment) RestartNode(nodeName string) error {
 }
 
 // routeTo points the message diverter at a replica's application copy.
+// It closes out the recovery timeline: the rebind span marks the diverter
+// re-pointing at the new primary, and the first successful delivery over
+// the new route emits the terminal deliver span. During negotiated
+// startup there is no open trace, so both spans are dropped as orphans.
 func (d *Deployment) routeTo(r *Replica) {
 	d.mu.Lock()
 	d.routeOwn = r.Node.Name()
 	d.mu.Unlock()
+	d.Telemetry.RecordSpan(telemetry.SpanEvent{
+		Node:      r.Node.Name(),
+		Component: "diverter",
+		Phase:     telemetry.PhaseRebind,
+		Detail:    "route -> " + r.Node.Name(),
+	})
+	var delivered atomic.Bool
 	d.Div.SetRoute(d.cfg.Component, func(msg diverter.Message) error {
-		return r.deliver(msg)
+		err := r.deliver(msg)
+		if err == nil && delivered.CompareAndSwap(false, true) {
+			d.Telemetry.RecordSpan(telemetry.SpanEvent{
+				Node:      r.Node.Name(),
+				Component: "diverter",
+				Phase:     telemetry.PhaseDeliver,
+				Detail:    "first delivery after rebind",
+			})
+		}
+		return err
 	})
 }
 

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestSwitchoverTraceOrdering kills the primary node and asserts the hub
+// tracer stitches the recovery into one completed timeline in causal
+// order: heartbeat-loss detection, the take-over decision, the switchover
+// itself, the diverter rebind, and the first post-failover delivery.
+func TestSwitchoverTraceOrdering(t *testing.T) {
+	d, _ := testDeployment(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	p, err := d.WaitForPrimaryContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := p.Node.Name()
+	if err := d.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// The survivor takes over and activates its copy.
+	if !waitSettled(5*time.Second, func() bool {
+		np := d.Primary()
+		return np != nil && np.Node.Name() != victim && np.AppActive()
+	}) {
+		t.Fatal("no failover primary emerged")
+	}
+
+	// Drive a message through the rebound route: the first delivery is the
+	// terminal span that completes the timeline.
+	if _, err := d.Send([]byte("post-failover")); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Div.Drain(d.cfg.Component, 3*time.Second) {
+		t.Fatal("post-failover message never delivered")
+	}
+
+	var trace telemetry.Trace
+	if !waitSettled(3*time.Second, func() bool {
+		for _, c := range d.Telemetry.Tracer().Traces() {
+			if c.HasOrdered(telemetry.PhaseDetect, telemetry.PhaseDecision,
+				telemetry.PhaseSwitchover, telemetry.PhaseRebind, telemetry.PhaseDeliver) {
+				trace = c
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatalf("no completed trace with the full recovery ordering; have %d traces: %v",
+			len(d.Telemetry.Tracer().Traces()), d.Telemetry.Tracer().Traces())
+	}
+
+	if !trace.Complete {
+		t.Fatalf("trace not marked complete: %v", trace)
+	}
+	for i := 1; i < len(trace.Events); i++ {
+		if trace.Events[i].AtUS < trace.Events[i-1].AtUS {
+			t.Fatalf("timestamps regress at event %d: %v", i, trace.Events)
+		}
+	}
+
+	// The survivor's instruments saw the switchover.
+	survivor := d.Primary().Node.Name()
+	snap := d.Telemetry.Snapshot()
+	if got := snap.Metrics.Counters[`oftt_engine_switchovers_total{node="`+survivor+`"}`]; got < 1 {
+		t.Fatalf("switchover counter = %d, want >= 1 (counters: %v)", got, snap.Metrics.Counters)
+	}
+	if h, ok := snap.Metrics.FindHistogram(`oftt_engine_peer_detect_us{node="` + survivor + `"}`); !ok || h.Count < 1 {
+		t.Fatalf("peer detection histogram empty (histograms: %v)", snap.Metrics.Histograms)
+	}
+}
+
+// TestWaitContextCancellation covers the context-aware wait surface: an
+// already-cancelled context fails fast with ErrNoPrimary semantics.
+func TestWaitContextCancellation(t *testing.T) {
+	d, _ := testDeployment(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A primary exists, so even a dead context succeeds on the fast path.
+	if _, err := d.WaitForPrimaryContext(ctx); err != nil {
+		t.Fatalf("fast path with settled primary: %v", err)
+	}
+	// Shutdown honors its context.
+	if err := d.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

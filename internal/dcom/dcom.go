@@ -25,6 +25,7 @@ import (
 	"repro/internal/com"
 	"repro/internal/ndr"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // ObjectID identifies one exported object instance (the OID of ORPC).
@@ -344,6 +345,27 @@ type Client struct {
 	argBuf   []byte
 	argOffs  []int
 	frameBuf []byte
+
+	ins Instruments
+}
+
+// Instruments are the client's optional per-call metrics; zero-value
+// fields record nothing.
+type Instruments struct {
+	// CallLatency observes marshal → reply-decoded round-trip time, µs.
+	CallLatency *telemetry.Histogram
+	// FrameBytes observes marshaled request-frame sizes.
+	FrameBytes *telemetry.Histogram
+	// Errors counts failed calls (transport faults, timeouts, remote
+	// errors alike).
+	Errors *telemetry.Counter
+}
+
+// Instrument installs per-call metrics on this client.
+func (c *Client) Instrument(ins Instruments) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ins = ins
 }
 
 // Dial connects to the exporter at `to` on the simulated network,
@@ -431,9 +453,18 @@ func (p *Proxy) Call(method string, out []any, args ...any) error {
 	return p.client.call(p.oid, method, out, args)
 }
 
-func (c *Client) call(oid ObjectID, method string, out []any, args []any) error {
+func (c *Client) call(oid ObjectID, method string, out []any, args []any) (err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.ins.CallLatency != nil || c.ins.Errors != nil {
+		start := time.Now()
+		defer func() {
+			c.ins.CallLatency.ObserveDuration(time.Since(start))
+			if err != nil {
+				c.ins.Errors.Inc()
+			}
+		}()
+	}
 	if c.broken || c.conn == nil {
 		return fmt.Errorf("%w: connection poisoned; Redial required", ErrRPCFailure)
 	}
@@ -463,6 +494,7 @@ func (c *Client) call(oid ObjectID, method string, out []any, args []any) error 
 		return fmt.Errorf("dcom: marshal request: %w", err)
 	}
 	c.frameBuf = frame
+	c.ins.FrameBytes.Observe(int64(len(frame)))
 
 	if err := c.conn.Send(frame); err != nil {
 		c.broken = true

@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Errors.
@@ -54,6 +56,25 @@ type Config struct {
 	// MaxAttempts drops a message after this many failed deliveries;
 	// 0 retries forever.
 	MaxAttempts int
+
+	// Instruments are optional metrics; zero-value fields record nothing.
+	Instruments Instruments
+}
+
+// Instruments are the diverter's registry-resolved metrics.
+type Instruments struct {
+	// QueueDepth tracks messages currently queued across destinations.
+	QueueDepth *telemetry.Gauge
+	// Delivered counts successful deliveries.
+	Delivered *telemetry.Counter
+	// Redelivered counts retry attempts after a failed delivery.
+	Redelivered *telemetry.Counter
+	// Dropped counts messages abandoned after MaxAttempts.
+	Dropped *telemetry.Counter
+	// DivertLatency observes enqueue → successful delivery, in
+	// microseconds: the store-and-forward cost a message pays, which
+	// spikes across a switchover.
+	DivertLatency *telemetry.Histogram
 }
 
 // Stats are the diverter's counters.
@@ -159,6 +180,7 @@ func (d *Diverter) SendWithID(id, dest string, body []byte) error {
 	d.mu.Unlock()
 
 	d.stats.enqueued.Add(1)
+	d.cfg.Instruments.QueueDepth.Add(1)
 	d.wake()
 	return nil
 }
@@ -232,6 +254,7 @@ func (d *Diverter) deliverBatch() {
 				d.pending[dest] = queue[1:]
 				d.mu.Unlock()
 				d.stats.dupDropped.Add(1)
+				d.cfg.Instruments.QueueDepth.Add(-1)
 				// A message that was never passed to a DeliverFunc may
 				// safely donate its body buffer back to the pool.
 				recycle(msg, msg.Attempts > 0)
@@ -247,17 +270,24 @@ func (d *Diverter) deliverBatch() {
 			if err == nil {
 				d.delivered[msg.ID] = time.Now()
 				d.pending[dest] = dequeue(d.pending[dest], msg)
+				enqueuedAt := msg.EnqueuedAt
 				d.mu.Unlock()
 				d.stats.delivered.Add(1)
+				d.cfg.Instruments.Delivered.Inc()
+				d.cfg.Instruments.QueueDepth.Add(-1)
+				d.cfg.Instruments.DivertLatency.ObserveDuration(time.Since(enqueuedAt))
 				recycle(msg, true) // handler saw the body; abandon it
 				continue
 			}
 			// Failed delivery: retry later, unless exhausted.
 			d.stats.retries.Add(1)
+			d.cfg.Instruments.Redelivered.Inc()
 			if d.cfg.MaxAttempts > 0 && attempts >= d.cfg.MaxAttempts {
 				d.pending[dest] = dequeue(d.pending[dest], msg)
 				d.mu.Unlock()
 				d.stats.dropped.Add(1)
+				d.cfg.Instruments.Dropped.Inc()
+				d.cfg.Instruments.QueueDepth.Add(-1)
 				recycle(msg, true)
 				continue
 			}

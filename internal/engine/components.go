@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"repro/internal/heartbeat"
-	"repro/internal/monitor"
+	"repro/internal/telemetry"
 )
 
 // RegisterComponent places a local software component under failure
@@ -29,13 +29,13 @@ func (e *Engine) RegisterComponent(name string, timeout time.Duration, rule Reco
 	e.components[name] = c
 	e.mu.Unlock()
 
-	e.hbmon.Watch(name, timeout, func(source string, _ time.Time) {
-		e.onComponentFailure(source)
+	e.hbmon.Watch(name, timeout, func(source string, lastSeen time.Time) {
+		e.onComponentFailure(source, lastSeen)
 	})
-	e.sink.ReportStatus(monitor.ComponentStatus{
+	e.sink.ReportStatus(telemetry.Status{
 		Node:      e.node.Name(),
 		Component: name,
-		Kind:      monitor.KindFTIM,
+		Kind:      telemetry.KindFTIM,
 		State:     "RUNNING",
 		UpdatedAt: time.Now(),
 	})
@@ -63,13 +63,13 @@ func (e *Engine) ReattachComponent(name string, timeout time.Duration, rule Reco
 	e.mu.Unlock()
 
 	e.hbmon.Unwatch(name)
-	e.hbmon.Watch(name, timeout, func(source string, _ time.Time) {
-		e.onComponentFailure(source)
+	e.hbmon.Watch(name, timeout, func(source string, lastSeen time.Time) {
+		e.onComponentFailure(source, lastSeen)
 	})
-	e.sink.ReportStatus(monitor.ComponentStatus{
+	e.sink.ReportStatus(telemetry.Status{
 		Node:      e.node.Name(),
 		Component: name,
-		Kind:      monitor.KindFTIM,
+		Kind:      telemetry.KindFTIM,
 		State:     "RUNNING",
 		Detail:    "reattached",
 		UpdatedAt: time.Now(),
@@ -111,7 +111,8 @@ func (e *Engine) Components() []string {
 }
 
 // onComponentFailure applies the recovery rule after a heartbeat timeout.
-func (e *Engine) onComponentFailure(name string) {
+// lastSeen is the component's final observed beat (zero if it never beat).
+func (e *Engine) onComponentFailure(name string, lastSeen time.Time) {
 	e.mu.Lock()
 	c, ok := e.components[name]
 	if !ok || e.stopped || c.gaveUp {
@@ -125,26 +126,37 @@ func (e *Engine) onComponentFailure(name string) {
 	role := e.role
 	e.mu.Unlock()
 
+	if !lastSeen.IsZero() {
+		e.ins.compDetect.ObserveDuration(time.Since(lastSeen))
+	}
+	e.span(name, telemetry.PhaseDetect, fmt.Sprintf("heartbeat timeout (failure #%d)", attempt))
 	e.event(name, "failure", fmt.Sprintf("heartbeat timeout (failure #%d)", attempt))
-	e.sink.ReportStatus(monitor.ComponentStatus{
-		Node: e.node.Name(), Component: name, Kind: monitor.KindFTIM,
+	e.sink.ReportStatus(telemetry.Status{
+		Node: e.node.Name(), Component: name, Kind: telemetry.KindFTIM,
 		State: "FAILED", Detail: fmt.Sprintf("failure #%d", attempt), UpdatedAt: time.Now(),
 	})
 
 	withinBudget := attempt <= rule.MaxLocalRestarts ||
 		rule.Exhausted == ExhaustKeepRestarting
 	if withinBudget && restart != nil {
+		e.span(name, telemetry.PhaseDecision, "local restart")
 		e.event(name, "recovery", "local restart (transient-fault provision)")
 		// Rearm the detector so continued silence after the restart is
 		// caught as the next failure in the budget.
 		e.hbmon.Rearm(name)
+		e.span(name, telemetry.PhaseRestart, fmt.Sprintf("attempt %d", attempt))
 		if err := restart(); err != nil {
 			e.event(name, "failure", fmt.Sprintf("local restart failed: %v", err))
 		} else {
-			e.sink.ReportStatus(monitor.ComponentStatus{
-				Node: e.node.Name(), Component: name, Kind: monitor.KindFTIM,
+			e.ins.restarts.Inc()
+			e.sink.ReportStatus(telemetry.Status{
+				Node: e.node.Name(), Component: name, Kind: telemetry.KindFTIM,
 				State: "RUNNING", Detail: "restarted", UpdatedAt: time.Now(),
 			})
+			// The detector's recovery latch was cleared by Rearm, so the
+			// resumed beats will not fire OnRecover; close the timeline
+			// here where the restart is known to have succeeded.
+			e.span(name, telemetry.PhaseRecovered, "local restart succeeded")
 			return
 		}
 	}
@@ -152,6 +164,7 @@ func (e *Engine) onComponentFailure(name string) {
 	switch rule.Exhausted {
 	case ExhaustSwitchover:
 		if role == RolePrimary {
+			e.span(name, telemetry.PhaseDecision, "switchover: local restarts exhausted")
 			e.event(name, "switchover",
 				"local restarts exhausted; transferring control to backup (permanent-fault provision)")
 			if err := e.RequestSwitchover("component " + name + " failed permanently"); err != nil {

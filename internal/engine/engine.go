@@ -11,8 +11,8 @@ import (
 	"repro/internal/com"
 	"repro/internal/dcom"
 	"repro/internal/heartbeat"
-	"repro/internal/monitor"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 	"repro/internal/watchdog"
 )
 
@@ -53,11 +53,23 @@ type component struct {
 	gaveUp   bool
 }
 
+// engineInstruments are the engine's registry-resolved metrics; all
+// fields stay nil (recording is a no-op) when Config.Metrics is unset.
+type engineInstruments struct {
+	roleTransitions *telemetry.Counter
+	switchovers     *telemetry.Counter
+	restarts        *telemetry.Counter
+	peerDetect      *telemetry.Histogram // silence → peer-failure declaration, µs
+	compDetect      *telemetry.Histogram // silence → component-failure declaration, µs
+	switchoverDur   *telemetry.Histogram // TakeOver entry → app reactivated, µs
+}
+
 // Engine is one node's OFTT engine.
 type Engine struct {
 	node *cluster.Node
 	cfg  Config
-	sink monitor.Sink
+	sink telemetry.Sink
+	ins  engineInstruments
 
 	networks []*netsim.Network
 
@@ -91,9 +103,10 @@ type Engine struct {
 }
 
 // New creates an engine for node, paired with cfg.PeerNode. sink receives
-// status reports and events; pass monitor.NullSink{} to run without a
-// system monitor (supported per Section 2.2.4).
-func New(node *cluster.Node, cfg Config, sink monitor.Sink) *Engine {
+// status reports, events, and recovery spans; pass nil (or
+// telemetry.NullSink{}) to run without an instrumentation plane
+// (supported per Section 2.2.4).
+func New(node *cluster.Node, cfg Config, sink telemetry.Sink) *Engine {
 	e, err := NewWithError(node, cfg, sink)
 	if err != nil {
 		// Only the persistent store can fail; fall back to memory so the
@@ -107,10 +120,10 @@ func New(node *cluster.Node, cfg Config, sink monitor.Sink) *Engine {
 
 // NewWithError is New surfacing store-open failures (only possible with
 // Config.StorePath set).
-func NewWithError(node *cluster.Node, cfg Config, sink monitor.Sink) (*Engine, error) {
+func NewWithError(node *cluster.Node, cfg Config, sink telemetry.Sink) (*Engine, error) {
 	cfg.applyDefaults()
 	if sink == nil {
-		sink = monitor.NullSink{}
+		sink = telemetry.NullSink{}
 	}
 	var store snapshotStore = checkpoint.NewStore()
 	if cfg.StorePath != "" {
@@ -120,10 +133,23 @@ func NewWithError(node *cluster.Node, cfg Config, sink monitor.Sink) (*Engine, e
 		}
 		store = ps
 	}
+	var ins engineInstruments
+	if reg := cfg.Metrics; reg != nil {
+		label := `{node="` + node.Name() + `"}`
+		ins = engineInstruments{
+			roleTransitions: reg.Counter("oftt_engine_role_transitions_total" + label),
+			switchovers:     reg.Counter("oftt_engine_switchovers_total" + label),
+			restarts:        reg.Counter("oftt_engine_restarts_total" + label),
+			peerDetect:      reg.Histogram("oftt_engine_peer_detect_us"+label, telemetry.DurationBuckets...),
+			compDetect:      reg.Histogram("oftt_engine_component_detect_us"+label, telemetry.DurationBuckets...),
+			switchoverDur:   reg.Histogram("oftt_engine_switchover_us"+label, telemetry.DurationBuckets...),
+		}
+	}
 	return &Engine{
 		node:       node,
 		cfg:        cfg,
 		sink:       sink,
+		ins:        ins,
 		networks:   node.Networks(),
 		role:       RoleNegotiating,
 		components: make(map[string]*component),
@@ -213,6 +239,13 @@ func (e *Engine) Start(proc *cluster.Process) error {
 
 	// Failure detector: peer engine + local components.
 	e.hbmon = heartbeat.NewMonitor(e.cfg.SweepInterval)
+	if reg := e.cfg.Metrics; reg != nil {
+		label := `{node="` + e.node.Name() + `"}`
+		e.hbmon.Instrument(heartbeat.Instruments{
+			Misses: reg.Counter("oftt_heartbeat_misses_total" + label),
+			Gap:    reg.Histogram("oftt_heartbeat_gap_us"+label, telemetry.DurationBuckets...),
+		})
+	}
 	e.hbmon.OnRecover(func(source string) {
 		if source == peerSource {
 			e.onPeerRecovered()
@@ -220,7 +253,12 @@ func (e *Engine) Start(proc *cluster.Process) error {
 		}
 		e.event(source, "recovery", "heartbeats resumed")
 	})
-	e.hbmon.Watch(peerSource, e.cfg.PeerTimeout, func(string, time.Time) { e.onPeerFailure() })
+	e.hbmon.Watch(peerSource, e.cfg.PeerTimeout, func(_ string, lastSeen time.Time) {
+		if !lastSeen.IsZero() {
+			e.ins.peerDetect.ObserveDuration(time.Since(lastSeen))
+		}
+		e.onPeerFailure()
+	})
 	e.hbmon.Start()
 
 	// Own heartbeat to the peer, fanned out on every network segment.
@@ -386,13 +424,25 @@ func (e *Engine) acceptCheckpoints(lst *netsim.Listener) {
 	}
 }
 
-// event forwards to the system monitor.
+// event forwards to the instrumentation plane's event log.
 func (e *Engine) event(component, kind, detail string) {
-	e.sink.Emit(monitor.Event{
+	e.sink.Emit(telemetry.Event{
 		Time:      time.Now(),
 		Node:      e.node.Name(),
 		Component: component,
 		Kind:      kind,
+		Detail:    detail,
+	})
+}
+
+// span files one step of a recovery timeline. Spans outside an open
+// timeline (e.g. the negotiated startup promotion) are dropped by the
+// tracer, so emission sites need no in-recovery bookkeeping.
+func (e *Engine) span(component string, phase telemetry.Phase, detail string) {
+	e.sink.RecordSpan(telemetry.SpanEvent{
+		Node:      e.node.Name(),
+		Component: component,
+		Phase:     phase,
 		Detail:    detail,
 	})
 }
@@ -407,10 +457,10 @@ func (e *Engine) reportStatus() {
 	if peerFailed {
 		detail = "peer failed"
 	}
-	e.sink.ReportStatus(monitor.ComponentStatus{
+	e.sink.ReportStatus(telemetry.Status{
 		Node:      e.node.Name(),
 		Component: "oftt-engine",
-		Kind:      monitor.KindEngine,
+		Kind:      telemetry.KindEngine,
 		State:     role.String(),
 		Detail:    detail,
 		UpdatedAt: time.Now(),

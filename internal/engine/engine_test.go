@@ -8,8 +8,8 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
-	"repro/internal/monitor"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // pairHarness wires two nodes with engines over one or two segments.
@@ -19,7 +19,7 @@ type pairHarness struct {
 	node2  *cluster.Node
 	e1, e2 *Engine
 	p1, p2 *cluster.Process
-	mon    *monitor.Monitor
+	hub    *telemetry.Hub
 }
 
 func fastConfig(peer string) Config {
@@ -38,7 +38,7 @@ func fastConfig(peer string) Config {
 
 func newPair(t *testing.T, dual bool) *pairHarness {
 	t.Helper()
-	h := &pairHarness{mon: monitor.New(0)}
+	h := &pairHarness{hub: telemetry.NewHub(0)}
 	h.nets = []*netsim.Network{netsim.New("ethA", 1)}
 	if dual {
 		h.nets = append(h.nets, netsim.New("ethB", 2))
@@ -46,7 +46,7 @@ func newPair(t *testing.T, dual bool) *pairHarness {
 	h.node1 = cluster.NewNode("node1", 1, h.nets...)
 	h.node2 = cluster.NewNode("node2", 2, h.nets...)
 
-	sink := monitor.LocalSink{M: h.mon}
+	sink := h.hub
 	h.e1 = New(h.node1, fastConfig("node2"), sink)
 	h.e2 = New(h.node2, fastConfig("node1"), sink)
 
@@ -435,12 +435,12 @@ func TestStatusRPC(t *testing.T) {
 func TestMonitorSeesRoleEvents(t *testing.T) {
 	h := newPair(t, false)
 	h.waitRoles(t, RolePrimary, RoleBackup)
-	st, ok := h.mon.Status("node1", "oftt-engine")
+	st, ok := h.hub.Store().Status("node1", "oftt-engine")
 	if !ok || st.State != "PRIMARY" {
 		t.Fatalf("monitor row: %+v", st)
 	}
 	found := false
-	for _, e := range h.mon.Events(0) {
+	for _, e := range h.hub.Store().Events(0) {
 		if e.Kind == "role" {
 			found = true
 		}
@@ -461,7 +461,7 @@ func TestFailbackAfterRepair(t *testing.T) {
 
 	// Node repairs and reboots; a fresh engine joins as backup.
 	h.node1.Boot()
-	e1b := New(h.node1, fastConfig("node2"), monitor.LocalSink{M: h.mon})
+	e1b := New(h.node1, fastConfig("node2"), h.hub)
 	if err := e1b.Start(nil); err != nil {
 		t.Fatal(err)
 	}

@@ -6,8 +6,8 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/dcom"
-	"repro/internal/monitor"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // negotiate runs the startup role protocol of Section 3.2: contact the
@@ -119,6 +119,15 @@ func (e *Engine) setRole(r Role, reason string) {
 	if e.emitter != nil {
 		e.emitter.SetStatus(r.String())
 	}
+	e.ins.roleTransitions.Inc()
+	if r == RolePrimary {
+		e.ins.switchovers.Inc()
+		// Before the app-activation callbacks run, so the rebind/deliver
+		// spans they trigger land after this one on the timeline. During
+		// negotiated startup no recovery trace is open and the tracer
+		// drops this as an orphan.
+		e.span("oftt-engine", telemetry.PhaseSwitchover, reason)
+	}
 	e.event("engine", "role", fmt.Sprintf("role -> %s (%s)", r, reason))
 	e.reportStatus()
 	for _, fn := range callbacks {
@@ -144,8 +153,12 @@ func (e *Engine) TakeOver(reason string) {
 	if e.Role() == RolePrimary {
 		return
 	}
+	start := time.Now()
 	e.closeSender() // any stale primary-side plumbing
 	e.becomePrimary("takeover: " + reason)
+	// Includes the role callbacks, i.e. checkpoint restore and app
+	// activation — the paper's switchover duration, not just the role flip.
+	e.ins.switchoverDur.ObserveDuration(time.Since(start))
 }
 
 // Demote retires this engine to backup (commanded switchover, split-brain
@@ -169,14 +182,15 @@ func (e *Engine) onPeerFailure() {
 	role := e.role
 	e.mu.Unlock()
 
+	e.span("oftt-engine", telemetry.PhaseDetect, "peer heartbeats lost")
 	e.event("engine", "failure", "peer engine heartbeats lost on all segments")
 	e.reportStatus()
 	// The dead peer cannot update its own monitor row; report on its
 	// behalf so the dashboard reflects reality.
-	e.sink.ReportStatus(monitor.ComponentStatus{
+	e.sink.ReportStatus(telemetry.Status{
 		Node:      e.cfg.PeerNode,
 		Component: "node",
-		Kind:      monitor.KindHardware,
+		Kind:      telemetry.KindHardware,
 		State:     "FAILED",
 		Detail:    "heartbeats lost (reported by " + e.node.Name() + ")",
 		UpdatedAt: time.Now(),
@@ -185,6 +199,7 @@ func (e *Engine) onPeerFailure() {
 	switch role {
 	case RoleBackup:
 		// The primary is gone: take over with the latest checkpoint.
+		e.span("oftt-engine", telemetry.PhaseDecision, "take over: primary lost")
 		e.TakeOver("primary heartbeats lost")
 	case RolePrimary:
 		// The backup is gone: keep running; checkpoints will fail until
@@ -202,10 +217,10 @@ func (e *Engine) onPeerRecovered() {
 	e.mu.Unlock()
 	e.event("engine", "recovery", "peer engine heartbeats resumed")
 	e.reportStatus()
-	e.sink.ReportStatus(monitor.ComponentStatus{
+	e.sink.ReportStatus(telemetry.Status{
 		Node:      e.cfg.PeerNode,
 		Component: "node",
-		Kind:      monitor.KindHardware,
+		Kind:      telemetry.KindHardware,
 		State:     "UP",
 		Detail:    "heartbeats resumed (reported by " + e.node.Name() + ")",
 		UpdatedAt: time.Now(),

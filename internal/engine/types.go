@@ -12,6 +12,8 @@ package engine
 
 import (
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Role is the node's position in the primary/backup pair.
@@ -127,6 +129,11 @@ type Config struct {
 	// StorePath, when set, persists the checkpoint store to disk so the
 	// last confirmed checkpoint survives even a whole-pair outage.
 	StorePath string
+
+	// Metrics, when set, is where the engine registers its instruments
+	// (role transitions, detection latency, restart counts, switchover
+	// duration). Nil runs uninstrumented at zero cost.
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) applyDefaults() {

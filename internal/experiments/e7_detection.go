@@ -5,8 +5,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/heartbeat"
 	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 // E7Row is one failure-detection measurement.
@@ -168,6 +170,114 @@ func detectionTrial(seed int64, interval, timeout time.Duration, loss float64) (
 	rx.Close()
 	<-done
 	return 0, false, fmt.Errorf("silence never detected (interval %v)", interval)
+}
+
+// E7Histograms are the end-to-end recovery distributions measured by the
+// engines' own telemetry across repeated node-kill trials: peer-failure
+// detection latency and switchover duration.
+type E7Histograms struct {
+	Trials     int
+	Detect     telemetry.HistogramSnapshot
+	Switchover telemetry.HistogramSnapshot
+}
+
+// RunE7Histograms runs repeated primary-node kills against full
+// deployments and aggregates the surviving engine's detection-latency and
+// switchover-duration histograms into one distribution each.
+func RunE7Histograms(trials int, seed int64) (*E7Histograms, error) {
+	if trials <= 0 {
+		trials = 5
+	}
+	agg := telemetry.NewRegistry()
+	for trial := 0; trial < trials; trial++ {
+		if err := switchoverTrial(seed+int64(trial)*100, agg); err != nil {
+			return nil, fmt.Errorf("trial %d: %w", trial, err)
+		}
+	}
+	snap := agg.Snapshot()
+	out := &E7Histograms{Trials: trials}
+	var ok bool
+	if out.Detect, ok = snap.FindHistogram("e7_detect_us"); !ok {
+		return nil, fmt.Errorf("no detection samples collected")
+	}
+	if out.Switchover, ok = snap.FindHistogram("e7_switchover_us"); !ok {
+		return nil, fmt.Errorf("no switchover samples collected")
+	}
+	return out, nil
+}
+
+// switchoverTrial kills the primary of a fresh engines-only pair and
+// folds the survivor's recovery histograms into agg.
+func switchoverTrial(seed int64, agg *telemetry.Registry) error {
+	d, err := core.New(core.Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer d.Stop()
+	if err := d.WaitForRoles(5 * time.Second); err != nil {
+		return err
+	}
+	victim := d.Primary().Node.Name()
+	if err := d.KillNode(victim); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if p := d.Primary(); p != nil && p.Node.Name() != victim {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no takeover after killing %s", victim)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	survivor := d.Primary().Node.Name()
+
+	snap := d.Telemetry.Metrics().Snapshot()
+	for alias, name := range map[string]string{
+		"e7_detect_us":     `oftt_engine_peer_detect_us{node="` + survivor + `"}`,
+		"e7_switchover_us": `oftt_engine_switchover_us{node="` + survivor + `"}`,
+	} {
+		h, ok := snap.FindHistogram(name)
+		if !ok {
+			return fmt.Errorf("survivor %s has no %s", survivor, name)
+		}
+		// A fresh deployment per trial makes the snapshot its own delta.
+		agg.Apply(telemetry.MetricBatch{Histograms: []telemetry.HistogramDelta{{
+			Name:   alias,
+			Bounds: h.Bounds,
+			Counts: h.Counts,
+			Sum:    h.Sum,
+			Count:  h.Count,
+		}}})
+	}
+	return nil
+}
+
+// E7HistogramTable formats the recovery distributions.
+func E7HistogramTable(h *E7Histograms) *Table {
+	row := func(name string, s telemetry.HistogramSnapshot) []string {
+		return []string{
+			name,
+			fmt.Sprintf("%d", s.Count),
+			f2(s.Quantile(0.50) / 1000),
+			f2(s.Quantile(0.95) / 1000),
+			f2(s.Mean() / 1000),
+			f2(float64(s.Max()) / 1000),
+		}
+	}
+	return &Table{
+		Title:   "E7b: recovery distributions from engine telemetry (node-kill trials)",
+		Columns: []string{"metric", "samples", "p50_ms", "p95_ms", "mean_ms", "max_ms"},
+		Rows: [][]string{
+			row("peer detection latency", h.Detect),
+			row("switchover duration", h.Switchover),
+		},
+		Notes: []string{
+			fmt.Sprintf("%d primary-node kills; histograms read from the survivor's oftt_engine_* instruments", h.Trials),
+			"detection ~ peer timeout; switchover adds checkpoint restore + activation on top",
+		},
+	}
 }
 
 // E7Table formats E7 results.

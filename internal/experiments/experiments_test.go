@@ -201,6 +201,25 @@ func TestE7Shape(t *testing.T) {
 	t.Log("\n" + E7Table(rows).Render())
 }
 
+// TestE7Histograms: the engine-telemetry recovery distributions carry one
+// sample per node-kill trial and order sanely (detection <= p95 bound,
+// switchover non-empty).
+func TestE7Histograms(t *testing.T) {
+	const trials = 2
+	h, err := RunE7Histograms(trials, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Detect.Count != trials || h.Switchover.Count != trials {
+		t.Fatalf("sample counts: detect=%d switchover=%d, want %d each",
+			h.Detect.Count, h.Switchover.Count, trials)
+	}
+	if h.Detect.Mean() <= 0 {
+		t.Errorf("detection latency mean %.1fµs should be positive", h.Detect.Mean())
+	}
+	t.Log("\n" + E7HistogramTable(h).Render())
+}
+
 // TestE8Shape: DCOM costs more than COM and fails detectably.
 func TestE8Shape(t *testing.T) {
 	res, err := RunE8(300)

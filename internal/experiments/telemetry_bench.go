@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TelemetryRow is one observability hot-path measurement.
+type TelemetryRow struct {
+	Op          string
+	NsPerOp     int64
+	AllocsPerOp int64
+}
+
+// RunTelemetry benchmarks the telemetry hot paths the toolkit components
+// sit on: instrument record calls (which must stay allocation-free — the
+// engine heartbeat sweep and the diverter pump run them per event), span
+// filing, and the snapshot/exposition cold paths for scale.
+func RunTelemetry() ([]TelemetryRow, error) {
+	reg := telemetry.NewRegistry()
+	ctr := reg.Counter("bench_ops_total")
+	g := reg.Gauge("bench_depth")
+	h := reg.Histogram("bench_latency_us")
+	tr := telemetry.NewTracer(8)
+
+	benches := []struct {
+		op string
+		fn func(b *testing.B)
+	}{
+		{"counter.Add", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctr.Add(1)
+			}
+		}},
+		{"gauge.Set", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Set(int64(i))
+			}
+		}},
+		{"histogram.Observe", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.Observe(int64(i % 2000))
+			}
+		}},
+		{"tracer.Record(open+close)", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					tr.Record(telemetry.SpanEvent{Node: "n", Component: "c", Phase: telemetry.PhaseDetect})
+				} else {
+					tr.Record(telemetry.SpanEvent{Node: "n", Component: "c", Phase: telemetry.PhaseRecovered})
+				}
+			}
+		}},
+		{"registry.Snapshot", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = reg.Snapshot()
+			}
+		}},
+	}
+
+	var rows []TelemetryRow
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		rows = append(rows, TelemetryRow{
+			Op:          bench.op,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return rows, nil
+}
+
+// TelemetryTable formats the telemetry hot-path results.
+func TelemetryTable(rows []TelemetryRow) *Table {
+	t := &Table{
+		Title:   "TELEMETRY: observability hot paths",
+		Columns: []string{"op", "ns_per_op", "allocs_per_op"},
+		Notes: []string{
+			"instrument record calls (counter/gauge/histogram) must stay at 0 allocs/op",
+			"tracer and snapshot are cold paths: they run per recovery / per scrape, not per event",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Op, i64(r.NsPerOp), i64(r.AllocsPerOp)})
+	}
+	return t
+}

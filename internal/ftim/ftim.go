@@ -25,6 +25,7 @@
 package ftim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,9 +34,19 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/heartbeat"
+	"repro/internal/telemetry"
 )
 
-// CaptureMode selects the periodic checkpoint flavor.
+// CaptureMode selects the periodic checkpoint flavor. The trade-off:
+// CaptureFull ships every registered region each period — the largest
+// frames and capture cost, but the backup can always restore from the
+// latest snapshot alone. CaptureSelective ships only SelSave-designated
+// regions — cheap, but regions outside the selection are only as fresh as
+// the last full capture. CaptureIncremental (the default) ships only
+// regions whose contents changed since the previous capture — near-free
+// in steady state, at the cost of the backup needing an unbroken chain
+// from the last full base (the FTIM re-bases automatically after any ship
+// failure or activation).
 type CaptureMode int
 
 // Capture modes.
@@ -47,6 +58,20 @@ const (
 	// CaptureIncremental checkpoints only regions that changed.
 	CaptureIncremental
 )
+
+// String names the mode (also the metric label).
+func (m CaptureMode) String() string {
+	switch m {
+	case CaptureFull:
+		return "full"
+	case CaptureSelective:
+		return "selective"
+	case CaptureIncremental:
+		return "incremental"
+	default:
+		return "unknown"
+	}
+}
 
 // Errors.
 var (
@@ -88,6 +113,10 @@ type Config struct {
 	// registering fresh — the restart path after an application crash,
 	// which must preserve the engine's restart budget.
 	Reattach bool
+
+	// Metrics, when set, records per-mode checkpoint capture duration and
+	// size plus ship outcomes. Nil runs uninstrumented.
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) applyDefaults() error {
@@ -129,9 +158,19 @@ func (t *task) signalStop() { t.once.Do(func() { close(t.stop) }) }
 // and the FTIM run as separate threads in the same address space: the app
 // mutates registered state under the FTIM's lock while the FTIM thread
 // checkpoints and heartbeats.
+// ftimInstruments are per-capture-mode checkpoint metrics, indexed by
+// CaptureMode. All nil (no-op) without Config.Metrics.
+type ftimInstruments struct {
+	captureUS    [CaptureIncremental + 1]*telemetry.Histogram
+	captureBytes [CaptureIncremental + 1]*telemetry.Histogram
+	shipped      *telemetry.Counter
+	shipErrs     *telemetry.Counter
+}
+
 type ClientFTIM struct {
 	cfg Config
 	reg *checkpoint.Registry
+	ins ftimInstruments
 
 	mu       sync.Mutex
 	ready    bool
@@ -176,6 +215,16 @@ func InitializeDeferred(cfg Config) (*ClientFTIM, error) {
 		reg:   checkpoint.NewRegistry(),
 		tasks: make(map[string]*task),
 	}
+	if reg := cfg.Metrics; reg != nil {
+		for _, m := range []CaptureMode{CaptureFull, CaptureSelective, CaptureIncremental} {
+			label := `{component="` + cfg.Component + `",mode="` + m.String() + `"}`
+			f.ins.captureUS[m] = reg.Histogram("oftt_checkpoint_capture_us"+label, telemetry.DurationBuckets...)
+			f.ins.captureBytes[m] = reg.Histogram("oftt_checkpoint_capture_bytes"+label, telemetry.SizeBuckets...)
+		}
+		label := `{component="` + cfg.Component + `"}`
+		f.ins.shipped = reg.Counter("oftt_checkpoint_shipped_total" + label)
+		f.ins.shipErrs = reg.Counter("oftt_checkpoint_ship_errors_total" + label)
+	}
 
 	register := cfg.Engine.RegisterComponent
 	if cfg.Reattach {
@@ -196,18 +245,38 @@ func InitializeDeferred(cfg Config) (*ClientFTIM, error) {
 	return f, nil
 }
 
-// Attach applies the engine's current role and enables role-transition
-// handling. Idempotent.
-func (f *ClientFTIM) Attach() {
+// AttachContext applies the engine's current role and enables
+// role-transition handling. Idempotent. Attaching on a primary may
+// recover state from the peer over the network; ctx bounds that wait —
+// on expiry AttachContext returns ctx.Err() while the attach itself
+// completes in the background (the FTIM cannot be left half-attached).
+func (f *ClientFTIM) AttachContext(ctx context.Context) error {
 	f.mu.Lock()
 	if f.ready {
 		f.mu.Unlock()
-		return
+		return nil
 	}
 	f.ready = true
 	f.mu.Unlock()
-	f.applyRole(f.cfg.Engine.Role(), true)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.applyRole(f.cfg.Engine.Role(), true)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
+
+// Attach applies the engine's current role with no bound on the recovery
+// wait.
+//
+// Deprecated: use AttachContext to bound the peer-recovery wait.
+func (f *ClientFTIM) Attach() { _ = f.AttachContext(context.Background()) }
 
 // Registry exposes the checkpoint registry (tests, advanced use).
 func (f *ClientFTIM) Registry() *checkpoint.Registry { return f.reg }
@@ -462,14 +531,17 @@ func (f *ClientFTIM) checkpointOnce() error {
 	needFull := f.needFull
 	f.mu.Unlock()
 
+	mode := f.cfg.Mode
+	if needFull {
+		mode = CaptureFull
+	}
+	start := time.Now()
 	var snap *checkpoint.Snapshot
 	var err error
-	switch {
-	case needFull:
+	switch mode {
+	case CaptureFull:
 		snap, err = f.reg.CaptureFull()
-	case f.cfg.Mode == CaptureFull:
-		snap, err = f.reg.CaptureFull()
-	case f.cfg.Mode == CaptureSelective:
+	case CaptureSelective:
 		snap, err = f.reg.CaptureSelective()
 	default:
 		snap, err = f.reg.CaptureIncremental()
@@ -477,6 +549,8 @@ func (f *ClientFTIM) checkpointOnce() error {
 	if err != nil {
 		return err
 	}
+	f.ins.captureUS[mode].ObserveDuration(time.Since(start))
+	f.ins.captureBytes[mode].Observe(int64(snap.Bytes()))
 	// Empty incrementals are shipped too: they are nearly free and keep
 	// the backup's sequence number advancing, and a backup whose store was
 	// reset (it was just demoted) rejects them for lack of a base, which
@@ -486,12 +560,14 @@ func (f *ClientFTIM) checkpointOnce() error {
 		f.ckptErrs++
 		f.needFull = true // re-base the peer on the next attempt
 		f.mu.Unlock()
+		f.ins.shipErrs.Inc()
 		return err
 	}
 	f.mu.Lock()
 	f.ckpts++
 	f.needFull = false
 	f.mu.Unlock()
+	f.ins.shipped.Inc()
 	return nil
 }
 

@@ -13,7 +13,18 @@ import (
 	"time"
 
 	"repro/internal/ndr"
+	"repro/internal/telemetry"
 )
+
+// Instruments are the monitor's optional metrics; zero-value fields are
+// nil-safe no-ops.
+type Instruments struct {
+	// Misses counts deadline expirations (each declared failure).
+	Misses *telemetry.Counter
+	// Gap observes the inter-beat gap per observed beat, in microseconds —
+	// the jitter distribution of the heartbeat fabric.
+	Gap *telemetry.Histogram
+}
 
 // Beat is one heartbeat message.
 type Beat struct {
@@ -127,6 +138,7 @@ type Monitor struct {
 	mu      sync.Mutex
 	entries map[string]*watchEntry
 	paused  bool
+	ins     Instruments
 
 	onRecover func(source string)
 
@@ -143,6 +155,14 @@ func NewMonitor(checkEvery time.Duration) *Monitor {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+}
+
+// Instrument installs metric instruments. Call before Start; beats
+// observed earlier are simply unrecorded.
+func (m *Monitor) Instrument(ins Instruments) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ins = ins
 }
 
 // OnRecover installs a callback for sources that beat again after being
@@ -202,6 +222,7 @@ func (m *Monitor) Observe(b Beat) {
 		return
 	}
 	wasFailed := e.failed
+	m.ins.Gap.ObserveDuration(time.Since(e.lastSeen))
 	// Out-of-order beats (possible over the datagram fabric) still count as
 	// liveness evidence; sequence regressions are not failures.
 	e.lastSeen = time.Now()
@@ -260,6 +281,7 @@ func (m *Monitor) sweep() {
 	for source, e := range m.entries {
 		if !e.failed && now.Sub(e.lastSeen) > e.timeout {
 			e.failed = true
+			m.ins.Misses.Inc()
 			if e.onFail != nil {
 				fires = append(fires, firing{source: source, lastSeen: e.lastSeen, fn: e.onFail})
 			}

@@ -4,175 +4,94 @@
 // applications. Per the paper it is needed for test, evaluation, and
 // maintenance, but the fault tolerance provisions operate without it.
 //
-// Engines report component status over DCOM (the monitor usually runs on
-// the separate test-and-interface PC of Figure 3); the monitor renders a
-// textual dashboard.
+// Since the telemetry redesign this package is a rendering view: storage,
+// transport (local and DCOM), metrics, and recovery tracing live in
+// internal/telemetry behind the unified telemetry.Sink. The old Stub /
+// Remote / Sink trio is gone — engines report through telemetry.Hub or
+// telemetry.Remote, and this package draws the textual dashboard on top
+// of the shared store.
 package monitor
 
 import (
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
-	"time"
 
-	"repro/internal/dcom"
+	"repro/internal/telemetry"
 )
 
-// Component kinds.
+// Component kinds (aliases into the telemetry plane, kept for existing
+// call sites).
 const (
-	KindHardware   = "hardware"
-	KindOS         = "os"
-	KindEngine     = "oftt-engine"
-	KindFTIM       = "oftt-ftim"
-	KindDiverter   = "oftt-diverter"
-	KindOPCServer  = "opc-server"
-	KindOPCClient  = "opc-client"
-	KindApp        = "application"
-	KindWatchdog   = "watchdog"
-	KindCheckpoint = "checkpoint"
+	KindHardware   = telemetry.KindHardware
+	KindOS         = telemetry.KindOS
+	KindEngine     = telemetry.KindEngine
+	KindFTIM       = telemetry.KindFTIM
+	KindDiverter   = telemetry.KindDiverter
+	KindOPCServer  = telemetry.KindOPCServer
+	KindOPCClient  = telemetry.KindOPCClient
+	KindApp        = telemetry.KindApp
+	KindWatchdog   = telemetry.KindWatchdog
+	KindCheckpoint = telemetry.KindCheckpoint
 )
 
 // ComponentStatus is one component's reported condition.
-type ComponentStatus struct {
-	Node      string
-	Component string
-	Kind      string
-	State     string // e.g. "PRIMARY", "BACKUP", "RUNNING", "FAILED"
-	Detail    string
-	UpdatedAt time.Time
-}
-
-func (s ComponentStatus) key() string { return s.Node + "/" + s.Component }
+type ComponentStatus = telemetry.Status
 
 // Event is one notable occurrence (failure detected, switchover, restart).
-type Event struct {
-	Time      time.Time
-	Node      string
-	Component string
-	Kind      string // "failure", "recovery", "switchover", "role", "info"
-	Detail    string
-}
+type Event = telemetry.Event
 
-// Monitor aggregates statuses and events.
+// Monitor is the dashboard view over a telemetry status/event store.
 type Monitor struct {
-	mu        sync.Mutex
-	statuses  map[string]ComponentStatus
-	events    []Event
-	maxEvents int
-	subs      map[int]func(Event)
-	nextSub   int
+	store *telemetry.Store
 }
 
-// New returns an empty monitor retaining up to maxEvents events
-// (default 1024).
+// New returns a monitor over a fresh store retaining up to maxEvents
+// events (default 1024). Most callers should prefer FromHub so the
+// dashboard shares the deployment's instrumentation plane.
 func New(maxEvents int) *Monitor {
-	if maxEvents <= 0 {
-		maxEvents = 1024
-	}
-	return &Monitor{
-		statuses:  make(map[string]ComponentStatus),
-		maxEvents: maxEvents,
-		subs:      make(map[int]func(Event)),
-	}
+	return FromStore(telemetry.NewStore(maxEvents))
 }
+
+// FromStore wraps an existing store.
+func FromStore(s *telemetry.Store) *Monitor { return &Monitor{store: s} }
+
+// FromHub views a telemetry hub's store.
+func FromHub(h *telemetry.Hub) *Monitor { return FromStore(h.Store()) }
+
+// Store exposes the backing store (the monitor holds no state of its own).
+func (m *Monitor) Store() *telemetry.Store { return m.store }
 
 // Report updates (or creates) a component's status row.
 func (m *Monitor) Report(st ComponentStatus) error {
-	if st.UpdatedAt.IsZero() {
-		st.UpdatedAt = time.Now()
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.statuses[st.key()] = st
+	m.store.Report(st)
 	return nil
 }
 
-// RecordEvent appends an event, trimming to the retention limit, and
-// notifies subscribers.
+// RecordEvent appends an event and notifies subscribers.
 func (m *Monitor) RecordEvent(e Event) error {
-	if e.Time.IsZero() {
-		e.Time = time.Now()
-	}
-	m.mu.Lock()
-	m.events = append(m.events, e)
-	if over := len(m.events) - m.maxEvents; over > 0 {
-		m.events = append([]Event(nil), m.events[over:]...)
-	}
-	subs := make([]func(Event), 0, len(m.subs))
-	for _, fn := range m.subs {
-		subs = append(subs, fn)
-	}
-	m.mu.Unlock()
-	for _, fn := range subs {
-		fn(e)
-	}
+	m.store.RecordEvent(e)
 	return nil
 }
 
 // Subscribe registers a live event sink; the returned func cancels it.
 func (m *Monitor) Subscribe(fn func(Event)) (cancel func()) {
-	m.mu.Lock()
-	id := m.nextSub
-	m.nextSub++
-	m.subs[id] = fn
-	m.mu.Unlock()
-	return func() {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		delete(m.subs, id)
-	}
+	return m.store.Subscribe(fn)
 }
 
 // Statuses returns all rows sorted by node then component.
-func (m *Monitor) Statuses() []ComponentStatus {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]ComponentStatus, 0, len(m.statuses))
-	for _, st := range m.statuses {
-		out = append(out, st)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		return out[i].Component < out[j].Component
-	})
-	return out
-}
+func (m *Monitor) Statuses() []ComponentStatus { return m.store.Statuses() }
 
 // Status fetches one row.
 func (m *Monitor) Status(node, component string) (ComponentStatus, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st, ok := m.statuses[node+"/"+component]
-	return st, ok
+	return m.store.Status(node, component)
 }
 
 // Events returns the most recent events, newest last, up to limit
 // (0 = all retained).
-func (m *Monitor) Events(limit int) []Event {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	evs := m.events
-	if limit > 0 && len(evs) > limit {
-		evs = evs[len(evs)-limit:]
-	}
-	return append([]Event(nil), evs...)
-}
+func (m *Monitor) Events(limit int) []Event { return m.store.Events(limit) }
 
 // CountByState counts rows currently in the given state.
-func (m *Monitor) CountByState(state string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	n := 0
-	for _, st := range m.statuses {
-		if st.State == state {
-			n++
-		}
-	}
-	return n
-}
+func (m *Monitor) CountByState(state string) int { return m.store.CountByState(state) }
 
 // Render draws the text dashboard.
 func (m *Monitor) Render() string {
@@ -194,84 +113,3 @@ func (m *Monitor) Render() string {
 	}
 	return b.String()
 }
-
-// Stub exposes the monitor over DCOM for remote engines.
-type Stub struct {
-	m *Monitor
-}
-
-// NewStub wraps a monitor for export.
-func NewStub(m *Monitor) *Stub { return &Stub{m: m} }
-
-// Report services remote status reports.
-func (s *Stub) Report(st ComponentStatus) error { return s.m.Report(st) }
-
-// RecordEvent services remote event reports.
-func (s *Stub) RecordEvent(e Event) error { return s.m.RecordEvent(e) }
-
-// Export publishes the monitor on a dcom exporter.
-func Export(exp *dcom.Exporter, oid dcom.ObjectID, m *Monitor) error {
-	return exp.Export(oid, NewStub(m))
-}
-
-// Remote is the engine-side proxy to a monitor on another node. A nil
-// Remote is valid and discards reports (fault tolerance must operate
-// without the monitor).
-type Remote struct {
-	proxy *dcom.Proxy
-}
-
-// NewRemote wraps a dcom client/OID pair.
-func NewRemote(client *dcom.Client, oid dcom.ObjectID) *Remote {
-	return &Remote{proxy: client.Object(oid)}
-}
-
-// Report forwards a status row; errors are swallowed (monitor is optional).
-func (r *Remote) Report(st ComponentStatus) {
-	if r == nil || r.proxy == nil {
-		return
-	}
-	_ = r.proxy.Call("Report", nil, st)
-}
-
-// RecordEvent forwards an event; errors are swallowed.
-func (r *Remote) RecordEvent(e Event) {
-	if r == nil || r.proxy == nil {
-		return
-	}
-	_ = r.proxy.Call("RecordEvent", nil, e)
-}
-
-// Sink is anything that accepts monitor reports: the local monitor, a
-// remote proxy, or nil.
-type Sink interface {
-	ReportStatus(st ComponentStatus)
-	Emit(e Event)
-}
-
-// LocalSink adapts *Monitor to Sink.
-type LocalSink struct{ M *Monitor }
-
-// ReportStatus implements Sink.
-func (s LocalSink) ReportStatus(st ComponentStatus) { _ = s.M.Report(st) }
-
-// Emit implements Sink.
-func (s LocalSink) Emit(e Event) { _ = s.M.RecordEvent(e) }
-
-// RemoteSink adapts *Remote to Sink.
-type RemoteSink struct{ R *Remote }
-
-// ReportStatus implements Sink.
-func (s RemoteSink) ReportStatus(st ComponentStatus) { s.R.Report(st) }
-
-// Emit implements Sink.
-func (s RemoteSink) Emit(e Event) { s.R.RecordEvent(e) }
-
-// NullSink discards everything.
-type NullSink struct{}
-
-// ReportStatus implements Sink.
-func (NullSink) ReportStatus(ComponentStatus) {}
-
-// Emit implements Sink.
-func (NullSink) Emit(Event) {}

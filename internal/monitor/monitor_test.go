@@ -6,9 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/com"
-	"repro/internal/dcom"
-	"repro/internal/netsim"
+	"repro/internal/telemetry"
 )
 
 func TestReportAndStatuses(t *testing.T) {
@@ -92,69 +90,23 @@ func TestRender(t *testing.T) {
 	}
 }
 
-func TestRemoteReporting(t *testing.T) {
-	n := netsim.New("eth0", 1)
-	exp, err := dcom.NewExporter(n, "testpc:monitor")
-	if err != nil {
-		t.Fatal(err)
+// TestViewSharesHubStore proves the dashboard and the telemetry sink see
+// the same rows: a report through the hub's Sink surface shows up in
+// Render with no copying.
+func TestViewSharesHubStore(t *testing.T) {
+	hub := telemetry.NewHub(0)
+	m := FromHub(hub)
+	var sink telemetry.Sink = hub
+	sink.ReportStatus(ComponentStatus{Node: "node1", Component: "engine", Kind: KindEngine, State: "PRIMARY"})
+	sink.Emit(Event{Node: "node1", Component: "engine", Kind: "role", Detail: "became primary"})
+
+	if st, ok := m.Status("node1", "engine"); !ok || st.State != "PRIMARY" {
+		t.Fatalf("view missed hub report: %+v", st)
 	}
-	defer exp.Close()
-	m := New(0)
-	oid := com.NewGUID()
-	if err := Export(exp, oid, m); err != nil {
-		t.Fatal(err)
+	if !strings.Contains(m.Render(), "became primary") {
+		t.Fatal("render missed hub event")
 	}
-
-	cli, err := dcom.Dial(n, "node1:monitorcli", "testpc:monitor")
-	if err != nil {
-		t.Fatal(err)
+	if m.Store() != hub.Store() {
+		t.Fatal("view must share the hub's store")
 	}
-	defer cli.Close()
-	remote := NewRemote(cli, oid)
-
-	remote.Report(ComponentStatus{Node: "node1", Component: "engine", Kind: KindEngine, State: "PRIMARY"})
-	remote.RecordEvent(Event{Node: "node1", Kind: "role", Detail: "became primary"})
-
-	st, ok := m.Status("node1", "engine")
-	if !ok || st.State != "PRIMARY" {
-		t.Fatalf("remote report lost: %+v", st)
-	}
-	if evs := m.Events(0); len(evs) != 1 || evs[0].Kind != "role" {
-		t.Fatalf("remote event lost: %+v", evs)
-	}
-}
-
-func TestRemoteSurvivesMonitorDeath(t *testing.T) {
-	n := netsim.New("eth0", 1)
-	exp, _ := dcom.NewExporter(n, "testpc:monitor")
-	m := New(0)
-	oid := com.NewGUID()
-	_ = Export(exp, oid, m)
-	cli, _ := dcom.Dial(n, "node1:monitorcli", "testpc:monitor")
-	defer cli.Close()
-	remote := NewRemote(cli, oid)
-
-	exp.Close() // the monitor PC dies
-	// Reports must not panic or error: the monitor is optional.
-	remote.Report(ComponentStatus{Node: "node1", Component: "engine", State: "PRIMARY"})
-	remote.RecordEvent(Event{Kind: "info"})
-}
-
-func TestNilRemoteIsSafe(t *testing.T) {
-	var r *Remote
-	r.Report(ComponentStatus{})
-	r.RecordEvent(Event{})
-}
-
-func TestSinks(t *testing.T) {
-	m := New(0)
-	var sink Sink = LocalSink{M: m}
-	sink.ReportStatus(ComponentStatus{Node: "n", Component: "c", State: "OK"})
-	sink.Emit(Event{Kind: "info"})
-	if _, ok := m.Status("n", "c"); !ok {
-		t.Fatal("local sink dropped status")
-	}
-	sink = NullSink{}
-	sink.ReportStatus(ComponentStatus{})
-	sink.Emit(Event{})
 }

@@ -105,6 +105,14 @@ func (n *Network) Name() string { return n.name }
 // Stats exposes the fabric counters.
 func (n *Network) Stats() *Stats { return &n.stats }
 
+// PartitionCount reports how many pairwise partitions are currently in
+// force (for the telemetry collectors).
+func (n *Network) PartitionCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.partitions)
+}
+
 // SetLatency configures one-way delivery latency and uniform jitter.
 func (n *Network) SetLatency(latency, jitter time.Duration) {
 	n.mu.Lock()

@@ -1,0 +1,28 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the hub over HTTP:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/snapshot.json  full JSON snapshot (statuses, events, metrics, traces)
+//
+// Collectors run before each response so pull-style subsystems are fresh.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		h.Collect()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		h.reg.WriteProm(w)
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h.Snapshot())
+	})
+	return mux
+}

@@ -1,0 +1,405 @@
+// Package telemetry is OFTT's instrumentation plane: a lock-cheap metrics
+// registry (counters, gauges, fixed-bucket histograms with an atomic,
+// allocation-free record path), a span/event tracer that stitches recovery
+// timelines into queryable traces, and a status/event store that replaces
+// the system monitor's three ad-hoc reporting paths with one Sink
+// interface carried over the same local and DCOM transports.
+//
+// The paper's system monitor (Section 2.2.4) only displays component
+// status; it cannot answer the questions the paper's own evaluation asks —
+// detection latency, switchover duration, checkpoint overhead. This
+// package is the first-class instrumentation plane that can.
+//
+// The package deliberately depends only on the standard library so every
+// toolkit layer (heartbeat, diverter, checkpoint, dcom) may import it; the
+// DCOM transport binds through the small Caller interface, which
+// *dcom.Proxy satisfies.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. All methods are nil-safe
+// so optional instrumentation needs no branching at call sites, and the
+// record path is atomic and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value metric. Nil-safe, atomic, alloc-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (queue depths etc.).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram. Bounds are inclusive upper
+// bounds in ascending order; an implicit +Inf bucket follows the last
+// bound. Observe is atomic and allocation-free: one bucket increment plus
+// sum/count updates, no boxing, no maps.
+//
+// Durations are recorded in microseconds (ObserveDuration); sizes in
+// bytes.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (≤ ~16) and the loop touches
+	// one contiguous slice — cheaper in practice than branching binary
+	// search at these sizes, and trivially allocation-free.
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count reports how many observations were recorded (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Default bucket sets.
+var (
+	// DurationBuckets covers 50µs..1s in roughly 2.5x steps (values in µs).
+	DurationBuckets = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000,
+		25000, 50000, 100000, 250000, 500000, 1000000}
+
+	// SizeBuckets covers 64B..1MiB in 4x steps (values in bytes).
+	SizeBuckets = []int64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+	// DepthBuckets covers small queue depths / counts.
+	DepthBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+)
+
+// Registry holds named instruments. Lookup/creation takes a mutex and may
+// allocate; callers are expected to resolve instruments once at setup and
+// hold the returned pointers — recording through those pointers never
+// touches the registry.
+//
+// Metric names may carry a Prometheus label set baked into the name, e.g.
+// `oftt_checkpoint_capture_us{mode="full"}`; the text exposition splits it
+// back out so `name_bucket{mode="full",le="..."}` lines render correctly.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (DurationBuckets when none are given).
+// An existing histogram keeps its original bounds.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DurationBuckets
+		}
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is one histogram's frozen state.
+type HistogramSnapshot struct {
+	Name   string  `json:"name"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1, last is +Inf
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Mean returns the average observed value (0 with no observations).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Max returns the upper bound of the highest non-empty bucket — a bucketed
+// over-estimate of the true maximum (the +Inf bucket reports the last
+// finite bound).
+func (s HistogramSnapshot) Max() int64 {
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		return s.Bounds[i]
+	}
+	return 0
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the containing bucket.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	lower := int64(0)
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			if i < len(s.Bounds) {
+				lower = s.Bounds[i]
+			}
+			continue
+		}
+		upper := lower
+		if i < len(s.Bounds) {
+			upper = s.Bounds[i]
+		} else if len(s.Bounds) > 0 {
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return float64(lower) + frac*float64(upper-lower)
+	}
+	if len(s.Bounds) > 0 {
+		return float64(s.Bounds[len(s.Bounds)-1])
+	}
+	return 0
+}
+
+// MetricsSnapshot is a frozen copy of every instrument in a registry.
+type MetricsSnapshot struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry's current values.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := MetricsSnapshot{
+		Counters: make(map[string]int64, len(r.counters)),
+		Gauges:   make(map[string]int64, len(r.gauges)),
+	}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Name:   name,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.sum.Load(),
+			Count:  h.count.Load(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		snap.Histograms = append(snap.Histograms, hs)
+	}
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		return snap.Histograms[i].Name < snap.Histograms[j].Name
+	})
+	return snap
+}
+
+// FindHistogram returns the named histogram's snapshot.
+func (s MetricsSnapshot) FindHistogram(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// splitName separates a metric name from an optional baked-in label set:
+// `foo{mode="full"}` -> ("foo", `mode="full"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+func promLine(w io.Writer, base, labels, suffix, extra string, v int64) {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all != "" {
+		fmt.Fprintf(w, "%s%s{%s} %d\n", base, suffix, all, v)
+	} else {
+		fmt.Fprintf(w, "%s%s %d\n", base, suffix, v)
+	}
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format.
+func (r *Registry) WriteProm(w io.Writer) {
+	snap := r.Snapshot()
+	snap.WriteProm(w)
+}
+
+// WriteProm renders a frozen snapshot in the Prometheus text format.
+func (s MetricsSnapshot) WriteProm(w io.Writer) {
+	writeScalarSection(w, "counter", s.Counters)
+	writeScalarSection(w, "gauge", s.Gauges)
+
+	seenType := make(map[string]bool)
+	for _, h := range s.Histograms {
+		base, labels := splitName(h.Name)
+		if !seenType[base] {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+			seenType[base] = true
+		}
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			promLine(w, base, labels, "_bucket", fmt.Sprintf("le=%q", fmt.Sprint(b)), cum)
+		}
+		cum += h.Counts[len(h.Bounds)]
+		promLine(w, base, labels, "_bucket", `le="+Inf"`, cum)
+		promLine(w, base, labels, "_sum", "", h.Sum)
+		promLine(w, base, labels, "_count", "", h.Count)
+	}
+}
+
+func writeScalarSection(w io.Writer, typ string, vals map[string]int64) {
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	seenType := make(map[string]bool)
+	for _, name := range names {
+		base, labels := splitName(name)
+		if !seenType[base] {
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+			seenType[base] = true
+		}
+		promLine(w, base, labels, "", "", vals[name])
+	}
+}

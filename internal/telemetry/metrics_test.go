@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInstrumentBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("counter not interned")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+
+	h := r.Histogram("h_us", 10, 100, 1000)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000) // +Inf bucket
+	h.ObserveDuration(200 * time.Microsecond)
+	snap, ok := r.Snapshot().FindHistogram("h_us")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	want := []int64{1, 1, 1, 1}
+	for i, n := range want {
+		if snap.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, snap.Counts[i], n, snap)
+		}
+	}
+	if snap.Count != 4 || snap.Sum != 5+50+5000+200 {
+		t.Fatalf("sum/count: %+v", snap)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+// TestRegistryConcurrency hammers creation, recording, Apply, and
+// Snapshot from many goroutines; run under -race it is the registry's
+// thread-safety proof required by the issue.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared_total")
+			g := r.Gauge("shared_gauge")
+			h := r.Histogram("shared_us", DurationBuckets...)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i % 2000))
+				if i%500 == 0 {
+					// Concurrent get-or-create of fresh names.
+					r.Counter("worker_total{w=\"" + string(rune('a'+w)) + "\"}").Inc()
+					_ = r.Snapshot()
+				}
+				if i%700 == 0 {
+					r.Apply(MetricBatch{
+						Counters: []CounterDelta{{Name: "applied_total", Delta: 1}},
+						Gauges:   []GaugeValue{{Name: "applied_gauge", Value: int64(i)}},
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*iters {
+		t.Fatalf("shared_total = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("shared_us").Count(); got != workers*iters {
+		t.Fatalf("shared_us count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestRecordPathZeroAllocs is the acceptance criterion: the metric record
+// hot path (counter add, gauge set, histogram observe) must not allocate.
+func TestRecordPathZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_us", DurationBuckets...)
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+			g.Set(int64(i))
+			h.Observe(int64(i & 0xffff))
+		}
+	})
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("record hot path allocates: %d allocs/op", allocs)
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`oftt_engine_switchovers_total{node="node1"}`).Add(3)
+	r.Counter(`oftt_engine_switchovers_total{node="node2"}`).Add(1)
+	r.Gauge("oftt_diverter_queue_depth").Set(4)
+	h := r.Histogram(`oftt_checkpoint_capture_us{mode="full"}`, 10, 100)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE oftt_engine_switchovers_total counter",
+		`oftt_engine_switchovers_total{node="node1"} 3`,
+		`oftt_engine_switchovers_total{node="node2"} 1`,
+		"# TYPE oftt_diverter_queue_depth gauge",
+		"oftt_diverter_queue_depth 4",
+		"# TYPE oftt_checkpoint_capture_us histogram",
+		`oftt_checkpoint_capture_us_bucket{mode="full",le="10"} 1`,
+		`oftt_checkpoint_capture_us_bucket{mode="full",le="100"} 2`,
+		`oftt_checkpoint_capture_us_bucket{mode="full",le="+Inf"} 3`,
+		`oftt_checkpoint_capture_us_sum{mode="full"} 555`,
+		`oftt_checkpoint_capture_us_count{mode="full"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE header must appear once per base name even with two label sets.
+	if strings.Count(out, "# TYPE oftt_engine_switchovers_total counter") != 1 {
+		t.Errorf("duplicate TYPE header:\n%s", out)
+	}
+}
+
+func TestHistogramSnapshotStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_us", 10, 20, 30, 40)
+	for v := int64(1); v <= 40; v++ {
+		h.Observe(v)
+	}
+	snap, _ := r.Snapshot().FindHistogram("q_us")
+	if m := snap.Mean(); m != 20.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if mx := snap.Max(); mx != 40 {
+		t.Fatalf("max = %v", mx)
+	}
+	p50 := snap.Quantile(0.5)
+	if p50 < 10 || p50 > 20 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := snap.Quantile(0.99)
+	if p99 < 30 || p99 > 40 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_us", DurationBuckets...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xfffff))
+	}
+}
+
+func BenchmarkCounterAddParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+// Remote-sink tests live in an external test package because they bind
+// the sink to the real DCOM transport; internal/telemetry itself imports
+// only the standard library so dcom/netsim can in turn import it.
+package telemetry_test
+
+import (
+	"testing"
+
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+func dialSink(t *testing.T) (*telemetry.Hub, *telemetry.Remote, *dcom.Exporter, *dcom.Client) {
+	t.Helper()
+	n := netsim.New("eth0", 1)
+	exp, err := dcom.NewExporter(n, "testpc:telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := telemetry.NewHub(0)
+	oid := com.NewGUID()
+	if err := exp.Export(oid, telemetry.NewStub(hub)); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := dcom.Dial(n, "node1:telemetrycli", "testpc:telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hub, telemetry.NewRemote(cli.Object(oid)), exp, cli
+}
+
+func TestRemoteSinkOverDCOM(t *testing.T) {
+	hub, remote, exp, cli := dialSink(t)
+	defer exp.Close()
+	defer cli.Close()
+
+	var sink telemetry.Sink = remote
+	sink.ReportStatus(telemetry.Status{Node: "node1", Component: "engine",
+		Kind: telemetry.KindEngine, State: "PRIMARY"})
+	sink.Emit(telemetry.Event{Node: "node1", Kind: "role", Detail: "became primary"})
+	sink.RecordSpan(telemetry.SpanEvent{Node: "node1", Component: "engine", Phase: telemetry.PhaseDetect})
+	sink.RecordSpan(telemetry.SpanEvent{Node: "node1", Component: "app", Phase: telemetry.PhaseDeliver})
+	sink.PushMetrics(telemetry.MetricBatch{
+		Node:     "node1",
+		Counters: []telemetry.CounterDelta{{Name: "oftt_remote_total", Delta: 7}},
+		Histograms: []telemetry.HistogramDelta{{
+			Name: "oftt_remote_us", Bounds: []int64{10, 100},
+			Counts: []int64{1, 2, 0}, Sum: 120, Count: 3,
+		}},
+	})
+
+	if st, ok := hub.Store().Status("node1", "engine"); !ok || st.State != "PRIMARY" {
+		t.Fatalf("remote status lost: %+v", st)
+	}
+	if evs := hub.Store().Events(0); len(evs) != 1 || evs[0].Detail != "became primary" {
+		t.Fatalf("remote event lost: %+v", evs)
+	}
+	tc, ok := hub.Tracer().Last()
+	if !ok || !tc.HasOrdered(telemetry.PhaseDetect, telemetry.PhaseDeliver) {
+		t.Fatalf("remote spans lost: %+v", tc)
+	}
+	if got := hub.Metrics().Counter("oftt_remote_total").Value(); got != 7 {
+		t.Fatalf("remote counter = %d", got)
+	}
+	hs, ok := hub.Metrics().Snapshot().FindHistogram("oftt_remote_us")
+	if !ok || hs.Count != 3 || hs.Sum != 120 {
+		t.Fatalf("remote histogram: %+v", hs)
+	}
+}
+
+func TestRemoteSurvivesMonitorNodeDeath(t *testing.T) {
+	_, remote, exp, cli := dialSink(t)
+	defer cli.Close()
+	exp.Close() // the monitor PC dies
+	// Per the paper the fault tolerance provisions operate without the
+	// monitor: reports must neither panic nor surface errors.
+	remote.ReportStatus(telemetry.Status{Node: "node1", Component: "engine", State: "PRIMARY"})
+	remote.Emit(telemetry.Event{Kind: "info"})
+	remote.RecordSpan(telemetry.SpanEvent{Phase: telemetry.PhaseDetect})
+	remote.PushMetrics(telemetry.MetricBatch{})
+}
+
+func TestNilRemoteIsSafe(t *testing.T) {
+	var r *telemetry.Remote
+	r.ReportStatus(telemetry.Status{})
+	r.Emit(telemetry.Event{})
+	r.RecordSpan(telemetry.SpanEvent{})
+	r.PushMetrics(telemetry.MetricBatch{})
+}

@@ -1,0 +1,306 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Sink is the single reporting surface every OFTT layer talks to. It
+// replaces the old monitor trio (Stub / Remote / LocalSink-RemoteSink):
+// statuses, events, recovery spans, and metric deltas all travel the same
+// path, whether that path is a local Hub or a DCOM proxy to the
+// test-and-interface node.
+type Sink interface {
+	// ReportStatus updates a component's dashboard row.
+	ReportStatus(st Status)
+	// Emit records a notable occurrence (failure, switchover, restart).
+	Emit(e Event)
+	// RecordSpan files one step of a recovery timeline.
+	RecordSpan(ev SpanEvent)
+	// PushMetrics merges a batch of metric deltas (remote nodes push
+	// periodically; local callers normally record into a Registry
+	// directly and never use this).
+	PushMetrics(b MetricBatch)
+}
+
+// NullSink discards everything; fault tolerance must operate with the
+// instrumentation plane absent.
+type NullSink struct{}
+
+func (NullSink) ReportStatus(Status)    {}
+func (NullSink) Emit(Event)             {}
+func (NullSink) RecordSpan(SpanEvent)   {}
+func (NullSink) PushMetrics(MetricBatch) {}
+
+// Hub is the local instrumentation plane: status/event store, metrics
+// registry, and recovery tracer behind one Sink. A deployment owns one
+// Hub; views (the monitor dashboard, the HTTP exposition) read from it.
+type Hub struct {
+	store  *Store
+	reg    *Registry
+	tracer *Tracer
+
+	colMu      sync.Mutex
+	collectors []func(*Registry)
+}
+
+// NewHub builds a hub retaining up to maxEvents events.
+func NewHub(maxEvents int) *Hub {
+	return &Hub{
+		store:  NewStore(maxEvents),
+		reg:    NewRegistry(),
+		tracer: NewTracer(0),
+	}
+}
+
+// Store exposes the status/event store.
+func (h *Hub) Store() *Store { return h.store }
+
+// Metrics exposes the registry for direct instrument resolution.
+func (h *Hub) Metrics() *Registry { return h.reg }
+
+// Tracer exposes the recovery tracer.
+func (h *Hub) Tracer() *Tracer { return h.tracer }
+
+// ReportStatus implements Sink.
+func (h *Hub) ReportStatus(st Status) { h.store.Report(st) }
+
+// Emit implements Sink.
+func (h *Hub) Emit(e Event) { h.store.RecordEvent(e) }
+
+// RecordSpan implements Sink. Events arriving unstamped (local callers)
+// get the hub tracer's monotonic clock; pre-stamped events (already
+// timestamped upstream) keep their time.
+func (h *Hub) RecordSpan(ev SpanEvent) {
+	if ev.AtUS == 0 {
+		h.tracer.Record(ev)
+	} else {
+		h.tracer.RecordAt(ev)
+	}
+}
+
+// PushMetrics implements Sink by merging the batch into the registry.
+func (h *Hub) PushMetrics(b MetricBatch) { h.reg.Apply(b) }
+
+// AddCollector registers a pull-style collector invoked before every
+// snapshot/exposition — the hook used for subsystems (netsim, diverter)
+// that keep their own atomic counters rather than recording per event.
+func (h *Hub) AddCollector(fn func(*Registry)) {
+	h.colMu.Lock()
+	h.collectors = append(h.collectors, fn)
+	h.colMu.Unlock()
+}
+
+// Collect runs all registered collectors.
+func (h *Hub) Collect() {
+	h.colMu.Lock()
+	var fns []func(*Registry)
+	fns = append(fns, h.collectors...)
+	h.colMu.Unlock()
+	for _, fn := range fns {
+		fn(h.reg)
+	}
+}
+
+// HubSnapshot is a frozen, JSON-serializable view of the whole plane.
+type HubSnapshot struct {
+	TakenAt  time.Time       `json:"taken_at"`
+	Statuses []Status        `json:"statuses"`
+	Events   []Event         `json:"events"`
+	Metrics  MetricsSnapshot `json:"metrics"`
+	Traces   []Trace         `json:"traces"`
+}
+
+// Snapshot collects and freezes everything the hub knows.
+func (h *Hub) Snapshot() HubSnapshot {
+	h.Collect()
+	return HubSnapshot{
+		TakenAt:  time.Now(),
+		Statuses: h.store.Statuses(),
+		Events:   h.store.Events(0),
+		Metrics:  h.reg.Snapshot(),
+		Traces:   h.tracer.Traces(),
+	}
+}
+
+// MetricBatch is a set of metric deltas shipped from a remote node.
+type MetricBatch struct {
+	Node       string
+	Counters   []CounterDelta
+	Gauges     []GaugeValue
+	Histograms []HistogramDelta
+}
+
+// CounterDelta is a counter increment since the last push.
+type CounterDelta struct {
+	Name  string
+	Delta int64
+}
+
+// GaugeValue is a gauge's current value.
+type GaugeValue struct {
+	Name  string
+	Value int64
+}
+
+// HistogramDelta is per-bucket increments since the last push.
+type HistogramDelta struct {
+	Name   string
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1
+	Sum    int64
+	Count  int64
+}
+
+// Apply merges a delta batch into the registry. Histograms are created
+// with the batch's bounds on first sight; a bucket-count mismatch against
+// an existing histogram drops that entry rather than corrupting it.
+func (r *Registry) Apply(b MetricBatch) {
+	for _, c := range b.Counters {
+		r.Counter(c.Name).Add(c.Delta)
+	}
+	for _, g := range b.Gauges {
+		r.Gauge(g.Name).Set(g.Value)
+	}
+	for _, hd := range b.Histograms {
+		h := r.Histogram(hd.Name, hd.Bounds...)
+		if len(hd.Counts) != len(h.counts) {
+			continue
+		}
+		for i, n := range hd.Counts {
+			if n != 0 {
+				h.counts[i].Add(n)
+			}
+		}
+		h.sum.Add(hd.Sum)
+		h.count.Add(hd.Count)
+	}
+}
+
+// Caller is the slice of a DCOM proxy the remote sink needs; *dcom.Proxy
+// satisfies it. Keeping the dependency inverted lets dcom itself be
+// instrumented with this package without an import cycle.
+type Caller interface {
+	Call(method string, out []any, args ...any) error
+}
+
+// Remote forwards sink traffic over a Caller to a Stub on another node.
+// A nil Remote is valid and discards everything, and errors are swallowed:
+// per the paper, the fault tolerance provisions operate without the
+// monitor node.
+type Remote struct {
+	caller Caller
+}
+
+// NewRemote wraps a proxy-shaped caller.
+func NewRemote(c Caller) *Remote { return &Remote{caller: c} }
+
+func (r *Remote) ok() bool { return r != nil && r.caller != nil }
+
+// ReportStatus implements Sink.
+func (r *Remote) ReportStatus(st Status) {
+	if r.ok() {
+		_ = r.caller.Call("ReportStatus", nil, st)
+	}
+}
+
+// Emit implements Sink.
+func (r *Remote) Emit(e Event) {
+	if r.ok() {
+		_ = r.caller.Call("Emit", nil, e)
+	}
+}
+
+// RecordSpan implements Sink. The event is forwarded unstamped so the
+// receiving hub's monotonic clock orders all nodes on one timeline.
+func (r *Remote) RecordSpan(ev SpanEvent) {
+	if r.ok() {
+		_ = r.caller.Call("RecordSpan", nil, ev)
+	}
+}
+
+// PushMetrics implements Sink.
+func (r *Remote) PushMetrics(b MetricBatch) {
+	if r.ok() {
+		_ = r.caller.Call("PushMetrics", nil, b)
+	}
+}
+
+// Stub services remote sink calls against a local hub; export it with
+// exp.Export(oid, telemetry.NewStub(hub)).
+type Stub struct {
+	h *Hub
+}
+
+// NewStub wraps a hub for DCOM export.
+func NewStub(h *Hub) *Stub { return &Stub{h: h} }
+
+// ReportStatus services a remote status report.
+func (s *Stub) ReportStatus(st Status) error { s.h.ReportStatus(st); return nil }
+
+// Emit services a remote event report.
+func (s *Stub) Emit(e Event) error { s.h.Emit(e); return nil }
+
+// RecordSpan services a remote span report.
+func (s *Stub) RecordSpan(ev SpanEvent) error { s.h.RecordSpan(ev); return nil }
+
+// PushMetrics services a remote metric-delta push.
+func (s *Stub) PushMetrics(b MetricBatch) error { s.h.PushMetrics(b); return nil }
+
+// Pusher periodically ships a local registry's deltas to a Sink — the
+// remote-node half of metric aggregation. Call Push on a timer or at
+// checkpoints; each call sends only what changed since the previous one.
+type Pusher struct {
+	node string
+	reg  *Registry
+	sink Sink
+	last MetricsSnapshot
+}
+
+// NewPusher builds a pusher for the given origin node name.
+func NewPusher(node string, reg *Registry, sink Sink) *Pusher {
+	return &Pusher{node: node, reg: reg, sink: sink}
+}
+
+// Push computes deltas since the last push and forwards them. Returns the
+// batch for tests; an empty batch is not sent.
+func (p *Pusher) Push() MetricBatch {
+	cur := p.reg.Snapshot()
+	b := MetricBatch{Node: p.node}
+	for name, v := range cur.Counters {
+		if d := v - p.last.Counters[name]; d != 0 {
+			b.Counters = append(b.Counters, CounterDelta{Name: name, Delta: d})
+		}
+	}
+	for name, v := range cur.Gauges {
+		if prev, ok := p.last.Gauges[name]; !ok || prev != v {
+			b.Gauges = append(b.Gauges, GaugeValue{Name: name, Value: v})
+		}
+	}
+	for _, h := range cur.Histograms {
+		prev, had := p.last.FindHistogram(h.Name)
+		if had && prev.Count == h.Count {
+			continue
+		}
+		hd := HistogramDelta{
+			Name:   h.Name,
+			Bounds: h.Bounds,
+			Counts: append([]int64(nil), h.Counts...),
+			Sum:    h.Sum,
+			Count:  h.Count,
+		}
+		if had && len(prev.Counts) == len(hd.Counts) {
+			for i := range hd.Counts {
+				hd.Counts[i] -= prev.Counts[i]
+			}
+			hd.Sum -= prev.Sum
+			hd.Count -= prev.Count
+		}
+		b.Histograms = append(b.Histograms, hd)
+	}
+	p.last = cur
+	if len(b.Counters)+len(b.Gauges)+len(b.Histograms) > 0 {
+		p.sink.PushMetrics(b)
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHubImplementsSink(t *testing.T) {
+	h := NewHub(0)
+	var s Sink = h
+	s.ReportStatus(Status{Node: "node1", Component: "engine", Kind: KindEngine, State: "PRIMARY"})
+	s.Emit(Event{Node: "node1", Kind: "role", Detail: "became primary"})
+	s.RecordSpan(SpanEvent{Node: "node1", Component: "engine", Phase: PhaseDetect})
+	s.RecordSpan(SpanEvent{Node: "node1", Component: "app", Phase: PhaseRecovered})
+	s.PushMetrics(MetricBatch{Counters: []CounterDelta{{Name: "pushed_total", Delta: 2}}})
+
+	if st, ok := h.Store().Status("node1", "engine"); !ok || st.State != "PRIMARY" {
+		t.Fatalf("status lost: %+v", st)
+	}
+	if evs := h.Store().Events(0); len(evs) != 1 || evs[0].Kind != "role" {
+		t.Fatalf("event lost: %+v", evs)
+	}
+	if tc, ok := h.Tracer().Last(); !ok || !tc.HasOrdered(PhaseDetect, PhaseRecovered) {
+		t.Fatalf("spans lost: %+v", tc)
+	}
+	if h.Metrics().Counter("pushed_total").Value() != 2 {
+		t.Fatal("metric batch lost")
+	}
+
+	s = NullSink{}
+	s.ReportStatus(Status{})
+	s.Emit(Event{})
+	s.RecordSpan(SpanEvent{})
+	s.PushMetrics(MetricBatch{})
+}
+
+func TestPusherSendsDeltasOnly(t *testing.T) {
+	src := NewRegistry()
+	hub := NewHub(0)
+	p := NewPusher("node1", src, hub)
+
+	src.Counter("c_total").Add(5)
+	src.Gauge("g").Set(9)
+	src.Histogram("h_us", 10, 100).Observe(50)
+	b1 := p.Push()
+	if len(b1.Counters) != 1 || b1.Counters[0].Delta != 5 {
+		t.Fatalf("first push counters: %+v", b1)
+	}
+	if hub.Metrics().Counter("c_total").Value() != 5 {
+		t.Fatal("push not applied")
+	}
+
+	// No changes → empty batch, nothing re-sent.
+	b2 := p.Push()
+	if len(b2.Counters)+len(b2.Gauges)+len(b2.Histograms) != 0 {
+		t.Fatalf("idle push not empty: %+v", b2)
+	}
+
+	src.Counter("c_total").Add(3)
+	src.Histogram("h_us").Observe(7)
+	b3 := p.Push()
+	if len(b3.Counters) != 1 || b3.Counters[0].Delta != 3 {
+		t.Fatalf("delta push: %+v", b3)
+	}
+	if len(b3.Histograms) != 1 || b3.Histograms[0].Count != 1 || b3.Histograms[0].Sum != 7 {
+		t.Fatalf("histogram delta: %+v", b3.Histograms)
+	}
+	if got := hub.Metrics().Counter("c_total").Value(); got != 8 {
+		t.Fatalf("merged counter = %d", got)
+	}
+	hs, _ := hub.Metrics().Snapshot().FindHistogram("h_us")
+	if hs.Count != 2 || hs.Sum != 57 {
+		t.Fatalf("merged histogram: %+v", hs)
+	}
+}
+
+func TestCollectors(t *testing.T) {
+	h := NewHub(0)
+	calls := 0
+	h.AddCollector(func(r *Registry) {
+		calls++
+		r.Gauge("collected_gauge").Set(int64(calls))
+	})
+	snap := h.Snapshot()
+	if calls != 1 || snap.Metrics.Gauges["collected_gauge"] != 1 {
+		t.Fatalf("collector not run: calls=%d %+v", calls, snap.Metrics.Gauges)
+	}
+}
+
+func TestHandlerServesPromAndJSON(t *testing.T) {
+	h := NewHub(0)
+	h.ReportStatus(Status{Node: "node1", Component: "engine", Kind: KindEngine, State: "PRIMARY"})
+	h.Metrics().Counter("oftt_demo_total").Add(42)
+	h.RecordSpan(SpanEvent{Node: "node1", Component: "engine", Phase: PhaseDetect})
+	h.RecordSpan(SpanEvent{Node: "node1", Component: "app", Phase: PhaseDeliver})
+
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if !strings.Contains(string(body), "oftt_demo_total 42") {
+		t.Fatalf("prom exposition:\n%s", body)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var snap HubSnapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Statuses) != 1 || snap.Statuses[0].State != "PRIMARY" {
+		t.Fatalf("json statuses: %+v", snap.Statuses)
+	}
+	if snap.Metrics.Counters["oftt_demo_total"] != 42 {
+		t.Fatalf("json metrics: %+v", snap.Metrics.Counters)
+	}
+	if len(snap.Traces) != 1 || !snap.Traces[0].Complete {
+		t.Fatalf("json traces: %+v", snap.Traces)
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Component kinds, carried in Status.Kind. These mirror the component
+// classes the paper's system monitor displays (hardware, OS, OFTT
+// components, applications).
+const (
+	KindHardware   = "hardware"
+	KindOS         = "os"
+	KindEngine     = "oftt-engine"
+	KindFTIM       = "oftt-ftim"
+	KindDiverter   = "oftt-diverter"
+	KindOPCServer  = "opc-server"
+	KindOPCClient  = "opc-client"
+	KindApp        = "application"
+	KindWatchdog   = "watchdog"
+	KindCheckpoint = "checkpoint"
+)
+
+// Status is one component's reported condition.
+type Status struct {
+	Node      string
+	Component string
+	Kind      string
+	State     string // e.g. "PRIMARY", "BACKUP", "RUNNING", "FAILED"
+	Detail    string
+	UpdatedAt time.Time
+}
+
+func (s Status) key() string { return s.Node + "/" + s.Component }
+
+// Event is one notable occurrence (failure detected, switchover, restart).
+type Event struct {
+	Time      time.Time
+	Node      string
+	Component string
+	Kind      string // "failure", "recovery", "switchover", "role", "info"
+	Detail    string
+}
+
+// Store aggregates component statuses and an event ring. It is the
+// storage half of the old system monitor; rendering lives in
+// internal/monitor as a view over this store.
+type Store struct {
+	mu        sync.Mutex
+	statuses  map[string]Status
+	events    []Event
+	maxEvents int
+	subs      map[int]func(Event)
+	nextSub   int
+}
+
+// NewStore returns an empty store retaining up to maxEvents events
+// (default 1024).
+func NewStore(maxEvents int) *Store {
+	if maxEvents <= 0 {
+		maxEvents = 1024
+	}
+	return &Store{
+		statuses:  make(map[string]Status),
+		maxEvents: maxEvents,
+		subs:      make(map[int]func(Event)),
+	}
+}
+
+// Report updates (or creates) a component's status row.
+func (m *Store) Report(st Status) {
+	if st.UpdatedAt.IsZero() {
+		st.UpdatedAt = time.Now()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.statuses[st.key()] = st
+}
+
+// RecordEvent appends an event, trimming to the retention limit, and
+// notifies subscribers.
+func (m *Store) RecordEvent(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	if over := len(m.events) - m.maxEvents; over > 0 {
+		m.events = append([]Event(nil), m.events[over:]...)
+	}
+	subs := make([]func(Event), 0, len(m.subs))
+	for _, fn := range m.subs {
+		subs = append(subs, fn)
+	}
+	m.mu.Unlock()
+	for _, fn := range subs {
+		fn(e)
+	}
+}
+
+// Subscribe registers a live event sink; the returned func cancels it.
+func (m *Store) Subscribe(fn func(Event)) (cancel func()) {
+	m.mu.Lock()
+	id := m.nextSub
+	m.nextSub++
+	m.subs[id] = fn
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		delete(m.subs, id)
+	}
+}
+
+// Statuses returns all rows sorted by node then component.
+func (m *Store) Statuses() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.statuses))
+	for _, st := range m.statuses {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// Status fetches one row.
+func (m *Store) Status(node, component string) (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.statuses[node+"/"+component]
+	return st, ok
+}
+
+// Events returns the most recent events, newest last, up to limit
+// (0 = all retained).
+func (m *Store) Events(limit int) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	evs := m.events
+	if limit > 0 && len(evs) > limit {
+		evs = evs[len(evs)-limit:]
+	}
+	return append([]Event(nil), evs...)
+}
+
+// CountByState counts rows currently in the given state.
+func (m *Store) CountByState(state string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, st := range m.statuses {
+		if st.State == state {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase names the steps of a recovery timeline. The tracer stitches span
+// events carrying these phases into ordered traces: heartbeat-miss →
+// detection → restart/switchover decision → rebind → first post-failover
+// delivery.
+type Phase string
+
+// Recovery phases in canonical timeline order.
+const (
+	PhaseHeartbeatMiss Phase = "heartbeat-miss" // a watched source missed its deadline
+	PhaseDetect        Phase = "detect"         // failure detector declared the source dead
+	PhaseDecision      Phase = "decision"       // engine chose restart vs switchover vs give-up
+	PhaseRestart       Phase = "restart"        // local restart of the failed component
+	PhaseSwitchover    Phase = "switchover"     // backup promoted itself to primary
+	PhaseRebind        Phase = "rebind"         // diverter route re-pointed at the new primary
+	PhaseDeliver       Phase = "deliver"        // first post-failover message delivered
+	PhaseRecovered     Phase = "recovered"      // component back in service (restart path)
+)
+
+// starter phases open a new trace when none is in flight; terminal phases
+// complete the in-flight trace.
+func (p Phase) starter() bool  { return p == PhaseHeartbeatMiss || p == PhaseDetect }
+func (p Phase) terminal() bool { return p == PhaseDeliver || p == PhaseRecovered }
+
+// SpanEvent is one timestamped step of a recovery timeline. AtUS is
+// microseconds since the tracer's epoch, taken from Go's monotonic clock,
+// so ordering and durations are immune to wall-clock steps.
+type SpanEvent struct {
+	Seq       uint64 `json:"seq"`
+	AtUS      int64  `json:"at_us"`
+	Node      string `json:"node"`
+	Component string `json:"component"`
+	Phase     Phase  `json:"phase"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Trace is one assembled recovery timeline.
+type Trace struct {
+	ID       uint64      `json:"id"`
+	Events   []SpanEvent `json:"events"`
+	Complete bool        `json:"complete"`
+}
+
+// Phases returns the trace's phase sequence in order.
+func (t Trace) Phases() []Phase {
+	ps := make([]Phase, len(t.Events))
+	for i, e := range t.Events {
+		ps[i] = e.Phase
+	}
+	return ps
+}
+
+// First returns the first event with the given phase.
+func (t Trace) First(p Phase) (SpanEvent, bool) {
+	for _, e := range t.Events {
+		if e.Phase == p {
+			return e, true
+		}
+	}
+	return SpanEvent{}, false
+}
+
+// HasOrdered reports whether the given phases all occur in the trace in
+// the given relative order (other phases may be interleaved).
+func (t Trace) HasOrdered(phases ...Phase) bool {
+	i := 0
+	for _, e := range t.Events {
+		if i < len(phases) && e.Phase == phases[i] {
+			i++
+		}
+	}
+	return i == len(phases)
+}
+
+// Duration is the span from first to last event.
+func (t Trace) Duration() time.Duration {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return time.Duration(t.Events[len(t.Events)-1].AtUS-t.Events[0].AtUS) * time.Microsecond
+}
+
+// String renders a compact one-trace-per-block timeline for humans.
+func (t Trace) String() string {
+	var b strings.Builder
+	state := "open"
+	if t.Complete {
+		state = "complete"
+	}
+	fmt.Fprintf(&b, "trace %d (%s, %v)\n", t.ID, state, t.Duration().Round(time.Microsecond))
+	base := int64(0)
+	if len(t.Events) > 0 {
+		base = t.Events[0].AtUS
+	}
+	for _, e := range t.Events {
+		fmt.Fprintf(&b, "  +%8dµs  %-14s %s/%s", e.AtUS-base, e.Phase, e.Node, e.Component)
+		if e.Detail != "" {
+			fmt.Fprintf(&b, "  (%s)", e.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// maxTraceEvents caps one trace's length so a flapping component cannot
+// grow a trace without bound.
+const maxTraceEvents = 256
+
+// Tracer assembles span events into recovery traces. One trace is open at
+// a time: a starter phase (heartbeat-miss, detect) opens it, subsequent
+// events append, and a terminal phase (deliver, recovered) completes it
+// into a bounded ring of finished traces. Non-starter events with no open
+// trace are dropped as orphans — steady-state deliveries do not fabricate
+// timelines.
+type Tracer struct {
+	epoch time.Time
+
+	mu        sync.Mutex
+	seq       uint64
+	nextID    uint64
+	current   *Trace
+	completed []Trace // ring, newest last
+	maxKeep   int
+	orphans   int64
+}
+
+// NewTracer returns a tracer keeping up to keep completed traces
+// (default 64).
+func NewTracer(keep int) *Tracer {
+	if keep <= 0 {
+		keep = 64
+	}
+	return &Tracer{epoch: time.Now(), maxKeep: keep}
+}
+
+// Now returns the tracer's current monotonic timestamp in microseconds.
+func (tr *Tracer) Now() int64 {
+	if tr == nil {
+		return 0
+	}
+	return time.Since(tr.epoch).Microseconds()
+}
+
+// Record stamps and files a span event. Node/Component/Phase come from
+// the caller; Seq and AtUS are assigned here. Nil-safe.
+func (tr *Tracer) Record(ev SpanEvent) {
+	if tr == nil {
+		return
+	}
+	ev.AtUS = tr.Now()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.seq++
+	ev.Seq = tr.seq
+	tr.file(ev)
+}
+
+// RecordAt files an already-stamped span event (used by the remote sink so
+// the origin node's timestamps survive the hop). Seq is reassigned
+// locally to keep ordering well-defined.
+func (tr *Tracer) RecordAt(ev SpanEvent) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.seq++
+	ev.Seq = tr.seq
+	tr.file(ev)
+}
+
+func (tr *Tracer) file(ev SpanEvent) {
+	if tr.current == nil {
+		if !ev.Phase.starter() {
+			tr.orphans++
+			return
+		}
+		tr.nextID++
+		tr.current = &Trace{ID: tr.nextID}
+	}
+	if len(tr.current.Events) < maxTraceEvents {
+		tr.current.Events = append(tr.current.Events, ev)
+	}
+	if ev.Phase.terminal() {
+		tr.current.Complete = true
+		tr.completed = append(tr.completed, *tr.current)
+		if len(tr.completed) > tr.maxKeep {
+			tr.completed = tr.completed[len(tr.completed)-tr.maxKeep:]
+		}
+		tr.current = nil
+	}
+}
+
+// Traces returns completed traces, oldest first.
+func (tr *Tracer) Traces() []Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]Trace, len(tr.completed))
+	for i, t := range tr.completed {
+		out[i] = t
+		out[i].Events = append([]SpanEvent(nil), t.Events...)
+	}
+	return out
+}
+
+// Last returns the most recently completed trace.
+func (tr *Tracer) Last() (Trace, bool) {
+	if tr == nil {
+		return Trace{}, false
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.completed) == 0 {
+		return Trace{}, false
+	}
+	t := tr.completed[len(tr.completed)-1]
+	t.Events = append([]SpanEvent(nil), t.Events...)
+	return t, true
+}
+
+// Current returns a copy of the in-flight trace, if any.
+func (tr *Tracer) Current() (Trace, bool) {
+	if tr == nil {
+		return Trace{}, false
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.current == nil {
+		return Trace{}, false
+	}
+	t := *tr.current
+	t.Events = append([]SpanEvent(nil), tr.current.Events...)
+	return t, true
+}
+
+// Orphans reports how many events arrived with no open trace.
+func (tr *Tracer) Orphans() int64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.orphans
+}

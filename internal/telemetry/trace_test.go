@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func span(node, comp string, p Phase) SpanEvent {
+	return SpanEvent{Node: node, Component: comp, Phase: p}
+}
+
+func TestTracerAssemblesSwitchoverTimeline(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(span("node2", "oftt-engine", PhaseHeartbeatMiss))
+	tr.Record(span("node2", "oftt-engine", PhaseDetect))
+	tr.Record(span("node2", "oftt-engine", PhaseDecision))
+	tr.Record(span("node2", "oftt-engine", PhaseSwitchover))
+	tr.Record(span("node2", "oftt-diverter", PhaseRebind))
+	tr.Record(span("node2", "app", PhaseDeliver))
+
+	if _, open := tr.Current(); open {
+		t.Fatal("terminal phase must close the trace")
+	}
+	tc, ok := tr.Last()
+	if !ok || !tc.Complete {
+		t.Fatalf("no completed trace: %+v", tc)
+	}
+	if len(tc.Events) != 6 {
+		t.Fatalf("events = %d", len(tc.Events))
+	}
+	if !tc.HasOrdered(PhaseDetect, PhaseDecision, PhaseSwitchover, PhaseRebind, PhaseDeliver) {
+		t.Fatalf("phase order wrong: %v", tc.Phases())
+	}
+	// Monotonic stamps: strictly non-decreasing, seq strictly increasing.
+	for i := 1; i < len(tc.Events); i++ {
+		if tc.Events[i].AtUS < tc.Events[i-1].AtUS {
+			t.Fatalf("timestamps regressed: %+v", tc.Events)
+		}
+		if tc.Events[i].Seq <= tc.Events[i-1].Seq {
+			t.Fatalf("seq not increasing: %+v", tc.Events)
+		}
+	}
+	if !strings.Contains(tc.String(), "switchover") {
+		t.Fatalf("render: %s", tc)
+	}
+}
+
+func TestOrphanEventsAreDropped(t *testing.T) {
+	tr := NewTracer(0)
+	// Steady-state deliveries with no failure in flight must not
+	// fabricate a timeline.
+	tr.Record(span("node1", "app", PhaseDeliver))
+	tr.Record(span("node1", "oftt-diverter", PhaseRebind))
+	if _, open := tr.Current(); open {
+		t.Fatal("orphans opened a trace")
+	}
+	if len(tr.Traces()) != 0 {
+		t.Fatal("orphans completed a trace")
+	}
+	if tr.Orphans() != 2 {
+		t.Fatalf("orphans = %d", tr.Orphans())
+	}
+}
+
+func TestRepeatedStarterAppends(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record(span("node2", "oftt-engine", PhaseDetect))
+	tr.Record(span("node2", "oftt-engine", PhaseDetect)) // second failure mid-recovery
+	tr.Record(span("node2", "app", PhaseRecovered))
+	traces := tr.Traces()
+	if len(traces) != 1 || len(traces[0].Events) != 3 {
+		t.Fatalf("want one 3-event trace, got %+v", traces)
+	}
+}
+
+func TestCompletedRingIsBounded(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 10; i++ {
+		tr.Record(span("n", "c", PhaseDetect))
+		tr.Record(span("n", "c", PhaseRecovered))
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring size = %d", len(traces))
+	}
+	if traces[2].ID != 10 {
+		t.Fatalf("newest trace ID = %d", traces[2].ID)
+	}
+}
+
+func TestTraceEventCap(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record(span("n", "c", PhaseDetect))
+	for i := 0; i < maxTraceEvents*2; i++ {
+		tr.Record(span("n", "c", PhaseRestart))
+	}
+	tr.Record(span("n", "c", PhaseRecovered))
+	tc, ok := tr.Last()
+	if !ok {
+		t.Fatal("no trace")
+	}
+	if len(tc.Events) > maxTraceEvents {
+		t.Fatalf("cap breached: %d events", len(tc.Events))
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(span("n", "c", PhaseDetect))
+	if _, ok := tr.Last(); ok {
+		t.Fatal("nil tracer returned a trace")
+	}
+	if tr.Now() != 0 || tr.Orphans() != 0 || tr.Traces() != nil {
+		t.Fatal("nil tracer accessors")
+	}
+	if _, ok := tr.Current(); ok {
+		t.Fatal("nil tracer current")
+	}
+}

@@ -21,7 +21,30 @@
 //
 // The toolkit elects a primary, activates exactly one copy, checkpoints
 // its registered state, and transparently switches over on failure. Inject
-// faults with KillNode / BlueScreen / KillApp / KillEngine to test.
+// faults with KillNode / BlueScreen / KillApp / KillEngine to test. A
+// complete runnable walkthrough is in examples/quickstart.
+//
+// # Initialization order
+//
+// Initialize registers the application with its engine AND immediately
+// enters role negotiation, so any state registered afterwards misses the
+// first activation. Stateful applications should instead pair
+// InitializeDeferred with Attach: InitializeDeferred creates the FTIM
+// without starting role delivery, the application then calls
+// RegisterState for every checkpointable region, and Attach (or
+// AttachContext) releases the role callbacks. Deployments built with
+// NewDeployment do this ordering for you (Setup runs between the two).
+//
+// # Observability
+//
+// Every Deployment carries a Telemetry hub: a metrics Registry (counters,
+// gauges, histograms — lock-free and allocation-free on the record path),
+// a status Store behind the classic Monitor dashboard, and a Tracer that
+// stitches recovery timelines (failure detection -> decision ->
+// switchover -> diverter rebind -> first redelivery) into ordered traces.
+// Components on other machines forward into the hub through the Sink
+// interface, locally or over the simulated DCOM transport; cmd/oftt-sysmon
+// serves the hub as a Prometheus-style text endpoint plus a JSON snapshot.
 //
 // # The paper's API
 //
@@ -39,7 +62,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/ftim"
+	"repro/internal/monitor"
 	"repro/internal/opc"
+	"repro/internal/telemetry"
 )
 
 // Roles of a node in the primary/backup pair.
@@ -97,7 +122,20 @@ type FTIMConfig = ftim.Config
 // ServerFTIMConfig parameterizes InitializeServer.
 type ServerFTIMConfig = ftim.ServerConfig
 
-// CaptureMode selects the periodic checkpoint flavor.
+// CaptureMode selects the periodic checkpoint flavor. The trade-off is
+// capture cost versus restore simplicity:
+//
+//   - CaptureFull ships every registered region each period: the largest
+//     frames and capture cost, but the backup can always restore from the
+//     latest snapshot alone.
+//   - CaptureSelective ships only SelSave-designated regions: cheap when
+//     the application knows what changed, but regions outside the
+//     selection are only as fresh as the last full capture.
+//   - CaptureIncremental (the default) ships only regions whose contents
+//     changed since the previous capture: near-free in steady state, at
+//     the cost of the backup needing an unbroken chain from the last full
+//     base. The FTIM re-bases with a full capture automatically after any
+//     ship failure or activation.
 type CaptureMode = ftim.CaptureMode
 
 // Capture modes.
@@ -107,11 +145,15 @@ const (
 	CaptureIncremental = ftim.CaptureIncremental
 )
 
-// Initialize is OFTTInitialize for stateful applications.
+// Initialize is OFTTInitialize for stateful applications. Role delivery
+// begins immediately, so all RegisterState calls must already have
+// happened; when they cannot, use InitializeDeferred + Attach.
 func Initialize(cfg FTIMConfig) (*ClientFTIM, error) { return ftim.Initialize(cfg) }
 
-// InitializeDeferred is Initialize with activation deferred until Attach,
-// so state can be registered first.
+// InitializeDeferred is Initialize with role delivery (and thus the first
+// Activate callback) held back until Attach or AttachContext is called.
+// Register all checkpointable state between the two calls; an FTIM left
+// unattached heartbeats but never activates its copy.
 func InitializeDeferred(cfg FTIMConfig) (*ClientFTIM, error) { return ftim.InitializeDeferred(cfg) }
 
 // InitializeServer is OFTTInitialize for stateless OPC server applications.
@@ -154,6 +196,60 @@ type CallTrackConfig = core.CallTrackConfig
 func NewCallTrackDeployment(cfg CallTrackConfig) (*CallTrackDeployment, error) {
 	return core.NewCallTrackDeployment(cfg)
 }
+
+// Observability surface: the telemetry hub behind every Deployment's
+// Telemetry field, usable standalone for manually assembled pairs.
+type (
+	// TelemetryHub aggregates statuses, metrics, and recovery traces; it
+	// implements TelemetrySink and serves /metrics + /snapshot.json via
+	// its Handler method.
+	TelemetryHub = telemetry.Hub
+	// TelemetrySink is the unified reporting interface components push
+	// through, locally (a *TelemetryHub) or across machines (a remote
+	// sink over DCOM).
+	TelemetrySink = telemetry.Sink
+	// Registry holds named counters, gauges, and histograms.
+	Registry = telemetry.Registry
+	// Counter is a monotonically increasing metric.
+	Counter = telemetry.Counter
+	// Gauge is a settable level metric.
+	Gauge = telemetry.Gauge
+	// Histogram is a fixed-bucket distribution metric.
+	Histogram = telemetry.Histogram
+	// Tracer assembles recovery-timeline traces from span events.
+	Tracer = telemetry.Tracer
+	// Trace is one assembled recovery timeline.
+	Trace = telemetry.Trace
+	// SpanEvent is a single phase marker on a recovery timeline.
+	SpanEvent = telemetry.SpanEvent
+	// Phase names a recovery-timeline stage.
+	Phase = telemetry.Phase
+	// ComponentStatus is one monitored component's current state row.
+	ComponentStatus = telemetry.Status
+	// MonitorEvent is one append-only observability log entry.
+	MonitorEvent = telemetry.Event
+	// Monitor is the classic status dashboard, a view over a hub's store.
+	Monitor = monitor.Monitor
+)
+
+// Recovery-timeline phases, in their causal order across a failover.
+const (
+	PhaseHeartbeatMiss = telemetry.PhaseHeartbeatMiss
+	PhaseDetect        = telemetry.PhaseDetect
+	PhaseDecision      = telemetry.PhaseDecision
+	PhaseRestart       = telemetry.PhaseRestart
+	PhaseSwitchover    = telemetry.PhaseSwitchover
+	PhaseRebind        = telemetry.PhaseRebind
+	PhaseDeliver       = telemetry.PhaseDeliver
+	PhaseRecovered     = telemetry.PhaseRecovered
+)
+
+// NewTelemetryHub creates a standalone hub retaining up to maxEvents log
+// entries (0 uses the default).
+func NewTelemetryHub(maxEvents int) *TelemetryHub { return telemetry.NewHub(maxEvents) }
+
+// NewMonitor builds the classic dashboard view over a hub's status store.
+func NewMonitor(h *TelemetryHub) *Monitor { return monitor.FromHub(h) }
 
 // OPC data-access surface, re-exported for applications that speak to OPC
 // servers directly.
