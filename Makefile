@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench fuzz verify
+.PHONY: build vet test race chaos bench fuzz verify
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,12 @@ test: build
 race:
 	$(GO) test -race ./internal/ndr ./internal/dcom ./internal/checkpoint ./internal/diverter ./internal/telemetry ./internal/heartbeat
 
+# Fixed-seed fault-injection campaigns under the race detector. -short
+# keeps the long randomized sweep (TestRandomizedCampaigns) out of the
+# gate; run `go test ./internal/chaos` for the full sweep.
+chaos:
+	$(GO) test -race -short ./internal/chaos
+
 bench:
 	$(GO) test -run xxx -bench BenchmarkNDR -benchmem ./internal/ndr
 	$(GO) test -run xxx -bench 'BenchmarkNDRPlanned|BenchmarkE4|BenchmarkE8' -benchmem .
@@ -28,4 +34,4 @@ bench:
 fuzz:
 	$(GO) test -fuzz FuzzPlannedVsReflective -fuzztime 30s ./internal/ndr
 
-verify: build vet test race
+verify: build vet test race chaos

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1..E8, A1..A3, NDR, TELEMETRY, or 'all'")
+	exp := flag.String("exp", "all", "experiment to run: E1..E9, A1..A3, NDR, TELEMETRY, or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
 
@@ -44,6 +44,7 @@ func run(which string, quick bool) error {
 		{"E6", runE6},
 		{"E7", runE7},
 		{"E8", runE8},
+		{"E9", runE9},
 		{"A1", runA1},
 		{"A2", runA2},
 		{"A3", runA3},
@@ -63,7 +64,7 @@ func run(which string, quick bool) error {
 		fmt.Printf("[%s completed in %v]\n\n", r.id, time.Since(start).Round(time.Millisecond))
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want E1..E8, A1..A3, NDR, TELEMETRY, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want E1..E9, A1..A3, NDR, TELEMETRY, or all)", which)
 	}
 	return nil
 }
@@ -226,6 +227,24 @@ func runTelemetry(bool) error {
 		return err
 	}
 	fmt.Print(experiments.TelemetryTable(rows).Render())
+	return nil
+}
+
+func runE9(quick bool) error {
+	campaigns := 8
+	if quick {
+		campaigns = 3
+	}
+	rows, err := experiments.RunE9(campaigns, 1, quick)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E9Table(rows).Render())
+	for _, r := range rows {
+		if r.Verdict != "pass" {
+			return fmt.Errorf("seed %d violated invariants: %s", r.Seed, r.Verdict)
+		}
+	}
 	return nil
 }
 

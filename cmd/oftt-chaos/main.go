@@ -1,0 +1,82 @@
+// Command oftt-chaos runs seeded fault-injection campaigns against a live
+// primary/backup deployment and checks the toolkit's invariants:
+// eventually-single-primary, monotonic application state, no acknowledged
+// message loss, and bounded recovery time.
+//
+// Every campaign's fault schedule is a pure function of its seed, so a
+// failing run is replayed exactly with:
+//
+//	oftt-chaos -campaigns 1 -seed <failing-seed>
+//
+// Usage:
+//
+//	oftt-chaos                     # 10 campaigns, seeds 1..10
+//	oftt-chaos -campaigns 20 -seed 1
+//	oftt-chaos -duration 1s -v     # longer fault window, print schedules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	campaigns := flag.Int("campaigns", 10, "number of campaigns to run (seeds seed..seed+n-1)")
+	seed := flag.Int64("seed", 1, "base seed; each campaign uses seed+i")
+	duration := flag.Duration("duration", 500*time.Millisecond, "fault-injection window per campaign")
+	verbose := flag.Bool("v", false, "print every campaign's schedule, not just failures")
+	flag.Parse()
+
+	failed := 0
+	for i := 0; i < *campaigns; i++ {
+		s := *seed + int64(i)
+		start := time.Now()
+		res, err := chaos.Run(chaos.Config{Seed: s, Duration: *duration})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: campaign error: %v\n", s, err)
+			os.Exit(2)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if res.Passed() {
+			fmt.Printf("seed %-6d PASS  faults=%d skipped=%d delivered=%d/%d worst_recovery=%v  (%v)\n",
+				s, res.Injected, res.Skipped, res.Delivered, res.Enqueued,
+				res.WorstRecovery.Round(time.Millisecond), elapsed)
+			if *verbose {
+				fmt.Printf("  schedule: %s\n", res.Schedule.Summary())
+			}
+			continue
+		}
+		failed++
+		fmt.Printf("seed %-6d FAIL  faults=%d skipped=%d delivered=%d/%d  (%v)\n",
+			s, res.Injected, res.Skipped, res.Delivered, res.Enqueued, elapsed)
+		for _, v := range res.Violations {
+			fmt.Printf("  violated %-26s %s\n", v.Invariant, v.Detail)
+		}
+		fmt.Printf("  schedule:\n%s", indent(res.Schedule.String()))
+		fmt.Printf("  reproduce: go run ./cmd/oftt-chaos -campaigns 1 -seed %d -duration %v\n", s, *duration)
+	}
+
+	if failed > 0 {
+		fmt.Printf("\n%d/%d campaigns violated invariants\n", failed, *campaigns)
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d campaigns passed every invariant\n", *campaigns)
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out += "    " + s[start:i] + "\n"
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,546 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/diverter"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// Config parameterizes one campaign.
+type Config struct {
+	// Seed drives every random choice: the schedule, the fabric, the
+	// diverter jitter. Same seed, same campaign.
+	Seed int64
+	// Duration is the fault-injection window (default 500ms). Quiescence
+	// and invariant checking run after it.
+	Duration time.Duration
+	// MeanGap is the average spacing between faults (default 80ms).
+	MeanGap time.Duration
+	// Palette restricts which fault kinds the generator draws from
+	// (default: DefaultPalette).
+	Palette []Kind
+	// Script, when non-empty, replaces the generated schedule entirely —
+	// the scripted-campaign mode for regression replays and targeted
+	// scenarios.
+	Script []Event
+
+	// QuiesceTimeout bounds post-campaign convergence to a single primary
+	// (default 10s).
+	QuiesceTimeout time.Duration
+	// StabilityDwell is how long the converged pair is watched for a
+	// dual-primary relapse (default 200ms).
+	StabilityDwell time.Duration
+	// RecoveryBound fails the campaign if any recovery trace runs longer
+	// (default 5s).
+	RecoveryBound time.Duration
+	// AllowedLoss is the monotonic checker's slack in probe ticks — the
+	// work a failover may legitimately lose (checkpoint window plus
+	// detection time; default 250 ticks).
+	AllowedLoss int64
+	// MessageEvery is the diverter traffic period (default 5ms).
+	MessageEvery time.Duration
+	// ProbeTick is the probe counter period (default 2ms).
+	ProbeTick time.Duration
+
+	// DisableTieBreak turns off the engines' split-brain resolution —
+	// deliberately breaking the eventually-single-primary invariant to
+	// prove the checker catches it.
+	DisableTieBreak bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 500 * time.Millisecond
+	}
+	if c.MeanGap <= 0 {
+		c.MeanGap = 80 * time.Millisecond
+	}
+	if c.QuiesceTimeout <= 0 {
+		c.QuiesceTimeout = 10 * time.Second
+	}
+	if c.StabilityDwell <= 0 {
+		c.StabilityDwell = 200 * time.Millisecond
+	}
+	if c.RecoveryBound <= 0 {
+		c.RecoveryBound = 5 * time.Second
+	}
+	if c.AllowedLoss <= 0 {
+		c.AllowedLoss = 250
+	}
+	if c.MessageEvery <= 0 {
+		c.MessageEvery = 5 * time.Millisecond
+	}
+	if c.ProbeTick <= 0 {
+		c.ProbeTick = 2 * time.Millisecond
+	}
+}
+
+// Result is one campaign's outcome.
+type Result struct {
+	Seed     int64
+	Schedule Schedule
+	// Injected counts faults actually applied; Skipped counts schedule
+	// entries that were inapplicable when their time came (e.g. kill-app
+	// while no copy was active) — skips are not failures.
+	Injected, Skipped int
+	Violations        []Violation
+	// WorstRecovery is the longest completed recovery trace.
+	WorstRecovery time.Duration
+	// Diverter accounting over the whole campaign.
+	Enqueued, Delivered, Dropped int64
+}
+
+// Passed reports whether every invariant held.
+func (r *Result) Passed() bool { return len(r.Violations) == 0 }
+
+// runner is one campaign's mutable state.
+type runner struct {
+	cfg Config
+	d   *core.Deployment
+	led *ledger
+
+	mu         sync.Mutex
+	violations []Violation
+	injected   int
+	skipped    int
+	flappers   []*netsim.Flapper
+
+	faultsTotal     *telemetry.Counter
+	violationsTotal *telemetry.Counter
+}
+
+// Run executes one seeded campaign against a fresh deployment and reports
+// the invariant verdicts. Failures reproduce from (seed, config) alone.
+func Run(cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	schedule := Schedule{Seed: cfg.Seed, Events: cfg.Script}
+	if len(cfg.Script) == 0 {
+		schedule = Generate(cfg.Seed, cfg)
+	}
+
+	led := newLedger()
+	d, err := core.New(core.Config{
+		Seed:             cfg.Seed,
+		Component:        "app",
+		CheckpointPeriod: 10 * time.Millisecond,
+		Rule:             engine.RecoveryRule{MaxLocalRestarts: 1, Exhausted: engine.ExhaustSwitchover},
+		SkipMonitor:      true,
+		NewApp:           func(string) core.ReplicatedApp { return NewProbe(cfg.ProbeTick) },
+		TuneDiverter: func(dc *diverter.Config) {
+			dc.Ledger = led
+			dc.Seed = cfg.Seed
+		},
+		TuneEngine: func(ec *engine.Config) {
+			ec.DisableTieBreak = cfg.DisableTieBreak
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: build deployment: %w", err)
+	}
+	defer d.Stop()
+	if err := d.WaitForRoles(5 * time.Second); err != nil {
+		return nil, fmt.Errorf("chaos: pair never formed: %w", err)
+	}
+
+	reg := d.Telemetry.Metrics()
+	r := &runner{
+		cfg:             cfg,
+		d:               d,
+		led:             led,
+		faultsTotal:     reg.Counter("oftt_chaos_faults_injected_total"),
+		violationsTotal: reg.Counter("oftt_chaos_invariant_violations_total"),
+	}
+
+	// Background diverter traffic for the no-acked-loss checker.
+	senderStop := make(chan struct{})
+	senderDone := make(chan struct{})
+	go r.sendLoop(senderStop, senderDone)
+
+	// Continuous monotonic-state sampling.
+	samplerStop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go r.monotonicLoop(samplerStop, samplerDone)
+
+	r.execute(schedule)
+	r.quiesce()
+	r.awaitSinglePrimary()
+
+	close(samplerStop)
+	<-samplerDone
+	close(senderStop)
+	<-senderDone
+
+	// Every accepted message must land now that the pair is (supposedly)
+	// healthy again.
+	d.Div.Drain("app", 5*time.Second)
+	r.addViolations(led.audit()...)
+
+	worst := r.checkRecoveryBound()
+
+	res := &Result{
+		Seed:          cfg.Seed,
+		Schedule:      schedule,
+		Injected:      r.injected,
+		Skipped:       r.skipped,
+		Violations:    r.violations,
+		WorstRecovery: worst,
+	}
+	st := d.Div.Stats()
+	res.Enqueued, res.Delivered, res.Dropped = st.Enqueued, st.Delivered, st.Dropped
+	r.violationsTotal.Add(int64(len(res.Violations)))
+	verdict := "pass"
+	if !res.Passed() {
+		verdict = "fail"
+	}
+	d.Telemetry.ReportStatus(telemetry.Status{
+		Node:      "testpc",
+		Component: "chaos-campaign",
+		Kind:      telemetry.KindChaos,
+		State:     verdict,
+		Detail:    fmt.Sprintf("seed=%d faults=%d violations=%d", cfg.Seed, r.injected, len(res.Violations)),
+		UpdatedAt: time.Now(),
+	})
+	return res, nil
+}
+
+func (r *runner) addViolations(vs ...Violation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.violations = append(r.violations, vs...)
+}
+
+// sendLoop feeds the diverter a steady message stream.
+func (r *runner) sendLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(r.cfg.MessageEvery)
+	defer t.Stop()
+	n := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			n++
+			_, _ = r.d.Send([]byte("chaos-" + strconv.Itoa(n)))
+		}
+	}
+}
+
+// primaries counts replicas currently holding the primary role.
+func (r *runner) primaries() int {
+	n := 0
+	for _, rep := range r.d.Replicas() {
+		if rep.Engine.Role() == engine.RolePrimary {
+			n++
+		}
+	}
+	return n
+}
+
+// monotonicLoop samples the active probe's counter and holds it to a
+// ratcheting low-water mark. Sampling is skipped whenever the pair is not
+// exactly one live primary: during dual-primary windows the copies
+// legitimately diverge, and holding either to the mark would
+// false-positive.
+func (r *runner) monotonicLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	lowWater := int64(0)
+	reported := false
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if r.primaries() != 1 {
+			continue
+		}
+		p := r.d.Primary()
+		if p == nil || !p.AppActive() {
+			continue
+		}
+		probe, _ := p.CurrentApp().(*Probe)
+		if probe == nil {
+			continue
+		}
+		seq := probe.Seq()
+		if seq < 0 {
+			continue
+		}
+		if seq < lowWater && !reported {
+			reported = true // one report per campaign is enough
+			r.addViolations(Violation{
+				Invariant: InvMonotonic,
+				Detail: fmt.Sprintf("counter regressed below low-water mark: %d < %d (allowance %d ticks)",
+					seq, lowWater, r.cfg.AllowedLoss),
+			})
+		}
+		if mark := seq - r.cfg.AllowedLoss; mark > lowWater {
+			lowWater = mark
+		}
+	}
+}
+
+// action is one timed step of the execution plan: a scheduled injection
+// or its derived repair/heal.
+type action struct {
+	at  time.Duration
+	run func()
+}
+
+// execute runs the schedule in real time: every event is injected at its
+// virtual offset, and every timed fault gets a derived heal/repair action
+// at offset+Dur. All injections and repairs run on this one goroutine, so
+// deployment mutations never race each other.
+func (r *runner) execute(s Schedule) {
+	var plan []action
+	for _, ev := range s.Events {
+		ev := ev
+		// holder carries the injection-time resolution (the concrete node
+		// the symbolic target mapped to) forward to the repair action.
+		holder := &struct{ node string }{}
+		plan = append(plan, action{at: ev.At, run: func() { r.inject(ev, holder) }})
+		if ev.Dur > 0 {
+			plan = append(plan, action{at: ev.At + ev.Dur, run: func() { r.repair(ev, holder) }})
+		}
+	}
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].at < plan[j].at })
+
+	start := time.Now()
+	for _, a := range plan {
+		if wait := a.at - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		a.run()
+	}
+}
+
+// resolve maps a symbolic target to a live replica, nil when inapplicable.
+func (r *runner) resolve(target string) *core.Replica {
+	switch target {
+	case "primary":
+		return r.d.Primary()
+	case "backup":
+		return r.d.Backup()
+	default:
+		return nil
+	}
+}
+
+// inject applies one event. Inapplicable faults (no current holder of the
+// symbolic role, component already dead) are counted as skipped — the
+// schedule stays replayable either way.
+func (r *runner) inject(ev Event, holder *struct{ node string }) {
+	ok := true
+	switch ev.Kind {
+	case KillNode, BlueScreen, KillApp, KillEngine, HangApp, HangEngine:
+		rep := r.resolve(ev.Target)
+		if rep == nil {
+			ok = false
+			break
+		}
+		holder.node = rep.Node.Name()
+		if err := r.d.Inject(core.FaultKind(ev.Kind), holder.node); err != nil {
+			ok = false
+		}
+	case Partition:
+		r.d.PartitionPair()
+	case PartitionOne:
+		p, b := r.d.Primary(), r.d.Backup()
+		if p == nil || b == nil {
+			ok = false
+			break
+		}
+		from, to := p.Node.Name(), b.Node.Name()
+		if ev.Target == "backup->primary" {
+			from, to = to, from
+		}
+		r.d.PartitionOneWay(from, to)
+	case LinkFlap:
+		fs := r.d.NewLinkFlappers(15*time.Millisecond, 15*time.Millisecond)
+		for _, f := range fs {
+			f.Start()
+		}
+		r.mu.Lock()
+		r.flappers = append(r.flappers, fs...)
+		r.mu.Unlock()
+	case LossBurst:
+		r.d.SetLoss(ev.Param)
+	case LatencySpike:
+		lat := time.Duration(ev.Param * float64(time.Millisecond))
+		r.d.SetLatency(lat, lat/2)
+	case CkptInterrupt:
+		rep := r.d.Primary() // the primary ships checkpoints
+		if rep == nil {
+			ok = false
+			break
+		}
+		holder.node = rep.Node.Name()
+		if err := r.d.InterruptCheckpointTransfer(holder.node); err != nil {
+			ok = false
+		}
+	default:
+		ok = false
+	}
+
+	r.mu.Lock()
+	if ok {
+		r.injected++
+	} else {
+		r.skipped++
+	}
+	r.mu.Unlock()
+	if ok {
+		r.faultsTotal.Inc()
+		r.d.Telemetry.Metrics().Counter(`oftt_chaos_faults_injected_total{kind="` + string(ev.Kind) + `"}`).Inc()
+	}
+}
+
+// repair undoes a timed fault after its active window: heal the link,
+// resume the hang, or restart what died. Kill-app needs no explicit
+// repair (the engine's local-restart provision covers it) beyond the
+// node-health check, which is a no-op when recovery already happened.
+func (r *runner) repair(ev Event, holder *struct{ node string }) {
+	switch ev.Kind {
+	case KillNode, BlueScreen, KillEngine, KillApp:
+		if holder.node != "" {
+			r.repairNode(holder.node)
+		}
+	case HangApp:
+		if holder.node != "" {
+			_ = r.d.ResumeApp(holder.node)
+		}
+	case HangEngine:
+		if holder.node != "" {
+			_ = r.d.ResumeEngine(holder.node)
+		}
+	case Partition, PartitionOne:
+		names := r.d.NodeNames()
+		for _, n := range r.d.Nets {
+			n.HealPrefix(names[0]+":", names[1]+":")
+		}
+	case LinkFlap:
+		r.mu.Lock()
+		fs := r.flappers
+		r.flappers = nil
+		r.mu.Unlock()
+		for _, f := range fs {
+			f.Stop()
+		}
+	case LossBurst:
+		r.d.SetLoss(0)
+	case LatencySpike:
+		r.d.SetLatency(0, 0)
+	}
+}
+
+// repairNode brings one node back to full health: reboot a dead machine,
+// power-cycle a live one whose engine or application process died (the
+// clean-rejoin pattern — a half-dead node re-enters as a fresh backup).
+// A no-op when the replica is healthy, so it is safe to call after faults
+// the engine already recovered from.
+func (r *runner) repairNode(name string) {
+	rep := r.d.Replica(name)
+	if rep == nil {
+		return
+	}
+	if rep.Node.State() != cluster.NodeUp {
+		_ = r.d.RestartNode(name)
+		return
+	}
+	if !rep.Healthy() {
+		rep.Node.PowerOff()
+		_ = r.d.RestartNode(name)
+	}
+}
+
+// quiesce ends the fault window: stop flapping, heal every link, clear
+// loss and latency, resume any hangs, and repair every unhealthy node.
+// After quiesce the pair has everything it needs to converge — whether it
+// does is the invariants' business.
+func (r *runner) quiesce() {
+	r.mu.Lock()
+	fs := r.flappers
+	r.flappers = nil
+	r.mu.Unlock()
+	for _, f := range fs {
+		f.Stop()
+	}
+	r.d.HealNetworks()
+	for _, name := range r.d.NodeNames() {
+		_ = r.d.ResumeApp(name)
+		_ = r.d.ResumeEngine(name)
+	}
+	for _, name := range r.d.NodeNames() {
+		r.repairNode(name)
+	}
+}
+
+// awaitSinglePrimary enforces eventually-single-primary: the pair must
+// converge to exactly one primary with a live application copy within
+// QuiesceTimeout, then hold it (no dual-primary relapse) for the
+// stability dwell.
+func (r *runner) awaitSinglePrimary() {
+	deadline := time.Now().Add(r.cfg.QuiesceTimeout)
+	converged := false
+	for time.Now().Before(deadline) {
+		if r.primaries() == 1 {
+			if p := r.d.Primary(); p != nil && p.AppActive() {
+				converged = true
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !converged {
+		r.addViolations(Violation{
+			Invariant: InvSinglePrimary,
+			Detail: fmt.Sprintf("no stable single primary within %s of quiescence (primaries=%d)",
+				r.cfg.QuiesceTimeout, r.primaries()),
+		})
+		return
+	}
+	dwellEnd := time.Now().Add(r.cfg.StabilityDwell)
+	for time.Now().Before(dwellEnd) {
+		if n := r.primaries(); n > 1 {
+			r.addViolations(Violation{
+				Invariant: InvSinglePrimary,
+				Detail:    "dual-primary relapse during stability dwell",
+			})
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// checkRecoveryBound audits completed recovery traces against the bound
+// and returns the worst observed recovery time.
+func (r *runner) checkRecoveryBound() time.Duration {
+	var worst time.Duration
+	for _, tr := range r.d.Telemetry.Tracer().Traces() {
+		if d := tr.Duration(); d > worst {
+			worst = d
+		}
+	}
+	if worst > r.cfg.RecoveryBound {
+		r.addViolations(Violation{
+			Invariant: InvRecoveryBound,
+			Detail:    fmt.Sprintf("worst recovery %s exceeds bound %s", worst.Round(time.Millisecond), r.cfg.RecoveryBound),
+		})
+	}
+	return worst
+}

@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/diverter"
+)
+
+// Invariant names for Violation.Invariant.
+const (
+	InvSinglePrimary = "eventually-single-primary"
+	InvMonotonic     = "monotonic-state"
+	InvNoAckedLoss   = "no-acked-loss"
+	InvRecoveryBound = "bounded-recovery"
+)
+
+// Violation is one invariant breach observed during a campaign.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// ledger audits the diverter's delivery obligations: every Enqueued id
+// must resolve to exactly one Delivered (or, if a drop policy is active,
+// Dropped) call. It implements diverter.LedgerHook.
+type ledger struct {
+	mu        sync.Mutex
+	enqueued  map[string]bool
+	delivered map[string]bool
+	dropped   map[string]int
+}
+
+func newLedger() *ledger {
+	return &ledger{
+		enqueued:  make(map[string]bool),
+		delivered: make(map[string]bool),
+		dropped:   make(map[string]int),
+	}
+}
+
+func (l *ledger) Enqueued(id, dest string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.enqueued[id] = true
+}
+
+func (l *ledger) Delivered(id, dest string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.delivered[id] = true
+}
+
+func (l *ledger) Dropped(id, dest string, attempts int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dropped[id] = attempts
+}
+
+// counts reports (enqueued, delivered, dropped) totals.
+func (l *ledger) counts() (int, int, int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.enqueued), len(l.delivered), len(l.dropped)
+}
+
+// audit returns violations for unresolved or dropped obligations. The
+// campaign runs without a drop policy, so any drop is acknowledged loss.
+func (l *ledger) audit() []Violation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var lost []string
+	for id := range l.enqueued {
+		if !l.delivered[id] && l.dropped[id] == 0 {
+			lost = append(lost, id)
+		}
+	}
+	sort.Strings(lost)
+	var out []Violation
+	if len(lost) > 0 {
+		sample := lost
+		if len(sample) > 5 {
+			sample = sample[:5]
+		}
+		out = append(out, Violation{
+			Invariant: InvNoAckedLoss,
+			Detail:    fmt.Sprintf("%d accepted messages never delivered (e.g. %v)", len(lost), sample),
+		})
+	}
+	if n := len(l.dropped); n > 0 {
+		out = append(out, Violation{
+			Invariant: InvNoAckedLoss,
+			Detail:    fmt.Sprintf("%d accepted messages dropped", n),
+		})
+	}
+	return out
+}
+
+var _ diverter.LedgerHook = (*ledger)(nil)

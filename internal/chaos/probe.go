@@ -1,0 +1,125 @@
+// Package chaos is a deterministic, seeded fault-injection campaign
+// engine for OFTT deployments. A Campaign generates a replayable Schedule
+// of faults from a seed — node kills, process crashes and hangs, symmetric
+// and asymmetric network partitions, link flapping, datagram-loss bursts,
+// latency spikes, checkpoint-transfer interruption — drives it against a
+// live core.Deployment, and checks invariants continuously:
+//
+//   - eventually-single-primary: after fault quiescence the pair converges
+//     to exactly one primary and stays there;
+//   - monotonic application state: the replicated counter never regresses
+//     past the checkpoint-loss allowance;
+//   - no acknowledged-message loss: every message the diverter accepted is
+//     eventually delivered (or explicitly dropped), audited by a ledger;
+//   - bounded recovery time: no recovery trace exceeds the configured
+//     bound.
+//
+// The same seed always produces the same schedule, so any failure
+// reproduces from (seed, config) alone — the property hand-picked
+// scenarios (Section 4 of the paper, experiment E3) cannot give.
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftim"
+)
+
+// Probe is the campaign's replicated application: a monotonic counter
+// ticking under the FTIM lock (the chaosApp pattern from core's chaos
+// test, promoted to a reusable invariant probe). It also consumes diverter
+// messages so the no-acked-loss checker has real deliveries to audit.
+type Probe struct {
+	mu    sync.Mutex
+	f     *ftim.ClientFTIM
+	state struct {
+		Seq      int64 // monotonic work counter
+		Messages int64 // diverter messages applied
+	}
+	tick time.Duration
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewProbe returns a probe ticking every tick (default 2ms).
+func NewProbe(tick time.Duration) *Probe {
+	if tick <= 0 {
+		tick = 2 * time.Millisecond
+	}
+	return &Probe{tick: tick}
+}
+
+// Setup registers the probe's state with its FTIM.
+func (p *Probe) Setup(f *ftim.ClientFTIM) error {
+	p.mu.Lock()
+	p.f = f
+	p.mu.Unlock()
+	return f.RegisterState("probe", &p.state)
+}
+
+// Activate starts the counter loop; only the primary's copy runs it.
+func (p *Probe) Activate(bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(p.tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				p.f.WithLock(func() { p.state.Seq++ })
+			case <-stop:
+				return
+			}
+		}
+	}(p.stop, p.done)
+}
+
+// Deactivate idles the copy.
+func (p *Probe) Deactivate() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		close(p.stop)
+		<-p.done
+		p.stop = nil
+	}
+}
+
+// Stop releases the probe.
+func (p *Probe) Stop() { p.Deactivate() }
+
+// HandleMessage applies one diverter message (acks it into the counter).
+func (p *Probe) HandleMessage(body []byte) error {
+	p.mu.Lock()
+	f := p.f
+	p.mu.Unlock()
+	if f != nil {
+		f.WithLock(func() { p.state.Messages++ })
+	}
+	return nil
+}
+
+// Seq reads the monotonic counter; -1 before Setup.
+func (p *Probe) Seq() int64 {
+	p.mu.Lock()
+	f := p.f
+	p.mu.Unlock()
+	if f == nil {
+		return -1
+	}
+	var v int64
+	f.WithLock(func() { v = p.state.Seq })
+	return v
+}
+
+var _ core.ReplicatedApp = (*Probe)(nil)
+var _ core.MessageHandler = (*Probe)(nil)

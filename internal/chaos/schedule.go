@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Kind names one injectable fault in a campaign schedule. The first six
+// mirror core's node/process fault surface; the rest are link faults.
+type Kind string
+
+// The campaign fault palette.
+const (
+	KillNode      Kind = Kind(core.FaultKillNode)
+	BlueScreen    Kind = Kind(core.FaultBlueScreen)
+	KillApp       Kind = Kind(core.FaultKillApp)
+	KillEngine    Kind = Kind(core.FaultKillEngine)
+	HangApp       Kind = Kind(core.FaultHangApp)
+	HangEngine    Kind = Kind(core.FaultHangEngine)
+	Partition     Kind = "partition"        // symmetric inter-node cut
+	PartitionOne  Kind = "partition-oneway" // asymmetric: Target direction only
+	LinkFlap      Kind = "link-flap"        // inter-node link toggles for Dur
+	LossBurst     Kind = "loss-burst"       // datagram loss at Param rate for Dur
+	LatencySpike  Kind = "latency-spike"    // Param ms delivery latency for Dur
+	CkptInterrupt Kind = "ckpt-interrupt"   // sever checkpoint transfer mid-stream
+)
+
+// DefaultPalette is every fault kind.
+var DefaultPalette = []Kind{
+	KillNode, BlueScreen, KillApp, KillEngine, HangApp, HangEngine,
+	Partition, PartitionOne, LinkFlap, LossBurst, LatencySpike, CkptInterrupt,
+}
+
+// Event is one scheduled fault. At is the virtual offset from campaign
+// start; Target is symbolic ("primary", "backup", or a direction like
+// "primary->backup") and resolved to a node name at injection time, so a
+// schedule replays against whatever role layout the replay produces.
+type Event struct {
+	At     time.Duration
+	Kind   Kind
+	Target string
+	// Dur is how long the fault stays active before the campaign heals or
+	// repairs it (zero for instantaneous faults such as ckpt-interrupt).
+	Dur time.Duration
+	// Param carries the fault's magnitude: loss rate for loss-burst,
+	// latency in milliseconds for latency-spike.
+	Param float64
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("+%-6s %-17s", e.At.Round(time.Millisecond), e.Kind)
+	if e.Target != "" {
+		s += " " + e.Target
+	}
+	if e.Dur > 0 {
+		s += fmt.Sprintf(" for %s", e.Dur.Round(time.Millisecond))
+	}
+	if e.Param != 0 {
+		s += fmt.Sprintf(" (%.2g)", e.Param)
+	}
+	return s
+}
+
+// Schedule is a campaign's complete, replayable fault plan. It is a pure
+// function of (seed, campaign config): regenerate with the same inputs and
+// you get an identical schedule.
+type Schedule struct {
+	Seed   int64
+	Events []Event
+}
+
+// String renders one event per line.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule seed=%d (%d faults)\n", s.Seed, len(s.Events))
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, "  %s\n", e)
+	}
+	return b.String()
+}
+
+// Summary is a compact single-line fault list ("kill-node@120ms, ...").
+func (s Schedule) Summary() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = fmt.Sprintf("%s@%s", e.Kind, e.At.Round(time.Millisecond))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Generate derives a schedule from the seed: fault times are spaced
+// 0.5–1.5× MeanGap apart across Duration, each drawing a kind from the
+// palette, a symbolic target, an active window, and a magnitude. All
+// randomness comes from one seeded source — determinism is the contract.
+func Generate(seed int64, cfg Config) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed}
+	palette := cfg.Palette
+	if len(palette) == 0 {
+		palette = DefaultPalette
+	}
+	at := time.Duration(0)
+	for {
+		gap := cfg.MeanGap/2 + time.Duration(rng.Int63n(int64(cfg.MeanGap)))
+		at += gap
+		if at >= cfg.Duration {
+			break
+		}
+		ev := Event{
+			At:   at,
+			Kind: palette[rng.Intn(len(palette))],
+			Dur:  100*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond))),
+		}
+		switch ev.Kind {
+		case Partition, LinkFlap, LossBurst, LatencySpike:
+			// Link faults have no node target.
+		case PartitionOne:
+			if rng.Intn(2) == 0 {
+				ev.Target = "primary->backup"
+			} else {
+				ev.Target = "backup->primary"
+			}
+		default:
+			if rng.Intn(2) == 0 {
+				ev.Target = "primary"
+			} else {
+				ev.Target = "backup"
+			}
+		}
+		switch ev.Kind {
+		case LossBurst:
+			ev.Param = 0.2 + 0.6*rng.Float64() // 20–80% datagram loss
+		case LatencySpike:
+			ev.Param = 2 + 10*rng.Float64() // 2–12ms latency
+		case CkptInterrupt:
+			ev.Dur = 0 // instantaneous
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s
+}

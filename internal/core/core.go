@@ -92,6 +92,13 @@ type Config struct {
 	SkipMonitor bool
 	// DiverterRetry is the diverter redelivery interval (default 10ms).
 	DiverterRetry time.Duration
+
+	// TuneEngine, when set, adjusts each engine's config after the
+	// deployment fills it (chaos/test knobs such as DisableTieBreak).
+	TuneEngine func(*engine.Config)
+	// TuneDiverter, when set, adjusts the diverter config before the
+	// diverter starts (backoff policy, delivery ledger).
+	TuneDiverter func(*diverter.Config)
 }
 
 func (c *Config) applyDefaults() {
@@ -214,8 +221,9 @@ func build(cfg Config, preHook func(*Deployment)) (*Deployment, error) {
 	d.Test = cluster.NewNode(cfg.TestNode, cfg.Seed+12, d.Nets...)
 
 	reg := d.Telemetry.Metrics()
-	d.Div = diverter.New(diverter.Config{
+	dcfg := diverter.Config{
 		RetryInterval: cfg.DiverterRetry,
+		Seed:          cfg.Seed,
 		Instruments: diverter.Instruments{
 			QueueDepth:    reg.Gauge("oftt_diverter_queue_depth"),
 			Delivered:     reg.Counter("oftt_diverter_delivered_total"),
@@ -223,7 +231,11 @@ func build(cfg Config, preHook func(*Deployment)) (*Deployment, error) {
 			Dropped:       reg.Counter("oftt_diverter_dropped_total"),
 			DivertLatency: reg.Histogram("oftt_diverter_latency_us"),
 		},
-	})
+	}
+	if cfg.TuneDiverter != nil {
+		cfg.TuneDiverter(&dcfg)
+	}
+	d.Div = diverter.New(dcfg)
 	for _, net := range d.Nets {
 		d.Telemetry.AddCollector(netCollector(net))
 	}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// FaultKind names one injectable process/node fault. The network faults
+// (partitions, loss, latency, flapping) are separate methods because they
+// target links rather than nodes.
+type FaultKind string
+
+// Process and node faults. The first four are the paper's Section 4
+// demonstration scenarios; the hang variants model a live-but-wedged
+// process, which a kill cannot (heartbeats stop but the process survives).
+const (
+	FaultKillNode   FaultKind = "kill-node"   // scenario (a): power off the machine
+	FaultBlueScreen FaultKind = "bluescreen"  // scenario (b): NT crash
+	FaultKillApp    FaultKind = "kill-app"    // scenario (c): application failure
+	FaultKillEngine FaultKind = "kill-engine" // scenario (d): middleware failure
+	FaultHangApp    FaultKind = "hang-app"    // app alive but silent (paused FTIM beats)
+	FaultHangEngine FaultKind = "hang-engine" // engine alive but silent (paused peer beats)
+)
+
+// scenarioFaults maps the Section 4 experiment labels onto fault kinds.
+var scenarioFaults = map[string]FaultKind{
+	"a:node-failure":        FaultKillNode,
+	"b:nt-crash":            FaultBlueScreen,
+	"c:application-failure": FaultKillApp,
+	"d:middleware-failure":  FaultKillEngine,
+}
+
+// ScenarioFault resolves a Section 4 scenario label ("a:node-failure" ...)
+// to its fault kind.
+func ScenarioFault(scenario string) (FaultKind, bool) {
+	k, ok := scenarioFaults[scenario]
+	return k, ok
+}
+
+// Inject applies one fault kind to one node: the single entry point the
+// experiments and the chaos engine share, so injection semantics cannot
+// drift between them.
+func (d *Deployment) Inject(kind FaultKind, nodeName string) error {
+	switch kind {
+	case FaultKillNode:
+		return d.KillNode(nodeName)
+	case FaultBlueScreen:
+		return d.BlueScreen(nodeName)
+	case FaultKillApp:
+		return d.KillApp(nodeName)
+	case FaultKillEngine:
+		return d.KillEngine(nodeName)
+	case FaultHangApp:
+		return d.HangApp(nodeName)
+	case FaultHangEngine:
+		return d.HangEngine(nodeName)
+	default:
+		return fmt.Errorf("core: unknown fault kind %q", kind)
+	}
+}
+
+// HangApp wedges a node's application without killing it: the FTIM's
+// liveness beats pause, so the engine sees the same silence as a real hang
+// and runs its recovery provision (the local restart rebuilds the app,
+// clearing the hang). ResumeApp heals it early.
+func (d *Deployment) HangApp(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	r.mu.Lock()
+	f := r.FTIM
+	r.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("core: no application FTIM on %s", nodeName)
+	}
+	f.PauseHeartbeats()
+	return nil
+}
+
+// ResumeApp unwedges an application hung by HangApp. A no-op if the engine
+// already restarted the app (the rebuilt FTIM starts unpaused).
+func (d *Deployment) ResumeApp(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	r.mu.Lock()
+	f := r.FTIM
+	r.mu.Unlock()
+	if f != nil {
+		f.ResumeHeartbeats()
+	}
+	return nil
+}
+
+// HangEngine wedges a node's engine: its peer heartbeats pause while the
+// engine keeps running. The peer declares it dead and takes over; when the
+// hang clears (ResumeEngine) the pair is dual-primary until the split-brain
+// tie-break demotes one side — the exact ill-timed overlap hand-written
+// scenarios never exercise.
+func (d *Deployment) HangEngine(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	r.Engine.SuspendBeats()
+	return nil
+}
+
+// ResumeEngine unwedges an engine hung by HangEngine.
+func (d *Deployment) ResumeEngine(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	r.Engine.ResumeBeats()
+	return nil
+}
+
+// NodeNames returns the pair's machine names (node1 first).
+func (d *Deployment) NodeNames() []string {
+	return []string{d.cfg.Node1, d.cfg.Node2}
+}
+
+// --- Network faults: links rather than nodes ---
+
+// PartitionPair cuts all traffic between the pair's two nodes on every
+// segment, both directions. The test node keeps reaching both sides, so
+// the diverter and monitor stay connected — a pure inter-node partition.
+func (d *Deployment) PartitionPair() {
+	for _, n := range d.Nets {
+		n.PartitionPrefix(d.cfg.Node1+":", d.cfg.Node2+":")
+	}
+}
+
+// PartitionOneWay cuts traffic from one node toward the other on every
+// segment while the reverse direction keeps flowing — the asymmetric
+// failure (one dead transmit path) that drives the hardest split-brain
+// shapes: only one engine loses the other's heartbeats.
+func (d *Deployment) PartitionOneWay(fromNode, toNode string) {
+	for _, n := range d.Nets {
+		n.PartitionPrefixOneWay(fromNode+":", toNode+":")
+	}
+}
+
+// HealNetworks removes every partition on every segment and clears loss
+// and latency impairments.
+func (d *Deployment) HealNetworks() {
+	for _, n := range d.Nets {
+		n.HealAll()
+		n.SetLoss(0)
+		n.SetLatency(0, 0)
+	}
+}
+
+// SetLoss applies a datagram loss rate to every segment (0 clears).
+func (d *Deployment) SetLoss(rate float64) {
+	for _, n := range d.Nets {
+		n.SetLoss(rate)
+	}
+}
+
+// SetLatency applies delivery latency/jitter to every segment (0 clears).
+func (d *Deployment) SetLatency(latency, jitter time.Duration) {
+	for _, n := range d.Nets {
+		n.SetLatency(latency, jitter)
+	}
+}
+
+// NewLinkFlappers creates one stopped Flapper per segment for the
+// inter-node link. Callers Start/Stop them (Stop leaves links healed).
+func (d *Deployment) NewLinkFlappers(downFor, upFor time.Duration) []*netsim.Flapper {
+	out := make([]*netsim.Flapper, 0, len(d.Nets))
+	for _, n := range d.Nets {
+		out = append(out, n.NewFlapper(d.cfg.Node1+":", d.cfg.Node2+":", downFor, upFor))
+	}
+	return out
+}
+
+// InterruptCheckpointTransfer severs a node's outbound checkpoint
+// connection mid-stream (and immediately restores the endpoint, so the
+// next transfer can reconnect). The sender sees a write error, marks the
+// stream dirty, and the FTIM re-bases with a full checkpoint — the
+// transfer-interruption window chaos campaigns aim faults into.
+func (d *Deployment) InterruptCheckpointTransfer(nodeName string) error {
+	r := d.Replica(nodeName)
+	if r == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	addr := netsim.Addr(nodeName + ":engine-ckpt-cli")
+	for _, n := range d.Nets {
+		n.FailEndpoint(addr)
+		n.RestoreEndpoint(addr)
+	}
+	return nil
+}

@@ -48,14 +48,18 @@ func (d *Deployment) buildReplica(node *cluster.Node, reattach bool) (*Replica, 
 	if err != nil {
 		return nil, fmt.Errorf("core: start engine process: %w", err)
 	}
-	eng := engine.New(node, engine.Config{
+	ecfg := engine.Config{
 		PeerNode:          peer,
 		HeartbeatInterval: d.cfg.HeartbeatInterval,
 		PeerTimeout:       d.cfg.PeerTimeout,
 		Startup:           d.cfg.Startup,
 		Preferred:         node.Name() == d.cfg.Node1,
 		Metrics:           d.Telemetry.Metrics(),
-	}, d.sink())
+	}
+	if d.cfg.TuneEngine != nil {
+		d.cfg.TuneEngine(&ecfg)
+	}
+	eng := engine.New(node, ecfg, d.sink())
 	if err := eng.Start(engineProc); err != nil {
 		engineProc.Stop()
 		return nil, fmt.Errorf("core: start engine: %w", err)
@@ -175,6 +179,26 @@ func (r *Replica) AppActive() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.appActive
+}
+
+// Healthy reports whether the replica is fully in service: node up,
+// engine process running, and (when the deployment runs an application)
+// the application process running. Chaos repair uses this to decide
+// whether a node needs a power-cycle rejoin.
+func (r *Replica) Healthy() bool {
+	if r.Node.State() != cluster.NodeUp {
+		return false
+	}
+	r.mu.Lock()
+	engProc, appProc := r.EngineProc, r.AppProc
+	r.mu.Unlock()
+	if engProc == nil || engProc.State() != cluster.ProcRunning {
+		return false
+	}
+	if r.d.cfg.NewApp != nil && (appProc == nil || appProc.State() != cluster.ProcRunning) {
+		return false
+	}
+	return true
 }
 
 // stop tears the replica down cleanly.
@@ -320,13 +344,27 @@ func (d *Deployment) routeTo(r *Replica) {
 	})
 }
 
-// unroute clears the diverter route if r still owns it.
+// unroute clears the diverter route if r still owns it. If the other copy
+// is an active primary, the route re-points at it instead of going dark:
+// after a dual-primary episode resolves by tie-break, the demoted side's
+// deactivation is the only route event — the surviving primary's FTIM was
+// never deactivated, so nothing else would restore the route.
 func (d *Deployment) unroute(r *Replica) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.routeOwn == r.Node.Name() {
+	owned := d.routeOwn == r.Node.Name()
+	if owned {
 		d.routeOwn = ""
 		d.Div.ClearRoute(d.cfg.Component)
+	}
+	d.mu.Unlock()
+	if !owned {
+		return
+	}
+	for _, other := range d.Replicas() {
+		if other != r && other.AppActive() {
+			d.routeTo(other)
+			return
+		}
 	}
 }
 

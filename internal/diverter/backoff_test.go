@@ -1,0 +1,241 @@
+package diverter
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testLedger records the lifecycle calls a LedgerHook receives.
+type testLedger struct {
+	mu        sync.Mutex
+	enqueued  map[string]int
+	delivered map[string]int
+	dropped   map[string]int
+}
+
+func newTestLedger() *testLedger {
+	return &testLedger{
+		enqueued:  make(map[string]int),
+		delivered: make(map[string]int),
+		dropped:   make(map[string]int),
+	}
+}
+
+func (l *testLedger) Enqueued(id, dest string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.enqueued[id]++
+}
+
+func (l *testLedger) Delivered(id, dest string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.delivered[id]++
+}
+
+func (l *testLedger) Dropped(id, dest string, attempts int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dropped[id]++
+}
+
+// outstanding reports enqueued ids with neither a Delivered nor a Dropped
+// resolution.
+func (l *testLedger) outstanding() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for id := range l.enqueued {
+		if l.delivered[id] == 0 && l.dropped[id] == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestLedgerAccountsEveryMessage(t *testing.T) {
+	ledger := newTestLedger()
+	d := New(Config{RetryInterval: 2 * time.Millisecond, Ledger: ledger})
+	defer d.Stop()
+
+	var fail atomic.Bool
+	fail.Store(true)
+	d.SetRoute("app", func(m Message) error {
+		if fail.Load() {
+			return errors.New("down")
+		}
+		return nil
+	})
+
+	for i := 0; i < 5; i++ {
+		if _, err := d.Send("app", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // let some attempts fail
+	fail.Store(false)
+	if !d.Drain("app", time.Second) {
+		t.Fatal("queue did not drain")
+	}
+	if out := ledger.outstanding(); len(out) != 0 {
+		t.Fatalf("unresolved obligations: %v", out)
+	}
+	ledger.mu.Lock()
+	defer ledger.mu.Unlock()
+	if len(ledger.delivered) != 5 || len(ledger.dropped) != 0 {
+		t.Fatalf("delivered=%d dropped=%d", len(ledger.delivered), len(ledger.dropped))
+	}
+}
+
+func TestLedgerRecordsDrops(t *testing.T) {
+	ledger := newTestLedger()
+	d := New(Config{RetryInterval: time.Millisecond, MaxAttempts: 3, Ledger: ledger})
+	defer d.Stop()
+	d.SetRoute("app", func(m Message) error { return errors.New("always down") })
+
+	if _, err := d.Send("app", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for d.Stats().Dropped == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ledger.mu.Lock()
+	defer ledger.mu.Unlock()
+	if len(ledger.dropped) != 1 {
+		t.Fatalf("dropped ledger entries = %d", len(ledger.dropped))
+	}
+}
+
+// TestBackoffSpacesRetries: with backoff on, a dead route sees far fewer
+// attempts over a window than retry-every-sweep would produce, and the
+// message still delivers once the route heals.
+func TestBackoffSpacesRetries(t *testing.T) {
+	var attempts atomic.Int64
+	var fail atomic.Bool
+	fail.Store(true)
+	d := New(Config{
+		RetryInterval: time.Millisecond,
+		RetryBackoff:  20 * time.Millisecond,
+		Seed:          7,
+	})
+	defer d.Stop()
+	d.SetRoute("app", func(m Message) error {
+		attempts.Add(1)
+		if fail.Load() {
+			return errors.New("down")
+		}
+		return nil
+	})
+
+	if _, err := d.Send("app", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	// Exponential 20ms backoff permits at most ~3 attempts in 60ms; the
+	// 1ms sweep without backoff would have made dozens.
+	if n := attempts.Load(); n > 5 {
+		t.Fatalf("%d attempts in 60ms despite backoff", n)
+	}
+	fail.Store(false)
+	d.SetRoute("app", func(m Message) error {
+		attempts.Add(1)
+		return nil
+	})
+	if !d.Drain("app", 2*time.Second) {
+		t.Fatal("message never delivered after heal")
+	}
+}
+
+// TestSetRouteClearsBackoff: re-pointing a destination retries immediately
+// even if the head message was deep into exponential backoff.
+func TestSetRouteClearsBackoff(t *testing.T) {
+	d := New(Config{
+		RetryInterval: time.Millisecond,
+		RetryBackoff:  500 * time.Millisecond, // long enough to dominate the test
+		Seed:          7,
+	})
+	defer d.Stop()
+	d.SetRoute("app", func(m Message) error { return errors.New("down") })
+	if _, err := d.Send("app", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for d.Stats().Retries == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	fn, read := collector()
+	start := time.Now()
+	d.SetRoute("app", fn)
+	if !d.Drain("app", time.Second) {
+		t.Fatal("queue did not drain after rebind")
+	}
+	if waited := time.Since(start); waited > 250*time.Millisecond {
+		t.Fatalf("rebind waited out the backoff: %v", waited)
+	}
+	if got := read(); len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestDrainWakesPromptly: Drain returns quickly after the last delivery
+// rather than sleeping out a poll interval.
+func TestDrainWakesPromptly(t *testing.T) {
+	d := New(Config{RetryInterval: 200 * time.Millisecond}) // slow sweeps
+	defer d.Stop()
+	fn, _ := collector()
+	d.SetRoute("app", fn)
+	if _, err := d.Send("app", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if !d.Drain("app", 2*time.Second) {
+		t.Fatal("drain failed")
+	}
+	// The kick delivers immediately; only a polling Drain would burn a
+	// whole 100ms+ sweep interval here.
+	if waited := time.Since(start); waited > 150*time.Millisecond {
+		t.Fatalf("drain took %v; expected event-driven wakeup", waited)
+	}
+}
+
+// TestDrainTimesOut: a never-deliverable queue respects the deadline.
+func TestDrainTimesOut(t *testing.T) {
+	d := New(Config{RetryInterval: time.Millisecond})
+	defer d.Stop()
+	if _, err := d.Send("app", []byte("x")); err != nil { // no route
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if d.Drain("app", 50*time.Millisecond) {
+		t.Fatal("drain reported success with no route")
+	}
+	if waited := time.Since(start); waited < 40*time.Millisecond || waited > time.Second {
+		t.Fatalf("drain waited %v", waited)
+	}
+}
+
+// TestDrainUnblocksOnStop: Stop wakes a blocked Drain instead of leaving
+// it to the timeout.
+func TestDrainUnblocksOnStop(t *testing.T) {
+	d := New(Config{RetryInterval: time.Millisecond})
+	if _, err := d.Send("app", []byte("x")); err != nil { // no route
+		t.Fatal(err)
+	}
+	done := make(chan bool, 1)
+	go func() { done <- d.Drain("app", 10*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	d.Stop()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("drain reported empty queue after Stop discarded it")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Drain still blocked after Stop")
+	}
+}

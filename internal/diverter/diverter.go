@@ -12,6 +12,7 @@ package diverter
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,21 @@ type Message struct {
 	Body       []byte
 	EnqueuedAt time.Time
 	Attempts   int
+
+	// notBefore delays the next delivery attempt (redelivery backoff).
+	// Zero means deliver at the next sweep.
+	notBefore time.Time
+}
+
+// LedgerHook observes the diverter's message lifecycle: every enqueue
+// creates a delivery obligation that must end in exactly one Delivered or
+// Dropped call. Chaos invariant checkers implement this to prove no
+// acknowledged message is silently lost. Hooks are called outside the
+// diverter's lock and must be safe for concurrent use.
+type LedgerHook interface {
+	Enqueued(id, dest string)
+	Delivered(id, dest string)
+	Dropped(id, dest string, attempts int)
 }
 
 // DeliverFunc delivers a message to the current primary; a nil return acks
@@ -56,6 +72,24 @@ type Config struct {
 	// MaxAttempts drops a message after this many failed deliveries;
 	// 0 retries forever.
 	MaxAttempts int
+
+	// RetryBackoff enables exponential redelivery backoff: after the Nth
+	// failed attempt a message waits RetryBackoff<<(N-1), clamped to
+	// RetryBackoffMax, plus jitter, before its next attempt. Zero keeps
+	// the legacy retry-every-sweep behaviour. A route change (SetRoute)
+	// clears pending backoff so rebound destinations retry immediately.
+	RetryBackoff time.Duration
+	// RetryBackoffMax clamps the exponential backoff (default 50x
+	// RetryBackoff).
+	RetryBackoffMax time.Duration
+	// Seed drives the backoff jitter; the same seed yields the same retry
+	// timeline (deterministic chaos replays depend on this). Zero seeds
+	// from 1.
+	Seed int64
+
+	// Ledger, when set, observes every message's lifecycle (enqueue,
+	// delivery, drop) for external accounting such as loss invariants.
+	Ledger LedgerHook
 
 	// Instruments are optional metrics; zero-value fields record nothing.
 	Instruments Instruments
@@ -96,6 +130,8 @@ type Diverter struct {
 	routes    map[string]DeliverFunc
 	delivered map[string]time.Time // msgID -> delivery time (dedup)
 	closed    bool
+	drained   *sync.Cond // broadcast on every dequeue and on Stop
+	rng       *rand.Rand // jitter source; pump goroutine only
 	nextID    atomic.Uint64
 
 	stats struct {
@@ -116,15 +152,24 @@ func New(cfg Config) *Diverter {
 	if cfg.DedupWindow <= 0 {
 		cfg.DedupWindow = 30 * time.Second
 	}
+	if cfg.RetryBackoff > 0 && cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 50 * cfg.RetryBackoff
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	d := &Diverter{
 		cfg:       cfg,
 		pending:   make(map[string][]*Message),
 		routes:    make(map[string]DeliverFunc),
 		delivered: make(map[string]time.Time),
+		rng:       rand.New(rand.NewSource(seed)),
 		kick:      make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	d.drained = sync.NewCond(&d.mu)
 	go d.pump()
 	return d
 }
@@ -153,6 +198,7 @@ func recycle(msg *Message, bodyEscaped bool) {
 	}
 	msg.ID, msg.Dest = "", ""
 	msg.EnqueuedAt = time.Time{}
+	msg.notBefore = time.Time{}
 	msg.Attempts = 0
 	msgPool.Put(msg)
 }
@@ -181,15 +227,23 @@ func (d *Diverter) SendWithID(id, dest string, body []byte) error {
 
 	d.stats.enqueued.Add(1)
 	d.cfg.Instruments.QueueDepth.Add(1)
+	if h := d.cfg.Ledger; h != nil {
+		h.Enqueued(id, dest)
+	}
 	d.wake()
 	return nil
 }
 
 // SetRoute points a destination at the current primary's delivery
-// endpoint. The engine re-points this after a switchover.
+// endpoint. The engine re-points this after a switchover. Pending backoff
+// for the destination is cleared: a fresh route deserves an immediate
+// attempt regardless of how the old one failed.
 func (d *Diverter) SetRoute(dest string, fn DeliverFunc) {
 	d.mu.Lock()
 	d.routes[dest] = fn
+	for _, m := range d.pending[dest] {
+		m.notBefore = time.Time{}
+	}
 	d.mu.Unlock()
 	d.wake()
 }
@@ -250,8 +304,13 @@ func (d *Diverter) deliverBatch() {
 				d.stats.noRoute.Add(1)
 				break // keep queued until a route appears
 			}
+			if !msg.notBefore.IsZero() && time.Now().Before(msg.notBefore) {
+				d.mu.Unlock()
+				break // head backing off: preserve FIFO, retry when due
+			}
 			if _, dup := d.delivered[msg.ID]; dup {
 				d.pending[dest] = queue[1:]
+				d.drained.Broadcast()
 				d.mu.Unlock()
 				d.stats.dupDropped.Add(1)
 				d.cfg.Instruments.QueueDepth.Add(-1)
@@ -270,13 +329,18 @@ func (d *Diverter) deliverBatch() {
 			if err == nil {
 				d.delivered[msg.ID] = time.Now()
 				d.pending[dest] = dequeue(d.pending[dest], msg)
+				d.drained.Broadcast()
 				enqueuedAt := msg.EnqueuedAt
+				id := msg.ID
 				d.mu.Unlock()
 				d.stats.delivered.Add(1)
 				d.cfg.Instruments.Delivered.Inc()
 				d.cfg.Instruments.QueueDepth.Add(-1)
 				d.cfg.Instruments.DivertLatency.ObserveDuration(time.Since(enqueuedAt))
 				recycle(msg, true) // handler saw the body; abandon it
+				if h := d.cfg.Ledger; h != nil {
+					h.Delivered(id, dest)
+				}
 				continue
 			}
 			// Failed delivery: retry later, unless exhausted.
@@ -284,17 +348,44 @@ func (d *Diverter) deliverBatch() {
 			d.cfg.Instruments.Redelivered.Inc()
 			if d.cfg.MaxAttempts > 0 && attempts >= d.cfg.MaxAttempts {
 				d.pending[dest] = dequeue(d.pending[dest], msg)
+				d.drained.Broadcast()
+				id := msg.ID
 				d.mu.Unlock()
 				d.stats.dropped.Add(1)
 				d.cfg.Instruments.Dropped.Inc()
 				d.cfg.Instruments.QueueDepth.Add(-1)
 				recycle(msg, true)
+				if h := d.cfg.Ledger; h != nil {
+					h.Dropped(id, dest, attempts)
+				}
 				continue
 			}
+			msg.notBefore = time.Now().Add(d.backoffLocked(attempts))
 			d.mu.Unlock()
 			break // head-of-line blocked: preserve FIFO, retry next sweep
 		}
 	}
+}
+
+// backoffLocked computes the wait before attempt attempts+1: exponential
+// in the attempt count, clamped, with ±25% seeded jitter so parallel
+// destinations do not retry in lockstep. Zero when backoff is disabled.
+// Caller holds d.mu (the rng is not otherwise synchronized).
+func (d *Diverter) backoffLocked(attempts int) time.Duration {
+	base := d.cfg.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	shift := attempts - 1
+	if shift > 20 {
+		shift = 20
+	}
+	wait := base << shift
+	if wait > d.cfg.RetryBackoffMax {
+		wait = d.cfg.RetryBackoffMax
+	}
+	jitter := time.Duration(d.rng.Int63n(int64(wait)/2+1)) - wait/4
+	return wait + jitter
 }
 
 // dequeue removes msg from the front of queue if still present.
@@ -329,17 +420,27 @@ func (d *Diverter) Pending(dest string) int {
 }
 
 // Drain blocks until the destination's queue empties or the timeout
-// passes; it reports whether the queue emptied.
+// passes; it reports whether the queue emptied. The wait is event-driven:
+// the pump broadcasts on every dequeue, so Drain returns as soon as the
+// last message leaves instead of polling on a fixed sleep.
 func (d *Diverter) Drain(dest string, timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if d.Pending(dest) == 0 {
-			return true
-		}
-		d.wake()
-		time.Sleep(d.cfg.RetryInterval / 2)
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		// Take the lock before broadcasting so a waiter cannot check
+		// expired and then sleep through the wakeup.
+		d.mu.Lock()
+		expired = true
+		d.mu.Unlock()
+		d.drained.Broadcast()
+	})
+	defer timer.Stop()
+	d.wake()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.pending[dest]) > 0 && !expired && !d.closed {
+		d.drained.Wait()
 	}
-	return d.Pending(dest) == 0
+	return len(d.pending[dest]) == 0
 }
 
 // Stats returns a copy of the counters.
@@ -354,11 +455,13 @@ func (d *Diverter) Stats() Stats {
 	}
 }
 
-// Stop halts the pump. Queued messages are discarded.
+// Stop halts the pump. Queued messages are discarded; blocked Drain calls
+// wake and report the queue state as-is.
 func (d *Diverter) Stop() {
 	d.mu.Lock()
 	d.closed = true
 	d.mu.Unlock()
+	d.drained.Broadcast()
 	d.once.Do(func() { close(d.stop) })
 	<-d.done
 }

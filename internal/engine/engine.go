@@ -59,6 +59,7 @@ type engineInstruments struct {
 	roleTransitions *telemetry.Counter
 	switchovers     *telemetry.Counter
 	restarts        *telemetry.Counter
+	demotions       *telemetry.Counter
 	peerDetect      *telemetry.Histogram // silence → peer-failure declaration, µs
 	compDetect      *telemetry.Histogram // silence → component-failure declaration, µs
 	switchoverDur   *telemetry.Histogram // TakeOver entry → app reactivated, µs
@@ -96,6 +97,7 @@ type Engine struct {
 	sender     *checkpoint.Sender
 
 	switchovers int
+	demotions   int
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -140,6 +142,7 @@ func NewWithError(node *cluster.Node, cfg Config, sink telemetry.Sink) (*Engine,
 			roleTransitions: reg.Counter("oftt_engine_role_transitions_total" + label),
 			switchovers:     reg.Counter("oftt_engine_switchovers_total" + label),
 			restarts:        reg.Counter("oftt_engine_restarts_total" + label),
+			demotions:       reg.Counter("oftt_engine_demotions_total" + label),
 			peerDetect:      reg.Histogram("oftt_engine_peer_detect_us"+label, telemetry.DurationBuckets...),
 			compDetect:      reg.Histogram("oftt_engine_component_detect_us"+label, telemetry.DurationBuckets...),
 			switchoverDur:   reg.Histogram("oftt_engine_switchover_us"+label, telemetry.DurationBuckets...),
@@ -180,6 +183,31 @@ func (e *Engine) Switchovers() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.switchovers
+}
+
+// Demotions reports how many times this engine stepped down from primary
+// (commanded switchovers plus split-brain tie-breaks). Invariant checkers
+// use the delta across a partition heal to assert exactly one node demoted.
+func (e *Engine) Demotions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.demotions
+}
+
+// SuspendBeats pauses this engine's outbound heartbeats without stopping
+// the engine: to the peer the engine looks hung. Fault injection uses this
+// to model a wedged-but-alive middleware process. ResumeBeats undoes it.
+func (e *Engine) SuspendBeats() {
+	if e.emitter != nil {
+		e.emitter.Pause()
+	}
+}
+
+// ResumeBeats re-enables outbound heartbeats after SuspendBeats.
+func (e *Engine) ResumeBeats() {
+	if e.emitter != nil {
+		e.emitter.Resume()
+	}
 }
 
 // OnRoleChange registers a callback fired (off the engine lock) on every
@@ -379,10 +407,12 @@ func (e *Engine) observePeerBeat(b heartbeat.Beat) {
 	// Split-brain resolution: if both engines believe they are primary
 	// (network partition healed), the lexicographically smaller node name
 	// keeps the role; the other demotes.
-	if b.Status == RolePrimary.String() && e.Role() == RolePrimary {
+	if b.Status == RolePrimary.String() && e.Role() == RolePrimary && !e.cfg.DisableTieBreak {
 		if e.node.Name() > e.cfg.PeerNode {
 			e.event("engine", "role", "dual primary detected; demoting (tie-break)")
+			e.span("oftt-engine", telemetry.PhaseDecision, "split-brain tie-break: demote")
 			e.Demote("split-brain tie-break")
+			e.span("oftt-engine", telemetry.PhaseRecovered, "split-brain resolved")
 		}
 	}
 

@@ -169,6 +169,10 @@ func (e *Engine) Demote(reason string) {
 	}
 	e.closeSender()
 	e.becomeBackup("demote: " + reason)
+	e.ins.demotions.Inc()
+	e.mu.Lock()
+	e.demotions++
+	e.mu.Unlock()
 }
 
 // onPeerFailure reacts to loss of all peer heartbeats.

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// fullPartition cuts every engine channel between the pair, both ways.
+func (h *pairHarness) fullPartition() {
+	h.nets[0].PartitionPrefix("node1", "node2")
+}
+
+// splitBrainTrace returns the completed trace closed by the split-brain
+// tie-break, if any.
+func (h *pairHarness) splitBrainTrace() (telemetry.Trace, bool) {
+	for _, tr := range h.hub.Tracer().Traces() {
+		if !tr.Complete {
+			continue
+		}
+		if ev, ok := tr.First(telemetry.PhaseDecision); ok &&
+			ev.Detail == "split-brain tie-break: demote" {
+			return tr, true
+		}
+		// The decision may not be the trace's first decision (the takeover
+		// decision precedes it); scan all events.
+		for _, ev := range tr.Events {
+			if ev.Phase == telemetry.PhaseDecision &&
+				ev.Detail == "split-brain tie-break: demote" {
+				return tr, true
+			}
+		}
+	}
+	return telemetry.Trace{}, false
+}
+
+// TestSplitBrainDemotesExactlyOne partitions the pair symmetrically until
+// both sides claim primary, heals, and checks that the lexicographic
+// tie-break demotes exactly one engine (node2 > node1 loses) and closes a
+// recovery trace spanning detection through resolution.
+func TestSplitBrainDemotesExactlyOne(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	h.fullPartition()
+	waitFor(t, "dual primary", func() bool {
+		return h.e1.Role() == RolePrimary && h.e2.Role() == RolePrimary
+	})
+
+	h.nets[0].HealAll()
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	if d := h.e2.Demotions(); d != 1 {
+		t.Fatalf("losing engine demoted %d times, want exactly 1", d)
+	}
+	if d := h.e1.Demotions(); d != 0 {
+		t.Fatalf("winning engine demoted %d times, want 0", d)
+	}
+	tr, ok := h.splitBrainTrace()
+	if !ok {
+		t.Fatal("no completed recovery trace for the split-brain resolution")
+	}
+	if !tr.HasOrdered(telemetry.PhaseDetect, telemetry.PhaseDecision, telemetry.PhaseRecovered) {
+		t.Fatalf("trace missing detect->decision->recovered ordering:\n%s", tr)
+	}
+	if tr.Duration() <= 0 {
+		t.Fatalf("trace has no measurable duration:\n%s", tr)
+	}
+}
+
+// TestAsymmetricSplitBrainResolvesOnHeal cuts only the node1->node2
+// direction: node2 stops hearing the primary and promotes, while node1
+// still hears node2. During the cut node1 sees node2's PRIMARY beats but
+// holds its role (node1 < node2: the tie-break demotes the receiver only
+// when its own name is larger). After the heal node2 hears node1's PRIMARY
+// beats and must be the one — and only one — to demote.
+func TestAsymmetricSplitBrainResolvesOnHeal(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	h.nets[0].PartitionPrefixOneWay("node1", "node2")
+	waitFor(t, "backup promotes behind one-way cut", func() bool {
+		return h.e2.Role() == RolePrimary
+	})
+	// The reverse direction stayed up the whole time, and node1 must not
+	// have flinched on seeing the usurper's beats.
+	if h.e1.Role() != RolePrimary {
+		t.Fatalf("surviving primary changed role during one-way cut: %s", h.e1.Role())
+	}
+
+	h.nets[0].HealPrefix("node1", "node2")
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	if d := h.e2.Demotions(); d != 1 {
+		t.Fatalf("losing engine demoted %d times, want exactly 1", d)
+	}
+	if d := h.e1.Demotions(); d != 0 {
+		t.Fatalf("winning engine demoted %d times, want 0", d)
+	}
+	if _, ok := h.splitBrainTrace(); !ok {
+		t.Fatal("no completed recovery trace for the asymmetric split-brain resolution")
+	}
+}
+
+// TestDisableTieBreakLeavesDualPrimary is the chaos-harness knob's unit
+// face: with DisableTieBreak set neither side demotes after a heal, which
+// is exactly the broken invariant the campaign checker must catch.
+func TestDisableTieBreakLeavesDualPrimary(t *testing.T) {
+	nets := []*netsim.Network{netsim.New("ethA", 1)}
+	node1 := cluster.NewNode("node1", 1, nets...)
+	node2 := cluster.NewNode("node2", 2, nets...)
+	cfg1 := fastConfig("node2")
+	cfg1.DisableTieBreak = true
+	cfg2 := fastConfig("node1")
+	cfg2.DisableTieBreak = true
+	e1 := New(node1, cfg1, nil)
+	e2 := New(node2, cfg2, nil)
+	if err := e1.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Stop()
+	defer e2.Stop()
+	waitFor(t, "pair", func() bool {
+		return e1.Role() == RolePrimary && e2.Role() == RoleBackup
+	})
+
+	nets[0].PartitionPrefix("node1", "node2")
+	waitFor(t, "dual primary", func() bool {
+		return e1.Role() == RolePrimary && e2.Role() == RolePrimary
+	})
+	nets[0].HealAll()
+
+	// Give the tie-break ample opportunity to (wrongly) fire.
+	time.Sleep(150 * time.Millisecond)
+	if e1.Role() != RolePrimary || e2.Role() != RolePrimary {
+		t.Fatalf("roles changed with tie-break disabled: %s/%s", e1.Role(), e2.Role())
+	}
+	if e1.Demotions()+e2.Demotions() != 0 {
+		t.Fatalf("demotions happened with tie-break disabled: %d/%d",
+			e1.Demotions(), e2.Demotions())
+	}
+}

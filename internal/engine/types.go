@@ -134,6 +134,12 @@ type Config struct {
 	// (role transitions, detection latency, restart counts, switchover
 	// duration). Nil runs uninstrumented at zero cost.
 	Metrics *telemetry.Registry
+
+	// DisableTieBreak turns off split-brain resolution (the lexicographic
+	// demotion on dual-primary detection). Test-only: chaos campaigns use
+	// it to prove the eventually-single-primary invariant checker catches
+	// a pair that never resolves.
+	DisableTieBreak bool
 }
 
 func (c *Config) applyDefaults() {

@@ -54,22 +54,13 @@ func RunE3(scenario string, seed int64) (*E3Row, error) {
 	primary := ct.Primary().Node.Name()
 	before := ct.ActiveTracker().Samples()
 
-	var inject func(string) error
-	switch scenario {
-	case "a:node-failure":
-		inject = ct.KillNode
-	case "b:nt-crash":
-		inject = ct.BlueScreen
-	case "c:application-failure":
-		inject = ct.KillApp
-	case "d:middleware-failure":
-		inject = ct.KillEngine
-	default:
+	kind, ok := core.ScenarioFault(scenario)
+	if !ok {
 		return nil, fmt.Errorf("unknown scenario %q", scenario)
 	}
 
 	start := time.Now()
-	if err := inject(primary); err != nil {
+	if err := ct.Inject(kind, primary); err != nil {
 		return nil, err
 	}
 	if !waitCond(8*time.Second, func() bool {

@@ -306,6 +306,23 @@ func (f *ClientFTIM) WithLock(fn func()) { f.reg.WithLock(fn) }
 // MyRole is OFTTGetMyRole.
 func (f *ClientFTIM) MyRole() engine.Role { return f.cfg.Engine.Role() }
 
+// PauseHeartbeats suppresses the FTIM's liveness beats without stopping the
+// application — to the engine the app looks hung, triggering the same
+// detection path as a real wedge. ResumeHeartbeats undoes it (fault
+// injection only; real apps never call these).
+func (f *ClientFTIM) PauseHeartbeats() {
+	if f.emitter != nil {
+		f.emitter.Pause()
+	}
+}
+
+// ResumeHeartbeats re-enables liveness beats after PauseHeartbeats.
+func (f *ClientFTIM) ResumeHeartbeats() {
+	if f.emitter != nil {
+		f.emitter.Resume()
+	}
+}
+
 // Save is OFTTSave: copy the state (or the selected subset) to the peer
 // node immediately, without waiting for a checkpoint period — the
 // event-based checkpoint the paper calls out as necessary.

@@ -57,6 +57,7 @@ type Emitter struct {
 	mu     sync.Mutex
 	status string
 	seq    uint64
+	paused bool
 
 	stop chan struct{}
 	done chan struct{}
@@ -103,10 +104,30 @@ func (e *Emitter) Start() {
 
 func (e *Emitter) beat() {
 	e.mu.Lock()
+	if e.paused {
+		e.mu.Unlock()
+		return
+	}
 	e.seq++
 	b := Beat{Source: e.source, Seq: e.seq, Status: e.status, SentAt: time.Now()}
 	e.mu.Unlock()
 	e.send(b)
+}
+
+// Pause suppresses beats without stopping the loop — the monitored
+// component looks hung to its monitor. Fault injection uses this to model
+// a live-but-unresponsive process, the failure mode a crash cannot mimic.
+func (e *Emitter) Pause() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.paused = true
+}
+
+// Resume re-enables beats after Pause.
+func (e *Emitter) Resume() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.paused = false
 }
 
 // Stop halts the beat loop and waits for it to exit.

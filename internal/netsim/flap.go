@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Flapper toggles a prefix partition between two node prefixes on a fixed
+// cadence — the flapping-link fault (loose cable, duplex mismatch) that
+// neither a clean partition nor a clean heal models. Each cycle cuts the
+// link for downFor, then restores it for upFor.
+type Flapper struct {
+	net     *Network
+	a, b    string
+	downFor time.Duration
+	upFor   time.Duration
+
+	mu      sync.Mutex
+	cycles  int
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewFlapper creates a stopped flapper for the link between prefixes a and
+// b (e.g. "node1:", "node2:"). Zero durations default to 10ms.
+func (n *Network) NewFlapper(a, b string, downFor, upFor time.Duration) *Flapper {
+	if downFor <= 0 {
+		downFor = 10 * time.Millisecond
+	}
+	if upFor <= 0 {
+		upFor = 10 * time.Millisecond
+	}
+	return &Flapper{net: n, a: a, b: b, downFor: downFor, upFor: upFor}
+}
+
+// Start begins flapping. Idempotent while running.
+func (f *Flapper) Start() {
+	f.mu.Lock()
+	if f.running {
+		f.mu.Unlock()
+		return
+	}
+	f.running = true
+	f.stop = make(chan struct{})
+	f.done = make(chan struct{})
+	stop, done := f.stop, f.done
+	f.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		for {
+			f.net.PartitionPrefix(f.a, f.b)
+			if !sleepOrStop(f.downFor, stop) {
+				f.net.HealPrefix(f.a, f.b)
+				return
+			}
+			f.net.HealPrefix(f.a, f.b)
+			f.mu.Lock()
+			f.cycles++
+			f.mu.Unlock()
+			if !sleepOrStop(f.upFor, stop) {
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts flapping and leaves the link healed.
+func (f *Flapper) Stop() {
+	f.mu.Lock()
+	if !f.running {
+		f.mu.Unlock()
+		return
+	}
+	f.running = false
+	stop, done := f.stop, f.done
+	f.mu.Unlock()
+	close(stop)
+	<-done
+	f.net.HealPrefix(f.a, f.b)
+}
+
+// Cycles reports completed down/up cycles.
+func (f *Flapper) Cycles() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cycles
+}
+
+// sleepOrStop sleeps for d; it returns false if stop closed first.
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

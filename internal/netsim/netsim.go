@@ -67,6 +67,22 @@ func keyFor(a, b Addr) pairKey {
 	return pairKey{a, b}
 }
 
+// dirKey is a directional endpoint pair (asymmetric partitions).
+type dirKey struct{ from, to Addr }
+
+// prefixPair is an unordered prefix pair (whole-node partitions).
+type prefixPair struct{ a, b string }
+
+func prefixKeyFor(a, b string) prefixPair {
+	if a > b {
+		a, b = b, a
+	}
+	return prefixPair{a, b}
+}
+
+// dirPrefix is a directional prefix pair (asymmetric whole-node partitions).
+type dirPrefix struct{ from, to string }
+
 // Network is one simulated LAN segment.
 type Network struct {
 	name  string
@@ -77,6 +93,9 @@ type Network struct {
 	listeners    map[Addr]*Listener
 	dgramSocks   map[Addr]*DatagramSock
 	partitions   map[pairKey]bool
+	oneWay       map[dirKey]bool
+	prefixParts  map[prefixPair]bool
+	prefixOneWay map[dirPrefix]bool
 	down         map[Addr]bool
 	downPrefixes map[string]bool
 	latency      time.Duration
@@ -94,6 +113,9 @@ func New(name string, seed int64) *Network {
 		listeners:    make(map[Addr]*Listener),
 		dgramSocks:   make(map[Addr]*DatagramSock),
 		partitions:   make(map[pairKey]bool),
+		oneWay:       make(map[dirKey]bool),
+		prefixParts:  make(map[prefixPair]bool),
+		prefixOneWay: make(map[dirPrefix]bool),
 		down:         make(map[Addr]bool),
 		downPrefixes: make(map[string]bool),
 	}
@@ -105,12 +127,12 @@ func (n *Network) Name() string { return n.name }
 // Stats exposes the fabric counters.
 func (n *Network) Stats() *Stats { return &n.stats }
 
-// PartitionCount reports how many pairwise partitions are currently in
-// force (for the telemetry collectors).
+// PartitionCount reports how many partitions are currently in force —
+// pairwise, one-way, and prefix-level alike (for the telemetry collectors).
 func (n *Network) PartitionCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return len(n.partitions)
+	return len(n.partitions) + len(n.oneWay) + len(n.prefixParts) + len(n.prefixOneWay)
 }
 
 // SetLatency configures one-way delivery latency and uniform jitter.
@@ -144,6 +166,63 @@ func (n *Network) Partition(a, b Addr) {
 	})
 }
 
+// PartitionOneWay blocks traffic from one endpoint to another while the
+// reverse direction stays up — the asymmetric failure (bad transceiver,
+// asymmetric routing) that classic pairwise partitions cannot model. A
+// one-way cut still breaks framed connections between the endpoints:
+// TCP cannot survive a half-dead path, only datagrams flow one-way.
+func (n *Network) PartitionOneWay(from, to Addr) {
+	n.mu.Lock()
+	n.oneWay[dirKey{from, to}] = true
+	n.mu.Unlock()
+	n.breakConns(func(c *Conn) bool {
+		return keyFor(c.local, c.remote) == keyFor(from, to)
+	})
+}
+
+// HealOneWay restores a one-way cut.
+func (n *Network) HealOneWay(from, to Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.oneWay, dirKey{from, to})
+}
+
+// PartitionPrefix severs all traffic between endpoints under prefix a and
+// endpoints under prefix b, both directions. Nodes name their endpoints
+// "<node>:<service>", so PartitionPrefix("node1:", "node2:") partitions two
+// whole machines without enumerating services.
+func (n *Network) PartitionPrefix(a, b string) {
+	n.mu.Lock()
+	n.prefixParts[prefixKeyFor(a, b)] = true
+	n.mu.Unlock()
+	n.breakConns(func(c *Conn) bool {
+		return (hasPrefix(c.local, a) && hasPrefix(c.remote, b)) ||
+			(hasPrefix(c.local, b) && hasPrefix(c.remote, a))
+	})
+}
+
+// PartitionPrefixOneWay blocks all traffic from endpoints under `from` to
+// endpoints under `to`; the reverse direction stays up.
+func (n *Network) PartitionPrefixOneWay(from, to string) {
+	n.mu.Lock()
+	n.prefixOneWay[dirPrefix{from, to}] = true
+	n.mu.Unlock()
+	n.breakConns(func(c *Conn) bool {
+		return (hasPrefix(c.local, from) && hasPrefix(c.remote, to)) ||
+			(hasPrefix(c.local, to) && hasPrefix(c.remote, from))
+	})
+}
+
+// HealPrefix removes any prefix partition between a and b: the two-way
+// cut and both one-way directions.
+func (n *Network) HealPrefix(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.prefixParts, prefixKeyFor(a, b))
+	delete(n.prefixOneWay, dirPrefix{a, b})
+	delete(n.prefixOneWay, dirPrefix{b, a})
+}
+
 // Heal restores the link between two endpoints.
 func (n *Network) Heal(a, b Addr) {
 	n.mu.Lock()
@@ -151,11 +230,14 @@ func (n *Network) Heal(a, b Addr) {
 	delete(n.partitions, keyFor(a, b))
 }
 
-// HealAll removes every partition.
+// HealAll removes every partition: pairwise, one-way, and prefix-level.
 func (n *Network) HealAll() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partitions = make(map[pairKey]bool)
+	n.oneWay = make(map[dirKey]bool)
+	n.prefixParts = make(map[prefixPair]bool)
+	n.prefixOneWay = make(map[dirPrefix]bool)
 }
 
 // FailEndpoint takes an endpoint off the network: existing conns break,
@@ -261,7 +343,27 @@ func (n *Network) reachableLocked(src, dst Addr) error {
 	if n.down[dst] || n.prefixDownLocked(dst) || n.partitions[keyFor(src, dst)] {
 		return ErrUnreachable
 	}
+	if n.oneWay[dirKey{src, dst}] || n.prefixPartitionedLocked(src, dst) {
+		return ErrUnreachable
+	}
 	return nil
+}
+
+// prefixPartitionedLocked reports whether a src→dst transmission crosses a
+// prefix partition (two-way, or one-way in this direction).
+func (n *Network) prefixPartitionedLocked(src, dst Addr) bool {
+	for p := range n.prefixParts {
+		if (hasPrefix(src, p.a) && hasPrefix(dst, p.b)) ||
+			(hasPrefix(src, p.b) && hasPrefix(dst, p.a)) {
+			return true
+		}
+	}
+	for p := range n.prefixOneWay {
+		if hasPrefix(src, p.from) && hasPrefix(dst, p.to) {
+			return true
+		}
+	}
+	return false
 }
 
 // prefixDownLocked reports whether addr falls under a failed node prefix

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPartitionOneWayDatagrams: a one-way cut blocks datagrams in the cut
+// direction while the reverse direction keeps flowing — the asymmetric
+// failure mode the chaos campaigns exercise.
+func TestPartitionOneWayDatagrams(t *testing.T) {
+	n := newTestNet(t)
+	a, err := n.ListenDatagram("a:hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.ListenDatagram("b:hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n.PartitionOneWay("a:hb", "b:hb")
+	if n.PartitionCount() != 1 {
+		t.Fatalf("PartitionCount = %d", n.PartitionCount())
+	}
+
+	// a -> b is cut: silently lost.
+	if err := a.Send("b:hb", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvTimeout(30 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("cut direction delivered: %v", err)
+	}
+
+	// b -> a still flows.
+	if err := b.Send("a:hb", []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.RecvTimeout(time.Second)
+	if err != nil || string(d.Payload) != "alive" {
+		t.Fatalf("reverse direction: %v %q", err, d.Payload)
+	}
+
+	n.HealOneWay("a:hb", "b:hb")
+	if err := a.Send("b:hb", []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := b.RecvTimeout(time.Second); err != nil || string(d.Payload) != "healed" {
+		t.Fatalf("after heal: %v %q", err, d.Payload)
+	}
+}
+
+// TestPartitionOneWayBreaksConns: framed (TCP-like) connections cannot
+// survive a half-dead path; new sends in the cut direction fail.
+func TestPartitionOneWayBreaksConns(t *testing.T) {
+	n := newTestNet(t)
+	l, err := n.Listen("b:svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial("a:cli", "b:svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Accept(); err != nil {
+		t.Fatal(err)
+	}
+
+	n.PartitionOneWay("a:cli", "b:svc")
+	if err := client.Send([]byte("x")); err == nil {
+		t.Fatal("send across one-way cut succeeded")
+	}
+}
+
+// TestPartitionPrefix cuts whole machines without enumerating services,
+// both directions, and heals cleanly.
+func TestPartitionPrefix(t *testing.T) {
+	n := newTestNet(t)
+	a, _ := n.ListenDatagram("node1:hb")
+	b, _ := n.ListenDatagram("node2:hb")
+
+	n.PartitionPrefix("node1:", "node2:")
+	_ = a.Send("node2:hb", []byte("x"))
+	_ = b.Send("node1:hb", []byte("y"))
+	if _, err := a.RecvTimeout(30 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("partitioned delivery: %v", err)
+	}
+	if _, err := b.RecvTimeout(30 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("partitioned delivery: %v", err)
+	}
+
+	// New dials between the prefixes are refused.
+	if l, err := n.Listen("node2:svc"); err == nil {
+		defer l.Close()
+		if _, err := n.Dial("node1:cli", "node2:svc"); err == nil {
+			t.Fatal("dial across prefix partition succeeded")
+		}
+	}
+
+	n.HealPrefix("node1:", "node2:")
+	if err := a.Send("node2:hb", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := b.RecvTimeout(time.Second); err != nil || string(d.Payload) != "ok" {
+		t.Fatalf("after heal: %v %q", err, d.Payload)
+	}
+}
+
+// TestPartitionPrefixOneWay: asymmetric whole-machine cut.
+func TestPartitionPrefixOneWay(t *testing.T) {
+	n := newTestNet(t)
+	a, _ := n.ListenDatagram("node1:hb")
+	b, _ := n.ListenDatagram("node2:hb")
+
+	n.PartitionPrefixOneWay("node1:", "node2:")
+	_ = a.Send("node2:hb", []byte("cut"))
+	if _, err := b.RecvTimeout(30 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("cut direction delivered: %v", err)
+	}
+	_ = b.Send("node1:hb", []byte("open"))
+	if d, err := a.RecvTimeout(time.Second); err != nil || string(d.Payload) != "open" {
+		t.Fatalf("open direction: %v %q", err, d.Payload)
+	}
+
+	n.HealAll()
+	if n.PartitionCount() != 0 {
+		t.Fatalf("PartitionCount after HealAll = %d", n.PartitionCount())
+	}
+	_ = a.Send("node2:hb", []byte("ok"))
+	if _, err := b.RecvTimeout(time.Second); err != nil {
+		t.Fatalf("after HealAll: %v", err)
+	}
+}
+
+// TestFlapper: the link toggles and ends healed after Stop.
+func TestFlapper(t *testing.T) {
+	n := newTestNet(t)
+	a, _ := n.ListenDatagram("node1:hb")
+	b, _ := n.ListenDatagram("node2:hb")
+
+	f := n.NewFlapper("node1:", "node2:", 5*time.Millisecond, 5*time.Millisecond)
+	f.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for f.Cycles() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	f.Stop()
+	if f.Cycles() < 3 {
+		t.Fatalf("only %d flap cycles", f.Cycles())
+	}
+	if n.PartitionCount() != 0 {
+		t.Fatalf("link left partitioned after Stop: %d", n.PartitionCount())
+	}
+	if err := a.Send("node2:hb", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RecvTimeout(time.Second); err != nil {
+		t.Fatalf("post-flap delivery: %v", err)
+	}
+	_ = a
+}

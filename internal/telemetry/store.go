@@ -20,6 +20,7 @@ const (
 	KindApp        = "application"
 	KindWatchdog   = "watchdog"
 	KindCheckpoint = "checkpoint"
+	KindChaos      = "chaos"
 )
 
 // Status is one component's reported condition.
