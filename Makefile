@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench fuzz verify
+.PHONY: build vet test race chaos bench bench-diverter fuzz verify
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,20 @@ bench:
 	$(GO) test -run xxx -bench BenchmarkNDR -benchmem ./internal/ndr
 	$(GO) test -run xxx -bench 'BenchmarkNDRPlanned|BenchmarkE4|BenchmarkE8' -benchmem .
 	$(GO) test -run xxx -bench 'BenchmarkCounterAdd|BenchmarkHistogramObserve' -benchmem ./internal/telemetry
+
+# Old-vs-new diverter throughput: runs the sharded implementation against
+# the retained single-pump baseline on the producers x destinations grid
+# and regenerates BENCH_DIVERTER.json. Fixed -benchtime (message counts,
+# not wall time) keeps runs comparable: many messages for the free-handler
+# cells, fewer for the ~1ms RPC-shaped cells. The gate fails the target if
+# the 8x8 RPC cell is below 3x.
+bench-diverter:
+	$(GO) test -run xxx -bench 'BenchmarkDiverterThroughput/impl=.*/p=.*/d=.*/svc=0s' \
+		-benchmem -benchtime 200000x ./internal/diverter | tee /tmp/bench_diverter.txt
+	$(GO) test -run xxx -bench 'BenchmarkDiverterThroughput/impl=.*/p=.*/d=.*/svc=1ms' \
+		-benchmem -benchtime 2000x ./internal/diverter | tee -a /tmp/bench_diverter.txt
+	$(GO) run ./cmd/oftt-benchdiff -in /tmp/bench_diverter.txt -out BENCH_DIVERTER.json \
+		-cell 'p=8/d=8/svc=1ms' -min-speedup 3.0
 
 fuzz:
 	$(GO) test -fuzz FuzzPlannedVsReflective -fuzztime 30s ./internal/ndr

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1..E9, A1..A3, NDR, TELEMETRY, or 'all'")
+	exp := flag.String("exp", "all", "experiment to run: E1..E10, A1..A3, NDR, TELEMETRY, or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
 
@@ -45,6 +45,7 @@ func run(which string, quick bool) error {
 		{"E7", runE7},
 		{"E8", runE8},
 		{"E9", runE9},
+		{"E10", runE10},
 		{"A1", runA1},
 		{"A2", runA2},
 		{"A3", runA3},
@@ -64,7 +65,7 @@ func run(which string, quick bool) error {
 		fmt.Printf("[%s completed in %v]\n\n", r.id, time.Since(start).Round(time.Millisecond))
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want E1..E9, A1..A3, NDR, TELEMETRY, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want E1..E10, A1..A3, NDR, TELEMETRY, or all)", which)
 	}
 	return nil
 }
@@ -245,6 +246,15 @@ func runE9(quick bool) error {
 			return fmt.Errorf("seed %d violated invariants: %s", r.Seed, r.Verdict)
 		}
 	}
+	return nil
+}
+
+func runE10(quick bool) error {
+	rows, err := experiments.RunE10(quick)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E10Table(rows).Render())
 	return nil
 }
 

@@ -1,0 +1,198 @@
+// Command oftt-benchdiff turns raw `go test -bench` output from
+// BenchmarkDiverterThroughput into a machine-readable old-vs-new record.
+// It pairs the sharded and single-pump sub-benchmarks cell by cell
+// (p=producers/d=destinations/svc=delivery cost), computes the speedup
+// from ns/op, writes the result as JSON, and enforces a minimum speedup
+// on one gate cell so the performance claim is a reproducible check, not
+// a README sentence.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkDiverterThroughput ./internal/diverter | \
+//	  oftt-benchdiff -out BENCH_DIVERTER.json -cell p=8/d=8/svc=1ms -min-speedup 3.0
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// measurement is one sub-benchmark's parsed result line.
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+// cell pairs the two implementations on one grid point.
+type cell struct {
+	Cell       string       `json:"cell"` // e.g. p=8/d=8/svc=1ms
+	Sharded    *measurement `json:"sharded"`
+	SinglePump *measurement `json:"singlepump"`
+	Speedup    float64      `json:"speedup"` // singlepump ns/op ÷ sharded ns/op
+}
+
+type report struct {
+	Benchmark string `json:"benchmark"`
+	Gate      struct {
+		Cell       string  `json:"cell"`
+		MinSpeedup float64 `json:"min_speedup"`
+		Speedup    float64 `json:"speedup"`
+		Pass       bool    `json:"pass"`
+	} `json:"gate"`
+	Cells []cell `json:"cells"`
+}
+
+func main() {
+	in := flag.String("in", "-", "bench output file ('-' for stdin)")
+	out := flag.String("out", "BENCH_DIVERTER.json", "JSON report path")
+	gateCell := flag.String("cell", "p=8/d=8/svc=1ms", "grid cell the speedup gate applies to")
+	minSpeedup := flag.Float64("min-speedup", 3.0, "minimum sharded-over-singlepump speedup for the gate cell")
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := build(r, *gateCell, *minSpeedup)
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d cells)\n", *out, len(rep.Cells))
+	for _, c := range rep.Cells {
+		fmt.Printf("  %-22s %8.0f vs %8.0f msgs/s  speedup %.2fx\n",
+			c.Cell, c.Sharded.MsgsPerSec, c.SinglePump.MsgsPerSec, c.Speedup)
+	}
+	if !rep.Gate.Pass {
+		fatal(fmt.Errorf("gate cell %s: speedup %.2fx below required %.2fx",
+			rep.Gate.Cell, rep.Gate.Speedup, rep.Gate.MinSpeedup))
+	}
+	fmt.Printf("gate %s: %.2fx >= %.2fx ok\n", rep.Gate.Cell, rep.Gate.Speedup, rep.Gate.MinSpeedup)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "oftt-benchdiff:", err)
+	os.Exit(1)
+}
+
+// build parses bench output and assembles the paired report.
+func build(r io.Reader, gateCell string, minSpeedup float64) (*report, error) {
+	byImpl := map[string]map[string]*measurement{} // impl -> cell -> measurement
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		impl, cellName, m, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if byImpl[impl] == nil {
+			byImpl[impl] = map[string]*measurement{}
+		}
+		byImpl[impl][cellName] = m
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	sharded, pump := byImpl["sharded"], byImpl["singlepump"]
+	if len(sharded) == 0 || len(pump) == 0 {
+		return nil, fmt.Errorf("no paired results found (sharded=%d singlepump=%d lines)", len(sharded), len(pump))
+	}
+	rep := &report{Benchmark: "BenchmarkDiverterThroughput"}
+	names := make([]string, 0, len(sharded))
+	for name := range sharded {
+		if pump[name] != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := cell{Cell: name, Sharded: sharded[name], SinglePump: pump[name]}
+		if c.Sharded.NsPerOp > 0 {
+			c.Speedup = c.SinglePump.NsPerOp / c.Sharded.NsPerOp
+		}
+		rep.Cells = append(rep.Cells, c)
+	}
+
+	rep.Gate.Cell = gateCell
+	rep.Gate.MinSpeedup = minSpeedup
+	for _, c := range rep.Cells {
+		if c.Cell == gateCell {
+			rep.Gate.Speedup = c.Speedup
+			rep.Gate.Pass = c.Speedup >= minSpeedup
+		}
+	}
+	if rep.Gate.Speedup == 0 {
+		return nil, fmt.Errorf("gate cell %q not present in bench output", gateCell)
+	}
+	return rep, nil
+}
+
+// parseLine extracts one BenchmarkDiverterThroughput result line:
+//
+//	BenchmarkDiverterThroughput/impl=sharded/p=8/d=8/svc=1ms  2000  142744 ns/op  7006 msgs/s  382 B/op  4 allocs/op
+func parseLine(line string) (impl, cellName string, m *measurement, ok bool) {
+	if !strings.HasPrefix(line, "BenchmarkDiverterThroughput/") {
+		return "", "", nil, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", "", nil, false
+	}
+	name := strings.TrimSuffix(fields[0], "-1") // strip -GOMAXPROCS if present
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	parts := strings.SplitN(name, "/", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[1], "impl=") {
+		return "", "", nil, false
+	}
+	impl = strings.TrimPrefix(parts[1], "impl=")
+	cellName = parts[2]
+
+	m = &measurement{}
+	m.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+		case "msgs/s":
+			m.MsgsPerSec = v
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		}
+	}
+	if m.NsPerOp == 0 {
+		return "", "", nil, false
+	}
+	return impl, cellName, m, true
+}

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diverter"
+)
+
+// TestLinkFlapDuringMultiShardDrain is the sharded-diverter chaos
+// regression: concurrent producers fill several destination shards (the
+// replicated app plus auxiliary endpoints) while the pair's link flaps,
+// then every shard must drain within a bound once the network heals, with
+// the ledger showing no acknowledged message lost or dropped. The old
+// single-pump diverter serialized these destinations behind one lock;
+// this pins the invariant that sharding did not trade safety for the
+// parallelism.
+func TestLinkFlapDuringMultiShardDrain(t *testing.T) {
+	const (
+		auxDests    = 6
+		senders     = 4
+		perSender   = 60
+		drainBound  = 8 * time.Second
+		flapsFor    = 300 * time.Millisecond
+		auxFailEach = 3 // every 3rd aux delivery fails while links flap
+	)
+
+	led := newLedger()
+	d, err := core.New(core.Config{
+		Seed:        424242,
+		Component:   "app",
+		SkipMonitor: true,
+		NewApp:      func(string) core.ReplicatedApp { return NewProbe(2 * time.Millisecond) },
+		TuneDiverter: func(dc *diverter.Config) {
+			dc.Ledger = led
+			dc.Seed = 424242
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.WaitForRoles(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Auxiliary destinations on their own shards. While the link is
+	// unstable they fail a deterministic fraction of deliveries, so their
+	// queues back up and redeliver exactly like the app route does.
+	var flaky atomic.Bool
+	flaky.Store(true)
+	auxCounts := make([]atomic.Int64, auxDests)
+	auxAttempts := make([]atomic.Int64, auxDests)
+	for i := 0; i < auxDests; i++ {
+		i := i
+		d.Div.SetRoute(auxDest(i), func(m diverter.Message) error {
+			if flaky.Load() && auxAttempts[i].Add(1)%auxFailEach == 0 {
+				return fmt.Errorf("aux%d: link glitch", i)
+			}
+			auxCounts[i].Add(1)
+			return nil
+		})
+	}
+
+	// Start the link flap, then pour traffic into every shard while the
+	// fabric is unstable — the "multi-shard drain under flap" window.
+	flappers := d.NewLinkFlappers(12*time.Millisecond, 12*time.Millisecond)
+	for _, f := range flappers {
+		f.Start()
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if _, err := d.Send([]byte(fmt.Sprintf("app-s%d-%d", s, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				dest := auxDest((s + i) % auxDests)
+				if err := d.Div.SendWithID(fmt.Sprintf("aux-s%d-%d", s, i), dest, []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	time.Sleep(flapsFor) // let the flap chew on the backlog
+
+	// Heal: stop the flappers (links end up), settle the aux endpoints,
+	// and require every shard to drain inside the bound.
+	for _, f := range flappers {
+		f.Stop()
+	}
+	flaky.Store(false)
+	if _, err := d.WaitForPrimary(5 * time.Second); err != nil {
+		t.Fatalf("no primary after heal: %v", err)
+	}
+
+	start := time.Now()
+	if !d.Div.Drain("app", drainBound) {
+		t.Fatalf("app shard did not drain in %v (pending=%d)", drainBound, d.Div.Pending("app"))
+	}
+	for i := 0; i < auxDests; i++ {
+		if !d.Div.Drain(auxDest(i), drainBound) {
+			t.Fatalf("aux%d shard did not drain (pending=%d)", i, d.Div.Pending(auxDest(i)))
+		}
+	}
+	if elapsed := time.Since(start); elapsed > drainBound {
+		t.Fatalf("multi-shard drain took %v, bound %v", elapsed, drainBound)
+	}
+
+	// No acked loss anywhere: every enqueued ID resolved to exactly one
+	// delivery, none dropped — the invariant the refactor must preserve.
+	if vs := led.audit(); len(vs) != 0 {
+		t.Fatalf("ledger violations after flap drain: %v", vs)
+	}
+	st := d.Div.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("%d messages dropped", st.Dropped)
+	}
+	if st.Retries == 0 {
+		t.Fatal("flap produced no retries — the fault window never bit")
+	}
+	enq, delv, _ := led.counts()
+	want := senders * perSender * 2 // app + aux per iteration
+	if enq != want || delv != want {
+		t.Fatalf("ledger enqueued=%d delivered=%d, want %d", enq, delv, want)
+	}
+}
+
+func auxDest(i int) string { return fmt.Sprintf("aux%d", i) }

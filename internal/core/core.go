@@ -230,12 +230,14 @@ func build(cfg Config, preHook func(*Deployment)) (*Deployment, error) {
 			Redelivered:   reg.Counter("oftt_diverter_redelivered_total"),
 			Dropped:       reg.Counter("oftt_diverter_dropped_total"),
 			DivertLatency: reg.Histogram("oftt_diverter_latency_us"),
+			BatchSize:     reg.Histogram("oftt_diverter_batch_size", 1, 2, 4, 8, 16, 32, 64, 128),
 		},
 	}
 	if cfg.TuneDiverter != nil {
 		cfg.TuneDiverter(&dcfg)
 	}
 	d.Div = diverter.New(dcfg)
+	d.Telemetry.AddCollector(diverterShardCollector(d.Div))
 	for _, net := range d.Nets {
 		d.Telemetry.AddCollector(netCollector(net))
 	}
@@ -274,6 +276,18 @@ func netCollector(net *netsim.Network) func(*telemetry.Registry) {
 		reg.Gauge("oftt_net_conns_refused" + label).Set(s.ConnsRefused.Load())
 		reg.Gauge("oftt_net_bytes_delivered" + label).Set(s.BytesDelivered.Load())
 		reg.Gauge("oftt_net_partitions" + label).Set(int64(net.PartitionCount()))
+	}
+}
+
+// diverterShardCollector snapshots the diverter's per-stripe queue depths
+// into the registry on demand, one gauge per lock stripe — the hot path
+// only maintains an atomic per-stripe count, so the gauges cost nothing
+// until someone scrapes them.
+func diverterShardCollector(div *diverter.Diverter) func(*telemetry.Registry) {
+	return func(reg *telemetry.Registry) {
+		for i, depth := range div.StripeDepths() {
+			reg.Gauge(fmt.Sprintf(`oftt_diverter_shard_queue_depth{shard="%d"}`, i)).Set(depth)
+		}
 	}
 }
 

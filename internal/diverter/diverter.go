@@ -7,12 +7,31 @@
 //
 // Delivery is at-least-once with duplicate suppression by message ID, so a
 // retry that races a successful delivery does not double-apply.
+//
+// # Sharding
+//
+// The hot path is lock-striped: destinations hash onto independent lock
+// stripes, and each destination owns a shard — a ring-buffer FIFO, its
+// route, its dedup index, and its backoff state — under its own mutex. A
+// bounded pool of delivery workers steals ready shards from a shared run
+// queue; at most one worker serves a shard at a time (so per-destination
+// FIFO order is structural, not scheduled), and independent destinations
+// deliver fully in parallel. The handoff is batched: a worker pops up to
+// BatchSize messages under one lock acquisition, delivers them with no
+// lock held, and finalizes under a second — counters, telemetry, and
+// ledger callbacks flush once per batch rather than once per message.
+// Dedup expiry is amortized: delivered IDs live in two generation maps
+// rotated every DedupWindow, so expiry is a pointer swap instead of a
+// full-scan pause under any lock. A periodic sweep (RetryInterval)
+// rescues shards whose head is in backoff or whose route was absent when
+// work arrived.
 package diverter
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -43,7 +62,7 @@ type Message struct {
 	Attempts   int
 
 	// notBefore delays the next delivery attempt (redelivery backoff).
-	// Zero means deliver at the next sweep.
+	// Zero means deliver at the next opportunity.
 	notBefore time.Time
 }
 
@@ -51,7 +70,7 @@ type Message struct {
 // creates a delivery obligation that must end in exactly one Delivered or
 // Dropped call. Chaos invariant checkers implement this to prove no
 // acknowledged message is silently lost. Hooks are called outside the
-// diverter's lock and must be safe for concurrent use.
+// diverter's locks and must be safe for concurrent use.
 type LedgerHook interface {
 	Enqueued(id, dest string)
 	Delivered(id, dest string)
@@ -64,10 +83,13 @@ type DeliverFunc func(msg Message) error
 
 // Config parameterizes a Diverter.
 type Config struct {
-	// RetryInterval is the redelivery scan period (default 20ms).
+	// RetryInterval is the redelivery sweep period (default 20ms): how
+	// often shards blocked on a failed head or a missing route are
+	// re-examined.
 	RetryInterval time.Duration
-	// DedupWindow is how long delivered message IDs are remembered
-	// (default 30s).
+	// DedupWindow is how long delivered message IDs are remembered: at
+	// least this long, at most twice it (the index rotates two map
+	// generations every window, so expiry never scans). Default 30s.
 	DedupWindow time.Duration
 	// MaxAttempts drops a message after this many failed deliveries;
 	// 0 retries forever.
@@ -83,9 +105,26 @@ type Config struct {
 	// RetryBackoff).
 	RetryBackoffMax time.Duration
 	// Seed drives the backoff jitter; the same seed yields the same retry
-	// timeline (deterministic chaos replays depend on this). Zero seeds
-	// from 1.
+	// timeline per destination (deterministic chaos replays depend on
+	// this). Zero seeds from 1.
 	Seed int64
+
+	// Shards is the lock-stripe count the destination map is split
+	// across, rounded up to a power of two (default 16). More stripes
+	// reduce cross-destination contention on the map itself; queue
+	// operations always use the destination shard's own lock.
+	Shards int
+	// Workers bounds the delivery worker pool (default 2*GOMAXPROCS,
+	// clamped to [8, 16]). One worker serves one shard at a time, so
+	// Workers bounds how many destinations deliver concurrently. The
+	// floor is deliberately not CPU-scaled: deliveries are RPC-shaped
+	// (they wait, they don't compute), so in-flight waits to distinct
+	// destinations overlap usefully even on one core.
+	Workers int
+	// BatchSize caps how many messages a worker retires from one shard
+	// per claim before re-queueing it for fairness; counters, telemetry,
+	// and ledger callbacks flush once per batch (default 256).
+	BatchSize int
 
 	// Ledger, when set, observes every message's lifecycle (enqueue,
 	// delivery, drop) for external accounting such as loss invariants.
@@ -109,6 +148,9 @@ type Instruments struct {
 	// microseconds: the store-and-forward cost a message pays, which
 	// spikes across a switchover.
 	DivertLatency *telemetry.Histogram
+	// BatchSize observes messages retired per delivery batch — how well
+	// the batched handoff is amortizing per-message bookkeeping.
+	BatchSize *telemetry.Histogram
 }
 
 // Stats are the diverter's counters.
@@ -125,23 +167,21 @@ type Stats struct {
 type Diverter struct {
 	cfg Config
 
-	mu        sync.Mutex
-	pending   map[string][]*Message // dest -> FIFO
-	routes    map[string]DeliverFunc
-	delivered map[string]time.Time // msgID -> delivery time (dedup)
-	closed    bool
-	drained   *sync.Cond // broadcast on every dequeue and on Stop
-	rng       *rand.Rand // jitter source; pump goroutine only
-	nextID    atomic.Uint64
+	stripes []*stripe
+	mask    uint32
+	rq      *runqueue
+
+	closed atomic.Bool
+	nextID atomic.Uint64
+	seed   int64
 
 	stats struct {
 		enqueued, delivered, retries, dupDropped, dropped, noRoute atomic.Int64
 	}
 
-	kick chan struct{}
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
+	stop  chan struct{}
+	loops sync.WaitGroup // delivery workers + retry sweeper
+	once  sync.Once
 }
 
 // New creates and starts a diverter.
@@ -155,31 +195,56 @@ func New(cfg Config) *Diverter {
 	if cfg.RetryBackoff > 0 && cfg.RetryBackoffMax <= 0 {
 		cfg.RetryBackoffMax = 50 * cfg.RetryBackoff
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Workers <= 0 {
+		w := 2 * runtime.GOMAXPROCS(0)
+		if w < 8 {
+			w = 8
+		}
+		if w > 16 {
+			w = 16
+		}
+		cfg.Workers = w
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
+	n := nextPow2(cfg.Shards)
 	d := &Diverter{
-		cfg:       cfg,
-		pending:   make(map[string][]*Message),
-		routes:    make(map[string]DeliverFunc),
-		delivered: make(map[string]time.Time),
-		rng:       rand.New(rand.NewSource(seed)),
-		kick:      make(chan struct{}, 1),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		cfg:     cfg,
+		stripes: make([]*stripe, n),
+		mask:    uint32(n - 1),
+		rq:      newRunqueue(),
+		seed:    seed,
+		stop:    make(chan struct{}),
 	}
-	d.drained = sync.NewCond(&d.mu)
-	go d.pump()
+	for i := range d.stripes {
+		d.stripes[i] = &stripe{shards: make(map[string]*shard)}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		d.loops.Add(1)
+		go d.worker()
+	}
+	d.loops.Add(1)
+	go d.sweeper()
 	return d
 }
 
 // Send enqueues a message for a logical destination and returns its ID.
 // Delivery is asynchronous; the message survives routing gaps (e.g. a
-// switchover in progress).
+// switchover in progress). The generated ID is globally unique (monotonic
+// counter), so its first enqueue skips the dedup lookup a caller-chosen
+// ID needs; a later idempotent resend of the returned ID goes through
+// SendWithID and is checked there.
 func (d *Diverter) Send(dest string, body []byte) (string, error) {
 	id := "m" + strconv.FormatUint(d.nextID.Add(1), 10)
-	return id, d.SendWithID(id, dest, body)
+	return id, d.enqueue(id, dest, body, false)
 }
 
 // msgPool recycles Message structs (and, when safe, their body buffers)
@@ -205,32 +270,49 @@ func recycle(msg *Message, bodyEscaped bool) {
 
 // SendWithID enqueues with a caller-chosen ID (idempotent resends).
 func (d *Diverter) SendWithID(id, dest string, body []byte) error {
+	return d.enqueue(id, dest, body, true)
+}
+
+// enqueue is the shared send path. checkDup is false only for Send's
+// self-generated IDs, which cannot collide on first enqueue; the worker's
+// grab-time markIfNew still backstops double delivery either way.
+func (d *Diverter) enqueue(id, dest string, body []byte, checkDup bool) error {
 	if dest == "" {
 		return fmt.Errorf("diverter: empty destination")
 	}
-	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
+	if d.closed.Load() {
 		return ErrClosed
 	}
-	if _, dup := d.delivered[id]; dup {
-		d.mu.Unlock()
+	s := d.shardFor(dest)
+	now := time.Now()
+	s.mu.Lock()
+	if d.closed.Load() {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.dedup.maybeRotate(now) // amortized expiry: a pointer swap, at most once per window
+	if checkDup && s.dedup.seen(id) {
+		s.mu.Unlock()
 		d.stats.dupDropped.Add(1)
-		return nil // already delivered: idempotent, and nothing was copied
+		return nil // already delivered (or in flight): idempotent, nothing copied
 	}
 	msg := msgPool.Get().(*Message)
 	msg.ID, msg.Dest = id, dest
 	msg.Body = append(msg.Body[:0], body...)
-	msg.EnqueuedAt = time.Now()
-	d.pending[dest] = append(d.pending[dest], msg)
-	d.mu.Unlock()
+	msg.EnqueuedAt = now
+	s.q.push(msg)
+	push := s.scheduleLocked(now)
+	s.mu.Unlock()
 
+	s.stripe.depth.Add(1)
 	d.stats.enqueued.Add(1)
 	d.cfg.Instruments.QueueDepth.Add(1)
 	if h := d.cfg.Ledger; h != nil {
 		h.Enqueued(id, dest)
 	}
-	d.wake()
+	if push {
+		d.rq.push(s)
+	}
 	return nil
 }
 
@@ -239,208 +321,318 @@ func (d *Diverter) SendWithID(id, dest string, body []byte) error {
 // for the destination is cleared: a fresh route deserves an immediate
 // attempt regardless of how the old one failed.
 func (d *Diverter) SetRoute(dest string, fn DeliverFunc) {
-	d.mu.Lock()
-	d.routes[dest] = fn
-	for _, m := range d.pending[dest] {
-		m.notBefore = time.Time{}
+	s := d.shardFor(dest)
+	s.mu.Lock()
+	s.route = fn
+	s.q.each(func(m *Message) { m.notBefore = time.Time{} })
+	push := s.scheduleLocked(time.Now())
+	s.mu.Unlock()
+	if push {
+		d.rq.push(s)
 	}
-	d.mu.Unlock()
-	d.wake()
 }
 
 // ClearRoute removes a destination's endpoint; messages queue meanwhile.
 func (d *Diverter) ClearRoute(dest string) {
-	d.mu.Lock()
-	delete(d.routes, dest)
-	d.mu.Unlock()
+	s := d.lookup(dest)
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.route = nil
+	s.mu.Unlock()
 }
 
-func (d *Diverter) wake() {
-	select {
-	case d.kick <- struct{}{}:
-	default:
+// shardFor returns dest's shard, creating it on first use.
+func (d *Diverter) shardFor(dest string) *shard {
+	st := d.stripes[stripeHash(dest)&d.mask]
+	st.mu.RLock()
+	s := st.shards[dest]
+	st.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s = st.shards[dest]; s != nil {
+		return s
+	}
+	s = &shard{
+		dest:   dest,
+		stripe: st,
+		dedup:  newDedup(d.cfg.DedupWindow, time.Now()),
+		// Per-destination deterministic jitter: the same (Seed, dest)
+		// yields the same retry timeline regardless of shard count or
+		// worker interleaving.
+		rng: rand.New(rand.NewSource(d.seed ^ int64(stripeHash(dest))*2654435761)),
+	}
+	s.drained = sync.NewCond(&s.mu)
+	st.shards[dest] = s
+	st.order = append(st.order, s)
+	return s
+}
+
+// lookup returns dest's shard or nil, without creating one.
+func (d *Diverter) lookup(dest string) *shard {
+	st := d.stripes[stripeHash(dest)&d.mask]
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.shards[dest]
+}
+
+// kick schedules dest's shard if it has deliverable work.
+func (d *Diverter) kick(s *shard) {
+	s.mu.Lock()
+	push := s.scheduleLocked(time.Now())
+	s.mu.Unlock()
+	if push {
+		d.rq.push(s)
 	}
 }
 
-func (d *Diverter) pump() {
-	defer close(d.done)
+// worker is one delivery loop: steal the oldest ready shard, serve a
+// batch, repeat.
+func (d *Diverter) worker() {
+	defer d.loops.Done()
+	for {
+		s, ok := d.rq.pop()
+		if !ok {
+			return
+		}
+		d.serve(s)
+	}
+}
+
+// serve retires up to BatchSize messages from one shard with exactly two
+// lock acquisitions: a grab (pop the deliverable prefix, mark dedup),
+// lock-free FIFO delivery, a per-batch flush of counters, telemetry, and
+// ledger callbacks, then a finalize (requeue an undelivered tail at the
+// front, release or re-queue the shard). The scheduled flag keeps the
+// scratch batch single-owner across the whole span.
+func (d *Diverter) serve(s *shard) {
+	batch := s.scratchBatch[:0]
+	dups := 0
+	noRoute := false
+
+	s.mu.Lock()
+	now := time.Now()
+	s.dedup.maybeRotate(now)
+	fn := s.route
+	if fn == nil {
+		noRoute = s.q.len() > 0 // keep queued until a route appears
+	} else {
+		for len(batch)+dups < d.cfg.BatchSize && s.q.len() > 0 {
+			msg := s.q.peek()
+			if !msg.notBefore.IsZero() && now.Before(msg.notBefore) {
+				break // head backing off: preserve FIFO, sweep retries later
+			}
+			s.q.pop()
+			// Mark delivered optimistically so a racing resend — or a
+			// duplicate already queued behind this one — is suppressed even
+			// while the attempt is in flight; un-marked on failure.
+			if !s.dedup.markIfNew(msg.ID) {
+				dups++
+				// A message that was never passed to a DeliverFunc may
+				// safely donate its body buffer back to the pool.
+				recycle(msg, msg.Attempts > 0)
+				continue
+			}
+			batch = append(batch, msg)
+		}
+		s.inflight = len(batch)
+	}
+	s.mu.Unlock()
+
+	// Deliver with no lock held, strictly in FIFO order. The first failure
+	// stops the batch: everything behind the failed head stays pending.
+	delivered := 0
+	failed := false
+	for _, msg := range batch {
+		msg.Attempts++
+		if fn(*msg) != nil {
+			failed = true
+			break
+		}
+		delivered++
+	}
+	var dropped *Message
+	if failed && d.cfg.MaxAttempts > 0 && batch[delivered].Attempts >= d.cfg.MaxAttempts {
+		dropped = batch[delivered]
+	}
+
+	// Flush once per batch, still outside the shard lock. The ledger flush
+	// runs before the shard is marked empty in the finalize below, so a
+	// woken Drain never observes an unresolved obligation.
+	now = time.Now()
+	removed := delivered + dups
+	if dropped != nil {
+		removed++
+	}
+	if removed > 0 {
+		s.stripe.depth.Add(int64(-removed))
+		d.cfg.Instruments.QueueDepth.Add(int64(-removed))
+		d.cfg.Instruments.BatchSize.Observe(int64(removed))
+	}
+	if dups > 0 {
+		d.stats.dupDropped.Add(int64(dups))
+	}
+	if failed {
+		d.stats.retries.Add(1)
+		d.cfg.Instruments.Redelivered.Add(1)
+	}
+	if noRoute {
+		d.stats.noRoute.Add(1)
+	}
+	if delivered > 0 {
+		d.stats.delivered.Add(int64(delivered))
+		d.cfg.Instruments.Delivered.Add(int64(delivered))
+		if d.cfg.Instruments.DivertLatency != nil {
+			for _, msg := range batch[:delivered] {
+				d.cfg.Instruments.DivertLatency.ObserveDuration(now.Sub(msg.EnqueuedAt))
+			}
+		}
+		if h := d.cfg.Ledger; h != nil {
+			for _, msg := range batch[:delivered] {
+				h.Delivered(msg.ID, s.dest)
+			}
+		}
+		for _, msg := range batch[:delivered] {
+			recycle(msg, true) // handler saw the body; abandon it
+		}
+	}
+	if dropped != nil {
+		d.stats.dropped.Add(1)
+		d.cfg.Instruments.Dropped.Add(1)
+		if h := d.cfg.Ledger; h != nil {
+			h.Dropped(dropped.ID, s.dest, dropped.Attempts)
+		}
+	}
+
+	// Finalize: requeue the undelivered tail at the queue front (order
+	// intact), un-mark its optimistic dedup entries, arm the failed head's
+	// backoff, then release the shard or re-queue it for fairness. The
+	// scratch handoff happens before scheduled can clear, so the next
+	// owner never races this worker on the slice.
+	s.scratchBatch = batch[:0]
+	s.mu.Lock()
+	if failed {
+		tail := batch[delivered:]
+		for _, m := range tail {
+			s.dedup.remove(m.ID)
+		}
+		if dropped != nil {
+			tail = tail[1:] // the dropped head leaves the queue for good
+		} else {
+			tail[0].notBefore = now.Add(s.backoffLocked(&d.cfg, tail[0].Attempts))
+		}
+		s.q.unshift(tail)
+	}
+	s.inflight = 0
+	empty := s.q.len() == 0
+	more := s.runnableLocked(now)
+	if !more {
+		s.scheduled = false
+	}
+	s.mu.Unlock()
+	if empty {
+		s.drained.Broadcast()
+	}
+	if more {
+		d.rq.push(s)
+	}
+	if dropped != nil {
+		recycle(dropped, true)
+	}
+}
+
+// sweeper periodically rescans shards whose head is in backoff or whose
+// route was missing, and pays down dedup expiry in the background.
+func (d *Diverter) sweeper() {
+	defer d.loops.Done()
 	t := time.NewTicker(d.cfg.RetryInterval)
 	defer t.Stop()
 	for {
 		select {
 		case <-d.stop:
 			return
-		case <-d.kick:
 		case <-t.C:
+			d.sweep()
 		}
-		d.deliverBatch()
-		d.expireDedup()
 	}
 }
 
-// deliverBatch attempts every queued message once, in FIFO order per
-// destination.
-func (d *Diverter) deliverBatch() {
-	d.mu.Lock()
-	dests := make([]string, 0, len(d.pending))
-	for dest := range d.pending {
-		dests = append(dests, dest)
-	}
-	d.mu.Unlock()
-
-	for _, dest := range dests {
-		for {
-			d.mu.Lock()
-			queue := d.pending[dest]
-			if len(queue) == 0 {
-				delete(d.pending, dest)
-				d.mu.Unlock()
-				break
-			}
-			fn := d.routes[dest]
-			msg := queue[0]
-			if fn == nil {
-				d.mu.Unlock()
+func (d *Diverter) sweep() {
+	now := time.Now()
+	for _, st := range d.stripes {
+		for _, s := range st.snapshot() {
+			s.mu.Lock()
+			if s.q.len() > 0 && s.route == nil {
 				d.stats.noRoute.Add(1)
-				break // keep queued until a route appears
 			}
-			if !msg.notBefore.IsZero() && time.Now().Before(msg.notBefore) {
-				d.mu.Unlock()
-				break // head backing off: preserve FIFO, retry when due
+			s.dedup.maybeRotate(now) // keeps idle shards from pinning stale generations
+			push := s.scheduleLocked(now)
+			s.mu.Unlock()
+			if push {
+				d.rq.push(s)
 			}
-			if _, dup := d.delivered[msg.ID]; dup {
-				d.pending[dest] = queue[1:]
-				d.drained.Broadcast()
-				d.mu.Unlock()
-				d.stats.dupDropped.Add(1)
-				d.cfg.Instruments.QueueDepth.Add(-1)
-				// A message that was never passed to a DeliverFunc may
-				// safely donate its body buffer back to the pool.
-				recycle(msg, msg.Attempts > 0)
-				continue
-			}
-			msg.Attempts++
-			attempts := msg.Attempts
-			d.mu.Unlock()
-
-			err := fn(*msg)
-
-			d.mu.Lock()
-			if err == nil {
-				d.delivered[msg.ID] = time.Now()
-				d.pending[dest] = dequeue(d.pending[dest], msg)
-				d.drained.Broadcast()
-				enqueuedAt := msg.EnqueuedAt
-				id := msg.ID
-				d.mu.Unlock()
-				d.stats.delivered.Add(1)
-				d.cfg.Instruments.Delivered.Inc()
-				d.cfg.Instruments.QueueDepth.Add(-1)
-				d.cfg.Instruments.DivertLatency.ObserveDuration(time.Since(enqueuedAt))
-				recycle(msg, true) // handler saw the body; abandon it
-				if h := d.cfg.Ledger; h != nil {
-					h.Delivered(id, dest)
-				}
-				continue
-			}
-			// Failed delivery: retry later, unless exhausted.
-			d.stats.retries.Add(1)
-			d.cfg.Instruments.Redelivered.Inc()
-			if d.cfg.MaxAttempts > 0 && attempts >= d.cfg.MaxAttempts {
-				d.pending[dest] = dequeue(d.pending[dest], msg)
-				d.drained.Broadcast()
-				id := msg.ID
-				d.mu.Unlock()
-				d.stats.dropped.Add(1)
-				d.cfg.Instruments.Dropped.Inc()
-				d.cfg.Instruments.QueueDepth.Add(-1)
-				recycle(msg, true)
-				if h := d.cfg.Ledger; h != nil {
-					h.Dropped(id, dest, attempts)
-				}
-				continue
-			}
-			msg.notBefore = time.Now().Add(d.backoffLocked(attempts))
-			d.mu.Unlock()
-			break // head-of-line blocked: preserve FIFO, retry next sweep
 		}
 	}
 }
 
-// backoffLocked computes the wait before attempt attempts+1: exponential
-// in the attempt count, clamped, with ±25% seeded jitter so parallel
-// destinations do not retry in lockstep. Zero when backoff is disabled.
-// Caller holds d.mu (the rng is not otherwise synchronized).
-func (d *Diverter) backoffLocked(attempts int) time.Duration {
-	base := d.cfg.RetryBackoff
-	if base <= 0 {
+// Pending reports queued (undelivered) messages for a destination,
+// including any momentarily held in a worker's in-flight batch.
+func (d *Diverter) Pending(dest string) int {
+	s := d.lookup(dest)
+	if s == nil {
 		return 0
 	}
-	shift := attempts - 1
-	if shift > 20 {
-		shift = 20
-	}
-	wait := base << shift
-	if wait > d.cfg.RetryBackoffMax {
-		wait = d.cfg.RetryBackoffMax
-	}
-	jitter := time.Duration(d.rng.Int63n(int64(wait)/2+1)) - wait/4
-	return wait + jitter
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.len() + s.inflight
 }
 
-// dequeue removes msg from the front of queue if still present.
-func dequeue(queue []*Message, msg *Message) []*Message {
-	if len(queue) > 0 && queue[0] == msg {
-		return queue[1:]
+// StripeDepths reports queued messages per lock stripe — the per-shard
+// queue-depth gauges telemetry exports. Index i is stripe i.
+func (d *Diverter) StripeDepths() []int64 {
+	out := make([]int64, len(d.stripes))
+	for i, st := range d.stripes {
+		out[i] = st.depth.Load()
 	}
-	for i, m := range queue {
-		if m == msg {
-			return append(queue[:i], queue[i+1:]...)
-		}
-	}
-	return queue
+	return out
 }
 
-func (d *Diverter) expireDedup() {
-	cutoff := time.Now().Add(-d.cfg.DedupWindow)
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for id, at := range d.delivered {
-		if at.Before(cutoff) {
-			delete(d.delivered, id)
-		}
-	}
-}
-
-// Pending reports queued (undelivered) messages for a destination.
-func (d *Diverter) Pending(dest string) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.pending[dest])
-}
+// NumStripes reports the lock-stripe count (Config.Shards rounded up to a
+// power of two).
+func (d *Diverter) NumStripes() int { return len(d.stripes) }
 
 // Drain blocks until the destination's queue empties or the timeout
 // passes; it reports whether the queue emptied. The wait is event-driven:
-// the pump broadcasts on every dequeue, so Drain returns as soon as the
-// last message leaves instead of polling on a fixed sleep.
+// the serving worker broadcasts when the shard empties, after its ledger
+// flush, so Drain returns as soon as the last message's bookkeeping is
+// done instead of polling on a fixed sleep. Messages held in an in-flight
+// batch still count as pending.
 func (d *Diverter) Drain(dest string, timeout time.Duration) bool {
+	s := d.lookup(dest)
+	if s == nil {
+		return true // nothing was ever queued for dest
+	}
+	d.kick(s)
 	expired := false
 	timer := time.AfterFunc(timeout, func() {
 		// Take the lock before broadcasting so a waiter cannot check
 		// expired and then sleep through the wakeup.
-		d.mu.Lock()
+		s.mu.Lock()
 		expired = true
-		d.mu.Unlock()
-		d.drained.Broadcast()
+		s.mu.Unlock()
+		s.drained.Broadcast()
 	})
 	defer timer.Stop()
-	d.wake()
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for len(d.pending[dest]) > 0 && !expired && !d.closed {
-		d.drained.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.q.len()+s.inflight > 0 && !expired && !d.closed.Load() {
+		s.drained.Wait()
 	}
-	return len(d.pending[dest]) == 0
+	return s.q.len()+s.inflight == 0
 }
 
 // Stats returns a copy of the counters.
@@ -455,13 +647,22 @@ func (d *Diverter) Stats() Stats {
 	}
 }
 
-// Stop halts the pump. Queued messages are discarded; blocked Drain calls
-// wake and report the queue state as-is.
+// Stop halts the workers and the sweeper. Queued messages are discarded;
+// blocked Drain calls wake and report the queue state as-is.
 func (d *Diverter) Stop() {
-	d.mu.Lock()
-	d.closed = true
-	d.mu.Unlock()
-	d.drained.Broadcast()
-	d.once.Do(func() { close(d.stop) })
-	<-d.done
+	d.once.Do(func() {
+		d.closed.Store(true)
+		close(d.stop)
+		d.rq.close()
+		d.loops.Wait()
+		for _, st := range d.stripes {
+			for _, s := range st.snapshot() {
+				// Lock/unlock pairs with waiters' condition checks so no
+				// Drain sleeps through the shutdown broadcast.
+				s.mu.Lock()
+				s.mu.Unlock() //nolint:staticcheck // empty critical section fences the broadcast
+				s.drained.Broadcast()
+			}
+		}
+	})
 }

@@ -1,0 +1,202 @@
+package diverter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// orderRecorder collects delivered bodies of the form "s<sender>-<seq>"
+// and can verify per-sender monotonicity.
+type orderRecorder struct {
+	mu  sync.Mutex
+	got []string
+}
+
+func (o *orderRecorder) deliver(m Message) error {
+	o.mu.Lock()
+	o.got = append(o.got, string(m.Body))
+	o.mu.Unlock()
+	return nil
+}
+
+// checkPerSenderOrder fails the test unless, for every sender, that
+// sender's messages appear in strictly increasing sequence order, with no
+// gaps and no duplicates.
+func (o *orderRecorder) checkPerSenderOrder(t *testing.T, senders, perSender int) {
+	t.Helper()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.got) != senders*perSender {
+		t.Fatalf("delivered %d messages, want %d", len(o.got), senders*perSender)
+	}
+	next := make([]int, senders)
+	for pos, body := range o.got {
+		var sender, seq int
+		if _, err := fmt.Sscanf(body, "s%d-%d", &sender, &seq); err != nil {
+			t.Fatalf("unparseable body %q at %d", body, pos)
+		}
+		if seq != next[sender] {
+			t.Fatalf("sender %d: got seq %d at position %d, want %d (per-sender FIFO violated)",
+				sender, seq, pos, next[sender])
+		}
+		next[sender]++
+	}
+	for s, n := range next {
+		if n != perSender {
+			t.Fatalf("sender %d delivered %d of %d", s, n, perSender)
+		}
+	}
+}
+
+// TestConcurrentSendersPerSenderFIFO: N goroutines concurrently Send to
+// one destination; each sender's messages must be delivered in its own
+// enqueue order (the interleaving between senders is unspecified, the
+// order within a sender is not).
+func TestConcurrentSendersPerSenderFIFO(t *testing.T) {
+	const senders, perSender = 8, 150
+	d := New(Config{RetryInterval: 2 * time.Millisecond})
+	defer d.Stop()
+	rec := &orderRecorder{}
+	d.SetRoute("app", rec.deliver)
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if _, err := d.Send("app", []byte(fmt.Sprintf("s%d-%d", s, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if !d.Drain("app", 10*time.Second) {
+		t.Fatal("queue never drained")
+	}
+	rec.checkPerSenderOrder(t, senders, perSender)
+	if st := d.Stats(); st.Delivered != senders*perSender {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestConcurrentSendersAcrossShards: per-sender FIFO must also hold when
+// the same senders spray messages across many destinations served in
+// parallel — each (sender, destination) stream stays ordered.
+func TestConcurrentSendersAcrossShards(t *testing.T) {
+	const senders, dests, perPair = 4, 8, 40
+	d := New(Config{RetryInterval: 2 * time.Millisecond})
+	defer d.Stop()
+	recs := make([]*orderRecorder, dests)
+	for i := range recs {
+		recs[i] = &orderRecorder{}
+		d.SetRoute(fmt.Sprintf("dest%d", i), recs[i].deliver)
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perPair; i++ {
+				// Round-robin over destinations, one full pass per i, so
+				// every (sender, dest) pair sees seq 0,1,2,... in order.
+				for dn := 0; dn < dests; dn++ {
+					dest := fmt.Sprintf("dest%d", dn)
+					if _, err := d.Send(dest, []byte(fmt.Sprintf("s%d-%d", s, i))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for i := 0; i < dests; i++ {
+		if !d.Drain(fmt.Sprintf("dest%d", i), 10*time.Second) {
+			t.Fatalf("dest%d never drained", i)
+		}
+	}
+	for i, rec := range recs {
+		rec.mu.Lock()
+		n := len(rec.got)
+		rec.mu.Unlock()
+		if n != senders*perPair {
+			t.Fatalf("dest%d delivered %d, want %d", i, n, senders*perPair)
+		}
+		rec.checkPerSenderOrder(t, senders, perPair)
+	}
+}
+
+// TestRedeliveryAfterSwitchoverKeepsOrder: concurrent senders stream into
+// a destination whose route dies mid-stream (the switchover window); once
+// the new route appears, redelivery must preserve per-sender order, and
+// the ledger must show every accepted message resolved exactly once.
+func TestRedeliveryAfterSwitchoverKeepsOrder(t *testing.T) {
+	const senders, perSender = 6, 80
+	ledger := newTestLedger()
+	d := New(Config{RetryInterval: 2 * time.Millisecond, Ledger: ledger})
+	defer d.Stop()
+
+	rec := &orderRecorder{}
+	var primaryDead atomic.Bool
+	// Old primary: acks until the kill switch flips, then fails every
+	// delivery — exactly what the diverter sees during a switchover.
+	d.SetRoute("app", func(m Message) error {
+		if primaryDead.Load() {
+			return errors.New("primary dead")
+		}
+		return rec.deliver(m)
+	})
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if i == perSender/3 && s == 0 {
+					primaryDead.Store(true) // kill mid-stream
+				}
+				if _, err := d.Send("app", []byte(fmt.Sprintf("s%d-%d", s, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// Let the dead-primary window accumulate retries, then "complete the
+	// switchover": the new primary's endpoint takes over the route.
+	time.Sleep(20 * time.Millisecond)
+	if d.Stats().Retries == 0 {
+		t.Fatal("no retries recorded during the dead-primary window")
+	}
+	d.SetRoute("app", rec.deliver)
+	if !d.Drain("app", 10*time.Second) {
+		t.Fatal("queue never drained after switchover")
+	}
+
+	rec.checkPerSenderOrder(t, senders, perSender)
+	if out := ledger.outstanding(); len(out) != 0 {
+		t.Fatalf("%d unresolved ledger obligations after redelivery: %v", len(out), out[:min(5, len(out))])
+	}
+	ledger.mu.Lock()
+	defer ledger.mu.Unlock()
+	if len(ledger.delivered) != senders*perSender || len(ledger.dropped) != 0 {
+		t.Fatalf("ledger delivered=%d dropped=%d, want %d/0",
+			len(ledger.delivered), len(ledger.dropped), senders*perSender)
+	}
+	for id, n := range ledger.delivered {
+		if n != 1 {
+			t.Fatalf("message %s delivered %d times per the ledger", id, n)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package diverter
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds the sharded diverter's building blocks: the per-
+// destination shard (ring-buffer FIFO + route + dedup + backoff state),
+// the lock stripes the destination map is split across, the O(1) ring
+// buffer itself, the incremental-expiry dedup index, and the run queue
+// idle delivery workers steal ready shards from.
+
+// ring is a FIFO of queued messages with O(1) push/pop. The backing
+// array's length is always a power of two (or zero), so index wrapping is
+// a mask; it doubles when full and halves when three-quarters empty so a
+// burst does not pin its high-water allocation forever.
+type ring struct {
+	buf  []*Message
+	head int
+	n    int
+}
+
+func (r *ring) len() int { return r.n }
+
+func (r *ring) push(m *Message) {
+	if r.n == len(r.buf) {
+		r.resize(r.grown())
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
+	r.n++
+}
+
+func (r *ring) grown() int {
+	if len(r.buf) == 0 {
+		return 8
+	}
+	return len(r.buf) * 2
+}
+
+func (r *ring) resize(capacity int) {
+	nb := make([]*Message, capacity)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = nb
+	r.head = 0
+}
+
+func (r *ring) peek() *Message {
+	if r.n == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+func (r *ring) pop() *Message {
+	if r.n == 0 {
+		return nil
+	}
+	m := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	if len(r.buf) >= 64 && r.n <= len(r.buf)/4 {
+		r.resize(len(r.buf) / 2)
+	}
+	return m
+}
+
+// unshift pushes msgs back at the queue front, preserving their order —
+// the undelivered tail of a failed batch returns ahead of anything that
+// arrived during the attempt, keeping destination FIFO intact.
+func (r *ring) unshift(msgs []*Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	for len(r.buf)-r.n < len(msgs) {
+		r.resize(r.grown())
+	}
+	for i := len(msgs) - 1; i >= 0; i-- {
+		r.head = (r.head - 1) & (len(r.buf) - 1)
+		r.buf[r.head] = msgs[i]
+		r.n++
+	}
+}
+
+// remove deletes target wherever it sits, preserving order. The worker
+// only ever removes the head it is currently serving, so the scan is a
+// defensive rare path, not a hot one.
+func (r *ring) remove(target *Message) bool {
+	for i := 0; i < r.n; i++ {
+		if r.buf[(r.head+i)&(len(r.buf)-1)] != target {
+			continue
+		}
+		for j := i; j < r.n-1; j++ {
+			r.buf[(r.head+j)&(len(r.buf)-1)] = r.buf[(r.head+j+1)&(len(r.buf)-1)]
+		}
+		r.buf[(r.head+r.n-1)&(len(r.buf)-1)] = nil
+		r.n--
+		return true
+	}
+	return false
+}
+
+// each visits queued messages front to back.
+func (r *ring) each(fn func(*Message)) {
+	for i := 0; i < r.n; i++ {
+		fn(r.buf[(r.head+i)&(len(r.buf)-1)])
+	}
+}
+
+// dedup remembers delivered message IDs with two generation maps that
+// rotate every window: an ID is remembered for at least DedupWindow and
+// at most twice that, and expiry is a pointer swap (amortized O(1) per
+// enqueue via the maybeRotate check) — never a full scan stalling the
+// shard. Entries carry no timestamps, so lookups and inserts are plain
+// set operations.
+type dedup struct {
+	window     time.Duration
+	curr, prev map[string]struct{}
+	lastRotate time.Time
+}
+
+func newDedup(window time.Duration, now time.Time) dedup {
+	return dedup{window: window, curr: make(map[string]struct{}), lastRotate: now}
+}
+
+// maybeRotate ages the generations. Called on every enqueue and batch
+// grab, so rotation keeps up with traffic; the sweeper covers idle
+// shards. After a long idle both generations are stale and are dropped
+// together.
+func (dd *dedup) maybeRotate(now time.Time) {
+	age := now.Sub(dd.lastRotate)
+	if age < dd.window {
+		return
+	}
+	if age >= 2*dd.window {
+		dd.prev = nil
+	} else {
+		dd.prev = dd.curr
+	}
+	// Pre-size to the outgoing generation: under steady traffic the next
+	// window remembers about as many IDs, so inserts never rehash.
+	dd.curr = make(map[string]struct{}, len(dd.prev))
+	dd.lastRotate = now
+}
+
+// seen reports whether id was delivered inside the remembered window.
+func (dd *dedup) seen(id string) bool {
+	if _, ok := dd.curr[id]; ok {
+		return true
+	}
+	_, ok := dd.prev[id]
+	return ok
+}
+
+func (dd *dedup) add(id string) { dd.curr[id] = struct{}{} }
+
+// markIfNew marks id delivered and reports whether it was unmarked before
+// — the check and the insert share one map operation on the hot path.
+func (dd *dedup) markIfNew(id string) bool {
+	if _, ok := dd.prev[id]; ok {
+		return false
+	}
+	before := len(dd.curr)
+	dd.curr[id] = struct{}{}
+	return len(dd.curr) != before
+}
+
+// remove forgets id in both generations — the un-mark for a message that
+// was optimistically marked at batch grab but whose delivery failed.
+func (dd *dedup) remove(id string) {
+	delete(dd.curr, id)
+	delete(dd.prev, id)
+}
+
+func (dd *dedup) size() int { return len(dd.curr) + len(dd.prev) }
+
+// shard is one destination's delivery state. Everything below mu is
+// guarded by it; the scratch slice is additionally owned by whichever
+// worker holds the scheduled flag, so it is reused batch to batch
+// without reallocation or locking during the flush.
+type shard struct {
+	dest   string
+	stripe *stripe
+
+	mu      sync.Mutex
+	q       ring
+	route   DeliverFunc
+	dedup   dedup
+	rng     *rand.Rand // backoff jitter; guarded by mu
+	drained *sync.Cond // broadcast when the shard empties (and on timeout/Stop)
+
+	// inflight counts messages popped into a worker's batch but not yet
+	// finalized — still delivery obligations, so Pending and Drain count
+	// them even though they are momentarily out of the ring.
+	inflight int
+
+	// scheduled is true while the shard sits on the run queue or a worker
+	// is serving it — at most one worker owns a shard at a time, which is
+	// what preserves per-destination FIFO order.
+	scheduled bool
+
+	// scratchBatch holds one delivery batch (owned via scheduled).
+	scratchBatch []*Message
+}
+
+// runnableLocked reports whether the shard has deliverable work: a
+// non-empty queue, a route, and a head message not in backoff.
+func (s *shard) runnableLocked(now time.Time) bool {
+	if s.q.len() == 0 || s.route == nil {
+		return false
+	}
+	head := s.q.peek()
+	return head.notBefore.IsZero() || !now.Before(head.notBefore)
+}
+
+// scheduleLocked claims the shard for delivery if it is runnable and not
+// already claimed; the caller must push it onto the run queue (after
+// releasing s.mu) when true is returned.
+func (s *shard) scheduleLocked(now time.Time) bool {
+	if s.scheduled || !s.runnableLocked(now) {
+		return false
+	}
+	s.scheduled = true
+	return true
+}
+
+// backoffLocked computes the wait before the next attempt: exponential in
+// the attempt count, clamped, with ±25% seeded jitter so parallel
+// destinations do not retry in lockstep. With backoff disabled the wait
+// is one retry interval — the legacy retry-every-sweep cadence.
+func (s *shard) backoffLocked(cfg *Config, attempts int) time.Duration {
+	base := cfg.RetryBackoff
+	if base <= 0 {
+		return cfg.RetryInterval
+	}
+	shift := attempts - 1
+	if shift > 20 {
+		shift = 20
+	}
+	wait := base << shift
+	if wait > cfg.RetryBackoffMax {
+		wait = cfg.RetryBackoffMax
+	}
+	jitter := time.Duration(s.rng.Int63n(int64(wait)/2+1)) - wait/4
+	return wait + jitter
+}
+
+// stripe is one slice of the destination map. Send only contends with
+// sends to destinations hashing to the same stripe (and only for the map
+// lookup — queue operations take the shard's own lock).
+type stripe struct {
+	mu     sync.RWMutex
+	shards map[string]*shard
+	order  []*shard // stable snapshot for sweeps and depth reads
+
+	// depth counts queued messages across the stripe's shards (the
+	// per-shard queue-depth gauge the telemetry collector exports).
+	depth atomic.Int64
+}
+
+// snapshot returns the stripe's shards without holding the lock during
+// iteration (order is append-only, so a copied header is a consistent
+// prefix).
+func (st *stripe) snapshot() []*shard {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.order
+}
+
+// stripeHash is FNV-1a over the destination name.
+func stripeHash(dest string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(dest); i++ {
+		h = (h ^ uint32(dest[i])) * 16777619
+	}
+	return h
+}
+
+func nextPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// runqueue is the shared queue of ready shards. Idle workers steal the
+// oldest ready shard; a shard appears at most once (the scheduled flag),
+// so the queue length is bounded by the destination count.
+type runqueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*shard
+	closed bool
+}
+
+func newRunqueue() *runqueue {
+	rq := &runqueue{}
+	rq.cond = sync.NewCond(&rq.mu)
+	return rq
+}
+
+func (rq *runqueue) push(s *shard) {
+	rq.mu.Lock()
+	if rq.closed {
+		rq.mu.Unlock()
+		return
+	}
+	rq.q = append(rq.q, s)
+	rq.mu.Unlock()
+	rq.cond.Signal()
+}
+
+// pop blocks until a shard is ready or the queue closes.
+func (rq *runqueue) pop() (*shard, bool) {
+	rq.mu.Lock()
+	defer rq.mu.Unlock()
+	for len(rq.q) == 0 && !rq.closed {
+		rq.cond.Wait()
+	}
+	if rq.closed {
+		return nil, false
+	}
+	s := rq.q[0]
+	rq.q[0] = nil
+	rq.q = rq.q[1:]
+	return s, true
+}
+
+func (rq *runqueue) close() {
+	rq.mu.Lock()
+	rq.closed = true
+	rq.mu.Unlock()
+	rq.cond.Broadcast()
+}

@@ -1,0 +1,252 @@
+package diverter
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// --- ring buffer: O(1) FIFO with growth, shrink, and ordered removal ---
+
+func ringIDs(r *ring) []string {
+	var out []string
+	r.each(func(m *Message) { out = append(out, m.ID) })
+	return out
+}
+
+func TestRingFIFOAcrossGrowth(t *testing.T) {
+	var r ring
+	for i := 0; i < 100; i++ {
+		r.push(&Message{ID: fmt.Sprintf("m%03d", i)})
+	}
+	if r.len() != 100 {
+		t.Fatalf("len = %d", r.len())
+	}
+	for i := 0; i < 100; i++ {
+		m := r.pop()
+		if m == nil || m.ID != fmt.Sprintf("m%03d", i) {
+			t.Fatalf("pop %d: %+v", i, m)
+		}
+	}
+	if r.pop() != nil {
+		t.Fatal("pop on empty ring")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	// Interleave pushes and pops so head walks around the buffer
+	// repeatedly while the buffer stays small.
+	var r ring
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			r.push(&Message{ID: fmt.Sprintf("m%d", next)})
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			m := r.pop()
+			if m.ID != fmt.Sprintf("m%d", want) {
+				t.Fatalf("round %d: got %s want m%d", round, m.ID, want)
+			}
+			want++
+		}
+	}
+	for r.len() > 0 {
+		m := r.pop()
+		if m.ID != fmt.Sprintf("m%d", want) {
+			t.Fatalf("drain: got %s want m%d", m.ID, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d of %d", want, next)
+	}
+}
+
+func TestRingShrinksAfterBurst(t *testing.T) {
+	var r ring
+	for i := 0; i < 1024; i++ {
+		r.push(&Message{ID: fmt.Sprintf("m%d", i)})
+	}
+	grown := len(r.buf)
+	for i := 0; i < 1020; i++ {
+		r.pop()
+	}
+	if len(r.buf) >= grown {
+		t.Fatalf("buffer did not shrink after burst: cap %d -> %d", grown, len(r.buf))
+	}
+	// Remaining elements still in order.
+	if got := ringIDs(&r); len(got) != 4 || got[0] != "m1020" || got[3] != "m1023" {
+		t.Fatalf("tail after shrink: %v", got)
+	}
+}
+
+func TestRingRemovePreservesOrder(t *testing.T) {
+	var r ring
+	msgs := make([]*Message, 10)
+	for i := range msgs {
+		msgs[i] = &Message{ID: fmt.Sprintf("m%d", i)}
+		r.push(msgs[i])
+	}
+	if !r.remove(msgs[4]) {
+		t.Fatal("remove failed")
+	}
+	if r.remove(msgs[4]) {
+		t.Fatal("double remove succeeded")
+	}
+	want := []string{"m0", "m1", "m2", "m3", "m5", "m6", "m7", "m8", "m9"}
+	got := ringIDs(&r)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after remove: %v", got)
+	}
+}
+
+// --- dedup: generational rotation, no full-scan pauses ---
+
+func TestDedupGenerationalExpiry(t *testing.T) {
+	w := time.Second
+	base := time.Unix(0, 0)
+	dd := newDedup(w, base)
+	dd.add("a")
+	if !dd.seen("a") {
+		t.Fatal("fresh entry not seen")
+	}
+	// Inside the window: no rotation, still remembered.
+	dd.maybeRotate(base.Add(w / 2))
+	if !dd.seen("a") {
+		t.Fatal("entry lost before the window elapsed")
+	}
+	// One window: the entry ages into the previous generation but still
+	// suppresses (IDs are remembered for up to 2x the window).
+	dd.maybeRotate(base.Add(w + w/10))
+	if !dd.seen("a") {
+		t.Fatal("entry forgotten after a single rotation")
+	}
+	dd.add("b")
+	// Second rotation: "a" falls off the end, "b" ages into prev.
+	dd.maybeRotate(base.Add(2*w + w/5))
+	if dd.seen("a") {
+		t.Fatal("entry survived two rotations")
+	}
+	if !dd.seen("b") {
+		t.Fatal("younger entry lost too early")
+	}
+	if dd.size() != 1 {
+		t.Fatalf("size = %d, want 1", dd.size())
+	}
+}
+
+func TestDedupLongIdleDropsBothGenerations(t *testing.T) {
+	w := time.Second
+	base := time.Unix(1000, 0)
+	dd := newDedup(w, base)
+	dd.add("x")
+	// After an idle gap longer than two windows, one rotate call must be
+	// enough to forget everything — a single generation shift would park
+	// the stale entries in prev and wrongly suppress a resend.
+	dd.maybeRotate(base.Add(5 * w))
+	if dd.seen("x") {
+		t.Fatal("stale entry still suppressing after long idle")
+	}
+	if dd.size() != 0 {
+		t.Fatalf("size = %d, want 0", dd.size())
+	}
+}
+
+func TestDedupRemoveUnmarks(t *testing.T) {
+	// remove is the failure-path un-mark for optimistic marking: it must
+	// forget the ID whichever generation holds it.
+	w := time.Second
+	base := time.Unix(2000, 0)
+	dd := newDedup(w, base)
+	dd.add("cur")
+	dd.add("old")
+	dd.maybeRotate(base.Add(w + w/10)) // "old" ages into prev
+	dd.add("cur")                      // re-mark in the fresh current gen
+	dd.remove("cur")
+	dd.remove("old")
+	if dd.seen("cur") || dd.seen("old") {
+		t.Fatal("removed IDs still suppressing")
+	}
+}
+
+func TestRingUnshiftPreservesOrder(t *testing.T) {
+	var r ring
+	r.push(&Message{ID: "c"})
+	r.push(&Message{ID: "d"})
+	r.unshift([]*Message{{ID: "x"}, {ID: "y"}})
+	want := []string{"x", "y", "c", "d"}
+	if got := ringIDs(&r); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after unshift: %v, want %v", got, want)
+	}
+	// Unshift into an empty ring allocates and keeps order.
+	var r2 ring
+	r2.unshift([]*Message{{ID: "a"}, {ID: "b"}, {ID: "c"}})
+	if got := ringIDs(&r2); fmt.Sprint(got) != fmt.Sprint([]string{"a", "b", "c"}) {
+		t.Fatalf("unshift into empty ring: %v", got)
+	}
+}
+
+// --- striping and shard-level accounting ---
+
+func TestStripeDepthsSumToQueued(t *testing.T) {
+	d := New(Config{Shards: 8})
+	defer d.Stop()
+	// No routes: everything stays queued.
+	total := 0
+	for i := 0; i < 20; i++ {
+		dest := fmt.Sprintf("dest%d", i)
+		for j := 0; j <= i%3; j++ {
+			if _, err := d.Send(dest, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			total++
+		}
+	}
+	var sum int64
+	for _, v := range d.StripeDepths() {
+		sum += v
+	}
+	if sum != int64(total) {
+		t.Fatalf("stripe depths sum to %d, want %d", sum, total)
+	}
+	if d.NumStripes() != 8 {
+		t.Fatalf("NumStripes = %d", d.NumStripes())
+	}
+}
+
+func TestShardsRoundsUpToPowerOfTwo(t *testing.T) {
+	d := New(Config{Shards: 5})
+	defer d.Stop()
+	if d.NumStripes() != 8 {
+		t.Fatalf("NumStripes = %d, want 8", d.NumStripes())
+	}
+}
+
+func TestBatchSizeInstrumentObservesBatches(t *testing.T) {
+	// A burst enqueued before the route appears must retire in few large
+	// batches, not one telemetry update per message.
+	reg := telemetry.NewRegistry()
+	hist := reg.Histogram("batch", 1, 2, 4, 8, 16, 32, 64, 128)
+	d := New(Config{Instruments: Instruments{BatchSize: hist}})
+	defer d.Stop()
+	for i := 0; i < 200; i++ {
+		if _, err := d.Send("app", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fn, _ := collector()
+	d.SetRoute("app", fn)
+	if !d.Drain("app", 5*time.Second) {
+		t.Fatal("drain")
+	}
+	batches := hist.Count()
+	if batches == 0 {
+		t.Fatal("no batches observed")
+	}
+	if batches > 100 {
+		t.Fatalf("200 messages retired in %d batches: batching is not amortizing", batches)
+	}
+}

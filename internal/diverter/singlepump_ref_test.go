@@ -1,0 +1,217 @@
+package diverter
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// singlePump is the pre-sharding diverter, preserved verbatim in spirit as
+// the benchmark baseline (the same way internal/ndr keeps its reflective
+// codec as a reference): one global mutex in front of every destination,
+// one pump goroutine delivering everything, O(n) dequeue, and a full-scan
+// dedup expiry after every pump cycle. BenchmarkDiverterThroughput runs it
+// head-to-head against the sharded implementation so the speedup claim is
+// reproducible from this tree alone, forever.
+//
+// It is intentionally NOT exported and NOT compiled into the library — it
+// exists only under test.
+type singlePump struct {
+	retryInterval time.Duration
+	dedupWindow   time.Duration
+
+	mu        sync.Mutex
+	pending   map[string][]*Message // dest -> FIFO
+	routes    map[string]DeliverFunc
+	delivered map[string]time.Time // msgID -> delivery time (dedup)
+	closed    bool
+	drained   *sync.Cond
+	nextID    atomic.Uint64
+
+	delivCount atomic.Int64
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+func newSinglePump(retryInterval, dedupWindow time.Duration) *singlePump {
+	if retryInterval <= 0 {
+		retryInterval = 20 * time.Millisecond
+	}
+	if dedupWindow <= 0 {
+		dedupWindow = 30 * time.Second
+	}
+	p := &singlePump{
+		retryInterval: retryInterval,
+		dedupWindow:   dedupWindow,
+		pending:       make(map[string][]*Message),
+		routes:        make(map[string]DeliverFunc),
+		delivered:     make(map[string]time.Time),
+		kick:          make(chan struct{}, 1),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	p.drained = sync.NewCond(&p.mu)
+	go p.pump()
+	return p
+}
+
+func (p *singlePump) send(dest string, body []byte) (string, error) {
+	id := "m" + strconv.FormatUint(p.nextID.Add(1), 10)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return id, ErrClosed
+	}
+	if _, dup := p.delivered[id]; dup {
+		p.mu.Unlock()
+		return id, nil
+	}
+	msg := msgPool.Get().(*Message)
+	msg.ID, msg.Dest = id, dest
+	msg.Body = append(msg.Body[:0], body...)
+	msg.EnqueuedAt = time.Now()
+	p.pending[dest] = append(p.pending[dest], msg)
+	p.mu.Unlock()
+	p.wake()
+	return id, nil
+}
+
+func (p *singlePump) setRoute(dest string, fn DeliverFunc) {
+	p.mu.Lock()
+	p.routes[dest] = fn
+	p.mu.Unlock()
+	p.wake()
+}
+
+func (p *singlePump) wake() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (p *singlePump) pump() {
+	defer close(p.done)
+	t := time.NewTicker(p.retryInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.kick:
+		case <-t.C:
+		}
+		p.deliverBatch()
+		p.expireDedup()
+	}
+}
+
+// deliverBatch attempts every queued message once, in FIFO order per
+// destination — the old global-lock walk.
+func (p *singlePump) deliverBatch() {
+	p.mu.Lock()
+	dests := make([]string, 0, len(p.pending))
+	for dest := range p.pending {
+		dests = append(dests, dest)
+	}
+	p.mu.Unlock()
+
+	for _, dest := range dests {
+		for {
+			p.mu.Lock()
+			queue := p.pending[dest]
+			if len(queue) == 0 {
+				delete(p.pending, dest)
+				p.mu.Unlock()
+				break
+			}
+			fn := p.routes[dest]
+			msg := queue[0]
+			if fn == nil {
+				p.mu.Unlock()
+				break
+			}
+			if _, dup := p.delivered[msg.ID]; dup {
+				p.pending[dest] = queue[1:]
+				p.drained.Broadcast()
+				p.mu.Unlock()
+				recycle(msg, msg.Attempts > 0)
+				continue
+			}
+			msg.Attempts++
+			p.mu.Unlock()
+
+			err := fn(*msg)
+
+			p.mu.Lock()
+			if err == nil {
+				p.delivered[msg.ID] = time.Now()
+				p.pending[dest] = spDequeue(p.pending[dest], msg)
+				p.drained.Broadcast()
+				p.mu.Unlock()
+				p.delivCount.Add(1)
+				recycle(msg, true)
+				continue
+			}
+			p.mu.Unlock()
+			break
+		}
+	}
+}
+
+// spDequeue is the old O(n) removal.
+func spDequeue(queue []*Message, msg *Message) []*Message {
+	if len(queue) > 0 && queue[0] == msg {
+		return queue[1:]
+	}
+	for i, m := range queue {
+		if m == msg {
+			return append(queue[:i], queue[i+1:]...)
+		}
+	}
+	return queue
+}
+
+// expireDedup is the old full-scan expiry: O(delivered) under the global
+// lock on every pump cycle — the stall the sharded design removes.
+func (p *singlePump) expireDedup() {
+	cutoff := time.Now().Add(-p.dedupWindow)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, at := range p.delivered {
+		if at.Before(cutoff) {
+			delete(p.delivered, id)
+		}
+	}
+}
+
+func (p *singlePump) drain(dest string, timeout time.Duration) bool {
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		p.mu.Lock()
+		expired = true
+		p.mu.Unlock()
+		p.drained.Broadcast()
+	})
+	defer timer.Stop()
+	p.wake()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.pending[dest]) > 0 && !expired && !p.closed {
+		p.drained.Wait()
+	}
+	return len(p.pending[dest]) == 0
+}
+
+func (p *singlePump) stopAll() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.drained.Broadcast()
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+}

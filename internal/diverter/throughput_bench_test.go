@@ -1,0 +1,149 @@
+package diverter
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkDiverterThroughput is the multi-producer / multi-destination
+// aggregate-throughput suite: P producer goroutines spray b.N messages
+// round-robin across D destinations, and the timer stops only when every
+// destination has drained. Sub-benchmarks pair the sharded implementation
+// against the retained single-pump baseline on the same grid, so
+// `make bench-diverter` (cmd/oftt-benchdiff) can compute the speedup per
+// cell from one run. ns/op is the inverse of aggregate msgs/sec; the
+// msgs/s metric is reported explicitly for the JSON record.
+//
+// The grid has two delivery-cost modes:
+//
+//   - svc=0s: a free handler, measuring pure queue/lock/dedup overhead —
+//     the per-message bookkeeping cost.
+//   - svc=1ms: an RPC-shaped handler that sleeps ~1ms per delivery, the
+//     millisecond-scale DCOM/MSMQ hop OFTT's diverter actually fronts.
+//     Here the single pump serializes every destination's waits behind
+//     one goroutine, while the sharded pool overlaps them — the
+//     head-of-line pathology this package removes. This is the headline
+//     cell: delivery concurrency, not lock micro-costs, is what a
+//     store-and-forward middleware is for.
+//
+// Run: go test -run xxx -bench BenchmarkDiverterThroughput -benchmem ./internal/diverter
+// (use -benchtime Nx: large N for svc=0s, small N for svc=1ms — see the
+// bench-diverter Makefile target).
+var benchGrid = []struct{ p, d int }{{1, 1}, {4, 4}, {8, 8}}
+
+func BenchmarkDiverterThroughput(b *testing.B) {
+	for _, svc := range []time.Duration{0, time.Millisecond} {
+		for _, g := range benchGrid {
+			g, svc := g, svc
+			b.Run(fmt.Sprintf("impl=sharded/p=%d/d=%d/svc=%s", g.p, g.d, svc), func(b *testing.B) {
+				benchSharded(b, g.p, g.d, svc)
+			})
+		}
+		for _, g := range benchGrid {
+			g, svc := g, svc
+			b.Run(fmt.Sprintf("impl=singlepump/p=%d/d=%d/svc=%s", g.p, g.d, svc), func(b *testing.B) {
+				benchSinglePump(b, g.p, g.d, svc)
+			})
+		}
+	}
+}
+
+var benchBody = []byte("0123456789abcdef0123456789abcdef") // 32B field I/O payload
+
+// benchDedupWindow is deliberately shorter than a benchmark run so the
+// dedup-expiry path — the old full-scan stall, the new generation swap —
+// is actually on the clock. With the 30s default a short run never
+// expires anything and both indexes just grow without bound, which
+// represents no steady state at all.
+const benchDedupWindow = 250 * time.Millisecond
+
+// benchHandler builds the delivery endpoint both implementations get: an
+// optional service wait (the simulated RPC) and a delivery count.
+func benchHandler(svc time.Duration, delivered *atomic.Int64) DeliverFunc {
+	return func(Message) error {
+		if svc > 0 {
+			time.Sleep(svc)
+		}
+		delivered.Add(1)
+		return nil
+	}
+}
+
+func benchSharded(b *testing.B, producers, dests int, svc time.Duration) {
+	d := New(Config{RetryInterval: 5 * time.Millisecond, DedupWindow: benchDedupWindow})
+	defer d.Stop()
+	var delivered atomic.Int64
+	names := make([]string, dests)
+	for i := range names {
+		names[i] = fmt.Sprintf("dest%d", i)
+		d.SetRoute(names[i], benchHandler(svc, &delivered))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	runProducers(b, producers, func(p, i int) error {
+		_, err := d.Send(names[(p+i)%dests], benchBody)
+		return err
+	})
+	for _, name := range names {
+		if !d.Drain(name, 120*time.Second) {
+			b.Fatalf("%s did not drain", name)
+		}
+	}
+	b.StopTimer()
+	if got := delivered.Load(); got != int64(b.N) {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+func benchSinglePump(b *testing.B, producers, dests int, svc time.Duration) {
+	p := newSinglePump(5*time.Millisecond, benchDedupWindow)
+	defer p.stopAll()
+	var delivered atomic.Int64
+	names := make([]string, dests)
+	for i := range names {
+		names[i] = fmt.Sprintf("dest%d", i)
+		p.setRoute(names[i], benchHandler(svc, &delivered))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	runProducers(b, producers, func(pr, i int) error {
+		_, err := p.send(names[(pr+i)%dests], benchBody)
+		return err
+	})
+	for _, name := range names {
+		if !p.drain(name, 120*time.Second) {
+			b.Fatalf("%s did not drain", name)
+		}
+	}
+	b.StopTimer()
+	if got := delivered.Load(); got != int64(b.N) {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+}
+
+// runProducers splits b.N sends across P goroutines and waits for all.
+func runProducers(b *testing.B, producers int, send func(p, i int) error) {
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		n := b.N / producers
+		if p < b.N%producers {
+			n++
+		}
+		wg.Add(1)
+		go func(p, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := send(p, i); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(p, n)
+	}
+	wg.Wait()
+}
