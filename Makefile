@@ -2,11 +2,14 @@
 # concurrent plan-cache population in internal/ndr (and the lock-protected
 # scratch buffers threaded through dcom/checkpoint/diverter, plus the
 # atomic telemetry instruments) is exercised under the race detector on
-# every change. `make verify` is the full pre-merge gate.
+# every change. `make verify` is the full pre-merge gate; the perf claims
+# have their own gated targets (bench-diverter -> BENCH_DIVERTER.json,
+# bench-dcom -> BENCH_DCOM.json) kept out of verify because benchmark
+# wall-time dwarfs the test suite.
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench bench-diverter fuzz verify
+.PHONY: build vet test race chaos bench bench-diverter bench-dcom fuzz verify
 
 build:
 	$(GO) build ./...
@@ -44,6 +47,24 @@ bench-diverter:
 		-benchmem -benchtime 2000x ./internal/diverter | tee -a /tmp/bench_diverter.txt
 	$(GO) run ./cmd/oftt-benchdiff -in /tmp/bench_diverter.txt -out BENCH_DIVERTER.json \
 		-cell 'p=8/d=8/svc=1ms' -min-speedup 3.0
+
+# Old-vs-new DCOM transport: the multiplexed/pipelined client against the
+# retained one-connection-per-caller synchronous baseline, over the
+# simulated fabric (1ms link latency, where pipelining pays) and real TCP
+# loopback. Fixed iteration counts keep runs comparable; the c=1 sim
+# cells are round-trip bound (~2ms/call) so they run fewer iterations.
+# The gate fails the target if the 64-client depth-8 netsim cell is
+# below 3x.
+bench-dcom:
+	$(GO) test -run xxx -bench 'BenchmarkDCOMConcurrent/impl=.*/net=sim/c=(1|8)/' \
+		-benchmem -benchtime 2000x ./internal/dcom | tee /tmp/bench_dcom.txt
+	$(GO) test -run xxx -bench 'BenchmarkDCOMConcurrent/impl=.*/net=sim/c=64/' \
+		-benchmem -benchtime 10000x ./internal/dcom | tee -a /tmp/bench_dcom.txt
+	$(GO) test -run xxx -bench 'BenchmarkDCOMConcurrent/impl=.*/net=tcp/c=8/' \
+		-benchmem -benchtime 5000x ./internal/dcom | tee -a /tmp/bench_dcom.txt
+	$(GO) run ./cmd/oftt-benchdiff -in /tmp/bench_dcom.txt -bench BenchmarkDCOMConcurrent \
+		-new mux -old oneconn -out BENCH_DCOM.json \
+		-cell 'net=sim/c=64/d=8/pay=64' -min-speedup 3.0
 
 fuzz:
 	$(GO) test -fuzz FuzzPlannedVsReflective -fuzztime 30s ./internal/ndr

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1..E10, A1..A3, NDR, TELEMETRY, or 'all'")
+	exp := flag.String("exp", "all", "experiment to run: E1..E11, A1..A3, NDR, TELEMETRY, or 'all'")
 	quick := flag.Bool("quick", false, "smaller sweeps for a fast pass")
 	flag.Parse()
 
@@ -46,6 +46,7 @@ func run(which string, quick bool) error {
 		{"E8", runE8},
 		{"E9", runE9},
 		{"E10", runE10},
+		{"E11", runE11},
 		{"A1", runA1},
 		{"A2", runA2},
 		{"A3", runA3},
@@ -65,7 +66,7 @@ func run(which string, quick bool) error {
 		fmt.Printf("[%s completed in %v]\n\n", r.id, time.Since(start).Round(time.Millisecond))
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q (want E1..E10, A1..A3, NDR, TELEMETRY, or all)", which)
+		return fmt.Errorf("unknown experiment %q (want E1..E11, A1..A3, NDR, TELEMETRY, or all)", which)
 	}
 	return nil
 }
@@ -255,6 +256,15 @@ func runE10(quick bool) error {
 		return err
 	}
 	fmt.Print(experiments.E10Table(rows).Render())
+	return nil
+}
+
+func runE11(quick bool) error {
+	rows, err := experiments.RunE11(quick)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.E11Table(rows).Render())
 	return nil
 }
 

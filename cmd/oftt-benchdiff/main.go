@@ -1,15 +1,22 @@
-// Command oftt-benchdiff turns raw `go test -bench` output from
-// BenchmarkDiverterThroughput into a machine-readable old-vs-new record.
-// It pairs the sharded and single-pump sub-benchmarks cell by cell
-// (p=producers/d=destinations/svc=delivery cost), computes the speedup
-// from ns/op, writes the result as JSON, and enforces a minimum speedup
-// on one gate cell so the performance claim is a reproducible check, not
-// a README sentence.
+// Command oftt-benchdiff turns raw `go test -bench` output from an
+// impl-labelled benchmark grid into a machine-readable old-vs-new record.
+// It expects sub-benchmark names of the form
+//
+//	Benchmark<Name>/impl=<label>/<cell...>
+//
+// pairs the new and old implementation labels cell by cell, computes each
+// cell's speedup from ns/op, writes the result as JSON, and enforces a
+// minimum speedup on one gate cell so the performance claim is a
+// reproducible check, not a README sentence.
 //
 // Usage:
 //
 //	go test -run xxx -bench BenchmarkDiverterThroughput ./internal/diverter | \
 //	  oftt-benchdiff -out BENCH_DIVERTER.json -cell p=8/d=8/svc=1ms -min-speedup 3.0
+//
+//	go test -run xxx -bench BenchmarkDCOMConcurrent ./internal/dcom | \
+//	  oftt-benchdiff -bench BenchmarkDCOMConcurrent -new mux -old oneconn \
+//	    -out BENCH_DCOM.json -cell net=sim/c=64/d=8/pay=64 -min-speedup 3.0
 package main
 
 import (
@@ -27,7 +34,7 @@ import (
 // measurement is one sub-benchmark's parsed result line.
 type measurement struct {
 	NsPerOp     float64 `json:"ns_per_op"`
-	MsgsPerSec  float64 `json:"msgs_per_sec"`
+	PerSec      float64 `json:"per_sec,omitempty"` // custom throughput metric (msgs/s, calls/s, ...)
 	BytesPerOp  float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Iterations  int64   `json:"iterations"`
@@ -35,14 +42,17 @@ type measurement struct {
 
 // cell pairs the two implementations on one grid point.
 type cell struct {
-	Cell       string       `json:"cell"` // e.g. p=8/d=8/svc=1ms
-	Sharded    *measurement `json:"sharded"`
-	SinglePump *measurement `json:"singlepump"`
-	Speedup    float64      `json:"speedup"` // singlepump ns/op ÷ sharded ns/op
+	Cell    string       `json:"cell"`    // e.g. p=8/d=8/svc=1ms
+	New     *measurement `json:"new"`     // the -new impl's measurement
+	Old     *measurement `json:"old"`     // the -old impl's measurement
+	Speedup float64      `json:"speedup"` // old ns/op ÷ new ns/op
 }
 
 type report struct {
 	Benchmark string `json:"benchmark"`
+	NewImpl   string `json:"new_impl"`
+	OldImpl   string `json:"old_impl"`
+	PerSec    string `json:"per_sec_unit,omitempty"` // unit of the throughput metric
 	Gate      struct {
 		Cell       string  `json:"cell"`
 		MinSpeedup float64 `json:"min_speedup"`
@@ -55,8 +65,11 @@ type report struct {
 func main() {
 	in := flag.String("in", "-", "bench output file ('-' for stdin)")
 	out := flag.String("out", "BENCH_DIVERTER.json", "JSON report path")
+	benchName := flag.String("bench", "BenchmarkDiverterThroughput", "benchmark whose sub-results to parse")
+	newImpl := flag.String("new", "sharded", "impl= label of the new implementation")
+	oldImpl := flag.String("old", "singlepump", "impl= label of the old (baseline) implementation")
 	gateCell := flag.String("cell", "p=8/d=8/svc=1ms", "grid cell the speedup gate applies to")
-	minSpeedup := flag.Float64("min-speedup", 3.0, "minimum sharded-over-singlepump speedup for the gate cell")
+	minSpeedup := flag.Float64("min-speedup", 3.0, "minimum new-over-old speedup for the gate cell")
 	flag.Parse()
 
 	r := os.Stdin
@@ -68,7 +81,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	rep, err := build(r, *gateCell, *minSpeedup)
+	rep, err := build(r, *benchName, *newImpl, *oldImpl, *gateCell, *minSpeedup)
 	if err != nil {
 		fatal(err)
 	}
@@ -81,9 +94,17 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d cells)\n", *out, len(rep.Cells))
+	unit := rep.PerSec
+	if unit == "" {
+		unit = "op/s"
+	}
 	for _, c := range rep.Cells {
-		fmt.Printf("  %-22s %8.0f vs %8.0f msgs/s  speedup %.2fx\n",
-			c.Cell, c.Sharded.MsgsPerSec, c.SinglePump.MsgsPerSec, c.Speedup)
+		newRate, oldRate := c.New.PerSec, c.Old.PerSec
+		if newRate == 0 && c.New.NsPerOp > 0 {
+			newRate, oldRate = 1e9/c.New.NsPerOp, 1e9/c.Old.NsPerOp
+		}
+		fmt.Printf("  %-28s %10.0f vs %10.0f %s  speedup %.2fx\n",
+			c.Cell, newRate, oldRate, unit, c.Speedup)
 	}
 	if !rep.Gate.Pass {
 		fatal(fmt.Errorf("gate cell %s: speedup %.2fx below required %.2fx",
@@ -98,11 +119,12 @@ func fatal(err error) {
 }
 
 // build parses bench output and assembles the paired report.
-func build(r io.Reader, gateCell string, minSpeedup float64) (*report, error) {
+func build(r io.Reader, benchName, newImpl, oldImpl, gateCell string, minSpeedup float64) (*report, error) {
+	rep := &report{Benchmark: benchName, NewImpl: newImpl, OldImpl: oldImpl}
 	byImpl := map[string]map[string]*measurement{} // impl -> cell -> measurement
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		impl, cellName, m, ok := parseLine(sc.Text())
+		impl, cellName, m, unit, ok := parseLine(sc.Text(), benchName)
 		if !ok {
 			continue
 		}
@@ -110,27 +132,30 @@ func build(r io.Reader, gateCell string, minSpeedup float64) (*report, error) {
 			byImpl[impl] = map[string]*measurement{}
 		}
 		byImpl[impl][cellName] = m
+		if unit != "" {
+			rep.PerSec = unit
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 
-	sharded, pump := byImpl["sharded"], byImpl["singlepump"]
-	if len(sharded) == 0 || len(pump) == 0 {
-		return nil, fmt.Errorf("no paired results found (sharded=%d singlepump=%d lines)", len(sharded), len(pump))
+	newM, oldM := byImpl[newImpl], byImpl[oldImpl]
+	if len(newM) == 0 || len(oldM) == 0 {
+		return nil, fmt.Errorf("no paired results found (%s=%d %s=%d lines)",
+			newImpl, len(newM), oldImpl, len(oldM))
 	}
-	rep := &report{Benchmark: "BenchmarkDiverterThroughput"}
-	names := make([]string, 0, len(sharded))
-	for name := range sharded {
-		if pump[name] != nil {
+	names := make([]string, 0, len(newM))
+	for name := range newM {
+		if oldM[name] != nil {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		c := cell{Cell: name, Sharded: sharded[name], SinglePump: pump[name]}
-		if c.Sharded.NsPerOp > 0 {
-			c.Speedup = c.SinglePump.NsPerOp / c.Sharded.NsPerOp
+		c := cell{Cell: name, New: newM[name], Old: oldM[name]}
+		if c.New.NsPerOp > 0 {
+			c.Speedup = c.Old.NsPerOp / c.New.NsPerOp
 		}
 		rep.Cells = append(rep.Cells, c)
 	}
@@ -149,26 +174,29 @@ func build(r io.Reader, gateCell string, minSpeedup float64) (*report, error) {
 	return rep, nil
 }
 
-// parseLine extracts one BenchmarkDiverterThroughput result line:
+// parseLine extracts one result line of the selected benchmark:
 //
 //	BenchmarkDiverterThroughput/impl=sharded/p=8/d=8/svc=1ms  2000  142744 ns/op  7006 msgs/s  382 B/op  4 allocs/op
-func parseLine(line string) (impl, cellName string, m *measurement, ok bool) {
-	if !strings.HasPrefix(line, "BenchmarkDiverterThroughput/") {
-		return "", "", nil, false
+//
+// Any custom metric whose unit ends in "/s" is treated as the throughput
+// metric; its unit is returned so the report can echo it.
+func parseLine(line, benchName string) (impl, cellName string, m *measurement, perSecUnit string, ok bool) {
+	if !strings.HasPrefix(line, benchName+"/") {
+		return "", "", nil, "", false
 	}
 	fields := strings.Fields(line)
 	if len(fields) < 4 {
-		return "", "", nil, false
+		return "", "", nil, "", false
 	}
-	name := strings.TrimSuffix(fields[0], "-1") // strip -GOMAXPROCS if present
-	if i := strings.LastIndex(name, "-"); i > 0 {
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 { // strip -GOMAXPROCS if present
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
 		}
 	}
 	parts := strings.SplitN(name, "/", 3)
 	if len(parts) != 3 || !strings.HasPrefix(parts[1], "impl=") {
-		return "", "", nil, false
+		return "", "", nil, "", false
 	}
 	impl = strings.TrimPrefix(parts[1], "impl=")
 	cellName = parts[2]
@@ -180,19 +208,22 @@ func parseLine(line string) (impl, cellName string, m *measurement, ok bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			m.NsPerOp = v
-		case "msgs/s":
-			m.MsgsPerSec = v
 		case "B/op":
 			m.BytesPerOp = v
 		case "allocs/op":
 			m.AllocsPerOp = v
+		default:
+			if strings.HasSuffix(unit, "/s") {
+				m.PerSec = v
+				perSecUnit = unit
+			}
 		}
 	}
 	if m.NsPerOp == 0 {
-		return "", "", nil, false
+		return "", "", nil, "", false
 	}
-	return impl, cellName, m, true
+	return impl, cellName, m, perSecUnit, true
 }

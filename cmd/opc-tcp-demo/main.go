@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -99,7 +100,9 @@ func serve(addr string) (boundAddr string, stop func(), err error) {
 
 // read subscribes over TCP and prints updates until the duration passes.
 func read(addr string, runFor time.Duration) error {
-	cli, err := dcom.DialTCP(addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cli, err := dcom.DialTCPContext(ctx, addr)
 	if err != nil {
 		return err
 	}

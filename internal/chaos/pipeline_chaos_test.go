@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/netsim"
+)
+
+// seqRecorder is the chaos target service: it remembers every sequence
+// number it has executed. The invariant below is set inclusion — every
+// call the client counted as acknowledged must appear here. Retries may
+// make it a superset (at-least-once), never a subset.
+type seqRecorder struct {
+	mu   sync.Mutex
+	seen map[int64]bool
+}
+
+func (r *seqRecorder) Record(seq int64) int64 {
+	r.mu.Lock()
+	r.seen[seq] = true
+	r.mu.Unlock()
+	return seq
+}
+
+func (r *seqRecorder) has(seq int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen[seq]
+}
+
+// TestPipelinedClientFlapsAndSpikes is the multiplexed-transport chaos
+// regression: a client keeps a deep async window open across a link that
+// flaps and a fabric whose latency spikes an order of magnitude, redialing
+// whenever the connection poisons. It must (a) never count an ack the
+// server did not execute, (b) leave no waiter hanging, and (c) finish the
+// remaining work within a bound once the link stops flapping.
+func TestPipelinedClientFlapsAndSpikes(t *testing.T) {
+	const (
+		total         = 400
+		window        = 32
+		flapFor       = 400 * time.Millisecond
+		recoveryBound = 10 * time.Second
+		campaignBound = 30 * time.Second
+	)
+
+	n := netsim.New("eth0", 77)
+	n.SetLatency(200*time.Microsecond, 100*time.Microsecond)
+	exp, err := dcom.NewExporter(n, "srv:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	rec := &seqRecorder{seen: make(map[int64]bool)}
+	oid := com.NewGUID()
+	if err := exp.Export(oid, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	cli, err := dcom.Dial(n, "cli:rpc", "srv:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetWindow(window)
+	cli.SetTimeout(2 * time.Second)
+	p := cli.Object(oid)
+
+	// Latency spiker: every 20ms the fabric lurches between sub-millisecond
+	// and several-millisecond delivery — the queued-behind-a-spike replies
+	// must still route to the right futures.
+	stopSpike := make(chan struct{})
+	var spikeWG sync.WaitGroup
+	spikeWG.Add(1)
+	go func() {
+		defer spikeWG.Done()
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		high := false
+		for {
+			select {
+			case <-stopSpike:
+				n.SetLatency(200*time.Microsecond, 100*time.Microsecond)
+				return
+			case <-tick.C:
+				if high {
+					n.SetLatency(200*time.Microsecond, 100*time.Microsecond)
+				} else {
+					n.SetLatency(3*time.Millisecond, time.Millisecond)
+				}
+				high = !high
+			}
+		}
+	}()
+	defer func() { close(stopSpike); spikeWG.Wait() }()
+
+	flap := n.NewFlapper("cli", "srv", 15*time.Millisecond, 25*time.Millisecond)
+	flap.Start()
+	flapping := true
+	flapStopAt := time.Now().Add(flapFor)
+	var recoveredBy time.Time
+
+	ctx := context.Background()
+	deadline := time.Now().Add(campaignBound)
+	redial := func() {
+		for time.Now().Before(deadline) {
+			rctx, cancel := context.WithTimeout(ctx, time.Second)
+			err := cli.RedialContext(rctx)
+			cancel()
+			if err == nil {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatal("redial never succeeded within the campaign bound")
+	}
+
+	type inflight struct {
+		seq int64
+		f   *dcom.Future
+	}
+	acked := make(map[int64]bool)
+	queue := make([]int64, 0, total)
+	for i := int64(0); i < total; i++ {
+		queue = append(queue, i)
+	}
+	var outstanding []inflight
+
+	// settle resolves one in-flight call: ack on success, requeue on any
+	// failure. Every wait is bounded, so no waiter can hang.
+	settle := func(inf inflight, wait time.Duration) {
+		wctx, cancel := context.WithTimeout(ctx, wait)
+		err := inf.f.Wait(wctx)
+		cancel()
+		if err == nil {
+			acked[inf.seq] = true
+		} else {
+			queue = append(queue, inf.seq)
+		}
+	}
+
+	for len(acked) < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stalled: %d/%d acked, %d outstanding",
+				len(acked), total, len(outstanding))
+		}
+		if flapping && time.Now().After(flapStopAt) {
+			flap.Stop()
+			flapping = false
+			recoveredBy = time.Now().Add(recoveryBound)
+		}
+		if !flapping && time.Now().After(recoveredBy) {
+			t.Fatalf("recovery bound exceeded: %d/%d acked after link healed",
+				len(acked), total)
+		}
+		if cli.Broken() {
+			for _, inf := range outstanding {
+				settle(inf, time.Second) // poisoned futures resolve instantly
+			}
+			outstanding = outstanding[:0]
+			redial()
+			continue
+		}
+		for len(outstanding) < window && len(queue) > 0 {
+			seq := queue[0]
+			queue = queue[1:]
+			f, err := p.CallAsync("Record", nil, seq)
+			if err != nil {
+				queue = append(queue, seq)
+				break // poisoned mid-issue; loop handles redial
+			}
+			outstanding = append(outstanding, inflight{seq, f})
+		}
+		if len(outstanding) > 0 {
+			settle(outstanding[0], 3*time.Second)
+			outstanding = outstanding[1:]
+		}
+	}
+	for _, inf := range outstanding {
+		settle(inf, time.Second)
+	}
+
+	if flapping {
+		flap.Stop()
+	}
+	if flap.Cycles() == 0 {
+		t.Fatal("flapper never completed a cycle; the campaign tested nothing")
+	}
+
+	// The invariant: no acknowledged call was lost. The server may have
+	// seen MORE (retries of calls whose first attempt did execute), but
+	// every ack must be backed by an execution.
+	for seq := int64(0); seq < total; seq++ {
+		if !acked[seq] {
+			t.Fatalf("seq %d never acked", seq)
+		}
+		if !rec.has(seq) {
+			t.Fatalf("acked seq %d missing at the server: acked-message loss", seq)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -50,8 +51,9 @@ type CallTrackApp struct {
 }
 
 // InstrumentDCOM routes the copy's OPC-over-DCOM client metrics (call
-// latency, frame sizes, errors) into reg. It applies to the current
-// connection, if any, and to every future one.
+// latency, frame sizes, errors, in-flight calls, write-batch sizes) into
+// reg. It applies to the current connection, if any, and to every future
+// one.
 func (a *CallTrackApp) InstrumentDCOM(reg *telemetry.Registry) {
 	if reg == nil {
 		return
@@ -61,6 +63,8 @@ func (a *CallTrackApp) InstrumentDCOM(reg *telemetry.Registry) {
 		CallLatency: reg.Histogram("oftt_dcom_call_us"+label, telemetry.DurationBuckets...),
 		FrameBytes:  reg.Histogram("oftt_dcom_frame_bytes"+label, telemetry.SizeBuckets...),
 		Errors:      reg.Counter("oftt_dcom_call_errors_total" + label),
+		InFlight:    reg.Gauge("oftt_dcom_inflight_calls" + label),
+		WriteBatch:  reg.Histogram("oftt_dcom_write_batch_frames"+label, telemetry.DepthBuckets...),
 	}
 	a.mu.Lock()
 	a.ins = ins
@@ -119,7 +123,9 @@ func (a *CallTrackApp) Activate(restored bool) {
 		return
 	}
 	from := netsim.Addr(a.node + ":" + "app-opc-cli")
-	dcli, err := dcom.Dial(a.network, from, a.server)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	dcli, err := dcom.DialContext(ctx, a.network, from, a.server)
 	if err != nil {
 		// The telephone server may be down; the group scan will never
 		// produce updates, which is visible in the monitor, but activation

@@ -1,0 +1,647 @@
+package dcom
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ndr"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// Transport tuning defaults.
+const (
+	defaultTimeout = 2 * time.Second
+	defaultWindow  = 256
+)
+
+// Client is a multiplexed connection to a remote exporter. One Client
+// carries many proxies and many concurrent calls over a single transport
+// connection: every request frame bears a monotonically increasing call
+// ID, replies may come back in any order, and a per-connection demux
+// goroutine routes each reply to its waiter. Outbound frames funnel
+// through a flush coalescer that merges back-to-back requests into one
+// transport send. In-flight calls are bounded by a window (SetWindow);
+// CallAsync blocks for a free slot, which is the client's backpressure.
+//
+// The failure semantics the paper complains about are preserved exactly:
+// a transport fault or a synchronous call timeout poisons the connection
+// (every in-flight call fails, Redial is required), while canceling one
+// async call abandons only that call — its late reply, if any, is dropped
+// by the demux loop without disturbing the connection.
+type Client struct {
+	dial func(context.Context) (netsim.FrameConn, error)
+	to   netsim.Addr
+
+	mu         sync.Mutex
+	timeout    time.Duration
+	window     int
+	flushBytes int
+	flushDelay time.Duration
+	ins        Instruments
+	raw        netsim.FrameConn // dialed, not yet wrapped in a muxConn
+	mc         *muxConn
+
+	// cur mirrors mc and broken mirrors the poison flag lock-free, so the
+	// demux/flusher goroutines can poison the client without touching mu
+	// (teardown holds mu while waiting for the flusher to exit).
+	cur    atomic.Pointer[muxConn]
+	broken atomic.Bool
+}
+
+// Instruments are the client's optional per-call metrics; zero-value
+// fields record nothing. Install with Instrument before the first call —
+// the connection snapshots them when it is established.
+type Instruments struct {
+	// CallLatency observes marshal → reply-decoded round-trip time, µs.
+	CallLatency *telemetry.Histogram
+	// FrameBytes observes marshaled request-frame sizes.
+	FrameBytes *telemetry.Histogram
+	// Errors counts failed calls (transport faults, timeouts, remote
+	// errors alike).
+	Errors *telemetry.Counter
+	// InFlight gauges calls issued but not yet resolved.
+	InFlight *telemetry.Gauge
+	// WriteBatch observes frames-per-transport-send at the coalescer.
+	WriteBatch *telemetry.Histogram
+}
+
+// Dial connects to the exporter at `to` on the simulated network,
+// originating from endpoint `from`.
+func Dial(n *netsim.Network, from, to netsim.Addr) (*Client, error) {
+	return DialContext(context.Background(), n, from, to)
+}
+
+// DialContext is Dial honoring ctx for cancellation and deadline.
+func DialContext(ctx context.Context, n *netsim.Network, from, to netsim.Addr) (*Client, error) {
+	dial := func(ctx context.Context) (netsim.FrameConn, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return n.Dial(from, to)
+	}
+	return dialWith(ctx, dial, to)
+}
+
+// DialTCP connects to a TCP exporter at addr ("host:port").
+func DialTCP(addr string) (*Client, error) {
+	return DialTCPContext(context.Background(), addr)
+}
+
+// DialTCPContext is DialTCP honoring ctx: a dial toward a dead or
+// partitioned peer fails at ctx's deadline instead of blocking for the
+// kernel's connect timeout.
+func DialTCPContext(ctx context.Context, addr string) (*Client, error) {
+	dial := func(ctx context.Context) (netsim.FrameConn, error) {
+		return netsim.DialTCPContext(ctx, addr)
+	}
+	return dialWith(ctx, dial, netsim.Addr(addr))
+}
+
+func dialWith(ctx context.Context, dial func(context.Context) (netsim.FrameConn, error), to netsim.Addr) (*Client, error) {
+	conn, err := dial(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrRPCFailure, to, err)
+	}
+	return &Client{
+		dial:    dial,
+		to:      to,
+		timeout: defaultTimeout,
+		window:  defaultWindow,
+		raw:     conn,
+	}, nil
+}
+
+// SetTimeout configures the synchronous per-call reply deadline.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// SetWindow bounds the number of in-flight calls on the connection; when
+// the window is full, CallAsync blocks until a slot frees (backpressure).
+// Takes effect on the next connection establishment (first call after
+// Dial or Redial).
+func (c *Client) SetWindow(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > 0 {
+		c.window = n
+	}
+}
+
+// SetFlush tunes the write coalescer: maxBytes bounds one transport send
+// (0 = default), delay lingers that long before flushing so a batch can
+// form (0 = natural batching with an inline fast path for lone callers).
+// Takes effect on the next connection establishment.
+func (c *Client) SetFlush(maxBytes int, delay time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushBytes = maxBytes
+	c.flushDelay = delay
+}
+
+// Instrument installs per-call metrics on this client. The connection
+// snapshots the set when established, so install before the first call.
+func (c *Client) Instrument(ins Instruments) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ins = ins
+}
+
+// Broken reports whether the transport is poisoned.
+func (c *Client) Broken() bool { return c.broken.Load() }
+
+// Redial replaces a broken transport with a fresh connection. The OFTT
+// engine calls this after a switchover, when the exporter has moved or
+// restarted — DCOM itself offers no such recovery (Section 3.3).
+func (c *Client) Redial() error { return c.RedialContext(context.Background()) }
+
+// RedialContext is Redial honoring ctx for cancellation and deadline.
+func (c *Client) RedialContext(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.teardownLocked()
+	conn, err := c.dial(ctx)
+	if err != nil {
+		c.broken.Store(true)
+		return fmt.Errorf("%w: redial %s: %v", ErrRPCFailure, c.to, err)
+	}
+	c.raw = conn
+	c.broken.Store(false)
+	return nil
+}
+
+// Close tears the connection down; in-flight calls fail with ErrRPCFailure.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.teardownLocked()
+	c.broken.Store(true)
+}
+
+// teardownLocked dismantles the live connection (if any): in-flight calls
+// fail immediately, the demux loop unblocks via conn close, and the
+// coalescer is stopped without draining (the peers of those frames are
+// failing anyway). Caller holds c.mu.
+func (c *Client) teardownLocked() {
+	if c.raw != nil {
+		_ = c.raw.Close()
+		c.raw = nil
+	}
+	if mc := c.mc; mc != nil {
+		c.mc = nil
+		c.cur.Store(nil)
+		_ = mc.conn.Close()
+		mc.fail(fmt.Errorf("%w: connection closed", ErrRPCFailure))
+		mc.wr.close(false)
+	}
+}
+
+// markBroken poisons the client if mc is still its live connection. Called
+// from demux/flusher goroutines; lock-free on purpose — teardownLocked
+// waits on the flusher while holding c.mu.
+func (c *Client) markBroken(mc *muxConn) {
+	if c.cur.Load() == mc {
+		c.broken.Store(true)
+	}
+}
+
+// ensureMuxLocked wraps the dialed transport into the multiplexing
+// machinery on first use, so SetWindow/SetFlush/Instrument issued between
+// Dial and the first call all apply. Caller holds c.mu.
+func (c *Client) ensureMuxLocked() (*muxConn, error) {
+	if c.broken.Load() {
+		return nil, fmt.Errorf("%w: connection poisoned; Redial required", ErrRPCFailure)
+	}
+	if c.mc != nil {
+		return c.mc, nil
+	}
+	if c.raw == nil {
+		return nil, fmt.Errorf("%w: connection poisoned; Redial required", ErrRPCFailure)
+	}
+	mc := newMuxConn(c, c.raw)
+	c.raw = nil
+	c.mc = mc
+	c.cur.Store(mc)
+	return mc, nil
+}
+
+// muxConn is one live multiplexed connection: the demux goroutine routes
+// replies by call ID to pending futures, the coalescer batches outbound
+// frames, and the slots channel bounds in-flight calls.
+type muxConn struct {
+	conn netsim.FrameConn
+	wr   *coalescer
+	ins  Instruments
+
+	slots chan struct{} // one token per in-flight call (window bound)
+	down  chan struct{} // closed when the connection fails
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*Future // nil once failed
+	err     error
+}
+
+func newMuxConn(c *Client, conn netsim.FrameConn) *muxConn {
+	mc := &muxConn{
+		conn:    conn,
+		ins:     c.ins,
+		slots:   make(chan struct{}, c.window),
+		down:    make(chan struct{}),
+		pending: make(map[uint64]*Future),
+	}
+	onBatch := func(frames int) { mc.ins.WriteBatch.Observe(int64(frames)) }
+	onErr := func(err error) {
+		mc.fail(fmt.Errorf("%w: send: %v", ErrRPCFailure, err))
+		c.markBroken(mc)
+	}
+	mc.wr = newCoalescer(conn, c.flushBytes, c.flushDelay, onBatch, onErr)
+	go mc.demux(c)
+	return mc
+}
+
+// replySlot pairs a reply decoded zero-copy (UnmarshalShared) with the
+// raw frame its byte fields alias. Slots are pooled; on TCP the raw
+// buffer doubles as the per-connection read arena.
+type replySlot struct {
+	raw []byte
+	rep reply
+}
+
+var replySlotPool = sync.Pool{New: func() any { return new(replySlot) }}
+
+func putReplySlot(s *replySlot) {
+	s.rep = reply{}
+	replySlotPool.Put(s)
+}
+
+// demux is the per-connection reply router: read a frame, decode it
+// straight from the read arena, hand it to the future registered under
+// its call ID. Replies for unknown IDs (canceled calls) are dropped.
+// A read or decode failure poisons the connection.
+func (mc *muxConn) demux(c *Client) {
+	br, _ := mc.conn.(netsim.BufRecver)
+	for {
+		slot := replySlotPool.Get().(*replySlot)
+		var raw []byte
+		var err error
+		if br != nil {
+			raw, err = br.RecvBuf(slot.raw)
+			if err == nil {
+				slot.raw = raw
+			}
+		} else {
+			raw, err = mc.conn.Recv()
+		}
+		if err == nil {
+			slot.rep = reply{}
+			if derr := ndr.UnmarshalShared(raw, &slot.rep); derr != nil {
+				err = fmt.Errorf("corrupt reply: %v", derr)
+			} else if br == nil {
+				slot.raw = raw // owned fabric frame backing the shared decode
+			}
+		}
+		if err != nil {
+			putReplySlot(slot)
+			mc.fail(fmt.Errorf("%w: recv: %v", ErrRPCFailure, err))
+			c.markBroken(mc)
+			return
+		}
+		mc.deliver(slot)
+	}
+}
+
+func (mc *muxConn) deliver(slot *replySlot) {
+	id := slot.rep.ID
+	mc.mu.Lock()
+	f := mc.pending[id]
+	delete(mc.pending, id)
+	mc.mu.Unlock()
+	if f == nil || !f.resolved.CompareAndSwap(false, true) {
+		putReplySlot(slot) // late reply for a canceled call, or raced a failure
+		return
+	}
+	f.slot = slot
+	mc.release()
+	close(f.done)
+}
+
+// fail poisons the connection once: every pending future resolves with
+// err, callers blocked on the window are released, and later starts are
+// refused. It never waits for the flusher (it may BE the flusher).
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err != nil {
+		mc.mu.Unlock()
+		return
+	}
+	mc.err = err
+	pend := mc.pending
+	mc.pending = nil
+	mc.mu.Unlock()
+	close(mc.down)
+	for _, f := range pend {
+		if f.resolved.CompareAndSwap(false, true) {
+			f.err = err
+			mc.release()
+			close(f.done)
+		}
+	}
+}
+
+func (mc *muxConn) release() {
+	<-mc.slots
+	mc.ins.InFlight.Add(-1)
+}
+
+func (mc *muxConn) deadErr() error {
+	mc.mu.Lock()
+	err := mc.err
+	mc.mu.Unlock()
+	if err == nil {
+		err = fmt.Errorf("%w: connection closed", ErrRPCFailure)
+	}
+	return err
+}
+
+// encScratch is pooled per-call encode state: args marshaled back-to-back
+// into one arena, then the request frame. The coalescer copies the frame
+// at enqueue, so the scratch recycles as soon as start returns.
+type encScratch struct {
+	argBuf  []byte
+	argOffs []int
+	frame   []byte
+}
+
+var encScratchPool = sync.Pool{New: func() any { return new(encScratch) }}
+
+// start issues one call on the connection: encode, take a window slot,
+// register under a fresh call ID, enqueue the frame. The returned future
+// resolves when the demux loop routes the reply back (or the connection
+// fails, or the caller cancels).
+func (mc *muxConn) start(oid ObjectID, method string, out []any, args []any) (*Future, error) {
+	f := &Future{
+		mc:     mc,
+		oid:    oid,
+		method: method,
+		out:    out,
+		start:  time.Now(),
+		done:   make(chan struct{}),
+	}
+
+	// Encode args before taking a window slot so marshal errors do not
+	// consume capacity.
+	sc := encScratchPool.Get().(*encScratch)
+	buf := sc.argBuf[:0]
+	offs := append(sc.argOffs[:0], 0)
+	for i, a := range args {
+		var err error
+		buf, err = ndr.MarshalTo(buf, a)
+		if err != nil {
+			sc.argBuf, sc.argOffs = buf, offs
+			encScratchPool.Put(sc)
+			mc.ins.Errors.Inc()
+			return nil, fmt.Errorf("dcom: marshal arg %d of %s: %w", i, method, err)
+		}
+		offs = append(offs, len(buf))
+	}
+	sc.argBuf, sc.argOffs = buf, offs
+	req := request{OID: oid, Method: method, Args: make([][]byte, len(args))}
+	for i := range args {
+		req.Args[i] = buf[offs[i]:offs[i+1]:offs[i+1]]
+	}
+
+	// Backpressure: one window slot per in-flight call.
+	select {
+	case mc.slots <- struct{}{}:
+	case <-mc.down:
+		encScratchPool.Put(sc)
+		mc.ins.Errors.Inc()
+		return nil, mc.deadErr()
+	}
+	mc.ins.InFlight.Add(1)
+
+	mc.mu.Lock()
+	if mc.err != nil {
+		err := mc.err
+		mc.mu.Unlock()
+		mc.release()
+		encScratchPool.Put(sc)
+		mc.ins.Errors.Inc()
+		return nil, err
+	}
+	mc.nextID++
+	f.id = mc.nextID
+	mc.pending[f.id] = f
+	mc.mu.Unlock()
+
+	req.ID = f.id
+	frame, err := ndr.MarshalToDeref(sc.frame[:0], &req)
+	if err == nil {
+		sc.frame = frame
+		mc.ins.FrameBytes.Observe(int64(len(frame)))
+		if serr := mc.wr.enqueue(frame); serr != nil {
+			err = fmt.Errorf("%w: send %s: %v", ErrRPCFailure, method, serr)
+		}
+	} else {
+		err = fmt.Errorf("dcom: marshal request: %w", err)
+	}
+	encScratchPool.Put(sc)
+	if err != nil {
+		// Withdraw the registration; the connection's fail() may have
+		// raced us here, so resolution is CAS-guarded either way.
+		mc.mu.Lock()
+		if mc.pending != nil {
+			delete(mc.pending, f.id)
+		}
+		mc.mu.Unlock()
+		if f.resolved.CompareAndSwap(false, true) {
+			f.err = err
+			mc.release()
+			close(f.done)
+		}
+		mc.ins.Errors.Inc()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Future is one in-flight call. It resolves exactly once: with the reply,
+// with the connection's failure, or by cancellation in Wait.
+type Future struct {
+	mc     *muxConn
+	oid    ObjectID
+	method string
+	out    []any
+	id     uint64
+	start  time.Time
+
+	resolved atomic.Bool
+	done     chan struct{}
+	once     sync.Once
+	slot     *replySlot
+	err      error
+}
+
+// Done returns a channel closed when the call has resolved; Wait then
+// returns without blocking.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Wait blocks until the call resolves or ctx is done, then returns the
+// call's error exactly as a synchronous Call would (nil on success, with
+// results decoded into the out pointers given at CallAsync).
+//
+// If ctx expires first, only THIS call is abandoned: it fails with
+// ErrCallCanceled, its window slot frees, and its reply — should one
+// arrive later — is dropped by the demux loop. The connection stays
+// healthy; this is the cancellation story the synchronous timeout (which
+// must poison, the call's fate being unknown) cannot offer.
+func (f *Future) Wait(ctx context.Context) error {
+	select {
+	case <-f.done:
+		return f.finish()
+	case <-ctx.Done():
+	}
+	f.mc.mu.Lock()
+	if f.mc.pending != nil {
+		delete(f.mc.pending, f.id)
+	}
+	f.mc.mu.Unlock()
+	if f.resolved.CompareAndSwap(false, true) {
+		f.err = fmt.Errorf("%w: %s: %v", ErrCallCanceled, f.method, ctx.Err())
+		f.mc.release()
+		close(f.done)
+		return f.finish()
+	}
+	<-f.done // resolution raced the cancel; take the real outcome
+	return f.finish()
+}
+
+// finish decodes the reply (once) into the caller's out pointers and
+// records instruments. Safe to call repeatedly; later calls return the
+// settled error.
+func (f *Future) finish() error {
+	f.once.Do(func() {
+		if f.slot != nil {
+			f.err = decodeReply(&f.slot.rep, f.oid, f.method, f.out)
+			putReplySlot(f.slot)
+			f.slot = nil
+		}
+		f.mc.ins.CallLatency.ObserveDuration(time.Since(f.start))
+		if f.err != nil {
+			f.mc.ins.Errors.Inc()
+		}
+	})
+	return f.err
+}
+
+// decodeReply maps a wire reply onto the caller's out pointers, with the
+// same fault taxonomy the transport has always had.
+func decodeReply(rep *reply, oid ObjectID, method string, out []any) error {
+	switch rep.Fault {
+	case "":
+	case "noobject":
+		return fmt.Errorf("%w: %s", ErrNoSuchObject, oid)
+	case "nomethod":
+		return fmt.Errorf("%w: %s", ErrNoSuchMethod, method)
+	default:
+		return fmt.Errorf("dcom: bad call to %s", method)
+	}
+	if rep.Err != "" {
+		return &RemoteError{Method: method, Msg: rep.Err}
+	}
+	if len(out) > len(rep.Results) {
+		return fmt.Errorf("dcom: %s returned %d results, caller wants %d",
+			method, len(rep.Results), len(out))
+	}
+	for i, dst := range out {
+		if err := ndr.Unmarshal(rep.Results[i], dst); err != nil {
+			return fmt.Errorf("dcom: unmarshal result %d of %s: %w", i, method, err)
+		}
+	}
+	return nil
+}
+
+// Proxy is a typed handle to one remote object.
+type Proxy struct {
+	client *Client
+	oid    ObjectID
+}
+
+// Object returns a proxy for the given OID.
+func (c *Client) Object(oid ObjectID) *Proxy {
+	return &Proxy{client: c, oid: oid}
+}
+
+// OID returns the proxied object's identity.
+func (p *Proxy) OID() ObjectID { return p.oid }
+
+// Call invokes a remote method synchronously. args are marshaled
+// positionally; each element of out must be a pointer that receives the
+// corresponding result (excluding a trailing error, which is returned as
+// *RemoteError). If the reply misses the client's timeout the connection
+// is poisoned (ErrCallTimeout), exactly as before multiplexing.
+func (p *Proxy) Call(method string, out []any, args ...any) error {
+	return p.client.call(p.oid, method, out, args)
+}
+
+// CallAsync begins a remote method invocation and returns a Future that
+// resolves with the reply. out is decoded when the future is waited on.
+// Many async calls share the connection concurrently (pipelining); the
+// in-flight window bounds how many, blocking CallAsync when full.
+func (p *Proxy) CallAsync(method string, out []any, args ...any) (*Future, error) {
+	return p.client.callAsync(p.oid, method, out, args)
+}
+
+func (c *Client) callAsync(oid ObjectID, method string, out []any, args []any) (*Future, error) {
+	c.mu.Lock()
+	mc, err := c.ensureMuxLocked()
+	if err != nil {
+		ins := c.ins
+		c.mu.Unlock()
+		ins.Errors.Inc()
+		return nil, err
+	}
+	c.mu.Unlock()
+	return mc.start(oid, method, out, args)
+}
+
+// call is the synchronous path: CallAsync plus a bounded wait. A timeout
+// poisons the whole connection — with the reply outstanding the call's
+// fate is unknown, and the paper's DCOM offered no finer recovery.
+func (c *Client) call(oid ObjectID, method string, out []any, args []any) error {
+	c.mu.Lock()
+	timeout := c.timeout
+	mc, err := c.ensureMuxLocked()
+	if err != nil {
+		ins := c.ins
+		c.mu.Unlock()
+		ins.Errors.Inc()
+		return err
+	}
+	c.mu.Unlock()
+
+	f, err := mc.start(oid, method, out, args)
+	if err != nil {
+		return err
+	}
+	timer := time.NewTimer(timeout)
+	select {
+	case <-f.done:
+		timer.Stop()
+		return f.finish()
+	case <-timer.C:
+	}
+	terr := fmt.Errorf("%w: %s", ErrCallTimeout, method)
+	mc.fail(terr)
+	c.markBroken(mc)
+	<-f.done // fail (or a racing reply) resolves the future
+	_ = f.finish()
+	return terr
+}

@@ -1,0 +1,222 @@
+package dcom
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Flush-coalescer defaults. FlushBytes bounds one transport send; a zero
+// flush delay means natural batching: whatever queued while the previous
+// batch was on the wire goes out as the next batch, so an idle connection
+// sends immediately and a busy one merges back-to-back frames.
+const (
+	defaultFlushBytes = 64 << 10
+	maxCoalesceBuf    = 1 << 20 // retained staging capacity cap
+)
+
+// coalescer funnels all of a connection's outbound frames through one
+// writer, merging back-to-back frames into a single transport send
+// (netsim.BatchSender when available, per-frame Send otherwise). Frames
+// are copied into an internal staging buffer at enqueue, so callers get
+// their encode scratch back immediately; the flusher swaps staging buffers
+// and ships whole batches without holding the queue lock across the wire.
+type coalescer struct {
+	conn     netsim.FrameConn
+	batch    netsim.BatchSender // nil when the transport lacks the hook
+	maxBytes int
+	delay    time.Duration      // >0: linger this long to let a batch form
+	onBatch  func(frames int)   // write-batch-size telemetry hook
+	onErr    func(err error)    // first transport failure (poison/drop hook)
+
+	mu      sync.Mutex
+	sendMu  sync.Mutex // serializes actual transport writes (inline fast path)
+	buf     []byte
+	offs    []int // frame ends into buf; offs[0] == 0 sentinel
+	closing bool
+	failed  bool
+	wake    chan struct{}
+	done    chan struct{}
+}
+
+func newCoalescer(conn netsim.FrameConn, maxBytes int, delay time.Duration,
+	onBatch func(int), onErr func(error)) *coalescer {
+	if maxBytes <= 0 {
+		maxBytes = defaultFlushBytes
+	}
+	batch, _ := conn.(netsim.BatchSender)
+	w := &coalescer{
+		conn:     conn,
+		batch:    batch,
+		maxBytes: maxBytes,
+		delay:    delay,
+		onBatch:  onBatch,
+		onErr:    onErr,
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// enqueue stages one frame for transmission. It never blocks on the wire.
+// When the queue is empty and no flush is in progress, the frame is sent
+// inline from the caller's goroutine — the synchronous single-caller path
+// keeps its old latency instead of paying two scheduler hops.
+func (w *coalescer) enqueue(frame []byte) error {
+	if w.delay == 0 && w.sendMu.TryLock() {
+		w.mu.Lock()
+		if w.closing || w.failed {
+			w.mu.Unlock()
+			w.sendMu.Unlock()
+			return netsim.ErrClosed
+		}
+		if len(w.offs) <= 1 {
+			// Queue empty: nothing would be reordered by sending now.
+			w.mu.Unlock()
+			err := w.sendOne(frame)
+			w.sendMu.Unlock()
+			if err != nil {
+				w.fail(err)
+			}
+			return err
+		}
+		w.mu.Unlock()
+		w.sendMu.Unlock()
+	}
+	w.mu.Lock()
+	if w.closing || w.failed {
+		w.mu.Unlock()
+		return netsim.ErrClosed
+	}
+	if len(w.offs) == 0 {
+		w.offs = append(w.offs, 0)
+	}
+	w.buf = append(w.buf, frame...)
+	w.offs = append(w.offs, len(w.buf))
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// close stops the flusher and waits for it to exit. With drain set, frames
+// already queued are flushed first — the exporter's shutdown path, so
+// replies for calls in flight when Close began still go out before the
+// connection drops. Without drain the queue is discarded (client teardown:
+// the calls are failing anyway).
+func (w *coalescer) close(drain bool) {
+	w.mu.Lock()
+	if w.closing {
+		w.mu.Unlock()
+		<-w.done
+		return
+	}
+	if !drain || w.failed {
+		w.buf, w.offs = nil, nil
+	}
+	w.closing = true
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	<-w.done
+}
+
+func (w *coalescer) run() {
+	defer close(w.done)
+	var frames [][]byte
+	var spareBuf []byte
+	var spareOffs []int
+	for {
+		w.mu.Lock()
+		for len(w.offs) <= 1 {
+			if w.closing || w.failed {
+				w.mu.Unlock()
+				return
+			}
+			w.mu.Unlock()
+			<-w.wake
+			w.mu.Lock()
+		}
+		if w.delay > 0 && !w.closing {
+			// Time-bounded coalescing: linger so back-to-back callers
+			// pile onto this batch before it goes out.
+			w.mu.Unlock()
+			time.Sleep(w.delay)
+			w.mu.Lock()
+		}
+		buf, offs := w.buf, w.offs
+		if cap(spareBuf) > maxCoalesceBuf {
+			spareBuf = nil
+		}
+		w.buf, w.offs = spareBuf[:0], spareOffs[:0]
+		w.mu.Unlock()
+
+		frames = frames[:0]
+		for i := 0; i+1 < len(offs); i++ {
+			frames = append(frames, buf[offs[i]:offs[i+1]:offs[i+1]])
+		}
+		w.sendMu.Lock()
+		err := w.sendFrames(frames)
+		w.sendMu.Unlock()
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		spareBuf, spareOffs = buf, offs
+	}
+}
+
+func (w *coalescer) fail(err error) {
+	w.mu.Lock()
+	already := w.failed
+	w.failed = true
+	w.buf, w.offs = nil, nil
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	if !already && w.onErr != nil {
+		w.onErr(err)
+	}
+}
+
+func (w *coalescer) sendOne(frame []byte) error {
+	if w.onBatch != nil {
+		w.onBatch(1)
+	}
+	return w.conn.Send(frame)
+}
+
+// sendFrames ships a batch, splitting it so no single transport send
+// exceeds maxBytes (a frame larger than maxBytes still goes out alone).
+func (w *coalescer) sendFrames(frames [][]byte) error {
+	if w.onBatch != nil {
+		w.onBatch(len(frames))
+	}
+	if w.batch == nil {
+		for _, f := range frames {
+			if err := w.conn.Send(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	start, size := 0, 0
+	for i, f := range frames {
+		if size > 0 && size+len(f) > w.maxBytes {
+			if err := w.batch.SendBatch(frames[start:i]); err != nil {
+				return err
+			}
+			start, size = i, 0
+		}
+		size += len(f)
+	}
+	return w.batch.SendBatch(frames[start:])
+}

@@ -1,0 +1,181 @@
+package dcom
+
+// BenchmarkDCOMConcurrent is the multiplexing speed grid: clients ×
+// pipeline depth × payload, over the simulated fabric (1 ms link latency,
+// where pipelining is the whole game) and real TCP loopback. impl=mux is
+// the multiplexed client — all c callers share ONE connection, each
+// keeping d async calls in flight. impl=oneconn is the pre-mux baseline:
+// one connection per caller, one synchronous call at a time (its d cell
+// label is matched for diffing but depth cannot apply). cmd/oftt-benchdiff
+// turns the paired cells into BENCH_DCOM.json via `make bench-dcom`.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/netsim"
+)
+
+// benchSvc echoes a byte payload, exercising both marshal directions and
+// the client's zero-copy reply decode.
+type benchSvc struct{}
+
+func (benchSvc) EchoBytes(p []byte) []byte { return p }
+
+func BenchmarkDCOMConcurrent(b *testing.B) {
+	for _, netKind := range []string{"sim", "tcp"} {
+		for _, impl := range []string{"mux", "oneconn"} {
+			for _, clients := range []int{1, 8, 64} {
+				for _, depth := range []int{1, 8} {
+					for _, pay := range []int{64, 1024} {
+						name := fmt.Sprintf("impl=%s/net=%s/c=%d/d=%d/pay=%d",
+							impl, netKind, clients, depth, pay)
+						b.Run(name, func(b *testing.B) {
+							benchCell(b, impl, netKind, clients, depth, pay)
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+func benchCell(b *testing.B, impl, netKind string, clients, depth, pay int) {
+	oid := com.NewGUID()
+	var n *netsim.Network
+	var exp *Exporter
+	var err error
+	switch netKind {
+	case "sim":
+		n = netsim.New("eth0", 1)
+		n.SetLatency(time.Millisecond, time.Millisecond)
+		exp, err = NewExporter(n, "srv:rpc")
+	case "tcp":
+		exp, err = NewExporterTCP("127.0.0.1:0")
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.Export(oid, benchSvc{}); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, pay)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	switch impl {
+	case "mux":
+		benchMux(b, n, exp, oid, clients, depth, payload)
+	case "oneconn":
+		benchOneConn(b, n, exp, oid, clients, payload)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "calls/s")
+}
+
+// benchMux: c goroutines share one multiplexed client, each holding a
+// window of d async calls open.
+func benchMux(b *testing.B, n *netsim.Network, exp *Exporter, oid ObjectID, clients, depth int, payload []byte) {
+	var cli *Client
+	var err error
+	if n != nil {
+		cli, err = Dial(n, "cli:rpc", "srv:rpc")
+	} else {
+		cli, err = DialTCP(string(exp.Addr()))
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetWindow(clients * depth)
+	p := cli.Object(oid)
+
+	ctx := context.Background()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		mine := b.N / clients
+		if g < b.N%clients {
+			mine++
+		}
+		if mine == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(mine int) {
+			defer wg.Done()
+			outs := make([][]byte, depth)
+			futs := make([]*Future, 0, depth)
+			for i := 0; i < mine; i++ {
+				slot := i % depth
+				if len(futs) == depth {
+					if err := futs[0].Wait(ctx); err != nil {
+						b.Error(err)
+						return
+					}
+					futs = futs[1:]
+				}
+				f, err := p.CallAsync("EchoBytes", []any{&outs[slot]}, payload)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				futs = append(futs, f)
+			}
+			for _, f := range futs {
+				if err := f.Wait(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(mine)
+	}
+	wg.Wait()
+}
+
+// benchOneConn: the baseline shape — every goroutine its own connection,
+// strictly synchronous calls.
+func benchOneConn(b *testing.B, n *netsim.Network, exp *Exporter, oid ObjectID, clients int, payload []byte) {
+	clis := make([]*refClient, clients)
+	for g := range clis {
+		var err error
+		if n != nil {
+			clis[g], err = refDial(n, netsim.Addr(fmt.Sprintf("cli%d:rpc", g)), "srv:rpc")
+		} else {
+			clis[g], err = refDialTCP(string(exp.Addr()))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer clis[g].Close()
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		mine := b.N / clients
+		if g < b.N%clients {
+			mine++
+		}
+		if mine == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(cli *refClient, mine int) {
+			defer wg.Done()
+			var out []byte
+			for i := 0; i < mine; i++ {
+				if err := cli.call(oid, "EchoBytes", []any{&out}, []any{payload}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(clis[g], mine)
+	}
+	wg.Wait()
+}

@@ -20,12 +20,10 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
-	"time"
 
 	"repro/internal/com"
 	"repro/internal/ndr"
 	"repro/internal/netsim"
-	"repro/internal/telemetry"
 )
 
 // ObjectID identifies one exported object instance (the OID of ORPC).
@@ -45,6 +43,11 @@ var (
 	// ErrCallTimeout means the reply did not arrive in time. The connection
 	// is poisoned afterwards because the call's fate is unknown.
 	ErrCallTimeout = errors.New("dcom: call timeout")
+
+	// ErrCallCanceled means an async call's Wait context ended before the
+	// reply. Only that call is abandoned; the connection stays healthy and
+	// the late reply is dropped by the demux loop.
+	ErrCallCanceled = errors.New("dcom: call canceled")
 )
 
 // RemoteError carries an application-level error string across the wire.
@@ -265,9 +268,34 @@ func (e *Exporter) acceptLoop() {
 	}
 }
 
+// serverMaxConcurrent caps the handler goroutines running per connection.
+// A pipelined client can have hundreds of calls in flight; the cap keeps a
+// slow method from fanning out unboundedly while still letting independent
+// calls overlap.
+const serverMaxConcurrent = 64
+
+// srvSlot is pooled per-call server state: the raw request frame (the
+// decode arena — Args alias it), the decoded request, the result encode
+// arena, and the marshaled reply frame. The reply coalescer copies the
+// frame at enqueue, so the slot recycles as soon as the handler returns.
+type srvSlot struct {
+	raw    []byte
+	req    request
+	arena  []byte
+	repBuf []byte
+}
+
+var srvSlotPool = sync.Pool{New: func() any { return new(srvSlot) }}
+
+// serveConn reads request frames and dispatches each on its own handler
+// goroutine, so one connection serves many calls concurrently — the
+// server half of multiplexing. Replies funnel through a per-connection
+// flush coalescer and may leave in any order; the call ID echoed in each
+// reply is what routes it home. On connection end the handlers drain and
+// their replies flush BEFORE the conn closes, so Exporter.Close never
+// strands a call whose handler already ran.
 func (e *Exporter) serveConn(conn netsim.FrameConn) {
 	defer e.wg.Done()
-	defer conn.Close()
 	e.mu.Lock()
 	e.conns[conn] = struct{}{}
 	e.mu.Unlock()
@@ -278,36 +306,62 @@ func (e *Exporter) serveConn(conn netsim.FrameConn) {
 	}()
 	select {
 	case <-e.closed:
+		conn.Close()
 		return
 	default:
 	}
-	// Per-connection scratch, reused across every call served on this
-	// conn: the decoded request, the result arena, and the reply frame.
-	// The transport copies (or fully writes) frames inside Send, so the
-	// buffers are free again as soon as Send returns.
-	var (
-		req      request
-		resArena []byte
-		frameBuf []byte
-	)
+
+	wr := newCoalescer(conn, 0, 0, nil, nil)
+	br, _ := conn.(netsim.BufRecver)
+	sem := make(chan struct{}, serverMaxConcurrent)
+	var hwg sync.WaitGroup
 	for {
-		frame, err := conn.Recv()
+		slot := srvSlotPool.Get().(*srvSlot)
+		var raw []byte
+		var err error
+		if br != nil {
+			raw, err = br.RecvBuf(slot.raw)
+			if err == nil {
+				slot.raw = raw
+			}
+		} else {
+			raw, err = conn.Recv()
+			if err == nil {
+				slot.raw = raw // owned fabric frame; Args below alias it
+			}
+		}
+		if err == nil {
+			slot.req = request{}
+			if derr := ndr.UnmarshalShared(raw, &slot.req); derr != nil {
+				err = derr // corrupt peer; drop the conn
+			}
+		}
 		if err != nil {
-			return
+			srvSlotPool.Put(slot)
+			break
 		}
-		req = request{}
-		if err := ndr.Unmarshal(frame, &req); err != nil {
-			return // corrupt peer; drop the conn
-		}
-		rep := e.dispatch(&req, &resArena)
-		frameBuf, err = ndr.MarshalToDeref(frameBuf[:0], &rep)
-		if err != nil {
-			return
-		}
-		if err := conn.Send(frameBuf); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		hwg.Add(1)
+		go func(slot *srvSlot) {
+			defer hwg.Done()
+			e.serveCall(wr, slot)
+			<-sem
+		}(slot)
 	}
+	hwg.Wait()    // in-flight handlers finish...
+	wr.close(true) // ...their replies flush...
+	conn.Close()   // ...then the connection drops.
+}
+
+func (e *Exporter) serveCall(wr *coalescer, slot *srvSlot) {
+	rep := e.dispatch(&slot.req, &slot.arena)
+	frame, err := ndr.MarshalToDeref(slot.repBuf[:0], &rep)
+	if err == nil {
+		slot.repBuf = frame
+		_ = wr.enqueue(frame) // conn failure surfaces on the next Recv
+	}
+	slot.req = request{}
+	srvSlotPool.Put(slot)
 }
 
 func (e *Exporter) dispatch(req *request, resArena *[]byte) reply {
@@ -322,222 +376,4 @@ func (e *Exporter) dispatch(req *request, resArena *[]byte) reply {
 		return reply{ID: req.ID, Fault: fault}
 	}
 	return reply{ID: req.ID, OK: true, Err: appErr, Results: results}
-}
-
-// Client is a connection to a remote exporter. One Client multiplexes many
-// proxies; calls are serialized per connection (as a single ORPC channel).
-// It runs over either transport (Dial for the simulated fabric, DialTCP
-// for real sockets).
-type Client struct {
-	dial func() (netsim.FrameConn, error)
-	to   netsim.Addr
-
-	timeout time.Duration
-
-	mu     sync.Mutex
-	conn   netsim.FrameConn
-	nextID uint64
-	broken bool
-
-	// Reusable encode scratch, guarded by mu (calls are serialized per
-	// connection anyway). argBuf holds all of one call's args back-to-back,
-	// argOffs the boundaries, frameBuf the marshaled request frame.
-	argBuf   []byte
-	argOffs  []int
-	frameBuf []byte
-
-	ins Instruments
-}
-
-// Instruments are the client's optional per-call metrics; zero-value
-// fields record nothing.
-type Instruments struct {
-	// CallLatency observes marshal → reply-decoded round-trip time, µs.
-	CallLatency *telemetry.Histogram
-	// FrameBytes observes marshaled request-frame sizes.
-	FrameBytes *telemetry.Histogram
-	// Errors counts failed calls (transport faults, timeouts, remote
-	// errors alike).
-	Errors *telemetry.Counter
-}
-
-// Instrument installs per-call metrics on this client.
-func (c *Client) Instrument(ins Instruments) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ins = ins
-}
-
-// Dial connects to the exporter at `to` on the simulated network,
-// originating from endpoint `from`.
-func Dial(n *netsim.Network, from, to netsim.Addr) (*Client, error) {
-	dial := func() (netsim.FrameConn, error) { return n.Dial(from, to) }
-	return dialWith(dial, to)
-}
-
-// DialTCP connects to a TCP exporter at addr ("host:port").
-func DialTCP(addr string) (*Client, error) {
-	dial := func() (netsim.FrameConn, error) { return netsim.DialTCP(addr) }
-	return dialWith(dial, netsim.Addr(addr))
-}
-
-func dialWith(dial func() (netsim.FrameConn, error), to netsim.Addr) (*Client, error) {
-	conn, err := dial()
-	if err != nil {
-		return nil, fmt.Errorf("%w: dial %s: %v", ErrRPCFailure, to, err)
-	}
-	return &Client{dial: dial, to: to, timeout: 2 * time.Second, conn: conn}, nil
-}
-
-// SetTimeout configures the per-call reply deadline.
-func (c *Client) SetTimeout(d time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.timeout = d
-}
-
-// Redial replaces a broken transport with a fresh connection. The OFTT
-// engine calls this after a switchover, when the exporter has moved or
-// restarted — DCOM itself offers no such recovery (Section 3.3).
-func (c *Client) Redial() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		c.conn.Close()
-	}
-	conn, err := c.dial()
-	if err != nil {
-		c.broken = true
-		return fmt.Errorf("%w: redial %s: %v", ErrRPCFailure, c.to, err)
-	}
-	c.conn = conn
-	c.broken = false
-	return nil
-}
-
-// Broken reports whether the transport is poisoned.
-func (c *Client) Broken() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.broken
-}
-
-// Close tears the connection down.
-func (c *Client) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		c.conn.Close()
-	}
-	c.broken = true
-}
-
-// Proxy is a typed handle to one remote object.
-type Proxy struct {
-	client *Client
-	oid    ObjectID
-}
-
-// Object returns a proxy for the given OID.
-func (c *Client) Object(oid ObjectID) *Proxy {
-	return &Proxy{client: c, oid: oid}
-}
-
-// OID returns the proxied object's identity.
-func (p *Proxy) OID() ObjectID { return p.oid }
-
-// Call invokes a remote method. args are marshaled positionally; each
-// element of out must be a pointer that receives the corresponding result
-// (excluding a trailing error, which is returned as *RemoteError).
-func (p *Proxy) Call(method string, out []any, args ...any) error {
-	return p.client.call(p.oid, method, out, args)
-}
-
-func (c *Client) call(oid ObjectID, method string, out []any, args []any) (err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.ins.CallLatency != nil || c.ins.Errors != nil {
-		start := time.Now()
-		defer func() {
-			c.ins.CallLatency.ObserveDuration(time.Since(start))
-			if err != nil {
-				c.ins.Errors.Inc()
-			}
-		}()
-	}
-	if c.broken || c.conn == nil {
-		return fmt.Errorf("%w: connection poisoned; Redial required", ErrRPCFailure)
-	}
-
-	c.nextID++
-	// Encode all args back-to-back into one reused arena instead of one
-	// fresh slice per arg; offsets are recorded during the appends and the
-	// arg subslices taken only afterwards, since growth may relocate the
-	// backing array.
-	buf := c.argBuf[:0]
-	offs := append(c.argOffs[:0], 0)
-	for i, a := range args {
-		var err error
-		buf, err = ndr.MarshalTo(buf, a)
-		if err != nil {
-			return fmt.Errorf("dcom: marshal arg %d of %s: %w", i, method, err)
-		}
-		offs = append(offs, len(buf))
-	}
-	c.argBuf, c.argOffs = buf, offs
-	req := request{ID: c.nextID, OID: oid, Method: method, Args: make([][]byte, len(args))}
-	for i := range args {
-		req.Args[i] = buf[offs[i]:offs[i+1]:offs[i+1]]
-	}
-	frame, err := ndr.MarshalToDeref(c.frameBuf[:0], &req)
-	if err != nil {
-		return fmt.Errorf("dcom: marshal request: %w", err)
-	}
-	c.frameBuf = frame
-	c.ins.FrameBytes.Observe(int64(len(frame)))
-
-	if err := c.conn.Send(frame); err != nil {
-		c.broken = true
-		return fmt.Errorf("%w: send %s: %v", ErrRPCFailure, method, err)
-	}
-	raw, err := c.conn.RecvTimeout(c.timeout)
-	if err != nil {
-		c.broken = true
-		if errors.Is(err, netsim.ErrTimeout) {
-			return fmt.Errorf("%w: %s", ErrCallTimeout, method)
-		}
-		return fmt.Errorf("%w: recv %s: %v", ErrRPCFailure, method, err)
-	}
-
-	var rep reply
-	if err := ndr.Unmarshal(raw, &rep); err != nil {
-		c.broken = true
-		return fmt.Errorf("%w: corrupt reply: %v", ErrRPCFailure, err)
-	}
-	if rep.ID != req.ID {
-		c.broken = true
-		return fmt.Errorf("%w: reply ID mismatch", ErrRPCFailure)
-	}
-	switch rep.Fault {
-	case "":
-	case "noobject":
-		return fmt.Errorf("%w: %s", ErrNoSuchObject, oid)
-	case "nomethod":
-		return fmt.Errorf("%w: %s", ErrNoSuchMethod, method)
-	default:
-		return fmt.Errorf("dcom: bad call to %s", method)
-	}
-	if rep.Err != "" {
-		return &RemoteError{Method: method, Msg: rep.Err}
-	}
-	if len(out) > len(rep.Results) {
-		return fmt.Errorf("dcom: %s returned %d results, caller wants %d",
-			method, len(rep.Results), len(out))
-	}
-	for i, dst := range out {
-		if err := ndr.Unmarshal(rep.Results[i], dst); err != nil {
-			return fmt.Errorf("dcom: unmarshal result %d of %s: %w", i, method, err)
-		}
-	}
-	return nil
 }

@@ -1,0 +1,418 @@
+package dcom
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/netsim"
+)
+
+// slowSvc lets tests control per-call service time from the client side:
+// Sleep(ms) blocks that long, Gate(k) blocks until Release(k).
+type slowSvc struct {
+	mu    sync.Mutex
+	gates map[int64]chan struct{}
+
+	started atomic.Int64
+	done    atomic.Int64
+}
+
+func newSlowSvc() *slowSvc { return &slowSvc{gates: make(map[int64]chan struct{})} }
+
+func (s *slowSvc) gate(k int64) chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gates[k]
+	if !ok {
+		g = make(chan struct{})
+		s.gates[k] = g
+	}
+	return g
+}
+
+func (s *slowSvc) Sleep(ms int64) int64 {
+	s.started.Add(1)
+	time.Sleep(time.Duration(ms) * time.Millisecond)
+	s.done.Add(1)
+	return ms
+}
+
+func (s *slowSvc) Gate(k int64) int64 {
+	s.started.Add(1)
+	<-s.gate(k)
+	s.done.Add(1)
+	return k
+}
+
+func (s *slowSvc) Release(k int64) { close(s.gate(k)) }
+
+func (s *slowSvc) Echo(v int64) int64 { return v }
+
+func muxSetup(t *testing.T, svc any) (*netsim.Network, *Exporter, *Client, ObjectID) {
+	t.Helper()
+	n := netsim.New("eth0", 1)
+	exp, err := NewExporter(n, "srv:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(exp.Close)
+	oid := com.NewGUID()
+	if err := exp.Export(oid, svc); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(n, "cli:rpc", "srv:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	return n, exp, cli, oid
+}
+
+// TestOutOfOrderReplies issues a slow call then fast calls on one
+// connection and checks the fast replies overtake the slow one — the
+// demux routes each reply to its waiter by call ID, not arrival order.
+func TestOutOfOrderReplies(t *testing.T) {
+	svc := newSlowSvc()
+	_, _, cli, oid := muxSetup(t, svc)
+	p := cli.Object(oid)
+
+	var slow int64
+	slowF, err := p.CallAsync("Gate", []any{&slow}, int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fast calls complete while the slow one is still gated.
+	for i := int64(0); i < 20; i++ {
+		var got int64
+		if err := p.Call("Echo", []any{&got}, i); err != nil {
+			t.Fatalf("fast call %d: %v", i, err)
+		}
+		if got != i {
+			t.Fatalf("fast call %d = %d", i, got)
+		}
+	}
+	select {
+	case <-slowF.Done():
+		t.Fatal("gated call resolved before release")
+	default:
+	}
+	svc.Release(1)
+	if err := slowF.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if slow != 1 {
+		t.Fatalf("slow result = %d", slow)
+	}
+	if cli.Broken() {
+		t.Fatal("connection should be healthy")
+	}
+}
+
+// TestAsyncCancelKeepsConnection cancels one in-flight call and checks
+// (a) the canceled call fails with ErrCallCanceled, (b) the connection
+// survives, and (c) the late reply is dropped rather than misrouted.
+func TestAsyncCancelKeepsConnection(t *testing.T) {
+	svc := newSlowSvc()
+	_, _, cli, oid := muxSetup(t, svc)
+	p := cli.Object(oid)
+
+	var out int64
+	f, err := p.CallAsync("Gate", []any{&out}, int64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err = f.Wait(ctx)
+	if !errors.Is(err, ErrCallCanceled) {
+		t.Fatalf("Wait after cancel = %v, want ErrCallCanceled", err)
+	}
+	if cli.Broken() {
+		t.Fatal("cancel must not poison the connection")
+	}
+
+	// Let the abandoned call's reply arrive; it must be dropped silently
+	// and later calls (with later IDs) must still route correctly.
+	svc.Release(7)
+	for i := int64(0); i < 10; i++ {
+		var got int64
+		if err := p.Call("Echo", []any{&got}, i); err != nil {
+			t.Fatalf("call after cancel: %v", err)
+		}
+		if got != i {
+			t.Fatalf("call after cancel = %d, want %d", got, i)
+		}
+	}
+	// Waiting again returns the settled error, and out was never scribbled.
+	if err := f.Wait(context.Background()); !errors.Is(err, ErrCallCanceled) {
+		t.Fatalf("second Wait = %v", err)
+	}
+	if out != 0 {
+		t.Fatalf("canceled call wrote its out pointer: %d", out)
+	}
+}
+
+// TestConnDropMidPipeline kills the exporter with a window full of
+// in-flight calls: every waiter must get an error, none may hang.
+func TestConnDropMidPipeline(t *testing.T) {
+	svc := newSlowSvc()
+	_, exp, cli, oid := muxSetup(t, svc)
+	p := cli.Object(oid)
+
+	const n = 32
+	futs := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		f, err := p.CallAsync("Gate", nil, int64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = f
+	}
+	exp.Close() // breaks the conn under all n calls
+
+	deadline := time.After(5 * time.Second)
+	for i, f := range futs {
+		select {
+		case <-f.Done():
+		case <-deadline:
+			t.Fatalf("future %d still unresolved after conn drop", i)
+		}
+		err := f.Wait(context.Background())
+		if err == nil {
+			t.Fatalf("future %d resolved nil after conn drop", i)
+		}
+		if !errors.Is(err, ErrRPCFailure) && !errors.Is(err, ErrCallTimeout) {
+			t.Fatalf("future %d error = %v", i, err)
+		}
+	}
+	if !cli.Broken() {
+		t.Fatal("conn drop must poison the client")
+	}
+	// And new calls are refused until Redial.
+	if err := p.Call("Echo", nil, int64(1)); !errors.Is(err, ErrRPCFailure) {
+		t.Fatalf("call on poisoned client = %v", err)
+	}
+}
+
+// TestExporterCloseDrainsHandlers is the shutdown-ordering regression:
+// Close must not return while a handler goroutine is still running.
+func TestExporterCloseDrainsHandlers(t *testing.T) {
+	svc := newSlowSvc()
+	_, exp, cli, oid := muxSetup(t, svc)
+	p := cli.Object(oid)
+
+	f, err := p.CallAsync("Gate", nil, int64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the handler is actually running.
+	for i := 0; svc.started.Load() == 0; i++ {
+		if i > 1000 {
+			t.Fatal("handler never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		exp.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a handler was still blocked")
+	case <-time.After(50 * time.Millisecond):
+	}
+	svc.Release(5)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after handlers drained")
+	}
+	if got := svc.done.Load(); got != 1 {
+		t.Fatalf("handler done count = %d, want 1 (drained before Close returned)", got)
+	}
+	_ = f.Wait(context.Background()) // resolves with an error or the drained reply
+}
+
+// TestDialContext covers the context-honoring dial paths.
+func TestDialContext(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, err := NewExporter(n, "srv:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(canceled, n, "cli:rpc", "srv:rpc"); !errors.Is(err, ErrRPCFailure) {
+		t.Fatalf("canceled DialContext = %v, want ErrRPCFailure", err)
+	}
+	if _, err := DialTCPContext(canceled, "127.0.0.1:1"); !errors.Is(err, ErrRPCFailure) {
+		t.Fatalf("canceled DialTCPContext = %v, want ErrRPCFailure", err)
+	}
+
+	cli, err := DialContext(context.Background(), n, "cli:rpc", "srv:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	oid := com.NewGUID()
+	if err := exp.Export(oid, newSlowSvc()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Object(oid).Call("Echo", nil, int64(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// RedialContext with an expired context fails fast and leaves the
+	// client poisoned; a live context recovers it.
+	cli.Close()
+	if err := cli.RedialContext(canceled); !errors.Is(err, ErrRPCFailure) {
+		t.Fatalf("canceled RedialContext = %v", err)
+	}
+	if !cli.Broken() {
+		t.Fatal("failed redial should leave client broken")
+	}
+	if err := cli.RedialContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Object(oid).Call("Echo", nil, int64(2)); err != nil {
+		t.Fatalf("call after redial: %v", err)
+	}
+}
+
+// TestWindowBackpressure sets a tiny in-flight window and checks CallAsync
+// blocks when it is full and unblocks as calls resolve.
+func TestWindowBackpressure(t *testing.T) {
+	svc := newSlowSvc()
+	_, _, cli, oid := muxSetup(t, svc)
+	cli.SetWindow(2)
+	p := cli.Object(oid)
+
+	f1, err := p.CallAsync("Gate", nil, int64(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := p.CallAsync("Gate", nil, int64(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	third := make(chan *Future, 1)
+	go func() {
+		f, err := p.CallAsync("Echo", nil, int64(3))
+		if err != nil {
+			third <- nil
+			return
+		}
+		third <- f
+	}()
+	select {
+	case <-third:
+		t.Fatal("third call should block on the full window")
+	case <-time.After(50 * time.Millisecond):
+	}
+	svc.Release(11)
+	var f3 *Future
+	select {
+	case f3 = <-third:
+	case <-time.After(5 * time.Second):
+		t.Fatal("third call never unblocked")
+	}
+	if f3 == nil {
+		t.Fatal("third call errored")
+	}
+	if err := f3.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	svc.Release(12)
+	if err := f2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManyConcurrentCallers hammers one client from many goroutines mixing
+// sync and async calls — the -race workout for the demux machinery.
+func TestManyConcurrentCallers(t *testing.T) {
+	svc := newSlowSvc()
+	_, _, cli, oid := muxSetup(t, svc)
+	p := cli.Object(oid)
+
+	const callers = 16
+	const per = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				want := int64(g*per + i)
+				var got int64
+				if g%2 == 0 {
+					f, err := p.CallAsync("Echo", []any{&got}, want)
+					if err == nil {
+						err = f.Wait(context.Background())
+					}
+					if err != nil {
+						errs <- fmt.Errorf("caller %d async %d: %w", g, i, err)
+						return
+					}
+				} else if err := p.Call("Echo", []any{&got}, want); err != nil {
+					errs <- fmt.Errorf("caller %d sync %d: %w", g, i, err)
+					return
+				}
+				if got != want {
+					errs <- fmt.Errorf("caller %d call %d: got %d", g, i, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if cli.Broken() {
+		t.Fatal("client broke under concurrent load")
+	}
+}
+
+// TestSyncTimeoutStillPoisonsPipeline checks the legacy poison semantics
+// hold with other calls in flight: a sync timeout fails everything.
+func TestSyncTimeoutStillPoisonsPipeline(t *testing.T) {
+	svc := newSlowSvc()
+	_, _, cli, oid := muxSetup(t, svc)
+	cli.SetTimeout(50 * time.Millisecond)
+	p := cli.Object(oid)
+
+	bystander, err := p.CallAsync("Gate", nil, int64(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Call("Gate", nil, int64(22))
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("sync call = %v, want ErrCallTimeout", err)
+	}
+	if !cli.Broken() {
+		t.Fatal("sync timeout must poison the client")
+	}
+	if err := bystander.Wait(context.Background()); err == nil {
+		t.Fatal("bystander future survived the poisoning")
+	}
+	svc.Release(21)
+	svc.Release(22)
+}

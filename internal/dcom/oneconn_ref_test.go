@@ -1,0 +1,154 @@
+package dcom
+
+// The pre-multiplexing client, kept verbatim as a test-only baseline: one
+// synchronous call in flight per connection, reply read with RecvTimeout
+// on the calling goroutine. BenchmarkDCOMConcurrent pits it against the
+// multiplexed client (impl=oneconn vs impl=mux), and the compat test
+// below proves the concurrent exporter still serves the old wire dance.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/ndr"
+	"repro/internal/netsim"
+)
+
+// echoSvc is the minimal exported service shared by the mux tests and the
+// concurrent benchmark: Echo returns its argument, Pad returns n bytes.
+type echoSvc struct{}
+
+func (echoSvc) Echo(s string) string { return s }
+
+func (echoSvc) Pad(n int64) []byte { return make([]byte, n) }
+
+type refClient struct {
+	dial func() (netsim.FrameConn, error)
+	to   netsim.Addr
+
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   netsim.FrameConn
+	nextID uint64
+	broken bool
+
+	argBuf   []byte
+	argOffs  []int
+	frameBuf []byte
+}
+
+func refDial(n *netsim.Network, from, to netsim.Addr) (*refClient, error) {
+	dial := func() (netsim.FrameConn, error) { return n.Dial(from, to) }
+	return refDialWith(dial, to)
+}
+
+func refDialTCP(addr string) (*refClient, error) {
+	dial := func() (netsim.FrameConn, error) { return netsim.DialTCP(addr) }
+	return refDialWith(dial, netsim.Addr(addr))
+}
+
+func refDialWith(dial func() (netsim.FrameConn, error), to netsim.Addr) (*refClient, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrRPCFailure, to, err)
+	}
+	return &refClient{dial: dial, to: to, timeout: 2 * time.Second, conn: conn}, nil
+}
+
+func (c *refClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.broken = true
+}
+
+func (c *refClient) call(oid ObjectID, method string, out []any, args []any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken || c.conn == nil {
+		return fmt.Errorf("%w: connection poisoned; Redial required", ErrRPCFailure)
+	}
+
+	c.nextID++
+	buf := c.argBuf[:0]
+	offs := append(c.argOffs[:0], 0)
+	for i, a := range args {
+		var err error
+		buf, err = ndr.MarshalTo(buf, a)
+		if err != nil {
+			return fmt.Errorf("dcom: marshal arg %d of %s: %w", i, method, err)
+		}
+		offs = append(offs, len(buf))
+	}
+	c.argBuf, c.argOffs = buf, offs
+	req := request{ID: c.nextID, OID: oid, Method: method, Args: make([][]byte, len(args))}
+	for i := range args {
+		req.Args[i] = buf[offs[i]:offs[i+1]:offs[i+1]]
+	}
+	frame, err := ndr.MarshalToDeref(c.frameBuf[:0], &req)
+	if err != nil {
+		return fmt.Errorf("dcom: marshal request: %w", err)
+	}
+	c.frameBuf = frame
+
+	if err := c.conn.Send(frame); err != nil {
+		c.broken = true
+		return fmt.Errorf("%w: send %s: %v", ErrRPCFailure, method, err)
+	}
+	raw, err := c.conn.RecvTimeout(c.timeout)
+	if err != nil {
+		c.broken = true
+		if errors.Is(err, netsim.ErrTimeout) {
+			return fmt.Errorf("%w: %s", ErrCallTimeout, method)
+		}
+		return fmt.Errorf("%w: recv %s: %v", ErrRPCFailure, method, err)
+	}
+
+	var rep reply
+	if err := ndr.Unmarshal(raw, &rep); err != nil {
+		c.broken = true
+		return fmt.Errorf("%w: corrupt reply: %v", ErrRPCFailure, err)
+	}
+	if rep.ID != req.ID {
+		c.broken = true
+		return fmt.Errorf("%w: reply ID mismatch", ErrRPCFailure)
+	}
+	return decodeReply(&rep, oid, method, out)
+}
+
+// TestRefClientAgainstConcurrentExporter proves wire compatibility: the
+// old serial client speaks to the rebuilt exporter with no changes.
+func TestRefClientAgainstConcurrentExporter(t *testing.T) {
+	n := netsim.New("eth0", 1)
+	exp, err := NewExporter(n, "srv:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	oid := com.NewGUID()
+	if err := exp.Export(oid, &echoSvc{}); err != nil {
+		t.Fatal(err)
+	}
+
+	cli, err := refDial(n, "cli:rpc", "srv:rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 50; i++ {
+		var got string
+		if err := cli.call(oid, "Echo", []any{&got}, []any{fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+		if got != fmt.Sprintf("m%d", i) {
+			t.Fatalf("echo %d = %q", i, got)
+		}
+	}
+}

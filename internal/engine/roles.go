@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -266,9 +267,14 @@ func (e *Engine) peerCall(method string, out []any, args ...any) error {
 func (e *Engine) dialPeerRPC() (*dcom.Client, error) {
 	from := e.node.Addr("engine-rpc-cli")
 	to := netsim.Addr(e.cfg.PeerNode + ":engine-rpc")
+	// Bound each segment's connect attempt by the RPC timeout: a failover
+	// decision must never wait on a hung dial longer than it would wait on
+	// a hung call.
+	ctx, cancel := context.WithTimeout(context.Background(), e.cfg.RPCTimeout)
+	defer cancel()
 	var lastErr error
 	for _, n := range e.networks {
-		client, err := dcom.Dial(n, from, to)
+		client, err := dcom.DialContext(ctx, n, from, to)
 		if err == nil {
 			client.SetTimeout(e.cfg.RPCTimeout)
 			return client, nil

@@ -213,9 +213,29 @@ func Unmarshal(data []byte, out any) error {
 		return errNotPointer
 	}
 	d := decPool.Get().(*decState)
-	d.r, d.b, d.i = nil, data, 0
+	d.r, d.b, d.i, d.shared = nil, data, 0, false
 	err := decPlanFor(rv.Type().Elem())(d, rv.Elem(), 0)
 	d.b = nil // do not retain the caller's frame
+	decPool.Put(d)
+	return err
+}
+
+// UnmarshalShared decodes data into out like Unmarshal, except that []byte
+// destinations alias data's backing array instead of copying — the
+// zero-copy receive path: dcom decodes request and reply frames straight
+// from the per-connection read arena into pooled values. The decoded value
+// is only valid while data is; callers that retain byte payloads past the
+// frame's recycle must copy them. String fields are still copied (Go
+// strings are immutable, an aliased reused arena would corrupt them).
+func UnmarshalShared(data []byte, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Ptr || rv.IsNil() {
+		return errNotPointer
+	}
+	d := decPool.Get().(*decState)
+	d.r, d.b, d.i, d.shared = nil, data, 0, true
+	err := decPlanFor(rv.Type().Elem())(d, rv.Elem(), 0)
+	d.b, d.shared = nil, false // do not retain the caller's frame
 	decPool.Put(d)
 	return err
 }

@@ -386,9 +386,10 @@ func encIface(e *encState, v reflect.Value, depth int) error {
 // (r == nil) reads are bulk slice operations; otherwise it degrades to the
 // byte-at-a-time io.ByteReader contract for streaming decoders.
 type decState struct {
-	r io.ByteReader // streaming source; nil when draining b
-	b []byte
-	i int
+	r      io.ByteReader // streaming source; nil when draining b
+	b      []byte
+	i      int
+	shared bool // alias []byte payloads into b instead of copying (UnmarshalShared)
 }
 
 func (d *decState) readByte() (byte, error) {
@@ -489,6 +490,13 @@ func (d *decState) readLenBytes() ([]byte, error) {
 		if len(d.b)-d.i < n {
 			d.i = len(d.b)
 			return nil, io.ErrUnexpectedEOF
+		}
+		if d.shared {
+			// Zero-copy: subslice the source frame. Only reachable via
+			// UnmarshalShared, whose callers own the frame's lifetime.
+			p := d.b[d.i : d.i+n : d.i+n]
+			d.i += n
+			return p, nil
 		}
 		p := make([]byte, n)
 		copy(p, d.b[d.i:])

@@ -1,0 +1,97 @@
+package ndr
+
+import (
+	"bytes"
+	"testing"
+)
+
+type sharedFrame struct {
+	ID      uint64
+	Name    string
+	Body    []byte
+	Chunks  [][]byte
+	Trailer []byte
+}
+
+// TestUnmarshalSharedAliases proves UnmarshalShared decodes []byte fields
+// as subslices of the source frame (no copy) while Unmarshal still copies.
+func TestUnmarshalSharedAliases(t *testing.T) {
+	in := sharedFrame{
+		ID:      7,
+		Name:    "frame",
+		Body:    []byte("payload-bytes"),
+		Chunks:  [][]byte{[]byte("aa"), []byte("bbbb")},
+		Trailer: []byte("zz"),
+	}
+	frame, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	within := func(p []byte) bool {
+		if len(p) == 0 {
+			return true
+		}
+		for i := range frame {
+			if &frame[i] == &p[0] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var shared sharedFrame
+	if err := UnmarshalShared(frame, &shared); err != nil {
+		t.Fatal(err)
+	}
+	if shared.ID != in.ID || shared.Name != in.Name ||
+		!bytes.Equal(shared.Body, in.Body) || !bytes.Equal(shared.Trailer, in.Trailer) {
+		t.Fatalf("shared decode mismatch: %+v", shared)
+	}
+	if !within(shared.Body) || !within(shared.Chunks[0]) || !within(shared.Chunks[1]) || !within(shared.Trailer) {
+		t.Fatal("shared decode should alias the source frame")
+	}
+	// Mutating the frame must show through the aliased view.
+	old := shared.Body[0]
+	frameCopy := append([]byte(nil), frame...)
+	for i := range frame {
+		frame[i] ^= 0xff
+	}
+	if shared.Body[0] == old {
+		t.Fatal("aliased view did not observe frame mutation")
+	}
+	copy(frame, frameCopy)
+
+	var copied sharedFrame
+	if err := Unmarshal(frame, &copied); err != nil {
+		t.Fatal(err)
+	}
+	if within(copied.Body) || within(copied.Chunks[0]) {
+		t.Fatal("plain Unmarshal must copy byte payloads")
+	}
+
+	// The pooled decode state must not leak shared mode into later calls.
+	var again sharedFrame
+	if err := Unmarshal(frame, &again); err != nil {
+		t.Fatal(err)
+	}
+	if within(again.Body) {
+		t.Fatal("Unmarshal after UnmarshalShared aliased the frame (pool leak)")
+	}
+}
+
+// TestUnmarshalSharedEmpty checks zero-length payloads survive aliasing.
+func TestUnmarshalSharedEmpty(t *testing.T) {
+	in := sharedFrame{Body: []byte{}}
+	frame, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out sharedFrame
+	if err := UnmarshalShared(frame, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Body) != 0 {
+		t.Fatalf("Body = %q", out.Body)
+	}
+}

@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestConnSendBatch verifies that a simulated batch send delivers every
+// frame, in order, as individual receives, and counts one batch.
+func TestConnSendBatch(t *testing.T) {
+	n := New("eth0", 1)
+	l, err := n.Listen("srv:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cli, err := n.Dial("cli:x", "srv:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames := [][]byte{[]byte("one"), []byte("two"), []byte("three"), {}}
+	if err := cli.SendBatch(frames); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range frames {
+		got, err := srv.RecvTimeout(time.Second)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if got := n.Stats().BatchesSent.Load(); got != 1 {
+		t.Fatalf("BatchesSent = %d, want 1", got)
+	}
+	if got := n.Stats().FramesSent.Load(); got != int64(len(frames)) {
+		t.Fatalf("FramesSent = %d, want %d", got, len(frames))
+	}
+}
+
+// TestConnSendBatchOrderWithSend interleaves SendBatch and Send from the
+// same writer and checks FIFO delivery survives.
+func TestConnSendBatchOrderWithSend(t *testing.T) {
+	n := New("eth0", 1)
+	n.SetLatency(time.Millisecond, time.Millisecond)
+	l, err := n.Listen("srv:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cli, err := n.Dial("cli:x", "srv:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want [][]byte
+	for i := 0; i < 12; i++ {
+		f := []byte(fmt.Sprintf("f%02d", i))
+		want = append(want, f)
+	}
+	if err := cli.Send(want[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.SendBatch(want[1:9]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send(want[9]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.SendBatch(want[10:]); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		got, err := srv.RecvTimeout(time.Second)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("frame %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestConnSendBatchPartitioned verifies a batch toward a cut link fails
+// like Send does and breaks the connection.
+func TestConnSendBatchPartitioned(t *testing.T) {
+	n := New("eth0", 1)
+	l, err := n.Listen("srv:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cli, err := n.Dial("cli:x", "srv:x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("cli:x", "srv:x")
+	if err := cli.SendBatch([][]byte{[]byte("x")}); err == nil {
+		t.Fatal("batch across a partition should fail")
+	}
+}
+
+// TestTCPSendBatchRecvBuf round-trips a batch over real TCP and exercises
+// the pooled receive path.
+func TestTCPSendBatchRecvBuf(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan *TCPConn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cli, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := <-accepted
+	defer srv.Close()
+
+	frames := [][]byte{[]byte("alpha"), []byte("beta-longer-payload"), {}, []byte("gamma")}
+	if err := cli.SendBatch(frames); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 4)
+	for i, want := range frames {
+		got, err := srv.RecvBuf(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+		buf = got // reuse the (possibly grown) arena
+	}
+}
+
+// TestDialTCPContextCanceled verifies the context-aware dial surfaces
+// cancellation instead of blocking.
+func TestDialTCPContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialTCPContext(ctx, "127.0.0.1:1"); err == nil {
+		t.Fatal("canceled dial should fail")
+	}
+}

@@ -38,6 +38,7 @@ var (
 type Stats struct {
 	FramesSent     atomic.Int64
 	FramesDropped  atomic.Int64
+	BatchesSent    atomic.Int64 // coalesced SendBatch calls (each carries ≥1 frame)
 	DatagramsSent  atomic.Int64
 	DatagramsLost  atomic.Int64
 	ConnsDialed    atomic.Int64
@@ -50,6 +51,7 @@ func (s *Stats) Snapshot() map[string]int64 {
 	return map[string]int64{
 		"framesSent":     s.FramesSent.Load(),
 		"framesDropped":  s.FramesDropped.Load(),
+		"batchesSent":    s.BatchesSent.Load(),
 		"datagramsSent":  s.DatagramsSent.Load(),
 		"datagramsLost":  s.DatagramsLost.Load(),
 		"connsDialed":    s.ConnsDialed.Load(),

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -22,9 +23,29 @@ type FrameConn interface {
 	Close() error
 }
 
+// BatchSender is the optional frame-batching capability: transmit several
+// back-to-back frames in one fabric send (simulated) or one buffered write
+// (TCP, one syscall instead of 2×N). dcom's flush coalescer type-asserts
+// for it and falls back to per-frame Send when absent. SendBatch is not
+// safe for concurrent use with itself or Send — callers (the coalescer)
+// funnel all writes through one goroutine.
+type BatchSender interface {
+	SendBatch(frames [][]byte) error
+}
+
+// BufRecver is the optional pooled-receive capability: decode the next
+// frame into a caller-owned buffer (grown as needed) instead of a fresh
+// allocation, so a per-connection read arena serves the receive path.
+type BufRecver interface {
+	RecvBuf(buf []byte) ([]byte, error)
+}
+
 var (
-	_ FrameConn = (*Conn)(nil)
-	_ FrameConn = (*TCPConn)(nil)
+	_ FrameConn   = (*Conn)(nil)
+	_ FrameConn   = (*TCPConn)(nil)
+	_ BatchSender = (*Conn)(nil)
+	_ BatchSender = (*TCPConn)(nil)
+	_ BufRecver   = (*TCPConn)(nil)
 )
 
 // maxTCPFrame bounds a frame read from the wire.
@@ -62,8 +83,9 @@ func (t *TCPListener) Close() error { return t.l.Close() }
 
 // TCPConn is a length-prefixed framed connection over real TCP.
 type TCPConn struct {
-	c net.Conn
-	r *bufio.Reader
+	c    net.Conn
+	r    *bufio.Reader
+	wbuf []byte // SendBatch scratch; single-writer, see BatchSender
 }
 
 func newTCPConn(c net.Conn) *TCPConn {
@@ -72,7 +94,15 @@ func newTCPConn(c net.Conn) *TCPConn {
 
 // DialTCP opens a framed connection to a TCPListener.
 func DialTCP(addr string) (*TCPConn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialTCPContext(context.Background(), addr)
+}
+
+// DialTCPContext is DialTCP honoring ctx for timeout and cancellation —
+// without it a dial toward a partitioned peer blocks for the kernel's
+// connect timeout (minutes), far past any failover budget.
+func DialTCPContext(ctx context.Context, addr string) (*TCPConn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
@@ -95,10 +125,68 @@ func (t *TCPConn) Send(frame []byte) error {
 	return nil
 }
 
+// SendBatch transmits several frames in one buffered write: all length
+// prefixes and payloads are staged into one scratch buffer and pushed with
+// a single syscall. Not safe for concurrent use with Send or itself.
+func (t *TCPConn) SendBatch(frames [][]byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	total := 0
+	for _, f := range frames {
+		if len(f) > maxTCPFrame {
+			return fmt.Errorf("netsim: frame too large: %d", len(f))
+		}
+		total += 4 + len(f)
+	}
+	buf := t.wbuf[:0]
+	var hdr [4]byte
+	for _, f := range frames {
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(f)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, f...)
+	}
+	if cap(buf) <= maxBatchScratch {
+		t.wbuf = buf
+	}
+	if _, err := t.c.Write(buf); err != nil {
+		return mapTCPErr(err)
+	}
+	return nil
+}
+
+// maxBatchScratch caps the retained SendBatch staging buffer so one giant
+// burst does not pin memory for the connection's lifetime.
+const maxBatchScratch = 1 << 20
+
 // Recv blocks for the next frame.
 func (t *TCPConn) Recv() ([]byte, error) {
 	_ = t.c.SetReadDeadline(time.Time{})
 	return t.recvFrame()
+}
+
+// RecvBuf is Recv decoding into buf's backing array when capacity allows,
+// so a pooled per-connection read arena serves the receive path without a
+// per-frame allocation. The returned slice aliases buf when it fit.
+func (t *TCPConn) RecvBuf(buf []byte) ([]byte, error) {
+	_ = t.c.SetReadDeadline(time.Time{})
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		return nil, mapTCPErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxTCPFrame {
+		return nil, fmt.Errorf("netsim: oversized frame: %d", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(t.r, buf); err != nil {
+		return nil, mapTCPErr(err)
+	}
+	return buf, nil
 }
 
 // RecvTimeout is Recv with a deadline; it returns ErrTimeout on expiry.
