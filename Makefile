@@ -4,12 +4,12 @@
 # atomic telemetry instruments) is exercised under the race detector on
 # every change. `make verify` is the full pre-merge gate; the perf claims
 # have their own gated targets (bench-diverter -> BENCH_DIVERTER.json,
-# bench-dcom -> BENCH_DCOM.json) kept out of verify because benchmark
-# wall-time dwarfs the test suite.
+# bench-dcom -> BENCH_DCOM.json, bench-fabric -> BENCH_FABRIC.json) kept
+# out of verify because benchmark wall-time dwarfs the test suite.
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench bench-diverter bench-dcom fuzz verify
+.PHONY: build vet test race chaos bench bench-diverter bench-dcom bench-fabric fuzz verify
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,16 @@ bench-dcom:
 	$(GO) run ./cmd/oftt-benchdiff -in /tmp/bench_dcom.txt -bench BenchmarkDCOMConcurrent \
 		-new mux -old oneconn -out BENCH_DCOM.json \
 		-cell 'net=sim/c=64/d=8/pay=64' -min-speedup 3.0
+
+# Fabric beat-traffic scaling: boots a fabric per cell of the
+# groups x nodes grid, forms three-replica groups, and measures mux-beat
+# datagram and entry rates, regenerating BENCH_FABRIC.json. Gated twice:
+# each cell's datagram rate must stay under the per-node-pair stream
+# bound (2 x pairs / beat interval — the netsim traffic assertion), and
+# per pool size a 32x group-count increase may grow the datagram rate at
+# most 2x (sub-linear in groups).
+bench-fabric:
+	$(GO) run ./cmd/oftt-fabricbench -out BENCH_FABRIC.json
 
 fuzz:
 	$(GO) test -fuzz FuzzPlannedVsReflective -fuzztime 30s ./internal/ndr

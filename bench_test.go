@@ -8,6 +8,7 @@ package repro
 // Run with: go test -bench=. -benchmem .
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -100,13 +101,13 @@ func BenchmarkE2PairFormation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := d.WaitForRoles(5 * time.Second); err != nil {
-			d.Stop()
+		if err := benchWaitRoles(d, 5*time.Second); err != nil {
+			_ = d.Shutdown(context.Background())
 			b.Fatal(err)
 		}
 		totalForm += time.Since(start)
 		b.StopTimer()
-		d.Stop()
+		_ = d.Shutdown(context.Background())
 		b.StartTimer()
 	}
 	b.ReportMetric(float64(totalForm.Microseconds())/float64(b.N)/1000, "form-ms/op")
@@ -128,8 +129,8 @@ func benchFailover(b *testing.B, inject func(d *core.Deployment, primary string)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := d.WaitForRoles(5 * time.Second); err != nil {
-			d.Stop()
+		if err := benchWaitRoles(d, 5*time.Second); err != nil {
+			_ = d.Shutdown(context.Background())
 			b.Fatal(err)
 		}
 		primary := d.Primary().Node.Name()
@@ -137,7 +138,7 @@ func benchFailover(b *testing.B, inject func(d *core.Deployment, primary string)
 
 		start := time.Now()
 		if err := inject(d, primary); err != nil {
-			d.Stop()
+			_ = d.Shutdown(context.Background())
 			b.Fatal(err)
 		}
 		deadline := time.Now().Add(8 * time.Second)
@@ -153,7 +154,7 @@ func benchFailover(b *testing.B, inject func(d *core.Deployment, primary string)
 		}
 		elapsed := time.Since(start)
 		b.StopTimer()
-		d.Stop()
+		_ = d.Shutdown(context.Background())
 		b.StartTimer()
 		if !recovered {
 			b.Fatal("no recovery")
@@ -326,8 +327,8 @@ func BenchmarkE6DiverterDelivery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(5 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	if err := benchWaitRoles(d, 5*time.Second); err != nil {
 		b.Fatal(err)
 	}
 	payload := []byte("operator message")
@@ -479,4 +480,12 @@ func BenchmarkNDRPlanned(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchWaitRoles bounds WaitForRolesContext with a timeout for the
+// benchmark drivers.
+func benchWaitRoles(d *core.Deployment, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.WaitForRolesContext(ctx)
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,9 +43,11 @@ func run(scenario string, runFor time.Duration, seed int64) error {
 	if err != nil {
 		return err
 	}
-	defer ct.Stop()
+	defer ct.Shutdown(context.Background())
 
-	if err := ct.WaitForRoles(3 * time.Second); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := ct.WaitForRolesContext(ctx); err != nil {
 		return err
 	}
 	primary := ct.Primary().Node.Name()

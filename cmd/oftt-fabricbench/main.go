@@ -1,0 +1,283 @@
+// Command oftt-fabricbench measures fabric beat traffic over a
+// groups x nodes grid and regenerates BENCH_FABRIC.json.
+//
+// For each cell it boots a fabric, schedules G three-replica groups onto
+// an N-node pool, waits for every group to elect a primary, and then
+// counts inbound mux-beat datagrams and demultiplexed GroupState entries
+// over a fixed window. Two properties are checked:
+//
+//   - Traffic assertion (per cell): beats ride per-node-pair streams, so
+//     the datagram rate is bounded by 2 x (pairs sharing a group) /
+//     BeatInterval — NOT by group count. A per-group beat design would
+//     exceed the bound by orders of magnitude at G=256.
+//   - Scaling gate (per node count): growing the group count 32x may grow
+//     the datagram rate at most -max-growth x (sub-linear in groups).
+//
+// The process exits non-zero if either fails, so `make bench-fabric`
+// doubles as a regression gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+type cellResult struct {
+	Nodes    int `json:"nodes"`
+	Groups   int `json:"groups"`
+	Replicas int `json:"replicas"`
+
+	// PairStreams is the number of unordered node pairs sharing at least
+	// one group — the number of bidirectional mux beat streams.
+	PairStreams int `json:"pair_streams"`
+
+	DatagramsPerSec         float64 `json:"datagrams_per_sec"`
+	EntriesPerSec           float64 `json:"entries_per_sec"`
+	EntriesPerDatagram      float64 `json:"entries_per_datagram"`
+	ExpectedDatagramsPerSec float64 `json:"expected_datagrams_per_sec"`
+	NetDatagramsSentPerSec  float64 `json:"net_datagrams_sent_per_sec"`
+	FormationMS             int64   `json:"formation_ms"`
+	TrafficOK               bool    `json:"traffic_ok"`
+}
+
+type gateRow struct {
+	Nodes     int     `json:"nodes"`
+	GroupsMin int     `json:"groups_min"`
+	GroupsMax int     `json:"groups_max"`
+	Growth    float64 `json:"growth"`
+	Pass      bool    `json:"pass"`
+}
+
+type report struct {
+	Benchmark      string  `json:"benchmark"`
+	BeatIntervalMS float64 `json:"beat_interval_ms"`
+	WindowMS       float64 `json:"window_ms"`
+	Gate           struct {
+		MaxGrowth float64   `json:"max_growth"`
+		Pass      bool      `json:"pass"`
+		Rows      []gateRow `json:"rows"`
+	} `json:"gate"`
+	Cells []cellResult `json:"cells"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_FABRIC.json", "report path")
+		nodesList = flag.String("nodes", "4,8", "comma-separated pool sizes")
+		groupsSet = flag.String("groups", "8,64,256", "comma-separated group counts")
+		beat      = flag.Duration("beat", 10*time.Millisecond, "mux beat interval")
+		window    = flag.Duration("window", 1500*time.Millisecond, "measurement window")
+		maxGrowth = flag.Float64("max-growth", 2.0, "max datagram-rate growth from min to max group count")
+		formWait  = flag.Duration("form-wait", 90*time.Second, "per-cell formation deadline")
+	)
+	flag.Parse()
+
+	nodeCounts, err := parseInts(*nodesList)
+	if err != nil {
+		fatal("bad -nodes: %v", err)
+	}
+	groupCounts, err := parseInts(*groupsSet)
+	if err != nil {
+		fatal("bad -groups: %v", err)
+	}
+
+	rep := report{Benchmark: "FabricBeatScaling"}
+	rep.BeatIntervalMS = float64(*beat) / float64(time.Millisecond)
+	rep.WindowMS = float64(*window) / float64(time.Millisecond)
+	rep.Gate.MaxGrowth = *maxGrowth
+	rep.Gate.Pass = true
+
+	trafficOK := true
+	for _, n := range nodeCounts {
+		for _, g := range groupCounts {
+			cell, err := runCell(n, g, *beat, *window, *formWait)
+			if err != nil {
+				fatal("cell nodes=%d groups=%d: %v", n, g, err)
+			}
+			fmt.Printf("nodes=%d groups=%d: %.0f dgrams/s (bound %.0f), %.0f entries/s, %.1f entries/dgram, pairs=%d, formed in %dms\n",
+				n, g, cell.DatagramsPerSec, cell.ExpectedDatagramsPerSec,
+				cell.EntriesPerSec, cell.EntriesPerDatagram, cell.PairStreams, cell.FormationMS)
+			if !cell.TrafficOK {
+				trafficOK = false
+				fmt.Printf("  TRAFFIC FAIL: datagram rate exceeds the per-pair stream bound\n")
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+
+	// Gate: per pool size, the datagram rate from the smallest to the
+	// largest group count must stay within max-growth.
+	for _, n := range nodeCounts {
+		var lo, hi *cellResult
+		for i := range rep.Cells {
+			c := &rep.Cells[i]
+			if c.Nodes != n {
+				continue
+			}
+			if lo == nil || c.Groups < lo.Groups {
+				lo = c
+			}
+			if hi == nil || c.Groups > hi.Groups {
+				hi = c
+			}
+		}
+		if lo == nil || hi == nil || lo == hi {
+			continue
+		}
+		growth := hi.DatagramsPerSec / lo.DatagramsPerSec
+		row := gateRow{Nodes: n, GroupsMin: lo.Groups, GroupsMax: hi.Groups,
+			Growth: growth, Pass: growth <= *maxGrowth}
+		if !row.Pass {
+			rep.Gate.Pass = false
+		}
+		rep.Gate.Rows = append(rep.Gate.Rows, row)
+		fmt.Printf("gate nodes=%d: %dx more groups -> %.2fx datagram rate (max %.1fx): %s\n",
+			n, hi.Groups/lo.Groups, growth, *maxGrowth, passStr(row.Pass))
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if !rep.Gate.Pass || !trafficOK {
+		os.Exit(1)
+	}
+}
+
+// runCell boots one fabric, forms G groups, and measures beat traffic.
+func runCell(nodes, groups int, beat, window, formWait time.Duration) (cellResult, error) {
+	cell := cellResult{Nodes: nodes, Groups: groups, Replicas: 3}
+	f, err := core.NewFabric(core.FabricConfig{
+		NodeCount:    nodes,
+		Seed:         1,
+		BeatInterval: beat,
+	})
+	if err != nil {
+		return cell, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = f.Shutdown(ctx)
+	}()
+
+	formStart := time.Now()
+	grps := make([]*core.Group, 0, groups)
+	for i := 0; i < groups; i++ {
+		g, err := f.AddGroup(core.GroupSpec{Replicas: cell.Replicas})
+		if err != nil {
+			return cell, err
+		}
+		grps = append(grps, g)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), formWait)
+	defer cancel()
+	for _, g := range grps {
+		if err := g.WaitForRolesContext(ctx); err != nil {
+			return cell, fmt.Errorf("group %s never formed: %w", g.ID(), err)
+		}
+	}
+	cell.FormationMS = time.Since(formStart).Milliseconds()
+
+	// Count the bidirectional mux streams: unordered node pairs that
+	// share at least one group.
+	pairs := make(map[string]bool)
+	for _, g := range grps {
+		mn := g.MemberNodes()
+		for i := 0; i < len(mn); i++ {
+			for j := i + 1; j < len(mn); j++ {
+				a, b := mn[i], mn[j]
+				if a > b {
+					a, b = b, a
+				}
+				pairs[a+"|"+b] = true
+			}
+		}
+	}
+	cell.PairStreams = len(pairs)
+
+	names := f.NodeNames()
+	var d0, e0 int64
+	for _, n := range names {
+		tr := f.Transport(n)
+		d0 += tr.DatagramsReceived()
+		e0 += tr.EntriesReceived()
+	}
+	s0 := f.Net.Stats().DatagramsSent.Load()
+	start := time.Now()
+	time.Sleep(window)
+	elapsed := time.Since(start).Seconds()
+
+	var d1, e1 int64
+	for _, n := range names {
+		tr := f.Transport(n)
+		d1 += tr.DatagramsReceived()
+		e1 += tr.EntriesReceived()
+	}
+	s1 := f.Net.Stats().DatagramsSent.Load()
+
+	cell.DatagramsPerSec = float64(d1-d0) / elapsed
+	cell.EntriesPerSec = float64(e1-e0) / elapsed
+	if d1 > d0 {
+		cell.EntriesPerDatagram = float64(e1-e0) / float64(d1-d0)
+	}
+	cell.NetDatagramsSentPerSec = float64(s1-s0) / elapsed
+
+	// Netsim traffic assertion: one datagram per direction per beat
+	// interval on each pair stream. A loaded host only lowers the measured
+	// rate, so the cell asserts just the upper bound (with headroom for
+	// scheduling jitter); exceeding it means beats are not riding per-pair
+	// streams.
+	cell.ExpectedDatagramsPerSec = float64(2*cell.PairStreams) / beat.Seconds()
+	cell.TrafficOK = cell.DatagramsPerSec > 0 &&
+		cell.DatagramsPerSec <= 1.5*cell.ExpectedDatagramsPerSec
+	return cell, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("%d is not positive", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func passStr(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "oftt-fabricbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,8 +47,10 @@ func run(runFor, failAt time.Duration, listen string) error {
 	if err != nil {
 		return err
 	}
-	defer ct.Stop()
-	if err := ct.WaitForRoles(3 * time.Second); err != nil {
+	defer ct.Shutdown(context.Background())
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := ct.WaitForRolesContext(ctx); err != nil {
 		return err
 	}
 	if ct.Monitor == nil {

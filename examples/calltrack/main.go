@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -56,11 +57,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := demoScenario(ct, sc.label, sc.inject); err != nil {
-			ct.Stop()
+		err = demoScenario(ct, sc.label, sc.inject)
+		_ = ct.Shutdown(context.Background())
+		if err != nil {
 			return err
 		}
-		ct.Stop()
 	}
 
 	fmt.Println("all four failures survived — demonstration complete")
@@ -70,7 +71,9 @@ func run() error {
 func demoScenario(ct *oftt.CallTrackDeployment, label string,
 	inject func(*oftt.CallTrackDeployment, string) error) error {
 
-	if err := ct.WaitForRoles(3 * time.Second); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := ct.WaitForRolesContext(ctx); err != nil {
 		return err
 	}
 	primary := ct.Primary().Node.Name()

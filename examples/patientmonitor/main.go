@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -193,7 +194,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer d.Stop()
+	defer d.Shutdown(context.Background())
 
 	// Bedside device controller: vitals with an injected desaturation
 	// episode (SpO2 dips below 90 every cycle).
@@ -222,7 +223,9 @@ func run() error {
 	adapter.Start()
 	defer func() { adapter.Stop(); plc.Stop() }()
 
-	if err := d.WaitForRoles(3 * time.Second); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := d.WaitForRolesContext(ctx); err != nil {
 		return err
 	}
 	primary := d.Primary().Node.Name()

@@ -6,10 +6,10 @@
 // and the deployment's telemetry hub records the whole recovery timeline.
 //
 // It also demonstrates the initialization contract: the toolkit uses the
-// InitializeDeferred/Attach pairing under the hood, which is why Setup
+// InitializeDeferred/AttachContext pairing under the hood, which is why Setup
 // (where RegisterState runs) is guaranteed to finish before the first
 // Activate callback. Applications assembling an FTIM by hand must keep
-// that order themselves: InitializeDeferred, RegisterState, then Attach.
+// that order themselves: InitializeDeferred, RegisterState, then AttachContext.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -40,7 +40,7 @@ type counterApp struct {
 func newCounterApp(node string) *counterApp { return &counterApp{node: node} }
 
 // Setup registers the checkpointable state — the "memory walkthrough".
-// The deployment calls it between InitializeDeferred and Attach, so the
+// The deployment calls it between InitializeDeferred and AttachContext, so the
 // region below is covered by the very first checkpoint.
 func (a *counterApp) Setup(f *oftt.ClientFTIM) error {
 	a.mu.Lock()

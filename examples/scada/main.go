@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -199,7 +200,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer d.Stop()
+	defer d.Shutdown(context.Background())
 
 	// --- Plant floor on the test PC: 2 PLCs, field bus, OPC server ---
 	plantServer := opc.NewServer("Plant.OPC.1")
@@ -241,7 +242,9 @@ func run() error {
 	ad2.Start()
 	defer func() { ad1.Stop(); ad2.Stop(); plc1.Stop(); plc2.Stop() }()
 
-	if err := d.WaitForRoles(3 * time.Second); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := d.WaitForRolesContext(ctx); err != nil {
 		return err
 	}
 	primary := d.Primary().Node.Name()

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -149,8 +150,11 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: build deployment: %w", err)
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(5 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	formCtx, cancelForm := context.WithTimeout(context.Background(), 5*time.Second)
+	err = d.WaitForRolesContext(formCtx)
+	cancelForm()
+	if err != nil {
 		return nil, fmt.Errorf("chaos: pair never formed: %w", err)
 	}
 

@@ -1,0 +1,331 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// FabricConfig parameterizes a multi-group campaign: seeded faults over a
+// core.Fabric hosting many FT groups on a shared node pool, with the
+// per-group analogs of the pair campaign's invariants — every group
+// eventually settles on a single live primary, and no message the fabric
+// diverter accepted is lost.
+type FabricConfig struct {
+	// Seed drives the fabric simulation and the fault schedule.
+	Seed int64
+	// Nodes is the shared pool size (default 5).
+	Nodes int
+	// Groups is how many FT groups to schedule (default 12).
+	Groups int
+	// Replicas is the member count per group (default 3 — the
+	// lease/quorum election path).
+	Replicas int
+	// BeatInterval overrides the fabric beat period (default: fabric
+	// default). Large campaigns raise it to bound mux traffic.
+	BeatInterval time.Duration
+	// Rounds is how many fault/repair cycles to run (default 8).
+	Rounds int
+	// Dwell holds each fault before repairing it (default 60ms).
+	Dwell time.Duration
+	// Settle rests between a repair and the next fault (default 40ms).
+	Settle time.Duration
+	// SampleGroups is how many groups receive diverter traffic for the
+	// no-acked-loss audit (default min(Groups, 8)).
+	SampleGroups int
+	// MessageEvery is the send period across the sampled groups
+	// (default 3ms).
+	MessageEvery time.Duration
+	// QuiesceTimeout bounds the post-campaign wait for every group to
+	// settle (default 10s).
+	QuiesceTimeout time.Duration
+	// DrainBound bounds the final per-group diverter drain (default 5s).
+	DrainBound time.Duration
+}
+
+func (c *FabricConfig) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 5
+	}
+	if c.Groups <= 0 {
+		c.Groups = 12
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 8
+	}
+	if c.Dwell <= 0 {
+		c.Dwell = 60 * time.Millisecond
+	}
+	if c.Settle <= 0 {
+		c.Settle = 40 * time.Millisecond
+	}
+	if c.SampleGroups <= 0 || c.SampleGroups > c.Groups {
+		c.SampleGroups = c.Groups
+		if c.SampleGroups > 8 {
+			c.SampleGroups = 8
+		}
+	}
+	if c.MessageEvery <= 0 {
+		c.MessageEvery = 3 * time.Millisecond
+	}
+	if c.QuiesceTimeout <= 0 {
+		c.QuiesceTimeout = 10 * time.Second
+	}
+	if c.DrainBound <= 0 {
+		c.DrainBound = 5 * time.Second
+	}
+}
+
+// FabricResult is one fabric campaign's outcome.
+type FabricResult struct {
+	Seed       int64
+	Groups     int
+	Faults     []string // executed fault log, in order
+	Sent       int64
+	Delivered  int64
+	Violations []Violation
+}
+
+// Passed reports whether every invariant held.
+func (r *FabricResult) Passed() bool { return len(r.Violations) == 0 }
+
+// fabricFault is one round's injected failure plus its repair.
+type fabricFault struct {
+	desc   string
+	repair func() error
+}
+
+// RunFabric executes one seeded multi-group campaign. Faults are injected
+// one round at a time — inject, dwell, repair, settle — drawn from node
+// kills, blue screens, member-engine kills and hangs, pairwise partitions,
+// and full node isolation. Node faults deliberately hit every group
+// colocated on the victim; that sharing is the fabric's point.
+func RunFabric(cfg FabricConfig) (*FabricResult, error) {
+	cfg.applyDefaults()
+	led := newLedger()
+	f, err := core.NewFabric(core.FabricConfig{
+		NodeCount:    cfg.Nodes,
+		Seed:         cfg.Seed,
+		BeatInterval: cfg.BeatInterval,
+		Ledger:       led,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: build fabric: %w", err)
+	}
+	defer f.Shutdown(context.Background())
+
+	groups := make([]*core.Group, 0, cfg.Groups)
+	for i := 0; i < cfg.Groups; i++ {
+		g, err := f.AddGroup(core.GroupSpec{Replicas: cfg.Replicas})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: add group %d: %w", i, err)
+		}
+		groups = append(groups, g)
+	}
+	res := &FabricResult{Seed: cfg.Seed, Groups: cfg.Groups}
+	if vs := awaitGroupsSettled(f, groups, cfg.QuiesceTimeout); len(vs) > 0 {
+		res.Violations = append(res.Violations,
+			Violation{Invariant: InvSinglePrimary, Detail: "groups never formed: " + vs[0].Detail})
+		return res, nil
+	}
+
+	// Diverter traffic across the sampled groups.
+	var sent atomic.Int64
+	sample := groups[:cfg.SampleGroups]
+	senderStop := make(chan struct{})
+	senderDone := make(chan struct{})
+	go func() {
+		defer close(senderDone)
+		t := time.NewTicker(cfg.MessageEvery)
+		defer t.Stop()
+		n := 0
+		for {
+			select {
+			case <-senderStop:
+				return
+			case <-t.C:
+				n++
+				g := sample[n%len(sample)]
+				if _, err := g.Send([]byte("chaos-" + strconv.Itoa(n))); err == nil {
+					sent.Add(1)
+				}
+			}
+		}
+	}()
+
+	// One fault at a time: inject, dwell, repair, settle. Single
+	// goroutine, so fabric mutations never race each other.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for round := 0; round < cfg.Rounds; round++ {
+		fault := injectFabricFault(f, groups, rng)
+		if fault == nil {
+			continue
+		}
+		res.Faults = append(res.Faults, fault.desc)
+		time.Sleep(cfg.Dwell)
+		if err := fault.repair(); err != nil {
+			res.Violations = append(res.Violations, Violation{
+				Invariant: InvRecoveryBound,
+				Detail:    fmt.Sprintf("repair of %s failed: %v", fault.desc, err),
+			})
+			break
+		}
+		time.Sleep(cfg.Settle)
+	}
+
+	// Final heal: clear partitions, revive any node a repair left down.
+	f.HealNetworks()
+	for _, name := range f.NodeNames() {
+		if n := f.Node(name); n != nil && n.State() != cluster.NodeUp {
+			if err := f.RestartNode(name); err != nil {
+				res.Violations = append(res.Violations, Violation{
+					Invariant: InvRecoveryBound,
+					Detail:    fmt.Sprintf("final restart of %s failed: %v", name, err),
+				})
+			}
+		}
+	}
+
+	// Invariant: every group settles back to one live primary.
+	res.Violations = append(res.Violations, awaitGroupsSettled(f, groups, cfg.QuiesceTimeout)...)
+
+	close(senderStop)
+	<-senderDone
+
+	// Invariant: every accepted message lands once the cluster is healthy.
+	for _, g := range sample {
+		if !f.Div.Drain(g.ID(), cfg.DrainBound) {
+			res.Violations = append(res.Violations, Violation{
+				Invariant: InvNoAckedLoss,
+				Detail:    fmt.Sprintf("group %s did not drain within %v", g.ID(), cfg.DrainBound),
+			})
+		}
+	}
+	res.Violations = append(res.Violations, led.audit()...)
+
+	res.Sent = sent.Load()
+	for _, g := range sample {
+		res.Delivered += g.Delivered()
+	}
+	return res, nil
+}
+
+// injectFabricFault picks and applies one fault; nil when the draw found
+// no applicable target (e.g. no up node to kill).
+func injectFabricFault(f *core.Fabric, groups []*core.Group, rng *rand.Rand) *fabricFault {
+	names := f.NodeNames()
+	up := func() []string {
+		var out []string
+		for _, n := range names {
+			if node := f.Node(n); node != nil && node.State() == cluster.NodeUp {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	// groupOn finds a random group with a member on the node.
+	groupOn := func(node string) *core.Group {
+		var hosted []*core.Group
+		for _, g := range groups {
+			for _, n := range g.MemberNodes() {
+				if n == node {
+					hosted = append(hosted, g)
+					break
+				}
+			}
+		}
+		if len(hosted) == 0 {
+			return nil
+		}
+		return hosted[rng.Intn(len(hosted))]
+	}
+
+	live := up()
+	if len(live) < 2 {
+		return nil
+	}
+	victim := live[rng.Intn(len(live))]
+	switch rng.Intn(6) {
+	case 0: // node power-off
+		f.Node(victim).PowerOff()
+		return &fabricFault{
+			desc:   "kill-node " + victim,
+			repair: func() error { return f.RestartNode(victim) },
+		}
+	case 1: // NT crash
+		f.Node(victim).BlueScreen()
+		return &fabricFault{
+			desc:   "bluescreen " + victim,
+			repair: func() error { return f.RestartNode(victim) },
+		}
+	case 2: // member engine killed
+		g := groupOn(victim)
+		if g == nil {
+			return nil
+		}
+		if err := g.Inject(core.FaultKillEngine, victim); err != nil {
+			return nil
+		}
+		return &fabricFault{
+			desc:   fmt.Sprintf("kill-engine %s@%s", g.ID(), victim),
+			repair: func() error { return g.RestartMember(victim) },
+		}
+	case 3: // member engine hung
+		g := groupOn(victim)
+		if g == nil {
+			return nil
+		}
+		if err := g.Inject(core.FaultHangEngine, victim); err != nil {
+			return nil
+		}
+		return &fabricFault{
+			desc:   fmt.Sprintf("hang-engine %s@%s", g.ID(), victim),
+			repair: func() error { return g.ResumeEngine(victim) },
+		}
+	case 4: // pairwise partition
+		other := live[rng.Intn(len(live))]
+		if other == victim {
+			return nil
+		}
+		f.Partition(victim, other)
+		return &fabricFault{
+			desc:   fmt.Sprintf("partition %s|%s", victim, other),
+			repair: func() error { f.HealNetworks(); return nil },
+		}
+	default: // full isolation
+		f.Isolate(victim)
+		return &fabricFault{
+			desc:   "isolate " + victim,
+			repair: func() error { f.HealNetworks(); return nil },
+		}
+	}
+}
+
+// awaitGroupsSettled waits for every group to hold exactly one live
+// primary, sharing one deadline (groups settle concurrently).
+func awaitGroupsSettled(f *core.Fabric, groups []*core.Group, timeout time.Duration) []Violation {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var out []Violation
+	for _, g := range groups {
+		if err := g.WaitForRolesContext(ctx); err != nil {
+			out = append(out, Violation{
+				Invariant: InvSinglePrimary,
+				Detail:    fmt.Sprintf("group %s: %v", g.ID(), err),
+			})
+		}
+	}
+	return out
+}

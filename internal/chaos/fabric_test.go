@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFabricCampaignFixedSeed is the 3-replica fabric gate: a fixed-seed
+// campaign over a dozen lease-elected groups on a shared 5-node pool.
+// Runs under -short, so `make chaos` exercises the quorum path on every
+// verify.
+func TestFabricCampaignFixedSeed(t *testing.T) {
+	res, err := RunFabric(FabricConfig{
+		Seed:     42,
+		Nodes:    5,
+		Groups:   12,
+		Replicas: 3,
+		Rounds:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("campaign injected no faults")
+	}
+	if !res.Passed() {
+		t.Fatalf("invariant violations after %v:\n%v", res.Faults, res.Violations)
+	}
+	if res.Sent == 0 || res.Delivered < res.Sent {
+		t.Fatalf("acked loss: sent=%d delivered=%d", res.Sent, res.Delivered)
+	}
+	t.Logf("faults=%v sent=%d delivered=%d", res.Faults, res.Sent, res.Delivered)
+}
+
+// TestFabricCampaignPairGroups runs the same campaign over classic
+// 2-replica groups (the paper's negotiate/tie-break protocol) sharing the
+// pool, pinning that the pair path survives the multiplexed transport.
+func TestFabricCampaignPairGroups(t *testing.T) {
+	res, err := RunFabric(FabricConfig{
+		Seed:     7,
+		Nodes:    4,
+		Groups:   8,
+		Replicas: 2,
+		Rounds:   6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Fatalf("invariant violations after %v:\n%v", res.Faults, res.Violations)
+	}
+}
+
+// TestFabricThousandGroups is the scaling acceptance test: a thousand
+// 3-replica groups on an 8-node pool survive a seeded fault campaign with
+// every group back to a single live primary and no acknowledged message
+// lost. Heavy (3000 engines), so it runs in the full suite only.
+func TestFabricThousandGroups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy scaling test; run without -short")
+	}
+	res, err := RunFabric(FabricConfig{
+		Seed:         424242,
+		Nodes:        8,
+		Groups:       1000,
+		Replicas:     3,
+		BeatInterval: 20 * time.Millisecond,
+		Rounds:       4,
+		Dwell:        150 * time.Millisecond,
+		Settle:       100 * time.Millisecond,
+		SampleGroups: 16,
+		MessageEvery: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("campaign injected no faults")
+	}
+	if !res.Passed() {
+		max := len(res.Violations)
+		if max > 10 {
+			max = 10
+		}
+		t.Fatalf("invariant violations after %v (showing %d/%d):\n%v",
+			res.Faults, max, len(res.Violations), res.Violations[:max])
+	}
+	if res.Sent == 0 || res.Delivered < res.Sent {
+		t.Fatalf("acked loss: sent=%d delivered=%d", res.Sent, res.Delivered)
+	}
+	t.Logf("groups=%d faults=%v sent=%d delivered=%d",
+		res.Groups, res.Faults, res.Sent, res.Delivered)
+}

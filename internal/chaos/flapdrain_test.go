@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -43,8 +44,10 @@ func TestLinkFlapDuringMultiShardDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(5 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	rolesCtx, cancelRoles := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelRoles()
+	if err := d.WaitForRolesContext(rolesCtx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -100,7 +103,9 @@ func TestLinkFlapDuringMultiShardDrain(t *testing.T) {
 		f.Stop()
 	}
 	flaky.Store(false)
-	if _, err := d.WaitForPrimary(5 * time.Second); err != nil {
+	healCtx, cancelHeal := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHeal()
+	if _, err := d.WaitForPrimaryContext(healCtx); err != nil {
 		t.Fatalf("no primary after heal: %v", err)
 	}
 

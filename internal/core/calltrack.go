@@ -267,19 +267,19 @@ func NewCallTrackDeployment(cfg CallTrackConfig) (*CallTrackDeployment, error) {
 		Seed:    cfg.Seed + 100,
 	}, ct.TelServer)
 	if err != nil {
-		d.Stop()
+		d.stopAll()
 		return nil, err
 	}
 	ct.Sim = sim
 
 	exp, err := dcom.NewExporter(d.Nets[0], serverAddr)
 	if err != nil {
-		d.Stop()
+		d.stopAll()
 		return nil, err
 	}
 	if err := opc.ExportServer(exp, TelephoneOID, ct.TelServer); err != nil {
 		exp.Close()
-		d.Stop()
+		d.stopAll()
 		return nil, err
 	}
 	ct.telExp = exp
@@ -310,13 +310,14 @@ func (ct *CallTrackDeployment) ActiveTracker() *telephone.Tracker {
 	return c.Tracker
 }
 
-// Stop tears the demo down.
-func (ct *CallTrackDeployment) Stop() {
+// Shutdown tears the demo down, honoring caller cancellation while the
+// teardown finishes in the background.
+func (ct *CallTrackDeployment) Shutdown(ctx context.Context) error {
 	if ct.Sim != nil {
 		ct.Sim.Stop()
 	}
 	if ct.telExp != nil {
 		ct.telExp.Close()
 	}
-	ct.Deployment.Stop()
+	return ct.Deployment.Shutdown(ctx)
 }

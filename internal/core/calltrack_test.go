@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -21,8 +22,8 @@ func newDemo(t *testing.T, mutate func(*CallTrackConfig)) *CallTrackDeployment {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(ct.Stop)
-	if err := ct.WaitForRoles(3 * time.Second); err != nil {
+	t.Cleanup(func() { _ = ct.Shutdown(context.Background()) })
+	if err := waitRoles(ct.Deployment, 3*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	return ct

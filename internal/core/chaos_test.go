@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -92,8 +93,8 @@ func TestChaosConvergence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(5 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	if err := waitRoles(d, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 
@@ -188,7 +189,7 @@ func TestChaosConvergence(t *testing.T) {
 				}
 			}
 		}
-		if err := d.WaitForRoles(10 * time.Second); err != nil {
+		if err := waitRoles(d, 10*time.Second); err != nil {
 			t.Fatalf("round %d: pair did not re-form: %v", round, err)
 		}
 	}

@@ -200,6 +200,9 @@ func NewWithNetworkHook(cfg Config, hook func(*netsim.Network)) (*Deployment, er
 // registry they report into.
 func build(cfg Config, preHook func(*Deployment)) (*Deployment, error) {
 	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	d := &Deployment{
 		cfg:      cfg,
 		replicas: make(map[string]*Replica),
@@ -245,7 +248,7 @@ func build(cfg Config, preHook func(*Deployment)) (*Deployment, error) {
 	for _, node := range []*cluster.Node{d.Node1, d.Node2} {
 		r, err := d.buildReplica(node, false)
 		if err != nil {
-			d.Stop()
+			d.stopAll()
 			return nil, err
 		}
 		d.mu.Lock()
@@ -345,16 +348,6 @@ func (d *Deployment) WaitForPrimaryContext(ctx context.Context) (*Replica, error
 	}
 }
 
-// WaitForPrimary blocks until a primary emerges.
-//
-// Deprecated: use WaitForPrimaryContext, which composes with caller
-// cancellation instead of a bare timeout.
-func (d *Deployment) WaitForPrimary(timeout time.Duration) (*Replica, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return d.WaitForPrimaryContext(ctx)
-}
-
 // WaitForRolesContext blocks until the pair is exactly one primary + one
 // backup, or ctx is done.
 func (d *Deployment) WaitForRolesContext(ctx context.Context) error {
@@ -370,15 +363,6 @@ func (d *Deployment) WaitForRolesContext(ctx context.Context) error {
 		case <-tick.C:
 		}
 	}
-}
-
-// WaitForRoles blocks until the pair is exactly one primary + one backup.
-//
-// Deprecated: use WaitForRolesContext.
-func (d *Deployment) WaitForRoles(timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	return d.WaitForRolesContext(ctx)
 }
 
 func (d *Deployment) roleSummary() map[string]string {
@@ -412,11 +396,6 @@ func (d *Deployment) Shutdown(ctx context.Context) error {
 		return ctx.Err()
 	}
 }
-
-// Stop tears the whole deployment down, blocking until finished.
-//
-// Deprecated: use Shutdown, which honors caller cancellation.
-func (d *Deployment) Stop() { _ = d.Shutdown(context.Background()) }
 
 func (d *Deployment) stopAll() {
 	d.mu.Lock()

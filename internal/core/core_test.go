@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -94,8 +95,8 @@ func testDeployment(t *testing.T, mutate func(*Config)) (*Deployment, map[string
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(d.Stop)
-	if err := d.WaitForRoles(3 * time.Second); err != nil {
+	t.Cleanup(stopNow(d))
+	if err := waitRoles(d, 3*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	return d, apps
@@ -404,8 +405,8 @@ func TestDeploymentWithoutApp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(3 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	if err := waitRoles(d, 3*time.Second); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,791 @@
+// Fabric is the multi-group redesign of the core API: one simulated
+// cluster scheduling many independent FT groups across a shared node
+// pool. Where Deployment is the paper's Figure 3 — exactly two nodes,
+// one replicated application — a Fabric hosts thousands of groups on a
+// handful of machines:
+//
+//   - Every pool node runs one fabric agent owning one heartbeat socket
+//     and one DCOM exporter (engine.NodeTransport). Group members on the
+//     node share them; beat traffic is multiplexed per node *pair*, so
+//     datagram rate scales with the pool, not the group count.
+//   - Groups with three or more replicas elect their primary through the
+//     engine's lease/quorum path; 2-replica groups keep the paper's
+//     negotiate/tie-break pair protocol.
+//   - Each group gets its own diverter route, so outside traffic
+//     addressed to the group follows its primary across switchovers.
+//
+// Deployment remains the ergonomic two-node view; Fabric is the API for
+// hosting many logical execution units behind one simulated cluster.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/diverter"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// Fabric errors.
+var (
+	// ErrNoSuchGroup is returned for lookups of unknown group IDs.
+	ErrNoSuchGroup = errors.New("core: no such group")
+
+	// ErrFabricStopped is returned for operations on a shut-down fabric.
+	ErrFabricStopped = errors.New("core: fabric stopped")
+
+	// ErrFaultUnsupported is returned for fault kinds a fabric group
+	// cannot inject (application faults — fabric groups run no app).
+	ErrFaultUnsupported = errors.New("core: fault unsupported for fabric group")
+)
+
+// FabricConfig parameterizes a fabric.
+type FabricConfig struct {
+	// Nodes names the shared machine pool. Empty generates NodeCount
+	// names ("n1", "n2", ...).
+	Nodes []string
+	// NodeCount sizes the generated pool when Nodes is empty (default 4).
+	NodeCount int
+	// Seed drives all simulation randomness.
+	Seed int64
+
+	// BeatInterval is the per-node-pair mux beat period (default 5ms —
+	// the CI-friendly scale the pair deployment also uses).
+	BeatInterval time.Duration
+	// PeerTimeout declares a member dead after this much silence
+	// (default 6x beat).
+	PeerTimeout time.Duration
+	// RPCTimeout bounds group control calls (default 200ms).
+	RPCTimeout time.Duration
+	// DiverterRetry is the diverter redelivery interval (default 10ms).
+	DiverterRetry time.Duration
+
+	// Ledger, when set, observes every fabric diverter message's
+	// lifecycle (chaos campaigns audit it for acknowledged-loss).
+	Ledger diverter.LedgerHook
+}
+
+func (c *FabricConfig) applyDefaults() {
+	if len(c.Nodes) == 0 {
+		if c.NodeCount <= 0 {
+			c.NodeCount = 4
+		}
+		for i := 0; i < c.NodeCount; i++ {
+			c.Nodes = append(c.Nodes, fmt.Sprintf("n%d", i+1))
+		}
+	}
+	c.NodeCount = len(c.Nodes)
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BeatInterval <= 0 {
+		c.BeatInterval = 5 * time.Millisecond
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 6 * c.BeatInterval
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 200 * time.Millisecond
+	}
+	if c.DiverterRetry <= 0 {
+		c.DiverterRetry = 10 * time.Millisecond
+	}
+}
+
+// GroupSpec describes one FT group to schedule onto the fabric.
+type GroupSpec struct {
+	// ID names the group; it is also the group's diverter address.
+	// Empty auto-assigns "g1", "g2", ...
+	ID string
+	// Nodes pins the group's members to specific pool nodes. Empty lets
+	// the fabric place Replicas members round-robin across the pool.
+	Nodes []string
+	// Replicas is the member count for fabric-placed groups (default 2).
+	// Two members keep the pair protocol; three or more elect by lease.
+	Replicas int
+	// LeaseDuration bounds a quorum-elected primary's role without
+	// majority contact (default: the fabric's PeerTimeout).
+	LeaseDuration time.Duration
+	// Handler, when set, consumes diverter messages on the primary
+	// member's node. Nil acknowledges and drops (delivery accounting
+	// only).
+	Handler func(node string, body []byte) error
+}
+
+// Fabric is a running multi-group cluster.
+type Fabric struct {
+	cfg FabricConfig
+
+	// Net is the pool's shared Ethernet segment.
+	Net *netsim.Network
+	// Telemetry is the fabric-wide observability hub.
+	Telemetry *telemetry.Hub
+	// Div routes outside traffic to each group's primary.
+	Div *diverter.Diverter
+
+	mu         sync.Mutex
+	order      []string
+	nodes      map[string]*cluster.Node
+	transports map[string]*engine.NodeTransport
+	agents     map[string]*cluster.Process
+	groups     map[string]*Group
+	cursor     int
+	autoID     int
+	stopped    bool
+}
+
+// NewFabric builds a fabric: the node pool, one started transport agent
+// per node, the telemetry hub, and the diverter. Groups are added with
+// AddGroup.
+func NewFabric(cfg FabricConfig) (*Fabric, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fabric{
+		cfg:        cfg,
+		Net:        netsim.New("fabric0", cfg.Seed),
+		Telemetry:  telemetry.NewHub(4096),
+		nodes:      make(map[string]*cluster.Node),
+		transports: make(map[string]*engine.NodeTransport),
+		agents:     make(map[string]*cluster.Process),
+		groups:     make(map[string]*Group),
+	}
+	reg := f.Telemetry.Metrics()
+	f.Div = diverter.New(diverter.Config{
+		RetryInterval: cfg.DiverterRetry,
+		Seed:          cfg.Seed,
+		Ledger:        cfg.Ledger,
+		Instruments: diverter.Instruments{
+			QueueDepth:  reg.Gauge("oftt_fabric_diverter_queue_depth"),
+			Delivered:   reg.Counter("oftt_fabric_diverter_delivered_total"),
+			Redelivered: reg.Counter("oftt_fabric_diverter_redelivered_total"),
+			Dropped:     reg.Counter("oftt_fabric_diverter_dropped_total"),
+		},
+	})
+	f.Telemetry.AddCollector(netCollector(f.Net))
+
+	for i, name := range cfg.Nodes {
+		node := cluster.NewNode(name, cfg.Seed+20+int64(i), f.Net)
+		f.nodes[name] = node
+		f.order = append(f.order, name)
+		if err := f.startAgent(node); err != nil {
+			f.teardown()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// startAgent boots one node's shared fabric plumbing: the agent process
+// and the NodeTransport bound to it. Caller holds no fabric state yet or
+// holds f.mu (both uses are single-writer).
+func (f *Fabric) startAgent(node *cluster.Node) error {
+	proc, err := node.StartProcess("oftt-fabric", func(stop <-chan struct{}) { <-stop })
+	if err != nil {
+		return fmt.Errorf("core: start fabric agent on %s: %w", node.Name(), err)
+	}
+	tr := engine.NewNodeTransport(node, engine.TransportConfig{
+		BeatInterval: f.cfg.BeatInterval,
+		RPCTimeout:   f.cfg.RPCTimeout,
+	})
+	if err := tr.Start(proc); err != nil {
+		proc.Stop()
+		return fmt.Errorf("core: start fabric transport on %s: %w", node.Name(), err)
+	}
+	proc.OnKill(tr.Stop)
+	f.transports[node.Name()] = tr
+	f.agents[node.Name()] = proc
+	return nil
+}
+
+// NodeNames returns the pool's machine names in configuration order.
+func (f *Fabric) NodeNames() []string {
+	return append([]string(nil), f.cfg.Nodes...)
+}
+
+// Node looks up a pool node.
+func (f *Fabric) Node(name string) *cluster.Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodes[name]
+}
+
+// Transport exposes one node's shared transport (traffic counters for
+// scaling assertions).
+func (f *Fabric) Transport(name string) *engine.NodeTransport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.transports[name]
+}
+
+// Group looks up a running group by ID.
+func (f *Fabric) Group(id string) *Group {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.groups[id]
+}
+
+// Groups returns every running group.
+func (f *Fabric) Groups() []*Group {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Group, 0, len(f.groups))
+	for _, g := range f.groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// AddGroup validates and schedules one group onto the pool, builds a
+// member engine per placement node over the shared transports, and
+// installs the group's diverter route.
+func (f *Fabric) AddGroup(spec GroupSpec) (*Group, error) {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return nil, ErrFabricStopped
+	}
+	if err := f.validateSpec(&spec); err != nil {
+		f.mu.Unlock()
+		return nil, err
+	}
+	if spec.ID == "" {
+		f.autoID++
+		spec.ID = fmt.Sprintf("g%d", f.autoID)
+		if _, taken := f.groups[spec.ID]; taken {
+			f.mu.Unlock()
+			return nil, cfgErr("ID", ErrDuplicateGroup, spec.ID+" (auto)")
+		}
+	}
+	if spec.LeaseDuration <= 0 {
+		spec.LeaseDuration = f.cfg.PeerTimeout
+	}
+	placement := append([]string(nil), spec.Nodes...)
+	if len(placement) == 0 {
+		// Shingled round-robin: consecutive groups overlap node sets, so
+		// every pair of pool nodes ends up sharing groups (and thus one
+		// mux beat stream).
+		if spec.Replicas == 0 {
+			spec.Replicas = 2
+		}
+		for i := 0; i < spec.Replicas; i++ {
+			placement = append(placement, f.order[(f.cursor+i)%len(f.order)])
+		}
+		f.cursor = (f.cursor + 1) % len(f.order)
+	}
+	g := &Group{f: f, spec: spec, nodes: placement, members: make(map[string]*engine.Engine)}
+	f.groups[spec.ID] = g
+	f.mu.Unlock()
+
+	for i, name := range placement {
+		if err := g.startMember(name, i == 0); err != nil {
+			_ = g.Shutdown(context.Background())
+			return nil, err
+		}
+	}
+	f.Div.SetRoute(spec.ID, g.deliver)
+	return g, nil
+}
+
+// memberConfig builds the engine config for one member of a group.
+// Caller must not hold g.mu (reads only immutable spec/placement).
+func (g *Group) memberConfig(nodeName string, preferred bool) engine.Config {
+	var peers []string
+	for _, n := range g.nodes {
+		if n != nodeName {
+			peers = append(peers, n)
+		}
+	}
+	return engine.Config{
+		GroupID:           g.spec.ID,
+		Peers:             peers,
+		HeartbeatInterval: g.f.cfg.BeatInterval,
+		PeerTimeout:       g.f.cfg.PeerTimeout,
+		LeaseDuration:     g.spec.LeaseDuration,
+		RPCTimeout:        g.f.cfg.RPCTimeout,
+		Transport:         g.f.Transport(nodeName),
+		Preferred:         preferred,
+		Startup: engine.StartupPolicy{
+			Retries:       20,
+			RetryInterval: 10 * time.Millisecond,
+			Alone:         engine.AloneBecomePrimary,
+		},
+		Metrics: g.f.Telemetry.Metrics(),
+	}
+}
+
+// startMember constructs and starts one member engine on a node.
+func (g *Group) startMember(nodeName string, preferred bool) error {
+	node := g.f.Node(nodeName)
+	tr := g.f.Transport(nodeName)
+	if node == nil || tr == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	e, err := engine.NewWithError(node, g.memberConfig(nodeName, preferred),
+		&groupSink{hub: g.f.Telemetry, group: g.spec.ID})
+	if err != nil {
+		return fmt.Errorf("core: group %s member on %s: %w", g.spec.ID, nodeName, err)
+	}
+	if err := e.Start(g.f.agent(nodeName)); err != nil {
+		return fmt.Errorf("core: start group %s member on %s: %w", g.spec.ID, nodeName, err)
+	}
+	g.mu.Lock()
+	g.members[nodeName] = e
+	g.mu.Unlock()
+	return nil
+}
+
+func (f *Fabric) agent(nodeName string) *cluster.Process {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.agents[nodeName]
+}
+
+// RestartNode power-cycles a failed pool node back into service: reboot
+// the machine, rebuild its fabric agent and transport, and re-create
+// every group member it hosts (each rejoins its group as a backup, or
+// re-elects if the group lost its primary).
+func (f *Fabric) RestartNode(name string) error {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return ErrFabricStopped
+	}
+	node := f.nodes[name]
+	oldTr := f.transports[name]
+	oldAgent := f.agents[name]
+	var hosted []*Group
+	for _, g := range f.groups {
+		if g.hasMember(name) {
+			hosted = append(hosted, g)
+		}
+	}
+	f.mu.Unlock()
+	if node == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, name)
+	}
+
+	// Silence the remnants: member engines first (they unregister from
+	// the dying transport), then the transport and agent process.
+	for _, g := range hosted {
+		if e := g.Member(name); e != nil {
+			e.Stop()
+		}
+	}
+	if oldTr != nil {
+		oldTr.Stop()
+	}
+	if oldAgent != nil {
+		oldAgent.Stop()
+	}
+
+	node.Boot()
+	f.mu.Lock()
+	if err := f.startAgent(node); err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	f.mu.Unlock()
+
+	for _, g := range hosted {
+		preferred := len(g.nodes) > 0 && g.nodes[0] == name
+		if err := g.startMember(name, preferred); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partition cuts all traffic between two pool nodes, both directions.
+func (f *Fabric) Partition(a, b string) {
+	f.Net.PartitionPrefix(a+":", b+":")
+}
+
+// PartitionOneWay cuts traffic from one pool node toward another while
+// the reverse direction keeps flowing.
+func (f *Fabric) PartitionOneWay(from, to string) {
+	f.Net.PartitionPrefixOneWay(from+":", to+":")
+}
+
+// Isolate cuts a node off from every other pool node, both directions.
+func (f *Fabric) Isolate(name string) {
+	for _, other := range f.NodeNames() {
+		if other != name {
+			f.Net.PartitionPrefix(name+":", other+":")
+		}
+	}
+}
+
+// HealNetworks removes every partition and clears loss/latency.
+func (f *Fabric) HealNetworks() {
+	f.Net.HealAll()
+	f.Net.SetLoss(0)
+	f.Net.SetLatency(0, 0)
+}
+
+// Shutdown tears the fabric down: every group, every transport, the
+// diverter. If ctx expires first it returns ctx.Err() while teardown
+// finishes in the background.
+func (f *Fabric) Shutdown(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.stopAll()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (f *Fabric) stopAll() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	groups := make([]*Group, 0, len(f.groups))
+	for _, g := range f.groups {
+		groups = append(groups, g)
+	}
+	f.mu.Unlock()
+	for _, g := range groups {
+		g.stopMembers()
+	}
+	f.teardown()
+}
+
+func (f *Fabric) teardown() {
+	f.Div.Stop()
+	f.mu.Lock()
+	trs := make([]*engine.NodeTransport, 0, len(f.transports))
+	for _, tr := range f.transports {
+		trs = append(trs, tr)
+	}
+	agents := make([]*cluster.Process, 0, len(f.agents))
+	for _, p := range f.agents {
+		agents = append(agents, p)
+	}
+	f.mu.Unlock()
+	for _, tr := range trs {
+		tr.Stop()
+	}
+	for _, p := range agents {
+		p.Stop()
+	}
+}
+
+// Group is one FT group's view of the fabric: the thin per-group handle
+// exposing the Deployment-shaped surface (Primary, WaitForRolesContext,
+// Send, Inject, Shutdown).
+type Group struct {
+	f     *Fabric
+	spec  GroupSpec
+	nodes []string // placement, fixed at AddGroup
+
+	mu      sync.Mutex
+	members map[string]*engine.Engine
+	stopped bool
+
+	delivered atomic.Int64
+}
+
+// ID returns the group's name (also its diverter address).
+func (g *Group) ID() string { return g.spec.ID }
+
+// MemberNodes returns the group's placement in preference order.
+func (g *Group) MemberNodes() []string { return append([]string(nil), g.nodes...) }
+
+// Member returns the group's engine on one node (nil if none).
+func (g *Group) Member(node string) *engine.Engine {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.members[node]
+}
+
+// Members returns every member engine keyed by node name.
+func (g *Group) Members() map[string]*engine.Engine {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]*engine.Engine, len(g.members))
+	for n, e := range g.members {
+		out[n] = e
+	}
+	return out
+}
+
+func (g *Group) hasMember(node string) bool {
+	for _, n := range g.nodes {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Primary returns the member engine currently holding the primary role
+// on a live node, or nil. A dead machine's member still reports its last
+// role (nothing is running there to change it), so down nodes are
+// excluded — the group's real primary is whoever the survivors elected.
+func (g *Group) Primary() *engine.Engine {
+	for n, e := range g.Members() {
+		if node := g.f.Node(n); node == nil || node.State() != cluster.NodeUp {
+			continue
+		}
+		if e.Role() == engine.RolePrimary {
+			return e
+		}
+	}
+	return nil
+}
+
+// PrimaryNode returns the primary member's node name ("" when none).
+func (g *Group) PrimaryNode() string {
+	if p := g.Primary(); p != nil {
+		return p.Node()
+	}
+	return ""
+}
+
+// Roles returns every member's current role keyed by node name.
+func (g *Group) Roles() map[string]engine.Role {
+	out := make(map[string]engine.Role, len(g.nodes))
+	for n, e := range g.Members() {
+		out[n] = e.Role()
+	}
+	return out
+}
+
+// settled reports whether the group holds exactly one primary with every
+// other live member a backup (a member on a downed node is not required
+// to hold a role).
+func (g *Group) settled() bool {
+	primaries, backups, live := 0, 0, 0
+	for n, e := range g.Members() {
+		node := g.f.Node(n)
+		if node == nil || node.State() != cluster.NodeUp {
+			continue
+		}
+		switch e.Role() {
+		case engine.RolePrimary:
+			primaries++
+			live++
+		case engine.RoleBackup:
+			backups++
+			live++
+		case engine.RoleNegotiating:
+			live++
+		}
+	}
+	return primaries == 1 && backups == live-1
+}
+
+// WaitForRolesContext blocks until the group settles on exactly one
+// primary with every other live member a backup, or ctx is done.
+func (g *Group) WaitForRolesContext(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if g.settled() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: group %s roles %v", ErrNoPrimary, g.spec.ID, g.Roles())
+		case <-tick.C:
+		}
+	}
+}
+
+// WaitForPrimaryContext blocks until some member is primary, or ctx is
+// done, and returns that member.
+func (g *Group) WaitForPrimaryContext(ctx context.Context) (*engine.Engine, error) {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if p := g.Primary(); p != nil {
+			return p, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: group %s: %v", ErrNoPrimary, g.spec.ID, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// Send routes a message to the group through the fabric's diverter: it
+// is delivered to whichever member is primary, surviving switchovers
+// with store-and-forward retry.
+func (g *Group) Send(body []byte) (string, error) {
+	return g.f.Div.Send(g.spec.ID, body)
+}
+
+// Delivered reports how many diverter messages the group has accepted.
+func (g *Group) Delivered() int64 { return g.delivered.Load() }
+
+// deliver hands one diverter message to the group's current primary.
+// Failure (no primary, node down) makes the diverter retry — the
+// "message sent during a switchover" case, per group.
+func (g *Group) deliver(msg diverter.Message) error {
+	p := g.Primary()
+	if p == nil {
+		return fmt.Errorf("core: group %s has no live primary", g.spec.ID)
+	}
+	if g.spec.Handler != nil {
+		if err := g.spec.Handler(p.Node(), msg.Body); err != nil {
+			return err
+		}
+	}
+	g.delivered.Add(1)
+	return nil
+}
+
+// Inject applies one fault kind to one of the group's member nodes.
+// Node-level faults (kill-node, bluescreen) take the whole machine down,
+// affecting every group hosted there — that is the fabric's sharing
+// model, not a bug. Application faults are unsupported (fabric groups
+// run engines only).
+func (g *Group) Inject(kind FaultKind, nodeName string) error {
+	if !g.hasMember(nodeName) {
+		return fmt.Errorf("%w: %s (group %s)", ErrNoSuchNode, nodeName, g.spec.ID)
+	}
+	switch kind {
+	case FaultKillNode:
+		node := g.f.Node(nodeName)
+		if node == nil {
+			return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+		}
+		node.PowerOff()
+		return nil
+	case FaultBlueScreen:
+		node := g.f.Node(nodeName)
+		if node == nil {
+			return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+		}
+		node.BlueScreen()
+		return nil
+	case FaultKillEngine:
+		e := g.Member(nodeName)
+		if e == nil {
+			return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+		}
+		// An abrupt member death: the engine goes silent; peers elect or
+		// take over. RestartMember rebuilds it.
+		e.Stop()
+		return nil
+	case FaultHangEngine:
+		e := g.Member(nodeName)
+		if e == nil {
+			return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+		}
+		e.SuspendBeats()
+		return nil
+	default:
+		return fmt.Errorf("%w: %s", ErrFaultUnsupported, kind)
+	}
+}
+
+// ResumeEngine unwedges a member hung by Inject(FaultHangEngine, node).
+func (g *Group) ResumeEngine(nodeName string) error {
+	e := g.Member(nodeName)
+	if e == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchNode, nodeName)
+	}
+	e.ResumeBeats()
+	return nil
+}
+
+// RestartMember rebuilds a dead member (after FaultKillEngine) on a live
+// node; it rejoins the group as a backup.
+func (g *Group) RestartMember(nodeName string) error {
+	if !g.hasMember(nodeName) {
+		return fmt.Errorf("%w: %s (group %s)", ErrNoSuchNode, nodeName, g.spec.ID)
+	}
+	node := g.f.Node(nodeName)
+	if node == nil || node.State() != cluster.NodeUp {
+		return fmt.Errorf("core: node %s is not up", nodeName)
+	}
+	if e := g.Member(nodeName); e != nil {
+		e.Stop()
+	}
+	return g.startMember(nodeName, len(g.nodes) > 0 && g.nodes[0] == nodeName)
+}
+
+// Shutdown removes the group from the fabric: clears its diverter route
+// and stops every member. If ctx expires first it returns ctx.Err()
+// while teardown finishes in the background.
+func (g *Group) Shutdown(ctx context.Context) error {
+	g.f.mu.Lock()
+	if g.f.groups[g.spec.ID] == g {
+		delete(g.f.groups, g.spec.ID)
+	}
+	g.f.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.stopMembers()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *Group) stopMembers() {
+	g.mu.Lock()
+	if g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	g.stopped = true
+	members := make([]*engine.Engine, 0, len(g.members))
+	for _, e := range g.members {
+		members = append(members, e)
+	}
+	g.mu.Unlock()
+	g.f.Div.ClearRoute(g.spec.ID)
+	for _, e := range members {
+		e.Stop()
+	}
+}
+
+// groupSink labels every member engine's telemetry with its group so a
+// thousand engines sharing one hub stay distinguishable: component
+// "oftt-engine" becomes "oftt-engine@<group>".
+type groupSink struct {
+	hub   *telemetry.Hub
+	group string
+}
+
+func (s *groupSink) label(component string) string { return component + "@" + s.group }
+
+func (s *groupSink) ReportStatus(st telemetry.Status) {
+	st.Component = s.label(st.Component)
+	s.hub.ReportStatus(st)
+}
+
+func (s *groupSink) Emit(e telemetry.Event) {
+	e.Component = s.label(e.Component)
+	s.hub.Emit(e)
+}
+
+func (s *groupSink) RecordSpan(ev telemetry.SpanEvent) {
+	ev.Component = s.label(ev.Component)
+	s.hub.RecordSpan(ev)
+}
+
+func (s *groupSink) PushMetrics(b telemetry.MetricBatch) { s.hub.PushMetrics(b) }

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+func newTestFabric(t *testing.T, cfg FabricConfig) *Fabric {
+	t.Helper()
+	f, err := NewFabric(cfg)
+	if err != nil {
+		t.Fatalf("NewFabric: %v", err)
+	}
+	t.Cleanup(func() { _ = f.Shutdown(context.Background()) })
+	return f
+}
+
+func waitGroup(t *testing.T, g *Group, timeout time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := g.WaitForRolesContext(ctx); err != nil {
+		t.Fatalf("group %s never settled: %v", g.ID(), err)
+	}
+}
+
+// TestFabricTwoGroups is the README quickstart shape: one pair group and
+// one trio group sharing a 4-node pool, each independently electing a
+// primary and receiving its own diverter traffic.
+func TestFabricTwoGroups(t *testing.T) {
+	f := newTestFabric(t, FabricConfig{NodeCount: 4, Seed: 7})
+
+	pair, err := f.AddGroup(GroupSpec{ID: "pair", Nodes: []string{"n1", "n2"}})
+	if err != nil {
+		t.Fatalf("AddGroup pair: %v", err)
+	}
+	trio, err := f.AddGroup(GroupSpec{ID: "trio", Nodes: []string{"n2", "n3", "n4"}})
+	if err != nil {
+		t.Fatalf("AddGroup trio: %v", err)
+	}
+	waitGroup(t, pair, 5*time.Second)
+	waitGroup(t, trio, 5*time.Second)
+
+	// The handles are the lookup surface.
+	if f.Group("pair") != pair || f.Group("trio") != trio {
+		t.Fatalf("Group() lookup mismatch")
+	}
+	// A pair keeps the tie-break protocol; a trio elects by lease.
+	if term := pair.Primary().LeaseTerm(); term != 0 {
+		t.Fatalf("pair group opened lease term %d", term)
+	}
+	if term := trio.Primary().LeaseTerm(); term == 0 {
+		t.Fatalf("trio group never opened a lease term")
+	}
+
+	// Per-group diverter traffic lands on each group's own primary.
+	for i := 0; i < 5; i++ {
+		if _, err := pair.Send([]byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatalf("pair send: %v", err)
+		}
+		if _, err := trio.Send([]byte(fmt.Sprintf("t%d", i))); err != nil {
+			t.Fatalf("trio send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && (pair.Delivered() < 5 || trio.Delivered() < 5) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if pair.Delivered() < 5 || trio.Delivered() < 5 {
+		t.Fatalf("deliveries: pair=%d trio=%d, want 5 each", pair.Delivered(), trio.Delivered())
+	}
+}
+
+// TestFabricAutoPlacement lets the fabric place groups round-robin and
+// auto-assign IDs.
+func TestFabricAutoPlacement(t *testing.T) {
+	f := newTestFabric(t, FabricConfig{NodeCount: 3, Seed: 3})
+	var groups []*Group
+	for i := 0; i < 3; i++ {
+		g, err := f.AddGroup(GroupSpec{Replicas: 2})
+		if err != nil {
+			t.Fatalf("AddGroup #%d: %v", i, err)
+		}
+		groups = append(groups, g)
+	}
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if seen[g.ID()] {
+			t.Fatalf("duplicate auto ID %s", g.ID())
+		}
+		seen[g.ID()] = true
+		if len(g.MemberNodes()) != 2 {
+			t.Fatalf("group %s placed on %v, want 2 nodes", g.ID(), g.MemberNodes())
+		}
+		waitGroup(t, g, 5*time.Second)
+	}
+	// Shingled placement: three 2-replica groups on a 3-node pool must
+	// not all land on the same node pair.
+	first := fmt.Sprint(groups[0].MemberNodes())
+	diverse := false
+	for _, g := range groups[1:] {
+		if fmt.Sprint(g.MemberNodes()) != first {
+			diverse = true
+		}
+	}
+	if !diverse {
+		t.Fatalf("all groups placed identically: %s", first)
+	}
+}
+
+// TestFabricNodeLossAndRestart takes down a node hosting a trio group's
+// primary: the survivors elect a replacement, and RestartNode brings the
+// machine (and its member) back as a backup.
+func TestFabricNodeLossAndRestart(t *testing.T) {
+	f := newTestFabric(t, FabricConfig{NodeCount: 3, Seed: 11})
+	g, err := f.AddGroup(GroupSpec{ID: "g", Nodes: []string{"n1", "n2", "n3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitGroup(t, g, 5*time.Second)
+	victim := g.PrimaryNode()
+
+	if err := g.Inject(FaultKillNode, victim); err != nil {
+		t.Fatalf("kill node: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p := g.Primary(); p != nil && p.Node() != victim {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	p := g.Primary()
+	if p == nil || p.Node() == victim {
+		t.Fatalf("no replacement primary after node loss (primary=%v)", g.PrimaryNode())
+	}
+
+	if err := f.RestartNode(victim); err != nil {
+		t.Fatalf("RestartNode: %v", err)
+	}
+	waitGroup(t, g, 5*time.Second)
+	if got := g.Member(victim).Role(); got != engine.RoleBackup {
+		t.Fatalf("restarted member role %s, want BACKUP", got)
+	}
+}
+
+// TestFabricKillEngineRestartMember kills one member engine (middleware
+// failure) without touching its node; the group recovers and the member
+// is rebuilt in place.
+func TestFabricKillEngineRestartMember(t *testing.T) {
+	f := newTestFabric(t, FabricConfig{NodeCount: 3, Seed: 13})
+	g, err := f.AddGroup(GroupSpec{ID: "g", Nodes: []string{"n1", "n2", "n3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitGroup(t, g, 5*time.Second)
+	victim := g.PrimaryNode()
+
+	if err := g.Inject(FaultKillEngine, victim); err != nil {
+		t.Fatalf("kill engine: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p := g.Primary(); p != nil && p.Node() != victim {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if p := g.Primary(); p == nil || p.Node() == victim {
+		t.Fatalf("no replacement primary after engine kill")
+	}
+	if err := g.RestartMember(victim); err != nil {
+		t.Fatalf("RestartMember: %v", err)
+	}
+	waitGroup(t, g, 5*time.Second)
+}
+
+// TestFabricBeatMultiplexing is the netsim traffic assertion: adding
+// more groups to a fixed node pair must not add beat datagrams — only
+// entries per datagram. Beat streams are per node pair, not per group.
+func TestFabricBeatMultiplexing(t *testing.T) {
+	measure := func(groups int) (datagrams, entries int64) {
+		f, err := NewFabric(FabricConfig{NodeCount: 2, Seed: int64(100 + groups)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = f.Shutdown(context.Background()) }()
+		for i := 0; i < groups; i++ {
+			g, err := f.AddGroup(GroupSpec{Nodes: []string{"n1", "n2"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			err = g.WaitForRolesContext(ctx)
+			cancel()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		tr := f.Transport("n1")
+		d0, e0 := tr.DatagramsReceived(), tr.EntriesReceived()
+		time.Sleep(300 * time.Millisecond)
+		return tr.DatagramsReceived() - d0, tr.EntriesReceived() - e0
+	}
+
+	d1, e1 := measure(1)
+	d8, e8 := measure(8)
+	if d1 == 0 || e8 == 0 {
+		t.Fatalf("no beat traffic observed (d1=%d e8=%d)", d1, e8)
+	}
+	// Entries scale with groups; datagrams must not (same pair, same beat
+	// clock). Allow 2x slack for scheduling noise.
+	if d8 > 2*d1 {
+		t.Fatalf("beat datagrams scaled with groups: %d (8 groups) vs %d (1 group)", d8, d1)
+	}
+	if e8 < 4*e1 {
+		t.Fatalf("entries did not scale with groups: %d (8 groups) vs %d (1 group)", e8, e1)
+	}
+}
+
+// TestFabricSendSurvivesSwitchover: traffic accepted before a primary
+// loss is redelivered to the replacement (per-group no-acked-loss).
+func TestFabricSendSurvivesSwitchover(t *testing.T) {
+	f := newTestFabric(t, FabricConfig{NodeCount: 3, Seed: 17})
+	g, err := f.AddGroup(GroupSpec{ID: "g", Nodes: []string{"n1", "n2", "n3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitGroup(t, g, 5*time.Second)
+	victim := g.PrimaryNode()
+	f.Isolate(victim)
+
+	// Send while the group is (about to be) headless: the diverter holds
+	// and retries until the replacement takes over.
+	for i := 0; i < 10; i++ {
+		if _, err := g.Send([]byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && g.Delivered() < 10 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if g.Delivered() < 10 {
+		t.Fatalf("delivered %d of 10 after switchover", g.Delivered())
+	}
+	f.HealNetworks()
+}
+
+// TestFabricValidation drives the typed spec errors.
+func TestFabricValidation(t *testing.T) {
+	if _, err := NewFabric(FabricConfig{Nodes: []string{"a", "a"}}); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("dup pool node: got %v", err)
+	}
+	if _, err := NewFabric(FabricConfig{Nodes: []string{"a"}}); !errors.Is(err, ErrTooFewReplicas) {
+		t.Fatalf("one-node pool: got %v", err)
+	}
+	// Validate is strict on explicit configs; the NewFabric path defaults
+	// non-positive intervals first (zero means default, like the engine).
+	bad := FabricConfig{Nodes: []string{"a", "b"}, PeerTimeout: 30 * time.Millisecond,
+		RPCTimeout: 200 * time.Millisecond}
+	if err := bad.Validate(); !errors.Is(err, ErrBadTimeout) {
+		t.Fatalf("zero beat interval: got %v", err)
+	}
+
+	f := newTestFabric(t, FabricConfig{NodeCount: 3, Seed: 19})
+	cases := []struct {
+		name string
+		spec GroupSpec
+		want error
+	}{
+		{"one replica", GroupSpec{Replicas: 1}, ErrTooFewReplicas},
+		{"too many replicas", GroupSpec{Replicas: 4}, ErrTooFewReplicas},
+		{"unknown node", GroupSpec{Nodes: []string{"n1", "nope"}}, ErrUnknownNode},
+		{"duplicate placement", GroupSpec{Nodes: []string{"n1", "n1"}}, ErrDuplicateNode},
+		{"single placement", GroupSpec{Nodes: []string{"n1"}}, ErrTooFewReplicas},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := f.AddGroup(tc.spec)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("AddGroup(%+v) = %v, want %v", tc.spec, err, tc.want)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %T is not *ConfigError", err)
+			}
+		})
+	}
+	if _, err := f.AddGroup(GroupSpec{ID: "dup", Replicas: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddGroup(GroupSpec{ID: "dup", Replicas: 2}); !errors.Is(err, ErrDuplicateGroup) {
+		t.Fatalf("duplicate group id: got %v", err)
+	}
+}
+
+// TestFabricGroupTelemetryLabels: member engines report under
+// group-qualified component names, so groups sharing a hub stay
+// distinguishable on the dashboard.
+func TestFabricGroupTelemetryLabels(t *testing.T) {
+	f := newTestFabric(t, FabricConfig{NodeCount: 2, Seed: 23})
+	g, err := f.AddGroup(GroupSpec{ID: "labeled", Nodes: []string{"n1", "n2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitGroup(t, g, 5*time.Second)
+	found := false
+	for _, st := range f.Telemetry.Store().Statuses() {
+		if st.Component == "oftt-engine@labeled" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no group-labeled engine status row found")
+	}
+}
+
+// TestFabricNodeStateAfterKill: a killed pool node reports down until
+// restarted; group handles on healthy nodes keep working.
+func TestFabricNodeStateAfterKill(t *testing.T) {
+	f := newTestFabric(t, FabricConfig{NodeCount: 4, Seed: 29})
+	a, err := f.AddGroup(GroupSpec{ID: "a", Nodes: []string{"n1", "n2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.AddGroup(GroupSpec{ID: "b", Nodes: []string{"n3", "n4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitGroup(t, a, 5*time.Second)
+	waitGroup(t, b, 5*time.Second)
+
+	if err := a.Inject(FaultKillNode, "n1"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Node("n1").State() == cluster.NodeUp {
+		t.Fatalf("killed node still up")
+	}
+	// Group b, placed on disjoint nodes, is untouched.
+	waitGroup(t, b, 5*time.Second)
+	// Group a fails over to its surviving member.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p := a.Primary(); p != nil && p.Node() == "n2" {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("group a never failed over to n2 (primary=%q)", a.PrimaryNode())
+}

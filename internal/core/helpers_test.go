@@ -1,0 +1,19 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// waitRoles bounds WaitForRolesContext with a plain timeout for tests
+// that have no caller context to thread through.
+func waitRoles(d *Deployment, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.WaitForRolesContext(ctx)
+}
+
+// stopNow is a t.Cleanup-shaped blocking teardown.
+func stopNow(d *Deployment) func() {
+	return func() { _ = d.Shutdown(context.Background()) }
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -58,8 +59,8 @@ func TestServerAppRunsOnBothNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(3 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	if err := waitRoles(d, 3*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
@@ -102,8 +103,8 @@ func TestServerAppLocalRestartNoSwitchover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(3 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	if err := waitRoles(d, 3*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	primary := d.Primary().Node.Name()

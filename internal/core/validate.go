@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Validation sentinels. Mirrors the engine package's typed config errors:
+// callers branch with errors.Is and read the offending field from the
+// wrapping *ConfigError.
+var (
+	// ErrDuplicateNode means two roles name the same machine (pair node,
+	// test node, fabric pool entry, or group placement).
+	ErrDuplicateNode = errors.New("core: duplicate node name")
+
+	// ErrUnknownNode means a group placement names a machine outside the
+	// fabric's node pool.
+	ErrUnknownNode = errors.New("core: unknown node")
+
+	// ErrBadTimeout means an interval or timeout is non-positive (or
+	// inconsistent, e.g. a peer timeout under the beat interval).
+	ErrBadTimeout = errors.New("core: bad timeout")
+
+	// ErrTooFewReplicas means a group has fewer than two members.
+	ErrTooFewReplicas = errors.New("core: too few replicas")
+
+	// ErrDuplicateGroup means AddGroup re-used an existing group ID.
+	ErrDuplicateGroup = errors.New("core: duplicate group id")
+)
+
+// ConfigError ties a validation failure to the config field that caused
+// it. It unwraps to one of the sentinels above.
+type ConfigError struct {
+	Field string
+	Err   error
+}
+
+func (e *ConfigError) Error() string { return fmt.Sprintf("core: config field %s: %v", e.Field, e.Err) }
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+func cfgErr(field string, sentinel error, detail string) error {
+	if detail == "" {
+		return &ConfigError{Field: field, Err: sentinel}
+	}
+	return &ConfigError{Field: field, Err: fmt.Errorf("%w: %s", sentinel, detail)}
+}
+
+// Validate checks a pair deployment config. It is strict: zero timeouts
+// are rejected, so call it on an explicit config. The constructor path
+// (New) applies defaults first and then validates, keeping the historical
+// "zero means default" behavior.
+func (c *Config) Validate() error {
+	roles := []struct{ field, name string }{
+		{"Node1", c.Node1}, {"Node2", c.Node2}, {"TestNode", c.TestNode},
+	}
+	names := map[string]string{}
+	for _, r := range roles {
+		if r.name == "" {
+			return cfgErr(r.field, ErrDuplicateNode, "empty node name")
+		}
+		if prev, ok := names[r.name]; ok {
+			return cfgErr(r.field, ErrDuplicateNode, fmt.Sprintf("%q also names %s", r.name, prev))
+		}
+		names[r.name] = r.field
+	}
+	timeouts := []struct {
+		field string
+		d     time.Duration
+	}{
+		{"HeartbeatInterval", c.HeartbeatInterval},
+		{"PeerTimeout", c.PeerTimeout},
+		{"CheckpointPeriod", c.CheckpointPeriod},
+		{"AppTimeout", c.AppTimeout},
+		{"DiverterRetry", c.DiverterRetry},
+	}
+	for _, t := range timeouts {
+		if t.d <= 0 {
+			return cfgErr(t.field, ErrBadTimeout, t.d.String())
+		}
+	}
+	if c.PeerTimeout < c.HeartbeatInterval {
+		return cfgErr("PeerTimeout", ErrBadTimeout,
+			fmt.Sprintf("%s under heartbeat interval %s", c.PeerTimeout, c.HeartbeatInterval))
+	}
+	return nil
+}
+
+// Validate checks a fabric config. Strict like (*Config).Validate; the
+// NewFabric path applies defaults first.
+func (c *FabricConfig) Validate() error {
+	if len(c.Nodes) < 2 {
+		return cfgErr("Nodes", ErrTooFewReplicas,
+			fmt.Sprintf("pool of %d, need at least 2", len(c.Nodes)))
+	}
+	seen := make(map[string]bool, len(c.Nodes))
+	for _, name := range c.Nodes {
+		if name == "" {
+			return cfgErr("Nodes", ErrDuplicateNode, "empty node name")
+		}
+		if seen[name] {
+			return cfgErr("Nodes", ErrDuplicateNode, name)
+		}
+		seen[name] = true
+	}
+	timeouts := []struct {
+		field string
+		d     time.Duration
+	}{
+		{"BeatInterval", c.BeatInterval},
+		{"PeerTimeout", c.PeerTimeout},
+		{"RPCTimeout", c.RPCTimeout},
+	}
+	for _, t := range timeouts {
+		if t.d <= 0 {
+			return cfgErr(t.field, ErrBadTimeout, t.d.String())
+		}
+	}
+	if c.PeerTimeout < c.BeatInterval {
+		return cfgErr("PeerTimeout", ErrBadTimeout,
+			fmt.Sprintf("%s under beat interval %s", c.PeerTimeout, c.BeatInterval))
+	}
+	return nil
+}
+
+// validateSpec checks one group spec against the fabric's pool. The
+// caller holds f.mu.
+func (f *Fabric) validateSpec(spec *GroupSpec) error {
+	if spec.ID != "" {
+		if _, taken := f.groups[spec.ID]; taken {
+			return cfgErr("ID", ErrDuplicateGroup, spec.ID)
+		}
+	}
+	if len(spec.Nodes) > 0 {
+		if len(spec.Nodes) < 2 {
+			return cfgErr("Nodes", ErrTooFewReplicas, fmt.Sprintf("%d", len(spec.Nodes)))
+		}
+		seen := make(map[string]bool, len(spec.Nodes))
+		for _, name := range spec.Nodes {
+			if _, ok := f.nodes[name]; !ok {
+				return cfgErr("Nodes", ErrUnknownNode, name)
+			}
+			if seen[name] {
+				return cfgErr("Nodes", ErrDuplicateNode, name)
+			}
+			seen[name] = true
+		}
+		return nil
+	}
+	if spec.Replicas < 2 {
+		return cfgErr("Replicas", ErrTooFewReplicas, fmt.Sprintf("%d", spec.Replicas))
+	}
+	if spec.Replicas > len(f.order) {
+		return cfgErr("Replicas", ErrTooFewReplicas,
+			fmt.Sprintf("%d replicas over a pool of %d", spec.Replicas, len(f.order)))
+	}
+	return nil
+}

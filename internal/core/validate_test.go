@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func validPairConfig() Config {
+	c := Config{}
+	c.applyDefaults()
+	return c
+}
+
+func TestCoreConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   error
+		field  string
+	}{
+		{name: "valid defaults", mutate: func(c *Config) {}},
+		{
+			name:   "pair nodes collide",
+			mutate: func(c *Config) { c.Node2 = c.Node1 },
+			want:   ErrDuplicateNode, field: "Node2",
+		},
+		{
+			name:   "test node collides with pair",
+			mutate: func(c *Config) { c.TestNode = c.Node1 },
+			want:   ErrDuplicateNode, field: "TestNode",
+		},
+		{
+			name:   "empty node name",
+			mutate: func(c *Config) { c.Node1 = "" },
+			want:   ErrDuplicateNode, field: "Node1",
+		},
+		{
+			name:   "zero heartbeat interval",
+			mutate: func(c *Config) { c.HeartbeatInterval = 0 },
+			want:   ErrBadTimeout, field: "HeartbeatInterval",
+		},
+		{
+			name:   "negative peer timeout",
+			mutate: func(c *Config) { c.PeerTimeout = -time.Second },
+			want:   ErrBadTimeout, field: "PeerTimeout",
+		},
+		{
+			name:   "zero checkpoint period",
+			mutate: func(c *Config) { c.CheckpointPeriod = 0 },
+			want:   ErrBadTimeout, field: "CheckpointPeriod",
+		},
+		{
+			name:   "peer timeout under heartbeat",
+			mutate: func(c *Config) { c.PeerTimeout = c.HeartbeatInterval / 2 },
+			want:   ErrBadTimeout, field: "PeerTimeout",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validPairConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tc.want)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate() = %T, want *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+		})
+	}
+}
+
+// TestNewRejectsDuplicateNodes: the constructor path surfaces the typed
+// error instead of building a half-broken deployment.
+func TestNewRejectsDuplicateNodes(t *testing.T) {
+	_, err := New(Config{Node1: "same", Node2: "same", SkipMonitor: true})
+	if !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("New with duplicate nodes: %v, want ErrDuplicateNode", err)
+	}
+}

@@ -29,8 +29,8 @@ func (e *Engine) RegisterComponent(name string, timeout time.Duration, rule Reco
 	e.components[name] = c
 	e.mu.Unlock()
 
-	e.hbmon.Watch(name, timeout, func(source string, lastSeen time.Time) {
-		e.onComponentFailure(source, lastSeen)
+	e.monitor().Watch(e.monKey(name), timeout, func(_ string, lastSeen time.Time) {
+		e.onComponentFailure(name, lastSeen)
 	})
 	e.sink.ReportStatus(telemetry.Status{
 		Node:      e.node.Name(),
@@ -62,9 +62,9 @@ func (e *Engine) ReattachComponent(name string, timeout time.Duration, rule Reco
 	c.gaveUp = false
 	e.mu.Unlock()
 
-	e.hbmon.Unwatch(name)
-	e.hbmon.Watch(name, timeout, func(source string, lastSeen time.Time) {
-		e.onComponentFailure(source, lastSeen)
+	e.monitor().Unwatch(e.monKey(name))
+	e.monitor().Watch(e.monKey(name), timeout, func(_ string, lastSeen time.Time) {
+		e.onComponentFailure(name, lastSeen)
 	})
 	e.sink.ReportStatus(telemetry.Status{
 		Node:      e.node.Name(),
@@ -83,8 +83,8 @@ func (e *Engine) UnregisterComponent(name string) {
 	e.mu.Lock()
 	delete(e.components, name)
 	e.mu.Unlock()
-	if e.hbmon != nil {
-		e.hbmon.Unwatch(name)
+	if mon := e.monitor(); mon != nil {
+		mon.Unwatch(e.monKey(name))
 	}
 	e.dogs.DeleteOwned(name)
 }
@@ -92,10 +92,11 @@ func (e *Engine) UnregisterComponent(name string) {
 // ComponentBeat records a heartbeat from a local component (FTIMs call
 // this directly: component and engine share the node).
 func (e *Engine) ComponentBeat(name string, seq uint64, status string) {
-	if e.hbmon == nil {
+	mon := e.monitor()
+	if mon == nil {
 		return
 	}
-	e.hbmon.Observe(heartbeat.Beat{Source: name, Seq: seq, Status: status, SentAt: time.Now()})
+	mon.Observe(heartbeat.Beat{Source: e.monKey(name), Seq: seq, Status: status, SentAt: time.Now()})
 }
 
 // Components lists registered component names, sorted.
@@ -143,7 +144,7 @@ func (e *Engine) onComponentFailure(name string, lastSeen time.Time) {
 		e.event(name, "recovery", "local restart (transient-fault provision)")
 		// Rearm the detector so continued silence after the restart is
 		// caught as the next failure in the budget.
-		e.hbmon.Rearm(name)
+		e.monitor().Rearm(e.monKey(name))
 		e.span(name, telemetry.PhaseRestart, fmt.Sprintf("attempt %d", attempt))
 		if err := restart(); err != nil {
 			e.event(name, "failure", fmt.Sprintf("local restart failed: %v", err))
@@ -177,7 +178,7 @@ func (e *Engine) onComponentFailure(name string, lastSeen time.Time) {
 			c.gaveUp = true
 		}
 		e.mu.Unlock()
-		e.hbmon.Unwatch(name)
+		e.monitor().Unwatch(e.monKey(name))
 		e.event(name, "failure", "recovery abandoned (ExhaustGiveUp)")
 	}
 }

@@ -3,7 +3,9 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -65,12 +67,14 @@ type engineInstruments struct {
 	switchoverDur   *telemetry.Histogram // TakeOver entry → app reactivated, µs
 }
 
-// Engine is one node's OFTT engine.
+// Engine is one node's OFTT engine — or, on a fabric node, one group's
+// member engine sharing the node's transport with many others.
 type Engine struct {
-	node *cluster.Node
-	cfg  Config
-	sink telemetry.Sink
-	ins  engineInstruments
+	node  *cluster.Node
+	cfg   Config
+	peers []string // normalized cfg.Peers; len >= 2 activates the lease path
+	sink  telemetry.Sink
+	ins   engineInstruments
 
 	networks []*netsim.Network
 
@@ -82,6 +86,10 @@ type Engine struct {
 	stopped         bool
 	peerFailed      bool
 	dualBackupBeats int
+	lease           leaseState
+	groupSeq        uint64
+
+	beatsPaused atomic.Bool // shared-transport SuspendBeats
 
 	hbmon   *heartbeat.Monitor
 	emitter *heartbeat.Emitter
@@ -92,9 +100,9 @@ type Engine struct {
 	hbSocks   []*netsim.DatagramSock
 	ckptLst   []*netsim.Listener
 
-	peerMu     sync.Mutex
-	peerClient *dcom.Client
-	sender     *checkpoint.Sender
+	peerMu      sync.Mutex
+	peerClients map[string]*dcom.Client
+	senders     map[string]*checkpoint.Sender
 
 	switchovers int
 	demotions   int
@@ -111,9 +119,15 @@ type Engine struct {
 func New(node *cluster.Node, cfg Config, sink telemetry.Sink) *Engine {
 	e, err := NewWithError(node, cfg, sink)
 	if err != nil {
-		// Only the persistent store can fail; fall back to memory so the
-		// legacy constructor keeps its signature. NewWithError surfaces
-		// the error for callers that configure StorePath.
+		var ce *ConfigError
+		if errors.As(err, &ce) {
+			// The legacy constructor has no error return; an invalid
+			// membership or timeout is a programming error, not a runtime
+			// condition. NewWithError surfaces it as a typed error instead.
+			panic(err)
+		}
+		// Only the persistent store can otherwise fail; fall back to memory
+		// so the legacy constructor keeps its signature.
 		cfg.StorePath = ""
 		e, _ = NewWithError(node, cfg, sink)
 	}
@@ -124,6 +138,9 @@ func New(node *cluster.Node, cfg Config, sink telemetry.Sink) *Engine {
 // Config.StorePath set).
 func NewWithError(node *cluster.Node, cfg Config, sink telemetry.Sink) (*Engine, error) {
 	cfg.applyDefaults()
+	if err := cfg.validateFor(node.Name()); err != nil {
+		return nil, err
+	}
 	if sink == nil {
 		sink = telemetry.NullSink{}
 	}
@@ -149,16 +166,19 @@ func NewWithError(node *cluster.Node, cfg Config, sink telemetry.Sink) (*Engine,
 		}
 	}
 	return &Engine{
-		node:       node,
-		cfg:        cfg,
-		sink:       sink,
-		ins:        ins,
-		networks:   node.Networks(),
-		role:       RoleNegotiating,
-		components: make(map[string]*component),
-		dogs:       watchdog.NewTable(),
-		store:      store,
-		stop:       make(chan struct{}),
+		node:        node,
+		cfg:         cfg,
+		peers:       append([]string(nil), cfg.Peers...),
+		sink:        sink,
+		ins:         ins,
+		networks:    node.Networks(),
+		role:        RoleNegotiating,
+		components:  make(map[string]*component),
+		dogs:        watchdog.NewTable(),
+		store:       store,
+		peerClients: make(map[string]*dcom.Client),
+		senders:     make(map[string]*checkpoint.Sender),
+		stop:        make(chan struct{}),
 	}, nil
 }
 
@@ -198,6 +218,7 @@ func (e *Engine) Demotions() int {
 // the engine: to the peer the engine looks hung. Fault injection uses this
 // to model a wedged-but-alive middleware process. ResumeBeats undoes it.
 func (e *Engine) SuspendBeats() {
+	e.beatsPaused.Store(true)
 	if e.emitter != nil {
 		e.emitter.Pause()
 	}
@@ -205,6 +226,7 @@ func (e *Engine) SuspendBeats() {
 
 // ResumeBeats re-enables outbound heartbeats after SuspendBeats.
 func (e *Engine) ResumeBeats() {
+	e.beatsPaused.Store(false)
 	if e.emitter != nil {
 		e.emitter.Resume()
 	}
@@ -224,6 +246,9 @@ func (e *Engine) OnRoleChange(fn func(Role)) {
 // it (the paper's "OFTT middleware failure") abruptly fails every engine
 // endpoint.
 func (e *Engine) Start(proc *cluster.Process) error {
+	if e.cfg.Transport != nil {
+		return e.startShared(proc)
+	}
 	rpcAddr := e.node.Addr("engine-rpc")
 	hbAddr := e.node.Addr("engine-hb")
 	ckptAddr := e.node.Addr("engine-ckpt")
@@ -281,12 +306,17 @@ func (e *Engine) Start(proc *cluster.Process) error {
 		}
 		e.event(source, "recovery", "heartbeats resumed")
 	})
-	e.hbmon.Watch(peerSource, e.cfg.PeerTimeout, func(_ string, lastSeen time.Time) {
-		if !lastSeen.IsZero() {
-			e.ins.peerDetect.ObserveDuration(time.Since(lastSeen))
-		}
-		e.onPeerFailure()
-	})
+	if !e.quorumOn() {
+		// Pair protocol: the monitor declares the single peer dead. The
+		// quorum path instead tracks per-peer liveness inside the lease
+		// state, so three-plus-replica groups register no peer watch.
+		e.hbmon.Watch(peerSource, e.cfg.PeerTimeout, func(_ string, lastSeen time.Time) {
+			if !lastSeen.IsZero() {
+				e.ins.peerDetect.ObserveDuration(time.Since(lastSeen))
+			}
+			e.onPeerFailure()
+		})
+	}
 	e.hbmon.Start()
 
 	// Own heartbeat to the peer, fanned out on every network segment.
@@ -312,15 +342,69 @@ func (e *Engine) Start(proc *cluster.Process) error {
 		}()
 	}
 
-	// Negotiate in the background; the engine is usable immediately.
-	e.wg.Add(1)
-	go func() {
-		defer e.wg.Done()
-		e.negotiate()
-	}()
+	if e.quorumOn() {
+		// Quorum groups elect instead of negotiating: arm the election
+		// clock and let the beat loop drive it.
+		e.initLease()
+	} else {
+		// Negotiate in the background; the engine is usable immediately.
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.negotiate()
+		}()
+	}
 
 	e.reportStatus()
 	return nil
+}
+
+// startShared registers the engine with the node's fabric transport
+// instead of binding endpoints: beats, failure detection, control RPC and
+// checkpoint shipping all ride the shared per-node plumbing. The engine
+// itself owns no goroutines in this mode — a node can host thousands.
+func (e *Engine) startShared(_ *cluster.Process) error {
+	tr := e.cfg.Transport
+	if e.quorumOn() {
+		e.initLease()
+	} else {
+		// Pair-over-fabric: per-group peer watch on the shared monitor.
+		tr.Monitor().WatchFull(e.monKey(peerSource), e.cfg.PeerTimeout,
+			func(_ string, lastSeen time.Time) {
+				if !lastSeen.IsZero() {
+					e.ins.peerDetect.ObserveDuration(time.Since(lastSeen))
+				}
+				e.onPeerFailure()
+			},
+			func(string) { e.onPeerRecovered() })
+	}
+	tr.Register(e)
+	if !e.quorumOn() {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.negotiate()
+		}()
+	}
+	e.reportStatus()
+	return nil
+}
+
+// monitor returns the failure detector serving this engine: its own in
+// standalone mode, the node's shared one on a fabric transport.
+func (e *Engine) monitor() *heartbeat.Monitor {
+	if e.cfg.Transport != nil {
+		return e.cfg.Transport.Monitor()
+	}
+	return e.hbmon
+}
+
+// monKey namespaces a detector source key per group on shared monitors.
+func (e *Engine) monKey(name string) string {
+	if e.cfg.Transport != nil {
+		return e.cfg.GroupID + "|" + name
+	}
+	return name
 }
 
 func (e *Engine) teardownEndpoints() {
@@ -351,30 +435,55 @@ func (e *Engine) Stop() {
 	if e.hbmon != nil {
 		e.hbmon.Stop()
 	}
+	if tr := e.cfg.Transport; tr != nil {
+		tr.Unregister(e)
+		tr.Monitor().Unwatch(e.monKey(peerSource))
+		e.mu.Lock()
+		comps := make([]string, 0, len(e.components))
+		for name := range e.components {
+			comps = append(comps, name)
+		}
+		e.mu.Unlock()
+		for _, name := range comps {
+			tr.Monitor().Unwatch(e.monKey(name))
+		}
+	}
 	e.teardownEndpoints()
 	e.peerMu.Lock()
-	if e.peerClient != nil {
-		e.peerClient.Close()
-		e.peerClient = nil
+	for peer, c := range e.peerClients {
+		c.Close()
+		delete(e.peerClients, peer)
 	}
-	if e.sender != nil {
-		e.sender.Close()
-		e.sender = nil
+	for peer, s := range e.senders {
+		s.Close()
+		delete(e.senders, peer)
 	}
 	e.peerMu.Unlock()
 	e.dogs.Close()
 	e.wg.Wait()
 }
 
-// broadcastBeat sends one engine heartbeat on every network segment.
+// broadcastBeat sends one engine heartbeat to every peer on every network
+// segment. In quorum mode the emitter's tick doubles as the election
+// clock, and the beat carries the lease state.
 func (e *Engine) broadcastBeat(b heartbeat.Beat) {
+	if e.quorumOn() {
+		e.leaseTick()
+		e.mu.Lock()
+		b.Term = e.lease.term
+		b.Vote = e.lease.votedFor
+		b.Cand = e.lease.candidate
+		e.mu.Unlock()
+	}
 	data, err := b.Encode()
 	if err != nil {
 		return
 	}
-	peerHB := netsim.Addr(e.cfg.PeerNode + ":engine-hb")
-	for _, sock := range e.hbSocks {
-		_ = sock.Send(peerHB, data)
+	for _, peer := range e.peers {
+		peerHB := netsim.Addr(peer + ":engine-hb")
+		for _, sock := range e.hbSocks {
+			_ = sock.Send(peerHB, data)
+		}
 	}
 }
 
@@ -402,12 +511,26 @@ func (e *Engine) recvBeats(sock *netsim.DatagramSock) {
 }
 
 func (e *Engine) observePeerBeat(b heartbeat.Beat) {
+	if e.quorumOn() {
+		from := strings.TrimPrefix(b.Source, "engine@")
+		e.observeLease(from, heartbeat.GroupState{
+			Seq: b.Seq, Role: int32(roleFromStatus(b.Status)),
+			Term: b.Term, Vote: b.Vote, Cand: b.Cand,
+		}, time.Now())
+		return
+	}
 	e.hbmon.Observe(heartbeat.Beat{Source: peerSource, Seq: b.Seq, Status: b.Status, SentAt: b.SentAt})
+	e.pairObserve(roleFromStatus(b.Status))
+}
 
+// pairObserve runs the 2-node pair's split-brain and dual-backup
+// resolution against the peer's reported role. Both the classic datagram
+// path and the fabric's mux path land here for 2-replica groups.
+func (e *Engine) pairObserve(peerRole Role) {
 	// Split-brain resolution: if both engines believe they are primary
 	// (network partition healed), the lexicographically smaller node name
 	// keeps the role; the other demotes.
-	if b.Status == RolePrimary.String() && e.Role() == RolePrimary && !e.cfg.DisableTieBreak {
+	if peerRole == RolePrimary && e.Role() == RolePrimary && !e.cfg.DisableTieBreak {
 		if e.node.Name() > e.cfg.PeerNode {
 			e.event("engine", "role", "dual primary detected; demoting (tie-break)")
 			e.span("oftt-engine", telemetry.PhaseDecision, "split-brain tie-break: demote")
@@ -421,7 +544,7 @@ func (e *Engine) observePeerBeat(b heartbeat.Beat) {
 	// condition persists across several beats, the tie-break winner
 	// promotes itself so the pair regains a primary.
 	e.mu.Lock()
-	if b.Status == RoleBackup.String() && e.role == RoleBackup {
+	if peerRole == RoleBackup && e.role == RoleBackup {
 		e.dualBackupBeats++
 	} else {
 		e.dualBackupBeats = 0
@@ -434,9 +557,82 @@ func (e *Engine) observePeerBeat(b heartbeat.Beat) {
 	}
 	e.mu.Unlock()
 	if promote {
-		e.event("engine", "role", "pair stuck with no primary; promoting (tie-break)")
-		e.TakeOver("dual-backup recovery")
+		e.dispatchAct(func() {
+			e.event("engine", "role", "pair stuck with no primary; promoting (tie-break)")
+			e.TakeOver("dual-backup recovery")
+		})
 	}
+}
+
+// roleFromStatus maps a beat's status string back to a Role (beats carry
+// Role.String(); anything else reads as unknown/zero).
+func roleFromStatus(s string) Role {
+	switch s {
+	case RoleNegotiating.String():
+		return RoleNegotiating
+	case RolePrimary.String():
+		return RolePrimary
+	case RoleBackup.String():
+		return RoleBackup
+	case RoleShutdown.String():
+		return RoleShutdown
+	default:
+		return 0
+	}
+}
+
+// muxState is the engine's StateSource on the fabric's per-pair beat
+// streams: each pull emits the member's liveness + role + lease state,
+// and doubles as the election tick. Returning ok=false (paused or
+// stopped) makes the member look silent without touching the stream.
+// One mutex acquisition covers the tick and the snapshot — at thousands
+// of pulls per second per node the extra lock round-trips showed up in
+// whole-fabric profiles.
+func (e *Engine) muxState(now time.Time) (heartbeat.GroupState, bool) {
+	if e.beatsPaused.Load() {
+		return heartbeat.GroupState{}, false
+	}
+	var act func()
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return heartbeat.GroupState{}, false
+	}
+	if e.quorumOn() {
+		act = e.leaseTickLocked(now)
+	}
+	e.groupSeq++
+	gs := heartbeat.GroupState{
+		Group: e.cfg.GroupID,
+		Seq:   e.groupSeq,
+		Role:  int32(e.role),
+		Term:  e.lease.term,
+		Vote:  e.lease.votedFor,
+		Cand:  e.lease.candidate,
+	}
+	e.mu.Unlock()
+	if act != nil {
+		e.dispatchAct(act) // role change lands in a later beat's snapshot
+	}
+	return gs, true
+}
+
+// observeFromPeer folds one demultiplexed GroupState entry from a peer
+// node into this member's protocol state (fabric mode's receive path).
+// now is the datagram's arrival timestamp, shared across its entries.
+func (e *Engine) observeFromPeer(from string, gs heartbeat.GroupState, now time.Time) {
+	if e.quorumOn() {
+		e.observeLease(from, gs, now)
+		return
+	}
+	if from != e.cfg.PeerNode {
+		return
+	}
+	e.monitor().Observe(heartbeat.Beat{
+		Source: e.monKey(peerSource), Seq: gs.Seq,
+		Status: Role(gs.Role).String(), SentAt: now,
+	})
+	e.pairObserve(Role(gs.Role))
 }
 
 // acceptCheckpoints serves inbound checkpoint connections into the store.

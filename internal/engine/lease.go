@@ -1,0 +1,311 @@
+// Lease/quorum election — the role protocol for groups with three or more
+// replicas. The 2-node pair keeps the paper's negotiate-plus-tie-break
+// protocol; once a group has a real majority, the fragile lexicographic
+// tie-break is replaced by a term-based election in the style of
+// freestore's majority-of-servers spec and LLFT's leader-determined
+// membership:
+//
+//   - Election state (term, vote, candidacy) rides the ordinary beat
+//     stream — there are no extra message kinds and no per-engine timers.
+//     The emitter's pull is the election clock.
+//   - A follower that has heard no leader for PeerTimeout (plus a
+//     deterministic per-node stagger, so candidacies rarely collide)
+//     stands: it increments its term and solicits votes via its beats.
+//   - Peers grant at most one vote per term, and only while their own view
+//     of the leader is stale; grants ride back on their beats.
+//   - A candidate counting a majority (its own vote included) takes over.
+//     A primary that cannot hear a majority of its group for LeaseDuration
+//     demotes itself — the lease expires.
+//   - Observing a higher term, or a primary beat at one's own term from a
+//     node that wins the tie-break, demotes a stale holder. Two leaders
+//     cannot share a term (their vote quorums would intersect), so after a
+//     partition heals the holder with the older term always yields.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/heartbeat"
+	"repro/internal/telemetry"
+)
+
+// leaseState is the per-engine election record, guarded by Engine.mu.
+type leaseState struct {
+	term      uint64
+	votedFor  string // node granted our vote this term ("" = none)
+	candidate bool
+	votes     map[string]bool // peers whose vote we hold this term
+
+	leaderSeen time.Time // last beat observed from a live leader
+	leaderNode string
+	peerSeen   map[string]time.Time // last beat per peer, for the quorum check
+	standAt    time.Time            // earliest time we may (re)stand
+	stands     int                  // consecutive candidacies without seeing a leader
+}
+
+// quorumOn reports whether this engine runs the lease/quorum election
+// path: two or more peers, i.e. a group of three or more replicas.
+func (e *Engine) quorumOn() bool { return len(e.peers) >= 2 }
+
+// quorum is the majority size of the full group (peers + self).
+func (e *Engine) quorum() int { return (len(e.peers)+1)/2 + 1 }
+
+// electionStagger separates candidacies deterministically: each member
+// waits a node-and-group-specific extra fraction of PeerTimeout before
+// standing, so concurrent elections (split votes) are rare without
+// needing randomness.
+func (e *Engine) electionStagger() time.Duration {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(e.node.Name()))
+	_, _ = h.Write([]byte{'|'})
+	_, _ = h.Write([]byte(e.cfg.GroupID))
+	return e.cfg.PeerTimeout * time.Duration(h.Sum32()%64) / 64
+}
+
+func (e *Engine) electionPatience() time.Duration {
+	return e.cfg.PeerTimeout + e.electionStagger()
+}
+
+// initLease arms the election clock at Start: every peer gets a grace
+// period as if it had just beaten, and this member may not stand before
+// one full patience interval elapses.
+func (e *Engine) initLease() {
+	now := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lease.peerSeen = make(map[string]time.Time, len(e.peers))
+	for _, p := range e.peers {
+		e.lease.peerSeen[p] = now
+	}
+	e.lease.leaderSeen = now
+	e.lease.standAt = now.Add(e.electionPatience())
+}
+
+// isPeer reports group membership of a beat sender.
+func (e *Engine) isPeer(node string) bool {
+	for _, p := range e.peers {
+		if p == node {
+			return true
+		}
+	}
+	return false
+}
+
+// standLocked opens a candidacy: new term, self-vote, empty tally.
+// Consecutive candidacies without an elected leader back off
+// exponentially (capped at 8x patience): when beats are delayed — an
+// overloaded host, a congested simulation — a fixed patience window can
+// expire before the granted votes complete their round trip, and every
+// restand invalidates the votes in flight. Widening the window guarantees
+// some candidacy eventually outlives the delay. Caller holds e.mu.
+func (e *Engine) standLocked(now time.Time) {
+	e.lease.term++
+	e.lease.votedFor = e.node.Name()
+	e.lease.candidate = true
+	e.lease.votes = make(map[string]bool, len(e.peers))
+	if e.lease.stands < 4 {
+		e.lease.stands++
+	}
+	backoff := time.Duration(1) << (e.lease.stands - 1) // 1x, 2x, 4x, 8x
+	e.lease.standAt = now.Add(e.electionPatience() * backoff)
+}
+
+// leaseTick advances the election clock. It runs on every outbound beat
+// (the emitter callback in own-transport mode, the mux StateSource pull in
+// fabric mode), so a group's failover latency is a small multiple of the
+// heartbeat interval with no dedicated timers.
+func (e *Engine) leaseTick() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	act := e.leaseTickLocked(time.Now())
+	e.mu.Unlock()
+	if act != nil {
+		e.dispatchAct(act)
+	}
+}
+
+// dispatchAct runs a deferred role transition: asynchronously on the
+// shared transport's act worker in fabric mode (the beat and demux loops
+// must never block on one group's switchover), inline otherwise.
+func (e *Engine) dispatchAct(act func()) {
+	if tr := e.cfg.Transport; tr != nil {
+		tr.enqueueAct(act)
+		return
+	}
+	act()
+}
+
+// wonAt guards a deferred takeover: by the time the act worker runs it,
+// a higher term may have been observed, making the win stale.
+func (e *Engine) wonAt(term uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lease.term == term && e.lease.leaderNode == e.node.Name()
+}
+
+// leaseTickLocked is the election clock's core. Caller holds e.mu and is
+// responsible for running the returned action (a demotion or takeover)
+// after unlocking — role transitions take the lock themselves.
+func (e *Engine) leaseTickLocked(now time.Time) (act func()) {
+	ls := &e.lease
+	switch {
+	case e.role == RolePrimary:
+		// Lease renewal: a primary that cannot hear a majority for
+		// LeaseDuration must assume a new leader was elected on the other
+		// side of a partition, and yields before the partition heals.
+		live := 1 // self
+		for _, t := range ls.peerSeen {
+			if now.Sub(t) <= e.cfg.LeaseDuration {
+				live++
+			}
+		}
+		if live < e.quorum() {
+			ls.standAt = now.Add(e.electionPatience())
+			act = func() {
+				e.span("oftt-engine", telemetry.PhaseDecision, "lease expired: quorum lost")
+				e.Demote("lease expired: lost contact with quorum")
+			}
+		}
+	case ls.candidate:
+		if 1+len(ls.votes) >= e.quorum() {
+			ls.candidate = false
+			ls.stands = 0
+			ls.leaderNode = e.node.Name()
+			ls.leaderSeen = now
+			term := ls.term
+			act = func() {
+				if !e.wonAt(term) {
+					return
+				}
+				e.span("oftt-engine", telemetry.PhaseDecision, fmt.Sprintf("lease election won (term %d)", term))
+				e.TakeOver(fmt.Sprintf("lease election won (term %d)", term))
+			}
+		} else if now.After(ls.standAt) {
+			// Stalled candidacy (split vote, lost beats): stand again.
+			e.standLocked(now)
+		}
+	default:
+		if now.Sub(ls.leaderSeen) > e.cfg.PeerTimeout && now.After(ls.standAt) {
+			e.standLocked(now)
+		}
+	}
+	return act
+}
+
+// observeLease folds one peer's beat entry into the election state. It is
+// the receive half of the protocol; leaseTick is the timer half. now is
+// the observation timestamp — the demux loop stamps each datagram once
+// and shares it across the datagram's entries.
+func (e *Engine) observeLease(from string, gs heartbeat.GroupState, now time.Time) {
+	if !e.isPeer(from) {
+		return
+	}
+	var acts []func()
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	ls := &e.lease
+	if ls.peerSeen == nil {
+		ls.peerSeen = make(map[string]time.Time, len(e.peers))
+	}
+	ls.peerSeen[from] = now
+	peerRole := Role(gs.Role)
+
+	// A higher term deposes: whatever we were doing belongs to a stale
+	// epoch. (A primary stepping down here is the plain-Raft disruption on
+	// rejoin; it costs one extra switchover, never a dual primary.)
+	if gs.Term > ls.term {
+		wasPrimary := e.role == RolePrimary
+		ls.term = gs.Term
+		ls.votedFor = ""
+		ls.candidate = false
+		if ls.leaderNode != from {
+			// Whoever we thought led belongs to the stale epoch; the new
+			// term's leader is unknown until its primary beat arrives.
+			ls.leaderNode = ""
+		}
+		ls.standAt = now.Add(e.electionPatience())
+		if wasPrimary {
+			term := gs.Term
+			acts = append(acts, func() {
+				e.event("engine", "role", fmt.Sprintf("stale lease holder: observed term %d; demoting", term))
+				e.Demote(fmt.Sprintf("stale lease: higher term %d observed", term))
+			})
+		}
+	}
+
+	// A current-term leader refreshes the lease we grant it.
+	if peerRole == RolePrimary && gs.Term >= ls.term {
+		ls.leaderSeen = now
+		ls.leaderNode = from
+		ls.candidate = false
+		ls.stands = 0
+		ls.standAt = now.Add(e.electionPatience())
+		if e.role == RoleNegotiating {
+			acts = append(acts, func() { e.becomeBackup("lease: leader " + from + " observed") })
+		}
+		// Belt and braces: two leaders at the same term cannot both hold a
+		// vote quorum, but if the impossible happens (store corruption,
+		// future bugs) the tie-break resolves it instead of livelocking.
+		if e.role == RolePrimary && from != e.node.Name() && !e.winsTie(false, from) {
+			acts = append(acts, func() {
+				e.event("engine", "role", "dual lease holder at equal term; demoting (tie-break)")
+				e.Demote("dual lease holder tie-break")
+			})
+		}
+	}
+
+	// Grant at most one vote per term, and only while our own leader view
+	// is stale — a live leader's followers do not join insurgencies.
+	if gs.Cand && gs.Term == ls.term && e.role != RolePrimary &&
+		(ls.votedFor == "" || ls.votedFor == from) &&
+		now.Sub(ls.leaderSeen) > e.cfg.PeerTimeout {
+		ls.votedFor = from
+		// Give the candidate a full patience interval before competing.
+		ls.standAt = now.Add(e.electionPatience())
+	}
+
+	// Count votes granted to us while standing.
+	if ls.candidate && gs.Term == ls.term && gs.Vote == e.node.Name() {
+		ls.votes[from] = true
+		if 1+len(ls.votes) >= e.quorum() {
+			ls.candidate = false
+			ls.stands = 0
+			ls.leaderNode = e.node.Name()
+			ls.leaderSeen = now
+			term := ls.term
+			acts = append(acts, func() {
+				if !e.wonAt(term) {
+					return
+				}
+				e.span("oftt-engine", telemetry.PhaseDecision, fmt.Sprintf("lease election won (term %d)", term))
+				e.TakeOver(fmt.Sprintf("lease election won (term %d)", term))
+			})
+		}
+	}
+	e.mu.Unlock()
+	for _, a := range acts {
+		e.dispatchAct(a)
+	}
+}
+
+// LeaseTerm reports the current election term (tests, monitor).
+func (e *Engine) LeaseTerm() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lease.term
+}
+
+// LeaderNode reports who this member believes holds the lease.
+func (e *Engine) LeaderNode() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lease.leaderNode
+}

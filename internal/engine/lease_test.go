@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+)
+
+// trioHarness wires a 3-replica group over standalone engine transports:
+// the smallest membership that activates the lease/quorum election path.
+type trioHarness struct {
+	net   *netsim.Network
+	nodes [3]*cluster.Node
+	engs  [3]*Engine
+	procs [3]*cluster.Process
+}
+
+var trioNames = [3]string{"alpha", "beta", "gamma"}
+
+func quorumConfig(self int) Config {
+	var peers []string
+	for i, n := range trioNames {
+		if i != self {
+			peers = append(peers, n)
+		}
+	}
+	return Config{
+		GroupID:           "g-lease",
+		Peers:             peers,
+		HeartbeatInterval: 5 * time.Millisecond,
+		PeerTimeout:       30 * time.Millisecond,
+		LeaseDuration:     30 * time.Millisecond,
+		RPCTimeout:        200 * time.Millisecond,
+	}
+}
+
+func newTrio(t *testing.T) *trioHarness {
+	t.Helper()
+	h := &trioHarness{net: netsim.New("ethQ", 1)}
+	for i, name := range trioNames {
+		h.nodes[i] = cluster.NewNode(name, int64(11+i), h.net)
+		e, err := NewWithError(h.nodes[i], quorumConfig(i), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.engs[i] = e
+		p, err := h.nodes[i].StartProcess("oftt-engine", func(stop <-chan struct{}) { <-stop })
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.procs[i] = p
+		if err := e.Start(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, e := range h.engs {
+			e.Stop()
+		}
+	})
+	return h
+}
+
+func (h *trioHarness) primaries() []int {
+	var out []int
+	for i, e := range h.engs {
+		if e.Role() == RolePrimary {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// waitSingleLeader blocks until exactly one member is primary and the
+// others are backup, and returns the leader's index.
+func (h *trioHarness) waitSingleLeader(t *testing.T) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		prim := h.primaries()
+		if len(prim) == 1 {
+			backups := 0
+			for i, e := range h.engs {
+				if i != prim[0] && e.Role() == RoleBackup {
+					backups++
+				}
+			}
+			if backups == 2 {
+				return prim[0]
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("group never settled on one leader: roles %s/%s/%s",
+		h.engs[0].Role(), h.engs[1].Role(), h.engs[2].Role())
+	return -1
+}
+
+// cut fully partitions member i from member j, both directions.
+func (h *trioHarness) cut(i, j int) {
+	h.net.PartitionPrefix(trioNames[i], trioNames[j])
+}
+
+func TestLeaseElectsSingleLeader(t *testing.T) {
+	h := newTrio(t)
+	lead := h.waitSingleLeader(t)
+	if term := h.engs[lead].LeaseTerm(); term == 0 {
+		t.Fatalf("leader holds term 0; election never ran")
+	}
+	// Every member agrees on who holds the lease. Agreement is eventual:
+	// a follower demoted by a higher-term candidate learns the new
+	// leader's identity only from its first primary beat.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		agree := 0
+		for _, e := range h.engs {
+			if e.LeaderNode() == trioNames[lead] {
+				agree++
+			}
+		}
+		if agree == len(h.engs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i, e := range h.engs {
+				if got := e.LeaderNode(); got != trioNames[lead] {
+					t.Errorf("member %d believes leader is %q, want %q", i, got, trioNames[lead])
+				}
+			}
+			t.FailNow()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLeaseExpiryDuringPartition isolates the lease holder from both
+// followers. The majority side must elect a replacement, and the isolated
+// holder must surrender its lease (quorum loss) *while still partitioned*
+// — the property the 2-node tie-break cannot provide, since it needs to
+// observe the other primary to resolve.
+func TestLeaseExpiryDuringPartition(t *testing.T) {
+	h := newTrio(t)
+	old := h.waitSingleLeader(t)
+	oldTerm := h.engs[old].LeaseTerm()
+
+	for i := range h.engs {
+		if i != old {
+			h.cut(old, i)
+		}
+	}
+
+	// Majority side elects a new leader at a higher term.
+	waitFor(t, "replacement leader on majority side", func() bool {
+		for i, e := range h.engs {
+			if i != old && e.Role() == RolePrimary && e.LeaseTerm() > oldTerm {
+				return true
+			}
+		}
+		return false
+	})
+	// Isolated holder demotes itself without seeing anyone: lease expiry.
+	waitFor(t, "isolated holder surrenders lease", func() bool {
+		return h.engs[old].Role() == RoleBackup
+	})
+	if d := h.engs[old].Demotions(); d < 1 {
+		t.Fatalf("old holder recorded %d demotions, want >= 1", d)
+	}
+
+	h.net.HealAll()
+	lead := h.waitSingleLeader(t)
+	if lead == old {
+		// Allowed in principle (it could win a later election) but with
+		// sticky leases the replacement should still hold the role.
+		t.Logf("note: old holder re-elected after heal")
+	}
+}
+
+// TestStaleLeaseHolderYieldsAfterOneWayCut models the asymmetric failure:
+// the holder's outbound beats are lost but its inbound path still works.
+// Followers elect a replacement (two leaders briefly coexist); the stale
+// holder observes the new term on its intact inbound path and yields —
+// before the cut even heals.
+func TestStaleLeaseHolderYieldsAfterOneWayCut(t *testing.T) {
+	h := newTrio(t)
+	old := h.waitSingleLeader(t)
+	oldTerm := h.engs[old].LeaseTerm()
+
+	// Outbound-only cut: holder -> followers lost, followers -> holder OK.
+	for i := range h.engs {
+		if i != old {
+			h.net.PartitionPrefixOneWay(trioNames[old], trioNames[i])
+		}
+	}
+
+	waitFor(t, "replacement leader elected", func() bool {
+		for i, e := range h.engs {
+			if i != old && e.Role() == RolePrimary && e.LeaseTerm() > oldTerm {
+				return true
+			}
+		}
+		return false
+	})
+	// The stale holder hears the new leader's higher term and steps down
+	// while the one-way cut is still in place.
+	waitFor(t, "stale holder yields to higher term", func() bool {
+		return h.engs[old].Role() == RoleBackup
+	})
+
+	h.net.HealAll()
+	time.Sleep(100 * time.Millisecond)
+	if prim := h.primaries(); len(prim) != 1 {
+		t.Fatalf("after heal: %d primaries, want 1", len(prim))
+	}
+}
+
+// TestLeaseHolderLostMidCheckpoint kills the holder right after it ships
+// state: a majority replacement must take over holding the last shipped
+// checkpoint (promotion must not reset the backup's store).
+func TestLeaseHolderLostMidCheckpoint(t *testing.T) {
+	h := newTrio(t)
+	lead := h.waitSingleLeader(t)
+
+	reg := checkpoint.NewRegistry()
+	state := []byte("plant state v1")
+	if err := reg.Register("plant", &state); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := reg.CaptureFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.engs[lead].ShipSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	shipped := snap.Seq
+
+	// Confirm at least a majority of backups hold the state, then cut the
+	// holder off entirely (node loss).
+	waitFor(t, "backups store the checkpoint", func() bool {
+		n := 0
+		for i, e := range h.engs {
+			if i != lead && e.Store().LastSeq() >= shipped {
+				n++
+			}
+		}
+		return n >= 1
+	})
+	for i := range h.engs {
+		if i != lead {
+			h.cut(lead, i)
+		}
+	}
+
+	waitFor(t, "replacement leader after holder loss", func() bool {
+		for i, e := range h.engs {
+			if i != lead && e.Role() == RolePrimary {
+				return e.Store().LastSeq() >= shipped
+			}
+		}
+		return false
+	})
+}
+
+// TestPairKeepsTieBreak gates the election path on membership size: a
+// 2-replica group must keep the paper's negotiate/tie-break protocol and
+// never open a lease term.
+func TestPairKeepsTieBreak(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	if term := h.e1.LeaseTerm(); term != 0 {
+		t.Fatalf("pair engine opened lease term %d; pairs must stay on tie-break", term)
+	}
+	if term := h.e2.LeaseTerm(); term != 0 {
+		t.Fatalf("pair engine opened lease term %d; pairs must stay on tie-break", term)
+	}
+}

@@ -239,34 +239,46 @@ func (e *Engine) PeerFailed() bool {
 	return e.peerFailed
 }
 
-// peerCall invokes a method on the peer engine's control interface,
-// (re)dialing across the available network segments as needed.
+// peerCall invokes a method on the pair peer's control interface (the
+// 2-replica protocol path).
 func (e *Engine) peerCall(method string, out []any, args ...any) error {
+	return e.peerCallNode(e.cfg.PeerNode, method, out, args...)
+}
+
+// peerCallNode invokes a method on one peer's member of this group,
+// (re)dialing as needed. On a fabric transport the call rides the node's
+// shared group-routed client; standalone engines keep one client per peer.
+func (e *Engine) peerCallNode(peer, method string, out []any, args ...any) error {
+	if tr := e.cfg.Transport; tr != nil {
+		return tr.call(peer, e.cfg.GroupID, method, out, args...)
+	}
 	e.peerMu.Lock()
 	defer e.peerMu.Unlock()
 
-	if e.peerClient == nil || e.peerClient.Broken() {
-		if e.peerClient != nil {
-			e.peerClient.Close()
-			e.peerClient = nil
+	client := e.peerClients[peer]
+	if client == nil || client.Broken() {
+		if client != nil {
+			client.Close()
+			delete(e.peerClients, peer)
 		}
-		client, err := e.dialPeerRPC()
+		var err error
+		client, err = e.dialPeerRPC(peer)
 		if err != nil {
 			return err
 		}
-		e.peerClient = client
+		e.peerClients[peer] = client
 	}
-	err := e.peerClient.Object(EngineOID).Call(method, out, args...)
-	if err != nil && e.peerClient.Broken() {
-		e.peerClient.Close()
-		e.peerClient = nil
+	err := client.Object(EngineOID).Call(method, out, args...)
+	if err != nil && client.Broken() {
+		client.Close()
+		delete(e.peerClients, peer)
 	}
 	return err
 }
 
-func (e *Engine) dialPeerRPC() (*dcom.Client, error) {
+func (e *Engine) dialPeerRPC(peer string) (*dcom.Client, error) {
 	from := e.node.Addr("engine-rpc-cli")
-	to := netsim.Addr(e.cfg.PeerNode + ":engine-rpc")
+	to := netsim.Addr(peer + ":engine-rpc")
 	// Bound each segment's connect attempt by the RPC timeout: a failover
 	// decision must never wait on a hung dial longer than it would wait on
 	// a hung call.
@@ -287,32 +299,69 @@ func (e *Engine) dialPeerRPC() (*dcom.Client, error) {
 	return nil, fmt.Errorf("%w: %v", ErrPeerUnavailable, lastErr)
 }
 
-// ShipSnapshot sends a checkpoint to the peer's store — the FTIM calls
-// this on every checkpoint period and on OFTTSave. Only the primary ships.
+// ShipSnapshot sends a checkpoint to every peer's store — the FTIM calls
+// this on every checkpoint period and on OFTTSave. Only the primary
+// ships; the ship succeeds if at least one replica confirmed the state.
+// On a fabric transport checkpoints ride the shared group-routed RPC; a
+// standalone engine keeps one streaming checkpoint channel per peer.
 func (e *Engine) ShipSnapshot(snap *checkpoint.Snapshot) error {
 	if e.Role() != RolePrimary {
 		return ErrNotPrimary
 	}
-	e.peerMu.Lock()
-	defer e.peerMu.Unlock()
-	if e.sender == nil {
-		sender, err := e.dialCheckpoint()
+	if tr := e.cfg.Transport; tr != nil {
+		data, err := snap.Encode()
 		if err != nil {
 			return err
 		}
-		e.sender = sender
+		var lastErr error
+		ok := 0
+		for _, peer := range e.peers {
+			if err := tr.call(peer, e.cfg.GroupID, "StoreSnapshot", nil, data); err != nil {
+				lastErr = err
+				continue
+			}
+			ok++
+		}
+		if ok == 0 {
+			return fmt.Errorf("%w: checkpoint ship: %v", ErrPeerUnavailable, lastErr)
+		}
+		return nil
 	}
-	if err := e.sender.Send(snap); err != nil {
-		e.sender.Close()
-		e.sender = nil
-		return err
+	e.peerMu.Lock()
+	defer e.peerMu.Unlock()
+	var lastErr error
+	ok := 0
+	for _, peer := range e.peers {
+		sender := e.senders[peer]
+		if sender == nil {
+			s, err := e.dialCheckpoint(peer)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			sender = s
+			e.senders[peer] = sender
+		}
+		if err := sender.Send(snap); err != nil {
+			sender.Close()
+			delete(e.senders, peer)
+			lastErr = err
+			continue
+		}
+		ok++
+	}
+	if ok == 0 {
+		if lastErr == nil {
+			lastErr = ErrPeerUnavailable
+		}
+		return lastErr
 	}
 	return nil
 }
 
-func (e *Engine) dialCheckpoint() (*checkpoint.Sender, error) {
+func (e *Engine) dialCheckpoint(peer string) (*checkpoint.Sender, error) {
 	from := e.node.Addr("engine-ckpt-cli")
-	to := netsim.Addr(e.cfg.PeerNode + ":engine-ckpt")
+	to := netsim.Addr(peer + ":engine-ckpt")
 	var lastErr error
 	for _, n := range e.networks {
 		conn, err := n.Dial(from, to)
@@ -327,9 +376,9 @@ func (e *Engine) dialCheckpoint() (*checkpoint.Sender, error) {
 func (e *Engine) closeSender() {
 	e.peerMu.Lock()
 	defer e.peerMu.Unlock()
-	if e.sender != nil {
-		e.sender.Close()
-		e.sender = nil
+	for peer, s := range e.senders {
+		s.Close()
+		delete(e.senders, peer)
 	}
 }
 
@@ -343,21 +392,29 @@ func (e *Engine) Materialize(reg *checkpoint.Registry) error {
 // it into reg. A primary uses this to rehydrate a locally restarted
 // application: the freshest copy of its state lives in the backup's store.
 func (e *Engine) RecoverFromPeer(reg *checkpoint.Registry) (bool, error) {
-	var data []byte
-	if err := e.peerCall("FetchSnapshot", []any{&data}); err != nil {
-		return false, fmt.Errorf("engine: fetch peer snapshot: %w", err)
+	var lastErr error
+	for _, peer := range e.peers {
+		var data []byte
+		if err := e.peerCallNode(peer, "FetchSnapshot", []any{&data}); err != nil {
+			lastErr = err
+			continue
+		}
+		if len(data) == 0 {
+			continue // this peer has nothing stored yet
+		}
+		snap, err := checkpoint.DecodeSnapshot(data)
+		if err != nil {
+			return false, err
+		}
+		if err := reg.Restore(snap); err != nil {
+			return false, err
+		}
+		return true, nil
 	}
-	if len(data) == 0 {
-		return false, nil // peer has nothing stored yet
+	if lastErr != nil {
+		return false, fmt.Errorf("engine: fetch peer snapshot: %w", lastErr)
 	}
-	snap, err := checkpoint.DecodeSnapshot(data)
-	if err != nil {
-		return false, err
-	}
-	if err := reg.Restore(snap); err != nil {
-		return false, err
-	}
-	return true, nil
+	return false, nil
 }
 
 // RequestSwitchover asks the peer to take over and demotes this node. It
@@ -366,6 +423,12 @@ func (e *Engine) RecoverFromPeer(reg *checkpoint.Registry) (bool, error) {
 func (e *Engine) RequestSwitchover(reason string) error {
 	if e.Role() != RolePrimary {
 		return ErrNotPrimary
+	}
+	if e.quorumOn() {
+		// Quorum groups have no designated successor: step down and let
+		// the lease election promote whichever replica wins the majority.
+		e.Demote("switchover: " + reason)
+		return nil
 	}
 	if e.PeerFailed() {
 		return fmt.Errorf("%w: cannot switch over", ErrPeerUnavailable)

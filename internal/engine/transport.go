@@ -1,0 +1,491 @@
+// NodeTransport is the fabric's shared per-node plumbing. A node hosting
+// hundreds of group engines binds exactly one heartbeat socket and one
+// DCOM exporter per network segment; every group engine on the node
+// registers into it instead of binding six endpoints of its own:
+//
+//   - Outbound beats are multiplexed per node *pair*: one MuxEmitter per
+//     peer node packs one GroupState entry per shared group into a single
+//     datagram each interval, so beat traffic scales with node pairs, not
+//     groups.
+//   - Inbound datagrams are demultiplexed back to the owning engines.
+//   - Engine-to-engine control RPC rides one shared mux DCOM client per
+//     peer node, routed by group ID through the FabricStub.
+//   - One heartbeat.Monitor serves every engine's failure detection, with
+//     group-prefixed source keys.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/heartbeat"
+	"repro/internal/netsim"
+)
+
+// FabricOID is the well-known object ID a node's shared fabric control
+// interface is exported under.
+var FabricOID = com.MustParseGUID("{0f7e4a10-2222-4000-8000-0e0e0e0e0e02}")
+
+// ErrUnknownGroup is returned for fabric RPCs naming a group the node
+// hosts no member of.
+var ErrUnknownGroup = errors.New("engine: unknown group on node")
+
+// TransportConfig parameterizes a node's shared fabric transport.
+type TransportConfig struct {
+	// BeatInterval is the per-pair mux beat period (default 20ms).
+	BeatInterval time.Duration
+	// SweepInterval is the shared failure-detector scan period (default
+	// BeatInterval, min 2ms).
+	SweepInterval time.Duration
+	// RPCTimeout bounds shared-client control calls (default 500ms).
+	RPCTimeout time.Duration
+}
+
+func (c *TransportConfig) applyDefaults() {
+	if c.BeatInterval <= 0 {
+		c.BeatInterval = 20 * time.Millisecond
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.BeatInterval
+		if c.SweepInterval < 2*time.Millisecond {
+			c.SweepInterval = 2 * time.Millisecond
+		}
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 500 * time.Millisecond
+	}
+}
+
+// NodeTransport multiplexes every fabric group engine on one node over a
+// single set of endpoints. See the package comment above.
+type NodeTransport struct {
+	node     *cluster.Node
+	cfg      TransportConfig
+	networks []*netsim.Network
+
+	socks     []*netsim.DatagramSock
+	exporters []*dcom.Exporter
+	monitor   *heartbeat.Monitor
+
+	mu       sync.Mutex
+	engines  map[string]*Engine               // by group ID
+	emitters map[string]*heartbeat.MuxEmitter // by peer node
+	started  bool
+	closed   bool
+
+	clientMu sync.Mutex
+	clients  map[string]*dcom.Client // by peer node
+
+	datagramsIn atomic.Int64
+	entriesIn   atomic.Int64
+
+	// actCh feeds the node's role-action worker: role transitions decided
+	// on the beat/demux hot paths run here instead of blocking those loops
+	// (one slow takeover must not stall every other group's heartbeats).
+	actCh chan func()
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewNodeTransport creates a stopped transport for node.
+func NewNodeTransport(node *cluster.Node, cfg TransportConfig) *NodeTransport {
+	cfg.applyDefaults()
+	return &NodeTransport{
+		node:     node,
+		cfg:      cfg,
+		networks: node.Networks(),
+		engines:  make(map[string]*Engine),
+		emitters: make(map[string]*heartbeat.MuxEmitter),
+		clients:  make(map[string]*dcom.Client),
+		monitor:  heartbeat.NewMonitor(cfg.SweepInterval),
+		actCh:    make(chan func(), 1024),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Node returns the hosting node's name.
+func (t *NodeTransport) Node() string { return t.node.Name() }
+
+// Monitor exposes the node's shared failure detector.
+func (t *NodeTransport) Monitor() *heartbeat.Monitor { return t.monitor }
+
+// BeatInterval reports the per-pair mux beat period.
+func (t *NodeTransport) BeatInterval() time.Duration { return t.cfg.BeatInterval }
+
+// DatagramsReceived and EntriesReceived report inbound mux-beat traffic —
+// the numbers the scaling grid uses to verify beats are per-pair streams.
+func (t *NodeTransport) DatagramsReceived() int64 { return t.datagramsIn.Load() }
+
+// EntriesReceived reports the total GroupState entries demultiplexed.
+func (t *NodeTransport) EntriesReceived() int64 { return t.entriesIn.Load() }
+
+// Start binds the node's shared fabric endpoints (one datagram socket and
+// one exporter per segment) and launches the demux loops. proc, when set,
+// owns the endpoints so killing the node's fabric agent fails them all.
+func (t *NodeTransport) Start(proc *cluster.Process) error {
+	hbAddr := t.node.Addr("fabric-hb")
+	rpcAddr := t.node.Addr("fabric-rpc")
+	for _, n := range t.networks {
+		sock, err := n.ListenDatagram(hbAddr)
+		if err != nil {
+			t.teardown()
+			return fmt.Errorf("fabric: bind hb on %s: %w", n.Name(), err)
+		}
+		t.socks = append(t.socks, sock)
+
+		exp, err := dcom.NewExporter(n, rpcAddr)
+		if err != nil {
+			t.teardown()
+			return fmt.Errorf("fabric: bind rpc on %s: %w", n.Name(), err)
+		}
+		if err := exp.Export(FabricOID, &FabricStub{t: t}); err != nil {
+			exp.Close()
+			t.teardown()
+			return err
+		}
+		t.exporters = append(t.exporters, exp)
+
+		if proc != nil {
+			proc.OwnEndpoint(n, hbAddr)
+			proc.OwnEndpoint(n, rpcAddr)
+			proc.OwnEndpoint(n, t.node.Addr("fabric-rpc-cli"))
+		}
+	}
+
+	t.monitor.Start()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.actLoop()
+	}()
+	for _, sock := range t.socks {
+		sock := sock
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.recvLoop(sock)
+		}()
+	}
+
+	t.mu.Lock()
+	t.started = true
+	ems := make([]*heartbeat.MuxEmitter, 0, len(t.emitters))
+	for _, em := range t.emitters {
+		ems = append(ems, em)
+	}
+	t.mu.Unlock()
+	for _, em := range ems {
+		em.Start()
+	}
+	return nil
+}
+
+// Register wires a group engine into the node's shared streams: its state
+// source joins the mux emitter of every peer it shares a pair with.
+func (t *NodeTransport) Register(e *Engine) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.engines[e.cfg.GroupID] = e
+	for _, peer := range e.peers {
+		em, ok := t.emitters[peer]
+		if !ok {
+			peerHB := netsim.Addr(peer + ":fabric-hb")
+			em = heartbeat.NewMuxEmitter(t.node.Name(), t.cfg.BeatInterval, func(data []byte) {
+				for _, sock := range t.socks {
+					_ = sock.Send(peerHB, data)
+				}
+			})
+			t.emitters[peer] = em
+			if t.started {
+				em.Start()
+			}
+		}
+		em.AddSource(e.cfg.GroupID, e.muxState)
+	}
+}
+
+// Unregister removes a group engine from the node's streams; a pair
+// emitter with no remaining groups is torn down.
+func (t *NodeTransport) Unregister(e *Engine) {
+	t.mu.Lock()
+	if t.engines[e.cfg.GroupID] == e {
+		delete(t.engines, e.cfg.GroupID)
+	}
+	var stopped []*heartbeat.MuxEmitter
+	for _, peer := range e.peers {
+		em, ok := t.emitters[peer]
+		if !ok {
+			continue
+		}
+		em.RemoveSource(e.cfg.GroupID)
+		if em.SourceCount() == 0 {
+			delete(t.emitters, peer)
+			if t.started {
+				stopped = append(stopped, em)
+			}
+		}
+	}
+	t.mu.Unlock()
+	for _, em := range stopped {
+		em.Stop()
+	}
+}
+
+func (t *NodeTransport) engine(group string) *Engine {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.engines[group]
+}
+
+// enqueueAct hands a role-transition action to the node's act worker.
+// When the queue is saturated (a node-wide churn storm) the action runs
+// inline — correctness over latency, never dropped.
+func (t *NodeTransport) enqueueAct(act func()) {
+	select {
+	case t.actCh <- act:
+	default:
+		act()
+	}
+}
+
+// actLoop serializes deferred role transitions for every engine on the
+// node. Takeovers and demotions do real work (checkpoint restore, app
+// callbacks, telemetry); running them here keeps the demux and emitter
+// loops at pure protocol-state speed.
+func (t *NodeTransport) actLoop() {
+	for {
+		select {
+		case act := <-t.actCh:
+			act()
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// recvLoop demultiplexes inbound pair beats to the owning group engines.
+// The loop owns a reusable decoder (interned strings, recycled entries),
+// resolves every entry's engine under one registry lock, and stamps the
+// datagram's arrival time once — per-entry overhead here is what bounds
+// how many groups a node can host.
+func (t *NodeTransport) recvLoop(sock *netsim.DatagramSock) {
+	dec := heartbeat.NewMuxDecoder()
+	var engs []*Engine
+	for {
+		select {
+		case <-t.stop:
+			return
+		default:
+		}
+		d, err := sock.RecvTimeout(100 * time.Millisecond)
+		if err != nil {
+			if errors.Is(err, netsim.ErrClosed) {
+				return
+			}
+			continue
+		}
+		b, err := dec.Decode(d.Payload)
+		if err != nil {
+			continue
+		}
+		t.datagramsIn.Add(1)
+		t.entriesIn.Add(int64(len(b.Entries)))
+		engs = engs[:0]
+		t.mu.Lock()
+		for i := range b.Entries {
+			engs = append(engs, t.engines[b.Entries[i].Group])
+		}
+		t.mu.Unlock()
+		now := time.Now()
+		for i, e := range engs {
+			if e != nil {
+				e.observeFromPeer(b.From, b.Entries[i], now)
+			}
+		}
+	}
+}
+
+// call routes one control call to a peer node's member of group, over the
+// shared (lazily dialed, multiplexed) per-pair client. method is the pair
+// protocol's name ("Hello", "TakeOverRPC", ...); the FabricStub carries a
+// group-scoped variant of each.
+func (t *NodeTransport) call(peer, group, method string, out []any, args ...any) error {
+	t.clientMu.Lock()
+	client := t.clients[peer]
+	if client == nil || client.Broken() {
+		if client != nil {
+			client.Close()
+			delete(t.clients, peer)
+		}
+		var err error
+		client, err = t.dialPeer(peer)
+		if err != nil {
+			t.clientMu.Unlock()
+			return err
+		}
+		t.clients[peer] = client
+	}
+	t.clientMu.Unlock()
+
+	err := client.Object(FabricOID).Call(method+"G", out, append([]any{group}, args...)...)
+	if err != nil && client.Broken() {
+		t.clientMu.Lock()
+		if t.clients[peer] == client {
+			delete(t.clients, peer)
+		}
+		t.clientMu.Unlock()
+		client.Close()
+	}
+	return err
+}
+
+func (t *NodeTransport) dialPeer(peer string) (*dcom.Client, error) {
+	from := t.node.Addr("fabric-rpc-cli")
+	to := netsim.Addr(peer + ":fabric-rpc")
+	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.RPCTimeout)
+	defer cancel()
+	var lastErr error
+	for _, n := range t.networks {
+		client, err := dcom.DialContext(ctx, n, from, to)
+		if err == nil {
+			client.SetTimeout(t.cfg.RPCTimeout)
+			return client, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrPeerUnavailable
+	}
+	return nil, fmt.Errorf("%w: %v", ErrPeerUnavailable, lastErr)
+}
+
+func (t *NodeTransport) teardown() {
+	for _, exp := range t.exporters {
+		exp.Close()
+	}
+	for _, s := range t.socks {
+		_ = s.Close()
+	}
+	t.exporters, t.socks = nil, nil
+}
+
+// Stop tears the transport down: emitters, demux loops, monitor, clients.
+// Engines should be stopped first; any still registered just go silent.
+func (t *NodeTransport) Stop() {
+	t.once.Do(func() { close(t.stop) })
+	t.mu.Lock()
+	t.closed = true
+	ems := make([]*heartbeat.MuxEmitter, 0, len(t.emitters))
+	for _, em := range t.emitters {
+		ems = append(ems, em)
+	}
+	t.emitters = make(map[string]*heartbeat.MuxEmitter)
+	started := t.started
+	t.mu.Unlock()
+	if started {
+		for _, em := range ems {
+			em.Stop()
+		}
+		t.monitor.Stop()
+	}
+	t.teardown()
+	t.clientMu.Lock()
+	for peer, c := range t.clients {
+		c.Close()
+		delete(t.clients, peer)
+	}
+	t.clientMu.Unlock()
+	t.wg.Wait()
+}
+
+// FabricStub is the node's shared DCOM control surface: the pair
+// protocol's methods, each routed by group ID to the hosted member.
+type FabricStub struct {
+	t *NodeTransport
+}
+
+func (s *FabricStub) member(group string) (*Engine, error) {
+	e := s.t.engine(group)
+	if e == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	return e, nil
+}
+
+// HelloG services pair negotiation for one group.
+func (s *FabricStub) HelloG(group string, req helloReq) (helloResp, error) {
+	e, err := s.member(group)
+	if err != nil {
+		return helloResp{}, err
+	}
+	return (&Stub{e: e}).Hello(req)
+}
+
+// TakeOverG services a commanded switchover for one group.
+func (s *FabricStub) TakeOverG(group, reason string) error {
+	e, err := s.member(group)
+	if err != nil {
+		return err
+	}
+	e.TakeOver("peer request: " + reason)
+	return nil
+}
+
+// DemoteG services a commanded demotion for one group.
+func (s *FabricStub) DemoteG(group, reason string) error {
+	e, err := s.member(group)
+	if err != nil {
+		return err
+	}
+	e.Demote("peer request: " + reason)
+	return nil
+}
+
+// StatusRPCG services remote status queries for one group.
+func (s *FabricStub) StatusRPCG(group string) (EngineStatus, error) {
+	e, err := s.member(group)
+	if err != nil {
+		return EngineStatus{}, err
+	}
+	return e.Status(), nil
+}
+
+// FetchSnapshotG serves one group's stored checkpoint.
+func (s *FabricStub) FetchSnapshotG(group string) ([]byte, error) {
+	e, err := s.member(group)
+	if err != nil {
+		return nil, err
+	}
+	snap := e.store.Export()
+	if snap == nil {
+		return nil, nil
+	}
+	return snap.Encode()
+}
+
+// StoreSnapshotG applies a checkpoint shipped by the group's primary —
+// the fabric's replacement for the pair's streaming checkpoint channel.
+func (s *FabricStub) StoreSnapshotG(group string, data []byte) error {
+	e, err := s.member(group)
+	if err != nil {
+		return err
+	}
+	snap, err := checkpoint.DecodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	return e.store.Apply(snap)
+}

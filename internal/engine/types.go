@@ -107,6 +107,25 @@ type Config struct {
 	// PeerNode is the machine name of the other half of the pair.
 	PeerNode string
 
+	// GroupID names the FT group this engine serves. The classic standalone
+	// pair leaves it empty; fabric groups set it so many engines can share a
+	// node's endpoints and beat streams.
+	GroupID string
+
+	// Peers lists the other replicas' machine names. Empty falls back to
+	// {PeerNode}. One peer keeps the classic pair protocol (negotiation +
+	// tie-break); two or more activate the lease/quorum election path.
+	Peers []string
+
+	// LeaseDuration bounds how long a quorum-elected primary keeps its role
+	// without hearing from a majority of the group (default PeerTimeout).
+	LeaseDuration time.Duration
+
+	// Transport, when set, runs this engine over the node's shared fabric
+	// transport — multiplexed per-node-pair beats and a group-routed DCOM
+	// exporter — instead of binding its own endpoints.
+	Transport *NodeTransport
+
 	// HeartbeatInterval is the engine-to-engine beat period (default 20ms).
 	HeartbeatInterval time.Duration
 	// PeerTimeout declares the peer dead after this much silence on every
@@ -143,6 +162,12 @@ type Config struct {
 }
 
 func (c *Config) applyDefaults() {
+	if len(c.Peers) == 0 && c.PeerNode != "" {
+		c.Peers = []string{c.PeerNode}
+	}
+	if c.PeerNode == "" && len(c.Peers) == 1 {
+		c.PeerNode = c.Peers[0]
+	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = 20 * time.Millisecond
 	}
@@ -169,6 +194,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Startup.Alone == 0 {
 		c.Startup.Alone = AloneBecomePrimary
+	}
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = c.PeerTimeout
 	}
 }
 

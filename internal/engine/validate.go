@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation sentinels. Callers match them with errors.Is through the
+// wrapping ConfigError.
+var (
+	// ErrDuplicatePeer: the same node name appears twice in the membership.
+	ErrDuplicatePeer = errors.New("duplicate node name")
+	// ErrBadTimeout: a timeout or interval is not positive.
+	ErrBadTimeout = errors.New("timeout must be positive")
+	// ErrTooFewReplicas: a group needs at least two replicas (self + 1 peer).
+	ErrTooFewReplicas = errors.New("replica count < 2")
+)
+
+// ConfigError reports which field of a Config failed validation; it
+// unwraps to one of the sentinel errors above.
+type ConfigError struct {
+	Field string
+	Err   error
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("engine: config field %s: %v", e.Field, e.Err)
+}
+
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// Validate checks a fully specified Config. It is strict: zero timeouts
+// are rejected, not defaulted — NewWithError applies defaults first, so
+// zero-valued fields from callers still mean "use the default"; Validate
+// exists for code (the fabric, tests) that builds explicit configs and
+// wants contradictions surfaced as typed errors instead of silently
+// papered over.
+func (c *Config) Validate() error {
+	peers := c.Peers
+	if len(peers) == 0 && c.PeerNode != "" {
+		peers = []string{c.PeerNode}
+	}
+	if len(peers) == 0 {
+		return &ConfigError{Field: "Peers", Err: ErrTooFewReplicas}
+	}
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if p == "" {
+			return &ConfigError{Field: "Peers", Err: fmt.Errorf("%w: empty node name", ErrDuplicatePeer)}
+		}
+		if seen[p] {
+			return &ConfigError{Field: "Peers", Err: fmt.Errorf("%w: %q", ErrDuplicatePeer, p)}
+		}
+		seen[p] = true
+	}
+	for _, f := range []struct {
+		name string
+		d    int64
+	}{
+		{"HeartbeatInterval", int64(c.HeartbeatInterval)},
+		{"PeerTimeout", int64(c.PeerTimeout)},
+		{"SweepInterval", int64(c.SweepInterval)},
+		{"RPCTimeout", int64(c.RPCTimeout)},
+		{"CheckpointAckTimeout", int64(c.CheckpointAckTimeout)},
+		{"LeaseDuration", int64(c.LeaseDuration)},
+	} {
+		if f.d <= 0 {
+			return &ConfigError{Field: f.name, Err: ErrBadTimeout}
+		}
+	}
+	if c.PeerTimeout < c.HeartbeatInterval {
+		return &ConfigError{Field: "PeerTimeout", Err: fmt.Errorf("%w: shorter than the heartbeat interval", ErrBadTimeout)}
+	}
+	return nil
+}
+
+// validateFor finishes validation with knowledge of the hosting node:
+// membership must not include the node itself.
+func (c *Config) validateFor(self string) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	for _, p := range c.Peers {
+		if p == self {
+			return &ConfigError{Field: "Peers", Err: fmt.Errorf("%w: %q is the hosting node", ErrDuplicatePeer, p)}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+)
+
+func validQuorumConfig() Config {
+	return Config{
+		Peers:                []string{"b", "c"},
+		HeartbeatInterval:    5 * time.Millisecond,
+		PeerTimeout:          25 * time.Millisecond,
+		SweepInterval:        5 * time.Millisecond,
+		RPCTimeout:           200 * time.Millisecond,
+		CheckpointAckTimeout: time.Second,
+		LeaseDuration:        25 * time.Millisecond,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr error
+		field   string
+	}{
+		{name: "valid", mutate: func(c *Config) {}},
+		{name: "valid pair via PeerNode", mutate: func(c *Config) {
+			c.Peers = nil
+			c.PeerNode = "b"
+		}},
+		{
+			name:    "no peers",
+			mutate:  func(c *Config) { c.Peers, c.PeerNode = nil, "" },
+			wantErr: ErrTooFewReplicas, field: "Peers",
+		},
+		{
+			name:    "duplicate peer",
+			mutate:  func(c *Config) { c.Peers = []string{"b", "c", "b"} },
+			wantErr: ErrDuplicatePeer, field: "Peers",
+		},
+		{
+			name:    "empty peer name",
+			mutate:  func(c *Config) { c.Peers = []string{"b", ""} },
+			wantErr: ErrDuplicatePeer, field: "Peers",
+		},
+		{
+			name:    "zero heartbeat interval",
+			mutate:  func(c *Config) { c.HeartbeatInterval = 0 },
+			wantErr: ErrBadTimeout, field: "HeartbeatInterval",
+		},
+		{
+			name:    "negative peer timeout",
+			mutate:  func(c *Config) { c.PeerTimeout = -time.Second },
+			wantErr: ErrBadTimeout, field: "PeerTimeout",
+		},
+		{
+			name:    "zero rpc timeout",
+			mutate:  func(c *Config) { c.RPCTimeout = 0 },
+			wantErr: ErrBadTimeout, field: "RPCTimeout",
+		},
+		{
+			name:    "zero lease duration",
+			mutate:  func(c *Config) { c.LeaseDuration = 0 },
+			wantErr: ErrBadTimeout, field: "LeaseDuration",
+		},
+		{
+			name:    "peer timeout under heartbeat interval",
+			mutate:  func(c *Config) { c.PeerTimeout = 2 * time.Millisecond },
+			wantErr: ErrBadTimeout, field: "PeerTimeout",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validQuorumConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tc.wantErr)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Validate() = %T, want *ConfigError", err)
+			}
+			if ce.Field != tc.field {
+				t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, tc.field)
+			}
+		})
+	}
+}
+
+// TestNewRejectsSelfMembership: an engine whose peer list names its own
+// node is a typed construction error, not a runtime surprise.
+func TestNewRejectsSelfMembership(t *testing.T) {
+	net := netsim.New("ethV", 1)
+	node := cluster.NewNode("self", 31, net)
+	cfg := validQuorumConfig()
+	cfg.Peers = []string{"self", "b"}
+	_, err := NewWithError(node, cfg, nil)
+	if !errors.Is(err, ErrDuplicatePeer) {
+		t.Fatalf("NewWithError = %v, want ErrDuplicatePeer (self in membership)", err)
+	}
+}
+
+// TestNewDefaultsZeroTimeouts: the constructor path still treats zero as
+// "use the default" — strictness lives in Validate for explicit configs.
+func TestNewDefaultsZeroTimeouts(t *testing.T) {
+	net := netsim.New("ethW", 1)
+	node := cluster.NewNode("a", 32, net)
+	e, err := NewWithError(node, Config{PeerNode: "b"}, nil)
+	if err != nil {
+		t.Fatalf("NewWithError with zero timeouts: %v", err)
+	}
+	if e.cfg.HeartbeatInterval <= 0 || e.cfg.PeerTimeout <= 0 || e.cfg.LeaseDuration <= 0 {
+		t.Fatalf("defaults not applied: %+v", e.cfg)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -60,8 +61,8 @@ func a1Trial(seed int64, dual bool) (falseSwitchover bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(3 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	if err := waitRoles(d, 3*time.Second); err != nil {
 		return false, err
 	}
 	primary := d.Primary().Node.Name()
@@ -166,8 +167,8 @@ func a2Trial(seed int64, name string, rule engine.RecoveryRule) (*A2Row, error) 
 	if err != nil {
 		return nil, err
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(3 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	if err := waitRoles(d, 3*time.Second); err != nil {
 		return nil, err
 	}
 	primary := d.Primary().Node.Name()
@@ -369,8 +370,8 @@ func RunA3(periods []time.Duration, seed int64) ([]A3Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := d.WaitForRoles(3 * time.Second); err != nil {
-			d.Stop()
+		if err := waitRoles(d, 3*time.Second); err != nil {
+			_ = d.Shutdown(context.Background())
 			return nil, err
 		}
 		primary := d.Primary().Node.Name()
@@ -394,7 +395,7 @@ func RunA3(periods []time.Duration, seed int64) ([]A3Row, error) {
 			}
 			time.Sleep(time.Millisecond)
 		}
-		d.Stop()
+		_ = d.Shutdown(context.Background())
 		if after < 0 {
 			return nil, fmt.Errorf("period %v: no takeover", period)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -62,7 +63,7 @@ func RunE2() ([]E2Check, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer d.Stop()
+	defer d.Shutdown(context.Background())
 
 	var checks []E2Check
 	add := func(arrow string, ok bool, note string) {
@@ -70,7 +71,7 @@ func RunE2() ([]E2Check, error) {
 	}
 
 	// Role protocol between the two engines.
-	err = d.WaitForRoles(3 * time.Second)
+	err = waitRoles(d, 3*time.Second)
 	add("engine <-> engine role negotiation", err == nil,
 		fmt.Sprintf("roles settled: %v", err == nil))
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,8 +40,8 @@ func RunE3(scenario string, seed int64) (*E3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer ct.Stop()
-	if err := ct.WaitForRoles(3 * time.Second); err != nil {
+	defer ct.Shutdown(context.Background())
+	if err := waitRoles(ct, 3*time.Second); err != nil {
 		return nil, err
 	}
 

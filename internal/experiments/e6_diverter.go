@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -78,8 +79,8 @@ func RunE6(messages int, seed int64) (*E6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(3 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	if err := waitRoles(d, 3*time.Second); err != nil {
 		return nil, err
 	}
 	primary := d.Primary().Node.Name()

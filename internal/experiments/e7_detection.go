@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -213,8 +214,8 @@ func switchoverTrial(seed int64, agg *telemetry.Registry) error {
 	if err != nil {
 		return err
 	}
-	defer d.Stop()
-	if err := d.WaitForRoles(5 * time.Second); err != nil {
+	defer d.Shutdown(context.Background())
+	if err := waitRoles(d, 5*time.Second); err != nil {
 		return err
 	}
 	victim := d.Primary().Node.Name()

@@ -6,8 +6,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Table is a printable result table.
@@ -57,3 +59,17 @@ func (t *Table) Render() string {
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func i64(v int64) string  { return fmt.Sprintf("%d", v) }
+
+// roleWaiter is any deployment view that can wait for its roles to
+// settle (core.Deployment and the demo wrappers embedding it).
+type roleWaiter interface {
+	WaitForRolesContext(ctx context.Context) error
+}
+
+// waitRoles bounds a roles wait with a plain timeout; experiment drivers
+// have no caller context to thread through.
+func waitRoles(d roleWaiter, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return d.WaitForRolesContext(ctx)
+}

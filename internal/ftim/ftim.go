@@ -193,19 +193,19 @@ type ClientFTIM struct {
 // "At the minimum, it is the only API an application needs to add in order
 // to use the OFTT services." State registered later still checkpoints, but
 // applications that must register state before their first activation
-// (e.g. to be restored on a reattach) use InitializeDeferred + Attach.
+// (e.g. to be restored on a reattach) use InitializeDeferred + AttachContext.
 func Initialize(cfg Config) (*ClientFTIM, error) {
 	f, err := InitializeDeferred(cfg)
 	if err != nil {
 		return nil, err
 	}
-	f.Attach()
+	_ = f.AttachContext(context.Background())
 	return f, nil
 }
 
 // InitializeDeferred performs OFTTInitialize but holds off applying the
-// engine's current role until Attach is called, giving the application a
-// window to register its state regions first.
+// engine's current role until AttachContext is called, giving the
+// application a window to register its state regions first.
 func InitializeDeferred(cfg Config) (*ClientFTIM, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
@@ -240,7 +240,8 @@ func InitializeDeferred(cfg Config) (*ClientFTIM, error) {
 	})
 	f.emitter.Start()
 
-	// Receive control from the engine on role transitions (gated on Attach).
+	// Receive control from the engine on role transitions (gated on
+	// AttachContext).
 	cfg.Engine.OnRoleChange(f.onRole)
 	return f, nil
 }
@@ -271,12 +272,6 @@ func (f *ClientFTIM) AttachContext(ctx context.Context) error {
 		return ctx.Err()
 	}
 }
-
-// Attach applies the engine's current role with no bound on the recovery
-// wait.
-//
-// Deprecated: use AttachContext to bound the peer-recovery wait.
-func (f *ClientFTIM) Attach() { _ = f.AttachContext(context.Background()) }
 
 // Registry exposes the checkpoint registry (tests, advanced use).
 func (f *ClientFTIM) Registry() *checkpoint.Registry { return f.reg }
@@ -456,7 +451,7 @@ func (f *ClientFTIM) onRole(r engine.Role) {
 	ready := f.ready
 	f.mu.Unlock()
 	if !ready {
-		return // Attach will apply the then-current role
+		return // AttachContext will apply the then-current role
 	}
 	f.applyRole(r, false)
 }

@@ -26,12 +26,22 @@ type Instruments struct {
 	Gap *telemetry.Histogram
 }
 
-// Beat is one heartbeat message.
+// Beat is one heartbeat message. The lease fields (Term, Vote, Cand) are
+// zero for plain liveness beats; group engines running the lease/quorum
+// election path piggyback their election state on the beat stream so the
+// protocol needs no extra message kinds.
 type Beat struct {
 	Source string
 	Seq    uint64
 	Status string // free-form component status, relayed to the system monitor
 	SentAt time.Time
+
+	// Term is the sender's current lease term (election epoch).
+	Term uint64
+	// Vote is the node the sender granted its vote to this term ("" none).
+	Vote string
+	// Cand marks the sender as standing for election this term.
+	Cand bool
 }
 
 // Encode serializes a beat for datagram transport.
@@ -142,12 +152,13 @@ type FailureFunc func(source string, lastSeen time.Time)
 
 // watchEntry is one monitored source.
 type watchEntry struct {
-	timeout  time.Duration
-	lastSeen time.Time
-	lastSeq  uint64
-	lastStat string
-	failed   bool
-	onFail   FailureFunc
+	timeout   time.Duration
+	lastSeen  time.Time
+	lastSeq   uint64
+	lastStat  string
+	failed    bool
+	onFail    FailureFunc
+	onRecover func(source string)
 }
 
 // Monitor tracks heartbeat deadlines for many sources. A source that
@@ -197,12 +208,22 @@ func (m *Monitor) OnRecover(fn func(source string)) {
 // Watch registers a source with its timeout and failure callback. The
 // deadline clock starts now.
 func (m *Monitor) Watch(source string, timeout time.Duration, onFail FailureFunc) {
+	m.WatchFull(source, timeout, onFail, nil)
+}
+
+// WatchFull is Watch with a per-source recovery callback, for monitors
+// shared by many independent watchers (a fabric node transport watches one
+// source per peer×group, and each group engine needs its own recovery
+// signal — the monitor-wide OnRecover callback cannot be partitioned).
+// Both the per-source callback and the monitor-wide one fire.
+func (m *Monitor) WatchFull(source string, timeout time.Duration, onFail FailureFunc, onRecover func(source string)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.entries[source] = &watchEntry{
-		timeout:  timeout,
-		lastSeen: time.Now(),
-		onFail:   onFail,
+		timeout:   timeout,
+		lastSeen:  time.Now(),
+		onFail:    onFail,
+		onRecover: onRecover,
 	}
 }
 
@@ -251,9 +272,15 @@ func (m *Monitor) Observe(b Beat) {
 	e.lastStat = b.Status
 	e.failed = false
 	onRecover := m.onRecover
+	perSource := e.onRecover
 	m.mu.Unlock()
-	if wasFailed && onRecover != nil {
-		onRecover(b.Source)
+	if wasFailed {
+		if perSource != nil {
+			perSource(b.Source)
+		}
+		if onRecover != nil {
+			onRecover(b.Source)
+		}
 	}
 }
 

@@ -1,0 +1,320 @@
+// Multiplexed heartbeats: the fabric's per-node-pair beat stream.
+//
+// A node hosting many group engines does not emit one beat stream per
+// group. Instead each node pair carries exactly one datagram stream: every
+// interval the sending node packs one GroupState entry per group the pair
+// has in common into a single MuxBeat. Beat traffic therefore scales with
+// the number of node pairs, not the number of groups — the property the
+// fabric's scaling grid (BENCH_FABRIC.json) asserts.
+package heartbeat
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"time"
+)
+
+// GroupState is one group's slot in a multiplexed node-pair beat: the
+// member's liveness (Seq) tagged with its per-group role and lease
+// election state.
+type GroupState struct {
+	// Group is the FT group ID this entry belongs to.
+	Group string
+	// Seq is the member's per-group beat sequence.
+	Seq uint64
+	// Role is the member's current role (engine.Role numeric value; kept
+	// as an int so the wire format does not import the engine package).
+	Role int32
+	// Term is the member's current lease term.
+	Term uint64
+	// Vote is the node the member granted its vote to this term ("" none).
+	Vote string
+	// Cand marks the member as standing for election this term.
+	Cand bool
+}
+
+// MuxBeat is one datagram on a node-pair beat stream.
+type MuxBeat struct {
+	// From is the sending node's machine name.
+	From string
+	// Seq is the pair-stream sequence (not any group's).
+	Seq uint64
+	// SentAt timestamps the datagram.
+	SentAt time.Time
+	// Entries carries one GroupState per group shared by the pair.
+	Entries []GroupState
+}
+
+// The mux wire format is hand-rolled rather than ndr-reflected: a fabric
+// node decodes hundreds of thousands of entries per second, and the
+// reflection codec's per-entry allocations dominated whole-fabric CPU
+// profiles at the thousand-group scale.
+const (
+	muxMagic   = 0xB7
+	muxVersion = 1
+)
+
+// ErrBadMuxBeat reports a payload that is not a well-formed mux beat.
+var ErrBadMuxBeat = errors.New("heartbeat: malformed mux beat")
+
+func appendMuxString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// AppendMuxBeat serializes b onto buf and returns the extended slice.
+// Callers on the beat path pass a reused buffer to keep the encode
+// allocation-free.
+func AppendMuxBeat(buf []byte, b *MuxBeat) []byte {
+	buf = append(buf, muxMagic, muxVersion)
+	buf = appendMuxString(buf, b.From)
+	buf = binary.LittleEndian.AppendUint64(buf, b.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b.SentAt.UnixNano()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Entries)))
+	for i := range b.Entries {
+		gs := &b.Entries[i]
+		buf = appendMuxString(buf, gs.Group)
+		buf = binary.LittleEndian.AppendUint64(buf, gs.Seq)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(gs.Role))
+		buf = binary.LittleEndian.AppendUint64(buf, gs.Term)
+		buf = appendMuxString(buf, gs.Vote)
+		cand := byte(0)
+		if gs.Cand {
+			cand = 1
+		}
+		buf = append(buf, cand)
+	}
+	return buf
+}
+
+// Encode serializes a mux beat for datagram transport.
+func (b MuxBeat) Encode() ([]byte, error) { return AppendMuxBeat(nil, &b), nil }
+
+// MuxDecoder parses mux-beat payloads with reusable state: group IDs and
+// node names are interned (a fabric sees a fixed population of each), and
+// the entries slice is recycled between calls. Not safe for concurrent
+// use; each receive loop owns one.
+type MuxDecoder struct {
+	intern  map[string]string
+	entries []GroupState
+}
+
+// NewMuxDecoder creates an empty decoder.
+func NewMuxDecoder() *MuxDecoder {
+	return &MuxDecoder{intern: make(map[string]string)}
+}
+
+func (d *MuxDecoder) str(data []byte, off int) (string, int, bool) {
+	if off+2 > len(data) {
+		return "", 0, false
+	}
+	n := int(binary.LittleEndian.Uint16(data[off:]))
+	off += 2
+	if off+n > len(data) {
+		return "", 0, false
+	}
+	raw := data[off : off+n]
+	s, ok := d.intern[string(raw)] // string(raw) key lookup does not allocate
+	if !ok {
+		s = string(raw)
+		d.intern[s] = s
+	}
+	return s, off + n, true
+}
+
+// Decode parses one payload. The returned beat's Entries slice is owned
+// by the decoder and is only valid until the next Decode call.
+func (d *MuxDecoder) Decode(data []byte) (MuxBeat, error) {
+	var b MuxBeat
+	if len(data) < 2 || data[0] != muxMagic || data[1] != muxVersion {
+		return b, ErrBadMuxBeat
+	}
+	off := 2
+	var ok bool
+	if b.From, off, ok = d.str(data, off); !ok {
+		return b, ErrBadMuxBeat
+	}
+	if off+20 > len(data) {
+		return b, ErrBadMuxBeat
+	}
+	b.Seq = binary.LittleEndian.Uint64(data[off:])
+	b.SentAt = time.Unix(0, int64(binary.LittleEndian.Uint64(data[off+8:])))
+	count := int(binary.LittleEndian.Uint32(data[off+16:]))
+	off += 20
+	// Each entry occupies at least 25 bytes; reject counts the payload
+	// cannot possibly hold before allocating for them.
+	if count < 0 || count > (len(data)-off)/25+1 {
+		return b, ErrBadMuxBeat
+	}
+	if cap(d.entries) < count {
+		d.entries = make([]GroupState, count)
+	}
+	d.entries = d.entries[:count]
+	for i := 0; i < count; i++ {
+		gs := &d.entries[i]
+		if gs.Group, off, ok = d.str(data, off); !ok {
+			return b, ErrBadMuxBeat
+		}
+		if off+20 > len(data) {
+			return b, ErrBadMuxBeat
+		}
+		gs.Seq = binary.LittleEndian.Uint64(data[off:])
+		gs.Role = int32(binary.LittleEndian.Uint32(data[off+8:]))
+		gs.Term = binary.LittleEndian.Uint64(data[off+12:])
+		off += 20
+		if gs.Vote, off, ok = d.str(data, off); !ok {
+			return b, ErrBadMuxBeat
+		}
+		if off >= len(data) {
+			return b, ErrBadMuxBeat
+		}
+		gs.Cand = data[off] == 1
+		off++
+	}
+	b.Entries = d.entries
+	return b, nil
+}
+
+// DecodeMuxBeat parses a datagram payload into a freshly allocated beat.
+// Hot paths should hold a MuxDecoder instead.
+func DecodeMuxBeat(data []byte) (MuxBeat, error) {
+	b, err := NewMuxDecoder().Decode(data)
+	if err != nil {
+		return MuxBeat{}, err
+	}
+	b.Entries = append([]GroupState(nil), b.Entries...)
+	return b, nil
+}
+
+// StateSource supplies one group's current entry each emitter tick; now is
+// the tick's timestamp, shared by every source the beat pulls (the election
+// clock reads it instead of calling time.Now per group). Returning ok=false
+// omits the entry from that tick's beat — the member looks silent to the
+// peer (paused/hung), without tearing the stream down.
+type StateSource func(now time.Time) (GroupState, bool)
+
+// MuxEmitter drives one node-pair beat stream: every interval it pulls
+// every registered group's state and sends a single MuxBeat. The pull is
+// also the fabric's election clock — group engines run their lease tick
+// inside the StateSource callback, so thousands of members need no timer
+// goroutines of their own.
+type MuxEmitter struct {
+	from     string
+	interval time.Duration
+	send     func(data []byte)
+
+	mu      sync.Mutex
+	sources map[string]StateSource // by group ID
+	order   []string               // stable emission order
+	seq     uint64
+
+	// Scratch state reused across beats; touched only by the beat loop.
+	srcScratch []StateSource
+	entScratch []GroupState
+	buf        []byte
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewMuxEmitter creates a stopped per-pair emitter; send delivers one
+// encoded MuxBeat to the peer (fire-and-forget).
+func NewMuxEmitter(from string, interval time.Duration, send func(data []byte)) *MuxEmitter {
+	return &MuxEmitter{
+		from:     from,
+		interval: interval,
+		send:     send,
+		sources:  make(map[string]StateSource),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// AddSource registers (or replaces) a group's state source on this stream.
+func (m *MuxEmitter) AddSource(group string, src StateSource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sources[group]; !ok {
+		m.order = append(m.order, group)
+	}
+	m.sources[group] = src
+}
+
+// RemoveSource drops a group from the stream.
+func (m *MuxEmitter) RemoveSource(group string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sources[group]; !ok {
+		return
+	}
+	delete(m.sources, group)
+	for i, g := range m.order {
+		if g == group {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// SourceCount reports how many groups ride this stream.
+func (m *MuxEmitter) SourceCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sources)
+}
+
+// Start launches the beat loop. Like Emitter, it beats once immediately.
+func (m *MuxEmitter) Start() {
+	go func() {
+		defer close(m.done)
+		m.beat()
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				m.beat()
+			case <-m.stop:
+				return
+			}
+		}
+	}()
+}
+
+func (m *MuxEmitter) beat() {
+	now := time.Now()
+	m.mu.Lock()
+	m.seq++
+	seq := m.seq
+	m.srcScratch = m.srcScratch[:0]
+	for _, g := range m.order {
+		m.srcScratch = append(m.srcScratch, m.sources[g])
+	}
+	srcs := m.srcScratch
+	m.mu.Unlock()
+
+	// Pull outside the lock: sources run election ticks and take engine
+	// locks of their own.
+	m.entScratch = m.entScratch[:0]
+	for _, src := range srcs {
+		if gs, ok := src(now); ok {
+			m.entScratch = append(m.entScratch, gs)
+		}
+	}
+	if len(m.entScratch) == 0 {
+		return // nothing to say; the stream stays quiet, not chatty
+	}
+	b := MuxBeat{From: m.from, Seq: seq, SentAt: now, Entries: m.entScratch}
+	// The scratch buffer is reused every beat; send must not retain it
+	// (netsim copies the payload into the receiver's queue).
+	m.buf = AppendMuxBeat(m.buf[:0], &b)
+	m.send(m.buf)
+}
+
+// Stop halts the beat loop and waits for it to exit.
+func (m *MuxEmitter) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}

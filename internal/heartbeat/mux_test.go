@@ -1,0 +1,124 @@
+package heartbeat
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMuxBeatRoundTrip(t *testing.T) {
+	in := MuxBeat{
+		From:   "node3",
+		Seq:    42,
+		SentAt: time.Unix(100, 200).UTC(),
+		Entries: []GroupState{
+			{Group: "g1", Seq: 7, Role: 2, Term: 3, Vote: "node1", Cand: false},
+			{Group: "g2", Seq: 9, Role: 3, Term: 1, Vote: "", Cand: true},
+		},
+	}
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeMuxBeat(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.From != in.From || out.Seq != in.Seq || len(out.Entries) != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	for i := range in.Entries {
+		if out.Entries[i] != in.Entries[i] {
+			t.Fatalf("entry %d mismatch: got %+v want %+v", i, out.Entries[i], in.Entries[i])
+		}
+	}
+}
+
+// TestMuxEmitterOneDatagramPerTick is the wire-format contract: however
+// many groups register, each tick produces exactly one datagram carrying
+// one entry per live group.
+func TestMuxEmitterOneDatagramPerTick(t *testing.T) {
+	var mu sync.Mutex
+	var beats []MuxBeat
+	em := NewMuxEmitter("nodeA", 5*time.Millisecond, func(data []byte) {
+		b, err := DecodeMuxBeat(data)
+		if err != nil {
+			t.Errorf("decode: %v", err)
+			return
+		}
+		mu.Lock()
+		beats = append(beats, b)
+		mu.Unlock()
+	})
+	var paused atomic.Bool
+	for _, g := range []string{"g1", "g2", "g3"} {
+		g := g
+		em.AddSource(g, func(time.Time) (GroupState, bool) {
+			if g == "g3" && paused.Load() {
+				return GroupState{}, false
+			}
+			return GroupState{Group: g, Seq: 1, Role: 3}, true
+		})
+	}
+	em.Start()
+	time.Sleep(25 * time.Millisecond)
+	paused.Store(true)
+	time.Sleep(25 * time.Millisecond)
+	em.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(beats) < 4 {
+		t.Fatalf("too few beats: %d", len(beats))
+	}
+	full, reduced := 0, 0
+	var lastSeq uint64
+	for _, b := range beats {
+		if b.Seq <= lastSeq {
+			t.Fatalf("stream seq not increasing: %d after %d", b.Seq, lastSeq)
+		}
+		lastSeq = b.Seq
+		switch len(b.Entries) {
+		case 3:
+			full++
+		case 2:
+			reduced++
+		default:
+			t.Fatalf("unexpected entry count %d", len(b.Entries))
+		}
+	}
+	if full == 0 || reduced == 0 {
+		t.Fatalf("expected both full and reduced beats (got %d full, %d reduced)", full, reduced)
+	}
+}
+
+// TestWatchFullPerSourceRecovery checks that the per-source recovery
+// callback fires for its own source only.
+func TestWatchFullPerSourceRecovery(t *testing.T) {
+	m := NewMonitor(2 * time.Millisecond)
+	var aFailed, aRecovered, bRecovered atomic.Int32
+	m.WatchFull("a", 10*time.Millisecond,
+		func(string, time.Time) { aFailed.Add(1) },
+		func(string) { aRecovered.Add(1) })
+	m.WatchFull("b", 10*time.Minute,
+		func(string, time.Time) {},
+		func(string) { bRecovered.Add(1) })
+	m.Start()
+	defer m.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for aFailed.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if aFailed.Load() == 0 {
+		t.Fatal("source a never declared failed")
+	}
+	m.Observe(Beat{Source: "a", Seq: 1})
+	if aRecovered.Load() != 1 {
+		t.Fatalf("a recoveries = %d, want 1", aRecovered.Load())
+	}
+	if bRecovered.Load() != 0 {
+		t.Fatalf("b recovered without ever failing")
+	}
+}

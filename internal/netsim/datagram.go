@@ -120,6 +120,20 @@ func (s *DatagramSock) RecvTimeout(d time.Duration) (Datagram, error) {
 }
 
 func (s *DatagramSock) recv(timeout <-chan time.Time) (Datagram, error) {
+	// Fast path: a due datagram is already queued — skip the timeout
+	// watcher goroutine entirely. Busy receivers (the fabric's demux
+	// loops) take this path for nearly every datagram.
+	s.mu.Lock()
+	if !s.closed && len(s.queue) > 0 {
+		td := s.queue[0]
+		if time.Until(td.due) <= 0 {
+			s.queue = s.queue[1:]
+			s.mu.Unlock()
+			return td.d, nil
+		}
+	}
+	s.mu.Unlock()
+
 	timedOut := false
 	if timeout != nil {
 		stop := make(chan struct{})

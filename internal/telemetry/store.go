@@ -50,7 +50,9 @@ type Event struct {
 type Store struct {
 	mu        sync.Mutex
 	statuses  map[string]Status
-	events    []Event
+	events    []Event // ring buffer of capacity maxEvents
+	head      int     // index of the oldest retained event
+	count     int
 	maxEvents int
 	subs      map[int]func(Event)
 	nextSub   int
@@ -79,16 +81,24 @@ func (m *Store) Report(st Status) {
 	m.statuses[st.key()] = st
 }
 
-// RecordEvent appends an event, trimming to the retention limit, and
-// notifies subscribers.
+// RecordEvent appends an event (overwriting the oldest once the ring is
+// at capacity) and notifies subscribers. The ring never reallocates or
+// shifts: the store's mutex is shared by every engine in a fabric, and a
+// retention trim that copied the buffer convoyed them all behind it.
 func (m *Store) RecordEvent(e Event) {
 	if e.Time.IsZero() {
 		e.Time = time.Now()
 	}
 	m.mu.Lock()
-	m.events = append(m.events, e)
-	if over := len(m.events) - m.maxEvents; over > 0 {
-		m.events = append([]Event(nil), m.events[over:]...)
+	if m.events == nil {
+		m.events = make([]Event, m.maxEvents)
+	}
+	if m.count < m.maxEvents {
+		m.events[(m.head+m.count)%m.maxEvents] = e
+		m.count++
+	} else {
+		m.events[m.head] = e
+		m.head = (m.head + 1) % m.maxEvents
 	}
 	subs := make([]func(Event), 0, len(m.subs))
 	for _, fn := range m.subs {
@@ -144,11 +154,15 @@ func (m *Store) Status(node, component string) (Status, bool) {
 func (m *Store) Events(limit int) []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	evs := m.events
-	if limit > 0 && len(evs) > limit {
-		evs = evs[len(evs)-limit:]
+	n := m.count
+	if limit > 0 && n > limit {
+		n = limit
 	}
-	return append([]Event(nil), evs...)
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.events[(m.head+m.count-n+i)%m.maxEvents]
+	}
+	return out
 }
 
 // CountByState counts rows currently in the given state.

@@ -29,10 +29,10 @@
 // Initialize registers the application with its engine AND immediately
 // enters role negotiation, so any state registered afterwards misses the
 // first activation. Stateful applications should instead pair
-// InitializeDeferred with Attach: InitializeDeferred creates the FTIM
-// without starting role delivery, the application then calls
-// RegisterState for every checkpointable region, and Attach (or
-// AttachContext) releases the role callbacks. Deployments built with
+// InitializeDeferred with AttachContext: InitializeDeferred creates the
+// FTIM without starting role delivery, the application then calls
+// RegisterState for every checkpointable region, and AttachContext
+// releases the role callbacks. Deployments built with
 // NewDeployment do this ordering for you (Setup runs between the two).
 //
 // # Observability
@@ -147,11 +147,11 @@ const (
 
 // Initialize is OFTTInitialize for stateful applications. Role delivery
 // begins immediately, so all RegisterState calls must already have
-// happened; when they cannot, use InitializeDeferred + Attach.
+// happened; when they cannot, use InitializeDeferred + AttachContext.
 func Initialize(cfg FTIMConfig) (*ClientFTIM, error) { return ftim.Initialize(cfg) }
 
 // InitializeDeferred is Initialize with role delivery (and thus the first
-// Activate callback) held back until Attach or AttachContext is called.
+// Activate callback) held back until AttachContext is called.
 // Register all checkpointable state between the two calls; an FTIM left
 // unattached heartbeats but never activates its copy.
 func InitializeDeferred(cfg FTIMConfig) (*ClientFTIM, error) { return ftim.InitializeDeferred(cfg) }
@@ -196,6 +196,50 @@ type CallTrackConfig = core.CallTrackConfig
 func NewCallTrackDeployment(cfg CallTrackConfig) (*CallTrackDeployment, error) {
 	return core.NewCallTrackDeployment(cfg)
 }
+
+// Multi-group fabric: one simulated cluster hosting many independent FT
+// groups on a shared node pool, with per-node-pair heartbeat multiplexing
+// and lease/quorum election for groups of three or more replicas.
+type (
+	// Fabric is the shared cluster substrate: node pool, network, node
+	// transports, telemetry hub, and diverter.
+	Fabric = core.Fabric
+	// FabricConfig parameterizes NewFabric.
+	FabricConfig = core.FabricConfig
+	// Group is one FT group's view onto the fabric (the analog of a
+	// Deployment: Primary, WaitForRolesContext, Send, Inject, Shutdown).
+	Group = core.Group
+	// GroupSpec parameterizes Fabric.AddGroup.
+	GroupSpec = core.GroupSpec
+	// FaultKind names an injectable failure mode.
+	FaultKind = core.FaultKind
+	// ConfigError ties a validation failure to the offending config
+	// field; it unwraps to the Err* sentinels below.
+	ConfigError = core.ConfigError
+)
+
+// NewFabric boots the shared cluster: one agent process and beat
+// transport per node, ready for AddGroup.
+func NewFabric(cfg FabricConfig) (*Fabric, error) { return core.NewFabric(cfg) }
+
+// The injectable failure modes (Group.Inject / Deployment.Inject).
+const (
+	FaultKillNode   = core.FaultKillNode
+	FaultBlueScreen = core.FaultBlueScreen
+	FaultKillApp    = core.FaultKillApp
+	FaultKillEngine = core.FaultKillEngine
+	FaultHangApp    = core.FaultHangApp
+	FaultHangEngine = core.FaultHangEngine
+)
+
+// Typed configuration-validation sentinels (match with errors.Is).
+var (
+	ErrDuplicateNode  = core.ErrDuplicateNode
+	ErrUnknownNode    = core.ErrUnknownNode
+	ErrBadTimeout     = core.ErrBadTimeout
+	ErrTooFewReplicas = core.ErrTooFewReplicas
+	ErrDuplicateGroup = core.ErrDuplicateGroup
+)
 
 // Observability surface: the telemetry hub behind every Deployment's
 // Telemetry field, usable standalone for manually assembled pairs.

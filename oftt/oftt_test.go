@@ -1,6 +1,7 @@
 package oftt_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -47,9 +48,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer d.Stop()
+	defer d.Shutdown(context.Background())
 
-	p, err := d.WaitForPrimary(3 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	p, err := d.WaitForPrimaryContext(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
