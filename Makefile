@@ -4,12 +4,13 @@
 # atomic telemetry instruments) is exercised under the race detector on
 # every change. `make verify` is the full pre-merge gate; the perf claims
 # have their own gated targets (bench-diverter -> BENCH_DIVERTER.json,
-# bench-dcom -> BENCH_DCOM.json, bench-fabric -> BENCH_FABRIC.json) kept
-# out of verify because benchmark wall-time dwarfs the test suite.
+# bench-dcom -> BENCH_DCOM.json, bench-fabric -> BENCH_FABRIC.json,
+# bench-opc -> BENCH_OPC.json) kept out of verify because benchmark
+# wall-time dwarfs the test suite.
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench bench-diverter bench-dcom bench-fabric fuzz verify
+.PHONY: build vet test race chaos bench bench-diverter bench-dcom bench-fabric bench-opc fuzz verify
 
 build:
 	$(GO) build ./...
@@ -75,6 +76,26 @@ bench-dcom:
 # most 2x (sub-linear in groups).
 bench-fabric:
 	$(GO) run ./cmd/oftt-fabricbench -out BENCH_FABRIC.json
+
+# Old-vs-new OPC fan-out: the shared-scan-cycle data plane against the
+# retained per-group scanner baseline on the items x subscribers grid,
+# regenerating BENCH_OPC.json. Iteration counts step down with cell size
+# so the big cells stay bounded; the baseline's large cell runs at a
+# relaxed scan rate (it cannot sustain 10k scan loops at the shared
+# plane's period — the handicap favors the baseline and it still loses).
+# The gate compares the deliveries/s rate metric, which is comparable
+# across operating points, and fails the target if the 100k-item /
+# 10k-subscriber cell is below 3x.
+bench-opc:
+	$(GO) test -run xxx -bench 'BenchmarkOPCFanout/impl=.*/items=1000$$/' \
+		-benchtime 20x ./internal/opc | tee /tmp/bench_opc.txt
+	$(GO) test -run xxx -bench 'BenchmarkOPCFanout/impl=.*/items=10000$$/' \
+		-benchtime 5x ./internal/opc | tee -a /tmp/bench_opc.txt
+	$(GO) test -run xxx -bench 'BenchmarkOPCFanout/impl=.*/items=100000$$/' \
+		-benchtime 2x ./internal/opc | tee -a /tmp/bench_opc.txt
+	$(GO) run ./cmd/oftt-benchdiff -in /tmp/bench_opc.txt -bench BenchmarkOPCFanout \
+		-new shared -old pergroup -metric persec -out BENCH_OPC.json \
+		-cell 'items=100000/subs=10000/chg=32' -min-speedup 3.0
 
 fuzz:
 	$(GO) test -fuzz FuzzPlannedVsReflective -fuzztime 30s ./internal/ndr

@@ -52,6 +52,7 @@ type report struct {
 	Benchmark string `json:"benchmark"`
 	NewImpl   string `json:"new_impl"`
 	OldImpl   string `json:"old_impl"`
+	Metric    string `json:"metric,omitempty"`       // speedup source: nsop or persec
 	PerSec    string `json:"per_sec_unit,omitempty"` // unit of the throughput metric
 	Gate      struct {
 		Cell       string  `json:"cell"`
@@ -70,7 +71,12 @@ func main() {
 	oldImpl := flag.String("old", "singlepump", "impl= label of the old (baseline) implementation")
 	gateCell := flag.String("cell", "p=8/d=8/svc=1ms", "grid cell the speedup gate applies to")
 	minSpeedup := flag.Float64("min-speedup", 3.0, "minimum new-over-old speedup for the gate cell")
+	metric := flag.String("metric", "nsop", "speedup source: nsop (old/new ns/op) or persec (new/old custom throughput)")
 	flag.Parse()
+
+	if *metric != "nsop" && *metric != "persec" {
+		fatal(fmt.Errorf("unknown -metric %q (want nsop or persec)", *metric))
+	}
 
 	r := os.Stdin
 	if *in != "-" {
@@ -81,7 +87,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	rep, err := build(r, *benchName, *newImpl, *oldImpl, *gateCell, *minSpeedup)
+	rep, err := build(r, *benchName, *newImpl, *oldImpl, *gateCell, *minSpeedup, *metric)
 	if err != nil {
 		fatal(err)
 	}
@@ -118,9 +124,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// build parses bench output and assembles the paired report.
-func build(r io.Reader, benchName, newImpl, oldImpl, gateCell string, minSpeedup float64) (*report, error) {
-	rep := &report{Benchmark: benchName, NewImpl: newImpl, OldImpl: oldImpl}
+// build parses bench output and assembles the paired report. metric
+// selects the speedup source: "nsop" divides old ns/op by new ns/op;
+// "persec" divides the new custom throughput metric by the old (useful
+// when the grid runs the implementations at different operating points
+// and the rate metric is the comparable quantity).
+func build(r io.Reader, benchName, newImpl, oldImpl, gateCell string, minSpeedup float64, metric string) (*report, error) {
+	rep := &report{Benchmark: benchName, NewImpl: newImpl, OldImpl: oldImpl, Metric: metric}
 	byImpl := map[string]map[string]*measurement{} // impl -> cell -> measurement
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -154,7 +164,9 @@ func build(r io.Reader, benchName, newImpl, oldImpl, gateCell string, minSpeedup
 	sort.Strings(names)
 	for _, name := range names {
 		c := cell{Cell: name, New: newM[name], Old: oldM[name]}
-		if c.New.NsPerOp > 0 {
+		if metric == "persec" && c.Old.PerSec > 0 {
+			c.Speedup = c.New.PerSec / c.Old.PerSec
+		} else if c.New.NsPerOp > 0 {
 			c.Speedup = c.Old.NsPerOp / c.New.NsPerOp
 		}
 		rep.Cells = append(rep.Cells, c)

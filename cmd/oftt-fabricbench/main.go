@@ -46,6 +46,15 @@ type cellResult struct {
 	NetDatagramsSentPerSec  float64 `json:"net_datagrams_sent_per_sec"`
 	FormationMS             int64   `json:"formation_ms"`
 	TrafficOK               bool    `json:"traffic_ok"`
+
+	// Detection sweep: after the traffic window the cell kills the node
+	// hosting the most group primaries and measures, per orphaned group,
+	// the time until a new primary is live. Group count is the x-axis:
+	// the sweep shows how failure-detection latency behaves as groups
+	// multiply on a fixed pool.
+	FailoverGroups int     `json:"failover_groups"`
+	DetectMeanMS   float64 `json:"detect_mean_ms"`
+	DetectMaxMS    float64 `json:"detect_max_ms"`
 }
 
 type gateRow struct {
@@ -77,6 +86,8 @@ func main() {
 		window    = flag.Duration("window", 1500*time.Millisecond, "measurement window")
 		maxGrowth = flag.Float64("max-growth", 2.0, "max datagram-rate growth from min to max group count")
 		formWait  = flag.Duration("form-wait", 90*time.Second, "per-cell formation deadline")
+		noDetect  = flag.Bool("no-detect", false, "skip the node-kill detection-latency sweep")
+		detectCap = flag.Duration("detect-cap", 30*time.Second, "per-cell bound on post-kill re-settle")
 	)
 	flag.Parse()
 
@@ -98,13 +109,17 @@ func main() {
 	trafficOK := true
 	for _, n := range nodeCounts {
 		for _, g := range groupCounts {
-			cell, err := runCell(n, g, *beat, *window, *formWait)
+			cell, err := runCell(n, g, *beat, *window, *formWait, !*noDetect, *detectCap)
 			if err != nil {
 				fatal("cell nodes=%d groups=%d: %v", n, g, err)
 			}
 			fmt.Printf("nodes=%d groups=%d: %.0f dgrams/s (bound %.0f), %.0f entries/s, %.1f entries/dgram, pairs=%d, formed in %dms\n",
 				n, g, cell.DatagramsPerSec, cell.ExpectedDatagramsPerSec,
 				cell.EntriesPerSec, cell.EntriesPerDatagram, cell.PairStreams, cell.FormationMS)
+			if cell.FailoverGroups > 0 {
+				fmt.Printf("  detect: %d orphaned groups re-elected in mean %.1fms max %.1fms\n",
+					cell.FailoverGroups, cell.DetectMeanMS, cell.DetectMaxMS)
+			}
 			if !cell.TrafficOK {
 				trafficOK = false
 				fmt.Printf("  TRAFFIC FAIL: datagram rate exceeds the per-pair stream bound\n")
@@ -158,8 +173,11 @@ func main() {
 	}
 }
 
-// runCell boots one fabric, forms G groups, and measures beat traffic.
-func runCell(nodes, groups int, beat, window, formWait time.Duration) (cellResult, error) {
+// runCell boots one fabric, forms G groups, and measures beat traffic,
+// then (unless detect is off) kills the busiest node and measures how
+// long each orphaned group takes to elect a replacement primary.
+func runCell(nodes, groups int, beat, window, formWait time.Duration,
+	detect bool, detectCap time.Duration) (cellResult, error) {
 	cell := cellResult{Nodes: nodes, Groups: groups, Replicas: 3}
 	f, err := core.NewFabric(core.FabricConfig{
 		NodeCount:    nodes,
@@ -245,7 +263,75 @@ func runCell(nodes, groups int, beat, window, formWait time.Duration) (cellResul
 	cell.ExpectedDatagramsPerSec = float64(2*cell.PairStreams) / beat.Seconds()
 	cell.TrafficOK = cell.DatagramsPerSec > 0 &&
 		cell.DatagramsPerSec <= 1.5*cell.ExpectedDatagramsPerSec
+
+	if detect {
+		if err := measureDetection(f, grps, &cell, detectCap); err != nil {
+			return cell, err
+		}
+	}
 	return cell, nil
+}
+
+// measureDetection kills the node hosting the most group primaries and
+// polls every orphaned group until it holds a new primary, recording the
+// per-group re-election latency.
+func measureDetection(f *core.Fabric, grps []*core.Group, cell *cellResult, bound time.Duration) error {
+	byNode := make(map[string]int)
+	for _, g := range grps {
+		if p := g.PrimaryNode(); p != "" {
+			byNode[p]++
+		}
+	}
+	victim := ""
+	for n, c := range byNode {
+		if victim == "" || c > byNode[victim] {
+			victim = n
+		}
+	}
+	if victim == "" {
+		return fmt.Errorf("no primaries to orphan")
+	}
+	var orphans []*core.Group
+	for _, g := range grps {
+		if g.PrimaryNode() == victim {
+			orphans = append(orphans, g)
+		}
+	}
+	cell.FailoverGroups = len(orphans)
+
+	t0 := time.Now()
+	f.Node(victim).PowerOff()
+
+	recovered := make([]time.Duration, len(orphans))
+	deadline := t0.Add(bound)
+	pending := len(orphans)
+	for pending > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d/%d orphaned groups never re-elected within %v",
+				pending, len(orphans), bound)
+		}
+		for i, g := range orphans {
+			if recovered[i] != 0 {
+				continue
+			}
+			if p := g.PrimaryNode(); p != "" && p != victim {
+				recovered[i] = time.Since(t0)
+				pending--
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var sum, max time.Duration
+	for _, d := range recovered {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	cell.DetectMeanMS = float64(sum.Microseconds()) / float64(len(recovered)) / 1000
+	cell.DetectMaxMS = float64(max.Microseconds()) / 1000
+	return nil
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,238 @@
+// Command oftt-opcbench is the OPC data-plane scale probe: it pushes the
+// sharded namespace and shared scan cycles to paper-scale cell sizes
+// (up to ~1M items and ~100k subscriptions) and records the sustained
+// fan-out rate, mean scan-cycle time, and deadband suppression for each
+// cell in BENCH_OPC_SCALE.json.
+//
+// Unlike `make bench-opc` (which gates a new-vs-old grid through
+// oftt-benchdiff), this probe has no baseline leg — the old per-group
+// scanner cannot form the large cells at all — so it records what the new
+// plane sustains rather than a speedup. Subscribers are spread over
+// -windows distinct watch sets plus one shared sentinel tag, exercising
+// cohort sharing the way a real plant's many identical displays would.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/opc"
+	"repro/internal/telemetry"
+)
+
+type cellResult struct {
+	Items       int `json:"items"`
+	Subscribers int `json:"subscribers"`
+	Windows     int `json:"windows"` // distinct watch sets (cohorts per rate)
+
+	SetupMS         int64   `json:"setup_ms"`
+	DeliveriesPerS  float64 `json:"deliveries_per_s"`
+	UpdatesPerSubPS float64 `json:"updates_per_sub_per_s"`
+	ScanMeanUS      float64 `json:"scan_mean_us"`
+	Suppressed      int64   `json:"deadband_suppressed"`
+	Published       int64   `json:"updates_published"`
+}
+
+type report struct {
+	Benchmark  string       `json:"benchmark"`
+	ScanRateMS float64      `json:"scan_rate_ms"`
+	WindowMS   float64      `json:"window_ms"`
+	WatchTags  int          `json:"watch_tags_per_sub"`
+	Cells      []cellResult `json:"cells"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_OPC_SCALE.json", "report path")
+		cells   = flag.String("cells", "10000x1000,100000x10000,1000000x100000", "comma-separated itemsxsubscribers cells")
+		windows = flag.Int("windows", 64, "distinct watch sets the subscribers share")
+		tagsPer = flag.Int("tags", 64, "tags per watch set")
+		rate    = flag.Duration("rate", 20*time.Millisecond, "subscription update rate")
+		window  = flag.Duration("window", 2*time.Second, "measurement window per cell")
+	)
+	flag.Parse()
+
+	parsed, err := parseCells(*cells)
+	if err != nil {
+		fatal("bad -cells: %v", err)
+	}
+
+	rep := report{
+		Benchmark:  "OPCDataPlaneScale",
+		ScanRateMS: float64(*rate) / float64(time.Millisecond),
+		WindowMS:   float64(*window) / float64(time.Millisecond),
+		WatchTags:  *tagsPer,
+	}
+	for _, c := range parsed {
+		cell, err := runCell(c[0], c[1], *windows, *tagsPer, *rate, *window)
+		if err != nil {
+			fatal("cell items=%d subs=%d: %v", c[0], c[1], err)
+		}
+		fmt.Printf("items=%d subs=%d: %.0f deliveries/s (%.1f per sub), scan mean %.0fus, %d suppressed, setup %dms\n",
+			cell.Items, cell.Subscribers, cell.DeliveriesPerS, cell.UpdatesPerSubPS,
+			cell.ScanMeanUS, cell.Suppressed, cell.SetupMS)
+		rep.Cells = append(rep.Cells, cell)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// runCell builds one namespace, spreads subs over the watch windows, and
+// publishes a sentinel-bearing batch every rate tick for the window.
+func runCell(items, subs, windows, tagsPer int, rate, window time.Duration) (cellResult, error) {
+	cell := cellResult{Items: items, Subscribers: subs, Windows: windows}
+	setupStart := time.Now()
+
+	srv := opc.NewServer("scale")
+	defer srv.Close()
+	reg := telemetry.NewRegistry()
+	scanHist := reg.Histogram("opc_scan_us", telemetry.DurationBuckets...)
+	suppressed := reg.Counter("opc_suppressed")
+	published := reg.Counter("opc_published")
+	srv.Instrument(opc.Instruments{
+		ScanCycle:          scanHist,
+		DeadbandSuppressed: suppressed,
+		UpdatesPublished:   published,
+	})
+
+	for i := 0; i < items; i++ {
+		if err := srv.AddItem(opc.ItemDef{
+			Tag:           fmt.Sprintf("plant.u%d.t%d", i/512, i),
+			CanonicalType: opc.VTFloat64,
+		}); err != nil {
+			return cell, err
+		}
+	}
+	if err := srv.AddItem(opc.ItemDef{Tag: "scale.seq", CanonicalType: opc.VTInt64}); err != nil {
+		return cell, err
+	}
+
+	// Watch windows: w spans tags [w*tagsPer, (w+1)*tagsPer) plus the
+	// shared sentinel, so every sweep that bumps the sentinel fans out to
+	// every subscriber while per-window tags stay cohort-local.
+	if windows*tagsPer > items {
+		windows = items / tagsPer
+		if windows == 0 {
+			windows = 1
+		}
+		cell.Windows = windows
+	}
+	watch := make([][]string, windows)
+	for w := 0; w < windows; w++ {
+		tags := make([]string, 0, tagsPer+1)
+		for j := 0; j < tagsPer; j++ {
+			i := w*tagsPer + j
+			tags = append(tags, fmt.Sprintf("plant.u%d.t%d", i/512, i))
+		}
+		tags = append(tags, "scale.seq")
+		watch[w] = tags
+	}
+
+	client := opc.NewClient(srv)
+	defer client.Close()
+	var delivered atomic.Int64
+	for s := 0; s < subs; s++ {
+		_, err := client.Subscribe(context.Background(), opc.SubscriptionConfig{
+			UpdateRate: rate,
+			Tags:       watch[s%windows],
+			OnChange: func(updates []opc.ItemState) {
+				delivered.Add(int64(len(updates)))
+			},
+		})
+		if err != nil {
+			return cell, err
+		}
+	}
+	cell.SetupMS = time.Since(setupStart).Milliseconds()
+
+	// Publisher: every tick bump one tag in each window plus the sentinel.
+	batch := make([]opc.ItemUpdate, 0, windows+1)
+	seq := int64(0)
+	publish := func() {
+		seq++
+		batch = batch[:0]
+		for w := 0; w < windows; w++ {
+			i := w*tagsPer + int(seq)%tagsPer
+			batch = append(batch, opc.ItemUpdate{
+				Tag:     fmt.Sprintf("plant.u%d.t%d", i/512, i),
+				Value:   opc.VR8(float64(seq)),
+				Quality: opc.GoodNonSpecific,
+			})
+		}
+		batch = append(batch, opc.ItemUpdate{
+			Tag: "scale.seq", Value: opc.VI8(seq), Quality: opc.GoodNonSpecific,
+		})
+		if err := srv.Publish(batch); err != nil {
+			fatal("publish: %v", err)
+		}
+	}
+	publish() // prime: first sweep delivers initial states
+	time.Sleep(2 * rate)
+
+	d0 := delivered.Load()
+	start := time.Now()
+	tick := time.NewTicker(rate)
+	for time.Since(start) < window {
+		<-tick.C
+		publish()
+	}
+	tick.Stop()
+	elapsed := time.Since(start).Seconds()
+	d1 := delivered.Load()
+
+	cell.DeliveriesPerS = float64(d1-d0) / elapsed
+	cell.UpdatesPerSubPS = cell.DeliveriesPerS / float64(subs)
+	if n := scanHist.Count(); n > 0 {
+		cell.ScanMeanUS = float64(scanHist.Sum()) / float64(n)
+	}
+	cell.Suppressed = suppressed.Value()
+	cell.Published = published.Value()
+	return cell, nil
+}
+
+func parseCells(s string) ([][2]int, error) {
+	var out [][2]int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		halves := strings.SplitN(part, "x", 2)
+		if len(halves) != 2 {
+			return nil, fmt.Errorf("cell %q is not itemsxsubs", part)
+		}
+		items, err := strconv.Atoi(halves[0])
+		if err != nil || items <= 0 {
+			return nil, fmt.Errorf("bad items in %q", part)
+		}
+		subs, err := strconv.Atoi(halves[1])
+		if err != nil || subs <= 0 {
+			return nil, fmt.Errorf("bad subs in %q", part)
+		}
+		out = append(out, [2]int{items, subs})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty cell list")
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "oftt-opcbench: "+format+"\n", args...)
+	os.Exit(1)
+}

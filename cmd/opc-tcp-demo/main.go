@@ -117,25 +117,28 @@ func read(addr string, runFor time.Duration) error {
 	}
 	fmt.Printf("namespace: %v\n", tags)
 
-	updates := 0
-	g, err := client.AddGroup(opc.GroupConfig{
+	subCtx, stop := context.WithTimeout(context.Background(), runFor)
+	defer stop()
+	sub, err := client.Subscribe(subCtx, opc.SubscriptionConfig{
 		Name:       "demo",
 		UpdateRate: 50 * time.Millisecond,
-		Active:     true,
-	}, func(batch []opc.ItemState) {
+		Tags:       tags,
+	})
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+
+	// The subscription closes (and its channel drains) when subCtx expires.
+	updates := 0
+	for batch := range sub.Updates() {
 		for _, u := range batch {
 			updates++
 			if updates%10 == 0 {
 				fmt.Printf("  %-12s = %8s  [%s]\n", u.Tag, u.Value.String(), u.Quality)
 			}
 		}
-	})
-	if err != nil {
-		return err
 	}
-	g.AddItems(tags...)
-	time.Sleep(runFor)
-	g.Stop()
 	if updates == 0 {
 		return fmt.Errorf("no updates arrived over TCP")
 	}

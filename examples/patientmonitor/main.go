@@ -77,16 +77,16 @@ func (a *trendApp) Activate(restored bool) {
 	}
 	a.dcli = dcli
 	a.client = opc.NewClient(opc.NewRemoteConnection(dcli, bedsideOID))
-	g, err := a.client.AddGroup(opc.GroupConfig{
+	_, err = a.client.Subscribe(context.Background(), opc.SubscriptionConfig{
 		Name:       "vitals",
 		UpdateRate: 10 * time.Millisecond,
 		DeadbandPC: 1, // suppress sub-1% jitter, as a real trend display would
-		Active:     true,
-	}, a.onVitals)
+		Tags:       []string{"bed1.heart_rate", "bed1.spo2", "bed1.respiration"},
+		OnChange:   a.onVitals,
+	})
 	if err != nil {
 		return
 	}
-	g.AddItems("bed1.heart_rate", "bed1.spo2", "bed1.respiration")
 }
 
 func (a *trendApp) onVitals(updates []opc.ItemState) {

@@ -78,15 +78,15 @@ func (s *supervisor) Activate(restored bool) {
 	}
 	s.dcli = dcli
 	s.client = opc.NewClient(opc.NewRemoteConnection(dcli, plantOID))
-	g, err := s.client.AddGroup(opc.GroupConfig{
+	_, err = s.client.Subscribe(context.Background(), opc.SubscriptionConfig{
 		Name:       "plant",
 		UpdateRate: 10 * time.Millisecond,
-		Active:     true,
-	}, s.onData)
+		Tags:       []string{"plc1.level", "plc1.pressure", "plc2.motor_rpm"},
+		OnChange:   s.onData,
+	})
 	if err != nil {
 		return
 	}
-	g.AddItems("plc1.level", "plc1.pressure", "plc2.motor_rpm")
 }
 
 // onData supervises each update batch: record, alarm, and control.

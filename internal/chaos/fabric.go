@@ -47,6 +47,12 @@ type FabricConfig struct {
 	QuiesceTimeout time.Duration
 	// DrainBound bounds the final per-group diverter drain (default 5s).
 	DrainBound time.Duration
+	// OPCSubscribers, when positive, runs the OPC data-plane probe
+	// alongside the faults: that many subscriptions on the new Subscribe
+	// surface consume a sequence feed and bridge sentinel observations
+	// into the sampled groups, and after the final heal every one of them
+	// must observe a closing sentinel (InvOPCContinuity).
+	OPCSubscribers int
 }
 
 func (c *FabricConfig) applyDefaults() {
@@ -95,7 +101,10 @@ type FabricResult struct {
 	Faults     []string // executed fault log, in order
 	Sent       int64
 	Delivered  int64
-	Violations []Violation
+	// OPCDelivered counts per-subscription OPC update deliveries made by
+	// the data-plane probe (0 when the probe is off).
+	OPCDelivered int64
+	Violations   []Violation
 }
 
 // Passed reports whether every invariant held.
@@ -165,6 +174,19 @@ func RunFabric(cfg FabricConfig) (*FabricResult, error) {
 		}
 	}()
 
+	// OPC data-plane probe: subscriptions consuming a sequence feed while
+	// the faults run, bridging into the sampled groups.
+	var probe *opcProbe
+	if cfg.OPCSubscribers > 0 {
+		var perr error
+		probe, perr = startOPCProbe(cfg.OPCSubscribers, cfg.MessageEvery, sample, &sent)
+		if perr != nil {
+			close(senderStop)
+			<-senderDone
+			return nil, fmt.Errorf("chaos: start opc probe: %w", perr)
+		}
+	}
+
 	// One fault at a time: inject, dwell, repair, settle. Single
 	// goroutine, so fabric mutations never race each other.
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -203,6 +225,13 @@ func RunFabric(cfg FabricConfig) (*FabricResult, error) {
 
 	close(senderStop)
 	<-senderDone
+
+	// Invariant: every OPC subscription observes the closing sentinel.
+	if probe != nil {
+		res.Violations = append(res.Violations, probe.finish(cfg.DrainBound)...)
+		res.OPCDelivered = probe.delivered.Load()
+		probe.close()
+	}
 
 	// Invariant: every accepted message lands once the cluster is healthy.
 	for _, g := range sample {

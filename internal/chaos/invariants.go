@@ -14,6 +14,9 @@ const (
 	InvMonotonic     = "monotonic-state"
 	InvNoAckedLoss   = "no-acked-loss"
 	InvRecoveryBound = "bounded-recovery"
+	// InvOPCContinuity: every OPC subscription in the campaign's data-plane
+	// probe observes the closing sentinel after the final heal.
+	InvOPCContinuity = "opc-subscription-continuity"
 )
 
 // Violation is one invariant breach observed during a campaign.

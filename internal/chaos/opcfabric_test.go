@@ -1,0 +1,40 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestFabricOPCSubscriptionSurvival is the data-plane chaos gate: a
+// fixed-seed fault campaign with the OPC probe on. Subscriptions on the
+// new Subscribe surface consume a sequence feed throughout the faults and
+// bridge sentinel observations into the fabric groups; afterwards every
+// subscription must have observed the closing sentinel and no bridged
+// message may be lost. Runs under -short, so `make chaos` covers the
+// shared-scan-cycle machinery under -race on every verify.
+func TestFabricOPCSubscriptionSurvival(t *testing.T) {
+	res, err := RunFabric(FabricConfig{
+		Seed:           1313,
+		Nodes:          5,
+		Groups:         8,
+		Replicas:       3,
+		Rounds:         6,
+		OPCSubscribers: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("campaign injected no faults")
+	}
+	if !res.Passed() {
+		t.Fatalf("invariant violations after %v:\n%v", res.Faults, res.Violations)
+	}
+	if res.OPCDelivered == 0 {
+		t.Fatal("OPC probe delivered nothing")
+	}
+	if res.Sent == 0 || res.Delivered < res.Sent {
+		t.Fatalf("acked loss: sent=%d delivered=%d", res.Sent, res.Delivered)
+	}
+	t.Logf("faults=%v sent=%d delivered=%d opc=%d",
+		res.Faults, res.Sent, res.Delivered, res.OPCDelivered)
+}

@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/opc"
+)
+
+// opcProbe drives the OPC data plane alongside a fabric campaign: a
+// plant server publishing a sequence feed, N subscriptions on the new
+// Subscribe surface, and a bridge that forwards sentinel observations
+// into the fabric groups — so OPC-sourced traffic must keep landing on
+// primaries while the faults move them. After the final heal the probe
+// publishes a closing sentinel and every subscription must observe it.
+type opcProbe struct {
+	srv    *opc.Server
+	client *opc.Client
+	subs   []*opc.Subscription
+
+	lastSeq   []atomic.Int64
+	delivered atomic.Int64
+	seq       atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// opcProbeTags is the probe's watch set; chaos.seq is the sentinel.
+var opcProbeTags = []string{"chaos.u0.pv", "chaos.u1.pv", "chaos.u2.pv", "chaos.seq"}
+
+// startOPCProbe builds the server, the subscriptions, and the feeder.
+// Subscription i forwards sentinel observations to groups[i%len(groups)]
+// through sent, keeping the campaign's Sent/Delivered bookkeeping and
+// ledger audit covering the OPC-sourced messages too.
+func startOPCProbe(n int, every time.Duration, groups []*core.Group, sent *atomic.Int64) (*opcProbe, error) {
+	p := &opcProbe{
+		srv:     opc.NewServer("chaos-plant"),
+		lastSeq: make([]atomic.Int64, n),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, tag := range opcProbeTags[:len(opcProbeTags)-1] {
+		if err := p.srv.AddItem(opc.ItemDef{Tag: tag, CanonicalType: opc.VTFloat64}); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.srv.AddItem(opc.ItemDef{Tag: "chaos.seq", CanonicalType: opc.VTInt64}); err != nil {
+		return nil, err
+	}
+	p.client = opc.NewClient(p.srv)
+
+	for i := 0; i < n; i++ {
+		i := i
+		var g *core.Group
+		if len(groups) > 0 {
+			g = groups[i%len(groups)]
+		}
+		sub, err := p.client.Subscribe(nil, opc.SubscriptionConfig{
+			Name:       fmt.Sprintf("chaos-opc-%d", i),
+			UpdateRate: 2 * time.Millisecond,
+			Tags:       opcProbeTags,
+			OnChange: func(updates []opc.ItemState) {
+				p.delivered.Add(int64(len(updates)))
+				for j := range updates {
+					if updates[j].Tag != "chaos.seq" {
+						continue
+					}
+					seq := updates[j].Value.Int
+					if seq <= p.lastSeq[i].Load() {
+						continue
+					}
+					p.lastSeq[i].Store(seq)
+					if g != nil {
+						if _, err := g.Send([]byte(fmt.Sprintf("opc-%d-%d", i, seq))); err == nil {
+							sent.Add(1)
+						}
+					}
+				}
+			},
+		})
+		if err != nil {
+			p.client.Close()
+			p.srv.Close()
+			return nil, err
+		}
+		p.subs = append(p.subs, sub)
+	}
+
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.publish()
+			}
+		}
+	}()
+	return p, nil
+}
+
+// publish bumps the plant values and the sentinel once.
+func (p *opcProbe) publish() {
+	seq := p.seq.Add(1)
+	batch := []opc.ItemUpdate{
+		{Tag: "chaos.u0.pv", Value: opc.VR8(float64(seq)), Quality: opc.GoodNonSpecific},
+		{Tag: "chaos.u1.pv", Value: opc.VR8(float64(seq) * 0.5), Quality: opc.GoodNonSpecific},
+		{Tag: "chaos.seq", Value: opc.VI8(seq), Quality: opc.GoodNonSpecific},
+	}
+	_ = p.srv.Publish(batch)
+}
+
+// finish stops the feeder, publishes one closing sentinel, and waits for
+// every subscription to observe it. Returned violations name the stuck
+// subscriptions.
+func (p *opcProbe) finish(bound time.Duration) []Violation {
+	close(p.stop)
+	<-p.done
+	p.publish()
+	final := p.seq.Load()
+
+	deadline := time.Now().Add(bound)
+	for {
+		lagging := 0
+		for i := range p.lastSeq {
+			if p.lastSeq[i].Load() < final {
+				lagging++
+			}
+		}
+		if lagging == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			var out []Violation
+			for i := range p.lastSeq {
+				if got := p.lastSeq[i].Load(); got < final {
+					out = append(out, Violation{
+						Invariant: InvOPCContinuity,
+						Detail: fmt.Sprintf("subscription %d stuck at seq %d (final %d)",
+							i, got, final),
+					})
+				}
+			}
+			return out
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// close releases the probe's OPC resources.
+func (p *opcProbe) close() {
+	p.client.Close()
+	p.srv.Close()
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/ftim"
+	"repro/internal/netsim"
+	"repro/internal/opc"
+)
+
+// ProcDataOID is the well-known OID the process-data OPC server is
+// exported under on the test machine for the subscriber-host demo.
+var ProcDataOID = com.MustParseGUID("{0f7e4a10-3333-4000-8000-0d0d0d0d0d02}")
+
+// OPCSubRecord is the durable form of one subscription: everything needed
+// to re-materialize it on another node after a switchover. It is the
+// checkpointed mirror of an opc.SubscriptionConfig.
+type OPCSubRecord struct {
+	ID           int32
+	Name         string
+	UpdateRateMS int64
+	DeadbandPC   float64
+	GoodOnly     bool
+	Tags         []string
+}
+
+// OPCSubTable is the subscriber host's checkpointed state: the
+// subscription table plus an ingest counter that makes progress (and its
+// survival across failures) observable.
+type OPCSubTable struct {
+	NextID int32
+	Subs   []OPCSubRecord
+	// Ingested counts update deliveries across all subscriptions. It is
+	// monotonic on one copy and survives switchover up to the checkpoint
+	// window, like the Call Track histogram.
+	Ingested int64
+	// LastSeq records the most recent value of any tag ending in ".seq"
+	// (the chaos and test feeds use such a sentinel).
+	LastSeq int64
+}
+
+// OPCSubApp is a replicated OPC subscriber host: the paper's "OPC server
+// as a fault-tolerant component" direction, rendered on the new data
+// plane. The primary copy holds live opc.Subscription objects built from
+// the checkpointed table; on switchover the backup re-subscribes from the
+// restored table, so clients of the host observe a pause, not a loss of
+// configuration.
+type OPCSubApp struct {
+	node    string
+	network *netsim.Network
+	server  netsim.Addr
+	oid     dcom.ObjectID
+
+	Table OPCSubTable
+
+	mu     sync.Mutex
+	f      *ftim.ClientFTIM
+	dcli   *dcom.Client
+	client *opc.Client
+	live   bool
+	subs   map[int32]*opc.Subscription
+}
+
+var _ ReplicatedApp = (*OPCSubApp)(nil)
+
+// NewOPCSubApp builds an inactive subscriber host on a node. It connects
+// to the OPC server at server (OID oid) over network when activated.
+func NewOPCSubApp(node string, network *netsim.Network, server netsim.Addr,
+	oid dcom.ObjectID) *OPCSubApp {
+	return &OPCSubApp{
+		node:    node,
+		network: network,
+		server:  server,
+		oid:     oid,
+		subs:    make(map[int32]*opc.Subscription),
+	}
+}
+
+// Setup registers the subscription table for checkpointing.
+func (a *OPCSubApp) Setup(f *ftim.ClientFTIM) error {
+	a.mu.Lock()
+	a.f = f
+	a.mu.Unlock()
+	return f.RegisterState("opcsubs", &a.Table)
+}
+
+// Activate connects to the OPC server and materializes every table entry
+// as a live subscription. restored=true means the table arrived through a
+// checkpoint (switchover or restart) rather than local calls.
+func (a *OPCSubApp) Activate(restored bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.live {
+		return
+	}
+	from := netsim.Addr(a.node + ":" + "opcsub-cli")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	dcli, err := dcom.DialContext(ctx, a.network, from, a.server)
+	if err != nil {
+		// The server may be down; the copy is live but blind, exactly as
+		// the Call Track copy behaves. The table is still safe.
+		return
+	}
+	a.dcli = dcli
+	a.client = opc.NewClient(opc.NewRemoteConnection(dcli, a.oid))
+
+	var recs []OPCSubRecord
+	a.withLock(func() { recs = append(recs, a.Table.Subs...) })
+	for _, rec := range recs {
+		a.materializeLocked(rec)
+	}
+	a.live = true
+}
+
+// withLock runs fn under the FTIM state lock when attached, or bare
+// during tests that poke the app before Setup.
+func (a *OPCSubApp) withLock(fn func()) {
+	if a.f != nil {
+		a.f.WithLock(fn)
+		return
+	}
+	fn()
+}
+
+// materializeLocked builds the live subscription for rec. Caller holds
+// a.mu; a.client must be non-nil.
+func (a *OPCSubApp) materializeLocked(rec OPCSubRecord) {
+	id := rec.ID
+	sub, err := a.client.Subscribe(context.Background(), opc.SubscriptionConfig{
+		Name:       rec.Name,
+		UpdateRate: time.Duration(rec.UpdateRateMS) * time.Millisecond,
+		DeadbandPC: rec.DeadbandPC,
+		GoodOnly:   rec.GoodOnly,
+		Tags:       rec.Tags,
+		OnChange:   func(updates []opc.ItemState) { a.ingest(id, updates) },
+	})
+	if err != nil {
+		return
+	}
+	a.subs[id] = sub
+}
+
+// ingest consumes one delivery under the checkpoint lock so captures see
+// a consistent (Ingested, LastSeq) pair.
+func (a *OPCSubApp) ingest(_ int32, updates []opc.ItemState) {
+	a.withLock(func() {
+		a.Table.Ingested += int64(len(updates))
+		for i := range updates {
+			tag := updates[i].Tag
+			if len(tag) >= 4 && tag[len(tag)-4:] == ".seq" {
+				if v, ok := updates[i].Value.NumericValue(); ok {
+					a.Table.LastSeq = int64(v)
+				}
+			}
+		}
+	})
+}
+
+// AddSubscription appends a record to the durable table and, when the
+// copy is live, materializes it immediately. The assigned ID is stable
+// across switchover.
+func (a *OPCSubApp) AddSubscription(rec OPCSubRecord) (int32, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if rec.UpdateRateMS <= 0 {
+		rec.UpdateRateMS = 100
+	}
+	if len(rec.Tags) == 0 {
+		return 0, fmt.Errorf("opcsub: subscription needs tags")
+	}
+	a.withLock(func() {
+		a.Table.NextID++
+		rec.ID = a.Table.NextID
+		a.Table.Subs = append(a.Table.Subs, rec)
+	})
+	if a.live && a.client != nil {
+		a.materializeLocked(rec)
+	}
+	return rec.ID, nil
+}
+
+// RemoveSubscription drops a record (and its live subscription, if any).
+func (a *OPCSubApp) RemoveSubscription(id int32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.withLock(func() {
+		subs := a.Table.Subs[:0]
+		for _, rec := range a.Table.Subs {
+			if rec.ID != id {
+				subs = append(subs, rec)
+			}
+		}
+		a.Table.Subs = subs
+	})
+	if sub, ok := a.subs[id]; ok {
+		delete(a.subs, id)
+		sub.Close()
+	}
+}
+
+// Snapshot returns a copy of the durable table.
+func (a *OPCSubApp) Snapshot() OPCSubTable {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var t OPCSubTable
+	a.withLock(func() {
+		t = a.Table
+		t.Subs = append([]OPCSubRecord(nil), a.Table.Subs...)
+	})
+	return t
+}
+
+// Deactivate tears down the live subscriptions and the connection; the
+// table stays (it is the checkpointed state).
+func (a *OPCSubApp) Deactivate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for id, sub := range a.subs {
+		delete(a.subs, id)
+		sub.Close()
+	}
+	if a.client != nil {
+		a.client.Close()
+		a.client = nil
+	}
+	if a.dcli != nil {
+		a.dcli.Close()
+		a.dcli = nil
+	}
+	a.live = false
+}
+
+// Stop implements ReplicatedApp.
+func (a *OPCSubApp) Stop() { a.Deactivate() }
+
+// Live reports whether the copy holds live subscriptions.
+func (a *OPCSubApp) Live() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.live
+}
+
+// OPCSubDeployment is the subscriber-host demo: the redundant pair
+// running OPCSubApp under OFTT, and the test PC exporting a process-data
+// OPC server whose values a feeder drives.
+type OPCSubDeployment struct {
+	*Deployment
+
+	ProcServer *opc.Server
+	procExp    *dcom.Exporter
+}
+
+// OPCSubConfig parameterizes the subscriber-host deployment.
+type OPCSubConfig struct {
+	Config
+	// Items seeds the process-data namespace with proc.u<i>.pv tags plus
+	// the proc.seq sentinel (default 32).
+	Items int
+}
+
+// NewOPCSubDeployment assembles and starts the subscriber-host demo.
+func NewOPCSubDeployment(cfg OPCSubConfig) (*OPCSubDeployment, error) {
+	if cfg.Items <= 0 {
+		cfg.Items = 32
+	}
+	if cfg.Component == "" {
+		cfg.Component = "opcsub"
+	}
+	cfg.Config.applyDefaults()
+
+	serverAddr := netsim.Addr(cfg.TestNode + ":procdata-opc")
+	var primaryNet *netsim.Network
+
+	base := cfg.Config
+	base.NewApp = func(node string) ReplicatedApp {
+		return NewOPCSubApp(node, primaryNet, serverAddr, ProcDataOID)
+	}
+	d, err := build(base, func(d *Deployment) {
+		primaryNet = d.Nets[0]
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	od := &OPCSubDeployment{Deployment: d}
+	od.ProcServer = opc.NewServer("ProcData.OPC.1")
+	for i := 0; i < cfg.Items; i++ {
+		if err := od.ProcServer.AddItem(opc.ItemDef{
+			Tag:           fmt.Sprintf("proc.u%d.pv", i),
+			CanonicalType: opc.VTFloat64,
+		}); err != nil {
+			d.stopAll()
+			return nil, err
+		}
+	}
+	if err := od.ProcServer.AddItem(opc.ItemDef{
+		Tag:           "proc.seq",
+		CanonicalType: opc.VTInt64,
+	}); err != nil {
+		d.stopAll()
+		return nil, err
+	}
+
+	exp, err := dcom.NewExporter(d.Nets[0], serverAddr)
+	if err != nil {
+		d.stopAll()
+		return nil, err
+	}
+	if err := opc.ExportServer(exp, ProcDataOID, od.ProcServer); err != nil {
+		exp.Close()
+		d.stopAll()
+		return nil, err
+	}
+	od.procExp = exp
+	return od, nil
+}
+
+// ActiveSubApp returns the primary copy's subscriber host (nil if none).
+func (od *OPCSubDeployment) ActiveSubApp() *OPCSubApp {
+	p := od.Primary()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	app := p.App
+	p.mu.Unlock()
+	a, ok := app.(*OPCSubApp)
+	if !ok {
+		return nil
+	}
+	return a
+}
+
+// Shutdown tears the demo down.
+func (od *OPCSubDeployment) Shutdown(ctx context.Context) error {
+	if od.procExp != nil {
+		od.procExp.Close()
+	}
+	if od.ProcServer != nil {
+		od.ProcServer.Close()
+	}
+	return od.Deployment.Shutdown(ctx)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/opc"
+)
+
+func newSubDemo(t *testing.T) *OPCSubDeployment {
+	t.Helper()
+	od, err := NewOPCSubDeployment(OPCSubConfig{
+		Config: Config{Seed: 21},
+		Items:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = od.Shutdown(context.Background()) })
+	if err := waitRoles(od.Deployment, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return od
+}
+
+// feed drives the process server: bumps every pv and the seq sentinel.
+func feed(t *testing.T, od *OPCSubDeployment, seq int64) {
+	t.Helper()
+	batch := []opc.ItemUpdate{
+		{Tag: "proc.u0.pv", Value: opc.VR8(float64(seq)), Quality: opc.GoodNonSpecific},
+		{Tag: "proc.u1.pv", Value: opc.VR8(float64(seq) * 2), Quality: opc.GoodNonSpecific},
+		{Tag: "proc.seq", Value: opc.VI8(seq), Quality: opc.GoodNonSpecific},
+	}
+	if err := od.ProcServer.Publish(batch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOPCSubTableSurvivesSwitchover: the subscription table is
+// checkpointed state; killing the primary node must leave the backup with
+// the same table, and its re-materialized subscriptions must deliver new
+// process data.
+func TestOPCSubTableSurvivesSwitchover(t *testing.T) {
+	od := newSubDemo(t)
+
+	app := od.ActiveSubApp()
+	if app == nil {
+		t.Fatal("no active subscriber host")
+	}
+	id1, err := app.AddSubscription(OPCSubRecord{
+		Name:         "fast",
+		UpdateRateMS: 5,
+		Tags:         []string{"proc.u0.pv", "proc.u1.pv", "proc.seq"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := app.AddSubscription(OPCSubRecord{
+		Name:         "coarse",
+		UpdateRateMS: 5,
+		DeadbandPC:   25,
+		Tags:         []string{"proc.u1.pv"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Fatalf("IDs collide: %d", id1)
+	}
+
+	// Data flows on the primary.
+	var seq int64
+	for seq = 1; seq <= 20; seq++ {
+		feed(t, od, seq)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !waitSettled(5*time.Second, func() bool {
+		a := od.ActiveSubApp()
+		return a != nil && a.Snapshot().LastSeq >= 10
+	}) {
+		t.Fatalf("no data before failure: %+v", app.Snapshot())
+	}
+
+	// Let a checkpoint of the fed state reach the backup, then kill.
+	time.Sleep(100 * time.Millisecond)
+	primary := od.Primary().Node.Name()
+	if err := od.KillNode(primary); err != nil {
+		t.Fatal(err)
+	}
+
+	// The backup takes over with the table intact...
+	if !waitSettled(8*time.Second, func() bool {
+		a := od.ActiveSubApp()
+		if a == nil || a == app || !a.Live() {
+			return false
+		}
+		return len(a.Snapshot().Subs) == 2
+	}) {
+		t.Fatal("backup did not restore the subscription table")
+	}
+	restored := od.ActiveSubApp()
+	snap := restored.Snapshot()
+	byID := map[int32]OPCSubRecord{}
+	for _, rec := range snap.Subs {
+		byID[rec.ID] = rec
+	}
+	if byID[id1].Name != "fast" || len(byID[id1].Tags) != 3 {
+		t.Fatalf("record %d mangled: %+v", id1, byID[id1])
+	}
+	if byID[id2].DeadbandPC != 25 {
+		t.Fatalf("record %d lost its deadband: %+v", id2, byID[id2])
+	}
+
+	// ...and its re-materialized subscriptions deliver new data.
+	before := snap.LastSeq
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s := seq
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				s++
+				feed(t, od, s)
+			}
+		}
+	}()
+	resumed := waitSettled(8*time.Second, func() bool {
+		a := od.ActiveSubApp()
+		return a != nil && a.Snapshot().LastSeq > before
+	})
+	close(stop)
+	<-done
+	if !resumed {
+		t.Fatalf("updates did not resume after switchover (LastSeq stuck at %d)", before)
+	}
+}
+
+// TestOPCSubAddRemoveWhileLive exercises table maintenance on a live
+// primary: removing a subscription stops its deliveries and shrinks the
+// durable table.
+func TestOPCSubAddRemoveWhileLive(t *testing.T) {
+	od := newSubDemo(t)
+	app := od.ActiveSubApp()
+	if app == nil {
+		t.Fatal("no active subscriber host")
+	}
+	id, err := app.AddSubscription(OPCSubRecord{
+		Name: "tmp", UpdateRateMS: 5, Tags: []string{"proc.seq"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, od, 1)
+	if !waitSettled(5*time.Second, func() bool { return app.Snapshot().LastSeq == 1 }) {
+		t.Fatal("live subscription never delivered")
+	}
+	app.RemoveSubscription(id)
+	if got := len(app.Snapshot().Subs); got != 0 {
+		t.Fatalf("table still has %d records", got)
+	}
+	feed(t, od, 2)
+	time.Sleep(50 * time.Millisecond)
+	if got := app.Snapshot().LastSeq; got != 1 {
+		t.Fatalf("removed subscription still delivering: LastSeq=%d", got)
+	}
+
+	if _, err := app.AddSubscription(OPCSubRecord{Name: "no-tags", UpdateRateMS: 5}); err == nil {
+		t.Fatal("tagless subscription accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package diverter
+
+import (
+	"strconv"
+	"time"
+)
+
+// Broadcast enqueues one payload-carrying message per destination — the
+// batch ingress the OPC data plane fans change batches out through. The
+// payload is shared by reference across all destinations: no body copy,
+// no per-destination serialization. Callers that need to reclaim the
+// payload (e.g. a pooled batch) refcount it themselves and release on
+// terminal delivery outcomes.
+//
+// Each destination still gets its own message ID, queue slot, ledger
+// obligation, and retry/backoff state, so per-destination FIFO and the
+// no-acked-loss invariant hold exactly as for Send. Stats and telemetry
+// are flushed once per call rather than once per destination.
+func (d *Diverter) Broadcast(dests []string, payload any) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	if len(dests) == 0 {
+		return nil
+	}
+	enq := 0
+	for _, dest := range dests {
+		if dest == "" {
+			continue
+		}
+		id := "m" + strconv.FormatUint(d.nextID.Add(1), 10)
+		s := d.shardFor(dest)
+		now := time.Now()
+		s.mu.Lock()
+		if d.closed.Load() {
+			s.mu.Unlock()
+			break
+		}
+		s.dedup.maybeRotate(now)
+		msg := msgPool.Get().(*Message)
+		msg.ID, msg.Dest = id, dest
+		msg.Body = msg.Body[:0]
+		msg.Payload = payload
+		msg.EnqueuedAt = now
+		s.q.push(msg)
+		push := s.scheduleLocked(now)
+		s.mu.Unlock()
+
+		s.stripe.depth.Add(1)
+		if h := d.cfg.Ledger; h != nil {
+			h.Enqueued(id, dest)
+		}
+		if push {
+			d.rq.push(s)
+		}
+		enq++
+	}
+	if enq > 0 {
+		d.stats.enqueued.Add(int64(enq))
+		d.cfg.Instruments.QueueDepth.Add(int64(enq))
+	}
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}

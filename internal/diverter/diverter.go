@@ -61,6 +61,11 @@ type Message struct {
 	EnqueuedAt time.Time
 	Attempts   int
 
+	// Payload carries an in-process value for Broadcast batches: many
+	// messages (one per destination) alias one shared payload with no
+	// per-destination body copy. Nil for wire-shaped (Body) messages.
+	Payload any
+
 	// notBefore delays the next delivery attempt (redelivery backoff).
 	// Zero means deliver at the next opportunity.
 	notBefore time.Time
@@ -265,6 +270,7 @@ func recycle(msg *Message, bodyEscaped bool) {
 	msg.EnqueuedAt = time.Time{}
 	msg.notBefore = time.Time{}
 	msg.Attempts = 0
+	msg.Payload = nil
 	msgPool.Put(msg)
 }
 

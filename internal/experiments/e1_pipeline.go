@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -113,26 +114,26 @@ func runPipeline(remote bool, window time.Duration) (*E1Row, error) {
 	var updates int64
 	var good int64
 	var latencies []time.Duration
-	g, err := client.AddGroup(opc.GroupConfig{
+	_, err := client.Subscribe(context.Background(), opc.SubscriptionConfig{
 		Name:       "operator",
 		UpdateRate: scanPeriod,
-		Active:     true,
-	}, func(batch []opc.ItemState) {
-		now := time.Now()
-		mu.Lock()
-		for _, u := range batch {
-			updates++
-			if u.Quality.IsGood() {
-				good++
-				latencies = append(latencies, now.Sub(u.Timestamp))
+		Tags:       tags,
+		OnChange: func(batch []opc.ItemState) {
+			now := time.Now()
+			mu.Lock()
+			for _, u := range batch {
+				updates++
+				if u.Quality.IsGood() {
+					good++
+					latencies = append(latencies, now.Sub(u.Timestamp))
+				}
 			}
-		}
-		mu.Unlock()
+			mu.Unlock()
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	g.AddItems(tags...)
 
 	for _, plc := range plcs {
 		plc.Start()

@@ -25,30 +25,22 @@ const (
 // the root, "plc1" a branch. Branch results are relative names; leaf and
 // flat results are fully qualified tags.
 func (s *Server) BrowseHierarchy(position string, bt BrowseType) ([]string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.state != ServerRunning {
+	if ServerState(s.state.Load()) != ServerRunning {
 		return nil, ErrServerDown
 	}
 	prefix := position
 	if prefix != "" {
 		prefix += "."
 	}
+	// Gather-and-sort on demand: the sharded namespace keeps no global
+	// sorted tag list (browsing is management-rate, publishes are not).
+	tags := s.ns.tagsWithPrefix(prefix)
 	switch bt {
 	case BrowseFlat:
-		out := make([]string, 0, len(s.tags))
-		for _, tag := range s.tags {
-			if strings.HasPrefix(tag, prefix) {
-				out = append(out, tag)
-			}
-		}
-		return out, nil
+		return tags, nil
 	case BrowseBranch:
 		seen := make(map[string]bool)
-		for _, tag := range s.tags {
-			if !strings.HasPrefix(tag, prefix) {
-				continue
-			}
+		for _, tag := range tags {
 			rest := tag[len(prefix):]
 			if i := strings.IndexByte(rest, '.'); i > 0 {
 				seen[rest[:i]] = true
@@ -62,10 +54,7 @@ func (s *Server) BrowseHierarchy(position string, bt BrowseType) ([]string, erro
 		return out, nil
 	case BrowseLeaf:
 		out := make([]string, 0, 8)
-		for _, tag := range s.tags {
-			if !strings.HasPrefix(tag, prefix) {
-				continue
-			}
+		for _, tag := range tags {
 			rest := tag[len(prefix):]
 			if !strings.Contains(rest, ".") {
 				out = append(out, tag)
@@ -97,17 +86,16 @@ type ItemProperty struct {
 
 // ItemProperties returns the standard property set for a tag.
 func (s *Server) ItemProperties(tag string) ([]ItemProperty, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	it, ok := s.items[tag]
-	if !ok {
+	it := s.ns.lookup(tag)
+	if it == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownItem, tag)
 	}
+	st := it.state.Load()
 	return []ItemProperty{
 		{PropCanonicalType, "Item Canonical DataType", VI4(int32(it.def.CanonicalType))},
-		{PropValue, "Item Value", it.state.Value},
-		{PropQuality, "Item Quality", VI4(int32(it.state.Quality))},
-		{PropTimestamp, "Item Timestamp", VStr(it.state.Timestamp.Format(time.RFC3339Nano))},
+		{PropValue, "Item Value", st.Value},
+		{PropQuality, "Item Quality", VI4(int32(st.Quality))},
+		{PropTimestamp, "Item Timestamp", VStr(st.Timestamp.Format(time.RFC3339Nano))},
 		{PropAccessRights, "Item Access Rights", VI4(int32(it.def.Rights))},
 		{PropEUUnits, "EU Units", VStr(it.def.EUUnit)},
 		{PropDescription, "Item Description", VStr(it.def.Description)},

@@ -1,9 +1,8 @@
 package opc
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"math"
 	"sync"
 	"time"
 )
@@ -23,21 +22,28 @@ var _ Connection = (*Server)(nil)
 // DataChangeFunc receives async update batches (IOPCDataCallback analog).
 type DataChangeFunc func(updates []ItemState)
 
-// Client is an OPC client: it owns groups over one server connection.
+// Client is an OPC client: it owns subscriptions (and legacy groups)
+// over one server connection.
 type Client struct {
 	conn Connection
 
 	mu     sync.Mutex
 	groups map[string]*Group
+	subs   map[string]*Subscription // dest -> sub, for Close
+	eng    *scanEngine              // client-owned when conn is remote
 	closed bool
 }
 
 // NewClient wraps a connection.
 func NewClient(conn Connection) *Client {
-	return &Client{conn: conn, groups: make(map[string]*Group)}
+	return &Client{
+		conn:   conn,
+		groups: make(map[string]*Group),
+		subs:   make(map[string]*Subscription),
+	}
 }
 
-// SyncRead reads tags synchronously, bypassing groups.
+// SyncRead reads tags synchronously, bypassing subscriptions.
 func (c *Client) SyncRead(tags ...string) ([]ItemState, error) {
 	return c.conn.Read(tags)
 }
@@ -57,7 +63,53 @@ func (c *Client) ServerStatus() (ServerStatus, error) {
 	return c.conn.Status()
 }
 
+// engine resolves the scan engine serving this client's subscriptions:
+// the server's own engine for in-process connections (so co-located
+// clients share cycles and cohorts), or a client-owned engine that
+// sweeps with batched remote reads otherwise.
+func (c *Client) engine() (*scanEngine, error) {
+	if srv, ok := c.conn.(*Server); ok {
+		return srv.engine(), nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.eng == nil {
+		c.eng = newScanEngine(nil, c.conn)
+	}
+	return c.eng, nil
+}
+
+// Subscribe creates a data subscription: cfg.Tags scanned every
+// cfg.UpdateRate on a shared cycle, changes beyond cfg.DeadbandPC
+// delivered as batches — to cfg.OnChange when set, else on
+// Subscription.Updates(). Closing ctx closes the subscription;
+// context.Background() (or nil) leaves lifetime to Close.
+func (c *Client) Subscribe(ctx context.Context, cfg SubscriptionConfig) (*Subscription, error) {
+	eng, err := c.engine()
+	if err != nil {
+		return nil, err
+	}
+	sub, err := newSubscription(eng, ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		sub.Close()
+		return nil, ErrClosed
+	}
+	c.subs[sub.dest] = sub
+	c.mu.Unlock()
+	return sub, nil
+}
+
 // GroupConfig parameterizes AddGroup.
+//
+// Deprecated: use SubscriptionConfig with Client.Subscribe.
 type GroupConfig struct {
 	Name       string
 	UpdateRate time.Duration // scan period; default 100ms
@@ -66,37 +118,29 @@ type GroupConfig struct {
 }
 
 // AddGroup creates a client group (IOPCServer::AddGroup).
+//
+// Deprecated: AddGroup remains for one release as a thin wrapper over
+// Subscribe. A Group is a named, stoppable handle on a subscription; new
+// code should call Client.Subscribe and hold the *Subscription directly.
 func (c *Client) AddGroup(cfg GroupConfig, onChange DataChangeFunc) (*Group, error) {
-	if cfg.Name == "" {
-		return nil, errors.New("opc: group needs a name")
-	}
-	if cfg.UpdateRate <= 0 {
-		cfg.UpdateRate = 100 * time.Millisecond
-	}
-	if cfg.DeadbandPC < 0 || cfg.DeadbandPC > 100 {
-		return nil, fmt.Errorf("opc: deadband %v%% out of range", cfg.DeadbandPC)
+	cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
-		return nil, errors.New("opc: client closed")
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: client", ErrClosed)
 	}
 	if _, dup := c.groups[cfg.Name]; dup {
-		return nil, fmt.Errorf("opc: group %q already exists", cfg.Name)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q already exists", ErrDuplicateGroup, cfg.Name)
 	}
-	g := &Group{
-		client:   c,
-		cfg:      cfg,
-		onChange: onChange,
-		lastSent: make(map[string]ItemState),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-	}
+	g := &Group{client: c, cfg: cfg, onChange: onChange}
 	c.groups[cfg.Name] = g
+	c.mu.Unlock()
 	if cfg.Active {
-		g.startLocked()
-	} else {
-		close(g.done) // nothing running yet
+		g.Start()
 	}
 	return g, nil
 }
@@ -116,39 +160,50 @@ func (c *Client) RemoveGroup(name string) error {
 	return nil
 }
 
-// Close stops every group.
+// Close stops every subscription and group; a client-owned scan engine
+// (remote connections) is shut down with them.
 func (c *Client) Close() {
 	c.mu.Lock()
 	groups := make([]*Group, 0, len(c.groups))
 	for _, g := range c.groups {
 		groups = append(groups, g)
 	}
+	subs := make([]*Subscription, 0, len(c.subs))
+	for _, s := range c.subs {
+		subs = append(subs, s)
+	}
 	c.groups = make(map[string]*Group)
+	c.subs = make(map[string]*Subscription)
+	eng := c.eng
+	c.eng = nil
 	c.closed = true
 	c.mu.Unlock()
 	for _, g := range groups {
 		g.Stop()
 	}
+	for _, s := range subs {
+		s.Close()
+	}
+	if eng != nil {
+		eng.close()
+	}
 }
 
-// Group is a set of items scanned at one rate with one deadband — the OPC
-// DA group object. Async updates are produced by comparing scans against
-// the last values sent to the callback.
+// Group is the legacy OPC DA group object: a named, stoppable handle
+// over one subscription. Start materializes the subscription; Stop
+// closes it (retaining the item set for the next Start).
+//
+// Deprecated: hold a *Subscription from Client.Subscribe instead.
 type Group struct {
-	client   *Client
-	cfg      GroupConfig
-	onChange DataChangeFunc
+	client *Client
+	cfg    GroupConfig
 
 	mu       sync.Mutex
+	onChange DataChangeFunc
 	tags     []string
-	lastSent map[string]ItemState
-	active   bool
-	scans    int64
+	sub      *Subscription
+	scans    int64 // accumulated across Start/Stop cycles
 	errs     int64
-
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
 }
 
 // Name returns the group name.
@@ -159,6 +214,9 @@ func (g *Group) AddItems(tags ...string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.tags = append(g.tags, tags...)
+	if g.sub != nil {
+		_ = g.sub.AddItems(tags...)
+	}
 }
 
 // RemoveItems drops tags from the group.
@@ -173,139 +231,96 @@ func (g *Group) RemoveItems(tags ...string) {
 	for _, t := range g.tags {
 		if !drop[t] {
 			kept = append(kept, t)
-		} else {
-			delete(g.lastSent, t)
 		}
 	}
 	g.tags = kept
+	if g.sub != nil {
+		_ = g.sub.RemoveItems(tags...)
+	}
 }
 
 // Start begins scanning (SetActive(true)).
 func (g *Group) Start() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.startLocked()
+	_ = g.startLocked()
 }
 
-func (g *Group) startLocked() {
-	if g.active {
-		return
+func (g *Group) startLocked() error {
+	if g.sub != nil {
+		return nil
 	}
-	g.active = true
-	g.stop = make(chan struct{})
-	g.done = make(chan struct{})
-	g.once = sync.Once{}
-	go g.scanLoop(g.stop, g.done)
-}
-
-func (g *Group) scanLoop(stop <-chan struct{}, done chan<- struct{}) {
-	defer close(done)
-	t := time.NewTicker(g.cfg.UpdateRate)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			g.scanOnce()
-		case <-stop:
-			return
-		}
-	}
-}
-
-// scanOnce reads the group's tags and fires the callback with items that
-// changed beyond the deadband.
-func (g *Group) scanOnce() {
-	g.mu.Lock()
-	tags := append([]string(nil), g.tags...)
-	g.mu.Unlock()
-	if len(tags) == 0 {
-		return
-	}
-
-	states, err := g.client.conn.Read(tags)
+	eng, err := g.client.engine()
 	if err != nil {
+		return err
+	}
+	cb := func(updates []ItemState) {
 		g.mu.Lock()
-		g.errs++
+		fn := g.onChange
 		g.mu.Unlock()
-		return
-	}
-
-	var updates []ItemState
-	g.mu.Lock()
-	g.scans++
-	for _, st := range states {
-		prev, seen := g.lastSent[st.Tag]
-		if seen && !g.exceedsDeadband(prev, st) {
-			continue
+		if fn != nil {
+			fn(updates)
 		}
-		g.lastSent[st.Tag] = st
-		updates = append(updates, st)
 	}
-	cb := g.onChange
-	g.mu.Unlock()
-
-	if len(updates) > 0 && cb != nil {
-		cb(updates)
+	sub, err := newSubscription(eng, nil, SubscriptionConfig{
+		Name:       "group:" + g.cfg.Name,
+		UpdateRate: g.cfg.UpdateRate,
+		DeadbandPC: g.cfg.DeadbandPC,
+		OnChange:   cb,
+		Tags:       g.tags,
+	})
+	if err != nil {
+		return err
 	}
+	g.sub = sub
+	return nil
 }
 
-// exceedsDeadband applies OPC percent-deadband semantics: numeric items
-// suppress changes smaller than DeadbandPC% of the previous value's
-// magnitude; quality changes and non-numeric changes always pass.
-func (g *Group) exceedsDeadband(prev, next ItemState) bool {
-	if prev.Quality != next.Quality {
-		return true
-	}
-	if g.cfg.DeadbandPC == 0 {
-		return !prev.Value.Equal(next.Value)
-	}
-	if !prev.Value.IsNumeric() || !next.Value.IsNumeric() {
-		return !prev.Value.Equal(next.Value)
-	}
-	pf, err1 := prev.Value.AsFloat()
-	nf, err2 := next.Value.AsFloat()
-	if err1 != nil || err2 != nil {
-		return true
-	}
-	span := math.Abs(pf)
-	if span == 0 {
-		return nf != 0
-	}
-	return math.Abs(nf-pf) > span*g.cfg.DeadbandPC/100
-}
-
-// Stop halts scanning (SetActive(false)) and waits for the scanner.
+// Stop halts scanning (SetActive(false)); queued deliveries drain before
+// it returns, so no callback fires after Stop.
 func (g *Group) Stop() {
 	g.mu.Lock()
-	if !g.active {
-		g.mu.Unlock()
-		return
+	sub := g.sub
+	g.sub = nil
+	if sub != nil {
+		s, e := sub.Stats()
+		g.scans += s
+		g.errs += e
 	}
-	g.active = false
-	stop, done := g.stop, g.done
 	g.mu.Unlock()
-	g.once.Do(func() { close(stop) })
-	<-done
+	if sub != nil {
+		sub.Close()
+	}
 }
 
 // Active reports whether the group is scanning.
 func (g *Group) Active() bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.active
+	return g.sub != nil
 }
 
-// Stats reports (scans completed, scan errors).
+// Stats reports (scans completed, scan errors), cumulative across
+// Start/Stop cycles.
 func (g *Group) Stats() (scans, errs int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.scans, g.errs
+	scans, errs = g.scans, g.errs
+	if g.sub != nil {
+		s, e := g.sub.Stats()
+		scans += s
+		errs += e
+	}
+	return scans, errs
 }
 
-// ForceRefresh resends every item on the next change check by clearing the
-// last-sent cache (IOPCAsyncIO::Refresh).
+// ForceRefresh resends every item on the next change check
+// (IOPCAsyncIO::Refresh).
 func (g *Group) ForceRefresh() {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.lastSent = make(map[string]ItemState)
+	sub := g.sub
+	g.mu.Unlock()
+	if sub != nil {
+		_ = sub.Refresh()
+	}
 }

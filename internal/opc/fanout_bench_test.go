@@ -1,0 +1,194 @@
+package opc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkOPCFanout measures the data plane end to end on an
+// items × subscribers × change-rate grid: a namespace of `items` tags,
+// `subs` subscribers all watching the same 64-tag window, and one op =
+// publish `chg` changed values (one of them a sequence sentinel) and
+// wait until every subscriber has observed the sentinel.
+//
+//	impl=shared   — the sharded namespace + shared scan cycle + cohort
+//	                broadcast data plane
+//	impl=pergroup — the retained old per-group scanner over the old
+//	                monolithic-mutex server (pergroup_ref_test.go)
+//
+// The custom deliveries/s metric is (chg × subs) / op seconds — how many
+// per-subscriber update deliveries the plane sustains. `make bench-opc`
+// runs this grid and oftt-benchdiff gates BENCH_OPC.json on the
+// items=100000/subs=10000 cell.
+func BenchmarkOPCFanout(b *testing.B) {
+	const window = 64 // tags every subscriber watches
+	cells := []struct {
+		items, subs, chg int
+	}{
+		{1000, 100, 1},
+		{1000, 100, 32},
+		{10000, 1000, 32},
+		{100000, 10000, 32},
+	}
+	for _, impl := range []string{"shared", "pergroup"} {
+		for _, cell := range cells {
+			name := fmt.Sprintf("impl=%s/items=%d/subs=%d/chg=%d", impl, cell.items, cell.subs, cell.chg)
+			b.Run(name, func(b *testing.B) {
+				if impl == "shared" {
+					benchShared(b, cell.items, cell.subs, cell.chg, window)
+				} else {
+					benchPerGroup(b, cell.items, cell.subs, cell.chg, window)
+				}
+			})
+		}
+	}
+}
+
+// benchTags builds the namespace defs and the shared watch window. The
+// sentinel tag bench.seq is watched by everyone and carries the round
+// number; watching subscribers report rounds through `seen`.
+func benchTags(items, window int) (defs []ItemDef, watch []string) {
+	defs = make([]ItemDef, 0, items+1)
+	for i := 0; i < items; i++ {
+		defs = append(defs, ItemDef{Tag: fmt.Sprintf("plant.u%d.tag%d", i/512, i), CanonicalType: VTFloat64})
+	}
+	defs = append(defs, ItemDef{Tag: "bench.seq", CanonicalType: VTInt64})
+	watch = make([]string, 0, window)
+	for i := 0; i < window-1; i++ {
+		watch = append(watch, defs[i].Tag)
+	}
+	watch = append(watch, "bench.seq")
+	return defs, watch
+}
+
+// watcher returns a DataChangeFunc that bumps `arrived` exactly once per
+// round when the sentinel reaches this subscriber.
+func watcher(arrived *atomic.Int64, round *atomic.Int64) DataChangeFunc {
+	var lastSeen int64
+	return func(updates []ItemState) {
+		want := round.Load()
+		for i := range updates {
+			if updates[i].Tag == "bench.seq" && updates[i].Value.Int == want && lastSeen != want {
+				lastSeen = want
+				arrived.Add(1)
+				return
+			}
+		}
+	}
+}
+
+// runRounds drives b.N publish-and-await-fanout rounds through publish()
+// and reports the deliveries/s metric.
+func runRounds(b *testing.B, subs, chg int, round, arrived *atomic.Int64,
+	publish func(seq int64, chg int)) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := int64(i + 1)
+		arrived.Store(0)
+		round.Store(seq)
+		publish(seq, chg)
+		for arrived.Load() < int64(subs) {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(chg*subs*b.N)/b.Elapsed().Seconds(), "deliveries/s")
+}
+
+const benchScanRate = 2 * time.Millisecond
+
+func benchShared(b *testing.B, items, subs, chg, window int) {
+	defs, watch := benchTags(items, window)
+	srv := NewServer("bench")
+	for _, def := range defs {
+		if err := srv.AddItem(def); err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer srv.Close()
+
+	client := NewClient(srv)
+	defer client.Close()
+
+	var round, arrived atomic.Int64
+	for i := 0; i < subs; i++ {
+		_, err := client.Subscribe(context.Background(), SubscriptionConfig{
+			UpdateRate: benchScanRate,
+			OnChange:   watcher(&arrived, &round),
+			Tags:       watch,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	batch := make([]ItemUpdate, 0, chg)
+	runRounds(b, subs, chg, &round, &arrived, func(seq int64, chg int) {
+		batch = batch[:0]
+		for j := 0; j < chg-1; j++ {
+			batch = append(batch, ItemUpdate{
+				Tag:     watch[j%(window-1)],
+				Value:   VR8(float64(seq*1000 + int64(j))),
+				Quality: GoodNonSpecific,
+			})
+		}
+		batch = append(batch, ItemUpdate{Tag: "bench.seq", Value: VI8(seq), Quality: GoodNonSpecific})
+		if err := srv.Publish(batch); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func benchPerGroup(b *testing.B, items, subs, chg, window int) {
+	defs, watch := benchTags(items, window)
+	srv := newRefServer(defs)
+
+	// The baseline cannot sustain 10k independent scan loops at the
+	// shared rate: the per-group tickers and the exclusive-lock reads
+	// saturate the scheduler and a single round never completes. The big
+	// cell runs the baseline at 25x the scan period — a handicap in the
+	// baseline's favor (fewer reads, less contention) that still leaves
+	// it far past the gate.
+	rate := benchScanRate
+	if subs >= 10000 {
+		rate = 25 * benchScanRate
+	}
+
+	var round, arrived atomic.Int64
+	groups := make([]*refGroup, 0, subs)
+	for i := 0; i < subs; i++ {
+		g := newRefGroup(srv, GroupConfig{
+			Name:       fmt.Sprintf("g%d", i),
+			UpdateRate: rate,
+		}, watcher(&arrived, &round))
+		g.AddItems(watch...)
+		g.Start()
+		groups = append(groups, g)
+	}
+	// Stop concurrently: a sequential loop waits out the read-lock convoy
+	// once per group (minutes at 10k groups), which is the baseline's
+	// pathology, not the benchmark's business.
+	defer func() {
+		var wg sync.WaitGroup
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g *refGroup) { defer wg.Done(); g.Stop() }(g)
+		}
+		wg.Wait()
+	}()
+
+	runRounds(b, subs, chg, &round, &arrived, func(seq int64, chg int) {
+		for j := 0; j < chg-1; j++ {
+			if err := srv.SetValue(watch[j%(window-1)], VR8(float64(seq*1000+int64(j))), GoodNonSpecific, time.Time{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := srv.SetValue("bench.seq", VI8(seq), GoodNonSpecific, time.Time{}); err != nil {
+			b.Fatal(err)
+		}
+	})
+}

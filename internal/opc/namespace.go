@@ -1,0 +1,147 @@
+package opc
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// nsItem is one namespace entry. The definition is immutable after
+// AddItem; the live state is published through an atomic pointer so the
+// scan path reads it without taking any lock, and the version counter
+// lets a sweep skip unchanged items with two atomic loads instead of a
+// state comparison.
+//
+// Publish order matters: the state pointer is stored before the version
+// is bumped, so a reader that observes a new version always observes a
+// state at least that fresh. A reader that races the other way (new
+// state, old version) re-reads the same state on its next sweep and the
+// deadband comparison suppresses the duplicate.
+type nsItem struct {
+	def     ItemDef
+	state   atomic.Pointer[ItemState]
+	version atomic.Uint64
+}
+
+// nsShard is one lock stripe of the namespace. The mutex covers the map
+// only — item state never requires it.
+type nsShard struct {
+	mu    sync.RWMutex
+	items map[string]*nsItem
+}
+
+// namespace is the sharded item store: tags hash (FNV-1a) onto a
+// power-of-two shard set. Item addition/removal is O(1) (no sorted tag
+// slice is maintained — browses gather and sort on demand, which is the
+// right trade at a million items with management-rate browsing).
+type namespace struct {
+	shards []nsShard
+	mask   uint32
+	count  atomic.Int64
+}
+
+// defaultNamespaceShards spreads map contention for ~1M-item namespaces
+// while keeping empty servers cheap.
+const defaultNamespaceShards = 128
+
+func newNamespace(shardCount int) *namespace {
+	n := nextPow2NS(shardCount)
+	ns := &namespace{shards: make([]nsShard, n), mask: uint32(n - 1)}
+	for i := range ns.shards {
+		ns.shards[i].items = make(map[string]*nsItem)
+	}
+	return ns
+}
+
+func nextPow2NS(v int) int {
+	if v < 1 {
+		v = 1
+	}
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// fnvHash is 32-bit FNV-1a over the tag.
+func fnvHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (ns *namespace) shardFor(tag string) *nsShard {
+	return &ns.shards[fnvHash(tag)&ns.mask]
+}
+
+// add inserts a new item; it reports false on a duplicate tag.
+func (ns *namespace) add(it *nsItem) bool {
+	sh := ns.shardFor(it.def.Tag)
+	sh.mu.Lock()
+	if _, dup := sh.items[it.def.Tag]; dup {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.items[it.def.Tag] = it
+	sh.mu.Unlock()
+	ns.count.Add(1)
+	return true
+}
+
+// remove deletes a tag; it reports whether the tag existed.
+func (ns *namespace) remove(tag string) bool {
+	sh := ns.shardFor(tag)
+	sh.mu.Lock()
+	_, ok := sh.items[tag]
+	if ok {
+		delete(sh.items, tag)
+	}
+	sh.mu.Unlock()
+	if ok {
+		ns.count.Add(-1)
+	}
+	return ok
+}
+
+// lookup resolves a tag to its item, or nil.
+func (ns *namespace) lookup(tag string) *nsItem {
+	sh := ns.shardFor(tag)
+	sh.mu.RLock()
+	it := sh.items[tag]
+	sh.mu.RUnlock()
+	return it
+}
+
+// len is the live item count.
+func (ns *namespace) len() int { return int(ns.count.Load()) }
+
+// forEach visits every item. Visits happen under the shard read lock, so
+// fn must not call back into namespace mutation; state loads and atomic
+// publishes are fine.
+func (ns *namespace) forEach(fn func(*nsItem)) {
+	for i := range ns.shards {
+		sh := &ns.shards[i]
+		sh.mu.RLock()
+		for _, it := range sh.items {
+			fn(it)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// tagsWithPrefix gathers matching tags, sorted. prefix "" means all.
+func (ns *namespace) tagsWithPrefix(prefix string) []string {
+	out := make([]string, 0, 16)
+	ns.forEach(func(it *nsItem) {
+		if strings.HasPrefix(it.def.Tag, prefix) {
+			out = append(out, it.def.Tag)
+		}
+	})
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,314 @@
+package opc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// This file preserves the pre-shared-cycle data plane verbatim as a
+// test-only baseline, following the singlepump (diverter) and oneconn
+// (dcom) playbook: refServer is the old monolithic-mutex server trimmed
+// to the paths the scanner exercises (SetValue/Read), and refGroup is
+// the old per-group scanner — one goroutine per group, deadband
+// evaluated per subscriber — exactly as it shipped. BenchmarkOPCFanout
+// runs the same workload against both data planes; the Makefile
+// bench-opc target gates the ratio.
+
+// refServer is the old server: one RWMutex over a flat item map, reads
+// take the exclusive lock (readCount mutates under it, as the original
+// did), so concurrent group scans serialize.
+type refServer struct {
+	mu         sync.Mutex
+	items      map[string]*refItem
+	state      ServerState
+	readCount  int64
+	lastUpdate time.Time
+}
+
+type refItem struct {
+	def   ItemDef
+	state ItemState
+}
+
+// newRefServer builds the namespace by direct map construction: the old
+// AddItem re-sorted a global tag slice per insert, which is unusably
+// slow at bench scale and irrelevant to the scan paths under test.
+func newRefServer(defs []ItemDef) *refServer {
+	s := &refServer{items: make(map[string]*refItem, len(defs)), state: ServerRunning}
+	now := time.Now()
+	for _, def := range defs {
+		if def.Rights == 0 {
+			def.Rights = AccessRead
+		}
+		if def.CanonicalType == 0 {
+			def.CanonicalType = VTFloat64
+		}
+		s.items[def.Tag] = &refItem{
+			def: def,
+			state: ItemState{
+				Tag:       def.Tag,
+				Value:     Empty(),
+				Quality:   BadNotConnected,
+				Timestamp: now,
+			},
+		}
+	}
+	return s
+}
+
+// SetValue is the old device-driver publish path.
+func (s *refServer) SetValue(tag string, v Variant, q Quality, ts time.Time) error {
+	s.mu.Lock()
+	it, ok := s.items[tag]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownItem, tag)
+	}
+	coerced, err := v.CoerceTo(it.def.CanonicalType)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if ts.IsZero() {
+		ts = time.Now()
+	}
+	it.state = ItemState{Tag: tag, Value: coerced, Quality: q, Timestamp: ts}
+	s.lastUpdate = ts
+	s.mu.Unlock()
+	return nil
+}
+
+// Read is the old synchronous read: the whole call under the exclusive
+// lock (readCount++ needs it), copying each requested state out.
+func (s *refServer) Read(tags []string) ([]ItemState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != ServerRunning {
+		return nil, ErrServerDown
+	}
+	out := make([]ItemState, 0, len(tags))
+	for _, tag := range tags {
+		it, ok := s.items[tag]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownItem, tag)
+		}
+		if it.def.Rights&AccessRead == 0 {
+			return nil, fmt.Errorf("%w: read %q", ErrAccessDenied, tag)
+		}
+		out = append(out, it.state)
+	}
+	s.readCount++
+	return out, nil
+}
+
+func (s *refServer) Write(tag string, v Variant) error { return ErrAccessDenied }
+func (s *refServer) Browse(prefix string) ([]string, error) {
+	return nil, ErrServerDown
+}
+func (s *refServer) Status() (ServerStatus, error) { return ServerStatus{}, nil }
+
+// refGroup is the old OPC DA group scanner, verbatim: its own ticker
+// goroutine, a full Read of its tag set per tick, and per-group
+// last-sent/deadband state.
+type refGroup struct {
+	conn     Connection
+	cfg      GroupConfig
+	onChange DataChangeFunc
+
+	mu       sync.Mutex
+	tags     []string
+	lastSent map[string]ItemState
+	active   bool
+	scans    int64
+	errs     int64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+func newRefGroup(conn Connection, cfg GroupConfig, onChange DataChangeFunc) *refGroup {
+	if cfg.UpdateRate <= 0 {
+		cfg.UpdateRate = 100 * time.Millisecond
+	}
+	g := &refGroup{
+		conn:     conn,
+		cfg:      cfg,
+		onChange: onChange,
+		lastSent: make(map[string]ItemState),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	close(g.done) // nothing running yet
+	return g
+}
+
+func (g *refGroup) AddItems(tags ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tags = append(g.tags, tags...)
+}
+
+func (g *refGroup) Start() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.active {
+		return
+	}
+	g.active = true
+	g.stop = make(chan struct{})
+	g.done = make(chan struct{})
+	g.once = sync.Once{}
+	go g.scanLoop(g.stop, g.done)
+}
+
+func (g *refGroup) scanLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(g.cfg.UpdateRate)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			g.scanOnce()
+		case <-stop:
+			return
+		}
+	}
+}
+
+func (g *refGroup) scanOnce() {
+	g.mu.Lock()
+	tags := append([]string(nil), g.tags...)
+	g.mu.Unlock()
+	if len(tags) == 0 {
+		return
+	}
+
+	states, err := g.conn.Read(tags)
+	if err != nil {
+		g.mu.Lock()
+		g.errs++
+		g.mu.Unlock()
+		return
+	}
+
+	var updates []ItemState
+	g.mu.Lock()
+	g.scans++
+	for _, st := range states {
+		prev, seen := g.lastSent[st.Tag]
+		if seen && !g.exceedsDeadband(prev, st) {
+			continue
+		}
+		g.lastSent[st.Tag] = st
+		updates = append(updates, st)
+	}
+	cb := g.onChange
+	g.mu.Unlock()
+
+	if len(updates) > 0 && cb != nil {
+		cb(updates)
+	}
+}
+
+func (g *refGroup) exceedsDeadband(prev, next ItemState) bool {
+	if prev.Quality != next.Quality {
+		return true
+	}
+	if g.cfg.DeadbandPC == 0 {
+		return !prev.Value.Equal(next.Value)
+	}
+	if !prev.Value.IsNumeric() || !next.Value.IsNumeric() {
+		return !prev.Value.Equal(next.Value)
+	}
+	pf, err1 := prev.Value.AsFloat()
+	nf, err2 := next.Value.AsFloat()
+	if err1 != nil || err2 != nil {
+		return true
+	}
+	span := math.Abs(pf)
+	if span == 0 {
+		return nf != 0
+	}
+	return math.Abs(nf-pf) > span*g.cfg.DeadbandPC/100
+}
+
+func (g *refGroup) Stop() {
+	g.mu.Lock()
+	if !g.active {
+		g.mu.Unlock()
+		return
+	}
+	g.active = false
+	stop, done := g.stop, g.done
+	g.mu.Unlock()
+	g.once.Do(func() { close(stop) })
+	<-done
+}
+
+// refServer implements Connection so refGroup scans it like the old
+// client did its server.
+var _ Connection = (*refServer)(nil)
+
+// TestRefBaselineStillScans sanity-checks the retained baseline: value
+// changes beyond the deadband reach the callback, suppressed ones don't.
+// If this fails the benchmark comparison is meaningless.
+func TestRefBaselineStillScans(t *testing.T) {
+	srv := newRefServer([]ItemDef{{Tag: "a.v", CanonicalType: VTFloat64}})
+	if err := srv.SetValue("a.v", VR8(100), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []float64
+	g := newRefGroup(srv, GroupConfig{Name: "g", UpdateRate: 5 * time.Millisecond, DeadbandPC: 10}, func(updates []ItemState) {
+		mu.Lock()
+		for _, u := range updates {
+			got = append(got, u.Value.Float)
+		}
+		mu.Unlock()
+	})
+	g.AddItems("a.v")
+	g.Start()
+	defer g.Stop()
+
+	waitRef := func(want float64) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			n := len(got)
+			last := float64(math.NaN())
+			if n > 0 {
+				last = got[n-1]
+			}
+			mu.Unlock()
+			if last == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("baseline never delivered %v (got %v)", want, got)
+	}
+
+	waitRef(100)
+	// Inside the 10% deadband: must be suppressed.
+	if err := srv.SetValue("a.v", VR8(104), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	if len(got) != 1 {
+		mu.Unlock()
+		t.Fatalf("deadband leak in baseline: %v", got)
+	}
+	mu.Unlock()
+	// Beyond it: must pass.
+	if err := srv.SetValue("a.v", VR8(120), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	waitRef(120)
+}

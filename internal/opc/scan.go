@@ -1,0 +1,572 @@
+package opc
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/diverter"
+)
+
+// The shared scan engine.
+//
+// The old data plane ran one goroutine per group and evaluated deadband
+// once per (item, subscriber). This one runs one sweep goroutine per
+// distinct update rate (a scanCycle), and groups subscriptions that share
+// an item set and base deadband into cohorts, so per sweep each item is
+// read once (two atomic loads on the fast path) and its deadband is
+// evaluated once per cohort — not once per subscriber. Changes leave the
+// sweep as one pooled, refcounted updateBatch broadcast through the
+// sharded diverter to every member subscription: 10k subscribers cost 10k
+// queue slots sharing one batch, not 10k allocations of the batch.
+//
+// Two read paths share the machinery: a local *Server is swept in-process
+// against the namespace's atomic item states; a remote Connection is
+// swept with one batched conn.Read per cohort (per cohort, not a union
+// read, so one cohort's bad tag cannot starve the others).
+
+// scanEngine owns the scan cycles and the fan-out diverter for one
+// connection (server-side: srv != nil; client-side: conn != nil).
+type scanEngine struct {
+	srv  *Server
+	conn Connection
+	ins  Instruments
+
+	mu     sync.Mutex
+	cycles map[time.Duration]*scanCycle
+	div    *diverter.Diverter
+	nextID uint64
+	closed bool
+}
+
+func newScanEngine(srv *Server, conn Connection) *scanEngine {
+	return &scanEngine{srv: srv, conn: conn, cycles: make(map[time.Duration]*scanCycle)}
+}
+
+// diverter returns the engine's fan-out diverter, creating it lazily so
+// servers nobody subscribes to never spin up workers.
+func (e *scanEngine) diverter() *diverter.Diverter {
+	if e.div == nil {
+		e.div = diverter.New(diverter.Config{
+			RetryInterval: 2 * time.Millisecond,
+			RetryBackoff:  time.Millisecond,
+		})
+	}
+	return e.div
+}
+
+// subID allocates a diverter destination name for a subscription.
+func (e *scanEngine) subID() string {
+	e.nextID++
+	return "opc-sub-" + strconv.FormatUint(e.nextID, 10)
+}
+
+// cycle returns the scanCycle for an update rate, creating and starting
+// it on first use. Callers must not hold any cycle's mu.
+func (e *scanEngine) cycle(rate time.Duration) (*scanCycle, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	cy := e.cycles[rate]
+	if cy == nil {
+		cy = &scanCycle{
+			eng:     e,
+			div:     e.diverter(),
+			rate:    rate,
+			cohorts: make(map[uint64][]*cohort),
+			stop:    make(chan struct{}),
+			done:    make(chan struct{}),
+		}
+		e.cycles[rate] = cy
+		go cy.run()
+	}
+	return cy, nil
+}
+
+// dropCycleIfEmpty retires a cycle whose last cohort detached. The
+// stopped flag closes the attach race: an attach that fetched this cycle
+// before it left the map observes stopped under cy.mu and retries.
+func (e *scanEngine) dropCycleIfEmpty(cy *scanCycle) {
+	e.mu.Lock()
+	cy.mu.Lock()
+	if len(cy.cohorts) > 0 || cy.stopped {
+		cy.mu.Unlock()
+		e.mu.Unlock()
+		return
+	}
+	cy.stopped = true
+	delete(e.cycles, cy.rate)
+	cy.mu.Unlock()
+	e.mu.Unlock()
+	close(cy.stop)
+	<-cy.done
+}
+
+// close stops every cycle and the fan-out diverter.
+func (e *scanEngine) close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	cycles := make([]*scanCycle, 0, len(e.cycles))
+	for _, cy := range e.cycles {
+		cycles = append(cycles, cy)
+	}
+	e.cycles = make(map[time.Duration]*scanCycle)
+	div := e.div
+	e.mu.Unlock()
+	for _, cy := range cycles {
+		cy.mu.Lock()
+		already := cy.stopped
+		cy.stopped = true
+		cy.mu.Unlock()
+		if !already {
+			close(cy.stop)
+			<-cy.done
+		}
+	}
+	if div != nil {
+		div.Stop()
+	}
+}
+
+// scanCycle is one shared ticker sweep: every cohort at this update rate
+// rides it. cohorts is keyed by cohort key (item set + base deadband)
+// with a small collision list.
+type scanCycle struct {
+	eng  *scanEngine
+	div  *diverter.Diverter // pinned at creation: sweeps must not take eng.mu (lock order is eng.mu → cy.mu)
+	rate time.Duration
+
+	mu      sync.Mutex
+	cohorts map[uint64][]*cohort
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// cohort is a set of subscriptions sharing (item set, base deadband) at
+// one rate. The sweep evaluates each item's deadband once per cohort and
+// broadcasts one shared batch to every member.
+type cohort struct {
+	key      uint64
+	tags     []string // sorted, deduped
+	deadband float64  // configured base deadband (percent)
+
+	// effective is the deadband the sweep actually applies per item:
+	// min(deadband, lowest member override). Members whose override is
+	// larger than effective re-filter at delivery. Indexed like tags.
+	effective []float64
+
+	items []cohortItem // resolved per-item scan state, indexed like tags
+
+	members []*Subscription
+	dests   []string // members' diverter destinations, same order
+}
+
+// cohortItem is the per-(cohort, item) scan state, guarded by the
+// cycle's mu (held for the whole sweep; attach/detach are
+// management-rate, so the lock is effectively uncontended on the hot
+// path — the namespace item reads inside remain lock-free).
+type cohortItem struct {
+	it      *nsItem // local path; nil on the remote path or if undefined
+	lastVer uint64  // version observed at the last evaluation (local path)
+	sent    ItemState
+	hasSent bool
+}
+
+// cohortKeyFor hashes the identity of a cohort: the sorted tag set and
+// the base deadband. Quality filters and per-item overrides are applied
+// per member at delivery, so they stay out of the key — subscriptions
+// differing only there still share one sweep evaluation.
+func cohortKeyFor(sortedTags []string, deadband float64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, t := range sortedTags {
+		for i := 0; i < len(t); i++ {
+			h ^= uint64(t[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	h ^= math.Float64bits(deadband)
+	h *= 1099511628211
+	return h
+}
+
+// updateBatch is the pooled fan-out unit: one slice of changed states
+// shared by every member of a cohort. refs counts undelivered
+// destinations; the last terminal outcome (delivered or dropped at a
+// closed subscription) releases the batch to the pool. Retryable
+// delivery errors do not decrement.
+type updateBatch struct {
+	states []ItemState
+	refs   atomic.Int32
+}
+
+var batchPool = sync.Pool{New: func() any { return new(updateBatch) }}
+
+func newBatch() *updateBatch {
+	b := batchPool.Get().(*updateBatch)
+	b.states = b.states[:0]
+	return b
+}
+
+// release drops one reference; the last one returns the batch.
+func (b *updateBatch) release() {
+	if b.refs.Add(-1) == 0 {
+		batchPool.Put(b)
+	}
+}
+
+// run is the cycle's sweep loop.
+func (cy *scanCycle) run() {
+	defer close(cy.done)
+	t := time.NewTicker(cy.rate)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			cy.sweep()
+		case <-cy.stop:
+			return
+		}
+	}
+}
+
+// sweep evaluates every cohort once, under the cycle lock (cohort scan
+// state is only ever touched with cy.mu held).
+func (cy *scanCycle) sweep() {
+	start := time.Now()
+	eng := cy.eng
+	cy.mu.Lock()
+	for _, list := range cy.cohorts {
+		for _, co := range list {
+			if eng.srv != nil {
+				cy.sweepLocal(co)
+			} else {
+				cy.sweepRemote(co)
+			}
+		}
+	}
+	cy.mu.Unlock()
+	eng.ins.ScanCycle.ObserveDuration(time.Since(start))
+}
+
+// sweepLocal evaluates one cohort against the in-process namespace: per
+// item, two atomic loads on the unchanged fast path; state load + one
+// deadband evaluation when the version moved.
+func (cy *scanCycle) sweepLocal(co *cohort) {
+	eng := cy.eng
+	var batch *updateBatch
+	suppressed := int64(0)
+	for i := range co.items {
+		ci := &co.items[i]
+		if ci.it == nil {
+			// Tag was undefined at attach; re-resolve so items added to the
+			// server after subscription creation start flowing.
+			if ci.it = eng.srv.ns.lookup(co.tags[i]); ci.it == nil {
+				continue
+			}
+		}
+		ver := ci.it.version.Load()
+		if ci.hasSent && ver == ci.lastVer {
+			continue // unchanged since last evaluation
+		}
+		st := ci.it.state.Load()
+		ci.lastVer = ver
+		if ci.hasSent && !exceedsDeadband(&ci.sent, st, co.effective[i]) {
+			suppressed++
+			continue
+		}
+		ci.sent = *st
+		ci.hasSent = true
+		if batch == nil {
+			batch = newBatch()
+		}
+		batch.states = append(batch.states, *st)
+	}
+	if suppressed > 0 {
+		eng.ins.DeadbandSuppressed.Add(suppressed)
+	}
+	cy.broadcast(co, batch)
+}
+
+// sweepRemote evaluates one cohort over the wire with one batched Read.
+func (cy *scanCycle) sweepRemote(co *cohort) {
+	eng := cy.eng
+	states, err := eng.conn.Read(co.tags)
+	if err != nil {
+		for _, sub := range co.members {
+			sub.noteScanErr()
+		}
+		return
+	}
+	var batch *updateBatch
+	suppressed := int64(0)
+	for i := range states {
+		st := &states[i]
+		// conn.Read returns states in tag order; guard anyway.
+		idx := i
+		if idx >= len(co.items) || co.tags[idx] != st.Tag {
+			idx = sort.SearchStrings(co.tags, st.Tag)
+			if idx >= len(co.tags) || co.tags[idx] != st.Tag {
+				continue
+			}
+		}
+		ci := &co.items[idx]
+		if ci.hasSent && !exceedsDeadband(&ci.sent, st, co.effective[idx]) {
+			suppressed++
+			continue
+		}
+		ci.sent = *st
+		ci.hasSent = true
+		if batch == nil {
+			batch = newBatch()
+		}
+		batch.states = append(batch.states, *st)
+	}
+	if suppressed > 0 {
+		eng.ins.DeadbandSuppressed.Add(suppressed)
+	}
+	cy.broadcast(co, batch)
+}
+
+// broadcast fans one batch out to every cohort member and bumps scan
+// counters. A nil batch still counts the scan (for Stats()).
+func (cy *scanCycle) broadcast(co *cohort, batch *updateBatch) {
+	for _, sub := range co.members {
+		sub.noteScan()
+	}
+	if batch == nil {
+		return
+	}
+	if len(co.dests) == 0 {
+		batchPool.Put(batch)
+		return
+	}
+	cy.eng.ins.FanoutBatch.Observe(int64(len(batch.states)))
+	batch.refs.Store(int32(len(co.dests)))
+	if err := cy.div.Broadcast(co.dests, batch); err != nil {
+		// Engine closing: nobody will deliver or release.
+		batchPool.Put(batch)
+	}
+}
+
+// diverterRef fetches the (already created) diverter under the engine
+// lock; attach always created it before any subscription exists.
+func (e *scanEngine) diverterRef() *diverter.Diverter {
+	e.mu.Lock()
+	d := e.div
+	e.mu.Unlock()
+	return d
+}
+
+// exceedsDeadband applies OPC percent-deadband semantics between the
+// last-sent state and a candidate: quality changes always pass;
+// deadbandPC 0 passes any value change; numeric changes must exceed
+// deadbandPC% of the previous magnitude (zero-span previous: any move
+// off zero passes); non-numeric values compare exactly.
+func exceedsDeadband(prev, next *ItemState, deadbandPC float64) bool {
+	if prev.Quality != next.Quality {
+		return true
+	}
+	if deadbandPC == 0 {
+		return !prev.Value.Equal(next.Value)
+	}
+	pf, ok1 := prev.Value.NumericValue()
+	nf, ok2 := next.Value.NumericValue()
+	if !ok1 || !ok2 {
+		return !prev.Value.Equal(next.Value)
+	}
+	span := math.Abs(pf)
+	if span == 0 {
+		return nf != 0
+	}
+	return math.Abs(nf-pf) > span*deadbandPC/100
+}
+
+// attach joins a subscription to the cycle matching its rate, creating
+// or extending a cohort. Loops because the fetched cycle may have been
+// retired by a concurrent detach.
+func (e *scanEngine) attach(sub *Subscription) error {
+	for {
+		cy, err := e.cycle(sub.cfg.UpdateRate)
+		if err != nil {
+			return err
+		}
+		cy.mu.Lock()
+		if cy.stopped {
+			cy.mu.Unlock()
+			continue
+		}
+		cy.attachLocked(sub)
+		cy.mu.Unlock()
+		return nil
+	}
+}
+
+// attachLocked adds sub to its cohort (creating one if needed) and
+// queues a snapshot of already-sent state so a subscriber joining an
+// established cohort starts from the current values instead of silence.
+func (cy *scanCycle) attachLocked(sub *Subscription) {
+	key := cohortKeyFor(sub.tags, sub.cfg.DeadbandPC)
+	var co *cohort
+	for _, cand := range cy.cohorts[key] {
+		if cand.deadband == sub.cfg.DeadbandPC && equalTags(cand.tags, sub.tags) {
+			co = cand
+			break
+		}
+	}
+	fresh := co == nil
+	if fresh {
+		co = &cohort{
+			key:       key,
+			tags:      append([]string(nil), sub.tags...),
+			deadband:  sub.cfg.DeadbandPC,
+			effective: make([]float64, len(sub.tags)),
+			items:     make([]cohortItem, len(sub.tags)),
+		}
+		for i := range co.effective {
+			co.effective[i] = sub.cfg.DeadbandPC
+		}
+		if cy.eng.srv != nil {
+			for i, tag := range co.tags {
+				co.items[i].it = cy.eng.srv.ns.lookup(tag)
+			}
+		}
+		cy.cohorts[key] = append(cy.cohorts[key], co)
+	}
+	co.members = append(co.members, sub)
+	co.dests = append(co.dests, sub.dest)
+	sub.cohort, sub.cycle = co, cy
+
+	// Per-item overrides can only lower the cohort's effective deadband;
+	// members with larger overrides re-filter at delivery.
+	for tag, db := range sub.overrides {
+		if i := sort.SearchStrings(co.tags, tag); i < len(co.tags) && co.tags[i] == tag {
+			if db < co.effective[i] {
+				co.effective[i] = db
+			}
+		}
+	}
+
+	if !fresh {
+		cy.snapshotToLocked(co, sub)
+	}
+}
+
+// snapshotToLocked sends a joining member the cohort's already-sent item
+// states as one batch, so it catches up without waiting for changes.
+func (cy *scanCycle) snapshotToLocked(co *cohort, sub *Subscription) {
+	var batch *updateBatch
+	for i := range co.items {
+		if co.items[i].hasSent {
+			if batch == nil {
+				batch = newBatch()
+			}
+			batch.states = append(batch.states, co.items[i].sent)
+		}
+	}
+	if batch == nil {
+		return
+	}
+	batch.refs.Store(1)
+	if err := cy.div.Broadcast([]string{sub.dest}, batch); err != nil {
+		batchPool.Put(batch)
+	}
+}
+
+// detach removes sub from its cohort; the last member retires the
+// cohort, and the last cohort retires the cycle.
+func (e *scanEngine) detach(sub *Subscription) {
+	cy, co := sub.cycle, sub.cohort
+	if cy == nil || co == nil {
+		return
+	}
+	cy.mu.Lock()
+	for i, m := range co.members {
+		if m == sub {
+			co.members = append(co.members[:i], co.members[i+1:]...)
+			co.dests = append(co.dests[:i], co.dests[i+1:]...)
+			break
+		}
+	}
+	empty := len(co.members) == 0
+	if empty {
+		list := cy.cohorts[co.key]
+		for i, cand := range list {
+			if cand == co {
+				list = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(cy.cohorts, co.key)
+		} else {
+			cy.cohorts[co.key] = list
+		}
+	} else if len(sub.overrides) > 0 {
+		// A departing override-holder may have been the member pinning an
+		// effective deadband below base; recompute from scratch (rare).
+		for i := range co.effective {
+			co.effective[i] = co.deadband
+		}
+		for _, m := range co.members {
+			for tag, db := range m.overrides {
+				if i := sort.SearchStrings(co.tags, tag); i < len(co.tags) && co.tags[i] == tag {
+					if db < co.effective[i] {
+						co.effective[i] = db
+					}
+				}
+			}
+		}
+	}
+	cycleEmpty := len(cy.cohorts) == 0
+	cy.mu.Unlock()
+	sub.cycle, sub.cohort = nil, nil
+	if empty && cycleEmpty {
+		e.dropCycleIfEmpty(cy)
+	}
+}
+
+// requeue re-homes a subscription whose item set or overrides changed:
+// detach from the old cohort, attach to a matching (possibly new) one.
+func (e *scanEngine) requeue(sub *Subscription) error {
+	e.detach(sub)
+	return e.attach(sub)
+}
+
+// refresh queues the cohort's already-sent states to one member
+// (IOPCAsyncIO::Refresh semantics for the new API).
+func (e *scanEngine) refresh(sub *Subscription) {
+	cy, co := sub.cycle, sub.cohort
+	if cy == nil || co == nil {
+		return
+	}
+	cy.mu.Lock()
+	if !cy.stopped {
+		cy.snapshotToLocked(co, sub)
+	}
+	cy.mu.Unlock()
+}
+
+func equalTags(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,459 @@
+package opc
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+const testRate = 4 * time.Millisecond
+
+func newScanPlant(t *testing.T) *Server {
+	t.Helper()
+	srv := NewServer("plant")
+	for _, def := range []ItemDef{
+		{Tag: "u1.flow", CanonicalType: VTFloat64},
+		{Tag: "u1.level", CanonicalType: VTFloat64},
+		{Tag: "u1.mode", CanonicalType: VTString},
+	} {
+		if err := srv.AddItem(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// recorder collects delivered states per tag.
+type recorder struct {
+	mu  sync.Mutex
+	got map[string][]ItemState
+}
+
+func newRecorder() *recorder { return &recorder{got: make(map[string][]ItemState)} }
+
+func (r *recorder) onChange(updates []ItemState) {
+	r.mu.Lock()
+	for _, u := range updates {
+		r.got[u.Tag] = append(r.got[u.Tag], u)
+	}
+	r.mu.Unlock()
+}
+
+func (r *recorder) count(tag string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.got[tag])
+}
+
+func (r *recorder) last(tag string) (ItemState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	states := r.got[tag]
+	if len(states) == 0 {
+		return ItemState{}, false
+	}
+	return states[len(states)-1], true
+}
+
+// waitFor polls until cond or the deadline.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSharedCycleQualityChangeBypassesDeadband: under the shared cycle,
+// a quality transition must deliver even when the value sits well
+// inside the deadband — and a KeepValue publish (the MarkAllQuality
+// shape) is how devices report it.
+func TestSharedCycleQualityChangeBypassesDeadband(t *testing.T) {
+	srv := newScanPlant(t)
+	if err := srv.SetValue("u1.flow", VR8(100), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv)
+	defer c.Close()
+
+	rec := newRecorder()
+	sub, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate,
+		DeadbandPC: 50,
+		OnChange:   rec.onChange,
+		Tags:       []string{"u1.flow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	waitFor(t, "initial delivery", func() bool { return rec.count("u1.flow") >= 1 })
+
+	// Same value, bad quality: must pass the 50% deadband.
+	srv.MarkAllQuality(BadCommFailure)
+	waitFor(t, "quality transition", func() bool {
+		st, ok := rec.last("u1.flow")
+		return ok && st.Quality == BadCommFailure
+	})
+	if st, _ := rec.last("u1.flow"); st.Value.Float != 100 {
+		t.Fatalf("KeepValue publish lost the value: %v", st.Value)
+	}
+
+	// Back to good at the same value: passes again (quality change).
+	if err := srv.SetValue("u1.flow", VR8(100), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "recovery transition", func() bool {
+		st, ok := rec.last("u1.flow")
+		return ok && st.Quality == GoodNonSpecific
+	})
+
+	// Now a same-quality change inside the deadband: suppressed.
+	before := rec.count("u1.flow")
+	if err := srv.SetValue("u1.flow", VR8(120), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * testRate)
+	if got := rec.count("u1.flow"); got != before {
+		t.Fatalf("in-deadband change delivered: %d -> %d", before, got)
+	}
+}
+
+// TestSharedCycleZeroSpanDeadband: when the previous value is exactly
+// zero the percent deadband has no span; any move off zero must pass,
+// and repeated zeros must stay suppressed.
+func TestSharedCycleZeroSpanDeadband(t *testing.T) {
+	srv := newScanPlant(t)
+	if err := srv.SetValue("u1.level", VR8(0), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv)
+	defer c.Close()
+
+	rec := newRecorder()
+	sub, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate,
+		DeadbandPC: 10,
+		OnChange:   rec.onChange,
+		Tags:       []string{"u1.level"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	waitFor(t, "initial zero", func() bool { return rec.count("u1.level") >= 1 })
+
+	// Republishing zero: no span, no change, suppressed.
+	before := rec.count("u1.level")
+	for i := 0; i < 3; i++ {
+		if err := srv.SetValue("u1.level", VR8(0), GoodNonSpecific, time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * testRate)
+	}
+	if got := rec.count("u1.level"); got != before {
+		t.Fatalf("republished zero delivered: %d -> %d", before, got)
+	}
+
+	// A tiny move off zero: 10%% of |0| is 0, so it must pass.
+	if err := srv.SetValue("u1.level", VR8(0.001), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "move off zero", func() bool {
+		st, ok := rec.last("u1.level")
+		return ok && st.Value.Float == 0.001
+	})
+}
+
+// TestPerSubscriberDeadbandOverride: two subscribers in the same cohort
+// position (same tag set, same base deadband) where one carries a
+// per-item override — each must see its own filtering.
+func TestPerSubscriberDeadbandOverride(t *testing.T) {
+	srv := newScanPlant(t)
+	if err := srv.SetValue("u1.flow", VR8(100), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv)
+	defer c.Close()
+
+	coarse := newRecorder() // base 20% deadband
+	fine := newRecorder()   // same base, but 1% override on u1.flow
+
+	subCoarse, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate,
+		DeadbandPC: 20,
+		OnChange:   coarse.onChange,
+		Tags:       []string{"u1.flow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subCoarse.Close()
+
+	subFine, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate,
+		DeadbandPC: 20,
+		OnChange:   fine.onChange,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subFine.Close()
+	if err := subFine.AddItemsWithOptions(ItemOptions{DeadbandPC: 1}, "u1.flow"); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "both initial deliveries", func() bool {
+		return coarse.count("u1.flow") >= 1 && fine.count("u1.flow") >= 1
+	})
+
+	// +5%: inside the coarse subscriber's 20%, outside fine's 1%.
+	coarseBefore := coarse.count("u1.flow")
+	if err := srv.SetValue("u1.flow", VR8(105), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "fine subscriber update", func() bool {
+		st, ok := fine.last("u1.flow")
+		return ok && st.Value.Float == 105
+	})
+	time.Sleep(4 * testRate)
+	if got := coarse.count("u1.flow"); got != coarseBefore {
+		t.Fatalf("coarse subscriber saw an in-deadband change: %d -> %d", coarseBefore, got)
+	}
+
+	// +50%: both must see it.
+	if err := srv.SetValue("u1.flow", VR8(150), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "both subscribers see the big move", func() bool {
+		cst, cok := coarse.last("u1.flow")
+		fst, fok := fine.last("u1.flow")
+		return cok && fok && cst.Value.Float == 150 && fst.Value.Float == 150
+	})
+}
+
+// TestGoodOnlySubscription: the quality filter applies per subscriber at
+// delivery, without affecting cohort-mates.
+func TestGoodOnlySubscription(t *testing.T) {
+	srv := newScanPlant(t)
+	if err := srv.SetValue("u1.flow", VR8(1), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv)
+	defer c.Close()
+
+	all := newRecorder()
+	good := newRecorder()
+	subAll, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate, OnChange: all.onChange, Tags: []string{"u1.flow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subAll.Close()
+	subGood, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate, GoodOnly: true, OnChange: good.onChange, Tags: []string{"u1.flow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subGood.Close()
+
+	waitFor(t, "initial good delivery to both", func() bool {
+		return all.count("u1.flow") >= 1 && good.count("u1.flow") >= 1
+	})
+
+	goodBefore := good.count("u1.flow")
+	srv.MarkAllQuality(BadDeviceFailure)
+	waitFor(t, "unfiltered subscriber sees the bad quality", func() bool {
+		st, ok := all.last("u1.flow")
+		return ok && st.Quality == BadDeviceFailure
+	})
+	if got := good.count("u1.flow"); got != goodBefore {
+		t.Fatalf("GoodOnly subscriber saw a bad-quality update")
+	}
+
+	if err := srv.SetValue("u1.flow", VR8(2), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "good recovery reaches the filtered subscriber", func() bool {
+		st, ok := good.last("u1.flow")
+		return ok && st.Value.Float == 2
+	})
+}
+
+// TestSubscriptionChannelForm: Updates() delivery, context cancellation,
+// and idempotent Close.
+func TestSubscriptionChannelForm(t *testing.T) {
+	srv := newScanPlant(t)
+	c := NewClient(srv)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sub, err := c.Subscribe(ctx, SubscriptionConfig{
+		UpdateRate: testRate,
+		BufferSize: 8,
+		Tags:       []string{"u1.flow", "u1.mode"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.SetValue("u1.flow", VR8(7), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetValue("u1.mode", VStr("auto"), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[string]ItemState)
+	deadline := time.After(2 * time.Second)
+	for len(seen) < 2 {
+		select {
+		case batch, ok := <-sub.Updates():
+			if !ok {
+				t.Fatal("Updates() closed early")
+			}
+			for _, st := range batch {
+				if st.Quality.IsGood() {
+					seen[st.Tag] = st
+				}
+			}
+		case <-deadline:
+			t.Fatalf("timed out; saw %v", seen)
+		}
+	}
+	if seen["u1.flow"].Value.Float != 7 || seen["u1.mode"].Value.Str != "auto" {
+		t.Fatalf("wrong states: %v", seen)
+	}
+
+	// Context cancellation closes the subscription and its channel.
+	cancel()
+	waitFor(t, "channel close on cancel", func() bool {
+		select {
+		case _, ok := <-sub.Updates():
+			return !ok
+		default:
+			return false
+		}
+	})
+	// Idempotent double-close, plus operations on a closed sub.
+	if err := sub.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := sub.AddItems("u1.level"); err == nil {
+		t.Fatal("AddItems on closed sub: want error")
+	}
+}
+
+// TestSubscriptionItemAddRemove: per-item add/remove re-homes the
+// subscription across cohorts without losing delivery.
+func TestSubscriptionItemAddRemove(t *testing.T) {
+	srv := newScanPlant(t)
+	if err := srv.SetValue("u1.flow", VR8(1), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetValue("u1.level", VR8(10), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv)
+	defer c.Close()
+
+	rec := newRecorder()
+	sub, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate, OnChange: rec.onChange, Tags: []string{"u1.flow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	waitFor(t, "first item", func() bool { return rec.count("u1.flow") >= 1 })
+
+	if err := sub.AddItems("u1.level"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "added item's current state", func() bool { return rec.count("u1.level") >= 1 })
+
+	if err := sub.RemoveItems("u1.flow"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * testRate) // let in-flight deliveries settle
+	before := rec.count("u1.flow")
+	if err := srv.SetValue("u1.flow", VR8(99), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(6 * testRate)
+	if got := rec.count("u1.flow"); got != before {
+		t.Fatalf("removed item still delivering: %d -> %d", before, got)
+	}
+	// The remaining item still flows.
+	if err := srv.SetValue("u1.level", VR8(11), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "remaining item", func() bool {
+		st, ok := rec.last("u1.level")
+		return ok && st.Value.Float == 11
+	})
+}
+
+// TestSubscriptionRefresh mirrors the legacy ForceRefresh contract on
+// the new surface.
+func TestSubscriptionRefresh(t *testing.T) {
+	srv := newScanPlant(t)
+	if err := srv.SetValue("u1.flow", VR8(5), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv)
+	defer c.Close()
+
+	rec := newRecorder()
+	sub, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate, OnChange: rec.onChange, Tags: []string{"u1.flow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	waitFor(t, "initial", func() bool { return rec.count("u1.flow") >= 1 })
+	before := rec.count("u1.flow")
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "refresh resend", func() bool { return rec.count("u1.flow") > before })
+}
+
+// TestServerCloseStopsDataPlane: Close reclaims cycles and the fan-out
+// diverter; synchronous reads stay available.
+func TestServerCloseStopsDataPlane(t *testing.T) {
+	srv := newScanPlant(t)
+	c := NewClient(srv)
+
+	rec := newRecorder()
+	if _, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate, OnChange: rec.onChange, Tags: []string{"u1.flow"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := srv.Read([]string{"u1.flow"}); err != nil {
+		t.Fatalf("sync read after Close: %v", err)
+	}
+	// New subscriptions land on a fresh engine.
+	if _, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate, OnChange: rec.onChange, Tags: []string{"u1.flow"},
+	}); err != nil {
+		t.Fatalf("Subscribe after server Close: %v", err)
+	}
+	c.Close()
+	srv.Close()
+}

@@ -3,10 +3,12 @@ package opc
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Access is an item's access-rights mask.
@@ -54,10 +56,16 @@ type ItemDef struct {
 	EUUnit        string // engineering unit, e.g. "degC"
 }
 
-// item is the server-side record.
-type item struct {
-	def   ItemDef
-	state ItemState
+// ItemUpdate is one entry in a Publish batch: the device-side unit of
+// namespace change. A zero Timestamp is stamped at apply time. KeepValue
+// updates quality and timestamp while retaining the current value (the
+// MarkAllQuality shape: "the value is stale, here is why").
+type ItemUpdate struct {
+	Tag       string
+	Value     Variant
+	Quality   Quality
+	Timestamp time.Time
+	KeepValue bool
 }
 
 // ServerState is the OPC server status word.
@@ -100,39 +108,111 @@ type ServerStatus struct {
 // error fails the client's write.
 type WriteHandler func(tag string, value Variant) error
 
-// Server is an OPC server: the stateless format converter between device
-// drivers and OPC clients. Per the paper it takes no checkpoints — its
-// entire state is reconstructible from the device scan.
-type Server struct {
-	name string
+// Instruments are the server data plane's registry-resolved metrics;
+// zero-value fields record nothing.
+type Instruments struct {
+	// ScanCycle observes shared-sweep duration in microseconds — the cost
+	// of one pass over every subscribed item at one update rate.
+	ScanCycle *telemetry.Histogram
+	// FanoutBatch observes updates per fan-out batch: how many item
+	// changes one diverter broadcast carries to a subscriber cohort.
+	FanoutBatch *telemetry.Histogram
+	// DeadbandSuppressed counts item changes a sweep held back because
+	// they stayed inside the percent deadband.
+	DeadbandSuppressed *telemetry.Counter
+	// UpdatesPublished counts item updates applied through Publish.
+	UpdatesPublished *telemetry.Counter
+	// Subscriptions gauges live subscriptions on the data plane.
+	Subscriptions *telemetry.Gauge
+}
 
-	mu          sync.RWMutex
-	items       map[string]*item
-	tags        []string // sorted
-	state       ServerState
-	startTime   time.Time
-	lastUpdate  time.Time
-	readCount   int64
-	writeCount  int64
+// Server is an OPC server: the format converter between device drivers
+// and OPC clients. Per the paper it takes no checkpoints — its entire
+// state is reconstructible from the device scan.
+//
+// The namespace is sharded (see namespace.go): item states publish
+// through atomic pointers, so the subscription scan path and concurrent
+// client reads never contend with device-side Publish calls on a lock.
+type Server struct {
+	name      string
+	ns        *namespace
+	startTime time.Time
+
+	state      atomic.Int32 // ServerState
+	lastUpdate atomic.Int64 // unix nanos of the latest applied update
+	readCount  atomic.Int64
+	writeCount atomic.Int64
+
+	routeMu     sync.RWMutex
 	writeRoutes map[string]WriteHandler // tag-prefix -> handler; "" is default
-	subscribers map[int]func(ItemState)
-	nextSub     int
+
+	// Legacy per-update advise callbacks (Subscribe). The flag keeps the
+	// Publish fast path to one atomic load when nobody is advised.
+	adviseMu  sync.Mutex
+	advise    map[int]func(ItemState)
+	nextAdv   int
+	hasAdvise atomic.Bool
+
+	ins Instruments
+
+	// scan is the server-side shared scan engine, created on the first
+	// subscription (engine()).
+	scanMu sync.Mutex
+	scan   *scanEngine
 }
 
 // NewServer creates a running server with an empty namespace.
 func NewServer(name string) *Server {
-	return &Server{
+	s := &Server{
 		name:        name,
-		items:       make(map[string]*item),
-		state:       ServerRunning,
+		ns:          newNamespace(defaultNamespaceShards),
 		startTime:   time.Now(),
 		writeRoutes: make(map[string]WriteHandler),
-		subscribers: make(map[int]func(ItemState)),
+		advise:      make(map[int]func(ItemState)),
 	}
+	s.state.Store(int32(ServerRunning))
+	return s
 }
 
 // Name returns the server's ProgID-ish name.
 func (s *Server) Name() string { return s.name }
+
+// Instrument routes the data plane's metrics (scan-cycle duration,
+// fan-out batch size, deadband suppression, publish and subscription
+// counters) into ins. Call before the first subscription.
+func (s *Server) Instrument(ins Instruments) {
+	s.scanMu.Lock()
+	s.ins = ins
+	if s.scan != nil {
+		s.scan.ins = ins
+	}
+	s.scanMu.Unlock()
+}
+
+// engine returns the server's shared scan engine, creating it (and its
+// fan-out diverter) on first use.
+func (s *Server) engine() *scanEngine {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	if s.scan == nil {
+		s.scan = newScanEngine(s, nil)
+		s.scan.ins = s.ins
+	}
+	return s.scan
+}
+
+// Close stops the subscription data plane (scan cycles and the fan-out
+// diverter). The synchronous call surface (Read/Write/Browse) stays up;
+// Close is about reclaiming the background goroutines.
+func (s *Server) Close() {
+	s.scanMu.Lock()
+	eng := s.scan
+	s.scan = nil
+	s.scanMu.Unlock()
+	if eng != nil {
+		eng.close()
+	}
+}
 
 // SetWriteHandler installs the default device-write path (all tags not
 // claimed by a RouteWrites prefix).
@@ -144,8 +224,8 @@ func (s *Server) SetWriteHandler(h WriteHandler) {
 // prefix, so one server can front several device drivers (one per PLC).
 // The longest matching prefix wins.
 func (s *Server) RouteWrites(prefix string, h WriteHandler) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
 	if h == nil {
 		delete(s.writeRoutes, prefix)
 		return
@@ -153,8 +233,10 @@ func (s *Server) RouteWrites(prefix string, h WriteHandler) {
 	s.writeRoutes[prefix] = h
 }
 
-// writeHandlerFor resolves the handler for a tag. Callers hold s.mu.
+// writeHandlerFor resolves the handler for a tag.
 func (s *Server) writeHandlerFor(tag string) WriteHandler {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
 	var best string
 	var found WriteHandler
 	hasBest := false
@@ -178,134 +260,169 @@ func (s *Server) AddItem(def ItemDef) error {
 	if def.CanonicalType == 0 {
 		def.CanonicalType = VTFloat64
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.items[def.Tag]; dup {
-		return fmt.Errorf("opc: item %q already defined", def.Tag)
+	it := &nsItem{def: def}
+	it.state.Store(&ItemState{
+		Tag:       def.Tag,
+		Value:     Empty(),
+		Quality:   BadNotConnected,
+		Timestamp: time.Now(),
+	})
+	if !s.ns.add(it) {
+		return fmt.Errorf("%w: item %q already defined", ErrDuplicateItem, def.Tag)
 	}
-	s.items[def.Tag] = &item{
-		def: def,
-		state: ItemState{
-			Tag:       def.Tag,
-			Value:     Empty(),
-			Quality:   BadNotConnected,
-			Timestamp: time.Now(),
-		},
-	}
-	s.tags = append(s.tags, def.Tag)
-	sort.Strings(s.tags)
 	return nil
 }
 
-// RemoveItem deletes a namespace entry.
+// RemoveItem deletes a namespace entry. Subscriptions still holding the
+// item keep its last state and stop receiving updates for it.
 func (s *Server) RemoveItem(tag string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.items[tag]; !ok {
+	if !s.ns.remove(tag) {
 		return fmt.Errorf("%w: %q", ErrUnknownItem, tag)
 	}
-	delete(s.items, tag)
-	for i, t := range s.tags {
-		if t == tag {
-			s.tags = append(s.tags[:i], s.tags[i+1:]...)
-			break
+	return nil
+}
+
+// Publish applies a batch of device-side updates through the single
+// validation path (item exists, value coerces to the canonical type).
+// Valid entries apply even when others fail — a device batch is not
+// all-or-nothing — and the failures come back joined, each wrapping a
+// sentinel (ErrUnknownItem, or the coercion error).
+//
+// This is the one namespace write path: SetValue, Write, and
+// MarkAllQuality are wrappers over it.
+func (s *Server) Publish(batch []ItemUpdate) error {
+	var errs []error
+	applied := 0
+	var lastTS time.Time
+	for i := range batch {
+		u := &batch[i]
+		it := s.ns.lookup(u.Tag)
+		if it == nil {
+			errs = append(errs, fmt.Errorf("%w: %q", ErrUnknownItem, u.Tag))
+			continue
+		}
+		st, err := s.applyUpdate(it, u)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		applied++
+		lastTS = st.Timestamp
+		if s.hasAdvise.Load() {
+			s.fanAdvise(*st)
 		}
 	}
-	return nil
+	if applied > 0 {
+		s.lastUpdate.Store(lastTS.UnixNano())
+		s.ins.UpdatesPublished.Add(int64(applied))
+	}
+	return errors.Join(errs...)
 }
 
-// SetValue is the device-driver path: the driver pushes fresh field data
-// into the namespace. Values are coerced to the item's canonical type.
-func (s *Server) SetValue(tag string, v Variant, q Quality, ts time.Time) error {
-	s.mu.Lock()
-	it, ok := s.items[tag]
-	if !ok {
-		s.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrUnknownItem, tag)
-	}
-	coerced, err := v.CoerceTo(it.def.CanonicalType)
-	if err != nil {
-		s.mu.Unlock()
-		return err
-	}
+// applyUpdate coerces, builds, and atomically publishes one item state.
+// The version bump after the pointer store is what sweeps key change
+// detection on (see nsItem).
+func (s *Server) applyUpdate(it *nsItem, u *ItemUpdate) (*ItemState, error) {
+	ts := u.Timestamp
 	if ts.IsZero() {
 		ts = time.Now()
 	}
-	it.state = ItemState{Tag: tag, Value: coerced, Quality: q, Timestamp: ts}
-	s.lastUpdate = ts
-	subs := make([]func(ItemState), 0, len(s.subscribers))
-	for _, fn := range s.subscribers {
+	var val Variant
+	if u.KeepValue {
+		val = it.state.Load().Value
+	} else {
+		coerced, err := u.Value.CoerceTo(it.def.CanonicalType)
+		if err != nil {
+			return nil, err
+		}
+		val = coerced
+	}
+	st := &ItemState{Tag: it.def.Tag, Value: val, Quality: u.Quality, Timestamp: ts}
+	it.state.Store(st)
+	it.version.Add(1)
+	return st, nil
+}
+
+// SetValue is the single-item device-driver path: the driver pushes
+// fresh field data into the namespace. Values are coerced to the item's
+// canonical type. It is a wrapper over Publish.
+func (s *Server) SetValue(tag string, v Variant, q Quality, ts time.Time) error {
+	batch := [1]ItemUpdate{{Tag: tag, Value: v, Quality: q, Timestamp: ts}}
+	return s.Publish(batch[:])
+}
+
+// MarkAllQuality stamps every item with a quality (device/comm failure),
+// keeping values: a KeepValue publish across the whole namespace. The
+// quality transitions flow to scan subscribers like any other update.
+func (s *Server) MarkAllQuality(q Quality) {
+	now := time.Now()
+	n := 0
+	s.ns.forEach(func(it *nsItem) {
+		u := ItemUpdate{Tag: it.def.Tag, Quality: q, Timestamp: now, KeepValue: true}
+		if _, err := s.applyUpdate(it, &u); err == nil {
+			n++
+		}
+	})
+	if n > 0 {
+		s.lastUpdate.Store(now.UnixNano())
+		s.ins.UpdatesPublished.Add(int64(n))
+	}
+}
+
+// fanAdvise delivers one applied state to the legacy advise callbacks.
+func (s *Server) fanAdvise(st ItemState) {
+	s.adviseMu.Lock()
+	subs := make([]func(ItemState), 0, len(s.advise))
+	for _, fn := range s.advise {
 		subs = append(subs, fn)
 	}
-	state := it.state
-	s.mu.Unlock()
+	s.adviseMu.Unlock()
 	for _, fn := range subs {
-		fn(state)
-	}
-	return nil
-}
-
-// MarkAllQuality stamps every item with a quality (device/comm failure).
-func (s *Server) MarkAllQuality(q Quality) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	now := time.Now()
-	for _, it := range s.items {
-		it.state.Quality = q
-		it.state.Timestamp = now
+		fn(st)
 	}
 }
 
-// Read returns the current state of each tag (IOPCSyncIO::Read).
+// Read returns the current state of each tag (IOPCSyncIO::Read). Reads
+// are lock-free per item: a shard map lookup plus an atomic state load.
 func (s *Server) Read(tags []string) ([]ItemState, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.state != ServerRunning {
+	if ServerState(s.state.Load()) != ServerRunning {
 		return nil, ErrServerDown
 	}
 	out := make([]ItemState, 0, len(tags))
 	for _, tag := range tags {
-		it, ok := s.items[tag]
-		if !ok {
+		it := s.ns.lookup(tag)
+		if it == nil {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownItem, tag)
 		}
 		if it.def.Rights&AccessRead == 0 {
 			return nil, fmt.Errorf("%w: read %q", ErrAccessDenied, tag)
 		}
-		out = append(out, it.state)
+		out = append(out, *it.state.Load())
 	}
-	s.readCount++
+	s.readCount.Add(1)
 	return out, nil
 }
 
 // Write applies a client write (IOPCSyncIO::Write): coerce, hand to the
 // device handler, then reflect the value in the namespace with good
-// quality and a local-override flavor if no handler overrides it.
+// quality through the Publish path.
 func (s *Server) Write(tag string, v Variant) error {
-	s.mu.Lock()
-	if s.state != ServerRunning {
-		s.mu.Unlock()
+	if ServerState(s.state.Load()) != ServerRunning {
 		return ErrServerDown
 	}
-	it, ok := s.items[tag]
-	if !ok {
-		s.mu.Unlock()
+	it := s.ns.lookup(tag)
+	if it == nil {
 		return fmt.Errorf("%w: %q", ErrUnknownItem, tag)
 	}
 	if it.def.Rights&AccessWrite == 0 {
-		s.mu.Unlock()
 		return fmt.Errorf("%w: write %q", ErrAccessDenied, tag)
 	}
 	coerced, err := v.CoerceTo(it.def.CanonicalType)
 	if err != nil {
-		s.mu.Unlock()
 		return err
 	}
-	handler := s.writeHandlerFor(tag)
-	s.writeCount++
-	s.mu.Unlock()
-
-	if handler != nil {
+	s.writeCount.Add(1)
+	if handler := s.writeHandlerFor(tag); handler != nil {
 		if err := handler(tag, coerced); err != nil {
 			return fmt.Errorf("opc: device write %q: %w", tag, err)
 		}
@@ -316,26 +433,16 @@ func (s *Server) Write(tag string, v Variant) error {
 // Browse lists tags under a prefix, sorted (IOPCBrowseServerAddressSpace).
 // An empty prefix lists everything.
 func (s *Server) Browse(prefix string) ([]string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.state != ServerRunning {
+	if ServerState(s.state.Load()) != ServerRunning {
 		return nil, ErrServerDown
 	}
-	out := make([]string, 0, len(s.tags))
-	for _, tag := range s.tags {
-		if strings.HasPrefix(tag, prefix) {
-			out = append(out, tag)
-		}
-	}
-	return out, nil
+	return s.ns.tagsWithPrefix(prefix), nil
 }
 
 // ItemDefinition returns an item's metadata.
 func (s *Server) ItemDefinition(tag string) (ItemDef, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	it, ok := s.items[tag]
-	if !ok {
+	it := s.ns.lookup(tag)
+	if it == nil {
 		return ItemDef{}, fmt.Errorf("%w: %q", ErrUnknownItem, tag)
 	}
 	return it.def, nil
@@ -343,37 +450,43 @@ func (s *Server) ItemDefinition(tag string) (ItemDef, error) {
 
 // Status returns the server status block (IOPCServer::GetStatus).
 func (s *Server) Status() (ServerStatus, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	var last time.Time
+	if ns := s.lastUpdate.Load(); ns != 0 {
+		last = time.Unix(0, ns)
+	}
 	return ServerStatus{
 		Name:       s.name,
-		State:      int(s.state),
+		State:      int(s.state.Load()),
 		StartTime:  s.startTime,
-		LastUpdate: s.lastUpdate,
-		ItemCount:  len(s.items),
-		ReadCount:  s.readCount,
-		WriteCount: s.writeCount,
+		LastUpdate: last,
+		ItemCount:  s.ns.len(),
+		ReadCount:  s.readCount.Load(),
+		WriteCount: s.writeCount.Load(),
 	}, nil
 }
 
 // SetState transitions the server (fault injection / shutdown).
 func (s *Server) SetState(st ServerState) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.state = st
+	s.state.Store(int32(st))
 }
 
-// Subscribe registers a same-process callback fired on every SetValue (the
-// server-side advise sink). Returns an unsubscribe handle.
+// Subscribe registers a same-process callback fired on every published
+// update (the legacy server-side advise sink — per update, not batched;
+// prefer Client.Subscribe for the scanned, deadband-filtered form).
+// Returns an unsubscribe handle.
 func (s *Server) Subscribe(fn func(ItemState)) (cancel func()) {
-	s.mu.Lock()
-	id := s.nextSub
-	s.nextSub++
-	s.subscribers[id] = fn
-	s.mu.Unlock()
+	s.adviseMu.Lock()
+	id := s.nextAdv
+	s.nextAdv++
+	s.advise[id] = fn
+	s.hasAdvise.Store(true)
+	s.adviseMu.Unlock()
 	return func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		delete(s.subscribers, id)
+		s.adviseMu.Lock()
+		defer s.adviseMu.Unlock()
+		delete(s.advise, id)
+		if len(s.advise) == 0 {
+			s.hasAdvise.Store(false)
+		}
 	}
 }

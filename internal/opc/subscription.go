@@ -1,0 +1,345 @@
+package opc
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/diverter"
+)
+
+// SubscriptionConfig parameterizes Client.Subscribe.
+type SubscriptionConfig struct {
+	// Name labels the subscription (diagnostics only); one is generated
+	// if empty.
+	Name string
+	// UpdateRate is the scan period; subscriptions sharing a rate share
+	// one ticker sweep. Default 100ms.
+	UpdateRate time.Duration
+	// DeadbandPC is the percent deadband applied to numeric items, 0-100.
+	// Per-item overrides (AddItemsWithOptions) layer on top.
+	DeadbandPC float64
+	// GoodOnly delivers only good-quality updates to this subscriber;
+	// quality transitions to bad/uncertain are filtered at delivery (the
+	// shared sweep still evaluates them once for the whole cohort).
+	GoodOnly bool
+	// BufferSize is the Updates() channel capacity (default 64). Ignored
+	// for the callback form.
+	BufferSize int
+	// OnChange, when set, selects callback delivery: invoked per batch
+	// from a delivery worker. The slice is only valid during the call
+	// (it aliases a pooled batch shared across subscribers); copy to
+	// retain. When nil, batches arrive on Updates() instead (the channel
+	// form copies, so consumers own what they receive).
+	OnChange func(updates []ItemState)
+	// Tags is the initial item set; AddItems/RemoveItems adjust it later.
+	Tags []string
+}
+
+// ItemOptions carries per-item subscription overrides.
+type ItemOptions struct {
+	// DeadbandPC overrides the subscription's base deadband for these
+	// items. Negative means "inherit".
+	DeadbandPC float64
+}
+
+// Subscription is a live OPC data subscription: a set of items scanned
+// on a shared cycle, with changed values delivered as batches through
+// the fan-out diverter. Created by Client.Subscribe.
+type Subscription struct {
+	eng  *scanEngine
+	cfg  SubscriptionConfig
+	dest string // diverter destination
+
+	updates chan []ItemState // nil in callback form
+	ctx     context.Context
+
+	scans atomic.Int64 // sweeps observed; atomic — bumped under the cycle lock
+	errs  atomic.Int64
+
+	mu        sync.Mutex
+	tags      []string           // sorted, deduped
+	overrides map[string]float64 // tag -> deadband override
+	lastSent  map[string]ItemState
+	attached  bool
+	closed    bool
+	closeSig  chan struct{}
+
+	// cohort/cycle are the scan engine's bookkeeping, guarded by the
+	// cycle's mu; the subscription's mu serializes attach/detach calls.
+	cohort *cohort
+	cycle  *scanCycle
+}
+
+// newSubscription builds, validates, and attaches a subscription.
+func newSubscription(eng *scanEngine, ctx context.Context, cfg SubscriptionConfig) (*Subscription, error) {
+	cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sub := &Subscription{
+		eng:       eng,
+		cfg:       cfg,
+		tags:      sortedUnique(cfg.Tags),
+		overrides: make(map[string]float64),
+		lastSent:  make(map[string]ItemState),
+		ctx:       ctx,
+		closeSig:  make(chan struct{}),
+	}
+	if cfg.OnChange == nil {
+		sub.updates = make(chan []ItemState, cfg.BufferSize)
+	}
+
+	eng.mu.Lock()
+	if eng.closed {
+		eng.mu.Unlock()
+		return nil, ErrClosed
+	}
+	sub.dest = eng.subID()
+	div := eng.diverter()
+	eng.mu.Unlock()
+
+	if cfg.Name == "" {
+		sub.cfg.Name = sub.dest
+	}
+	div.SetRoute(sub.dest, sub.deliver)
+
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if err := eng.attach(sub); err != nil {
+		return nil, err
+	}
+	sub.attached = true
+	eng.ins.Subscriptions.Add(1)
+
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				sub.Close()
+			case <-sub.closeSig:
+			}
+		}()
+	}
+	return sub, nil
+}
+
+// Name returns the subscription's label.
+func (s *Subscription) Name() string { return s.cfg.Name }
+
+// Updates returns the batched delivery channel (nil when the
+// subscription was created with an OnChange callback). The channel is
+// closed by Close; each received slice is owned by the receiver.
+func (s *Subscription) Updates() <-chan []ItemState { return s.updates }
+
+// deliver is the subscription's diverter route: unwrap the shared batch,
+// apply this subscriber's quality filter and per-item deadband
+// re-filtering, and hand the result to the callback or channel.
+func (s *Subscription) deliver(msg diverter.Message) error {
+	batch, ok := msg.Payload.(*updateBatch)
+	if !ok {
+		return nil // foreign message shape; ack and ignore
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		batch.release()
+		return nil // ack: a closed subscriber drops silently
+	}
+	out := s.filterLocked(batch.states)
+	cb := s.cfg.OnChange
+	s.mu.Unlock()
+
+	if len(out) == 0 {
+		batch.release()
+		return nil
+	}
+	if cb != nil {
+		cb(out)
+		batch.release()
+		return nil
+	}
+	// Channel form: copy (the consumer owns the slice), non-blocking
+	// send. A full buffer returns an error so the diverter redelivers in
+	// FIFO order once the consumer catches up — no reference is dropped.
+	owned := append([]ItemState(nil), out...)
+	select {
+	case s.updates <- owned:
+		batch.release()
+		return nil
+	default:
+		return errSubBusy
+	}
+}
+
+var errSubBusy = errors.New("opc: subscriber buffer full")
+
+// filterLocked applies per-subscriber delivery filtering on top of the
+// cohort's shared evaluation: the GoodOnly quality filter, and a deadband
+// re-check against the last state THIS subscriber accepted (the OPC DA
+// contract) for every item with a nonzero effective deadband. The shared
+// sweep evaluates each item once per cohort at the members' minimum
+// deadband; members sitting above that minimum re-filter here. When no
+// filtering applies — deadband 0, no overrides, no quality filter — the
+// shared slice is returned as-is (zero-copy for the callback form).
+func (s *Subscription) filterLocked(states []ItemState) []ItemState {
+	needFilter := s.cfg.GoodOnly || len(s.overrides) > 0 || s.cfg.DeadbandPC > 0
+	if !needFilter {
+		return states
+	}
+	out := make([]ItemState, 0, len(states))
+	for i := range states {
+		st := &states[i]
+		if s.cfg.GoodOnly && !st.Quality.IsGood() {
+			continue
+		}
+		db, ok := s.overrides[st.Tag]
+		if !ok {
+			db = s.cfg.DeadbandPC
+		}
+		if db > 0 {
+			prev, seen := s.lastSent[st.Tag]
+			if seen && !exceedsDeadband(&prev, st, db) {
+				continue
+			}
+			s.lastSent[st.Tag] = *st
+		}
+		out = append(out, *st)
+	}
+	return out
+}
+
+// AddItems adds tags to the subscription's item set.
+func (s *Subscription) AddItems(tags ...string) error {
+	return s.AddItemsWithOptions(ItemOptions{DeadbandPC: -1}, tags...)
+}
+
+// AddItemsWithOptions adds tags with per-item overrides (e.g. a tighter
+// deadband than the subscription default).
+func (s *Subscription) AddItemsWithOptions(opts ItemOptions, tags ...string) error {
+	if len(tags) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	merged := append(append([]string(nil), s.tags...), tags...)
+	s.tags = sortedUnique(merged)
+	if opts.DeadbandPC >= 0 {
+		for _, t := range tags {
+			s.overrides[t] = opts.DeadbandPC
+		}
+	}
+	return s.rehomeLocked()
+}
+
+// RemoveItems drops tags from the subscription's item set.
+func (s *Subscription) RemoveItems(tags ...string) error {
+	if len(tags) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	drop := make(map[string]bool, len(tags))
+	for _, t := range tags {
+		drop[t] = true
+	}
+	kept := s.tags[:0]
+	for _, t := range s.tags {
+		if drop[t] {
+			delete(s.overrides, t)
+			delete(s.lastSent, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	s.tags = kept
+	return s.rehomeLocked()
+}
+
+// rehomeLocked moves the subscription onto the cohort matching its
+// current item set (detach + attach). Callers hold s.mu.
+func (s *Subscription) rehomeLocked() error {
+	if !s.attached {
+		return nil
+	}
+	return s.eng.requeue(s)
+}
+
+// Refresh resends the current state of every item as one batch
+// (IOPCAsyncIO::Refresh).
+func (s *Subscription) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.attached {
+		s.eng.refresh(s)
+	}
+	return nil
+}
+
+// Stats reports (scan sweeps observed, scan errors).
+func (s *Subscription) Stats() (scans, errs int64) {
+	return s.scans.Load(), s.errs.Load()
+}
+
+// noteScan/noteScanErr are called from the sweep with the cycle lock
+// held; they are atomic so the sweep never takes s.mu (which would
+// invert the s.mu → cycle.mu order attach uses).
+func (s *Subscription) noteScan()    { s.scans.Add(1) }
+func (s *Subscription) noteScanErr() { s.errs.Add(1) }
+
+// Close detaches the subscription and closes Updates(). Idempotent and
+// safe to call concurrently with deliveries.
+func (s *Subscription) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	wasAttached := s.attached
+	s.attached = false
+	close(s.closeSig)
+	s.mu.Unlock()
+
+	if wasAttached {
+		s.eng.detach(s)
+		s.eng.ins.Subscriptions.Add(-1)
+	}
+	// Queued deliveries for this dest drain through deliver(), which
+	// acks-and-drops for a closed sub (releasing batch references), so
+	// the channel close below cannot race a send.
+	if div := s.eng.diverterRef(); div != nil {
+		div.Drain(s.dest, 2*time.Second)
+	}
+	if s.updates != nil {
+		close(s.updates)
+	}
+	return nil
+}
+
+// sortedUnique copies, sorts, and dedups a tag list.
+func sortedUnique(tags []string) []string {
+	out := append([]string(nil), tags...)
+	sort.Strings(out)
+	kept := out[:0]
+	for i, t := range out {
+		if i > 0 && out[i-1] == t {
+			continue
+		}
+		kept = append(kept, t)
+	}
+	return kept
+}

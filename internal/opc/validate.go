@@ -1,0 +1,84 @@
+package opc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Validation sentinels. Callers match them with errors.Is through the
+// wrapping ConfigError (the same typed-validation pattern engine.Config
+// uses), so "deadband out of range" is a branchable condition instead of
+// a string to grep.
+var (
+	// ErrNameRequired: a group needs a non-empty name.
+	ErrNameRequired = errors.New("opc: name required")
+	// ErrBadDeadband: percent deadband must be within [0, 100].
+	ErrBadDeadband = errors.New("opc: deadband out of range")
+	// ErrBadUpdateRate: a fully specified update rate must be positive.
+	ErrBadUpdateRate = errors.New("opc: update rate must be positive")
+	// ErrDuplicateGroup: the client already owns a group with that name.
+	ErrDuplicateGroup = errors.New("opc: duplicate group")
+	// ErrDuplicateItem: the tag is already present (in the server's
+	// namespace, or in a subscription's item set).
+	ErrDuplicateItem = errors.New("opc: duplicate item")
+	// ErrClosed is returned from operations on a closed client,
+	// subscription, or server data plane.
+	ErrClosed = errors.New("opc: closed")
+)
+
+// ConfigError reports which field of a GroupConfig or SubscriptionConfig
+// failed validation; it unwraps to one of the sentinels above.
+type ConfigError struct {
+	Field string
+	Err   error
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("opc: config field %s: %v", e.Field, e.Err)
+}
+
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// normalize applies the documented defaults in place.
+func (cfg *SubscriptionConfig) normalize() {
+	if cfg.UpdateRate <= 0 {
+		cfg.UpdateRate = 100 * time.Millisecond
+	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = 64
+	}
+}
+
+// Validate checks a normalized SubscriptionConfig. Subscription names are
+// optional (one is generated), so only the numeric fields are constrained.
+func (cfg *SubscriptionConfig) Validate() error {
+	if cfg.UpdateRate <= 0 {
+		return &ConfigError{Field: "UpdateRate", Err: ErrBadUpdateRate}
+	}
+	if cfg.DeadbandPC < 0 || cfg.DeadbandPC > 100 {
+		return &ConfigError{Field: "DeadbandPC",
+			Err: fmt.Errorf("%w: %v%%", ErrBadDeadband, cfg.DeadbandPC)}
+	}
+	return nil
+}
+
+// normalize applies the legacy group defaults in place.
+func (cfg *GroupConfig) normalize() {
+	if cfg.UpdateRate <= 0 {
+		cfg.UpdateRate = 100 * time.Millisecond
+	}
+}
+
+// Validate checks a GroupConfig for AddGroup. Unlike subscriptions, a
+// group must be named: RemoveGroup addresses it by name.
+func (cfg *GroupConfig) Validate() error {
+	if cfg.Name == "" {
+		return &ConfigError{Field: "Name", Err: fmt.Errorf("%w: group needs a name", ErrNameRequired)}
+	}
+	if cfg.DeadbandPC < 0 || cfg.DeadbandPC > 100 {
+		return &ConfigError{Field: "DeadbandPC",
+			Err: fmt.Errorf("%w: %v%%", ErrBadDeadband, cfg.DeadbandPC)}
+	}
+	return nil
+}

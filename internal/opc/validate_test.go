@@ -1,0 +1,138 @@
+package opc
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestGroupConfigValidate pins the typed-validation surface: every
+// rejection unwraps to a package sentinel through ConfigError, so
+// callers branch with errors.Is instead of string matching.
+func TestGroupConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  GroupConfig
+		want error // nil means valid
+	}{
+		{"valid", GroupConfig{Name: "g", UpdateRate: time.Second}, nil},
+		{"valid-zero-deadband", GroupConfig{Name: "g"}, nil},
+		{"valid-max-deadband", GroupConfig{Name: "g", DeadbandPC: 100}, nil},
+		{"missing-name", GroupConfig{}, ErrNameRequired},
+		{"deadband-negative", GroupConfig{Name: "g", DeadbandPC: -0.5}, ErrBadDeadband},
+		{"deadband-over-100", GroupConfig{Name: "g", DeadbandPC: 100.01}, ErrBadDeadband},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tc.want)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) || ce.Field == "" {
+				t.Fatalf("Validate() = %v, want a *ConfigError naming the field", err)
+			}
+		})
+	}
+}
+
+// TestSubscriptionConfigValidate covers the Subscribe-side config.
+func TestSubscriptionConfigValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   SubscriptionConfig
+		field string
+		want  error
+	}{
+		{"valid", SubscriptionConfig{UpdateRate: time.Millisecond}, "", nil},
+		{"deadband-negative", SubscriptionConfig{UpdateRate: time.Millisecond, DeadbandPC: -1}, "DeadbandPC", ErrBadDeadband},
+		{"deadband-over-100", SubscriptionConfig{UpdateRate: time.Millisecond, DeadbandPC: 101}, "DeadbandPC", ErrBadDeadband},
+		{"bad-rate", SubscriptionConfig{UpdateRate: -time.Second}, "UpdateRate", ErrBadUpdateRate},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tc.want)
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) || ce.Field != tc.field {
+				t.Fatalf("Validate() = %v, want ConfigError on field %s", err, tc.field)
+			}
+		})
+	}
+}
+
+// TestAddGroupTypedErrors checks the AddGroup wrapper reports duplicate
+// and closed conditions through the sentinels too.
+func TestAddGroupTypedErrors(t *testing.T) {
+	srv := NewServer("t")
+	defer srv.Close()
+	c := NewClient(srv)
+
+	if _, err := c.AddGroup(GroupConfig{}, nil); !errors.Is(err, ErrNameRequired) {
+		t.Fatalf("nameless AddGroup: %v, want ErrNameRequired", err)
+	}
+	if _, err := c.AddGroup(GroupConfig{Name: "g", DeadbandPC: 120}, nil); !errors.Is(err, ErrBadDeadband) {
+		t.Fatalf("bad deadband AddGroup: %v, want ErrBadDeadband", err)
+	}
+	if _, err := c.AddGroup(GroupConfig{Name: "g"}, nil); err != nil {
+		t.Fatalf("first AddGroup: %v", err)
+	}
+	if _, err := c.AddGroup(GroupConfig{Name: "g"}, nil); !errors.Is(err, ErrDuplicateGroup) {
+		t.Fatalf("duplicate AddGroup: %v, want ErrDuplicateGroup", err)
+	}
+	c.Close()
+	if _, err := c.AddGroup(GroupConfig{Name: "h"}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AddGroup after Close: %v, want ErrClosed", err)
+	}
+	if _, err := c.Subscribe(nil, SubscriptionConfig{Tags: []string{"x"}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Subscribe after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestPublishValidation: Publish applies valid entries and reports the
+// failures joined, each wrapping its sentinel.
+func TestPublishValidation(t *testing.T) {
+	srv := NewServer("t")
+	defer srv.Close()
+	if err := srv.AddItem(ItemDef{Tag: "a.f", CanonicalType: VTFloat64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddItem(ItemDef{Tag: "a.i", CanonicalType: VTInt32}); err != nil {
+		t.Fatal(err)
+	}
+
+	err := srv.Publish([]ItemUpdate{
+		{Tag: "a.f", Value: VR8(1.5), Quality: GoodNonSpecific},
+		{Tag: "missing", Value: VR8(2), Quality: GoodNonSpecific},
+		{Tag: "a.i", Value: VStr("not a number"), Quality: GoodNonSpecific},
+	})
+	if !errors.Is(err, ErrUnknownItem) {
+		t.Fatalf("Publish err = %v, want ErrUnknownItem among joined errors", err)
+	}
+	// The valid entry applied despite its neighbors failing.
+	states, rerr := srv.Read([]string{"a.f"})
+	if rerr != nil || states[0].Value.Float != 1.5 {
+		t.Fatalf("valid entry not applied: %v %v", states, rerr)
+	}
+	if !states[0].Quality.IsGood() {
+		t.Fatalf("quality = %v, want good", states[0].Quality)
+	}
+
+	if err := srv.AddItem(ItemDef{Tag: "a.f"}); !errors.Is(err, ErrDuplicateItem) {
+		t.Fatalf("duplicate AddItem: %v, want ErrDuplicateItem", err)
+	}
+}

@@ -161,6 +161,20 @@ func (v Variant) AsBool() (bool, error) {
 	}
 }
 
+// NumericValue is the allocation-free numeric fast path for the scan
+// loop: it returns the value as float64 for the four numeric types and
+// ok=false otherwise, without the error allocation AsFloat carries.
+func (v Variant) NumericValue() (f float64, ok bool) {
+	switch v.Type {
+	case VTInt32, VTInt64:
+		return float64(v.Int), true
+	case VTFloat32, VTFloat64:
+		return v.Float, true
+	default:
+		return 0, false
+	}
+}
+
 // String renders the payload.
 func (v Variant) String() string {
 	switch v.Type {

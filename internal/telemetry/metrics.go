@@ -132,6 +132,15 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
+// Sum reports the total of all observed values (0 for nil) — with Count,
+// enough for a mean without walking buckets.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
 // Default bucket sets.
 var (
 	// DurationBuckets covers 50µs..1s in roughly 2.5x steps (values in µs).

@@ -311,9 +311,22 @@ type (
 	// OPCClient reads, writes, and subscribes to a server.
 	OPCClient = opc.Client
 	// OPCGroup is a subscription group with update rate and deadband.
+	//
+	// Deprecated: use Subscription via OPCClient.Subscribe.
 	OPCGroup = opc.Group
 	// GroupConfig parameterizes AddGroup.
+	//
+	// Deprecated: use SubscriptionConfig.
 	GroupConfig = opc.GroupConfig
+	// Subscription is a live data-change subscription on the shared scan
+	// cycle, created by OPCClient.Subscribe.
+	Subscription = opc.Subscription
+	// SubscriptionConfig parameterizes OPCClient.Subscribe.
+	SubscriptionConfig = opc.SubscriptionConfig
+	// ItemOptions carries per-item subscription overrides.
+	ItemOptions = opc.ItemOptions
+	// ItemUpdate is one entry in an OPCServer.Publish batch.
+	ItemUpdate = opc.ItemUpdate
 )
 
 // NewOPCServer creates an OPC server with an empty namespace.
@@ -340,4 +353,14 @@ const (
 	QualityBadComm       = opc.BadCommFailure
 	QualityLastUsable    = opc.UncertainLastUsable
 	QualityLocalOverride = opc.GoodLocalOverride
+)
+
+// OPC sentinel errors, for errors.Is branching on the data-access surface.
+var (
+	ErrOPCUnknownItem    = opc.ErrUnknownItem
+	ErrOPCClosed         = opc.ErrClosed
+	ErrOPCBadDeadband    = opc.ErrBadDeadband
+	ErrOPCBadUpdateRate  = opc.ErrBadUpdateRate
+	ErrOPCDuplicateGroup = opc.ErrDuplicateGroup
+	ErrOPCDuplicateItem  = opc.ErrDuplicateItem
 )
