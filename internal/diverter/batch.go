@@ -16,12 +16,18 @@ import (
 // obligation, and retry/backoff state, so per-destination FIFO and the
 // no-acked-loss invariant hold exactly as for Send. Stats and telemetry
 // are flushed once per call rather than once per destination.
-func (d *Diverter) Broadcast(dests []string, payload any) error {
+//
+// The returned count is how many destinations were actually enqueued: a
+// Stop racing the loop can cut it short after some (ErrClosed with a
+// nonzero count), and empty destination names are skipped. Callers that
+// refcount the payload MUST settle the count against this return — the
+// enqueued messages' deliveries proceed regardless of the error.
+func (d *Diverter) Broadcast(dests []string, payload any) (int, error) {
 	if d.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if len(dests) == 0 {
-		return nil
+		return 0, nil
 	}
 	enq := 0
 	for _, dest := range dests {
@@ -60,7 +66,7 @@ func (d *Diverter) Broadcast(dests []string, payload any) error {
 		d.cfg.Instruments.QueueDepth.Add(int64(enq))
 	}
 	if d.closed.Load() {
-		return ErrClosed
+		return enq, ErrClosed
 	}
-	return nil
+	return enq, nil
 }

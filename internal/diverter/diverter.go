@@ -349,6 +349,71 @@ func (d *Diverter) ClearRoute(dest string) {
 	s.mu.Unlock()
 }
 
+// releasable lets a refcounted broadcast payload (e.g. a pooled batch)
+// be released when the diverter drops a message without delivering it,
+// so the reference its enqueue took does not leak.
+type releasable interface{ Release() }
+
+func releasePayload(m *Message) {
+	if r, ok := m.Payload.(releasable); ok {
+		r.Release()
+	}
+}
+
+// Forget retires a destination for good: the shard — ring buffer, dedup
+// generations, backoff state, drain condition — leaves the stripe map, so
+// churning destinations (one per OPC subscription, say) do not grow the
+// diverter without bound on a long-lived process. Messages still queued
+// are dropped, each resolving its ledger obligation with a Dropped
+// callback and releasing its payload reference; callers that want them
+// delivered Drain first. A message an in-flight worker batch returns
+// after the Forget stays in the orphaned shard and is never delivered —
+// Forget after Drain (or after the route stops accepting) is the
+// intended order. A later Send/SetRoute to the same name starts a fresh
+// shard.
+func (d *Diverter) Forget(dest string) {
+	st := d.stripes[stripeHash(dest)&d.mask]
+	st.mu.Lock()
+	s := st.shards[dest]
+	if s == nil {
+		st.mu.Unlock()
+		return
+	}
+	delete(st.shards, dest)
+	// Rebuild order rather than splicing in place: snapshot() hands out
+	// the old backing array to lock-free readers, so it must stay intact.
+	order := make([]*shard, 0, len(st.order)-1)
+	for _, cand := range st.order {
+		if cand != s {
+			order = append(order, cand)
+		}
+	}
+	st.order = order
+	st.mu.Unlock()
+
+	s.mu.Lock()
+	s.route = nil
+	var dropped []*Message
+	for s.q.len() > 0 {
+		dropped = append(dropped, s.q.pop())
+	}
+	s.mu.Unlock()
+	if n := len(dropped); n > 0 {
+		s.stripe.depth.Add(int64(-n))
+		d.stats.dropped.Add(int64(n))
+		d.cfg.Instruments.QueueDepth.Add(int64(-n))
+		d.cfg.Instruments.Dropped.Add(int64(n))
+	}
+	for _, m := range dropped {
+		if h := d.cfg.Ledger; h != nil {
+			h.Dropped(m.ID, dest, m.Attempts)
+		}
+		releasePayload(m)
+		recycle(m, m.Attempts > 0)
+	}
+	s.drained.Broadcast()
+}
+
 // shardFor returns dest's shard, creating it on first use.
 func (d *Diverter) shardFor(dest string) *shard {
 	st := d.stripes[stripeHash(dest)&d.mask]
@@ -547,6 +612,7 @@ func (d *Diverter) serve(s *shard) {
 		d.rq.push(s)
 	}
 	if dropped != nil {
+		releasePayload(dropped)
 		recycle(dropped, true)
 	}
 }

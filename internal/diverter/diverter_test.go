@@ -320,3 +320,92 @@ func TestQuickExactlyOnceInOrder(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// refPayload is a refcounted broadcast payload for Forget/drop tests.
+type refPayload struct {
+	mu       sync.Mutex
+	released int
+}
+
+func (p *refPayload) Release() {
+	p.mu.Lock()
+	p.released++
+	p.mu.Unlock()
+}
+
+func (p *refPayload) releases() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.released
+}
+
+// TestForgetRetiresShard: Forget must remove the destination's shard
+// from the stripe map (so churning destinations do not accumulate) and
+// let the same name start fresh afterwards.
+func TestForgetRetiresShard(t *testing.T) {
+	d := New(Config{RetryInterval: 2 * time.Millisecond})
+	defer d.Stop()
+	fn, read := collector()
+	d.SetRoute("sub-1", fn)
+	if _, err := d.Send("sub-1", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Drain("sub-1", time.Second) {
+		t.Fatal("not delivered")
+	}
+	d.Forget("sub-1")
+	if s := d.lookup("sub-1"); s != nil {
+		t.Fatal("shard survived Forget")
+	}
+	// The name is reusable: a new shard forms with its own route.
+	d.SetRoute("sub-1", fn)
+	if _, err := d.Send("sub-1", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Drain("sub-1", time.Second) {
+		t.Fatal("re-created destination not delivered")
+	}
+	if got := read(); len(got) != 2 || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestForgetDropsQueuedAndReleasesPayloads: messages still queued at
+// Forget resolve as Dropped and hand back their payload reference.
+func TestForgetDropsQueuedAndReleasesPayloads(t *testing.T) {
+	d := New(Config{RetryInterval: time.Hour}) // no sweeps mid-test
+	defer d.Stop()
+	p := &refPayload{}
+	// No route: both messages queue.
+	if n, err := d.Broadcast([]string{"ghost", "ghost"}, p); err != nil || n != 2 {
+		t.Fatalf("Broadcast = %d, %v", n, err)
+	}
+	if d.Pending("ghost") != 2 {
+		t.Fatalf("pending = %d", d.Pending("ghost"))
+	}
+	d.Forget("ghost")
+	if d.Pending("ghost") != 0 {
+		t.Fatalf("pending after Forget = %d", d.Pending("ghost"))
+	}
+	if got := p.releases(); got != 2 {
+		t.Fatalf("payload releases = %d, want 2", got)
+	}
+	if st := d.Stats(); st.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", st.Dropped)
+	}
+}
+
+// TestBroadcastReportsEnqueuedCount: the count is what payload
+// refcounting settles against — skipped empties must not inflate it.
+func TestBroadcastReportsEnqueuedCount(t *testing.T) {
+	d := New(Config{RetryInterval: 2 * time.Millisecond})
+	fn, _ := collector()
+	d.SetRoute("a", fn)
+	if n, err := d.Broadcast([]string{"a", "", "a"}, nil); err != nil || n != 2 {
+		t.Fatalf("Broadcast = %d, %v; want 2, nil", n, err)
+	}
+	d.Stop()
+	if n, err := d.Broadcast([]string{"a"}, nil); err != ErrClosed || n != 0 {
+		t.Fatalf("Broadcast after Stop = %d, %v; want 0, ErrClosed", n, err)
+	}
+}

@@ -22,6 +22,11 @@ type nsItem struct {
 	def     ItemDef
 	state   atomic.Pointer[ItemState]
 	version atomic.Uint64
+
+	// removed tombstones an item deleted from the namespace: sweeps that
+	// cached the pointer see it, drop their cache, and re-resolve — so a
+	// tag removed and re-added flows again instead of pinning the orphan.
+	removed atomic.Bool
 }
 
 // nsShard is one lock stripe of the namespace. The mutex covers the map
@@ -97,8 +102,9 @@ func (ns *namespace) add(it *nsItem) bool {
 func (ns *namespace) remove(tag string) bool {
 	sh := ns.shardFor(tag)
 	sh.mu.Lock()
-	_, ok := sh.items[tag]
+	it, ok := sh.items[tag]
 	if ok {
+		it.removed.Store(true)
 		delete(sh.items, tag)
 	}
 	sh.mu.Unlock()

@@ -227,6 +227,11 @@ func (b *updateBatch) release() {
 	}
 }
 
+// Release satisfies the diverter's releasable payload hook: when the
+// diverter drops a queued message undelivered (Forget, MaxAttempts), it
+// returns the reference that message's enqueue took.
+func (b *updateBatch) Release() { b.release() }
+
 // run is the cycle's sweep loop.
 func (cy *scanCycle) run() {
 	defer close(cy.done)
@@ -242,46 +247,66 @@ func (cy *scanCycle) run() {
 	}
 }
 
-// sweep evaluates every cohort once, under the cycle lock (cohort scan
-// state is only ever touched with cy.mu held).
+// sweep evaluates every cohort once. The cohort list is snapshotted and
+// cy.mu is taken per cohort — never across a blocking conn.Read — so a
+// slow remote read stalls neither attach/detach/Refresh/Close on this
+// rate nor the other cohorts' locked apply phases. Cohort scan state is
+// still only ever touched with cy.mu held; a cohort retired between the
+// snapshot and its turn just updates private garbage and broadcasts to
+// zero members.
 func (cy *scanCycle) sweep() {
 	start := time.Now()
 	eng := cy.eng
 	cy.mu.Lock()
+	cohorts := make([]*cohort, 0, len(cy.cohorts))
 	for _, list := range cy.cohorts {
-		for _, co := range list {
-			if eng.srv != nil {
-				cy.sweepLocal(co)
-			} else {
-				cy.sweepRemote(co)
-			}
-		}
+		cohorts = append(cohorts, list...)
 	}
 	cy.mu.Unlock()
+	for _, co := range cohorts {
+		if eng.srv != nil {
+			cy.mu.Lock()
+			cy.sweepLocal(co)
+			cy.mu.Unlock()
+		} else {
+			cy.sweepRemote(co)
+		}
+	}
 	eng.ins.ScanCycle.ObserveDuration(time.Since(start))
 }
 
 // sweepLocal evaluates one cohort against the in-process namespace: per
 // item, two atomic loads on the unchanged fast path; state load + one
-// deadband evaluation when the version moved.
+// deadband evaluation when the version moved. Called with cy.mu held.
 func (cy *scanCycle) sweepLocal(co *cohort) {
 	eng := cy.eng
 	var batch *updateBatch
 	suppressed := int64(0)
 	for i := range co.items {
 		ci := &co.items[i]
-		if ci.it == nil {
-			// Tag was undefined at attach; re-resolve so items added to the
-			// server after subscription creation start flowing.
-			if ci.it = eng.srv.ns.lookup(co.tags[i]); ci.it == nil {
+		it := ci.it
+		if it != nil && it.removed.Load() {
+			// The cached item was deleted from the namespace; drop the
+			// pointer so a re-added tag resolves to its new entry instead
+			// of the orphan.
+			it, ci.it = nil, nil
+		}
+		fresh := false
+		if it == nil {
+			// Tag was undefined at attach (or its item was removed);
+			// re-resolve so items (re-)added to the server after
+			// subscription creation start flowing.
+			if it = eng.srv.ns.lookup(co.tags[i]); it == nil {
 				continue
 			}
+			ci.it = it
+			fresh = true
 		}
-		ver := ci.it.version.Load()
-		if ci.hasSent && ver == ci.lastVer {
+		ver := it.version.Load()
+		if !fresh && ci.hasSent && ver == ci.lastVer {
 			continue // unchanged since last evaluation
 		}
-		st := ci.it.state.Load()
+		st := it.state.Load()
 		ci.lastVer = ver
 		if ci.hasSent && !exceedsDeadband(&ci.sent, st, co.effective[i]) {
 			suppressed++
@@ -301,9 +326,13 @@ func (cy *scanCycle) sweepLocal(co *cohort) {
 }
 
 // sweepRemote evaluates one cohort over the wire with one batched Read.
+// The RPC runs with no lock held (co.tags is immutable after cohort
+// creation); cy.mu is taken only for the apply-and-broadcast phase.
 func (cy *scanCycle) sweepRemote(co *cohort) {
 	eng := cy.eng
 	states, err := eng.conn.Read(co.tags)
+	cy.mu.Lock()
+	defer cy.mu.Unlock()
 	if err != nil {
 		for _, sub := range co.members {
 			sub.noteScanErr()
@@ -354,9 +383,21 @@ func (cy *scanCycle) broadcast(co *cohort, batch *updateBatch) {
 		return
 	}
 	cy.eng.ins.FanoutBatch.Observe(int64(len(batch.states)))
-	batch.refs.Store(int32(len(co.dests)))
-	if err := cy.div.Broadcast(co.dests, batch); err != nil {
-		// Engine closing: nobody will deliver or release.
+	cy.send(co.dests, batch)
+}
+
+// send fans one batch out with partial-enqueue-safe refcounting.
+// Broadcast can stop short when the diverter closes mid-loop, with the
+// destinations it DID enqueue already delivering (and releasing)
+// concurrently — so refs starts at dests+1, the extra being a caller
+// reference that keeps the count positive until Broadcast reports how
+// many got in. The caller then drops its reference plus one per
+// destination never enqueued; whoever takes the count to zero — here or
+// the last delivery — pools the batch exactly once.
+func (cy *scanCycle) send(dests []string, batch *updateBatch) {
+	batch.refs.Store(int32(len(dests)) + 1)
+	n, _ := cy.div.Broadcast(dests, batch)
+	if batch.refs.Add(int32(-(len(dests) - n + 1))) == 0 {
 		batchPool.Put(batch)
 	}
 }
@@ -479,10 +520,7 @@ func (cy *scanCycle) snapshotToLocked(co *cohort, sub *Subscription) {
 	if batch == nil {
 		return
 	}
-	batch.refs.Store(1)
-	if err := cy.div.Broadcast([]string{sub.dest}, batch); err != nil {
-		batchPool.Put(batch)
-	}
+	cy.send([]string{sub.dest}, batch)
 }
 
 // detach removes sub from its cohort; the last member retires the

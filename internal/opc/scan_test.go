@@ -432,6 +432,89 @@ func TestSubscriptionRefresh(t *testing.T) {
 	waitFor(t, "refresh resend", func() bool { return rec.count("u1.flow") > before })
 }
 
+// TestChannelBackpressureKeepsDeadbandUpdates: a deadband-tracked
+// channel subscriber whose buffer is full must get the parked update on
+// redelivery. A lastSent recorded by the FAILED attempt would make the
+// redelivery re-filter the batch against itself and silently drop it.
+func TestChannelBackpressureKeepsDeadbandUpdates(t *testing.T) {
+	srv := newScanPlant(t)
+	if err := srv.SetValue("u1.flow", VR8(100), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv)
+	defer c.Close()
+
+	sub, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate,
+		DeadbandPC: 10,
+		BufferSize: 1,
+		Tags:       []string{"u1.flow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// Don't consume: the initial delivery fills the one-slot buffer.
+	waitFor(t, "buffered first update", func() bool { return len(sub.Updates()) == 1 })
+
+	// A past-deadband change lands while the buffer is full; the busy
+	// delivery parks in the diverter queue and retries.
+	if err := srv.SetValue("u1.flow", VR8(200), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * testRate) // let retries churn against the full buffer
+
+	if got := <-sub.Updates(); got[0].Value.Float != 100 {
+		t.Fatalf("first update: got %v, want 100", got[0].Value)
+	}
+	select {
+	case got := <-sub.Updates():
+		if got[0].Value.Float != 200 {
+			t.Fatalf("redelivered update: got %v, want 200", got[0].Value)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update lost under backpressure redelivery")
+	}
+}
+
+// TestRemoveReAddItemResumesUpdates: deleting a tag and defining it again
+// must re-point existing subscriptions at the new namespace entry — the
+// sweep may not pin the orphaned item forever.
+func TestRemoveReAddItemResumesUpdates(t *testing.T) {
+	srv := newScanPlant(t)
+	if err := srv.SetValue("u1.flow", VR8(1), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv)
+	defer c.Close()
+
+	rec := newRecorder()
+	sub, err := c.Subscribe(context.Background(), SubscriptionConfig{
+		UpdateRate: testRate, OnChange: rec.onChange, Tags: []string{"u1.flow"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	waitFor(t, "initial delivery", func() bool { return rec.count("u1.flow") >= 1 })
+
+	if err := srv.RemoveItem("u1.flow"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddItem(ItemDef{Tag: "u1.flow", CanonicalType: VTFloat64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetValue("u1.flow", VR8(42), GoodNonSpecific, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "updates from re-added item", func() bool {
+		st, ok := rec.last("u1.flow")
+		return ok && st.Quality.IsGood() && st.Value.Float == 42
+	})
+}
+
 // TestServerCloseStopsDataPlane: Close reclaims cycles and the fan-out
 // diverter; synchronous reads stay available.
 func TestServerCloseStopsDataPlane(t *testing.T) {

@@ -150,15 +150,16 @@ func (s *Subscription) deliver(msg diverter.Message) error {
 		batch.release()
 		return nil // ack: a closed subscriber drops silently
 	}
-	out := s.filterLocked(batch.states)
+	out, commits := s.filterLocked(batch.states)
 	cb := s.cfg.OnChange
-	s.mu.Unlock()
-
 	if len(out) == 0 {
+		s.mu.Unlock()
 		batch.release()
 		return nil
 	}
 	if cb != nil {
+		s.commitLocked(commits)
+		s.mu.Unlock()
 		cb(out)
 		batch.release()
 		return nil
@@ -166,12 +167,18 @@ func (s *Subscription) deliver(msg diverter.Message) error {
 	// Channel form: copy (the consumer owns the slice), non-blocking
 	// send. A full buffer returns an error so the diverter redelivers in
 	// FIFO order once the consumer catches up — no reference is dropped.
+	// lastSent commits only after the send lands: a redelivery must
+	// re-filter against the state the consumer actually saw, or the
+	// whole batch would look within-deadband and vanish.
 	owned := append([]ItemState(nil), out...)
 	select {
 	case s.updates <- owned:
+		s.commitLocked(commits)
+		s.mu.Unlock()
 		batch.release()
 		return nil
 	default:
+		s.mu.Unlock()
 		return errSubBusy
 	}
 }
@@ -186,12 +193,18 @@ var errSubBusy = errors.New("opc: subscriber buffer full")
 // deadband; members sitting above that minimum re-filter here. When no
 // filtering applies — deadband 0, no overrides, no quality filter — the
 // shared slice is returned as-is (zero-copy for the callback form).
-func (s *Subscription) filterLocked(states []ItemState) []ItemState {
+//
+// It does NOT mutate lastSent: the states a deadband-tracked item would
+// record come back as commits, and the caller applies them via
+// commitLocked only once delivery is known to succeed. Committing
+// eagerly would make a redelivery after backpressure re-filter the batch
+// against itself and drop it.
+func (s *Subscription) filterLocked(states []ItemState) (out, commits []ItemState) {
 	needFilter := s.cfg.GoodOnly || len(s.overrides) > 0 || s.cfg.DeadbandPC > 0
 	if !needFilter {
-		return states
+		return states, nil
 	}
-	out := make([]ItemState, 0, len(states))
+	out = make([]ItemState, 0, len(states))
 	for i := range states {
 		st := &states[i]
 		if s.cfg.GoodOnly && !st.Quality.IsGood() {
@@ -206,11 +219,19 @@ func (s *Subscription) filterLocked(states []ItemState) []ItemState {
 			if seen && !exceedsDeadband(&prev, st, db) {
 				continue
 			}
-			s.lastSent[st.Tag] = *st
+			commits = append(commits, *st)
 		}
 		out = append(out, *st)
 	}
-	return out
+	return out, commits
+}
+
+// commitLocked records the states a successful delivery handed the
+// subscriber, for the next deadband re-check. Callers hold s.mu.
+func (s *Subscription) commitLocked(commits []ItemState) {
+	for i := range commits {
+		s.lastSent[commits[i].Tag] = commits[i]
+	}
 }
 
 // AddItems adds tags to the subscription's item set.
@@ -320,9 +341,14 @@ func (s *Subscription) Close() error {
 	}
 	// Queued deliveries for this dest drain through deliver(), which
 	// acks-and-drops for a closed sub (releasing batch references), so
-	// the channel close below cannot race a send.
+	// the channel close below cannot race a send. Forget then retires the
+	// destination's diverter shard entirely — every subscription gets a
+	// unique dest on a server-lifetime engine, so without it subscription
+	// churn would grow the diverter's maps forever. Anything still queued
+	// at the drain timeout is dropped with its batch reference released.
 	if div := s.eng.diverterRef(); div != nil {
 		div.Drain(s.dest, 2*time.Second)
+		div.Forget(s.dest)
 	}
 	if s.updates != nil {
 		close(s.updates)
