@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos bench bench-diverter bench-dcom bench-fabric bench-opc fuzz verify
+.PHONY: build vet test race chaos e2e soak bench bench-diverter bench-dcom bench-fabric bench-opc fuzz verify
 
 build:
 	$(GO) build ./...
@@ -97,7 +97,27 @@ bench-opc:
 		-new shared -old pergroup -metric persec -out BENCH_OPC.json \
 		-cell 'items=100000/subs=10000/chg=32' -min-speedup 3.0
 
+# Black-box multi-process chaos: compiles the real oftt-node and scadasim
+# binaries, boots a 3-node deployment on loopback TCP, and drives scripted
+# plus seed-generated fault campaigns against live PIDs (kill -9, SIGSTOP,
+# one-way link cuts via the per-link proxies). The tests skip themselves
+# when the environment cannot host it (no toolchain to build the daemons,
+# or sockets restricted), so the target degrades gracefully in minimal
+# containers. Failures print a one-line OFTT_E2E_SEED repro.
+e2e:
+	OFTT_E2E=1 $(GO) test ./internal/e2e -count=1 -timeout 10m -v
+
+# Long-haul soak: back-to-back seed-varied generated campaigns against one
+# long-lived deployment until the budget is spent. Not part of verify.
+#   make soak                      # 2 minutes
+#   make soak SOAK=30m SEED=1234   # longer, pinned base seed
+SOAK ?= 2m
+SEED ?=
+soak:
+	OFTT_E2E=1 OFTT_E2E_SOAK=$(SOAK) OFTT_E2E_SEED=$(SEED) \
+		$(GO) test ./internal/e2e -run TestE2ESoak -count=1 -timeout 12h -v
+
 fuzz:
 	$(GO) test -fuzz FuzzPlannedVsReflective -fuzztime 30s ./internal/ndr
 
-verify: build vet test race chaos
+verify: build vet test race chaos e2e

@@ -16,9 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/chaos"
@@ -31,15 +34,25 @@ func main() {
 	verbose := flag.Bool("v", false, "print every campaign's schedule, not just failures")
 	flag.Parse()
 
-	failed := 0
+	// SIGTERM/SIGINT drain gracefully: the in-flight campaign stops
+	// injecting, repairs outstanding faults, and still reports a verdict;
+	// remaining campaigns are skipped. A second signal kills immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	failed, ran := 0, 0
 	for i := 0; i < *campaigns; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		s := *seed + int64(i)
 		start := time.Now()
-		res, err := chaos.Run(chaos.Config{Seed: s, Duration: *duration})
+		res, err := chaos.RunContext(ctx, chaos.Config{Seed: s, Duration: *duration})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "seed %d: campaign error: %v\n", s, err)
 			os.Exit(2)
 		}
+		ran++
 		elapsed := time.Since(start).Round(time.Millisecond)
 		if res.Passed() {
 			fmt.Printf("seed %-6d PASS  faults=%d skipped=%d delivered=%d/%d worst_recovery=%v  (%v)\n",
@@ -61,8 +74,12 @@ func main() {
 	}
 
 	if failed > 0 {
-		fmt.Printf("\n%d/%d campaigns violated invariants\n", failed, *campaigns)
+		fmt.Printf("\n%d/%d campaigns violated invariants\n", failed, ran)
 		os.Exit(1)
+	}
+	if ran < *campaigns {
+		fmt.Printf("\ninterrupted: %d/%d campaigns ran, all passed\n", ran, *campaigns)
+		return
 	}
 	fmt.Printf("\nall %d campaigns passed every invariant\n", *campaigns)
 }

@@ -1,0 +1,127 @@
+// Command oftt-node runs one real OFTT node as a standalone OS process:
+// an unmodified engine plus an FTIM-linked replicated application (the
+// "plant"), bridged from its private in-process network onto real TCP.
+// The black-box e2e harness spawns several of these, points them at each
+// other through controllable link proxies, and kills/hangs/partitions
+// them for real.
+//
+// Usage:
+//
+//	oftt-node -name n1 -peers n2=127.0.0.1:4102,n3=127.0.0.1:4103 \
+//	          -addr-file /tmp/n1.json
+//
+// The daemon writes its listener addresses (bridge, HTTP telemetry,
+// ingest) to -addr-file once it is up, then runs until SIGTERM/SIGINT,
+// shutting down gracefully: plant deactivated, engine stopped, sockets
+// closed. Exit status 0 on a clean shutdown.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/e2e/nodehost"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "", "this node's machine name (required)")
+		peers    = flag.String("peers", "", "comma-separated peer list: name=host:port,...")
+		seed     = flag.Int64("seed", 1, "deterministic seed for this node")
+		hb       = flag.Duration("hb", 25*time.Millisecond, "engine heartbeat interval")
+		peerTo   = flag.Duration("peer-timeout", 0, "peer failure timeout (default 10x hb)")
+		ckpt     = flag.Duration("ckpt", 50*time.Millisecond, "plant checkpoint period")
+		tick     = flag.Duration("tick", 10*time.Millisecond, "plant scan-loop period")
+		adaptive = flag.Bool("adaptive", false, "use the adaptive recovery policy")
+		httpAddr = flag.String("http", "127.0.0.1:0", "telemetry HTTP listen address")
+		ingest   = flag.String("ingest", "127.0.0.1:0", "feeder ingest listen address")
+		addrFile = flag.String("addr-file", "", "write listener addresses (JSON) here once up")
+	)
+	flag.Parse()
+
+	if err := run(*name, *peers, *seed, *hb, *peerTo, *ckpt, *tick, *adaptive, *httpAddr, *ingest, *addrFile); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=host:port)", part)
+		}
+		peers[name] = addr
+	}
+	return peers, nil
+}
+
+func run(name, peerList string, seed int64, hb, peerTo, ckpt, tick time.Duration,
+	adaptive bool, httpAddr, ingest, addrFile string) error {
+	if name == "" {
+		return fmt.Errorf("oftt-node: -name is required")
+	}
+	peers, err := parsePeers(peerList)
+	if err != nil {
+		return err
+	}
+
+	logf := log.New(os.Stderr, "["+name+"] ", log.Lmicroseconds).Printf
+	h, err := nodehost.Start(nodehost.Config{
+		Name:              name,
+		Peers:             peers,
+		Seed:              seed,
+		HeartbeatInterval: hb,
+		PeerTimeout:       peerTo,
+		CheckpointPeriod:  ckpt,
+		PlantTick:         tick,
+		Adaptive:          adaptive,
+		HTTPAddr:          httpAddr,
+		IngestAddr:        ingest,
+		Logf:              logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+
+	if addrFile != "" {
+		if err := writeAddrFile(addrFile, h.AddrInfo()); err != nil {
+			return err
+		}
+	}
+
+	// Run until asked to stop; the deferred Close drains the plant,
+	// stops the engine, and closes every socket.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	logf("received %s, shutting down", s)
+	return nil
+}
+
+// writeAddrFile publishes the address document atomically (write to a
+// temp file, rename into place) so a polling harness never reads a
+// partial JSON object.
+func writeAddrFile(path string, info nodehost.AddrInfo) error {
+	b, err := json.MarshalIndent(info, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -4,10 +4,18 @@
 // (b) integrated monitoring and control — and reports the field-to-
 // operator data path's throughput, latency, and quality.
 //
+// With -feed it instead runs as the black-box e2e deployment's message
+// source: a long-lived feeder process publishing numbered messages to
+// whichever oftt-node daemon acks as primary, keeping a delivery ledger
+// served over HTTP (see internal/e2e/feed).
+//
 // Usage:
 //
 //	scadasim               # 1-second measurement window
 //	scadasim -window 3s
+//	scadasim -feed -feed-addrs n1.json,n2.json -feed-http 127.0.0.1:0
+//
+// Both modes shut down gracefully on SIGTERM/SIGINT.
 package main
 
 import (
@@ -15,32 +23,112 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/e2e/feed"
 	"repro/internal/experiments"
 )
 
 func main() {
-	window := flag.Duration("window", time.Second, "measurement window per topology")
+	var (
+		window    = flag.Duration("window", time.Second, "measurement window per topology")
+		feedMode  = flag.Bool("feed", false, "run as the e2e feeder instead of the benchmark")
+		feedAddrs = flag.String("feed-addrs", "", "comma-separated daemon addr-file paths (feed mode)")
+		feedEvery = flag.Duration("feed-every", 15*time.Millisecond, "message generation period (feed mode)")
+		feedHTTP  = flag.String("feed-http", "127.0.0.1:0", "ledger HTTP listen address (feed mode)")
+		feedFile  = flag.String("feed-addr-file", "", "write the ledger HTTP address here once up (feed mode)")
+	)
 	flag.Parse()
 
-	if err := run(*window); err != nil {
+	var err error
+	if *feedMode {
+		err = runFeeder(*feedAddrs, *feedEvery, *feedHTTP, *feedFile)
+	} else {
+		err = run(*window)
+	}
+	if err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
 func run(window time.Duration) error {
-	fmt.Println("building Figure 1 reference configurations ...")
-	rows, err := experiments.RunE1(window)
+	// The measurement is bounded; a signal during it just means "stop
+	// now" — report nothing and exit clean.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(sig)
+
+	type result struct {
+		rows []experiments.E1Row
+		err  error
+	}
+	resC := make(chan result, 1)
+	go func() {
+		fmt.Println("building Figure 1 reference configurations ...")
+		rows, err := experiments.RunE1(window)
+		resC <- result{rows, err}
+	}()
+
+	select {
+	case s := <-sig:
+		log.Printf("received %s, shutting down", s)
+		return nil
+	case res := <-resC:
+		if res.err != nil {
+			return res.err
+		}
+		fmt.Print(experiments.E1Table(res.rows).Render())
+		for _, r := range res.rows {
+			if r.Updates == 0 {
+				return fmt.Errorf("%s: no data reached the operator", r.Topology)
+			}
+		}
+		return nil
+	}
+}
+
+func runFeeder(addrList string, every time.Duration, httpAddr, addrFile string) error {
+	var files []string
+	for _, p := range strings.Split(addrList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			files = append(files, p)
+		}
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("scadasim: -feed requires -feed-addrs")
+	}
+	logf := log.New(os.Stderr, "[feeder] ", log.Lmicroseconds).Printf
+	f, err := feed.Start(feed.Config{
+		AddrFiles: files,
+		Every:     every,
+		HTTPAddr:  httpAddr,
+		Logf:      logf,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Print(experiments.E1Table(rows).Render())
-	for _, r := range rows {
-		if r.Updates == 0 {
-			return fmt.Errorf("%s: no data reached the operator", r.Topology)
+	defer f.Close()
+
+	if addrFile != "" {
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(f.HTTPAddr()), 0o644); err != nil {
+			return err
 		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			return err
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	logf("received %s, draining", s)
+	if snap, drained := f.Drain(5 * time.Second); !drained {
+		logf("drain incomplete: %d pending", snap.Pending)
 	}
 	return nil
 }

@@ -4,16 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/diverter"
 	"repro/internal/engine"
-	"repro/internal/netsim"
-	"repro/internal/telemetry"
 )
 
 // Config parameterizes one campaign.
@@ -34,6 +30,13 @@ type Config struct {
 	// scenarios.
 	Script []Event
 
+	// FaultDurMin/FaultDurSpan bound a generated fault's active window:
+	// Dur = FaultDurMin + rand(FaultDurSpan). Defaults (100ms + 200ms)
+	// suit the in-process deployment; the black-box e2e harness scales
+	// them up to real-process detection timescales.
+	FaultDurMin  time.Duration
+	FaultDurSpan time.Duration
+
 	// QuiesceTimeout bounds post-campaign convergence to a single primary
 	// (default 10s).
 	QuiesceTimeout time.Duration
@@ -51,6 +54,11 @@ type Config struct {
 	MessageEvery time.Duration
 	// ProbeTick is the probe counter period (default 2ms).
 	ProbeTick time.Duration
+	// SampleEvery is the monotonic checker's sampling period (default 5ms;
+	// the e2e harness raises it, since each sample is an HTTP scrape).
+	SampleEvery time.Duration
+	// DrainTimeout bounds the post-campaign delivery drain (default 5s).
+	DrainTimeout time.Duration
 
 	// DisableTieBreak turns off the engines' split-brain resolution —
 	// deliberately breaking the eventually-single-primary invariant to
@@ -67,6 +75,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MeanGap <= 0 {
 		c.MeanGap = 80 * time.Millisecond
+	}
+	if c.FaultDurMin <= 0 {
+		c.FaultDurMin = 100 * time.Millisecond
+	}
+	if c.FaultDurSpan <= 0 {
+		c.FaultDurSpan = 200 * time.Millisecond
 	}
 	if c.QuiesceTimeout <= 0 {
 		c.QuiesceTimeout = 10 * time.Second
@@ -85,6 +99,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ProbeTick <= 0 {
 		c.ProbeTick = 2 * time.Millisecond
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 5 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
 	}
 }
 
@@ -106,31 +126,29 @@ type Result struct {
 // Passed reports whether every invariant held.
 func (r *Result) Passed() bool { return len(r.Violations) == 0 }
 
-// runner is one campaign's mutable state.
+// runner is one campaign's mutable state, generic over the Target.
 type runner struct {
 	cfg Config
-	d   *core.Deployment
-	led *ledger
+	t   Target
 
 	mu         sync.Mutex
 	violations []Violation
 	injected   int
 	skipped    int
-	flappers   []*netsim.Flapper
-
-	faultsTotal     *telemetry.Counter
-	violationsTotal *telemetry.Counter
 }
 
-// Run executes one seeded campaign against a fresh deployment and reports
-// the invariant verdicts. Failures reproduce from (seed, config) alone.
+// Run executes one seeded campaign against a fresh in-process deployment
+// and reports the invariant verdicts. Failures reproduce from (seed,
+// config) alone.
 func Run(cfg Config) (*Result, error) {
-	cfg.applyDefaults()
-	schedule := Schedule{Seed: cfg.Seed, Events: cfg.Script}
-	if len(cfg.Script) == 0 {
-		schedule = Generate(cfg.Seed, cfg)
-	}
+	return RunContext(context.Background(), cfg)
+}
 
+// RunContext is Run with cancellation: a cancelled ctx skips the rest of
+// the fault schedule, drains, and still reports a verdict (the
+// graceful-shutdown path of oftt-chaos).
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	cfg.applyDefaults()
 	led := newLedger()
 	d, err := core.New(core.Config{
 		Seed:             cfg.Seed,
@@ -158,38 +176,41 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("chaos: pair never formed: %w", err)
 	}
 
-	reg := d.Telemetry.Metrics()
-	r := &runner{
-		cfg:             cfg,
-		d:               d,
-		led:             led,
-		faultsTotal:     reg.Counter("oftt_chaos_faults_injected_total"),
-		violationsTotal: reg.Counter("oftt_chaos_invariant_violations_total"),
+	return RunTarget(ctx, cfg, newDeploymentTarget(d, led))
+}
+
+// RunTarget executes one seeded campaign against an already-running
+// target. Cancelling ctx skips the rest of the fault schedule and proceeds
+// straight to quiesce + invariant checking — the graceful-drain path, so a
+// signalled soak still reports a verdict.
+func RunTarget(ctx context.Context, cfg Config, t Target) (*Result, error) {
+	cfg.applyDefaults()
+	schedule := Schedule{Seed: cfg.Seed, Events: cfg.Script}
+	if len(cfg.Script) == 0 {
+		schedule = Generate(cfg.Seed, cfg)
 	}
 
-	// Background diverter traffic for the no-acked-loss checker.
-	senderStop := make(chan struct{})
-	senderDone := make(chan struct{})
-	go r.sendLoop(senderStop, senderDone)
+	r := &runner{cfg: cfg, t: t}
+
+	// Background traffic for the no-acked-loss checker.
+	stopTraffic := t.StartTraffic(cfg.MessageEvery)
 
 	// Continuous monotonic-state sampling.
 	samplerStop := make(chan struct{})
 	samplerDone := make(chan struct{})
 	go r.monotonicLoop(samplerStop, samplerDone)
 
-	r.execute(schedule)
-	r.quiesce()
+	r.execute(ctx, schedule)
+	t.Quiesce()
 	r.awaitSinglePrimary()
 
 	close(samplerStop)
 	<-samplerDone
-	close(senderStop)
-	<-senderDone
+	stopTraffic()
 
-	// Every accepted message must land now that the pair is (supposedly)
+	// Every accepted message must land now that the system is (supposedly)
 	// healthy again.
-	d.Div.Drain("app", 5*time.Second)
-	r.addViolations(led.audit()...)
+	r.addViolations(t.DrainAndAudit(cfg.DrainTimeout)...)
 
 	worst := r.checkRecoveryBound()
 
@@ -201,22 +222,13 @@ func Run(cfg Config) (*Result, error) {
 		Violations:    r.violations,
 		WorstRecovery: worst,
 	}
-	st := d.Div.Stats()
-	res.Enqueued, res.Delivered, res.Dropped = st.Enqueued, st.Delivered, st.Dropped
-	r.violationsTotal.Add(int64(len(res.Violations)))
-	verdict := "pass"
-	if !res.Passed() {
-		verdict = "fail"
-	}
-	d.Telemetry.ReportStatus(telemetry.Status{
-		Node:      "testpc",
-		Component: "chaos-campaign",
-		Kind:      telemetry.KindChaos,
-		State:     verdict,
-		Detail:    fmt.Sprintf("seed=%d faults=%d violations=%d", cfg.Seed, r.injected, len(res.Violations)),
-		UpdatedAt: time.Now(),
-	})
+	res.Enqueued, res.Delivered, res.Dropped = t.TrafficCounts()
+	t.ReportVerdict(cfg.Seed, r.injected, len(res.Violations))
 	return res, nil
+}
+
+func fmtVerdict(seed int64, injected, violations int) string {
+	return fmt.Sprintf("seed=%d faults=%d violations=%d", seed, injected, violations)
 }
 
 func (r *runner) addViolations(vs ...Violation) {
@@ -225,42 +237,14 @@ func (r *runner) addViolations(vs ...Violation) {
 	r.violations = append(r.violations, vs...)
 }
 
-// sendLoop feeds the diverter a steady message stream.
-func (r *runner) sendLoop(stop <-chan struct{}, done chan<- struct{}) {
-	defer close(done)
-	t := time.NewTicker(r.cfg.MessageEvery)
-	defer t.Stop()
-	n := 0
-	for {
-		select {
-		case <-stop:
-			return
-		case <-t.C:
-			n++
-			_, _ = r.d.Send([]byte("chaos-" + strconv.Itoa(n)))
-		}
-	}
-}
-
-// primaries counts replicas currently holding the primary role.
-func (r *runner) primaries() int {
-	n := 0
-	for _, rep := range r.d.Replicas() {
-		if rep.Engine.Role() == engine.RolePrimary {
-			n++
-		}
-	}
-	return n
-}
-
-// monotonicLoop samples the active probe's counter and holds it to a
-// ratcheting low-water mark. Sampling is skipped whenever the pair is not
+// monotonicLoop samples the active primary's counter and holds it to a
+// ratcheting low-water mark. Sampling is skipped whenever the target is not
 // exactly one live primary: during dual-primary windows the copies
 // legitimately diverge, and holding either to the mark would
 // false-positive.
 func (r *runner) monotonicLoop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
-	t := time.NewTicker(5 * time.Millisecond)
+	t := time.NewTicker(r.cfg.SampleEvery)
 	defer t.Stop()
 	lowWater := int64(0)
 	reported := false
@@ -270,19 +254,8 @@ func (r *runner) monotonicLoop(stop <-chan struct{}, done chan<- struct{}) {
 			return
 		case <-t.C:
 		}
-		if r.primaries() != 1 {
-			continue
-		}
-		p := r.d.Primary()
-		if p == nil || !p.AppActive() {
-			continue
-		}
-		probe, _ := p.CurrentApp().(*Probe)
-		if probe == nil {
-			continue
-		}
-		seq := probe.Seq()
-		if seq < 0 {
+		seq, ok := r.t.PrimarySeq()
+		if !ok {
 			continue
 		}
 		if seq < lowWater && !reported {
@@ -309,98 +282,53 @@ type action struct {
 // execute runs the schedule in real time: every event is injected at its
 // virtual offset, and every timed fault gets a derived heal/repair action
 // at offset+Dur. All injections and repairs run on this one goroutine, so
-// deployment mutations never race each other.
-func (r *runner) execute(s Schedule) {
+// target mutations never race each other. A cancelled ctx runs every
+// remaining repair immediately (no fault may outlive the campaign) and
+// returns.
+func (r *runner) execute(ctx context.Context, s Schedule) {
 	var plan []action
 	for _, ev := range s.Events {
 		ev := ev
-		// holder carries the injection-time resolution (the concrete node
-		// the symbolic target mapped to) forward to the repair action.
-		holder := &struct{ node string }{}
-		plan = append(plan, action{at: ev.At, run: func() { r.inject(ev, holder) }})
+		// slot carries the injection-time repair closure forward to the
+		// repair action; injections always precede their repairs because
+		// the plan is time-sorted and Dur > 0.
+		slot := new(func())
+		plan = append(plan, action{at: ev.At, run: func() { r.inject(ev, slot) }})
 		if ev.Dur > 0 {
-			plan = append(plan, action{at: ev.At + ev.Dur, run: func() { r.repair(ev, holder) }})
+			plan = append(plan, action{at: ev.At + ev.Dur, run: func() {
+				if rep := *slot; rep != nil {
+					*slot = nil
+					rep()
+				}
+			}})
 		}
 	}
 	sort.SliceStable(plan, func(i, j int) bool { return plan[i].at < plan[j].at })
 
 	start := time.Now()
-	for _, a := range plan {
+	for i, a := range plan {
 		if wait := a.at - time.Since(start); wait > 0 {
-			time.Sleep(wait)
+			select {
+			case <-ctx.Done():
+				// Drain: apply every outstanding repair, skip the rest.
+				for _, rest := range plan[i:] {
+					rest.run()
+				}
+				return
+			case <-time.After(wait):
+			}
 		}
 		a.run()
 	}
 }
 
-// resolve maps a symbolic target to a live replica, nil when inapplicable.
-func (r *runner) resolve(target string) *core.Replica {
-	switch target {
-	case "primary":
-		return r.d.Primary()
-	case "backup":
-		return r.d.Backup()
-	default:
-		return nil
+// inject applies one event through the target. Inapplicable faults are
+// counted as skipped — the schedule stays replayable either way.
+func (r *runner) inject(ev Event, slot *func()) {
+	repair, ok := r.t.Inject(ev)
+	if ok {
+		*slot = repair
 	}
-}
-
-// inject applies one event. Inapplicable faults (no current holder of the
-// symbolic role, component already dead) are counted as skipped — the
-// schedule stays replayable either way.
-func (r *runner) inject(ev Event, holder *struct{ node string }) {
-	ok := true
-	switch ev.Kind {
-	case KillNode, BlueScreen, KillApp, KillEngine, HangApp, HangEngine:
-		rep := r.resolve(ev.Target)
-		if rep == nil {
-			ok = false
-			break
-		}
-		holder.node = rep.Node.Name()
-		if err := r.d.Inject(core.FaultKind(ev.Kind), holder.node); err != nil {
-			ok = false
-		}
-	case Partition:
-		r.d.PartitionPair()
-	case PartitionOne:
-		p, b := r.d.Primary(), r.d.Backup()
-		if p == nil || b == nil {
-			ok = false
-			break
-		}
-		from, to := p.Node.Name(), b.Node.Name()
-		if ev.Target == "backup->primary" {
-			from, to = to, from
-		}
-		r.d.PartitionOneWay(from, to)
-	case LinkFlap:
-		fs := r.d.NewLinkFlappers(15*time.Millisecond, 15*time.Millisecond)
-		for _, f := range fs {
-			f.Start()
-		}
-		r.mu.Lock()
-		r.flappers = append(r.flappers, fs...)
-		r.mu.Unlock()
-	case LossBurst:
-		r.d.SetLoss(ev.Param)
-	case LatencySpike:
-		lat := time.Duration(ev.Param * float64(time.Millisecond))
-		r.d.SetLatency(lat, lat/2)
-	case CkptInterrupt:
-		rep := r.d.Primary() // the primary ships checkpoints
-		if rep == nil {
-			ok = false
-			break
-		}
-		holder.node = rep.Node.Name()
-		if err := r.d.InterruptCheckpointTransfer(holder.node); err != nil {
-			ok = false
-		}
-	default:
-		ok = false
-	}
-
 	r.mu.Lock()
 	if ok {
 		r.injected++
@@ -409,137 +337,53 @@ func (r *runner) inject(ev Event, holder *struct{ node string }) {
 	}
 	r.mu.Unlock()
 	if ok {
-		r.faultsTotal.Inc()
-		r.d.Telemetry.Metrics().Counter(`oftt_chaos_faults_injected_total{kind="` + string(ev.Kind) + `"}`).Inc()
+		r.t.NoteFault(ev.Kind)
 	}
 }
 
-// repair undoes a timed fault after its active window: heal the link,
-// resume the hang, or restart what died. Kill-app needs no explicit
-// repair (the engine's local-restart provision covers it) beyond the
-// node-health check, which is a no-op when recovery already happened.
-func (r *runner) repair(ev Event, holder *struct{ node string }) {
-	switch ev.Kind {
-	case KillNode, BlueScreen, KillEngine, KillApp:
-		if holder.node != "" {
-			r.repairNode(holder.node)
-		}
-	case HangApp:
-		if holder.node != "" {
-			_ = r.d.ResumeApp(holder.node)
-		}
-	case HangEngine:
-		if holder.node != "" {
-			_ = r.d.ResumeEngine(holder.node)
-		}
-	case Partition, PartitionOne:
-		names := r.d.NodeNames()
-		for _, n := range r.d.Nets {
-			n.HealPrefix(names[0]+":", names[1]+":")
-		}
-	case LinkFlap:
-		r.mu.Lock()
-		fs := r.flappers
-		r.flappers = nil
-		r.mu.Unlock()
-		for _, f := range fs {
-			f.Stop()
-		}
-	case LossBurst:
-		r.d.SetLoss(0)
-	case LatencySpike:
-		r.d.SetLatency(0, 0)
-	}
-}
-
-// repairNode brings one node back to full health: reboot a dead machine,
-// power-cycle a live one whose engine or application process died (the
-// clean-rejoin pattern — a half-dead node re-enters as a fresh backup).
-// A no-op when the replica is healthy, so it is safe to call after faults
-// the engine already recovered from.
-func (r *runner) repairNode(name string) {
-	rep := r.d.Replica(name)
-	if rep == nil {
-		return
-	}
-	if rep.Node.State() != cluster.NodeUp {
-		_ = r.d.RestartNode(name)
-		return
-	}
-	if !rep.Healthy() {
-		rep.Node.PowerOff()
-		_ = r.d.RestartNode(name)
-	}
-}
-
-// quiesce ends the fault window: stop flapping, heal every link, clear
-// loss and latency, resume any hangs, and repair every unhealthy node.
-// After quiesce the pair has everything it needs to converge — whether it
-// does is the invariants' business.
-func (r *runner) quiesce() {
-	r.mu.Lock()
-	fs := r.flappers
-	r.flappers = nil
-	r.mu.Unlock()
-	for _, f := range fs {
-		f.Stop()
-	}
-	r.d.HealNetworks()
-	for _, name := range r.d.NodeNames() {
-		_ = r.d.ResumeApp(name)
-		_ = r.d.ResumeEngine(name)
-	}
-	for _, name := range r.d.NodeNames() {
-		r.repairNode(name)
-	}
-}
-
-// awaitSinglePrimary enforces eventually-single-primary: the pair must
+// awaitSinglePrimary enforces eventually-single-primary: the target must
 // converge to exactly one primary with a live application copy within
 // QuiesceTimeout, then hold it (no dual-primary relapse) for the
 // stability dwell.
 func (r *runner) awaitSinglePrimary() {
+	poll := r.cfg.SampleEvery / 2
+	if poll < 2*time.Millisecond {
+		poll = 2 * time.Millisecond
+	}
 	deadline := time.Now().Add(r.cfg.QuiesceTimeout)
 	converged := false
 	for time.Now().Before(deadline) {
-		if r.primaries() == 1 {
-			if p := r.d.Primary(); p != nil && p.AppActive() {
-				converged = true
-				break
-			}
+		if r.t.PrimaryReady() {
+			converged = true
+			break
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(poll)
 	}
 	if !converged {
 		r.addViolations(Violation{
 			Invariant: InvSinglePrimary,
 			Detail: fmt.Sprintf("no stable single primary within %s of quiescence (primaries=%d)",
-				r.cfg.QuiesceTimeout, r.primaries()),
+				r.cfg.QuiesceTimeout, r.t.Primaries()),
 		})
 		return
 	}
 	dwellEnd := time.Now().Add(r.cfg.StabilityDwell)
 	for time.Now().Before(dwellEnd) {
-		if n := r.primaries(); n > 1 {
+		if n := r.t.Primaries(); n > 1 {
 			r.addViolations(Violation{
 				Invariant: InvSinglePrimary,
 				Detail:    "dual-primary relapse during stability dwell",
 			})
 			return
 		}
-		time.Sleep(2 * time.Millisecond)
+		time.Sleep(poll)
 	}
 }
 
 // checkRecoveryBound audits completed recovery traces against the bound
 // and returns the worst observed recovery time.
 func (r *runner) checkRecoveryBound() time.Duration {
-	var worst time.Duration
-	for _, tr := range r.d.Telemetry.Tracer().Traces() {
-		if d := tr.Duration(); d > worst {
-			worst = d
-		}
-	}
+	worst := r.t.WorstRecovery()
 	if worst > r.cfg.RecoveryBound {
 		r.addViolations(Violation{
 			Invariant: InvRecoveryBound,

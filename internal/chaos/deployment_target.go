@@ -1,0 +1,271 @@
+package chaos
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// deploymentTarget drives a campaign against an in-process core.Deployment
+// on netsim — the classic (pre-e2e) campaign substrate.
+type deploymentTarget struct {
+	d   *core.Deployment
+	led *ledger
+
+	mu       sync.Mutex
+	flappers []*netsim.Flapper
+
+	faultsTotal     *telemetry.Counter
+	violationsTotal *telemetry.Counter
+}
+
+func newDeploymentTarget(d *core.Deployment, led *ledger) *deploymentTarget {
+	reg := d.Telemetry.Metrics()
+	return &deploymentTarget{
+		d:               d,
+		led:             led,
+		faultsTotal:     reg.Counter("oftt_chaos_faults_injected_total"),
+		violationsTotal: reg.Counter("oftt_chaos_invariant_violations_total"),
+	}
+}
+
+// resolve maps a symbolic target to a live replica, nil when inapplicable.
+func (t *deploymentTarget) resolve(target string) *core.Replica {
+	switch target {
+	case "primary":
+		return t.d.Primary()
+	case "backup":
+		return t.d.Backup()
+	default:
+		return nil
+	}
+}
+
+// Inject applies one event and derives its repair. The injection-time
+// resolution (the concrete node the symbolic target mapped to) is captured
+// in the repair closure so the repair heals what was actually faulted.
+func (t *deploymentTarget) Inject(ev Event) (func(), bool) {
+	switch ev.Kind {
+	case KillNode, BlueScreen, KillApp, KillEngine, HangApp, HangEngine:
+		rep := t.resolve(ev.Target)
+		if rep == nil {
+			return nil, false
+		}
+		node := rep.Node.Name()
+		if err := t.d.Inject(core.FaultKind(ev.Kind), node); err != nil {
+			return nil, false
+		}
+		switch ev.Kind {
+		case HangApp:
+			return func() { _ = t.d.ResumeApp(node) }, true
+		case HangEngine:
+			return func() { _ = t.d.ResumeEngine(node) }, true
+		default:
+			// Kill-app needs no explicit repair (the engine's local-restart
+			// provision covers it) beyond the node-health check, which is a
+			// no-op when recovery already happened.
+			return func() { t.repairNode(node) }, true
+		}
+	case Partition:
+		t.d.PartitionPair()
+		return t.healPair, true
+	case PartitionOne:
+		p, b := t.d.Primary(), t.d.Backup()
+		if p == nil || b == nil {
+			return nil, false
+		}
+		from, to := p.Node.Name(), b.Node.Name()
+		if ev.Target == "backup->primary" {
+			from, to = to, from
+		}
+		t.d.PartitionOneWay(from, to)
+		return t.healPair, true
+	case LinkFlap:
+		fs := t.d.NewLinkFlappers(15*time.Millisecond, 15*time.Millisecond)
+		for _, f := range fs {
+			f.Start()
+		}
+		t.mu.Lock()
+		t.flappers = append(t.flappers, fs...)
+		t.mu.Unlock()
+		return t.stopFlappers, true
+	case LossBurst:
+		t.d.SetLoss(ev.Param)
+		return func() { t.d.SetLoss(0) }, true
+	case LatencySpike:
+		lat := time.Duration(ev.Param * float64(time.Millisecond))
+		t.d.SetLatency(lat, lat/2)
+		return func() { t.d.SetLatency(0, 0) }, true
+	case CkptInterrupt:
+		rep := t.d.Primary() // the primary ships checkpoints
+		if rep == nil {
+			return nil, false
+		}
+		if err := t.d.InterruptCheckpointTransfer(rep.Node.Name()); err != nil {
+			return nil, false
+		}
+		return nil, true // instantaneous; nothing to repair
+	default:
+		return nil, false
+	}
+}
+
+func (t *deploymentTarget) healPair() {
+	names := t.d.NodeNames()
+	for _, n := range t.d.Nets {
+		n.HealPrefix(names[0]+":", names[1]+":")
+	}
+}
+
+func (t *deploymentTarget) stopFlappers() {
+	t.mu.Lock()
+	fs := t.flappers
+	t.flappers = nil
+	t.mu.Unlock()
+	for _, f := range fs {
+		f.Stop()
+	}
+}
+
+// repairNode brings one node back to full health: reboot a dead machine,
+// power-cycle a live one whose engine or application process died (the
+// clean-rejoin pattern — a half-dead node re-enters as a fresh backup).
+// A no-op when the replica is healthy, so it is safe to call after faults
+// the engine already recovered from.
+func (t *deploymentTarget) repairNode(name string) {
+	rep := t.d.Replica(name)
+	if rep == nil {
+		return
+	}
+	if rep.Node.State() != cluster.NodeUp {
+		_ = t.d.RestartNode(name)
+		return
+	}
+	if !rep.Healthy() {
+		rep.Node.PowerOff()
+		_ = t.d.RestartNode(name)
+	}
+}
+
+func (t *deploymentTarget) Quiesce() {
+	t.stopFlappers()
+	t.d.HealNetworks() // heals links and clears loss/latency
+	for _, name := range t.d.NodeNames() {
+		_ = t.d.ResumeApp(name)
+		_ = t.d.ResumeEngine(name)
+	}
+	for _, name := range t.d.NodeNames() {
+		t.repairNode(name)
+	}
+}
+
+func (t *deploymentTarget) Primaries() int {
+	n := 0
+	for _, rep := range t.d.Replicas() {
+		if rep.Engine.Role() == engine.RolePrimary {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *deploymentTarget) PrimaryReady() bool {
+	if t.Primaries() != 1 {
+		return false
+	}
+	p := t.d.Primary()
+	return p != nil && p.AppActive()
+}
+
+func (t *deploymentTarget) PrimarySeq() (int64, bool) {
+	if t.Primaries() != 1 {
+		return 0, false
+	}
+	p := t.d.Primary()
+	if p == nil || !p.AppActive() {
+		return 0, false
+	}
+	probe, _ := p.CurrentApp().(*Probe)
+	if probe == nil {
+		return 0, false
+	}
+	seq := probe.Seq()
+	if seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// StartTraffic feeds the diverter a steady message stream.
+func (t *deploymentTarget) StartTraffic(every time.Duration) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				n++
+				_, _ = t.d.Send([]byte("chaos-" + strconv.Itoa(n)))
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}
+
+func (t *deploymentTarget) DrainAndAudit(timeout time.Duration) []Violation {
+	t.d.Div.Drain("app", timeout)
+	return t.led.audit()
+}
+
+func (t *deploymentTarget) TrafficCounts() (int64, int64, int64) {
+	st := t.d.Div.Stats()
+	return st.Enqueued, st.Delivered, st.Dropped
+}
+
+func (t *deploymentTarget) WorstRecovery() time.Duration {
+	var worst time.Duration
+	for _, tr := range t.d.Telemetry.Tracer().Traces() {
+		if d := tr.Duration(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func (t *deploymentTarget) NoteFault(kind Kind) {
+	t.faultsTotal.Inc()
+	t.d.Telemetry.Metrics().Counter(`oftt_chaos_faults_injected_total{kind="` + string(kind) + `"}`).Inc()
+}
+
+func (t *deploymentTarget) ReportVerdict(seed int64, injected, violations int) {
+	t.violationsTotal.Add(int64(violations))
+	verdict := "pass"
+	if violations > 0 {
+		verdict = "fail"
+	}
+	t.d.Telemetry.ReportStatus(telemetry.Status{
+		Node:      "testpc",
+		Component: "chaos-campaign",
+		Kind:      telemetry.KindChaos,
+		State:     verdict,
+		Detail:    fmtVerdict(seed, injected, violations),
+		UpdatedAt: time.Now(),
+	})
+}
+
+var _ Target = (*deploymentTarget)(nil)

@@ -103,6 +103,13 @@ func Generate(seed int64, cfg Config) Schedule {
 	if len(palette) == 0 {
 		palette = DefaultPalette
 	}
+	durMin, durSpan := cfg.FaultDurMin, cfg.FaultDurSpan
+	if durMin <= 0 {
+		durMin = 100 * time.Millisecond
+	}
+	if durSpan <= 0 {
+		durSpan = 200 * time.Millisecond
+	}
 	at := time.Duration(0)
 	for {
 		gap := cfg.MeanGap/2 + time.Duration(rng.Int63n(int64(cfg.MeanGap)))
@@ -113,7 +120,7 @@ func Generate(seed int64, cfg Config) Schedule {
 		ev := Event{
 			At:   at,
 			Kind: palette[rng.Intn(len(palette))],
-			Dur:  100*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond))),
+			Dur:  durMin + time.Duration(rng.Int63n(int64(durSpan))),
 		}
 		switch ev.Kind {
 		case Partition, LinkFlap, LossBurst, LatencySpike:

@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"time"
+)
+
+// Target is the system under test a campaign drives. Two implementations
+// exist: the in-process core.Deployment on netsim (the classic campaign),
+// and internal/e2e's external target — real oftt-node processes on real
+// TCP, faulted with signals and a controllable link proxy.
+//
+// All Inject/Repair/Quiesce calls arrive on one goroutine; the observation
+// methods (Primaries, PrimarySeq, ...) may be called concurrently from the
+// samplers.
+type Target interface {
+	// Inject applies one scheduled fault. It returns the repair that undoes
+	// the fault after its active window (nil when no repair is needed) and
+	// whether the fault was applicable — an inapplicable fault (no current
+	// holder of the symbolic role) is counted as skipped, not failed.
+	Inject(ev Event) (repair func(), ok bool)
+
+	// Quiesce ends the fault window: heal every link, resume every hang,
+	// repair every dead node. After Quiesce the system has everything it
+	// needs to converge — whether it does is the invariants' business.
+	Quiesce()
+
+	// Primaries counts replicas currently claiming the primary role.
+	Primaries() int
+
+	// PrimaryReady reports whether exactly one primary holds a live
+	// application copy — the convergence condition.
+	PrimaryReady() bool
+
+	// PrimarySeq samples the monotonic state counter of the single live
+	// primary's application. ok is false whenever the sample is unusable
+	// (no single primary, no active copy, counter not yet observable) —
+	// the monotonic checker skips those windows.
+	PrimarySeq() (seq int64, ok bool)
+
+	// StartTraffic begins the steady message stream whose delivery ledger
+	// backs the no-acked-loss invariant; the returned stop blocks until the
+	// stream has shut down.
+	StartTraffic(every time.Duration) (stop func())
+
+	// DrainAndAudit waits for every accepted message to land now that the
+	// system is (supposedly) healthy, then audits the ledger.
+	DrainAndAudit(timeout time.Duration) []Violation
+
+	// TrafficCounts reports (enqueued, delivered, dropped) totals.
+	TrafficCounts() (enqueued, delivered, dropped int64)
+
+	// WorstRecovery returns the longest completed recovery observed, from
+	// the target's recovery traces.
+	WorstRecovery() time.Duration
+
+	// NoteFault and ReportVerdict feed the target's telemetry plane (fault
+	// counters, campaign pass/fail status). Either may be a no-op.
+	NoteFault(kind Kind)
+	ReportVerdict(seed int64, injected, violations int)
+}

@@ -28,6 +28,13 @@ type ack struct {
 // ErrNotAcked is returned when the backup did not confirm a snapshot.
 var ErrNotAcked = errors.New("checkpoint: snapshot not acknowledged")
 
+// ErrPartialShip is returned by a multi-replica ship when at least one
+// replica confirmed the snapshot but at least one did not. The state is
+// recoverable (a quorum-side copy exists), but the failed replica's
+// incremental chain is now broken: the shipper must re-base it with a
+// full snapshot before its copy can be trusted again.
+var ErrPartialShip = errors.New("checkpoint: shipped to some replicas only")
+
 // Sender ships snapshots from the primary's FTIM to the backup and waits
 // for acknowledgement, so a confirmed checkpoint is known to be recoverable.
 type Sender struct {

@@ -46,7 +46,9 @@ type CallTrackApp struct {
 	f      *ftim.ClientFTIM
 	dcli   *dcom.Client
 	client *opc.Client
-	live   bool
+	active bool   // executing copy (Activate..Deactivate)
+	live   bool   // OPC subscription established
+	gen    uint64 // activation generation; retires stale reconnect loops
 	ins    dcom.Instruments
 }
 
@@ -115,22 +117,38 @@ func (a *CallTrackApp) Setup(f *ftim.ClientFTIM) error {
 	return f.RegisterState("messages", &a.Extra)
 }
 
-// Activate connects to the telephone OPC server and begins tracking.
+// connectRetryDelay paces the background reconnect loop of a copy that
+// activated blind (telephone server down or the dial deadline blown on a
+// loaded machine).
+const connectRetryDelay = 100 * time.Millisecond
+
+// Activate marks this copy as the executing one and connects it to the
+// telephone OPC server. Activation itself never fails: if the server is
+// unreachable — down, or simply slow enough that the dial deadline
+// expires on a loaded (e.g. race-detector) run — the copy comes up blind
+// and keeps retrying in the background until Deactivate.
 func (a *CallTrackApp) Activate(restored bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.live {
+	if a.active {
 		return
 	}
+	a.active = true
+	a.gen++
+	if a.connectLocked() {
+		return
+	}
+	go a.reconnectLoop(a.gen)
+}
+
+// connectLocked attempts one OPC subscription; caller holds a.mu.
+func (a *CallTrackApp) connectLocked() bool {
 	from := netsim.Addr(a.node + ":" + "app-opc-cli")
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
 	dcli, err := dcom.DialContext(ctx, a.network, from, a.server)
 	if err != nil {
-		// The telephone server may be down; the group scan will never
-		// produce updates, which is visible in the monitor, but activation
-		// itself must not fail (the copy is live, just blind).
-		return
+		return false
 	}
 	dcli.Instrument(a.ins)
 	a.dcli = dcli
@@ -144,10 +162,30 @@ func (a *CallTrackApp) Activate(restored bool) {
 		a.client.Close()
 		a.dcli.Close()
 		a.client, a.dcli = nil, nil
-		return
+		return false
 	}
 	g.AddItems(telephone.TelTags(a.lines)...)
 	a.live = true
+	return true
+}
+
+// reconnectLoop retries the OPC subscription of a blind active copy. The
+// generation check retires the loop as soon as the copy deactivates (or a
+// later activation starts its own loop).
+func (a *CallTrackApp) reconnectLoop(gen uint64) {
+	for {
+		time.Sleep(connectRetryDelay)
+		a.mu.Lock()
+		if !a.active || a.gen != gen || a.live {
+			a.mu.Unlock()
+			return
+		}
+		ok := a.connectLocked()
+		a.mu.Unlock()
+		if ok {
+			return
+		}
+	}
 }
 
 // ingest consumes OPC updates; the tracker locks the shared registry
@@ -168,7 +206,9 @@ func (a *CallTrackApp) Deactivate() {
 		a.dcli.Close()
 		a.dcli = nil
 	}
+	a.active = false
 	a.live = false
+	a.gen++
 }
 
 // HandleMessage consumes an operator message from the diverter.

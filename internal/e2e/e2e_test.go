@@ -1,0 +1,252 @@
+package e2e
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// startHarness builds and spawns a deployment, skipping (not failing)
+// when the environment cannot run it: no go toolchain for the build, or
+// restricted sockets.
+func startHarness(t *testing.T, opt Options) *Harness {
+	t.Helper()
+	if opt.Logf == nil {
+		opt.Logf = t.Logf
+	}
+	h, err := Start(t.TempDir(), opt)
+	if err != nil {
+		t.Skipf("e2e deployment unavailable: %v", err)
+	}
+	t.Cleanup(h.Shutdown)
+	return h
+}
+
+// campaignConfig is the shared black-box campaign tuning: everything is
+// scaled from netsim microseconds to real-process timescales (detection
+// takes ~250ms of real wall clock; each observation is an HTTP scrape).
+func campaignConfig(seed int64) chaos.Config {
+	return chaos.Config{
+		Seed:           seed,
+		Palette:        ExternalPalette,
+		FaultDurMin:    800 * time.Millisecond,
+		FaultDurSpan:   700 * time.Millisecond,
+		MeanGap:        1500 * time.Millisecond,
+		QuiesceTimeout: 30 * time.Second,
+		StabilityDwell: 1 * time.Second,
+		RecoveryBound:  15 * time.Second,
+		AllowedLoss:    200,
+		SampleEvery:    150 * time.Millisecond,
+		DrainTimeout:   20 * time.Second,
+	}
+}
+
+// maxAckedLoss bounds acked-but-lost messages per campaign. Each fault
+// that deposes a primary can lose at most one checkpoint window of acks
+// (50ms / 15ms-per-message ≈ 4 ids); campaigns inject a handful of
+// faults, so 50 gives each incident its window plus scheduler slack on a
+// loaded host. Regressions like ack-after-stale-lease or a starved
+// backup winning an election lose hundreds and blow straight past it.
+const maxAckedLoss = 50
+
+// reproLine is the one-line replay recipe printed on every failure.
+func reproLine(seed int64, testName string) string {
+	return fmt.Sprintf("repro: OFTT_E2E=1 OFTT_E2E_SEED=%d go test ./internal/e2e -run %s -count=1 -v", seed, testName)
+}
+
+func requireE2E(t *testing.T) {
+	if os.Getenv("OFTT_E2E") == "" {
+		t.Skip("full e2e campaign disabled; set OFTT_E2E=1 (or use `make e2e`)")
+	}
+}
+
+func envSeed(def int64) int64 {
+	if v := os.Getenv("OFTT_E2E_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// TestE2ESmoke is the always-on sanity check: the multi-process
+// deployment comes up, elects one primary, moves feeder traffic, and a
+// SIGTERMed daemon exits gracefully with status 0.
+func TestE2ESmoke(t *testing.T) {
+	h := startHarness(t, Options{Seed: 11})
+
+	// One primary with an active plant.
+	deadline := time.Now().Add(20 * time.Second)
+	primary := ""
+	for time.Now().Before(deadline) {
+		if p := h.PrimaryName(); p != "" {
+			states := h.States()
+			if states[p].AppActive {
+				primary = p
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if primary == "" {
+		t.Fatalf("no active primary within 20s; states=%v", h.States())
+	}
+
+	// The feeder delivers.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap, err := h.FeederLedger(); err == nil && snap.Delivered > 5 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	snap, err := h.FeederLedger()
+	if err != nil || snap.Delivered <= 5 {
+		t.Fatalf("feeder not delivering: %+v, %v", snap, err)
+	}
+
+	// Graceful shutdown: SIGTERM a backup daemon, expect exit status 0.
+	victim := ""
+	for _, name := range h.Names() {
+		if name != primary {
+			victim = name
+			break
+		}
+	}
+	np := h.nodes[victim]
+	np.mu.Lock()
+	cmd, done := np.cmd, np.done
+	np.dead = true // tell the harness not to double-kill it at teardown
+	np.mu.Unlock()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signal %s: %v", victim, err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("%s ignored SIGTERM for 10s", victim)
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("%s exited %d on SIGTERM, want 0", victim, code)
+	}
+}
+
+// TestE2ECampaign is the acceptance scenario: a real 3-node TCP
+// deployment survives a scripted campaign of kill -9 of the primary, a
+// SIGSTOP hang of the (new) primary, and a one-way link cut — with all
+// four invariants checked black-box.
+func TestE2ECampaign(t *testing.T) {
+	requireE2E(t)
+	seed := envSeed(1)
+	h := startHarness(t, Options{Seed: seed})
+	tg := NewTarget(h, maxAckedLoss, t.Logf)
+
+	cfg := campaignConfig(seed)
+	cfg.Script = []chaos.Event{
+		{At: 600 * time.Millisecond, Kind: chaos.KillNode, Target: "primary", Dur: 2400 * time.Millisecond},
+		{At: 2400 * time.Millisecond, Kind: chaos.HangEngine, Target: "primary", Dur: 1600 * time.Millisecond},
+		{At: 5500 * time.Millisecond, Kind: chaos.PartitionOne, Target: "primary->backup", Dur: 2 * time.Second},
+	}
+
+	res, err := chaos.RunTarget(context.Background(), cfg, tg)
+	if err != nil {
+		t.Fatalf("campaign error: %v\n%s", err, reproLine(seed, t.Name()))
+	}
+	t.Logf("campaign: injected=%d skipped=%d enqueued=%d delivered=%d worst-recovery=%s",
+		res.Injected, res.Skipped, res.Enqueued, res.Delivered, res.WorstRecovery.Round(time.Millisecond))
+	if res.Injected != len(cfg.Script) {
+		t.Errorf("only %d/%d scripted faults applied\n%s", res.Injected, len(cfg.Script), reproLine(seed, t.Name()))
+	}
+	if !res.Passed() {
+		for _, v := range res.Violations {
+			t.Errorf("invariant violated: %s", v)
+		}
+		t.Fatalf("campaign failed\n%s", reproLine(seed, t.Name()))
+	}
+}
+
+// TestE2EGeneratedCampaign replays a seed-generated schedule against the
+// live deployment — the random-soak building block, kept short here.
+func TestE2EGeneratedCampaign(t *testing.T) {
+	requireE2E(t)
+	seed := envSeed(7)
+	h := startHarness(t, Options{Seed: seed})
+	tg := NewTarget(h, maxAckedLoss, t.Logf)
+
+	cfg := campaignConfig(seed)
+	cfg.Duration = 6 * time.Second
+
+	schedule := chaos.Generate(seed, cfg)
+	t.Logf("%s", schedule)
+
+	res, err := chaos.RunTarget(context.Background(), cfg, tg)
+	if err != nil {
+		t.Fatalf("campaign error: %v\n%s", err, reproLine(seed, t.Name()))
+	}
+	t.Logf("campaign: injected=%d skipped=%d violations=%d worst-recovery=%s",
+		res.Injected, res.Skipped, len(res.Violations), res.WorstRecovery.Round(time.Millisecond))
+	if !res.Passed() {
+		for _, v := range res.Violations {
+			t.Errorf("invariant violated: %s", v)
+		}
+		t.Fatalf("campaign failed (schedule above)\n%s", reproLine(seed, t.Name()))
+	}
+}
+
+// TestE2ESoak runs seed-varied generated campaigns back to back against
+// one long-lived deployment until the soak budget is spent. Every round
+// prints its seed; a failure reproduces with OFTT_E2E_SEED.
+//
+// Enable with OFTT_E2E_SOAK=<duration> (e.g. `make soak`).
+func TestE2ESoak(t *testing.T) {
+	budgetStr := os.Getenv("OFTT_E2E_SOAK")
+	if budgetStr == "" {
+		t.Skip("soak disabled; set OFTT_E2E_SOAK=<duration> (or use `make soak`)")
+	}
+	budget, err := time.ParseDuration(budgetStr)
+	if err != nil {
+		t.Fatalf("bad OFTT_E2E_SOAK %q: %v", budgetStr, err)
+	}
+	baseSeed := envSeed(time.Now().UnixNano() % 1_000_000)
+	h := startHarness(t, Options{Seed: baseSeed})
+
+	// A signalled soak (SIGTERM/SIGINT via go test -timeout, CI abort)
+	// drains gracefully: the campaign engine repairs outstanding faults
+	// and still reports a verdict.
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+
+	end := time.Now().Add(budget)
+	round := 0
+	for time.Now().Before(end) {
+		seed := baseSeed + int64(round)
+		round++
+		tg := NewTarget(h, maxAckedLoss, t.Logf)
+		cfg := campaignConfig(seed)
+		cfg.Duration = 8 * time.Second
+		t.Logf("soak round %d seed=%d (budget left %s)", round, seed, time.Until(end).Round(time.Second))
+
+		res, err := chaos.RunTarget(ctx, cfg, tg)
+		if err != nil {
+			t.Fatalf("soak round %d error: %v\n%s", round, err, reproLine(seed, "TestE2EGeneratedCampaign"))
+		}
+		if !res.Passed() {
+			for _, v := range res.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			t.Fatalf("soak round %d failed: seed=%d faults=%d\n%s",
+				round, seed, res.Injected, reproLine(seed, "TestE2EGeneratedCampaign"))
+		}
+		t.Logf("soak round %d passed: faults=%d worst-recovery=%s",
+			round, res.Injected, res.WorstRecovery.Round(time.Millisecond))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+}

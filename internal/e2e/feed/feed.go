@@ -1,0 +1,333 @@
+// Package feed is the e2e deployment's message source: the black-box
+// analog of the in-process diverter. A Feeder generates a steady stream
+// of numbered messages and publishes each one, over DCOM on real TCP, to
+// whichever daemon currently acknowledges as primary — retrying every
+// message until acked (at-least-once delivery, like the diverter's
+// buffered divert path).
+//
+// The feeder keeps a delivery ledger: ids generated (enqueued), ids acked
+// (delivered), ids still pending. Acked-message loss is then auditable
+// black-box: after a campaign quiesces and the feeder drains, every
+// delivered id must appear in the surviving primary's plant state.
+//
+// It runs inside `scadasim -feed` as its own OS process and serves the
+// ledger over HTTP:
+//
+//	/ledger.json    current ledger snapshot
+//	/drain          stop generating, flush pending, reply with the final
+//	                snapshot (the harness calls this before auditing)
+//	/healthz        liveness
+//
+// Daemon ingest addresses are learned from the daemons' addr-files and
+// re-read whenever delivery fails, so a daemon respawned on fresh ports
+// is rediscovered without coordination.
+package feed
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/dcom"
+	"repro/internal/e2e/nodehost"
+)
+
+// Config parameterizes a feeder.
+type Config struct {
+	// AddrFiles lists every daemon's addr-file path.
+	AddrFiles []string
+	// Every is the message generation period (default 15ms).
+	Every time.Duration
+	// HTTPAddr is the ledger endpoint listen address (default ephemeral).
+	HTTPAddr string
+	// Logf, when set, receives feeder lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// Snapshot is the ledger's JSON view.
+type Snapshot struct {
+	Enqueued     int64   `json:"enqueued"`
+	Delivered    int64   `json:"delivered"`
+	Pending      int     `json:"pending"`
+	DeliveredIDs []int64 `json:"delivered_ids"`
+}
+
+// Feeder generates, publishes, and accounts for messages.
+type Feeder struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	nextID    int64
+	pending   []int64
+	delivered []int64
+	stopped   bool
+	genOff    bool
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+	stopGen chan struct{}
+	wg      sync.WaitGroup
+
+	cliMu   sync.Mutex
+	cli     *dcom.Client
+	cliAddr string
+}
+
+// Start launches the generator, the sender, and the HTTP endpoint.
+func Start(cfg Config) (*Feeder, error) {
+	if cfg.Every <= 0 {
+		cfg.Every = 15 * time.Millisecond
+	}
+	if cfg.HTTPAddr == "" {
+		cfg.HTTPAddr = "127.0.0.1:0"
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	f := &Feeder{cfg: cfg, stopGen: make(chan struct{})}
+	f.cond = sync.NewCond(&f.mu)
+
+	ln, err := net.Listen("tcp", cfg.HTTPAddr)
+	if err != nil {
+		return nil, fmt.Errorf("feed: http listen: %w", err)
+	}
+	f.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ledger.json", f.handleLedger)
+	mux.HandleFunc("/drain", f.handleDrain)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	f.httpSrv = &http.Server{Handler: mux}
+	go func() { _ = f.httpSrv.Serve(ln) }()
+
+	f.wg.Add(2)
+	go f.generate()
+	go f.send()
+	cfg.Logf("feeder up: http=%s targets=%v every=%s", ln.Addr(), cfg.AddrFiles, cfg.Every)
+	return f, nil
+}
+
+// HTTPAddr is the ledger endpoint's address.
+func (f *Feeder) HTTPAddr() string { return f.httpLn.Addr().String() }
+
+func (f *Feeder) generate() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.Every)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stopGen:
+			return
+		case <-t.C:
+			f.mu.Lock()
+			if !f.genOff {
+				f.nextID++
+				f.pending = append(f.pending, f.nextID)
+				f.cond.Broadcast()
+			}
+			f.mu.Unlock()
+		}
+	}
+}
+
+// next blocks until a pending id exists (peeking, not popping — the id
+// stays pending until acked) or the feeder stops.
+func (f *Feeder) next() (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.pending) == 0 && !f.stopped {
+		f.cond.Wait()
+	}
+	if f.stopped {
+		return 0, false
+	}
+	return f.pending[0], true
+}
+
+func (f *Feeder) acked(id int64) {
+	f.mu.Lock()
+	if len(f.pending) > 0 && f.pending[0] == id {
+		f.pending = f.pending[1:]
+	}
+	f.delivered = append(f.delivered, id)
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+func (f *Feeder) send() {
+	defer f.wg.Done()
+	for {
+		id, ok := f.next()
+		if !ok {
+			return
+		}
+		if f.publish(id) {
+			f.acked(id)
+			continue
+		}
+		// Nobody acked: primary mid-failover. Back off, then retry the
+		// same id — delivery order is preserved, nothing is dropped.
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// publish tries the cached primary first, then every daemon found in the
+// addr-files. True means some daemon acked.
+func (f *Feeder) publish(id int64) bool {
+	body := []byte(fmt.Sprintf("e2e-%d", id))
+	if f.tryCached(id, body) {
+		return true
+	}
+	for _, addr := range f.targets() {
+		if f.tryAddr(addr, id, body) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Feeder) tryCached(id int64, body []byte) bool {
+	f.cliMu.Lock()
+	cli := f.cli
+	f.cliMu.Unlock()
+	if cli == nil {
+		return false
+	}
+	if err := cli.Object(nodehost.IngestOID).Call("Publish", nil, id, body); err != nil {
+		f.dropClient(cli)
+		return false
+	}
+	return true
+}
+
+func (f *Feeder) tryAddr(addr string, id int64, body []byte) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	cli, err := dcom.DialTCPContext(ctx, addr)
+	cancel()
+	if err != nil {
+		return false
+	}
+	cli.SetTimeout(time.Second)
+	if err := cli.Object(nodehost.IngestOID).Call("Publish", nil, id, body); err != nil {
+		cli.Close()
+		return false
+	}
+	f.cliMu.Lock()
+	old := f.cli
+	f.cli, f.cliAddr = cli, addr
+	f.cliMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return true
+}
+
+func (f *Feeder) dropClient(cli *dcom.Client) {
+	f.cliMu.Lock()
+	if f.cli == cli {
+		f.cli = nil
+		f.cliAddr = ""
+	}
+	f.cliMu.Unlock()
+	cli.Close()
+}
+
+// targets re-reads every addr-file for current ingest addresses.
+func (f *Feeder) targets() []string {
+	var out []string
+	for _, path := range f.cfg.AddrFiles {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var info nodehost.AddrInfo
+		if json.Unmarshal(b, &info) != nil || info.Ingest == "" {
+			continue
+		}
+		out = append(out, info.Ingest)
+	}
+	return out
+}
+
+// Ledger snapshots the current accounting.
+func (f *Feeder) Ledger() Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Snapshot{
+		Enqueued:     f.nextID,
+		Delivered:    int64(len(f.delivered)),
+		Pending:      len(f.pending),
+		DeliveredIDs: append([]int64(nil), f.delivered...),
+	}
+}
+
+// Drain stops generation and waits until every pending message is acked
+// or the timeout passes. Returns the final snapshot and whether the
+// queue fully drained.
+func (f *Feeder) Drain(timeout time.Duration) (Snapshot, bool) {
+	f.mu.Lock()
+	f.genOff = true
+	f.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		f.mu.Lock()
+		empty := len(f.pending) == 0
+		f.mu.Unlock()
+		if empty {
+			return f.Ledger(), true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return f.Ledger(), false
+}
+
+func (f *Feeder) handleLedger(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(f.Ledger())
+}
+
+func (f *Feeder) handleDrain(w http.ResponseWriter, r *http.Request) {
+	timeout := 10 * time.Second
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			timeout = d
+		}
+	}
+	snap, drained := f.Drain(timeout)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Snapshot
+		Drained bool `json:"drained"`
+	}{snap, drained})
+}
+
+// Close stops the feeder: generation off, sender released, HTTP down.
+func (f *Feeder) Close() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	f.genOff = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	close(f.stopGen)
+	_ = f.httpSrv.Close()
+	f.cliMu.Lock()
+	cli := f.cli
+	f.cli = nil
+	f.cliMu.Unlock()
+	if cli != nil {
+		cli.Close()
+	}
+	f.wg.Wait()
+	f.cfg.Logf("feeder down: %+v", f.Ledger())
+}

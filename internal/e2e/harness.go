@@ -1,0 +1,668 @@
+// Package e2e is the black-box multi-process chaos harness: it compiles
+// the real oftt-node and scadasim binaries, spawns a genuine N-node
+// deployment on real TCP loopback sockets — every inter-node link routed
+// through a controllable proxy (internal/e2e/linkproxy) — plus a feeder
+// process keeping a delivery ledger, and then drives the seeded
+// internal/chaos campaign engine against the live PIDs:
+//
+//   - crashes are kill -9 of a daemon process
+//   - hangs are SIGSTOP / SIGCONT
+//   - partitions, one-way cuts, flaps, and latency are proxy faults on
+//     the real sockets
+//
+// The four chaos invariants (eventually-single-primary, monotonic state,
+// no acked-message loss, bounded recovery) are re-checked purely from the
+// outside: HTTP scrapes of each daemon's /state.json and /traces.json and
+// the feeder's ledger. Nothing in this package links against the engine.
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/e2e/feed"
+	"repro/internal/e2e/linkproxy"
+	"repro/internal/e2e/nodehost"
+)
+
+// Options shapes one deployment.
+type Options struct {
+	// Nodes is the deployment size (default 3 — the smallest quorum).
+	Nodes int
+	// Seed parameterizes every daemon and the campaign schedule.
+	Seed int64
+	// Adaptive runs every engine under the adaptive recovery policy.
+	Adaptive bool
+
+	// Timing. Defaults are sized for real processes on a small machine:
+	// heartbeats every 25ms over real sockets, peers declared dead after
+	// 250ms, plant checkpoints every 50ms, plant ticks every 10ms, one
+	// feeder message per 15ms.
+	HeartbeatInterval time.Duration
+	PeerTimeout       time.Duration
+	CheckpointPeriod  time.Duration
+	PlantTick         time.Duration
+	FeedEvery         time.Duration
+
+	// SpawnTimeout bounds waiting for a daemon's addr-file (default 20s).
+	SpawnTimeout time.Duration
+
+	// Logf receives harness progress lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) applyDefaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if o.PeerTimeout <= 0 {
+		o.PeerTimeout = 10 * o.HeartbeatInterval
+	}
+	if o.CheckpointPeriod <= 0 {
+		o.CheckpointPeriod = 50 * time.Millisecond
+	}
+	if o.PlantTick <= 0 {
+		o.PlantTick = 10 * time.Millisecond
+	}
+	if o.FeedEvery <= 0 {
+		o.FeedEvery = 15 * time.Millisecond
+	}
+	if o.SpawnTimeout <= 0 {
+		o.SpawnTimeout = 20 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// nodeProc is one spawned daemon.
+type nodeProc struct {
+	name  string
+	peers map[string]string // fixed proxy addresses
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	done chan struct{}
+	info nodehost.AddrInfo
+	hung bool
+	dead bool
+}
+
+// Harness is one live deployment.
+type Harness struct {
+	opt   Options
+	dir   string
+	names []string
+	links []*linkproxy.Link
+
+	nodes map[string]*nodeProc
+
+	feedMu   sync.Mutex
+	feedCmd  *exec.Cmd
+	feedDone chan struct{}
+	feedAddr string
+
+	scrape *http.Client
+	slow   *http.Client
+}
+
+// buildOnce compiles the oftt-node and scadasim binaries once per test
+// process, into a shared temp dir.
+var buildOnce struct {
+	sync.Once
+	dir string
+	err error
+}
+
+// Binaries returns the built daemon and feeder binary paths, compiling
+// them on first call.
+func Binaries() (node, scadasim string, err error) {
+	buildOnce.Do(func() {
+		out, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			buildOnce.err = fmt.Errorf("locate module root: %w", err)
+			return
+		}
+		gomod := strings.TrimSpace(string(out))
+		if gomod == "" || gomod == "/dev/null" {
+			buildOnce.err = fmt.Errorf("not inside a module")
+			return
+		}
+		root := filepath.Dir(gomod)
+		dir, err := os.MkdirTemp("", "oftt-e2e-bin-")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		for _, pkg := range []string{"oftt-node", "scadasim"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, pkg), "./cmd/"+pkg)
+			cmd.Dir = root
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildOnce.err = fmt.Errorf("build %s: %v\n%s", pkg, err, out)
+				return
+			}
+		}
+		buildOnce.dir = dir
+	})
+	if buildOnce.err != nil {
+		return "", "", buildOnce.err
+	}
+	return filepath.Join(buildOnce.dir, "oftt-node"), filepath.Join(buildOnce.dir, "scadasim"), nil
+}
+
+// Start builds binaries, wires the proxy mesh, and spawns the daemons and
+// the feeder. dir holds addr-files and per-process logs (the caller owns
+// its lifetime — tests pass t.TempDir()).
+func Start(dir string, opt Options) (*Harness, error) {
+	opt.applyDefaults()
+	if _, _, err := Binaries(); err != nil {
+		return nil, err
+	}
+
+	h := &Harness{
+		opt:    opt,
+		dir:    dir,
+		nodes:  map[string]*nodeProc{},
+		scrape: &http.Client{Timeout: 400 * time.Millisecond},
+		slow:   &http.Client{Timeout: 30 * time.Second},
+	}
+	for i := 1; i <= opt.Nodes; i++ {
+		h.names = append(h.names, fmt.Sprintf("n%d", i))
+	}
+
+	// Full proxy mesh: one Link (two directed proxies) per node pair.
+	for i, a := range h.names {
+		for _, b := range h.names[i+1:] {
+			l, err := linkproxy.NewLink(a, b)
+			if err != nil {
+				h.Shutdown()
+				return nil, fmt.Errorf("e2e: link %s-%s: %w", a, b, err)
+			}
+			h.links = append(h.links, l)
+		}
+	}
+
+	for _, name := range h.names {
+		peers := map[string]string{}
+		for _, p := range h.names {
+			if p != name {
+				peers[p] = h.dialAddr(name, p)
+			}
+		}
+		h.nodes[name] = &nodeProc{name: name, peers: peers}
+	}
+	for _, name := range h.names {
+		if err := h.spawn(name); err != nil {
+			h.Shutdown()
+			return nil, err
+		}
+	}
+	if err := h.spawnFeeder(); err != nil {
+		h.Shutdown()
+		return nil, err
+	}
+	return h, nil
+}
+
+// dialAddr is the proxy address node `from` dials to reach node `to`.
+func (h *Harness) dialAddr(from, to string) string {
+	for _, l := range h.links {
+		if l.A == from && l.B == to {
+			return l.AtoB.Addr()
+		}
+		if l.A == to && l.B == from {
+			return l.BtoA.Addr()
+		}
+	}
+	return ""
+}
+
+// Link returns the proxy pair between two nodes.
+func (h *Harness) Link(a, b string) *linkproxy.Link {
+	for _, l := range h.links {
+		if l.Has(a) && l.Has(b) {
+			return l
+		}
+	}
+	return nil
+}
+
+// LinksOf returns every link touching a node.
+func (h *Harness) LinksOf(name string) []*linkproxy.Link {
+	var out []*linkproxy.Link
+	for _, l := range h.links {
+		if l.Has(name) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Links returns the full mesh.
+func (h *Harness) Links() []*linkproxy.Link { return h.links }
+
+// Names returns the node names.
+func (h *Harness) Names() []string { return append([]string(nil), h.names...) }
+
+// spawn launches (or relaunches) one daemon and waits for its addr-file,
+// then points the mesh proxies that lead to it at its fresh bridge port.
+func (h *Harness) spawn(name string) error {
+	np := h.nodes[name]
+	nodeBin, _, err := Binaries()
+	if err != nil {
+		return err
+	}
+	addrFile := filepath.Join(h.dir, name+".json")
+	_ = os.Remove(addrFile)
+
+	var peerSpec []string
+	for p, addr := range np.peers {
+		peerSpec = append(peerSpec, p+"="+addr)
+	}
+	sort.Strings(peerSpec)
+	args := []string{
+		"-name", name,
+		"-peers", strings.Join(peerSpec, ","),
+		"-seed", strconv.FormatInt(h.opt.Seed, 10),
+		"-hb", h.opt.HeartbeatInterval.String(),
+		"-peer-timeout", h.opt.PeerTimeout.String(),
+		"-ckpt", h.opt.CheckpointPeriod.String(),
+		"-tick", h.opt.PlantTick.String(),
+		"-addr-file", addrFile,
+	}
+	if h.opt.Adaptive {
+		args = append(args, "-adaptive")
+	}
+	cmd := exec.Command(nodeBin, args...)
+	logf, err := os.OpenFile(filepath.Join(h.dir, name+".log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd.Stdout, cmd.Stderr = logf, logf
+	// The daemon must not outlive the harness process.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("e2e: spawn %s: %w", name, err)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = cmd.Wait()
+		logf.Close()
+		close(done)
+	}()
+
+	info, err := h.awaitAddrFile(addrFile, done)
+	if err != nil {
+		_ = cmd.Process.Kill()
+		return fmt.Errorf("e2e: %s never published addresses: %w", name, err)
+	}
+
+	np.mu.Lock()
+	np.cmd, np.done, np.info = cmd, done, info
+	np.hung, np.dead = false, false
+	np.mu.Unlock()
+
+	// Proxies whose backend is this node learn the fresh bridge port.
+	for _, l := range h.LinksOf(name) {
+		if l.B == name {
+			l.AtoB.SetBackend(info.Bridge)
+		} else {
+			l.BtoA.SetBackend(info.Bridge)
+		}
+	}
+	h.opt.Logf("spawned %s pid=%d bridge=%s http=%s", name, cmd.Process.Pid, info.Bridge, info.HTTP)
+	return nil
+}
+
+func (h *Harness) awaitAddrFile(path string, died <-chan struct{}) (nodehost.AddrInfo, error) {
+	deadline := time.Now().Add(h.opt.SpawnTimeout)
+	for time.Now().Before(deadline) {
+		select {
+		case <-died:
+			return nodehost.AddrInfo{}, fmt.Errorf("process exited before publishing")
+		default:
+		}
+		if b, err := os.ReadFile(path); err == nil {
+			var info nodehost.AddrInfo
+			if json.Unmarshal(b, &info) == nil && info.Bridge != "" {
+				return info, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nodehost.AddrInfo{}, fmt.Errorf("timeout after %s", h.opt.SpawnTimeout)
+}
+
+func (h *Harness) spawnFeeder() error {
+	_, simBin, err := Binaries()
+	if err != nil {
+		return err
+	}
+	var files []string
+	for _, name := range h.names {
+		files = append(files, filepath.Join(h.dir, name+".json"))
+	}
+	feedAddrFile := filepath.Join(h.dir, "feeder.addr")
+	_ = os.Remove(feedAddrFile)
+	cmd := exec.Command(simBin,
+		"-feed",
+		"-feed-addrs", strings.Join(files, ","),
+		"-feed-every", h.opt.FeedEvery.String(),
+		"-feed-addr-file", feedAddrFile,
+	)
+	logf, err := os.OpenFile(filepath.Join(h.dir, "feeder.log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd.Stdout, cmd.Stderr = logf, logf
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("e2e: spawn feeder: %w", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		_ = cmd.Wait()
+		logf.Close()
+		close(done)
+	}()
+
+	deadline := time.Now().Add(h.opt.SpawnTimeout)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(feedAddrFile); err == nil && len(b) > 0 {
+			h.feedMu.Lock()
+			h.feedCmd, h.feedDone, h.feedAddr = cmd, done, strings.TrimSpace(string(b))
+			h.feedMu.Unlock()
+			h.opt.Logf("spawned feeder pid=%d http=%s", cmd.Process.Pid, h.feedAddr)
+			return nil
+		}
+		select {
+		case <-done:
+			return fmt.Errorf("e2e: feeder exited before publishing")
+		default:
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	return fmt.Errorf("e2e: feeder never published its address")
+}
+
+// --- process faults -----------------------------------------------------
+
+// Kill SIGKILLs a daemon — a real crash.
+func (h *Harness) Kill(name string) error {
+	np := h.nodes[name]
+	np.mu.Lock()
+	defer np.mu.Unlock()
+	if np.dead || np.cmd == nil {
+		return fmt.Errorf("e2e: %s already dead", name)
+	}
+	np.dead = true
+	np.hung = false
+	return np.cmd.Process.Kill()
+}
+
+// Hang SIGSTOPs a daemon — a real scheduler-level hang: heartbeats stop,
+// sockets stay open.
+func (h *Harness) Hang(name string) error {
+	np := h.nodes[name]
+	np.mu.Lock()
+	defer np.mu.Unlock()
+	if np.dead || np.cmd == nil {
+		return fmt.Errorf("e2e: %s is dead", name)
+	}
+	if np.hung {
+		return nil
+	}
+	np.hung = true
+	return syscall.Kill(np.cmd.Process.Pid, syscall.SIGSTOP)
+}
+
+// Resume SIGCONTs a hung daemon.
+func (h *Harness) Resume(name string) error {
+	np := h.nodes[name]
+	np.mu.Lock()
+	defer np.mu.Unlock()
+	if np.dead || np.cmd == nil || !np.hung {
+		return nil
+	}
+	np.hung = false
+	return syscall.Kill(np.cmd.Process.Pid, syscall.SIGCONT)
+}
+
+// EnsureAlive respawns a node if it is dead — the repair for kill faults.
+func (h *Harness) EnsureAlive(name string) error {
+	np := h.nodes[name]
+	np.mu.Lock()
+	dead := np.dead
+	np.mu.Unlock()
+	if !dead {
+		return nil
+	}
+	return h.spawn(name)
+}
+
+// Alive reports whether the daemon process is running (possibly hung).
+func (h *Harness) Alive(name string) bool {
+	np := h.nodes[name]
+	np.mu.Lock()
+	defer np.mu.Unlock()
+	return np.cmd != nil && !np.dead
+}
+
+// Hung reports whether the daemon is SIGSTOPped.
+func (h *Harness) Hung(name string) bool {
+	np := h.nodes[name]
+	np.mu.Lock()
+	defer np.mu.Unlock()
+	return np.hung
+}
+
+// Info returns a daemon's current listener addresses.
+func (h *Harness) Info(name string) nodehost.AddrInfo {
+	np := h.nodes[name]
+	np.mu.Lock()
+	defer np.mu.Unlock()
+	return np.info
+}
+
+// --- observation --------------------------------------------------------
+
+func (h *Harness) getJSON(cli *http.Client, addr, path string, v any) error {
+	resp, err := cli.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s%s: %s", addr, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// States scrapes /state.json from every live daemon in parallel. Hung or
+// dead daemons are simply absent — exactly what an outside observer sees.
+func (h *Harness) States() map[string]nodehost.StateDoc {
+	type res struct {
+		name string
+		doc  nodehost.StateDoc
+		err  error
+	}
+	ch := make(chan res, len(h.names))
+	n := 0
+	for _, name := range h.names {
+		np := h.nodes[name]
+		np.mu.Lock()
+		addr, dead := np.info.HTTP, np.dead
+		np.mu.Unlock()
+		if dead || addr == "" {
+			continue
+		}
+		n++
+		go func(name, addr string) {
+			var doc nodehost.StateDoc
+			err := h.getJSON(h.scrape, addr, "/state.json", &doc)
+			ch <- res{name, doc, err}
+		}(name, addr)
+	}
+	out := map[string]nodehost.StateDoc{}
+	for i := 0; i < n; i++ {
+		r := <-ch
+		if r.err == nil {
+			out[r.name] = r.doc
+		}
+	}
+	return out
+}
+
+// PrimaryName returns the unique node reporting PRIMARY ("" when there is
+// none or more than one).
+func (h *Harness) PrimaryName() string {
+	primary := ""
+	for name, st := range h.States() {
+		if st.Role == "PRIMARY" {
+			if primary != "" {
+				return ""
+			}
+			primary = name
+		}
+	}
+	return primary
+}
+
+// PrimaryIDs fetches the current primary's full ingested-id list.
+func (h *Harness) PrimaryIDs() ([]int64, error) {
+	name := h.PrimaryName()
+	if name == "" {
+		return nil, fmt.Errorf("e2e: no unique primary")
+	}
+	var ids []int64
+	if err := h.getJSON(h.slow, h.Info(name).HTTP, "/ids.json", &ids); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// Traces scrapes completed recovery traces from every live daemon.
+func (h *Harness) Traces() []TraceDoc {
+	var out []TraceDoc
+	for _, name := range h.names {
+		if !h.Alive(name) || h.Hung(name) {
+			continue
+		}
+		var traces []TraceDoc
+		if err := h.getJSON(h.scrape, h.Info(name).HTTP, "/traces.json", &traces); err != nil {
+			continue
+		}
+		out = append(out, traces...)
+	}
+	return out
+}
+
+// TraceDoc mirrors telemetry.Trace's JSON for black-box decoding.
+type TraceDoc struct {
+	ID       uint64 `json:"id"`
+	Complete bool   `json:"complete"`
+	Events   []struct {
+		AtUS   int64  `json:"at_us"`
+		Phase  string `json:"phase"`
+		Node   string `json:"node"`
+		Detail string `json:"detail,omitempty"`
+	} `json:"events"`
+}
+
+// Duration is the trace's first-to-last span.
+func (t TraceDoc) Duration() time.Duration {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return time.Duration(t.Events[len(t.Events)-1].AtUS-t.Events[0].AtUS) * time.Microsecond
+}
+
+// FeederLedger scrapes the feeder's current ledger.
+func (h *Harness) FeederLedger() (feed.Snapshot, error) {
+	var snap feed.Snapshot
+	h.feedMu.Lock()
+	addr := h.feedAddr
+	h.feedMu.Unlock()
+	err := h.getJSON(h.slow, addr, "/ledger.json", &snap)
+	return snap, err
+}
+
+// FeederDrain stops generation and waits for the pending queue to empty.
+func (h *Harness) FeederDrain(timeout time.Duration) (feed.Snapshot, bool, error) {
+	var doc struct {
+		feed.Snapshot
+		Drained bool `json:"drained"`
+	}
+	h.feedMu.Lock()
+	addr := h.feedAddr
+	h.feedMu.Unlock()
+	err := h.getJSON(h.slow, addr, "/drain?timeout="+timeout.String(), &doc)
+	return doc.Snapshot, doc.Drained, err
+}
+
+// --- teardown -----------------------------------------------------------
+
+// terminate SIGTERMs a process and SIGKILLs it if it ignores the grace
+// period. Returns the graceful flag (true = exited on SIGTERM).
+func terminate(cmd *exec.Cmd, done <-chan struct{}, grace time.Duration) bool {
+	if cmd == nil || cmd.Process == nil {
+		return true
+	}
+	// A stopped process cannot handle SIGTERM; wake it first.
+	_ = syscall.Kill(cmd.Process.Pid, syscall.SIGCONT)
+	_ = cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-done:
+		return true
+	case <-time.After(grace):
+		_ = cmd.Process.Kill()
+		<-done
+		return false
+	}
+}
+
+// Shutdown tears the whole deployment down: feeder first (it drains),
+// then daemons, then the proxy mesh.
+func (h *Harness) Shutdown() {
+	h.feedMu.Lock()
+	feedCmd, feedDone := h.feedCmd, h.feedDone
+	h.feedCmd = nil
+	h.feedMu.Unlock()
+	if feedCmd != nil {
+		terminate(feedCmd, feedDone, 10*time.Second)
+	}
+	for _, name := range h.names {
+		np := h.nodes[name]
+		np.mu.Lock()
+		cmd, done, dead := np.cmd, np.done, np.dead
+		np.cmd = nil
+		np.mu.Unlock()
+		if cmd != nil && !dead {
+			terminate(cmd, done, 5*time.Second)
+		}
+	}
+	for _, l := range h.links {
+		l.Close()
+	}
+}

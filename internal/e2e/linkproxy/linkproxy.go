@@ -1,0 +1,365 @@
+// Package linkproxy is a controllable per-link TCP relay for the black-box
+// e2e harness. Every oftt-node daemon dials its peers through one Proxy per
+// directed node pair, so the harness can impose real network faults on real
+// sockets: full cuts (connections die, new dials are refused), one-way cuts
+// (bytes in one direction stall, modelling asymmetric partition — the
+// sender backs up against TCP flow control and its frames arrive only after
+// the heal), and added latency.
+//
+// A Proxy listens immediately but forwards only once a backend is set, so
+// the harness can bind every proxy before any daemon exists and point
+// daemons at proxy addresses from birth; backends are learned from daemon
+// address files afterwards, and can be re-set when a killed daemon respawns
+// on a fresh port.
+package linkproxy
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// Direction selects which data flow a one-way cut stalls.
+type Direction int
+
+// Directions, named from the dialing node's perspective.
+const (
+	// ToBackend stalls client→backend bytes (the dialer's requests).
+	ToBackend Direction = iota
+	// ToClient stalls backend→client bytes (the responses).
+	ToClient
+)
+
+// Proxy is one controllable TCP relay.
+type Proxy struct {
+	name string
+	ln   net.Listener
+
+	mu      sync.Mutex
+	backend string
+	cut     bool
+	dirCut  [2]bool
+	latency time.Duration
+	conns   map[net.Conn]struct{}
+	closed  bool
+	gen     int // bumped on every cut/heal so stalled pumps recheck
+	cond    *sync.Cond
+}
+
+// New binds a proxy on 127.0.0.1 (ephemeral port). It refuses connections
+// until SetBackend is called.
+func New(name string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{name: name, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Name returns the proxy's label (e.g. "n1->n2").
+func (p *Proxy) Name() string { return p.name }
+
+// Addr is the address daemons dial (the proxy's listen address).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetBackend points the proxy at the real destination ("host:port"). May
+// be called again when the destination respawns on a new port.
+func (p *Proxy) SetBackend(addr string) {
+	p.mu.Lock()
+	p.backend = addr
+	p.mu.Unlock()
+}
+
+// Cut severs the link completely: every open connection is closed and new
+// connections are refused until Heal.
+func (p *Proxy) Cut() {
+	p.mu.Lock()
+	p.cut = true
+	p.gen++
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// CutDirection stalls one data direction on every current and future
+// connection. Unlike Cut, connections stay open: the stalled side backs up
+// against TCP flow control, and buffered bytes flow again on Heal —
+// modelling an asymmetric network outage rather than a peer crash.
+func (p *Proxy) CutDirection(d Direction) {
+	p.mu.Lock()
+	p.dirCut[d] = true
+	p.gen++
+	p.mu.Unlock()
+}
+
+// SetLatency adds a per-chunk forwarding delay in both directions (0
+// clears).
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+}
+
+// Heal restores the link: clears full and directional cuts (latency is
+// governed separately by SetLatency).
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.cut = false
+	p.dirCut[ToBackend] = false
+	p.dirCut[ToClient] = false
+	p.gen++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down and closes every relayed connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	_ = p.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		refuse := p.cut || p.closed || p.backend == ""
+		backend := p.backend
+		p.mu.Unlock()
+		if refuse {
+			_ = c.Close()
+			continue
+		}
+		go p.relay(c, backend)
+	}
+}
+
+func (p *Proxy) relay(client net.Conn, backend string) {
+	server, err := net.DialTimeout("tcp", backend, 2*time.Second)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	p.mu.Lock()
+	if p.cut || p.closed {
+		p.mu.Unlock()
+		_ = client.Close()
+		_ = server.Close()
+		return
+	}
+	p.conns[client] = struct{}{}
+	p.conns[server] = struct{}{}
+	p.mu.Unlock()
+
+	done := make(chan struct{}, 2)
+	go func() { p.pump(server, client, ToBackend); done <- struct{}{} }()
+	go func() { p.pump(client, server, ToClient); done <- struct{}{} }()
+	<-done
+	<-done
+	p.mu.Lock()
+	delete(p.conns, client)
+	delete(p.conns, server)
+	p.mu.Unlock()
+}
+
+// pump copies src→dst, honouring the direction gate and latency. While the
+// direction is cut it stops reading, so the kernel buffers fill and the
+// sender stalls — TCP backpressure, the realistic face of a one-way cut.
+func (p *Proxy) pump(dst, src net.Conn, dir Direction) {
+	defer func() {
+		_ = dst.Close()
+		_ = src.Close()
+	}()
+	buf := make([]byte, 32<<10)
+	for {
+		if !p.waitOpen(dir) {
+			return
+		}
+		n, err := src.Read(buf)
+		if n > 0 {
+			// Re-check the gate: a cut that landed while this pump was
+			// blocked in Read holds the chunk until the heal (in-flight
+			// data is delayed behind the cut, not leaked past it).
+			if !p.waitOpen(dir) {
+				return
+			}
+			if lat := p.currentLatency(); lat > 0 {
+				time.Sleep(lat)
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// waitOpen blocks while dir is cut; returns false when the proxy is fully
+// cut or closed (the pump should exit — its connections are being closed).
+func (p *Proxy) waitOpen(dir Direction) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.dirCut[dir] && !p.cut && !p.closed {
+		p.cond.Wait()
+	}
+	return !p.cut && !p.closed
+}
+
+func (p *Proxy) currentLatency() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.latency
+}
+
+// ErrNoBackend is returned by Dial helpers when no backend is set.
+var ErrNoBackend = errors.New("linkproxy: backend not set")
+
+// Link pairs the two directed proxies of one node pair (a→b and b→a) and
+// exposes fault operations with network semantics: a full partition cuts
+// both, a one-way cut of "a→b traffic" stalls a's requests on the a→b proxy
+// and a's responses on the b→a proxy (data flowing toward b stalls on every
+// connection, whoever dialed it).
+type Link struct {
+	A, B   string // node names
+	AtoB   *Proxy // dialed by A, backend B
+	BtoA   *Proxy // dialed by B, backend A
+	mu     sync.Mutex
+	flap   chan struct{}
+	flapWG sync.WaitGroup
+}
+
+// NewLink builds the proxy pair for nodes a and b.
+func NewLink(a, b string) (*Link, error) {
+	ab, err := New(a + "->" + b)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := New(b + "->" + a)
+	if err != nil {
+		ab.Close()
+		return nil, err
+	}
+	return &Link{A: a, B: b, AtoB: ab, BtoA: ba}, nil
+}
+
+// Cut partitions the pair completely (both directions, both proxies).
+func (l *Link) Cut() {
+	l.AtoB.Cut()
+	l.BtoA.Cut()
+}
+
+// CutOneWay stalls all data flowing from node `from` to the other node:
+// requests on from's dialed proxy and responses on the reverse proxy.
+func (l *Link) CutOneWay(from string) {
+	if from == l.A {
+		l.AtoB.CutDirection(ToBackend)
+		l.BtoA.CutDirection(ToClient)
+	} else {
+		l.BtoA.CutDirection(ToBackend)
+		l.AtoB.CutDirection(ToClient)
+	}
+}
+
+// SetLatency applies a forwarding delay to both proxies (0 clears).
+func (l *Link) SetLatency(d time.Duration) {
+	l.AtoB.SetLatency(d)
+	l.BtoA.SetLatency(d)
+}
+
+// Flap toggles the link down/up with the given half-period until Heal.
+func (l *Link) Flap(halfPeriod time.Duration) {
+	l.mu.Lock()
+	if l.flap != nil {
+		l.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	l.flap = stop
+	l.flapWG.Add(1)
+	l.mu.Unlock()
+	go func() {
+		defer l.flapWG.Done()
+		down := false
+		t := time.NewTicker(halfPeriod)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if down {
+					l.AtoB.Heal()
+					l.BtoA.Heal()
+				} else {
+					l.Cut()
+				}
+				down = !down
+			}
+		}
+	}()
+}
+
+// Heal stops flapping and restores both directions.
+func (l *Link) Heal() {
+	l.mu.Lock()
+	if l.flap != nil {
+		close(l.flap)
+		l.flap = nil
+	}
+	l.mu.Unlock()
+	l.flapWG.Wait()
+	l.AtoB.Heal()
+	l.BtoA.Heal()
+}
+
+// Close closes both proxies.
+func (l *Link) Close() {
+	l.mu.Lock()
+	if l.flap != nil {
+		close(l.flap)
+		l.flap = nil
+	}
+	l.mu.Unlock()
+	l.flapWG.Wait()
+	l.AtoB.Close()
+	l.BtoA.Close()
+}
+
+// Has reports whether the link touches node n.
+func (l *Link) Has(n string) bool { return l.A == n || l.B == n }
+
+// Other returns the far end of the link from n.
+func (l *Link) Other(n string) string {
+	if l.A == n {
+		return l.B
+	}
+	return l.A
+}

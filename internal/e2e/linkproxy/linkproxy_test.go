@@ -1,0 +1,187 @@
+package linkproxy
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// echoServer accepts framed connections and echoes every frame back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := netsim.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("sockets restricted: %v", err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				for {
+					b, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if err := c.Send(b); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr()
+}
+
+func dialVia(t *testing.T, p *Proxy) *netsim.TCPConn {
+	t.Helper()
+	c, err := netsim.DialTCP(p.Addr())
+	if err != nil {
+		t.Fatalf("dial via proxy: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func roundTrip(c *netsim.TCPConn, payload string, timeout time.Duration) (string, error) {
+	if err := c.Send([]byte(payload)); err != nil {
+		return "", err
+	}
+	b, err := c.RecvTimeout(timeout)
+	return string(b), err
+}
+
+func TestProxyRelaysFrames(t *testing.T) {
+	backend := echoServer(t)
+	p, err := New("t")
+	if err != nil {
+		t.Skipf("sockets restricted: %v", err)
+	}
+	defer p.Close()
+	p.SetBackend(backend)
+
+	c := dialVia(t, p)
+	got, err := roundTrip(c, "hello", 2*time.Second)
+	if err != nil || got != "hello" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+}
+
+func TestProxyRefusesWithoutBackend(t *testing.T) {
+	p, err := New("t")
+	if err != nil {
+		t.Skipf("sockets restricted: %v", err)
+	}
+	defer p.Close()
+	c, err := netsim.DialTCP(p.Addr())
+	if err != nil {
+		return // refused at dial: fine
+	}
+	defer c.Close()
+	if _, err := c.RecvTimeout(2 * time.Second); err == nil {
+		t.Fatal("expected closed connection without a backend")
+	}
+}
+
+func TestProxyFullCutKillsAndRefuses(t *testing.T) {
+	backend := echoServer(t)
+	p, err := New("t")
+	if err != nil {
+		t.Skipf("sockets restricted: %v", err)
+	}
+	defer p.Close()
+	p.SetBackend(backend)
+
+	c := dialVia(t, p)
+	if _, err := roundTrip(c, "x", 2*time.Second); err != nil {
+		t.Fatalf("pre-cut round trip: %v", err)
+	}
+	p.Cut()
+	// The existing connection dies.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := roundTrip(c, "y", 200*time.Millisecond); err != nil {
+			break
+		}
+	}
+	if _, err := roundTrip(c, "z", 200*time.Millisecond); err == nil {
+		t.Fatal("connection survived a full cut")
+	}
+	// New connections are refused (accepted then closed, or dial error).
+	if c2, err := net.DialTimeout("tcp", p.Addr(), time.Second); err == nil {
+		one := []byte{0, 0, 0, 1, 'a'}
+		_, _ = c2.Write(one)
+		_ = c2.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 16)
+		if n, err := c2.Read(buf); err == nil && n > 0 {
+			t.Fatal("cut proxy still relays new connections")
+		}
+		_ = c2.Close()
+	}
+	// Heal restores service for new connections.
+	p.Heal()
+	c3 := dialVia(t, p)
+	if got, err := roundTrip(c3, "back", 2*time.Second); err != nil || got != "back" {
+		t.Fatalf("post-heal round trip = %q, %v", got, err)
+	}
+}
+
+func TestProxyOneWayCutStallsThenResumes(t *testing.T) {
+	backend := echoServer(t)
+	p, err := New("t")
+	if err != nil {
+		t.Skipf("sockets restricted: %v", err)
+	}
+	defer p.Close()
+	p.SetBackend(backend)
+
+	c := dialVia(t, p)
+	if _, err := roundTrip(c, "warm", 2*time.Second); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	p.CutDirection(ToBackend)
+	time.Sleep(50 * time.Millisecond) // let the pump reach its gate
+	if err := c.Send([]byte("stalled")); err != nil {
+		t.Fatalf("send during one-way cut: %v", err)
+	}
+	if b, err := c.RecvTimeout(300 * time.Millisecond); err == nil {
+		t.Fatalf("frame %q crossed a cut direction", b)
+	}
+	p.Heal()
+	// The stalled frame flows after the heal — delayed, not lost.
+	b, err := c.RecvTimeout(2 * time.Second)
+	if err != nil || string(b) != "stalled" {
+		t.Fatalf("post-heal recv = %q, %v (want the stalled frame)", b, err)
+	}
+}
+
+func TestLinkOneWaySemantics(t *testing.T) {
+	backendB := echoServer(t)
+	l, err := NewLink("a", "b")
+	if err != nil {
+		t.Skipf("sockets restricted: %v", err)
+	}
+	defer l.Close()
+	l.AtoB.SetBackend(backendB)
+
+	// a dials b through AtoB. Cutting a→b data stalls a's requests.
+	c := dialVia(t, l.AtoB)
+	if _, err := roundTrip(c, "ok", 2*time.Second); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	l.CutOneWay("a")
+	time.Sleep(50 * time.Millisecond)
+	_ = c.Send([]byte("blocked"))
+	if b, err := c.RecvTimeout(300 * time.Millisecond); err == nil {
+		t.Fatalf("frame %q crossed the a->b cut", b)
+	}
+	l.Heal()
+	if b, err := c.RecvTimeout(2 * time.Second); err != nil || string(b) != "blocked" {
+		t.Fatalf("post-heal recv = %q, %v", b, err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package nodehost assembles one real oftt-node daemon: an unmodified OFTT
+// engine plus an FTIM-linked replicated application, running standalone in
+// its own OS process and talking to its peers over real TCP sockets.
+//
+// The engine's wire protocols (DCOM control RPC, heartbeat datagrams,
+// checkpoint streams) are written against netsim endpoints, addressed as
+// "<node>:<service>". Rather than fork the engine for a second transport,
+// each daemon runs the engine on a private in-process netsim network — an
+// island with exactly one inhabitant — and a Bridge splices the island's
+// edges onto real sockets:
+//
+//   - For every peer P, the bridge binds the island endpoints the engine
+//     expects P to own ("P:engine-rpc", "P:engine-ckpt", "P:engine-hb").
+//     Traffic the engine sends there is pumped frame-for-frame over a TCP
+//     connection to P's daemon — via a harness-controlled link proxy, so
+//     real network faults apply.
+//   - A real TCP listener accepts peer connections. The first frame is a
+//     routing header "<svc>|<from>"; subsequent frames are relayed into
+//     the island toward this node's own engine endpoints (or injected into
+//     its heartbeat socket for the datagram service).
+//
+// Both netsim conns and TCP conns speak the same FrameConn interface with
+// identical 4-byte framing, so the pumps preserve protocol byte streams
+// exactly; the engine cannot tell it left the simulator.
+package nodehost
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// hbDialTimeout bounds the heartbeat forwarder's lazy dial. Beats are
+// datagrams: a peer that cannot be reached loses them (that is the point —
+// the failure detector must see silence).
+const hbDialTimeout = 500 * time.Millisecond
+
+// svcDialTimeout bounds per-connection dials for rpc/ckpt streams.
+const svcDialTimeout = 2 * time.Second
+
+// Bridge splices a daemon's private netsim island onto real TCP.
+type Bridge struct {
+	self   string
+	island *netsim.Network
+	peers  map[string]string // peer name -> dial address (link proxy)
+
+	ln  *netsim.TCPListener // inbound from peers
+	inj *netsim.DatagramSock
+	lns []*netsim.Listener
+	hbs []*netsim.DatagramSock
+
+	mu     sync.Mutex
+	conns  map[*netsim.TCPConn]struct{}
+	closed bool
+
+	inSeq uint64
+	wg    sync.WaitGroup
+}
+
+// NewBridge binds the island edges for every peer and the real inbound
+// listener (127.0.0.1, ephemeral port).
+func NewBridge(island *netsim.Network, self string, peers map[string]string) (*Bridge, error) {
+	ln, err := netsim.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("nodehost: bridge listen: %w", err)
+	}
+	b := &Bridge{
+		self:   self,
+		island: island,
+		peers:  peers,
+		ln:     ln,
+		conns:  make(map[*netsim.TCPConn]struct{}),
+	}
+	inj, err := island.ListenDatagram(netsim.Addr("bridge:inject"))
+	if err != nil {
+		b.Close()
+		return nil, fmt.Errorf("nodehost: bridge injector: %w", err)
+	}
+	b.inj = inj
+	for name, addr := range peers {
+		if err := b.bindPeer(name, addr); err != nil {
+			b.Close()
+			return nil, err
+		}
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr is the real address peers dial (directly or via their proxies).
+func (b *Bridge) Addr() string { return b.ln.Addr() }
+
+// bindPeer claims the island endpoints the engine addresses as peer
+// `name` and starts the outbound forwarders toward `addr`.
+func (b *Bridge) bindPeer(name, addr string) error {
+	rpcLn, err := b.island.Listen(netsim.Addr(name + ":engine-rpc"))
+	if err != nil {
+		return fmt.Errorf("nodehost: bind %s rpc edge: %w", name, err)
+	}
+	b.lns = append(b.lns, rpcLn)
+	ckptLn, err := b.island.Listen(netsim.Addr(name + ":engine-ckpt"))
+	if err != nil {
+		return fmt.Errorf("nodehost: bind %s ckpt edge: %w", name, err)
+	}
+	b.lns = append(b.lns, ckptLn)
+	hbSock, err := b.island.ListenDatagram(netsim.Addr(name + ":engine-hb"))
+	if err != nil {
+		return fmt.Errorf("nodehost: bind %s hb edge: %w", name, err)
+	}
+	b.hbs = append(b.hbs, hbSock)
+
+	b.wg.Add(3)
+	go b.outboundAccept(rpcLn, "rpc", addr)
+	go b.outboundAccept(ckptLn, "ckpt", addr)
+	go b.hbForward(hbSock, addr)
+	return nil
+}
+
+// outboundAccept turns every island connection the engine opens toward a
+// peer into a TCP connection to that peer's bridge.
+func (b *Bridge) outboundAccept(ln *netsim.Listener, svc, addr string) {
+	defer b.wg.Done()
+	for {
+		ic, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.outboundConn(ic, svc, addr)
+		}()
+	}
+}
+
+func (b *Bridge) outboundConn(ic *netsim.Conn, svc, addr string) {
+	ctx, cancel := context.WithTimeout(context.Background(), svcDialTimeout)
+	tc, err := netsim.DialTCPContext(ctx, addr)
+	cancel()
+	if err != nil {
+		_ = ic.Close()
+		return
+	}
+	if err := tc.Send([]byte(svc + "|" + b.self)); err != nil {
+		_ = ic.Close()
+		_ = tc.Close()
+		return
+	}
+	if !b.track(tc) {
+		_ = ic.Close()
+		_ = tc.Close()
+		return
+	}
+	pumpPair(ic, tc)
+	b.untrack(tc)
+}
+
+// hbForward drains the engine's beats addressed to one peer onto a lazily
+// dialed, persistent TCP connection. Dial or send failure drops the beat
+// and resets the connection — datagram semantics over a stream carrier.
+func (b *Bridge) hbForward(sock *netsim.DatagramSock, addr string) {
+	defer b.wg.Done()
+	var conn *netsim.TCPConn
+	drop := func() {
+		if conn != nil {
+			b.untrack(conn)
+			_ = conn.Close()
+			conn = nil
+		}
+	}
+	defer drop()
+	for {
+		d, err := sock.Recv()
+		if err != nil {
+			return
+		}
+		if conn == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), hbDialTimeout)
+			c, err := netsim.DialTCPContext(ctx, addr)
+			cancel()
+			if err != nil {
+				continue // beat lost, as a datagram would be
+			}
+			if err := c.Send([]byte("hb|" + b.self)); err != nil {
+				_ = c.Close()
+				continue
+			}
+			if !b.track(c) {
+				_ = c.Close()
+				return
+			}
+			conn = c
+		}
+		if err := conn.Send(d.Payload); err != nil {
+			drop()
+		}
+	}
+}
+
+// acceptLoop serves inbound peer connections.
+func (b *Bridge) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		tc, err := b.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !b.track(tc) {
+			_ = tc.Close()
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			defer b.untrack(tc)
+			defer tc.Close()
+			b.serveInbound(tc)
+		}()
+	}
+}
+
+// serveInbound reads the routing header and relays the rest of the stream
+// into the island toward this node's own engine endpoints.
+func (b *Bridge) serveInbound(tc *netsim.TCPConn) {
+	h, err := tc.RecvTimeout(5 * time.Second)
+	if err != nil {
+		return
+	}
+	svc, from, ok := strings.Cut(string(h), "|")
+	if !ok || from == "" {
+		return
+	}
+	src := netsim.Addr(fmt.Sprintf("bridge:in-%s-%d", from, atomic.AddUint64(&b.inSeq, 1)))
+	switch svc {
+	case "rpc":
+		ic, err := b.island.Dial(src, netsim.Addr(b.self+":engine-rpc"))
+		if err != nil {
+			return
+		}
+		pumpPair(ic, tc)
+	case "ckpt":
+		ic, err := b.island.Dial(src, netsim.Addr(b.self+":engine-ckpt"))
+		if err != nil {
+			return
+		}
+		pumpPair(ic, tc)
+	case "hb":
+		to := netsim.Addr(b.self + ":engine-hb")
+		for {
+			f, err := tc.Recv()
+			if err != nil {
+				return
+			}
+			_ = b.inj.Send(to, f)
+		}
+	}
+}
+
+// pumpPair relays frames in both directions until either side dies, then
+// closes both. Blocks until both pumps exit.
+func pumpPair(a, bc netsim.FrameConn) {
+	done := make(chan struct{}, 2)
+	cp := func(dst, src netsim.FrameConn) {
+		for {
+			f, err := src.Recv()
+			if err != nil {
+				break
+			}
+			if err := dst.Send(f); err != nil {
+				break
+			}
+		}
+		_ = dst.Close()
+		_ = src.Close()
+		done <- struct{}{}
+	}
+	go cp(a, bc)
+	go cp(bc, a)
+	<-done
+	<-done
+}
+
+// track registers a live TCP conn for teardown; false once closed.
+func (b *Bridge) track(c *netsim.TCPConn) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.conns[c] = struct{}{}
+	return true
+}
+
+func (b *Bridge) untrack(c *netsim.TCPConn) {
+	b.mu.Lock()
+	delete(b.conns, c)
+	b.mu.Unlock()
+}
+
+// Close tears the bridge down: listeners, island edges, and every relayed
+// connection.
+func (b *Bridge) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	conns := make([]*netsim.TCPConn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.conns = nil
+	b.mu.Unlock()
+
+	_ = b.ln.Close()
+	if b.inj != nil {
+		_ = b.inj.Close()
+	}
+	for _, l := range b.lns {
+		_ = l.Close()
+	}
+	for _, s := range b.hbs {
+		_ = s.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	b.wg.Wait()
+}

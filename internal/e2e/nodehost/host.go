@@ -1,0 +1,405 @@
+package nodehost
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/com"
+	"repro/internal/dcom"
+	"repro/internal/engine"
+	"repro/internal/ftim"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// IngestOID identifies the daemon's feeder-facing ingest object, exported
+// over DCOM on the ingest TCP port.
+var IngestOID = com.MustParseGUID("{0f7e4a10-2222-4000-8000-0e0e0e0e0e77}")
+
+// Config parameterizes one daemon.
+type Config struct {
+	// Name is this node's machine name.
+	Name string
+	// Peers maps every peer node name to the address this daemon dials to
+	// reach it — normally that peer's link-proxy address, so the harness
+	// can fault the path.
+	Peers map[string]string
+	// Seed drives the private island network and the cluster node.
+	Seed int64
+
+	// HeartbeatInterval is the engine beat period (default 25ms).
+	HeartbeatInterval time.Duration
+	// PeerTimeout declares a peer dead after this silence (default 10x
+	// heartbeat — generous because beats cross real sockets on a possibly
+	// loaded machine).
+	PeerTimeout time.Duration
+	// CheckpointPeriod is the plant's checkpoint interval (default 50ms).
+	CheckpointPeriod time.Duration
+	// PlantTick is the plant scan-loop period (default 10ms).
+	PlantTick time.Duration
+
+	// Adaptive selects the adaptive recovery policy instead of the static
+	// per-rule one.
+	Adaptive bool
+
+	// HTTPAddr and IngestAddr are listen addresses (default ephemeral
+	// loopback ports).
+	HTTPAddr   string
+	IngestAddr string
+
+	// Logf, when set, receives daemon lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// AddrInfo is the JSON document a daemon publishes (via -addr-file) so the
+// harness can find its listeners.
+type AddrInfo struct {
+	Name   string `json:"name"`
+	Bridge string `json:"bridge"`
+	HTTP   string `json:"http"`
+	Ingest string `json:"ingest"`
+	PID    int    `json:"pid"`
+}
+
+// StateDoc is the /state.json response: the black-box view of one daemon.
+type StateDoc struct {
+	Node      string `json:"node"`
+	Role      string `json:"role"`
+	AppActive bool   `json:"app_active"`
+	Seq       int64  `json:"seq"`
+	Ingested  int    `json:"ingested"`
+}
+
+// Host is one running daemon.
+type Host struct {
+	cfg    Config
+	hub    *telemetry.Hub
+	island *netsim.Network
+	node   *cluster.Node
+	bridge *Bridge
+	eng    *engine.Engine
+
+	ingest  *dcom.Exporter
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	mu     sync.Mutex
+	f      *ftim.ClientFTIM
+	plant  *Plant
+	proc   *cluster.Process
+	closed bool
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Name == "" {
+		return errors.New("nodehost: Name required")
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 10 * c.HeartbeatInterval
+	}
+	if c.CheckpointPeriod <= 0 {
+		c.CheckpointPeriod = 50 * time.Millisecond
+	}
+	if c.PlantTick <= 0 {
+		c.PlantTick = 10 * time.Millisecond
+	}
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = "127.0.0.1:0"
+	}
+	if c.IngestAddr == "" {
+		c.IngestAddr = "127.0.0.1:0"
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Start assembles and runs a daemon: island network, bridge, engine,
+// FTIM-linked plant, ingest exporter, and telemetry HTTP server.
+func Start(cfg Config) (*Host, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	h := &Host{cfg: cfg, hub: telemetry.NewHub(4096)}
+
+	h.island = netsim.New("island-"+cfg.Name, cfg.Seed)
+	h.node = cluster.NewNode(cfg.Name, cfg.Seed, h.island)
+
+	bridge, err := NewBridge(h.island, cfg.Name, cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	h.bridge = bridge
+
+	peerNames := make([]string, 0, len(cfg.Peers))
+	for name := range cfg.Peers {
+		peerNames = append(peerNames, name)
+	}
+	sort.Strings(peerNames)
+
+	var pol engine.RecoveryPolicy
+	if cfg.Adaptive {
+		pol = &engine.AdaptivePolicy{}
+	}
+	eng, err := engine.NewWithError(h.node, engine.Config{
+		Peers:             peerNames,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		PeerTimeout:       cfg.PeerTimeout,
+		Policy:            pol,
+		Metrics:           h.hub.Metrics(),
+		// The default 1s ack timeout is sized for quiet networks; under
+		// chaos a cut link buffers sends until this deadline, and every
+		// deadline's worth of plant updates is state the backups never
+		// saw. Keep it a small multiple of the checkpoint period so a
+		// stalled replica bounds, not balloons, the loss window.
+		CheckpointAckTimeout: 3 * cfg.CheckpointPeriod,
+	}, h.hub)
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	h.eng = eng
+	engProc, err := h.node.StartProcess("oftt-engine", func(stop <-chan struct{}) { <-stop })
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	if err := eng.Start(engProc); err != nil {
+		h.Close()
+		return nil, err
+	}
+
+	if err := h.buildPlant(false); err != nil {
+		h.Close()
+		return nil, err
+	}
+
+	exp, err := dcom.NewExporterTCP(cfg.IngestAddr)
+	if err != nil {
+		h.Close()
+		return nil, fmt.Errorf("nodehost: ingest listen: %w", err)
+	}
+	h.ingest = exp
+	if err := exp.Export(IngestOID, &ingestStub{h: h}); err != nil {
+		h.Close()
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", cfg.HTTPAddr)
+	if err != nil {
+		h.Close()
+		return nil, fmt.Errorf("nodehost: http listen: %w", err)
+	}
+	h.httpLn = ln
+	mux := http.NewServeMux()
+	mux.Handle("/", h.hub.Handler())
+	mux.HandleFunc("/state.json", h.handleState)
+	mux.HandleFunc("/ids.json", h.handleIDs)
+	h.httpSrv = &http.Server{Handler: mux}
+	go func() { _ = h.httpSrv.Serve(ln) }()
+
+	cfg.Logf("nodehost %s up: bridge=%s http=%s ingest=%s adaptive=%v",
+		cfg.Name, bridge.Addr(), ln.Addr(), exp.Addr(), cfg.Adaptive)
+	return h, nil
+}
+
+// buildPlant assembles the plant and its FTIM link; reattach preserves the
+// engine's component entry (and restart budget) across local restarts.
+func (h *Host) buildPlant(reattach bool) error {
+	proc, err := h.node.StartProcess("plant", func(stop <-chan struct{}) { <-stop })
+	if err != nil {
+		return err
+	}
+	plant := NewPlant(h.cfg.PlantTick)
+	f, err := ftim.InitializeDeferred(ftim.Config{
+		Component:        "plant",
+		Engine:           h.eng,
+		CheckpointPeriod: h.cfg.CheckpointPeriod,
+		Rule:             engine.RecoveryRule{MaxLocalRestarts: 1, Exhausted: engine.ExhaustSwitchover},
+		Reattach:         reattach,
+		Metrics:          h.hub.Metrics(),
+		Restart: h.restartPlant,
+		// Activation is the daemon's service-restored moment: close the
+		// recovery trace the failure detector opened so bounded-recovery
+		// audits see a complete detect→…→recovered timeline. On first
+		// startup no trace is open and the span is dropped as an orphan.
+		OnActivate: func(restored bool) {
+			plant.Activate(restored)
+			h.hub.RecordSpan(telemetry.SpanEvent{
+				Node:      h.cfg.Name,
+				Component: "plant",
+				Phase:     telemetry.PhaseRecovered,
+				Detail:    fmt.Sprintf("plant active (restored=%v)", restored),
+			})
+		},
+		OnDeactivate: plant.Deactivate,
+	})
+	if err != nil {
+		proc.Stop()
+		return fmt.Errorf("nodehost: initialize FTIM: %w", err)
+	}
+	if err := plant.Setup(f); err != nil {
+		f.Shutdown()
+		proc.Stop()
+		return fmt.Errorf("nodehost: plant setup: %w", err)
+	}
+	proc.OnKill(f.Crash)
+
+	h.mu.Lock()
+	h.f, h.plant, h.proc = f, plant, proc
+	h.mu.Unlock()
+	return f.AttachContext(context.Background())
+}
+
+// restartPlant is the engine's local recovery provision: tear down the
+// plant copy and rebuild it against the existing component entry.
+func (h *Host) restartPlant() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return errors.New("nodehost: host closed")
+	}
+	oldF, oldPlant, oldProc := h.f, h.plant, h.proc
+	h.f, h.plant, h.proc = nil, nil, nil
+	h.mu.Unlock()
+	if oldF != nil {
+		oldF.Crash()
+	}
+	if oldProc != nil {
+		oldProc.Kill()
+	}
+	if oldPlant != nil {
+		oldPlant.Stop()
+	}
+	h.island.RestorePrefix(h.cfg.Name + ":plant")
+	return h.buildPlant(true)
+}
+
+// currentPlant returns the live plant copy (nil mid-restart).
+func (h *Host) currentPlant() *Plant {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.plant
+}
+
+// Engine exposes the daemon's engine (for in-process tests).
+func (h *Host) Engine() *engine.Engine { return h.eng }
+
+// Hub exposes the daemon's telemetry hub.
+func (h *Host) Hub() *telemetry.Hub { return h.hub }
+
+// AddrInfo reports the daemon's listener addresses.
+func (h *Host) AddrInfo() AddrInfo {
+	return AddrInfo{
+		Name:   h.cfg.Name,
+		Bridge: h.bridge.Addr(),
+		HTTP:   h.httpLn.Addr().String(),
+		Ingest: string(h.ingest.Addr()),
+		PID:    os.Getpid(),
+	}
+}
+
+// State is the black-box state document (also served at /state.json).
+func (h *Host) State() StateDoc {
+	doc := StateDoc{Node: h.cfg.Name, Role: h.eng.Role().String()}
+	if p := h.currentPlant(); p != nil {
+		doc.Seq, doc.Ingested = p.Snapshot()
+		p.mu.Lock()
+		doc.AppActive = p.active
+		p.mu.Unlock()
+	}
+	return doc
+}
+
+func (h *Host) handleState(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h.State())
+}
+
+// handleIDs serves the full ingested-id list so the harness can audit
+// acked deliveries against surviving plant state after a campaign.
+func (h *Host) handleIDs(w http.ResponseWriter, _ *http.Request) {
+	var ids []int64
+	if p := h.currentPlant(); p != nil {
+		ids = p.IDs()
+	}
+	if ids == nil {
+		ids = []int64{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ids)
+}
+
+// ingestMsg acknowledges one feeder message iff this daemon is the
+// executing primary holding a live lease; anything else is an error the
+// feeder retries elsewhere. The lease fence (not a bare role check)
+// matters under real faults: a SIGSTOPped primary that resumes still
+// thinks it is primary until the successor's beats reach it, and a bare
+// role check would let it ack a burst of queued feeder messages that
+// then vanish when its state is overwritten — see Engine.HoldsLease.
+func (h *Host) ingestMsg(id int64) error {
+	if !h.eng.HoldsLease() {
+		return fmt.Errorf("nodehost: %s not primary", h.cfg.Name)
+	}
+	p := h.currentPlant()
+	if p == nil || !p.Ingest(id) {
+		return fmt.Errorf("nodehost: %s plant not active", h.cfg.Name)
+	}
+	return nil
+}
+
+// ingestStub is the DCOM-exported ingest surface.
+type ingestStub struct{ h *Host }
+
+// Publish records one message; the reply is the delivery ack.
+func (s *ingestStub) Publish(id int64, _ []byte) error {
+	return s.h.ingestMsg(id)
+}
+
+// Close shuts the daemon down: HTTP, ingest, plant, engine, bridge.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	f, plant := h.f, h.plant
+	h.f, h.plant, h.proc = nil, nil, nil
+	h.mu.Unlock()
+
+	if h.httpSrv != nil {
+		_ = h.httpSrv.Close()
+	}
+	if h.ingest != nil {
+		h.ingest.Close()
+	}
+	if f != nil {
+		f.Shutdown()
+	}
+	if plant != nil {
+		plant.Stop()
+	}
+	if h.eng != nil {
+		h.eng.Stop()
+	}
+	if h.bridge != nil {
+		h.bridge.Close()
+	}
+	h.cfg.Logf("nodehost %s down", h.cfg.Name)
+}

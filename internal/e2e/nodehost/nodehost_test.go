@@ -1,0 +1,175 @@
+package nodehost
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dcom"
+	"repro/internal/e2e/linkproxy"
+	"repro/internal/engine"
+)
+
+// trio wires three in-process hosts through link proxies over real TCP —
+// the smallest island-bridge deployment.
+type trio struct {
+	hosts map[string]*Host
+	links map[string]*linkproxy.Link // keyed "a|b"
+}
+
+func startTrio(t *testing.T, adaptive bool) *trio {
+	t.Helper()
+	names := []string{"n1", "n2", "n3"}
+	pairs := [][2]string{{"n1", "n2"}, {"n1", "n3"}, {"n2", "n3"}}
+
+	tr := &trio{hosts: map[string]*Host{}, links: map[string]*linkproxy.Link{}}
+	for _, pr := range pairs {
+		l, err := linkproxy.NewLink(pr[0], pr[1])
+		if err != nil {
+			t.Skipf("sockets restricted: %v", err)
+		}
+		t.Cleanup(l.Close)
+		tr.links[pr[0]+"|"+pr[1]] = l
+	}
+	// Each node dials a peer through its own directed proxy.
+	dialAddr := func(from, to string) string {
+		if l, ok := tr.links[from+"|"+to]; ok {
+			return l.AtoB.Addr()
+		}
+		return tr.links[to+"|"+from].BtoA.Addr()
+	}
+	for _, name := range names {
+		peers := map[string]string{}
+		for _, p := range names {
+			if p != name {
+				peers[p] = dialAddr(name, p)
+			}
+		}
+		h, err := Start(Config{
+			Name:              name,
+			Peers:             peers,
+			Seed:              42,
+			HeartbeatInterval: 25 * time.Millisecond,
+			PeerTimeout:       250 * time.Millisecond,
+			PlantTick:         10 * time.Millisecond,
+			Adaptive:          adaptive,
+		})
+		if err != nil {
+			t.Skipf("cannot start host (sockets restricted?): %v", err)
+		}
+		t.Cleanup(h.Close)
+		tr.hosts[name] = h
+	}
+	// Point every proxy at the daemon behind it.
+	for key, l := range tr.links {
+		_ = key
+		l.AtoB.SetBackend(tr.hosts[l.B].bridge.Addr())
+		l.BtoA.SetBackend(tr.hosts[l.A].bridge.Addr())
+	}
+	return tr
+}
+
+// awaitPrimary waits for exactly one primary with an active plant among
+// the given hosts and returns its name.
+func (tr *trio) awaitPrimary(t *testing.T, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		primary, n := "", 0
+		for name, h := range tr.hosts {
+			if h.Engine().Role() == engine.RolePrimary {
+				primary = name
+				n++
+			}
+		}
+		if n == 1 && tr.hosts[primary].State().AppActive {
+			return primary
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var roles []string
+	for name, h := range tr.hosts {
+		roles = append(roles, fmt.Sprintf("%s=%s", name, h.Engine().Role()))
+	}
+	t.Fatalf("no single active primary within %s: %v", timeout, roles)
+	return ""
+}
+
+func TestTrioElectsPrimaryOverTCP(t *testing.T) {
+	tr := startTrio(t, false)
+	primary := tr.awaitPrimary(t, 15*time.Second)
+
+	// The plant scan loop runs on the primary.
+	h := tr.hosts[primary]
+	start := h.State().Seq
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && h.State().Seq <= start {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if seq := h.State().Seq; seq <= start {
+		t.Fatalf("plant seq stuck at %d on primary %s", seq, primary)
+	}
+}
+
+func TestTrioIngestAcksOnlyAtPrimary(t *testing.T) {
+	tr := startTrio(t, false)
+	primary := tr.awaitPrimary(t, 15*time.Second)
+
+	cli, err := dcom.DialTCP(tr.hosts[primary].AddrInfo().Ingest)
+	if err != nil {
+		t.Fatalf("dial primary ingest: %v", err)
+	}
+	defer cli.Close()
+	obj := cli.Object(IngestOID)
+	if err := obj.Call("Publish", nil, int64(1), []byte("m1")); err != nil {
+		t.Fatalf("publish at primary: %v", err)
+	}
+	// Duplicate delivery is acked, not double-counted.
+	if err := obj.Call("Publish", nil, int64(1), []byte("m1")); err != nil {
+		t.Fatalf("duplicate publish: %v", err)
+	}
+	if got := tr.hosts[primary].State().Ingested; got != 1 {
+		t.Fatalf("ingested = %d, want 1 (dedup)", got)
+	}
+
+	// A backup must refuse the ack.
+	for name, h := range tr.hosts {
+		if name == primary {
+			continue
+		}
+		bcli, err := dcom.DialTCP(h.AddrInfo().Ingest)
+		if err != nil {
+			t.Fatalf("dial backup ingest: %v", err)
+		}
+		if err := bcli.Object(IngestOID).Call("Publish", nil, int64(2), []byte("m2")); err == nil {
+			t.Fatalf("backup %s acked a publish", name)
+		}
+		bcli.Close()
+		break
+	}
+}
+
+func TestTrioFailoverPromotesBackup(t *testing.T) {
+	tr := startTrio(t, false)
+	first := tr.awaitPrimary(t, 15*time.Second)
+	lostSeq := tr.hosts[first].State().Seq
+
+	// Kill the primary (host teardown — the in-process stand-in for a real
+	// SIGKILL, which the exec harness exercises).
+	tr.hosts[first].Close()
+	delete(tr.hosts, first)
+
+	second := tr.awaitPrimary(t, 15*time.Second)
+	if second == first {
+		t.Fatalf("dead node %s still primary", first)
+	}
+	// The promoted plant resumes and overtakes the lost primary's sequence.
+	h := tr.hosts[second]
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && h.State().Seq <= lostSeq {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if seq := h.State().Seq; seq <= lostSeq {
+		t.Fatalf("promoted plant seq %d never passed lost primary's %d", seq, lostSeq)
+	}
+}

@@ -1,0 +1,156 @@
+package nodehost
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ftim"
+)
+
+// plantState is the checkpointed state of the daemon's replicated
+// application: a monotonic work sequence (the process-control scan loop)
+// plus the ids of every acknowledged ingest message. Both are captured by
+// the FTIM checkpoint cycle, so a promoted backup resumes from the last
+// confirmed checkpoint — the black-box harness checks Seq never regresses
+// past the allowed window and no acked id is lost.
+type plantState struct {
+	Seq int64
+	Ids []int64
+}
+
+// Plant is the daemon's replicated application: the e2e analog of the
+// chaos Probe, driven by real OS-process faults instead of simulated ones.
+// Only the active (primary) copy ticks and ingests; backups hold restored
+// state and wait.
+type Plant struct {
+	tick time.Duration
+
+	mu     sync.Mutex
+	f      *ftim.ClientFTIM
+	active bool
+	stopC  chan struct{}
+	doneC  chan struct{}
+
+	// state and seen are guarded by the FTIM state lock, not mu: the
+	// checkpoint cycle captures state under that lock.
+	state plantState
+	seen  map[int64]struct{}
+}
+
+// NewPlant builds a plant ticking its sequence every `tick`.
+func NewPlant(tick time.Duration) *Plant {
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	return &Plant{tick: tick}
+}
+
+// Setup registers the plant's checkpointed state with the FTIM.
+func (p *Plant) Setup(f *ftim.ClientFTIM) error {
+	p.mu.Lock()
+	p.f = f
+	p.mu.Unlock()
+	return f.RegisterState("plant", &p.state)
+}
+
+// Activate starts executing: rebuild the dedup index from (possibly
+// restored) state and run the scan loop.
+func (p *Plant) Activate(bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.active || p.f == nil {
+		return
+	}
+	p.active = true
+	seen := make(map[int64]struct{})
+	p.f.WithLock(func() {
+		for _, id := range p.state.Ids {
+			seen[id] = struct{}{}
+		}
+		p.seen = seen
+	})
+	p.stopC = make(chan struct{})
+	p.doneC = make(chan struct{})
+	go p.run(p.f, p.stopC, p.doneC)
+}
+
+// Deactivate stops the scan loop; state stays for the next activation.
+func (p *Plant) Deactivate() {
+	p.mu.Lock()
+	if !p.active {
+		p.mu.Unlock()
+		return
+	}
+	p.active = false
+	stop, done := p.stopC, p.doneC
+	p.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// Stop is Deactivate (the plant owns no other resources).
+func (p *Plant) Stop() { p.Deactivate() }
+
+func (p *Plant) run(f *ftim.ClientFTIM, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(p.tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			f.WithLock(func() { p.state.Seq++ })
+		}
+	}
+}
+
+// Ingest records one feeder message. Returns true when the message is
+// acknowledged (recorded now, or a duplicate of one already recorded —
+// at-least-once delivery makes duplicates normal), false when this copy
+// is not executing and must not ack.
+func (p *Plant) Ingest(id int64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.active || p.f == nil {
+		return false
+	}
+	p.f.WithLock(func() {
+		if _, dup := p.seen[id]; dup {
+			return
+		}
+		p.seen[id] = struct{}{}
+		p.state.Ids = append(p.state.Ids, id)
+	})
+	return true
+}
+
+// IDs returns a copy of every ingested message id.
+func (p *Plant) IDs() []int64 {
+	p.mu.Lock()
+	f := p.f
+	p.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	var ids []int64
+	f.WithLock(func() {
+		ids = append([]int64(nil), p.state.Ids...)
+	})
+	return ids
+}
+
+// Snapshot reports the current sequence and ingested-id count.
+func (p *Plant) Snapshot() (seq int64, ingested int) {
+	p.mu.Lock()
+	f := p.f
+	p.mu.Unlock()
+	if f == nil {
+		return 0, 0
+	}
+	f.WithLock(func() {
+		seq = p.state.Seq
+		ingested = len(p.state.Ids)
+	})
+	return seq, ingested
+}

@@ -1,0 +1,346 @@
+package e2e
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// ExternalPalette is the fault palette that makes sense against real OS
+// processes: the whole daemon is one process, so every kill flavor is a
+// real SIGKILL and every hang is a real SIGSTOP; link faults act on the
+// proxies. Datagram loss-bursts and checkpoint-transfer surgery need
+// in-process hooks and are excluded.
+var ExternalPalette = []chaos.Kind{
+	chaos.KillNode, chaos.HangEngine,
+	chaos.Partition, chaos.PartitionOne, chaos.LinkFlap, chaos.LatencySpike,
+}
+
+// Target drives the campaign engine against a live Harness deployment —
+// the black-box counterpart of the in-process deployment target. All
+// observation is HTTP scraping; all injection is signals and proxy
+// controls.
+type Target struct {
+	h    *Harness
+	logf func(format string, args ...any)
+
+	// MaxAckedLoss bounds how many acked ids may be missing from the
+	// final primary's state before the no-acked-loss invariant fails.
+	// Acking happens when the primary records the id; the checkpoint
+	// ships up to one CheckpointPeriod later, so ids acked inside that
+	// window by a primary that is then killed are legitimately lost —
+	// the same bounded-loss window the monotonic checker's AllowedLoss
+	// models. Zero means no slack.
+	MaxAckedLoss int
+
+	mu     sync.Mutex
+	faults int
+}
+
+// NewTarget wraps a harness for campaign use.
+func NewTarget(h *Harness, maxAckedLoss int, logf func(string, ...any)) *Target {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Target{h: h, MaxAckedLoss: maxAckedLoss, logf: logf}
+}
+
+// resolveNode maps a symbolic role to a live daemon name ("" when the
+// role has no current holder).
+func (tg *Target) resolveNode(role string) string {
+	states := tg.h.States()
+	switch role {
+	case "primary":
+		primary := ""
+		for name, st := range states {
+			if st.Role == "PRIMARY" {
+				if primary != "" {
+					return "" // dual primary: ambiguous, skip
+				}
+				primary = name
+			}
+		}
+		return primary
+	case "backup":
+		var backups []string
+		for name, st := range states {
+			if st.Role != "PRIMARY" {
+				backups = append(backups, name)
+			}
+		}
+		if len(backups) == 0 {
+			return ""
+		}
+		sort.Strings(backups)
+		return backups[0]
+	default:
+		return ""
+	}
+}
+
+// resolvePair resolves a directed "from->to" target like the schedule's
+// "primary->backup".
+func (tg *Target) resolvePair(target string) (from, to string) {
+	switch target {
+	case "primary->backup":
+		return tg.resolveNode("primary"), tg.resolveNode("backup")
+	case "backup->primary":
+		return tg.resolveNode("backup"), tg.resolveNode("primary")
+	default:
+		return "", ""
+	}
+}
+
+// Inject applies one scheduled fault to the live deployment.
+func (tg *Target) Inject(ev chaos.Event) (func(), bool) {
+	switch ev.Kind {
+	case chaos.KillNode, chaos.BlueScreen, chaos.KillApp, chaos.KillEngine:
+		// One OS process hosts engine and app: every kill flavor is the
+		// real thing — kill -9 of the daemon.
+		name := tg.resolveNode(ev.Target)
+		if name == "" || !tg.h.Alive(name) {
+			return nil, false
+		}
+		if err := tg.h.Kill(name); err != nil {
+			return nil, false
+		}
+		tg.logf("kill -9 %s (%s)", name, ev.Target)
+		return func() {
+			if err := tg.h.EnsureAlive(name); err != nil {
+				tg.logf("respawn %s failed: %v", name, err)
+			}
+		}, true
+
+	case chaos.HangApp, chaos.HangEngine:
+		name := tg.resolveNode(ev.Target)
+		if name == "" || !tg.h.Alive(name) || tg.h.Hung(name) {
+			return nil, false
+		}
+		if err := tg.h.Hang(name); err != nil {
+			return nil, false
+		}
+		tg.logf("SIGSTOP %s (%s)", name, ev.Target)
+		return func() { _ = tg.h.Resume(name) }, true
+
+	case chaos.Partition:
+		// Isolate the current primary: cut every link it has. The quorum
+		// lease must expire and the rest must elect without it.
+		name := tg.resolveNode("primary")
+		if name == "" {
+			return nil, false
+		}
+		links := tg.h.LinksOf(name)
+		for _, l := range links {
+			l.Cut()
+		}
+		tg.logf("partition: isolated %s", name)
+		return func() {
+			for _, l := range links {
+				l.Heal()
+			}
+		}, true
+
+	case chaos.PartitionOne:
+		from, to := tg.resolvePair(ev.Target)
+		if from == "" || to == "" {
+			return nil, false
+		}
+		l := tg.h.Link(from, to)
+		if l == nil {
+			return nil, false
+		}
+		l.CutOneWay(from)
+		tg.logf("one-way cut: %s -> %s silenced", from, to)
+		return func() { l.Heal() }, true
+
+	case chaos.LinkFlap:
+		from, to := tg.resolveNode("primary"), tg.resolveNode("backup")
+		if from == "" || to == "" {
+			return nil, false
+		}
+		l := tg.h.Link(from, to)
+		if l == nil {
+			return nil, false
+		}
+		l.Flap(100 * time.Millisecond)
+		tg.logf("flapping link %s-%s", from, to)
+		return func() { l.Heal() }, true
+
+	case chaos.LatencySpike:
+		// Param is milliseconds, as in the in-process palette.
+		lat := time.Duration(ev.Param * float64(time.Millisecond))
+		for _, l := range tg.h.Links() {
+			l.SetLatency(lat)
+		}
+		tg.logf("latency spike: +%s on every link", lat.Round(time.Millisecond))
+		return func() {
+			for _, l := range tg.h.Links() {
+				l.SetLatency(0)
+			}
+		}, true
+
+	default:
+		// Loss bursts and checkpoint surgery need in-process hooks.
+		return nil, false
+	}
+}
+
+// Quiesce ends the fault window: heal the mesh, wake every hung daemon,
+// respawn every dead one.
+func (tg *Target) Quiesce() {
+	for _, l := range tg.h.Links() {
+		l.Heal()
+		l.SetLatency(0)
+	}
+	for _, name := range tg.h.Names() {
+		_ = tg.h.Resume(name)
+	}
+	for _, name := range tg.h.Names() {
+		if err := tg.h.EnsureAlive(name); err != nil {
+			tg.logf("quiesce respawn %s failed: %v", name, err)
+		}
+	}
+}
+
+// Primaries counts daemons currently claiming PRIMARY.
+func (tg *Target) Primaries() int {
+	n := 0
+	for _, st := range tg.h.States() {
+		if st.Role == "PRIMARY" {
+			n++
+		}
+	}
+	return n
+}
+
+// PrimaryReady reports one PRIMARY with an active plant.
+func (tg *Target) PrimaryReady() bool {
+	primary, n := "", 0
+	states := tg.h.States()
+	for name, st := range states {
+		if st.Role == "PRIMARY" {
+			primary = name
+			n++
+		}
+	}
+	return n == 1 && states[primary].AppActive
+}
+
+// PrimarySeq samples the single live primary's plant counter.
+func (tg *Target) PrimarySeq() (int64, bool) {
+	primary, n := "", 0
+	states := tg.h.States()
+	for name, st := range states {
+		if st.Role == "PRIMARY" {
+			primary = name
+			n++
+		}
+	}
+	if n != 1 || !states[primary].AppActive {
+		return 0, false
+	}
+	return states[primary].Seq, true
+}
+
+// StartTraffic is a no-op: the feeder process has been streaming since
+// the deployment came up. The returned stop is likewise a no-op — the
+// feeder drains in DrainAndAudit and dies with the harness.
+func (tg *Target) StartTraffic(time.Duration) func() {
+	return func() {}
+}
+
+// DrainAndAudit drains the feeder and audits the delivery ledger against
+// the surviving primary's plant state.
+func (tg *Target) DrainAndAudit(timeout time.Duration) []chaos.Violation {
+	var vs []chaos.Violation
+	snap, drained, err := tg.h.FeederDrain(timeout)
+	if err != nil {
+		return []chaos.Violation{{
+			Invariant: chaos.InvNoAckedLoss,
+			Detail:    fmt.Sprintf("feeder unreachable for drain: %v", err),
+		}}
+	}
+	if !drained {
+		vs = append(vs, chaos.Violation{
+			Invariant: chaos.InvNoAckedLoss,
+			Detail:    fmt.Sprintf("%d generated messages still undelivered after %s drain", snap.Pending, timeout),
+		})
+	}
+	ids, err := tg.h.PrimaryIDs()
+	if err != nil {
+		vs = append(vs, chaos.Violation{
+			Invariant: chaos.InvNoAckedLoss,
+			Detail:    fmt.Sprintf("cannot audit primary state: %v", err),
+		})
+		return vs
+	}
+	have := make(map[int64]struct{}, len(ids))
+	for _, id := range ids {
+		have[id] = struct{}{}
+	}
+	var missing []int64
+	for _, id := range snap.DeliveredIDs {
+		if _, ok := have[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > tg.MaxAckedLoss {
+		show := missing
+		if len(show) > 8 {
+			show = show[:8]
+		}
+		vs = append(vs, chaos.Violation{
+			Invariant: chaos.InvNoAckedLoss,
+			Detail: fmt.Sprintf("%d acked ids missing from surviving state (allowance %d): %v...",
+				len(missing), tg.MaxAckedLoss, show),
+		})
+	} else if len(missing) > 0 {
+		show := missing
+		if len(show) > 16 {
+			show = show[:16]
+		}
+		tg.logf("acked-loss within checkpoint-window allowance: %d/%d %v", len(missing), tg.MaxAckedLoss, show)
+	}
+	return vs
+}
+
+// TrafficCounts reports the ledger totals (the feeder never drops).
+func (tg *Target) TrafficCounts() (int64, int64, int64) {
+	snap, err := tg.h.FeederLedger()
+	if err != nil {
+		return 0, 0, 0
+	}
+	return snap.Enqueued, snap.Delivered, 0
+}
+
+// WorstRecovery is the longest completed recovery trace any daemon
+// reports.
+func (tg *Target) WorstRecovery() time.Duration {
+	var worst time.Duration
+	for _, tr := range tg.h.Traces() {
+		if !tr.Complete {
+			continue
+		}
+		if d := tr.Duration(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// NoteFault counts injections.
+func (tg *Target) NoteFault(kind chaos.Kind) {
+	tg.mu.Lock()
+	tg.faults++
+	tg.mu.Unlock()
+}
+
+// ReportVerdict logs the campaign outcome.
+func (tg *Target) ReportVerdict(seed int64, injected, violations int) {
+	tg.logf("campaign verdict: seed=%d faults=%d violations=%d", seed, injected, violations)
+}
+
+var _ chaos.Target = (*Target)(nil)

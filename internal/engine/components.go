@@ -111,9 +111,20 @@ func (e *Engine) Components() []string {
 	return out
 }
 
-// onComponentFailure applies the recovery rule after a heartbeat timeout.
-// lastSeen is the component's final observed beat (zero if it never beat).
+// notePolicyDecision records a recovery-policy decision in the metrics
+// registry (no-op when uninstrumented).
+func (e *Engine) notePolicyDecision(dec Decision) {
+	if reg := e.cfg.Metrics; reg != nil {
+		reg.Counter(`oftt_engine_policy_decisions_total{node="` + e.node.Name() +
+			`",decision="` + dec.String() + `"}`).Inc()
+	}
+}
+
+// onComponentFailure routes a heartbeat timeout through the recovery
+// policy (StaticPolicy reproduces the classic per-component rule). lastSeen
+// is the component's final observed beat (zero if it never beat).
 func (e *Engine) onComponentFailure(name string, lastSeen time.Time) {
+	now := time.Now()
 	e.mu.Lock()
 	c, ok := e.components[name]
 	if !ok || e.stopped || c.gaveUp {
@@ -121,10 +132,18 @@ func (e *Engine) onComponentFailure(name string, lastSeen time.Time) {
 		return
 	}
 	c.restarts++
-	attempt := c.restarts
+	var sinceLast time.Duration
+	if !c.lastFailAt.IsZero() {
+		sinceLast = now.Sub(c.lastFailAt)
+	}
+	c.observeFailureLocked(now)
+	stats := c.statsLocked(e.role, now)
+	stats.SinceLast = sinceLast
+	attempt := stats.Attempt
 	rule := c.rule
 	restart := c.restart
 	role := e.role
+	pol := e.policy
 	e.mu.Unlock()
 
 	if !lastSeen.IsZero() {
@@ -137,19 +156,30 @@ func (e *Engine) onComponentFailure(name string, lastSeen time.Time) {
 		State: "FAILED", Detail: fmt.Sprintf("failure #%d", attempt), UpdatedAt: time.Now(),
 	})
 
-	withinBudget := attempt <= rule.MaxLocalRestarts ||
-		rule.Exhausted == ExhaustKeepRestarting
-	if withinBudget && restart != nil {
-		e.span(name, telemetry.PhaseDecision, "local restart")
+	dec := pol.Decide(stats)
+	e.notePolicyDecision(dec)
+	if dec == DecideRestart && restart == nil {
+		// No local provision to run; fall back to the rule's escalation
+		// (the classic behavior for restart-less components).
+		dec = exhaustedDecision(rule)
+	}
+	if dec == DecideRestart {
+		e.span(name, telemetry.PhaseDecision, "local restart ("+DescribeDecision(dec, stats)+")")
 		e.event(name, "recovery", "local restart (transient-fault provision)")
 		// Rearm the detector so continued silence after the restart is
 		// caught as the next failure in the budget.
 		e.monitor().Rearm(e.monKey(name))
 		e.span(name, telemetry.PhaseRestart, fmt.Sprintf("attempt %d", attempt))
-		if err := restart(); err != nil {
-			e.event(name, "failure", fmt.Sprintf("local restart failed: %v", err))
-		} else {
+		began := time.Now()
+		if err := restart(); err == nil {
 			e.ins.restarts.Inc()
+			e.mu.Lock()
+			if c, ok := e.components[name]; ok {
+				c.failedRestarts = 0
+				c.recoverSum += time.Since(began)
+				c.recoverN++
+			}
+			e.mu.Unlock()
 			e.sink.ReportStatus(telemetry.Status{
 				Node: e.node.Name(), Component: name, Kind: telemetry.KindFTIM,
 				State: "RUNNING", Detail: "restarted", UpdatedAt: time.Now(),
@@ -159,28 +189,87 @@ func (e *Engine) onComponentFailure(name string, lastSeen time.Time) {
 			// here where the restart is known to have succeeded.
 			e.span(name, telemetry.PhaseRecovered, "local restart succeeded")
 			return
+		} else {
+			e.event(name, "failure", fmt.Sprintf("local restart failed: %v", err))
+			e.mu.Lock()
+			var failed int
+			if c, ok := e.components[name]; ok {
+				c.failedRestarts++
+				failed = c.failedRestarts
+			}
+			e.mu.Unlock()
+			// The restart path itself is broken; ask the policy again with
+			// the error on record so it can escalate past it.
+			stats.FailedRestarts = failed
+			dec = pol.Decide(stats)
+			e.notePolicyDecision(dec)
+			if dec == DecideRestart {
+				// A policy that still wants a restart waits for the rearmed
+				// detector to fire again rather than spinning here.
+				return
+			}
 		}
 	}
 
-	switch rule.Exhausted {
-	case ExhaustSwitchover:
+	switch dec {
+	case DecideSwitchover:
 		if role == RolePrimary {
-			e.span(name, telemetry.PhaseDecision, "switchover: local restarts exhausted")
+			e.span(name, telemetry.PhaseDecision, "switchover: local restarts exhausted ("+DescribeDecision(dec, stats)+")")
 			e.event(name, "switchover",
 				"local restarts exhausted; transferring control to backup (permanent-fault provision)")
 			if err := e.RequestSwitchover("component " + name + " failed permanently"); err != nil {
 				e.event(name, "failure", fmt.Sprintf("switchover failed: %v", err))
 			}
 		}
-	case ExhaustGiveUp:
+	case DecideRebuild:
+		e.rebuildComponent(name, stats, role, restart)
+	case DecideGiveUp:
 		e.mu.Lock()
 		if c, ok := e.components[name]; ok {
 			c.gaveUp = true
 		}
 		e.mu.Unlock()
 		e.monitor().Unwatch(e.monKey(name))
-		e.event(name, "failure", "recovery abandoned (ExhaustGiveUp)")
+		e.event(name, "failure", "recovery abandoned (policy: give up)")
 	}
+}
+
+// rebuildComponent executes a demote-and-rebuild decision: give the
+// primary role away first (the group keeps running on a healthy node),
+// then reset the component's budget and failure telemetry and try to
+// restore a standby copy locally.
+func (e *Engine) rebuildComponent(name string, stats ComponentStats, role Role, restart func() error) {
+	e.span(name, telemetry.PhaseDecision, "demote-and-rebuild ("+DescribeDecision(DecideRebuild, stats)+")")
+	e.event(name, "switchover",
+		"restart provision failing; demoting and rebuilding with a fresh budget (adaptive policy)")
+	if role == RolePrimary {
+		if err := e.RequestSwitchover("component " + name + " demote-and-rebuild"); err != nil {
+			e.event(name, "failure", fmt.Sprintf("demote-and-rebuild switchover failed: %v", err))
+		}
+	}
+	e.mu.Lock()
+	if c, ok := e.components[name]; ok {
+		c.restarts = 0
+		c.failedRestarts = 0
+		c.ewmaRate = 0
+		c.lastFailAt = time.Time{}
+	}
+	e.mu.Unlock()
+	if restart == nil {
+		return
+	}
+	e.monitor().Rearm(e.monKey(name))
+	e.span(name, telemetry.PhaseRestart, "rebuild")
+	if err := restart(); err != nil {
+		e.event(name, "failure", fmt.Sprintf("rebuild failed: %v", err))
+		return
+	}
+	e.ins.restarts.Inc()
+	e.sink.ReportStatus(telemetry.Status{
+		Node: e.node.Name(), Component: name, Kind: telemetry.KindFTIM,
+		State: "RUNNING", Detail: "rebuilt", UpdatedAt: time.Now(),
+	})
+	e.span(name, telemetry.PhaseRecovered, "rebuild succeeded")
 }
 
 // SetRecoveryRule changes a component's recovery rule at run-time — the
@@ -198,8 +287,23 @@ func (e *Engine) SetRecoveryRule(name string, rule RecoveryRule, resetBudget boo
 	c.gaveUp = false
 	if resetBudget {
 		c.restarts = 0
+		c.failedRestarts = 0
+		c.ewmaRate = 0
+		c.lastFailAt = time.Time{}
 	}
 	return nil
+}
+
+// ComponentStatsOf returns a snapshot of the failure telemetry the
+// recovery policy sees for a component (tests, monitor, /state endpoints).
+func (e *Engine) ComponentStatsOf(name string) (ComponentStats, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.components[name]
+	if !ok {
+		return ComponentStats{}, false
+	}
+	return c.statsLocked(e.role, time.Now()), true
 }
 
 // RecoveryRuleOf returns a component's current rule (for tests and the
@@ -222,6 +326,9 @@ func (e *Engine) ResetComponent(name string) {
 	if c, ok := e.components[name]; ok {
 		c.restarts = 0
 		c.gaveUp = false
+		c.failedRestarts = 0
+		c.ewmaRate = 0
+		c.lastFailAt = time.Time{}
 	}
 }
 

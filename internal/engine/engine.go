@@ -53,6 +53,50 @@ type component struct {
 	restart  func() error
 	restarts int
 	gaveUp   bool
+
+	// Failure telemetry feeding the recovery policy.
+	lastFailAt     time.Time
+	ewmaRate       float64 // failures/sec, EWMA over inter-failure gaps
+	failedRestarts int     // consecutive restart-provision errors
+	recoverSum     time.Duration
+	recoverN       int
+}
+
+// statsLocked assembles the policy inputs; e.mu must be held.
+func (c *component) statsLocked(role Role, now time.Time) ComponentStats {
+	s := ComponentStats{
+		Component:      c.name,
+		Attempt:        c.restarts,
+		Rule:           c.rule,
+		Role:           role,
+		FailureRate:    c.ewmaRate,
+		FailedRestarts: c.failedRestarts,
+	}
+	if !c.lastFailAt.IsZero() {
+		s.SinceLast = now.Sub(c.lastFailAt)
+	}
+	if c.recoverN > 0 {
+		s.MeanRecovery = c.recoverSum / time.Duration(c.recoverN)
+	}
+	return s
+}
+
+// observeFailureLocked folds one failure arrival into the EWMA; e.mu must
+// be held. Called before statsLocked so the current failure is included.
+func (c *component) observeFailureLocked(now time.Time) {
+	if !c.lastFailAt.IsZero() {
+		dt := now.Sub(c.lastFailAt).Seconds()
+		if dt <= 0 {
+			dt = 1e-9
+		}
+		inst := 1 / dt
+		if c.ewmaRate == 0 {
+			c.ewmaRate = inst
+		} else {
+			c.ewmaRate = 0.5*inst + 0.5*c.ewmaRate
+		}
+	}
+	c.lastFailAt = now
 }
 
 // engineInstruments are the engine's registry-resolved metrics; all
@@ -81,6 +125,7 @@ type Engine struct {
 	mu              sync.Mutex
 	role            Role
 	incarnation     uint64
+	policy          RecoveryPolicy // never nil; StaticPolicy by default
 	components      map[string]*component
 	onRole          []func(Role)
 	stopped         bool
@@ -102,7 +147,7 @@ type Engine struct {
 
 	peerMu      sync.Mutex
 	peerClients map[string]*dcom.Client
-	senders     map[string]*checkpoint.Sender
+	senders     map[string]*peerShipper
 
 	switchovers int
 	demotions   int
@@ -173,13 +218,30 @@ func NewWithError(node *cluster.Node, cfg Config, sink telemetry.Sink) (*Engine,
 		ins:         ins,
 		networks:    node.Networks(),
 		role:        RoleNegotiating,
+		policy:      resolvePolicy(cfg.Policy),
 		components:  make(map[string]*component),
 		dogs:        watchdog.NewTable(),
 		store:       store,
 		peerClients: make(map[string]*dcom.Client),
-		senders:     make(map[string]*checkpoint.Sender),
+		senders:     make(map[string]*peerShipper),
 		stop:        make(chan struct{}),
 	}, nil
+}
+
+// resolvePolicy defaults a nil policy to the classic static behavior.
+func resolvePolicy(p RecoveryPolicy) RecoveryPolicy {
+	if p == nil {
+		return StaticPolicy{}
+	}
+	return p
+}
+
+// SetRecoveryPolicy swaps the engine's recovery policy at run-time. Nil
+// restores the static default.
+func (e *Engine) SetRecoveryPolicy(p RecoveryPolicy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.policy = resolvePolicy(p)
 }
 
 // Node returns the hosting node's name.
@@ -190,6 +252,38 @@ func (e *Engine) Role() Role {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.role
+}
+
+// HoldsLease is the write fence for externally-visible acknowledgements:
+// it reports whether this engine is primary AND, in quorum mode, has
+// heard from a majority of the group within LeaseDuration as of now.
+//
+// Role alone is not a safe ack guard. A primary whose process was frozen
+// (SIGSTOP, VM pause, GC-of-the-OS) wakes up still believing it is
+// primary and can acknowledge queued client calls before the first
+// buffered peer beat — carrying the successor's higher term — demotes
+// it. Checking lease freshness at the ack point closes that window: on
+// wake, peerSeen is stale by the length of the freeze, so the fence
+// fails until real beats arrive, and the first such beat demotes a stale
+// holder before refreshing it. Pair-protocol groups (fewer than three
+// replicas) have no lease and fall back to the role check.
+func (e *Engine) HoldsLease() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.role != RolePrimary {
+		return false
+	}
+	if !e.quorumOn() {
+		return true
+	}
+	now := time.Now()
+	live := 1 // self
+	for _, t := range e.lease.peerSeen {
+		if now.Sub(t) <= e.cfg.LeaseDuration {
+			live++
+		}
+	}
+	return live >= e.quorum()
 }
 
 // Watchdogs exposes the engine-hosted (reliable) watchdog table.
@@ -454,8 +548,8 @@ func (e *Engine) Stop() {
 		c.Close()
 		delete(e.peerClients, peer)
 	}
-	for peer, s := range e.senders {
-		s.Close()
+	for peer, ps := range e.senders {
+		ps.close()
 		delete(e.senders, peer)
 	}
 	e.peerMu.Unlock()
@@ -469,10 +563,12 @@ func (e *Engine) Stop() {
 func (e *Engine) broadcastBeat(b heartbeat.Beat) {
 	if e.quorumOn() {
 		e.leaseTick()
+		ckpt := e.store.LastSeq()
 		e.mu.Lock()
 		b.Term = e.lease.term
 		b.Vote = e.lease.votedFor
 		b.Cand = e.lease.candidate
+		b.Ckpt = ckpt
 		e.mu.Unlock()
 	}
 	data, err := b.Encode()
@@ -515,7 +611,7 @@ func (e *Engine) observePeerBeat(b heartbeat.Beat) {
 		from := strings.TrimPrefix(b.Source, "engine@")
 		e.observeLease(from, heartbeat.GroupState{
 			Seq: b.Seq, Role: int32(roleFromStatus(b.Status)),
-			Term: b.Term, Vote: b.Vote, Cand: b.Cand,
+			Term: b.Term, Vote: b.Vote, Cand: b.Cand, Ckpt: b.Ckpt,
 		}, time.Now())
 		return
 	}
@@ -609,6 +705,7 @@ func (e *Engine) muxState(now time.Time) (heartbeat.GroupState, bool) {
 		Term:  e.lease.term,
 		Vote:  e.lease.votedFor,
 		Cand:  e.lease.candidate,
+		Ckpt:  e.store.LastSeq(),
 	}
 	e.mu.Unlock()
 	if act != nil {

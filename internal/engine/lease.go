@@ -11,8 +11,11 @@
 //   - A follower that has heard no leader for PeerTimeout (plus a
 //     deterministic per-node stagger, so candidacies rarely collide)
 //     stands: it increments its term and solicits votes via its beats.
-//   - Peers grant at most one vote per term, and only while their own view
-//     of the leader is stale; grants ride back on their beats.
+//   - Peers grant at most one vote per term, only while their own view
+//     of the leader is stale, and only to candidates whose checkpoint
+//     recency is no worse than their own (the log up-to-date rule, so a
+//     checkpoint-starved backup cannot win and resurrect old state);
+//     grants ride back on their beats.
 //   - A candidate counting a majority (its own vote included) takes over.
 //     A primary that cannot hear a majority of its group for LeaseDuration
 //     demotes itself — the lease expires.
@@ -191,7 +194,16 @@ func (e *Engine) leaseTickLocked(now time.Time) (act func()) {
 		}
 	default:
 		if now.Sub(ls.leaderSeen) > e.cfg.PeerTimeout && now.After(ls.standAt) {
+			first := ls.stands == 0
 			e.standLocked(now)
+			if first {
+				// The first stand of an outage episode is this member's
+				// failure-detection moment: it opens the recovery trace
+				// that a takeover (or the leader reappearing) completes.
+				act = func() {
+					e.span("oftt-engine", telemetry.PhaseDetect, "leader silent: standing for election")
+				}
+			}
 		}
 	}
 	return act
@@ -243,6 +255,14 @@ func (e *Engine) observeLease(from string, gs heartbeat.GroupState, now time.Tim
 
 	// A current-term leader refreshes the lease we grant it.
 	if peerRole == RolePrimary && gs.Term >= ls.term {
+		if ls.candidate || ls.stands > 0 {
+			// We had detected an outage (opened a recovery trace by
+			// standing) but a live leader reappeared: close the episode so
+			// the dangling trace cannot swallow a later, real recovery.
+			acts = append(acts, func() {
+				e.span("oftt-engine", telemetry.PhaseRecovered, "stood down: leader "+from+" alive")
+			})
+		}
 		ls.leaderSeen = now
 		ls.leaderNode = from
 		ls.candidate = false
@@ -264,8 +284,20 @@ func (e *Engine) observeLease(from string, gs heartbeat.GroupState, now time.Tim
 
 	// Grant at most one vote per term, and only while our own leader view
 	// is stale — a live leader's followers do not join insurgencies.
+	//
+	// The recency gate (gs.Ckpt >= our own applied checkpoint seq) is the
+	// Raft §5.4.1 up-to-date check translated to checkpoint shipping: a
+	// backup the primary could not reach — say the victim of a one-way
+	// link cut — keeps hearing the group and can stand, but electing it
+	// would resurrect state as old as the cut, losing every update acked
+	// since. Both backups' stores apply the same shipped stream (reset
+	// together at each reign change), so the seqs are directly
+	// comparable; refusing a staler candidate is safe for liveness
+	// because the freshest live member is exactly the one every other
+	// member will grant.
 	if gs.Cand && gs.Term == ls.term && e.role != RolePrimary &&
 		(ls.votedFor == "" || ls.votedFor == from) &&
+		gs.Ckpt >= e.store.LastSeq() &&
 		now.Sub(ls.leaderSeen) > e.cfg.PeerTimeout {
 		ls.votedFor = from
 		// Give the candidate a full patience interval before competing.

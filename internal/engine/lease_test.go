@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/cluster"
+	"repro/internal/heartbeat"
 	"repro/internal/netsim"
 )
 
@@ -275,5 +277,118 @@ func TestPairKeepsTieBreak(t *testing.T) {
 	}
 	if term := h.e2.LeaseTerm(); term != 0 {
 		t.Fatalf("pair engine opened lease term %d; pairs must stay on tie-break", term)
+	}
+}
+
+// TestHoldsLeaseFence covers the ack fence: a live quorum leader holds
+// the lease, a backup never does, and a leader whose peer contact has
+// gone stale past LeaseDuration — the state a SIGSTOPped process wakes
+// up in, before its role catches up — must fail the fence even though
+// its cached role is still primary.
+func TestHoldsLeaseFence(t *testing.T) {
+	h := newTrio(t)
+	lead := h.waitSingleLeader(t)
+
+	if !h.engs[lead].HoldsLease() {
+		t.Fatalf("live leader fails the lease fence")
+	}
+	for i, e := range h.engs {
+		if i != lead && e.HoldsLease() {
+			t.Fatalf("backup %d claims the lease", i)
+		}
+	}
+
+	// Forge the post-freeze state: role still primary, every peer's last
+	// beat older than LeaseDuration. The fence must fail before any role
+	// transition runs.
+	e := h.engs[lead]
+	e.mu.Lock()
+	for p := range e.lease.peerSeen {
+		e.lease.peerSeen[p] = time.Now().Add(-10 * e.cfg.LeaseDuration)
+	}
+	stale := e.role == RolePrimary
+	e.mu.Unlock()
+	if !stale {
+		t.Fatalf("leader lost primary role before the fence was tested")
+	}
+	if e.HoldsLease() {
+		t.Fatalf("leader with stale peer contact passes the lease fence")
+	}
+}
+
+// TestHoldsLeasePairFallback: pair-protocol groups have no lease, so the
+// fence degrades to the role check.
+func TestHoldsLeasePairFallback(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	if !h.e1.HoldsLease() {
+		t.Fatalf("pair primary fails the fence")
+	}
+	if h.e2.HoldsLease() {
+		t.Fatalf("pair backup passes the fence")
+	}
+}
+
+// TestVoteGateRefusesStaleCandidate: the up-to-date rule. A voter whose
+// own store has applied checkpoint seq N refuses its vote to a candidate
+// advertising a staler recency, and grants it to one at least as fresh —
+// so a checkpoint-starved backup (one-way cut victim) cannot win an
+// election and resurrect state from before the cut.
+func TestVoteGateRefusesStaleCandidate(t *testing.T) {
+	net := netsim.New("ethVote", 1)
+	node := cluster.NewNode(trioNames[0], 11, net)
+	e, err := NewWithError(node, quorumConfig(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.store.Apply(&checkpoint.Snapshot{
+		Seq: 5, Kind: string(checkpoint.KindFull),
+		Regions: map[string][]byte{"x": {1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	votedFor := func() string {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.lease.votedFor
+	}
+
+	// leaderSeen is the zero time: our leader view is long stale, so only
+	// the recency gate stands between each candidate and our vote.
+	e.observeLease(trioNames[1], heartbeat.GroupState{Cand: true, Term: 0, Ckpt: 3}, time.Now())
+	if got := votedFor(); got != "" {
+		t.Fatalf("vote granted to checkpoint-starved candidate (ckpt 3 < ours 5): votedFor=%q", got)
+	}
+	e.observeLease(trioNames[2], heartbeat.GroupState{Cand: true, Term: 0, Ckpt: 5}, time.Now())
+	if got := votedFor(); got != trioNames[2] {
+		t.Fatalf("vote withheld from up-to-date candidate: votedFor=%q", got)
+	}
+}
+
+// TestShipSnapshotPartialVerdict: a ship round where one replica
+// confirmed and one was unreachable reports checkpoint.ErrPartialShip
+// (the FTIM re-bases the broken chain with a full capture); a round
+// where nobody confirmed reports plain unavailability.
+func TestShipSnapshotPartialVerdict(t *testing.T) {
+	h := newTrio(t)
+	lead := h.waitSingleLeader(t)
+	snap := func(seq uint64) *checkpoint.Snapshot {
+		return &checkpoint.Snapshot{Seq: seq, Kind: string(checkpoint.KindFull),
+			Regions: map[string][]byte{"x": {byte(seq)}}}
+	}
+	if err := h.engs[lead].ShipSnapshot(snap(1)); err != nil {
+		t.Fatalf("ship with both backups live: %v", err)
+	}
+	victim := (lead + 1) % 3
+	h.engs[victim].Stop()
+	err := h.engs[lead].ShipSnapshot(snap(2))
+	if !errors.Is(err, checkpoint.ErrPartialShip) {
+		t.Fatalf("one backup down: got %v, want ErrPartialShip", err)
+	}
+	h.engs[(lead+2)%3].Stop()
+	err = h.engs[lead].ShipSnapshot(snap(3))
+	if err == nil || errors.Is(err, checkpoint.ErrPartialShip) {
+		t.Fatalf("both backups down: got %v, want hard failure", err)
 	}
 }

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Decision is the recovery action a policy selects for one component
+// failure. The zero value means "no action" (used internally when a rule
+// with ExhaustKeepRestarting has no restart provision to run).
+type Decision int
+
+// Decisions.
+const (
+	decideNone Decision = iota
+	// DecideRestart retries the local restart provision (the paper's
+	// transient-fault recovery).
+	DecideRestart
+	// DecideSwitchover transfers control to a peer node (the paper's
+	// permanent-fault recovery).
+	DecideSwitchover
+	// DecideRebuild demotes this node (if primary) and rebuilds the local
+	// copy with a fresh restart budget — the adaptive middle ground for a
+	// node whose restart provision itself is failing: give the role away
+	// first, then keep trying to restore a standby copy in the background.
+	DecideRebuild
+	// DecideGiveUp abandons recovery for the component.
+	DecideGiveUp
+)
+
+// String renders the decision for spans and metrics labels.
+func (d Decision) String() string {
+	switch d {
+	case DecideRestart:
+		return "restart"
+	case DecideSwitchover:
+		return "switchover"
+	case DecideRebuild:
+		return "demote-and-rebuild"
+	case DecideGiveUp:
+		return "give-up"
+	default:
+		return "none"
+	}
+}
+
+// ComponentStats is the per-component telemetry a recovery policy decides
+// from. It is assembled by the engine at each failure, before the decision.
+type ComponentStats struct {
+	// Component is the failed component's name.
+	Component string
+	// Attempt is the failure count since the budget was last reset,
+	// including the current failure (so the first failure has Attempt 1).
+	Attempt int
+	// Rule is the component's configured static rule — the policy baseline.
+	Rule RecoveryRule
+	// Role is this engine's role at decision time.
+	Role Role
+	// SinceLast is the time since the previous failure (zero on the first).
+	SinceLast time.Duration
+	// FailureRate is an exponentially weighted moving average of the
+	// component's failure arrival rate in failures/second. Zero until two
+	// failures have been observed.
+	FailureRate float64
+	// FailedRestarts counts consecutive restart provisions that returned an
+	// error (reset on any successful restart).
+	FailedRestarts int
+	// MeanRecovery is the mean duration of this component's successful
+	// local restarts (zero until one has succeeded).
+	MeanRecovery time.Duration
+}
+
+// RecoveryPolicy picks the recovery action for a component failure. The
+// engine consults it once per detected failure, and a second time if the
+// chosen restart provision itself returns an error (with FailedRestarts
+// incremented) so a policy can escalate past a broken restart path.
+//
+// Implementations must be safe for concurrent use; the engine may serve
+// several components.
+type RecoveryPolicy interface {
+	Decide(s ComponentStats) Decision
+}
+
+// exhaustedDecision maps a static rule's exhausted action to a Decision —
+// the escalation applied when the budget is spent or the restart provision
+// is absent/broken.
+func exhaustedDecision(rule RecoveryRule) Decision {
+	switch rule.Exhausted {
+	case ExhaustSwitchover:
+		return DecideSwitchover
+	case ExhaustGiveUp:
+		return DecideGiveUp
+	default: // ExhaustKeepRestarting: nothing left to do but wait for beats.
+		return decideNone
+	}
+}
+
+// StaticPolicy reproduces the classic per-component RecoveryRule behavior
+// exactly: restart while the budget lasts (or forever under
+// ExhaustKeepRestarting), then the rule's exhausted action. It is the
+// default when Config.Policy is nil.
+type StaticPolicy struct{}
+
+// Decide implements RecoveryPolicy.
+func (StaticPolicy) Decide(s ComponentStats) Decision {
+	if s.FailedRestarts > 0 {
+		// The restart provision itself failed; the static rule escalates
+		// straight to its exhausted action rather than retrying in place.
+		return exhaustedDecision(s.Rule)
+	}
+	if s.Attempt <= s.Rule.MaxLocalRestarts || s.Rule.Exhausted == ExhaustKeepRestarting {
+		return DecideRestart
+	}
+	return exhaustedDecision(s.Rule)
+}
+
+// AdaptivePolicy picks the recovery action from observed failure telemetry
+// instead of a fixed budget: local restarts are tried while they appear to
+// be converging, a crash loop (failures arriving faster than MaxFailureRate
+// once MinSamples failures have been seen) escalates to switchover even if
+// budget remains, and a restart provision that itself keeps erroring
+// escalates to demote-and-rebuild — the node gives the role away and
+// rebuilds its copy with a fresh budget instead of wedging the group.
+type AdaptivePolicy struct {
+	// MaxFailureRate is the failures/second EWMA above which local restarts
+	// are judged non-converging (default 5).
+	MaxFailureRate float64
+	// MinSamples is how many failures must be observed before the rate
+	// estimate is trusted (default 3).
+	MinSamples int
+	// RebuildAfterFailedRestarts escalates to demote-and-rebuild after this
+	// many consecutive restart-provision errors (default 2).
+	RebuildAfterFailedRestarts int
+	// BudgetSlack multiplies the static rule's MaxLocalRestarts before the
+	// budget alone forces escalation (default 1: honor the rule's budget).
+	BudgetSlack int
+}
+
+func (p *AdaptivePolicy) maxRate() float64 {
+	if p.MaxFailureRate > 0 {
+		return p.MaxFailureRate
+	}
+	return 5
+}
+
+func (p *AdaptivePolicy) minSamples() int {
+	if p.MinSamples > 0 {
+		return p.MinSamples
+	}
+	return 3
+}
+
+func (p *AdaptivePolicy) rebuildAfter() int {
+	if p.RebuildAfterFailedRestarts > 0 {
+		return p.RebuildAfterFailedRestarts
+	}
+	return 2
+}
+
+func (p *AdaptivePolicy) budget(rule RecoveryRule) int {
+	slack := p.BudgetSlack
+	if slack <= 0 {
+		slack = 1
+	}
+	return rule.MaxLocalRestarts * slack
+}
+
+// Decide implements RecoveryPolicy.
+func (p *AdaptivePolicy) Decide(s ComponentStats) Decision {
+	if s.FailedRestarts >= p.rebuildAfter() {
+		return DecideRebuild
+	}
+	if s.FailedRestarts > 0 {
+		// One restart error: retry the provision once more before the
+		// rebuild escalation — transient exec failures are common on a
+		// loaded box.
+		return DecideRestart
+	}
+	if s.Attempt >= p.minSamples() && s.FailureRate > p.maxRate() {
+		// Crash loop: restarts complete but the component keeps dying
+		// faster than the convergence threshold. Move the role away.
+		return DecideSwitchover
+	}
+	if s.Attempt > p.budget(s.Rule) && s.Rule.Exhausted != ExhaustKeepRestarting {
+		return exhaustedDecision(s.Rule)
+	}
+	return DecideRestart
+}
+
+// DescribeDecision renders the policy inputs behind a decision for
+// telemetry spans.
+func DescribeDecision(d Decision, s ComponentStats) string {
+	return fmt.Sprintf("policy=%s attempt=%d rate=%.1f/s failed-restarts=%d",
+		d, s.Attempt, s.FailureRate, s.FailedRestarts)
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStaticPolicyMatchesRule checks StaticPolicy reproduces the classic
+// RecoveryRule table: restart within budget, the exhausted action after,
+// and immediate escalation when the restart provision itself errored.
+func TestStaticPolicyMatchesRule(t *testing.T) {
+	p := StaticPolicy{}
+	cases := []struct {
+		name string
+		s    ComponentStats
+		want Decision
+	}{
+		{"within budget", ComponentStats{Attempt: 1, Rule: RecoveryRule{MaxLocalRestarts: 2, Exhausted: ExhaustSwitchover}}, DecideRestart},
+		{"at budget", ComponentStats{Attempt: 2, Rule: RecoveryRule{MaxLocalRestarts: 2, Exhausted: ExhaustSwitchover}}, DecideRestart},
+		{"over budget switchover", ComponentStats{Attempt: 3, Rule: RecoveryRule{MaxLocalRestarts: 2, Exhausted: ExhaustSwitchover}}, DecideSwitchover},
+		{"over budget give up", ComponentStats{Attempt: 3, Rule: RecoveryRule{MaxLocalRestarts: 2, Exhausted: ExhaustGiveUp}}, DecideGiveUp},
+		{"keep restarting forever", ComponentStats{Attempt: 100, Rule: RecoveryRule{Exhausted: ExhaustKeepRestarting}}, DecideRestart},
+		{"restart errored switchover", ComponentStats{Attempt: 1, FailedRestarts: 1, Rule: RecoveryRule{MaxLocalRestarts: 2, Exhausted: ExhaustSwitchover}}, DecideSwitchover},
+		{"restart errored keep restarting", ComponentStats{Attempt: 1, FailedRestarts: 1, Rule: RecoveryRule{Exhausted: ExhaustKeepRestarting}}, decideNone},
+	}
+	for _, tc := range cases {
+		if got := p.Decide(tc.s); got != tc.want {
+			t.Errorf("%s: got %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestAdaptivePolicyEscalatesCrashLoop: a component whose failures arrive
+// faster than the convergence threshold escalates to switchover even under
+// a rule that would keep restarting forever.
+func TestAdaptivePolicyEscalatesCrashLoop(t *testing.T) {
+	p := &AdaptivePolicy{MaxFailureRate: 5, MinSamples: 3}
+	rule := RecoveryRule{Exhausted: ExhaustKeepRestarting}
+
+	// Sparse failures: stays on restart regardless of attempt count.
+	s := ComponentStats{Attempt: 10, Rule: rule, FailureRate: 0.5}
+	if got := p.Decide(s); got != DecideRestart {
+		t.Fatalf("converging restarts: got %s, want restart", got)
+	}
+	// Crash loop: 20 failures/sec after enough samples.
+	s = ComponentStats{Attempt: 3, Rule: rule, FailureRate: 20}
+	if got := p.Decide(s); got != DecideSwitchover {
+		t.Fatalf("crash loop: got %s, want switchover", got)
+	}
+	// Same rate but too few samples: trust the restart path a bit longer.
+	s = ComponentStats{Attempt: 2, Rule: rule, FailureRate: 20}
+	if got := p.Decide(s); got != DecideRestart {
+		t.Fatalf("under min samples: got %s, want restart", got)
+	}
+}
+
+// TestAdaptivePolicyRebuildsOnFailedRestarts: consecutive restart-provision
+// errors escalate to demote-and-rebuild after one in-place retry.
+func TestAdaptivePolicyRebuildsOnFailedRestarts(t *testing.T) {
+	p := &AdaptivePolicy{}
+	rule := RecoveryRule{MaxLocalRestarts: 3, Exhausted: ExhaustSwitchover}
+	if got := p.Decide(ComponentStats{Attempt: 1, FailedRestarts: 1, Rule: rule}); got != DecideRestart {
+		t.Fatalf("first restart error: got %s, want restart (one retry)", got)
+	}
+	if got := p.Decide(ComponentStats{Attempt: 2, FailedRestarts: 2, Rule: rule}); got != DecideRebuild {
+		t.Fatalf("second restart error: got %s, want demote-and-rebuild", got)
+	}
+}
+
+// TestEWMAFailureRate sanity-checks the engine-side rate estimator: evenly
+// spaced failures converge near 1/gap.
+func TestEWMAFailureRate(t *testing.T) {
+	c := &component{name: "x"}
+	base := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		c.observeFailureLocked(base.Add(time.Duration(i) * 100 * time.Millisecond))
+	}
+	if c.ewmaRate < 9 || c.ewmaRate > 11 {
+		t.Fatalf("EWMA after 100ms-spaced failures = %.2f, want ~10", c.ewmaRate)
+	}
+}
+
+// TestReattachCrashLoopEscalates: an application that crashes, restarts,
+// and rebinds via ReattachComponent must keep spending the SAME restart
+// budget — a crash loop that re-registered fresh each time would restart
+// locally forever and never give the role away.
+func TestReattachCrashLoopEscalates(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+
+	rule := RecoveryRule{MaxLocalRestarts: 1, Exhausted: ExhaustSwitchover}
+	var restart func() error
+	restart = func() error {
+		// The restarted application rebinds to its component entry the way
+		// a real FTIM reattach does, beats once, then goes silent again —
+		// a crash loop.
+		if err := h.e1.ReattachComponent("app", 20*time.Millisecond, rule, restart); err != nil {
+			return err
+		}
+		h.e1.ComponentBeat("app", 1, "OK")
+		return nil
+	}
+	if err := h.e1.RegisterComponent("app", 20*time.Millisecond, rule, restart); err != nil {
+		t.Fatal(err)
+	}
+	// Budget is 1 local restart: failure #1 restarts, failure #2 (attempt 2
+	// on the preserved budget) must escalate to switchover.
+	waitFor(t, "crash loop escalates to switchover", func() bool {
+		return h.e2.Role() == RolePrimary && h.e1.Role() == RoleBackup
+	})
+	if s, ok := h.e1.ComponentStatsOf("app"); !ok || s.Attempt < 2 {
+		t.Fatalf("reattach reset the restart budget: stats=%+v ok=%v", s, ok)
+	}
+}
+
+// TestAdaptiveDemoteOnBrokenRestart: under the adaptive policy a restart
+// provision that keeps erroring escalates to demote-and-rebuild — the
+// primary gives the role away and resets the component's budget — instead
+// of wedging the group (regression test for the demote path).
+func TestAdaptiveDemoteOnBrokenRestart(t *testing.T) {
+	h := newPair(t, false)
+	h.waitRoles(t, RolePrimary, RoleBackup)
+	h.e1.SetRecoveryPolicy(&AdaptivePolicy{RebuildAfterFailedRestarts: 2})
+
+	var mu sync.Mutex
+	attempts := 0
+	err := h.e1.RegisterComponent("app", 20*time.Millisecond,
+		RecoveryRule{MaxLocalRestarts: 5, Exhausted: ExhaustSwitchover},
+		func() error {
+			mu.Lock()
+			attempts++
+			mu.Unlock()
+			return errors.New("exec format error")
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First restart error gets one in-place retry; the second escalates to
+	// demote-and-rebuild: the role moves even though budget (5) remains.
+	waitFor(t, "demote-and-rebuild moves the role", func() bool {
+		return h.e2.Role() == RolePrimary && h.e1.Role() == RoleBackup
+	})
+	mu.Lock()
+	n := attempts
+	mu.Unlock()
+	if n < 2 {
+		t.Fatalf("demoted after %d restart attempts, want >= 2 (one retry first)", n)
+	}
+	// The rebuild path hands the component a fresh budget.
+	waitFor(t, "budget reset after rebuild", func() bool {
+		s, ok := h.e1.ComponentStatsOf("app")
+		return ok && s.FailedRestarts == 0
+	})
+}

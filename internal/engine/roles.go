@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -304,6 +305,14 @@ func (e *Engine) dialPeerRPC(peer string) (*dcom.Client, error) {
 // ships; the ship succeeds if at least one replica confirmed the state.
 // On a fabric transport checkpoints ride the shared group-routed RPC; a
 // standalone engine keeps one streaming checkpoint channel per peer.
+//
+// Peers ship in parallel, each serialized by its own shipper: one
+// unreachable or backpressured replica (a cut link buffering into a dead
+// TCP window) must not starve the healthy replicas of checkpoints — the
+// healthy side's recency is exactly what bounds state loss at the next
+// failover. A round where some replicas confirmed and some did not
+// returns checkpoint.ErrPartialShip so the caller re-bases the broken
+// chains with a full snapshot.
 func (e *Engine) ShipSnapshot(snap *checkpoint.Snapshot) error {
 	if e.Role() != RolePrimary {
 		return ErrNotPrimary
@@ -322,39 +331,107 @@ func (e *Engine) ShipSnapshot(snap *checkpoint.Snapshot) error {
 			}
 			ok++
 		}
-		if ok == 0 {
-			return fmt.Errorf("%w: checkpoint ship: %v", ErrPeerUnavailable, lastErr)
-		}
-		return nil
+		return shipVerdict(ok, len(e.peers), lastErr)
 	}
-	e.peerMu.Lock()
-	defer e.peerMu.Unlock()
-	var lastErr error
-	ok := 0
+	var (
+		wg      sync.WaitGroup
+		resMu   sync.Mutex
+		lastErr error
+		ok      int
+	)
 	for _, peer := range e.peers {
-		sender := e.senders[peer]
-		if sender == nil {
-			s, err := e.dialCheckpoint(peer)
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			err := e.shipTo(peer, snap)
+			resMu.Lock()
 			if err != nil {
 				lastErr = err
-				continue
+			} else {
+				ok++
 			}
-			sender = s
-			e.senders[peer] = sender
-		}
-		if err := sender.Send(snap); err != nil {
-			sender.Close()
-			delete(e.senders, peer)
-			lastErr = err
-			continue
-		}
-		ok++
+			resMu.Unlock()
+		}(peer)
 	}
-	if ok == 0 {
+	wg.Wait()
+	return shipVerdict(ok, len(e.peers), lastErr)
+}
+
+// shipVerdict folds a fan-out's per-replica outcomes into the ship
+// contract: all confirmed = nil, none = the failure, some = partial.
+func shipVerdict(ok, total int, lastErr error) error {
+	switch {
+	case ok == total:
+		return nil
+	case ok == 0:
 		if lastErr == nil {
 			lastErr = ErrPeerUnavailable
 		}
-		return lastErr
+		return fmt.Errorf("%w: checkpoint ship: %v", ErrPeerUnavailable, lastErr)
+	default:
+		return fmt.Errorf("%w: %d/%d confirmed: %v", checkpoint.ErrPartialShip, ok, total, lastErr)
+	}
+}
+
+// peerShipper owns one peer's checkpoint channel. sendMu serializes whole
+// dial-and-send rounds; mu guards only the sender pointer so close can
+// interrupt an in-flight send without waiting out its ack timeout.
+type peerShipper struct {
+	sendMu sync.Mutex
+	mu     sync.Mutex
+	sender *checkpoint.Sender
+}
+
+func (ps *peerShipper) close() {
+	ps.mu.Lock()
+	s := ps.sender
+	ps.sender = nil
+	ps.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+}
+
+// shipper returns peer's shipper, creating it on first use.
+func (e *Engine) shipper(peer string) *peerShipper {
+	e.peerMu.Lock()
+	defer e.peerMu.Unlock()
+	ps := e.senders[peer]
+	if ps == nil {
+		ps = &peerShipper{}
+		e.senders[peer] = ps
+	}
+	return ps
+}
+
+// shipTo sends one snapshot down one peer's checkpoint channel,
+// (re)dialing as needed. A send failure tears the channel down so the
+// next round dials fresh.
+func (e *Engine) shipTo(peer string, snap *checkpoint.Snapshot) error {
+	ps := e.shipper(peer)
+	ps.sendMu.Lock()
+	defer ps.sendMu.Unlock()
+	ps.mu.Lock()
+	sender := ps.sender
+	ps.mu.Unlock()
+	if sender == nil {
+		s, err := e.dialCheckpoint(peer)
+		if err != nil {
+			return err
+		}
+		sender = s
+		ps.mu.Lock()
+		ps.sender = sender
+		ps.mu.Unlock()
+	}
+	if err := sender.Send(snap); err != nil {
+		ps.mu.Lock()
+		if ps.sender == sender {
+			ps.sender = nil
+		}
+		ps.mu.Unlock()
+		sender.Close()
+		return err
 	}
 	return nil
 }
@@ -376,8 +453,8 @@ func (e *Engine) dialCheckpoint(peer string) (*checkpoint.Sender, error) {
 func (e *Engine) closeSender() {
 	e.peerMu.Lock()
 	defer e.peerMu.Unlock()
-	for peer, s := range e.senders {
-		s.Close()
+	for peer, ps := range e.senders {
+		ps.close()
 		delete(e.senders, peer)
 	}
 }

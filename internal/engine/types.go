@@ -149,6 +149,12 @@ type Config struct {
 	// last confirmed checkpoint survives even a whole-pair outage.
 	StorePath string
 
+	// Policy selects the recovery action for component failures. Nil means
+	// StaticPolicy: follow each component's RecoveryRule verbatim. Set an
+	// *AdaptivePolicy (or any RecoveryPolicy) to pick restart vs. switchover
+	// vs. demote-and-rebuild from observed failure telemetry instead.
+	Policy RecoveryPolicy
+
 	// Metrics, when set, is where the engine registers its instruments
 	// (role transitions, detection latency, restart counts, switchover
 	// duration). Nil runs uninstrumented at zero cost.

@@ -42,6 +42,10 @@ type Beat struct {
 	Vote string
 	// Cand marks the sender as standing for election this term.
 	Cand bool
+	// Ckpt is the sender's checkpoint recency — the newest checkpoint
+	// sequence its backup store has applied this reign. Voters use it to
+	// refuse election candidates with staler state than their own.
+	Ckpt uint64
 }
 
 // Encode serializes a beat for datagram transport.

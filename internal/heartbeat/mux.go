@@ -32,6 +32,10 @@ type GroupState struct {
 	Vote string
 	// Cand marks the member as standing for election this term.
 	Cand bool
+	// Ckpt is the member's checkpoint recency (newest applied checkpoint
+	// sequence this reign); see the vote-grant rule in the engine's lease
+	// protocol.
+	Ckpt uint64
 }
 
 // MuxBeat is one datagram on a node-pair beat stream.

@@ -9,20 +9,41 @@ import (
 //
 //	/metrics        Prometheus text exposition of the registry
 //	/snapshot.json  full JSON snapshot (statuses, events, metrics, traces)
+//	/statuses.json  component status table only
+//	/traces.json    assembled recovery traces only
+//	/healthz        liveness probe (200 "ok")
 //
-// Collectors run before each response so pull-style subsystems are fresh.
+// The narrow JSON views exist for pollers like the black-box e2e harness,
+// which scrape statuses or traces at a high rate and should not pay for
+// (or parse) the full snapshot each time.
+//
+// Collectors run before each metrics/snapshot response so pull-style
+// subsystems are fresh.
 func (h *Hub) Handler() http.Handler {
 	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		h.Collect()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		h.reg.WriteProm(w)
 	})
 	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(h.Snapshot())
+		writeJSON(w, h.Snapshot())
+	})
+	mux.HandleFunc("/statuses.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, h.store.Statuses())
+	})
+	mux.HandleFunc("/traces.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, h.tracer.Traces())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
 	})
 	return mux
 }

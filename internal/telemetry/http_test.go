@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get performs one request against the hub handler and returns status
+// code, content type, and body.
+func get(t *testing.T, h *Hub, path string) (int, string, []byte) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, rec.Header().Get("Content-Type"), body
+}
+
+// TestHandlerEndpoints exercises the narrow JSON views the black-box e2e
+// harness polls, plus the liveness probe and the full snapshot.
+func TestHandlerEndpoints(t *testing.T) {
+	h := NewHub(16)
+	h.ReportStatus(Status{
+		Node: "n1", Component: "oftt-engine", Kind: KindEngine,
+		State: "PRIMARY", UpdatedAt: time.Now(),
+	})
+	// One complete recovery trace: detect opens, recovered closes.
+	h.RecordSpan(SpanEvent{Node: "n1", Component: "app", Phase: PhaseDetect, Detail: "heartbeat timeout"})
+	h.RecordSpan(SpanEvent{Node: "n1", Component: "app", Phase: PhaseRestart})
+	h.RecordSpan(SpanEvent{Node: "n1", Component: "app", Phase: PhaseRecovered})
+
+	code, ct, body := get(t, h, "/healthz")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") || string(body) != "ok\n" {
+		t.Fatalf("/healthz: code=%d ct=%q body=%q", code, ct, body)
+	}
+
+	code, ct, body = get(t, h, "/statuses.json")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/statuses.json: code=%d ct=%q", code, ct)
+	}
+	var sts []Status
+	if err := json.Unmarshal(body, &sts); err != nil {
+		t.Fatalf("/statuses.json not a status list: %v\n%s", err, body)
+	}
+	if len(sts) != 1 || sts[0].State != "PRIMARY" {
+		t.Fatalf("/statuses.json contents: %+v", sts)
+	}
+
+	code, ct, body = get(t, h, "/traces.json")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/traces.json: code=%d ct=%q", code, ct)
+	}
+	var trs []Trace
+	if err := json.Unmarshal(body, &trs); err != nil {
+		t.Fatalf("/traces.json not a trace list: %v\n%s", err, body)
+	}
+	if len(trs) != 1 || !trs[0].Complete || len(trs[0].Events) != 3 {
+		t.Fatalf("/traces.json contents: %+v", trs)
+	}
+	if !trs[0].HasOrdered(PhaseDetect, PhaseRestart, PhaseRecovered) {
+		t.Fatalf("trace phases out of order: %v", trs[0].Phases())
+	}
+
+	code, _, body = get(t, h, "/snapshot.json")
+	if code != 200 {
+		t.Fatalf("/snapshot.json: code=%d", code)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/snapshot.json not an object: %v", err)
+	}
+
+	code, ct, body = get(t, h, "/metrics")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics: code=%d ct=%q body=%q", code, ct, body[:min(len(body), 80)])
+	}
+}
