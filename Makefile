@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race chaos e2e soak bench bench-diverter bench-dcom bench-fabric bench-opc fuzz verify
+.PHONY: build vet test race chaos e2e soak bench bench-diverter bench-dcom bench-fabric bench-opc bench-ckpt fuzz verify
 
 build:
 	$(GO) build ./...
@@ -96,6 +96,31 @@ bench-opc:
 	$(GO) run ./cmd/oftt-benchdiff -in /tmp/bench_opc.txt -bench BenchmarkOPCFanout \
 		-new shared -old pergroup -metric persec -out BENCH_OPC.json \
 		-cell 'items=100000/subs=10000/chg=32' -min-speedup 3.0
+
+# Production-size checkpoint state: per-delta recovery cost across the
+# impl={stream,oneframe} x state={1MB,64MB,512MB} x mode={full,incr,oplog}
+# grid, regenerating BENCH_CKPT.json. The one-frame baseline is the
+# retained pre-streaming protocol (it has no op lane, so its oplog cells
+# are absent by construction). Iteration counts step down with per-op
+# cost: op-log ships are O(128B) so they run thousands of times, full
+# ships of 512MB run twice. The growth gate enforces the headline claim:
+# state grows 512x (1MB -> 512MB) while the op-log path's per-delta
+# recovery cost may grow at most 2x.
+bench-ckpt:
+	$(GO) test -run xxx -bench 'BenchmarkCkptRecovery/impl=.*/state=.*/mode=oplog' \
+		-benchtime 2000x ./internal/checkpoint | tee /tmp/bench_ckpt.txt
+	$(GO) test -run xxx -bench 'BenchmarkCkptRecovery/impl=.*/state=.*/mode=incr' \
+		-benchtime 200x ./internal/checkpoint | tee -a /tmp/bench_ckpt.txt
+	$(GO) test -run xxx -bench 'BenchmarkCkptRecovery/impl=.*/state=1MB/mode=full' \
+		-benchtime 50x ./internal/checkpoint | tee -a /tmp/bench_ckpt.txt
+	$(GO) test -run xxx -bench 'BenchmarkCkptRecovery/impl=.*/state=64MB/mode=full' \
+		-benchtime 5x ./internal/checkpoint | tee -a /tmp/bench_ckpt.txt
+	$(GO) test -run xxx -bench 'BenchmarkCkptRecovery/impl=.*/state=512MB/mode=full' \
+		-benchtime 2x ./internal/checkpoint | tee -a /tmp/bench_ckpt.txt
+	$(GO) run ./cmd/oftt-benchdiff -in /tmp/bench_ckpt.txt -bench BenchmarkCkptRecovery \
+		-new stream -old oneframe -out BENCH_CKPT.json -cell '' \
+		-growth 'state=1MB/mode=oplog:state=512MB/mode=oplog:2.0' \
+		-growth 'state=1MB/mode=incr:state=512MB/mode=incr:2.0'
 
 # Black-box multi-process chaos: compiles the real oftt-node and scadasim
 # binaries, boots a 3-node deployment on loopback TCP, and drives scripted

@@ -48,6 +48,18 @@ type cell struct {
 	Speedup float64      `json:"speedup"` // old ns/op ÷ new ns/op
 }
 
+// growthGate checks how the NEW implementation's ns/op scales between two
+// grid cells: the "to" cell may cost at most MaxRatio times the "from"
+// cell. This gates sub-linear claims ("state grew 512x, recovery grew
+// <=2x") that a plain old-vs-new speedup cannot express.
+type growthGate struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	MaxRatio float64 `json:"max_ratio"`
+	Ratio    float64 `json:"ratio"`
+	Pass     bool    `json:"pass"`
+}
+
 type report struct {
 	Benchmark string `json:"benchmark"`
 	NewImpl   string `json:"new_impl"`
@@ -60,7 +72,30 @@ type report struct {
 		Speedup    float64 `json:"speedup"`
 		Pass       bool    `json:"pass"`
 	} `json:"gate"`
-	Cells []cell `json:"cells"`
+	Growth []growthGate `json:"growth,omitempty"`
+	Cells  []cell       `json:"cells"`
+}
+
+// growthFlags collects repeated -growth 'from:to:maxRatio' values.
+type growthFlags []string
+
+func (g *growthFlags) String() string { return strings.Join(*g, ",") }
+
+func (g *growthFlags) Set(v string) error {
+	*g = append(*g, v)
+	return nil
+}
+
+func parseGrowth(spec string) (from, to string, maxRatio float64, err error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return "", "", 0, fmt.Errorf("bad -growth %q (want from:to:maxRatio)", spec)
+	}
+	maxRatio, err = strconv.ParseFloat(parts[2], 64)
+	if err != nil || maxRatio <= 0 {
+		return "", "", 0, fmt.Errorf("bad -growth ratio in %q", spec)
+	}
+	return parts[0], parts[1], maxRatio, nil
 }
 
 func main() {
@@ -69,9 +104,11 @@ func main() {
 	benchName := flag.String("bench", "BenchmarkDiverterThroughput", "benchmark whose sub-results to parse")
 	newImpl := flag.String("new", "sharded", "impl= label of the new implementation")
 	oldImpl := flag.String("old", "singlepump", "impl= label of the old (baseline) implementation")
-	gateCell := flag.String("cell", "p=8/d=8/svc=1ms", "grid cell the speedup gate applies to")
+	gateCell := flag.String("cell", "p=8/d=8/svc=1ms", "grid cell the speedup gate applies to ('' disables the speedup gate)")
 	minSpeedup := flag.Float64("min-speedup", 3.0, "minimum new-over-old speedup for the gate cell")
 	metric := flag.String("metric", "nsop", "speedup source: nsop (old/new ns/op) or persec (new/old custom throughput)")
+	var growth growthFlags
+	flag.Var(&growth, "growth", "repeatable growth gate 'cellFrom:cellTo:maxRatio': new impl ns/op at cellTo must be <= maxRatio x cellFrom")
 	flag.Parse()
 
 	if *metric != "nsop" && *metric != "persec" {
@@ -87,7 +124,7 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	rep, err := build(r, *benchName, *newImpl, *oldImpl, *gateCell, *minSpeedup, *metric)
+	rep, err := build(r, *benchName, *newImpl, *oldImpl, *gateCell, *minSpeedup, *metric, growth)
 	if err != nil {
 		fatal(err)
 	}
@@ -105,6 +142,10 @@ func main() {
 		unit = "op/s"
 	}
 	for _, c := range rep.Cells {
+		if c.Old == nil {
+			fmt.Printf("  %-28s %12.0f ns/op  (no %s cell)\n", c.Cell, c.New.NsPerOp, rep.OldImpl)
+			continue
+		}
 		newRate, oldRate := c.New.PerSec, c.Old.PerSec
 		if newRate == 0 && c.New.NsPerOp > 0 {
 			newRate, oldRate = 1e9/c.New.NsPerOp, 1e9/c.Old.NsPerOp
@@ -112,11 +153,20 @@ func main() {
 		fmt.Printf("  %-28s %10.0f vs %10.0f %s  speedup %.2fx\n",
 			c.Cell, newRate, oldRate, unit, c.Speedup)
 	}
-	if !rep.Gate.Pass {
-		fatal(fmt.Errorf("gate cell %s: speedup %.2fx below required %.2fx",
-			rep.Gate.Cell, rep.Gate.Speedup, rep.Gate.MinSpeedup))
+	if rep.Gate.Cell != "" {
+		if !rep.Gate.Pass {
+			fatal(fmt.Errorf("gate cell %s: speedup %.2fx below required %.2fx",
+				rep.Gate.Cell, rep.Gate.Speedup, rep.Gate.MinSpeedup))
+		}
+		fmt.Printf("gate %s: %.2fx >= %.2fx ok\n", rep.Gate.Cell, rep.Gate.Speedup, rep.Gate.MinSpeedup)
 	}
-	fmt.Printf("gate %s: %.2fx >= %.2fx ok\n", rep.Gate.Cell, rep.Gate.Speedup, rep.Gate.MinSpeedup)
+	for _, g := range rep.Growth {
+		if !g.Pass {
+			fatal(fmt.Errorf("growth gate %s -> %s: ratio %.2fx above allowed %.2fx",
+				g.From, g.To, g.Ratio, g.MaxRatio))
+		}
+		fmt.Printf("growth %s -> %s: %.2fx <= %.2fx ok\n", g.From, g.To, g.Ratio, g.MaxRatio)
+	}
 }
 
 func fatal(err error) {
@@ -129,7 +179,7 @@ func fatal(err error) {
 // "persec" divides the new custom throughput metric by the old (useful
 // when the grid runs the implementations at different operating points
 // and the rate metric is the comparable quantity).
-func build(r io.Reader, benchName, newImpl, oldImpl, gateCell string, minSpeedup float64, metric string) (*report, error) {
+func build(r io.Reader, benchName, newImpl, oldImpl, gateCell string, minSpeedup float64, metric string, growth []string) (*report, error) {
 	rep := &report{Benchmark: benchName, NewImpl: newImpl, OldImpl: oldImpl, Metric: metric}
 	byImpl := map[string]map[string]*measurement{} // impl -> cell -> measurement
 	sc := bufio.NewScanner(r)
@@ -155,33 +205,58 @@ func build(r io.Reader, benchName, newImpl, oldImpl, gateCell string, minSpeedup
 		return nil, fmt.Errorf("no paired results found (%s=%d %s=%d lines)",
 			newImpl, len(newM), oldImpl, len(oldM))
 	}
+	// Every new-impl cell is reported; speedup only where the old impl
+	// ran the same cell (new-only cells keep Old nil and Speedup 0).
 	names := make([]string, 0, len(newM))
 	for name := range newM {
-		if oldM[name] != nil {
-			names = append(names, name)
-		}
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
 		c := cell{Cell: name, New: newM[name], Old: oldM[name]}
-		if metric == "persec" && c.Old.PerSec > 0 {
-			c.Speedup = c.New.PerSec / c.Old.PerSec
-		} else if c.New.NsPerOp > 0 {
-			c.Speedup = c.Old.NsPerOp / c.New.NsPerOp
+		if c.Old != nil {
+			if metric == "persec" && c.Old.PerSec > 0 {
+				c.Speedup = c.New.PerSec / c.Old.PerSec
+			} else if c.New.NsPerOp > 0 {
+				c.Speedup = c.Old.NsPerOp / c.New.NsPerOp
+			}
 		}
 		rep.Cells = append(rep.Cells, c)
 	}
 
 	rep.Gate.Cell = gateCell
 	rep.Gate.MinSpeedup = minSpeedup
-	for _, c := range rep.Cells {
-		if c.Cell == gateCell {
-			rep.Gate.Speedup = c.Speedup
-			rep.Gate.Pass = c.Speedup >= minSpeedup
+	if gateCell != "" {
+		for _, c := range rep.Cells {
+			if c.Cell == gateCell {
+				rep.Gate.Speedup = c.Speedup
+				rep.Gate.Pass = c.Speedup >= minSpeedup
+			}
+		}
+		if rep.Gate.Speedup == 0 {
+			return nil, fmt.Errorf("gate cell %q not present in bench output", gateCell)
 		}
 	}
-	if rep.Gate.Speedup == 0 {
-		return nil, fmt.Errorf("gate cell %q not present in bench output", gateCell)
+
+	// Growth gates read the NEW impl's raw measurements, not the paired
+	// cells: a new-only cell (e.g. a mode the baseline cannot run) is a
+	// legitimate growth endpoint.
+	for _, spec := range growth {
+		from, to, maxRatio, err := parseGrowth(spec)
+		if err != nil {
+			return nil, err
+		}
+		fromM, toM := newM[from], newM[to]
+		if fromM == nil || toM == nil {
+			return nil, fmt.Errorf("growth gate %q: cell missing in %s results", spec, newImpl)
+		}
+		if fromM.NsPerOp <= 0 {
+			return nil, fmt.Errorf("growth gate %q: zero ns/op baseline", spec)
+		}
+		g := growthGate{From: from, To: to, MaxRatio: maxRatio,
+			Ratio: toM.NsPerOp / fromM.NsPerOp}
+		g.Pass = g.Ratio <= maxRatio
+		rep.Growth = append(rep.Growth, g)
 	}
 	return rep, nil
 }

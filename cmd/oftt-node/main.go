@@ -40,16 +40,38 @@ func main() {
 		ckpt     = flag.Duration("ckpt", 50*time.Millisecond, "plant checkpoint period")
 		tick     = flag.Duration("tick", 10*time.Millisecond, "plant scan-loop period")
 		adaptive = flag.Bool("adaptive", false, "use the adaptive recovery policy")
+		storeDir = flag.String("store-dir", "", "persist checkpoints as a segmented WAL under this directory")
+		oplog    = flag.Bool("oplog", false, "ship plant mutations as a continuous op log between checkpoints")
+		compress = flag.Bool("ckpt-compress", false, "flate-compress checkpoint stream chunks")
+		chunk    = flag.Int("ckpt-chunk", 0, "checkpoint stream chunk size in bytes (default 256KiB)")
 		httpAddr = flag.String("http", "127.0.0.1:0", "telemetry HTTP listen address")
 		ingest   = flag.String("ingest", "127.0.0.1:0", "feeder ingest listen address")
 		addrFile = flag.String("addr-file", "", "write listener addresses (JSON) here once up")
 	)
 	flag.Parse()
 
-	if err := run(*name, *peers, *seed, *hb, *peerTo, *ckpt, *tick, *adaptive, *httpAddr, *ingest, *addrFile); err != nil {
+	opts := nodeOpts{
+		adaptive: *adaptive, storeDir: *storeDir, oplog: *oplog,
+		compress: *compress, chunk: *chunk,
+		httpAddr: *httpAddr, ingest: *ingest, addrFile: *addrFile,
+	}
+	if err := run(*name, *peers, *seed, *hb, *peerTo, *ckpt, *tick, opts); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
+}
+
+// nodeOpts bundles the non-timing run options so run's signature stays
+// readable as flags accrete.
+type nodeOpts struct {
+	adaptive bool
+	storeDir string
+	oplog    bool
+	compress bool
+	chunk    int
+	httpAddr string
+	ingest   string
+	addrFile string
 }
 
 func parsePeers(s string) (map[string]string, error) {
@@ -68,7 +90,7 @@ func parsePeers(s string) (map[string]string, error) {
 }
 
 func run(name, peerList string, seed int64, hb, peerTo, ckpt, tick time.Duration,
-	adaptive bool, httpAddr, ingest, addrFile string) error {
+	opts nodeOpts) error {
 	if name == "" {
 		return fmt.Errorf("oftt-node: -name is required")
 	}
@@ -86,9 +108,13 @@ func run(name, peerList string, seed int64, hb, peerTo, ckpt, tick time.Duration
 		PeerTimeout:       peerTo,
 		CheckpointPeriod:  ckpt,
 		PlantTick:         tick,
-		Adaptive:          adaptive,
-		HTTPAddr:          httpAddr,
-		IngestAddr:        ingest,
+		Adaptive:          opts.adaptive,
+		StoreDir:          opts.storeDir,
+		OpLog:             opts.oplog,
+		CkptCompress:      opts.compress,
+		CkptChunk:         opts.chunk,
+		HTTPAddr:          opts.httpAddr,
+		IngestAddr:        opts.ingest,
 		Logf:              logf,
 	})
 	if err != nil {
@@ -96,8 +122,8 @@ func run(name, peerList string, seed int64, hb, peerTo, ckpt, tick time.Duration
 	}
 	defer h.Close()
 
-	if addrFile != "" {
-		if err := writeAddrFile(addrFile, h.AddrInfo()); err != nil {
+	if opts.addrFile != "" {
+		if err := writeAddrFile(opts.addrFile, h.AddrInfo()); err != nil {
 			return err
 		}
 	}

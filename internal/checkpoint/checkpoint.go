@@ -184,6 +184,17 @@ func (r *Registry) WithLock(fn func()) {
 	fn()
 }
 
+// WithLockSeq runs fn while holding the state mutex, passing the current
+// capture sequence. It is the op-log emit hook: a mutation applied inside
+// fn is anchored to the capture it follows, and because the op is logged
+// in the same critical section, op order and anchor order agree — the
+// invariant the receiver's subsumption pruning relies on.
+func (r *Registry) WithLockSeq(fn func(anchor uint64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.seq)
+}
+
 // Regions lists registered region names in order.
 func (r *Registry) Regions() []string {
 	r.mu.Lock()
@@ -296,12 +307,47 @@ func hashBytes(b []byte) uint64 {
 	return h
 }
 
+// StoreEventKind labels a store observer event.
+type StoreEventKind int
+
+// Store observer events.
+const (
+	// EventSnapshot fires after a snapshot was applied.
+	EventSnapshot StoreEventKind = iota + 1
+	// EventOps fires after an op batch was accepted.
+	EventOps
+	// EventReset fires after the store was cleared.
+	EventReset
+)
+
+// StoreEvent describes one store mutation for a hot-standby observer. The
+// event is self-contained — observers MUST NOT call back into the store
+// (events are dispatched under the store's notification lock).
+type StoreEvent struct {
+	Kind StoreEventKind
+	// Snap is the applied snapshot (EventSnapshot).
+	Snap *Snapshot
+	// Pending is a copy of the surviving op tail after the snapshot's
+	// subsumption pruning (EventSnapshot).
+	Pending []Op
+	// Ops are the newly accepted operations, in sequence order (EventOps).
+	Ops []Op
+}
+
+// StoreObserver receives store events in apply order.
+type StoreObserver func(StoreEvent)
+
 // SnapshotStore is the store contract the engine consumes; *Store (in
-// memory) and *PersistentStore (disk-backed) both satisfy it.
+// memory), *PersistentStore (single-file disk) and *WALStore (segmented
+// write-ahead log) all satisfy it.
 type SnapshotStore interface {
 	Apply(snap *Snapshot) error
+	ApplyOps(batch *OpBatch) error
 	Materialize(r *Registry) error
 	Export() *Snapshot
+	PendingOps() []Op
+	OpSeq() uint64
+	SetObserver(obs StoreObserver)
 	LastSeq() uint64
 	LastAt() time.Time
 	Counts() (applied, rejected int)
@@ -309,7 +355,9 @@ type SnapshotStore interface {
 }
 
 // Store accumulates snapshots on the backup node, merging incrementals
-// onto their base so the latest recoverable state is always materializable.
+// onto their base so the latest recoverable state is always
+// materializable, plus the op tail shipped since the last snapshot anchor
+// so a takeover can replay to the primary's latest acknowledged mutation.
 type Store struct {
 	mu       sync.Mutex
 	merged   map[string][]byte
@@ -317,6 +365,17 @@ type Store struct {
 	lastAt   time.Time
 	applied  int
 	rejected int
+
+	ops      []Op   // accepted op tail, ascending Seq
+	opSeq    uint64 // highest accepted op sequence
+	opResync bool   // a full snapshot arrived; next batch may jump
+
+	// obsMu serializes observer dispatch in apply order. It is acquired
+	// while mu is still held and released after the callback, so events
+	// are ordered but the callback never runs under mu. Lock order is
+	// always mu -> obsMu; observers must not call store methods.
+	obsMu sync.Mutex
+	obs   StoreObserver
 }
 
 // NewStore returns an empty store.
@@ -324,18 +383,46 @@ func NewStore() *Store {
 	return &Store{merged: make(map[string][]byte)}
 }
 
+// SetObserver installs the hot-standby observer (nil to remove).
+func (s *Store) SetObserver(obs StoreObserver) {
+	s.mu.Lock()
+	s.obsMu.Lock()
+	s.obs = obs
+	s.obsMu.Unlock()
+	s.mu.Unlock()
+}
+
+// notifyLocked hands off an event while holding mu: it takes obsMu,
+// releases mu, runs the callback, and releases obsMu. The caller must
+// hold mu and must return immediately after (mu is unlocked here).
+func (s *Store) notifyLocked(ev StoreEvent) {
+	obs := s.obs
+	if obs == nil {
+		s.mu.Unlock()
+		return
+	}
+	s.obsMu.Lock()
+	s.mu.Unlock()
+	obs(ev)
+	s.obsMu.Unlock()
+}
+
 // Apply merges a received snapshot. Snapshots must arrive in increasing
 // sequence order; stale ones are rejected. A full or selective snapshot
-// replaces its regions; an incremental one requires a prior base.
+// replaces its regions; an incremental one requires a prior base. Ops
+// anchored before the snapshot are subsumed by it and pruned from the
+// tail; a full snapshot additionally permits the next op batch to jump
+// the op sequence (the shipper prunes its own log after a re-base).
 func (s *Store) Apply(snap *Snapshot) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if snap.Seq <= s.lastSeq {
 		s.rejected++
+		s.mu.Unlock()
 		return fmt.Errorf("%w: seq %d <= %d", ErrStaleSnapshot, snap.Seq, s.lastSeq)
 	}
 	if Kind(snap.Kind) == KindIncremental && len(s.merged) == 0 {
 		s.rejected++
+		s.mu.Unlock()
 		return ErrNeedBase
 	}
 	for name, data := range snap.Regions {
@@ -346,7 +433,94 @@ func (s *Store) Apply(snap *Snapshot) error {
 	s.lastSeq = snap.Seq
 	s.lastAt = snap.TakenAt
 	s.applied++
+	s.pruneOpsLocked(snap.Seq)
+	if Kind(snap.Kind) == KindFull {
+		s.opResync = true
+	}
+	var pending []Op
+	if s.obs != nil {
+		pending = append([]Op(nil), s.ops...)
+	}
+	s.notifyLocked(StoreEvent{Kind: EventSnapshot, Snap: snap, Pending: pending})
 	return nil
+}
+
+// pruneOpsLocked drops ops subsumed by an applied snapshot.
+func (s *Store) pruneOpsLocked(snapSeq uint64) {
+	i := 0
+	for ; i < len(s.ops); i++ {
+		if s.ops[i].Anchor >= snapSeq {
+			break
+		}
+	}
+	if i > 0 {
+		s.ops = append(s.ops[:0], s.ops[i:]...)
+	}
+}
+
+// ApplyOps accepts a shipped op batch. Duplicates (Seq <= the highest
+// accepted) are skipped; a sequence gap is an error unless a full
+// snapshot arrived since the last batch (the shipper pruned subsumed ops
+// after a re-base). The batch is all-or-nothing: on error nothing is
+// retained.
+func (s *Store) ApplyOps(batch *OpBatch) error {
+	s.mu.Lock()
+	if s.lastSeq == 0 {
+		s.rejected++
+		s.mu.Unlock()
+		return ErrNeedBase
+	}
+	fresh := make([]Op, 0, len(batch.Ops))
+	next := s.opSeq
+	resync := s.opResync
+	for i := range batch.Ops {
+		op := batch.Ops[i]
+		if op.Seq <= next {
+			continue // duplicate of an already-accepted op
+		}
+		if next != 0 && op.Seq != next+1 && !resync {
+			s.rejected++
+			s.mu.Unlock()
+			return fmt.Errorf("%w: got seq %d after %d", ErrOpGap, op.Seq, next)
+		}
+		resync = false
+		next = op.Seq
+		if op.Anchor < s.lastSeq {
+			// Subsumed: an already-applied snapshot was captured after this
+			// op, so its regions contain the op's effect. The seq is
+			// consumed, but the op is neither retained nor announced —
+			// replaying it would apply it twice.
+			continue
+		}
+		cp := Op{Seq: op.Seq, Anchor: op.Anchor, Data: append([]byte(nil), op.Data...)}
+		fresh = append(fresh, cp)
+	}
+	if next != s.opSeq {
+		s.opSeq = next
+		s.opResync = false
+	}
+	if len(fresh) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.ops = append(s.ops, fresh...)
+	s.notifyLocked(StoreEvent{Kind: EventOps, Ops: fresh})
+	return nil
+}
+
+// PendingOps copies the accepted op tail (ops not yet subsumed by an
+// applied snapshot), in sequence order.
+func (s *Store) PendingOps() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Op(nil), s.ops...)
+}
+
+// OpSeq returns the highest accepted op sequence (0 if none).
+func (s *Store) OpSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opSeq
 }
 
 // Materialize restores the merged state into a registry: the takeover path
@@ -412,11 +586,15 @@ func (s *Store) Counts() (applied, rejected int) {
 
 var _ SnapshotStore = (*Store)(nil)
 
-// Reset clears the store (used when a node rejoins as backup).
+// Reset clears the store, including the op tail (used when a node
+// rejoins as backup).
 func (s *Store) Reset() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.merged = make(map[string][]byte)
 	s.lastSeq = 0
 	s.lastAt = time.Time{}
+	s.ops = nil
+	s.opSeq = 0
+	s.opResync = false
+	s.notifyLocked(StoreEvent{Kind: EventReset})
 }

@@ -1,0 +1,109 @@
+package checkpoint
+
+// The pre-streaming one-frame transfer protocol, kept verbatim as a
+// test-only baseline (the singlepump_ref/oneconn_ref pattern): every
+// snapshot encoded into a single frame, one blocking ack, no resume. The
+// bench grid ships through both implementations so BENCH_CKPT.json shows
+// what chunked streaming + op-log shipping buy as state grows.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ndr"
+)
+
+// oneframeAck is the legacy receiver acknowledgement frame.
+type oneframeAck struct {
+	Seq uint64
+	OK  bool
+	Err string
+}
+
+// oneframeSender ships whole-snapshot frames and blocks for each ack.
+type oneframeSender struct {
+	conn    FrameConn
+	timeout time.Duration
+
+	sent      int
+	sentBytes int64
+}
+
+func newOneframeSender(conn FrameConn, ackTimeout time.Duration) *oneframeSender {
+	if ackTimeout <= 0 {
+		ackTimeout = 2 * time.Second
+	}
+	return &oneframeSender{conn: conn, timeout: ackTimeout}
+}
+
+func (s *oneframeSender) Send(snap *Snapshot) error {
+	frame, err := snap.Encode()
+	if err != nil {
+		return err
+	}
+	if err := s.conn.Send(frame); err != nil {
+		return fmt.Errorf("checkpoint: send seq %d: %w", snap.Seq, err)
+	}
+	raw, err := s.conn.RecvTimeout(s.timeout)
+	if err != nil {
+		return fmt.Errorf("%w: seq %d: %v", ErrNotAcked, snap.Seq, err)
+	}
+	var a oneframeAck
+	if err := ndr.Unmarshal(raw, &a); err != nil {
+		return fmt.Errorf("%w: corrupt ack: %v", ErrNotAcked, err)
+	}
+	if a.Seq != snap.Seq {
+		return fmt.Errorf("%w: ack seq %d for snapshot %d", ErrNotAcked, a.Seq, snap.Seq)
+	}
+	if !a.OK {
+		return fmt.Errorf("checkpoint: backup rejected seq %d: %s", snap.Seq, a.Err)
+	}
+	s.sent++
+	s.sentBytes += int64(len(frame))
+	return nil
+}
+
+func (s *oneframeSender) Stats() (count int, bytes int64) { return s.sent, s.sentBytes }
+
+func (s *oneframeSender) Close() { _ = s.conn.Close() }
+
+// serveOneframeReceiver pumps whole-snapshot frames into store until the
+// connection breaks or stop closes.
+func serveOneframeReceiver(conn FrameConn, store SnapshotStore, stop <-chan struct{}) {
+	defer conn.Close()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		raw, err := conn.RecvTimeout(250 * time.Millisecond)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			return
+		}
+		snap, err := DecodeSnapshot(raw)
+		if err != nil {
+			return // corrupt peer: drop the connection
+		}
+		a := oneframeAck{Seq: snap.Seq, OK: true}
+		if err := store.Apply(snap); err != nil {
+			a.OK = false
+			a.Err = err.Error()
+			if errors.Is(err, ErrStaleSnapshot) {
+				a.OK = true
+				a.Err = ""
+			}
+		}
+		out, err := ndr.Marshal(a)
+		if err != nil {
+			return
+		}
+		if err := conn.Send(out); err != nil {
+			return
+		}
+	}
+}

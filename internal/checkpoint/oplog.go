@@ -1,0 +1,202 @@
+// Op-log shipping: the third checkpoint lane. Instead of re-capturing and
+// re-shipping region bytes every period, the primary's FTIM appends each
+// application-level mutation to an OpLog (under the same registry lock that
+// serialized the mutation) and a flusher streams the tail to the backups,
+// which replay the operations into their live registered state between
+// full/incremental anchors — LLFT's strong-replica-consistency-by-log
+// approach. Per-period ship cost becomes O(ops), not O(state), and the
+// acked-loss window shrinks from the checkpoint period to the flush
+// interval.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ndr"
+)
+
+// Op is one logged application mutation. Seq is the dense per-primary op
+// sequence assigned by the OpLog; Anchor is the registry capture sequence
+// the mutation follows (read under the state lock at emit time), which
+// makes subsumption exact: a snapshot with Seq S contains the effect of
+// every op with Anchor < S, and of no op with Anchor >= S.
+type Op struct {
+	Seq    uint64
+	Anchor uint64
+	Data   []byte
+}
+
+// OpBatch is the wire unit of op shipping.
+type OpBatch struct {
+	Ops []Op
+}
+
+// Encode serializes the batch for the wire.
+func (b *OpBatch) Encode() ([]byte, error) { return ndr.MarshalDeref(b) }
+
+// DecodeOpBatch parses a wire-format op batch.
+func DecodeOpBatch(data []byte) (*OpBatch, error) {
+	var b OpBatch
+	if err := ndr.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode op batch: %w", err)
+	}
+	return &b, nil
+}
+
+// Bytes reports the batch payload size.
+func (b *OpBatch) Bytes() int {
+	total := 0
+	for i := range b.Ops {
+		total += 16 + len(b.Ops[i].Data)
+	}
+	return total
+}
+
+// Errors of the op lane.
+var (
+	// ErrOpGap is returned when a received op batch does not continue the
+	// store's op sequence and no snapshot resync explains the jump. The
+	// receiver's replica is missing operations; the shipper must re-base
+	// it with a full snapshot.
+	ErrOpGap = errors.New("checkpoint: op sequence gap")
+
+	// ErrOpOverflow is returned by Append when the log's byte budget is
+	// exhausted (the backup fell too far behind for the op lane to catch
+	// it up); the shipper should fall back to a full snapshot re-base.
+	ErrOpOverflow = errors.New("checkpoint: op log overflow")
+)
+
+// OpLog is the primary-side mutation buffer: ops append at the tail and
+// are released by AckThrough once every replica confirmed them, or by
+// PruneAnchored once a confirmed full snapshot subsumes them. The byte
+// budget bounds primary memory when a backup stalls.
+type OpLog struct {
+	mu       sync.Mutex
+	ops      []Op
+	nextSeq  uint64
+	bytes    int64
+	maxBytes int64
+	overflow bool
+}
+
+// DefaultOpLogBytes bounds an OpLog constructed with maxBytes <= 0.
+const DefaultOpLogBytes = 64 << 20
+
+// NewOpLog returns an empty log with the given byte budget
+// (DefaultOpLogBytes when maxBytes <= 0).
+func NewOpLog(maxBytes int64) *OpLog {
+	if maxBytes <= 0 {
+		maxBytes = DefaultOpLogBytes
+	}
+	return &OpLog{nextSeq: 1, maxBytes: maxBytes}
+}
+
+// Append logs one mutation and returns its op sequence. Call it under the
+// registry lock that serialized the mutation (Registry.WithLockSeq), so op
+// order and anchor order agree. Data is retained by the log; the caller
+// must not reuse it. On overflow the op is dropped, the log is marked
+// overflowed until Reset/PruneAnchored clears the backlog, and the caller
+// must schedule a full re-base.
+func (l *OpLog) Append(anchor uint64, data []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.overflow || l.bytes+int64(len(data)) > l.maxBytes {
+		l.overflow = true
+		return 0, ErrOpOverflow
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	l.ops = append(l.ops, Op{Seq: seq, Anchor: anchor, Data: data})
+	l.bytes += int64(len(data))
+	return seq, nil
+}
+
+// Batch copies up to maxBytes of unreleased ops from the head into a wire
+// batch (all of them when maxBytes <= 0). Returns nil when the log is
+// empty or overflowed (an overflowed log has a hole; shipping its tail
+// would corrupt the replica).
+func (l *OpLog) Batch(maxBytes int64) *OpBatch {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ops) == 0 || l.overflow {
+		return nil
+	}
+	n := len(l.ops)
+	if maxBytes > 0 {
+		var sz int64
+		for i := range l.ops {
+			sz += int64(len(l.ops[i].Data))
+			if sz > maxBytes && i > 0 {
+				n = i
+				break
+			}
+		}
+	}
+	out := make([]Op, n)
+	copy(out, l.ops[:n])
+	return &OpBatch{Ops: out}
+}
+
+// AckThrough releases every op with Seq <= seq (all replicas confirmed).
+func (l *OpLog) AckThrough(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dropWhileLocked(func(op *Op) bool { return op.Seq <= seq })
+}
+
+// PruneAnchored releases every op with Anchor < snapSeq — they are
+// subsumed by a confirmed snapshot with that sequence — and clears an
+// overflow mark (the re-base snapshot restores a coherent baseline).
+func (l *OpLog) PruneAnchored(snapSeq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dropWhileLocked(func(op *Op) bool { return op.Anchor < snapSeq })
+	l.overflow = false
+}
+
+// dropWhileLocked releases the longest head run matching drop.
+func (l *OpLog) dropWhileLocked(drop func(*Op) bool) {
+	i := 0
+	for ; i < len(l.ops); i++ {
+		if !drop(&l.ops[i]) {
+			break
+		}
+		l.bytes -= int64(len(l.ops[i].Data))
+	}
+	if i == 0 {
+		return
+	}
+	rest := copy(l.ops, l.ops[i:])
+	for j := rest; j < len(l.ops); j++ {
+		l.ops[j] = Op{}
+	}
+	l.ops = l.ops[:rest]
+}
+
+// Reset drops everything and clears overflow; op sequences keep rising so
+// replicas can tell a post-reset stream from a replayed one.
+func (l *OpLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops = nil
+	l.bytes = 0
+	l.overflow = false
+}
+
+// Lag reports the unreleased backlog (ops, payload bytes) — the distance
+// the slowest replica is behind the primary.
+func (l *OpLog) Lag() (ops int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ops), l.bytes
+}
+
+// Overflowed reports whether the log dropped an op since the last
+// Reset/PruneAnchored.
+func (l *OpLog) Overflowed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.overflow
+}

@@ -1,0 +1,184 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestOpLogAppendBatchAck(t *testing.T) {
+	l := NewOpLog(0)
+	for i := 0; i < 5; i++ {
+		seq, err := l.Append(3, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append seq %d, want %d", seq, i+1)
+		}
+	}
+	if ops, _ := l.Lag(); ops != 5 {
+		t.Fatalf("lag %d, want 5", ops)
+	}
+	batch := l.Batch(1 << 20)
+	if batch == nil || len(batch.Ops) != 5 {
+		t.Fatalf("batch: %+v", batch)
+	}
+	l.AckThrough(3)
+	if ops, _ := l.Lag(); ops != 2 {
+		t.Fatalf("lag after ack: %d, want 2", ops)
+	}
+	// Sequence numbers keep rising across Reset so receivers' dup-skip
+	// stays monotonic.
+	l.Reset()
+	seq, err := l.Append(4, []byte("x"))
+	if err != nil || seq != 6 {
+		t.Fatalf("append after reset: seq %d err %v", seq, err)
+	}
+}
+
+func TestOpLogBatchRespectsByteBudget(t *testing.T) {
+	l := NewOpLog(0)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(1, make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := l.Batch(250) // ~two ops of 100 bytes + op overhead
+	if batch == nil || len(batch.Ops) == 0 || len(batch.Ops) >= 10 {
+		t.Fatalf("budgeted batch: %+v", batch)
+	}
+}
+
+func TestOpLogOverflowFallsBack(t *testing.T) {
+	l := NewOpLog(64)
+	if _, err := l.Append(1, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, make([]byte, 64)); !errors.Is(err, ErrOpOverflow) {
+		t.Fatalf("overflow append: %v", err)
+	}
+	if !l.Overflowed() {
+		t.Fatal("overflow not latched")
+	}
+	if l.Batch(1<<20) != nil {
+		t.Fatal("overflowed log still handed out a batch")
+	}
+	// The full re-base prunes and clears the overflow latch.
+	l.PruneAnchored(2)
+	if l.Overflowed() {
+		t.Fatal("overflow survived prune")
+	}
+}
+
+func TestOpLogPruneAnchored(t *testing.T) {
+	l := NewOpLog(0)
+	_, _ = l.Append(1, []byte("a")) // anchor 1: contained in snapshot 2
+	_, _ = l.Append(1, []byte("b"))
+	_, _ = l.Append(2, []byte("c")) // anchor 2: NOT contained in snapshot 2
+	l.PruneAnchored(2)
+	batch := l.Batch(1 << 20)
+	if batch == nil || len(batch.Ops) != 1 || string(batch.Ops[0].Data) != "c" {
+		t.Fatalf("after prune: %+v", batch)
+	}
+}
+
+func opStore(t *testing.T, baseSeq uint64) *Store {
+	t.Helper()
+	s := NewStore()
+	if err := s.Apply(&Snapshot{Seq: baseSeq, Kind: string(KindFull), TakenAt: time.Now(),
+		Regions: map[string][]byte{"r": {1}}}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreApplyOpsRules(t *testing.T) {
+	// No base: rejected.
+	s := NewStore()
+	err := s.ApplyOps(&OpBatch{Ops: []Op{{Seq: 1, Anchor: 1, Data: []byte("x")}}})
+	if !errors.Is(err, ErrNeedBase) {
+		t.Fatalf("baseless ops: %v", err)
+	}
+
+	s = opStore(t, 1)
+	if err := s.ApplyOps(&OpBatch{Ops: []Op{
+		{Seq: 1, Anchor: 1, Data: []byte("a")},
+		{Seq: 2, Anchor: 1, Data: []byte("b")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate seqs are skipped, not errors (the resend path).
+	if err := s.ApplyOps(&OpBatch{Ops: []Op{{Seq: 2, Anchor: 1, Data: []byte("b")}}}); err != nil {
+		t.Fatal(err)
+	}
+	// A gap without a resync base is a broken chain.
+	err = s.ApplyOps(&OpBatch{Ops: []Op{{Seq: 9, Anchor: 1, Data: []byte("z")}}})
+	if !errors.Is(err, ErrOpGap) {
+		t.Fatalf("gapped ops: %v", err)
+	}
+	if s.OpSeq() != 2 {
+		t.Fatalf("op seq after gap reject: %d", s.OpSeq())
+	}
+
+	// A fresh full snapshot resyncs: one gap is forgiven, and ops the
+	// snapshot already contains (older anchor) are consumed silently.
+	if err := s.Apply(&Snapshot{Seq: 5, Kind: string(KindFull), TakenAt: time.Now(),
+		Regions: map[string][]byte{"r": {5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.PendingOps()) != 0 {
+		t.Fatal("full snapshot did not prune pending ops")
+	}
+	if err := s.ApplyOps(&OpBatch{Ops: []Op{
+		{Seq: 9, Anchor: 4, Data: []byte("old")}, // anchor < 5: subsumed
+		{Seq: 10, Anchor: 5, Data: []byte("new")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	pend := s.PendingOps()
+	if len(pend) != 1 || string(pend[0].Data) != "new" {
+		t.Fatalf("subsumption filter: %+v", pend)
+	}
+	if s.OpSeq() != 10 {
+		t.Fatalf("op seq after resync: %d", s.OpSeq())
+	}
+}
+
+func TestStoreObserverEvents(t *testing.T) {
+	s := NewStore()
+	var events []StoreEventKind
+	var lastPending int
+	s.SetObserver(func(ev StoreEvent) {
+		events = append(events, ev.Kind)
+		if ev.Kind == EventSnapshot {
+			lastPending = len(ev.Pending)
+		}
+	})
+	if err := s.Apply(&Snapshot{Seq: 1, Kind: string(KindFull), TakenAt: time.Now(),
+		Regions: map[string][]byte{"r": {1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyOps(&OpBatch{Ops: []Op{{Seq: 1, Anchor: 1, Data: []byte("a")}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Apply(&Snapshot{Seq: 2, Kind: string(KindFull), TakenAt: time.Now(),
+		Regions: map[string][]byte{"r": {2}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	want := []StoreEventKind{EventSnapshot, EventOps, EventSnapshot, EventReset}
+	if len(events) != len(want) {
+		t.Fatalf("events: %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events: %v, want %v", events, want)
+		}
+	}
+	// The second snapshot's event still carried the op (anchor 1 >= seq 2
+	// is false -> pruned; anchor 1 < 2 means contained).
+	if lastPending != 0 {
+		t.Fatalf("snapshot 2 pending: %d, want 0 (op subsumed)", lastPending)
+	}
+}

@@ -57,6 +57,21 @@ func (ps *PersistentStore) Apply(snap *Snapshot) error {
 	return ps.flush()
 }
 
+// ApplyOps applies an op batch to the memory view. Ops are not persisted
+// here — the single-file store rewrites O(state) per flush, so durable op
+// logging is WALStore's job; this store keeps them only for takeover
+// replay within the process lifetime.
+func (ps *PersistentStore) ApplyOps(batch *OpBatch) error { return ps.mem.ApplyOps(batch) }
+
+// PendingOps copies the accepted op tail.
+func (ps *PersistentStore) PendingOps() []Op { return ps.mem.PendingOps() }
+
+// OpSeq returns the highest accepted op sequence.
+func (ps *PersistentStore) OpSeq() uint64 { return ps.mem.OpSeq() }
+
+// SetObserver installs the hot-standby observer on the memory view.
+func (ps *PersistentStore) SetObserver(obs StoreObserver) { ps.mem.SetObserver(obs) }
+
 // Materialize restores the merged state into a registry.
 func (ps *PersistentStore) Materialize(r *Registry) error { return ps.mem.Materialize(r) }
 
@@ -118,7 +133,10 @@ func (ps *PersistentStore) flush() error {
 		_ = os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: commit store: %w", err)
 	}
-	return nil
+	// The rename alone is not durable: without a directory fsync a crash
+	// can roll the directory entry back to the old file (or to nothing),
+	// losing a checkpoint the backup already acknowledged.
+	return syncDir(dir)
 }
 
 // Path returns the backing file path.

@@ -1,0 +1,226 @@
+package checkpoint
+
+// BenchmarkCkptRecovery measures the cost of propagating one state change
+// from primary to backup — the recovery-currency of the checkpoint plane —
+// across the impl x state-size x mode grid that `make bench-ckpt` feeds
+// into BENCH_CKPT.json. "Recovery" here is one delta's primary-to-backup
+// trip: a full-snapshot ship (O(state)), an incremental ship of the dirty
+// region (O(delta)), or an op-log batch (O(op)). The gate in the Makefile
+// checks the production-size-state claim: as state grows 512x (1MB ->
+// 512MB), the op-log cell's per-delta cost may grow at most 2x.
+//
+// impl=oneframe is the retained pre-streaming baseline
+// (oneframe_ref_test.go); it has no op lane, so its oplog cells do not
+// exist and benchdiff compares it only where it can play.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// benchRegion is the registered-region granularity of the bench state.
+const benchRegion = 64 << 10
+
+// benchState builds size bytes of incompressible-ish state as 64KiB
+// regions (the shape a real plant's registered regions take).
+func benchState(size int) map[string][]byte {
+	tmpl := make([]byte, benchRegion)
+	for j := range tmpl {
+		tmpl[j] = byte(j*31 + 7)
+	}
+	n := size / benchRegion
+	regions := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		data := make([]byte, benchRegion)
+		copy(data, tmpl)
+		data[0] = byte(i)
+		data[1] = byte(i >> 8)
+		regions[fmt.Sprintf("r%05d", i)] = data
+	}
+	return regions
+}
+
+// benchLink wires one sender implementation to a receiving store over
+// netsim. sendOps is nil for implementations without an op lane.
+type benchLink struct {
+	send    func(*Snapshot) error
+	sendOps func(*OpBatch) error
+	close   func()
+}
+
+func newBenchLink(tb testing.TB, impl string, store SnapshotStore) *benchLink {
+	tb.Helper()
+	n := netsim.New("bench", 1)
+	l, err := n.Listen("backup:ckpt")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var serve func(conn FrameConn)
+	switch impl {
+	case "stream":
+		state := NewReceiverState(store, nil)
+		serve = func(conn FrameConn) { state.Serve(conn, stop) }
+	case "oneframe":
+		serve = func(conn FrameConn) { serveOneframeReceiver(conn, store, stop) }
+	default:
+		tb.Fatalf("unknown impl %q", impl)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go serve(conn)
+		}
+	}()
+	conn, err := n.Dial("primary:ckpt", "backup:ckpt")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lk := &benchLink{}
+	switch impl {
+	case "stream":
+		s := NewStreamSender(conn, StreamConfig{AckTimeout: 30 * time.Second})
+		lk.send, lk.sendOps = s.Send, s.SendOps
+		lk.close = func() { s.Close(); close(stop); l.Close() }
+	case "oneframe":
+		s := newOneframeSender(conn, 30*time.Second)
+		lk.send = s.Send
+		lk.close = func() { s.Close(); close(stop); l.Close() }
+	}
+	return lk
+}
+
+func BenchmarkCkptRecovery(b *testing.B) {
+	sizes := []struct {
+		name  string
+		bytes int
+	}{
+		{"1MB", 1 << 20},
+		{"64MB", 64 << 20},
+		{"512MB", 512 << 20},
+	}
+	for _, impl := range []string{"stream", "oneframe"} {
+		for _, sz := range sizes {
+			for _, mode := range []string{"full", "incr", "oplog"} {
+				if impl == "oneframe" && mode == "oplog" {
+					continue // the baseline protocol has no op lane
+				}
+				name := fmt.Sprintf("impl=%s/state=%s/mode=%s", impl, sz.name, mode)
+				b.Run(name, func(b *testing.B) {
+					benchRecovery(b, impl, sz.bytes, mode)
+				})
+			}
+		}
+	}
+}
+
+func benchRecovery(b *testing.B, impl string, size int, mode string) {
+	store := NewStore()
+	link := newBenchLink(b, impl, store)
+	defer link.close()
+
+	regions := benchState(size)
+	if err := link.send(&Snapshot{
+		Seq: 1, Kind: string(KindFull), TakenAt: time.Unix(1, 0), Regions: regions,
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	dirty := regions["r00000"]
+	op := make([]byte, 128)
+	seq, opSeq := uint64(1), uint64(0)
+	switch mode {
+	case "full":
+		b.SetBytes(int64(size))
+	case "incr":
+		b.SetBytes(benchRegion)
+	case "oplog":
+		b.SetBytes(int64(len(op)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		switch mode {
+		case "full":
+			dirty[2]++
+			seq++
+			err = link.send(&Snapshot{
+				Seq: seq, Kind: string(KindFull),
+				TakenAt: time.Unix(int64(seq), 0), Regions: regions,
+			})
+		case "incr":
+			dirty[2]++
+			seq++
+			err = link.send(&Snapshot{
+				Seq: seq, Kind: string(KindIncremental),
+				TakenAt: time.Unix(int64(seq), 0),
+				Regions: map[string][]byte{"r00000": dirty},
+			})
+		case "oplog":
+			opSeq++
+			op[0], op[1] = byte(opSeq), byte(opSeq>>8)
+			err = link.sendOps(&OpBatch{Ops: []Op{{Seq: opSeq, Anchor: 1, Data: op}}})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestShipBytesODelta is the deterministic form of the perf claim: after
+// the base lands, propagating one small change costs O(delta) wire bytes
+// (incremental ship) or O(op) wire bytes (op-log ship) — not O(state).
+func TestShipBytesODelta(t *testing.T) {
+	store := NewStore()
+	ins := testStreamIns()
+	p := newStreamPair(t, store, ins)
+	sender := NewStreamSender(p.dial(), StreamConfig{AckTimeout: time.Second, Instruments: ins})
+	defer sender.Close()
+
+	const stateSize = 8 << 20
+	regions := benchState(stateSize)
+	if err := sender.Send(&Snapshot{
+		Seq: 1, Kind: string(KindFull), TakenAt: time.Unix(1, 0), Regions: regions,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	baseWire := ins.WireBytes.Value()
+	if baseWire < stateSize {
+		t.Fatalf("base ship wired %d bytes for %d of state", baseWire, stateSize)
+	}
+
+	// One dirty region ships as an incremental: bounded by the region
+	// size plus framing, two orders of magnitude under the state size.
+	dirty := regions["r00000"]
+	dirty[2]++
+	if err := sender.Send(&Snapshot{
+		Seq: 2, Kind: string(KindIncremental), TakenAt: time.Unix(2, 0),
+		Regions: map[string][]byte{"r00000": dirty},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	incrWire := ins.WireBytes.Value() - baseWire
+	if incrWire > 4*benchRegion {
+		t.Fatalf("incremental ship wired %d bytes, want O(delta) ~%d", incrWire, benchRegion)
+	}
+
+	// One op ships as an op frame: bounded by the op size plus framing.
+	afterIncr := ins.WireBytes.Value()
+	if err := sender.SendOps(&OpBatch{Ops: []Op{{Seq: 1, Anchor: 2, Data: make([]byte, 128)}}}); err != nil {
+		t.Fatal(err)
+	}
+	opWire := ins.WireBytes.Value() - afterIncr
+	if opWire > 4096 {
+		t.Fatalf("op ship wired %d bytes, want O(op) ~128", opWire)
+	}
+
+	if store.LastSeq() != 2 || store.OpSeq() != 1 {
+		t.Fatalf("backup state: seq %d opSeq %d", store.LastSeq(), store.OpSeq())
+	}
+}

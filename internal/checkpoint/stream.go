@@ -1,0 +1,774 @@
+// Streaming chunked checkpoint transfer. The one-frame protocol (kept as
+// a test-only baseline in oneframe_ref_test.go) encoded a whole snapshot
+// into a single frame and blocked for one ack — O(state) wire bytes and a
+// full-state memory spike per period, and any mid-transfer failure threw
+// the entire transfer away. The streaming protocol cuts a snapshot's
+// region stream into fixed-size chunks that flow under a bounded credit
+// window, each CRC-framed and optionally flate-compressed, and the
+// receiver buffers partial transfers so a re-ship after ErrPartialShip
+// resumes where the broken connection stopped instead of starting over.
+//
+// Wire format (all integers little-endian; first byte is the frame type):
+//
+//	begin  [1][seq u64][flags u8][kindLen u8][kind][takenAt i64]
+//	       [rawBytes u64][chunkSize u32][chunks u32]
+//	have   [2][seq u64][applied u8][haveChunks u32]       (receiver→sender)
+//	chunk  [3][seq u64][index u32][cflags u8][rawLen u32][crc u32][payload]
+//	end    [4][seq u64][chunks u32][rawCRC u32]
+//	credit [5][seq u64][consumed u32]                     (receiver→sender)
+//	ack    [6][seq u64][ok u8][errLen u16][err]           (receiver→sender)
+//	ops    [7][op batch (ndr)]
+//
+// The raw region stream is the sorted concatenation of
+// [nameLen u16][name][dataLen u32][data] per region; chunk boundaries are
+// cut in raw space, so a resumed transfer regenerates identical chunks.
+// flags bit0 advertises compression; cflags bit0 marks one chunk's
+// payload as flate-compressed (only used when it actually shrank). The
+// per-chunk CRC covers the payload as sent; the end frame's CRC covers
+// the whole raw stream.
+package checkpoint
+
+import (
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Frame types.
+const (
+	fBegin  = 1
+	fHave   = 2
+	fChunk  = 3
+	fEnd    = 4
+	fCredit = 5
+	fAck    = 6
+	fOps    = 7
+)
+
+// Stream defaults.
+const (
+	// DefaultChunkSize is the raw bytes per chunk.
+	DefaultChunkSize = 256 << 10
+	// DefaultWindow is the maximum in-flight (unconsumed) chunks.
+	DefaultWindow = 32
+	// DefaultAckTimeout bounds each wait for a receiver frame.
+	DefaultAckTimeout = 2 * time.Second
+)
+
+// StreamInstruments carries the optional telemetry hooks of the stream
+// lane; all fields are nil-safe.
+type StreamInstruments struct {
+	SentChunks  *telemetry.Counter // chunks put on the wire
+	WireBytes   *telemetry.Counter // frame bytes sent (after compression)
+	RawBytes    *telemetry.Counter // raw snapshot bytes represented
+	Inflight    *telemetry.Gauge   // sender chunks in flight (stream depth)
+	RecvCorrupt *telemetry.Counter // corrupt frames/streams dropped
+	Resumes     *telemetry.Counter // partial transfers resumed
+	OpsShipped  *telemetry.Counter // ops acknowledged by the receiver
+	OpBytes     *telemetry.Counter // op payload bytes acknowledged
+}
+
+// StreamConfig tunes a streaming Sender.
+type StreamConfig struct {
+	// ChunkSize is the raw bytes per chunk (DefaultChunkSize if <= 0).
+	ChunkSize int
+	// Window is the credit window in chunks (DefaultWindow if <= 0).
+	Window int
+	// Compress enables per-chunk flate compression.
+	Compress bool
+	// AckTimeout bounds each wait for a receiver frame
+	// (DefaultAckTimeout if <= 0). The final ack after the end frame —
+	// which covers the receiver's parse+apply of the whole snapshot —
+	// waits up to 10x this.
+	AckTimeout time.Duration
+	// Instruments hooks the sender into telemetry (optional).
+	Instruments *StreamInstruments
+}
+
+func (c *StreamConfig) fill() {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = DefaultChunkSize
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = DefaultAckTimeout
+	}
+	if c.Instruments == nil {
+		c.Instruments = &StreamInstruments{} // nil-safe fields
+	}
+}
+
+// Sender streams snapshots and op batches from the primary's FTIM to one
+// backup. It is single-connection and not safe for concurrent use; the
+// engine serializes ships per peer.
+type Sender struct {
+	conn FrameConn
+	cfg  StreamConfig
+
+	sent      int
+	sentBytes int64
+
+	chunkBuf []byte
+	compBuf  []byte
+	frameBuf []byte
+}
+
+// NewSender wraps a connection to the backup's checkpoint receiver with
+// default stream tuning (the pre-streaming constructor signature).
+func NewSender(conn FrameConn, ackTimeout time.Duration) *Sender {
+	return NewStreamSender(conn, StreamConfig{AckTimeout: ackTimeout})
+}
+
+// NewStreamSender wraps a connection with explicit stream tuning.
+func NewStreamSender(conn FrameConn, cfg StreamConfig) *Sender {
+	cfg.fill()
+	return &Sender{conn: conn, cfg: cfg, chunkBuf: make([]byte, cfg.ChunkSize)}
+}
+
+// Stats reports (snapshots sent, total wire bytes).
+func (s *Sender) Stats() (count int, bytes int64) { return s.sent, s.sentBytes }
+
+// Close releases the transport.
+func (s *Sender) Close() { _ = s.conn.Close() }
+
+// send puts one frame on the wire and charges the wire-bytes accounting.
+func (s *Sender) send(frame []byte) error {
+	if err := s.conn.Send(frame); err != nil {
+		return err
+	}
+	s.sentBytes += int64(len(frame))
+	s.cfg.Instruments.WireBytes.Add(int64(len(frame)))
+	return nil
+}
+
+// Send streams one snapshot and blocks for the ack. A receiver that
+// already holds the snapshot (or newer) confirms at the begin frame
+// without any chunk flowing; a receiver holding a partial copy of this
+// exact transfer resumes from its last buffered chunk.
+func (s *Sender) Send(snap *Snapshot) error {
+	names := make([]string, 0, len(snap.Regions))
+	rawBytes := uint64(0)
+	for name, data := range snap.Regions {
+		names = append(names, name)
+		rawBytes += uint64(regionHeaderLen+len(name)) + uint64(len(data))
+	}
+	sort.Strings(names)
+	chunkSize := uint32(s.cfg.ChunkSize)
+	chunks := uint32((rawBytes + uint64(chunkSize) - 1) / uint64(chunkSize))
+
+	var flags byte
+	if s.cfg.Compress {
+		flags |= 1
+	}
+	begin := appendBegin(s.frameBuf[:0], snap, flags, rawBytes, chunkSize, chunks)
+	s.frameBuf = begin[:0]
+	if err := s.send(begin); err != nil {
+		return fmt.Errorf("checkpoint: send seq %d: %w", snap.Seq, err)
+	}
+	applied, have, err := s.awaitHave(snap.Seq)
+	if err != nil {
+		return fmt.Errorf("%w: seq %d: %v", ErrNotAcked, snap.Seq, err)
+	}
+	if applied {
+		s.sent++
+		return nil
+	}
+	if have > 0 {
+		s.cfg.Instruments.Resumes.Inc()
+	}
+
+	w := regionWalker{names: names, regions: snap.Regions}
+	rawCRC := uint32(0)
+	credited := have // cumulative chunks the receiver confirmed consumed
+	ins := s.cfg.Instruments
+	for idx := uint32(0); idx < chunks; idx++ {
+		n := w.fill(s.chunkBuf[:chunkSize])
+		raw := s.chunkBuf[:n]
+		rawCRC = crc32.Update(rawCRC, crc32.IEEETable, raw)
+		if idx < have {
+			continue // receiver already buffered this chunk
+		}
+		payload, cflags := raw, byte(0)
+		if s.cfg.Compress {
+			if comp, ok := s.deflate(raw); ok {
+				payload, cflags = comp, 1
+			}
+		}
+		frame := appendChunk(s.frameBuf[:0], snap.Seq, idx, cflags, uint32(n), payload)
+		s.frameBuf = frame[:0]
+		if err := s.send(frame); err != nil {
+			return fmt.Errorf("checkpoint: send seq %d chunk %d: %w", snap.Seq, idx, err)
+		}
+		ins.SentChunks.Inc()
+		inflight := int64(idx+1) - int64(credited)
+		ins.Inflight.Set(inflight)
+		for inflight >= int64(s.cfg.Window) {
+			credited, err = s.awaitCredit(snap.Seq, credited)
+			if err != nil {
+				ins.Inflight.Set(0)
+				return fmt.Errorf("%w: seq %d: %v", ErrNotAcked, snap.Seq, err)
+			}
+			inflight = int64(idx+1) - int64(credited)
+			ins.Inflight.Set(inflight)
+		}
+	}
+	end := appendEnd(s.frameBuf[:0], snap.Seq, chunks, rawCRC)
+	s.frameBuf = end[:0]
+	if err := s.send(end); err != nil {
+		ins.Inflight.Set(0)
+		return fmt.Errorf("checkpoint: send seq %d end: %w", snap.Seq, err)
+	}
+	err = s.awaitAck(snap.Seq, 10*s.cfg.AckTimeout)
+	ins.Inflight.Set(0)
+	if err != nil {
+		return err
+	}
+	s.sent++
+	ins.RawBytes.Add(int64(rawBytes))
+	return nil
+}
+
+// SendOps ships one op batch and blocks for the ack.
+func (s *Sender) SendOps(batch *OpBatch) error {
+	if len(batch.Ops) == 0 {
+		return nil
+	}
+	enc, err := batch.Encode()
+	if err != nil {
+		return err
+	}
+	last := batch.Ops[len(batch.Ops)-1].Seq
+	frame := append(append(s.frameBuf[:0], fOps), enc...)
+	s.frameBuf = frame[:0]
+	if err := s.send(frame); err != nil {
+		return fmt.Errorf("checkpoint: send ops through %d: %w", last, err)
+	}
+	if err := s.awaitAck(last, s.cfg.AckTimeout); err != nil {
+		return err
+	}
+	s.cfg.Instruments.OpsShipped.Add(int64(len(batch.Ops)))
+	s.cfg.Instruments.OpBytes.Add(int64(batch.Bytes()))
+	return nil
+}
+
+// awaitHave reads frames until the have reply for seq arrives, skipping
+// stragglers from an earlier aborted transfer.
+func (s *Sender) awaitHave(seq uint64) (applied bool, have uint32, err error) {
+	deadline := time.Now().Add(s.cfg.AckTimeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return false, 0, fmt.Errorf("no have reply for seq %d", seq)
+		}
+		raw, err := s.conn.RecvTimeout(remain)
+		if err != nil {
+			return false, 0, err
+		}
+		if len(raw) == 14 && raw[0] == fHave && binary.LittleEndian.Uint64(raw[1:]) == seq {
+			return raw[9] != 0, binary.LittleEndian.Uint32(raw[10:]), nil
+		}
+	}
+}
+
+// awaitCredit blocks for the next credit advance on seq. A negative ack
+// for seq aborts the transfer early.
+func (s *Sender) awaitCredit(seq uint64, credited uint32) (uint32, error) {
+	deadline := time.Now().Add(s.cfg.AckTimeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return credited, fmt.Errorf("no credit for seq %d", seq)
+		}
+		raw, err := s.conn.RecvTimeout(remain)
+		if err != nil {
+			return credited, err
+		}
+		switch {
+		case len(raw) == 13 && raw[0] == fCredit && binary.LittleEndian.Uint64(raw[1:]) == seq:
+			if c := binary.LittleEndian.Uint32(raw[9:]); c > credited {
+				return c, nil
+			}
+		case len(raw) >= 12 && raw[0] == fAck && binary.LittleEndian.Uint64(raw[1:]) == seq && raw[9] == 0:
+			return credited, fmt.Errorf("rejected: %s", ackErr(raw))
+		}
+	}
+}
+
+// awaitAck reads frames until the ack for seq arrives (credits and stale
+// acks are skipped).
+func (s *Sender) awaitAck(seq uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("%w: seq %d: timeout", ErrNotAcked, seq)
+		}
+		raw, err := s.conn.RecvTimeout(remain)
+		if err != nil {
+			return fmt.Errorf("%w: seq %d: %v", ErrNotAcked, seq, err)
+		}
+		if len(raw) >= 12 && raw[0] == fAck && binary.LittleEndian.Uint64(raw[1:]) == seq {
+			if raw[9] != 0 {
+				return nil
+			}
+			return fmt.Errorf("checkpoint: backup rejected seq %d: %s", seq, ackErr(raw))
+		}
+	}
+}
+
+// deflate compresses raw into the sender's scratch buffer; ok is false
+// when compression did not shrink the payload.
+func (s *Sender) deflate(raw []byte) (comp []byte, ok bool) {
+	fw := flateWriters.Get().(*flate.Writer)
+	sink := byteSink{b: s.compBuf[:0]}
+	fw.Reset(&sink)
+	if _, err := fw.Write(raw); err != nil {
+		flateWriters.Put(fw)
+		return nil, false
+	}
+	if err := fw.Close(); err != nil {
+		flateWriters.Put(fw)
+		return nil, false
+	}
+	flateWriters.Put(fw)
+	s.compBuf = sink.b
+	if len(sink.b) >= len(raw) {
+		return nil, false
+	}
+	return sink.b, true
+}
+
+var flateWriters = sync.Pool{New: func() any {
+	w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+	return w
+}}
+
+type byteSink struct{ b []byte }
+
+func (s *byteSink) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// regionHeaderLen is the per-region raw-stream framing overhead.
+const regionHeaderLen = 6
+
+// regionWalker linearizes a snapshot's regions into the raw stream.
+type regionWalker struct {
+	names   []string
+	regions map[string][]byte
+
+	ri  int    // current region index
+	hdr []byte // current region's pending header bytes
+	hi  int    // consumed header bytes
+	di  int    // consumed data bytes
+}
+
+// fill copies the next len(buf) raw-stream bytes into buf, returning how
+// many were produced (less than len(buf) only at stream end).
+func (w *regionWalker) fill(buf []byte) int {
+	n := 0
+	for n < len(buf) && w.ri < len(w.names) {
+		name := w.names[w.ri]
+		data := w.regions[name]
+		if w.hdr == nil {
+			w.hdr = make([]byte, 0, regionHeaderLen+len(name))
+			w.hdr = binary.LittleEndian.AppendUint16(w.hdr, uint16(len(name)))
+			w.hdr = append(w.hdr, name...)
+			w.hdr = binary.LittleEndian.AppendUint32(w.hdr, uint32(len(data)))
+		}
+		if w.hi < len(w.hdr) {
+			c := copy(buf[n:], w.hdr[w.hi:])
+			w.hi += c
+			n += c
+			continue
+		}
+		c := copy(buf[n:], data[w.di:])
+		w.di += c
+		n += c
+		if w.di == len(data) {
+			w.ri++
+			w.hdr, w.hi, w.di = nil, 0, 0
+		}
+	}
+	return n
+}
+
+// Frame builders.
+
+func appendBegin(b []byte, snap *Snapshot, flags byte, rawBytes uint64, chunkSize, chunks uint32) []byte {
+	b = append(b, fBegin)
+	b = binary.LittleEndian.AppendUint64(b, snap.Seq)
+	b = append(b, flags, byte(len(snap.Kind)))
+	b = append(b, snap.Kind...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(snap.TakenAt.UnixNano()))
+	b = binary.LittleEndian.AppendUint64(b, rawBytes)
+	b = binary.LittleEndian.AppendUint32(b, chunkSize)
+	b = binary.LittleEndian.AppendUint32(b, chunks)
+	return b
+}
+
+func appendChunk(b []byte, seq uint64, index uint32, cflags byte, rawLen uint32, payload []byte) []byte {
+	b = append(b, fChunk)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	b = binary.LittleEndian.AppendUint32(b, index)
+	b = append(b, cflags)
+	b = binary.LittleEndian.AppendUint32(b, rawLen)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	b = append(b, payload...)
+	return b
+}
+
+func appendEnd(b []byte, seq uint64, chunks, rawCRC uint32) []byte {
+	b = append(b, fEnd)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	b = binary.LittleEndian.AppendUint32(b, chunks)
+	b = binary.LittleEndian.AppendUint32(b, rawCRC)
+	return b
+}
+
+func appendHave(b []byte, seq uint64, applied bool, have uint32) []byte {
+	b = append(b, fHave)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	if applied {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return binary.LittleEndian.AppendUint32(b, have)
+}
+
+func appendCredit(b []byte, seq uint64, consumed uint32) []byte {
+	b = append(b, fCredit)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	return binary.LittleEndian.AppendUint32(b, consumed)
+}
+
+func appendAck(b []byte, seq uint64, ok bool, errText string) []byte {
+	b = append(b, fAck)
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	if ok {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	if len(errText) > 65535 {
+		errText = errText[:65535]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(errText)))
+	return append(b, errText...)
+}
+
+func ackErr(raw []byte) string {
+	n := int(binary.LittleEndian.Uint16(raw[10:]))
+	if 12+n > len(raw) {
+		n = len(raw) - 12
+	}
+	return string(raw[12 : 12+n])
+}
+
+// partialTransfer is a receiver-side in-progress snapshot stream; it
+// outlives the connection that fed it so a re-ship resumes instead of
+// restarting.
+type partialTransfer struct {
+	seq       uint64
+	kind      string
+	takenAt   time.Time
+	rawTarget uint64
+	chunkSize uint32
+	chunks    uint32
+	have      uint32
+	raw       []byte
+	crc       uint32
+	fr        io.ReadCloser // reused flate reader
+}
+
+// ReceiverState is the backup side of the stream protocol: one per store,
+// shared by every inbound checkpoint connection, holding at most one
+// partial transfer across connection breaks.
+type ReceiverState struct {
+	mu      sync.Mutex
+	store   SnapshotStore
+	ins     *StreamInstruments
+	partial *partialTransfer
+	out     []byte // reply frame scratch, guarded by mu
+}
+
+// NewReceiverState wraps a store for streaming reception; ins may be nil.
+func NewReceiverState(store SnapshotStore, ins *StreamInstruments) *ReceiverState {
+	if ins == nil {
+		ins = &StreamInstruments{} // nil-safe fields
+	}
+	return &ReceiverState{store: store, ins: ins}
+}
+
+// Partial reports the buffered partial transfer, if any, as
+// (seq, have, chunks).
+func (rs *ReceiverState) Partial() (seq uint64, have, chunks uint32) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.partial == nil {
+		return 0, 0, 0
+	}
+	return rs.partial.seq, rs.partial.have, rs.partial.chunks
+}
+
+// Serve pumps stream frames from conn into the store until the
+// connection breaks, a corrupt frame arrives, or stop closes. It is run
+// by the backup's engine for each inbound checkpoint connection.
+func (rs *ReceiverState) Serve(conn FrameConn, stop <-chan struct{}) {
+	defer conn.Close()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		raw, err := conn.RecvTimeout(250 * time.Millisecond)
+		if err != nil {
+			if isTimeout(err) {
+				continue
+			}
+			return
+		}
+		if !rs.handle(conn, raw) {
+			return
+		}
+	}
+}
+
+// handle processes one frame; false drops the connection.
+func (rs *ReceiverState) handle(conn FrameConn, raw []byte) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(raw) == 0 {
+		return rs.corrupt("empty frame")
+	}
+	switch raw[0] {
+	case fBegin:
+		return rs.onBegin(conn, raw)
+	case fChunk:
+		return rs.onChunk(conn, raw)
+	case fEnd:
+		return rs.onEnd(conn, raw)
+	case fOps:
+		return rs.onOps(conn, raw)
+	default:
+		return rs.corrupt("unknown frame type")
+	}
+}
+
+// corrupt counts a protocol violation and signals a connection drop. The
+// partial transfer is kept — its buffered chunks all passed their CRCs —
+// so a clean reconnect still resumes.
+func (rs *ReceiverState) corrupt(string) bool {
+	rs.ins.RecvCorrupt.Inc()
+	return false
+}
+
+func (rs *ReceiverState) onBegin(conn FrameConn, raw []byte) bool {
+	if len(raw) < 11 {
+		return rs.corrupt("short begin")
+	}
+	seq := binary.LittleEndian.Uint64(raw[1:])
+	kindLen := int(raw[10])
+	if len(raw) != 11+kindLen+24 {
+		return rs.corrupt("short begin")
+	}
+	kind := string(raw[11 : 11+kindLen])
+	rest := raw[11+kindLen:]
+	takenAt := time.Unix(0, int64(binary.LittleEndian.Uint64(rest)))
+	rawBytes := binary.LittleEndian.Uint64(rest[8:])
+	chunkSize := binary.LittleEndian.Uint32(rest[16:])
+	chunks := binary.LittleEndian.Uint32(rest[20:])
+	if chunkSize == 0 && chunks != 0 {
+		return rs.corrupt("zero chunk size")
+	}
+
+	if rs.store.LastSeq() >= seq {
+		// Already confirmed (a retry after a lost ack, or another replica
+		// path landed it first): positive short-circuit, no chunks flow.
+		return rs.reply(conn, appendHave(rs.out[:0], seq, true, 0))
+	}
+	p := rs.partial
+	if p != nil && p.seq == seq && p.kind == kind && p.rawTarget == rawBytes &&
+		p.chunkSize == chunkSize && p.chunks == chunks {
+		rs.ins.Resumes.Inc()
+		return rs.reply(conn, appendHave(rs.out[:0], seq, false, p.have))
+	}
+	rs.partial = &partialTransfer{
+		seq: seq, kind: kind, takenAt: takenAt,
+		rawTarget: rawBytes, chunkSize: chunkSize, chunks: chunks,
+		raw: make([]byte, 0, rawBytes),
+	}
+	return rs.reply(conn, appendHave(rs.out[:0], seq, false, 0))
+}
+
+func (rs *ReceiverState) onChunk(conn FrameConn, raw []byte) bool {
+	if len(raw) < 22 {
+		return rs.corrupt("short chunk")
+	}
+	seq := binary.LittleEndian.Uint64(raw[1:])
+	index := binary.LittleEndian.Uint32(raw[9:])
+	cflags := raw[13]
+	rawLen := binary.LittleEndian.Uint32(raw[14:])
+	crc := binary.LittleEndian.Uint32(raw[18:])
+	payload := raw[22:]
+	p := rs.partial
+	if p == nil || p.seq != seq {
+		return rs.corrupt("chunk without transfer")
+	}
+	if index < p.have {
+		return true // duplicate after resume: already buffered
+	}
+	if index != p.have || rawLen > p.chunkSize ||
+		uint64(len(p.raw))+uint64(rawLen) > p.rawTarget {
+		return rs.corrupt("chunk out of sequence")
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return rs.corrupt("chunk crc mismatch")
+	}
+	start := len(p.raw)
+	if cflags&1 != 0 {
+		if !rs.inflate(p, payload, int(rawLen)) {
+			return rs.corrupt("chunk inflate failure")
+		}
+	} else {
+		if len(payload) != int(rawLen) {
+			return rs.corrupt("chunk length mismatch")
+		}
+		p.raw = append(p.raw, payload...)
+	}
+	p.crc = crc32.Update(p.crc, crc32.IEEETable, p.raw[start:])
+	p.have++
+	return rs.reply(conn, appendCredit(rs.out[:0], seq, p.have))
+}
+
+// inflate decompresses one chunk payload onto p.raw.
+func (rs *ReceiverState) inflate(p *partialTransfer, payload []byte, rawLen int) bool {
+	src := byteReader{b: payload}
+	if p.fr == nil {
+		p.fr = flate.NewReader(&src)
+	} else if err := p.fr.(flate.Resetter).Reset(&src, nil); err != nil {
+		return false
+	}
+	start := len(p.raw)
+	p.raw = p.raw[:start+rawLen]
+	if _, err := io.ReadFull(p.fr, p.raw[start:]); err != nil {
+		p.raw = p.raw[:start]
+		return false
+	}
+	return true
+}
+
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+func (rs *ReceiverState) onEnd(conn FrameConn, raw []byte) bool {
+	if len(raw) != 17 {
+		return rs.corrupt("short end")
+	}
+	seq := binary.LittleEndian.Uint64(raw[1:])
+	chunks := binary.LittleEndian.Uint32(raw[9:])
+	rawCRC := binary.LittleEndian.Uint32(raw[13:])
+	p := rs.partial
+	if p == nil || p.seq != seq {
+		return rs.corrupt("end without transfer")
+	}
+	if p.have != chunks || uint64(len(p.raw)) != p.rawTarget || p.crc != rawCRC {
+		// The buffered stream itself is bad: discard it so the re-ship
+		// starts clean.
+		rs.partial = nil
+		return rs.corrupt("stream crc mismatch")
+	}
+	regions, ok := parseRegionStream(p.raw)
+	if !ok {
+		rs.partial = nil
+		return rs.corrupt("malformed region stream")
+	}
+	snap := &Snapshot{Seq: p.seq, Kind: p.kind, TakenAt: p.takenAt, Regions: regions}
+	rs.partial = nil
+	okAck, errText := true, ""
+	if err := rs.store.Apply(snap); err != nil {
+		// Stale duplicates still get a positive ack so an old primary
+		// retrying a confirmed snapshot does not spin.
+		if !errors.Is(err, ErrStaleSnapshot) {
+			okAck, errText = false, err.Error()
+		}
+	}
+	return rs.reply(conn, appendAck(rs.out[:0], seq, okAck, errText))
+}
+
+func (rs *ReceiverState) onOps(conn FrameConn, raw []byte) bool {
+	batch, err := DecodeOpBatch(raw[1:])
+	if err != nil {
+		return rs.corrupt("malformed op batch")
+	}
+	if len(batch.Ops) == 0 {
+		return true
+	}
+	last := batch.Ops[len(batch.Ops)-1].Seq
+	okAck, errText := true, ""
+	if err := rs.store.ApplyOps(batch); err != nil {
+		okAck, errText = false, err.Error()
+	}
+	return rs.reply(conn, appendAck(rs.out[:0], last, okAck, errText))
+}
+
+// reply sends a receiver frame; a dead connection drops the serve loop
+// (the partial transfer survives for the next one).
+func (rs *ReceiverState) reply(conn FrameConn, frame []byte) bool {
+	rs.out = frame[:0]
+	return conn.Send(frame) == nil
+}
+
+// parseRegionStream splits the raw stream back into regions. The region
+// byte slices alias raw — Store.Apply copies what it keeps.
+func parseRegionStream(raw []byte) (map[string][]byte, bool) {
+	regions := make(map[string][]byte)
+	for off := 0; off < len(raw); {
+		if off+regionHeaderLen-4 > len(raw) {
+			return nil, false
+		}
+		nameLen := int(binary.LittleEndian.Uint16(raw[off:]))
+		off += 2
+		if off+nameLen+4 > len(raw) {
+			return nil, false
+		}
+		name := string(raw[off : off+nameLen])
+		off += nameLen
+		dataLen := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+		if off+dataLen > len(raw) {
+			return nil, false
+		}
+		regions[name] = raw[off : off+dataLen]
+		off += dataLen
+	}
+	return regions, true
+}
+
+// ServeReceiver pumps snapshots from conn into store until the connection
+// breaks or stop closes, acknowledging each — the single-connection
+// convenience wrapper around ReceiverState (no cross-connection resume).
+func ServeReceiver(conn FrameConn, store SnapshotStore, stop <-chan struct{}) {
+	NewReceiverState(store, nil).Serve(conn, stop)
+}

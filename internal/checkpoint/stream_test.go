@@ -1,0 +1,289 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// testStreamIns builds instruments with live counters (the zero value of
+// each metric is usable; nil fields would read 0 forever).
+func testStreamIns() *StreamInstruments {
+	return &StreamInstruments{
+		SentChunks: &telemetry.Counter{}, WireBytes: &telemetry.Counter{},
+		RawBytes: &telemetry.Counter{}, Inflight: &telemetry.Gauge{},
+		RecvCorrupt: &telemetry.Counter{}, Resumes: &telemetry.Counter{},
+		OpsShipped: &telemetry.Counter{}, OpBytes: &telemetry.Counter{},
+	}
+}
+
+// streamPair wires a Sender to a shared ReceiverState over netsim. The
+// receiver survives connection breaks (redial re-serves the same state),
+// which is the property the resume tests exercise.
+type streamPair struct {
+	t     *testing.T
+	n     *netsim.Network
+	l     *netsim.Listener
+	state *ReceiverState
+	stop  chan struct{}
+	dials int
+}
+
+func newStreamPair(t *testing.T, store SnapshotStore, ins *StreamInstruments) *streamPair {
+	t.Helper()
+	n := netsim.New("eth0", 1)
+	l, err := n.Listen("backup:ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &streamPair{t: t, n: n, l: l, state: NewReceiverState(store, ins), stop: make(chan struct{})}
+	t.Cleanup(func() { close(p.stop); l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go p.state.Serve(conn, p.stop)
+		}
+	}()
+	return p
+}
+
+func (p *streamPair) dial() *netsim.Conn {
+	p.t.Helper()
+	p.dials++
+	conn, err := p.n.Dial(netsim.Addr(fmt.Sprintf("primary:ckpt-%d", p.dials)), "backup:ckpt")
+	if err != nil {
+		p.t.Fatal(err)
+	}
+	return conn
+}
+
+// bigSnapshot builds a snapshot whose raw stream spans many chunks:
+// an incompressible region (cycling bytes) and a compressible one.
+func bigSnapshot(seq uint64, size int) *Snapshot {
+	noisy := make([]byte, size)
+	for i := range noisy {
+		noisy[i] = byte(i*7 + i>>8)
+	}
+	flat := bytes.Repeat([]byte{0xAB}, size)
+	return &Snapshot{
+		Seq: seq, Kind: string(KindFull), TakenAt: time.Now(),
+		Regions: map[string][]byte{"noisy": noisy, "flat": flat},
+	}
+}
+
+func TestStreamManyChunksRoundTrip(t *testing.T) {
+	store := NewStore()
+	ins := testStreamIns()
+	p := newStreamPair(t, store, ins)
+
+	sender := NewStreamSender(p.dial(), StreamConfig{
+		ChunkSize: 4 << 10, Window: 4, AckTimeout: time.Second, Instruments: ins,
+	})
+	defer sender.Close()
+
+	snap := bigSnapshot(1, 64<<10)
+	if err := sender.Send(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := store.Export()
+	if got == nil || got.Seq != 1 {
+		t.Fatalf("store export: %+v", got)
+	}
+	for name, want := range snap.Regions {
+		if !bytes.Equal(got.Regions[name], want) {
+			t.Fatalf("region %q mismatch after streaming", name)
+		}
+	}
+	// Two 64KiB regions + headers over 4KiB chunks: at least 32 chunks.
+	if c := ins.SentChunks.Value(); c < 32 {
+		t.Fatalf("SentChunks = %d, want >= 32", c)
+	}
+}
+
+func TestStreamCompressionShrinksWire(t *testing.T) {
+	store := NewStore()
+	ins := testStreamIns()
+	p := newStreamPair(t, store, ins)
+
+	sender := NewStreamSender(p.dial(), StreamConfig{
+		ChunkSize: 8 << 10, AckTimeout: time.Second, Compress: true, Instruments: ins,
+	})
+	defer sender.Close()
+
+	size := 128 << 10
+	snap := &Snapshot{Seq: 1, Kind: string(KindFull), TakenAt: time.Now(),
+		Regions: map[string][]byte{"flat": bytes.Repeat([]byte{0x42}, size)}}
+	if err := sender.Send(snap); err != nil {
+		t.Fatal(err)
+	}
+	if wire, raw := ins.WireBytes.Value(), ins.RawBytes.Value(); wire >= raw/4 {
+		t.Fatalf("compressible state: wire %d vs raw %d, want < raw/4", wire, raw)
+	}
+	got := store.Export()
+	if !bytes.Equal(got.Regions["flat"], snap.Regions["flat"]) {
+		t.Fatal("decompressed region mismatch")
+	}
+}
+
+// failConn injects a connection failure after a fixed number of sends.
+type failConn struct {
+	FrameConn
+	sends     int
+	failAfter int
+}
+
+func (c *failConn) Send(b []byte) error {
+	c.sends++
+	if c.sends > c.failAfter {
+		c.FrameConn.Close()
+		return errors.New("injected connection failure")
+	}
+	return c.FrameConn.Send(b)
+}
+
+func TestStreamResumeAfterConnectionCut(t *testing.T) {
+	store := NewStore()
+	ins := testStreamIns()
+	p := newStreamPair(t, store, ins)
+
+	snap := bigSnapshot(1, 64<<10)
+
+	// First attempt dies mid-stream: begin + a handful of chunks land.
+	broken := NewStreamSender(&failConn{FrameConn: p.dial(), failAfter: 8},
+		StreamConfig{ChunkSize: 4 << 10, Window: 4, AckTimeout: 300 * time.Millisecond, Instruments: ins})
+	if err := broken.Send(snap); err == nil {
+		t.Fatal("send over cut connection succeeded")
+	}
+	broken.Close()
+
+	waitFor(t, time.Second, func() bool {
+		_, have, _ := p.state.Partial()
+		return have > 0
+	})
+	_, have, chunks := p.state.Partial()
+	if have == 0 || have >= chunks {
+		t.Fatalf("partial after cut: have %d of %d", have, chunks)
+	}
+
+	// The re-ship of the SAME snapshot resumes: only the missing chunks
+	// cross the wire.
+	before := ins.SentChunks.Value()
+	sender := NewStreamSender(p.dial(), StreamConfig{
+		ChunkSize: 4 << 10, Window: 4, AckTimeout: time.Second, Instruments: ins})
+	defer sender.Close()
+	if err := sender.Send(snap); err != nil {
+		t.Fatal(err)
+	}
+	if ins.Resumes.Value() == 0 {
+		t.Fatal("resume not counted")
+	}
+	resent := ins.SentChunks.Value() - before
+	if resent >= int64(chunks) {
+		t.Fatalf("resume resent %d of %d chunks, want fewer", resent, chunks)
+	}
+	got := store.Export()
+	if got == nil || got.Seq != 1 || !bytes.Equal(got.Regions["noisy"], snap.Regions["noisy"]) {
+		t.Fatal("resumed snapshot did not materialize intact")
+	}
+}
+
+// corruptConn flips a byte in the first chunk frame it carries.
+type corruptConn struct {
+	FrameConn
+	done bool
+}
+
+func (c *corruptConn) Send(b []byte) error {
+	if !c.done && len(b) > 0 && b[0] == fChunk {
+		c.done = true
+		evil := append([]byte(nil), b...)
+		evil[len(evil)-1] ^= 0xFF
+		return c.FrameConn.Send(evil)
+	}
+	return c.FrameConn.Send(b)
+}
+
+func TestStreamCorruptChunkCountedAndRecovered(t *testing.T) {
+	store := NewStore()
+	ins := testStreamIns()
+	p := newStreamPair(t, store, ins)
+
+	snap := bigSnapshot(1, 32<<10)
+
+	// The corrupted chunk must fail its CRC: the receiver counts it and
+	// drops the connection instead of buffering bad bytes.
+	bad := NewStreamSender(&corruptConn{FrameConn: p.dial()},
+		StreamConfig{ChunkSize: 4 << 10, Window: 2, AckTimeout: 300 * time.Millisecond, Instruments: ins})
+	if err := bad.Send(snap); err == nil {
+		t.Fatal("send with corrupt chunk succeeded")
+	}
+	bad.Close()
+	waitFor(t, time.Second, func() bool { return ins.RecvCorrupt.Value() == 1 })
+
+	// A clean retry still lands the snapshot.
+	sender := NewStreamSender(p.dial(), StreamConfig{
+		ChunkSize: 4 << 10, AckTimeout: time.Second, Instruments: ins})
+	defer sender.Close()
+	if err := sender.Send(snap); err != nil {
+		t.Fatal(err)
+	}
+	if store.LastSeq() != 1 {
+		t.Fatalf("store seq = %d after retry", store.LastSeq())
+	}
+}
+
+func TestSendOpsRoundTrip(t *testing.T) {
+	store := NewStore()
+	ins := testStreamIns()
+	p := newStreamPair(t, store, ins)
+
+	sender := NewStreamSender(p.dial(), StreamConfig{AckTimeout: time.Second, Instruments: ins})
+	defer sender.Close()
+
+	// Ops without a base must be rejected through the wire ack.
+	batch := &OpBatch{Ops: []Op{{Seq: 1, Anchor: 1, Data: []byte("x")}}}
+	if err := sender.SendOps(batch); err == nil {
+		t.Fatal("ops without base accepted")
+	}
+
+	base := &Snapshot{Seq: 1, Kind: string(KindFull), TakenAt: time.Now(),
+		Regions: map[string][]byte{"r": {1}}}
+	if err := sender.Send(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.SendOps(&OpBatch{Ops: []Op{
+		{Seq: 1, Anchor: 1, Data: []byte("a")},
+		{Seq: 2, Anchor: 1, Data: []byte("bb")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.OpSeq(); got != 2 {
+		t.Fatalf("op seq = %d, want 2", got)
+	}
+	if pend := store.PendingOps(); len(pend) != 2 || !bytes.Equal(pend[1].Data, []byte("bb")) {
+		t.Fatalf("pending ops: %+v", pend)
+	}
+	if ins.OpsShipped.Value() != 2 {
+		t.Fatalf("OpsShipped = %d", ins.OpsShipped.Value())
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

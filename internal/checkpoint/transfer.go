@@ -2,10 +2,8 @@ package checkpoint
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
-	"repro/internal/ndr"
 	"repro/internal/netsim"
 )
 
@@ -18,13 +16,6 @@ type FrameConn interface {
 	Close() error
 }
 
-// ack is the receiver's acknowledgement frame.
-type ack struct {
-	Seq uint64
-	OK  bool
-	Err string
-}
-
 // ErrNotAcked is returned when the backup did not confirm a snapshot.
 var ErrNotAcked = errors.New("checkpoint: snapshot not acknowledged")
 
@@ -32,103 +23,10 @@ var ErrNotAcked = errors.New("checkpoint: snapshot not acknowledged")
 // replica confirmed the snapshot but at least one did not. The state is
 // recoverable (a quorum-side copy exists), but the failed replica's
 // incremental chain is now broken: the shipper must re-base it with a
-// full snapshot before its copy can be trusted again.
+// full snapshot before its copy can be trusted again. With the streaming
+// protocol the re-base resumes from the replica's buffered partial
+// transfer rather than restarting from byte zero.
 var ErrPartialShip = errors.New("checkpoint: shipped to some replicas only")
-
-// Sender ships snapshots from the primary's FTIM to the backup and waits
-// for acknowledgement, so a confirmed checkpoint is known to be recoverable.
-type Sender struct {
-	conn    FrameConn
-	timeout time.Duration
-
-	sent      int
-	sentBytes int64
-}
-
-// NewSender wraps a connection to the backup's checkpoint receiver.
-func NewSender(conn FrameConn, ackTimeout time.Duration) *Sender {
-	if ackTimeout <= 0 {
-		ackTimeout = 2 * time.Second
-	}
-	return &Sender{conn: conn, timeout: ackTimeout}
-}
-
-// Send ships one snapshot and blocks for the ack.
-func (s *Sender) Send(snap *Snapshot) error {
-	frame, err := snap.Encode()
-	if err != nil {
-		return err
-	}
-	if err := s.conn.Send(frame); err != nil {
-		return fmt.Errorf("checkpoint: send seq %d: %w", snap.Seq, err)
-	}
-	raw, err := s.conn.RecvTimeout(s.timeout)
-	if err != nil {
-		return fmt.Errorf("%w: seq %d: %v", ErrNotAcked, snap.Seq, err)
-	}
-	var a ack
-	if err := ndr.Unmarshal(raw, &a); err != nil {
-		return fmt.Errorf("%w: corrupt ack: %v", ErrNotAcked, err)
-	}
-	if a.Seq != snap.Seq {
-		return fmt.Errorf("%w: ack seq %d for snapshot %d", ErrNotAcked, a.Seq, snap.Seq)
-	}
-	if !a.OK {
-		return fmt.Errorf("checkpoint: backup rejected seq %d: %s", snap.Seq, a.Err)
-	}
-	s.sent++
-	s.sentBytes += int64(len(frame))
-	return nil
-}
-
-// Stats reports (snapshots sent, total wire bytes).
-func (s *Sender) Stats() (count int, bytes int64) { return s.sent, s.sentBytes }
-
-// Close releases the transport.
-func (s *Sender) Close() { _ = s.conn.Close() }
-
-// ServeReceiver pumps snapshots from conn into store until the connection
-// breaks or stop closes, acknowledging each. It is run by the backup's
-// engine for each inbound checkpoint connection.
-func ServeReceiver(conn FrameConn, store SnapshotStore, stop <-chan struct{}) {
-	defer conn.Close()
-	for {
-		select {
-		case <-stop:
-			return
-		default:
-		}
-		raw, err := conn.RecvTimeout(250 * time.Millisecond)
-		if err != nil {
-			if isTimeout(err) {
-				continue
-			}
-			return
-		}
-		snap, err := DecodeSnapshot(raw)
-		if err != nil {
-			return // corrupt peer: drop the connection
-		}
-		a := ack{Seq: snap.Seq, OK: true}
-		if err := store.Apply(snap); err != nil {
-			a.OK = false
-			a.Err = err.Error()
-			// Stale duplicates still get a positive ack so an old primary
-			// retrying a confirmed snapshot does not spin.
-			if errors.Is(err, ErrStaleSnapshot) {
-				a.OK = true
-				a.Err = ""
-			}
-		}
-		out, err := ndr.Marshal(a)
-		if err != nil {
-			return
-		}
-		if err := conn.Send(out); err != nil {
-			return
-		}
-	}
-}
 
 func isTimeout(err error) bool {
 	return errors.Is(err, netsim.ErrTimeout)

@@ -1,0 +1,575 @@
+// Segmented write-ahead log persistence. PersistentStore rewrites the
+// whole merged state file on every applied snapshot — O(state) disk I/O
+// per checkpoint, unusable at GB-class state. WALStore instead appends
+// each applied snapshot or op batch as one CRC-framed record to a
+// fixed-size segment file (fsync'd before the apply is acknowledged), so
+// an incremental apply costs O(delta). Sealed segments are folded into a
+// base snapshot by a background compactor, bounding cold-start replay and
+// disk footprint.
+//
+// On-disk layout under Dir:
+//
+//	base.ckpt            "OFTTWALB" + ndr snapshot (the compacted base)
+//	wal-%08d.seg         "OFTTWAL1" + records
+//
+// Record format: [0xC5][type u8][len u32][crc u32][payload], type 1 = ndr
+// snapshot, 2 = ndr op batch; the CRC (IEEE) covers the payload. Replay
+// stops at the first torn or corrupt record — everything before the tear
+// was fsync-acknowledged and survives. Compaction writes the new base
+// with write-to-temp + rename + directory fsync, re-logs the surviving op
+// tail into the active segment, and only then deletes the folded
+// segments, so a crash at any point replays to the same state.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// WAL layout constants.
+const (
+	walRecordMagic  = 0xC5
+	walRecSnapshot  = 1
+	walRecOps       = 2
+	walRecHeaderLen = 10
+
+	// DefaultSegmentBytes seals a segment once it exceeds this size.
+	DefaultSegmentBytes = 4 << 20
+	// DefaultCompactSegments triggers compaction once this many sealed
+	// segments accumulate.
+	DefaultCompactSegments = 4
+)
+
+var (
+	walSegMagic  = []byte("OFTTWAL1")
+	walBaseMagic = []byte("OFTTWALB")
+)
+
+// WALInstruments carries the optional telemetry hooks of the WAL; all
+// fields are nil-safe.
+type WALInstruments struct {
+	Segments     *telemetry.Gauge     // live segment files (incl. active)
+	SegmentBytes *telemetry.Gauge     // bytes across live segment files
+	Appends      *telemetry.Counter   // records appended
+	AppendBytes  *telemetry.Counter   // record bytes appended
+	Compactions  *telemetry.Counter   // completed compactions
+	CompactDur   *telemetry.Histogram // compaction duration (µs)
+}
+
+// WALConfig tunes a WALStore.
+type WALConfig struct {
+	// Dir holds the base file and segments (created if missing).
+	Dir string
+	// SegmentBytes seals a segment past this size (DefaultSegmentBytes
+	// if <= 0).
+	SegmentBytes int64
+	// CompactSegments triggers background compaction once this many
+	// sealed segments accumulate (DefaultCompactSegments if <= 0).
+	CompactSegments int
+	// NoFsync skips fsync on append — test/bench use only; it forfeits
+	// the crash-durability the ack implies.
+	NoFsync bool
+	// Instruments hooks the store into telemetry (optional).
+	Instruments *WALInstruments
+}
+
+// WALStore is the log-structured SnapshotStore: the in-memory merged view
+// of *Store fronted by a segmented write-ahead log.
+type WALStore struct {
+	mem *Store
+	cfg WALConfig
+
+	mu       sync.Mutex
+	seg      *os.File
+	segID    uint64
+	segBytes int64
+	sealed   []uint64 // sealed segment ids, ascending
+	liveSegs int
+	liveByte int64
+	closed   bool
+
+	compactCh chan struct{}
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ SnapshotStore = (*WALStore)(nil)
+
+// NewWALStore opens (or creates) a log-structured store under cfg.Dir,
+// replaying base + segments to the last intact record, and starts the
+// background compactor.
+func NewWALStore(cfg WALConfig) (*WALStore, error) {
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	if cfg.CompactSegments <= 0 {
+		cfg.CompactSegments = DefaultCompactSegments
+	}
+	if cfg.Instruments == nil {
+		cfg.Instruments = &WALInstruments{} // nil-safe fields
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: wal dir: %w", err)
+	}
+	w := &WALStore{
+		mem:       NewStore(),
+		cfg:       cfg,
+		compactCh: make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+	}
+	ids, err := w.replay()
+	if err != nil {
+		return nil, err
+	}
+	// Pre-existing segments count as sealed so compaction folds them
+	// (including a torn tail, which is never appended after), and the
+	// store always starts on a fresh segment.
+	w.sealed = ids
+	if n := len(ids); n > 0 {
+		w.segID = ids[n-1]
+	}
+	w.segID++
+	if err := w.openSegment(); err != nil {
+		return nil, err
+	}
+	if len(w.sealed) >= w.cfg.CompactSegments {
+		w.compactCh <- struct{}{}
+	}
+	w.publishGauges()
+	w.wg.Add(1)
+	go w.compactor()
+	return w, nil
+}
+
+// Dir returns the backing directory.
+func (w *WALStore) Dir() string { return w.cfg.Dir }
+
+// Close stops the compactor and closes the active segment. The store is
+// unusable afterwards.
+func (w *WALStore) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.stopCh)
+	w.wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg != nil {
+		err := w.seg.Close()
+		w.seg = nil
+		return err
+	}
+	return nil
+}
+
+// Apply logs the snapshot (fsync'd) and merges it into the memory view.
+// The record hits the disk before the apply is visible, so a positive ack
+// upstream really means recoverable.
+func (w *WALStore) Apply(snap *Snapshot) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if snap.Seq <= w.mem.LastSeq() {
+		return w.mem.Apply(snap) // count + report the stale reject, no disk write
+	}
+	enc, err := snap.Encode()
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode wal snapshot: %w", err)
+	}
+	if err := w.appendLocked(walRecSnapshot, enc); err != nil {
+		return err
+	}
+	return w.mem.Apply(snap)
+}
+
+// ApplyOps logs the batch (fsync'd) and applies it to the memory view.
+func (w *WALStore) ApplyOps(batch *OpBatch) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	enc, err := batch.Encode()
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode wal ops: %w", err)
+	}
+	if err := w.appendLocked(walRecOps, enc); err != nil {
+		return err
+	}
+	return w.mem.ApplyOps(batch)
+}
+
+// Materialize restores the merged state into a registry.
+func (w *WALStore) Materialize(r *Registry) error { return w.mem.Materialize(r) }
+
+// Export packages the merged state as a full snapshot (nil when empty).
+func (w *WALStore) Export() *Snapshot { return w.mem.Export() }
+
+// PendingOps copies the accepted op tail.
+func (w *WALStore) PendingOps() []Op { return w.mem.PendingOps() }
+
+// OpSeq returns the highest accepted op sequence.
+func (w *WALStore) OpSeq() uint64 { return w.mem.OpSeq() }
+
+// SetObserver installs the hot-standby observer on the memory view.
+func (w *WALStore) SetObserver(obs StoreObserver) { w.mem.SetObserver(obs) }
+
+// LastSeq returns the newest applied sequence number.
+func (w *WALStore) LastSeq() uint64 { return w.mem.LastSeq() }
+
+// LastAt returns the capture time of the newest applied snapshot.
+func (w *WALStore) LastAt() time.Time { return w.mem.LastAt() }
+
+// Counts reports (applied, rejected) snapshot totals.
+func (w *WALStore) Counts() (applied, rejected int) { return w.mem.Counts() }
+
+// Reset clears the store and removes every log file (used when a node
+// rejoins as backup: the peer's state, not ours, is now authoritative).
+func (w *WALStore) Reset() {
+	w.mu.Lock()
+	if w.seg != nil {
+		_ = w.seg.Close()
+		w.seg = nil
+	}
+	_ = os.Remove(w.basePath())
+	for _, id := range w.segIDsOnDisk() {
+		_ = os.Remove(w.segPath(id))
+	}
+	_ = syncDir(w.cfg.Dir)
+	w.sealed = nil
+	w.liveByte = 0
+	w.segID++
+	_ = w.openSegment()
+	w.publishGauges()
+	w.mu.Unlock()
+	w.mem.Reset()
+}
+
+// appendLocked writes one record to the active segment, fsyncs, and
+// rotates past the size limit.
+func (w *WALStore) appendLocked(typ byte, payload []byte) error {
+	if w.seg == nil {
+		return errors.New("checkpoint: wal store closed")
+	}
+	var hdr [walRecHeaderLen]byte
+	hdr[0] = walRecordMagic
+	hdr[1] = typ
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[6:], crc32.ChecksumIEEE(payload))
+	if _, err := w.seg.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: wal append: %w", err)
+	}
+	if _, err := w.seg.Write(payload); err != nil {
+		return fmt.Errorf("checkpoint: wal append: %w", err)
+	}
+	if !w.cfg.NoFsync {
+		if err := w.seg.Sync(); err != nil {
+			return fmt.Errorf("checkpoint: wal sync: %w", err)
+		}
+	}
+	n := int64(walRecHeaderLen + len(payload))
+	w.segBytes += n
+	w.liveByte += n
+	ins := w.cfg.Instruments
+	ins.Appends.Inc()
+	ins.AppendBytes.Add(n)
+	if w.segBytes >= w.cfg.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	w.publishGauges()
+	return nil
+}
+
+// rotateLocked seals the active segment and opens the next one; the
+// directory is fsync'd so the new segment file itself survives a crash.
+func (w *WALStore) rotateLocked() error {
+	if err := w.seg.Close(); err != nil {
+		return fmt.Errorf("checkpoint: wal seal: %w", err)
+	}
+	w.sealed = append(w.sealed, w.segID)
+	w.segID++
+	if err := w.openSegment(); err != nil {
+		return err
+	}
+	if len(w.sealed) >= w.cfg.CompactSegments {
+		select {
+		case w.compactCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// openSegment creates the active segment file (magic header, fsync'd,
+// directory fsync'd).
+func (w *WALStore) openSegment() error {
+	f, err := os.OpenFile(w.segPath(w.segID), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: wal segment: %w", err)
+	}
+	if _, err := f.Write(walSegMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: wal segment: %w", err)
+	}
+	if !w.cfg.NoFsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("checkpoint: wal segment: %w", err)
+		}
+		if err := syncDir(w.cfg.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.seg = f
+	w.segBytes = int64(len(walSegMagic))
+	w.liveSegs = len(w.sealed) + 1
+	w.liveByte += int64(len(walSegMagic))
+	return nil
+}
+
+// compactor folds sealed segments into the base snapshot in the
+// background.
+func (w *WALStore) compactor() {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-w.compactCh:
+			w.compactOnce()
+		}
+	}
+}
+
+// compactOnce writes the current merged state as the new base, re-logs
+// the surviving op tail, and deletes the folded segments. Deletion comes
+// last: a crash before it merely replays stale records that the memory
+// view rejects as duplicates.
+func (w *WALStore) compactOnce() {
+	start := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg == nil || len(w.sealed) == 0 {
+		return
+	}
+	snap := w.mem.Export()
+	if snap == nil {
+		return
+	}
+	pending := w.mem.PendingOps()
+	enc, err := snap.Encode()
+	if err != nil {
+		return
+	}
+	if !w.writeBase(enc) {
+		return
+	}
+	if len(pending) > 0 {
+		if ops, err := (&OpBatch{Ops: pending}).Encode(); err == nil {
+			_ = w.appendLocked(walRecOps, ops)
+		}
+	}
+	folded := w.sealed
+	w.sealed = nil
+	for _, id := range folded {
+		if fi, err := os.Stat(w.segPath(id)); err == nil {
+			w.liveByte -= fi.Size()
+		}
+		_ = os.Remove(w.segPath(id))
+	}
+	_ = syncDir(w.cfg.Dir)
+	w.liveSegs = 1
+	w.publishGauges()
+	w.cfg.Instruments.Compactions.Inc()
+	w.cfg.Instruments.CompactDur.ObserveDuration(time.Since(start))
+}
+
+// writeBase commits the base snapshot with temp + fsync + rename +
+// directory fsync.
+func (w *WALStore) writeBase(enc []byte) bool {
+	tmp, err := os.CreateTemp(w.cfg.Dir, ".ofttwal-*")
+	if err != nil {
+		return false
+	}
+	tmpName := tmp.Name()
+	fail := func() bool {
+		tmp.Close()
+		_ = os.Remove(tmpName)
+		return false
+	}
+	if _, err := tmp.Write(walBaseMagic); err != nil {
+		return fail()
+	}
+	if _, err := tmp.Write(enc); err != nil {
+		return fail()
+	}
+	if !w.cfg.NoFsync {
+		if err := tmp.Sync(); err != nil {
+			return fail()
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return false
+	}
+	if err := os.Rename(tmpName, w.basePath()); err != nil {
+		_ = os.Remove(tmpName)
+		return false
+	}
+	if !w.cfg.NoFsync {
+		if err := syncDir(w.cfg.Dir); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// replay loads base + segments into the memory view, stopping at the
+// first torn or corrupt record, and returns the segment ids on disk.
+func (w *WALStore) replay() ([]uint64, error) {
+	if data, err := os.ReadFile(w.basePath()); err == nil {
+		if len(data) < len(walBaseMagic) || string(data[:len(walBaseMagic)]) != string(walBaseMagic) {
+			return nil, fmt.Errorf("checkpoint: %s is not a wal base", w.basePath())
+		}
+		snap, err := DecodeSnapshot(data[len(walBaseMagic):])
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: corrupt wal base: %w", err)
+		}
+		if err := w.mem.Apply(snap); err != nil {
+			return nil, fmt.Errorf("checkpoint: seed wal base: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("checkpoint: open wal base: %w", err)
+	}
+	ids := w.segIDsOnDisk()
+	for _, id := range ids {
+		data, err := os.ReadFile(w.segPath(id))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: read wal segment: %w", err)
+		}
+		w.liveByte += int64(len(data))
+		w.liveSegs++
+		if !w.replaySegment(data) {
+			break // torn tail: everything after is post-crash noise
+		}
+	}
+	return ids, nil
+}
+
+// replaySegment applies one segment's records; false means the segment
+// ended in a torn or corrupt record.
+func (w *WALStore) replaySegment(data []byte) bool {
+	if len(data) < len(walSegMagic) || string(data[:len(walSegMagic)]) != string(walSegMagic) {
+		return false
+	}
+	off := len(walSegMagic)
+	for off < len(data) {
+		if off+walRecHeaderLen > len(data) || data[off] != walRecordMagic {
+			return false
+		}
+		typ := data[off+1]
+		n := int(binary.LittleEndian.Uint32(data[off+2:]))
+		crc := binary.LittleEndian.Uint32(data[off+6:])
+		off += walRecHeaderLen
+		if off+n > len(data) {
+			return false
+		}
+		payload := data[off : off+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return false
+		}
+		off += n
+		switch typ {
+		case walRecSnapshot:
+			if snap, err := DecodeSnapshot(payload); err == nil {
+				_ = w.mem.Apply(snap) // stale/need-base replays are no-ops
+			} else {
+				return false
+			}
+		case walRecOps:
+			if batch, err := DecodeOpBatch(payload); err == nil {
+				_ = w.mem.ApplyOps(batch) // duplicates skip via op seq
+			} else {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// segIDsOnDisk lists segment ids present in the directory, ascending.
+func (w *WALStore) segIDsOnDisk() []uint64 {
+	entries, err := os.ReadDir(w.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	var ids []uint64
+	for _, e := range entries {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &id); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (w *WALStore) basePath() string { return filepath.Join(w.cfg.Dir, "base.ckpt") }
+
+func (w *WALStore) segPath(id uint64) string {
+	return filepath.Join(w.cfg.Dir, fmt.Sprintf("wal-%08d.seg", id))
+}
+
+// publishGauges pushes segment count/bytes to telemetry.
+func (w *WALStore) publishGauges() {
+	w.cfg.Instruments.Segments.Set(int64(w.liveSegs))
+	w.cfg.Instruments.SegmentBytes.Set(w.liveByte)
+}
+
+// CompactNow requests a compaction pass regardless of the sealed-segment
+// threshold (tests and demote paths).
+func (w *WALStore) CompactNow() {
+	w.mu.Lock()
+	if len(w.sealed) == 0 {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	w.compactOnceOutside()
+}
+
+// compactOnceOutside is CompactNow's synchronous entry (compactOnce takes
+// the lock itself).
+func (w *WALStore) compactOnceOutside() { w.compactOnce() }
+
+// syncDir fsyncs a directory so a renamed or created entry survives a
+// crash — the durability step PersistentStore.flush was missing.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	return nil
+}

@@ -51,6 +51,20 @@ type Config struct {
 	// per-rule one.
 	Adaptive bool
 
+	// StoreDir, when set, persists the checkpoint store as a segmented
+	// WAL under this directory; a daemon restart replays it instead of
+	// starting cold.
+	StoreDir string
+	// OpLog drives plant mutations through the continuous op-log lane:
+	// each tick/ingest ships as an op between checkpoint anchors, keeping
+	// backups hot instead of checkpoint-stale.
+	OpLog bool
+	// CkptCompress enables flate compression on the checkpoint stream.
+	CkptCompress bool
+	// CkptChunk overrides the checkpoint stream chunk size in bytes
+	// (default checkpoint.DefaultChunkSize, 256KiB).
+	CkptChunk int
+
 	// HTTPAddr and IngestAddr are listen addresses (default ephemeral
 	// loopback ports).
 	HTTPAddr   string
@@ -77,6 +91,18 @@ type StateDoc struct {
 	AppActive bool   `json:"app_active"`
 	Seq       int64  `json:"seq"`
 	Ingested  int    `json:"ingested"`
+
+	// Checkpoint data-plane health: the harness audits these after fault
+	// campaigns (corrupt frames must be counted, not silently absorbed).
+	CkptRecvCorrupt int64 `json:"ckpt_recv_corrupt"`
+	StreamInflight  int64 `json:"ckpt_stream_inflight"`
+	StreamResumes   int64 `json:"ckpt_stream_resumes"`
+	WALSegments     int64 `json:"wal_segments"`
+	WALBytes        int64 `json:"wal_bytes"`
+	WALCompactions  int64 `json:"wal_compactions"`
+	OpLogLagOps     int   `json:"oplog_lag_ops"`
+	OpLogLagBytes   int64 `json:"oplog_lag_bytes"`
+	StandbyLive     bool  `json:"standby_live"`
 }
 
 // Host is one running daemon.
@@ -155,11 +181,14 @@ func Start(cfg Config) (*Host, error) {
 		pol = &engine.AdaptivePolicy{}
 	}
 	eng, err := engine.NewWithError(h.node, engine.Config{
-		Peers:             peerNames,
-		HeartbeatInterval: cfg.HeartbeatInterval,
-		PeerTimeout:       cfg.PeerTimeout,
-		Policy:            pol,
-		Metrics:           h.hub.Metrics(),
+		Peers:               peerNames,
+		HeartbeatInterval:   cfg.HeartbeatInterval,
+		PeerTimeout:         cfg.PeerTimeout,
+		Policy:              pol,
+		Metrics:             h.hub.Metrics(),
+		StoreDir:            cfg.StoreDir,
+		CheckpointChunkSize: cfg.CkptChunk,
+		CheckpointCompress:  cfg.CkptCompress,
 		// The default 1s ack timeout is sized for quiet networks; under
 		// chaos a cut link buffers sends until this deadline, and every
 		// deadline's worth of plant updates is state the backups never
@@ -223,7 +252,11 @@ func (h *Host) buildPlant(reattach bool) error {
 	if err != nil {
 		return err
 	}
-	plant := NewPlant(h.cfg.PlantTick)
+	plant := NewPlant(h.cfg.PlantTick, h.cfg.OpLog)
+	var opCfg *ftim.OpLogConfig
+	if h.cfg.OpLog {
+		opCfg = &ftim.OpLogConfig{Apply: plant.ApplyOp}
+	}
 	f, err := ftim.InitializeDeferred(ftim.Config{
 		Component:        "plant",
 		Engine:           h.eng,
@@ -231,7 +264,8 @@ func (h *Host) buildPlant(reattach bool) error {
 		Rule:             engine.RecoveryRule{MaxLocalRestarts: 1, Exhausted: engine.ExhaustSwitchover},
 		Reattach:         reattach,
 		Metrics:          h.hub.Metrics(),
-		Restart: h.restartPlant,
+		OpLog:            opCfg,
+		Restart:          h.restartPlant,
 		// Activation is the daemon's service-restored moment: close the
 		// recovery trace the failure detector opened so bounded-recovery
 		// audits see a complete detect→…→recovered timeline. On first
@@ -320,6 +354,23 @@ func (h *Host) State() StateDoc {
 		p.mu.Lock()
 		doc.AppActive = p.active
 		p.mu.Unlock()
+	}
+	// Data-plane gauges come straight off the engine's instruments in the
+	// hub registry (get-or-create: reading before the first event is 0).
+	reg := h.hub.Metrics()
+	nl := `{node="` + h.cfg.Name + `"}`
+	doc.CkptRecvCorrupt = reg.Counter("oftt_ckpt_recv_corrupt_total" + nl).Value()
+	doc.StreamInflight = reg.Gauge("oftt_ckpt_stream_inflight_chunks" + nl).Value()
+	doc.StreamResumes = reg.Counter("oftt_ckpt_stream_resumes_total" + nl).Value()
+	doc.WALSegments = reg.Gauge("oftt_ckpt_wal_segments" + nl).Value()
+	doc.WALBytes = reg.Gauge("oftt_ckpt_wal_bytes" + nl).Value()
+	doc.WALCompactions = reg.Counter("oftt_ckpt_wal_compactions_total" + nl).Value()
+	h.mu.Lock()
+	f := h.f
+	h.mu.Unlock()
+	if f != nil {
+		doc.OpLogLagOps, doc.OpLogLagBytes = f.OpLogLag()
+		doc.StandbyLive = f.StandbyLive()
 	}
 	return doc
 }

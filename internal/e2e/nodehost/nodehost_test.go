@@ -19,6 +19,11 @@ type trio struct {
 
 func startTrio(t *testing.T, adaptive bool) *trio {
 	t.Helper()
+	return startTrioCfg(t, adaptive, nil)
+}
+
+func startTrioCfg(t *testing.T, adaptive bool, tune func(name string, c *Config)) *trio {
+	t.Helper()
 	names := []string{"n1", "n2", "n3"}
 	pairs := [][2]string{{"n1", "n2"}, {"n1", "n3"}, {"n2", "n3"}}
 
@@ -45,7 +50,7 @@ func startTrio(t *testing.T, adaptive bool) *trio {
 				peers[p] = dialAddr(name, p)
 			}
 		}
-		h, err := Start(Config{
+		cfg := Config{
 			Name:              name,
 			Peers:             peers,
 			Seed:              42,
@@ -53,7 +58,11 @@ func startTrio(t *testing.T, adaptive bool) *trio {
 			PeerTimeout:       250 * time.Millisecond,
 			PlantTick:         10 * time.Millisecond,
 			Adaptive:          adaptive,
-		})
+		}
+		if tune != nil {
+			tune(name, &cfg)
+		}
+		h, err := Start(cfg)
 		if err != nil {
 			t.Skipf("cannot start host (sockets restricted?): %v", err)
 		}
@@ -147,6 +156,75 @@ func TestTrioIngestAcksOnlyAtPrimary(t *testing.T) {
 		bcli.Close()
 		break
 	}
+}
+
+// TestTrioOpLogAndWALStateDoc runs the full production-size-state stack
+// over real TCP: WAL-backed stores, compressed streaming checkpoints, and
+// op-log-driven plant mutations — then audits the /state.json data-plane
+// fields the black-box harness relies on.
+func TestTrioOpLogAndWALStateDoc(t *testing.T) {
+	base := t.TempDir()
+	tr := startTrioCfg(t, false, func(name string, c *Config) {
+		c.StoreDir = base + "/" + name
+		c.OpLog = true
+		c.CkptCompress = true
+		c.CkptChunk = 64 << 10
+		c.CheckpointPeriod = 100 * time.Millisecond
+	})
+	primary := tr.awaitPrimary(t, 15*time.Second)
+	h := tr.hosts[primary]
+
+	// The scan loop now advances through Mutate: Seq must still move.
+	start := h.State().Seq
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && h.State().Seq <= start {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if seq := h.State().Seq; seq <= start {
+		t.Fatalf("op-log plant seq stuck at %d", seq)
+	}
+
+	// Ingest (also an op now) still acks and dedups at the primary.
+	cli, err := dcom.DialTCP(h.AddrInfo().Ingest)
+	if err != nil {
+		t.Fatalf("dial ingest: %v", err)
+	}
+	defer cli.Close()
+	obj := cli.Object(IngestOID)
+	for _, id := range []int64{7, 7, 8} {
+		if err := obj.Call("Publish", nil, id, []byte("m")); err != nil {
+			t.Fatalf("publish %d: %v", id, err)
+		}
+	}
+	if got := h.State().Ingested; got != 2 {
+		t.Fatalf("ingested = %d, want 2 (dedup through ops)", got)
+	}
+
+	// The op stream keeps a backup hot, and the WAL store persists the
+	// chain: both must show up in the state documents.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		live, wal := 0, 0
+		for name, bh := range tr.hosts {
+			doc := bh.State()
+			if name != primary && doc.StandbyLive {
+				live++
+			}
+			if doc.WALSegments >= 1 && doc.WALBytes > 0 {
+				wal++
+			}
+		}
+		if live >= 1 && wal >= 1 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for name, bh := range tr.hosts {
+		doc := bh.State()
+		t.Logf("%s: live=%v walSegs=%d walBytes=%d lagOps=%d",
+			name, doc.StandbyLive, doc.WALSegments, doc.WALBytes, doc.OpLogLagOps)
+	}
+	t.Fatal("no live standby or WAL activity in state docs")
 }
 
 func TestTrioFailoverPromotesBackup(t *testing.T) {

@@ -1,6 +1,9 @@
 package nodehost
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -24,6 +27,7 @@ type plantState struct {
 // state and wait.
 type Plant struct {
 	tick time.Duration
+	ops  bool // mutations ride the continuous op-log lane
 
 	mu     sync.Mutex
 	f      *ftim.ClientFTIM
@@ -37,12 +41,61 @@ type Plant struct {
 	seen  map[int64]struct{}
 }
 
-// NewPlant builds a plant ticking its sequence every `tick`.
-func NewPlant(tick time.Duration) *Plant {
+// NewPlant builds a plant ticking its sequence every `tick`. With useOps
+// set, every mutation goes through ftim.Mutate so backups follow the
+// primary op-by-op instead of checkpoint-by-checkpoint.
+func NewPlant(tick time.Duration, useOps bool) *Plant {
 	if tick <= 0 {
 		tick = 10 * time.Millisecond
 	}
-	return &Plant{tick: tick}
+	return &Plant{tick: tick, ops: useOps}
+}
+
+// Plant op encoding: one type byte, then an op-specific payload.
+const (
+	plantOpTick   = 0x01 // no payload: Seq++
+	plantOpIngest = 0x02 // 8-byte LE message id
+)
+
+func tickOp() []byte { return []byte{plantOpTick} }
+
+func ingestOp(id int64) []byte {
+	b := make([]byte, 9)
+	b[0] = plantOpIngest
+	binary.LittleEndian.PutUint64(b[1:], uint64(id))
+	return b
+}
+
+// ApplyOp interprets one plant op against the registered state. It runs
+// under the FTIM state lock on both sides of the wire: via Mutate on the
+// primary, via the shipped op stream on a hot standby.
+func (p *Plant) ApplyOp(op []byte) error {
+	if len(op) == 0 {
+		return errors.New("plant: empty op")
+	}
+	switch op[0] {
+	case plantOpTick:
+		p.state.Seq++
+	case plantOpIngest:
+		if len(op) < 9 {
+			return errors.New("plant: short ingest op")
+		}
+		id := int64(binary.LittleEndian.Uint64(op[1:9]))
+		if p.seen == nil {
+			p.seen = make(map[int64]struct{}, len(p.state.Ids))
+			for _, v := range p.state.Ids {
+				p.seen[v] = struct{}{}
+			}
+		}
+		if _, dup := p.seen[id]; dup {
+			return nil
+		}
+		p.seen[id] = struct{}{}
+		p.state.Ids = append(p.state.Ids, id)
+	default:
+		return fmt.Errorf("plant: unknown op 0x%02x", op[0])
+	}
+	return nil
 }
 
 // Setup registers the plant's checkpointed state with the FTIM.
@@ -100,7 +153,13 @@ func (p *Plant) run(f *ftim.ClientFTIM, stop <-chan struct{}, done chan<- struct
 		case <-stop:
 			return
 		case <-t.C:
-			f.WithLock(func() { p.state.Seq++ })
+			if p.ops {
+				// A failed Mutate (role flapped mid-tick) just skips the
+				// beat; the scan loop retries next tick.
+				_ = f.Mutate(tickOp())
+			} else {
+				f.WithLock(func() { p.state.Seq++ })
+			}
 		}
 	}
 }
@@ -114,6 +173,11 @@ func (p *Plant) Ingest(id int64) bool {
 	defer p.mu.Unlock()
 	if !p.active || p.f == nil {
 		return false
+	}
+	if p.ops {
+		// ApplyOp dedupes under the state lock, so a duplicate is an
+		// acked no-op here just as in the direct path.
+		return p.f.Mutate(ingestOp(id)) == nil
 	}
 	p.f.WithLock(func() {
 		if _, dup := p.seen[id]; dup {

@@ -136,10 +136,12 @@ type Engine struct {
 
 	beatsPaused atomic.Bool // shared-transport SuspendBeats
 
-	hbmon   *heartbeat.Monitor
-	emitter *heartbeat.Emitter
-	dogs    *watchdog.Table
-	store   snapshotStore
+	hbmon     *heartbeat.Monitor
+	emitter   *heartbeat.Emitter
+	dogs      *watchdog.Table
+	store     snapshotStore
+	streamIns *checkpoint.StreamInstruments // nil without Config.Metrics
+	recv      *checkpoint.ReceiverState     // shared across inbound ckpt conns
 
 	exporters []*dcom.Exporter
 	hbSocks   []*netsim.DatagramSock
@@ -189,15 +191,9 @@ func NewWithError(node *cluster.Node, cfg Config, sink telemetry.Sink) (*Engine,
 	if sink == nil {
 		sink = telemetry.NullSink{}
 	}
-	var store snapshotStore = checkpoint.NewStore()
-	if cfg.StorePath != "" {
-		ps, err := checkpoint.NewPersistentStore(cfg.StorePath)
-		if err != nil {
-			return nil, fmt.Errorf("engine: checkpoint store: %w", err)
-		}
-		store = ps
-	}
 	var ins engineInstruments
+	var streamIns *checkpoint.StreamInstruments
+	var walIns *checkpoint.WALInstruments
 	if reg := cfg.Metrics; reg != nil {
 		label := `{node="` + node.Name() + `"}`
 		ins = engineInstruments{
@@ -209,6 +205,42 @@ func NewWithError(node *cluster.Node, cfg Config, sink telemetry.Sink) (*Engine,
 			compDetect:      reg.Histogram("oftt_engine_component_detect_us"+label, telemetry.DurationBuckets...),
 			switchoverDur:   reg.Histogram("oftt_engine_switchover_us"+label, telemetry.DurationBuckets...),
 		}
+		streamIns = &checkpoint.StreamInstruments{
+			SentChunks:  reg.Counter("oftt_ckpt_stream_chunks_total" + label),
+			WireBytes:   reg.Counter("oftt_ckpt_stream_wire_bytes_total" + label),
+			RawBytes:    reg.Counter("oftt_ckpt_stream_raw_bytes_total" + label),
+			Inflight:    reg.Gauge("oftt_ckpt_stream_inflight_chunks" + label),
+			RecvCorrupt: reg.Counter("oftt_ckpt_recv_corrupt_total" + label),
+			Resumes:     reg.Counter("oftt_ckpt_stream_resumes_total" + label),
+			OpsShipped:  reg.Counter("oftt_oplog_shipped_total" + label),
+			OpBytes:     reg.Counter("oftt_oplog_shipped_bytes_total" + label),
+		}
+		walIns = &checkpoint.WALInstruments{
+			Segments:     reg.Gauge("oftt_ckpt_wal_segments" + label),
+			SegmentBytes: reg.Gauge("oftt_ckpt_wal_bytes" + label),
+			Appends:      reg.Counter("oftt_ckpt_wal_appends_total" + label),
+			AppendBytes:  reg.Counter("oftt_ckpt_wal_append_bytes_total" + label),
+			Compactions:  reg.Counter("oftt_ckpt_wal_compactions_total" + label),
+			CompactDur:   reg.Histogram("oftt_ckpt_wal_compact_us"+label, telemetry.DurationBuckets...),
+		}
+	}
+	var store snapshotStore = checkpoint.NewStore()
+	switch {
+	case cfg.StoreDir != "":
+		ws, err := checkpoint.NewWALStore(checkpoint.WALConfig{
+			Dir:         cfg.StoreDir,
+			Instruments: walIns,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: checkpoint store: %w", err)
+		}
+		store = ws
+	case cfg.StorePath != "":
+		ps, err := checkpoint.NewPersistentStore(cfg.StorePath)
+		if err != nil {
+			return nil, fmt.Errorf("engine: checkpoint store: %w", err)
+		}
+		store = ps
 	}
 	return &Engine{
 		node:        node,
@@ -222,6 +254,8 @@ func NewWithError(node *cluster.Node, cfg Config, sink telemetry.Sink) (*Engine,
 		components:  make(map[string]*component),
 		dogs:        watchdog.NewTable(),
 		store:       store,
+		streamIns:   streamIns,
+		recv:        checkpoint.NewReceiverState(store, streamIns),
 		peerClients: make(map[string]*dcom.Client),
 		senders:     make(map[string]*peerShipper),
 		stop:        make(chan struct{}),
@@ -555,6 +589,9 @@ func (e *Engine) Stop() {
 	e.peerMu.Unlock()
 	e.dogs.Close()
 	e.wg.Wait()
+	if c, ok := e.store.(interface{ Close() error }); ok {
+		_ = c.Close() // WALStore: stop the compactor, close the segment
+	}
 }
 
 // broadcastBeat sends one engine heartbeat to every peer on every network
@@ -742,7 +779,10 @@ func (e *Engine) acceptCheckpoints(lst *netsim.Listener) {
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
-			checkpoint.ServeReceiver(conn, e.store, e.stop)
+			// The shared receiver state lets a transfer broken by one
+			// connection's death resume on the next; corrupt peers bump
+			// oftt_ckpt_recv_corrupt_total instead of vanishing silently.
+			e.recv.Serve(conn, e.stop)
 		}()
 	}
 }

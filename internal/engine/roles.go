@@ -404,10 +404,16 @@ func (e *Engine) shipper(peer string) *peerShipper {
 	return ps
 }
 
-// shipTo sends one snapshot down one peer's checkpoint channel,
-// (re)dialing as needed. A send failure tears the channel down so the
-// next round dials fresh.
+// shipTo sends one snapshot down one peer's checkpoint channel.
 func (e *Engine) shipTo(peer string, snap *checkpoint.Snapshot) error {
+	return e.shipWith(peer, func(s *checkpoint.Sender) error { return s.Send(snap) })
+}
+
+// shipWith runs one send round on peer's checkpoint channel, (re)dialing
+// as needed. A send failure tears the channel down so the next round
+// dials fresh — and, for snapshot streams, resumes from the receiver's
+// buffered partial transfer.
+func (e *Engine) shipWith(peer string, send func(*checkpoint.Sender) error) error {
 	ps := e.shipper(peer)
 	ps.sendMu.Lock()
 	defer ps.sendMu.Unlock()
@@ -424,7 +430,7 @@ func (e *Engine) shipTo(peer string, snap *checkpoint.Snapshot) error {
 		ps.sender = sender
 		ps.mu.Unlock()
 	}
-	if err := sender.Send(snap); err != nil {
+	if err := send(sender); err != nil {
 		ps.mu.Lock()
 		if ps.sender == sender {
 			ps.sender = nil
@@ -436,6 +442,60 @@ func (e *Engine) shipTo(peer string, snap *checkpoint.Snapshot) error {
 	return nil
 }
 
+// ShipOps sends an op-log batch to every peer's store — the FTIM's
+// continuous replication lane between checkpoint anchors. Standalone
+// pairs ride the same streaming checkpoint channel (total order with
+// snapshots per peer); fabric groups ride the shared group-routed RPC.
+// The verdict contract matches ShipSnapshot: any failed replica means the
+// caller must re-base (checkpoint.ErrPartialShip or worse), because a
+// replica that missed ops can no longer replay to the primary's state.
+func (e *Engine) ShipOps(batch *checkpoint.OpBatch) error {
+	if e.Role() != RolePrimary {
+		return ErrNotPrimary
+	}
+	if batch == nil || len(batch.Ops) == 0 {
+		return nil
+	}
+	if tr := e.cfg.Transport; tr != nil {
+		data, err := batch.Encode()
+		if err != nil {
+			return err
+		}
+		var lastErr error
+		ok := 0
+		for _, peer := range e.peers {
+			if err := tr.call(peer, e.cfg.GroupID, "StoreOps", nil, data); err != nil {
+				lastErr = err
+				continue
+			}
+			ok++
+		}
+		return shipVerdict(ok, len(e.peers), lastErr)
+	}
+	var (
+		wg      sync.WaitGroup
+		resMu   sync.Mutex
+		lastErr error
+		ok      int
+	)
+	for _, peer := range e.peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			err := e.shipWith(peer, func(s *checkpoint.Sender) error { return s.SendOps(batch) })
+			resMu.Lock()
+			if err != nil {
+				lastErr = err
+			} else {
+				ok++
+			}
+			resMu.Unlock()
+		}(peer)
+	}
+	wg.Wait()
+	return shipVerdict(ok, len(e.peers), lastErr)
+}
+
 func (e *Engine) dialCheckpoint(peer string) (*checkpoint.Sender, error) {
 	from := e.node.Addr("engine-ckpt-cli")
 	to := netsim.Addr(peer + ":engine-ckpt")
@@ -443,7 +503,13 @@ func (e *Engine) dialCheckpoint(peer string) (*checkpoint.Sender, error) {
 	for _, n := range e.networks {
 		conn, err := n.Dial(from, to)
 		if err == nil {
-			return checkpoint.NewSender(conn, e.cfg.CheckpointAckTimeout), nil
+			return checkpoint.NewStreamSender(conn, checkpoint.StreamConfig{
+				ChunkSize:   e.cfg.CheckpointChunkSize,
+				Window:      e.cfg.CheckpointWindow,
+				Compress:    e.cfg.CheckpointCompress,
+				AckTimeout:  e.cfg.CheckpointAckTimeout,
+				Instruments: e.streamIns,
+			}), nil
 		}
 		lastErr = err
 	}

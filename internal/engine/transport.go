@@ -489,3 +489,18 @@ func (s *FabricStub) StoreSnapshotG(group string, data []byte) error {
 	}
 	return e.store.Apply(snap)
 }
+
+// StoreOpsG applies an op-log batch shipped by the group's primary — the
+// fabric's op lane (the pair protocol carries ops on the checkpoint
+// stream instead).
+func (s *FabricStub) StoreOpsG(group string, data []byte) error {
+	e, err := s.member(group)
+	if err != nil {
+		return err
+	}
+	batch, err := checkpoint.DecodeOpBatch(data)
+	if err != nil {
+		return err
+	}
+	return e.store.ApplyOps(batch)
+}

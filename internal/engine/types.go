@@ -149,6 +149,22 @@ type Config struct {
 	// last confirmed checkpoint survives even a whole-pair outage.
 	StorePath string
 
+	// StoreDir, when set, persists the checkpoint store as a segmented
+	// write-ahead log under this directory instead: applies append
+	// O(delta) records with background compaction, rather than rewriting
+	// the whole state file per apply. Takes precedence over StorePath.
+	StoreDir string
+
+	// CheckpointChunkSize is the streaming transfer's raw bytes per chunk
+	// (default checkpoint.DefaultChunkSize).
+	CheckpointChunkSize int
+	// CheckpointWindow is the streaming transfer's credit window in
+	// chunks (default checkpoint.DefaultWindow).
+	CheckpointWindow int
+	// CheckpointCompress enables per-chunk flate compression on the
+	// checkpoint stream.
+	CheckpointCompress bool
+
 	// Policy selects the recovery action for component failures. Nil means
 	// StaticPolicy: follow each component's RecoveryRule verbatim. Set an
 	// *AdaptivePolicy (or any RecoveryPolicy) to pick restart vs. switchover

@@ -114,6 +114,12 @@ type Config struct {
 	// which must preserve the engine's restart budget.
 	Reattach bool
 
+	// OpLog, when set, enables continuous op-log shipping: Mutate streams
+	// operations to the peers between checkpoint anchors, and a backup
+	// replays them into its live registered state so takeover skips the
+	// store materialization.
+	OpLog *OpLogConfig
+
 	// Metrics, when set, records per-mode checkpoint capture duration and
 	// size plus ship outcomes. Nil runs uninstrumented.
 	Metrics *telemetry.Registry
@@ -141,6 +147,11 @@ func (c *Config) applyDefaults() error {
 	if c.Rule.MaxLocalRestarts == 0 && c.Rule.Exhausted == 0 {
 		c.Rule = engine.RecoveryRule{MaxLocalRestarts: 2, Exhausted: engine.ExhaustSwitchover}
 	}
+	if c.OpLog != nil {
+		if err := c.OpLog.applyDefaults(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -165,6 +176,9 @@ type ftimInstruments struct {
 	captureBytes [CaptureIncremental + 1]*telemetry.Histogram
 	shipped      *telemetry.Counter
 	shipErrs     *telemetry.Counter
+	lagOps       *telemetry.Gauge
+	lagBytes     *telemetry.Gauge
+	standbyLive  *telemetry.Gauge
 }
 
 type ClientFTIM struct {
@@ -180,11 +194,26 @@ type ClientFTIM struct {
 	ckpts    int64
 	ckptErrs int64
 	needFull bool
+	// pendingFull is a full capture whose ship failed partway: it is
+	// re-shipped verbatim so the stream layer can resume from the
+	// receiver's buffered partial transfer, and no new captures are taken
+	// until it lands (the incremental chain stays rooted at its sequence).
+	pendingFull *checkpoint.Snapshot
+	// live is the hot-standby flag: the registered state is current with
+	// the shipped stream, so takeover can skip Materialize.
+	live bool
+
+	// shipMu serializes snapshot ships with op-batch ships so they leave
+	// in one total order per peer.
+	shipMu sync.Mutex
+	oplog  *checkpoint.OpLog
 
 	emitter *heartbeat.Emitter
 
 	ckptStop chan struct{}
 	ckptDone chan struct{}
+	opStop   chan struct{}
+	opDone   chan struct{}
 
 	wg sync.WaitGroup
 }
@@ -224,6 +253,12 @@ func InitializeDeferred(cfg Config) (*ClientFTIM, error) {
 		label := `{component="` + cfg.Component + `"}`
 		f.ins.shipped = reg.Counter("oftt_checkpoint_shipped_total" + label)
 		f.ins.shipErrs = reg.Counter("oftt_checkpoint_ship_errors_total" + label)
+		f.ins.lagOps = reg.Gauge("oftt_oplog_lag_ops" + label)
+		f.ins.lagBytes = reg.Gauge("oftt_oplog_lag_bytes" + label)
+		f.ins.standbyLive = reg.Gauge("oftt_standby_live" + label)
+	}
+	if cfg.OpLog != nil {
+		f.oplog = checkpoint.NewOpLog(cfg.OpLog.MaxBytes)
 	}
 
 	register := cfg.Engine.RegisterComponent
@@ -239,6 +274,12 @@ func InitializeDeferred(cfg Config) (*ClientFTIM, error) {
 		cfg.Engine.ComponentBeat(b.Source, b.Seq, b.Status)
 	})
 	f.emitter.Start()
+
+	// Mirror the engine store's applies into the live registered state —
+	// the hot-standby path that lets takeover skip the O(state)
+	// materialization. One observer per store: hot standby assumes the
+	// usual one-application-per-engine deployment.
+	cfg.Engine.Store().SetObserver(f.onStoreEvent)
 
 	// Receive control from the engine on role transitions (gated on
 	// AttachContext).
@@ -476,22 +517,42 @@ func (f *ClientFTIM) activate(recoverFromPeer bool) {
 	}
 	f.active = true
 	f.needFull = true // first post-activation ship must re-base the peer
+	f.pendingFull = nil
+	live := f.live
 	f.ckptStop = make(chan struct{})
 	f.ckptDone = make(chan struct{})
 	stop, done := f.ckptStop, f.ckptDone
+	var ostop, odone chan struct{}
+	if f.oplog != nil {
+		f.opStop = make(chan struct{})
+		f.opDone = make(chan struct{})
+		ostop, odone = f.opStop, f.opDone
+	}
 	f.mu.Unlock()
 
 	// Restore the latest checkpoint: from the peer's store on a reattach,
-	// from our own store on a takeover.
+	// from our own store on a takeover. A hot standby skips both — the
+	// store observer kept its registered state current as snapshots and
+	// ops arrived, so activation costs O(1) instead of O(state).
 	restored := false
 	if recoverFromPeer {
 		if ok, err := f.cfg.Engine.RecoverFromPeer(f.reg); err == nil && ok {
 			restored = true
 		}
 	}
+	if !restored && live {
+		restored = true
+	}
 	if !restored && f.cfg.Engine.Store().LastSeq() > 0 {
 		if err := f.cfg.Engine.Materialize(f.reg); err == nil {
 			restored = true
+			// Materialize rewinds to the last snapshot; the store's
+			// pending ops carry the state forward to the last shipped op.
+			for _, op := range f.cfg.Engine.Store().PendingOps() {
+				if f.applyOp(op.Data) != nil {
+					break
+				}
+			}
 		}
 	}
 	if f.cfg.OnActivate != nil {
@@ -503,6 +564,13 @@ func (f *ClientFTIM) activate(recoverFromPeer bool) {
 		defer f.wg.Done()
 		f.checkpointLoop(stop, done)
 	}()
+	if ostop != nil {
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.opFlushLoop(ostop, odone)
+		}()
+	}
 }
 
 func (f *ClientFTIM) deactivate() {
@@ -513,10 +581,20 @@ func (f *ClientFTIM) deactivate() {
 	}
 	f.active = false
 	stop, done := f.ckptStop, f.ckptDone
+	ostop, odone := f.opStop, f.opDone
 	f.mu.Unlock()
 
 	close(stop)
 	<-done
+	if ostop != nil {
+		close(ostop)
+		<-odone
+	}
+	if f.oplog != nil {
+		// Unshipped ops die with the primaryship: the new primary re-bases
+		// us with a full snapshot before any op chain restarts.
+		f.oplog.Reset()
+	}
 	if f.cfg.OnDeactivate != nil {
 		f.cfg.OnDeactivate()
 	}
@@ -539,10 +617,30 @@ func (f *ClientFTIM) checkpointLoop(stop <-chan struct{}, done chan<- struct{}) 
 // checkpointOnce captures per the configured mode and ships to the peer.
 // It serves both the periodic loop and the OFTTSave path.
 func (f *ClientFTIM) checkpointOnce() error {
+	f.shipMu.Lock()
+	defer f.shipMu.Unlock()
+
+	// A partially shipped full capture is re-shipped verbatim first: the
+	// stream layer resumes from the receiver's buffered partial transfer,
+	// so only the chunks that never arrived cross the wire.
+	f.mu.Lock()
+	retained := f.pendingFull
+	f.mu.Unlock()
+	if retained != nil {
+		if err := f.shipOne(retained, CaptureFull); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		still := f.pendingFull != nil
+		f.mu.Unlock()
+		if still {
+			return nil // resume made progress but the base has not landed
+		}
+	}
+
 	f.mu.Lock()
 	needFull := f.needFull
 	f.mu.Unlock()
-
 	mode := f.cfg.Mode
 	if needFull {
 		mode = CaptureFull
@@ -567,16 +665,39 @@ func (f *ClientFTIM) checkpointOnce() error {
 	// the backup's sequence number advancing, and a backup whose store was
 	// reset (it was just demoted) rejects them for lack of a base, which
 	// triggers the full re-base below.
+	return f.shipOne(snap, mode)
+}
+
+// shipOne ships one snapshot and keeps the re-base bookkeeping: a full
+// capture that fails to ship is retained so the retry resumes instead of
+// re-sending, and a confirmed ship prunes the op log of every entry the
+// snapshot provably contains.
+func (f *ClientFTIM) shipOne(snap *checkpoint.Snapshot, mode CaptureMode) error {
 	if err := f.cfg.Engine.ShipSnapshot(snap); err != nil {
+		partial := errors.Is(err, checkpoint.ErrPartialShip)
 		f.mu.Lock()
 		f.ckptErrs++
 		f.needFull = true // re-base the peer(s) on the next attempt
+		// Retain the full capture for a resumed retry only when NO
+		// replica confirmed it: with every peer unreachable nothing is
+		// being starved, and the retry resumes the cut transfer instead
+		// of restarting (the production-size-state case — a pair's single
+		// peer always lands here). A partial ship must NOT retain: the
+		// confirmed replicas would be frozen on this capture while we
+		// re-shipped it to the stalled one, losing acked state if the
+		// primary then dies — instead the next period captures a fresh
+		// full (needFull above) so healthy replicas keep advancing.
+		if mode == CaptureFull && !partial {
+			f.pendingFull = snap
+		} else {
+			f.pendingFull = nil
+		}
 		f.mu.Unlock()
 		f.ins.shipErrs.Inc()
 		// A partial ship means a quorum-side copy exists — the save met
 		// its contract — but some replica missed this increment and its
-		// chain is broken until the full capture above re-bases it.
-		if errors.Is(err, checkpoint.ErrPartialShip) {
+		// chain is broken until a full capture re-bases it.
+		if partial {
 			return nil
 		}
 		return err
@@ -584,8 +705,12 @@ func (f *ClientFTIM) checkpointOnce() error {
 	f.mu.Lock()
 	f.ckpts++
 	f.needFull = false
+	f.pendingFull = nil
 	f.mu.Unlock()
 	f.ins.shipped.Inc()
+	if f.oplog != nil {
+		f.oplog.PruneAnchored(snap.Seq)
+	}
 	return nil
 }
 

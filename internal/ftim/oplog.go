@@ -1,0 +1,232 @@
+package ftim
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// OpLogConfig enables continuous op-log shipping: the FTIM streams each
+// Mutate to the peers between checkpoint anchors, so the wire carries the
+// operations (O(delta)) instead of the regions they touch. The periodic
+// checkpoint loop keeps running — its captures are the anchors the op
+// stream is pruned against — so deployments that use the op lane usually
+// stretch CheckpointPeriod to the anchor interval they want.
+type OpLogConfig struct {
+	// Apply interprets one op against the registered state. It runs under
+	// the registry lock — on the primary inside Mutate, and on hot
+	// standbys replaying the shipped stream. It must be deterministic:
+	// both sides must reach the same state from the same ops.
+	Apply func(op []byte) error
+	// FlushInterval is the op shipping period (default 5ms).
+	FlushInterval time.Duration
+	// MaxBytes bounds buffered unshipped op bytes; overflow falls back to
+	// a full re-base (default checkpoint.DefaultOpLogBytes).
+	MaxBytes int64
+	// MaxBatchBytes bounds one shipped batch (default 1 MiB).
+	MaxBatchBytes int64
+}
+
+func (c *OpLogConfig) applyDefaults() error {
+	if c.Apply == nil {
+		return errors.New("ftim: OpLog.Apply required")
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 5 * time.Millisecond
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = checkpoint.DefaultOpLogBytes
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 1 << 20
+	}
+	return nil
+}
+
+// ErrNoOpLog is returned by Mutate when OpLog was not configured.
+var ErrNoOpLog = errors.New("ftim: OpLog not configured")
+
+// Mutate applies one operation to the registered state and logs it for
+// continuous shipping. The op is interpreted by OpLog.Apply under the
+// registry lock, and its log entry is anchored at the current capture
+// sequence — so a snapshot captured later provably contains its effect
+// and the entry can be pruned once that snapshot is confirmed shipped.
+//
+// State mutated directly (under WithLock, outside Mutate) still
+// replicates, but only via the capture modes; mixing both is fine as
+// long as the regions are registered.
+func (f *ClientFTIM) Mutate(op []byte) error {
+	if f.oplog == nil {
+		return ErrNoOpLog
+	}
+	f.mu.Lock()
+	if f.shutdown {
+		f.mu.Unlock()
+		return ErrShutdown
+	}
+	active := f.active
+	f.mu.Unlock()
+	if !active {
+		return ErrNotPrimary
+	}
+	var applyErr, appendErr error
+	f.reg.WithLockSeq(func(anchor uint64) {
+		if applyErr = f.cfg.OpLog.Apply(op); applyErr != nil {
+			return
+		}
+		_, appendErr = f.oplog.Append(anchor, op)
+	})
+	if applyErr != nil {
+		return applyErr
+	}
+	if appendErr != nil {
+		// Log overflow: the buffered delta outgrew its budget, so the op
+		// lane can no longer carry the peers to current state. The
+		// mutation itself landed; replication falls back to a full
+		// re-base on the next checkpoint round.
+		f.mu.Lock()
+		f.needFull = true
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// OpLogLag reports the buffered, not-yet-shipped op backlog.
+func (f *ClientFTIM) OpLogLag() (ops int, bytes int64) {
+	if f.oplog == nil {
+		return 0, 0
+	}
+	return f.oplog.Lag()
+}
+
+// StandbyLive reports whether this copy's registered state is being kept
+// current from the shipped checkpoint/op stream, i.e. whether a takeover
+// can skip materializing the store.
+func (f *ClientFTIM) StandbyLive() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.live
+}
+
+func (f *ClientFTIM) setLive(v bool) {
+	f.mu.Lock()
+	f.live = v
+	f.mu.Unlock()
+	if v {
+		f.ins.standbyLive.Set(1)
+	} else {
+		f.ins.standbyLive.Set(0)
+	}
+}
+
+// applyOp interprets one shipped op against the live registered state.
+func (f *ClientFTIM) applyOp(data []byte) error {
+	if f.cfg.OpLog == nil {
+		return ErrNoOpLog
+	}
+	var err error
+	f.reg.WithLock(func() { err = f.cfg.OpLog.Apply(data) })
+	return err
+}
+
+// onStoreEvent mirrors the engine store's applies into the live
+// registered state — the hot-standby path. It runs on the receiver's
+// apply path and must not call store methods (lock order); every event is
+// self-contained. The executing copy ignores events: its registry is the
+// authority, and the store only receives applies while we are backup.
+func (f *ClientFTIM) onStoreEvent(ev checkpoint.StoreEvent) {
+	f.mu.Lock()
+	skip := f.active || f.shutdown
+	f.mu.Unlock()
+	if skip {
+		return
+	}
+	switch ev.Kind {
+	case checkpoint.EventSnapshot:
+		full := ev.Snap.Kind == string(checkpoint.KindFull)
+		if !full && !f.StandbyLive() {
+			return // an increment without a live base is store-only
+		}
+		if err := f.reg.Restore(ev.Snap); err != nil {
+			f.setLive(false)
+			return
+		}
+		if full {
+			// The restore rewound the live state to capture time; the
+			// store's surviving pending ops (anchored at or after this
+			// snapshot) bring it back to current.
+			ok := true
+			for _, op := range ev.Pending {
+				if f.applyOp(op.Data) != nil {
+					ok = false
+					break
+				}
+			}
+			f.setLive(ok)
+		}
+	case checkpoint.EventOps:
+		if !f.StandbyLive() {
+			return
+		}
+		for _, op := range ev.Ops {
+			if f.applyOp(op.Data) != nil {
+				f.setLive(false)
+				return
+			}
+		}
+	case checkpoint.EventReset:
+		f.setLive(false)
+	}
+}
+
+// opFlushLoop ships buffered ops every FlushInterval while primary.
+func (f *ClientFTIM) opFlushLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(f.cfg.OpLog.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			f.flushOps()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// flushOps ships one op batch. It shares shipMu with checkpointOnce so
+// snapshots and op batches leave in a single total order per peer, and it
+// stands down whenever a re-base is owed — a peer that missed a batch has
+// a broken op chain until the next full snapshot resyncs it.
+func (f *ClientFTIM) flushOps() {
+	f.shipMu.Lock()
+	defer f.shipMu.Unlock()
+
+	f.mu.Lock()
+	skip := !f.active || f.needFull || f.pendingFull != nil
+	f.mu.Unlock()
+	if skip {
+		return
+	}
+	batch := f.oplog.Batch(f.cfg.OpLog.MaxBatchBytes)
+	if batch == nil {
+		f.reportLag()
+		return
+	}
+	if err := f.cfg.Engine.ShipOps(batch); err != nil {
+		f.mu.Lock()
+		f.needFull = true
+		f.mu.Unlock()
+		f.reportLag()
+		return
+	}
+	f.oplog.AckThrough(batch.Ops[len(batch.Ops)-1].Seq)
+	f.reportLag()
+}
+
+func (f *ClientFTIM) reportLag() {
+	ops, bytes := f.oplog.Lag()
+	f.ins.lagOps.Set(int64(ops))
+	f.ins.lagBytes.Set(bytes)
+}

@@ -1,0 +1,304 @@
+package ftim
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// opHarness is a harness whose engines carry telemetry registries and
+// streaming knobs tuned small enough to exercise chunking in-test.
+type opHarness struct {
+	*harness
+	reg1, reg2 *telemetry.Registry
+}
+
+func newOpHarness(t *testing.T, tune func(*engine.Config)) *opHarness {
+	t.Helper()
+	h := &harness{}
+	oh := &opHarness{harness: h,
+		reg1: telemetry.NewRegistry(), reg2: telemetry.NewRegistry()}
+	h.nets = []*netsim.Network{netsim.New("ethA", 1)}
+	h.node1 = cluster.NewNode("node1", 1, h.nets...)
+	h.node2 = cluster.NewNode("node2", 2, h.nets...)
+	cfg := func(peer string, reg *telemetry.Registry) engine.Config {
+		c := engine.Config{
+			PeerNode:          peer,
+			HeartbeatInterval: 5 * time.Millisecond,
+			PeerTimeout:       50 * time.Millisecond,
+			Metrics:           reg,
+			Startup: engine.StartupPolicy{
+				Retries:       10,
+				RetryInterval: 10 * time.Millisecond,
+				Alone:         engine.AloneBecomePrimary,
+			},
+		}
+		if tune != nil {
+			tune(&c)
+		}
+		return c
+	}
+	h.e1 = engine.New(h.node1, cfg("node2", oh.reg1), nil)
+	h.e2 = engine.New(h.node2, cfg("node1", oh.reg2), nil)
+	if err := h.e1.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.e2.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		h.e1.Stop()
+		h.e2.Stop()
+	})
+	waitFor(t, "pair formation", func() bool {
+		return h.e1.Role() == engine.RolePrimary && h.e2.Role() == engine.RoleBackup
+	})
+	return oh
+}
+
+// counterState is the op-log demo state: ops are 8-byte LE deltas.
+type counterState struct {
+	Count int64
+}
+
+func deltaOp(d int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(d))
+	return b[:]
+}
+
+func opConfig(comp string, e *engine.Engine, state *counterState, period time.Duration) Config {
+	return Config{
+		Component:        comp,
+		Engine:           e,
+		CheckpointPeriod: period,
+		OpLog: &OpLogConfig{
+			FlushInterval: 2 * time.Millisecond,
+			Apply: func(op []byte) error {
+				state.Count += int64(binary.LittleEndian.Uint64(op))
+				return nil
+			},
+		},
+	}
+}
+
+func TestMutateShipsOpsAndStandbyApplies(t *testing.T) {
+	h := newOpHarness(t, nil)
+
+	stateP := &counterState{}
+	fp, err := Initialize(opConfig("app", h.e1, stateP, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fp.Shutdown()
+	if err := fp.RegisterState("counter", stateP); err != nil {
+		t.Fatal(err)
+	}
+
+	stateB := &counterState{}
+	fb, err := Initialize(opConfig("app", h.e2, stateB, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Shutdown()
+	if err := fb.RegisterState("counter", stateB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Anchor once so the backup has a base; ops carry everything after.
+	if err := fp.Save(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := fp.Mutate(deltaOp(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "ops at backup store", func() bool { return h.e2.Store().OpSeq() >= 10 })
+	waitFor(t, "standby live apply", func() bool {
+		if !fb.StandbyLive() {
+			return false
+		}
+		var got int64
+		fb.WithLock(func() { got = stateB.Count })
+		return got == 55
+	})
+
+	// The op lane drains: once shipped and acked, nothing is buffered.
+	waitFor(t, "op log drained", func() bool {
+		ops, _ := fp.OpLogLag()
+		return ops == 0
+	})
+
+	// Mutate is a primary-only API.
+	if err := fb.Mutate(deltaOp(1)); err != ErrNotPrimary {
+		t.Fatalf("backup Mutate: %v", err)
+	}
+}
+
+func TestHotStandbyTakeoverWithoutMaterialize(t *testing.T) {
+	h := newOpHarness(t, nil)
+
+	stateP := &counterState{}
+	fp, err := Initialize(opConfig("app", h.e1, stateP, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fp.RegisterState("counter", stateP)
+
+	restoredCh := make(chan bool, 1)
+	stateB := &counterState{}
+	cfgB := opConfig("app", h.e2, stateB, time.Hour)
+	cfgB.OnActivate = func(restored bool) { restoredCh <- restored }
+	fb, err := Initialize(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Shutdown()
+	_ = fb.RegisterState("counter", stateB)
+
+	if err := fp.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// These deltas are never snapshot-anchored (period is an hour): only
+	// the op stream carries them.
+	for i := 0; i < 5; i++ {
+		if err := fp.Mutate(deltaOp(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "standby caught up live", func() bool {
+		if !fb.StandbyLive() {
+			return false
+		}
+		var got int64
+		fb.WithLock(func() { got = stateB.Count })
+		return got == 500
+	})
+
+	// Primary node dies; the hot standby takes over from its live state.
+	h.node1.PowerOff()
+	select {
+	case restored := <-restoredCh:
+		if !restored {
+			t.Fatal("hot standby takeover reported no restore")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("standby never activated")
+	}
+	var got int64
+	fb.WithLock(func() { got = stateB.Count })
+	if got != 500 {
+		t.Fatalf("state after hot takeover: %d, want 500", got)
+	}
+}
+
+// TestPartialShipRebaseResumesEndToEnd breaks the checkpoint channel
+// mid-stream twice: first to break the incremental chain (forcing a full
+// re-base), then mid-way through the re-base itself. The retried re-base
+// must RESUME the partial transfer rather than restart it, and the chain
+// must continue past it.
+func TestPartialShipRebaseResumesEndToEnd(t *testing.T) {
+	h := newOpHarness(t, func(c *engine.Config) {
+		c.CheckpointChunkSize = 4 << 10
+		c.CheckpointWindow = 8
+		c.CheckpointAckTimeout = 150 * time.Millisecond
+	})
+	// Per-frame latency paces the stream so the partitions land mid-flight.
+	h.nets[0].SetLatency(500*time.Microsecond, 0)
+
+	big := make([]byte, 1<<20) // 256 chunks per full ship
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+	fp, err := Initialize(Config{
+		Component:        "app",
+		Engine:           h.e1,
+		CheckpointPeriod: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fp.Shutdown()
+	if err := fp.RegisterState("big", &big); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "initial chain", func() bool { return h.e2.Store().LastSeq() >= 2 })
+
+	chunks := h.reg1.Counter(`oftt_ckpt_stream_chunks_total{node="node1"}`)
+	resumes := h.reg1.Counter(`oftt_ckpt_stream_resumes_total{node="node1"}`)
+	ckptCli, ckptSrv := netsim.Addr("node1:engine-ckpt-cli"), netsim.Addr("node2:engine-ckpt")
+
+	cutMidTransfer := func(tag string) {
+		t.Helper()
+		// Dirty the whole region so the next incremental is a 1MB ship,
+		// then cut the checkpoint channel while its chunks are flowing.
+		fp.WithLock(func() { big[0]++ })
+		base := chunks.Value()
+		waitFor(t, tag+": stream in flight", func() bool { return chunks.Value() > base+20 })
+		h.nets[0].Partition(ckptCli, ckptSrv)
+		_, failedBefore := fp.CheckpointStats()
+		waitFor(t, tag+": ship failure", func() bool {
+			_, failed := fp.CheckpointStats()
+			return failed > failedBefore
+		})
+	}
+
+	// Cut 1 breaks the incremental chain: the FTIM owes the backup a full
+	// re-base. Heal and let the re-base full transfer start, then cut
+	// again mid-flight so a partial of the re-base is left behind.
+	cutMidTransfer("cut1")
+	h.nets[0].Heal(ckptCli, ckptSrv)
+	base := chunks.Value()
+	waitFor(t, "re-base in flight", func() bool { return chunks.Value() > base+20 })
+	h.nets[0].Partition(ckptCli, ckptSrv)
+	_, failedBefore := fp.CheckpointStats()
+	waitFor(t, "re-base interrupted", func() bool {
+		_, failed := fp.CheckpointStats()
+		return failed > failedBefore
+	})
+	h.nets[0].Heal(ckptCli, ckptSrv)
+
+	// The retried re-base resumes the partial transfer and the chain
+	// continues: the backup converges on the primary's exact state.
+	waitFor(t, "chain recovered", func() bool { return resumes.Value() >= 1 })
+	fp.WithLock(func() { big[1] += 7 })
+	var want []byte
+	fp.WithLock(func() { want = append([]byte(nil), big...) })
+	waitFor(t, "replica convergence", func() bool {
+		if h.e2.Store().LastSeq() == 0 {
+			return false
+		}
+		var replica []byte
+		r2 := checkpointRegistry(t, "big", &replica)
+		if err := h.e2.Store().Materialize(r2); err != nil {
+			return false
+		}
+		if len(replica) != len(want) {
+			return false
+		}
+		for i := range want {
+			if replica[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkpointRegistry builds a one-region registry around ptr.
+func checkpointRegistry(t *testing.T, name string, ptr any) *checkpoint.Registry {
+	t.Helper()
+	r := checkpoint.NewRegistry()
+	if err := r.Register(name, ptr); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
